@@ -1,0 +1,212 @@
+//! Extra behavioural twins beyond the paper's five study applications:
+//! the two algorithm classes of the exascale feasibility study the paper
+//! builds on (related work \[20\], Gahvari & Gropp: "An introductory
+//! exascale feasibility study for FFTs and multigrid"). The paper notes
+//! those studies were "purely theoretical and not based on real
+//! applications — with our method, we enable similar studies for actual
+//! code bases"; these twins make that sentence executable.
+
+use crate::shapes::{log2f, ops, ring_exchange, Arena};
+use crate::MiniApp;
+use exareq_locality::BurstSampler;
+use exareq_profile::ProcessProfile;
+use exareq_sim::Rank;
+
+/// A distributed 1-D FFT twin: per-process butterfly passes (`n log n`
+/// FLOPs), a global transpose whose per-process volume is linear in `n`
+/// (all-to-all of the local slab), and twiddle-table traffic.
+///
+/// Requirement signature:
+///
+/// | metric          | model            |
+/// |-----------------|------------------|
+/// | #Bytes used     | `c · n`          |
+/// | #FLOP           | `c · n log n`    |
+/// | #Bytes sent/rcv | `c · n` (A2A)    |
+/// | #Loads & stores | `c · n log n`    |
+/// | Stack distance  | constant (radix) |
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fft;
+
+impl MiniApp for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn run_rank(&self, rank: &mut Rank, n: u64, prof: &mut ProcessProfile) {
+        let p = rank.size();
+        let nf = n as f64;
+        let mut field = Arena::new(2 * n as usize); // complex slab
+        prof.footprint.alloc(field.bytes());
+
+        // Butterfly passes: 5 real FLOPs per complex point per stage.
+        prof.callpath.enter("butterflies");
+        field.compute(ops(5.0 * nf * log2f(n)), prof.callpath.counters());
+        field.stream(ops(4.0 * nf * log2f(n)), prof.callpath.counters());
+        prof.callpath.exit();
+
+        // Global transpose: every rank redistributes its slab — an
+        // all-to-all with per-destination blocks of n/p complex values.
+        prof.callpath.enter("transpose");
+        let before = rank.stats().total();
+        let block = ((16 * n) as usize / p.max(1)).max(16);
+        let blocks: Vec<Vec<u8>> = (0..p).map(|_| vec![0u8; block]).collect();
+        let _ = rank.alltoall(&blocks);
+        prof.callpath.add_comm_bytes(rank.stats().total() - before);
+        prof.callpath.exit();
+    }
+
+    fn run_locality(&self, _n: u64, sampler: &mut BurstSampler) {
+        // Radix-8 working set: constant reuse window.
+        let g = sampler.register_group("radix kernel");
+        for _pass in 0..4 {
+            for i in 0..56u64 {
+                sampler.access(g, 0x6000 + i);
+            }
+        }
+    }
+}
+
+/// A geometric-multigrid V-cycle twin: smoother sweeps dominated by the
+/// fine grid (`c·n` FLOPs), halos whose volume telescopes over the levels
+/// (`c·n` in total), and coarse-level collectives that contribute the
+/// tell-tale `log p` communication term of parallel multigrid — the
+/// latency-bound levels Gahvari & Gropp's feasibility bounds revolve
+/// around.
+///
+/// Requirement signature:
+///
+/// | metric          | model                        |
+/// |-----------------|------------------------------|
+/// | #Bytes used     | `c · n` (telescoping levels) |
+/// | #FLOP           | `c · n`                      |
+/// | #Bytes sent/rcv | `c₁ · n + c₂ · log p`        |
+/// | #Loads & stores | `c · n`                      |
+/// | Stack distance  | constant (stencil window)    |
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Multigrid;
+
+/// V-cycles per solve.
+const V_CYCLES: usize = 4;
+
+impl MiniApp for Multigrid {
+    fn name(&self) -> &'static str {
+        "Multigrid"
+    }
+
+    fn run_rank(&self, rank: &mut Rank, n: u64, prof: &mut ProcessProfile) {
+        let nf = n as f64;
+        // Grid hierarchy: n + n/2 + n/4 + … < 2n points.
+        let mut grids = Arena::new(2 * n as usize);
+        prof.footprint.alloc(grids.bytes());
+
+        let levels = (log2f(n) as usize).max(1);
+        for _cycle in 0..V_CYCLES {
+            // Smoother: work telescopes like the grid sizes (Σ n/2^l < 2n).
+            prof.callpath.enter("smoother");
+            grids.compute(ops(8.0 * nf), prof.callpath.counters());
+            grids.stream(ops(12.0 * nf), prof.callpath.counters());
+            prof.callpath.exit();
+
+            // Level halos: volume telescopes too; one ring exchange per
+            // level with sizes n/2^l (the fine levels dominate).
+            prof.callpath.enter("level_halos");
+            let before = rank.stats().total();
+            for l in 0..levels.min(6) {
+                let bytes = ops(nf / (1u64 << l) as f64).max(1);
+                let halo = vec![0u8; bytes as usize];
+                ring_exchange(rank, 700 + l as u64 * 2, &halo, &halo);
+            }
+            prof.callpath.add_comm_bytes(rank.stats().total() - before);
+            prof.callpath.exit();
+
+            // Coarse-grid solve: the grid no longer covers all ranks; the
+            // residual norm is agreed on globally — the log p term.
+            prof.callpath.enter("coarse_solve");
+            let before = rank.stats().total();
+            let mut norm = [0.0f64; 4];
+            rank.allreduce_sum(&mut norm);
+            prof.callpath.add_comm_bytes(rank.stats().total() - before);
+            prof.callpath.exit();
+        }
+    }
+
+    fn run_locality(&self, _n: u64, sampler: &mut BurstSampler) {
+        // 5-point stencil window on the fine grid.
+        let g = sampler.register_group("stencil window");
+        for _pass in 0..4 {
+            for i in 0..40u64 {
+                sampler.access(g, 0x5000 + i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn fft_flops_scale_nlogn() {
+        let a = measure(&Fft, 4, 1024);
+        let b = measure(&Fft, 4, 4096);
+        let r = b.flops / a.flops;
+        // 4·(12/10) = 4.8
+        assert!((r - 4.8).abs() < 0.05, "{r}");
+    }
+
+    #[test]
+    fn fft_transpose_volume_linear_in_n_saturating_in_p() {
+        // Per-process alltoall volume: (p−1) exchanged blocks of 16n/p
+        // bytes each way → 2·16n·(p−1)/p, saturating towards 32n as p
+        // grows: p 4 → 16 gives exactly (15/16)/(3/4) = 1.25.
+        let a = measure(&Fft, 4, 4096);
+        let b = measure(&Fft, 16, 4096);
+        let ra = b.comm_class("Alltoall") / a.comm_class("Alltoall");
+        assert!((ra - 1.25).abs() < 0.01, "{ra}");
+        let c = measure(&Fft, 4, 16384);
+        let rn = c.comm_class("Alltoall") / a.comm_class("Alltoall");
+        assert!((rn - 4.0).abs() < 0.05, "{rn}");
+    }
+
+    #[test]
+    fn multigrid_flops_linear() {
+        let a = measure(&Multigrid, 4, 1024);
+        let b = measure(&Multigrid, 4, 4096);
+        let r = b.flops / a.flops;
+        assert!((r - 4.0).abs() < 0.02, "{r}");
+    }
+
+    #[test]
+    fn multigrid_has_logp_collective_term() {
+        // Allreduce volume grows with log p at fixed payload & count.
+        let a = measure(&Multigrid, 4, 1024);
+        let b = measure(&Multigrid, 16, 1024);
+        let r = b.comm_class("Allreduce") / a.comm_class("Allreduce");
+        assert!((r - 2.0).abs() < 0.05, "{r}"); // log2(16)/log2(4) = 2
+    }
+
+    #[test]
+    fn multigrid_halos_telescope() {
+        // Total halo volume ≈ 2·Σ n/2^l ≈ 2n per direction — linear in n.
+        let a = measure(&Multigrid, 8, 1024);
+        let b = measure(&Multigrid, 8, 4096);
+        let r = b.comm_class("P2P") / a.comm_class("P2P");
+        assert!((r - 4.0).abs() < 0.05, "{r}");
+    }
+
+    #[test]
+    fn both_have_constant_locality() {
+        for app in [&Fft as &dyn crate::MiniApp, &Multigrid] {
+            let a = measure(app, 2, 256);
+            let b = measure(app, 2, 16384);
+            assert_eq!(
+                a.max_stack_distance(),
+                b.max_stack_distance(),
+                "{}",
+                app.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Behavioural twin of **Kripke** — LLNL's 3D Sn deterministic particle
+//! transport proxy (asynchronous MPI parallel sweep).
+//!
+//! Target per-process requirement signature (Table II):
+//!
+//! | metric          | model                  |
+//! |-----------------|------------------------|
+//! | #Bytes used     | `c · n`                |
+//! | #FLOP           | `c · n`                |
+//! | #Bytes sent/rcv | `c · n`                |
+//! | #Loads & stores | `c₁ · n + c₂ · n · p` ⚠ |
+//! | Stack distance  | constant               |
+//!
+//! Structure: a zone-local sweep kernel (linear in the per-process zone
+//! count), face halo exchanges proportional to the zone count, and a sweep
+//! *pipeline* stage loop whose buffer reshuffling touches the angular flux
+//! once per pipeline stage — the `n · p` memory-access term the paper flags
+//! as Kripke's one scaling hazard.
+
+use crate::shapes::{ops, ring_exchange, Arena};
+use crate::MiniApp;
+use exareq_locality::BurstSampler;
+use exareq_profile::ProcessProfile;
+use exareq_sim::Rank;
+
+/// Angular quadrature directions per zone (reduced from production Kripke).
+const ANGLES: usize = 4;
+/// Sweep source iterations.
+const ITERS: usize = 2;
+
+/// The Kripke behavioural twin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kripke;
+
+impl MiniApp for Kripke {
+    fn name(&self) -> &'static str {
+        "Kripke"
+    }
+
+    fn run_rank(&self, rank: &mut Rank, n: u64, prof: &mut ProcessProfile) {
+        let p = rank.size();
+        let zones = n as usize;
+
+        // Working set: angular flux ψ (ANGLES per zone), cross sections σ,
+        // scalar flux φ — all linear in the per-process zone count.
+        let mut psi = Arena::new(ANGLES * zones);
+        let mut sigma = Arena::new(zones);
+        let mut phi = Arena::new(zones);
+        prof.footprint.alloc(psi.bytes());
+        prof.footprint.alloc(sigma.bytes());
+        prof.footprint.alloc(phi.bytes());
+
+        let face = vec![0u8; ops(2.0 * n as f64) as usize];
+
+        for _ in 0..ITERS {
+            // Zone-local sweep: ψ ← ψ·σ + q for each angle and zone.
+            prof.callpath.enter("sweep");
+            psi.compute(ops(8.0 * n as f64), prof.callpath.counters());
+            sigma.stream(ops(4.0 * n as f64), prof.callpath.counters());
+            phi.stream(ops(8.0 * n as f64), prof.callpath.counters());
+            prof.callpath.exit();
+
+            // Pipeline fill/drain: the angular flux block is re-staged once
+            // per sweep pipeline stage (one stage per process column) —
+            // Kripke's n·p loads/stores hazard.
+            prof.callpath.enter("pipeline");
+            for _stage in 0..p {
+                psi.stream(ops(n as f64), prof.callpath.counters());
+            }
+            prof.callpath.exit();
+
+            // Downwind/upwind face exchange: 2n bytes each way per iteration.
+            prof.callpath.enter("face_exchange");
+            let before = rank.stats().total();
+            ring_exchange(rank, 100, &face, &face);
+            prof.callpath.add_comm_bytes(rank.stats().total() - before);
+            prof.callpath.exit();
+        }
+    }
+
+    fn run_locality(&self, _n: u64, sampler: &mut BurstSampler) {
+        // Sweep order visits zones block by block with a fixed-size angular
+        // working set — locality independent of the problem size.
+        let g_psi = sampler.register_group("psi sweep window");
+        let g_sig = sampler.register_group("sigma table");
+        const WINDOW: u64 = 96;
+        const SIG_WINDOW: u64 = 24;
+        for _pass in 0..4 {
+            for i in 0..WINDOW {
+                sampler.access(g_psi, 0x1000 + i);
+            }
+            for i in 0..SIG_WINDOW {
+                sampler.access(g_sig, 0x9000 + i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure, MiniApp};
+
+    #[test]
+    fn flops_scale_linearly_in_n_only() {
+        let a = measure(&Kripke, 4, 512);
+        let b = measure(&Kripke, 4, 1024);
+        let c = measure(&Kripke, 8, 512);
+        let r_n = b.flops / a.flops;
+        assert!((r_n - 2.0).abs() < 0.05, "n-scaling {r_n}");
+        let r_p = c.flops / a.flops;
+        assert!((r_p - 1.0).abs() < 0.05, "p-scaling {r_p}");
+    }
+
+    #[test]
+    fn footprint_linear_in_n() {
+        let a = measure(&Kripke, 2, 512);
+        let b = measure(&Kripke, 2, 2048);
+        let r = b.bytes_used / a.bytes_used;
+        assert!((r - 4.0).abs() < 0.1, "{r}");
+    }
+
+    #[test]
+    fn comm_linear_in_n_per_process() {
+        let a = measure(&Kripke, 8, 512);
+        let b = measure(&Kripke, 8, 1024);
+        let r = b.comm_total / a.comm_total;
+        assert!((r - 2.0).abs() < 0.1, "{r}");
+    }
+
+    #[test]
+    fn loads_stores_have_np_term() {
+        // L(p, n) = c1·n + c2·n·p → L(2p)/L(p) > 1 and grows with p.
+        let a = measure(&Kripke, 2, 1024);
+        let b = measure(&Kripke, 16, 1024);
+        let r = b.loads_stores / a.loads_stores;
+        assert!(r > 1.2, "expected visible n·p term, ratio {r}");
+        // And it is linear in p at the margin: (L(16)−L(2))/14 = ITERS·n.
+        let c2n = (b.loads_stores - a.loads_stores) / 14.0;
+        assert!((c2n - 2.0 * 1024.0).abs() / 2048.0 < 0.1, "c2·n = {c2n}");
+    }
+
+    #[test]
+    fn stack_distance_constant_in_n() {
+        let mut s1 = exareq_locality::BurstSampler::new(exareq_locality::BurstSchedule::always());
+        Kripke.run_locality(256, &mut s1);
+        let mut s2 = exareq_locality::BurstSampler::new(exareq_locality::BurstSchedule::always());
+        Kripke.run_locality(4096, &mut s2);
+        let m1 = s1.groups()[0].median_stack().unwrap();
+        let m2 = s2.groups()[0].median_stack().unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn deterministic_measurements() {
+        let a = measure(&Kripke, 4, 256);
+        let b = measure(&Kripke, 4, 256);
+        assert_eq!(a.flops, b.flops);
+        assert_eq!(a.comm_total, b.comm_total);
+        assert_eq!(a.loads_stores, b.loads_stores);
+    }
+}

@@ -1,0 +1,193 @@
+//! Behavioural twin of **MILC** (`su3_rmd`) — MIMD Lattice Computation,
+//! four-dimensional SU(3) lattice QCD.
+//!
+//! Target per-process requirement signature (Table II):
+//!
+//! | metric          | model                                         |
+//! |-----------------|-----------------------------------------------|
+//! | #Bytes used     | `c · n`                                       |
+//! | #FLOP           | `c₁ · n + c₂ · n log p`                       |
+//! | #Bytes sent/rcv | `c·Allreduce(p) + c·Bcast(p) + c·n` (p2p)     |
+//! | #Loads & stores | `c₀ + c₁ · n log n + c₂ · p^1.5`              |
+//! | Stack distance  | `c · n` ⚠                                     |
+//!
+//! Structure: a conjugate-gradient solver with a *fixed* iteration count
+//! (so the per-iteration allreduce leaves a clean `Allreduce(p)` signature),
+//! a one-time parameter broadcast, boundary-overlap recomputation growing
+//! with the decomposition depth (`n log p` FLOPs), indexed gather/scatter
+//! traffic (`n log n`), and a global site-ordering exchange buffer
+//! (`p^1.5`). MILC is the one study application whose *locality* degrades
+//! with the problem size: its staggered-fermion access pattern walks the
+//! whole lattice between reuses, so the stack distance grows linearly in
+//! `n` — the paper's one ⚠ for MILC.
+
+use crate::shapes::{log2f, ops, powf, ring_exchange, Arena};
+use crate::MiniApp;
+use exareq_locality::BurstSampler;
+use exareq_profile::ProcessProfile;
+use exareq_sim::Rank;
+
+/// Conjugate-gradient iterations (fixed — MILC-style solves to fixed
+/// residual behave near-constant per trajectory at these scales).
+const CG_ITERS: usize = 25;
+
+/// The MILC behavioural twin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Milc;
+
+impl MiniApp for Milc {
+    fn name(&self) -> &'static str {
+        "MILC"
+    }
+
+    fn run_rank(&self, rank: &mut Rank, n: u64, prof: &mut ProcessProfile) {
+        let p = rank.size() as u64;
+        let nf = n as f64;
+
+        // Gauge links: 4 directions × SU(3) complex matrices per site.
+        let mut links = Arena::new(n as usize * 64);
+        prof.footprint.alloc(links.bytes());
+
+        // One-time parameter broadcast from rank 0.
+        prof.callpath.enter("setup");
+        {
+            let before = rank.stats().total();
+            let params = vec![1u8; 4096];
+            let _ = rank.bcast(0, &params);
+            prof.callpath.add_comm_bytes(rank.stats().total() - before);
+        }
+        // Layout-table initialization: a constant-size scan independent of
+        // p and n (the c₀ term of the loads/stores model).
+        links.stream(2_000_000, prof.callpath.counters());
+        prof.callpath.exit();
+
+        // Link update (linear in the local lattice volume).
+        prof.callpath.enter("update_u");
+        links.compute(ops(160.0 * nf), prof.callpath.counters());
+        prof.callpath.exit();
+
+        // Boundary-overlap recomputation: grows with decomposition depth.
+        prof.callpath.enter("overlap_recompute");
+        links.compute(ops(2.0 * nf * log2f(p)), prof.callpath.counters());
+        prof.callpath.exit();
+
+        // CG solve: fixed iterations; per iteration a residual allreduce,
+        // a halo exchange linear in n, and local stencil FLOPs.
+        prof.callpath.enter("ks_congrad");
+        let halo = vec![0u8; ops(2.0 * nf) as usize];
+        for it in 0..CG_ITERS {
+            links.compute(ops(2.0 * nf), prof.callpath.counters());
+            let before = rank.stats().total();
+            let mut dot = [0.0f64; 16];
+            rank.allreduce_sum(&mut dot);
+            ring_exchange(rank, 300 + it as u64 * 2, &halo, &halo);
+            prof.callpath.add_comm_bytes(rank.stats().total() - before);
+        }
+        prof.callpath.exit();
+
+        // Indexed gather/scatter over the site tables: n·log n traffic.
+        prof.callpath.enter("gather_scatter");
+        links.stream(ops(40.0 * nf * log2f(n)), prof.callpath.counters());
+        prof.callpath.exit();
+
+        // Global site-ordering exchange buffers: p^1.5 traffic.
+        prof.callpath.enter("site_ordering");
+        links.stream(ops(2000.0 * powf(p, 1.5)), prof.callpath.counters());
+        prof.callpath.exit();
+    }
+
+    fn run_locality(&self, n: u64, sampler: &mut BurstSampler) {
+        // Staggered-fermion traversal touches the whole local lattice
+        // between consecutive reuses: working set ∝ n → stack distance ∝ n.
+        let g_fermion = sampler.register_group("staggered fermion field");
+        let g_phase = sampler.register_group("phase table");
+        let working_set = 8 * n.max(16);
+        for _pass in 0..3 {
+            for i in 0..working_set {
+                sampler.access(g_fermion, 0x10_0000 + i);
+            }
+            // Phase table reuse is local (constant window).
+            for i in 0..32 {
+                sampler.access(g_phase, 0x90_0000 + i);
+            }
+        }
+        // Top up the small-window group past the sample filter.
+        for _pass in 0..4 {
+            for i in 0..32 {
+                sampler.access(g_phase, 0x90_0000 + i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use exareq_locality::{BurstSampler, BurstSchedule};
+
+    #[test]
+    fn flops_dominated_by_linear_n() {
+        let a = measure(&Milc, 4, 512);
+        let b = measure(&Milc, 4, 1024);
+        let r = b.flops / a.flops;
+        assert!((r - 2.0).abs() < 0.02, "{r}");
+    }
+
+    #[test]
+    fn flops_have_mild_logp_growth() {
+        let a = measure(&Milc, 2, 1024);
+        let b = measure(&Milc, 32, 1024);
+        // (c1 + c2·log 32)/(c1 + c2·log 2) with c1=212, c2=2 → ≈ 1.037.
+        let r = b.flops / a.flops;
+        assert!(r > 1.02 && r < 1.08, "{r}");
+    }
+
+    #[test]
+    fn allreduce_count_is_fixed() {
+        let a = measure(&Milc, 4, 512);
+        let b = measure(&Milc, 4, 2048);
+        let ar_a = a.comm_class("Allreduce");
+        let ar_b = b.comm_class("Allreduce");
+        assert!(ar_a > 0.0);
+        assert_eq!(ar_a, ar_b, "allreduce volume must not depend on n");
+    }
+
+    #[test]
+    fn bcast_present_p2p_linear_in_n() {
+        let a = measure(&Milc, 8, 512);
+        let b = measure(&Milc, 8, 1024);
+        assert!(a.comm_class("Bcast") > 0.0);
+        let r = b.comm_class("P2P") / a.comm_class("P2P");
+        assert!((r - 2.0).abs() < 0.05, "{r}");
+    }
+
+    #[test]
+    fn loads_have_constant_term() {
+        // At small n and p the constant dominates.
+        let a = measure(&Milc, 2, 64);
+        assert!(a.loads_stores > 1.9e6, "{}", a.loads_stores);
+    }
+
+    #[test]
+    fn loads_p15_term_visible() {
+        let a = measure(&Milc, 2, 256);
+        let b = measure(&Milc, 32, 256);
+        let delta = b.loads_stores - a.loads_stores;
+        // ≈ 2000·(32^1.5 − 2^1.5) ≈ 2000·178 = 356k.
+        assert!(delta > 2.5e5, "p^1.5 growth missing: {delta}");
+    }
+
+    #[test]
+    fn stack_distance_grows_linearly_with_n() {
+        let run = |n: u64| {
+            let mut s = BurstSampler::new(BurstSchedule::always());
+            Milc.run_locality(n, &mut s);
+            s.groups()[0].median_stack().unwrap()
+        };
+        let d1 = run(256);
+        let d2 = run(1024);
+        let r = d2 / d1;
+        assert!((r - 4.0).abs() < 0.05, "{r}");
+    }
+}

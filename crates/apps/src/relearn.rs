@@ -1,0 +1,168 @@
+//! Behavioural twin of **Relearn** — structural plasticity of the brain's
+//! connectome (creation/deletion of synapses between neurons).
+//!
+//! Target per-process requirement signature (Table II):
+//!
+//! | metric          | model                                         |
+//! |-----------------|-----------------------------------------------|
+//! | #Bytes used     | `c · n^0.5`                                   |
+//! | #FLOP           | `c₁ · n log n · log p + p`                    |
+//! | #Bytes sent/rcv | `c·Allreduce(p) + c·Alltoall(p) + c·n` (p2p)  |
+//! | #Loads & stores | `c₁ · n log n + c₂ · p log p`                 |
+//! | Stack distance  | constant                                      |
+//!
+//! The `n^0.5` memory footprint is the paper's curious *empirical* finding
+//! (theory predicts linear; the authors keep the measured model for
+//! methodological consistency, and so do we): the twin's resident set is a
+//! distance-sorted candidate cache that grows with the square root of the
+//! neuron count. The compute kernel is an octree-style gather over the
+//! candidate lists (`n log n`, deepening with `log p`), the exchange phase
+//! is a small fixed allreduce plus a tiny alltoall plus neighbor traffic
+//! linear in `n`.
+
+use crate::shapes::{log2f, ops, Arena};
+use crate::MiniApp;
+use exareq_locality::BurstSampler;
+use exareq_profile::ProcessProfile;
+use exareq_sim::Rank;
+
+/// Connectivity-update rounds.
+const ROUNDS: usize = 10;
+
+/// The Relearn behavioural twin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relearn;
+
+impl MiniApp for Relearn {
+    fn name(&self) -> &'static str {
+        "Relearn"
+    }
+
+    fn run_rank(&self, rank: &mut Rank, n: u64, prof: &mut ProcessProfile) {
+        let p = rank.size();
+        let nf = n as f64;
+
+        // Distance-sorted candidate cache — the √n empirical footprint.
+        let mut cache = Arena::new(ops(40.0 * nf.sqrt()) as usize);
+        prof.footprint.alloc(cache.bytes());
+
+        // Octree traversal: vacant-element matching over the candidate
+        // lists; depth grows with the process count.
+        prof.callpath.enter("update_connectivity");
+        cache.compute(
+            ops(3.0 * nf * log2f(n) * log2f(p as u64)),
+            prof.callpath.counters(),
+        );
+        cache.compute(ops(500.0 * p as f64), prof.callpath.counters());
+        prof.callpath.exit();
+
+        // Synaptic-element bookkeeping: candidate-list sort/merge traffic.
+        prof.callpath.enter("update_elements");
+        cache.stream(ops(5.0 * nf * log2f(n)), prof.callpath.counters());
+        cache.stream(
+            ops(2.0 * p as f64 * log2f(p as u64)),
+            prof.callpath.counters(),
+        );
+        prof.callpath.exit();
+
+        // Exchange phase per round: global calcium allreduce (fixed
+        // payload), a tiny alltoall of per-pair counts, and neighbor
+        // spike traffic linear in n.
+        prof.callpath.enter("exchange");
+        let before = rank.stats().total();
+        let spikes = vec![0u8; ops(nf / 2.0) as usize];
+        for round in 0..ROUNDS {
+            let mut calcium = [0.0f64; 100];
+            rank.allreduce_sum(&mut calcium);
+            if p > 1 {
+                let next = (rank.rank() + 1) % p;
+                let prev = (rank.rank() + p - 1) % p;
+                rank.send(next, 400 + round as u64, &spikes);
+                let _ = rank.recv(prev, 400 + round as u64);
+            }
+        }
+        let counts: Vec<Vec<u8>> = (0..p).map(|_| vec![0u8; 16]).collect();
+        let _ = rank.alltoall(&counts);
+        prof.callpath.add_comm_bytes(rank.stats().total() - before);
+        prof.callpath.exit();
+    }
+
+    fn run_locality(&self, _n: u64, sampler: &mut BurstSampler) {
+        // Candidate evaluation reuses a fixed-size neighbor window.
+        let g_cand = sampler.register_group("candidate window");
+        let g_state = sampler.register_group("neuron state");
+        for _pass in 0..4 {
+            for i in 0..80u64 {
+                sampler.access(g_cand, 0x3000 + i);
+            }
+            for i in 0..40u64 {
+                sampler.access(g_state, 0xB000 + i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn footprint_scales_with_sqrt_n() {
+        let a = measure(&Relearn, 2, 1024);
+        let b = measure(&Relearn, 2, 4096);
+        let r = b.bytes_used / a.bytes_used;
+        assert!((r - 2.0).abs() < 0.05, "sqrt scaling {r}");
+    }
+
+    #[test]
+    fn flops_scale_nlogn_logp() {
+        let a = measure(&Relearn, 4, 1024);
+        let b = measure(&Relearn, 4, 4096);
+        // n log n term: 4·(12/10) = 4.8; the 500·p side term dilutes it a
+        // little: (3·4096·12·2 + 2000)/(3·1024·10·2 + 2000) ≈ 4.68.
+        let r = b.flops / a.flops;
+        assert!((r - 4.68).abs() < 0.1, "{r}");
+        let c = measure(&Relearn, 16, 1024);
+        let rp = c.flops / a.flops;
+        assert!((rp - 2.0).abs() < 0.1, "log p scaling {rp}");
+    }
+
+    #[test]
+    fn comm_has_all_three_channels() {
+        let m = measure(&Relearn, 8, 1024);
+        assert!(m.comm_class("Allreduce") > 0.0);
+        assert!(m.comm_class("Alltoall") > 0.0);
+        assert!(m.comm_class("P2P") > 0.0);
+        assert_eq!(m.comm_class("Bcast"), 0.0);
+    }
+
+    #[test]
+    fn p2p_linear_in_n_allreduce_constant_in_n() {
+        let a = measure(&Relearn, 8, 512);
+        let b = measure(&Relearn, 8, 2048);
+        let r = b.comm_class("P2P") / a.comm_class("P2P");
+        assert!((r - 4.0).abs() < 0.05, "{r}");
+        assert_eq!(a.comm_class("Allreduce"), b.comm_class("Allreduce"));
+    }
+
+    #[test]
+    fn loads_additive_in_n_and_p() {
+        let base = measure(&Relearn, 2, 1024);
+        let big_p = measure(&Relearn, 32, 1024);
+        // p log p term: 2·(32·5 − 2·1) = 316 extra moves — small but present.
+        let delta = big_p.loads_stores - base.loads_stores;
+        assert!(delta > 200.0 && delta < 1000.0, "{delta}");
+    }
+
+    #[test]
+    fn stack_distance_constant() {
+        let run = |n: u64| {
+            let mut s =
+                exareq_locality::BurstSampler::new(exareq_locality::BurstSchedule::always());
+            Relearn.run_locality(n, &mut s);
+            s.groups()[0].median_stack().unwrap()
+        };
+        assert_eq!(run(256), run(16384));
+    }
+}

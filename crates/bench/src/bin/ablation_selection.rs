@@ -1,0 +1,88 @@
+//! Ablation **A3**: leave-one-out cross-validated hypothesis selection (the
+//! SC13 method our generator implements) versus raw in-sample selection.
+//!
+//! In-sample selection always prefers the hypothesis with the most freedom
+//! to chase noise; cross-validation punishes exactly that. We fit noisy
+//! constant and noisy linear data with both selectors and count how often
+//! each invents spurious growth, plus the resulting extrapolation damage.
+//!
+//! Run with `cargo run --release -p exareq-bench --bin ablation_selection`.
+
+use exareq_bench::results_dir;
+use exareq_core::fit::{fit_single, fit_single_no_cv, FitConfig};
+use exareq_core::measurement::Experiment;
+use exareq_core::pmnf::Exponents;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn main() {
+    let xs: [f64; 7] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let reps = 50usize;
+    let noise = 0.05;
+    let horizon: f64 = 1e6;
+    let cfg = FitConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xAB1A7E);
+
+    let cases: [(&str, f64, f64, f64); 2] = [
+        // (name, coeff, poly, log)
+        ("constant 1e5", 1e5, 0.0, 0.0),
+        ("linear 1e3·x", 1e3, 1.0, 0.0),
+    ];
+
+    let mut out = String::new();
+    out.push_str("== Ablation A3: cross-validated vs in-sample hypothesis selection ==\n");
+    out.push_str(&format!("(±{:.0}% noise, {reps} repetitions)\n\n", noise * 100.0));
+    out.push_str(&format!(
+        "{:<16} {:>22} {:>22} {:>18} {:>18}\n",
+        "truth", "CV spurious-growth", "in-sample spurious", "CV med extrap", "in-sample extrap"
+    ));
+
+    for (name, coeff, i, j) in cases {
+        let mut cv_wrong = 0usize;
+        let mut is_wrong = 0usize;
+        let mut cv_err: Vec<f64> = Vec::new();
+        let mut is_err: Vec<f64> = Vec::new();
+        for _ in 0..reps {
+            let clean = Experiment::from_fn(vec!["x"], &[&xs], |c| {
+                coeff * c[0].powf(i) * c[0].log2().powf(j)
+            });
+            let noisy = clean.with_noise(noise, || rng.random::<f64>());
+            let truth_exp = Exponents::new(i, j);
+            let truth_val = coeff * horizon.powf(i) * horizon.log2().powf(j);
+
+            if let Ok(m) = fit_single(&noisy, &cfg) {
+                let lead = m.model.dominant_exponents(0);
+                if lead.growth_cmp(&truth_exp).is_gt() {
+                    cv_wrong += 1;
+                }
+                cv_err.push(((m.model.eval(&[horizon]) - truth_val) / truth_val).abs());
+            }
+            if let Ok(m) = fit_single_no_cv(&noisy, &cfg) {
+                let lead = m.model.dominant_exponents(0);
+                if lead.growth_cmp(&truth_exp).is_gt() {
+                    is_wrong += 1;
+                }
+                is_err.push(((m.model.eval(&[horizon]) - truth_val) / truth_val).abs());
+            }
+        }
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.get(v.len() / 2).copied().unwrap_or(f64::NAN)
+        };
+        out.push_str(&format!(
+            "{:<16} {:>21.0}% {:>21.0}% {:>17.1}% {:>17.1}%\n",
+            name,
+            100.0 * cv_wrong as f64 / reps as f64,
+            100.0 * is_wrong as f64 / reps as f64,
+            med(&mut cv_err) * 100.0,
+            med(&mut is_err) * 100.0
+        ));
+    }
+    out.push_str(
+        "\nReading: in-sample selection manufactures growth terms out of noise\n\
+         far more often than cross-validation, and pays for it at exascale\n\
+         extrapolation distance — the design rationale for Extra-P's\n\
+         cross-validated selection, which this reproduction follows.\n",
+    );
+    print!("{out}");
+    std::fs::write(results_dir().join("ablation_selection.txt"), &out).expect("write report");
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Figure 3**: measurements classified by percentile relative
+//! error over all generated models. The paper reports 88% of measurements
+//! under 5% relative error; our deterministic substrate should do at least
+//! as well.
+//!
+//! Run with `cargo run --release -p exareq-bench --bin fig3`.
+
+use exareq::pipeline::{error_histogram, model_requirements, ModeledApp};
+use exareq_apps::AppGrid;
+use exareq_bench::{all_surveys, repro_config, results_dir};
+use exareq_profile::Survey;
+
+fn main() {
+    let grid = AppGrid::default();
+    let cfg = repro_config();
+    let surveys = all_surveys(&grid);
+    let modeled: Vec<(Survey, ModeledApp)> = surveys
+        .into_iter()
+        .map(|s| {
+            let m = model_requirements(&s, &cfg).unwrap_or_else(|e| panic!("{}: {e}", s.app));
+            (s, m)
+        })
+        .collect();
+    let refs: Vec<(&Survey, &ModeledApp)> = modeled.iter().map(|(s, m)| (s, m)).collect();
+    let hist = error_histogram(&refs);
+
+    let mut out = String::new();
+    out.push_str("== Figure 3 reproduction: relative model error histogram ==\n\n");
+    out.push_str(&hist.render());
+    out.push_str(&format!(
+        "\n{} measurements classified; {:.1}% below 5% relative error (paper: 88%)\n",
+        hist.total(),
+        hist.frac_below_5pct() * 100.0
+    ));
+    print!("{out}");
+    std::fs::write(results_dir().join("fig3.txt"), &out).expect("write report");
+}

@@ -1,0 +1,90 @@
+//! Regenerates the **Section II-D** experiment: modeling the scalability of
+//! memory locality for naïve vs blocked matrix multiplication (Listings 1
+//! and 2). The locality models must discover that the naïve kernel's stack
+//! distances grow with the matrix (Θ(n), Θ(n²)) while the blocked kernel's
+//! depend only on the block size (Θ(b), Θ(b²), constant C).
+//!
+//! Run with `cargo run --release -p exareq-bench --bin mmm_locality`.
+
+use exareq_apps::mmm::{blocked_mmm, naive_mmm};
+use exareq_bench::results_dir;
+use exareq_core::fit::{fit_single, FitConfig};
+use exareq_core::measurement::Experiment;
+use exareq_locality::{BurstSampler, BurstSchedule};
+
+fn main() {
+    let cfg = FitConfig::default();
+    let mut out = String::new();
+    out.push_str("== Section II-D reproduction: MMM locality models ==\n\n");
+
+    // --- Naive kernel: model SD as a function of n. ---
+    let ns = [8usize, 12, 16, 24, 32, 48];
+    let mut exp_a = Experiment::new(vec!["n"]);
+    let mut exp_b = Experiment::new(vec!["n"]);
+    out.push_str("naive mmm (Listing 1):\n  n     SD(A)     SD(B)     RD(B)\n");
+    for &n in &ns {
+        let mut s = BurstSampler::new(BurstSchedule::always());
+        let (g, _) = naive_mmm(n, &mut s);
+        let sd_a = s.groups()[g.a].median_stack().unwrap();
+        let sd_b = s.groups()[g.b].median_stack().unwrap();
+        let rd_b = s.groups()[g.b].median_reuse().unwrap();
+        out.push_str(&format!("  {n:<4}  {sd_a:<8}  {sd_b:<8}  {rd_b:<8}\n"));
+        exp_a.push(&[n as f64], sd_a);
+        exp_b.push(&[n as f64], sd_b);
+    }
+    let ma = fit_single(&exp_a, &cfg).expect("fit SD(A)");
+    let mb = fit_single(&exp_b, &cfg).expect("fit SD(B)");
+    out.push_str(&format!("  model SD_A(n) = {}     (paper: ~2n)\n", ma.model));
+    out.push_str(&format!(
+        "  model SD_B(n) = {}     (paper: n^2 + 2n - 1)\n",
+        mb.model
+    ));
+
+    // --- Blocked kernel: SD as a function of b, invariant in n. ---
+    let bs = [2usize, 4, 8, 16];
+    let n = 32;
+    let mut exp_ba = Experiment::new(vec!["b"]);
+    let mut exp_bb = Experiment::new(vec!["b"]);
+    out.push_str("\nblocked mmm (Listing 2), n = 32:\n  b     SD(A)     SD(B)     SD(C)\n");
+    for &b in &bs {
+        let mut s = BurstSampler::new(BurstSchedule::always());
+        let (g, _) = blocked_mmm(n.max(b), b, &mut s);
+        let sd_a = s.groups()[g.a].median_stack().unwrap();
+        let sd_b = s.groups()[g.b].median_stack().unwrap();
+        let sd_c = s.groups()[g.c].median_stack().unwrap();
+        out.push_str(&format!("  {b:<4}  {sd_a:<8}  {sd_b:<8}  {sd_c:<8}\n"));
+        exp_ba.push(&[b as f64], sd_a);
+        exp_bb.push(&[b as f64], sd_b);
+    }
+    let mba = fit_single(&exp_ba, &cfg).expect("fit blocked SD(A)");
+    let mbb = fit_single(&exp_bb, &cfg).expect("fit blocked SD(B)");
+    out.push_str(&format!(
+        "  model SD_A(b) = {}     (paper: 2b + 1)\n",
+        mba.model
+    ));
+    out.push_str(&format!(
+        "  model SD_B(b) = {}     (paper: ~2b^2 + b)\n",
+        mbb.model
+    ));
+
+    // --- Invariance in n at fixed b. ---
+    out.push_str("\nblocked mmm, b = 4, n sweep (locality must not move):\n");
+    for n in [16usize, 32, 64, 96] {
+        let mut s = BurstSampler::new(BurstSchedule::always());
+        let (g, _) = blocked_mmm(n, 4, &mut s);
+        out.push_str(&format!(
+            "  n = {n:<4} SD(A) = {}  SD(B) = {}  SD(C) = {}\n",
+            s.groups()[g.a].median_stack().unwrap(),
+            s.groups()[g.b].median_stack().unwrap(),
+            s.groups()[g.c].median_stack().unwrap()
+        ));
+    }
+    out.push_str(
+        "\nConclusion (paper): the naive implementation is locality-degrading\n\
+         (stack distances grow with the problem), the blocked implementation is\n\
+         locality-preserving (stack distances depend only on the block size) —\n\
+         with equal FLOPs, the blocked variant is preferable.\n",
+    );
+    print!("{out}");
+    std::fs::write(results_dir().join("mmm_locality.txt"), &out).expect("write report");
+}

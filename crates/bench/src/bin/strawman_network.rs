@@ -1,0 +1,61 @@
+//! Extension experiment **E9**: network-aware straw-man bounds (Section
+//! III-B's proposed refinement of Table VII).
+//!
+//! Adds per-processor injection bandwidth (default: 0.1 B/flop, Blue
+//! Gene/Q-class balance) to the three straw men and reports
+//! `max(T_flop, T_comm)` per application, flagging which resource binds.
+//!
+//! Run with `cargo run --release -p exareq-bench --bin strawman_network`.
+
+use exareq_bench::results_dir;
+use exareq_codesign::{analyze_with_network, catalog, default_network, table_six};
+
+fn main() {
+    let systems = table_six();
+    let network = default_network(&systems);
+    let mut out = String::new();
+    out.push_str("== E9: network-aware wall-time lower bounds ==\n");
+    out.push_str("injection bandwidth per processor (0.1 B/flop balance):\n");
+    for n in &network {
+        out.push_str(&format!("  {:<20} {:.1e} B/s\n", n.system, n.bytes_per_sec));
+    }
+    out.push('\n');
+
+    for app in catalog::paper_models() {
+        match analyze_with_network(&app, &systems, &network) {
+            None => out.push_str(&format!(
+                "== {} ==\n  excluded (cannot fill every system)\n\n",
+                app.name
+            )),
+            Some(res) => {
+                out.push_str(&format!("== {} ==\n", app.name));
+                out.push_str(&format!(
+                    "  {:<20} {:>12} {:>12} {:>12} {:>10}\n",
+                    "system", "T_flop [s]", "T_comm [s]", "bound [s]", "binds"
+                ));
+                for o in &res {
+                    out.push_str(&format!(
+                        "  {:<20} {:>12.3} {:>12.3} {:>12.3} {:>10}\n",
+                        o.system,
+                        o.t_flop,
+                        o.t_comm,
+                        o.t_bound,
+                        if o.network_bound { "network" } else { "compute" }
+                    ));
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str(
+        "Findings beyond Table VII: MILC's requirement balance (1e9·n comm\n\
+         bytes per 1e10·n flops = 0.1 B/F) sits exactly at the machine balance\n\
+         — the classic bytes-to-flop reasoning of the paper's introduction\n\
+         reproduced from fitted models. Relearn, compute-bound in Table VII,\n\
+         becomes *network-bound everywhere*: its 10·Alltoall(p) term, invisible\n\
+         at measurement scale, grows linearly in p and dominates at p ≈ 10⁹ —\n\
+         exactly the class of surprise the requirements method exists to catch.\n",
+    );
+    print!("{out}");
+    std::fs::write(results_dir().join("strawman_network.txt"), &out).expect("write report");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Table II**: per-process requirement models of the five
+//! study applications, from measurement to model, and compares the fitted
+//! lead exponents against the published table.
+//!
+//! Run with `cargo run --release -p exareq-bench --bin table2`.
+
+use exareq::pipeline::model_requirements;
+use exareq_apps::AppGrid;
+use exareq_bench::{all_surveys, fmt_exp, paper_lead_exponents, repro_config, results_dir};
+use exareq_codesign::report::render_requirements;
+use exareq_core::collective::render_comm_rows;
+
+fn main() {
+    let grid = AppGrid::default();
+    println!(
+        "== Table II reproduction ==\nmeasurement grid: p = {:?}, n = {:?}\n",
+        grid.p_values, grid.n_values
+    );
+    let cfg = repro_config();
+    let mut out = String::new();
+    let mut matches = 0usize;
+    let mut total = 0usize;
+
+    for survey in all_surveys(&grid) {
+        let modeled = model_requirements(&survey, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", survey.app));
+
+        out.push_str(&render_requirements(&modeled.requirements));
+        out.push_str("  communication by collective:\n");
+        for row in render_comm_rows(&modeled.comm_symbolic) {
+            out.push_str(&format!("    {row}\n"));
+        }
+
+        // Paper-vs-measured lead exponents.
+        out.push_str("  lead exponents vs paper (p-side | n-side):\n");
+        let r = &modeled.requirements;
+        let measured = [
+            ("#Bytes used", &r.bytes_used),
+            ("#FLOP", &r.flops),
+            ("#Bytes sent & received", &r.comm_bytes),
+            ("#Loads & stores", &r.loads_stores),
+            ("Stack distance", &r.stack_distance),
+        ];
+        for (label, pp, pn) in paper_lead_exponents(&survey.app) {
+            let model = measured
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, m)| *m)
+                .expect("metric present");
+            let mp = model.dominant_exponents(0);
+            let mn = model.dominant_exponents(1);
+            let ok = mp == pp && mn == pn;
+            total += 1;
+            if ok {
+                matches += 1;
+            }
+            out.push_str(&format!(
+                "    {:<24} measured {:<18} | {:<18} paper {:<18} | {:<18} {}\n",
+                label,
+                fmt_exp(mp, "p"),
+                fmt_exp(mn, "n"),
+                fmt_exp(pp, "p"),
+                fmt_exp(pn, "n"),
+                if ok { "MATCH" } else { "DIFF" }
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "lead-exponent agreement with Table II: {matches}/{total}\n"
+    ));
+    print!("{out}");
+    let path = results_dir().join("table2.txt");
+    std::fs::write(&path, &out).expect("write report");
+    eprintln!("report written to {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table IV**: the step-by-step workflow determining LULESH's
+//! requirements after doubling the number of racks (upgrade A), from the
+//! published Table II models.
+//!
+//! Run with `cargo run --release -p exareq-bench --bin table4`.
+
+use exareq_bench::results_dir;
+use exareq_codesign::{
+    analyze_upgrade, catalog, inflate_problem, RateMetric, SystemSkeleton, Upgrade,
+};
+
+fn main() {
+    let app = catalog::lulesh();
+    let base = SystemSkeleton::reference_large();
+    let up = Upgrade::DOUBLE_RACKS;
+    let upgraded = up.apply(&base);
+
+    let mut out = String::new();
+    out.push_str("== Table IV reproduction: LULESH under upgrade A ==\n\n");
+    out.push_str("I:  requirement models (process & problem scaling)\n");
+    for (label, m) in [
+        ("#FLOP", &app.flops),
+        ("#Bytes sent & recv.", &app.comm_bytes),
+        ("#Loads & stores", &app.loads_stores),
+        ("#Bytes used", &app.bytes_used),
+    ] {
+        out.push_str(&format!("    {label:<20} {m}\n"));
+    }
+
+    out.push_str("\nII: upgraded system configuration\n");
+    out.push_str(&format!(
+        "    processes: {:.0e} -> {:.0e}   memory/process: {:.1e} -> {:.1e}\n",
+        base.processes, upgraded.processes, base.mem_per_process, upgraded.mem_per_process
+    ));
+
+    let old_n = inflate_problem(&app.bytes_used, &base).n().expect("fits");
+    let new_n = inflate_problem(&app.bytes_used, &upgraded)
+        .n()
+        .expect("fits");
+    out.push_str("\nIII/IV: problem inflation (footprint = memory per process)\n");
+    out.push_str(&format!(
+        "    n: {old_n:.4e} -> {new_n:.4e}   ratio {:.2} (paper: 1)\n",
+        new_n / old_n
+    ));
+    out.push_str(&format!(
+        "    overall problem: {:.4e} -> {:.4e}   ratio {:.2} (paper: 2)\n",
+        base.processes * old_n,
+        upgraded.processes * new_n,
+        (upgraded.processes * new_n) / (base.processes * old_n)
+    ));
+
+    let outcome = analyze_upgrade(&app, &base, &up).expect("LULESH fits");
+    out.push_str("\nV:  new requirements per process\n");
+    let paper = [1.2, 1.2, 1.0];
+    for (m, pv) in RateMetric::ALL.iter().zip(paper) {
+        out.push_str(&format!(
+            "    {:<20} ratio {:.2}   (paper: ~{pv})\n",
+            m.label(),
+            outcome.rate(*m)
+        ));
+    }
+    print!("{out}");
+    std::fs::write(results_dir().join("table4.txt"), &out).expect("write report");
+}

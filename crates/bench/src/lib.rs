@@ -1,0 +1,140 @@
+//! # exareq-bench — the reproduction harness
+//!
+//! One binary per paper table/figure (see `src/bin/`) plus criterion
+//! performance benches (see `benches/`). This library holds the shared
+//! plumbing: running surveys for all five applications, caching them as
+//! JSON under `results/`, and comparing fitted lead exponents against the
+//! published Table II.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table2` | Table II — per-process requirement models, five apps |
+//! | `fig3` | Figure 3 — relative-error histogram over all models |
+//! | `table4` | Table IV — LULESH upgrade-A walkthrough |
+//! | `table5` | Table V — upgrade comparison (A/B/C × five apps) |
+//! | `table7` | Table VII — exascale straw-man mapping (+ Table VI) |
+//! | `fig1` | Figure 1 — reuse vs stack distance example |
+//! | `mmm_locality` | Section II-D — naive vs blocked MMM locality models |
+//! | `ablation_baseline` | A1 — PMNF vs Carrington-style baseline |
+//! | `ablation_noise` | A2 — model recovery under multiplicative noise |
+//! | `ablation_selection` | A3 — cross-validated vs in-sample selection |
+
+use exareq_apps::{all_apps, survey_app, AppGrid, MiniApp};
+use exareq_core::multiparam::MultiParamConfig;
+use exareq_core::pmnf::Exponents;
+use exareq_profile::Survey;
+use std::path::PathBuf;
+
+/// Directory where bench binaries cache surveys and write reports.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("EXAREQ_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Runs (or loads from cache) the full measurement survey of one app.
+///
+/// Surveys are deterministic, so the JSON cache under [`results_dir`] is
+/// safe; delete the file (or set `EXAREQ_FRESH=1`) to force a re-run.
+pub fn cached_survey(app: &dyn MiniApp, grid: &AppGrid) -> Survey {
+    let path = results_dir().join(format!("survey_{}.json", app.name().to_lowercase()));
+    let fresh = std::env::var("EXAREQ_FRESH").is_ok();
+    if !fresh {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(s) = Survey::from_json(&text) {
+                if s.config_count() == grid.p_values.len() * grid.n_values.len() {
+                    return s;
+                }
+            }
+        }
+    }
+    let survey = survey_app(app, grid);
+    std::fs::write(&path, survey.to_json()).expect("write survey cache");
+    survey
+}
+
+/// Surveys all five study applications (cached).
+pub fn all_surveys(grid: &AppGrid) -> Vec<Survey> {
+    all_apps()
+        .iter()
+        .map(|a| {
+            eprintln!("  surveying {} ...", a.name());
+            cached_survey(a.as_ref(), grid)
+        })
+        .collect()
+}
+
+/// The modeling configuration used by all reproduction binaries.
+pub fn repro_config() -> MultiParamConfig {
+    MultiParamConfig::default()
+}
+
+/// The published Table II lead exponents `(metric, p-exponents,
+/// n-exponents)` per application, for the paper-vs-measured comparison
+/// printed by `table2`.
+pub fn paper_lead_exponents(app: &str) -> Vec<(&'static str, Exponents, Exponents)> {
+    let e = Exponents::new;
+    match app {
+        "Kripke" => vec![
+            ("#Bytes used", e(0.0, 0.0), e(1.0, 0.0)),
+            ("#FLOP", e(0.0, 0.0), e(1.0, 0.0)),
+            ("#Bytes sent & received", e(0.0, 0.0), e(1.0, 0.0)),
+            ("#Loads & stores", e(1.0, 0.0), e(1.0, 0.0)),
+            ("Stack distance", e(0.0, 0.0), e(0.0, 0.0)),
+        ],
+        "LULESH" => vec![
+            ("#Bytes used", e(0.0, 0.0), e(1.0, 1.0)),
+            ("#FLOP", e(0.25, 1.0), e(1.0, 1.0)),
+            ("#Bytes sent & received", e(0.25, 1.0), e(1.0, 0.0)),
+            ("#Loads & stores", e(0.0, 1.0), e(1.0, 1.0)),
+            ("Stack distance", e(0.0, 0.0), e(0.0, 0.0)),
+        ],
+        "MILC" => vec![
+            ("#Bytes used", e(0.0, 0.0), e(1.0, 0.0)),
+            ("#FLOP", e(0.0, 1.0), e(1.0, 0.0)),
+            ("#Bytes sent & received", e(0.0, 1.0), e(1.0, 0.0)),
+            ("#Loads & stores", e(1.5, 0.0), e(1.0, 1.0)),
+            ("Stack distance", e(0.0, 0.0), e(1.0, 0.0)),
+        ],
+        "Relearn" => vec![
+            ("#Bytes used", e(0.0, 0.0), e(0.5, 0.0)),
+            ("#FLOP", e(1.0, 0.0), e(1.0, 1.0)),
+            ("#Bytes sent & received", e(1.0, 0.0), e(1.0, 0.0)),
+            ("#Loads & stores", e(1.0, 1.0), e(1.0, 1.0)),
+            ("Stack distance", e(0.0, 0.0), e(0.0, 0.0)),
+        ],
+        "icoFoam" => vec![
+            ("#Bytes used", e(1.0, 1.0), e(1.0, 0.0)),
+            ("#FLOP", e(0.5, 0.0), e(1.5, 0.0)),
+            ("#Bytes sent & received", e(0.5, 1.0), e(1.0, 0.0)),
+            ("#Loads & stores", e(0.5, 1.0), e(1.0, 1.0)),
+            ("Stack distance", e(0.0, 0.0), e(0.0, 0.0)),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Formats an exponent pair compactly (`n^1·log^1` style).
+pub fn fmt_exp(e: Exponents, var: &str) -> String {
+    e.render(var).unwrap_or_else(|| "1".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalog_covers_all_apps() {
+        for app in ["Kripke", "LULESH", "MILC", "Relearn", "icoFoam"] {
+            assert_eq!(paper_lead_exponents(app).len(), 5, "{app}");
+        }
+        assert!(paper_lead_exponents("unknown").is_empty());
+    }
+
+    #[test]
+    fn fmt_exp_renders() {
+        assert_eq!(fmt_exp(Exponents::new(0.0, 0.0), "n"), "1");
+        assert_eq!(fmt_exp(Exponents::new(1.0, 0.0), "n"), "n");
+    }
+}

@@ -1,0 +1,173 @@
+//! Crossover analysis: at what scale does one requirement overtake
+//! another?
+//!
+//! The reproduction guideline for co-design conclusions is "who wins, by
+//! roughly what factor, and *where crossovers fall*". This module finds
+//! those crossover points: the parameter value where two models (or two
+//! terms of one model) exchange dominance — e.g. the process count at
+//! which Relearn's `10·Alltoall(p)` communication overtakes its compute
+//! time, or the problem size where MILC's `n·log n` memory traffic
+//! overtakes its constant setup scan.
+
+use exareq_core::pmnf::Model;
+
+/// Search domain for crossover bisection.
+const X_MIN: f64 = 1.0;
+const X_MAX: f64 = 1e18;
+
+/// Finds the *last* value of parameter `param` in `[lo, hi]` where `a` and
+/// `b` cross, holding all other coordinates fixed at `fixed` (the entry at
+/// `param` is ignored). Returns `None` when the sign of `a − b` never
+/// changes on the domain.
+///
+/// PMNF differences can change sign more than once (e.g. a communication
+/// bound that dominates both at trivial scale, where `log2(p) = 0` kills
+/// the compute term, and at exascale, where a linear-in-p term takes over);
+/// the domain is scanned on a log grid for brackets and the final one —
+/// the asymptotically decisive crossing — is bisected.
+pub fn crossover_in(
+    a: &Model,
+    b: &Model,
+    param: usize,
+    fixed: &[f64],
+    lo: f64,
+    hi: f64,
+) -> Option<f64> {
+    assert_eq!(a.params, b.params, "models must share parameters");
+    assert_eq!(fixed.len(), a.arity(), "one coordinate per parameter");
+    assert!(lo >= 1.0 && hi > lo, "domain must satisfy 1 ≤ lo < hi");
+    let eval = |x: f64| {
+        let mut coords = fixed.to_vec();
+        coords[param] = x;
+        a.eval(&coords) - b.eval(&coords)
+    };
+    // Bracket scan on a log grid.
+    const SCAN: usize = 512;
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let mut bracket: Option<(f64, f64)> = None;
+    let mut prev_x = lo;
+    let mut prev_sign = eval(lo) > 0.0;
+    for k in 1..=SCAN {
+        let x = (llo + (lhi - llo) * k as f64 / SCAN as f64).exp();
+        let sign = eval(x) > 0.0;
+        if sign != prev_sign {
+            bracket = Some((prev_x, x)); // keep the last bracket found
+            prev_sign = sign;
+        }
+        prev_x = x;
+    }
+    let (mut blo, mut bhi) = bracket?;
+    let lo_sign = eval(blo) > 0.0;
+    let (mut blo_l, mut bhi_l) = (blo.ln(), bhi.ln());
+    for _ in 0..200 {
+        let mid = 0.5 * (blo_l + bhi_l);
+        if (eval(mid.exp()) > 0.0) == lo_sign {
+            blo_l = mid;
+        } else {
+            bhi_l = mid;
+        }
+    }
+    blo = blo_l.exp();
+    bhi = bhi_l.exp();
+    Some(0.5 * (blo + bhi))
+}
+
+/// [`crossover_in`] over the default domain `[1, 10¹⁸]`.
+pub fn crossover(a: &Model, b: &Model, param: usize, fixed: &[f64]) -> Option<f64> {
+    crossover_in(a, b, param, fixed, X_MIN, X_MAX)
+}
+
+/// For a single model, finds where its asymptotically dominant term starts
+/// to contribute more than all other terms (plus the constant) combined —
+/// the scale beyond which the Table II lead term *is* the requirement.
+pub fn dominance_onset(model: &Model, param: usize, fixed: &[f64]) -> Option<f64> {
+    let dom = model.dominant_term()?.clone();
+    let dom_model = Model::new(0.0, vec![dom.clone()], model.params.clone());
+    let mut rest = model.clone();
+    rest.terms.retain(|t| t != &dom);
+    crossover(&dom_model, &rest, param, fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use exareq_core::pmnf::{Exponents, Term};
+
+    fn m1(terms: &[(f64, f64, f64)]) -> Model {
+        Model::new(
+            0.0,
+            terms
+                .iter()
+                .map(|&(c, i, j)| Term::new(c, vec![Exponents::new(i, j)]))
+                .collect(),
+            vec!["p".into()],
+        )
+    }
+
+    #[test]
+    fn linear_overtakes_constant() {
+        let a = m1(&[(1.0, 1.0, 0.0)]); // p
+        let b = Model::constant(1000.0, vec!["p".into()]);
+        let x = crossover(&a, &b, 0, &[0.0]).unwrap();
+        assert!((x - 1000.0).abs() / 1000.0 < 1e-6, "{x}");
+    }
+
+    #[test]
+    fn no_crossover_when_dominated_everywhere() {
+        let a = m1(&[(2.0, 1.0, 0.0)]);
+        let b = m1(&[(1.0, 1.0, 0.0)]);
+        assert_eq!(crossover(&a, &b, 0, &[0.0]), None);
+    }
+
+    #[test]
+    fn milc_p15_term_onset() {
+        // MILC loads: 1e11 + 1e8·n·log n + 1e5·p^1.5 at n = 1000: the p^1.5
+        // term overtakes the rest at p where 1e5·p^1.5 = 1e11 + 1e12 →
+        // p ≈ (1.1e7)^(2/3) ≈ 5e4.
+        let milc = catalog::milc();
+        let p_idx = 0;
+        let onset = dominance_onset(&milc.loads_stores, p_idx, &[0.0, 1000.0]).unwrap();
+        let expect = (1.1e12 / 1e5_f64).powf(2.0 / 3.0);
+        assert!((onset - expect).abs() / expect < 0.01, "{onset} vs {expect}");
+    }
+
+    #[test]
+    fn relearn_alltoall_overtakes_compute_near_exascale() {
+        // T_comm = comm/bw vs T_flop = flops/rate on the massively parallel
+        // straw man (0.1 B/F balance): crossing sits deep in the exascale
+        // regime — invisible at measurement scale (p ≤ 128).
+        let relearn = catalog::relearn();
+        let bw = 0.1 * 5e8; // bytes/s
+        let rate = 5e8; // flop/s
+        // Scale the models into seconds so they are comparable.
+        let mut t_comm = relearn.comm_bytes.clone();
+        t_comm.constant /= bw;
+        for t in &mut t_comm.terms {
+            t.coeff /= bw;
+        }
+        let mut t_flop = relearn.flops.clone();
+        t_flop.constant /= rate;
+        for t in &mut t_flop.terms {
+            t.coeff /= rate;
+        }
+        // At a production-scale problem (n = 10⁴ neurons/process) compute
+        // dominates at measurement scale …
+        let n = 1e4;
+        let at_measured = |m: &Model, p: f64| m.eval(&[p, n]);
+        assert!(at_measured(&t_flop, 128.0) > at_measured(&t_comm, 128.0));
+        // … but the linear-in-p alltoall term crosses over well before the
+        // straw man's 2·10⁹ processors.
+        let x = crossover(&t_comm, &t_flop, 0, &[0.0, n]).unwrap();
+        assert!(x > 1e6, "crossover at p = {x}");
+        assert!(x < 2e9, "must cross before the straw man's 2e9 processors");
+    }
+
+    #[test]
+    #[should_panic(expected = "share parameters")]
+    fn mismatched_parameters_panic() {
+        let a = m1(&[(1.0, 1.0, 0.0)]);
+        let b = Model::constant(1.0, vec!["n".into()]);
+        let _ = crossover(&a, &b, 0, &[0.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Problem inflation: determine the per-process problem size that fills the
+//! memory available to each process (Section II-E).
+//!
+//! "Since a bigger input problem usually yields better parallel efficiency,
+//! we strive to fully exploit the main memory available to a process" — the
+//! *heroic run* objective. Given the footprint model `bytes(p, n)` and a
+//! skeleton, we solve `bytes(p, n) = mem_per_process` for `n` by monotone
+//! bisection.
+
+use crate::skeleton::SystemSkeleton;
+use exareq_core::pmnf::Model;
+
+/// Outcome of problem inflation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inflation {
+    /// The problem size per process that fills memory.
+    Fits(f64),
+    /// The application cannot run at all: its footprint exceeds the
+    /// available memory even for the smallest problem (`n = 1`) — icoFoam's
+    /// fate on every exascale straw man (Table VII).
+    TooBig {
+        /// Footprint at `n = 1`, in bytes.
+        floor_bytes: f64,
+    },
+    /// The footprint does not grow with `n`; any problem size fits and the
+    /// memory bound gives no finite answer.
+    Unbounded,
+}
+
+impl Inflation {
+    /// The inflated problem size, if the application fits.
+    pub fn n(&self) -> Option<f64> {
+        match self {
+            Inflation::Fits(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Upper bound of the bisection search for `n`.
+const N_MAX: f64 = 1e24;
+
+/// Solves `footprint(p, n) = mem_per_process` for `n ≥ 1`.
+///
+/// The footprint model must be non-decreasing in `n` (requirement models
+/// are); the `p` coordinate is taken from the skeleton.
+pub fn inflate_problem(footprint: &Model, system: &SystemSkeleton) -> Inflation {
+    let p = system.processes;
+    let m = system.mem_per_process;
+    let n_idx = footprint
+        .param_index("n")
+        .expect("footprint model must have an n parameter");
+    let eval = |n: f64| {
+        let mut coords = vec![0.0; footprint.arity()];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = if i == n_idx { n } else { p };
+        }
+        footprint.eval(&coords)
+    };
+
+    let floor = eval(1.0);
+    if floor > m {
+        return Inflation::TooBig { floor_bytes: floor };
+    }
+    if !footprint.depends_on(n_idx) {
+        return Inflation::Unbounded;
+    }
+    if eval(N_MAX) < m {
+        // Pathological (model grows absurdly slowly); treat as unbounded.
+        return Inflation::Unbounded;
+    }
+
+    // Bisection on log n for numerical grace over 24 decades.
+    let (mut lo, mut hi) = (0.0f64, N_MAX.ln());
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if eval(mid.exp()) <= m {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Inflation::Fits(lo.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_core::pmnf::{Exponents, Term};
+
+    fn model(constant: f64, terms: &[(f64, Exponents, Exponents)]) -> Model {
+        Model::new(
+            constant,
+            terms
+                .iter()
+                .map(|&(c, fp, fn_)| Term::new(c, vec![fp, fn_]))
+                .collect(),
+            vec!["p".to_string(), "n".to_string()],
+        )
+    }
+
+    #[test]
+    fn linear_footprint_inverts_exactly() {
+        // bytes = 1e5 · n, m = 1e9 → n = 1e4.
+        let f = model(0.0, &[(1e5, Exponents::constant(), Exponents::new(1.0, 0.0))]);
+        let sys = SystemSkeleton::new(64.0, 1e9);
+        let n = inflate_problem(&f, &sys).n().unwrap();
+        assert!((n - 1e4).abs() / 1e4 < 1e-9, "{n}");
+    }
+
+    #[test]
+    fn sqrt_footprint_inverts() {
+        // bytes = 1e6 · √n, m = 1e9 → n = 1e6.
+        let f = model(0.0, &[(1e6, Exponents::constant(), Exponents::new(0.5, 0.0))]);
+        let sys = SystemSkeleton::new(64.0, 1e9);
+        let n = inflate_problem(&f, &sys).n().unwrap();
+        assert!((n - 1e6).abs() / 1e6 < 1e-9, "{n}");
+    }
+
+    #[test]
+    fn nlogn_footprint_inverts() {
+        // bytes = 1e5·n·log2 n = 1e9 → n·log2 n = 1e4 → n ≈ 1027.6.
+        let f = model(0.0, &[(1e5, Exponents::constant(), Exponents::new(1.0, 1.0))]);
+        let sys = SystemSkeleton::new(64.0, 1e9);
+        let n = inflate_problem(&f, &sys).n().unwrap();
+        let check = n * n.log2();
+        assert!((check - 1e4).abs() / 1e4 < 1e-9, "n {n} gives {check}");
+    }
+
+    #[test]
+    fn p_dependent_footprint_can_exclude() {
+        // icoFoam-style: 1e3·n + 1e2·p·log2 p with tiny memory at huge p.
+        let f = model(
+            0.0,
+            &[
+                (1e3, Exponents::constant(), Exponents::new(1.0, 0.0)),
+                (1e2, Exponents::new(1.0, 1.0), Exponents::constant()),
+            ],
+        );
+        let exascale = SystemSkeleton::new(2e9, 5e6);
+        match inflate_problem(&f, &exascale) {
+            Inflation::TooBig { floor_bytes } => assert!(floor_bytes > 5e6),
+            other => panic!("expected TooBig, got {other:?}"),
+        }
+        // On a small system it fits fine.
+        let small = SystemSkeleton::new(64.0, 1e9);
+        assert!(inflate_problem(&f, &small).n().unwrap() > 1e5);
+    }
+
+    #[test]
+    fn constant_footprint_is_unbounded() {
+        let f = model(42.0, &[]);
+        let sys = SystemSkeleton::new(4.0, 1e6);
+        assert_eq!(inflate_problem(&f, &sys), Inflation::Unbounded);
+    }
+
+    #[test]
+    fn inflation_n_accessor() {
+        assert_eq!(Inflation::Fits(5.0).n(), Some(5.0));
+        assert_eq!(Inflation::Unbounded.n(), None);
+        assert_eq!(Inflation::TooBig { floor_bytes: 1.0 }.n(), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! # exareq-codesign — the co-design methodology
+//!
+//! Implements Section II-E and the two co-design studies of Section III:
+//! system skeletons, problem inflation (the *heroic run* objective),
+//! relative-upgrade analysis (Tables III–V), absolute straw-man mapping
+//! (Tables VI–VII), bottleneck warnings (the ⚠ of Table II), and text
+//! renderers matching the paper's table layouts.
+//!
+//! ```
+//! use exareq_codesign::{catalog, skeleton::{SystemSkeleton, Upgrade},
+//!                       workflow::analyze_upgrade};
+//!
+//! let lulesh = catalog::lulesh();
+//! let base = SystemSkeleton::reference_large();
+//! let out = analyze_upgrade(&lulesh, &base, &Upgrade::DOUBLE_RACKS).unwrap();
+//! // Table IV: doubling the racks doubles LULESH's overall problem …
+//! assert!((out.ratio_overall - 2.0).abs() < 1e-6);
+//! // … at ~20% extra computation per process.
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod crossover;
+pub mod inflate;
+pub mod network;
+pub mod projection;
+pub mod report;
+pub mod requirements;
+pub mod sharing;
+pub mod skeleton;
+pub mod strawman;
+pub mod workflow;
+
+pub use crossover::{crossover, crossover_in, dominance_onset};
+pub use inflate::{inflate_problem, Inflation};
+pub use network::{analyze_with_network, default_network, NetworkOutcome, NetworkSpec};
+pub use projection::{decade_schedule, render_outlook, scaling_outlook, OutlookRow};
+pub use sharing::{share_system, two_app_frontier, ShareOutcome, SharingError};
+pub use requirements::{AppRequirements, RateMetric, Warning};
+pub use skeleton::{SystemSkeleton, Upgrade};
+pub use strawman::{analyze_strawmen, table_six, StrawMan, StrawManAnalysis, SystemOutcome};
+pub use workflow::{analyze_upgrade, baseline_expectation, upgrade_score, UpgradeOutcome};

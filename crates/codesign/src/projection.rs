@@ -1,0 +1,141 @@
+//! Scaling outlook: requirement projections over a schedule of machine
+//! sizes — the "play with configurations" loop the paper's introduction
+//! promises the system designer, tabulated.
+//!
+//! For each process count in the schedule the problem is inflated to fill
+//! a fixed per-process memory (the heroic-run rule), and every rate
+//! requirement is evaluated at the resulting `(p, n)` — showing at a
+//! glance where each resource's demand bends away from the linear ideal.
+
+use crate::inflate::{inflate_problem, Inflation};
+use crate::requirements::{AppRequirements, RateMetric};
+use crate::skeleton::SystemSkeleton;
+use serde::{Deserialize, Serialize};
+
+/// One row of the outlook: the configuration and its requirements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutlookRow {
+    /// Process count.
+    pub p: f64,
+    /// Inflated problem size per process (`None` if the app cannot run).
+    pub n: Option<f64>,
+    /// Overall problem size `p·n`.
+    pub overall: Option<f64>,
+    /// Rate requirements at `(p, n)` in [`RateMetric::ALL`] order.
+    pub rates: Option<[f64; 3]>,
+}
+
+/// Default schedule: decades from 10³ to 10⁹ processes.
+pub fn decade_schedule() -> Vec<f64> {
+    (3..=9).map(|e| 10f64.powi(e)).collect()
+}
+
+/// Projects an application's requirements over a schedule of process
+/// counts at fixed memory per process.
+pub fn scaling_outlook(
+    app: &AppRequirements,
+    schedule: &[f64],
+    mem_per_process: f64,
+) -> Vec<OutlookRow> {
+    schedule
+        .iter()
+        .map(|&p| {
+            let sys = SystemSkeleton::new(p, mem_per_process);
+            match inflate_problem(&app.bytes_used, &sys) {
+                Inflation::Fits(n) => {
+                    let coords = [p, n];
+                    let mut rates = [0.0; 3];
+                    for (slot, m) in rates.iter_mut().zip(RateMetric::ALL) {
+                        *slot = app.rate_model(m).eval(&coords);
+                    }
+                    OutlookRow {
+                        p,
+                        n: Some(n),
+                        overall: Some(p * n),
+                        rates: Some(rates),
+                    }
+                }
+                _ => OutlookRow {
+                    p,
+                    n: None,
+                    overall: None,
+                    rates: None,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders the outlook as a text table.
+pub fn render_outlook(app_name: &str, rows: &[OutlookRow]) -> String {
+    let mut out = format!("scaling outlook for {app_name} (memory-filled problems):\n");
+    out.push_str(&format!(
+        "  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "p", "n/process", "overall N", "#FLOP/proc", "comm B/proc", "ld+st/proc"
+    ));
+    for r in rows {
+        match (r.n, r.overall, r.rates) {
+            (Some(n), Some(overall), Some(rates)) => out.push_str(&format!(
+                "  {:>10.0e} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e}\n",
+                r.p, n, overall, rates[0], rates[1], rates[2]
+            )),
+            _ => out.push_str(&format!(
+                "  {:>10.0e} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                r.p, "-", "does", "not", "fit", "-"
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn decade_schedule_spans_exascale() {
+        let s = decade_schedule();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], 1e3);
+        assert_eq!(s[6], 1e9);
+    }
+
+    #[test]
+    fn kripke_outlook_is_flat_per_process() {
+        // Kripke's p-independent footprint: n is the same at every scale;
+        // flops/comm per process constant, loads grow with the n·p term.
+        let rows = scaling_outlook(&catalog::kripke(), &decade_schedule(), 1e9);
+        let n0 = rows[0].n.unwrap();
+        for r in &rows {
+            assert!((r.n.unwrap() - n0).abs() / n0 < 1e-9);
+        }
+        let f0 = rows[0].rates.unwrap()[0];
+        let f6 = rows[6].rates.unwrap()[0];
+        assert!((f6 / f0 - 1.0).abs() < 1e-9, "flops/proc must stay flat");
+        let l0 = rows[0].rates.unwrap()[2];
+        let l6 = rows[6].rates.unwrap()[2];
+        assert!(l6 / l0 > 100.0, "the n·p loads term must explode");
+    }
+
+    #[test]
+    fn icofoam_falls_off_the_schedule() {
+        // With 100 MB per process, icoFoam's p·log p footprint exceeds
+        // memory somewhere inside the schedule.
+        let rows = scaling_outlook(&catalog::icofoam(), &decade_schedule(), 1e8);
+        assert!(rows.first().unwrap().n.is_some());
+        assert!(rows.last().unwrap().n.is_none());
+        // Monotone: once it stops fitting it never fits again.
+        let first_gap = rows.iter().position(|r| r.n.is_none()).unwrap();
+        assert!(rows[first_gap..].iter().all(|r| r.n.is_none()));
+    }
+
+    #[test]
+    fn render_handles_both_row_kinds() {
+        let rows = scaling_outlook(&catalog::icofoam(), &decade_schedule(), 1e8);
+        let s = render_outlook("icoFoam", &rows);
+        assert!(s.contains("icoFoam"));
+        assert!(s.contains("does"), "{s}");
+        assert!(s.contains("e"), "{s}");
+    }
+}

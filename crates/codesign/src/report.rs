@@ -1,0 +1,216 @@
+//! Plain-text renderers that lay results out the way the paper's tables do.
+
+use crate::requirements::{AppRequirements, RateMetric};
+use crate::strawman::{StrawManAnalysis, SystemOutcome};
+use crate::workflow::UpgradeOutcome;
+
+/// Formats a ratio with one decimal, as Table V prints them.
+pub fn fmt_ratio(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".to_string();
+    }
+    format!("{v:.1}")
+}
+
+/// Formats a large magnitude as a power of ten (Table VII style) when the
+/// mantissa is close to 1, otherwise as `m·10^e`.
+pub fn fmt_magnitude(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let exp = v.abs().log10().floor();
+    let mant = v / 10f64.powf(exp);
+    if (mant - 1.0).abs() < 0.05 {
+        format!("10^{}", exp as i64)
+    } else {
+        format!("{mant:.1}e{}", exp as i64)
+    }
+}
+
+/// Renders a Table II block: one row per metric, with warnings marked `(!)`.
+pub fn render_requirements(app: &AppRequirements) -> String {
+    let warns = app.warnings();
+    let has = |pred: &dyn Fn(&crate::requirements::Warning) -> bool| {
+        if warns.iter().any(pred) {
+            "  (!)"
+        } else {
+            ""
+        }
+    };
+    use crate::requirements::Warning as W;
+    let rounded = |m: &exareq_core::pmnf::Model| m.rounded_to_power_of_ten().to_string();
+    let mut s = String::new();
+    s.push_str(&format!("== {} ==\n", app.name));
+    s.push_str(&format!(
+        "  #Bytes used            : {}{}\n",
+        rounded(&app.bytes_used),
+        has(&|w| matches!(w, W::FootprintGrowsWithP))
+    ));
+    s.push_str(&format!(
+        "  #FLOP                  : {}{}\n",
+        rounded(&app.flops),
+        has(&|w| matches!(w, W::MultiplicativeInteraction(RateMetric::Computation)))
+    ));
+    s.push_str(&format!(
+        "  #Bytes sent & received : {}{}\n",
+        rounded(&app.comm_bytes),
+        has(&|w| matches!(
+            w,
+            W::MultiplicativeInteraction(RateMetric::Communication) | W::CommGrowsSuperLogInP
+        ))
+    ));
+    s.push_str(&format!(
+        "  #Loads & stores        : {}{}\n",
+        rounded(&app.loads_stores),
+        has(&|w| matches!(w, W::MultiplicativeInteraction(RateMetric::MemoryAccess)))
+    ));
+    s.push_str(&format!(
+        "  Stack distance         : {}{}\n",
+        if app
+            .stack_distance
+            .param_index("n")
+            .map(|i| app.stack_distance.depends_on(i))
+            .unwrap_or(false)
+        {
+            rounded(&app.stack_distance)
+        } else {
+            "Constant".to_string()
+        },
+        has(&|w| matches!(w, W::LocalityDecaysWithN))
+    ));
+    s
+}
+
+/// Renders one Table V block (one upgrade across apps plus the baseline).
+pub fn render_upgrade_block(
+    title: &str,
+    outcomes: &[UpgradeOutcome],
+    baseline: &UpgradeOutcome,
+) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("System upgrade {title}\n"));
+    let header: Vec<String> = std::iter::once("Ratios".to_string())
+        .chain(outcomes.iter().map(|o| o.app.clone()))
+        .chain(std::iter::once("Baseline".to_string()))
+        .collect();
+    s.push_str(&format!("  {}\n", header.join("\t")));
+    let row = |label: &str, get: &dyn Fn(&UpgradeOutcome) -> f64| {
+        let cells: Vec<String> = std::iter::once(label.to_string())
+            .chain(outcomes.iter().map(|o| fmt_ratio(get(o))))
+            .chain(std::iter::once(fmt_ratio(get(baseline))))
+            .collect();
+        format!("  {}\n", cells.join("\t"))
+    };
+    s.push_str(&row("Problem size per process", &|o| o.ratio_n));
+    s.push_str(&row("Overall problem size", &|o| o.ratio_overall));
+    s.push_str(&row("Computation", &|o| o.rate(RateMetric::Computation)));
+    s.push_str(&row("Communication", &|o| o.rate(RateMetric::Communication)));
+    s.push_str(&row("Memory access", &|o| o.rate(RateMetric::MemoryAccess)));
+    s
+}
+
+/// Renders one application's Table VII block.
+pub fn render_strawman_block(analysis: &StrawManAnalysis) -> String {
+    match analysis {
+        StrawManAnalysis::Excluded { app, cannot_use } => format!(
+            "== {app} ==\n  excluded: cannot fully utilize {}\n",
+            cannot_use.join(", ")
+        ),
+        StrawManAnalysis::Fits {
+            app,
+            benchmark_overall,
+            outcomes,
+        } => {
+            let mut s = format!(
+                "== {app} ==  (benchmark problem: {})\n",
+                fmt_magnitude(*benchmark_overall)
+            );
+            let line = |label: &str, get: &dyn Fn(&SystemOutcome) -> String| {
+                let cells: Vec<String> = std::iter::once(format!("  {label}"))
+                    .chain(outcomes.iter().map(get))
+                    .collect();
+                format!("{}\n", cells.join("\t"))
+            };
+            let header: Vec<String> = std::iter::once("  ".to_string())
+                .chain(outcomes.iter().map(|o| o.system.clone()))
+                .collect();
+            s.push_str(&format!("{}\n", header.join("\t")));
+            s.push_str(&line("Maximum overall problem size", &|o| {
+                fmt_magnitude(o.max_overall)
+            }));
+            s.push_str(&line("Minimum wall time [s]", &|o| {
+                format!("{:.3}", o.min_wall_time)
+            }));
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::skeleton::{SystemSkeleton, Upgrade};
+    use crate::strawman::{analyze_strawmen, table_six};
+    use crate::workflow::{analyze_upgrade, baseline_expectation};
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_ratio(1.234), "1.2");
+        assert_eq!(fmt_ratio(f64::INFINITY), "inf");
+        assert_eq!(fmt_magnitude(1e10), "10^10");
+        assert_eq!(fmt_magnitude(3.9e10), "3.9e10");
+        assert_eq!(fmt_magnitude(0.0), "0");
+    }
+
+    #[test]
+    fn requirements_block_marks_warnings() {
+        let s = render_requirements(&catalog::kripke());
+        assert!(s.contains("== Kripke =="));
+        assert!(s.contains("#Loads & stores"));
+        // Kripke's only warning is on loads & stores.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains("(!)")).collect();
+        assert_eq!(lines.len(), 1, "{s}");
+        assert!(lines[0].contains("Loads"), "{s}");
+        // Stack distance renders as Constant.
+        assert!(s.contains("Stack distance         : Constant"));
+    }
+
+    #[test]
+    fn upgrade_block_renders_all_rows() {
+        let base = SystemSkeleton::reference_large();
+        let up = Upgrade::DOUBLE_RACKS;
+        let outcomes: Vec<_> = [catalog::kripke(), catalog::lulesh()]
+            .iter()
+            .map(|a| analyze_upgrade(a, &base, &up).unwrap())
+            .collect();
+        let baseline = baseline_expectation(&base, &up);
+        let s = render_upgrade_block("A: Double the racks", &outcomes, &baseline);
+        assert!(s.contains("Kripke"));
+        assert!(s.contains("Baseline"));
+        for row in [
+            "Problem size per process",
+            "Overall problem size",
+            "Computation",
+            "Communication",
+            "Memory access",
+        ] {
+            assert!(s.contains(row), "missing {row} in {s}");
+        }
+    }
+
+    #[test]
+    fn strawman_block_renders_exclusion() {
+        let s = render_strawman_block(&analyze_strawmen(&catalog::icofoam(), &table_six()));
+        assert!(s.contains("excluded"));
+        assert!(s.contains("Massively parallel"));
+    }
+
+    #[test]
+    fn strawman_block_renders_rows() {
+        let s = render_strawman_block(&analyze_strawmen(&catalog::milc(), &table_six()));
+        assert!(s.contains("Maximum overall problem size"));
+        assert!(s.contains("Minimum wall time"));
+        assert!(s.contains("benchmark problem"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The per-application requirements bundle and bottleneck analysis
+//! (the ⚠ flags of Table II).
+
+use exareq_core::pmnf::Model;
+use serde::{Deserialize, Serialize};
+
+/// All Table I requirement models of one application, over `(p, n)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRequirements {
+    /// Application name.
+    pub name: String,
+    /// Memory footprint per process (bytes).
+    pub bytes_used: Model,
+    /// Floating-point operations per process.
+    pub flops: Model,
+    /// Communication bytes (sent + received) per process.
+    pub comm_bytes: Model,
+    /// Loads + stores per process.
+    pub loads_stores: Model,
+    /// Median stack distance (memory locality).
+    pub stack_distance: Model,
+}
+
+/// The non-footprint "rate" metrics, iterated by analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RateMetric {
+    /// Computation (#FLOP).
+    Computation,
+    /// Network communication (#bytes).
+    Communication,
+    /// Memory access (#loads & stores).
+    MemoryAccess,
+}
+
+impl RateMetric {
+    /// All rate metrics in Table V row order.
+    pub const ALL: [RateMetric; 3] = [
+        RateMetric::Computation,
+        RateMetric::Communication,
+        RateMetric::MemoryAccess,
+    ];
+
+    /// Row label as in Table V.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RateMetric::Computation => "Computation",
+            RateMetric::Communication => "Communication",
+            RateMetric::MemoryAccess => "Memory access",
+        }
+    }
+}
+
+impl AppRequirements {
+    /// The model for one rate metric.
+    pub fn rate_model(&self, m: RateMetric) -> &Model {
+        match m {
+            RateMetric::Computation => &self.flops,
+            RateMetric::Communication => &self.comm_bytes,
+            RateMetric::MemoryAccess => &self.loads_stores,
+        }
+    }
+
+    /// Bottleneck warnings — the rules behind Table II's ⚠ marks:
+    ///
+    /// 1. a non-footprint metric has a *multiplicative* p×n interaction
+    ///    with polynomial growth in `p` (problem size per process and
+    ///    process count compound; Table II flags `n·p`, `n·p^0.25 log p`,
+    ///    `n^1.5·p^0.5` … but not purely logarithmic couplings like MILC's
+    ///    `n log p`);
+    /// 2. the memory footprint depends on the process count (the
+    ///    requirement that excludes icoFoam from Table VII);
+    /// 3. the stack distance grows with the problem size (locality decays —
+    ///    MILC's flag);
+    /// 4. a communication term grows with `p` at fixed `n` faster than
+    ///    `log p` beyond the collective baseline (icoFoam's `p^0.5 log p`).
+    pub fn warnings(&self) -> Vec<Warning> {
+        let mut out = Vec::new();
+        let p_idx = self
+            .bytes_used
+            .param_index("p")
+            .expect("requirements are over (p, n)");
+        let n_idx = self
+            .bytes_used
+            .param_index("n")
+            .expect("requirements are over (p, n)");
+
+        for m in RateMetric::ALL {
+            let model = self.rate_model(m);
+            let flagged = model.terms.iter().any(|t| {
+                !t.factors[n_idx].is_constant() && t.factors[p_idx].poly > 0.0
+            });
+            if flagged {
+                out.push(Warning::MultiplicativeInteraction(m));
+            }
+        }
+        if self.bytes_used.depends_on(p_idx) {
+            out.push(Warning::FootprintGrowsWithP);
+        }
+        if self.stack_distance.depends_on(n_idx) {
+            out.push(Warning::LocalityDecaysWithN);
+        }
+        for t in &self.comm_bytes.terms {
+            let fp = t.factors[p_idx];
+            let fn_ = t.factors[n_idx];
+            // Shapes produced by collective algorithms are attributed to
+            // the collective, not flagged: `log p` (allreduce, bcast trees)
+            // and plain `p` (alltoall/allgather) — Relearn's
+            // `10·Alltoall(p)` is benign in Table II. Polynomial shapes no
+            // collective produces (icoFoam's `p^0.5·log p`) are flagged.
+            let is_collective_shape =
+                fp.poly == 0.0 || (fp.poly == 1.0 && fp.log == 0.0);
+            if fn_.is_constant() && fp.poly >= 0.5 && !is_collective_shape {
+                out.push(Warning::CommGrowsSuperLogInP);
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// One bottleneck warning (a ⚠ of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Warning {
+    /// Problem size and process count multiply in a rate metric.
+    MultiplicativeInteraction(RateMetric),
+    /// Memory footprint per process grows with the process count.
+    FootprintGrowsWithP,
+    /// Stack distance (locality) degrades as the problem grows.
+    LocalityDecaysWithN,
+    /// A communication term grows polynomially in `p` at fixed `n`.
+    CommGrowsSuperLogInP,
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Warning::MultiplicativeInteraction(m) => {
+                write!(f, "multiplicative p×n effect in {}", m.label())
+            }
+            Warning::FootprintGrowsWithP => write!(f, "memory footprint grows with p"),
+            Warning::LocalityDecaysWithN => write!(f, "memory locality decays with n"),
+            Warning::CommGrowsSuperLogInP => {
+                write!(f, "communication grows super-logarithmically in p")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog;
+
+    use super::*;
+
+    #[test]
+    fn kripke_flags_only_memory_access() {
+        let w = catalog::kripke().warnings();
+        assert_eq!(
+            w,
+            vec![Warning::MultiplicativeInteraction(RateMetric::MemoryAccess)]
+        );
+    }
+
+    #[test]
+    fn lulesh_flags_computation_and_communication() {
+        let w = catalog::lulesh().warnings();
+        assert!(w.contains(&Warning::MultiplicativeInteraction(RateMetric::Computation)));
+        assert!(w.contains(&Warning::MultiplicativeInteraction(
+            RateMetric::Communication
+        )));
+        assert!(!w.contains(&Warning::FootprintGrowsWithP));
+    }
+
+    #[test]
+    fn milc_flags_locality() {
+        let w = catalog::milc().warnings();
+        assert!(w.contains(&Warning::LocalityDecaysWithN));
+        assert!(!w
+            .iter()
+            .any(|x| matches!(x, Warning::MultiplicativeInteraction(_))));
+    }
+
+    #[test]
+    fn relearn_has_no_warnings() {
+        assert!(catalog::relearn().warnings().is_empty());
+    }
+
+    #[test]
+    fn icofoam_flags_nearly_everything() {
+        let w = catalog::icofoam().warnings();
+        assert!(w.contains(&Warning::FootprintGrowsWithP));
+        assert!(w.contains(&Warning::MultiplicativeInteraction(RateMetric::Computation)));
+        assert!(w.contains(&Warning::MultiplicativeInteraction(
+            RateMetric::Communication
+        )));
+        assert!(w.contains(&Warning::MultiplicativeInteraction(
+            RateMetric::MemoryAccess
+        )));
+        assert!(w.contains(&Warning::CommGrowsSuperLogInP));
+    }
+
+    #[test]
+    fn warning_display_is_readable() {
+        let w = Warning::MultiplicativeInteraction(RateMetric::Computation);
+        assert!(w.to_string().contains("Computation"));
+    }
+}

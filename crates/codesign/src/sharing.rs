@@ -1,0 +1,235 @@
+//! Space-sharing co-design (Section II-E extension).
+//!
+//! "In principle, our approach can map more than one application on a
+//! given system simultaneously. For example, we could assume that a system
+//! is shared between two applications in space according to a certain
+//! ratio as long as we can derive our model parameters p and n for each of
+//! them." The paper leaves the scenario out of its study (sharing is "a
+//! matter of scientific priority"); this module implements it: a system
+//! skeleton is partitioned into process shares, each application inflates
+//! its problem within its share, and the combined requirement load is
+//! reported.
+
+use crate::inflate::{inflate_problem, Inflation};
+use crate::requirements::{AppRequirements, RateMetric};
+use crate::skeleton::SystemSkeleton;
+use serde::{Deserialize, Serialize};
+
+/// One application's share of a space-partitioned system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShareOutcome {
+    /// Application name.
+    pub app: String,
+    /// Fraction of the machine's processes granted.
+    pub fraction: f64,
+    /// Processes in the share.
+    pub processes: f64,
+    /// Problem size per process after inflation within the share.
+    pub n: f64,
+    /// Overall problem size solved by this application.
+    pub overall_problem: f64,
+    /// Per-process requirements at `(processes, n)` in
+    /// [`RateMetric::ALL`] order.
+    pub rates: [f64; 3],
+}
+
+/// Errors of the sharing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SharingError {
+    /// Fractions must be positive and sum to at most 1.
+    InvalidFractions {
+        /// The offending sum.
+        sum: f64,
+    },
+    /// An application cannot run within its share.
+    ShareTooSmall {
+        /// Application that does not fit.
+        app: String,
+    },
+    /// The number of fractions does not match the number of applications.
+    ArityMismatch,
+}
+
+impl std::fmt::Display for SharingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharingError::InvalidFractions { sum } => {
+                write!(f, "share fractions must be positive and sum to ≤ 1 (got {sum})")
+            }
+            SharingError::ShareTooSmall { app } => {
+                write!(f, "{app} cannot fill its share of the machine")
+            }
+            SharingError::ArityMismatch => write!(f, "one fraction per application required"),
+        }
+    }
+}
+
+impl std::error::Error for SharingError {}
+
+/// Partitions `system` between `apps` in space according to `fractions`
+/// (of the process count; memory per process is unchanged — space
+/// sharing, not memory oversubscription) and inflates each application's
+/// problem within its share.
+///
+/// # Errors
+/// Returns [`SharingError`] on invalid fractions or when an application's
+/// footprint exceeds its share's memory even at `n = 1`.
+pub fn share_system(
+    apps: &[&AppRequirements],
+    fractions: &[f64],
+    system: &SystemSkeleton,
+) -> Result<Vec<ShareOutcome>, SharingError> {
+    if apps.len() != fractions.len() {
+        return Err(SharingError::ArityMismatch);
+    }
+    let sum: f64 = fractions.iter().sum();
+    if fractions.iter().any(|&f| f <= 0.0) || sum > 1.0 + 1e-12 {
+        return Err(SharingError::InvalidFractions { sum });
+    }
+
+    let mut out = Vec::with_capacity(apps.len());
+    for (app, &frac) in apps.iter().zip(fractions) {
+        let share = SystemSkeleton::new(system.processes * frac, system.mem_per_process);
+        let n = match inflate_problem(&app.bytes_used, &share) {
+            Inflation::Fits(n) => n,
+            _ => {
+                return Err(SharingError::ShareTooSmall {
+                    app: app.name.clone(),
+                })
+            }
+        };
+        let coords = [share.processes, n];
+        let mut rates = [0.0; 3];
+        for (slot, m) in rates.iter_mut().zip(RateMetric::ALL) {
+            *slot = app.rate_model(m).eval(&coords);
+        }
+        out.push(ShareOutcome {
+            app: app.name.clone(),
+            fraction: frac,
+            processes: share.processes,
+            n,
+            overall_problem: share.processes * n,
+            rates,
+        });
+    }
+    Ok(out)
+}
+
+/// Scans share splits between two applications in steps of `step`
+/// (0 < step < 1) and returns, for each split, the pair of overall problem
+/// sizes — the *trade-off frontier* a scientific-priority decision would
+/// pick from.
+pub fn two_app_frontier(
+    a: &AppRequirements,
+    b: &AppRequirements,
+    system: &SystemSkeleton,
+    step: f64,
+) -> Vec<(f64, f64, f64)> {
+    assert!(step > 0.0 && step < 1.0, "step in (0, 1)");
+    let mut out = Vec::new();
+    let mut frac = step;
+    while frac < 1.0 - 1e-9 {
+        if let Ok(res) = share_system(&[a, b], &[frac, 1.0 - frac], system) {
+            out.push((frac, res[0].overall_problem, res[1].overall_problem));
+        }
+        frac += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::skeleton::SystemSkeleton;
+
+    fn sys() -> SystemSkeleton {
+        SystemSkeleton::reference_large()
+    }
+
+    #[test]
+    fn even_split_halves_each_problem() {
+        let kripke = catalog::kripke();
+        let milc = catalog::milc();
+        let shares = share_system(&[&kripke, &milc], &[0.5, 0.5], &sys()).unwrap();
+        // Both have p-independent, linear-in-n footprints: n is unchanged by
+        // the split, so each overall problem is exactly half the exclusive
+        // one.
+        let exclusive =
+            share_system(&[&kripke], &[1.0], &sys()).unwrap()[0].overall_problem;
+        assert!((shares[0].overall_problem - exclusive / 2.0).abs() / exclusive < 1e-9);
+        assert_eq!(shares[0].fraction + shares[1].fraction, 1.0);
+    }
+
+    #[test]
+    fn icofoam_gains_from_smaller_shares() {
+        // icoFoam's p·log p footprint shrinks when it gets fewer processes,
+        // so its problem size per process *grows* on a smaller share.
+        let ico = catalog::icofoam();
+        let kripke = catalog::kripke();
+        let small = share_system(&[&ico, &kripke], &[0.1, 0.9], &sys()).unwrap();
+        let large = share_system(&[&ico, &kripke], &[0.9, 0.1], &sys()).unwrap();
+        assert!(small[0].n > large[0].n, "{} vs {}", small[0].n, large[0].n);
+    }
+
+    #[test]
+    fn fractions_validated() {
+        let k = catalog::kripke();
+        assert!(matches!(
+            share_system(&[&k, &k], &[0.7, 0.7], &sys()),
+            Err(SharingError::InvalidFractions { .. })
+        ));
+        assert!(matches!(
+            share_system(&[&k], &[-0.5], &sys()),
+            Err(SharingError::InvalidFractions { .. })
+        ));
+        assert!(matches!(
+            share_system(&[&k, &k], &[1.0], &sys()),
+            Err(SharingError::ArityMismatch)
+        ));
+    }
+
+    #[test]
+    fn share_too_small_detected() {
+        // icoFoam on an exascale machine: even a full share fails; any
+        // share of it fails identically (the p·log p floor scales with its
+        // own share, so use a skeleton where only tiny shares fail).
+        let ico = catalog::icofoam();
+        let tight = SystemSkeleton::new(1e6, 2.5e9);
+        // Full machine: p·log p term = 1e2·1e6·19.9 ≈ 2e9 < 2.5e9 → fits.
+        assert!(share_system(&[&ico], &[1.0], &tight).is_ok());
+        // But Kripke sharing with a *bigger* machine's worth of processes…
+        let huge = SystemSkeleton::new(1e9, 5e6);
+        assert!(matches!(
+            share_system(&[&ico], &[1.0], &huge),
+            Err(SharingError::ShareTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let kripke = catalog::kripke();
+        let relearn = catalog::relearn();
+        let frontier = two_app_frontier(&kripke, &relearn, &sys(), 0.1);
+        assert!(frontier.len() >= 8);
+        for w in frontier.windows(2) {
+            // Kripke's problem grows with its share, Relearn's shrinks.
+            assert!(w[1].1 > w[0].1);
+            assert!(w[1].2 < w[0].2);
+        }
+    }
+
+    #[test]
+    fn rates_are_positive_and_consistent() {
+        let lulesh = catalog::lulesh();
+        let shares = share_system(&[&lulesh], &[0.25], &sys()).unwrap();
+        let s = &shares[0];
+        assert_eq!(s.processes, 0.25 * sys().processes);
+        for r in s.rates {
+            assert!(r > 0.0);
+        }
+        // Rate values equal direct evaluation.
+        let direct = lulesh.flops.eval(&[s.processes, s.n]);
+        assert_eq!(s.rates[0], direct);
+    }
+}

@@ -1,0 +1,138 @@
+//! System skeletons and relative upgrades (Section II-E, Table III).
+//!
+//! A *system skeleton* characterizes a machine only by the process count it
+//! hosts and the memory available per process; everything else about the
+//! system is derived from the requirements the target application exposes
+//! through the skeleton.
+
+use serde::{Deserialize, Serialize};
+
+/// The minimal system characterization of the co-design method.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemSkeleton {
+    /// Number of (potentially multithreaded) MPI processes the system
+    /// hosts — the paper's rule of thumb: one per socket.
+    pub processes: f64,
+    /// Memory available per process, in bytes.
+    pub mem_per_process: f64,
+}
+
+impl SystemSkeleton {
+    /// Creates a skeleton.
+    pub fn new(processes: f64, mem_per_process: f64) -> Self {
+        SystemSkeleton {
+            processes,
+            mem_per_process,
+        }
+    }
+
+    /// The reference large system used for the upgrade study: 10⁶ sockets
+    /// with 6.4 GB per process. Chosen so that (a) every study application,
+    /// including icoFoam with its `p·log p` footprint term, can still fill
+    /// the machine, and (b) the published Table II coefficients put each
+    /// application in the asymptotic regime the paper's Table V numbers
+    /// reflect (e.g. icoFoam's problem-per-process ratio of 0.5 under
+    /// upgrade A falls out exactly at this provisioning).
+    pub fn reference_large() -> Self {
+        SystemSkeleton::new(1e6, 6.4e9)
+    }
+
+    /// Total memory of the system.
+    pub fn total_memory(&self) -> f64 {
+        self.processes * self.mem_per_process
+    }
+}
+
+/// A relative system upgrade: multiplies the process count and the memory
+/// per process (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Upgrade {
+    /// Short name (Table III letter).
+    pub name: &'static str,
+    /// Description as in Table III.
+    pub description: &'static str,
+    /// Factor on the process count.
+    pub p_factor: f64,
+    /// Factor on the memory per process.
+    pub m_factor: f64,
+}
+
+impl Upgrade {
+    /// Upgrade A: double the racks — twice the processes, same memory per
+    /// process.
+    pub const DOUBLE_RACKS: Upgrade = Upgrade {
+        name: "A",
+        description: "Double the racks",
+        p_factor: 2.0,
+        m_factor: 1.0,
+    };
+
+    /// Upgrade B: double the sockets per node — twice the processes, half
+    /// the memory per process.
+    pub const DOUBLE_SOCKETS: Upgrade = Upgrade {
+        name: "B",
+        description: "Double the sockets",
+        p_factor: 2.0,
+        m_factor: 0.5,
+    };
+
+    /// Upgrade C: double the memory — same processes, twice the memory per
+    /// process.
+    pub const DOUBLE_MEMORY: Upgrade = Upgrade {
+        name: "C",
+        description: "Double the memory",
+        p_factor: 1.0,
+        m_factor: 2.0,
+    };
+
+    /// The three upgrades of Table III, in order.
+    pub const ALL: [Upgrade; 3] = [
+        Upgrade::DOUBLE_RACKS,
+        Upgrade::DOUBLE_SOCKETS,
+        Upgrade::DOUBLE_MEMORY,
+    ];
+
+    /// Applies the upgrade to a skeleton.
+    pub fn apply(&self, s: &SystemSkeleton) -> SystemSkeleton {
+        SystemSkeleton {
+            processes: s.processes * self.p_factor,
+            mem_per_process: s.mem_per_process * self.m_factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_three_factors() {
+        let base = SystemSkeleton::new(100.0, 10.0);
+        let a = Upgrade::DOUBLE_RACKS.apply(&base);
+        assert_eq!((a.processes, a.mem_per_process), (200.0, 10.0));
+        let b = Upgrade::DOUBLE_SOCKETS.apply(&base);
+        assert_eq!((b.processes, b.mem_per_process), (200.0, 5.0));
+        let c = Upgrade::DOUBLE_MEMORY.apply(&base);
+        assert_eq!((c.processes, c.mem_per_process), (100.0, 20.0));
+    }
+
+    #[test]
+    fn doubling_racks_doubles_total_memory() {
+        let base = SystemSkeleton::reference_large();
+        assert_eq!(
+            Upgrade::DOUBLE_RACKS.apply(&base).total_memory(),
+            2.0 * base.total_memory()
+        );
+        // Doubling sockets keeps total memory constant.
+        assert_eq!(
+            Upgrade::DOUBLE_SOCKETS.apply(&base).total_memory(),
+            base.total_memory()
+        );
+    }
+
+    #[test]
+    fn all_upgrades_ordered() {
+        let names: Vec<&str> = Upgrade::ALL.iter().map(|u| u.name).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Absolute system design: the exascale straw men of Table VI and the
+//! maximum-problem / minimum-wall-time analysis of Table VII.
+
+use crate::inflate::{inflate_problem, Inflation};
+use crate::requirements::AppRequirements;
+use crate::skeleton::SystemSkeleton;
+use serde::{Deserialize, Serialize};
+
+/// One straw-man exascale system (a row set of Table VI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrawMan {
+    /// System name.
+    pub name: String,
+    /// Node count.
+    pub nodes: f64,
+    /// Total processor count (one process per processor).
+    pub processors: f64,
+    /// Memory per processor in bytes.
+    pub mem_per_processor: f64,
+    /// Floating-point rate per processor (flop/s).
+    pub flops_per_processor: f64,
+}
+
+impl StrawMan {
+    /// Processors per node.
+    pub fn processors_per_node(&self) -> f64 {
+        self.processors / self.nodes
+    }
+
+    /// Aggregate peak rate — all three straw men reach 1 exaflop/s.
+    pub fn total_flops(&self) -> f64 {
+        self.processors * self.flops_per_processor
+    }
+
+    /// The system skeleton this straw man exposes to applications.
+    pub fn skeleton(&self) -> SystemSkeleton {
+        SystemSkeleton::new(self.processors, self.mem_per_processor)
+    }
+}
+
+/// The three candidate designs of Table VI. Total memory 10 PB each,
+/// divided equally among processors.
+pub fn table_six() -> Vec<StrawMan> {
+    vec![
+        StrawMan {
+            name: "Massively parallel".to_string(),
+            nodes: 2e4,
+            processors: 2e9,
+            mem_per_processor: 5e6,
+            flops_per_processor: 5e8,
+        },
+        StrawMan {
+            name: "Vector".to_string(),
+            nodes: 5e4,
+            processors: 5e7,
+            mem_per_processor: 2e8,
+            flops_per_processor: 2e10,
+        },
+        StrawMan {
+            name: "Hybrid".to_string(),
+            nodes: 1e4,
+            processors: 1e8,
+            mem_per_processor: 1e8,
+            flops_per_processor: 1e10,
+        },
+    ]
+}
+
+/// Per-system outcome for one application (columns of Table VII).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemOutcome {
+    /// System name.
+    pub system: String,
+    /// Problem size per process that fills memory.
+    pub max_n: f64,
+    /// Maximum overall problem size `p · n`.
+    pub max_overall: f64,
+    /// Lower-bound wall time for the common benchmark problem, in seconds
+    /// (perfect parallelization, no communication overhead).
+    pub min_wall_time: f64,
+}
+
+/// Table VII rows for one application, or its exclusion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrawManAnalysis {
+    /// The application fits all systems; one outcome per system.
+    Fits {
+        /// Application name.
+        app: String,
+        /// The common benchmark problem (largest solvable everywhere).
+        benchmark_overall: f64,
+        /// One outcome per system, in [`table_six`] order.
+        outcomes: Vec<SystemOutcome>,
+    },
+    /// The application cannot fully utilize at least one system — icoFoam's
+    /// exclusion: "the memory requirement regardless of problem size per
+    /// process is larger than what is available if all processors are used".
+    Excluded {
+        /// Application name.
+        app: String,
+        /// Names of the systems it cannot fill.
+        cannot_use: Vec<String>,
+    },
+}
+
+/// Runs the Table VII workflow for one application over a set of straw men.
+pub fn analyze_strawmen(app: &AppRequirements, systems: &[StrawMan]) -> StrawManAnalysis {
+    // Step 1: inflate the problem on every system.
+    let mut inflated: Vec<(f64, f64)> = Vec::new(); // (n, overall)
+    let mut cannot = Vec::new();
+    for s in systems {
+        match inflate_problem(&app.bytes_used, &s.skeleton()) {
+            Inflation::Fits(n) => inflated.push((n, n * s.processors)),
+            _ => cannot.push(s.name.clone()),
+        }
+    }
+    if !cannot.is_empty() {
+        return StrawManAnalysis::Excluded {
+            app: app.name.clone(),
+            cannot_use: cannot,
+        };
+    }
+
+    // Step 2: the common benchmark is the biggest overall problem solvable
+    // on all systems.
+    let benchmark_overall = inflated
+        .iter()
+        .map(|&(_, overall)| overall)
+        .fold(f64::INFINITY, f64::min);
+
+    // Step 3: per-system wall-time lower bound for the benchmark problem.
+    let outcomes = systems
+        .iter()
+        .zip(&inflated)
+        .map(|(s, &(max_n, max_overall))| {
+            let n_bench = benchmark_overall / s.processors;
+            let flops = app.flops.eval(&[s.processors, n_bench]);
+            SystemOutcome {
+                system: s.name.clone(),
+                max_n,
+                max_overall,
+                min_wall_time: flops / s.flops_per_processor,
+            }
+        })
+        .collect();
+    StrawManAnalysis::Fits {
+        app: app.name.clone(),
+        benchmark_overall,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn table_six_reaches_one_exaflop() {
+        for s in table_six() {
+            assert_eq!(s.total_flops(), 1e18, "{}", s.name);
+            // Total memory 10 PB.
+            assert_eq!(s.processors * s.mem_per_processor, 1e16, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn processors_per_node_match_table_six() {
+        let t = table_six();
+        assert_eq!(t[0].processors_per_node(), 1e5);
+        assert_eq!(t[1].processors_per_node(), 1e3);
+        assert_eq!(t[2].processors_per_node(), 1e4);
+    }
+
+    #[test]
+    fn kripke_and_milc_indifferent_to_design() {
+        // Paper: "for Kripke and MILC the different system types do not
+        // affect the largest overall problem size" and wall times are equal.
+        for app in [catalog::kripke(), catalog::milc()] {
+            match analyze_strawmen(&app, &table_six()) {
+                StrawManAnalysis::Fits { outcomes, .. } => {
+                    let o0 = &outcomes[0];
+                    for o in &outcomes[1..] {
+                        let r = o.max_overall / o0.max_overall;
+                        assert!((r - 1.0).abs() < 1e-6, "{}: {r}", app.name);
+                        let rt = o.min_wall_time / o0.min_wall_time;
+                        assert!((rt - 1.0).abs() < 0.05, "{}: {rt}", app.name);
+                    }
+                }
+                other => panic!("{}: {other:?}", app.name),
+            }
+        }
+    }
+
+    #[test]
+    fn milc_wall_time_is_about_100s() {
+        // Table VII: MILC minimum wall time 10² s on every system.
+        match analyze_strawmen(&catalog::milc(), &table_six()) {
+            StrawManAnalysis::Fits { outcomes, .. } => {
+                for o in &outcomes {
+                    assert!(
+                        o.min_wall_time > 50.0 && o.min_wall_time < 200.0,
+                        "{}: {}",
+                        o.system,
+                        o.min_wall_time
+                    );
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relearn_prefers_vector_for_problem_size_and_time() {
+        // Table VII: Relearn max problem 5e10 (MP) / 4e12 (V) / 1e12 (H);
+        // wall times 4 / 0.02 / 0.2 s.
+        match analyze_strawmen(&catalog::relearn(), &table_six()) {
+            StrawManAnalysis::Fits { outcomes, .. } => {
+                let (mp, v, h) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+                assert!((mp.max_overall - 5e10).abs() / 5e10 < 0.05, "{}", mp.max_overall);
+                assert!((v.max_overall - 2e12).abs() / 2e12 < 0.05, "{}", v.max_overall);
+                assert!((h.max_overall - 1e12).abs() / 1e12 < 0.05, "{}", h.max_overall);
+                // Wall-time ordering: vector ≪ hybrid ≪ massively parallel.
+                assert!(v.min_wall_time < h.min_wall_time);
+                assert!(h.min_wall_time < mp.min_wall_time);
+                // MP is dominated by the p-term: ≈ 2e9/5e8 = 4 s (paper: 4 s).
+                assert!((mp.min_wall_time - 4.0).abs() < 0.5, "{}", mp.min_wall_time);
+                // Vector ≈ 0.015–0.02 s (paper: 0.02 s).
+                assert!(v.min_wall_time < 0.03, "{}", v.min_wall_time);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lulesh_max_problem_prefers_massively_parallel() {
+        match analyze_strawmen(&catalog::lulesh(), &table_six()) {
+            StrawManAnalysis::Fits { outcomes, .. } => {
+                let (mp, v, h) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+                assert!(mp.max_overall > v.max_overall, "MP should allow the biggest problem");
+                assert!(mp.max_overall > h.max_overall);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn icofoam_is_excluded_from_every_strawman() {
+        match analyze_strawmen(&catalog::icofoam(), &table_six()) {
+            StrawManAnalysis::Excluded { cannot_use, .. } => {
+                assert_eq!(cannot_use.len(), 3);
+            }
+            other => panic!("expected exclusion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn benchmark_problem_is_minimum_of_maxima() {
+        match analyze_strawmen(&catalog::relearn(), &table_six()) {
+            StrawManAnalysis::Fits {
+                benchmark_overall,
+                outcomes,
+                ..
+            } => {
+                let min = outcomes
+                    .iter()
+                    .map(|o| o.max_overall)
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(benchmark_overall, min);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The upgrade-analysis workflow of Table IV / Table V.
+//!
+//! Steps (Table IV): (I) take the requirement models; (II) determine the
+//! upgraded system's process count and memory per process; (III/IV) inflate
+//! the problem until the footprint fills memory, before and after; (V)
+//! evaluate the rate requirements at both configurations and report ratios.
+
+use crate::inflate::{inflate_problem, Inflation};
+use crate::requirements::{AppRequirements, RateMetric};
+use crate::skeleton::{SystemSkeleton, Upgrade};
+use serde::{Deserialize, Serialize};
+
+/// Result of analyzing one application under one upgrade.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpgradeOutcome {
+    /// Application name.
+    pub app: String,
+    /// Upgrade applied.
+    pub upgrade_name: String,
+    /// Problem size per process before the upgrade.
+    pub old_n: f64,
+    /// Problem size per process after the upgrade.
+    pub new_n: f64,
+    /// Ratio of problem size per process (Table V row 1).
+    pub ratio_n: f64,
+    /// Ratio of overall problem size `p·n` (Table V row 2).
+    pub ratio_overall: f64,
+    /// Ratios of computation, communication and memory access, in
+    /// [`RateMetric::ALL`] order (Table V rows 3–5).
+    pub ratio_rates: [f64; 3],
+}
+
+impl UpgradeOutcome {
+    /// Ratio for one rate metric.
+    pub fn rate(&self, m: RateMetric) -> f64 {
+        self.ratio_rates[RateMetric::ALL.iter().position(|&x| x == m).expect("metric")]
+    }
+}
+
+/// The baseline expectation of Table V: requirements assumed linear in the
+/// problem size per process — `(ratio_n, ratio_overall, rate ratios)`.
+pub fn baseline_expectation(base: &SystemSkeleton, up: &Upgrade) -> UpgradeOutcome {
+    let ratio_n = up.m_factor;
+    UpgradeOutcome {
+        app: "Baseline".to_string(),
+        upgrade_name: up.name.to_string(),
+        old_n: base.mem_per_process,
+        new_n: base.mem_per_process * up.m_factor,
+        ratio_n,
+        ratio_overall: ratio_n * up.p_factor,
+        ratio_rates: [ratio_n; 3],
+    }
+}
+
+/// Errors of the upgrade workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// The application does not fit the base or upgraded system.
+    DoesNotFit {
+        /// Which configuration failed ("base" or "upgraded").
+        which: &'static str,
+    },
+    /// The footprint does not determine a finite problem size.
+    UnboundedProblem,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::DoesNotFit { which } => {
+                write!(f, "application does not fit the {which} system")
+            }
+            WorkflowError::UnboundedProblem => write!(f, "footprint does not bound n"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+fn inflate_or_err(
+    app: &AppRequirements,
+    sys: &SystemSkeleton,
+    which: &'static str,
+) -> Result<f64, WorkflowError> {
+    match inflate_problem(&app.bytes_used, sys) {
+        Inflation::Fits(n) => Ok(n),
+        Inflation::TooBig { .. } => Err(WorkflowError::DoesNotFit { which }),
+        Inflation::Unbounded => Err(WorkflowError::UnboundedProblem),
+    }
+}
+
+/// Runs the Table IV workflow for one application and one upgrade on a base
+/// skeleton.
+///
+/// # Errors
+/// Returns [`WorkflowError`] when the application cannot fill either system
+/// with a finite problem.
+pub fn analyze_upgrade(
+    app: &AppRequirements,
+    base: &SystemSkeleton,
+    up: &Upgrade,
+) -> Result<UpgradeOutcome, WorkflowError> {
+    let upgraded = up.apply(base);
+    let old_n = inflate_or_err(app, base, "base")?;
+    let new_n = inflate_or_err(app, &upgraded, "upgraded")?;
+
+    let old_coords = [base.processes, old_n];
+    let new_coords = [upgraded.processes, new_n];
+    let mut ratio_rates = [0.0; 3];
+    for (slot, m) in ratio_rates.iter_mut().zip(RateMetric::ALL) {
+        *slot = app.rate_model(m).ratio(&old_coords, &new_coords);
+    }
+    Ok(UpgradeOutcome {
+        app: app.name.clone(),
+        upgrade_name: up.name.to_string(),
+        old_n,
+        new_n,
+        ratio_n: new_n / old_n,
+        ratio_overall: (upgraded.processes * new_n) / (base.processes * old_n),
+        ratio_rates,
+    })
+}
+
+/// Scores an upgrade for an application the way the paper's summary
+/// paragraph does: bigger overall problem is good, higher per-process rate
+/// requirements are bad. The score is
+/// `ratio_overall / geometric-mean(rate ratios normalized by ratio_n)` —
+/// an app "benefits" when it can solve more while its per-process demands
+/// stay in step with its per-process problem.
+pub fn upgrade_score(outcome: &UpgradeOutcome) -> f64 {
+    let norm: f64 = outcome
+        .ratio_rates
+        .iter()
+        .map(|r| (r / outcome.ratio_n.max(1e-300)).max(1e-300))
+        .product::<f64>()
+        .powf(1.0 / 3.0);
+    outcome.ratio_overall / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::skeleton::{SystemSkeleton, Upgrade};
+
+    fn base() -> SystemSkeleton {
+        SystemSkeleton::reference_large()
+    }
+
+    #[test]
+    fn lulesh_upgrade_a_matches_table_four() {
+        // Table IV: doubling racks keeps n (footprint has no p), doubles the
+        // overall problem, computation/communication grow ≈ 1.2, memory
+        // access ≈ 1.
+        let out = analyze_upgrade(&catalog::lulesh(), &base(), &Upgrade::DOUBLE_RACKS).unwrap();
+        assert!((out.ratio_n - 1.0).abs() < 1e-6, "{}", out.ratio_n);
+        assert!((out.ratio_overall - 2.0).abs() < 1e-6);
+        let comp = out.rate(RateMetric::Computation);
+        let comm = out.rate(RateMetric::Communication);
+        let mem = out.rate(RateMetric::MemoryAccess);
+        assert!((comp - 1.2).abs() < 0.06, "computation {comp}");
+        assert!((comm - 1.2).abs() < 0.06, "communication {comm}");
+        assert!((mem - 1.0).abs() < 0.06, "memory access {mem}");
+    }
+
+    #[test]
+    fn kripke_upgrade_a_memory_access_doubles() {
+        // Table V: Kripke A → mem 2 (the n·p term dominates at scale).
+        let out = analyze_upgrade(&catalog::kripke(), &base(), &Upgrade::DOUBLE_RACKS).unwrap();
+        assert!((out.ratio_n - 1.0).abs() < 1e-9);
+        assert!((out.rate(RateMetric::MemoryAccess) - 2.0).abs() < 0.05);
+        assert!((out.rate(RateMetric::Computation) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn milc_upgrade_a_memory_access_2_8() {
+        // Table V: MILC A → mem 2.8 (driven by the p^1.5 term: 2^1.5 ≈
+        // 2.83). At our reference provisioning the n·log n term retains a
+        // little more weight, putting the exact value at ≈ 2.5; the
+        // qualitative signal — memory access inflating well beyond the
+        // baseline 1 — is the paper's point.
+        let out = analyze_upgrade(&catalog::milc(), &base(), &Upgrade::DOUBLE_RACKS).unwrap();
+        let mem = out.rate(RateMetric::MemoryAccess);
+        assert!(mem > 2.2 && mem < 2.9, "{mem}");
+    }
+
+    #[test]
+    fn relearn_upgrade_c_quadruples_problem() {
+        // √n footprint: doubling memory quadruples n (Table V: 4).
+        let out = analyze_upgrade(&catalog::relearn(), &base(), &Upgrade::DOUBLE_MEMORY).unwrap();
+        assert!((out.ratio_n - 4.0).abs() < 1e-6, "{}", out.ratio_n);
+        assert!((out.ratio_overall - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kripke_upgrade_c_doubles_everything() {
+        // Table V column C for Kripke: 2 across the board.
+        let out = analyze_upgrade(&catalog::kripke(), &base(), &Upgrade::DOUBLE_MEMORY).unwrap();
+        assert!((out.ratio_n - 2.0).abs() < 1e-6);
+        for m in RateMetric::ALL {
+            let r = out.rate(m);
+            assert!((r - 2.0).abs() < 0.05, "{:?} {r}", m);
+        }
+    }
+
+    #[test]
+    fn icofoam_problem_shrinks_under_rack_doubling() {
+        // Table V icoFoam A: problem per process 0.5, overall 1 — the p·log p
+        // footprint term eats the added capacity.
+        let out = analyze_upgrade(&catalog::icofoam(), &base(), &Upgrade::DOUBLE_RACKS).unwrap();
+        assert!(out.ratio_n < 0.6, "{}", out.ratio_n);
+        assert!(out.ratio_overall < 1.2, "{}", out.ratio_overall);
+    }
+
+    #[test]
+    fn baseline_matches_table_five_rightmost_column() {
+        let b = base();
+        let a = baseline_expectation(&b, &Upgrade::DOUBLE_RACKS);
+        assert_eq!(
+            (a.ratio_n, a.ratio_overall, a.ratio_rates),
+            (1.0, 2.0, [1.0; 3])
+        );
+        let bb = baseline_expectation(&b, &Upgrade::DOUBLE_SOCKETS);
+        assert_eq!(
+            (bb.ratio_n, bb.ratio_overall, bb.ratio_rates),
+            (0.5, 1.0, [0.5; 3])
+        );
+        let c = baseline_expectation(&b, &Upgrade::DOUBLE_MEMORY);
+        assert_eq!(
+            (c.ratio_n, c.ratio_overall, c.ratio_rates),
+            (2.0, 2.0, [2.0; 3])
+        );
+    }
+
+    #[test]
+    fn icofoam_benefits_only_from_memory() {
+        // The paper's summary: "icoFoam would benefit only from doubling the
+        // memory." Under its own Table II models, doubling the sockets (B)
+        // does not even fit: the p·log p footprint term exceeds the halved
+        // per-process memory — a stronger version of the paper's verdict.
+        let app = catalog::icofoam();
+        let b = base();
+        let score_a =
+            upgrade_score(&analyze_upgrade(&app, &b, &Upgrade::DOUBLE_RACKS).unwrap());
+        let score_c =
+            upgrade_score(&analyze_upgrade(&app, &b, &Upgrade::DOUBLE_MEMORY).unwrap());
+        assert!(score_c > score_a, "C {score_c} vs A {score_a}");
+        assert!(matches!(
+            analyze_upgrade(&app, &b, &Upgrade::DOUBLE_SOCKETS),
+            Err(WorkflowError::DoesNotFit { which: "upgraded" })
+        ));
+    }
+
+    #[test]
+    fn milc_and_relearn_profit_most_from_memory() {
+        let b = base();
+        for app in [catalog::milc(), catalog::relearn()] {
+            let scores: Vec<f64> = Upgrade::ALL
+                .iter()
+                .map(|u| upgrade_score(&analyze_upgrade(&app, &b, u).unwrap()))
+                .collect();
+            assert!(
+                scores[2] >= scores[0] && scores[2] >= scores[1],
+                "{}: {scores:?}",
+                app.name
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The Carrington-et-al. baseline regressor (related work \[18\]).
+//!
+//! Projects node-level requirements using *simple* regression over four
+//! function classes — constant, linear, logarithmic, exponential — selecting
+//! the class with the best in-sample fit. The paper claims PMNF "goes beyond"
+//! this; ablation A1 quantifies the difference on the study's workloads.
+
+use crate::linalg::{lstsq, Matrix};
+use crate::measurement::{Aggregation, Experiment};
+use crate::quality::{r_squared, smape};
+use serde::{Deserialize, Serialize};
+
+/// The four function classes of the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselineClass {
+    /// `f(x) = a`
+    Constant,
+    /// `f(x) = a + b·x`
+    Linear,
+    /// `f(x) = a + b·log2(x)`
+    Logarithmic,
+    /// `f(x) = a · 2^(b·x)` (fitted in log space)
+    Exponential,
+}
+
+impl BaselineClass {
+    /// All classes, in selection order.
+    pub const ALL: [BaselineClass; 4] = [
+        BaselineClass::Constant,
+        BaselineClass::Linear,
+        BaselineClass::Logarithmic,
+        BaselineClass::Exponential,
+    ];
+}
+
+/// A fitted baseline model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineModel {
+    /// Selected function class.
+    pub class: BaselineClass,
+    /// Offset / scale coefficient `a`.
+    pub a: f64,
+    /// Slope coefficient `b` (unused for `Constant`).
+    pub b: f64,
+    /// In-sample SMAPE (percent).
+    pub smape: f64,
+    /// In-sample R².
+    pub r2: f64,
+}
+
+impl BaselineModel {
+    /// Evaluates the model at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        match self.class {
+            BaselineClass::Constant => self.a,
+            BaselineClass::Linear => self.a + self.b * x,
+            BaselineClass::Logarithmic => self.a + self.b * x.max(1.0).log2(),
+            BaselineClass::Exponential => self.a * (self.b * x).exp2(),
+        }
+    }
+}
+
+/// Fits the best baseline model to a one-parameter experiment.
+///
+/// Returns `None` when the experiment is not one-dimensional or has fewer
+/// than three points.
+pub fn fit_baseline(exp: &Experiment) -> Option<BaselineModel> {
+    if exp.arity() != 1 {
+        return None;
+    }
+    let agg = exp.aggregated(Aggregation::Mean);
+    let xs: Vec<f64> = agg.points.iter().map(|m| m.coords[0]).collect();
+    let ys: Vec<f64> = agg.points.iter().map(|m| m.value).collect();
+    if xs.len() < 3 {
+        return None;
+    }
+
+    let mut best: Option<BaselineModel> = None;
+    for class in BaselineClass::ALL {
+        let fitted = fit_class(class, &xs, &ys);
+        if let Some(m) = fitted {
+            if best.as_ref().map(|b| m.smape < b.smape).unwrap_or(true) {
+                best = Some(m);
+            }
+        }
+    }
+    best
+}
+
+fn fit_class(class: BaselineClass, xs: &[f64], ys: &[f64]) -> Option<BaselineModel> {
+    let n = xs.len();
+    let (a, b) = match class {
+        BaselineClass::Constant => {
+            let a = ys.iter().sum::<f64>() / n as f64;
+            (a, 0.0)
+        }
+        BaselineClass::Linear | BaselineClass::Logarithmic => {
+            let mut m = Matrix::zeros(n, 2);
+            for (r, &x) in xs.iter().enumerate() {
+                m[(r, 0)] = 1.0;
+                m[(r, 1)] = if class == BaselineClass::Linear {
+                    x
+                } else {
+                    x.max(1.0).log2()
+                };
+            }
+            let c = lstsq(&m, ys).ok()?;
+            (c[0], c[1])
+        }
+        BaselineClass::Exponential => {
+            // log2 y = log2 a + b x  (requires positive observations)
+            if ys.iter().any(|&y| y <= 0.0) {
+                return None;
+            }
+            let logy: Vec<f64> = ys.iter().map(|y| y.log2()).collect();
+            let mut m = Matrix::zeros(n, 2);
+            for (r, &x) in xs.iter().enumerate() {
+                m[(r, 0)] = 1.0;
+                m[(r, 1)] = x;
+            }
+            let c = lstsq(&m, &logy).ok()?;
+            (c[0].exp2(), c[1])
+        }
+    };
+    let mut model = BaselineModel {
+        class,
+        a,
+        b,
+        smape: 0.0,
+        r2: 0.0,
+    };
+    let pred: Vec<f64> = xs.iter().map(|&x| model.eval(x)).collect();
+    if pred.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    model.smape = smape(&pred, ys);
+    model.r2 = r_squared(&pred, ys);
+    Some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp1(f: impl FnMut(&[f64]) -> f64) -> Experiment {
+        Experiment::from_fn(vec!["p"], &[&[2.0, 4.0, 8.0, 16.0, 32.0, 64.0]], f)
+    }
+
+    #[test]
+    fn picks_constant() {
+        let m = fit_baseline(&exp1(|_| 9.0)).unwrap();
+        assert_eq!(m.class, BaselineClass::Constant);
+        assert!((m.a - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn picks_linear() {
+        let m = fit_baseline(&exp1(|c| 3.0 + 2.0 * c[0])).unwrap();
+        assert_eq!(m.class, BaselineClass::Linear);
+        assert!((m.b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_logarithmic() {
+        let m = fit_baseline(&exp1(|c| 5.0 * c[0].log2() + 1.0)).unwrap();
+        assert_eq!(m.class, BaselineClass::Logarithmic);
+        assert!((m.b - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_exponential() {
+        let m = fit_baseline(&exp1(|c| 3.0 * (0.25 * c[0]).exp2())).unwrap();
+        assert_eq!(m.class, BaselineClass::Exponential);
+        assert!((m.a - 3.0).abs() < 1e-6);
+        assert!((m.b - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cannot_capture_nlogn_exactly() {
+        // n·log n lies outside the baseline's vocabulary — the whole point
+        // of ablation A1. The fit is non-trivially wrong somewhere.
+        let e = exp1(|c| c[0] * c[0].log2());
+        let m = fit_baseline(&e).unwrap();
+        assert!(m.smape > 1.0, "baseline SMAPE {} suspiciously low", m.smape);
+    }
+
+    #[test]
+    fn exponential_skipped_on_nonpositive_data() {
+        let mut e = Experiment::new(vec!["p"]);
+        for &x in &[1.0, 2.0, 3.0, 4.0] {
+            e.push(&[x], x - 2.0); // contains 0 and negatives
+        }
+        let m = fit_baseline(&e).unwrap();
+        assert_ne!(m.class, BaselineClass::Exponential);
+    }
+
+    #[test]
+    fn rejects_multiparam_and_tiny_experiments() {
+        let two = Experiment::from_fn(vec!["p", "n"], &[&[1.0, 2.0], &[1.0, 2.0]], |c| c[0]);
+        assert!(fit_baseline(&two).is_none());
+        let tiny = Experiment::from_fn(vec!["p"], &[&[1.0, 2.0]], |c| c[0]);
+        assert!(fit_baseline(&tiny).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! CSV import/export for experiments, so measurements from real systems
+//! (Score-P profiles, PAPI logs, spreadsheets) can be fed to the model
+//! generator without writing Rust.
+//!
+//! Format: a header row naming the parameters, with the measured value in
+//! the final column, e.g.
+//!
+//! ```csv
+//! p,n,value
+//! 2,1024,1.25e6
+//! 4,1024,1.31e6
+//! ```
+//!
+//! Repetitions (duplicate coordinates) are allowed and handled by the
+//! generator's aggregation. Lines starting with `#` and blank lines are
+//! ignored.
+
+use crate::measurement::Experiment;
+
+/// Errors produced while parsing experiment CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input has no header row.
+    MissingHeader,
+    /// The header has fewer than two columns (≥1 parameter + value).
+    TooFewColumns,
+    /// A data row has the wrong number of fields.
+    RaggedRow {
+        /// 1-based line number in the input.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
+}
+
+impl core::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing header row"),
+            CsvError::TooFewColumns => {
+                write!(f, "need at least one parameter column and a value column")
+            }
+            CsvError::RaggedRow { line } => write!(f, "wrong field count on line {line}"),
+            CsvError::BadNumber { line, field } => {
+                write!(f, "cannot parse `{field}` as a number on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses an experiment from CSV text.
+///
+/// # Errors
+/// Returns [`CsvError`] for structural or numeric problems; the error
+/// carries the offending line.
+pub fn experiment_from_csv(text: &str) -> Result<Experiment, CsvError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    if cols.len() < 2 {
+        return Err(CsvError::TooFewColumns);
+    }
+    let params: Vec<String> = cols[..cols.len() - 1]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut exp = Experiment::new(params);
+
+    for (line, row) in lines {
+        let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+        if fields.len() != cols.len() {
+            return Err(CsvError::RaggedRow { line });
+        }
+        let mut nums = Vec::with_capacity(fields.len());
+        for field in &fields {
+            let v: f64 = field
+                .parse()
+                .map_err(|_| CsvError::BadNumber {
+                    line,
+                    field: field.to_string(),
+                })?;
+            nums.push(v);
+        }
+        let value = nums.pop().expect("at least two columns");
+        exp.push(&nums, value);
+    }
+    Ok(exp)
+}
+
+/// Serializes an experiment to CSV text (header + one row per point).
+pub fn experiment_to_csv(exp: &Experiment) -> String {
+    let mut out = String::new();
+    out.push_str(&exp.params.join(","));
+    out.push_str(",value\n");
+    for m in &exp.points {
+        for c in &m.coords {
+            out.push_str(&format!("{c},"));
+        }
+        out.push_str(&format!("{}\n", m.value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_parameter_csv() {
+        let text = "\
+# measured on cluster X
+p,n,value
+2,1024,100.5
+4, 1024, 201.25
+
+8,2048,410
+";
+        let exp = experiment_from_csv(text).unwrap();
+        assert_eq!(exp.params, vec!["p".to_string(), "n".to_string()]);
+        assert_eq!(exp.points.len(), 3);
+        assert_eq!(exp.points[1].coords, vec![4.0, 1024.0]);
+        assert_eq!(exp.points[1].value, 201.25);
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let exp = Experiment::from_fn(vec!["p", "n"], &[&[2.0, 4.0], &[8.0, 16.0]], |c| {
+            c[0] * c[1] + 0.5
+        });
+        let back = experiment_from_csv(&experiment_to_csv(&exp)).unwrap();
+        assert_eq!(exp, back);
+    }
+
+    #[test]
+    fn repetitions_are_kept() {
+        let text = "x,value\n2,10\n2,12\n4,20\n";
+        let exp = experiment_from_csv(text).unwrap();
+        assert_eq!(exp.points.len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(experiment_from_csv("").unwrap_err(), CsvError::MissingHeader);
+        assert_eq!(
+            experiment_from_csv("value\n1\n").unwrap_err(),
+            CsvError::TooFewColumns
+        );
+        assert_eq!(
+            experiment_from_csv("p,value\n1,2,3\n").unwrap_err(),
+            CsvError::RaggedRow { line: 2 }
+        );
+        assert_eq!(
+            experiment_from_csv("p,value\n1,abc\n").unwrap_err(),
+            CsvError::BadNumber {
+                line: 2,
+                field: "abc".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn fits_after_import() {
+        // The advertised use: external measurements → model.
+        let mut text = String::from("p,value\n");
+        for p in [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            text.push_str(&format!("{p},{}\n", 5.0 * p * p.log2()));
+        }
+        let exp = experiment_from_csv(&text).unwrap();
+        let m = crate::fit::fit_single(&exp, &crate::fit::FitConfig::coarse()).unwrap();
+        assert_eq!(
+            m.model.dominant_exponents(0),
+            crate::pmnf::Exponents::new(1.0, 1.0)
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Human-readable growth descriptions.
+//!
+//! The paper argues its models "are intuitive in that they allow direct
+//! statements such as 'the required network bandwidth grows logarithmically
+//! with the system size'" (Section IV). This module generates those
+//! statements from fitted models.
+
+use crate::pmnf::{Exponents, Model};
+
+/// The qualitative growth class of a PMNF factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthClass {
+    /// No dependence.
+    Constant,
+    /// `log^j x` only.
+    Logarithmic,
+    /// `x^i` with `i < 1` (with or without log factors).
+    Sublinear,
+    /// Exactly `x` (no log factors).
+    Linear,
+    /// `x · log^j x`.
+    Quasilinear,
+    /// `x^i`, `1 < i < 2` (with or without log factors).
+    Superlinear,
+    /// `x^i` with `i ≥ 2`.
+    Polynomial,
+}
+
+impl GrowthClass {
+    /// Classifies an exponent pair.
+    pub fn of(e: Exponents) -> GrowthClass {
+        if e.is_constant() {
+            GrowthClass::Constant
+        } else if e.poly == 0.0 {
+            GrowthClass::Logarithmic
+        } else if e.poly < 1.0 {
+            GrowthClass::Sublinear
+        } else if e.poly == 1.0 && e.log == 0.0 {
+            GrowthClass::Linear
+        } else if e.poly == 1.0 {
+            GrowthClass::Quasilinear
+        } else if e.poly < 2.0 {
+            GrowthClass::Superlinear
+        } else {
+            GrowthClass::Polynomial
+        }
+    }
+
+    /// Adverbial phrase for sentences.
+    pub fn phrase(&self) -> &'static str {
+        match self {
+            GrowthClass::Constant => "stays constant",
+            GrowthClass::Logarithmic => "grows logarithmically",
+            GrowthClass::Sublinear => "grows sublinearly",
+            GrowthClass::Linear => "grows linearly",
+            GrowthClass::Quasilinear => "grows quasilinearly (n·log n-like)",
+            GrowthClass::Superlinear => "grows superlinearly",
+            GrowthClass::Polynomial => "grows polynomially (quadratic or worse)",
+        }
+    }
+}
+
+/// Generates the paper-style English statement for one model parameter,
+/// e.g. `"the requirement grows logarithmically with p"`.
+pub fn describe_growth(model: &Model, param: &str) -> String {
+    let Some(idx) = model.param_index(param) else {
+        return format!("the model has no parameter named {param}");
+    };
+    let lead = model.dominant_exponents(idx);
+    let class = GrowthClass::of(lead);
+    let exact = lead
+        .render(param)
+        .map(|r| format!(" (as {r})"))
+        .unwrap_or_default();
+    format!("the requirement {} with {param}{exact}", class.phrase())
+}
+
+/// Full multi-parameter description, one clause per parameter.
+pub fn describe(model: &Model) -> String {
+    let clauses: Vec<String> = model
+        .params
+        .iter()
+        .map(|p| describe_growth(model, p))
+        .collect();
+    clauses.join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmnf::{Model, Term};
+
+    fn m(terms: &[(f64, f64, f64)]) -> Model {
+        Model::new(
+            1.0,
+            terms
+                .iter()
+                .map(|&(c, i, j)| Term::new(c, vec![Exponents::new(i, j)]))
+                .collect(),
+            vec!["p".into()],
+        )
+    }
+
+    #[test]
+    fn classes_cover_the_spectrum() {
+        use GrowthClass::*;
+        let e = Exponents::new;
+        assert_eq!(GrowthClass::of(e(0.0, 0.0)), Constant);
+        assert_eq!(GrowthClass::of(e(0.0, 1.0)), Logarithmic);
+        assert_eq!(GrowthClass::of(e(0.5, 0.0)), Sublinear);
+        assert_eq!(GrowthClass::of(e(0.5, 1.0)), Sublinear);
+        assert_eq!(GrowthClass::of(e(1.0, 0.0)), Linear);
+        assert_eq!(GrowthClass::of(e(1.0, 1.0)), Quasilinear);
+        assert_eq!(GrowthClass::of(e(1.5, 0.0)), Superlinear);
+        assert_eq!(GrowthClass::of(e(2.0, 0.0)), Polynomial);
+        assert_eq!(GrowthClass::of(e(3.0, 2.0)), Polynomial);
+    }
+
+    #[test]
+    fn paper_example_sentence() {
+        // "the required network bandwidth grows logarithmically with the
+        // system size" — an Allreduce-style model.
+        let model = m(&[(1e4, 0.0, 1.0)]);
+        let s = describe_growth(&model, "p");
+        assert_eq!(
+            s,
+            "the requirement grows logarithmically with p (as log2(p))"
+        );
+    }
+
+    #[test]
+    fn constant_model_description() {
+        let model = m(&[]);
+        assert_eq!(
+            describe_growth(&model, "p"),
+            "the requirement stays constant with p"
+        );
+    }
+
+    #[test]
+    fn dominant_term_drives_description() {
+        let model = m(&[(1e8, 1.0, 0.0), (10.0, 1.5, 0.0)]);
+        assert!(describe_growth(&model, "p").contains("superlinearly"));
+    }
+
+    #[test]
+    fn unknown_parameter_is_reported() {
+        let model = m(&[(1.0, 1.0, 0.0)]);
+        assert!(describe_growth(&model, "zz").contains("no parameter"));
+    }
+
+    #[test]
+    fn multi_parameter_description_joins_clauses() {
+        let model = Model::new(
+            0.0,
+            vec![Term::new(
+                2.0,
+                vec![Exponents::new(0.0, 1.0), Exponents::new(1.0, 1.0)],
+            )],
+            vec!["p".into(), "n".into()],
+        );
+        let s = describe(&model);
+        assert!(s.contains("logarithmically with p"), "{s}");
+        assert!(s.contains("quasilinearly"), "{s}");
+        assert!(s.contains("; "), "{s}");
+    }
+}

@@ -1,0 +1,619 @@
+//! Single-parameter model generation (the SC13 Extra-P algorithm).
+//!
+//! Models are identified iteratively (Section II-C of the paper): starting
+//! from the constant hypothesis, hypotheses of growing size are instantiated
+//! from the PMNF search space, their coefficients fitted by least squares,
+//! and the winner selected through leave-one-out cross-validation. Growth
+//! stops when an additional term brings no significant improvement.
+
+use crate::hypothesis::SearchSpace;
+use crate::linalg::{lstsq, Matrix};
+use crate::measurement::Experiment;
+use crate::pmnf::{Exponents, Model, Term};
+use crate::quality::{adjusted_r_squared, r_squared, smape};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for model fitting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitConfig {
+    /// Exponent search space.
+    pub space: SearchSpace,
+    /// Maximum number of non-constant terms (paper: small `n`, we default
+    /// to 2 and allow 3).
+    pub max_terms: usize,
+    /// Minimum relative improvement in cross-validated SMAPE required to
+    /// accept a larger hypothesis ("no significant improvement" stop rule).
+    pub improvement_threshold: f64,
+    /// Reject hypotheses whose fitted non-constant coefficients are negative.
+    /// Requirement metrics are monotone, so this is on by default.
+    pub nonneg_coeffs: bool,
+    /// Cross-validated SMAPE (percent) below which fits are considered
+    /// perfect: scores under the floor compare equal and the simplest
+    /// hypothesis wins, and hypothesis growth stops. Prevents the search
+    /// from chasing sub-measurement-resolution residue (e.g. integer
+    /// rounding of counters) with spurious extra terms.
+    pub noise_floor_smape: f64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig {
+            space: SearchSpace::paper(),
+            max_terms: 2,
+            improvement_threshold: 0.15,
+            nonneg_coeffs: true,
+            noise_floor_smape: 0.3,
+        }
+    }
+}
+
+impl FitConfig {
+    /// A configuration with the coarse search space, for fast tests.
+    pub fn coarse() -> Self {
+        FitConfig {
+            space: SearchSpace::coarse(),
+            ..FitConfig::default()
+        }
+    }
+}
+
+/// A fitted model together with its quality statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedModel {
+    /// The selected PMNF model.
+    pub model: Model,
+    /// Leave-one-out cross-validated SMAPE (percent) — the selection score.
+    pub cv_smape: f64,
+    /// In-sample SMAPE (percent).
+    pub smape: f64,
+    /// In-sample R².
+    pub r2: f64,
+    /// Adjusted R².
+    pub adj_r2: f64,
+}
+
+/// Errors produced by model generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The experiment has a different number of parameters than expected.
+    WrongArity {
+        /// Parameter count the fitter expected.
+        expected: usize,
+        /// Parameter count the experiment actually has.
+        got: usize,
+    },
+    /// Too few distinct measurement points for the requested hypothesis size.
+    NotEnoughPoints {
+        /// Minimum number of points required.
+        needed: usize,
+        /// Number of points available.
+        got: usize,
+    },
+    /// Every candidate hypothesis failed to fit (degenerate data).
+    NoViableHypothesis,
+}
+
+impl core::fmt::Display for FitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FitError::WrongArity { expected, got } => {
+                write!(f, "expected {expected}-parameter experiment, got {got}")
+            }
+            FitError::NotEnoughPoints { needed, got } => {
+                write!(f, "need at least {needed} points, got {got}")
+            }
+            FitError::NoViableHypothesis => write!(f, "no hypothesis could be fitted"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// One hypothesis: a set of single-parameter basis factors (plus implicit
+/// constant).
+#[derive(Debug, Clone, PartialEq)]
+struct Hypothesis {
+    factors: Vec<Exponents>,
+}
+
+/// Evaluation of a hypothesis on data: fitted coefficients + scores.
+#[derive(Debug, Clone)]
+struct Scored {
+    hypothesis: Hypothesis,
+    /// Coefficients: `[c0, c1, ..]` aligned with `[const, factors..]`.
+    coeffs: Vec<f64>,
+    cv_smape: f64,
+    in_smape: f64,
+}
+
+fn design_matrix(xs: &[f64], factors: &[Exponents]) -> Matrix {
+    let mut a = Matrix::zeros(xs.len(), factors.len() + 1);
+    for (r, &x) in xs.iter().enumerate() {
+        a[(r, 0)] = 1.0;
+        for (c, f) in factors.iter().enumerate() {
+            a[(r, c + 1)] = f.eval(x);
+        }
+    }
+    a
+}
+
+/// Fits coefficients on all points and computes leave-one-out CV SMAPE.
+fn score_hypothesis(
+    xs: &[f64],
+    ys: &[f64],
+    hyp: &Hypothesis,
+    nonneg: bool,
+) -> Option<Scored> {
+    let k = hyp.factors.len() + 1;
+    let n = xs.len();
+    if n < k + 1 {
+        return None;
+    }
+    let a = design_matrix(xs, &hyp.factors);
+    let coeffs = lstsq(&a, ys).ok()?;
+    if nonneg && coeffs[1..].iter().any(|&c| c < 0.0) {
+        return None;
+    }
+    let pred = a.mul_vec(&coeffs);
+    let in_smape = smape(&pred, ys);
+
+    // Leave-one-out CV.
+    let mut cv_pred = vec![0.0; n];
+    let mut sub_x = Vec::with_capacity(n - 1);
+    let mut sub_y = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        sub_x.clear();
+        sub_y.clear();
+        for j in 0..n {
+            if j != i {
+                sub_x.push(xs[j]);
+                sub_y.push(ys[j]);
+            }
+        }
+        let sa = design_matrix(&sub_x, &hyp.factors);
+        let c = lstsq(&sa, &sub_y).ok()?;
+        let row_basis: Vec<f64> = std::iter::once(1.0)
+            .chain(hyp.factors.iter().map(|f| f.eval(xs[i])))
+            .collect();
+        cv_pred[i] = row_basis.iter().zip(&c).map(|(b, c)| b * c).sum();
+    }
+    let cv_smape = smape(&cv_pred, ys);
+    if !cv_smape.is_finite() || !in_smape.is_finite() {
+        return None;
+    }
+    Some(Scored {
+        hypothesis: hyp.clone(),
+        coeffs,
+        cv_smape,
+        in_smape,
+    })
+}
+
+/// Zeroes a fitted constant that is numerically indistinguishable from the
+/// least-squares round-off floor (|c₀| below 10⁻⁸ of the data magnitude) —
+/// it would otherwise clutter reported models as `1e-11 + …`.
+pub(crate) fn prune_tiny_constant(c0: f64, ys: &[f64]) -> f64 {
+    let scale = ys.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+    if c0.abs() < 1e-8 * scale {
+        0.0
+    } else {
+        c0
+    }
+}
+
+/// Total-growth key used to prefer the simplest hypothesis among ties.
+fn growth_key(h: &Hypothesis) -> f64 {
+    h.factors.iter().map(|f| f.poly + 0.01 * f.log).sum()
+}
+
+/// Total ordering on scored hypotheses: lower raw cross-validated SMAPE
+/// wins; exact ties fall back to fewer terms, then slower growth. Raw
+/// comparison (not a tolerance window) keeps the order transitive, and in
+/// practice separates the generative model (CV error at the round-off or
+/// counter-rounding level) from near-collinear impostor exponents, whose
+/// leave-one-out error is orders of magnitude larger even when small in
+/// absolute terms.
+fn cmp_scored(a: &Scored, b: &Scored) -> std::cmp::Ordering {
+    a.cv_smape
+        .partial_cmp(&b.cv_smape)
+        .expect("scores are finite")
+        .then_with(|| a.hypothesis.factors.len().cmp(&b.hypothesis.factors.len()))
+        .then_with(|| {
+            growth_key(&a.hypothesis)
+                .partial_cmp(&growth_key(&b.hypothesis))
+                .expect("growth keys are finite")
+        })
+}
+
+fn better(a: &Scored, b: &Scored) -> bool {
+    cmp_scored(a, b) == std::cmp::Ordering::Less
+}
+
+fn scored_to_fitted(s: &Scored, xs: &[f64], ys: &[f64], param: &str) -> FittedModel {
+    let terms: Vec<Term> = s
+        .hypothesis
+        .factors
+        .iter()
+        .zip(&s.coeffs[1..])
+        .map(|(f, &c)| Term::new(c, vec![*f]))
+        .collect();
+    let constant = prune_tiny_constant(s.coeffs[0], ys);
+    let model = Model::new(constant, terms, vec![param.to_string()]);
+    let pred: Vec<f64> = xs.iter().map(|&x| model.eval(&[x])).collect();
+    FittedModel {
+        r2: r_squared(&pred, ys),
+        adj_r2: adjusted_r_squared(&pred, ys, s.coeffs.len()),
+        smape: s.in_smape,
+        cv_smape: s.cv_smape,
+        model,
+    }
+}
+
+/// Fits the best single-parameter PMNF model to a one-parameter experiment.
+///
+/// # Errors
+/// Returns [`FitError`] when the experiment is not one-dimensional, has too
+/// few points, or no hypothesis can be fitted.
+pub fn fit_single(exp: &Experiment, cfg: &FitConfig) -> Result<FittedModel, FitError> {
+    let ranked = rank_single(exp, cfg, 1)?;
+    Ok(ranked.into_iter().next().expect("rank_single returned at least one"))
+}
+
+/// Fits and ranks the best `k` single-parameter models (distinct factor
+/// sets), best first. Used by the multi-parameter algorithm, which keeps
+/// several per-parameter candidates.
+pub fn rank_single(
+    exp: &Experiment,
+    cfg: &FitConfig,
+    k: usize,
+) -> Result<Vec<FittedModel>, FitError> {
+    if exp.arity() != 1 {
+        return Err(FitError::WrongArity {
+            expected: 1,
+            got: exp.arity(),
+        });
+    }
+    let agg = exp.aggregated(crate::measurement::Aggregation::Mean);
+    let xs: Vec<f64> = agg.points.iter().map(|m| m.coords[0]).collect();
+    let ys: Vec<f64> = agg.points.iter().map(|m| m.value).collect();
+    if xs.len() < 3 {
+        return Err(FitError::NotEnoughPoints {
+            needed: 3,
+            got: xs.len(),
+        });
+    }
+    let param = exp.params[0].clone();
+
+    // Constant hypothesis is the baseline.
+    let const_hyp = Hypothesis { factors: vec![] };
+    let mut pool: Vec<Scored> = score_hypothesis(&xs, &ys, &const_hyp, cfg.nonneg_coeffs)
+        .into_iter()
+        .collect();
+
+    // Size-1 hypotheses: exhaustive over the factor grid (parallel).
+    let candidates = cfg.space.factor_candidates();
+    let size1: Vec<Scored> = candidates
+        .par_iter()
+        .filter_map(|&f| {
+            score_hypothesis(&xs, &ys, &Hypothesis { factors: vec![f] }, cfg.nonneg_coeffs)
+        })
+        .collect();
+    pool.extend(size1.iter().cloned());
+
+    let floor = cfg.noise_floor_smape;
+    let mut best: Option<Scored> = pool
+        .iter()
+        .cloned()
+        .reduce(|a, b| if better(&a, &b) { a } else { b });
+
+    // Iterative growth: hypotheses of size two are enumerated exhaustively
+    // over all factor pairs (a beam seeded only with the best single terms
+    // can miss a true two-term structure whose individual terms fit poorly,
+    // e.g. `c₁·log p + c₂·p`); larger sizes extend the best `BEAM`
+    // hypotheses of the previous size. Growth continues while the
+    // cross-validated error improves significantly (the paper's "until we
+    // see no significant improvement" stop rule).
+    const BEAM: usize = 8;
+    let mut frontier: Vec<Scored> = {
+        let mut f = size1;
+        f.sort_by(cmp_scored);
+        f.truncate(BEAM);
+        f
+    };
+    for size in 2..=cfg.max_terms {
+        if frontier.is_empty() {
+            break;
+        }
+        // Already at measurement resolution: extra terms would only chase
+        // counter-rounding residue.
+        if best.as_ref().map(|b| b.cv_smape <= floor).unwrap_or(false) {
+            break;
+        }
+        let mut to_score: Vec<Hypothesis> = Vec::new();
+        if size == 2 {
+            for (i, &f1) in candidates.iter().enumerate() {
+                for &f2 in &candidates[i + 1..] {
+                    let mut factors = vec![f1, f2];
+                    factors.sort_by(|a, b| a.growth_cmp(b));
+                    to_score.push(Hypothesis { factors });
+                }
+            }
+        } else {
+            for cur in &frontier {
+                for &f in &candidates {
+                    if cur.hypothesis.factors.contains(&f) {
+                        continue;
+                    }
+                    let mut factors = cur.hypothesis.factors.clone();
+                    factors.push(f);
+                    factors.sort_by(|a, b| a.growth_cmp(b));
+                    let h = Hypothesis { factors };
+                    if !to_score.contains(&h) {
+                        to_score.push(h);
+                    }
+                }
+            }
+        }
+        let mut grown: Vec<Scored> = to_score
+            .par_iter()
+            .filter_map(|h| score_hypothesis(&xs, &ys, h, cfg.nonneg_coeffs))
+            .collect();
+        if grown.is_empty() {
+            break;
+        }
+        grown.sort_by(cmp_scored);
+        let best_grown = grown[0].clone();
+        let prev_best = best.as_ref().map(|b| b.cv_smape).unwrap_or(f64::INFINITY);
+        let improvement = (prev_best - best_grown.cv_smape) / prev_best.max(1e-12);
+        pool.push(best_grown.clone());
+        let significant = improvement > cfg.improvement_threshold;
+        if significant {
+            if best
+                .as_ref()
+                .map(|b| better(&best_grown, b))
+                .unwrap_or(true)
+            {
+                best = Some(best_grown);
+            }
+            grown.truncate(BEAM);
+            frontier = grown;
+        } else {
+            break;
+        }
+    }
+
+    if best.is_none() {
+        return Err(FitError::NoViableHypothesis);
+    }
+
+    // Rank the pool, dedup by factor set, take k.
+    pool.sort_by(cmp_scored);
+    let mut out: Vec<FittedModel> = Vec::new();
+    let mut seen: Vec<Vec<Exponents>> = Vec::new();
+    for s in &pool {
+        if seen.contains(&s.hypothesis.factors) {
+            continue;
+        }
+        seen.push(s.hypothesis.factors.clone());
+        out.push(scored_to_fitted(s, &xs, &ys, &param));
+        if out.len() >= k {
+            break;
+        }
+    }
+    if out.is_empty() {
+        Err(FitError::NoViableHypothesis)
+    } else {
+        Ok(out)
+    }
+}
+
+/// Fits a model choosing selection by raw in-sample RSS instead of
+/// cross-validation — the ablation-A3 comparator. Prone to overfitting on
+/// noisy data; exposed for the study, not for production use.
+pub fn fit_single_no_cv(exp: &Experiment, cfg: &FitConfig) -> Result<FittedModel, FitError> {
+    if exp.arity() != 1 {
+        return Err(FitError::WrongArity {
+            expected: 1,
+            got: exp.arity(),
+        });
+    }
+    let agg = exp.aggregated(crate::measurement::Aggregation::Mean);
+    let xs: Vec<f64> = agg.points.iter().map(|m| m.coords[0]).collect();
+    let ys: Vec<f64> = agg.points.iter().map(|m| m.value).collect();
+    if xs.len() < 3 {
+        return Err(FitError::NotEnoughPoints {
+            needed: 3,
+            got: xs.len(),
+        });
+    }
+    let param = exp.params[0].clone();
+    let mut hyps: Vec<Hypothesis> = vec![Hypothesis { factors: vec![] }];
+    for f in cfg.space.factor_candidates() {
+        hyps.push(Hypothesis { factors: vec![f] });
+    }
+    let best = hyps
+        .par_iter()
+        .filter_map(|h| score_hypothesis(&xs, &ys, h, cfg.nonneg_coeffs))
+        .reduce_with(|a, b| {
+            // Select purely on in-sample error.
+            if a.in_smape <= b.in_smape {
+                a
+            } else {
+                b
+            }
+        })
+        .ok_or(FitError::NoViableHypothesis)?;
+    Ok(scored_to_fitted(&best, &xs, &ys, &param))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::Experiment;
+
+    fn exp1(f: impl FnMut(&[f64]) -> f64) -> Experiment {
+        Experiment::from_fn(vec!["p"], &[&[2.0, 4.0, 8.0, 16.0, 32.0, 64.0]], f)
+    }
+
+    fn dominant(m: &FittedModel) -> Exponents {
+        m.model.dominant_exponents(0)
+    }
+
+    #[test]
+    fn recovers_constant() {
+        let e = exp1(|_| 42.0);
+        let m = fit_single(&e, &FitConfig::coarse()).unwrap();
+        assert!(m.model.terms.is_empty(), "{}", m.model);
+        assert!((m.model.constant - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_linear() {
+        let e = exp1(|c| 7.0 * c[0] + 3.0);
+        let m = fit_single(&e, &FitConfig::coarse()).unwrap();
+        assert_eq!(dominant(&m), Exponents::new(1.0, 0.0), "{}", m.model);
+        let t = m.model.dominant_term().unwrap();
+        assert!((t.coeff - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_nlogn() {
+        let e = exp1(|c| 5.0 * c[0] * c[0].log2());
+        let m = fit_single(&e, &FitConfig::coarse()).unwrap();
+        assert_eq!(dominant(&m), Exponents::new(1.0, 1.0), "{}", m.model);
+    }
+
+    #[test]
+    fn recovers_sqrt_on_paper_space() {
+        let e = exp1(|c| 100.0 * c[0].sqrt());
+        let m = fit_single(&e, &FitConfig::default()).unwrap();
+        assert_eq!(dominant(&m), Exponents::new(0.5, 0.0), "{}", m.model);
+    }
+
+    #[test]
+    fn recovers_fractional_exponent() {
+        // p^0.25 · log2(p): the LULESH FLOP process-scaling of Table II.
+        let e = exp1(|c| 3.0 * c[0].powf(0.25) * c[0].log2());
+        let m = fit_single(&e, &FitConfig::default()).unwrap();
+        assert_eq!(dominant(&m), Exponents::new(0.25, 1.0), "{}", m.model);
+    }
+
+    #[test]
+    fn recovers_two_term_model() {
+        // 1e4·x + 10·x^2 on a wide range: needs a second term.
+        let e = Experiment::from_fn(
+            vec!["p"],
+            &[&[2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]],
+            |c| 1e4 * c[0] + 10.0 * c[0] * c[0],
+        );
+        let cfg = FitConfig::coarse();
+        let m = fit_single(&e, &cfg).unwrap();
+        assert_eq!(dominant(&m), Exponents::new(2.0, 0.0), "{}", m.model);
+        assert!(m.model.terms.len() >= 2, "{}", m.model);
+        assert!(m.cv_smape < 1.0, "cv {}", m.cv_smape);
+    }
+
+    #[test]
+    fn noisy_data_still_finds_shape() {
+        // 3% deterministic multiplicative "noise".
+        let signs = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let mut i = 0;
+        let e = exp1(|c| {
+            let v = 50.0 * c[0] * c[0];
+            let s = signs[i % 6];
+            i += 1;
+            v * (1.0 + 0.03 * s)
+        });
+        let m = fit_single(&e, &FitConfig::coarse()).unwrap();
+        assert_eq!(dominant(&m), Exponents::new(2.0, 0.0), "{}", m.model);
+        assert!(m.r2 > 0.99);
+    }
+
+    #[test]
+    fn cv_resists_overfitting_where_rss_does_not() {
+        // Constant data + noise: CV must prefer constant; raw-RSS selection
+        // picks some growth term that chases noise.
+        let noise = [0.9, 1.1, 0.95, 1.05, 1.02, 0.98];
+        let mut i = 0;
+        let e = exp1(|_| {
+            let v = 100.0 * noise[i % 6];
+            i += 1;
+            v
+        });
+        let cfg = FitConfig::coarse();
+        let cv = fit_single(&e, &cfg).unwrap();
+        assert!(
+            cv.model.terms.is_empty()
+                || dominant(&cv).growth_cmp(&Exponents::new(0.5, 0.0)).is_lt(),
+            "CV picked {}",
+            cv.model
+        );
+        let rss = fit_single_no_cv(&e, &cfg).unwrap();
+        // The no-CV fit has in-sample error no worse than the CV pick.
+        assert!(rss.smape <= cv.smape + 1e-9);
+    }
+
+    #[test]
+    fn rank_returns_distinct_hypotheses() {
+        let e = exp1(|c| 2.0 * c[0]);
+        let ranked = rank_single(&e, &FitConfig::coarse(), 3).unwrap();
+        assert_eq!(ranked.len(), 3);
+        let lead = dominant(&ranked[0]);
+        assert_eq!(lead, Exponents::new(1.0, 0.0));
+        // All hypotheses distinct.
+        for i in 0..ranked.len() {
+            for j in i + 1..ranked.len() {
+                assert_ne!(ranked[i].model.terms, ranked[j].model.terms);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let e = Experiment::from_fn(vec!["p", "n"], &[&[1.0, 2.0], &[1.0, 2.0]], |c| c[0]);
+        assert!(matches!(
+            fit_single(&e, &FitConfig::coarse()),
+            Err(FitError::WrongArity { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let e = Experiment::from_fn(vec!["p"], &[&[1.0, 2.0]], |c| c[0]);
+        assert!(matches!(
+            fit_single(&e, &FitConfig::coarse()),
+            Err(FitError::NotEnoughPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn repetitions_are_aggregated() {
+        let mut e = Experiment::new(vec!["p"]);
+        for &x in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+            e.push(&[x], 10.0 * x + 1.0);
+            e.push(&[x], 10.0 * x - 1.0);
+        }
+        let m = fit_single(&e, &FitConfig::coarse()).unwrap();
+        assert_eq!(dominant(&m), Exponents::new(1.0, 0.0));
+        let t = m.model.dominant_term().unwrap();
+        assert!((t.coeff - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonneg_constraint_rejects_decreasing_lead() {
+        let e = exp1(|c| 1000.0 - 5.0 * c[0]);
+        let cfg = FitConfig::coarse(); // nonneg on
+        let m = fit_single(&e, &cfg).unwrap();
+        // Lead coefficient cannot be negative; best admissible fit is the
+        // constant (or a tiny-growth hypothesis), never a negative slope.
+        for t in &m.model.terms {
+            assert!(t.coeff >= 0.0);
+        }
+        let mut cfg2 = cfg.clone();
+        cfg2.nonneg_coeffs = false;
+        let m2 = fit_single(&e, &cfg2).unwrap();
+        let t = m2.model.dominant_term().unwrap();
+        assert!((t.coeff + 5.0).abs() < 1e-6, "{}", m2.model);
+    }
+}

@@ -1,0 +1,143 @@
+//! The PMNF hypothesis search space.
+//!
+//! Section III of the paper fixes the exponent grids: polynomial exponents
+//! take values in `[0, 3]` including all fractions `i/8` and `i/3`;
+//! logarithmic exponents come from `{0, 0.5, 1, 1.5, 2}`.
+
+use crate::pmnf::Exponents;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the exponent search space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Allowed polynomial exponents (sorted, deduplicated).
+    pub poly_exponents: Vec<f64>,
+    /// Allowed logarithm exponents (sorted, deduplicated).
+    pub log_exponents: Vec<f64>,
+    /// Whether negative-growth terms (poly < 0) are permitted. The paper's
+    /// requirements are monotone in both parameters, so the default is
+    /// `false`.
+    pub allow_negative_poly: bool,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace::paper()
+    }
+}
+
+impl SearchSpace {
+    /// The exact search space used in the paper's evaluation (Section III):
+    /// polynomial exponents 0..3 in steps of 1/8 and 1/3, log exponents
+    /// {0, 0.5, 1, 1.5, 2}.
+    pub fn paper() -> Self {
+        let mut poly: Vec<f64> = Vec::new();
+        for i in 0..=24 {
+            poly.push(i as f64 / 8.0);
+        }
+        for i in 0..=9 {
+            poly.push(i as f64 / 3.0);
+        }
+        poly.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        poly.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        SearchSpace {
+            poly_exponents: poly,
+            log_exponents: vec![0.0, 0.5, 1.0, 1.5, 2.0],
+            allow_negative_poly: false,
+        }
+    }
+
+    /// A reduced space (integer and half-integer polynomial exponents,
+    /// log ∈ {0, 1}) for fast unit tests and coarse scans.
+    pub fn coarse() -> Self {
+        SearchSpace {
+            poly_exponents: vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+            log_exponents: vec![0.0, 1.0],
+            allow_negative_poly: false,
+        }
+    }
+
+    /// All candidate single-factor exponent pairs, excluding the constant
+    /// pair `(0, 0)` (the constant is always part of every hypothesis).
+    pub fn factor_candidates(&self) -> Vec<Exponents> {
+        let mut out = Vec::with_capacity(self.poly_exponents.len() * self.log_exponents.len());
+        for &i in &self.poly_exponents {
+            if i < 0.0 && !self.allow_negative_poly {
+                continue;
+            }
+            for &j in &self.log_exponents {
+                if i == 0.0 && j == 0.0 {
+                    continue;
+                }
+                out.push(Exponents::new(i, j));
+            }
+        }
+        out
+    }
+
+    /// Snaps an arbitrary exponent pair to the nearest grid point; useful
+    /// when importing externally produced models.
+    pub fn snap(&self, e: Exponents) -> Exponents {
+        let near = |grid: &[f64], v: f64| {
+            grid.iter()
+                .copied()
+                .min_by(|a, b| {
+                    (a - v)
+                        .abs()
+                        .partial_cmp(&(b - v).abs())
+                        .unwrap()
+                })
+                .unwrap_or(v)
+        };
+        Exponents::new(
+            near(&self.poly_exponents, e.poly),
+            near(&self.log_exponents, e.log),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_contains_the_published_grid() {
+        let s = SearchSpace::paper();
+        // Fractions of type i/8 and i/3 in [0, 3].
+        for v in [0.0, 0.125, 0.25, 0.375, 1.0 / 3.0, 2.0 / 3.0, 1.5, 3.0] {
+            assert!(
+                s.poly_exponents.iter().any(|&p| (p - v).abs() < 1e-9),
+                "missing poly exponent {v}"
+            );
+        }
+        assert_eq!(s.log_exponents, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+        // 25 eighths + 10 thirds − duplicates {0, 1, 2, 3} and 1.5? (12/8=1.5,
+        // thirds don't contain 1.5) → duplicates are 0,1,2,3 → 31 values.
+        assert_eq!(s.poly_exponents.len(), 31);
+    }
+
+    #[test]
+    fn candidates_exclude_constant_pair() {
+        let s = SearchSpace::coarse();
+        let c = s.factor_candidates();
+        assert!(!c.iter().any(|e| e.poly == 0.0 && e.log == 0.0));
+        // 7 poly × 2 log − 1 = 13
+        assert_eq!(c.len(), 13);
+    }
+
+    #[test]
+    fn paper_candidate_count() {
+        let s = SearchSpace::paper();
+        assert_eq!(s.factor_candidates().len(), 31 * 5 - 1);
+    }
+
+    #[test]
+    fn snap_to_grid() {
+        let s = SearchSpace::paper();
+        let snapped = s.snap(Exponents::new(0.3, 0.9));
+        assert!((snapped.poly - 0.3333333).abs() < 1e-3 || (snapped.poly - 0.25).abs() < 1e-9);
+        assert_eq!(snapped.log, 1.0);
+        // 0.3 is closer to 1/3 (0.0333) than to 0.25 (0.05).
+        assert!((snapped.poly - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

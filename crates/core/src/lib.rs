@@ -1,0 +1,68 @@
+//! # exareq-core — empirical requirements-model generation
+//!
+//! A from-scratch reimplementation of the Extra-P empirical performance
+//! modeling method as used by *"Lightweight Requirements Engineering for
+//! Exascale Co-design"* (CLUSTER 2018): given small-scale measurements of a
+//! requirement metric over a grid of process counts `p` and per-process
+//! problem sizes `n`, generate human-readable models in the performance
+//! model normal form (PMNF)
+//!
+//! ```text
+//! f(x₁..x_m) = c₀ + Σ_k c_k · Π_l x_l^{i_kl} · log2^{j_kl}(x_l)
+//! ```
+//!
+//! that extrapolate the requirement to machine scales that cannot be
+//! measured (the exascale co-design setting).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use exareq_core::measurement::Experiment;
+//! use exareq_core::multiparam::{fit_multi, MultiParamConfig};
+//!
+//! // Measure a metric on a 5×5 grid of (p, n) — here a synthetic stand-in.
+//! let exp = Experiment::from_fn(
+//!     vec!["p", "n"],
+//!     &[&[2.0, 4.0, 8.0, 16.0, 32.0], &[64.0, 128.0, 256.0, 512.0, 1024.0]],
+//!     |c| 1e5 * c[1] * c[1].log2() * c[0].log2(),
+//! );
+//! let fitted = fit_multi(&exp, &MultiParamConfig::coarse()).unwrap();
+//! // The generator re-discovers the n·log2(n)·log2(p) shape …
+//! assert!(fitted.model.has_multiplicative_interaction());
+//! // … and extrapolates far beyond the measured range.
+//! let at_exascale = fitted.model.eval(&[1e8, 1e6]);
+//! assert!(at_exascale > 0.0);
+//! ```
+//!
+//! ## Module map
+//!
+//! - [`pmnf`] — model representation (Eq. 1/2), evaluation, display.
+//! - [`measurement`] — experiment containers, grids, aggregation.
+//! - [`hypothesis`] — the exponent search space of Section III.
+//! - [`linalg`] — small dense QR least squares.
+//! - [`fit`] — single-parameter generation with cross-validated selection.
+//! - [`multiparam`] — the CLUSTER'16 multi-parameter algorithm.
+//! - [`collective`] — symbolic `Allreduce(p)`-style communication models.
+//! - [`baseline`] — the Carrington et al. simple-regression baseline.
+//! - [`quality`] — SMAPE/R², relative errors, the Figure-3 histogram.
+//! - [`describe`] — paper-style English growth statements.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod collective;
+pub mod csv;
+pub mod describe;
+pub mod fit;
+pub mod hypothesis;
+pub mod linalg;
+pub mod measurement;
+pub mod multiparam;
+pub mod pmnf;
+pub mod quality;
+pub mod stability;
+
+pub use fit::{fit_single, FitConfig, FitError, FittedModel};
+pub use measurement::{Aggregation, Experiment, Measurement};
+pub use multiparam::{fit_multi, MultiParamConfig};
+pub use pmnf::{Exponents, Model, Term};

@@ -1,0 +1,396 @@
+//! Small dense linear algebra for least-squares fitting.
+//!
+//! The model generator solves many tiny least-squares problems (tens of rows,
+//! at most a handful of columns), so we implement a compact column-major
+//! matrix and a Householder-QR least-squares solver rather than pulling in a
+//! full linear-algebra dependency. Columns are scaled to unit infinity-norm
+//! before factorization because PMNF basis values span many orders of
+//! magnitude (`n^3` vs `log2(n)`).
+
+// Matrix code reads clearest with explicit row/column index loops.
+#![allow(clippy::needless_range_loop)]
+
+use serde::{Deserialize, Serialize};
+
+/// Column-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: element (r, c) lives at `data[c * rows + r]`.
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major slice of slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns column `c` as a slice.
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Returns column `c` as a mutable slice.
+    pub fn col_mut(&mut self, c: usize) -> &mut [f64] {
+        &mut self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Computes `self * x` for a vector `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for c in 0..self.cols {
+            let col = self.col(c);
+            let xc = x[c];
+            for r in 0..self.rows {
+                y[r] += col[r] * xc;
+            }
+        }
+        y
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+/// Error returned when a least-squares system cannot be solved reliably.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The design matrix is (numerically) rank deficient.
+    RankDeficient {
+        /// Index of the first column whose pivot collapsed.
+        column: usize,
+    },
+    /// Dimensions of the inputs do not match.
+    DimensionMismatch,
+    /// A non-finite value (NaN/∞) appeared in the inputs.
+    NonFinite,
+}
+
+impl core::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinalgError::RankDeficient { column } => {
+                write!(f, "design matrix is rank deficient at column {column}")
+            }
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+            LinalgError::NonFinite => write!(f, "non-finite value in input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Relative pivot threshold below which a column is declared dependent.
+const RANK_TOL: f64 = 1e-10;
+
+/// Solves `min ‖A·x − b‖₂` by Householder QR with column scaling.
+///
+/// Returns the coefficient vector `x` (length `A.cols()`).
+///
+/// Columns of `A` are first scaled to unit infinity norm, which makes the
+/// rank test meaningful when basis functions differ by many orders of
+/// magnitude; the returned coefficients are expressed for the *original*
+/// (unscaled) columns.
+///
+/// # Errors
+/// - [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()` or the
+///   system is underdetermined (`rows < cols`).
+/// - [`LinalgError::NonFinite`] if any input entry is not finite.
+/// - [`LinalgError::RankDeficient`] if two basis columns are linearly
+///   dependent on the sampled points.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    if b.len() != m || m < n || n == 0 {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if a.data.iter().any(|v| !v.is_finite()) || b.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+
+    // Column scaling: A' = A * D, solve A'y = b, x = D y.
+    let mut work = a.clone();
+    let mut scale = vec![1.0_f64; n];
+    for c in 0..n {
+        let mx = work.col(c).iter().fold(0.0_f64, |acc, v| acc.max(v.abs()));
+        if mx > 0.0 {
+            scale[c] = 1.0 / mx;
+            for v in work.col_mut(c) {
+                *v *= scale[c];
+            }
+        }
+    }
+    let mut rhs = b.to_vec();
+
+    // Householder QR, applying reflectors to rhs as we go. The reflector
+    // vector is copied out of the matrix before use so the updates cannot
+    // corrupt it.
+    let mut v = vec![0.0_f64; m];
+    for k in 0..n {
+        // Build reflector for column k, rows k..m.
+        let mut norm = 0.0_f64;
+        for r in k..m {
+            norm += work[(r, k)] * work[(r, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < RANK_TOL {
+            return Err(LinalgError::RankDeficient { column: k });
+        }
+        let alpha = if work[(k, k)] >= 0.0 { -norm } else { norm };
+        // v = x − alpha·e1, copied into a scratch buffer.
+        v[k] = work[(k, k)] - alpha;
+        if v[k] == 0.0 {
+            // Column already triangular; a null reflector would divide by 0.
+            v[k] = f64::MIN_POSITIVE;
+        }
+        let mut vnorm2 = v[k] * v[k];
+        for r in k + 1..m {
+            v[r] = work[(r, k)];
+            vnorm2 += v[r] * v[r];
+        }
+        // Apply H = I − 2 v vᵀ / ‖v‖² to the remaining columns and rhs.
+        for c in k..n {
+            let mut dot = 0.0;
+            for r in k..m {
+                dot += v[r] * work[(r, c)];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for r in k..m {
+                work[(r, c)] -= f * v[r];
+            }
+        }
+        {
+            let mut dot = 0.0;
+            for r in k..m {
+                dot += v[r] * rhs[r];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for r in k..m {
+                rhs[r] -= f * v[r];
+            }
+        }
+        // Enforce exact triangularity for the back substitution.
+        work[(k, k)] = alpha;
+        for r in k + 1..m {
+            work[(r, k)] = 0.0;
+        }
+    }
+
+    // Back substitution on the upper-triangular R (first n rows).
+    let mut x = vec![0.0_f64; n];
+    for k in (0..n).rev() {
+        let mut s = rhs[k];
+        for c in k + 1..n {
+            s -= work[(k, c)] * x[c];
+        }
+        let d = work[(k, k)];
+        if d.abs() < RANK_TOL {
+            return Err(LinalgError::RankDeficient { column: k });
+        }
+        x[k] = s / d;
+    }
+
+    // Undo column scaling.
+    for (xi, s) in x.iter_mut().zip(&scale) {
+        *xi *= *s;
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+    Ok(x)
+}
+
+/// Residual sum of squares `‖A·x − b‖₂²`.
+pub fn rss(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    a.mul_vec(x)
+        .iter()
+        .zip(b)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())),
+            "{a} != {b}"
+        );
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut m = Matrix::zeros(3, 2);
+        m[(2, 1)] = 7.5;
+        m[(0, 0)] = -1.0;
+        assert_eq!(m[(2, 1)], 7.5);
+        assert_eq!(m[(0, 0)], -1.0);
+        assert_eq!(m[(1, 1)], 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(2, 0)], 5.0);
+        assert_eq!(m.col(0), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn mul_vec_simple() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let x = lstsq(&a, &[6.0, 8.0]).unwrap();
+        assert_close(x[0], 3.0, 1e-12);
+        assert_close(x[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_line_fit() {
+        // y = 2 + 3x sampled exactly at 5 points.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut a = Matrix::zeros(5, 2);
+        let mut b = vec![0.0; 5];
+        for (i, &x) in xs.iter().enumerate() {
+            a[(i, 0)] = 1.0;
+            a[(i, 1)] = x;
+            b[i] = 2.0 + 3.0 * x;
+        }
+        let c = lstsq(&a, &b).unwrap();
+        assert_close(c[0], 2.0, 1e-10);
+        assert_close(c[1], 3.0, 1e-10);
+        assert!(rss(&a, &c, &b) < 1e-18);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Noisy data: solution must beat small perturbations of itself.
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+            &[1.0, 4.0],
+        ]);
+        let b = [1.1, 1.9, 3.2, 3.9];
+        let x = lstsq(&a, &b).unwrap();
+        let base = rss(&a, &x, &b);
+        for d0 in [-1e-3, 1e-3] {
+            for d1 in [-1e-3, 1e-3] {
+                let pert = [x[0] + d0, x[1] + d1];
+                assert!(rss(&a, &pert, &b) >= base - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn wildly_scaled_columns() {
+        // Columns differing by 15 orders of magnitude still solve cleanly.
+        let xs = [2.0_f64, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let mut a = Matrix::zeros(6, 2);
+        let mut b = vec![0.0; 6];
+        for (i, &x) in xs.iter().enumerate() {
+            a[(i, 0)] = x.log2(); // ~1..6
+            a[(i, 1)] = x.powi(3) * 1e12; // huge
+            b[i] = 5.0 * x.log2() + 2e-12 * (x.powi(3) * 1e12);
+        }
+        let c = lstsq(&a, &b).unwrap();
+        assert_close(c[0], 5.0, 1e-8);
+        assert_close(c[1], 2e-12, 1e-8);
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        // Second column is 2x the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let err = lstsq(&a, &[1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::RankDeficient { .. }));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        assert_eq!(
+            lstsq(&a, &[1.0]).unwrap_err(),
+            LinalgError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0], &[f64::NAN]]);
+        assert_eq!(lstsq(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::NonFinite);
+    }
+
+    #[test]
+    fn zero_column_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[3.0, 0.0]]);
+        assert!(matches!(
+            lstsq(&a, &[1.0, 2.0, 3.0]),
+            Err(LinalgError::RankDeficient { column: 1 })
+        ));
+    }
+
+    #[test]
+    fn rhs_length_mismatch_rejected() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert_eq!(
+            lstsq(&a, &[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::DimensionMismatch
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Measurement containers used as input to model generation.
+//!
+//! An [`Experiment`] holds observations of one metric at several coordinates
+//! in the parameter space (e.g. `(p, n)` grids). The paper's rule of thumb
+//! (Section II-C) asks for at least five values per parameter — 25 runs for
+//! the two-parameter studies; [`Experiment::is_adequate`] checks this.
+
+use serde::{Deserialize, Serialize};
+
+/// Minimum number of distinct values per parameter recommended by the paper.
+pub const MIN_POINTS_PER_PARAM: usize = 5;
+
+/// One observation: coordinates in parameter space and the measured value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Parameter coordinates, aligned with [`Experiment::params`].
+    pub coords: Vec<f64>,
+    /// Observed metric value.
+    pub value: f64,
+}
+
+/// A set of measurements of a single metric over a parameter space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Parameter names, defining coordinate order (e.g. `["p", "n"]`).
+    pub params: Vec<String>,
+    /// Observations; repetitions (same coordinates) are allowed.
+    pub points: Vec<Measurement>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment over the given parameters.
+    pub fn new<S: Into<String>>(params: Vec<S>) -> Self {
+        Experiment {
+            params: params.into_iter().map(Into::into).collect(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` differs from the parameter count.
+    pub fn push(&mut self, coords: &[f64], value: f64) {
+        assert_eq!(coords.len(), self.params.len(), "coordinate arity");
+        self.points.push(Measurement {
+            coords: coords.to_vec(),
+            value,
+        });
+    }
+
+    /// Builds an experiment by evaluating `f` over the cross product of the
+    /// per-parameter coordinate lists (the synthetic-workload helper used in
+    /// tests and ablations).
+    pub fn from_fn<S: Into<String>>(
+        params: Vec<S>,
+        axes: &[&[f64]],
+        mut f: impl FnMut(&[f64]) -> f64,
+    ) -> Self {
+        let mut exp = Experiment::new(params);
+        assert_eq!(exp.arity(), axes.len(), "one axis per parameter");
+        let mut idx = vec![0usize; axes.len()];
+        'outer: loop {
+            let coords: Vec<f64> = idx.iter().zip(axes).map(|(&i, ax)| ax[i]).collect();
+            let v = f(&coords);
+            exp.push(&coords, v);
+            // Odometer increment.
+            for k in (0..axes.len()).rev() {
+                idx[k] += 1;
+                if idx[k] < axes[k].len() {
+                    continue 'outer;
+                }
+                idx[k] = 0;
+                if k == 0 {
+                    break 'outer;
+                }
+            }
+            if axes.is_empty() {
+                break;
+            }
+        }
+        exp
+    }
+
+    /// Distinct sorted values observed for parameter `param`.
+    pub fn axis_values(&self, param: usize) -> Vec<f64> {
+        let mut vals: Vec<f64> = self.points.iter().map(|m| m.coords[param]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        vals
+    }
+
+    /// True if every parameter has at least [`MIN_POINTS_PER_PARAM`] distinct
+    /// values — the paper's minimum experiment design.
+    pub fn is_adequate(&self) -> bool {
+        (0..self.arity()).all(|k| self.axis_values(k).len() >= MIN_POINTS_PER_PARAM)
+    }
+
+    /// Restricts to the subset where every parameter except `param` sits at
+    /// its minimum observed value, and projects to a single-parameter
+    /// experiment. This is how the multi-parameter algorithm obtains its
+    /// per-parameter model candidates.
+    pub fn slice_for_param(&self, param: usize) -> Experiment {
+        let mins: Vec<f64> = (0..self.arity())
+            .map(|k| {
+                self.axis_values(k)
+                    .first()
+                    .copied()
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        let mut out = Experiment::new(vec![self.params[param].clone()]);
+        for m in &self.points {
+            let on_slice = m
+                .coords
+                .iter()
+                .enumerate()
+                .all(|(k, &v)| k == param || v == mins[k]);
+            if on_slice {
+                out.push(&[m.coords[param]], m.value);
+            }
+        }
+        out
+    }
+
+    /// Merges repeated observations at identical coordinates using the given
+    /// aggregator (mean for deterministic counters; median recommended by the
+    /// paper for locality samples).
+    pub fn aggregated(&self, how: Aggregation) -> Experiment {
+        let mut groups: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+        for m in &self.points {
+            match groups.iter_mut().find(|(c, _)| c == &m.coords) {
+                Some((_, vals)) => vals.push(m.value),
+                None => groups.push((m.coords.clone(), vec![m.value])),
+            }
+        }
+        let mut out = Experiment::new(self.params.clone());
+        for (coords, mut vals) in groups {
+            let v = match how {
+                Aggregation::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+                Aggregation::Median => {
+                    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let mid = vals.len() / 2;
+                    if vals.len() % 2 == 1 {
+                        vals[mid]
+                    } else {
+                        0.5 * (vals[mid - 1] + vals[mid])
+                    }
+                }
+            };
+            out.push(&coords, v);
+        }
+        out
+    }
+
+    /// Applies multiplicative noise `value · (1 + ε)`, ε uniform in
+    /// `[-level, level]`, using a caller-supplied uniform sampler. Used by
+    /// the robustness ablation (A2).
+    pub fn with_noise(&self, level: f64, mut uniform: impl FnMut() -> f64) -> Experiment {
+        let mut out = self.clone();
+        for m in &mut out.points {
+            let eps = (uniform() * 2.0 - 1.0) * level;
+            m.value *= 1.0 + eps;
+        }
+        out
+    }
+}
+
+/// How to merge repeated observations at the same coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Arithmetic mean.
+    Mean,
+    /// Median — the paper's choice for locality samples (Section II-B),
+    /// robust against the outliers of loop-boundary accesses.
+    Median,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_builds_full_grid() {
+        let exp = Experiment::from_fn(
+            vec!["p", "n"],
+            &[&[2.0, 4.0], &[10.0, 20.0, 30.0]],
+            |c| c[0] * c[1],
+        );
+        assert_eq!(exp.points.len(), 6);
+        assert_eq!(exp.axis_values(0), vec![2.0, 4.0]);
+        assert_eq!(exp.axis_values(1), vec![10.0, 20.0, 30.0]);
+        assert!(exp
+            .points
+            .iter()
+            .all(|m| (m.value - m.coords[0] * m.coords[1]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn adequacy_requires_five_values_per_axis() {
+        let small = Experiment::from_fn(vec!["p"], &[&[1.0, 2.0, 3.0, 4.0]], |c| c[0]);
+        assert!(!small.is_adequate());
+        let ok = Experiment::from_fn(vec!["p"], &[&[1.0, 2.0, 3.0, 4.0, 5.0]], |c| c[0]);
+        assert!(ok.is_adequate());
+    }
+
+    #[test]
+    fn slice_holds_other_params_at_min() {
+        let exp = Experiment::from_fn(
+            vec!["p", "n"],
+            &[&[2.0, 4.0, 8.0], &[1.0, 2.0]],
+            |c| c[0] * 100.0 + c[1],
+        );
+        let sp = exp.slice_for_param(0);
+        assert_eq!(sp.params, vec!["p".to_string()]);
+        assert_eq!(sp.points.len(), 3); // n fixed at 1.0
+        assert!(sp
+            .points
+            .iter()
+            .all(|m| (m.value - (m.coords[0] * 100.0 + 1.0)).abs() < 1e-12));
+        let sn = exp.slice_for_param(1);
+        assert_eq!(sn.points.len(), 2); // p fixed at 2.0
+    }
+
+    #[test]
+    fn aggregation_mean_and_median() {
+        let mut exp = Experiment::new(vec!["p"]);
+        exp.push(&[2.0], 1.0);
+        exp.push(&[2.0], 3.0);
+        exp.push(&[2.0], 100.0); // outlier
+        exp.push(&[4.0], 5.0);
+        let mean = exp.aggregated(Aggregation::Mean);
+        let median = exp.aggregated(Aggregation::Median);
+        let at2 = |e: &Experiment| {
+            e.points
+                .iter()
+                .find(|m| m.coords[0] == 2.0)
+                .unwrap()
+                .value
+        };
+        assert!((at2(&mean) - 104.0 / 3.0).abs() < 1e-12);
+        assert_eq!(at2(&median), 3.0); // robust to the outlier
+        assert_eq!(mean.points.len(), 2);
+    }
+
+    #[test]
+    fn median_of_even_count() {
+        let mut exp = Experiment::new(vec!["p"]);
+        exp.push(&[2.0], 1.0);
+        exp.push(&[2.0], 3.0);
+        let med = exp.aggregated(Aggregation::Median);
+        assert_eq!(med.points[0].value, 2.0);
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let exp = Experiment::from_fn(vec!["p"], &[&[1.0, 2.0, 3.0]], |c| 100.0 * c[0]);
+        // Deterministic "uniform" sampler cycling through fixed values.
+        let seq = [0.0, 0.5, 1.0];
+        let mut i = 0;
+        let noisy = exp.with_noise(0.1, || {
+            let v = seq[i % 3];
+            i += 1;
+            v
+        });
+        for (orig, n) in exp.points.iter().zip(&noisy.points) {
+            let rel = (n.value - orig.value).abs() / orig.value;
+            assert!(rel <= 0.1 + 1e-12, "rel {rel}");
+        }
+        // ε for sampler value 0.0 is −level.
+        assert!((noisy.points[0].value - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate arity")]
+    fn push_checks_arity() {
+        let mut exp = Experiment::new(vec!["p", "n"]);
+        exp.push(&[1.0], 2.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let exp = Experiment::from_fn(vec!["p"], &[&[1.0, 2.0]], |c| c[0]);
+        let s = serde_json::to_string(&exp).unwrap();
+        let back: Experiment = serde_json::from_str(&s).unwrap();
+        assert_eq!(exp, back);
+    }
+}

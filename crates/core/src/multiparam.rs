@@ -1,0 +1,493 @@
+//! Multi-parameter model generation (the CLUSTER'16 "fast multi-parameter
+//! modeling" algorithm, Eq. 2 of the paper).
+//!
+//! The algorithm first models each parameter in isolation on axis-aligned
+//! slices of the measurement grid (other parameters held at their smallest
+//! value), keeps the best `k` single-parameter hypotheses per parameter, and
+//! then searches over *compound* hypotheses that combine the per-parameter
+//! candidate factors additively and multiplicatively, e.g. for `f(p, n)`:
+//!
+//! ```text
+//! c₀ + c₁·g(n)·h(p)              (multiplicative)
+//! c₀ + c₁·g(n) + c₂·h(p)        (additive)
+//! c₀ + c₁·g(n)·h(p) + c₂·g(n)  (mixed)
+//! ```
+//!
+//! Coefficients are refitted on the full grid and the winner is selected by
+//! leave-one-out cross-validation, exactly as in the single-parameter case.
+
+use crate::fit::{rank_single, FitConfig, FitError, FittedModel};
+use crate::linalg::{lstsq, Matrix};
+use crate::measurement::{Aggregation, Experiment};
+use crate::pmnf::{Exponents, Model, Term};
+use crate::quality::{adjusted_r_squared, r_squared, smape};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for multi-parameter model generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiParamConfig {
+    /// Single-parameter fitting configuration used on the axis slices.
+    pub single: FitConfig,
+    /// How many single-parameter hypotheses to keep per parameter.
+    pub k_candidates: usize,
+    /// Maximum number of compound terms in the final model.
+    pub max_compound_terms: usize,
+}
+
+impl Default for MultiParamConfig {
+    fn default() -> Self {
+        MultiParamConfig {
+            single: FitConfig::default(),
+            k_candidates: 3,
+            max_compound_terms: 3,
+        }
+    }
+}
+
+impl MultiParamConfig {
+    /// Coarse variant for fast tests.
+    pub fn coarse() -> Self {
+        MultiParamConfig {
+            single: FitConfig::coarse(),
+            k_candidates: 2,
+            max_compound_terms: 3,
+        }
+    }
+}
+
+/// A compound candidate term: one optional factor per parameter.
+#[derive(Debug, Clone, PartialEq)]
+struct CompoundTerm {
+    /// One factor per parameter (constant factor = parameter absent).
+    factors: Vec<Exponents>,
+    /// Candidate rank: 0 if every factor came from the best single-parameter
+    /// model of its axis, otherwise the worst (largest) factor rank used.
+    rank: usize,
+}
+
+impl CompoundTerm {
+    fn basis(&self, coords: &[f64]) -> f64 {
+        self.factors
+            .iter()
+            .zip(coords)
+            .map(|(f, &x)| f.eval(x))
+            .product()
+    }
+}
+
+/// Builds the candidate compound-term pool from per-parameter factor lists.
+///
+/// For every non-empty subset `S` of parameters and every choice of one
+/// candidate factor per parameter in `S`, the pool contains the product term
+/// `Π_{l∈S} f_l(x_l)`.
+fn build_term_pool(per_param: &[Vec<(Exponents, usize)>]) -> Vec<CompoundTerm> {
+    let m = per_param.len();
+    let mut pool: Vec<CompoundTerm> = Vec::new();
+    // Iterate over subsets via bitmask (m is small: 2 or 3 in practice).
+    for mask in 1u32..(1 << m) {
+        // Cartesian product over chosen parameters.
+        let chosen: Vec<usize> = (0..m).filter(|&l| mask & (1 << l) != 0).collect();
+        let mut idx = vec![0usize; chosen.len()];
+        loop {
+            let mut factors = vec![Exponents::constant(); m];
+            let mut rank = 0usize;
+            for (pos, &l) in chosen.iter().enumerate() {
+                let (f, r) = per_param[l][idx[pos]];
+                factors[l] = f;
+                rank = rank.max(r);
+            }
+            let t = CompoundTerm { factors, rank };
+            if !pool.iter().any(|x| x.factors == t.factors) {
+                pool.push(t);
+            }
+            // Odometer.
+            let mut done = true;
+            for pos in (0..chosen.len()).rev() {
+                idx[pos] += 1;
+                if idx[pos] < per_param[chosen[pos]].len() {
+                    done = false;
+                    break;
+                }
+                idx[pos] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+    pool
+}
+
+/// Enumerates subsets of `pool` indices of size 1..=max_size.
+fn enumerate_subsets(pool_len: usize, max_size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    fn rec(start: usize, pool_len: usize, max: usize, stack: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if !stack.is_empty() {
+            out.push(stack.clone());
+        }
+        if stack.len() == max {
+            return;
+        }
+        for i in start..pool_len {
+            stack.push(i);
+            rec(i + 1, pool_len, max, stack, out);
+            stack.pop();
+        }
+    }
+    rec(0, pool_len, max_size, &mut stack, &mut out);
+    out
+}
+
+#[derive(Clone)]
+struct ScoredMulti {
+    terms: Vec<CompoundTerm>,
+    coeffs: Vec<f64>,
+    cv_smape: f64,
+    in_smape: f64,
+}
+
+fn growth_key_multi(terms: &[CompoundTerm]) -> f64 {
+    terms
+        .iter()
+        .flat_map(|t| t.factors.iter())
+        .map(|f| f.poly + 0.01 * f.log)
+        .sum::<f64>()
+        + terms.len() as f64 * 1e-3
+}
+
+/// Total order mirroring `fit::cmp_scored`: raw CV SMAPE, then fewer
+/// terms, then slower growth.
+fn better_multi(a: &ScoredMulti, b: &ScoredMulti) -> bool {
+    a.cv_smape
+        .partial_cmp(&b.cv_smape)
+        .expect("scores are finite")
+        .then_with(|| a.terms.len().cmp(&b.terms.len()))
+        .then_with(|| {
+            growth_key_multi(&a.terms)
+                .partial_cmp(&growth_key_multi(&b.terms))
+                .expect("growth keys are finite")
+        })
+        == std::cmp::Ordering::Less
+}
+
+fn score_multi(
+    coords: &[Vec<f64>],
+    ys: &[f64],
+    terms: &[CompoundTerm],
+    nonneg: bool,
+) -> Option<ScoredMulti> {
+    let n = ys.len();
+    let k = terms.len() + 1;
+    if n < k + 1 {
+        return None;
+    }
+    let mut a = Matrix::zeros(n, k);
+    for r in 0..n {
+        a[(r, 0)] = 1.0;
+        for (c, t) in terms.iter().enumerate() {
+            a[(r, c + 1)] = t.basis(&coords[r]);
+        }
+    }
+    let coeffs = lstsq(&a, ys).ok()?;
+    if nonneg && coeffs[1..].iter().any(|&c| c < 0.0) {
+        return None;
+    }
+    let pred = a.mul_vec(&coeffs);
+    let in_smape = smape(&pred, ys);
+
+    let mut cv_pred = vec![0.0; n];
+    for i in 0..n {
+        let mut sa = Matrix::zeros(n - 1, k);
+        let mut sy = Vec::with_capacity(n - 1);
+        let mut rr = 0;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            for c in 0..k {
+                sa[(rr, c)] = a[(j, c)];
+            }
+            sy.push(ys[j]);
+            rr += 1;
+        }
+        let c = lstsq(&sa, &sy).ok()?;
+        cv_pred[i] = (0..k).map(|col| a[(i, col)] * c[col]).sum();
+    }
+    let cv_smape = smape(&cv_pred, ys);
+    if !cv_smape.is_finite() || !in_smape.is_finite() {
+        return None;
+    }
+    Some(ScoredMulti {
+        terms: terms.to_vec(),
+        coeffs,
+        cv_smape,
+        in_smape,
+    })
+}
+
+/// Fits a multi-parameter PMNF model to an experiment over ≥2 parameters.
+///
+/// Falls back to [`rank_single`]-based fitting for one-parameter
+/// experiments, so callers can use it uniformly.
+///
+/// # Errors
+/// Returns [`FitError`] if any axis slice has too few points or no compound
+/// hypothesis fits.
+pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel, FitError> {
+    let m = exp.arity();
+    if m == 1 {
+        return crate::fit::fit_single(exp, &cfg.single);
+    }
+    let agg = exp.aggregated(Aggregation::Mean);
+
+    // Step 1: per-parameter candidate factors from axis slices, tagged
+    // with the rank of the slice model they came from — factors of the
+    // best model are rank 0, the runner-up's rank 1, and so on.
+    let mut per_param: Vec<Vec<(Exponents, usize)>> = Vec::with_capacity(m);
+    for l in 0..m {
+        let slice = agg.slice_for_param(l);
+        let ranked = rank_single(&slice, &cfg.single, cfg.k_candidates)?;
+        let mut factors: Vec<(Exponents, usize)> = Vec::new();
+        for (rank, fm) in ranked.iter().enumerate() {
+            for t in &fm.model.terms {
+                let f = t.factors[0];
+                if !f.is_constant() && !factors.iter().any(|(x, _)| *x == f) {
+                    factors.push((f, rank));
+                }
+            }
+        }
+        if factors.is_empty() {
+            // Parameter looks constant on its slice; still offer the mildest
+            // growth candidates so interactions can be discovered, plus keep
+            // "absent" as the default (subset enumeration handles absence).
+            factors.push((Exponents::new(1.0, 0.0), 1));
+            factors.push((Exponents::new(0.0, 1.0), 1));
+        }
+        factors.truncate((cfg.k_candidates + 1).max(1));
+        per_param.push(factors);
+    }
+
+    // Step 2: compound-term pool and hypothesis enumeration.
+    let pool = build_term_pool(&per_param);
+    let subsets = enumerate_subsets(pool.len(), cfg.max_compound_terms);
+
+    let coords: Vec<Vec<f64>> = agg.points.iter().map(|p| p.coords.clone()).collect();
+    let ys: Vec<f64> = agg.points.iter().map(|p| p.value).collect();
+    if ys.len() < 4 {
+        return Err(FitError::NotEnoughPoints {
+            needed: 4,
+            got: ys.len(),
+        });
+    }
+
+    // Constant hypothesis as baseline.
+    let floor = cfg.single.noise_floor_smape;
+    let constant = score_multi(&coords, &ys, &[], cfg.single.nonneg_coeffs);
+
+    let scored: Vec<ScoredMulti> = subsets
+        .par_iter()
+        .filter_map(|idxs| {
+            let terms: Vec<CompoundTerm> = idxs.iter().map(|&i| pool[i].clone()).collect();
+            score_multi(&coords, &ys, &terms, cfg.single.nonneg_coeffs)
+        })
+        .collect();
+
+    // Hierarchical selection: hypotheses built purely from each axis's best
+    // slice model (rank 0) form the incumbent; hypotheses that reach for
+    // runner-up candidates may only displace it when they improve the
+    // cross-validated error *significantly* (the paper's "no significant
+    // improvement" rule). This prevents near-collinear impostor exponents
+    // from winning on sub-resolution residue.
+    let hyp_rank = |s: &ScoredMulti| s.terms.iter().map(|t| t.rank).max().unwrap_or(0);
+    let max_rank = scored.iter().map(&hyp_rank).max().unwrap_or(0);
+    let mut best: Option<ScoredMulti> = constant;
+    for wave in 0..=max_rank {
+        let wave_best = scored
+            .iter()
+            .filter(|s| hyp_rank(s) == wave)
+            .fold(None::<&ScoredMulti>, |acc, s| match acc {
+                Some(b) if !better_multi(s, b) => Some(b),
+                _ => Some(s),
+            });
+        let Some(wb) = wave_best else { continue };
+        let replace = match &best {
+            None => true,
+            Some(inc) => {
+                if wave == 0 || hyp_rank(inc) == wave {
+                    better_multi(wb, inc)
+                } else {
+                    inc.cv_smape > floor
+                        && wb.cv_smape
+                            < inc.cv_smape * (1.0 - cfg.single.improvement_threshold)
+                }
+            }
+        };
+        if replace {
+            best = Some(wb.clone());
+        }
+    }
+    let best = best.ok_or(FitError::NoViableHypothesis)?;
+
+    // Drop terms whose largest contribution over the measured points is
+    // below the numerical round-off floor (degenerate coefficients like
+    // 1e-16 that least squares leaves on redundant basis columns).
+    let y_scale = ys.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+    let terms: Vec<Term> = best
+        .terms
+        .iter()
+        .zip(&best.coeffs[1..])
+        .filter(|(t, &c)| {
+            let max_basis = coords
+                .iter()
+                .map(|cd| t.basis(cd))
+                .fold(0.0f64, f64::max);
+            c.abs() * max_basis >= 1e-8 * y_scale
+        })
+        .map(|(t, &c)| Term::new(c, t.factors.clone()))
+        .collect();
+    let constant = crate::fit::prune_tiny_constant(best.coeffs[0], &ys);
+    let model = Model::new(constant, terms, exp.params.clone());
+    let pred: Vec<f64> = coords.iter().map(|c| model.eval(c)).collect();
+    Ok(FittedModel {
+        r2: r_squared(&pred, &ys),
+        adj_r2: adjusted_r_squared(&pred, &ys, best.coeffs.len()),
+        smape: best.in_smape,
+        cv_smape: best.cv_smape,
+        model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P_AXIS: &[f64] = &[2.0, 4.0, 8.0, 16.0, 32.0];
+    const N_AXIS: &[f64] = &[64.0, 128.0, 256.0, 512.0, 1024.0];
+
+    fn grid(f: impl FnMut(&[f64]) -> f64) -> Experiment {
+        Experiment::from_fn(vec!["p", "n"], &[P_AXIS, N_AXIS], f)
+    }
+
+    fn lead_exponents(m: &Model) -> (Exponents, Exponents) {
+        (m.dominant_exponents(0), m.dominant_exponents(1))
+    }
+
+    #[test]
+    fn term_pool_for_two_params() {
+        let per = vec![
+            vec![(Exponents::new(1.0, 0.0), 0), (Exponents::new(0.0, 1.0), 1)],
+            vec![(Exponents::new(1.0, 1.0), 0)],
+        ];
+        let pool = build_term_pool(&per);
+        // {p}, {log p}, {n log n}, {p·n log n}, {log p·n log n} = 5
+        assert_eq!(pool.len(), 5);
+        // Ranks: terms touching the runner-up p-candidate are rank 1.
+        let rank_of = |poly: f64, log: f64| {
+            pool.iter()
+                .find(|t| t.factors[0] == Exponents::new(poly, log))
+                .map(|t| t.rank)
+        };
+        assert_eq!(rank_of(1.0, 0.0), Some(0));
+        assert_eq!(rank_of(0.0, 1.0), Some(1));
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let subs = enumerate_subsets(4, 2);
+        // C(4,1) + C(4,2) = 4 + 6
+        assert_eq!(subs.len(), 10);
+        assert!(subs.iter().all(|s| !s.is_empty() && s.len() <= 2));
+    }
+
+    #[test]
+    fn recovers_multiplicative_model() {
+        // LULESH-like: f = 7·n·log2(n)·log2(p)
+        let e = grid(|c| 7.0 * c[1] * c[1].log2() * c[0].log2());
+        let m = fit_multi(&e, &MultiParamConfig::coarse()).unwrap();
+        let (fp, fn_) = lead_exponents(&m.model);
+        assert_eq!(fp, Exponents::new(0.0, 1.0), "{}", m.model);
+        assert_eq!(fn_, Exponents::new(1.0, 1.0), "{}", m.model);
+        assert!(m.model.has_multiplicative_interaction());
+        assert!(m.cv_smape < 0.5, "cv {}", m.cv_smape);
+    }
+
+    #[test]
+    fn recovers_additive_model() {
+        // Relearn loads/stores-like: 1e6·n·log n + 1e5·p·log p
+        let e = grid(|c| 1e6 * c[1] * c[1].log2() + 1e5 * c[0] * c[0].log2());
+        let m = fit_multi(&e, &MultiParamConfig::coarse()).unwrap();
+        assert!(!m.model.has_multiplicative_interaction(), "{}", m.model);
+        let (fp, fn_) = lead_exponents(&m.model);
+        assert_eq!(fp, Exponents::new(1.0, 1.0), "{}", m.model);
+        assert_eq!(fn_, Exponents::new(1.0, 1.0), "{}", m.model);
+    }
+
+    #[test]
+    fn recovers_mixed_model() {
+        // MILC-FLOP-like: 1e4·n + 1e2·n·log2(p)
+        let e = grid(|c| 1e4 * c[1] + 1e2 * c[1] * c[0].log2());
+        let m = fit_multi(&e, &MultiParamConfig::coarse()).unwrap();
+        assert!(m.model.has_multiplicative_interaction(), "{}", m.model);
+        // n appears linearly in every term.
+        assert_eq!(m.model.dominant_exponents(1), Exponents::new(1.0, 0.0));
+        assert!(m.cv_smape < 0.5);
+    }
+
+    #[test]
+    fn recovers_single_parameter_dependence() {
+        // Only n matters.
+        let e = grid(|c| 3.0 * c[1].powf(2.0));
+        let m = fit_multi(&e, &MultiParamConfig::coarse()).unwrap();
+        assert!(!m.model.depends_on(0), "{}", m.model);
+        assert_eq!(m.model.dominant_exponents(1), Exponents::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn recovers_constant_surface() {
+        let e = grid(|_| 123.0);
+        let m = fit_multi(&e, &MultiParamConfig::coarse()).unwrap();
+        assert!(m.model.terms.is_empty(), "{}", m.model);
+        assert!((m.model.constant - 123.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_param_falls_back_to_single() {
+        let e = Experiment::from_fn(vec!["p"], &[P_AXIS], |c| 5.0 * c[0]);
+        let m = fit_multi(&e, &MultiParamConfig::coarse()).unwrap();
+        assert_eq!(m.model.dominant_exponents(0), Exponents::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn fractional_interaction_on_paper_space() {
+        // icoFoam-FLOP-like: n^1.5 · p^0.5 (coefficients scaled down to keep
+        // the test cheap on the full paper space).
+        let cfg = MultiParamConfig {
+            single: FitConfig::default(),
+            k_candidates: 2,
+            max_compound_terms: 2,
+        };
+        let e = grid(|c| 10.0 * c[1].powf(1.5) * c[0].powf(0.5));
+        let m = fit_multi(&e, &cfg).unwrap();
+        let (fp, fn_) = lead_exponents(&m.model);
+        assert_eq!(fp, Exponents::new(0.5, 0.0), "{}", m.model);
+        assert_eq!(fn_, Exponents::new(1.5, 0.0), "{}", m.model);
+    }
+
+    #[test]
+    fn predicts_beyond_measured_range() {
+        // The whole point: extrapolation to exascale-like coordinates.
+        let e = grid(|c| 2.0 * c[1] * c[0].log2());
+        let m = fit_multi(&e, &MultiParamConfig::coarse()).unwrap();
+        let p: f64 = 1e8;
+        let n = 1e6;
+        let truth = 2.0 * n * p.log2();
+        let pred = m.model.eval(&[p, n]);
+        assert!(
+            (pred - truth).abs() / truth < 0.01,
+            "pred {pred} vs {truth} ({})",
+            m.model
+        );
+    }
+}

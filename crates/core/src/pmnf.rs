@@ -1,0 +1,529 @@
+//! Performance model normal form (PMNF).
+//!
+//! Models follow Eq. 1/2 of the paper:
+//!
+//! ```text
+//! f(x)        = c₀ + Σ_k c_k · x^{i_k} · log2^{j_k}(x)
+//! f(x₁..x_m)  = c₀ + Σ_k c_k · Π_l x_l^{i_kl} · log2^{j_kl}(x_l)
+//! ```
+//!
+//! Parameter values are assumed to be ≥ 1 (process counts, problem sizes);
+//! evaluation clamps to 1 so that `log2` never goes negative.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Exponent pair `(i, j)` of a PMNF factor `x^i · log2(x)^j`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponents {
+    /// Polynomial exponent `i`.
+    pub poly: f64,
+    /// Logarithm exponent `j` (exponent of `log2(x)`).
+    pub log: f64,
+}
+
+impl Exponents {
+    /// Creates an exponent pair.
+    pub fn new(poly: f64, log: f64) -> Self {
+        Exponents { poly, log }
+    }
+
+    /// The identity factor `x^0 · log^0 = 1`.
+    pub fn constant() -> Self {
+        Exponents::new(0.0, 0.0)
+    }
+
+    /// True if this factor is identically 1.
+    pub fn is_constant(&self) -> bool {
+        self.poly == 0.0 && self.log == 0.0
+    }
+
+    /// Evaluates `x^i · log2(x)^j` with `x` clamped to ≥ 1.
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = x.max(1.0);
+        let mut v = 1.0;
+        if self.poly != 0.0 {
+            v *= x.powf(self.poly);
+        }
+        if self.log != 0.0 {
+            v *= x.log2().powf(self.log);
+        }
+        v
+    }
+
+    /// Asymptotic-growth ordering: compares `(poly, log)` lexicographically,
+    /// which matches `lim x→∞` dominance for PMNF factors.
+    pub fn growth_cmp(&self, other: &Exponents) -> std::cmp::Ordering {
+        self.poly
+            .partial_cmp(&other.poly)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                self.log
+                    .partial_cmp(&other.log)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    }
+
+    /// Renders the factor for a parameter named `name`, or `None` if constant.
+    pub fn render(&self, name: &str) -> Option<String> {
+        if self.is_constant() {
+            return None;
+        }
+        let mut parts = Vec::new();
+        if self.poly != 0.0 {
+            if self.poly == 1.0 {
+                parts.push(name.to_string());
+            } else {
+                parts.push(format!("{}^{}", name, trim_float(self.poly)));
+            }
+        }
+        if self.log != 0.0 {
+            if self.log == 1.0 {
+                parts.push(format!("log2({name})"));
+            } else {
+                parts.push(format!("log2({})^{}", name, trim_float(self.log)));
+            }
+        }
+        Some(parts.join("·"))
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+/// One compound PMNF term: `coeff · Π_l factor_l(x_l)`.
+///
+/// `factors` has one entry per model parameter, aligned with
+/// [`Model::params`]; constant factors (exponents 0,0) mean the parameter
+/// does not appear in the term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Term {
+    /// Multiplicative coefficient `c_k`.
+    pub coeff: f64,
+    /// Per-parameter factors, one per model parameter.
+    pub factors: Vec<Exponents>,
+}
+
+impl Term {
+    /// Creates a term with the given coefficient and per-parameter factors.
+    pub fn new(coeff: f64, factors: Vec<Exponents>) -> Self {
+        Term { coeff, factors }
+    }
+
+    /// Evaluates the term's basis `Π_l factor_l(x_l)` (without the coefficient).
+    pub fn basis(&self, coords: &[f64]) -> f64 {
+        debug_assert_eq!(coords.len(), self.factors.len());
+        self.factors
+            .iter()
+            .zip(coords)
+            .map(|(f, &x)| f.eval(x))
+            .product()
+    }
+
+    /// Evaluates the full term `coeff · basis`.
+    pub fn eval(&self, coords: &[f64]) -> f64 {
+        self.coeff * self.basis(coords)
+    }
+
+    /// True if no parameter appears (the term is a constant).
+    pub fn is_constant(&self) -> bool {
+        self.factors.iter().all(Exponents::is_constant)
+    }
+}
+
+/// A PMNF model: `constant + Σ terms`, over named parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Constant offset `c₀`.
+    pub constant: f64,
+    /// Compound terms, each aligned with `params`.
+    pub terms: Vec<Term>,
+    /// Parameter names (e.g. `["p", "n"]`), defining coordinate order.
+    pub params: Vec<String>,
+}
+
+impl Model {
+    /// Creates a constant model `f(..) = c`.
+    pub fn constant(c: f64, params: Vec<String>) -> Self {
+        Model {
+            constant: c,
+            terms: Vec::new(),
+            params,
+        }
+    }
+
+    /// Creates a model from parts, checking factor arity.
+    ///
+    /// # Panics
+    /// Panics if any term's factor count differs from the parameter count.
+    pub fn new(constant: f64, terms: Vec<Term>, params: Vec<String>) -> Self {
+        for t in &terms {
+            assert_eq!(
+                t.factors.len(),
+                params.len(),
+                "term arity must match parameter count"
+            );
+        }
+        Model {
+            constant,
+            terms,
+            params,
+        }
+    }
+
+    /// Number of model parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Evaluates the model at the given coordinates (one per parameter).
+    ///
+    /// # Panics
+    /// Panics (debug) if `coords.len() != self.arity()`.
+    pub fn eval(&self, coords: &[f64]) -> f64 {
+        debug_assert_eq!(coords.len(), self.params.len());
+        self.constant + self.terms.iter().map(|t| t.eval(coords)).sum::<f64>()
+    }
+
+    /// Ratio `f(new) / f(old)` — the paper's relative-requirement workflow
+    /// (Table IV step V) evaluates models at two system configurations and
+    /// compares.
+    pub fn ratio(&self, old: &[f64], new: &[f64]) -> f64 {
+        let o = self.eval(old);
+        let n = self.eval(new);
+        if o == 0.0 {
+            if n == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            n / o
+        }
+    }
+
+    /// Index of a parameter by name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p == name)
+    }
+
+    /// The fastest-growing exponents in parameter `param` across all terms
+    /// (the "terms with the largest impact" that Table II reports).
+    pub fn dominant_exponents(&self, param: usize) -> Exponents {
+        self.terms
+            .iter()
+            .map(|t| t.factors[param])
+            .max_by(|a, b| a.growth_cmp(b))
+            .unwrap_or_else(Exponents::constant)
+    }
+
+    /// The term that dominates asymptotically when all parameters grow
+    /// together, with ties broken by coefficient magnitude.
+    pub fn dominant_term(&self) -> Option<&Term> {
+        self.terms.iter().max_by(|a, b| {
+            let ga: f64 = a.factors.iter().map(|f| f.poly + 0.001 * f.log).sum();
+            let gb: f64 = b.factors.iter().map(|f| f.poly + 0.001 * f.log).sum();
+            ga.partial_cmp(&gb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.coeff
+                        .abs()
+                        .partial_cmp(&b.coeff.abs())
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        })
+    }
+
+    /// True if the model depends on parameter `param` at all.
+    pub fn depends_on(&self, param: usize) -> bool {
+        self.terms
+            .iter()
+            .any(|t| !t.factors[param].is_constant())
+    }
+
+    /// True if some term multiplies two different parameters together — the
+    /// "multiplicative effect" the paper flags (e.g. Kripke loads/stores
+    /// `n·p`, LULESH FLOP `n log n · p^0.25 log p`).
+    pub fn has_multiplicative_interaction(&self) -> bool {
+        self.terms.iter().any(|t| {
+            t.factors
+                .iter()
+                .filter(|f| !f.is_constant())
+                .count()
+                >= 2
+        })
+    }
+
+    /// Sums several models over the same parameters into one (constants add,
+    /// term lists concatenate; identical factor sets are merged). Used to
+    /// assemble a total-communication model from per-collective-class fits,
+    /// the way Table II stacks an application's comm rows.
+    ///
+    /// # Panics
+    /// Panics if the models disagree on their parameter lists, or `models`
+    /// is empty.
+    pub fn sum(models: &[&Model]) -> Model {
+        let first = models.first().expect("at least one model");
+        let mut out = Model {
+            constant: 0.0,
+            terms: Vec::new(),
+            params: first.params.clone(),
+        };
+        for m in models {
+            assert_eq!(m.params, out.params, "parameter mismatch in Model::sum");
+            out.constant += m.constant;
+            for t in &m.terms {
+                match out.terms.iter_mut().find(|x| x.factors == t.factors) {
+                    Some(existing) => existing.coeff += t.coeff,
+                    None => out.terms.push(t.clone()),
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a copy whose coefficients are rounded to the nearest power of
+    /// ten — the presentation rule of Table II ("rounded to the nearest power
+    /// of ten").
+    pub fn rounded_to_power_of_ten(&self) -> Model {
+        let mut m = self.clone();
+        m.constant = round_pow10(m.constant);
+        for t in &mut m.terms {
+            t.coeff = round_pow10(t.coeff);
+        }
+        m
+    }
+}
+
+/// Rounds a value to the nearest power of ten, preserving sign; zero stays zero.
+pub fn round_pow10(v: f64) -> f64 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let sign = v.signum();
+    let exp = v.abs().log10().round();
+    sign * 10f64.powf(exp)
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.constant != 0.0 || self.terms.is_empty() {
+            parts.push(format_coeff(self.constant));
+        }
+        for t in &self.terms {
+            let factors: Vec<String> = t
+                .factors
+                .iter()
+                .zip(&self.params)
+                .filter_map(|(e, name)| e.render(name))
+                .collect();
+            if factors.is_empty() {
+                parts.push(format_coeff(t.coeff));
+            } else {
+                parts.push(format!("{}·{}", format_coeff(t.coeff), factors.join("·")));
+            }
+        }
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+fn format_coeff(c: f64) -> String {
+    if c == 0.0 {
+        return "0".to_string();
+    }
+    let a = c.abs();
+    if (0.01..10000.0).contains(&a) {
+        trim_float(c)
+    } else {
+        format!("{c:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_param_model() -> Model {
+        // f(p, n) = 5 + 2·n·log2(p)
+        Model::new(
+            5.0,
+            vec![Term::new(
+                2.0,
+                vec![Exponents::new(0.0, 1.0), Exponents::new(1.0, 0.0)],
+            )],
+            vec!["p".into(), "n".into()],
+        )
+    }
+
+    #[test]
+    fn exponent_eval_basic() {
+        let e = Exponents::new(2.0, 0.0);
+        assert_eq!(e.eval(3.0), 9.0);
+        let e = Exponents::new(0.0, 1.0);
+        assert_eq!(e.eval(8.0), 3.0);
+        let e = Exponents::new(1.0, 1.0);
+        assert_eq!(e.eval(4.0), 8.0);
+    }
+
+    #[test]
+    fn exponent_eval_clamps_below_one() {
+        let e = Exponents::new(0.5, 1.5);
+        assert_eq!(e.eval(0.25), e.eval(1.0));
+        assert_eq!(e.eval(1.0), 0.0); // log2(1) = 0 with positive exponent
+    }
+
+    #[test]
+    fn constant_factor_is_one() {
+        assert_eq!(Exponents::constant().eval(1234.5), 1.0);
+        assert!(Exponents::constant().is_constant());
+    }
+
+    #[test]
+    fn growth_ordering() {
+        use std::cmp::Ordering::*;
+        let n1 = Exponents::new(1.0, 0.0);
+        let n1log = Exponents::new(1.0, 1.0);
+        let n2 = Exponents::new(2.0, 0.0);
+        let log2 = Exponents::new(0.0, 2.0);
+        assert_eq!(n1.growth_cmp(&n1log), Less);
+        assert_eq!(n2.growth_cmp(&n1log), Greater);
+        assert_eq!(log2.growth_cmp(&n1), Less);
+        assert_eq!(n1.growth_cmp(&n1), Equal);
+    }
+
+    #[test]
+    fn model_eval_two_params() {
+        let m = two_param_model();
+        // p = 8, n = 10 → 5 + 2·10·3 = 65
+        assert_eq!(m.eval(&[8.0, 10.0]), 65.0);
+    }
+
+    #[test]
+    fn model_ratio_matches_direct_eval() {
+        let m = two_param_model();
+        let r = m.ratio(&[8.0, 10.0], &[16.0, 10.0]);
+        assert!((r - m.eval(&[16.0, 10.0]) / 65.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ratio_of_zero_base() {
+        let m = Model::constant(0.0, vec!["p".into()]);
+        assert_eq!(m.ratio(&[1.0], &[2.0]), 1.0);
+    }
+
+    #[test]
+    fn dominant_exponents_picks_fastest_growth() {
+        let m = Model::new(
+            0.0,
+            vec![
+                Term::new(1e8, vec![Exponents::new(1.0, 0.0)]),
+                Term::new(1e2, vec![Exponents::new(1.5, 0.0)]),
+            ],
+            vec!["n".into()],
+        );
+        assert_eq!(m.dominant_exponents(0), Exponents::new(1.5, 0.0));
+    }
+
+    #[test]
+    fn multiplicative_interaction_detection() {
+        assert!(two_param_model().has_multiplicative_interaction());
+        let additive = Model::new(
+            0.0,
+            vec![
+                Term::new(1.0, vec![Exponents::new(1.0, 0.0), Exponents::constant()]),
+                Term::new(1.0, vec![Exponents::constant(), Exponents::new(1.0, 0.0)]),
+            ],
+            vec!["p".into(), "n".into()],
+        );
+        assert!(!additive.has_multiplicative_interaction());
+    }
+
+    #[test]
+    fn round_pow10_cases() {
+        assert_eq!(round_pow10(0.0), 0.0);
+        assert_eq!(round_pow10(97000.0), 1e5);
+        assert_eq!(round_pow10(120000.0), 1e5);
+        assert_eq!(round_pow10(4.0e7), 1e8); // log10(4e7) ≈ 7.6 rounds to 8
+        assert_eq!(round_pow10(2.9e7), 1e7);
+        assert_eq!(round_pow10(-3000.0), -1e3); // log10(3000)≈3.48
+        assert_eq!(round_pow10(0.004), 0.01_f64.powf(1.0) * 1.0); // 1e-2? log10=−2.4 → −2
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let m = two_param_model();
+        let s = m.to_string();
+        assert!(s.contains("log2(p)"), "{s}");
+        assert!(s.contains('n'), "{s}");
+        assert!(s.starts_with('5'), "{s}");
+    }
+
+    #[test]
+    fn display_constant_model() {
+        let m = Model::constant(42.0, vec!["p".into()]);
+        assert_eq!(m.to_string(), "42");
+    }
+
+    #[test]
+    fn display_fractional_exponents() {
+        let m = Model::new(
+            0.0,
+            vec![Term::new(1e8, vec![Exponents::new(0.25, 1.0)])],
+            vec!["p".into()],
+        );
+        let s = m.to_string();
+        assert!(s.contains("p^0.25"), "{s}");
+        assert!(s.contains("log2(p)"), "{s}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = two_param_model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Model = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn sum_merges_and_concatenates() {
+        let a = Model::new(
+            1.0,
+            vec![Term::new(2.0, vec![Exponents::new(1.0, 0.0)])],
+            vec!["p".into()],
+        );
+        let b = Model::new(
+            3.0,
+            vec![
+                Term::new(5.0, vec![Exponents::new(1.0, 0.0)]),
+                Term::new(7.0, vec![Exponents::new(0.0, 1.0)]),
+            ],
+            vec!["p".into()],
+        );
+        let s = Model::sum(&[&a, &b]);
+        assert_eq!(s.constant, 4.0);
+        assert_eq!(s.terms.len(), 2);
+        assert_eq!(s.eval(&[8.0]), a.eval(&[8.0]) + b.eval(&[8.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter mismatch")]
+    fn sum_requires_same_params() {
+        let a = Model::constant(1.0, vec!["p".into()]);
+        let b = Model::constant(1.0, vec!["n".into()]);
+        let _ = Model::sum(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Model::new(
+            0.0,
+            vec![Term::new(1.0, vec![Exponents::constant()])],
+            vec!["p".into(), "n".into()],
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! Model-quality statistics: SMAPE, R², relative errors and the Figure-3
+//! error histogram.
+
+use crate::measurement::Experiment;
+use crate::pmnf::Model;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric mean absolute percentage error (in percent, range 0..200).
+///
+/// Extra-P's selection criterion for competing hypotheses; symmetric so
+/// over- and under-prediction are penalized alike.
+pub fn smape(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| {
+            let denom = p.abs() + a.abs();
+            if denom == 0.0 {
+                0.0
+            } else {
+                2.0 * (p - a).abs() / denom
+            }
+        })
+        .sum();
+    100.0 * s / pred.len() as f64
+}
+
+/// Coefficient of determination R² of predictions against observations.
+pub fn r_squared(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    let n = actual.len() as f64;
+    if actual.is_empty() {
+        return 1.0;
+    }
+    let mean = actual.iter().sum::<f64>() / n;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Adjusted R² penalizing model size (`k` fitted coefficients incl. the
+/// constant).
+pub fn adjusted_r_squared(pred: &[f64], actual: &[f64], k: usize) -> f64 {
+    let n = actual.len();
+    if n <= k + 1 {
+        return f64::NEG_INFINITY;
+    }
+    let r2 = r_squared(pred, actual);
+    1.0 - (1.0 - r2) * ((n - 1) as f64 / (n - k - 1) as f64)
+}
+
+/// Relative error `|pred − actual| / |actual|` per point (∞ when actual = 0
+/// and pred ≠ 0).
+pub fn relative_errors(pred: &[f64], actual: &[f64]) -> Vec<f64> {
+    pred.iter()
+        .zip(actual)
+        .map(|(&p, &a)| {
+            if a == 0.0 {
+                if p == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (p - a).abs() / a.abs()
+            }
+        })
+        .collect()
+}
+
+/// Evaluates a fitted model against an experiment and returns the per-point
+/// relative errors.
+pub fn model_relative_errors(model: &Model, exp: &Experiment) -> Vec<f64> {
+    let pred: Vec<f64> = exp.points.iter().map(|m| model.eval(&m.coords)).collect();
+    let actual: Vec<f64> = exp.points.iter().map(|m| m.value).collect();
+    relative_errors(&pred, &actual)
+}
+
+/// The Figure-3 histogram: measurements classified by percentile relative
+/// error of the model that explains them.
+///
+/// Buckets match the paper's figure: `<5%`, `5–10%`, `10–15%`, `15–20%`,
+/// `≥20%`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorHistogram {
+    /// Counts per bucket, in the order listed above.
+    pub buckets: [usize; 5],
+}
+
+impl ErrorHistogram {
+    /// Bucket labels aligned with [`ErrorHistogram::buckets`].
+    pub const LABELS: [&'static str; 5] = ["<5%", "5-10%", "10-15%", "15-20%", ">=20%"];
+
+    /// Adds one relative error (fraction, e.g. 0.03 for 3%).
+    pub fn add(&mut self, rel_err: f64) {
+        let pct = rel_err * 100.0;
+        let idx = if pct < 5.0 {
+            0
+        } else if pct < 10.0 {
+            1
+        } else if pct < 15.0 {
+            2
+        } else if pct < 20.0 {
+            3
+        } else {
+            4
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Adds every error of a slice.
+    pub fn extend(&mut self, errs: &[f64]) {
+        for &e in errs {
+            self.add(e);
+        }
+    }
+
+    /// Total number of classified measurements.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of measurements in each bucket (empty histogram → zeros).
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 5];
+        }
+        let mut out = [0.0; 5];
+        for (o, &b) in out.iter_mut().zip(&self.buckets) {
+            *o = b as f64 / t as f64;
+        }
+        out
+    }
+
+    /// Fraction of measurements with relative error below 5% — the paper
+    /// reports 88% for its study.
+    pub fn frac_below_5pct(&self) -> f64 {
+        self.fractions()[0]
+    }
+
+    /// Renders an ASCII bar chart resembling Figure 3.
+    pub fn render(&self) -> String {
+        let fr = self.fractions();
+        let mut s = String::new();
+        for (label, f) in Self::LABELS.iter().zip(fr) {
+            let bar = "#".repeat((f * 50.0).round() as usize);
+            s.push_str(&format!("{label:>7} | {bar} {:.1}%\n", f * 100.0));
+        }
+        s
+    }
+}
+
+/// Renders an ASCII scatter of measurements (`×`) against the model curve
+/// (`·`) along one parameter, holding the others at the experiment's
+/// maximum — a quick visual fit check for terminals and reports.
+///
+/// Both axes are log-scaled; `width`/`height` bound the plot area.
+pub fn render_fit_plot(
+    model: &Model,
+    exp: &Experiment,
+    param: usize,
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.clamp(16, 160);
+    let height = height.clamp(6, 48);
+    // Fix the other coordinates at their maxima; collect the points on
+    // that slice.
+    let maxes: Vec<f64> = (0..exp.arity())
+        .map(|k| {
+            exp.axis_values(k)
+                .last()
+                .copied()
+                .unwrap_or(1.0)
+        })
+        .collect();
+    let pts: Vec<(f64, f64)> = exp
+        .points
+        .iter()
+        .filter(|m| {
+            m.coords
+                .iter()
+                .enumerate()
+                .all(|(k, &v)| k == param || v == maxes[k])
+        })
+        .map(|m| (m.coords[param], m.value))
+        .collect();
+    if pts.is_empty() {
+        return "(no points on the plotting slice)\n".to_string();
+    }
+    let (x_lo, x_hi) = pts
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = 0.0f64;
+    for &(_, y) in &pts {
+        y_lo = y_lo.min(y.max(1e-300));
+        y_hi = y_hi.max(y);
+    }
+    // Include the model curve's range.
+    for col in 0..width {
+        let x = log_interp(x_lo, x_hi, col as f64 / (width - 1) as f64);
+        let mut coords = maxes.clone();
+        coords[param] = x;
+        let y = model.eval(&coords).max(1e-300);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if y_hi <= y_lo {
+        y_hi = y_lo * 10.0;
+    }
+
+    let col_of = |x: f64| {
+        (((x.max(1e-300).ln() - x_lo.ln()) / (x_hi.ln() - x_lo.ln()).max(1e-300))
+            * (width - 1) as f64)
+            .round()
+            .clamp(0.0, (width - 1) as f64) as usize
+    };
+    let row_of = |y: f64| {
+        let t = (y.max(1e-300).ln() - y_lo.ln()) / (y_hi.ln() - y_lo.ln()).max(1e-300);
+        ((1.0 - t) * (height - 1) as f64)
+            .round()
+            .clamp(0.0, (height - 1) as f64) as usize
+    };
+
+    let mut canvas = vec![vec![' '; width]; height];
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..width {
+        let x = log_interp(x_lo, x_hi, col as f64 / (width - 1) as f64);
+        let mut coords = maxes.clone();
+        coords[param] = x;
+        canvas[row_of(model.eval(&coords))][col] = '·';
+    }
+    for &(x, y) in &pts {
+        canvas[row_of(y)][col_of(x)] = '×';
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10.3e} ┐  (× measured, · model; {} vs value, log-log)\n",
+        y_hi, exp.params[param]
+    ));
+    for row in canvas {
+        out.push_str("           │");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10.3e} └{}\n            {:<10.3e}{:>w$.3e}\n",
+        y_lo,
+        "─".repeat(width),
+        x_lo,
+        x_hi,
+        w = width - 10
+    ));
+    out
+}
+
+fn log_interp(lo: f64, hi: f64, t: f64) -> f64 {
+    (lo.ln() + (hi.ln() - lo.ln()) * t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smape_zero_for_exact() {
+        assert_eq!(smape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn smape_symmetric() {
+        let a = smape(&[2.0], &[1.0]);
+        let b = smape(&[1.0], &[2.0]);
+        assert_eq!(a, b);
+        assert!((a - 100.0 * 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smape_handles_double_zero() {
+        assert_eq!(smape(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn smape_empty_is_zero() {
+        assert_eq!(smape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn r2_perfect_fit() {
+        assert_eq!(r_squared(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn r2_mean_model_is_zero() {
+        let actual = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&pred, &actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjusted_r2_penalizes_terms() {
+        let actual = [1.0, 2.1, 2.9, 4.2, 5.0, 6.1];
+        let pred = [1.1, 2.0, 3.0, 4.0, 5.1, 6.0];
+        let a1 = adjusted_r_squared(&pred, &actual, 1);
+        let a3 = adjusted_r_squared(&pred, &actual, 3);
+        assert!(a1 > a3);
+    }
+
+    #[test]
+    fn adjusted_r2_degenerate_sample_count() {
+        assert_eq!(
+            adjusted_r_squared(&[1.0, 2.0], &[1.0, 2.0], 2),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        let e = relative_errors(&[11.0, 0.0, 5.0], &[10.0, 0.0, 0.0]);
+        assert!((e[0] - 0.1).abs() < 1e-12);
+        assert_eq!(e[1], 0.0);
+        assert_eq!(e[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = ErrorHistogram::default();
+        h.extend(&[0.0, 0.049, 0.05, 0.099, 0.10, 0.149, 0.15, 0.199, 0.2, 5.0]);
+        assert_eq!(h.buckets, [2, 2, 2, 2, 2]);
+        assert_eq!(h.total(), 10);
+        assert!((h.frac_below_5pct() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_render_contains_labels() {
+        let mut h = ErrorHistogram::default();
+        h.add(0.01);
+        let s = h.render();
+        assert!(s.contains("<5%"));
+        assert!(s.contains("100.0%"));
+    }
+
+    #[test]
+    fn empty_histogram_fractions() {
+        let h = ErrorHistogram::default();
+        assert_eq!(h.fractions(), [0.0; 5]);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn fit_plot_renders_points_and_curve() {
+        use crate::pmnf::{Exponents, Term};
+        let exp = Experiment::from_fn(vec!["p"], &[&[2.0, 8.0, 32.0, 128.0]], |c| 3.0 * c[0]);
+        let model = Model::new(
+            0.0,
+            vec![Term::new(3.0, vec![Exponents::new(1.0, 0.0)])],
+            vec!["p".into()],
+        );
+        let s = render_fit_plot(&model, &exp, 0, 40, 10);
+        assert!(s.contains('×'), "{s}");
+        assert!(s.contains('·'), "{s}");
+        assert!(s.contains("log-log"), "{s}");
+        // Bounds are shown.
+        assert!(s.contains("└"), "{s}");
+    }
+
+    #[test]
+    fn fit_plot_two_params_slices_at_max() {
+        use crate::pmnf::{Exponents, Term};
+        let exp = Experiment::from_fn(
+            vec!["p", "n"],
+            &[&[2.0, 8.0], &[16.0, 64.0]],
+            |c| c[0] * c[1],
+        );
+        let model = Model::new(
+            0.0,
+            vec![Term::new(
+                1.0,
+                vec![Exponents::new(1.0, 0.0), Exponents::new(1.0, 0.0)],
+            )],
+            vec!["p".into(), "n".into()],
+        );
+        // Plot along p: slice fixes n at its max (64) → 2 points (plus the
+        // legend's own × in the header line).
+        let s = render_fit_plot(&model, &exp, 0, 30, 8);
+        let body = s.split_once('\n').unwrap().1;
+        assert_eq!(body.matches('×').count(), 2, "{s}");
+    }
+
+    #[test]
+    fn fit_plot_empty_slice() {
+        let model = Model::constant(1.0, vec!["p".into()]);
+        let exp = Experiment::new(vec!["p"]);
+        let s = render_fit_plot(&model, &exp, 0, 30, 8);
+        assert!(s.contains("no points"), "{s}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Bootstrap stability of fitted models.
+//!
+//! The paper leans on "highly reproducible hardware and software counters"
+//! to justify one run per configuration; when a user instead brings noisy
+//! repeated measurements, the natural question is *how much to trust the
+//! selected exponents*. This module answers it by case resampling: refit
+//! on bootstrap resamples of the repetitions and report how often the
+//! dominant exponents of the original fit are re-selected, plus the spread
+//! of an extrapolated prediction.
+
+use crate::fit::{fit_single, FitConfig};
+use crate::measurement::Experiment;
+use crate::pmnf::Exponents;
+use serde::{Deserialize, Serialize};
+
+/// Result of a bootstrap stability analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stability {
+    /// Dominant exponents of the fit on the full data.
+    pub lead: Exponents,
+    /// Fraction of bootstrap resamples whose refit picked the same
+    /// dominant exponents (1.0 = fully stable).
+    pub exponent_agreement: f64,
+    /// Number of resamples that produced a fit at all.
+    pub successful_resamples: usize,
+    /// Relative half-spread of the extrapolated prediction at the probe
+    /// point: `(p90 − p10) / (2·median)` over resamples.
+    pub prediction_spread: f64,
+}
+
+/// Runs a case-resampling bootstrap over the experiment's observations.
+///
+/// `resamples` fits are performed on datasets drawn with replacement
+/// (grouped by coordinate so every configuration keeps at least one
+/// observation); `probe_x` is where extrapolation spread is evaluated.
+/// `uniform` supplies randomness in `[0, 1)` (pass a seeded RNG closure
+/// for reproducibility).
+///
+/// Returns `None` if the original fit fails.
+pub fn bootstrap_stability(
+    exp: &Experiment,
+    cfg: &FitConfig,
+    resamples: usize,
+    probe_x: f64,
+    mut uniform: impl FnMut() -> f64,
+) -> Option<Stability> {
+    let base = fit_single(exp, cfg).ok()?;
+    let lead = base.model.dominant_exponents(0);
+
+    // Group observation indices by coordinate.
+    let mut groups: Vec<(Vec<f64>, Vec<usize>)> = Vec::new();
+    for (i, m) in exp.points.iter().enumerate() {
+        match groups.iter_mut().find(|(c, _)| c == &m.coords) {
+            Some((_, idx)) => idx.push(i),
+            None => groups.push((m.coords.clone(), vec![i])),
+        }
+    }
+
+    let mut agree = 0usize;
+    let mut ok = 0usize;
+    let mut predictions: Vec<f64> = Vec::new();
+    for _ in 0..resamples {
+        let mut re = Experiment::new(exp.params.clone());
+        for (_, idx) in &groups {
+            // Draw |idx| observations with replacement from this config.
+            for _ in 0..idx.len() {
+                let pick = idx[(uniform() * idx.len() as f64) as usize % idx.len()];
+                let m = &exp.points[pick];
+                re.push(&m.coords, m.value);
+            }
+        }
+        let Ok(fit) = fit_single(&re, cfg) else {
+            continue;
+        };
+        ok += 1;
+        if fit.model.dominant_exponents(0) == lead {
+            agree += 1;
+        }
+        predictions.push(fit.model.eval(&[probe_x]));
+    }
+    if ok == 0 {
+        return Some(Stability {
+            lead,
+            exponent_agreement: 0.0,
+            successful_resamples: 0,
+            prediction_spread: f64::INFINITY,
+        });
+    }
+    predictions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |t: f64| predictions[((predictions.len() - 1) as f64 * t) as usize];
+    let med = q(0.5).abs().max(1e-300);
+    Some(Stability {
+        lead,
+        exponent_agreement: agree as f64 / ok as f64,
+        successful_resamples: ok,
+        prediction_spread: (q(0.9) - q(0.1)).abs() / (2.0 * med),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic LCG so tests need no external RNG.
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn noisy_experiment(level: f64, seed: u64) -> Experiment {
+        let mut rng = lcg(seed);
+        let mut exp = Experiment::new(vec!["x"]);
+        for &x in &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            for _rep in 0..5 {
+                let eps = (rng() * 2.0 - 1.0) * level;
+                exp.push(&[x], 100.0 * x * (1.0 + eps));
+            }
+        }
+        exp
+    }
+
+    #[test]
+    fn exact_data_is_fully_stable() {
+        let exp = noisy_experiment(0.0, 1);
+        let s = bootstrap_stability(&exp, &FitConfig::coarse(), 30, 1e6, lcg(2)).unwrap();
+        assert_eq!(s.lead, Exponents::new(1.0, 0.0));
+        assert_eq!(s.exponent_agreement, 1.0);
+        assert_eq!(s.successful_resamples, 30);
+        assert!(s.prediction_spread < 1e-9, "{}", s.prediction_spread);
+    }
+
+    #[test]
+    fn mild_noise_keeps_high_agreement() {
+        // Consistent with ablation A2: exponent identification is fragile —
+        // already at ±2% noise the dense grid's neighbors become
+        // exchangeable. At ±0.2% the selection stays solid, and that is
+        // exactly the trust signal bootstrap_stability exists to expose.
+        let exp = noisy_experiment(0.002, 3);
+        let s = bootstrap_stability(&exp, &FitConfig::coarse(), 40, 1e6, lcg(4)).unwrap();
+        assert!(
+            s.exponent_agreement >= 0.8,
+            "agreement {}",
+            s.exponent_agreement
+        );
+        assert!(s.prediction_spread < 0.5, "{}", s.prediction_spread);
+        // And the degradation is visible one decade of noise later.
+        let noisy = noisy_experiment(0.05, 3);
+        let sn = bootstrap_stability(&noisy, &FitConfig::coarse(), 40, 1e6, lcg(4)).unwrap();
+        assert!(sn.exponent_agreement <= s.exponent_agreement);
+    }
+
+    #[test]
+    fn heavy_noise_lowers_confidence_signal() {
+        // Not asserting low agreement (the grid may stay lucky) — assert the
+        // *spread* reflects the noise: heavier noise ⇒ wider predictions.
+        let mild = bootstrap_stability(
+            &noisy_experiment(0.01, 5),
+            &FitConfig::coarse(),
+            40,
+            1e6,
+            lcg(6),
+        )
+        .unwrap();
+        let heavy = bootstrap_stability(
+            &noisy_experiment(0.20, 5),
+            &FitConfig::coarse(),
+            40,
+            1e6,
+            lcg(6),
+        )
+        .unwrap();
+        assert!(
+            heavy.prediction_spread > mild.prediction_spread,
+            "mild {} vs heavy {}",
+            mild.prediction_spread,
+            heavy.prediction_spread
+        );
+    }
+
+    #[test]
+    fn resampling_preserves_config_counts() {
+        // Indirect check: stability runs successfully on minimal data where
+        // losing a whole configuration would make fitting impossible.
+        let mut exp = Experiment::new(vec!["x"]);
+        for &x in &[2.0, 4.0, 8.0] {
+            exp.push(&[x], 7.0 * x);
+        }
+        let s = bootstrap_stability(&exp, &FitConfig::coarse(), 20, 100.0, lcg(7)).unwrap();
+        assert_eq!(s.successful_resamples, 20);
+    }
+}

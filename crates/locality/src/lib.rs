@@ -1,0 +1,32 @@
+//! # exareq-locality — memory-locality analysis
+//!
+//! The Threadspotter substitute of the reproduction: exact reuse- and
+//! stack-distance computation over memory access traces, burst sampling,
+//! instruction-group attribution, the ≥100-sample filter and median
+//! aggregation — the full locality methodology of Section II-B of the
+//! paper, implemented from the published semantics.
+//!
+//! ```
+//! use exareq_locality::{BurstSampler, BurstSchedule};
+//!
+//! let mut sampler = BurstSampler::new(BurstSchedule::always());
+//! let group = sampler.register_group("array A in sweep loop");
+//! for pass in 0..3 {
+//!     for addr in 0..8u64 {
+//!         sampler.access(group, addr);
+//!     }
+//!     let _ = pass;
+//! }
+//! // Cyclic reuse over 8 addresses → steady-state stack distance 7.
+//! assert_eq!(sampler.groups()[group].median_stack(), Some(7.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod mrc;
+pub mod sampler;
+
+pub use distance::{AccessDistances, DistanceAnalyzer, NaiveAnalyzer};
+pub use mrc::{miss_ratio_curve, MissRatioCurve};
+pub use sampler::{BurstSampler, BurstSchedule, GroupId, GroupSamples, MIN_SAMPLES};

@@ -1,0 +1,163 @@
+//! Miss-ratio curves from stack-distance distributions.
+//!
+//! Section II-D's cache narrative — "as long as the problem size is small
+//! enough that all matrices fit in the cache, performance will remain at a
+//! constant high … eventually all accesses to B will be cache misses" — is
+//! the classic stack-distance argument: under LRU, an access misses a
+//! fully-associative cache of capacity `C` lines exactly when its stack
+//! distance is ≥ `C`. This module turns collected samples into that curve,
+//! letting the co-designer read off, per cache size, which instruction
+//! groups fall out first.
+
+use crate::sampler::GroupSamples;
+use serde::{Deserialize, Serialize};
+
+/// A miss-ratio curve: for each capacity, the fraction of (sampled, warm)
+/// accesses that would miss an LRU cache of that capacity. Cold
+/// (first-touch) accesses can be included as compulsory misses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    /// Evaluated capacities (in distinct-line units), ascending.
+    pub capacities: Vec<u64>,
+    /// Miss ratio at each capacity, in `[0, 1]`.
+    pub miss_ratios: Vec<f64>,
+}
+
+impl MissRatioCurve {
+    /// Miss ratio at an arbitrary capacity (step interpolation; capacities
+    /// outside the evaluated range clamp to the ends).
+    pub fn at(&self, capacity: u64) -> f64 {
+        if self.capacities.is_empty() {
+            return 0.0;
+        }
+        match self.capacities.binary_search(&capacity) {
+            Ok(i) => self.miss_ratios[i],
+            Err(0) => self.miss_ratios[0],
+            Err(i) => self.miss_ratios[i - 1],
+        }
+    }
+
+    /// The smallest evaluated capacity whose miss ratio drops to or below
+    /// `target` — "how much cache does this loop need".
+    pub fn capacity_for(&self, target: f64) -> Option<u64> {
+        self.capacities
+            .iter()
+            .zip(&self.miss_ratios)
+            .find(|(_, &m)| m <= target)
+            .map(|(&c, _)| c)
+    }
+}
+
+/// Computes the miss-ratio curve of one instruction group at the given
+/// capacities (sorted ascending internally).
+///
+/// `include_cold` counts first-touch accesses as compulsory misses at
+/// every capacity (the usual convention); warm accesses miss when their
+/// stack distance ≥ capacity.
+pub fn miss_ratio_curve(
+    group: &GroupSamples,
+    capacities: &[u64],
+    include_cold: bool,
+) -> MissRatioCurve {
+    let mut caps: Vec<u64> = capacities.to_vec();
+    caps.sort_unstable();
+    caps.dedup();
+
+    // Sort distances once; misses at capacity C = #(sd ≥ C) via binary
+    // search.
+    let mut sd = group.stack.clone();
+    sd.sort_unstable();
+    let warm = sd.len() as f64;
+    let cold = if include_cold { group.cold as f64 } else { 0.0 };
+    let total = warm + cold;
+
+    let ratios = caps
+        .iter()
+        .map(|&c| {
+            if total == 0.0 {
+                return 0.0;
+            }
+            let first_hit = sd.partition_point(|&d| d < c);
+            let warm_misses = warm - first_hit as f64;
+            (warm_misses + cold) / total
+        })
+        .collect();
+    MissRatioCurve {
+        capacities: caps,
+        miss_ratios: ratios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{BurstSampler, BurstSchedule};
+
+    fn cyclic_group(window: u64, passes: usize) -> GroupSamples {
+        let mut s = BurstSampler::new(BurstSchedule::always());
+        let g = s.register_group("cyclic");
+        for _ in 0..passes {
+            for i in 0..window {
+                s.access(g, i);
+            }
+        }
+        s.groups()[g].clone()
+    }
+
+    #[test]
+    fn cyclic_pattern_has_a_cliff() {
+        // Cyclic reuse over 64 addresses: SD of every warm access is 63.
+        // Caches of ≥ 64 lines hit everything; smaller ones miss everything
+        // — the LRU pathology.
+        let g = cyclic_group(64, 4);
+        let curve = miss_ratio_curve(&g, &[16, 32, 63, 64, 128], false);
+        assert_eq!(curve.at(16), 1.0);
+        assert_eq!(curve.at(63), 1.0);
+        assert_eq!(curve.at(64), 0.0);
+        assert_eq!(curve.at(128), 0.0);
+        assert_eq!(curve.capacity_for(0.05), Some(64));
+    }
+
+    #[test]
+    fn cold_misses_are_compulsory() {
+        let g = cyclic_group(64, 4);
+        // 64 cold + 192 warm accesses; with cold included, even an infinite
+        // cache misses 64/256 = 25%.
+        let curve = miss_ratio_curve(&g, &[1024], true);
+        assert!((curve.at(1024) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_distances_step_down() {
+        let g = GroupSamples {
+            name: "mixed".into(),
+            stack: vec![2, 2, 2, 50, 50, 1000],
+            reuse: vec![],
+            accesses: 6,
+            cold: 0,
+        };
+        let curve = miss_ratio_curve(&g, &[1, 3, 51, 1001], false);
+        assert_eq!(curve.at(1), 1.0); // everything misses a 1-line cache
+        assert!((curve.at(3) - 0.5).abs() < 1e-12); // the three 2s now hit
+        assert!((curve.at(51) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(curve.at(1001), 0.0);
+        // Step interpolation clamps.
+        assert_eq!(curve.at(0), 1.0);
+        assert!((curve.at(500) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_group_yields_zeros() {
+        let g = GroupSamples::default();
+        let curve = miss_ratio_curve(&g, &[4, 8], false);
+        assert_eq!(curve.miss_ratios, vec![0.0, 0.0]);
+        assert_eq!(curve.capacity_for(0.0), Some(4));
+    }
+
+    #[test]
+    fn capacity_for_unreachable_target() {
+        let g = cyclic_group(64, 3);
+        let curve = miss_ratio_curve(&g, &[8, 16], false);
+        assert_eq!(curve.capacity_for(0.5), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! Burst sampling and instruction-group attribution (the Threadspotter
+//! methodology of Section II-B).
+//!
+//! Threadspotter keeps runtime dilation practical by sampling execution "in
+//! short bursts where all memory accesses are documented, followed by
+//! periods during which no measurements are gathered", and reports distance
+//! metrics at the granularity of *instruction groups* — the instructions in
+//! a loop that access the same array. The paper then ignores any group with
+//! fewer than 100 samples and models the **median** over the gathered
+//! samples.
+
+use crate::distance::{AccessDistances, DistanceAnalyzer};
+use serde::{Deserialize, Serialize};
+
+/// Minimum samples a group needs before it is modeled (Section II-B).
+pub const MIN_SAMPLES: usize = 100;
+
+/// Identifier of an instruction group (e.g. "the accesses to array B in the
+/// sweep loop").
+pub type GroupId = usize;
+
+/// Sampling schedule: `burst` accesses monitored, then `gap` accesses
+/// skipped, repeating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstSchedule {
+    /// Accesses recorded per burst.
+    pub burst: u64,
+    /// Accesses skipped between bursts.
+    pub gap: u64,
+}
+
+impl Default for BurstSchedule {
+    fn default() -> Self {
+        // Documented Threadspotter-like duty cycle: monitor 1 in 8 windows
+        // (the paper reports roughly 8× dilation when monitoring, so real
+        // deployments keep bursts short relative to gaps).
+        BurstSchedule {
+            burst: 4096,
+            gap: 7 * 4096,
+        }
+    }
+}
+
+impl BurstSchedule {
+    /// A schedule that samples every access (exact mode, for tests and small
+    /// kernels).
+    pub fn always() -> Self {
+        BurstSchedule { burst: 1, gap: 0 }
+    }
+}
+
+/// Distance samples collected for one instruction group.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupSamples {
+    /// Group name (for reports).
+    pub name: String,
+    /// Stack-distance samples (warm accesses observed during bursts).
+    pub stack: Vec<u64>,
+    /// Reuse-distance samples.
+    pub reuse: Vec<u64>,
+    /// Total accesses attributed to this group (sampled or not) — the basis
+    /// for estimating per-group access counts from whole-program load/store
+    /// totals (Section II-B).
+    pub accesses: u64,
+    /// Cold (first-touch) accesses observed during bursts.
+    pub cold: u64,
+}
+
+impl GroupSamples {
+    /// True if the group has enough samples to be modeled.
+    pub fn is_modelable(&self) -> bool {
+        self.stack.len() >= MIN_SAMPLES
+    }
+
+    /// Median stack distance (the paper's modeled statistic), `None` if no
+    /// samples.
+    pub fn median_stack(&self) -> Option<f64> {
+        median(&self.stack)
+    }
+
+    /// Median reuse distance.
+    pub fn median_reuse(&self) -> Option<f64> {
+        median(&self.reuse)
+    }
+
+    /// Mean stack distance (used by the aggregation ablation).
+    pub fn mean_stack(&self) -> Option<f64> {
+        if self.stack.is_empty() {
+            None
+        } else {
+            Some(self.stack.iter().sum::<u64>() as f64 / self.stack.len() as f64)
+        }
+    }
+
+    /// `q`-quantile (0..=1) of the stack-distance samples.
+    pub fn stack_quantile(&self, q: f64) -> Option<f64> {
+        quantile(&self.stack, q)
+    }
+}
+
+fn median(v: &[u64]) -> Option<f64> {
+    quantile(v, 0.5)
+}
+
+fn quantile(v: &[u64], q: f64) -> Option<f64> {
+    if v.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    let idx = q * (s.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    let frac = idx - lo as f64;
+    Some(s[lo] as f64 * (1.0 - frac) + s[hi] as f64 * frac)
+}
+
+/// The sampling front end: feeds every access to the exact distance engine
+/// (so distances stay correct) but *records* samples only during bursts,
+/// attributed to the issuing instruction group.
+#[derive(Debug, Clone)]
+pub struct BurstSampler {
+    analyzer: DistanceAnalyzer,
+    schedule: BurstSchedule,
+    position: u64,
+    groups: Vec<GroupSamples>,
+}
+
+impl BurstSampler {
+    /// Creates a sampler with the given schedule.
+    pub fn new(schedule: BurstSchedule) -> Self {
+        BurstSampler {
+            analyzer: DistanceAnalyzer::new(),
+            schedule,
+            position: 0,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Registers an instruction group and returns its id.
+    pub fn register_group(&mut self, name: impl Into<String>) -> GroupId {
+        self.groups.push(GroupSamples {
+            name: name.into(),
+            ..GroupSamples::default()
+        });
+        self.groups.len() - 1
+    }
+
+    /// True if the sampler is currently inside a burst window.
+    fn in_burst(&self) -> bool {
+        let cycle = self.schedule.burst + self.schedule.gap;
+        if cycle == 0 {
+            return true;
+        }
+        self.position % cycle < self.schedule.burst
+    }
+
+    /// Processes one access from `group` to `addr`.
+    ///
+    /// # Panics
+    /// Panics if `group` was not registered.
+    pub fn access(&mut self, group: GroupId, addr: u64) -> AccessDistances {
+        let sampling = self.in_burst();
+        self.position += 1;
+        let d = self.analyzer.access(addr);
+        let g = &mut self.groups[group];
+        g.accesses += 1;
+        if sampling {
+            match (d.stack, d.reuse) {
+                (Some(s), Some(r)) => {
+                    g.stack.push(s);
+                    g.reuse.push(r);
+                }
+                _ => g.cold += 1,
+            }
+        }
+        d
+    }
+
+    /// Collected samples per group.
+    pub fn groups(&self) -> &[GroupSamples] {
+        &self.groups
+    }
+
+    /// Groups that pass the ≥[`MIN_SAMPLES`] filter.
+    pub fn modelable_groups(&self) -> impl Iterator<Item = (GroupId, &GroupSamples)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_modelable())
+    }
+
+    /// Estimated access share of a group: its fraction of all attributed
+    /// accesses. Multiplied by a whole-program load/store count this yields
+    /// the paper's per-group access estimate.
+    pub fn access_share(&self, group: GroupId) -> f64 {
+        let total: u64 = self.groups.iter().map(|g| g.accesses).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.groups[group].accesses as f64 / total as f64
+        }
+    }
+
+    /// Total accesses observed (all groups).
+    pub fn total_accesses(&self) -> u64 {
+        self.analyzer.accesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_schedule_samples_everything() {
+        let mut s = BurstSampler::new(BurstSchedule::always());
+        let g = s.register_group("A");
+        s.access(g, 1);
+        s.access(g, 1);
+        s.access(g, 1);
+        assert_eq!(s.groups()[g].stack.len(), 2); // first touch is cold
+        assert_eq!(s.groups()[g].cold, 1);
+        assert_eq!(s.groups()[g].accesses, 3);
+    }
+
+    #[test]
+    fn burst_schedule_skips_gaps() {
+        let mut s = BurstSampler::new(BurstSchedule { burst: 2, gap: 3 });
+        let g = s.register_group("A");
+        // 10 accesses to the same address: positions 0,1 (burst), 2-4 (gap),
+        // 5,6 (burst), 7-9 (gap) → sampled warm accesses at 1, 5, 6.
+        for _ in 0..10 {
+            s.access(g, 42);
+        }
+        assert_eq!(s.groups()[g].stack.len(), 3);
+        assert_eq!(s.groups()[g].accesses, 10);
+    }
+
+    #[test]
+    fn distances_remain_exact_despite_gaps() {
+        // The analyzer sees every access even during gaps, so a sample taken
+        // in a later burst reflects the true distance.
+        let mut s = BurstSampler::new(BurstSchedule { burst: 1, gap: 4 });
+        let g = s.register_group("A");
+        // Access pattern: x, a, b, c, d, x → the second x has RD 4.
+        let d_first = s.access(g, 100);
+        assert!(d_first.is_cold());
+        for addr in [1, 2, 3, 4] {
+            s.access(g, addr);
+        }
+        let d = s.access(g, 100); // position 5 → burst (5 % 5 == 0)
+        assert_eq!(d.reuse, Some(4));
+        assert_eq!(d.stack, Some(4));
+        assert_eq!(s.groups()[g].stack, vec![4]);
+    }
+
+    #[test]
+    fn group_attribution_is_separate() {
+        let mut s = BurstSampler::new(BurstSchedule::always());
+        let ga = s.register_group("A");
+        let gb = s.register_group("B");
+        s.access(ga, 1);
+        s.access(gb, 2);
+        s.access(ga, 1); // warm for A: 1 access between (b), 1 unique
+        assert_eq!(s.groups()[ga].stack, vec![1]);
+        assert!(s.groups()[gb].stack.is_empty());
+        assert!((s.access_share(ga) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_sample_filter() {
+        let mut s = BurstSampler::new(BurstSchedule::always());
+        let g = s.register_group("A");
+        for _ in 0..MIN_SAMPLES {
+            s.access(g, 7);
+        }
+        // MIN_SAMPLES accesses → MIN_SAMPLES − 1 warm samples: not modelable.
+        assert!(!s.groups()[g].is_modelable());
+        s.access(g, 7);
+        assert!(s.groups()[g].is_modelable());
+        assert_eq!(s.modelable_groups().count(), 1);
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        let g = GroupSamples {
+            name: "loop".into(),
+            stack: vec![2, 2, 2, 2, 2, 2, 2, 1_000_000],
+            reuse: vec![],
+            accesses: 8,
+            cold: 0,
+        };
+        assert_eq!(g.median_stack(), Some(2.0));
+        assert!(g.mean_stack().unwrap() > 100_000.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let g = GroupSamples {
+            name: "q".into(),
+            stack: vec![0, 10, 20, 30],
+            reuse: vec![5],
+            accesses: 5,
+            cold: 0,
+        };
+        assert_eq!(g.stack_quantile(0.0), Some(0.0));
+        assert_eq!(g.stack_quantile(1.0), Some(30.0));
+        assert_eq!(g.stack_quantile(0.5), Some(15.0));
+        assert_eq!(g.median_reuse(), Some(5.0));
+        assert_eq!(g.stack_quantile(2.0), None);
+    }
+
+    #[test]
+    fn empty_group_has_no_stats() {
+        let g = GroupSamples::default();
+        assert_eq!(g.median_stack(), None);
+        assert_eq!(g.mean_stack(), None);
+        assert!(!g.is_modelable());
+    }
+}

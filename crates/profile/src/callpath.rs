@@ -1,0 +1,308 @@
+//! Call-path profiling (the Score-P substitute).
+//!
+//! Metrics are attributed to the call path active when they occur, so
+//! bottlenecks can be "precisely attributed to individual program
+//! locations" (Section II-B). Kernels bracket phases with
+//! [`CallPathProfiler::enter`] / [`CallPathProfiler::exit`] and report
+//! metric deltas through the same profiler.
+
+use crate::counters::Counters;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in the call tree.
+pub type NodeId = usize;
+
+/// One call-tree node with *exclusive* metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallNode {
+    /// Region name (one path segment).
+    pub name: String,
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Children in creation order.
+    pub children: Vec<NodeId>,
+    /// Counters attributed exclusively to this node.
+    pub counters: Counters,
+    /// Communication bytes (sent + received) attributed exclusively here.
+    pub comm_bytes: u64,
+    /// Number of times the region was entered.
+    pub visits: u64,
+}
+
+/// Call-path profiler for one process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallPathProfiler {
+    nodes: Vec<CallNode>,
+    stack: Vec<NodeId>,
+}
+
+impl Default for CallPathProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CallPathProfiler {
+    /// Creates a profiler with a root region `main`.
+    pub fn new() -> Self {
+        CallPathProfiler {
+            nodes: vec![CallNode {
+                name: "main".to_string(),
+                parent: None,
+                children: Vec::new(),
+                counters: Counters::default(),
+                comm_bytes: 0,
+                visits: 1,
+            }],
+            stack: vec![0],
+        }
+    }
+
+    /// Enters a child region of the current region (created on first visit).
+    pub fn enter(&mut self, name: &str) {
+        let cur = *self.stack.last().expect("root never popped");
+        let child = self.nodes[cur]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].name == name);
+        let id = match child {
+            Some(id) => id,
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(CallNode {
+                    name: name.to_string(),
+                    parent: Some(cur),
+                    children: Vec::new(),
+                    counters: Counters::default(),
+                    comm_bytes: 0,
+                    visits: 0,
+                });
+                self.nodes[cur].children.push(id);
+                id
+            }
+        };
+        self.nodes[id].visits += 1;
+        self.stack.push(id);
+    }
+
+    /// Exits the current region.
+    ///
+    /// # Panics
+    /// Panics on exit from the root (unbalanced enter/exit).
+    pub fn exit(&mut self) {
+        assert!(self.stack.len() > 1, "exit without matching enter");
+        self.stack.pop();
+    }
+
+    /// Runs `f` inside region `name` (exception-safe on panic-free code).
+    pub fn scoped<T>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.enter(name);
+        let out = f(self);
+        self.exit();
+        out
+    }
+
+    /// Mutable counters of the current region.
+    pub fn counters(&mut self) -> &mut Counters {
+        let cur = *self.stack.last().expect("root");
+        &mut self.nodes[cur].counters
+    }
+
+    /// Attributes communication bytes to the current region.
+    pub fn add_comm_bytes(&mut self, bytes: u64) {
+        let cur = *self.stack.last().expect("root");
+        self.nodes[cur].comm_bytes += bytes;
+    }
+
+    /// The `/`-joined path of the current region.
+    pub fn current_path(&self) -> String {
+        let cur = *self.stack.last().expect("root");
+        self.path_of(cur)
+    }
+
+    /// The `/`-joined path of a node.
+    pub fn path_of(&self, mut id: NodeId) -> String {
+        let mut segs = vec![self.nodes[id].name.clone()];
+        while let Some(p) = self.nodes[id].parent {
+            segs.push(self.nodes[p].name.clone());
+            id = p;
+        }
+        segs.reverse();
+        segs.join("/")
+    }
+
+    /// All nodes (root first, creation order).
+    pub fn nodes(&self) -> &[CallNode] {
+        &self.nodes
+    }
+
+    /// Inclusive counters of a node (its subtree summed).
+    pub fn inclusive(&self, id: NodeId) -> (Counters, u64) {
+        let mut c = self.nodes[id].counters;
+        let mut comm = self.nodes[id].comm_bytes;
+        for &child in &self.nodes[id].children {
+            let (cc, ccomm) = self.inclusive(child);
+            c = c.merged(&cc);
+            comm += ccomm;
+        }
+        (c, comm)
+    }
+
+    /// Whole-program totals (inclusive counters of the root).
+    pub fn totals(&self) -> (Counters, u64) {
+        self.inclusive(0)
+    }
+
+    /// Flat per-path view: `(path, exclusive counters, comm bytes, visits)`
+    /// sorted by descending FLOP count — a Score-P-style profile report.
+    pub fn flat_profile(&self) -> Vec<(String, Counters, u64, u64)> {
+        let mut rows: Vec<(String, Counters, u64, u64)> = (0..self.nodes.len())
+            .map(|id| {
+                (
+                    self.path_of(id),
+                    self.nodes[id].counters,
+                    self.nodes[id].comm_bytes,
+                    self.nodes[id].visits,
+                )
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.flops));
+        rows
+    }
+
+    /// The call path with the largest exclusive value of a projection —
+    /// "which program location dominates this requirement".
+    pub fn hottest_by(&self, f: impl Fn(&CallNode) -> u64) -> Option<String> {
+        (0..self.nodes.len())
+            .max_by_key(|&id| f(&self.nodes[id]))
+            .map(|id| self.path_of(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_to_current_region() {
+        let mut p = CallPathProfiler::new();
+        p.counters().add_flops(5); // main
+        p.enter("solve");
+        p.counters().add_flops(100);
+        p.enter("kernel");
+        p.counters().add_flops(1000);
+        p.add_comm_bytes(64);
+        p.exit();
+        p.exit();
+        let flat = p.flat_profile();
+        let find = |path: &str| flat.iter().find(|r| r.0 == path).unwrap();
+        assert_eq!(find("main").1.flops, 5);
+        assert_eq!(find("main/solve").1.flops, 100);
+        assert_eq!(find("main/solve/kernel").1.flops, 1000);
+        assert_eq!(find("main/solve/kernel").2, 64);
+    }
+
+    #[test]
+    fn inclusive_sums_subtree() {
+        let mut p = CallPathProfiler::new();
+        p.counters().add_flops(1);
+        p.enter("a");
+        p.counters().add_flops(10);
+        p.enter("b");
+        p.counters().add_flops(100);
+        p.exit();
+        p.exit();
+        let (totals, _) = p.totals();
+        assert_eq!(totals.flops, 111);
+        // Inclusive of "a" = 110.
+        let a_id = p
+            .nodes()
+            .iter()
+            .position(|n| n.name == "a")
+            .unwrap();
+        assert_eq!(p.inclusive(a_id).0.flops, 110);
+    }
+
+    #[test]
+    fn revisits_reuse_node() {
+        let mut p = CallPathProfiler::new();
+        for _ in 0..3 {
+            p.enter("iter");
+            p.counters().add_loads(2);
+            p.exit();
+        }
+        let node = p.nodes().iter().find(|n| n.name == "iter").unwrap();
+        assert_eq!(node.visits, 3);
+        assert_eq!(node.counters.loads, 6);
+        // One node, not three.
+        assert_eq!(
+            p.nodes().iter().filter(|n| n.name == "iter").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn same_name_different_parents_are_distinct() {
+        let mut p = CallPathProfiler::new();
+        p.enter("phase1");
+        p.enter("kernel");
+        p.counters().add_flops(1);
+        p.exit();
+        p.exit();
+        p.enter("phase2");
+        p.enter("kernel");
+        p.counters().add_flops(2);
+        p.exit();
+        p.exit();
+        let flat = p.flat_profile();
+        let k1 = flat.iter().find(|r| r.0 == "main/phase1/kernel").unwrap();
+        let k2 = flat.iter().find(|r| r.0 == "main/phase2/kernel").unwrap();
+        assert_eq!(k1.1.flops, 1);
+        assert_eq!(k2.1.flops, 2);
+    }
+
+    #[test]
+    fn scoped_helper_balances() {
+        let mut p = CallPathProfiler::new();
+        let out = p.scoped("work", |p| {
+            p.counters().add_stores(9);
+            "value"
+        });
+        assert_eq!(out, "value");
+        assert_eq!(p.current_path(), "main");
+    }
+
+    #[test]
+    fn hottest_by_comm() {
+        let mut p = CallPathProfiler::new();
+        p.enter("exchange");
+        p.add_comm_bytes(500);
+        p.exit();
+        p.enter("reduce");
+        p.add_comm_bytes(100);
+        p.exit();
+        assert_eq!(
+            p.hottest_by(|n| n.comm_bytes).unwrap(),
+            "main/exchange"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exit without matching enter")]
+    fn unbalanced_exit_panics() {
+        let mut p = CallPathProfiler::new();
+        p.exit();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut p = CallPathProfiler::new();
+        p.enter("x");
+        p.counters().add_flops(3);
+        p.exit();
+        let s = serde_json::to_string(&p).unwrap();
+        let back: CallPathProfiler = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+}

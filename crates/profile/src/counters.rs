@@ -1,0 +1,173 @@
+//! Hardware-independent requirement counters (the PAPI substitute).
+//!
+//! Each simulated process owns one [`Counters`] block; the behavioural-twin
+//! kernels increment it from inside their compute loops, so the totals
+//! reflect the work actually executed — not closed-form assumptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-process requirement counters matching Table I of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Floating-point operations executed (#FLOP).
+    pub flops: u64,
+    /// Load instructions retired.
+    pub loads: u64,
+    /// Store instructions retired.
+    pub stores: u64,
+}
+
+impl Counters {
+    /// Records `k` floating-point operations.
+    #[inline]
+    pub fn add_flops(&mut self, k: u64) {
+        self.flops += k;
+    }
+
+    /// Records `k` load instructions.
+    #[inline]
+    pub fn add_loads(&mut self, k: u64) {
+        self.loads += k;
+    }
+
+    /// Records `k` store instructions.
+    #[inline]
+    pub fn add_stores(&mut self, k: u64) {
+        self.stores += k;
+    }
+
+    /// Combined loads + stores — the paper's "#Loads & stores" metric,
+    /// measured whole-program to sidestep per-function counter
+    /// non-determinism (Section II-B).
+    pub fn loads_stores(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Element-wise sum (aggregation across processes).
+    pub fn merged(&self, other: &Counters) -> Counters {
+        Counters {
+            flops: self.flops + other.flops,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+        }
+    }
+}
+
+/// Instrumented floating-point helpers: perform the arithmetic *and* count
+/// it, so a kernel cannot claim work it did not do.
+///
+/// ```
+/// use exareq_profile::counters::{Counters, Fpu};
+/// let mut c = Counters::default();
+/// let mut fpu = Fpu::new(&mut c);
+/// let y = fpu.mul_add(2.0, 3.0, 1.0); // 2·3 + 1
+/// assert_eq!(y, 7.0);
+/// drop(fpu);
+/// assert_eq!(c.flops, 2);
+/// ```
+pub struct Fpu<'a> {
+    counters: &'a mut Counters,
+}
+
+impl<'a> Fpu<'a> {
+    /// Wraps a counter block.
+    pub fn new(counters: &'a mut Counters) -> Self {
+        Fpu { counters }
+    }
+
+    /// `a + b`, counted as one FLOP.
+    #[inline]
+    pub fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.counters.flops += 1;
+        a + b
+    }
+
+    /// `a − b`, counted as one FLOP.
+    #[inline]
+    pub fn sub(&mut self, a: f64, b: f64) -> f64 {
+        self.counters.flops += 1;
+        a - b
+    }
+
+    /// `a · b`, counted as one FLOP.
+    #[inline]
+    pub fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.counters.flops += 1;
+        a * b
+    }
+
+    /// `a / b`, counted as one FLOP.
+    #[inline]
+    pub fn div(&mut self, a: f64, b: f64) -> f64 {
+        self.counters.flops += 1;
+        a / b
+    }
+
+    /// `a·b + c`, counted as two FLOPs (multiply + add).
+    #[inline]
+    pub fn mul_add(&mut self, a: f64, b: f64, c: f64) -> f64 {
+        self.counters.flops += 2;
+        a.mul_add(b, c)
+    }
+
+    /// `√a`, counted as one FLOP.
+    #[inline]
+    pub fn sqrt(&mut self, a: f64) -> f64 {
+        self.counters.flops += 1;
+        a.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::default();
+        c.add_flops(10);
+        c.add_loads(3);
+        c.add_stores(4);
+        c.add_flops(5);
+        assert_eq!(c.flops, 15);
+        assert_eq!(c.loads_stores(), 7);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let a = Counters {
+            flops: 1,
+            loads: 2,
+            stores: 3,
+        };
+        let b = Counters {
+            flops: 10,
+            loads: 20,
+            stores: 30,
+        };
+        assert_eq!(
+            a.merged(&b),
+            Counters {
+                flops: 11,
+                loads: 22,
+                stores: 33
+            }
+        );
+    }
+
+    #[test]
+    fn fpu_counts_and_computes() {
+        let mut c = Counters::default();
+        {
+            let mut f = Fpu::new(&mut c);
+            assert_eq!(f.add(1.0, 2.0), 3.0);
+            assert_eq!(f.sub(5.0, 2.0), 3.0);
+            assert_eq!(f.mul(3.0, 4.0), 12.0);
+            assert_eq!(f.div(8.0, 2.0), 4.0);
+            assert_eq!(f.sqrt(9.0), 3.0);
+            assert_eq!(f.mul_add(2.0, 3.0, 4.0), 10.0);
+        }
+        // 1+1+1+1+1+2 = 7
+        assert_eq!(c.flops, 7);
+    }
+}

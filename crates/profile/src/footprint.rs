@@ -1,0 +1,131 @@
+//! Resident-memory footprint tracking (the `getrusage()` substitute).
+//!
+//! The paper reads the resident set size of each process over its lifetime;
+//! we track an allocation ledger with a high-water mark instead. Kernels
+//! register their working buffers through [`FootprintTracker::alloc`] /
+//! [`FootprintTracker::free`] (or the RAII [`TrackedAlloc`]), and the peak
+//! is reported as "#Bytes used".
+
+use serde::{Deserialize, Serialize};
+
+/// Allocation ledger with high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootprintTracker {
+    current: u64,
+    peak: u64,
+}
+
+impl FootprintTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Records a release of `bytes`.
+    ///
+    /// # Panics
+    /// Panics if more is freed than is currently allocated — a bookkeeping
+    /// bug in the instrumented kernel.
+    pub fn free(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.current,
+            "freeing {bytes} bytes with only {} live",
+            self.current
+        );
+        self.current -= bytes;
+    }
+
+    /// Live bytes right now.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark — the resident-memory requirement (Table I
+    /// "#Bytes used").
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
+/// Tracks a vector's heap buffer against a [`FootprintTracker`] for the
+/// duration of a scope.
+///
+/// ```
+/// use exareq_profile::footprint::{FootprintTracker, TrackedAlloc};
+/// let mut fp = FootprintTracker::new();
+/// {
+///     let _buf = TrackedAlloc::new(&mut fp, 1024);
+///     // ... use 1 KiB ...
+/// }
+/// assert_eq!(fp.current(), 0);
+/// assert_eq!(fp.peak(), 1024);
+/// ```
+pub struct TrackedAlloc<'a> {
+    tracker: &'a mut FootprintTracker,
+    bytes: u64,
+}
+
+impl<'a> TrackedAlloc<'a> {
+    /// Registers `bytes` with the tracker until drop.
+    pub fn new(tracker: &'a mut FootprintTracker, bytes: u64) -> Self {
+        tracker.alloc(bytes);
+        TrackedAlloc { tracker, bytes }
+    }
+}
+
+impl Drop for TrackedAlloc<'_> {
+    fn drop(&mut self) {
+        self.tracker.free(self.bytes);
+    }
+}
+
+/// Bytes occupied by a `f64` slice of the given length.
+pub fn f64_bytes(len: usize) -> u64 {
+    (len * std::mem::size_of::<f64>()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_survives_frees() {
+        let mut fp = FootprintTracker::new();
+        fp.alloc(100);
+        fp.alloc(200);
+        fp.free(250);
+        fp.alloc(10);
+        assert_eq!(fp.current(), 60);
+        assert_eq!(fp.peak(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut fp = FootprintTracker::new();
+        fp.alloc(10);
+        fp.free(11);
+    }
+
+    #[test]
+    fn tracked_alloc_raii() {
+        let mut fp = FootprintTracker::new();
+        {
+            let _a = TrackedAlloc::new(&mut fp, 512);
+        }
+        assert_eq!(fp.current(), 0);
+        assert_eq!(fp.peak(), 512);
+    }
+
+    #[test]
+    fn f64_bytes_is_8x() {
+        assert_eq!(f64_bytes(10), 80);
+        assert_eq!(f64_bytes(0), 0);
+    }
+}

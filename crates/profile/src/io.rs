@@ -1,0 +1,106 @@
+//! I/O requirement tracking (Section II-A extension).
+//!
+//! The paper: "I/O would be handled analogously to the network
+//! communication requirement. None of our analyzed applications includes
+//! significant I/O traffic, we therefore refrain from including I/O
+//! metrics in this analysis." The metric is nevertheless part of the
+//! method, so this reproduction makes it first-class: per-process bytes
+//! read/written, attributed per I/O channel (checkpoint, input deck,
+//! visualization dump, …) so models can be fitted per channel exactly
+//! like per-collective communication.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-process I/O byte counters, split by named channel.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoTracker {
+    channels: BTreeMap<String, IoBytes>,
+}
+
+/// Read/written counters of one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoBytes {
+    /// Bytes read from storage.
+    pub read: u64,
+    /// Bytes written to storage.
+    pub written: u64,
+}
+
+impl IoBytes {
+    /// Read + written.
+    pub fn total(&self) -> u64 {
+        self.read + self.written
+    }
+}
+
+impl IoTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records bytes read on `channel`.
+    pub fn read(&mut self, channel: &str, bytes: u64) {
+        self.channels.entry(channel.to_string()).or_default().read += bytes;
+    }
+
+    /// Records bytes written on `channel`.
+    pub fn write(&mut self, channel: &str, bytes: u64) {
+        self.channels
+            .entry(channel.to_string())
+            .or_default()
+            .written += bytes;
+    }
+
+    /// Counters of one channel (zero if never used).
+    pub fn channel(&self, channel: &str) -> IoBytes {
+        self.channels.get(channel).copied().unwrap_or_default()
+    }
+
+    /// All channels with their counters, sorted by name.
+    pub fn channels(&self) -> impl Iterator<Item = (&str, IoBytes)> {
+        self.channels.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Total I/O bytes across all channels (the Table I-style "#Bytes
+    /// read & written" metric).
+    pub fn total(&self) -> u64 {
+        self.channels.values().map(IoBytes::total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_channel_attribution() {
+        let mut io = IoTracker::new();
+        io.read("input", 1000);
+        io.write("checkpoint", 4096);
+        io.write("checkpoint", 4096);
+        assert_eq!(io.channel("input").read, 1000);
+        assert_eq!(io.channel("checkpoint").written, 8192);
+        assert_eq!(io.channel("nonexistent").total(), 0);
+        assert_eq!(io.total(), 9192);
+    }
+
+    #[test]
+    fn channels_iterate_sorted() {
+        let mut io = IoTracker::new();
+        io.write("z-dump", 1);
+        io.read("a-input", 2);
+        let names: Vec<&str> = io.channels().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a-input", "z-dump"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut io = IoTracker::new();
+        io.write("ckpt", 7);
+        let s = serde_json::to_string(&io).unwrap();
+        let back: IoTracker = serde_json::from_str(&s).unwrap();
+        assert_eq!(io, back);
+    }
+}

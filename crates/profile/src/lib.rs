@@ -1,0 +1,83 @@
+//! # exareq-profile — hardware-independent requirement profiling
+//!
+//! The Score-P/PAPI/`getrusage` substitute of the reproduction: per-process
+//! counters for the Table I requirement metrics, a call-path profiler for
+//! location-level attribution, a resident-footprint tracker, and the
+//! [`survey::Survey`] container that carries measured values from the
+//! simulated runs to the model generator.
+//!
+//! ```
+//! use exareq_profile::{CallPathProfiler, FootprintTracker};
+//!
+//! let mut prof = CallPathProfiler::new();
+//! let mut fp = FootprintTracker::new();
+//! fp.alloc(1 << 20); // register the working set
+//! prof.scoped("sweep", |p| {
+//!     p.counters().add_flops(1_000);
+//!     p.counters().add_loads(2_000);
+//! });
+//! let (totals, _) = prof.totals();
+//! assert_eq!(totals.flops, 1_000);
+//! assert_eq!(fp.peak(), 1 << 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod callpath;
+pub mod counters;
+pub mod footprint;
+pub mod io;
+pub mod survey;
+
+pub use callpath::{CallNode, CallPathProfiler, NodeId};
+pub use counters::{Counters, Fpu};
+pub use footprint::{f64_bytes, FootprintTracker, TrackedAlloc};
+pub use io::{IoBytes, IoTracker};
+pub use survey::{MetricKind, Observation, Survey};
+
+/// Everything a behavioural twin needs while running on one rank: counters,
+/// footprint and call-path attribution bundled together.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessProfile {
+    /// Call-path profiler (owns the whole-program counters at its root).
+    pub callpath: CallPathProfiler,
+    /// Resident-footprint ledger.
+    pub footprint: FootprintTracker,
+    /// Storage I/O counters (per channel).
+    pub io: IoTracker,
+}
+
+impl ProcessProfile {
+    /// Fresh profile for one process.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whole-program counters (inclusive root totals).
+    pub fn totals(&self) -> Counters {
+        self.callpath.totals().0
+    }
+
+    /// Whole-program communication bytes attributed via the profiler.
+    pub fn comm_bytes(&self) -> u64 {
+        self.callpath.totals().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_profile_bundles() {
+        let mut pp = ProcessProfile::new();
+        pp.footprint.alloc(64);
+        pp.callpath.counters().add_flops(7);
+        pp.callpath.add_comm_bytes(32);
+        pp.io.write("checkpoint", 128);
+        assert_eq!(pp.totals().flops, 7);
+        assert_eq!(pp.comm_bytes(), 32);
+        assert_eq!(pp.footprint.peak(), 64);
+        assert_eq!(pp.io.total(), 128);
+    }
+}

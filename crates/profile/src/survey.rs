@@ -1,0 +1,223 @@
+//! Requirement surveys: measured metric values over `(p, n)` configurations,
+//! the hand-off format between the measurement substrate and the model
+//! generator.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The requirement metrics of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Memory footprint: resident bytes used per process.
+    BytesUsed,
+    /// Computation: floating-point operations per process.
+    Flops,
+    /// Network communication: bytes sent + received per process.
+    CommBytes,
+    /// Memory access volume: loads + stores per process.
+    LoadsStores,
+    /// Memory access locality: stack distance (median over samples).
+    StackDistance,
+    /// Storage I/O: bytes read + written per process (Section II-A:
+    /// "handled analogously to the network communication requirement").
+    IoBytes,
+}
+
+impl MetricKind {
+    /// All metrics: the Table I set plus the analogous I/O metric.
+    pub const ALL: [MetricKind; 6] = [
+        MetricKind::BytesUsed,
+        MetricKind::Flops,
+        MetricKind::CommBytes,
+        MetricKind::LoadsStores,
+        MetricKind::StackDistance,
+        MetricKind::IoBytes,
+    ];
+
+    /// Row label as printed in Table II.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MetricKind::BytesUsed => "#Bytes used",
+            MetricKind::Flops => "#FLOP",
+            MetricKind::CommBytes => "#Bytes sent & received",
+            MetricKind::LoadsStores => "#Loads & stores",
+            MetricKind::StackDistance => "Stack distance",
+            MetricKind::IoBytes => "#Bytes read & written",
+        }
+    }
+}
+
+/// One measured value: a metric at a `(p, n)` configuration, optionally
+/// scoped to a sub-channel (a collective class for `CommBytes`, an
+/// instruction group for `StackDistance`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Number of processes of the run.
+    pub p: u64,
+    /// Problem size per process of the run.
+    pub n: u64,
+    /// Which requirement was measured.
+    pub metric: MetricKind,
+    /// Sub-channel: collective class name, instruction group id, …
+    pub channel: Option<String>,
+    /// Measured per-process value (averaged over ranks unless stated
+    /// otherwise by the producer).
+    pub value: f64,
+}
+
+/// A survey: all observations for one application across its measurement
+/// grid. Serializable so bench binaries can cache expensive sweeps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Survey {
+    /// Application name.
+    pub app: String,
+    /// All recorded observations.
+    pub observations: Vec<Observation>,
+}
+
+impl Survey {
+    /// Creates an empty survey for `app`.
+    pub fn new(app: impl Into<String>) -> Self {
+        Survey {
+            app: app.into(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, p: u64, n: u64, metric: MetricKind, value: f64) {
+        self.observations.push(Observation {
+            p,
+            n,
+            metric,
+            channel: None,
+            value,
+        });
+    }
+
+    /// Records one observation scoped to a channel.
+    pub fn push_channel(
+        &mut self,
+        p: u64,
+        n: u64,
+        metric: MetricKind,
+        channel: impl Into<String>,
+        value: f64,
+    ) {
+        self.observations.push(Observation {
+            p,
+            n,
+            metric,
+            channel: Some(channel.into()),
+            value,
+        });
+    }
+
+    /// `(p, n, value)` triples for a metric (no channel).
+    pub fn triples(&self, metric: MetricKind) -> Vec<(u64, u64, f64)> {
+        self.observations
+            .iter()
+            .filter(|o| o.metric == metric && o.channel.is_none())
+            .map(|o| (o.p, o.n, o.value))
+            .collect()
+    }
+
+    /// `(p, n, value)` triples for a metric restricted to one channel.
+    pub fn channel_triples(&self, metric: MetricKind, channel: &str) -> Vec<(u64, u64, f64)> {
+        self.observations
+            .iter()
+            .filter(|o| o.metric == metric && o.channel.as_deref() == Some(channel))
+            .map(|o| (o.p, o.n, o.value))
+            .collect()
+    }
+
+    /// Distinct channels present for a metric, sorted.
+    pub fn channels(&self, metric: MetricKind) -> Vec<String> {
+        let mut set: BTreeMap<String, ()> = BTreeMap::new();
+        for o in &self.observations {
+            if o.metric == metric {
+                if let Some(c) = &o.channel {
+                    set.insert(c.clone(), ());
+                }
+            }
+        }
+        set.into_keys().collect()
+    }
+
+    /// Number of distinct `(p, n)` configurations covered.
+    pub fn config_count(&self) -> usize {
+        let mut set: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+        for o in &self.observations {
+            set.insert((o.p, o.n), ());
+        }
+        set.len()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("survey serializes")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query_triples() {
+        let mut s = Survey::new("kripke");
+        s.push(2, 100, MetricKind::Flops, 1e6);
+        s.push(4, 100, MetricKind::Flops, 1e6);
+        s.push(2, 100, MetricKind::BytesUsed, 5e4);
+        let t = s.triples(MetricKind::Flops);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], (2, 100, 1e6));
+    }
+
+    #[test]
+    fn channels_are_separate() {
+        let mut s = Survey::new("milc");
+        s.push_channel(2, 10, MetricKind::CommBytes, "Allreduce", 100.0);
+        s.push_channel(2, 10, MetricKind::CommBytes, "Bcast", 50.0);
+        s.push(2, 10, MetricKind::CommBytes, 150.0);
+        assert_eq!(s.channels(MetricKind::CommBytes), vec!["Allreduce", "Bcast"]);
+        assert_eq!(
+            s.channel_triples(MetricKind::CommBytes, "Allreduce"),
+            vec![(2, 10, 100.0)]
+        );
+        // Un-channelled triples exclude channelled rows.
+        assert_eq!(s.triples(MetricKind::CommBytes), vec![(2, 10, 150.0)]);
+    }
+
+    #[test]
+    fn config_count_dedups() {
+        let mut s = Survey::new("x");
+        s.push(2, 10, MetricKind::Flops, 1.0);
+        s.push(2, 10, MetricKind::BytesUsed, 1.0);
+        s.push(4, 10, MetricKind::Flops, 1.0);
+        assert_eq!(s.config_count(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut s = Survey::new("app");
+        s.push_channel(8, 64, MetricKind::StackDistance, "group-3", 42.0);
+        let back = Survey::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn metric_labels_match_table_one() {
+        assert_eq!(MetricKind::BytesUsed.label(), "#Bytes used");
+        assert_eq!(MetricKind::IoBytes.label(), "#Bytes read & written");
+        assert_eq!(MetricKind::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,311 @@
+//! Collective operations built from point-to-point messages with real
+//! algorithms, so byte counts carry the true structural `p`-dependence
+//! (`log p` trees, `p−1` rings, pairwise quadratic exchanges).
+//!
+//! The byte totals of each algorithm match the closed forms in
+//! `exareq_core::collective::CollectiveKind::total_bytes` message for
+//! message; an integration test at the workspace root enforces this.
+
+use crate::rank::Rank;
+use crate::stats::OpClass;
+use bytes::Bytes;
+
+/// Tag space reserved for collectives (user tags share the space; keep user
+/// tags below this value).
+const COLL_TAG: u64 = 1 << 60;
+
+impl Rank {
+    /// Broadcast `data` from `root` to all ranks over a binomial tree
+    /// (`p − 1` messages total). Returns the broadcast payload.
+    pub fn bcast(&mut self, root: usize, data: &[u8]) -> Bytes {
+        let p = self.size();
+        assert!(root < p, "root {root} out of range");
+        if p == 1 {
+            return Bytes::copy_from_slice(data);
+        }
+        let vrank = (self.rank() + p - root) % p;
+        let tag = COLL_TAG + 1;
+
+        // Receive phase: a non-root rank receives from the peer that owns
+        // the highest bit below its lowest set bit.
+        let mut payload: Option<Bytes> = if vrank == 0 {
+            Some(Bytes::copy_from_slice(data))
+        } else {
+            None
+        };
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let vsrc = vrank - mask;
+                let src = (vsrc + root) % p;
+                payload = Some(self.recv_class(OpClass::Bcast, src, tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children (vrank + mask for decreasing mask).
+        let payload = payload.expect("bcast payload");
+        let mut mask = mask >> 1;
+        while mask > 0 {
+            let vdst = vrank + mask;
+            if vdst < p {
+                let dst = (vdst + root) % p;
+                self.send_class(OpClass::Bcast, dst, tag, &payload);
+            }
+            mask >>= 1;
+        }
+        payload
+    }
+
+    /// All-reduce (element-wise sum) of a `f64` vector via recursive
+    /// doubling, with the standard fold step for non-power-of-two rank
+    /// counts. Every rank ends with the global sum.
+    pub fn allreduce_sum(&mut self, data: &mut [f64]) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let tag = COLL_TAG + 2;
+        let f = largest_pow2_leq(p);
+        let r = p - f;
+        let rank = self.rank();
+
+        // Fold in: extra ranks (>= f) send their vector to rank − f.
+        if rank >= f {
+            self.send_f64s_class(OpClass::Allreduce, rank - f, tag, data);
+        } else if rank < r {
+            let theirs = self.recv_f64s_class(OpClass::Allreduce, rank + f, tag);
+            add_into(data, &theirs);
+        }
+
+        // Recursive doubling among the first f ranks.
+        if rank < f {
+            let mut mask = 1usize;
+            while mask < f {
+                let partner = rank ^ mask;
+                self.send_f64s_class(OpClass::Allreduce, partner, tag + mask as u64, data);
+                let theirs =
+                    self.recv_f64s_class(OpClass::Allreduce, partner, tag + mask as u64);
+                add_into(data, &theirs);
+                mask <<= 1;
+            }
+        }
+
+        // Fold out: partners send the result back to the extra ranks.
+        if rank < r {
+            self.send_f64s_class(OpClass::Allreduce, rank + f, tag, data);
+        } else if rank >= f {
+            let result = self.recv_f64s_class(OpClass::Allreduce, rank - f, tag);
+            data.copy_from_slice(&result);
+        }
+    }
+
+    /// All-gather over a ring: after `p − 1` rounds every rank holds every
+    /// rank's block, returned in rank order.
+    pub fn allgather(&mut self, mine: &[u8]) -> Vec<Bytes> {
+        let p = self.size();
+        let rank = self.rank();
+        let tag = COLL_TAG + 3;
+        let mut blocks: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
+        blocks[rank] = Some(Bytes::copy_from_slice(mine));
+        if p == 1 {
+            return blocks.into_iter().map(|b| b.expect("own block")).collect();
+        }
+        let next = (rank + 1) % p;
+        let prev = (rank + p - 1) % p;
+        // In round k we forward the block that originated at rank − k.
+        let mut outgoing = Bytes::copy_from_slice(mine);
+        for k in 0..p - 1 {
+            self.send_class(OpClass::Allgather, next, tag + k as u64, &outgoing);
+            let incoming = self.recv_class(OpClass::Allgather, prev, tag + k as u64);
+            let origin = (rank + p - 1 - k) % p;
+            blocks[origin] = Some(incoming.clone());
+            outgoing = incoming;
+        }
+        blocks.into_iter().map(|b| b.expect("ring filled")).collect()
+    }
+
+    /// All-to-all personalized exchange: `blocks[i]` is sent to rank `i`;
+    /// the returned vector holds the block received from each rank (own
+    /// block is passed through). Pairwise rounds: `p − 1` exchanges.
+    ///
+    /// # Panics
+    /// Panics if `blocks.len() != self.size()`.
+    pub fn alltoall(&mut self, blocks: &[Vec<u8>]) -> Vec<Bytes> {
+        let p = self.size();
+        assert_eq!(blocks.len(), p, "one block per destination");
+        let rank = self.rank();
+        let tag = COLL_TAG + 4;
+        let mut out: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
+        out[rank] = Some(Bytes::copy_from_slice(&blocks[rank]));
+        for round in 1..p {
+            let dst = (rank + round) % p;
+            let src = (rank + p - round) % p;
+            self.send_class(OpClass::Alltoall, dst, tag + round as u64, &blocks[dst]);
+            let incoming = self.recv_class(OpClass::Alltoall, src, tag + round as u64);
+            out[src] = Some(incoming);
+        }
+        out.into_iter().map(|b| b.expect("exchange filled")).collect()
+    }
+
+    /// Barrier: a zero-byte allreduce. Contributes messages but no payload
+    /// bytes to the requirement counters.
+    pub fn barrier(&mut self) {
+        let mut nothing: [f64; 0] = [];
+        self.allreduce_sum(&mut nothing);
+    }
+}
+
+fn largest_pow2_leq(p: usize) -> usize {
+    let np = p.next_power_of_two();
+    if np > p {
+        np / 2
+    } else {
+        np
+    }
+}
+
+fn add_into(acc: &mut [f64], other: &[f64]) {
+    assert_eq!(acc.len(), other.len(), "allreduce length mismatch");
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_ranks, total_stats};
+    use crate::stats::OpClass;
+
+    #[test]
+    fn largest_pow2() {
+        assert_eq!(largest_pow2_leq(1), 1);
+        assert_eq!(largest_pow2_leq(2), 2);
+        assert_eq!(largest_pow2_leq(3), 2);
+        assert_eq!(largest_pow2_leq(6), 4);
+        assert_eq!(largest_pow2_leq(8), 8);
+        assert_eq!(largest_pow2_leq(9), 8);
+    }
+
+    #[test]
+    fn bcast_delivers_from_every_root() {
+        for p in [1, 2, 3, 4, 5, 8, 13] {
+            for root in 0..p {
+                let results = run_ranks(p, |r| r.bcast(root, b"payload-xyz").to_vec());
+                for res in &results {
+                    assert_eq!(res.value, b"payload-xyz".to_vec(), "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_total_messages_p_minus_1() {
+        for p in [2usize, 5, 8, 11] {
+            let results = run_ranks(p, |r| {
+                r.bcast(0, &[7u8; 10]);
+            });
+            let t = total_stats(&results);
+            assert_eq!(t.class(OpClass::Bcast).sent, ((p - 1) * 10) as u64, "p={p}");
+            assert_eq!(t.class(OpClass::Bcast).recv, ((p - 1) * 10) as u64);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_correctly() {
+        for p in [1usize, 2, 3, 4, 6, 8, 12] {
+            let results = run_ranks(p, |r| {
+                let mut v = vec![r.rank() as f64, 1.0, (r.rank() * r.rank()) as f64];
+                r.allreduce_sum(&mut v);
+                v
+            });
+            let sum_rank: f64 = (0..p).map(|i| i as f64).sum();
+            let sum_sq: f64 = (0..p).map(|i| (i * i) as f64).sum();
+            for res in &results {
+                assert_eq!(res.value, vec![sum_rank, p as f64, sum_sq], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_bytes_match_closed_form() {
+        // total = 2·f·log2(f)·s + 4·r·s with s the vector payload in bytes.
+        for p in [2usize, 3, 4, 6, 8, 12, 16] {
+            let elems = 5;
+            let s = (elems * 8) as u64;
+            let results = run_ranks(p, |r| {
+                let mut v = vec![1.0f64; elems];
+                r.allreduce_sum(&mut v);
+            });
+            let t = total_stats(&results);
+            let f = largest_pow2_leq(p) as u64;
+            let r_extra = p as u64 - f;
+            // Per side (sent or received): f·log2(f)·s from recursive
+            // doubling plus 2·r·s from the fold in/out.
+            let per_side = f * (f as f64).log2() as u64 * s + 2 * r_extra * s;
+            assert_eq!(t.class(OpClass::Allreduce).sent, per_side, "p={p}");
+            assert_eq!(t.class(OpClass::Allreduce).recv, per_side, "p={p}");
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let results = run_ranks(p, |r| {
+                let mine = vec![r.rank() as u8; 4];
+                r.allgather(&mine)
+                    .into_iter()
+                    .map(|b| b[0] as usize)
+                    .collect::<Vec<_>>()
+            });
+            for res in &results {
+                assert_eq!(res.value, (0..p).collect::<Vec<_>>(), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_bytes_quadratic() {
+        let p = 6usize;
+        let bs = 10u64;
+        let results = run_ranks(p, |r| {
+            let mine = vec![0u8; 10];
+            r.allgather(&mine);
+        });
+        let t = total_stats(&results);
+        assert_eq!(t.class(OpClass::Allgather).sent, p as u64 * (p as u64 - 1) * bs);
+    }
+
+    #[test]
+    fn alltoall_permutes_blocks() {
+        for p in [1usize, 2, 4, 7] {
+            let results = run_ranks(p, |r| {
+                // Block for dst j encodes (me, j).
+                let blocks: Vec<Vec<u8>> = (0..p)
+                    .map(|j| vec![r.rank() as u8, j as u8])
+                    .collect();
+                r.alltoall(&blocks)
+                    .into_iter()
+                    .map(|b| (b[0] as usize, b[1] as usize))
+                    .collect::<Vec<_>>()
+            });
+            for (me, res) in results.iter().enumerate() {
+                for (src, &(from, to)) in res.value.iter().enumerate() {
+                    assert_eq!(from, src, "p={p}");
+                    assert_eq!(to, me, "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_moves_no_payload() {
+        let results = run_ranks(5, |r| {
+            r.barrier();
+        });
+        let t = total_stats(&results);
+        assert_eq!(t.total_sent(), 0);
+        assert!(t.messages_sent > 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Extended communication operations: rooted collectives (reduce, gather,
+//! scatter), deferred (nonblocking-style) receives, and process groups —
+//! the rest of the MPI surface that real codes lean on, so user-written
+//! twins are not limited to the five study applications' patterns.
+
+use crate::rank::Rank;
+use crate::stats::OpClass;
+use bytes::Bytes;
+
+/// Tag space for the extended collectives (distinct from the core ones).
+const XCOLL_TAG: u64 = 1 << 61;
+
+/// A deferred receive: matching is postponed until [`RecvFuture::wait`],
+/// letting a rank post the receive before doing local work — the
+/// communication/computation overlap idiom of nonblocking MPI.
+///
+/// The simulator's channels buffer eagerly, so the message may physically
+/// arrive at any time; the future only fixes *when the program observes
+/// it*, which is what the requirement counters care about.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvFuture {
+    src: usize,
+    tag: u64,
+}
+
+impl RecvFuture {
+    /// Completes the receive, blocking until the message is available.
+    pub fn wait(self, rank: &mut Rank) -> Bytes {
+        rank.recv(self.src, self.tag)
+    }
+}
+
+impl Rank {
+    /// Posts a deferred receive for `(src, tag)`; complete it with
+    /// [`RecvFuture::wait`].
+    pub fn recv_later(&mut self, src: usize, tag: u64) -> RecvFuture {
+        assert!(src < self.size(), "source {src} out of range");
+        RecvFuture { src, tag }
+    }
+
+    /// Reduce (element-wise sum) of a `f64` vector onto `root` over a
+    /// binomial tree: `p − 1` messages total, like `bcast` in reverse.
+    /// Only `root`'s buffer holds the result afterwards.
+    pub fn reduce_sum(&mut self, root: usize, data: &mut [f64]) {
+        let p = self.size();
+        assert!(root < p, "root {root} out of range");
+        if p == 1 {
+            return;
+        }
+        let me = self.rank();
+        let vrank = (me + p - root) % p;
+        let tag = XCOLL_TAG + 1;
+        // Children (higher vranks in each binomial subtree) send up.
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                // This vrank sends to its parent and is done.
+                let vparent = vrank - mask;
+                let parent = (vparent + root) % p;
+                self.send_f64s_class(OpClass::Allreduce, parent, tag + mask as u64, data);
+                return;
+            }
+            // Receive from the child at vrank + mask, if it exists.
+            let vchild = vrank + mask;
+            if vchild < p {
+                let child = (vchild + root) % p;
+                let theirs =
+                    self.recv_f64s_class(OpClass::Allreduce, child, tag + mask as u64);
+                assert_eq!(theirs.len(), data.len(), "reduce length mismatch");
+                for (a, b) in data.iter_mut().zip(&theirs) {
+                    *a += b;
+                }
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Gathers every rank's block onto `root` (direct sends, `p − 1`
+    /// messages). Non-root ranks receive an empty vector.
+    pub fn gather(&mut self, root: usize, mine: &[u8]) -> Vec<Bytes> {
+        let p = self.size();
+        assert!(root < p, "root {root} out of range");
+        let tag = XCOLL_TAG + 2;
+        if self.rank() == root {
+            let mut out: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
+            out[root] = Some(Bytes::copy_from_slice(mine));
+            #[allow(clippy::needless_range_loop)]
+            for src in 0..p {
+                if src != root {
+                    out[src] = Some(self.recv_class(OpClass::Allgather, src, tag));
+                }
+            }
+            out.into_iter().map(|b| b.expect("gathered")).collect()
+        } else {
+            self.send_class(OpClass::Allgather, root, tag, mine);
+            Vec::new()
+        }
+    }
+
+    /// Scatters `blocks` (one per rank, significant only at `root`) from
+    /// `root`; every rank returns its own block.
+    ///
+    /// # Panics
+    /// Panics at `root` if `blocks.len() != size`.
+    pub fn scatter(&mut self, root: usize, blocks: &[Vec<u8>]) -> Bytes {
+        let p = self.size();
+        assert!(root < p, "root {root} out of range");
+        let tag = XCOLL_TAG + 3;
+        if self.rank() == root {
+            assert_eq!(blocks.len(), p, "one block per rank at the root");
+            for (dst, block) in blocks.iter().enumerate() {
+                if dst != root {
+                    self.send_class(OpClass::Bcast, dst, tag, block);
+                }
+            }
+            Bytes::copy_from_slice(&blocks[root])
+        } else {
+            self.recv_class(OpClass::Bcast, root, tag)
+        }
+    }
+}
+
+/// A process group over a subset of ranks: a "sub-communicator" view that
+/// translates group-local rank ids to world ids. Collectives over groups
+/// are composed from point-to-point operations by the caller; the group
+/// provides the id algebra and membership queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<usize>,
+}
+
+impl Group {
+    /// Creates a group from world rank ids (deduplicated, order kept).
+    pub fn new(members: Vec<usize>) -> Self {
+        let mut seen = Vec::new();
+        for m in members {
+            if !seen.contains(&m) {
+                seen.push(m);
+            }
+        }
+        Group { members: seen }
+    }
+
+    /// Splits `world_size` ranks by color: ranks with equal
+    /// `color(world_rank)` land in the same group, ordered by world rank —
+    /// the `MPI_Comm_split` idiom.
+    pub fn split(world_size: usize, color: impl Fn(usize) -> usize, my_color: usize) -> Group {
+        Group::new(
+            (0..world_size)
+                .filter(|&r| color(r) == my_color)
+                .collect(),
+        )
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Group-local id of a world rank, if a member.
+    pub fn local_rank(&self, world_rank: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == world_rank)
+    }
+
+    /// World id of a group-local rank.
+    ///
+    /// # Panics
+    /// Panics if `local` is out of range.
+    pub fn world_rank(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    /// True if `world_rank` belongs to the group.
+    pub fn contains(&self, world_rank: usize) -> bool {
+        self.members.contains(&world_rank)
+    }
+
+    /// All members in group order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_ranks, total_stats};
+
+    #[test]
+    fn reduce_sums_onto_root() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            for root in [0, p - 1] {
+                let results = run_ranks(p, move |r| {
+                    let mut v = vec![r.rank() as f64, 1.0];
+                    r.reduce_sum(root, &mut v);
+                    v
+                });
+                let expect0: f64 = (0..p).map(|i| i as f64).sum();
+                assert_eq!(results[root].value, vec![expect0, p as f64], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_moves_p_minus_1_messages() {
+        let p = 8usize;
+        let elems = 4;
+        let results = run_ranks(p, |r| {
+            let mut v = vec![1.0f64; elems];
+            r.reduce_sum(0, &mut v);
+        });
+        let t = total_stats(&results);
+        assert_eq!(
+            t.total_sent(),
+            ((p - 1) * elems * 8) as u64,
+            "binomial reduce sends p−1 vectors"
+        );
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let p = 6usize;
+        let results = run_ranks(p, |r| {
+            let mine = [r.rank() as u8 * 3];
+            r.gather(2, &mine)
+                .into_iter()
+                .map(|b| b[0])
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(results[2].value, vec![0, 3, 6, 9, 12, 15]);
+        for (i, res) in results.iter().enumerate() {
+            if i != 2 {
+                assert!(res.value.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_blocks() {
+        let p = 5usize;
+        let results = run_ranks(p, |r| {
+            let blocks: Vec<Vec<u8>> = if r.rank() == 1 {
+                (0..p).map(|i| vec![10 + i as u8]).collect()
+            } else {
+                Vec::new() // ignored away from the root
+            };
+            r.scatter(1, &blocks)[0]
+        });
+        for (i, res) in results.iter().enumerate() {
+            assert_eq!(res.value, 10 + i as u8);
+        }
+    }
+
+    #[test]
+    fn deferred_receive_overlaps_work() {
+        let results = run_ranks(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 9, b"payload");
+                0usize
+            } else {
+                let fut = r.recv_later(0, 9);
+                // "Local work" happens here before the wait.
+                let local: usize = (0..100).sum();
+                let data = fut.wait(r);
+                local + data.len()
+            }
+        });
+        assert_eq!(results[1].value, 4950 + 7);
+    }
+
+    #[test]
+    fn group_split_by_parity() {
+        let even = Group::split(10, |r| r % 2, 0);
+        let odd = Group::split(10, |r| r % 2, 1);
+        assert_eq!(even.size(), 5);
+        assert_eq!(odd.members(), &[1, 3, 5, 7, 9]);
+        assert_eq!(even.local_rank(4), Some(2));
+        assert_eq!(even.local_rank(3), None);
+        assert_eq!(odd.world_rank(0), 1);
+        assert!(odd.contains(9));
+        assert!(!odd.contains(2));
+    }
+
+    #[test]
+    fn group_dedup_keeps_order() {
+        let g = Group::new(vec![3, 1, 3, 2, 1]);
+        assert_eq!(g.members(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn group_collective_composition() {
+        // A ring exchange inside the even-ranks group only.
+        let results = run_ranks(6, |r| {
+            let g = Group::split(r.size(), |x| x % 2, r.rank() % 2);
+            if r.rank() % 2 == 0 {
+                let me = g.local_rank(r.rank()).unwrap();
+                let next = g.world_rank((me + 1) % g.size());
+                let prev = g.world_rank((me + g.size() - 1) % g.size());
+                r.send(next, 50, &[r.rank() as u8]);
+                let got = r.recv(prev, 50);
+                got[0] as usize
+            } else {
+                usize::MAX
+            }
+        });
+        assert_eq!(results[0].value, 4);
+        assert_eq!(results[2].value, 0);
+        assert_eq!(results[4].value, 2);
+        assert_eq!(results[1].value, usize::MAX);
+    }
+}

@@ -1,0 +1,225 @@
+//! The per-rank communicator handle: point-to-point messaging with
+//! selective receive and byte accounting.
+
+use crate::stats::{CommStats, OpClass};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+/// A message in flight: source rank, user tag, payload.
+#[derive(Debug, Clone)]
+pub(crate) struct Msg {
+    pub src: usize,
+    pub tag: u64,
+    pub data: Bytes,
+}
+
+/// The communicator handle passed to each rank's body.
+///
+/// Functionally a tiny MPI: `send`/`recv` with tags and selective receive,
+/// plus collectives (broadcast, all-reduce, all-gather, all-to-all,
+/// barrier — implemented in the `collectives` module). Channels are unbounded,
+/// so sends never block and classic exchange patterns cannot deadlock.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    pub(crate) txs: Vec<Sender<Msg>>,
+    pub(crate) rx: Receiver<Msg>,
+    /// Out-of-order messages parked until a matching `recv` is posted.
+    pending: Vec<Msg>,
+    pub(crate) stats: CommStats,
+}
+
+impl Rank {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        txs: Vec<Sender<Msg>>,
+        rx: Receiver<Msg>,
+    ) -> Self {
+        Rank {
+            rank,
+            size,
+            txs,
+            rx,
+            pending: Vec::new(),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the simulation.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Communication statistics accumulated so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Sends `data` to `dst` with `tag`, attributed to the point-to-point
+    /// class.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or equals this rank (self-sends are a
+    /// bug in simulated codes, not a feature).
+    pub fn send(&mut self, dst: usize, tag: u64, data: &[u8]) {
+        self.send_class(OpClass::P2p, dst, tag, data);
+    }
+
+    /// Receives a message from `src` with `tag` (selective receive; blocks).
+    pub fn recv(&mut self, src: usize, tag: u64) -> Bytes {
+        self.recv_class(OpClass::P2p, src, tag)
+    }
+
+    pub(crate) fn send_class(&mut self, class: OpClass, dst: usize, tag: u64, data: &[u8]) {
+        assert!(dst < self.size, "destination {dst} out of range");
+        assert_ne!(dst, self.rank, "self-send from rank {dst}");
+        self.stats.record_send(class, data.len());
+        self.txs[dst]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                data: Bytes::copy_from_slice(data),
+            })
+            .expect("peer rank hung up");
+    }
+
+    pub(crate) fn recv_class(&mut self, class: OpClass, src: usize, tag: u64) -> Bytes {
+        assert!(src < self.size, "source {src} out of range");
+        // Check parked messages first.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            let m = self.pending.remove(pos);
+            self.stats.record_recv(class, m.data.len());
+            return m.data;
+        }
+        loop {
+            let m = self.rx.recv().expect("all peers hung up while receiving");
+            if m.src == src && m.tag == tag {
+                self.stats.record_recv(class, m.data.len());
+                return m.data;
+            }
+            self.pending.push(m);
+        }
+    }
+
+    /// Sends a slice of `f64`s (convenience wrapper over [`Rank::send`]).
+    pub fn send_f64s(&mut self, dst: usize, tag: u64, data: &[f64]) {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.send(dst, tag, &bytes);
+    }
+
+    /// Receives a slice of `f64`s sent with [`Rank::send_f64s`].
+    pub fn recv_f64s(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        let raw = self.recv(src, tag);
+        decode_f64s(&raw)
+    }
+
+    pub(crate) fn send_f64s_class(
+        &mut self,
+        class: OpClass,
+        dst: usize,
+        tag: u64,
+        data: &[f64],
+    ) {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.send_class(class, dst, tag, &bytes);
+    }
+
+    pub(crate) fn recv_f64s_class(&mut self, class: OpClass, src: usize, tag: u64) -> Vec<f64> {
+        let raw = self.recv_class(class, src, tag);
+        decode_f64s(&raw)
+    }
+}
+
+pub(crate) fn decode_f64s(raw: &[u8]) -> Vec<f64> {
+    assert_eq!(raw.len() % 8, 0, "payload is not a whole number of f64s");
+    raw.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_ranks;
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let results = run_ranks(4, |r| {
+            let next = (r.rank() + 1) % r.size();
+            let prev = (r.rank() + r.size() - 1) % r.size();
+            r.send(next, 7, &[r.rank() as u8]);
+            let got = r.recv(prev, 7);
+            got[0] as usize
+        });
+        for (rank, res) in results.iter().enumerate() {
+            assert_eq!(res.value, (rank + 4 - 1) % 4);
+        }
+    }
+
+    #[test]
+    fn selective_receive_reorders() {
+        // Rank 0 sends two tags; rank 1 receives them in the opposite order.
+        let results = run_ranks(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, b"first");
+                r.send(1, 2, b"second");
+                (Vec::new(), Vec::new())
+            } else {
+                let b = r.recv(0, 2);
+                let a = r.recv(0, 1);
+                (a.to_vec(), b.to_vec())
+            }
+        });
+        assert_eq!(results[1].value.0, b"first");
+        assert_eq!(results[1].value.1, b"second");
+    }
+
+    #[test]
+    fn byte_accounting_matches_traffic() {
+        let results = run_ranks(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 0, &[0u8; 100]);
+                let _ = r.recv(1, 1);
+            } else {
+                let _ = r.recv(0, 0);
+                r.send(0, 1, &[0u8; 30]);
+            }
+        });
+        assert_eq!(results[0].stats.total_sent(), 100);
+        assert_eq!(results[0].stats.total_recv(), 30);
+        assert_eq!(results[1].stats.total_sent(), 30);
+        assert_eq!(results[1].stats.total_recv(), 100);
+        assert_eq!(results[0].stats.messages_sent, 1);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let results = run_ranks(2, |r| {
+            if r.rank() == 0 {
+                r.send_f64s(1, 0, &[1.5, -2.25, 1e300]);
+                Vec::new()
+            } else {
+                r.recv_f64s(0, 0)
+            }
+        });
+        assert_eq!(results[1].value, vec![1.5, -2.25, 1e300]);
+        // 3 doubles = 24 bytes
+        assert_eq!(results[0].stats.total_sent(), 24);
+    }
+
+    #[test]
+    fn decode_rejects_ragged_payload() {
+        let r = std::panic::catch_unwind(|| decode_f64s(&[0u8; 7]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-rank communication byte accounting.
+//!
+//! The paper's communication requirement is "#bytes sent / received" at the
+//! application–hardware interface, attributed per collective class so that
+//! models can be expressed symbolically (`Allreduce(p)` etc., Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Operation classes used for byte attribution.
+///
+/// Mirrors `exareq_core::collective::CollectiveKind`; the two crates are
+/// deliberately decoupled (the simulator is a substrate, the modeler a
+/// consumer) and an integration test asserts the mapping stays in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Point-to-point messages, including halo exchanges.
+    P2p,
+    /// Broadcast.
+    Bcast,
+    /// All-reduce.
+    Allreduce,
+    /// All-gather.
+    Allgather,
+    /// All-to-all.
+    Alltoall,
+}
+
+impl OpClass {
+    /// All classes in a fixed order (index with [`OpClass::index`]).
+    pub const ALL: [OpClass; 5] = [
+        OpClass::P2p,
+        OpClass::Bcast,
+        OpClass::Allreduce,
+        OpClass::Allgather,
+        OpClass::Alltoall,
+    ];
+
+    /// Stable index of this class inside [`OpClass::ALL`].
+    pub fn index(&self) -> usize {
+        match self {
+            OpClass::P2p => 0,
+            OpClass::Bcast => 1,
+            OpClass::Allreduce => 2,
+            OpClass::Allgather => 3,
+            OpClass::Alltoall => 4,
+        }
+    }
+}
+
+/// Sent/received byte counters for one class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassBytes {
+    /// Bytes this rank injected into the network for this class.
+    pub sent: u64,
+    /// Bytes this rank received from the network for this class.
+    pub recv: u64,
+}
+
+impl ClassBytes {
+    /// Sent + received.
+    pub fn total(&self) -> u64 {
+        self.sent + self.recv
+    }
+}
+
+/// Communication statistics of one rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Byte counters per operation class, indexed by [`OpClass::index`].
+    pub by_class: [ClassBytes; 5],
+    /// Number of messages sent (all classes).
+    pub messages_sent: u64,
+    /// Number of messages received (all classes).
+    pub messages_recv: u64,
+}
+
+impl CommStats {
+    /// Counter for one class.
+    pub fn class(&self, c: OpClass) -> ClassBytes {
+        self.by_class[c.index()]
+    }
+
+    /// Total bytes sent across all classes.
+    pub fn total_sent(&self) -> u64 {
+        self.by_class.iter().map(|c| c.sent).sum()
+    }
+
+    /// Total bytes received across all classes.
+    pub fn total_recv(&self) -> u64 {
+        self.by_class.iter().map(|c| c.recv).sum()
+    }
+
+    /// Total bytes sent + received — the Table I "#Bytes sent / received"
+    /// metric for this rank.
+    pub fn total(&self) -> u64 {
+        self.total_sent() + self.total_recv()
+    }
+
+    pub(crate) fn record_send(&mut self, class: OpClass, bytes: usize) {
+        self.by_class[class.index()].sent += bytes as u64;
+        self.messages_sent += 1;
+    }
+
+    pub(crate) fn record_recv(&mut self, class: OpClass, bytes: usize) {
+        self.by_class[class.index()].recv += bytes as u64;
+        self.messages_recv += 1;
+    }
+
+    /// Element-wise sum of two stat blocks (aggregation across ranks).
+    pub fn merged(&self, other: &CommStats) -> CommStats {
+        let mut out = self.clone();
+        for (a, b) in out.by_class.iter_mut().zip(&other.by_class) {
+            a.sent += b.sent;
+            a.recv += b.recv;
+        }
+        out.messages_sent += other.messages_sent;
+        out.messages_recv += other.messages_recv;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = CommStats::default();
+        s.record_send(OpClass::P2p, 100);
+        s.record_recv(OpClass::P2p, 40);
+        s.record_send(OpClass::Allreduce, 8);
+        assert_eq!(s.class(OpClass::P2p).sent, 100);
+        assert_eq!(s.class(OpClass::P2p).recv, 40);
+        assert_eq!(s.total_sent(), 108);
+        assert_eq!(s.total_recv(), 40);
+        assert_eq!(s.total(), 148);
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.messages_recv, 1);
+    }
+
+    #[test]
+    fn merge_sums_classes() {
+        let mut a = CommStats::default();
+        a.record_send(OpClass::Bcast, 10);
+        let mut b = CommStats::default();
+        b.record_send(OpClass::Bcast, 5);
+        b.record_recv(OpClass::Alltoall, 7);
+        let m = a.merged(&b);
+        assert_eq!(m.class(OpClass::Bcast).sent, 15);
+        assert_eq!(m.class(OpClass::Alltoall).recv, 7);
+        assert_eq!(m.messages_sent, 2);
+    }
+}

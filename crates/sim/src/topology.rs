@@ -1,0 +1,236 @@
+//! Cartesian process topologies and halo exchange, the communication
+//! skeleton of the stencil-style study applications (LULESH, MILC, icoFoam).
+
+use crate::rank::Rank;
+use bytes::Bytes;
+
+/// Splits `p` ranks into a balanced `ndims`-dimensional grid, mimicking
+/// `MPI_Dims_create`: dimensions are as close to each other as possible,
+/// in non-increasing order, with `Π dims = p`.
+pub fn dims_create(p: usize, ndims: usize) -> Vec<usize> {
+    assert!(p > 0 && ndims > 0);
+    let mut dims = vec![1usize; ndims];
+    // Distribute prime factors, largest first, onto the smallest dimension.
+    let mut factors = prime_factors(p);
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let min = dims
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("ndims > 0");
+        dims[min] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n.is_multiple_of(d) {
+            out.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// A Cartesian view of the ranks: row-major coordinates over `dims`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CartGrid {
+    /// Extent of each dimension; `Π dims == size`.
+    pub dims: Vec<usize>,
+    /// Whether each dimension wraps around.
+    pub periodic: Vec<bool>,
+}
+
+impl CartGrid {
+    /// Creates a grid over `p` ranks with balanced dimensions.
+    ///
+    /// # Panics
+    /// Panics if `p` cannot be factored into `ndims` dimensions (never —
+    /// `dims_create` always succeeds) or `ndims == 0`.
+    pub fn balanced(p: usize, ndims: usize, periodic: bool) -> Self {
+        CartGrid {
+            dims: dims_create(p, ndims),
+            periodic: vec![periodic; ndims],
+        }
+    }
+
+    /// Total number of ranks in the grid.
+    pub fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Coordinates of `rank` (row-major).
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.size());
+        let mut rem = rank;
+        let mut coords = vec![0; self.dims.len()];
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            coords[i] = rem % d;
+            rem /= d;
+        }
+        coords
+    }
+
+    /// Rank at the given coordinates (row-major).
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut rank = 0;
+        for (c, &d) in coords.iter().zip(&self.dims) {
+            assert!(*c < d, "coordinate out of range");
+            rank = rank * d + c;
+        }
+        rank
+    }
+
+    /// The neighbor of `rank` displaced by `disp` along `dim`, or `None` at
+    /// a non-periodic boundary.
+    pub fn neighbor(&self, rank: usize, dim: usize, disp: isize) -> Option<usize> {
+        let mut coords = self.coords(rank);
+        let d = self.dims[dim] as isize;
+        let c = coords[dim] as isize + disp;
+        let c = if self.periodic[dim] {
+            ((c % d) + d) % d
+        } else if c < 0 || c >= d {
+            return None;
+        } else {
+            c
+        };
+        coords[dim] = c as usize;
+        Some(self.rank_of(&coords))
+    }
+}
+
+impl Rank {
+    /// Halo exchange along one dimension of `grid`: sends `outgoing` to the
+    /// `+1` neighbor and receives from the `−1` neighbor (then vice versa),
+    /// returning `(from_minus, from_plus)`. Boundary neighbors that do not
+    /// exist yield `None`.
+    pub fn halo_exchange(
+        &mut self,
+        grid: &CartGrid,
+        dim: usize,
+        tag: u64,
+        to_plus: &[u8],
+        to_minus: &[u8],
+    ) -> (Option<Bytes>, Option<Bytes>) {
+        let me = self.rank();
+        let plus = grid.neighbor(me, dim, 1);
+        let minus = grid.neighbor(me, dim, -1);
+        // Sends first (channels are buffered, no deadlock).
+        if let Some(d) = plus {
+            if d != me {
+                self.send(d, tag, to_plus);
+            }
+        }
+        if let Some(d) = minus {
+            if d != me {
+                self.send(d, tag + 1, to_minus);
+            }
+        }
+        let from_minus = match minus {
+            Some(s) if s != me => Some(self.recv(s, tag)),
+            Some(_) => Some(Bytes::copy_from_slice(to_plus)), // self-neighbor (dim size 1, periodic)
+            None => None,
+        };
+        let from_plus = match plus {
+            Some(s) if s != me => Some(self.recv(s, tag + 1)),
+            Some(_) => Some(Bytes::copy_from_slice(to_minus)),
+            None => None,
+        };
+        (from_minus, from_plus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_ranks;
+
+    #[test]
+    fn dims_create_balanced() {
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(1, 3), vec![1, 1, 1]);
+        assert_eq!(dims_create(24, 3), vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = CartGrid::balanced(24, 3, false);
+        for rank in 0..24 {
+            assert_eq!(g.rank_of(&g.coords(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn neighbor_non_periodic_boundary() {
+        let g = CartGrid {
+            dims: vec![3, 3],
+            periodic: vec![false, false],
+        };
+        // Rank 0 is (0,0): no −1 neighbors.
+        assert_eq!(g.neighbor(0, 0, -1), None);
+        assert_eq!(g.neighbor(0, 1, -1), None);
+        assert_eq!(g.neighbor(0, 0, 1), Some(3));
+        assert_eq!(g.neighbor(0, 1, 1), Some(1));
+        // Rank 8 is (2,2): no +1 neighbors.
+        assert_eq!(g.neighbor(8, 0, 1), None);
+    }
+
+    #[test]
+    fn neighbor_periodic_wraps() {
+        let g = CartGrid {
+            dims: vec![4],
+            periodic: vec![true],
+        };
+        assert_eq!(g.neighbor(0, 0, -1), Some(3));
+        assert_eq!(g.neighbor(3, 0, 1), Some(0));
+        assert_eq!(g.neighbor(1, 0, -5), Some(0));
+    }
+
+    #[test]
+    fn halo_exchange_ring() {
+        // 1-D periodic ring of 4: each rank sends its id both ways.
+        let results = run_ranks(4, |r| {
+            let g = CartGrid {
+                dims: vec![4],
+                periodic: vec![true],
+            };
+            let me = [r.rank() as u8];
+            let (from_minus, from_plus) = r.halo_exchange(&g, 0, 10, &me, &me);
+            (from_minus.unwrap()[0], from_plus.unwrap()[0])
+        });
+        for (rank, res) in results.iter().enumerate() {
+            assert_eq!(res.value.0 as usize, (rank + 3) % 4);
+            assert_eq!(res.value.1 as usize, (rank + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn halo_exchange_boundary_none() {
+        let results = run_ranks(3, |r| {
+            let g = CartGrid {
+                dims: vec![3],
+                periodic: vec![false],
+            };
+            let me = [r.rank() as u8];
+            let (from_minus, from_plus) = r.halo_exchange(&g, 0, 10, &me, &me);
+            (from_minus.is_some(), from_plus.is_some())
+        });
+        assert_eq!(results[0].value, (false, true));
+        assert_eq!(results[1].value, (true, true));
+        assert_eq!(results[2].value, (true, false));
+    }
+}

@@ -1,0 +1,45 @@
+//! Fitting external measurements: the workflow for users who already have
+//! profile data from a real system (Score-P, PAPI, a spreadsheet …) and
+//! want requirement models without running the simulator.
+//!
+//! Run with `cargo run --release --example external_data`.
+
+use exareq::core::csv::{experiment_from_csv, experiment_to_csv};
+use exareq::core::describe::describe;
+use exareq::core::multiparam::{fit_multi, MultiParamConfig};
+
+fn main() {
+    // Imagine this came from a 2-parameter scaling study on a real cluster
+    // (here: synthesized with 1% systematic perturbation to look the part).
+    let mut csv = String::from("# wallclock-independent counter: bytes sent per process\np,n,value\n");
+    for (i, p) in [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0].iter().enumerate() {
+        for n in [1e3f64, 4e3, 1.6e4, 6.4e4, 2.56e5] {
+            let truth = 820.0 * n * p.log2() + 3.2e4;
+            let wiggle = 1.0 + 0.01 * ((i as f64 * 0.7).sin());
+            csv.push_str(&format!("{p},{n},{:.1}\n", truth * wiggle));
+        }
+    }
+    println!("input (first lines):");
+    for line in csv.lines().take(5) {
+        println!("  {line}");
+    }
+
+    let exp = experiment_from_csv(&csv).expect("valid CSV");
+    println!("\nparsed {} measurements over {:?}", exp.points.len(), exp.params);
+
+    let fitted = fit_multi(&exp, &MultiParamConfig::default()).expect("fit");
+    println!("\nmodel     : {}", fitted.model);
+    println!(
+        "quality   : cv-SMAPE {:.3}%, R² {:.5}",
+        fitted.cv_smape, fitted.r2
+    );
+    println!("in words  : {}", describe(&fitted.model));
+
+    // Extrapolate to a machine 1000× bigger than anything measured.
+    let pred = fitted.model.eval(&[64_000.0, 2.56e5]);
+    println!("\nprediction at p = 64000, n = 2.56e5: {pred:.3e} bytes/process");
+
+    // And the round trip, should you want to archive the cleaned data.
+    let archived = experiment_to_csv(&exp);
+    println!("\narchived CSV is {} bytes", archived.len());
+}

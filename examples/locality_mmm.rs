@@ -1,0 +1,83 @@
+//! The Section II-D walk-through: how locality modeling distinguishes a
+//! locality-preserving implementation (blocked matrix multiply) from a
+//! locality-degrading one (naïve matrix multiply).
+//!
+//! Run with `cargo run --release --example locality_mmm`.
+
+use exareq::apps::mmm::{blocked_mmm, naive_mmm};
+use exareq::core::fit::{fit_single, FitConfig};
+use exareq::core::measurement::Experiment;
+use exareq::locality::{miss_ratio_curve, BurstSampler, BurstSchedule};
+
+fn main() {
+    println!("=== Naive MMM (Listing 1): locality degrades with matrix size ===");
+    let mut exp_a = Experiment::new(vec!["n"]);
+    let mut exp_b = Experiment::new(vec!["n"]);
+    for n in [8usize, 16, 24, 32, 40, 48] {
+        let mut sampler = BurstSampler::new(BurstSchedule::always());
+        let (groups, _) = naive_mmm(n, &mut sampler);
+        let sd_a = sampler.groups()[groups.a].median_stack().unwrap();
+        let sd_b = sampler.groups()[groups.b].median_stack().unwrap();
+        let rd_b = sampler.groups()[groups.b].median_reuse().unwrap();
+        println!("  n = {n:>3}: SD(A) = {sd_a:>5}  SD(B) = {sd_b:>6}  RD(B) = {rd_b:>6}");
+        exp_a.push(&[n as f64], sd_a);
+        exp_b.push(&[n as f64], sd_b);
+    }
+    let cfg = FitConfig::default();
+    let model_a = fit_single(&exp_a, &cfg).expect("fit A");
+    let model_b = fit_single(&exp_b, &cfg).expect("fit B");
+    println!("  model SD(A) = {}   (paper: ≈ 2n)", model_a.model);
+    println!("  model SD(B) = {}   (paper: n² + 2n − 1)", model_b.model);
+
+    println!("\n=== Blocked MMM (Listing 2): locality depends only on the block ===");
+    for b in [2usize, 4, 8] {
+        let n = 32;
+        let mut sampler = BurstSampler::new(BurstSchedule::always());
+        let (groups, _) = blocked_mmm(n, b, &mut sampler);
+        let sd_a = sampler.groups()[groups.a].median_stack().unwrap();
+        let sd_b = sampler.groups()[groups.b].median_stack().unwrap();
+        let sd_c = sampler.groups()[groups.c].median_stack().unwrap();
+        println!(
+            "  n = {n}, b = {b}: SD(A) = {sd_a:>4}  SD(B) = {sd_b:>5}  SD(C) = {sd_c}   \
+             (paper: 2b+1 = {}, ~2b²+b = {}, 2)",
+            2 * b + 1,
+            2 * b * b + b
+        );
+    }
+    // Same block, growing matrix: distances must not move.
+    let b = 4;
+    print!("  b = {b} fixed, n sweep:");
+    for n in [16usize, 32, 64] {
+        let mut sampler = BurstSampler::new(BurstSchedule::always());
+        let (groups, _) = blocked_mmm(n, b, &mut sampler);
+        print!(
+            "  n={n} → SD(B)={}",
+            sampler.groups()[groups.b].median_stack().unwrap()
+        );
+    }
+    println!();
+    // The cache consequence (Section II-D's narrative, quantified): miss
+    // ratios of group B against cache capacity, naive vs blocked.
+    println!("\n=== Miss-ratio curves for B (n = 32): what a cache would see ===");
+    let caps: Vec<u64> = vec![8, 32, 128, 512, 2048, 8192];
+    let mut s_naive = BurstSampler::new(BurstSchedule::always());
+    let (gn, _) = naive_mmm(32, &mut s_naive);
+    let naive_curve = miss_ratio_curve(&s_naive.groups()[gn.b], &caps, false);
+    let mut s_blocked = BurstSampler::new(BurstSchedule::always());
+    let (gb, _) = blocked_mmm(32, 4, &mut s_blocked);
+    let blocked_curve = miss_ratio_curve(&s_blocked.groups()[gb.b], &caps, false);
+    println!("  capacity   naive miss%   blocked miss%");
+    for &c in &caps {
+        println!(
+            "  {c:>8}   {:>10.1}%   {:>12.1}%",
+            naive_curve.at(c) * 100.0,
+            blocked_curve.at(c) * 100.0
+        );
+    }
+
+    println!(
+        "\nConclusion (paper): both variants execute the same FLOPs, but only the\n\
+         blocked variant keeps stack distances independent of the matrix size —\n\
+         larger problems will not raise its pressure on the memory subsystem."
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: measure one application on the simulator, generate its
+//! requirement models, and extrapolate to exascale.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use exareq::apps::{survey_app, AppGrid, Kripke};
+use exareq::core::multiparam::MultiParamConfig;
+use exareq::pipeline::model_requirements;
+
+fn main() {
+    // 1. Measure: run the Kripke twin over a 5×5 grid of (processes,
+    //    problem size per process) — 25 small simulated runs.
+    let grid = AppGrid::default();
+    println!(
+        "surveying Kripke over p={:?}, n={:?} ...",
+        grid.p_values, grid.n_values
+    );
+    let survey = survey_app(&Kripke, &grid);
+    println!("  {} observations collected", survey.observations.len());
+
+    // 2. Model: feed the counters to the Extra-P-style generator.
+    let cfg = MultiParamConfig::default();
+    let modeled = model_requirements(&survey, &cfg).expect("modeling succeeds");
+
+    println!("\nGenerated requirement models (per process):");
+    for (label, fm) in &modeled.fitted {
+        println!(
+            "  {label:<28} {}   [cv-SMAPE {:.3}%, R² {:.4}]",
+            fm.model, fm.cv_smape, fm.r2
+        );
+    }
+    println!("\nSymbolic communication rows:");
+    for sym in &modeled.comm_symbolic {
+        println!("  {sym}   [clean: {}]", sym.is_clean());
+    }
+
+    // 3. Extrapolate: evaluate the FLOP model far beyond the measured range
+    //    — the co-design use case.
+    let flops_at_exascale = modeled.requirements.flops.eval(&[2e9, 1e6]);
+    println!("\nPredicted #FLOP per process at p = 2e9, n = 1e6: {flops_at_exascale:.3e}");
+
+    // 4. Bottlenecks: the ⚠ column of Table II.
+    let warnings = modeled.requirements.warnings();
+    if warnings.is_empty() {
+        println!("no scaling warnings");
+    } else {
+        for w in &warnings {
+            println!("warning: {w}");
+        }
+    }
+}

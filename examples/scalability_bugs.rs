@@ -1,0 +1,38 @@
+//! The original Extra-P use case (the SC13 paper this method grew out of):
+//! hunting scalability bugs by modeling every call path separately and
+//! ranking regions by how fast their computation grows with the process
+//! count.
+//!
+//! MILC is the demo: its `overlap_recompute` region carries the hidden
+//! `n·log p` growth that the whole-program model shows only as a small
+//! second term — per-region modeling pins it to the exact program
+//! location.
+//!
+//! Run with `cargo run --release --example scalability_bugs`.
+
+use exareq::apps::{survey_app, AppGrid, Milc};
+use exareq::core::describe::describe_growth;
+use exareq::core::multiparam::MultiParamConfig;
+use exareq::pipeline::find_scalability_bugs;
+
+fn main() {
+    println!("surveying MILC ...");
+    let survey = survey_app(&Milc, &AppGrid::default());
+    let regions =
+        find_scalability_bugs(&survey, &MultiParamConfig::default()).expect("modeling succeeds");
+
+    println!("\ncall paths ranked by computation growth in p (worst first):");
+    for r in &regions {
+        println!(
+            "  {:<28} {}",
+            r.path, r.fitted.model
+        );
+        println!("    -> {}", describe_growth(&r.fitted.model, "p"));
+    }
+    if let Some(worst) = regions.first() {
+        println!(
+            "\nverdict: `{}` is the scalability hazard — fix that loop first.",
+            worst.path
+        );
+    }
+}

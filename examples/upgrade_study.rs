@@ -1,0 +1,70 @@
+//! The system-upgrade co-design study (Section III-A): which of the Table
+//! III upgrades — doubling racks, sockets, or memory — helps each
+//! application most? Reproduces the Table IV walkthrough for LULESH and the
+//! Table V comparison for all five applications, from the published Table
+//! II models.
+//!
+//! Run with `cargo run --release --example upgrade_study`.
+
+use exareq::codesign::report::render_upgrade_block;
+use exareq::codesign::{
+    analyze_upgrade, baseline_expectation, catalog, upgrade_score, SystemSkeleton, Upgrade,
+};
+
+fn main() {
+    let base = SystemSkeleton::reference_large();
+    println!(
+        "Base system skeleton: p = {:.0e} processes, {:.1e} B memory per process\n",
+        base.processes, base.mem_per_process
+    );
+
+    // Table IV walkthrough: LULESH under upgrade A.
+    let lulesh = catalog::lulesh();
+    let out = analyze_upgrade(&lulesh, &base, &Upgrade::DOUBLE_RACKS).expect("LULESH fits");
+    println!("-- Table IV: LULESH, upgrade A (double the racks) --");
+    println!("  problem size per process ratio : {:.2}", out.ratio_n);
+    println!("  overall problem size ratio     : {:.2}", out.ratio_overall);
+    println!(
+        "  computation / communication / memory access ratios: {:.2} / {:.2} / {:.2}",
+        out.ratio_rates[0], out.ratio_rates[1], out.ratio_rates[2]
+    );
+    println!("  (paper: 1, 2, ≈1.2, ≈1.2, ≈1)\n");
+
+    // Table V: all apps × all upgrades.
+    for up in Upgrade::ALL {
+        let mut outcomes = Vec::new();
+        for app in catalog::paper_models() {
+            match analyze_upgrade(&app, &base, &up) {
+                Ok(o) => outcomes.push(o),
+                Err(e) => println!("  [{}] {}: {e}", up.name, app.name),
+            }
+        }
+        let baseline = baseline_expectation(&base, &up);
+        println!(
+            "{}",
+            render_upgrade_block(
+                &format!("{}: {}", up.name, up.description),
+                &outcomes,
+                &baseline
+            )
+        );
+    }
+
+    // Summary: best upgrade per application by the paper's benefit notion.
+    println!("-- Which upgrade benefits each application most? --");
+    for app in catalog::paper_models() {
+        let mut best: Option<(&str, f64)> = None;
+        for up in &Upgrade::ALL {
+            if let Ok(o) = analyze_upgrade(&app, &base, up) {
+                let s = upgrade_score(&o);
+                if best.map(|(_, bs)| s > bs).unwrap_or(true) {
+                    best = Some((up.description, s));
+                }
+            }
+        }
+        match best {
+            Some((desc, _)) => println!("  {:<8} → {desc}", app.name),
+            None => println!("  {:<8} → no feasible upgrade", app.name),
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! `exareq` — command-line front end for the requirements-engineering
+//! workflow: survey an application on the simulator, generate its models,
+//! and run the co-design analyses, all without writing Rust.
+//!
+//! ```text
+//! exareq apps                               list the built-in twins
+//! exareq survey <app> [-o FILE] [--p LIST] [--n LIST]
+//! exareq model <survey.json> [--coarse]     fit and print Table II-style models
+//! exareq upgrades [<survey.json>]           Table V analysis (paper catalog by default)
+//! exareq strawman [--network]               Table VII analysis (+E9 refinement)
+//! ```
+
+use exareq::apps::{all_apps_extended as all_apps, survey_app, AppGrid};
+use exareq::codesign::report::{render_requirements, render_strawman_block, render_upgrade_block};
+use exareq::codesign::{
+    analyze_strawmen, analyze_upgrade, analyze_with_network, baseline_expectation, catalog,
+    default_network, table_six, AppRequirements, SystemSkeleton, Upgrade,
+};
+use exareq::core::collective::render_comm_rows;
+use exareq::core::multiparam::MultiParamConfig;
+use exareq::pipeline::model_requirements;
+use exareq::profile::Survey;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+exareq — lightweight requirements engineering for exascale co-design
+
+USAGE:
+    exareq apps
+    exareq survey <app> [-o FILE] [--p 2,4,8,...] [--n 64,256,...]
+    exareq model <survey.json> [--coarse]
+    exareq fit <data.csv> [--coarse]
+    exareq upgrades [<survey.json>]
+    exareq strawman [--network]
+    exareq report <survey.json> [-o FILE]
+
+COMMANDS:
+    apps       list the built-in behavioural twins
+    survey     run the measurement grid for one twin, write a survey JSON
+    model      generate requirement models from a survey JSON
+    fit        fit one PMNF model to external CSV measurements
+               (header row names the parameters; last column is the value)
+    upgrades   Table V-style upgrade comparison (fitted models if a survey
+               is given, the published Table II catalog otherwise)
+    strawman   Table VII-style exascale mapping; --network adds the
+               bandwidth-aware lower bounds (E9)
+    report     full co-design dossier (models, plots, outlook, upgrades,
+               straw-man verdict) as Markdown
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "apps" => cmd_apps(),
+        "survey" => cmd_survey(rest),
+        "model" => cmd_model(rest),
+        "fit" => cmd_fit(rest),
+        "upgrades" => cmd_upgrades(rest),
+        "strawman" => cmd_strawman(rest),
+        "report" => cmd_report(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("built-in behavioural twins (Table II study applications):");
+    for app in all_apps() {
+        println!("  {}", app.name());
+    }
+    Ok(())
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, String> {
+    s.split(',')
+        .map(|x| {
+            x.trim()
+                .parse::<T>()
+                .map_err(|_| format!("cannot parse `{x}` in list `{s}`"))
+        })
+        .collect()
+}
+
+/// Extracts `--flag VALUE` from an argument list, returning the remainder.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+fn cmd_survey(rest: &[String]) -> Result<(), String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let out_file = take_opt(&mut args, "-o")?;
+    let p_list = take_opt(&mut args, "--p")?;
+    let n_list = take_opt(&mut args, "--n")?;
+    let Some(name) = args.first() else {
+        return Err("survey requires an application name (see `exareq apps`)".into());
+    };
+    let apps = all_apps();
+    let app = apps
+        .iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown application `{name}` (see `exareq apps`)"))?;
+
+    let mut grid = AppGrid::default();
+    if let Some(p) = p_list {
+        grid.p_values = parse_list(&p)?;
+    }
+    if let Some(n) = n_list {
+        grid.n_values = parse_list(&n)?;
+    }
+    eprintln!(
+        "surveying {} over p={:?}, n={:?} ...",
+        app.name(),
+        grid.p_values,
+        grid.n_values
+    );
+    let survey = survey_app(app.as_ref(), &grid);
+    let path = out_file.unwrap_or_else(|| format!("survey_{}.json", name.to_lowercase()));
+    std::fs::write(&path, survey.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "{} observations over {} configurations written to {path}",
+        survey.observations.len(),
+        survey.config_count()
+    );
+    Ok(())
+}
+
+fn load_survey(path: &str) -> Result<Survey, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Survey::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn fit_survey(path: &str, coarse: bool) -> Result<AppRequirements, String> {
+    let survey = load_survey(path)?;
+    let cfg = if coarse {
+        MultiParamConfig::coarse()
+    } else {
+        MultiParamConfig::default()
+    };
+    let modeled = model_requirements(&survey, &cfg).map_err(|e| format!("modeling: {e}"))?;
+    println!("{}", render_requirements(&modeled.requirements));
+    println!("communication by collective:");
+    for row in render_comm_rows(&modeled.comm_symbolic) {
+        println!("  {row}");
+    }
+    println!("\nquality:");
+    for (label, fm) in &modeled.fitted {
+        println!(
+            "  {label:<32} cv-SMAPE {:>8.4}%   R² {:.5}",
+            fm.cv_smape, fm.r2
+        );
+    }
+    println!("\nin words:");
+    for (label, m) in [
+        ("memory footprint", &modeled.requirements.bytes_used),
+        ("computation", &modeled.requirements.flops),
+        ("communication", &modeled.requirements.comm_bytes),
+        ("memory access", &modeled.requirements.loads_stores),
+    ] {
+        println!("  {label}: {}", exareq::core::describe::describe(m));
+    }
+    Ok(modeled.requirements)
+}
+
+fn cmd_model(rest: &[String]) -> Result<(), String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let coarse = if let Some(i) = args.iter().position(|a| a == "--coarse") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let Some(path) = args.first() else {
+        return Err("model requires a survey JSON path".into());
+    };
+    fit_survey(path, coarse).map(|_| ())
+}
+
+fn cmd_fit(rest: &[String]) -> Result<(), String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let coarse = if let Some(i) = args.iter().position(|a| a == "--coarse") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let Some(path) = args.first() else {
+        return Err("fit requires a CSV path".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let exp = exareq::core::csv::experiment_from_csv(&text).map_err(|e| e.to_string())?;
+    let cfg = if coarse {
+        MultiParamConfig::coarse()
+    } else {
+        MultiParamConfig::default()
+    };
+    let fitted =
+        exareq::core::multiparam::fit_multi(&exp, &cfg).map_err(|e| format!("fitting: {e}"))?;
+    println!("model    : {}", fitted.model);
+    println!(
+        "quality  : cv-SMAPE {:.4}%   in-sample SMAPE {:.4}%   R² {:.6}",
+        fitted.cv_smape, fitted.smape, fitted.r2
+    );
+    println!("in words : {}", exareq::core::describe::describe(&fitted.model));
+    Ok(())
+}
+
+fn cmd_upgrades(rest: &[String]) -> Result<(), String> {
+    let apps: Vec<AppRequirements> = if let Some(path) = rest.first() {
+        vec![fit_survey(path, false)?]
+    } else {
+        catalog::paper_models()
+    };
+    let base = SystemSkeleton::reference_large();
+    println!(
+        "base skeleton: p = {:.0e}, {:.1e} B/process\n",
+        base.processes, base.mem_per_process
+    );
+    for up in Upgrade::ALL {
+        let mut outcomes = Vec::new();
+        for app in &apps {
+            match analyze_upgrade(app, &base, &up) {
+                Ok(o) => outcomes.push(o),
+                Err(e) => println!("note: {}: {e}", app.name),
+            }
+        }
+        let baseline = baseline_expectation(&base, &up);
+        println!(
+            "{}",
+            render_upgrade_block(
+                &format!("{}: {}", up.name, up.description),
+                &outcomes,
+                &baseline
+            )
+        );
+    }
+    Ok(())
+}
+
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let out_file = take_opt(&mut args, "-o")?;
+    let Some(path) = args.first() else {
+        return Err("report requires a survey JSON path".into());
+    };
+    let survey = load_survey(path)?;
+    let cfg = MultiParamConfig::default();
+    let modeled = model_requirements(&survey, &cfg).map_err(|e| format!("modeling: {e}"))?;
+    let r = &modeled.requirements;
+
+    let mut md = String::new();
+    md.push_str(&format!("# Co-design dossier: {}
+
+", survey.app));
+    md.push_str(&format!(
+        "{} observations over {} configurations.
+
+",
+        survey.observations.len(),
+        survey.config_count()
+    ));
+
+    md.push_str("## Requirement models (per process)
+
+```
+");
+    md.push_str(&render_requirements(r));
+    md.push_str("```
+
+Communication by collective:
+
+```
+");
+    for row in render_comm_rows(&modeled.comm_symbolic) {
+        md.push_str(&format!("{row}
+"));
+    }
+    md.push_str("```
+
+In words:
+
+");
+    for (label, m) in [
+        ("memory footprint", &r.bytes_used),
+        ("computation", &r.flops),
+        ("communication", &r.comm_bytes),
+        ("memory access", &r.loads_stores),
+    ] {
+        md.push_str(&format!(
+            "- {label}: {}
+",
+            exareq::core::describe::describe(m)
+        ));
+    }
+
+    let warnings = r.warnings();
+    md.push_str("
+## Scaling hazards
+
+");
+    if warnings.is_empty() {
+        md.push_str("none detected.
+");
+    } else {
+        for w in &warnings {
+            md.push_str(&format!("- ⚠ {w}
+"));
+        }
+    }
+
+    md.push_str("
+## Fit check (computation vs p, n at grid maximum)
+
+```
+");
+    let flops_exp = exareq::pipeline::experiment_from_triples(
+        &survey.triples(exareq::profile::MetricKind::Flops),
+    );
+    md.push_str(&exareq::core::quality::render_fit_plot(
+        &r.flops, &flops_exp, 0, 64, 14,
+    ));
+    md.push_str("```
+");
+
+    md.push_str("
+## Scaling outlook (1 GB per process)
+
+```
+");
+    let rows = exareq::codesign::scaling_outlook(
+        r,
+        &exareq::codesign::decade_schedule(),
+        1e9,
+    );
+    md.push_str(&exareq::codesign::render_outlook(&survey.app, &rows));
+    md.push_str("```
+");
+
+    md.push_str("
+## Upgrade response (Table III scenarios)
+
+```
+");
+    let base = SystemSkeleton::reference_large();
+    for up in Upgrade::ALL {
+        match analyze_upgrade(r, &base, &up) {
+            Ok(o) => md.push_str(&format!(
+                "{:<20} problem x{:.2}, overall x{:.2}, comp x{:.2}, comm x{:.2}, mem x{:.2}
+",
+                up.description,
+                o.ratio_n,
+                o.ratio_overall,
+                o.ratio_rates[0],
+                o.ratio_rates[1],
+                o.ratio_rates[2]
+            )),
+            Err(e) => md.push_str(&format!("{:<20} {e}
+", up.description)),
+        }
+    }
+    md.push_str("```
+");
+
+    md.push_str("
+## Exascale straw-man verdict
+
+```
+");
+    md.push_str(&render_strawman_block(&analyze_strawmen(r, &table_six())));
+    let net = default_network(&table_six());
+    if let Some(res) = analyze_with_network(r, &table_six(), &net) {
+        for o in &res {
+            md.push_str(&format!(
+                "network-aware {:<20} T_flop {:.3}s  T_comm {:.3}s -> {} bound
+",
+                o.system,
+                o.t_flop,
+                o.t_comm,
+                if o.network_bound { "network" } else { "compute" }
+            ));
+        }
+    }
+    md.push_str("```
+");
+
+    match out_file {
+        Some(f) => {
+            std::fs::write(&f, &md).map_err(|e| format!("writing {f}: {e}"))?;
+            println!("report written to {f}");
+        }
+        None => print!("{md}"),
+    }
+    Ok(())
+}
+
+fn cmd_strawman(rest: &[String]) -> Result<(), String> {
+    let with_network = rest.iter().any(|a| a == "--network");
+    let systems = table_six();
+    for app in catalog::paper_models() {
+        println!("{}", render_strawman_block(&analyze_strawmen(&app, &systems)));
+        if with_network {
+            let net = default_network(&systems);
+            match analyze_with_network(&app, &systems, &net) {
+                Some(res) => {
+                    for o in &res {
+                        println!(
+                            "    network-aware: {:<20} T_flop {:>10.3}s  T_comm {:>10.3}s  -> {} bound",
+                            o.system,
+                            o.t_flop,
+                            o.t_comm,
+                            if o.network_bound { "network" } else { "compute" }
+                        );
+                    }
+                }
+                None => println!("    network-aware: excluded"),
+            }
+            println!();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! # exareq — lightweight requirements engineering for exascale co-design
+//!
+//! A full reproduction of *Calotoiu et al., "Lightweight Requirements
+//! Engineering for Exascale Co-design" (IEEE CLUSTER 2018)* as a Rust
+//! workspace:
+//!
+//! - [`core`] — the Extra-P-style empirical model generator
+//!   (PMNF hypothesis search, cross-validated selection, multi-parameter
+//!   models);
+//! - [`sim`] — a deterministic message-passing simulator with
+//!   real collective algorithms (the cluster substitute);
+//! - [`profile`] — requirement counters, call-path
+//!   profiles, footprint tracking (the Score-P/PAPI substitute);
+//! - [`locality`] — reuse/stack distance, burst sampling,
+//!   instruction groups (the Threadspotter substitute);
+//! - [`apps`] — behavioural twins of the five study
+//!   applications plus the Section II-D matrix-multiply kernels;
+//! - [`codesign`] — skeletons, upgrades, straw men, and
+//!   the published Table II catalog.
+//!
+//! The [`pipeline`] module wires measurement to modeling: it runs an
+//! application survey through the model generator and assembles a complete
+//! [`exareq_codesign::AppRequirements`] bundle, exactly as the paper's tool
+//! chain does.
+
+#![warn(missing_docs)]
+
+pub use exareq_apps as apps;
+pub use exareq_codesign as codesign;
+pub use exareq_core as core;
+pub use exareq_locality as locality;
+pub use exareq_profile as profile;
+pub use exareq_sim as sim;
+
+pub mod pipeline {
+    //! Measurement → model pipeline (the paper's Figure 2, right side).
+
+    use exareq_codesign::AppRequirements;
+    use exareq_core::collective::{symbolize, CollectiveKind, SymbolicCommModel};
+    use exareq_core::fit::{FitError, FittedModel};
+    use exareq_core::measurement::Experiment;
+    use exareq_core::multiparam::{fit_multi, MultiParamConfig};
+    use exareq_core::pmnf::Model;
+    use exareq_core::quality::{model_relative_errors, ErrorHistogram};
+    use exareq_profile::{MetricKind, Survey};
+
+    /// Builds a two-parameter `(p, n)` experiment from survey triples.
+    pub fn experiment_from_triples(triples: &[(u64, u64, f64)]) -> Experiment {
+        let mut exp = Experiment::new(vec!["p", "n"]);
+        for &(p, n, v) in triples {
+            exp.push(&[p as f64, n as f64], v);
+        }
+        exp
+    }
+
+    /// Result of modeling one application survey.
+    #[derive(Debug, Clone)]
+    pub struct ModeledApp {
+        /// The assembled requirements bundle (for co-design analyses).
+        pub requirements: AppRequirements,
+        /// Every fitted model with its quality statistics, labeled.
+        pub fitted: Vec<(String, FittedModel)>,
+        /// Symbolic per-collective communication models (Table II comm rows).
+        pub comm_symbolic: Vec<SymbolicCommModel>,
+    }
+
+    fn collective_kind(label: &str) -> CollectiveKind {
+        match label {
+            "Bcast" => CollectiveKind::Bcast,
+            "Allreduce" => CollectiveKind::Allreduce,
+            "Allgather" => CollectiveKind::Allgather,
+            "Alltoall" => CollectiveKind::Alltoall,
+            _ => CollectiveKind::PointToPoint,
+        }
+    }
+
+    /// Growth ordering on two-parameter models: compares the dominant `n`
+    /// exponents, then the dominant `p` exponents.
+    fn faster_growing(a: &Model, b: &Model) -> bool {
+        let (an, bn) = (a.dominant_exponents(1), b.dominant_exponents(1));
+        match an.growth_cmp(&bn) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                a.dominant_exponents(0).growth_cmp(&b.dominant_exponents(0))
+                    == std::cmp::Ordering::Greater
+            }
+        }
+    }
+
+    /// Fits all Table I requirement models from a survey, assembling the
+    /// per-application bundle the co-design analyses consume.
+    ///
+    /// The stack-distance model is the fastest-growing model over all
+    /// instruction groups (the paper "selected all models with the fastest
+    /// growing requirements"). Communication is fitted both in total (the
+    /// bundle's `comm_bytes`) and per collective class (symbolic rows).
+    ///
+    /// # Errors
+    /// Propagates the first [`FitError`] encountered.
+    pub fn model_requirements(
+        survey: &Survey,
+        cfg: &MultiParamConfig,
+    ) -> Result<ModeledApp, FitError> {
+        let mut fitted: Vec<(String, FittedModel)> = Vec::new();
+
+        let fit_metric = |metric: MetricKind| -> Result<FittedModel, FitError> {
+            let exp = experiment_from_triples(&survey.triples(metric));
+            fit_multi(&exp, cfg)
+        };
+
+        let bytes_used = fit_metric(MetricKind::BytesUsed)?;
+        let flops = fit_metric(MetricKind::Flops)?;
+        let loads_stores = fit_metric(MetricKind::LoadsStores)?;
+        fitted.push(("#Bytes used".into(), bytes_used.clone()));
+        fitted.push(("#FLOP".into(), flops.clone()));
+        fitted.push(("#Loads & stores".into(), loads_stores.clone()));
+
+        // Stack distance: one model per instruction group; keep the fastest
+        // growing as the app-level row.
+        let mut stack_best: Option<FittedModel> = None;
+        for group in survey.channels(MetricKind::StackDistance) {
+            let exp = experiment_from_triples(
+                &survey.channel_triples(MetricKind::StackDistance, &group),
+            );
+            let fm = fit_multi(&exp, cfg)?;
+            fitted.push((format!("Stack distance [{group}]"), fm.clone()));
+            let take = match &stack_best {
+                None => true,
+                Some(best) => faster_growing(&fm.model, &best.model),
+            };
+            if take {
+                stack_best = Some(fm);
+            }
+        }
+        let stack_distance = stack_best.ok_or(FitError::NoViableHypothesis)?;
+
+        // I/O (Section II-A: handled analogously to communication) — fitted
+        // only when the application actually performs I/O; the five study
+        // twins do not, matching the paper.
+        let io_triples = survey.triples(MetricKind::IoBytes);
+        if !io_triples.is_empty() {
+            let io = fit_multi(&experiment_from_triples(&io_triples), cfg)?;
+            fitted.push(("#Bytes read & written".into(), io));
+        }
+
+        // Per-collective symbolic communication models. The application's
+        // total communication model is the *sum* of the per-class fits —
+        // Table II likewise reports communication as stacked per-collective
+        // rows rather than one fit of the mixed total (whose superimposed
+        // structures, e.g. icoFoam's three terms, defeat a direct fit).
+        let mut comm_symbolic = Vec::new();
+        for class in survey.channels(MetricKind::CommBytes) {
+            let exp =
+                experiment_from_triples(&survey.channel_triples(MetricKind::CommBytes, &class));
+            let sym = symbolize(collective_kind(&class), &exp, cfg)?;
+            comm_symbolic.push(sym);
+        }
+        let comm_total = {
+            let class_models: Vec<&Model> =
+                comm_symbolic.iter().map(|s| &s.raw.model).collect();
+            let summed = if class_models.is_empty() {
+                fit_multi(
+                    &experiment_from_triples(&survey.triples(MetricKind::CommBytes)),
+                    cfg,
+                )?
+                .model
+            } else {
+                Model::sum(&class_models)
+            };
+            // Quality statistics of the summed model against the total.
+            let total_exp = experiment_from_triples(&survey.triples(MetricKind::CommBytes));
+            let pred: Vec<f64> = total_exp
+                .points
+                .iter()
+                .map(|m| summed.eval(&m.coords))
+                .collect();
+            let actual: Vec<f64> = total_exp.points.iter().map(|m| m.value).collect();
+            FittedModel {
+                smape: exareq_core::quality::smape(&pred, &actual),
+                cv_smape: comm_symbolic
+                    .iter()
+                    .map(|s| s.raw.cv_smape)
+                    .fold(0.0, f64::max),
+                r2: exareq_core::quality::r_squared(&pred, &actual),
+                adj_r2: exareq_core::quality::r_squared(&pred, &actual),
+                model: summed,
+            }
+        };
+        fitted.push(("#Bytes sent & received".into(), comm_total.clone()));
+
+        Ok(ModeledApp {
+            requirements: AppRequirements {
+                name: survey.app.clone(),
+                bytes_used: bytes_used.model,
+                flops: flops.model,
+                comm_bytes: comm_total.model,
+                loads_stores: loads_stores.model,
+                stack_distance: stack_distance.model,
+            },
+            fitted,
+            comm_symbolic,
+        })
+    }
+
+    /// A call path with its fitted computation model — the unit of the
+    /// scalability-bug hunt.
+    #[derive(Debug, Clone)]
+    pub struct RegionModel {
+        /// `/`-separated call path (e.g. `main/ks_congrad`).
+        pub path: String,
+        /// Fitted per-process FLOP model of the region.
+        pub fitted: FittedModel,
+    }
+
+    /// The original Extra-P use case (SC13, cited as the method's origin in
+    /// Section II-C): fit a model *per call path* and rank regions by how
+    /// fast their computation grows with the process count — the fastest
+    /// growers are the scalability bugs. Returns regions sorted worst
+    /// first; regions whose models are constant in `p` come last.
+    ///
+    /// # Errors
+    /// Propagates the first fitting error.
+    pub fn find_scalability_bugs(
+        survey: &Survey,
+        cfg: &MultiParamConfig,
+    ) -> Result<Vec<RegionModel>, FitError> {
+        let mut out = Vec::new();
+        for path in survey.channels(MetricKind::Flops) {
+            let exp =
+                experiment_from_triples(&survey.channel_triples(MetricKind::Flops, &path));
+            let fitted = fit_multi(&exp, cfg)?;
+            out.push(RegionModel { path, fitted });
+        }
+        let p_idx = 0; // experiments are over ("p", "n")
+        out.sort_by(|a, b| {
+            let ga = a.fitted.model.dominant_exponents(p_idx);
+            let gb = b.fitted.model.dominant_exponents(p_idx);
+            gb.growth_cmp(&ga)
+        });
+        Ok(out)
+    }
+
+    /// Classifies every measurement of a survey by the relative error of
+    /// the model that explains it — the Figure 3 histogram.
+    pub fn error_histogram(surveys_and_models: &[(&Survey, &ModeledApp)]) -> ErrorHistogram {
+        let mut hist = ErrorHistogram::default();
+        for (survey, modeled) in surveys_and_models {
+            let pairs: [(MetricKind, &Model); 4] = [
+                (MetricKind::BytesUsed, &modeled.requirements.bytes_used),
+                (MetricKind::Flops, &modeled.requirements.flops),
+                (MetricKind::CommBytes, &modeled.requirements.comm_bytes),
+                (
+                    MetricKind::LoadsStores,
+                    &modeled.requirements.loads_stores,
+                ),
+            ];
+            for (metric, model) in pairs {
+                let exp = experiment_from_triples(&survey.triples(metric));
+                hist.extend(&model_relative_errors(model, &exp));
+            }
+            // Stack distance per group, against the fitted group models.
+            for (label, fm) in &modeled.fitted {
+                if let Some(group) = label
+                    .strip_prefix("Stack distance [")
+                    .and_then(|s| s.strip_suffix(']'))
+                {
+                    let exp = experiment_from_triples(
+                        &survey.channel_triples(MetricKind::StackDistance, group),
+                    );
+                    hist.extend(&model_relative_errors(&fm.model, &exp));
+                }
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pipeline::*;
+
+    #[test]
+    fn experiment_from_triples_builds_grid() {
+        let exp = experiment_from_triples(&[(2, 10, 1.0), (4, 10, 2.0)]);
+        assert_eq!(exp.params, vec!["p".to_string(), "n".to_string()]);
+        assert_eq!(exp.points.len(), 2);
+        assert_eq!(exp.points[1].coords, vec![4.0, 10.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests of the `exareq` command-line interface.
+
+use std::process::Command;
+
+fn exareq(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .args(args)
+        .output()
+        .expect("spawn exareq");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (ok, _, err) = exareq(&[]);
+    assert!(!ok);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (ok, out, _) = exareq(&["help"]);
+    assert!(ok);
+    assert!(out.contains("survey"));
+    assert!(out.contains("strawman"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, err) = exareq(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn apps_lists_all_five() {
+    let (ok, out, _) = exareq(&["apps"]);
+    assert!(ok);
+    for name in ["Kripke", "LULESH", "MILC", "Relearn", "icoFoam"] {
+        assert!(out.contains(name), "{out}");
+    }
+}
+
+#[test]
+fn survey_then_model_roundtrip() {
+    let dir = std::env::temp_dir().join("exareq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("relearn.json");
+    let path_s = path.to_str().unwrap();
+
+    let (ok, out, err) = exareq(&[
+        "survey",
+        "relearn",
+        "--p",
+        "2,4,8,16,32",
+        "--n",
+        "64,256,1024,4096,16384",
+        "-o",
+        path_s,
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("25 configurations"), "{out}");
+
+    let (ok, out, err) = exareq(&["model", path_s]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("== Relearn =="), "{out}");
+    assert!(out.contains("n^0.5"), "footprint model missing: {out}");
+    assert!(out.contains("Allreduce(p)"), "{out}");
+    assert!(out.contains("in words:"), "{out}");
+}
+
+#[test]
+fn survey_rejects_unknown_app() {
+    let (ok, _, err) = exareq(&["survey", "nosuchapp"]);
+    assert!(!ok);
+    assert!(err.contains("unknown application"));
+}
+
+#[test]
+fn model_rejects_missing_file() {
+    let (ok, _, err) = exareq(&["model", "/nonexistent/path.json"]);
+    assert!(!ok);
+    assert!(err.contains("reading"));
+}
+
+#[test]
+fn report_generates_full_dossier() {
+    let dir = std::env::temp_dir().join("exareq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let survey = dir.join("kripke_report_in.json");
+    let report = dir.join("kripke_report.md");
+    let (ok, _, err) = exareq(&[
+        "survey",
+        "kripke",
+        "--p",
+        "2,4,8,16,32",
+        "--n",
+        "64,256,1024,4096,16384",
+        "-o",
+        survey.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let (ok, _, err) = exareq(&[
+        "report",
+        survey.to_str().unwrap(),
+        "-o",
+        report.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let md = std::fs::read_to_string(&report).unwrap();
+    for section in [
+        "# Co-design dossier: Kripke",
+        "## Requirement models",
+        "## Scaling hazards",
+        "## Fit check",
+        "## Scaling outlook",
+        "## Upgrade response",
+        "## Exascale straw-man verdict",
+    ] {
+        assert!(md.contains(section), "missing {section}");
+    }
+    assert!(md.contains("multiplicative p×n effect"), "{md}");
+}
+
+#[test]
+fn fit_command_on_csv() {
+    let dir = std::env::temp_dir().join("exareq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("lin.csv");
+    std::fs::write(&csv, "p,value\n2,14\n4,28\n8,56\n16,112\n32,224\n").unwrap();
+    let (ok, out, err) = exareq(&["fit", csv.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("7·p"), "{out}");
+    assert!(out.contains("grows linearly"), "{out}");
+}
+
+#[test]
+fn upgrades_with_paper_catalog() {
+    let (ok, out, _) = exareq(&["upgrades"]);
+    assert!(ok);
+    assert!(out.contains("Double the racks"), "{out}");
+    assert!(out.contains("Kripke"), "{out}");
+    assert!(out.contains("Baseline"), "{out}");
+}
+
+#[test]
+fn strawman_with_network() {
+    let (ok, out, _) = exareq(&["strawman", "--network"]);
+    assert!(ok);
+    assert!(out.contains("Massively parallel"), "{out}");
+    assert!(out.contains("network-aware"), "{out}");
+    assert!(out.contains("excluded"), "icoFoam exclusion missing: {out}");
+}

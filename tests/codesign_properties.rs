@@ -1,0 +1,125 @@
+//! Property-based verification of the co-design layer: problem inflation
+//! inverts footprint models, upgrade algebra is consistent, and straw-man
+//! analysis respects its definitions.
+
+use exareq::codesign::{
+    analyze_upgrade, catalog, inflate_problem, Inflation, SystemSkeleton, Upgrade,
+};
+use exareq::core::pmnf::{Exponents, Model, Term};
+use proptest::prelude::*;
+
+fn footprint(coeff: f64, poly: f64, log: f64) -> Model {
+    Model::new(
+        0.0,
+        vec![Term::new(
+            coeff,
+            vec![Exponents::constant(), Exponents::new(poly, log)],
+        )],
+        vec!["p".into(), "n".into()],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inflation inverts the footprint: footprint(p, n*) == memory.
+    #[test]
+    fn inflation_inverts_footprint(
+        coeff in 1.0f64..1e6,
+        poly in prop_oneof![Just(0.5f64), Just(1.0), Just(1.5), Just(2.0)],
+        log in prop_oneof![Just(0.0f64), Just(1.0)],
+        mem_exp in 8.0f64..14.0,
+    ) {
+        let f = footprint(coeff, poly, log);
+        let sys = SystemSkeleton::new(1e4, 10f64.powf(mem_exp));
+        match inflate_problem(&f, &sys) {
+            Inflation::Fits(n) => {
+                let back = f.eval(&[sys.processes, n]);
+                prop_assert!(
+                    (back - sys.mem_per_process).abs() / sys.mem_per_process < 1e-6,
+                    "footprint({n}) = {back} vs memory {}",
+                    sys.mem_per_process
+                );
+            }
+            Inflation::TooBig { floor_bytes } => {
+                // Only possible if even n = 1 exceeds memory.
+                prop_assert!(floor_bytes > sys.mem_per_process);
+            }
+            Inflation::Unbounded => prop_assert!(false, "model depends on n"),
+        }
+    }
+
+    /// More memory never shrinks the inflated problem (monotonicity).
+    #[test]
+    fn inflation_monotone_in_memory(
+        coeff in 1.0f64..1e5,
+        poly in prop_oneof![Just(0.5f64), Just(1.0), Just(1.5)],
+        m1 in 9.0f64..12.0,
+        dm in 0.1f64..2.0,
+    ) {
+        let f = footprint(coeff, poly, 0.0);
+        let s1 = SystemSkeleton::new(100.0, 10f64.powf(m1));
+        let s2 = SystemSkeleton::new(100.0, 10f64.powf(m1 + dm));
+        let n1 = inflate_problem(&f, &s1).n().unwrap();
+        let n2 = inflate_problem(&f, &s2).n().unwrap();
+        prop_assert!(n2 >= n1);
+    }
+
+    /// Upgrade algebra: overall-problem ratio equals p_factor × n-ratio for
+    /// every application and upgrade (by definition of the workflow).
+    #[test]
+    fn overall_ratio_decomposes(app_idx in 0usize..5, up_idx in 0usize..3) {
+        let apps = catalog::paper_models();
+        let app = &apps[app_idx];
+        let up = &Upgrade::ALL[up_idx];
+        let base = SystemSkeleton::reference_large();
+        if let Ok(o) = analyze_upgrade(app, &base, up) {
+            prop_assert!(
+                (o.ratio_overall - up.p_factor * o.ratio_n).abs()
+                    <= 1e-9 * (1.0 + o.ratio_overall),
+                "{} {}: {} vs {}",
+                app.name,
+                up.name,
+                o.ratio_overall,
+                up.p_factor * o.ratio_n
+            );
+        }
+    }
+
+    /// Applying an upgrade then its inverse restores the skeleton.
+    #[test]
+    fn upgrades_invert(p_exp in 2.0f64..7.0, m_exp in 8.0f64..12.0, up_idx in 0usize..3) {
+        let base = SystemSkeleton::new(10f64.powf(p_exp), 10f64.powf(m_exp));
+        let up = &Upgrade::ALL[up_idx];
+        let there = up.apply(&base);
+        let inverse = Upgrade {
+            name: "inv",
+            description: "inverse",
+            p_factor: 1.0 / up.p_factor,
+            m_factor: 1.0 / up.m_factor,
+        };
+        let back = inverse.apply(&there);
+        prop_assert!((back.processes - base.processes).abs() / base.processes < 1e-12);
+        prop_assert!(
+            (back.mem_per_process - base.mem_per_process).abs() / base.mem_per_process < 1e-12
+        );
+    }
+}
+
+#[test]
+fn model_sum_matches_pointwise_addition() {
+    // Cross-check Model::sum against evaluation on a grid, with the real
+    // catalog models.
+    let milc = catalog::milc();
+    let sum = Model::sum(&[&milc.flops, &milc.comm_bytes]);
+    for p in [2.0, 64.0, 1e6] {
+        for n in [16.0, 1024.0, 1e6] {
+            let direct = milc.flops.eval(&[p, n]) + milc.comm_bytes.eval(&[p, n]);
+            let via_sum = sum.eval(&[p, n]);
+            assert!(
+                (direct - via_sum).abs() <= 1e-9 * (1.0 + direct.abs()),
+                "at ({p}, {n}): {direct} vs {via_sum}"
+            );
+        }
+    }
+}

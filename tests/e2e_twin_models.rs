@@ -1,0 +1,239 @@
+//! Experiment E1 end-to-end: survey each behavioural twin on the simulator
+//! and verify that the model generator re-discovers its Table II
+//! requirement signature — lead exponents in `n` and `p` — from raw
+//! counters alone.
+
+use exareq::apps::{survey_app, AppGrid, IcoFoam, Kripke, Lulesh, MiniApp, Milc, Relearn};
+use exareq::core::multiparam::MultiParamConfig;
+use exareq::core::pmnf::{Exponents, Model};
+use exareq::pipeline::{error_histogram, model_requirements, ModeledApp};
+use exareq::profile::Survey;
+
+fn modeled(app: &dyn MiniApp) -> (Survey, ModeledApp) {
+    let survey = survey_app(app, &AppGrid::default());
+    let m = model_requirements(&survey, &MultiParamConfig::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+    (survey, m)
+}
+
+fn lead(model: &Model) -> (Exponents, Exponents) {
+    // (p-exponents, n-exponents)
+    (model.dominant_exponents(0), model.dominant_exponents(1))
+}
+
+fn assert_lead(model: &Model, p: (f64, f64), n: (f64, f64), what: &str) {
+    let (fp, fn_) = lead(model);
+    assert_eq!(
+        (fp.poly, fp.log),
+        p,
+        "{what}: p-exponents of {model}"
+    );
+    assert_eq!(
+        (fn_.poly, fn_.log),
+        n,
+        "{what}: n-exponents of {model}"
+    );
+}
+
+#[test]
+fn kripke_signature_recovered() {
+    let (_, m) = modeled(&Kripke);
+    let r = &m.requirements;
+    assert_lead(&r.bytes_used, (0.0, 0.0), (1.0, 0.0), "Kripke bytes");
+    assert_lead(&r.flops, (0.0, 0.0), (1.0, 0.0), "Kripke flops");
+    assert_lead(&r.comm_bytes, (0.0, 0.0), (1.0, 0.0), "Kripke comm");
+    // Loads & stores: c1·n + c2·n·p — the ⚠ row.
+    assert_lead(&r.loads_stores, (1.0, 0.0), (1.0, 0.0), "Kripke loads");
+    assert!(r.loads_stores.has_multiplicative_interaction());
+    // Stack distance constant.
+    assert!(!r.stack_distance.depends_on(1), "{}", r.stack_distance);
+}
+
+#[test]
+fn lulesh_signature_recovered() {
+    let (_, m) = modeled(&Lulesh);
+    let r = &m.requirements;
+    assert_lead(&r.bytes_used, (0.0, 0.0), (1.0, 1.0), "LULESH bytes");
+    assert_lead(&r.flops, (0.25, 1.0), (1.0, 1.0), "LULESH flops");
+    assert_lead(&r.comm_bytes, (0.25, 1.0), (1.0, 0.0), "LULESH comm");
+    assert_lead(&r.loads_stores, (0.0, 1.0), (1.0, 1.0), "LULESH loads");
+    assert!(!r.stack_distance.depends_on(1));
+    assert!(r.flops.has_multiplicative_interaction());
+}
+
+#[test]
+fn milc_signature_recovered() {
+    let (_, m) = modeled(&Milc);
+    let r = &m.requirements;
+    assert_lead(&r.bytes_used, (0.0, 0.0), (1.0, 0.0), "MILC bytes");
+    // FLOP: c1·n + c2·n·log p — dominant n is linear; p side shows log p.
+    let (fp, fn_) = lead(&r.flops);
+    assert_eq!((fn_.poly, fn_.log), (1.0, 0.0), "MILC flops n: {}", r.flops);
+    assert_eq!((fp.poly, fp.log), (0.0, 1.0), "MILC flops p: {}", r.flops);
+    // Loads & stores: c0 + c1·n·log n + c2·p^1.5.
+    let (fp, fn_) = lead(&r.loads_stores);
+    assert_eq!(
+        (fn_.poly, fn_.log),
+        (1.0, 1.0),
+        "MILC loads n: {}",
+        r.loads_stores
+    );
+    assert_eq!(
+        (fp.poly, fp.log),
+        (1.5, 0.0),
+        "MILC loads p: {}",
+        r.loads_stores
+    );
+    assert!(r.loads_stores.constant > 0.0, "{}", r.loads_stores);
+    // The MILC ⚠: stack distance grows linearly with n.
+    assert_lead(&r.stack_distance, (0.0, 0.0), (1.0, 0.0), "MILC stack distance");
+}
+
+#[test]
+fn relearn_signature_recovered() {
+    let (_, m) = modeled(&Relearn);
+    let r = &m.requirements;
+    assert_lead(&r.bytes_used, (0.0, 0.0), (0.5, 0.0), "Relearn bytes");
+    // FLOP: c₁·n log n·log p + c₂·p — the dominant-p exponent comes from
+    // the additive p term; the interaction term carries log p only.
+    let flops = &r.flops;
+    let has_interaction = flops.terms.iter().any(|t| {
+        t.factors[1] == Exponents::new(1.0, 1.0) && t.factors[0] == Exponents::new(0.0, 1.0)
+    });
+    assert!(has_interaction, "Relearn flops: {flops}");
+    let has_p_term = flops.terms.iter().any(|t| {
+        t.factors[0] == Exponents::new(1.0, 0.0) && t.factors[1].is_constant()
+    });
+    assert!(has_p_term, "Relearn flops: {flops}");
+    // Loads & stores additive: n log n + p log p.
+    let (fp, fn_) = lead(&r.loads_stores);
+    assert_eq!(
+        (fn_.poly, fn_.log),
+        (1.0, 1.0),
+        "Relearn loads n: {}",
+        r.loads_stores
+    );
+    assert_eq!(fp.poly, 1.0, "Relearn loads p: {}", r.loads_stores);
+    assert!(!r.stack_distance.depends_on(1));
+}
+
+#[test]
+fn icofoam_signature_recovered() {
+    let (_, m) = modeled(&IcoFoam);
+    let r = &m.requirements;
+    // Footprint: c1·n + c2·p·log p — the exclusion hazard.
+    let (fp, fn_) = lead(&r.bytes_used);
+    assert_eq!((fn_.poly, fn_.log), (1.0, 0.0), "icoFoam bytes n: {}", r.bytes_used);
+    assert_eq!((fp.poly, fp.log), (1.0, 1.0), "icoFoam bytes p: {}", r.bytes_used);
+    assert_lead(&r.flops, (0.5, 0.0), (1.5, 0.0), "icoFoam flops");
+    assert_lead(&r.loads_stores, (0.5, 1.0), (1.0, 1.0), "icoFoam loads");
+    // Comm (Table II: n^0.5·Allreduce(p) + p^0.5·log p + n·p^0.375): the
+    // n-side is dominated by the n·p^0.375 faces; the fastest p-term is the
+    // flagged p^0.5·log p.
+    let comm = &r.comm_bytes;
+    let (fp, fn_) = lead(comm);
+    assert_eq!((fn_.poly, fn_.log), (1.0, 0.0), "icoFoam comm n: {comm}");
+    assert_eq!((fp.poly, fp.log), (0.5, 1.0), "icoFoam comm p: {comm}");
+    let has_np = comm.terms.iter().any(|t| {
+        (t.factors[0].poly - 0.375).abs() < 1e-9 && t.factors[1] == Exponents::new(1.0, 0.0)
+    });
+    assert!(has_np, "icoFoam comm missing n·p^0.375: {comm}");
+    // And the allreduce row carries the √n payload.
+    let ar = m
+        .comm_symbolic
+        .iter()
+        .find(|s| s.kind == exareq::core::collective::CollectiveKind::Allreduce)
+        .expect("icoFoam has an allreduce row");
+    assert_eq!(
+        ar.scale.model.dominant_exponents(1),
+        Exponents::new(0.5, 0.0),
+        "icoFoam AR scale: {}",
+        ar.scale.model
+    );
+}
+
+#[test]
+fn scalability_bug_hunt_pins_the_region() {
+    // The SC13 use case on MILC: per-call-path models must expose
+    // `overlap_recompute` (the hidden n·log p growth) as the fastest
+    // grower in p, ahead of the p-constant compute regions.
+    use exareq::pipeline::find_scalability_bugs;
+    let survey = survey_app(&Milc, &AppGrid::default());
+    let regions = find_scalability_bugs(&survey, &MultiParamConfig::default()).unwrap();
+    assert!(regions.len() >= 3, "{}", regions.len());
+    assert_eq!(regions[0].path, "main/overlap_recompute");
+    assert_eq!(
+        regions[0].fitted.model.dominant_exponents(0),
+        Exponents::new(0.0, 1.0),
+        "{}",
+        regions[0].fitted.model
+    );
+    // The rest are p-constant.
+    for r in &regions[1..] {
+        assert!(!r.fitted.model.depends_on(0), "{}: {}", r.path, r.fitted.model);
+    }
+}
+
+#[test]
+fn warnings_match_table_two_pattern() {
+    use exareq::codesign::{RateMetric, Warning};
+    let (_, kripke) = modeled(&Kripke);
+    assert_eq!(
+        kripke.requirements.warnings(),
+        vec![Warning::MultiplicativeInteraction(RateMetric::MemoryAccess)]
+    );
+    let (_, milc) = modeled(&Milc);
+    assert!(milc
+        .requirements
+        .warnings()
+        .contains(&Warning::LocalityDecaysWithN));
+    let (_, ico) = modeled(&IcoFoam);
+    assert!(ico
+        .requirements
+        .warnings()
+        .contains(&Warning::FootprintGrowsWithP));
+}
+
+#[test]
+fn figure3_error_quality_on_twins() {
+    // Deterministic counters → the twin study should beat the paper's 88%
+    // of measurements under 5% relative error by a wide margin.
+    let apps: Vec<Box<dyn MiniApp>> = vec![Box::new(Kripke), Box::new(Relearn)];
+    let cfg = MultiParamConfig::default();
+    let pairs: Vec<(Survey, ModeledApp)> = apps
+        .iter()
+        .map(|a| {
+            let s = survey_app(a.as_ref(), &AppGrid::small());
+            let m = model_requirements(&s, &cfg).unwrap();
+            (s, m)
+        })
+        .collect();
+    let refs: Vec<(&Survey, &ModeledApp)> = pairs.iter().map(|(s, m)| (s, m)).collect();
+    let hist = error_histogram(&refs);
+    assert!(hist.total() > 100, "{}", hist.total());
+    assert!(
+        hist.frac_below_5pct() > 0.88,
+        "only {:.1}% below 5%:\n{}",
+        hist.frac_below_5pct() * 100.0,
+        hist.render()
+    );
+}
+
+#[test]
+fn symbolic_comm_rows_are_clean_for_fixed_count_collectives() {
+    // MILC's allreduce count is fixed → the symbolic row must factor out
+    // the algorithmic p-dependence completely.
+    let (_, m) = modeled(&Milc);
+    let ar = m
+        .comm_symbolic
+        .iter()
+        .find(|s| s.kind == exareq::core::collective::CollectiveKind::Allreduce)
+        .expect("MILC has an allreduce row");
+    assert!(ar.is_clean(), "scale model: {}", ar.scale.model);
+    let bc = m
+        .comm_symbolic
+        .iter()
+        .find(|s| s.kind == exareq::core::collective::CollectiveKind::Bcast)
+        .expect("MILC has a bcast row");
+    assert!(bc.is_clean(), "scale model: {}", bc.scale.model);
+}

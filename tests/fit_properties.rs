@@ -1,0 +1,137 @@
+//! Property-based verification of the model generator: exponent recovery
+//! over the coarse space, invariance properties of the fit, and least
+//! squares optimality.
+
+use exareq::core::fit::{fit_single, FitConfig};
+use exareq::core::linalg::{lstsq, rss, Matrix};
+use exareq::core::measurement::Experiment;
+use exareq::core::multiparam::{fit_multi, MultiParamConfig};
+use exareq::core::pmnf::Exponents;
+use proptest::prelude::*;
+
+const XS: [f64; 7] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+fn coarse_exponent() -> impl Strategy<Value = (f64, f64)> {
+    // The coarse search-space grid minus the constant pair.
+    (0usize..7, 0usize..2)
+        .prop_map(|(i, j)| (i as f64 * 0.5, j as f64))
+        .prop_filter("non-constant", |&(i, j)| i != 0.0 || j != 0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For exact data generated from a single coarse-grid term, the fitter
+    /// recovers the exact exponents and coefficient.
+    #[test]
+    fn recovers_generating_exponents(
+        (i, j) in coarse_exponent(),
+        coeff in 1.0f64..1000.0,
+        offset in 0.0f64..100.0,
+    ) {
+        let e = Experiment::from_fn(vec!["x"], &[&XS], |c| {
+            offset + coeff * c[0].powf(i) * c[0].log2().powf(j)
+        });
+        let m = fit_single(&e, &FitConfig::coarse()).unwrap();
+        let lead = m.model.dominant_exponents(0);
+        prop_assert_eq!(lead, Exponents::new(i, j), "fit {}", m.model);
+        let t = m.model.dominant_term().unwrap();
+        prop_assert!((t.coeff - coeff).abs() / coeff < 1e-6, "coeff {} vs {}", t.coeff, coeff);
+    }
+
+    /// Scaling all observations by a positive constant scales the model
+    /// coefficients and leaves the selected exponents unchanged.
+    #[test]
+    fn fit_is_scale_equivariant(
+        (i, j) in coarse_exponent(),
+        scale in 1.0f64..1e6,
+    ) {
+        let base = Experiment::from_fn(vec!["x"], &[&XS], |c| {
+            5.0 * c[0].powf(i) * c[0].log2().powf(j) + 3.0
+        });
+        let mut scaled = base.clone();
+        for p in &mut scaled.points {
+            p.value *= scale;
+        }
+        let mb = fit_single(&base, &FitConfig::coarse()).unwrap();
+        let ms = fit_single(&scaled, &FitConfig::coarse()).unwrap();
+        prop_assert_eq!(
+            mb.model.dominant_exponents(0),
+            ms.model.dominant_exponents(0)
+        );
+        let (cb, cs) = (
+            mb.model.dominant_term().unwrap().coeff,
+            ms.model.dominant_term().unwrap().coeff,
+        );
+        prop_assert!((cs / cb - scale).abs() / scale < 1e-6);
+    }
+
+    /// The model's predictions at the measured points match the data for
+    /// exact inputs (in-sample SMAPE ≈ 0, R² ≈ 1).
+    #[test]
+    fn exact_data_fits_exactly((i, j) in coarse_exponent()) {
+        let e = Experiment::from_fn(vec!["x"], &[&XS], |c| {
+            7.0 * c[0].powf(i) * c[0].log2().powf(j) + 11.0
+        });
+        let m = fit_single(&e, &FitConfig::coarse()).unwrap();
+        prop_assert!(m.smape < 1e-6, "smape {}", m.smape);
+        prop_assert!(m.r2 > 1.0 - 1e-9, "r2 {}", m.r2);
+    }
+
+    /// Least squares is optimal: random perturbations of the solution never
+    /// reduce the residual.
+    #[test]
+    fn lstsq_is_optimal(
+        rows in 3usize..8,
+        seedvals in proptest::collection::vec(-100.0f64..100.0, 16..64),
+        d0 in -0.1f64..0.1,
+        d1 in -0.1f64..0.1,
+    ) {
+        let cols = 2;
+        prop_assume!(seedvals.len() >= rows * (cols + 1));
+        let mut a = Matrix::zeros(rows, cols);
+        let mut b = vec![0.0; rows];
+        for r in 0..rows {
+            a[(r, 0)] = 1.0;
+            a[(r, 1)] = seedvals[r * 2] + 200.0 * (r as f64 + 1.0); // distinct
+            b[r] = seedvals[r * 2 + 1];
+        }
+        let x = lstsq(&a, &b).unwrap();
+        let base = rss(&a, &x, &b);
+        let pert = [x[0] + d0, x[1] + d1];
+        prop_assert!(rss(&a, &pert, &b) >= base - 1e-9 * (1.0 + base));
+    }
+
+    /// Two-parameter separable products are recovered with both factors.
+    #[test]
+    fn multiparam_recovers_products(
+        (i1, j1) in coarse_exponent(),
+        (i2, j2) in coarse_exponent(),
+    ) {
+        // Keep the magnitudes sane.
+        prop_assume!(i1 + i2 <= 3.0);
+        let e = Experiment::from_fn(
+            vec!["p", "n"],
+            &[&[2.0, 4.0, 8.0, 16.0, 32.0], &[64.0, 256.0, 1024.0, 4096.0, 16384.0]],
+            |c| {
+                2.0 * c[0].powf(i1)
+                    * c[0].log2().powf(j1)
+                    * c[1].powf(i2)
+                    * c[1].log2().powf(j2)
+            },
+        );
+        let m = fit_multi(&e, &MultiParamConfig::coarse()).unwrap();
+        prop_assert_eq!(
+            m.model.dominant_exponents(0),
+            Exponents::new(i1, j1),
+            "fit {}",
+            &m.model
+        );
+        prop_assert_eq!(
+            m.model.dominant_exponents(1),
+            Exponents::new(i2, j2),
+            "fit {}",
+            &m.model
+        );
+    }
+}

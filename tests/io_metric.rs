@@ -1,0 +1,91 @@
+//! The I/O extension end to end: a user application with checkpoint I/O
+//! goes through survey and modeling, and its I/O requirement model is
+//! generated "analogously to the network communication requirement"
+//! (Section II-A).
+
+use exareq::apps::shapes::{log2f, ops, Arena};
+use exareq::apps::{measure, survey_app, AppGrid, MiniApp};
+use exareq::core::multiparam::MultiParamConfig;
+use exareq::core::pmnf::Exponents;
+use exareq::locality::BurstSampler;
+use exareq::pipeline::model_requirements;
+use exareq::profile::{MetricKind, ProcessProfile};
+use exareq::sim::Rank;
+
+/// A checkpointing stencil: every rank writes its n-sized state plus a
+/// log-growing index, and reads a fixed input deck.
+struct CheckpointingApp;
+
+impl MiniApp for CheckpointingApp {
+    fn name(&self) -> &'static str {
+        "Checkpointer"
+    }
+
+    fn run_rank(&self, rank: &mut Rank, n: u64, prof: &mut ProcessProfile) {
+        let mut field = Arena::new(n as usize);
+        prof.footprint.alloc(field.bytes());
+        field.compute(ops(4.0 * n as f64), prof.callpath.counters());
+        field.stream(ops(2.0 * n as f64), prof.callpath.counters());
+
+        // I/O: fixed input deck read + per-rank checkpoint write.
+        prof.io.read("input-deck", 65_536);
+        prof.io.write("checkpoint", 8 * n + 128 * log2f(n) as u64);
+
+        // Token exchange so communication is non-trivial.
+        if rank.size() > 1 {
+            let next = (rank.rank() + 1) % rank.size();
+            let prev = (rank.rank() + rank.size() - 1) % rank.size();
+            rank.send(next, 0, &[0u8; 64]);
+            let _ = rank.recv(prev, 0);
+        }
+    }
+
+    fn run_locality(&self, _n: u64, sampler: &mut BurstSampler) {
+        let g = sampler.register_group("stencil window");
+        for _ in 0..4 {
+            for i in 0..48u64 {
+                sampler.access(g, i);
+            }
+        }
+    }
+}
+
+#[test]
+fn io_is_measured_per_process() {
+    let m = measure(&CheckpointingApp, 4, 1024);
+    // 64 KiB read + (8·1024 + 128·10) written per process.
+    assert_eq!(m.io_bytes, 65_536.0 + 8.0 * 1024.0 + 1280.0);
+}
+
+#[test]
+fn io_model_is_generated_analogously() {
+    let grid = AppGrid {
+        p_values: vec![2, 4, 8, 16, 32],
+        n_values: vec![64, 256, 1024, 4096, 16384],
+    };
+    let survey = survey_app(&CheckpointingApp, &grid);
+    assert!(!survey.triples(MetricKind::IoBytes).is_empty());
+
+    let modeled = model_requirements(&survey, &MultiParamConfig::default()).unwrap();
+    let (_, io) = modeled
+        .fitted
+        .iter()
+        .find(|(l, _)| l == "#Bytes read & written")
+        .expect("I/O model fitted");
+    // Dominated by the linear checkpoint state; independent of p.
+    assert_eq!(io.model.dominant_exponents(1), Exponents::new(1.0, 0.0), "{}", io.model);
+    assert!(!io.model.depends_on(0), "{}", io.model);
+    // Extrapolation at exascale: the write volume stays per-process linear.
+    let at_exa = io.model.eval(&[2e9, 1e6]);
+    assert!((at_exa - (65_536.0 + 8e6 + 128.0 * 1e6_f64.log2())).abs() / at_exa < 0.05);
+}
+
+#[test]
+fn study_twins_have_no_io() {
+    // Matching the paper: "none of our analyzed applications includes
+    // significant I/O traffic".
+    for app in exareq::apps::all_apps() {
+        let m = measure(app.as_ref(), 4, 256);
+        assert_eq!(m.io_bytes, 0.0, "{}", app.name());
+    }
+}

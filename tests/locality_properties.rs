@@ -1,0 +1,113 @@
+//! Property-based verification of the locality engine: the Fenwick-tree
+//! analyzer must agree with the naive oracle on arbitrary traces, and the
+//! distance metrics must satisfy their defining invariants.
+
+use exareq::locality::{AccessDistances, BurstSampler, BurstSchedule, DistanceAnalyzer, NaiveAnalyzer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The O(log T) engine and the O(T) oracle agree access for access.
+    #[test]
+    fn fast_matches_naive(trace in proptest::collection::vec(0u64..32, 1..400)) {
+        let mut fast = DistanceAnalyzer::new();
+        let mut slow = NaiveAnalyzer::new();
+        for (i, &addr) in trace.iter().enumerate() {
+            let f = fast.access(addr);
+            let s = slow.access(addr);
+            prop_assert_eq!(f, s, "divergence at access {} (addr {})", i, addr);
+        }
+    }
+
+    /// Stack distance never exceeds reuse distance (unique ⊆ all), and both
+    /// are bounded by the trace position.
+    #[test]
+    fn stack_bounded_by_reuse(trace in proptest::collection::vec(0u64..64, 1..300)) {
+        let mut a = DistanceAnalyzer::new();
+        for (i, &addr) in trace.iter().enumerate() {
+            let d = a.access(addr);
+            if let AccessDistances { reuse: Some(r), stack: Some(s) } = d {
+                prop_assert!(s <= r, "stack {} > reuse {} at {}", s, r, i);
+                prop_assert!(r as usize <= i, "reuse beyond history at {}", i);
+            }
+        }
+    }
+
+    /// Stack distance is bounded by the number of distinct addresses seen so
+    /// far minus one (everything else could be in between at most once).
+    #[test]
+    fn stack_bounded_by_distinct(trace in proptest::collection::vec(0u64..16, 1..300)) {
+        let mut a = DistanceAnalyzer::new();
+        for &addr in &trace {
+            let before_distinct = a.distinct_addresses();
+            let d = a.access(addr);
+            if let Some(s) = d.stack {
+                prop_assert!((s as usize) < before_distinct.max(1));
+            }
+        }
+    }
+
+    /// Cold misses happen exactly once per distinct address.
+    #[test]
+    fn one_cold_miss_per_address(trace in proptest::collection::vec(0u64..32, 1..300)) {
+        let mut a = DistanceAnalyzer::new();
+        let cold = trace.iter().filter(|&&x| a.access(x).is_cold()).count();
+        let mut uniq: Vec<u64> = trace.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(cold, uniq.len());
+    }
+
+    /// Burst sampling never invents samples: the sampled distances are a
+    /// subset of what exact monitoring produces, and per-group access counts
+    /// are exact regardless of the schedule.
+    #[test]
+    fn sampling_is_a_subset(
+        trace in proptest::collection::vec(0u64..16, 1..300),
+        burst in 1u64..8,
+        gap in 0u64..8,
+    ) {
+        let mut exact = BurstSampler::new(BurstSchedule::always());
+        let ge = exact.register_group("g");
+        let mut sampled = BurstSampler::new(BurstSchedule { burst, gap });
+        let gs = sampled.register_group("g");
+        for &addr in &trace {
+            exact.access(ge, addr);
+            sampled.access(gs, addr);
+        }
+        prop_assert_eq!(sampled.groups()[gs].accesses, trace.len() as u64);
+        prop_assert!(sampled.groups()[gs].stack.len() <= exact.groups()[ge].stack.len());
+        // Every sampled value appears in the exact multiset.
+        let mut pool = exact.groups()[ge].stack.clone();
+        for v in &sampled.groups()[gs].stack {
+            let pos = pool.iter().position(|x| x == v);
+            prop_assert!(pos.is_some(), "sampled {} not in exact distances", v);
+            pool.swap_remove(pos.unwrap());
+        }
+    }
+}
+
+#[test]
+fn sequential_scan_has_no_reuse() {
+    let mut a = DistanceAnalyzer::new();
+    for addr in 0..10_000u64 {
+        assert!(a.access(addr).is_cold());
+    }
+}
+
+#[test]
+fn grouped_median_is_deterministic() {
+    let run = || {
+        let mut s = BurstSampler::new(BurstSchedule::default());
+        let g = s.register_group("loop");
+        for _pass in 0..50 {
+            for i in 0..1000u64 {
+                s.access(g, i);
+            }
+        }
+        s.groups()[g].median_stack()
+    };
+    assert_eq!(run(), run());
+    assert_eq!(run(), Some(999.0));
+}

@@ -1,0 +1,100 @@
+//! Cross-crate consistency: the byte totals produced by the simulator's
+//! collective implementations must equal the closed forms that
+//! `exareq-core` uses for symbolic normalization — message for message.
+
+use exareq::core::collective::CollectiveKind;
+use exareq::sim::{run_ranks, total_stats, OpClass};
+
+const PS: [usize; 8] = [2, 3, 4, 5, 6, 8, 12, 16];
+
+#[test]
+fn bcast_totals_match_closed_form() {
+    for p in PS {
+        let payload = 1000usize;
+        let results = run_ranks(p, |r| {
+            let _ = r.bcast(0, &vec![7u8; payload]);
+        });
+        let t = total_stats(&results);
+        let measured = (t.class(OpClass::Bcast).sent + t.class(OpClass::Bcast).recv) as f64;
+        let expected = CollectiveKind::Bcast.total_bytes(p as u64, payload as u64);
+        assert_eq!(measured, expected, "p = {p}");
+    }
+}
+
+#[test]
+fn allreduce_totals_match_closed_form() {
+    for p in PS {
+        let elems = 17usize;
+        let results = run_ranks(p, |r| {
+            let mut v = vec![1.0f64; elems];
+            r.allreduce_sum(&mut v);
+        });
+        let t = total_stats(&results);
+        let measured =
+            (t.class(OpClass::Allreduce).sent + t.class(OpClass::Allreduce).recv) as f64;
+        let expected = CollectiveKind::Allreduce.total_bytes(p as u64, (elems * 8) as u64);
+        assert_eq!(measured, expected, "p = {p}");
+    }
+}
+
+#[test]
+fn allgather_totals_match_closed_form() {
+    for p in PS {
+        let block = 64usize;
+        let results = run_ranks(p, |r| {
+            let _ = r.allgather(&vec![1u8; block]);
+        });
+        let t = total_stats(&results);
+        let measured =
+            (t.class(OpClass::Allgather).sent + t.class(OpClass::Allgather).recv) as f64;
+        let expected = CollectiveKind::Allgather.total_bytes(p as u64, block as u64);
+        assert_eq!(measured, expected, "p = {p}");
+    }
+}
+
+#[test]
+fn alltoall_totals_match_closed_form() {
+    for p in PS {
+        let block = 32usize;
+        let results = run_ranks(p, |r| {
+            let blocks: Vec<Vec<u8>> = (0..p).map(|_| vec![0u8; block]).collect();
+            let _ = r.alltoall(&blocks);
+        });
+        let t = total_stats(&results);
+        let measured =
+            (t.class(OpClass::Alltoall).sent + t.class(OpClass::Alltoall).recv) as f64;
+        let expected = CollectiveKind::Alltoall.total_bytes(p as u64, block as u64);
+        assert_eq!(measured, expected, "p = {p}");
+    }
+}
+
+#[test]
+fn p2p_pair_matches_closed_form() {
+    let results = run_ranks(2, |r| {
+        if r.rank() == 0 {
+            r.send(1, 0, &[0u8; 500]);
+        } else {
+            let _ = r.recv(0, 0);
+        }
+    });
+    let t = total_stats(&results);
+    assert_eq!(
+        (t.class(OpClass::P2p).sent + t.class(OpClass::P2p).recv) as f64,
+        CollectiveKind::PointToPoint.total_bytes(2, 500)
+    );
+}
+
+#[test]
+fn class_labels_align_across_crates() {
+    // The survey channel labels (apps crate) must match the symbols the
+    // modeler uses for collective lookup.
+    for (kind, label) in [
+        (CollectiveKind::Bcast, "Bcast"),
+        (CollectiveKind::Allreduce, "Allreduce"),
+        (CollectiveKind::Allgather, "Allgather"),
+        (CollectiveKind::Alltoall, "Alltoall"),
+    ] {
+        assert_eq!(kind.symbol(), label);
+    }
+    assert_eq!(OpClass::ALL.len(), 5);
+}

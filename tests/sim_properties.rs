@@ -1,0 +1,92 @@
+//! Property-based verification of the simulator: collectives compute the
+//! right values for arbitrary inputs and rank counts, and byte accounting
+//! is conserved (every byte sent is received).
+
+use exareq::sim::{run_ranks, total_stats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Allreduce produces the exact serial sum on every rank, for any rank
+    /// count and any payload.
+    #[test]
+    fn allreduce_equals_serial_sum(
+        p in 1usize..12,
+        seed in proptest::collection::vec(-1e6f64..1e6, 1..20),
+    ) {
+        let len = seed.len();
+        let results = run_ranks(p, |rank| {
+            // Rank r contributes seed rotated by r (deterministic, distinct).
+            let mut v: Vec<f64> = (0..len)
+                .map(|i| seed[(i + rank.rank()) % len])
+                .collect();
+            rank.allreduce_sum(&mut v);
+            v
+        });
+        // Serial reference.
+        let mut expect = vec![0.0f64; len];
+        for r in 0..p {
+            for (i, e) in expect.iter_mut().enumerate() {
+                *e += seed[(i + r) % len];
+            }
+        }
+        for res in &results {
+            for (got, want) in res.value.iter().zip(&expect) {
+                prop_assert!((got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                    "{got} vs {want}");
+            }
+        }
+    }
+
+    /// Bytes are conserved: total sent equals total received, for any mix
+    /// of collectives.
+    #[test]
+    fn bytes_conserved(p in 2usize..10, payload in 1usize..300, root in 0usize..10) {
+        let root = root % p;
+        let results = run_ranks(p, |rank| {
+            let data = vec![1u8; payload];
+            let _ = rank.bcast(root, &data);
+            let mut v = vec![1.0f64; payload.min(32)];
+            rank.allreduce_sum(&mut v);
+            let blocks: Vec<Vec<u8>> = (0..rank.size()).map(|_| vec![0u8; 8]).collect();
+            let _ = rank.alltoall(&blocks);
+            let _ = rank.allgather(&data[..payload.min(16)]);
+        });
+        let t = total_stats(&results);
+        prop_assert_eq!(t.total_sent(), t.total_recv());
+        prop_assert_eq!(t.messages_sent, t.messages_recv);
+    }
+
+    /// Allgather returns every rank's block, in rank order, for arbitrary
+    /// block contents.
+    #[test]
+    fn allgather_orders_blocks(p in 1usize..10, tag in 0u8..255) {
+        let results = run_ranks(p, |rank| {
+            let mine = vec![tag ^ rank.rank() as u8; 3];
+            rank.allgather(&mine)
+                .into_iter()
+                .map(|b| b[0])
+                .collect::<Vec<u8>>()
+        });
+        for res in &results {
+            for (src, &byte) in res.value.iter().enumerate() {
+                prop_assert_eq!(byte, tag ^ src as u8);
+            }
+        }
+    }
+
+    /// Determinism: identical programs produce identical statistics.
+    #[test]
+    fn runs_are_deterministic(p in 2usize..8, payload in 1usize..100) {
+        let run = || {
+            let results = run_ranks(p, |rank| {
+                let data = vec![0u8; payload];
+                let _ = rank.bcast(0, &data);
+                rank.stats().clone()
+            });
+            total_stats(&results)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
