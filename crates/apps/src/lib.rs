@@ -37,8 +37,8 @@ pub use milc::Milc;
 pub use relearn::Relearn;
 
 use exareq_locality::{BurstSampler, BurstSchedule};
-use exareq_profile::{MetricKind, ProcessProfile, Survey};
-use exareq_sim::{run_ranks, OpClass, Rank};
+use exareq_profile::{MetricKind, Observation, ProcessProfile, Survey};
+use exareq_sim::{run_ranks_with_faults, CommStats, FaultPlan, OpClass, Rank, SimError};
 use serde::{Deserialize, Serialize};
 
 /// A behavioural twin: one rank body plus a single-process locality kernel.
@@ -113,6 +113,16 @@ pub struct AppMeasurement {
     /// "the overall problem size can be divided equally among all
     /// processes"); this records how true that is for the twin.
     pub imbalance: [f64; 3],
+    /// True when the run this measurement came from was degraded (rank
+    /// crashes, injected message faults, watchdog abort). Absent in
+    /// pre-fault-layer JSON, hence the serde default.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Ranks whose bodies completed and contributed to the averages
+    /// (equals `p` for a clean run; 0 in pre-fault-layer JSON means the
+    /// field was absent, not that every rank died).
+    #[serde(default)]
+    pub completed_ranks: u64,
 }
 
 impl AppMeasurement {
@@ -147,11 +157,40 @@ fn class_label(c: OpClass) -> &'static str {
     }
 }
 
+/// Per-rank raw observation: (peak bytes, flops, loads+stores, io bytes,
+/// per-region flops).
+type RankObs = (u64, u64, u64, u64, RegionValues);
+
 /// Runs `app` at one `(p, n)` configuration and gathers all Table I
 /// requirement metrics (one run per configuration — the metrics are
 /// deterministic, as the paper's counters effectively are).
+///
+/// # Panics
+/// Panics if the fault-free run cannot complete (i.e. the twin itself
+/// deadlocks — an application bug, reported with the watchdog's
+/// diagnosis). For fault-injected measurement use [`measure_with_faults`].
 pub fn measure(app: &dyn MiniApp, p: usize, n: u64) -> AppMeasurement {
-    let results = run_ranks(p, |rank| {
+    measure_with_faults(app, p, n, &FaultPlan::none()).expect("fault-free twin run completes")
+}
+
+/// Runs `app` at one `(p, n)` configuration under the given fault plan.
+///
+/// Averages are taken over the ranks that completed (the survivors), and
+/// the measurement is marked [`AppMeasurement::degraded`] when anything
+/// was injected or any rank failed — the fitting layer then drops it with
+/// a report instead of silently modeling a crippled run.
+///
+/// # Errors
+/// - [`SimError::AllRanksFailed`] when no rank survived to measure.
+/// - [`SimError::Deadlock`] when the watchdog caught a genuine deadlock
+///   not explained by injected faults.
+pub fn measure_with_faults(
+    app: &dyn MiniApp,
+    p: usize,
+    n: u64,
+    faults: &FaultPlan,
+) -> Result<AppMeasurement, SimError> {
+    let outcome = run_ranks_with_faults(p, faults, |rank| -> RankObs {
         let mut prof = ProcessProfile::new();
         app.run_rank(rank, n, &mut prof);
         let totals = prof.totals();
@@ -169,48 +208,53 @@ pub fn measure(app: &dyn MiniApp, p: usize, n: u64) -> AppMeasurement {
             prof.io.total(),
             regions,
         )
-    });
-    let pf = p as f64;
-    let bytes_used = results.iter().map(|r| r.value.0 as f64).sum::<f64>() / pf;
-    let flops = results.iter().map(|r| r.value.1 as f64).sum::<f64>() / pf;
-    let loads_stores = results.iter().map(|r| r.value.2 as f64).sum::<f64>() / pf;
-    let io_bytes = results.iter().map(|r| r.value.3 as f64).sum::<f64>() / pf;
+    })?;
+    let degraded = outcome.is_degraded();
+    let survivors: Vec<(RankObs, CommStats)> = outcome
+        .ranks
+        .into_iter()
+        .filter_map(|r| r.value.map(|v| (v, r.stats)))
+        .collect();
+    if survivors.is_empty() {
+        return Err(SimError::AllRanksFailed { ranks: p });
+    }
+    let pf = survivors.len() as f64;
+    let bytes_used = survivors.iter().map(|(o, _)| o.0 as f64).sum::<f64>() / pf;
+    let flops = survivors.iter().map(|(o, _)| o.1 as f64).sum::<f64>() / pf;
+    let loads_stores = survivors.iter().map(|(o, _)| o.2 as f64).sum::<f64>() / pf;
+    let io_bytes = survivors.iter().map(|(o, _)| o.3 as f64).sum::<f64>() / pf;
     // Average the per-region flops across ranks (regions are keyed by path;
     // the twins execute the same regions on every rank).
     let mut flops_by_region: RegionValues = Vec::new();
-    for r in &results {
-        for (path, v) in &r.value.4 {
+    for (obs, _) in &survivors {
+        for (path, v) in &obs.4 {
             match flops_by_region.iter_mut().find(|(p2, _)| p2 == path) {
                 Some((_, acc)) => *acc += v / pf,
                 None => flops_by_region.push((path.clone(), v / pf)),
             }
         }
     }
-    let comm_total = results
-        .iter()
-        .map(|r| r.stats.total() as f64)
-        .sum::<f64>()
-        / pf;
+    let comm_total = survivors.iter().map(|(_, s)| s.total() as f64).sum::<f64>() / pf;
     let imbalance = {
-        let ratio = |f: &dyn Fn(&exareq_sim::RankResult<_>) -> f64, mean: f64| {
+        let ratio = |f: &dyn Fn(&(RankObs, CommStats)) -> f64, mean: f64| {
             if mean == 0.0 {
                 1.0
             } else {
-                results.iter().map(f).fold(0.0f64, f64::max) / mean
+                survivors.iter().map(f).fold(0.0f64, f64::max) / mean
             }
         };
         [
-            ratio(&|r| r.value.1 as f64, flops),
-            ratio(&|r| r.value.2 as f64, loads_stores),
-            ratio(&|r| r.stats.total() as f64, comm_total),
+            ratio(&|(o, _)| o.1 as f64, flops),
+            ratio(&|(o, _)| o.2 as f64, loads_stores),
+            ratio(&|(_, s)| s.total() as f64, comm_total),
         ]
     };
     let comm_by_class = OpClass::ALL
         .iter()
         .map(|&c| {
-            let v = results
+            let v = survivors
                 .iter()
-                .map(|r| r.stats.class(c).total() as f64)
+                .map(|(_, s)| s.class(c).total() as f64)
                 .sum::<f64>()
                 / pf;
             (class_label(c).to_string(), v)
@@ -222,13 +266,10 @@ pub fn measure(app: &dyn MiniApp, p: usize, n: u64) -> AppMeasurement {
     app.run_locality(n, &mut sampler);
     let stack_groups = sampler
         .modelable_groups()
-        .filter_map(|(_, g)| {
-            g.median_stack()
-                .map(|m| (g.name.clone(), m, g.stack.len()))
-        })
+        .filter_map(|(_, g)| g.median_stack().map(|m| (g.name.clone(), m, g.stack.len())))
         .collect();
 
-    AppMeasurement {
+    Ok(AppMeasurement {
         p: p as u64,
         n,
         bytes_used,
@@ -240,7 +281,9 @@ pub fn measure(app: &dyn MiniApp, p: usize, n: u64) -> AppMeasurement {
         io_bytes,
         flops_by_region,
         imbalance,
-    }
+        degraded,
+        completed_ranks: survivors.len() as u64,
+    })
 }
 
 /// The measurement grid of an application survey.
@@ -278,39 +321,60 @@ impl AppGrid {
     }
 }
 
+/// Records one measurement's observations into a survey, carrying its
+/// degraded flag onto every observation.
+fn push_measurement(survey: &mut Survey, m: &AppMeasurement) {
+    let mut push = |metric: MetricKind, channel: Option<String>, value: f64| {
+        survey.record(Observation {
+            p: m.p,
+            n: m.n,
+            metric,
+            channel,
+            value,
+            degraded: m.degraded,
+        });
+    };
+    push(MetricKind::BytesUsed, None, m.bytes_used);
+    push(MetricKind::Flops, None, m.flops);
+    push(MetricKind::LoadsStores, None, m.loads_stores);
+    push(MetricKind::CommBytes, None, m.comm_total);
+    for (class, v) in &m.comm_by_class {
+        if *v > 0.0 {
+            push(MetricKind::CommBytes, Some(class.clone()), *v);
+        }
+    }
+    for (group, median, _) in &m.stack_groups {
+        push(MetricKind::StackDistance, Some(group.clone()), *median);
+    }
+    if let Some(sd) = m.max_stack_distance() {
+        push(MetricKind::StackDistance, None, sd);
+    }
+    if m.io_bytes > 0.0 {
+        push(MetricKind::IoBytes, None, m.io_bytes);
+    }
+    for (path, v) in &m.flops_by_region {
+        push(MetricKind::Flops, Some(path.clone()), *v);
+    }
+}
+
 /// Runs the full 25-configuration survey for one application, producing the
 /// metric observations the model generator consumes (E1).
 pub fn survey_app(app: &dyn MiniApp, grid: &AppGrid) -> Survey {
+    survey_app_with_faults(app, grid, &FaultPlan::none())
+}
+
+/// Runs an application survey with fault injection: every `(p, n)` run is
+/// executed under `faults`. Degraded runs are recorded with their
+/// observations flagged; runs with no surviving rank (or a deadlock) are
+/// noted in [`Survey::skipped`] instead of aborting the whole sweep —
+/// exactly how an exascale measurement campaign tolerates node failures.
+pub fn survey_app_with_faults(app: &dyn MiniApp, grid: &AppGrid, faults: &FaultPlan) -> Survey {
     let mut survey = Survey::new(app.name());
     for &p in &grid.p_values {
         for &n in &grid.n_values {
-            let m = measure(app, p, n);
-            survey.push(m.p, m.n, MetricKind::BytesUsed, m.bytes_used);
-            survey.push(m.p, m.n, MetricKind::Flops, m.flops);
-            survey.push(m.p, m.n, MetricKind::LoadsStores, m.loads_stores);
-            survey.push(m.p, m.n, MetricKind::CommBytes, m.comm_total);
-            for (class, v) in &m.comm_by_class {
-                if *v > 0.0 {
-                    survey.push_channel(m.p, m.n, MetricKind::CommBytes, class.clone(), *v);
-                }
-            }
-            for (group, median, _) in &m.stack_groups {
-                survey.push_channel(
-                    m.p,
-                    m.n,
-                    MetricKind::StackDistance,
-                    group.clone(),
-                    *median,
-                );
-            }
-            if let Some(sd) = m.max_stack_distance() {
-                survey.push(m.p, m.n, MetricKind::StackDistance, sd);
-            }
-            if m.io_bytes > 0.0 {
-                survey.push(m.p, m.n, MetricKind::IoBytes, m.io_bytes);
-            }
-            for (path, v) in &m.flops_by_region {
-                survey.push_channel(m.p, m.n, MetricKind::Flops, path.clone(), *v);
+            match measure_with_faults(app, p, n, faults) {
+                Ok(m) => push_measurement(&mut survey, &m),
+                Err(err) => survey.note_skipped(p as u64, n, err.to_string()),
             }
         }
     }
@@ -343,6 +407,63 @@ mod tests {
         assert!(m.comm_total > 0.0);
         assert!(!m.stack_groups.is_empty());
         assert!(m.max_stack_distance().unwrap() > 0.0);
+        assert!(!m.degraded);
+        assert_eq!(m.completed_ranks, 4);
+    }
+
+    /// A minimal twin with a pure ring exchange: a crash on one rank only
+    /// affects the ranks that still depend on it, so survivors remain.
+    struct RingTwin;
+
+    impl MiniApp for RingTwin {
+        fn name(&self) -> &'static str {
+            "RingTwin"
+        }
+        fn run_rank(&self, rank: &mut Rank, n: u64, _prof: &mut ProcessProfile) {
+            let next = (rank.rank() + 1) % rank.size();
+            let prev = (rank.rank() + rank.size() - 1) % rank.size();
+            rank.send(next, 1, &vec![1u8; n as usize]);
+            let _ = rank.recv(prev, 1);
+        }
+        fn run_locality(&self, _n: u64, _sampler: &mut BurstSampler) {}
+    }
+
+    #[test]
+    fn crashed_rank_yields_degraded_measurement() {
+        // Rank 1 dies at its second op: after sending to rank 2 (so rank 2
+        // survives) but before receiving from rank 0.
+        let plan = FaultPlan::default().crash(1, 2);
+        let m = measure_with_faults(&RingTwin, 4, 64, &plan).expect("survivors remain");
+        assert!(m.degraded);
+        assert_eq!(m.completed_ranks, 3, "only rank 1 died");
+        // Survivor averages are still positive, usable measurements.
+        assert!(m.comm_total > 0.0);
+    }
+
+    #[test]
+    fn all_twins_survive_clean_supervised_measurement() {
+        // Zero watchdog false positives on the real kernels: a clean
+        // supervised run of every extended twin completes undegraded.
+        for app in all_apps_extended() {
+            let m = measure_with_faults(app.as_ref(), 8, 64, &FaultPlan::none())
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            assert!(!m.degraded, "{}", app.name());
+            assert_eq!(m.completed_ranks, 8, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn faulted_survey_flags_observations_instead_of_aborting() {
+        let grid = AppGrid {
+            p_values: vec![2, 4],
+            n_values: vec![64],
+        };
+        let plan = FaultPlan::default().crash(1, 5);
+        let s = survey_app_with_faults(&Relearn, &grid, &plan);
+        // Every configuration either produced (flagged) observations or a
+        // skip record — nothing vanished silently.
+        assert_eq!(s.config_count() + s.skipped.len(), 2);
+        assert!(s.observations.iter().any(|o| o.degraded) || !s.skipped.is_empty());
     }
 
     #[test]
@@ -354,7 +475,12 @@ mod tests {
             let m = measure(app.as_ref(), 8, 256);
             assert!((m.imbalance[0] - 1.0).abs() < 1e-9, "{} flops", app.name());
             assert!((m.imbalance[1] - 1.0).abs() < 1e-9, "{} loads", app.name());
-            assert!(m.imbalance[2] < 2.5, "{} comm {:?}", app.name(), m.imbalance);
+            assert!(
+                m.imbalance[2] < 2.5,
+                "{} comm {:?}",
+                app.name(),
+                m.imbalance
+            );
         }
     }
 

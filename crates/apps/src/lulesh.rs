@@ -56,10 +56,7 @@ impl MiniApp for Lulesh {
         // Stress/hourglass force integration over elements + ghosts
         // (totals over all iterations, counted exactly).
         prof.callpath.enter("CalcForceForNodes");
-        fields.compute(
-            ops(2.0 * nf * log2f(n) * scale_p),
-            prof.callpath.counters(),
-        );
+        fields.compute(ops(2.0 * nf * log2f(n) * scale_p), prof.callpath.counters());
         prof.callpath.exit();
 
         // Connectivity-indexed gather/scatter: memory traffic scales
@@ -120,7 +117,10 @@ mod tests {
         let b = measure(&Lulesh, 16, 512);
         let r = b.flops / a.flops;
         let expect = 4.0_f64.powf(0.25) * 2.0;
-        assert!((r - expect).abs() / expect < 0.05, "p-scaling {r} vs {expect}");
+        assert!(
+            (r - expect).abs() / expect < 0.05,
+            "p-scaling {r} vs {expect}"
+        );
     }
 
     #[test]
@@ -157,9 +157,6 @@ mod tests {
         Lulesh.run_locality(256, &mut s1);
         let mut s2 = exareq_locality::BurstSampler::new(exareq_locality::BurstSchedule::always());
         Lulesh.run_locality(8192, &mut s2);
-        assert_eq!(
-            s1.groups()[0].median_stack(),
-            s2.groups()[0].median_stack()
-        );
+        assert_eq!(s1.groups()[0].median_stack(), s2.groups()[0].median_stack());
     }
 }

@@ -216,7 +216,11 @@ mod tests {
         let rd_a = s.groups()[g.a].median_reuse().unwrap();
         let rd_b = s.groups()[g.b].median_reuse().unwrap();
         let rd_c = s.groups()[g.c].median_reuse().unwrap();
-        assert!((rd_a - 3.0 * bf).abs() <= 1.0, "RD(A) {rd_a} vs {}", 3.0 * bf);
+        assert!(
+            (rd_a - 3.0 * bf).abs() <= 1.0,
+            "RD(A) {rd_a} vs {}",
+            3.0 * bf
+        );
         assert!(
             (rd_b - 3.0 * bf * bf).abs() <= bf,
             "RD(B) {rd_b} vs {}",

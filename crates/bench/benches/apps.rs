@@ -12,13 +12,9 @@ fn bench_measure(c: &mut Criterion) {
     let mut g = c.benchmark_group("measure_app");
     g.sample_size(10);
     for app in all_apps() {
-        g.bench_with_input(
-            BenchmarkId::new(app.name(), "p8_n1024"),
-            &app,
-            |b, app| {
-                b.iter(|| black_box(measure(app.as_ref(), 8, 1024)));
-            },
-        );
+        g.bench_with_input(BenchmarkId::new(app.name(), "p8_n1024"), &app, |b, app| {
+            b.iter(|| black_box(measure(app.as_ref(), 8, 1024)));
+        });
     }
     g.finish();
 }

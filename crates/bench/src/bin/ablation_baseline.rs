@@ -21,14 +21,38 @@ struct Shape {
 
 fn main() {
     let shapes: Vec<Shape> = vec![
-        Shape { name: "c*n         (Kripke flops)", f: |x| 1e7 * x },
-        Shape { name: "c*n*log n   (LULESH bytes)", f: |x| 1e5 * x * x.log2() },
-        Shape { name: "c*sqrt(n)   (Relearn bytes)", f: |x| 1e6 * x.sqrt() },
-        Shape { name: "c*n^1.5     (icoFoam flops)", f: |x| 1e8 * x.powf(1.5) },
-        Shape { name: "c*p^0.25*log p (LULESH p-side)", f: |x| 1e5 * x.powf(0.25) * x.log2() },
-        Shape { name: "c*p^1.5     (MILC loads p-side)", f: |x| 1e5 * x.powf(1.5) },
-        Shape { name: "c*log p     (Allreduce)", f: |x| 1e4 * x.log2() },
-        Shape { name: "c (constant)", f: |_| 4.2e6 },
+        Shape {
+            name: "c*n         (Kripke flops)",
+            f: |x| 1e7 * x,
+        },
+        Shape {
+            name: "c*n*log n   (LULESH bytes)",
+            f: |x| 1e5 * x * x.log2(),
+        },
+        Shape {
+            name: "c*sqrt(n)   (Relearn bytes)",
+            f: |x| 1e6 * x.sqrt(),
+        },
+        Shape {
+            name: "c*n^1.5     (icoFoam flops)",
+            f: |x| 1e8 * x.powf(1.5),
+        },
+        Shape {
+            name: "c*p^0.25*log p (LULESH p-side)",
+            f: |x| 1e5 * x.powf(0.25) * x.log2(),
+        },
+        Shape {
+            name: "c*p^1.5     (MILC loads p-side)",
+            f: |x| 1e5 * x.powf(1.5),
+        },
+        Shape {
+            name: "c*log p     (Allreduce)",
+            f: |x| 1e4 * x.log2(),
+        },
+        Shape {
+            name: "c (constant)",
+            f: |_| 4.2e6,
+        },
     ];
     let xs: [f64; 7] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
     let horizon = 128.0 * 100.0; // two decades beyond the measured range

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin ablation_sampling`.
 
-use exareq_apps::{MiniApp, Milc};
+use exareq_apps::{Milc, MiniApp};
 use exareq_bench::results_dir;
 use exareq_core::fit::{fit_single, FitConfig};
 use exareq_core::measurement::Experiment;
@@ -30,8 +30,20 @@ fn main() {
     let ns: [u64; 5] = [64, 256, 1024, 4096, 16384];
     let schedules: [(&str, BurstSchedule); 3] = [
         ("exact (every access)", BurstSchedule::always()),
-        ("1:8 duty cycle", BurstSchedule { burst: 512, gap: 7 * 512 }),
-        ("1:32 duty cycle", BurstSchedule { burst: 256, gap: 31 * 256 }),
+        (
+            "1:8 duty cycle",
+            BurstSchedule {
+                burst: 512,
+                gap: 7 * 512,
+            },
+        ),
+        (
+            "1:32 duty cycle",
+            BurstSchedule {
+                burst: 256,
+                gap: 31 * 256,
+            },
+        ),
     ];
 
     let mut out = String::new();

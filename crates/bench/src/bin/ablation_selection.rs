@@ -30,7 +30,10 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("== Ablation A3: cross-validated vs in-sample hypothesis selection ==\n");
-    out.push_str(&format!("(±{:.0}% noise, {reps} repetitions)\n\n", noise * 100.0));
+    out.push_str(&format!(
+        "(±{:.0}% noise, {reps} repetitions)\n\n",
+        noise * 100.0
+    ));
     out.push_str(&format!(
         "{:<16} {:>22} {:>22} {:>18} {:>18}\n",
         "truth", "CV spurious-growth", "in-sample spurious", "CV med extrap", "in-sample extrap"

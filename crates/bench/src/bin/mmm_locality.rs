@@ -34,7 +34,10 @@ fn main() {
     }
     let ma = fit_single(&exp_a, &cfg).expect("fit SD(A)");
     let mb = fit_single(&exp_b, &cfg).expect("fit SD(B)");
-    out.push_str(&format!("  model SD_A(n) = {}     (paper: ~2n)\n", ma.model));
+    out.push_str(&format!(
+        "  model SD_A(n) = {}     (paper: ~2n)\n",
+        ma.model
+    ));
     out.push_str(&format!(
         "  model SD_B(n) = {}     (paper: n^2 + 2n - 1)\n",
         mb.model

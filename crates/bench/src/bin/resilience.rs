@@ -1,0 +1,93 @@
+//! Resilience study: how the requirement models of Table II degrade as the
+//! simulated machine becomes faulty.
+//!
+//! The paper measures on a healthy cluster and needs one run per
+//! configuration. At exascale, runs fail. This study injects deterministic
+//! message faults (drops, corruption) and rank crashes into the measurement
+//! sweeps and reports, per fault rate:
+//!
+//! - how many `(p, n)` configurations survive cleanly, finish degraded, or
+//!   are lost outright (all ranks dead / aborted stall);
+//! - whether the model generator still recovers the requirement models from
+//!   the surviving points, and how many measurements it had to drop.
+//!
+//! Run with `cargo run --release -p exareq-bench --bin resilience`.
+
+use exareq::pipeline::model_requirements;
+use exareq_apps::{survey_app_with_faults, AppGrid, Kripke, MiniApp, Relearn};
+use exareq_bench::results_dir;
+use exareq_core::multiparam::MultiParamConfig;
+use exareq_sim::FaultPlan;
+
+fn grid() -> AppGrid {
+    AppGrid {
+        p_values: vec![2, 4, 8, 16, 32],
+        n_values: vec![16, 32, 64, 128, 256],
+    }
+}
+
+fn study(out: &mut String, app: &dyn MiniApp, label: &str, plan: &FaultPlan) {
+    let g = grid();
+    let total = g.p_values.len() * g.n_values.len();
+    let survey = survey_app_with_faults(app, &g, plan);
+    let degraded = survey.degraded_configs().len();
+    let skipped = survey.skipped.len();
+    let clean = total - degraded - skipped;
+    let verdict = match model_requirements(&survey, &MultiParamConfig::coarse()) {
+        Ok(m) => {
+            let flops = m.requirements.flops.dominant_exponents(1);
+            let comm = m.requirements.comm_bytes.dominant_exponents(1);
+            format!(
+                "model ok ({} dropped)  FLOP ~ {}, comm ~ {}",
+                m.dropped.len(),
+                flops.render("n").unwrap_or_else(|| "1".into()),
+                comm.render("n").unwrap_or_else(|| "1".into()),
+            )
+        }
+        Err(e) => format!("MODEL LOST: {e}"),
+    };
+    out.push_str(&format!(
+        "{label:<24} clean {clean:>2}/{total}  degraded {degraded:>2}  lost {skipped:>2}   {verdict}\n"
+    ));
+}
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("== Resilience: requirement models under injected faults ==\n");
+    out.push_str(&format!(
+        "(grid {:?} x {:?})\n",
+        grid().p_values,
+        grid().n_values
+    ));
+
+    out.push_str("\n-- Kripke, message-drop sweep (collectives stall and are aborted) --\n");
+    for (i, rate) in [0.0, 1e-4, 1e-3, 5e-3, 1e-2].into_iter().enumerate() {
+        let plan = FaultPlan::with_seed(0xFA17 + i as u64).drop(rate);
+        study(&mut out, &Kripke, &format!("drop={rate:.0e}"), &plan);
+    }
+
+    out.push_str("\n-- Kripke, payload-corruption sweep (runs finish but are flagged) --\n");
+    for (i, rate) in [0.0, 1e-3, 5e-3, 1e-2, 5e-2].into_iter().enumerate() {
+        let plan = FaultPlan::with_seed(0x0C0 + i as u64).corrupt(rate, 2);
+        study(&mut out, &Kripke, &format!("corrupt={rate:.0e}"), &plan);
+    }
+
+    out.push_str("\n-- Relearn, single rank crash (cascades through the collectives) --\n");
+    for at_op in [1u64, 64, 128, 256] {
+        let plan = FaultPlan::with_seed(0xDEAD).crash(1, at_op);
+        study(&mut out, &Relearn, &format!("crash rank1@op{at_op}"), &plan);
+    }
+
+    out.push_str(
+        "\nReading: the generator tolerates lost configurations gracefully —\n\
+         models survive (with identical lead terms) as long as enough clean\n\
+         points remain per parameter, and every excluded measurement is\n\
+         reported rather than silently fitted. Once faults claim most of a\n\
+         sweep the min-points guard refuses to extrapolate from the rest.\n\
+         Survival depends on WHICH configurations are hit, not just the\n\
+         rate: per-link fault streams make a given seed strike the same\n\
+         links in every configuration, so nearby rates can differ sharply.\n",
+    );
+    print!("{out}");
+    std::fs::write(results_dir().join("resilience.txt"), &out).expect("write report");
+}

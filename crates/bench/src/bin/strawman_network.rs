@@ -40,7 +40,11 @@ fn main() {
                         o.t_flop,
                         o.t_comm,
                         o.t_bound,
-                        if o.network_bound { "network" } else { "compute" }
+                        if o.network_bound {
+                            "network"
+                        } else {
+                            "compute"
+                        }
                     ));
                 }
                 out.push('\n');

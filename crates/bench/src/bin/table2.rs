@@ -22,8 +22,8 @@ fn main() {
     let mut total = 0usize;
 
     for survey in all_surveys(&grid) {
-        let modeled = model_requirements(&survey, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", survey.app));
+        let modeled =
+            model_requirements(&survey, &cfg).unwrap_or_else(|e| panic!("{}: {e}", survey.app));
 
         out.push_str(&render_requirements(&modeled.requirements));
         out.push_str("  communication by collective:\n");

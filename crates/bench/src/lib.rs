@@ -18,6 +18,7 @@
 //! | `ablation_baseline` | A1 — PMNF vs Carrington-style baseline |
 //! | `ablation_noise` | A2 — model recovery under multiplicative noise |
 //! | `ablation_selection` | A3 — cross-validated vs in-sample selection |
+//! | `resilience` | fault-rate sweep: model survival under injected faults |
 
 use exareq_apps::{all_apps, survey_app, AppGrid, MiniApp};
 use exareq_core::multiparam::MultiParamConfig;

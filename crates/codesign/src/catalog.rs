@@ -166,7 +166,10 @@ mod tests {
         let apps = paper_models();
         assert_eq!(apps.len(), 5);
         let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
-        assert_eq!(names, vec!["Kripke", "LULESH", "MILC", "Relearn", "icoFoam"]);
+        assert_eq!(
+            names,
+            vec!["Kripke", "LULESH", "MILC", "Relearn", "icoFoam"]
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
         let p_idx = 0;
         let onset = dominance_onset(&milc.loads_stores, p_idx, &[0.0, 1000.0]).unwrap();
         let expect = (1.1e12 / 1e5_f64).powf(2.0 / 3.0);
-        assert!((onset - expect).abs() / expect < 0.01, "{onset} vs {expect}");
+        assert!(
+            (onset - expect).abs() / expect < 0.01,
+            "{onset} vs {expect}"
+        );
     }
 
     #[test]
@@ -140,7 +143,7 @@ mod tests {
         let relearn = catalog::relearn();
         let bw = 0.1 * 5e8; // bytes/s
         let rate = 5e8; // flop/s
-        // Scale the models into seconds so they are comparable.
+                        // Scale the models into seconds so they are comparable.
         let mut t_comm = relearn.comm_bytes.clone();
         t_comm.constant /= bw;
         for t in &mut t_comm.terms {

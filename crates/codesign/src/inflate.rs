@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn linear_footprint_inverts_exactly() {
         // bytes = 1e5 · n, m = 1e9 → n = 1e4.
-        let f = model(0.0, &[(1e5, Exponents::constant(), Exponents::new(1.0, 0.0))]);
+        let f = model(
+            0.0,
+            &[(1e5, Exponents::constant(), Exponents::new(1.0, 0.0))],
+        );
         let sys = SystemSkeleton::new(64.0, 1e9);
         let n = inflate_problem(&f, &sys).n().unwrap();
         assert!((n - 1e4).abs() / 1e4 < 1e-9, "{n}");
@@ -111,7 +114,10 @@ mod tests {
     #[test]
     fn sqrt_footprint_inverts() {
         // bytes = 1e6 · √n, m = 1e9 → n = 1e6.
-        let f = model(0.0, &[(1e6, Exponents::constant(), Exponents::new(0.5, 0.0))]);
+        let f = model(
+            0.0,
+            &[(1e6, Exponents::constant(), Exponents::new(0.5, 0.0))],
+        );
         let sys = SystemSkeleton::new(64.0, 1e9);
         let n = inflate_problem(&f, &sys).n().unwrap();
         assert!((n - 1e6).abs() / 1e6 < 1e-9, "{n}");
@@ -120,7 +126,10 @@ mod tests {
     #[test]
     fn nlogn_footprint_inverts() {
         // bytes = 1e5·n·log2 n = 1e9 → n·log2 n = 1e4 → n ≈ 1027.6.
-        let f = model(0.0, &[(1e5, Exponents::constant(), Exponents::new(1.0, 1.0))]);
+        let f = model(
+            0.0,
+            &[(1e5, Exponents::constant(), Exponents::new(1.0, 1.0))],
+        );
         let sys = SystemSkeleton::new(64.0, 1e9);
         let n = inflate_problem(&f, &sys).n().unwrap();
         let check = n * n.log2();

@@ -36,8 +36,8 @@ pub use crossover::{crossover, crossover_in, dominance_onset};
 pub use inflate::{inflate_problem, Inflation};
 pub use network::{analyze_with_network, default_network, NetworkOutcome, NetworkSpec};
 pub use projection::{decade_schedule, render_outlook, scaling_outlook, OutlookRow};
-pub use sharing::{share_system, two_app_frontier, ShareOutcome, SharingError};
 pub use requirements::{AppRequirements, RateMetric, Warning};
+pub use sharing::{share_system, two_app_frontier, ShareOutcome, SharingError};
 pub use skeleton::{SystemSkeleton, Upgrade};
 pub use strawman::{analyze_strawmen, table_six, StrawMan, StrawManAnalysis, SystemOutcome};
 pub use workflow::{analyze_upgrade, baseline_expectation, upgrade_score, UpgradeOutcome};

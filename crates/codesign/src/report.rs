@@ -104,7 +104,9 @@ pub fn render_upgrade_block(
     s.push_str(&row("Problem size per process", &|o| o.ratio_n));
     s.push_str(&row("Overall problem size", &|o| o.ratio_overall));
     s.push_str(&row("Computation", &|o| o.rate(RateMetric::Computation)));
-    s.push_str(&row("Communication", &|o| o.rate(RateMetric::Communication)));
+    s.push_str(&row("Communication", &|o| {
+        o.rate(RateMetric::Communication)
+    }));
     s.push_str(&row("Memory access", &|o| o.rate(RateMetric::MemoryAccess)));
     s
 }

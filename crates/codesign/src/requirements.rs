@@ -86,9 +86,10 @@ impl AppRequirements {
 
         for m in RateMetric::ALL {
             let model = self.rate_model(m);
-            let flagged = model.terms.iter().any(|t| {
-                !t.factors[n_idx].is_constant() && t.factors[p_idx].poly > 0.0
-            });
+            let flagged = model
+                .terms
+                .iter()
+                .any(|t| !t.factors[n_idx].is_constant() && t.factors[p_idx].poly > 0.0);
             if flagged {
                 out.push(Warning::MultiplicativeInteraction(m));
             }
@@ -107,8 +108,7 @@ impl AppRequirements {
             // and plain `p` (alltoall/allgather) — Relearn's
             // `10·Alltoall(p)` is benign in Table II. Polynomial shapes no
             // collective produces (icoFoam's `p^0.5·log p`) are flagged.
-            let is_collective_shape =
-                fp.poly == 0.0 || (fp.poly == 1.0 && fp.log == 0.0);
+            let is_collective_shape = fp.poly == 0.0 || (fp.poly == 1.0 && fp.log == 0.0);
             if fn_.is_constant() && fp.poly >= 0.5 && !is_collective_shape {
                 out.push(Warning::CommGrowsSuperLogInP);
                 break;

@@ -54,7 +54,10 @@ impl std::fmt::Display for SharingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SharingError::InvalidFractions { sum } => {
-                write!(f, "share fractions must be positive and sum to ≤ 1 (got {sum})")
+                write!(
+                    f,
+                    "share fractions must be positive and sum to ≤ 1 (got {sum})"
+                )
             }
             SharingError::ShareTooSmall { app } => {
                 write!(f, "{app} cannot fill its share of the machine")
@@ -155,8 +158,7 @@ mod tests {
         // Both have p-independent, linear-in-n footprints: n is unchanged by
         // the split, so each overall problem is exactly half the exclusive
         // one.
-        let exclusive =
-            share_system(&[&kripke], &[1.0], &sys()).unwrap()[0].overall_problem;
+        let exclusive = share_system(&[&kripke], &[1.0], &sys()).unwrap()[0].overall_problem;
         assert!((shares[0].overall_problem - exclusive / 2.0).abs() / exclusive < 1e-9);
         assert_eq!(shares[0].fraction + shares[1].fraction, 1.0);
     }

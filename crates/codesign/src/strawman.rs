@@ -217,9 +217,21 @@ mod tests {
         match analyze_strawmen(&catalog::relearn(), &table_six()) {
             StrawManAnalysis::Fits { outcomes, .. } => {
                 let (mp, v, h) = (&outcomes[0], &outcomes[1], &outcomes[2]);
-                assert!((mp.max_overall - 5e10).abs() / 5e10 < 0.05, "{}", mp.max_overall);
-                assert!((v.max_overall - 2e12).abs() / 2e12 < 0.05, "{}", v.max_overall);
-                assert!((h.max_overall - 1e12).abs() / 1e12 < 0.05, "{}", h.max_overall);
+                assert!(
+                    (mp.max_overall - 5e10).abs() / 5e10 < 0.05,
+                    "{}",
+                    mp.max_overall
+                );
+                assert!(
+                    (v.max_overall - 2e12).abs() / 2e12 < 0.05,
+                    "{}",
+                    v.max_overall
+                );
+                assert!(
+                    (h.max_overall - 1e12).abs() / 1e12 < 0.05,
+                    "{}",
+                    h.max_overall
+                );
                 // Wall-time ordering: vector ≪ hybrid ≪ massively parallel.
                 assert!(v.min_wall_time < h.min_wall_time);
                 assert!(h.min_wall_time < mp.min_wall_time);
@@ -237,7 +249,10 @@ mod tests {
         match analyze_strawmen(&catalog::lulesh(), &table_six()) {
             StrawManAnalysis::Fits { outcomes, .. } => {
                 let (mp, v, h) = (&outcomes[0], &outcomes[1], &outcomes[2]);
-                assert!(mp.max_overall > v.max_overall, "MP should allow the biggest problem");
+                assert!(
+                    mp.max_overall > v.max_overall,
+                    "MP should allow the biggest problem"
+                );
                 assert!(mp.max_overall > h.max_overall);
             }
             other => panic!("{other:?}"),

@@ -33,7 +33,10 @@ pub struct UpgradeOutcome {
 impl UpgradeOutcome {
     /// Ratio for one rate metric.
     pub fn rate(&self, m: RateMetric) -> f64 {
-        self.ratio_rates[RateMetric::ALL.iter().position(|&x| x == m).expect("metric")]
+        self.ratio_rates[RateMetric::ALL
+            .iter()
+            .position(|&x| x == m)
+            .expect("metric")]
     }
 }
 
@@ -240,10 +243,8 @@ mod tests {
         // per-process memory — a stronger version of the paper's verdict.
         let app = catalog::icofoam();
         let b = base();
-        let score_a =
-            upgrade_score(&analyze_upgrade(&app, &b, &Upgrade::DOUBLE_RACKS).unwrap());
-        let score_c =
-            upgrade_score(&analyze_upgrade(&app, &b, &Upgrade::DOUBLE_MEMORY).unwrap());
+        let score_a = upgrade_score(&analyze_upgrade(&app, &b, &Upgrade::DOUBLE_RACKS).unwrap());
+        let score_c = upgrade_score(&analyze_upgrade(&app, &b, &Upgrade::DOUBLE_MEMORY).unwrap());
         assert!(score_c > score_a, "C {score_c} vs A {score_a}");
         assert!(matches!(
             analyze_upgrade(&app, &b, &Upgrade::DOUBLE_SOCKETS),

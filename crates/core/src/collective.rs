@@ -142,14 +142,14 @@ pub fn symbolize(
     exp: &Experiment,
     cfg: &MultiParamConfig,
 ) -> Result<SymbolicCommModel, crate::fit::FitError> {
-    let p_idx = exp
-        .params
-        .iter()
-        .position(|s| s == "p")
-        .ok_or(crate::fit::FitError::WrongArity {
-            expected: exp.arity(),
-            got: 0,
-        })?;
+    let p_idx =
+        exp.params
+            .iter()
+            .position(|s| s == "p")
+            .ok_or(crate::fit::FitError::WrongArity {
+                expected: exp.arity(),
+                got: 0,
+            })?;
     let mut normalized = exp.clone();
     for m in &mut normalized.points {
         let p = m.coords[p_idx] as u64;
@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn unit_bytes_alltoall_quadratic() {
-        assert_eq!(CollectiveKind::Alltoall.total_bytes(4, 10), 2.0 * 4.0 * 3.0 * 10.0);
+        assert_eq!(
+            CollectiveKind::Alltoall.total_bytes(4, 10),
+            2.0 * 4.0 * 3.0 * 10.0
+        );
     }
 
     #[test]
@@ -229,7 +232,10 @@ mod tests {
         let kind = CollectiveKind::Allreduce;
         let exp = Experiment::from_fn(
             vec!["p", "n"],
-            &[&[2.0, 4.0, 8.0, 16.0, 32.0], &[16.0, 64.0, 256.0, 1024.0, 4096.0]],
+            &[
+                &[2.0, 4.0, 8.0, 16.0, 32.0],
+                &[16.0, 64.0, 256.0, 1024.0, 4096.0],
+            ],
             |c| c[1].sqrt() * kind.unit_bytes(c[0] as u64, 1),
         );
         let cfg = MultiParamConfig::coarse();
@@ -252,7 +258,10 @@ mod tests {
         let kind = CollectiveKind::Bcast;
         let exp = Experiment::from_fn(
             vec!["p", "n"],
-            &[&[2.0, 4.0, 8.0, 16.0, 32.0], &[16.0, 64.0, 256.0, 1024.0, 4096.0]],
+            &[
+                &[2.0, 4.0, 8.0, 16.0, 32.0],
+                &[16.0, 64.0, 256.0, 1024.0, 4096.0],
+            ],
             |c| c[0] * c[0] * kind.unit_bytes(c[0] as u64, 1),
         );
         let sym = symbolize(kind, &exp, &MultiParamConfig::coarse()).unwrap();
@@ -270,14 +279,20 @@ mod tests {
         let kind = CollectiveKind::Allreduce;
         let exp = Experiment::from_fn(
             vec!["p", "n"],
-            &[&[2.0, 4.0, 8.0, 16.0, 32.0], &[16.0, 64.0, 256.0, 1024.0, 4096.0]],
+            &[
+                &[2.0, 4.0, 8.0, 16.0, 32.0],
+                &[16.0, 64.0, 256.0, 1024.0, 4096.0],
+            ],
             |c| 100.0 * kind.unit_bytes(c[0] as u64, 1) * c[1],
         );
         let cfg = MultiParamConfig::coarse();
         let sym = symbolize(kind, &exp, &cfg).unwrap();
         let zero_exp = Experiment::from_fn(
             vec!["p", "n"],
-            &[&[2.0, 4.0, 8.0, 16.0, 32.0], &[16.0, 64.0, 256.0, 1024.0, 4096.0]],
+            &[
+                &[2.0, 4.0, 8.0, 16.0, 32.0],
+                &[16.0, 64.0, 256.0, 1024.0, 4096.0],
+            ],
             |_| 0.0,
         );
         let zero = symbolize(CollectiveKind::Alltoall, &zero_exp, &cfg).unwrap();

@@ -85,12 +85,10 @@ pub fn experiment_from_csv(text: &str) -> Result<Experiment, CsvError> {
         }
         let mut nums = Vec::with_capacity(fields.len());
         for field in &fields {
-            let v: f64 = field
-                .parse()
-                .map_err(|_| CsvError::BadNumber {
-                    line,
-                    field: field.to_string(),
-                })?;
+            let v: f64 = field.parse().map_err(|_| CsvError::BadNumber {
+                line,
+                field: field.to_string(),
+            })?;
             nums.push(v);
         }
         let value = nums.pop().expect("at least two columns");
@@ -152,7 +150,10 @@ p,n,value
 
     #[test]
     fn errors_carry_line_numbers() {
-        assert_eq!(experiment_from_csv("").unwrap_err(), CsvError::MissingHeader);
+        assert_eq!(
+            experiment_from_csv("").unwrap_err(),
+            CsvError::MissingHeader
+        );
         assert_eq!(
             experiment_from_csv("value\n1\n").unwrap_err(),
             CsvError::TooFewColumns

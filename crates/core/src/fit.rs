@@ -139,12 +139,7 @@ fn design_matrix(xs: &[f64], factors: &[Exponents]) -> Matrix {
 }
 
 /// Fits coefficients on all points and computes leave-one-out CV SMAPE.
-fn score_hypothesis(
-    xs: &[f64],
-    ys: &[f64],
-    hyp: &Hypothesis,
-    nonneg: bool,
-) -> Option<Scored> {
+fn score_hypothesis(xs: &[f64], ys: &[f64], hyp: &Hypothesis, nonneg: bool) -> Option<Scored> {
     let k = hyp.factors.len() + 1;
     let n = xs.len();
     if n < k + 1 {
@@ -257,7 +252,10 @@ fn scored_to_fitted(s: &Scored, xs: &[f64], ys: &[f64], param: &str) -> FittedMo
 /// few points, or no hypothesis can be fitted.
 pub fn fit_single(exp: &Experiment, cfg: &FitConfig) -> Result<FittedModel, FitError> {
     let ranked = rank_single(exp, cfg, 1)?;
-    Ok(ranked.into_iter().next().expect("rank_single returned at least one"))
+    Ok(ranked
+        .into_iter()
+        .next()
+        .expect("rank_single returned at least one"))
 }
 
 /// Fits and ranks the best `k` single-parameter models (distinct factor
@@ -274,7 +272,11 @@ pub fn rank_single(
             got: exp.arity(),
         });
     }
-    let agg = exp.aggregated(crate::measurement::Aggregation::Mean);
+    // Points flagged as degraded (crashed / fault-perturbed runs) are
+    // excluded from fitting; the minimum-points guard below then decides
+    // whether enough of the sweep survived.
+    let (clean, _dropped) = exp.split_clean();
+    let agg = clean.aggregated(crate::measurement::Aggregation::Mean);
     let xs: Vec<f64> = agg.points.iter().map(|m| m.coords[0]).collect();
     let ys: Vec<f64> = agg.points.iter().map(|m| m.value).collect();
     if xs.len() < 3 {
@@ -296,7 +298,12 @@ pub fn rank_single(
     let size1: Vec<Scored> = candidates
         .par_iter()
         .filter_map(|&f| {
-            score_hypothesis(&xs, &ys, &Hypothesis { factors: vec![f] }, cfg.nonneg_coeffs)
+            score_hypothesis(
+                &xs,
+                &ys,
+                &Hypothesis { factors: vec![f] },
+                cfg.nonneg_coeffs,
+            )
         })
         .collect();
     pool.extend(size1.iter().cloned());
@@ -408,6 +415,31 @@ pub fn rank_single(
     }
 }
 
+/// A fit over a sweep that may contain degraded measurements: the model
+/// fitted on the clean subset, plus exactly which points were dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustFit {
+    /// Model fitted on the unflagged measurements.
+    pub fitted: FittedModel,
+    /// Measurements excluded from the fit because they were flagged as
+    /// degraded (reported, never silently discarded).
+    pub dropped: Vec<crate::measurement::Measurement>,
+}
+
+/// Fits a single-parameter model on the clean subset of a sweep that may
+/// contain flagged (degraded-run) measurements, reporting the dropped
+/// points alongside the model.
+///
+/// # Errors
+/// Returns [`FitError::NotEnoughPoints`] when too few clean points
+/// survive — the minimum-points guard that keeps a mostly-crashed sweep
+/// from producing a garbage model.
+pub fn fit_single_robust(exp: &Experiment, cfg: &FitConfig) -> Result<RobustFit, FitError> {
+    let (clean, dropped) = exp.split_clean();
+    let fitted = fit_single(&clean, cfg)?;
+    Ok(RobustFit { fitted, dropped })
+}
+
 /// Fits a model choosing selection by raw in-sample RSS instead of
 /// cross-validation — the ablation-A3 comparator. Prone to overfitting on
 /// noisy data; exposed for the study, not for production use.
@@ -418,7 +450,8 @@ pub fn fit_single_no_cv(exp: &Experiment, cfg: &FitConfig) -> Result<FittedModel
             got: exp.arity(),
         });
     }
-    let agg = exp.aggregated(crate::measurement::Aggregation::Mean);
+    let (clean, _dropped) = exp.split_clean();
+    let agg = clean.aggregated(crate::measurement::Aggregation::Mean);
     let xs: Vec<f64> = agg.points.iter().map(|m| m.coords[0]).collect();
     let ys: Vec<f64> = agg.points.iter().map(|m| m.value).collect();
     if xs.len() < 3 {
@@ -574,7 +607,10 @@ mod tests {
         let e = Experiment::from_fn(vec!["p", "n"], &[&[1.0, 2.0], &[1.0, 2.0]], |c| c[0]);
         assert!(matches!(
             fit_single(&e, &FitConfig::coarse()),
-            Err(FitError::WrongArity { expected: 1, got: 2 })
+            Err(FitError::WrongArity {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 
@@ -598,6 +634,39 @@ mod tests {
         assert_eq!(dominant(&m), Exponents::new(1.0, 0.0));
         let t = m.model.dominant_term().unwrap();
         assert!((t.coeff - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flagged_points_are_excluded_and_reported() {
+        let mut e = Experiment::new(vec!["p"]);
+        for &x in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+            e.push(&[x], 10.0 * x);
+        }
+        // A crashed run at p=64 measured garbage; it must not bend the fit.
+        e.push_flagged(&[64.0], 1.0);
+        let r = fit_single_robust(&e, &FitConfig::coarse()).unwrap();
+        assert_eq!(
+            r.fitted.model.dominant_exponents(0),
+            Exponents::new(1.0, 0.0)
+        );
+        let t = r.fitted.model.dominant_term().unwrap();
+        assert!((t.coeff - 10.0).abs() < 1e-6, "{}", r.fitted.model);
+        assert_eq!(r.dropped.len(), 1);
+        assert_eq!(r.dropped[0].coords, vec![64.0]);
+    }
+
+    #[test]
+    fn min_points_guard_rejects_mostly_crashed_sweep() {
+        let mut e = Experiment::new(vec!["p"]);
+        e.push(&[2.0], 20.0);
+        e.push(&[4.0], 40.0);
+        for &x in &[8.0, 16.0, 32.0, 64.0] {
+            e.push_flagged(&[x], 0.0);
+        }
+        assert!(matches!(
+            fit_single_robust(&e, &FitConfig::coarse()),
+            Err(FitError::NotEnoughPoints { .. })
+        ));
     }
 
     #[test]

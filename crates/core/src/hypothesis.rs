@@ -81,12 +81,7 @@ impl SearchSpace {
         let near = |grid: &[f64], v: f64| {
             grid.iter()
                 .copied()
-                .min_by(|a, b| {
-                    (a - v)
-                        .abs()
-                        .partial_cmp(&(b - v).abs())
-                        .unwrap()
-                })
+                .min_by(|a, b| (a - v).abs().partial_cmp(&(b - v).abs()).unwrap())
                 .unwrap_or(v)
         };
         Exponents::new(

@@ -62,7 +62,7 @@ pub mod pmnf;
 pub mod quality;
 pub mod stability;
 
-pub use fit::{fit_single, FitConfig, FitError, FittedModel};
+pub use fit::{fit_single, fit_single_robust, FitConfig, FitError, FittedModel, RobustFit};
 pub use measurement::{Aggregation, Experiment, Measurement};
-pub use multiparam::{fit_multi, MultiParamConfig};
+pub use multiparam::{fit_multi, fit_multi_robust, MultiParamConfig};
 pub use pmnf::{Exponents, Model, Term};

@@ -320,12 +320,7 @@ mod tests {
     #[test]
     fn least_squares_minimizes_residual() {
         // Noisy data: solution must beat small perturbations of itself.
-        let a = Matrix::from_rows(&[
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-            &[1.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]);
         let b = [1.1, 1.9, 3.2, 3.9];
         let x = lstsq(&a, &b).unwrap();
         let base = rss(&a, &x, &b);

@@ -17,6 +17,11 @@ pub struct Measurement {
     pub coords: Vec<f64>,
     /// Observed metric value.
     pub value: f64,
+    /// True when the observation comes from a degraded run (rank crashes,
+    /// injected message faults, watchdog aborts) and must not feed a fit.
+    /// Absent in pre-fault-layer JSON, hence the serde default.
+    #[serde(default)]
+    pub flagged: bool,
 }
 
 /// A set of measurements of a single metric over a parameter space.
@@ -51,7 +56,39 @@ impl Experiment {
         self.points.push(Measurement {
             coords: coords.to_vec(),
             value,
+            flagged: false,
         });
+    }
+
+    /// Adds one observation from a degraded run. Flagged points are kept
+    /// for reporting but excluded from fitting by [`Experiment::split_clean`].
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` differs from the parameter count.
+    pub fn push_flagged(&mut self, coords: &[f64], value: f64) {
+        assert_eq!(coords.len(), self.params.len(), "coordinate arity");
+        self.points.push(Measurement {
+            coords: coords.to_vec(),
+            value,
+            flagged: true,
+        });
+    }
+
+    /// Splits into (clean experiment, flagged measurements): the clean part
+    /// carries every unflagged point and is what fitting should consume;
+    /// the flagged remainder is returned so callers can report exactly
+    /// which measurements were dropped.
+    pub fn split_clean(&self) -> (Experiment, Vec<Measurement>) {
+        let mut clean = Experiment::new(self.params.clone());
+        let mut dropped = Vec::new();
+        for m in &self.points {
+            if m.flagged {
+                dropped.push(m.clone());
+            } else {
+                clean.points.push(m.clone());
+            }
+        }
+        (clean, dropped)
     }
 
     /// Builds an experiment by evaluating `f` over the cross product of the
@@ -107,12 +144,7 @@ impl Experiment {
     /// per-parameter model candidates.
     pub fn slice_for_param(&self, param: usize) -> Experiment {
         let mins: Vec<f64> = (0..self.arity())
-            .map(|k| {
-                self.axis_values(k)
-                    .first()
-                    .copied()
-                    .unwrap_or(f64::NAN)
-            })
+            .map(|k| self.axis_values(k).first().copied().unwrap_or(f64::NAN))
             .collect();
         let mut out = Experiment::new(vec![self.params[param].clone()]);
         for m in &self.points {
@@ -187,11 +219,9 @@ mod tests {
 
     #[test]
     fn from_fn_builds_full_grid() {
-        let exp = Experiment::from_fn(
-            vec!["p", "n"],
-            &[&[2.0, 4.0], &[10.0, 20.0, 30.0]],
-            |c| c[0] * c[1],
-        );
+        let exp = Experiment::from_fn(vec!["p", "n"], &[&[2.0, 4.0], &[10.0, 20.0, 30.0]], |c| {
+            c[0] * c[1]
+        });
         assert_eq!(exp.points.len(), 6);
         assert_eq!(exp.axis_values(0), vec![2.0, 4.0]);
         assert_eq!(exp.axis_values(1), vec![10.0, 20.0, 30.0]);
@@ -211,11 +241,9 @@ mod tests {
 
     #[test]
     fn slice_holds_other_params_at_min() {
-        let exp = Experiment::from_fn(
-            vec!["p", "n"],
-            &[&[2.0, 4.0, 8.0], &[1.0, 2.0]],
-            |c| c[0] * 100.0 + c[1],
-        );
+        let exp = Experiment::from_fn(vec!["p", "n"], &[&[2.0, 4.0, 8.0], &[1.0, 2.0]], |c| {
+            c[0] * 100.0 + c[1]
+        });
         let sp = exp.slice_for_param(0);
         assert_eq!(sp.params, vec!["p".to_string()]);
         assert_eq!(sp.points.len(), 3); // n fixed at 1.0
@@ -236,13 +264,7 @@ mod tests {
         exp.push(&[4.0], 5.0);
         let mean = exp.aggregated(Aggregation::Mean);
         let median = exp.aggregated(Aggregation::Median);
-        let at2 = |e: &Experiment| {
-            e.points
-                .iter()
-                .find(|m| m.coords[0] == 2.0)
-                .unwrap()
-                .value
-        };
+        let at2 = |e: &Experiment| e.points.iter().find(|m| m.coords[0] == 2.0).unwrap().value;
         assert!((at2(&mean) - 104.0 / 3.0).abs() < 1e-12);
         assert_eq!(at2(&median), 3.0); // robust to the outlier
         assert_eq!(mean.points.len(), 2);
@@ -289,5 +311,25 @@ mod tests {
         let s = serde_json::to_string(&exp).unwrap();
         let back: Experiment = serde_json::from_str(&s).unwrap();
         assert_eq!(exp, back);
+    }
+
+    #[test]
+    fn split_clean_separates_flagged_points() {
+        let mut exp = Experiment::new(vec!["p"]);
+        exp.push(&[2.0], 10.0);
+        exp.push_flagged(&[4.0], 17.0);
+        exp.push(&[8.0], 40.0);
+        let (clean, dropped) = exp.split_clean();
+        assert_eq!(clean.points.len(), 2);
+        assert!(clean.points.iter().all(|m| !m.flagged));
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].coords, vec![4.0]);
+        assert_eq!(dropped[0].value, 17.0);
+    }
+
+    #[test]
+    fn pre_fault_layer_json_defaults_to_unflagged() {
+        let m: Measurement = serde_json::from_str(r#"{"coords":[2.0],"value":5.0}"#).unwrap();
+        assert!(!m.flagged);
     }
 }

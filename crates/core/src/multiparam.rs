@@ -123,7 +123,13 @@ fn build_term_pool(per_param: &[Vec<(Exponents, usize)>]) -> Vec<CompoundTerm> {
 fn enumerate_subsets(pool_len: usize, max_size: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut stack: Vec<usize> = Vec::new();
-    fn rec(start: usize, pool_len: usize, max: usize, stack: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        start: usize,
+        pool_len: usize,
+        max: usize,
+        stack: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if !stack.is_empty() {
             out.push(stack.clone());
         }
@@ -240,7 +246,10 @@ pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel
     if m == 1 {
         return crate::fit::fit_single(exp, &cfg.single);
     }
-    let agg = exp.aggregated(Aggregation::Mean);
+    // Degraded measurements never feed the fit; the point-count guards
+    // below apply to what survives.
+    let (clean, _dropped) = exp.split_clean();
+    let agg = clean.aggregated(Aggregation::Mean);
 
     // Step 1: per-parameter candidate factors from axis slices, tagged
     // with the rank of the slice model they came from — factors of the
@@ -304,13 +313,14 @@ pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel
     let max_rank = scored.iter().map(&hyp_rank).max().unwrap_or(0);
     let mut best: Option<ScoredMulti> = constant;
     for wave in 0..=max_rank {
-        let wave_best = scored
-            .iter()
-            .filter(|s| hyp_rank(s) == wave)
-            .fold(None::<&ScoredMulti>, |acc, s| match acc {
-                Some(b) if !better_multi(s, b) => Some(b),
-                _ => Some(s),
-            });
+        let wave_best =
+            scored
+                .iter()
+                .filter(|s| hyp_rank(s) == wave)
+                .fold(None::<&ScoredMulti>, |acc, s| match acc {
+                    Some(b) if !better_multi(s, b) => Some(b),
+                    _ => Some(s),
+                });
         let Some(wb) = wave_best else { continue };
         let replace = match &best {
             None => true,
@@ -319,8 +329,7 @@ pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel
                     better_multi(wb, inc)
                 } else {
                     inc.cv_smape > floor
-                        && wb.cv_smape
-                            < inc.cv_smape * (1.0 - cfg.single.improvement_threshold)
+                        && wb.cv_smape < inc.cv_smape * (1.0 - cfg.single.improvement_threshold)
                 }
             }
         };
@@ -339,10 +348,7 @@ pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel
         .iter()
         .zip(&best.coeffs[1..])
         .filter(|(t, &c)| {
-            let max_basis = coords
-                .iter()
-                .map(|cd| t.basis(cd))
-                .fold(0.0f64, f64::max);
+            let max_basis = coords.iter().map(|cd| t.basis(cd)).fold(0.0f64, f64::max);
             c.abs() * max_basis >= 1e-8 * y_scale
         })
         .map(|(t, &c)| Term::new(c, t.factors.clone()))
@@ -357,6 +363,23 @@ pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel
         cv_smape: best.cv_smape,
         model,
     })
+}
+
+/// Fits a multi-parameter model on the clean subset of a sweep that may
+/// contain flagged (degraded-run) measurements, reporting which points
+/// were dropped. The multi-parameter twin of
+/// [`crate::fit::fit_single_robust`].
+///
+/// # Errors
+/// Returns [`FitError::NotEnoughPoints`] when too few clean points
+/// survive for the fit (the minimum-points guard).
+pub fn fit_multi_robust(
+    exp: &Experiment,
+    cfg: &MultiParamConfig,
+) -> Result<crate::fit::RobustFit, FitError> {
+    let (clean, dropped) = exp.split_clean();
+    let fitted = fit_multi(&clean, cfg)?;
+    Ok(crate::fit::RobustFit { fitted, dropped })
 }
 
 #[cfg(test)]
@@ -473,6 +496,21 @@ mod tests {
         let (fp, fn_) = lead_exponents(&m.model);
         assert_eq!(fp, Exponents::new(0.5, 0.0), "{}", m.model);
         assert_eq!(fn_, Exponents::new(1.5, 0.0), "{}", m.model);
+    }
+
+    #[test]
+    fn degraded_grid_points_are_dropped_not_fitted() {
+        // A 5×5 grid where two runs crashed and reported garbage values;
+        // the robust fit must recover the true shape and name the drops.
+        let mut e = grid(|c| 3.0 * c[0] * c[1]);
+        e.push_flagged(&[8.0, 256.0], 1.0);
+        e.push_flagged(&[32.0, 1024.0], 2.0);
+        let r = fit_multi_robust(&e, &MultiParamConfig::coarse()).unwrap();
+        let (fp, fn_) = lead_exponents(&r.fitted.model);
+        assert_eq!(fp, Exponents::new(1.0, 0.0), "{}", r.fitted.model);
+        assert_eq!(fn_, Exponents::new(1.0, 0.0), "{}", r.fitted.model);
+        assert_eq!(r.dropped.len(), 2);
+        assert!(r.dropped.iter().all(|m| m.flagged));
     }
 
     #[test]

@@ -239,22 +239,16 @@ impl Model {
 
     /// True if the model depends on parameter `param` at all.
     pub fn depends_on(&self, param: usize) -> bool {
-        self.terms
-            .iter()
-            .any(|t| !t.factors[param].is_constant())
+        self.terms.iter().any(|t| !t.factors[param].is_constant())
     }
 
     /// True if some term multiplies two different parameters together — the
     /// "multiplicative effect" the paper flags (e.g. Kripke loads/stores
     /// `n·p`, LULESH FLOP `n log n · p^0.25 log p`).
     pub fn has_multiplicative_interaction(&self) -> bool {
-        self.terms.iter().any(|t| {
-            t.factors
-                .iter()
-                .filter(|f| !f.is_constant())
-                .count()
-                >= 2
-        })
+        self.terms
+            .iter()
+            .any(|t| t.factors.iter().filter(|f| !f.is_constant()).count() >= 2)
     }
 
     /// Sums several models over the same parameters into one (constants add,

@@ -184,12 +184,7 @@ pub fn render_fit_plot(
     // Fix the other coordinates at their maxima; collect the points on
     // that slice.
     let maxes: Vec<f64> = (0..exp.arity())
-        .map(|k| {
-            exp.axis_values(k)
-                .last()
-                .copied()
-                .unwrap_or(1.0)
-        })
+        .map(|k| exp.axis_values(k).last().copied().unwrap_or(1.0))
         .collect();
     let pts: Vec<(f64, f64)> = exp
         .points
@@ -388,11 +383,9 @@ mod tests {
     #[test]
     fn fit_plot_two_params_slices_at_max() {
         use crate::pmnf::{Exponents, Term};
-        let exp = Experiment::from_fn(
-            vec!["p", "n"],
-            &[&[2.0, 8.0], &[16.0, 64.0]],
-            |c| c[0] * c[1],
-        );
+        let exp = Experiment::from_fn(vec!["p", "n"], &[&[2.0, 8.0], &[16.0, 64.0]], |c| {
+            c[0] * c[1]
+        });
         let model = Model::new(
             0.0,
             vec![Term::new(

@@ -216,11 +216,7 @@ mod tests {
         let (totals, _) = p.totals();
         assert_eq!(totals.flops, 111);
         // Inclusive of "a" = 110.
-        let a_id = p
-            .nodes()
-            .iter()
-            .position(|n| n.name == "a")
-            .unwrap();
+        let a_id = p.nodes().iter().position(|n| n.name == "a").unwrap();
         assert_eq!(p.inclusive(a_id).0.flops, 110);
     }
 
@@ -236,10 +232,7 @@ mod tests {
         assert_eq!(node.visits, 3);
         assert_eq!(node.counters.loads, 6);
         // One node, not three.
-        assert_eq!(
-            p.nodes().iter().filter(|n| n.name == "iter").count(),
-            1
-        );
+        assert_eq!(p.nodes().iter().filter(|n| n.name == "iter").count(), 1);
     }
 
     #[test]
@@ -282,10 +275,7 @@ mod tests {
         p.enter("reduce");
         p.add_comm_bytes(100);
         p.exit();
-        assert_eq!(
-            p.hottest_by(|n| n.comm_bytes).unwrap(),
-            "main/exchange"
-        );
+        assert_eq!(p.hottest_by(|n| n.comm_bytes).unwrap(), "main/exchange");
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use callpath::{CallNode, CallPathProfiler, NodeId};
 pub use counters::{Counters, Fpu};
 pub use footprint::{f64_bytes, FootprintTracker, TrackedAlloc};
 pub use io::{IoBytes, IoTracker};
-pub use survey::{MetricKind, Observation, Survey};
+pub use survey::{MetricKind, Observation, SkippedConfig, Survey};
 
 /// Everything a behavioural twin needs while running on one rank: counters,
 /// footprint and call-path attribution bundled together.

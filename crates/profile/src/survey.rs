@@ -63,6 +63,23 @@ pub struct Observation {
     /// Measured per-process value (averaged over ranks unless stated
     /// otherwise by the producer).
     pub value: f64,
+    /// True when the run this value came from was degraded (rank crashes,
+    /// injected message faults) — the fitting layer drops such points and
+    /// reports them. Absent in pre-fault-layer JSON, hence the default.
+    #[serde(default)]
+    pub degraded: bool,
+}
+
+/// A `(p, n)` configuration whose run produced no usable measurement at
+/// all (e.g. every rank crashed, or the run deadlocked and was aborted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkippedConfig {
+    /// Number of processes of the attempted run.
+    pub p: u64,
+    /// Problem size per process of the attempted run.
+    pub n: u64,
+    /// Why no measurement was recorded.
+    pub reason: String,
 }
 
 /// A survey: all observations for one application across its measurement
@@ -73,6 +90,10 @@ pub struct Survey {
     pub app: String,
     /// All recorded observations.
     pub observations: Vec<Observation>,
+    /// Configurations that produced no usable measurement (all ranks dead,
+    /// deadlock abort). Absent in pre-fault-layer JSON, hence the default.
+    #[serde(default)]
+    pub skipped: Vec<SkippedConfig>,
 }
 
 impl Survey {
@@ -81,17 +102,36 @@ impl Survey {
         Survey {
             app: app.into(),
             observations: Vec::new(),
+            skipped: Vec::new(),
         }
+    }
+
+    /// Records one observation (verbatim; callers set the degraded flag).
+    pub fn record(&mut self, obs: Observation) {
+        self.observations.push(obs);
     }
 
     /// Records one observation.
     pub fn push(&mut self, p: u64, n: u64, metric: MetricKind, value: f64) {
-        self.observations.push(Observation {
+        self.record(Observation {
             p,
             n,
             metric,
             channel: None,
             value,
+            degraded: false,
+        });
+    }
+
+    /// Records one observation from a degraded run.
+    pub fn push_degraded(&mut self, p: u64, n: u64, metric: MetricKind, value: f64) {
+        self.record(Observation {
+            p,
+            n,
+            metric,
+            channel: None,
+            value,
+            degraded: true,
         });
     }
 
@@ -104,12 +144,22 @@ impl Survey {
         channel: impl Into<String>,
         value: f64,
     ) {
-        self.observations.push(Observation {
+        self.record(Observation {
             p,
             n,
             metric,
             channel: Some(channel.into()),
             value,
+            degraded: false,
+        });
+    }
+
+    /// Records a configuration that produced no measurement at all.
+    pub fn note_skipped(&mut self, p: u64, n: u64, reason: impl Into<String>) {
+        self.skipped.push(SkippedConfig {
+            p,
+            n,
+            reason: reason.into(),
         });
     }
 
@@ -139,6 +189,18 @@ impl Survey {
                 if let Some(c) = &o.channel {
                     set.insert(c.clone(), ());
                 }
+            }
+        }
+        set.into_keys().collect()
+    }
+
+    /// Distinct `(p, n)` configurations whose observations are marked
+    /// degraded, sorted.
+    pub fn degraded_configs(&self) -> Vec<(u64, u64)> {
+        let mut set: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+        for o in &self.observations {
+            if o.degraded {
+                set.insert((o.p, o.n), ());
             }
         }
         set.into_keys().collect()
@@ -188,7 +250,10 @@ mod tests {
         s.push_channel(2, 10, MetricKind::CommBytes, "Allreduce", 100.0);
         s.push_channel(2, 10, MetricKind::CommBytes, "Bcast", 50.0);
         s.push(2, 10, MetricKind::CommBytes, 150.0);
-        assert_eq!(s.channels(MetricKind::CommBytes), vec!["Allreduce", "Bcast"]);
+        assert_eq!(
+            s.channels(MetricKind::CommBytes),
+            vec!["Allreduce", "Bcast"]
+        );
         assert_eq!(
             s.channel_triples(MetricKind::CommBytes, "Allreduce"),
             vec![(2, 10, 100.0)]
@@ -212,6 +277,33 @@ mod tests {
         s.push_channel(8, 64, MetricKind::StackDistance, "group-3", 42.0);
         let back = Survey::from_json(&s.to_json()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn degraded_and_skipped_are_tracked() {
+        let mut s = Survey::new("lulesh");
+        s.push(2, 10, MetricKind::Flops, 1.0);
+        s.push_degraded(4, 10, MetricKind::Flops, 0.7);
+        s.push_degraded(4, 10, MetricKind::BytesUsed, 0.5);
+        s.note_skipped(8, 10, "all 8 ranks failed");
+        assert_eq!(s.degraded_configs(), vec![(4, 10)]);
+        assert_eq!(s.skipped.len(), 1);
+        assert_eq!(s.skipped[0].p, 8);
+        let back = Survey::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn pre_fault_layer_json_defaults_cleanly() {
+        let json = r#"{
+            "app": "old",
+            "observations": [
+                {"p": 2, "n": 10, "metric": "Flops", "channel": null, "value": 1.0}
+            ]
+        }"#;
+        let s = Survey::from_json(json).unwrap();
+        assert!(!s.observations[0].degraded);
+        assert!(s.skipped.is_empty());
     }
 
     #[test]

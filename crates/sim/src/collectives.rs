@@ -84,8 +84,7 @@ impl Rank {
             while mask < f {
                 let partner = rank ^ mask;
                 self.send_f64s_class(OpClass::Allreduce, partner, tag + mask as u64, data);
-                let theirs =
-                    self.recv_f64s_class(OpClass::Allreduce, partner, tag + mask as u64);
+                let theirs = self.recv_f64s_class(OpClass::Allreduce, partner, tag + mask as u64);
                 add_into(data, &theirs);
                 mask <<= 1;
             }
@@ -122,7 +121,10 @@ impl Rank {
             blocks[origin] = Some(incoming.clone());
             outgoing = incoming;
         }
-        blocks.into_iter().map(|b| b.expect("ring filled")).collect()
+        blocks
+            .into_iter()
+            .map(|b| b.expect("ring filled"))
+            .collect()
     }
 
     /// All-to-all personalized exchange: `blocks[i]` is sent to rank `i`;
@@ -145,7 +147,9 @@ impl Rank {
             let incoming = self.recv_class(OpClass::Alltoall, src, tag + round as u64);
             out[src] = Some(incoming);
         }
-        out.into_iter().map(|b| b.expect("exchange filled")).collect()
+        out.into_iter()
+            .map(|b| b.expect("exchange filled"))
+            .collect()
     }
 
     /// Barrier: a zero-byte allreduce. Contributes messages but no payload
@@ -274,7 +278,10 @@ mod tests {
             r.allgather(&mine);
         });
         let t = total_stats(&results);
-        assert_eq!(t.class(OpClass::Allgather).sent, p as u64 * (p as u64 - 1) * bs);
+        assert_eq!(
+            t.class(OpClass::Allgather).sent,
+            p as u64 * (p as u64 - 1) * bs
+        );
     }
 
     #[test]
@@ -282,9 +289,7 @@ mod tests {
         for p in [1usize, 2, 4, 7] {
             let results = run_ranks(p, |r| {
                 // Block for dst j encodes (me, j).
-                let blocks: Vec<Vec<u8>> = (0..p)
-                    .map(|j| vec![r.rank() as u8, j as u8])
-                    .collect();
+                let blocks: Vec<Vec<u8>> = (0..p).map(|j| vec![r.rank() as u8, j as u8]).collect();
                 r.alltoall(&blocks)
                     .into_iter()
                     .map(|b| (b[0] as usize, b[1] as usize))

@@ -64,8 +64,7 @@ impl Rank {
             let vchild = vrank + mask;
             if vchild < p {
                 let child = (vchild + root) % p;
-                let theirs =
-                    self.recv_f64s_class(OpClass::Allreduce, child, tag + mask as u64);
+                let theirs = self.recv_f64s_class(OpClass::Allreduce, child, tag + mask as u64);
                 assert_eq!(theirs.len(), data.len(), "reduce length mismatch");
                 for (a, b) in data.iter_mut().zip(&theirs) {
                     *a += b;
@@ -145,11 +144,7 @@ impl Group {
     /// `color(world_rank)` land in the same group, ordered by world rank —
     /// the `MPI_Comm_split` idiom.
     pub fn split(world_size: usize, color: impl Fn(usize) -> usize, my_color: usize) -> Group {
-        Group::new(
-            (0..world_size)
-                .filter(|&r| color(r) == my_color)
-                .collect(),
-        )
+        Group::new((0..world_size).filter(|&r| color(r) == my_color).collect())
     }
 
     /// Number of members.

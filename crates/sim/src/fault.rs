@@ -1,0 +1,489 @@
+//! Deterministic, seed-driven fault injection for the simulator.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* in a run: rank crashes at
+//! a given communication-op count, and per-message drop / duplicate /
+//! delay / corruption with configurable probabilities. Faults are injected
+//! at the `Rank::send_class` / `Rank::recv_class` chokepoints, so every
+//! point-to-point call *and* every collective (they are built from the
+//! same chokepoints) is covered without per-algorithm code.
+//!
+//! Determinism is the design center: each `(src, dst)` link owns an
+//! independent [`SplitMix64`] stream seeded from `(plan.seed, src, dst)`,
+//! and every send draws a fixed number of values from its link stream.
+//! Fault decisions therefore depend only on the plan and the sequence of
+//! sends on that link — never on thread interleaving — so the same seed
+//! reproduces byte-identical [`FaultStats`] and `CommStats` on every run.
+//!
+//! Injected faults are byte-accounted in [`FaultStats`], a sibling of
+//! `CommStats`: dropped/duplicated/delayed/corrupted messages and bytes,
+//! plus injected crash counts, merge across ranks the same way.
+
+use serde::{Deserialize, Serialize};
+
+/// An injected rank crash: the rank dies when it *starts* its `at_op`-th
+/// communication operation (sends and receives both count, 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPoint {
+    /// Rank to kill.
+    pub rank: usize,
+    /// 1-based communication-op index at which the rank dies.
+    pub at_op: u64,
+}
+
+/// A deterministic fault-injection plan for one simulated run.
+///
+/// The default plan injects nothing ([`FaultPlan::is_active`] is `false`)
+/// and adds zero overhead beyond an op counter. Build plans with the
+/// chainable constructors or parse one from a CLI spec with
+/// [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all per-link fault streams.
+    pub seed: u64,
+    /// Ranks to crash, and when.
+    pub crashes: Vec<CrashPoint>,
+    /// Per-message probability that a send is silently dropped.
+    pub drop_prob: f64,
+    /// Per-message probability that a send is delivered twice.
+    pub dup_prob: f64,
+    /// Per-message probability that a send is delayed (reordered behind
+    /// the next send to the same destination).
+    pub delay_prob: f64,
+    /// Per-message probability that payload bytes are corrupted in flight.
+    pub corrupt_prob: f64,
+    /// How many byte positions to corrupt in a corrupted message.
+    pub corrupt_bytes: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            corrupt_prob: 0.0,
+            corrupt_bytes: 1,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (same as `FaultPlan::default()`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan with the given stream seed.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a rank crash at the given 1-based communication-op index.
+    pub fn crash(mut self, rank: usize, at_op: u64) -> Self {
+        self.crashes.push(CrashPoint { rank, at_op });
+        self
+    }
+
+    /// Sets the per-message drop probability.
+    pub fn drop(mut self, prob: f64) -> Self {
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    pub fn duplicate(mut self, prob: f64) -> Self {
+        self.dup_prob = prob;
+        self
+    }
+
+    /// Sets the per-message delay (reorder) probability.
+    pub fn delay(mut self, prob: f64) -> Self {
+        self.delay_prob = prob;
+        self
+    }
+
+    /// Sets the per-message corruption probability and how many byte
+    /// positions each corrupted message loses.
+    pub fn corrupt(mut self, prob: f64, bytes: u32) -> Self {
+        self.corrupt_prob = prob;
+        self.corrupt_bytes = bytes.max(1);
+        self
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        !self.crashes.is_empty()
+            || self.drop_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.delay_prob > 0.0
+            || self.corrupt_prob > 0.0
+    }
+
+    /// Parses a CLI fault spec: comma-separated `key=value` pairs.
+    ///
+    /// Keys: `seed=U64`, `crash=RANK@OP` (repeatable), `drop=P`, `dup=P`,
+    /// `delay=P`, `corrupt=P`, `corrupt_bytes=N`. Example:
+    /// `seed=42,crash=2@50,drop=0.001,corrupt=0.0001`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{part}` is not key=value"))?;
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad seed `{value}`: {e}"))?;
+                }
+                "crash" => {
+                    let (rank, op) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("crash spec `{value}` is not RANK@OP"))?;
+                    plan.crashes.push(CrashPoint {
+                        rank: rank
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("bad crash rank `{rank}`: {e}"))?,
+                        at_op: op
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("bad crash op `{op}`: {e}"))?,
+                    });
+                }
+                "drop" => plan.drop_prob = parse_prob("drop", value)?,
+                "dup" => plan.dup_prob = parse_prob("dup", value)?,
+                "delay" => plan.delay_prob = parse_prob("delay", value)?,
+                "corrupt" => plan.corrupt_prob = parse_prob("corrupt", value)?,
+                "corrupt_bytes" => {
+                    plan.corrupt_bytes = value
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad corrupt_bytes `{value}`: {e}"))?
+                        .max(1);
+                }
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Builds the per-rank injection state for `rank` in a world of `size`.
+    pub(crate) fn state_for(&self, rank: usize, size: usize) -> FaultState {
+        let crash_at = self
+            .crashes
+            .iter()
+            .filter(|c| c.rank == rank)
+            .map(|c| c.at_op.max(1))
+            .min();
+        let links = (0..size)
+            .map(|dst| SplitMix64::new(link_seed(self.seed, rank, dst)))
+            .collect();
+        FaultState {
+            active: self.is_active(),
+            crash_at,
+            ops: 0,
+            drop_prob: self.drop_prob,
+            dup_prob: self.dup_prob,
+            delay_prob: self.delay_prob,
+            corrupt_prob: self.corrupt_prob,
+            corrupt_bytes: self.corrupt_bytes,
+            links,
+            delayed: (0..size).map(|_| None).collect(),
+        }
+    }
+}
+
+fn parse_prob(key: &str, value: &str) -> Result<f64, String> {
+    let p: f64 = value
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad {key} probability `{value}`: {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{key} probability {p} outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+/// Counters for injected faults, merged across ranks like `CommStats`.
+///
+/// These count what the fault layer *did*, independently of application
+/// byte accounting: `CommStats` records what the application asked for;
+/// `FaultStats` records how the fabric betrayed it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages silently dropped at send time.
+    pub dropped_msgs: u64,
+    /// Payload bytes in dropped messages.
+    pub dropped_bytes: u64,
+    /// Extra deliveries injected by duplication.
+    pub duplicated_msgs: u64,
+    /// Payload bytes in duplicate deliveries.
+    pub duplicated_bytes: u64,
+    /// Messages delayed (reordered behind a later send on the same link).
+    pub delayed_msgs: u64,
+    /// Messages whose payload was corrupted in flight.
+    pub corrupted_msgs: u64,
+    /// Byte positions flipped by corruption.
+    pub corrupted_bytes: u64,
+    /// Injected crashes that fired on this rank.
+    pub injected_crashes: u64,
+    /// Messages that could not be handed to a peer (its receiver was gone).
+    pub undelivered_msgs: u64,
+}
+
+impl FaultStats {
+    /// Element-wise sum of two fault-stat records.
+    pub fn merged(&self, other: &FaultStats) -> FaultStats {
+        FaultStats {
+            dropped_msgs: self.dropped_msgs + other.dropped_msgs,
+            dropped_bytes: self.dropped_bytes + other.dropped_bytes,
+            duplicated_msgs: self.duplicated_msgs + other.duplicated_msgs,
+            duplicated_bytes: self.duplicated_bytes + other.duplicated_bytes,
+            delayed_msgs: self.delayed_msgs + other.delayed_msgs,
+            corrupted_msgs: self.corrupted_msgs + other.corrupted_msgs,
+            corrupted_bytes: self.corrupted_bytes + other.corrupted_bytes,
+            injected_crashes: self.injected_crashes + other.injected_crashes,
+            undelivered_msgs: self.undelivered_msgs + other.undelivered_msgs,
+        }
+    }
+
+    /// Total injected message-level events (drops + dups + delays +
+    /// corruptions + crashes).
+    pub fn total_events(&self) -> u64 {
+        self.dropped_msgs
+            + self.duplicated_msgs
+            + self.delayed_msgs
+            + self.corrupted_msgs
+            + self.injected_crashes
+    }
+}
+
+/// SplitMix64: tiny, fast, full-period 64-bit PRNG (Steele et al.). Used
+/// for fault streams so determinism needs no external crate.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1) with 53 bits of precision.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Mixes (seed, src, dst) into an independent per-link stream seed.
+fn link_seed(seed: u64, src: usize, dst: usize) -> u64 {
+    let mut s = SplitMix64::new(
+        seed ^ (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (dst as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    );
+    s.next_u64()
+}
+
+/// What the fault layer decided to do to one outgoing message.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FaultDecision {
+    pub drop: bool,
+    pub dup: bool,
+    pub delay: bool,
+    /// Distinct byte positions to flip (empty = no corruption).
+    pub corrupt_at: Vec<usize>,
+}
+
+/// Per-rank runtime state of the fault layer.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    active: bool,
+    /// Crash when `ops` reaches this value (1-based), if set.
+    crash_at: Option<u64>,
+    /// Communication ops (sends + receives) started so far.
+    ops: u64,
+    drop_prob: f64,
+    dup_prob: f64,
+    delay_prob: f64,
+    corrupt_prob: f64,
+    corrupt_bytes: u32,
+    /// One independent stream per destination link.
+    links: Vec<SplitMix64>,
+    /// At most one in-flight delayed message per destination; flushed
+    /// after the next send to that destination (or at clean completion).
+    pub(crate) delayed: Vec<Option<crate::rank::Msg>>,
+}
+
+impl FaultState {
+    /// Counts one communication op; returns the op index at which this
+    /// rank must crash, if this op is (at or past) its crash point.
+    pub(crate) fn tick_op(&mut self) -> Option<u64> {
+        self.ops += 1;
+        match self.crash_at {
+            Some(at) if self.ops >= at => {
+                self.crash_at = None; // fire once
+                Some(self.ops)
+            }
+            _ => None,
+        }
+    }
+
+    /// Draws the fault decision for one message to `dst` of length `len`.
+    ///
+    /// Always draws the same number of stream values per send (4 uniform
+    /// draws, plus `corrupt_bytes` position draws only when corruption
+    /// fires) so decisions stay aligned with the send sequence on the link.
+    pub(crate) fn decide(&mut self, dst: usize, len: usize) -> FaultDecision {
+        if !self.active {
+            return FaultDecision::default();
+        }
+        let n_corrupt = self.corrupt_bytes;
+        let stream = &mut self.links[dst];
+        let drop = stream.next_f64() < self.drop_prob;
+        let dup = stream.next_f64() < self.dup_prob;
+        let delay = stream.next_f64() < self.delay_prob;
+        let corrupt = stream.next_f64() < self.corrupt_prob && len > 0;
+        let mut corrupt_at = Vec::new();
+        if corrupt {
+            for _ in 0..n_corrupt {
+                let pos = (stream.next_u64() % len as u64) as usize;
+                // Distinct positions only: flipping the same byte twice
+                // would cancel out and under-count corruption.
+                if !corrupt_at.contains(&pos) {
+                    corrupt_at.push(pos);
+                }
+            }
+        }
+        FaultDecision {
+            drop,
+            dup,
+            delay,
+            corrupt_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse("seed=42, crash=2@50, crash=0@9, drop=0.25, dup=0.1, delay=0.05, corrupt=0.01, corrupt_bytes=3").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(
+            plan.crashes,
+            vec![
+                CrashPoint { rank: 2, at_op: 50 },
+                CrashPoint { rank: 0, at_op: 9 }
+            ]
+        );
+        assert_eq!(plan.drop_prob, 0.25);
+        assert_eq!(plan.dup_prob, 0.1);
+        assert_eq!(plan.delay_prob, 0.05);
+        assert_eq!(plan.corrupt_prob, 0.01);
+        assert_eq!(plan.corrupt_bytes, 3);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("crash=2").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_inert() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert_eq!(plan, FaultPlan::default());
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn splitmix_streams_are_deterministic_and_distinct() {
+        let a: Vec<u64> = {
+            let mut s = SplitMix64::new(7);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = SplitMix64::new(7);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut s = SplitMix64::new(8);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn link_seeds_are_direction_sensitive() {
+        assert_ne!(link_seed(1, 0, 1), link_seed(1, 1, 0));
+        assert_ne!(link_seed(1, 0, 1), link_seed(2, 0, 1));
+    }
+
+    #[test]
+    fn decide_draws_are_reproducible() {
+        let plan = FaultPlan::with_seed(11).drop(0.5).duplicate(0.5);
+        let run = || {
+            let mut st = plan.state_for(0, 4);
+            (0..32)
+                .map(|i| {
+                    let d = st.decide(1 + i % 3, 64);
+                    (d.drop, d.dup, d.delay)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_fires_once_at_op() {
+        let plan = FaultPlan::default().crash(3, 2);
+        let mut st = plan.state_for(3, 4);
+        assert_eq!(st.tick_op(), None);
+        assert_eq!(st.tick_op(), Some(2));
+        assert_eq!(st.tick_op(), None);
+        let mut other = plan.state_for(1, 4);
+        assert_eq!(other.tick_op(), None);
+        assert_eq!(other.tick_op(), None);
+    }
+
+    #[test]
+    fn fault_stats_merge_elementwise() {
+        let a = FaultStats {
+            dropped_msgs: 1,
+            dropped_bytes: 10,
+            injected_crashes: 1,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            dropped_msgs: 2,
+            duplicated_msgs: 3,
+            ..FaultStats::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.dropped_msgs, 3);
+        assert_eq!(m.dropped_bytes, 10);
+        assert_eq!(m.duplicated_msgs, 3);
+        assert_eq!(m.injected_crashes, 1);
+        assert_eq!(m.total_events(), 7);
+    }
+}

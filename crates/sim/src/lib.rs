@@ -15,6 +15,15 @@
 //! `p`-dependence that the model generator later rediscovers as `log p`,
 //! `p − 1`, …
 //!
+//! Because exascale co-design is about machines where component failure is
+//! the steady state, the substrate is fault-aware: a deterministic,
+//! seed-driven [`FaultPlan`] injects rank crashes and message
+//! drop/duplicate/delay/corruption at the send/receive chokepoints, a
+//! supervised runner ([`run_ranks_with_faults`], [`run_ranks_supervised`])
+//! reports per-rank completion status instead of hanging on failures, and
+//! a watchdog turns genuine deadlocks into a structured
+//! [`SimError::Deadlock`] naming the blocked ranks.
+//!
 //! ```
 //! use exareq_sim::{run_ranks, total_stats};
 //!
@@ -32,13 +41,19 @@
 
 mod collectives;
 mod extended;
+pub mod fault;
 mod rank;
 mod runner;
 pub mod stats;
 pub mod topology;
 
 pub use extended::{Group, RecvFuture};
-pub use rank::Rank;
-pub use runner::{max_over_ranks, run_ranks, total_stats, RankResult};
+pub use fault::{CrashPoint, FaultPlan, FaultStats};
+pub use rank::{CommError, PeerReason, Rank};
+pub use runner::{
+    max_over_ranks, run_ranks, run_ranks_supervised, run_ranks_with_faults, total_stats,
+    BlockedRank, PendingMsg, RankReport, RankResult, RankStatus, SimConfig, SimError, SimOutcome,
+    StallInfo, DEFAULT_WATCHDOG,
+};
 pub use stats::{ClassBytes, CommStats, OpClass};
 pub use topology::{dims_create, CartGrid};

@@ -1,9 +1,21 @@
 //! The per-rank communicator handle: point-to-point messaging with
-//! selective receive and byte accounting.
+//! selective receive, byte accounting, and fault injection.
+//!
+//! Communication failures are *diagnosable*: instead of a bare
+//! `expect("peer rank hung up")`, a receive that can never complete
+//! raises a [`CommError`] naming the waiting rank, the peer, and the tag.
+//! Inside a supervised run the error unwinds as a typed [`RankAbort`]
+//! payload that the runner catches and turns into a per-rank status;
+//! under the compatibility `run_ranks` entry point it surfaces as a
+//! panic whose message is the formatted error.
 
+use crate::fault::{FaultState, FaultStats};
+use crate::runner::{PendingMsg, RankState, Supervision};
 use crate::stats::{CommStats, OpClass};
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
 /// A message in flight: source rank, user tag, payload.
 #[derive(Debug, Clone)]
@@ -13,28 +25,159 @@ pub(crate) struct Msg {
     pub data: Bytes,
 }
 
+/// Control traffic interleaved with data on each rank's single channel.
+///
+/// Channels are FIFO per sender, so a `PeerDone`/`PeerFailed` from rank
+/// `r` is guaranteed to arrive *after* every data message `r` sent —
+/// which makes "peer finished without the send I'm waiting for" a
+/// deterministic verdict, not a race.
+#[derive(Debug, Clone)]
+pub(crate) enum Ctl {
+    /// The named rank finished its body cleanly; no more data will come.
+    PeerDone { rank: usize },
+    /// The named rank failed (panic or injected crash).
+    PeerFailed { rank: usize, why: String },
+    /// The supervisor is tearing the run down (watchdog fired).
+    Abort { why: String },
+}
+
+/// What actually travels on a rank's channel.
+#[derive(Debug, Clone)]
+pub(crate) enum Envelope {
+    Data(Msg),
+    Ctl(Ctl),
+}
+
+/// Why a peer can no longer satisfy a receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerReason {
+    /// The peer finished its body without sending the awaited message.
+    Completed,
+    /// The peer failed; the string carries its failure description.
+    Failed(String),
+}
+
+/// A diagnosable communication failure, naming every party involved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// A receive can never complete: the peer is done or dead and no
+    /// matching message is queued or parked.
+    PeerUnavailable {
+        /// The rank that was blocked in `recv`.
+        rank: usize,
+        /// The peer it was waiting on.
+        peer: usize,
+        /// The tag it was waiting for.
+        tag: u64,
+        /// Why the peer cannot deliver.
+        reason: PeerReason,
+    },
+    /// The rank's own channel infrastructure was torn down mid-receive.
+    /// Defensive: the supervisor keeps receivers alive, so this indicates
+    /// a runner bug rather than an application one.
+    Disconnected {
+        /// The rank whose channel died.
+        rank: usize,
+        /// The peer it was waiting on.
+        peer: usize,
+        /// The tag it was waiting for.
+        tag: u64,
+    },
+    /// The supervisor aborted the run (e.g. the deadlock watchdog fired)
+    /// while this rank was blocked.
+    Aborted {
+        /// The rank that was told to stop.
+        rank: usize,
+        /// The supervisor's explanation.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerUnavailable {
+                rank,
+                peer,
+                tag,
+                reason,
+            } => match reason {
+                PeerReason::Completed => write!(
+                    f,
+                    "rank {rank}: receive from peer {peer} (tag {tag}) can never \
+                     complete: peer {peer} finished without a matching send"
+                ),
+                PeerReason::Failed(why) => write!(
+                    f,
+                    "rank {rank}: receive from peer {peer} (tag {tag}) can never \
+                     complete: peer {peer} failed: {why}"
+                ),
+            },
+            CommError::Disconnected { rank, peer, tag } => write!(
+                f,
+                "rank {rank}: channel torn down while receiving from peer {peer} (tag {tag})"
+            ),
+            CommError::Aborted { rank, why } => {
+                write!(f, "rank {rank}: aborted by supervisor: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Typed panic payload used inside supervised runs so the runner can
+/// distinguish injected crashes and communication aborts from genuine
+/// application panics.
+#[derive(Debug)]
+pub(crate) enum RankAbort {
+    /// A `FaultPlan` crash point fired on this rank at the given op.
+    InjectedCrash { op: u64 },
+    /// Communication became impossible (peer death cascade, watchdog).
+    Comm(CommError),
+}
+
+/// What this rank knows about each peer's liveness (learned from `Ctl`
+/// messages; peers start `Alive`).
+#[derive(Debug, Clone)]
+enum PeerState {
+    Alive,
+    Done,
+    Failed(String),
+}
+
 /// The communicator handle passed to each rank's body.
 ///
 /// Functionally a tiny MPI: `send`/`recv` with tags and selective receive,
 /// plus collectives (broadcast, all-reduce, all-gather, all-to-all,
 /// barrier — implemented in the `collectives` module). Channels are unbounded,
 /// so sends never block and classic exchange patterns cannot deadlock.
+/// Under a supervised runner, genuine deadlocks are detected by a watchdog
+/// and peer failures surface as diagnosable [`CommError`]s instead of hangs.
 pub struct Rank {
     rank: usize,
     size: usize,
-    pub(crate) txs: Vec<Sender<Msg>>,
-    pub(crate) rx: Receiver<Msg>,
+    pub(crate) txs: Vec<Sender<Envelope>>,
+    pub(crate) rx: Receiver<Envelope>,
     /// Out-of-order messages parked until a matching `recv` is posted.
     pending: Vec<Msg>,
+    /// Liveness of each peer as learned from control messages.
+    peers: Vec<PeerState>,
     pub(crate) stats: CommStats,
+    pub(crate) faults: FaultState,
+    pub(crate) fault_stats: FaultStats,
+    /// Shared supervision state (progress counter + per-rank run state).
+    sup: Arc<Supervision>,
 }
 
 impl Rank {
     pub(crate) fn new(
         rank: usize,
         size: usize,
-        txs: Vec<Sender<Msg>>,
-        rx: Receiver<Msg>,
+        txs: Vec<Sender<Envelope>>,
+        rx: Receiver<Envelope>,
+        faults: FaultState,
+        sup: Arc<Supervision>,
     ) -> Self {
         Rank {
             rank,
@@ -42,7 +185,11 @@ impl Rank {
             txs,
             rx,
             pending: Vec::new(),
+            peers: vec![PeerState::Alive; size],
             stats: CommStats::default(),
+            faults,
+            fault_stats: FaultStats::default(),
+            sup,
         }
     }
 
@@ -61,6 +208,11 @@ impl Rank {
         &self.stats
     }
 
+    /// Injected-fault statistics accumulated so far on this rank.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
     /// Sends `data` to `dst` with `tag`, attributed to the point-to-point
     /// class.
     ///
@@ -72,43 +224,231 @@ impl Rank {
     }
 
     /// Receives a message from `src` with `tag` (selective receive; blocks).
+    ///
+    /// # Panics
+    /// Panics (with a [`CommError`] description naming rank, peer, and tag)
+    /// if the receive can never complete because the peer finished or
+    /// failed without sending a matching message.
     pub fn recv(&mut self, src: usize, tag: u64) -> Bytes {
         self.recv_class(OpClass::P2p, src, tag)
     }
 
     pub(crate) fn send_class(&mut self, class: OpClass, dst: usize, tag: u64, data: &[u8]) {
-        assert!(dst < self.size, "destination {dst} out of range");
-        assert_ne!(dst, self.rank, "self-send from rank {dst}");
+        assert!(
+            dst < self.size,
+            "rank {}: destination {dst} out of range",
+            self.rank
+        );
+        assert_ne!(
+            dst,
+            self.rank,
+            "rank {me}: self-send (src == dst == {me}) is not allowed",
+            me = self.rank
+        );
+        self.tick_op();
         self.stats.record_send(class, data.len());
-        self.txs[dst]
-            .send(Msg {
-                src: self.rank,
-                tag,
-                data: Bytes::copy_from_slice(data),
-            })
-            .expect("peer rank hung up");
+
+        let decision = self.faults.decide(dst, data.len());
+        let payload = if decision.corrupt_at.is_empty() {
+            Bytes::copy_from_slice(data)
+        } else {
+            let mut bytes = data.to_vec();
+            for &pos in &decision.corrupt_at {
+                bytes[pos] ^= 0xFF;
+            }
+            self.fault_stats.corrupted_msgs += 1;
+            self.fault_stats.corrupted_bytes += decision.corrupt_at.len() as u64;
+            Bytes::from(bytes)
+        };
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            data: payload,
+        };
+
+        if decision.drop {
+            self.fault_stats.dropped_msgs += 1;
+            self.fault_stats.dropped_bytes += msg.data.len() as u64;
+            return;
+        }
+        if decision.delay && self.faults.delayed[dst].is_none() {
+            self.fault_stats.delayed_msgs += 1;
+            self.faults.delayed[dst] = Some(msg);
+            return;
+        }
+        self.dispatch(dst, msg, decision.dup);
+        // A previously delayed message to this destination goes out now,
+        // reordered behind the one we just sent.
+        if let Some(parked) = self.faults.delayed[dst].take() {
+            self.dispatch(dst, parked, false);
+        }
+    }
+
+    fn dispatch(&mut self, dst: usize, msg: Msg, dup: bool) {
+        if dup {
+            self.fault_stats.duplicated_msgs += 1;
+            self.fault_stats.duplicated_bytes += msg.data.len() as u64;
+            self.send_envelope(dst, Envelope::Data(msg.clone()));
+        }
+        self.send_envelope(dst, Envelope::Data(msg));
+    }
+
+    fn send_envelope(&mut self, dst: usize, env: Envelope) {
+        self.sup.progress.fetch_add(1, Ordering::Relaxed);
+        if self.txs[dst].send(env).is_err() {
+            // Normally unreachable: the supervisor keeps every receiver
+            // alive until all rank threads exit. Counted, not fatal.
+            self.fault_stats.undelivered_msgs += 1;
+        }
     }
 
     pub(crate) fn recv_class(&mut self, class: OpClass, src: usize, tag: u64) -> Bytes {
-        assert!(src < self.size, "source {src} out of range");
-        // Check parked messages first.
-        if let Some(pos) = self
+        match self.try_recv_class(class, src, tag) {
+            Ok(data) => data,
+            Err(err) => std::panic::panic_any(RankAbort::Comm(err)),
+        }
+    }
+
+    /// Fallible selective receive: blocks until a message from `src` with
+    /// `tag` arrives, or returns a [`CommError`] once that becomes
+    /// impossible (peer done/failed with nothing parked, channel torn
+    /// down, or supervisor abort).
+    pub(crate) fn try_recv_class(
+        &mut self,
+        class: OpClass,
+        src: usize,
+        tag: u64,
+    ) -> Result<Bytes, CommError> {
+        assert!(
+            src < self.size,
+            "rank {}: receive source {src} out of range",
+            self.rank
+        );
+        self.tick_op();
+        loop {
+            // Check parked messages first.
+            if let Some(pos) = self
+                .pending
+                .iter()
+                .position(|m| m.src == src && m.tag == tag)
+            {
+                let m = self.pending.remove(pos);
+                self.stats.record_recv(class, m.data.len());
+                self.set_state(RankState::Running);
+                return Ok(m.data);
+            }
+            // No parked match: if the peer can never send again, this
+            // receive can never complete. (FIFO ordering guarantees all
+            // its data arrived before its Done/Failed notice.)
+            match &self.peers[src] {
+                PeerState::Done => {
+                    return Err(CommError::PeerUnavailable {
+                        rank: self.rank,
+                        peer: src,
+                        tag,
+                        reason: PeerReason::Completed,
+                    })
+                }
+                PeerState::Failed(why) => {
+                    return Err(CommError::PeerUnavailable {
+                        rank: self.rank,
+                        peer: src,
+                        tag,
+                        reason: PeerReason::Failed(why.clone()),
+                    })
+                }
+                PeerState::Alive => {}
+            }
+            self.publish_blocked(src, tag);
+            match self.rx.recv() {
+                Ok(Envelope::Data(m)) => {
+                    self.sup.progress.fetch_add(1, Ordering::Relaxed);
+                    if m.src == src && m.tag == tag {
+                        self.stats.record_recv(class, m.data.len());
+                        self.set_state(RankState::Running);
+                        return Ok(m.data);
+                    }
+                    self.pending.push(m);
+                }
+                Ok(Envelope::Ctl(Ctl::PeerDone { rank })) => {
+                    self.sup.progress.fetch_add(1, Ordering::Relaxed);
+                    if matches!(self.peers[rank], PeerState::Alive) {
+                        self.peers[rank] = PeerState::Done;
+                    }
+                }
+                Ok(Envelope::Ctl(Ctl::PeerFailed { rank, why })) => {
+                    self.sup.progress.fetch_add(1, Ordering::Relaxed);
+                    self.peers[rank] = PeerState::Failed(why);
+                }
+                Ok(Envelope::Ctl(Ctl::Abort { why })) => {
+                    return Err(CommError::Aborted {
+                        rank: self.rank,
+                        why,
+                    });
+                }
+                Err(_) => {
+                    return Err(CommError::Disconnected {
+                        rank: self.rank,
+                        peer: src,
+                        tag,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Counts a communication op and fires the injected crash point if
+    /// this op reaches it.
+    fn tick_op(&mut self) {
+        if let Some(op) = self.faults.tick_op() {
+            self.fault_stats.injected_crashes += 1;
+            self.set_state(RankState::Failed);
+            std::panic::panic_any(RankAbort::InjectedCrash { op });
+        }
+    }
+
+    fn set_state(&self, state: RankState) {
+        *self.sup.states[self.rank].lock().expect("state lock") = state;
+    }
+
+    /// Records that this rank is about to block in a selective receive,
+    /// including a snapshot of its parked queue for deadlock diagnosis.
+    fn publish_blocked(&self, src: usize, tag: u64) {
+        let pending = self
             .pending
             .iter()
-            .position(|m| m.src == src && m.tag == tag)
-        {
-            let m = self.pending.remove(pos);
-            self.stats.record_recv(class, m.data.len());
-            return m.data;
-        }
-        loop {
-            let m = self.rx.recv().expect("all peers hung up while receiving");
-            if m.src == src && m.tag == tag {
-                self.stats.record_recv(class, m.data.len());
-                return m.data;
+            .map(|m| PendingMsg {
+                src: m.src,
+                tag: m.tag,
+                bytes: m.data.len(),
+            })
+            .collect();
+        self.set_state(RankState::Blocked { src, tag, pending });
+    }
+
+    /// Sends a control notice to every other rank.
+    pub(crate) fn broadcast_ctl(&mut self, ctl: Ctl) {
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send_envelope(dst, Envelope::Ctl(ctl.clone()));
             }
-            self.pending.push(m);
         }
+    }
+
+    /// Releases any still-parked delayed messages (called by the runner
+    /// when the body completes cleanly; a crashed rank's delayed messages
+    /// stay lost, like real in-flight traffic on a dead node).
+    pub(crate) fn flush_delayed(&mut self) {
+        for dst in 0..self.size {
+            if let Some(msg) = self.faults.delayed[dst].take() {
+                self.send_envelope(dst, Envelope::Data(msg));
+            }
+        }
+    }
+
+    /// Publishes this rank's terminal run state (runner bookkeeping).
+    pub(crate) fn publish_state(&self, state: RankState) {
+        self.set_state(state);
     }
 
     /// Sends a slice of `f64`s (convenience wrapper over [`Rank::send`]).
@@ -123,13 +463,7 @@ impl Rank {
         decode_f64s(&raw)
     }
 
-    pub(crate) fn send_f64s_class(
-        &mut self,
-        class: OpClass,
-        dst: usize,
-        tag: u64,
-        data: &[f64],
-    ) {
+    pub(crate) fn send_f64s_class(&mut self, class: OpClass, dst: usize, tag: u64, data: &[f64]) {
         let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
         self.send_class(class, dst, tag, &bytes);
     }
@@ -221,5 +555,39 @@ mod tests {
     fn decode_rejects_ragged_payload() {
         let r = std::panic::catch_unwind(|| decode_f64s(&[0u8; 7]));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn self_send_panic_names_the_sender() {
+        let err = std::panic::catch_unwind(|| {
+            run_ranks(3, |r| {
+                if r.rank() == 2 {
+                    let me = r.rank();
+                    r.send(me, 0, b"oops");
+                }
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("rank 2: self-send"),
+            "panic message should name the sending rank: {msg}"
+        );
+    }
+
+    #[test]
+    fn recv_from_completed_peer_names_all_parties() {
+        let err = std::panic::catch_unwind(|| {
+            run_ranks(2, |r| {
+                if r.rank() == 0 {
+                    let _ = r.recv(1, 7); // rank 1 never sends
+                }
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("rank 0"), "names the blocked rank: {msg}");
+        assert!(msg.contains("peer 1"), "names the peer: {msg}");
+        assert!(msg.contains("tag 7"), "names the tag: {msg}");
     }
 }

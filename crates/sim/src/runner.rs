@@ -1,8 +1,35 @@
-//! Rank-parallel execution of simulated MPI programs.
+//! Supervised rank-parallel execution of simulated MPI programs.
+//!
+//! The runner spawns one OS thread per rank, wraps every rank body in
+//! `catch_unwind`, and supervises the run from the spawning thread:
+//!
+//! - a panicking rank becomes a per-rank failure report instead of
+//!   hanging the join loop (the seed runner joined in rank order and
+//!   blocked forever on rank 0 while rank 3 lay dead);
+//! - peer failures cascade as control messages, so ranks blocked on a
+//!   dead peer abort with a diagnosable [`CommError`] naming rank, peer,
+//!   and tag;
+//! - an optional wall-clock watchdog detects genuine deadlocks (all live
+//!   ranks blocked in `recv` with no progress) and reports a structured
+//!   [`SimError::Deadlock`] listing each blocked rank, the src/tag it
+//!   waits on, and its parked-message queue;
+//! - fault plans ([`crate::fault::FaultPlan`]) inject crashes and message
+//!   faults deterministically, and degraded runs come back as a
+//!   [`SimOutcome`] with per-rank completion status.
+//!
+//! [`run_ranks`] keeps the seed crate's infallible signature for clean
+//! programs; [`run_ranks_with_faults`] / [`run_ranks_supervised`] expose
+//! the full fault-aware interface.
 
-use crate::rank::{Msg, Rank};
+use crate::fault::{FaultPlan, FaultStats};
+use crate::rank::{CommError, Ctl, Rank, RankAbort};
 use crate::stats::CommStats;
-use crossbeam::channel::unbounded;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
 
 /// Result of one rank's execution: its return value and its communication
 /// statistics.
@@ -14,54 +41,632 @@ pub struct RankResult<T> {
     pub stats: CommStats,
 }
 
-/// Runs `body` on `p` simulated ranks, each on its own OS thread, and
-/// returns the per-rank results in rank order.
-///
-/// Channels are unbounded, so the usual MPI deadlock patterns (everyone
-/// sends before receiving) complete fine; a genuine receive-without-matching
-/// -send deadlock will block forever, exactly like the real thing — keep
-/// simulated programs correct.
-///
-/// # Panics
-/// Panics if `p == 0` or if any rank body panics (the panic is propagated).
-pub fn run_ranks<T, F>(p: usize, body: F) -> Vec<RankResult<T>>
+/// Default wall-clock watchdog for supervised runs. Generous relative to
+/// any in-tree kernel (they finish in milliseconds) so it cannot fire on
+/// a slow-but-progressing run — and by construction it only ever fires
+/// when every live rank is blocked *and* the progress counter has been
+/// frozen for the whole window.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(2);
+
+/// Configuration of a supervised run.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Faults to inject (default: none).
+    pub faults: FaultPlan,
+    /// Wall-clock hang detector; `None` disables it (a genuine deadlock
+    /// then blocks forever, like the seed runner).
+    pub watchdog: Option<Duration>,
+}
+
+impl SimConfig {
+    /// A config with the given fault plan and the default watchdog.
+    pub fn with_faults(faults: FaultPlan) -> Self {
+        SimConfig {
+            faults,
+            watchdog: Some(DEFAULT_WATCHDOG),
+        }
+    }
+}
+
+/// Summary of one message parked in a rank's out-of-order queue, reported
+/// when diagnosing a deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingMsg {
+    /// Sender of the parked message.
+    pub src: usize,
+    /// Its tag.
+    pub tag: u64,
+    /// Its payload size in bytes.
+    pub bytes: usize,
+}
+
+/// One rank caught blocked in a selective receive at deadlock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedRank {
+    /// The blocked rank.
+    pub rank: usize,
+    /// The source it is waiting on.
+    pub src: usize,
+    /// The tag it is waiting for.
+    pub tag: u64,
+    /// Messages it has parked (received but not matching the posted recv).
+    pub pending: Vec<PendingMsg>,
+}
+
+impl std::fmt::Display for BlockedRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} blocked in recv(src={}, tag={})",
+            self.rank, self.src, self.tag
+        )?;
+        if self.pending.is_empty() {
+            write!(f, ", no parked messages")
+        } else {
+            write!(f, ", parked: [")?;
+            for (i, m) in self.pending.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "src={} tag={} ({} B)", m.src, m.tag, m.bytes)?;
+            }
+            write!(f, "]")
+        }
+    }
+}
+
+/// Watchdog evidence attached to a degraded outcome: the run stalled
+/// (every live rank blocked, zero progress for the timeout) and was
+/// aborted by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallInfo {
+    /// The watchdog window that elapsed without progress.
+    pub timeout: Duration,
+    /// The ranks that were blocked, and on what.
+    pub blocked: Vec<BlockedRank>,
+}
+
+/// Structured failure of a whole simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The watchdog caught a genuine deadlock in a fault-free program:
+    /// every live rank blocked in `recv`, no progress for `timeout`.
+    Deadlock {
+        /// The watchdog window that elapsed without progress.
+        timeout: Duration,
+        /// Each blocked rank with the src/tag it waits on and its parked
+        /// queue.
+        blocked: Vec<BlockedRank>,
+    },
+    /// Every rank failed; there is no surviving measurement to report.
+    AllRanksFailed {
+        /// World size of the failed run.
+        ranks: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { timeout, blocked } => {
+                write!(
+                    f,
+                    "deadlock: no progress for {timeout:?} with all live ranks blocked in recv"
+                )?;
+                for b in blocked {
+                    write!(f, "; {b}")?;
+                }
+                Ok(())
+            }
+            SimError::AllRanksFailed { ranks } => {
+                write!(f, "all {ranks} ranks failed; no surviving results")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Completion status of one rank in a supervised run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankStatus {
+    /// The rank body returned normally.
+    Completed,
+    /// An injected [`crate::fault::FaultPlan`] crash point fired at the
+    /// given communication op.
+    Crashed {
+        /// 1-based communication-op index at which the crash fired.
+        op: u64,
+    },
+    /// The rank body panicked on its own (an application bug, not an
+    /// injected fault).
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+    /// The rank aborted because communication became impossible (peer
+    /// death cascade or supervisor watchdog).
+    Aborted {
+        /// Formatted [`CommError`] description.
+        why: String,
+    },
+}
+
+impl RankStatus {
+    /// Whether the rank finished its body normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RankStatus::Completed)
+    }
+}
+
+/// Per-rank report from a supervised run.
+#[derive(Debug, Clone)]
+pub struct RankReport<T> {
+    /// The rank id.
+    pub rank: usize,
+    /// How the rank ended.
+    pub status: RankStatus,
+    /// The body's return value, if it completed.
+    pub value: Option<T>,
+    /// Communication statistics up to completion or failure.
+    pub stats: CommStats,
+    /// Injected-fault statistics for this rank.
+    pub faults: FaultStats,
+}
+
+/// Outcome of a supervised run: per-rank reports plus (optionally) the
+/// watchdog evidence if the run stalled and was aborted.
+#[derive(Debug, Clone)]
+pub struct SimOutcome<T> {
+    /// One report per rank, in rank order.
+    pub ranks: Vec<RankReport<T>>,
+    /// Present when the watchdog aborted a stalled run that injected
+    /// faults can explain (fault-free stalls surface as
+    /// [`SimError::Deadlock`] instead).
+    pub stall: Option<StallInfo>,
+}
+
+impl<T> SimOutcome<T> {
+    /// Number of ranks that completed normally.
+    pub fn completed(&self) -> usize {
+        self.ranks
+            .iter()
+            .filter(|r| r.status.is_completed())
+            .count()
+    }
+
+    /// Whether anything at all went wrong: a rank failure, a stall, or
+    /// any injected fault event (which perturbs traffic even when all
+    /// ranks survive).
+    pub fn is_degraded(&self) -> bool {
+        self.stall.is_some()
+            || self.ranks.iter().any(|r| !r.status.is_completed())
+            || self.total_faults().total_events() > 0
+    }
+
+    /// Aggregated communication statistics over all ranks (including
+    /// partial stats from failed ranks).
+    pub fn total_stats(&self) -> CommStats {
+        self.ranks
+            .iter()
+            .fold(CommStats::default(), |acc, r| acc.merged(&r.stats))
+    }
+
+    /// Aggregated injected-fault statistics over all ranks.
+    pub fn total_faults(&self) -> FaultStats {
+        self.ranks
+            .iter()
+            .fold(FaultStats::default(), |acc, r| acc.merged(&r.faults))
+    }
+
+    /// Converts a fully clean outcome into the classic result vector;
+    /// `None` if any rank failed.
+    pub fn into_results(self) -> Option<Vec<RankResult<T>>> {
+        self.ranks
+            .into_iter()
+            .map(|r| {
+                r.value.map(|value| RankResult {
+                    value,
+                    stats: r.stats,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Per-rank execution state shared with the supervisor for watchdog and
+/// deadlock diagnosis.
+#[derive(Debug, Clone)]
+pub(crate) enum RankState {
+    /// Executing the body (or between communication calls).
+    Running,
+    /// Parked inside a selective receive.
+    Blocked {
+        src: usize,
+        tag: u64,
+        pending: Vec<PendingMsg>,
+    },
+    /// Body returned normally.
+    Done,
+    /// Body panicked, crashed, or aborted.
+    Failed,
+}
+
+/// State shared between all rank threads and the supervisor.
+#[derive(Debug)]
+pub(crate) struct Supervision {
+    /// Bumped on every envelope sent and every envelope processed; the
+    /// watchdog only fires after this has been frozen for a full window.
+    pub(crate) progress: AtomicU64,
+    /// Last published state of each rank.
+    pub(crate) states: Vec<Mutex<RankState>>,
+}
+
+/// How a rank thread actually ended, before public classification.
+enum RawStatus<T> {
+    Completed(T),
+    Crashed { op: u64 },
+    Aborted(CommError),
+    Panicked(Box<dyn Any + Send>),
+}
+
+struct RawReport<T> {
+    status: RawStatus<T>,
+    stats: CommStats,
+    faults: FaultStats,
+}
+
+/// A finished rank: its report plus the `Rank` handle itself, which the
+/// supervisor keeps alive so late senders never hit a dead receiver
+/// (keeping "send to a completed peer" deterministic and non-fatal).
+struct Finished<T> {
+    rank: usize,
+    report: RawReport<T>,
+    keep: Rank,
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Silences the default panic-hook banner for our typed [`RankAbort`]
+/// unwinds (injected crashes, comm aborts) while leaving genuine panics
+/// as loud as ever.
+fn install_quiet_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RankAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Core supervised execution: spawns rank threads, collects completions,
+/// and runs the optional watchdog. Returns per-rank raw reports in rank
+/// order plus stall evidence if the watchdog fired.
+fn run_raw<T, F>(p: usize, cfg: &SimConfig, body: F) -> (Vec<RawReport<T>>, Option<StallInfo>)
 where
     T: Send,
     F: Fn(&mut Rank) -> T + Sync,
 {
     assert!(p > 0, "need at least one rank");
-    // Build the full mesh of channels.
+    install_quiet_abort_hook();
+
+    let sup = Arc::new(Supervision {
+        progress: AtomicU64::new(0),
+        states: (0..p).map(|_| Mutex::new(RankState::Running)).collect(),
+    });
+
+    // Full mesh: one unbounded channel per rank, everyone holds senders.
     let mut txs = Vec::with_capacity(p);
     let mut rxs = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = unbounded::<Msg>();
+        let (tx, rx) = channel();
         txs.push(tx);
         rxs.push(rx);
     }
+    let (done_tx, done_rx) = channel::<Finished<T>>();
 
     let body = &body;
-    let mut out: Vec<Option<RankResult<T>>> = (0..p).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
+    let mut slots: Vec<Option<RawReport<T>>> = (0..p).map(|_| None).collect();
+    let mut stall = None;
+
+    std::thread::scope(|scope| {
         for (rank_id, rx) in rxs.into_iter().enumerate() {
             let txs = txs.clone();
-            handles.push(scope.spawn(move |_| {
-                let mut rank = Rank::new(rank_id, p, txs, rx);
-                let value = body(&mut rank);
-                RankResult {
-                    value,
+            let sup = Arc::clone(&sup);
+            let done_tx = done_tx.clone();
+            let faults = cfg.faults.state_for(rank_id, p);
+            scope.spawn(move || {
+                let mut rank = Rank::new(rank_id, p, txs, rx, faults, sup);
+                let result = catch_unwind(AssertUnwindSafe(|| body(&mut rank)));
+                let status = match result {
+                    Ok(value) => {
+                        // Delayed messages from a *surviving* rank still
+                        // arrive; FIFO puts them before the Done notice.
+                        rank.flush_delayed();
+                        rank.publish_state(RankState::Done);
+                        rank.broadcast_ctl(Ctl::PeerDone { rank: rank_id });
+                        RawStatus::Completed(value)
+                    }
+                    Err(payload) => {
+                        let (why, status) = match payload.downcast::<RankAbort>() {
+                            Ok(abort) => match *abort {
+                                RankAbort::InjectedCrash { op } => (
+                                    format!("rank {rank_id} crashed (injected fault at op {op})"),
+                                    RawStatus::Crashed { op },
+                                ),
+                                RankAbort::Comm(err) => (err.to_string(), RawStatus::Aborted(err)),
+                            },
+                            Err(payload) => (
+                                format!("rank {rank_id} panicked: {}", panic_message(&*payload)),
+                                RawStatus::Panicked(payload),
+                            ),
+                        };
+                        rank.publish_state(RankState::Failed);
+                        rank.broadcast_ctl(Ctl::PeerFailed { rank: rank_id, why });
+                        status
+                    }
+                };
+                let report = RawReport {
+                    status,
                     stats: rank.stats().clone(),
+                    faults: *rank.fault_stats(),
+                };
+                let _ = done_tx.send(Finished {
+                    rank: rank_id,
+                    report,
+                    keep: rank,
+                });
+            });
+        }
+        drop(done_tx); // supervisor keeps only the rank threads' clones
+
+        // Receivers of finished ranks are parked here so that sends to a
+        // completed peer keep succeeding until every thread has exited.
+        let mut keepalive: Vec<Rank> = Vec::with_capacity(p);
+        let mut finished = 0usize;
+        let poll = cfg
+            .watchdog
+            .map(|t| (t / 10).max(Duration::from_millis(5)))
+            .unwrap_or(Duration::from_millis(50));
+        let mut last_progress = sup.progress.load(Ordering::Relaxed);
+        let mut frozen_since = Instant::now();
+        let mut fired = false;
+
+        while finished < p {
+            match cfg.watchdog {
+                None => {
+                    let f = done_rx.recv().expect("rank threads outlive the run");
+                    slots[f.rank] = Some(f.report);
+                    keepalive.push(f.keep);
+                    finished += 1;
                 }
-            }));
+                Some(timeout) => match done_rx.recv_timeout(poll) {
+                    Ok(f) => {
+                        slots[f.rank] = Some(f.report);
+                        keepalive.push(f.keep);
+                        finished += 1;
+                        frozen_since = Instant::now();
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        let progress = sup.progress.load(Ordering::Relaxed);
+                        if progress != last_progress {
+                            last_progress = progress;
+                            frozen_since = Instant::now();
+                            continue;
+                        }
+                        if fired || frozen_since.elapsed() < timeout {
+                            continue;
+                        }
+                        // Zero progress for a full window: diagnose. Fire
+                        // only if every unfinished rank is parked in recv
+                        // (a Running rank may be legitimately computing).
+                        let mut blocked = Vec::new();
+                        let mut all_blocked = true;
+                        for (i, slot) in sup.states.iter().enumerate() {
+                            match &*slot.lock().expect("state lock") {
+                                RankState::Blocked { src, tag, pending } => {
+                                    blocked.push(BlockedRank {
+                                        rank: i,
+                                        src: *src,
+                                        tag: *tag,
+                                        pending: pending.clone(),
+                                    });
+                                }
+                                RankState::Done | RankState::Failed => {}
+                                RankState::Running => {
+                                    all_blocked = false;
+                                    break;
+                                }
+                            }
+                        }
+                        // Re-check progress after the scan: a rank may have
+                        // moved between the counter read and the state read.
+                        if all_blocked
+                            && !blocked.is_empty()
+                            && sup.progress.load(Ordering::Relaxed) == last_progress
+                        {
+                            fired = true;
+                            stall = Some(StallInfo {
+                                timeout,
+                                blocked: blocked.clone(),
+                            });
+                            let why = SimError::Deadlock { timeout, blocked }.to_string();
+                            for tx in &txs {
+                                let _ = tx.send(crate::rank::Envelope::Ctl(Ctl::Abort {
+                                    why: why.clone(),
+                                }));
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("rank threads hold done_tx until they report")
+                    }
+                },
+            }
         }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("rank body panicked"));
+        drop(keepalive);
+    });
+
+    let reports = slots
+        .into_iter()
+        .map(|s| s.expect("every rank reported"))
+        .collect();
+    (reports, stall)
+}
+
+/// Runs `body` on `p` simulated ranks, each on its own OS thread, and
+/// returns the per-rank results in rank order.
+///
+/// Channels are unbounded, so the usual MPI deadlock patterns (everyone
+/// sends before receiving) complete fine. Unlike the seed runner, a rank
+/// that panics no longer hangs the join loop: the panic propagates to the
+/// caller even when other ranks are still blocked in `recv`, and a rank
+/// blocked on a peer that finished without sending panics with a
+/// [`CommError`] description naming rank, peer, and tag. A genuine
+/// deadlock still blocks forever under this entry point — use
+/// [`run_ranks_supervised`] with a watchdog for detection.
+///
+/// # Panics
+/// Panics if `p == 0` or if any rank body panics (the first panicking
+/// rank's payload is re-raised).
+pub fn run_ranks<T, F>(p: usize, body: F) -> Vec<RankResult<T>>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    let cfg = SimConfig {
+        faults: FaultPlan::default(),
+        watchdog: None,
+    };
+    let (reports, _stall) = run_raw(p, &cfg, body);
+
+    // A genuine application panic wins over secondary comm aborts and is
+    // re-raised with its original payload.
+    let mut reports: Vec<Option<RawReport<T>>> = reports.into_iter().map(Some).collect();
+    if let Some(slot) = reports
+        .iter_mut()
+        .find(|r| matches!(r.as_ref().map(|r| &r.status), Some(RawStatus::Panicked(_))))
+    {
+        if let Some(RawReport {
+            status: RawStatus::Panicked(payload),
+            ..
+        }) = slot.take()
+        {
+            resume_unwind(payload);
         }
-    })
-    .expect("simulation scope failed");
-    out.into_iter()
-        .map(|o| o.expect("all ranks joined"))
+    }
+    reports
+        .into_iter()
+        .map(|r| {
+            let r = r.expect("unconsumed report");
+            match r.status {
+                RawStatus::Completed(value) => RankResult {
+                    value,
+                    stats: r.stats,
+                },
+                RawStatus::Aborted(err) => panic!("{err}"),
+                RawStatus::Crashed { .. } => {
+                    unreachable!("no faults are injected under run_ranks")
+                }
+                RawStatus::Panicked(_) => unreachable!("propagated above"),
+            }
+        })
         .collect()
+}
+
+/// Runs `body` under full supervision: fault injection per `cfg.faults`
+/// and (if configured) the deadlock watchdog.
+///
+/// Returns `Ok` with a [`SimOutcome`] carrying per-rank completion
+/// status — degraded runs (crashes, aborts, fault events) are still `Ok`
+/// so partial measurements stay usable. Returns
+/// [`Err(SimError::Deadlock)`](SimError::Deadlock) only when the watchdog
+/// fires on a run with **no** failures and **no** injected fault events —
+/// i.e. the application itself deadlocked.
+///
+/// # Panics
+/// Panics if `p == 0`.
+pub fn run_ranks_supervised<T, F>(
+    p: usize,
+    cfg: &SimConfig,
+    body: F,
+) -> Result<SimOutcome<T>, SimError>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    let (reports, stall) = run_raw(p, cfg, body);
+    let ranks: Vec<RankReport<T>> = reports
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| {
+            let (status, value) = match r.status {
+                RawStatus::Completed(v) => (RankStatus::Completed, Some(v)),
+                RawStatus::Crashed { op } => (RankStatus::Crashed { op }, None),
+                RawStatus::Aborted(err) => (
+                    RankStatus::Aborted {
+                        why: err.to_string(),
+                    },
+                    None,
+                ),
+                RawStatus::Panicked(payload) => (
+                    RankStatus::Panicked {
+                        message: panic_message(&*payload),
+                    },
+                    None,
+                ),
+            };
+            RankReport {
+                rank,
+                status,
+                value,
+                stats: r.stats,
+                faults: r.faults,
+            }
+        })
+        .collect();
+
+    let outcome = SimOutcome { ranks, stall };
+    if let Some(info) = &outcome.stall {
+        let any_failure = outcome.ranks.iter().any(|r| {
+            matches!(
+                r.status,
+                RankStatus::Crashed { .. } | RankStatus::Panicked { .. }
+            )
+        });
+        if !any_failure && outcome.total_faults().total_events() == 0 {
+            return Err(SimError::Deadlock {
+                timeout: info.timeout,
+                blocked: info.blocked.clone(),
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+/// Runs `body` on `p` ranks with the given fault plan and the default
+/// watchdog. See [`run_ranks_supervised`].
+pub fn run_ranks_with_faults<T, F>(
+    p: usize,
+    faults: &FaultPlan,
+    body: F,
+) -> Result<SimOutcome<T>, SimError>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    run_ranks_supervised(p, &SimConfig::with_faults(faults.clone()), body)
 }
 
 /// Aggregated statistics over all ranks of a run.
@@ -148,5 +753,72 @@ mod tests {
             }
         });
         assert_eq!(max_over_ranks(&results, |r| r.stats.total_sent()), 999);
+    }
+
+    #[test]
+    fn panic_on_nonzero_rank_propagates_instead_of_hanging() {
+        // The seed runner joined in rank order: rank 0 blocked in recv
+        // while rank 3 died, so the join on rank 0 hung forever. The
+        // supervised runner must propagate the panic.
+        let err = std::panic::catch_unwind(|| {
+            run_ranks(4, |r| {
+                if r.rank() == 3 {
+                    panic!("rank 3 exploded");
+                }
+                if r.rank() == 0 {
+                    let _ = r.recv(3, 1); // blocked on the dead rank
+                }
+            })
+        })
+        .unwrap_err();
+        let msg = panic_message(&*err);
+        assert!(msg.contains("rank 3 exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn injected_crash_yields_degraded_outcome() {
+        let plan = FaultPlan::default().crash(1, 1);
+        let outcome = run_ranks_with_faults(4, &plan, |r| {
+            // Ring: everyone sends, then receives.
+            let next = (r.rank() + 1) % r.size();
+            let prev = (r.rank() + r.size() - 1) % r.size();
+            r.send(next, 0, &[1u8; 8]);
+            let _ = r.recv(prev, 0);
+            r.rank()
+        })
+        .expect("crash is degraded, not a deadlock");
+        assert!(outcome.is_degraded());
+        assert!(matches!(
+            outcome.ranks[1].status,
+            RankStatus::Crashed { op: 1 }
+        ));
+        assert_eq!(outcome.total_faults().injected_crashes, 1);
+        // Rank 2 waits on rank 1, which died before sending: it aborts
+        // with a message naming the dead peer.
+        match &outcome.ranks[2].status {
+            RankStatus::Aborted { why } => {
+                assert!(why.contains("peer 1"), "got: {why}");
+            }
+            other => panic!("rank 2 should abort on the dead peer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_supervised_run_matches_run_ranks() {
+        let body = |r: &mut Rank| {
+            let data = vec![7u8; 64];
+            let got = r.bcast(0, &data);
+            got.len()
+        };
+        let classic = run_ranks(5, body);
+        let supervised = run_ranks_with_faults(5, &FaultPlan::none(), body)
+            .expect("clean run")
+            .into_results()
+            .expect("all ranks completed");
+        assert_eq!(classic.len(), supervised.len());
+        for (a, b) in classic.iter().zip(&supervised) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.stats, b.stats);
+        }
     }
 }

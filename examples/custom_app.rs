@@ -68,7 +68,10 @@ fn main() {
 
     println!("\nrequirement models:");
     for (label, fm) in &modeled.fitted {
-        println!("  {label:<28} {}   [cv-SMAPE {:.3}%]", fm.model, fm.cv_smape);
+        println!(
+            "  {label:<28} {}   [cv-SMAPE {:.3}%]",
+            fm.model, fm.cv_smape
+        );
     }
 
     let warnings = modeled.requirements.warnings();

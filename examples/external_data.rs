@@ -11,7 +11,8 @@ use exareq::core::multiparam::{fit_multi, MultiParamConfig};
 fn main() {
     // Imagine this came from a 2-parameter scaling study on a real cluster
     // (here: synthesized with 1% systematic perturbation to look the part).
-    let mut csv = String::from("# wallclock-independent counter: bytes sent per process\np,n,value\n");
+    let mut csv =
+        String::from("# wallclock-independent counter: bytes sent per process\np,n,value\n");
     for (i, p) in [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0].iter().enumerate() {
         for n in [1e3f64, 4e3, 1.6e4, 6.4e4, 2.56e5] {
             let truth = 820.0 * n * p.log2() + 3.2e4;
@@ -25,7 +26,11 @@ fn main() {
     }
 
     let exp = experiment_from_csv(&csv).expect("valid CSV");
-    println!("\nparsed {} measurements over {:?}", exp.points.len(), exp.params);
+    println!(
+        "\nparsed {} measurements over {:?}",
+        exp.points.len(),
+        exp.params
+    );
 
     let fitted = fit_multi(&exp, &MultiParamConfig::default()).expect("fit");
     println!("\nmodel     : {}", fitted.model);

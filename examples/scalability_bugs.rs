@@ -23,10 +23,7 @@ fn main() {
 
     println!("\ncall paths ranked by computation growth in p (worst first):");
     for r in &regions {
-        println!(
-            "  {:<28} {}",
-            r.path, r.fitted.model
-        );
+        println!("  {:<28} {}", r.path, r.fitted.model);
         println!("    -> {}", describe_growth(&r.fitted.model, "p"));
     }
     if let Some(worst) = regions.first() {

@@ -23,7 +23,10 @@ fn main() {
     let out = analyze_upgrade(&lulesh, &base, &Upgrade::DOUBLE_RACKS).expect("LULESH fits");
     println!("-- Table IV: LULESH, upgrade A (double the racks) --");
     println!("  problem size per process ratio : {:.2}", out.ratio_n);
-    println!("  overall problem size ratio     : {:.2}", out.ratio_overall);
+    println!(
+        "  overall problem size ratio     : {:.2}",
+        out.ratio_overall
+    );
     println!(
         "  computation / communication / memory access ratios: {:.2} / {:.2} / {:.2}",
         out.ratio_rates[0], out.ratio_rates[1], out.ratio_rates[2]

@@ -10,7 +10,7 @@
 //! exareq strawman [--network]               Table VII analysis (+E9 refinement)
 //! ```
 
-use exareq::apps::{all_apps_extended as all_apps, survey_app, AppGrid};
+use exareq::apps::{all_apps_extended as all_apps, survey_app_with_faults, AppGrid};
 use exareq::codesign::report::{render_requirements, render_strawman_block, render_upgrade_block};
 use exareq::codesign::{
     analyze_strawmen, analyze_upgrade, analyze_with_network, baseline_expectation, catalog,
@@ -20,6 +20,7 @@ use exareq::core::collective::render_comm_rows;
 use exareq::core::multiparam::MultiParamConfig;
 use exareq::pipeline::model_requirements;
 use exareq::profile::Survey;
+use exareq::sim::FaultPlan;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -28,6 +29,7 @@ exareq — lightweight requirements engineering for exascale co-design
 USAGE:
     exareq apps
     exareq survey <app> [-o FILE] [--p 2,4,8,...] [--n 64,256,...]
+                  [--faults seed=S,crash=R@OP,drop=P,dup=P,delay=P,corrupt=P]
     exareq model <survey.json> [--coarse]
     exareq fit <data.csv> [--coarse]
     exareq upgrades [<survey.json>]
@@ -46,6 +48,14 @@ COMMANDS:
                bandwidth-aware lower bounds (E9)
     report     full co-design dossier (models, plots, outlook, upgrades,
                straw-man verdict) as Markdown
+
+FAULT INJECTION (survey --faults):
+    deterministic, seed-driven fault plan applied to every simulated run:
+    seed=U64 PRNG seed, crash=RANK@OP (repeatable) kills a rank at its
+    N-th communication op, drop/dup/delay/corrupt=P per-message
+    probabilities in [0,1], corrupt_bytes=N flipped bytes per corruption.
+    Degraded runs are flagged in the survey; later `exareq model` drops
+    and reports the affected measurements.
 ";
 
 fn main() -> ExitCode {
@@ -115,6 +125,7 @@ fn cmd_survey(rest: &[String]) -> Result<(), String> {
     let out_file = take_opt(&mut args, "-o")?;
     let p_list = take_opt(&mut args, "--p")?;
     let n_list = take_opt(&mut args, "--n")?;
+    let fault_spec = take_opt(&mut args, "--faults")?;
     let Some(name) = args.first() else {
         return Err("survey requires an application name (see `exareq apps`)".into());
     };
@@ -131,13 +142,27 @@ fn cmd_survey(rest: &[String]) -> Result<(), String> {
     if let Some(n) = n_list {
         grid.n_values = parse_list(&n)?;
     }
+    let faults = match &fault_spec {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults {spec}: {e}"))?,
+        None => FaultPlan::none(),
+    };
     eprintln!(
         "surveying {} over p={:?}, n={:?} ...",
         app.name(),
         grid.p_values,
         grid.n_values
     );
-    let survey = survey_app(app.as_ref(), &grid);
+    if let Some(spec) = &fault_spec {
+        eprintln!(
+            "fault plan `{spec}` ({})",
+            if faults.is_active() {
+                "active"
+            } else {
+                "inert — no crash points or probabilities set"
+            }
+        );
+    }
+    let survey = survey_app_with_faults(app.as_ref(), &grid, &faults);
     let path = out_file.unwrap_or_else(|| format!("survey_{}.json", name.to_lowercase()));
     std::fs::write(&path, survey.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
     println!(
@@ -145,6 +170,19 @@ fn cmd_survey(rest: &[String]) -> Result<(), String> {
         survey.observations.len(),
         survey.config_count()
     );
+    let degraded = survey.degraded_configs();
+    if !degraded.is_empty() {
+        println!("degraded configurations (flagged in the survey):");
+        for (p, n) in degraded {
+            println!("  p={p} n={n}");
+        }
+    }
+    if !survey.skipped.is_empty() {
+        println!("skipped configurations (no usable measurement):");
+        for s in &survey.skipped {
+            println!("  p={} n={}: {}", s.p, s.n, s.reason);
+        }
+    }
     Ok(())
 }
 
@@ -181,6 +219,15 @@ fn fit_survey(path: &str, coarse: bool) -> Result<AppRequirements, String> {
         ("memory access", &modeled.requirements.loads_stores),
     ] {
         println!("  {label}: {}", exareq::core::describe::describe(m));
+    }
+    if !modeled.dropped.is_empty() {
+        eprintln!(
+            "\nwarning: {} measurement(s) excluded from the fits:",
+            modeled.dropped.len()
+        );
+        for d in &modeled.dropped {
+            eprintln!("  - {d}");
+        }
     }
     Ok(modeled.requirements)
 }
@@ -224,7 +271,10 @@ fn cmd_fit(rest: &[String]) -> Result<(), String> {
         "quality  : cv-SMAPE {:.4}%   in-sample SMAPE {:.4}%   R² {:.6}",
         fitted.cv_smape, fitted.smape, fitted.r2
     );
-    println!("in words : {}", exareq::core::describe::describe(&fitted.model));
+    println!(
+        "in words : {}",
+        exareq::core::describe::describe(&fitted.model)
+    );
     Ok(())
 }
 
@@ -272,9 +322,12 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
     let r = &modeled.requirements;
 
     let mut md = String::new();
-    md.push_str(&format!("# Co-design dossier: {}
+    md.push_str(&format!(
+        "# Co-design dossier: {}
 
-", survey.app));
+",
+        survey.app
+    ));
     md.push_str(&format!(
         "{} observations over {} configurations.
 
@@ -283,26 +336,34 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
         survey.config_count()
     ));
 
-    md.push_str("## Requirement models (per process)
+    md.push_str(
+        "## Requirement models (per process)
 
 ```
-");
+",
+    );
     md.push_str(&render_requirements(r));
-    md.push_str("```
+    md.push_str(
+        "```
 
 Communication by collective:
 
 ```
-");
+",
+    );
     for row in render_comm_rows(&modeled.comm_symbolic) {
-        md.push_str(&format!("{row}
-"));
+        md.push_str(&format!(
+            "{row}
+"
+        ));
     }
-    md.push_str("```
+    md.push_str(
+        "```
 
 In words:
 
-");
+",
+    );
     for (label, m) in [
         ("memory footprint", &r.bytes_used),
         ("computation", &r.flops),
@@ -316,54 +377,81 @@ In words:
         ));
     }
 
-    let warnings = r.warnings();
-    md.push_str("
-## Scaling hazards
+    if !modeled.dropped.is_empty() {
+        md.push_str(
+            "
+## Dropped measurements
 
-");
-    if warnings.is_empty() {
-        md.push_str("none detected.
-");
-    } else {
-        for w in &warnings {
-            md.push_str(&format!("- ⚠ {w}
-"));
+",
+        );
+        for d in &modeled.dropped {
+            md.push_str(&format!(
+                "- {d}
+"
+            ));
         }
     }
 
-    md.push_str("
+    let warnings = r.warnings();
+    md.push_str(
+        "
+## Scaling hazards
+
+",
+    );
+    if warnings.is_empty() {
+        md.push_str(
+            "none detected.
+",
+        );
+    } else {
+        for w in &warnings {
+            md.push_str(&format!(
+                "- ⚠ {w}
+"
+            ));
+        }
+    }
+
+    md.push_str(
+        "
 ## Fit check (computation vs p, n at grid maximum)
 
 ```
-");
+",
+    );
     let flops_exp = exareq::pipeline::experiment_from_triples(
         &survey.triples(exareq::profile::MetricKind::Flops),
     );
     md.push_str(&exareq::core::quality::render_fit_plot(
         &r.flops, &flops_exp, 0, 64, 14,
     ));
-    md.push_str("```
-");
+    md.push_str(
+        "```
+",
+    );
 
-    md.push_str("
+    md.push_str(
+        "
 ## Scaling outlook (1 GB per process)
 
 ```
-");
-    let rows = exareq::codesign::scaling_outlook(
-        r,
-        &exareq::codesign::decade_schedule(),
-        1e9,
+",
     );
+    let rows = exareq::codesign::scaling_outlook(r, &exareq::codesign::decade_schedule(), 1e9);
     md.push_str(&exareq::codesign::render_outlook(&survey.app, &rows));
-    md.push_str("```
-");
+    md.push_str(
+        "```
+",
+    );
 
-    md.push_str("
+    md.push_str(
+        "
 ## Upgrade response (Table III scenarios)
 
 ```
-");
+",
+    );
     let base = SystemSkeleton::reference_large();
     for up in Upgrade::ALL {
         match analyze_upgrade(r, &base, &up) {
@@ -377,18 +465,25 @@ In words:
                 o.ratio_rates[1],
                 o.ratio_rates[2]
             )),
-            Err(e) => md.push_str(&format!("{:<20} {e}
-", up.description)),
+            Err(e) => md.push_str(&format!(
+                "{:<20} {e}
+",
+                up.description
+            )),
         }
     }
-    md.push_str("```
-");
+    md.push_str(
+        "```
+",
+    );
 
-    md.push_str("
+    md.push_str(
+        "
 ## Exascale straw-man verdict
 
 ```
-");
+",
+    );
     md.push_str(&render_strawman_block(&analyze_strawmen(r, &table_six())));
     let net = default_network(&table_six());
     if let Some(res) = analyze_with_network(r, &table_six(), &net) {
@@ -399,12 +494,18 @@ In words:
                 o.system,
                 o.t_flop,
                 o.t_comm,
-                if o.network_bound { "network" } else { "compute" }
+                if o.network_bound {
+                    "network"
+                } else {
+                    "compute"
+                }
             ));
         }
     }
-    md.push_str("```
-");
+    md.push_str(
+        "```
+",
+    );
 
     match out_file {
         Some(f) => {
@@ -420,7 +521,10 @@ fn cmd_strawman(rest: &[String]) -> Result<(), String> {
     let with_network = rest.iter().any(|a| a == "--network");
     let systems = table_six();
     for app in catalog::paper_models() {
-        println!("{}", render_strawman_block(&analyze_strawmen(&app, &systems)));
+        println!(
+            "{}",
+            render_strawman_block(&analyze_strawmen(&app, &systems))
+        );
         if with_network {
             let net = default_network(&systems);
             match analyze_with_network(&app, &systems, &net) {

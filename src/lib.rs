@@ -38,8 +38,8 @@ pub mod pipeline {
     use exareq_codesign::AppRequirements;
     use exareq_core::collective::{symbolize, CollectiveKind, SymbolicCommModel};
     use exareq_core::fit::{FitError, FittedModel};
-    use exareq_core::measurement::Experiment;
-    use exareq_core::multiparam::{fit_multi, MultiParamConfig};
+    use exareq_core::measurement::{Experiment, Measurement};
+    use exareq_core::multiparam::{fit_multi, fit_multi_robust, MultiParamConfig};
     use exareq_core::pmnf::Model;
     use exareq_core::quality::{model_relative_errors, ErrorHistogram};
     use exareq_profile::{MetricKind, Survey};
@@ -53,6 +53,41 @@ pub mod pipeline {
         exp
     }
 
+    /// Builds a `(p, n)` experiment for one survey metric (optionally
+    /// restricted to a channel), carrying each observation's `degraded`
+    /// flag into the measurement's `flagged` bit so the fitting layer can
+    /// drop and report points from faulty runs.
+    pub fn experiment_from_survey(
+        survey: &Survey,
+        metric: MetricKind,
+        channel: Option<&str>,
+    ) -> Experiment {
+        let mut exp = Experiment::new(vec!["p", "n"]);
+        for o in &survey.observations {
+            if o.metric != metric || o.channel.as_deref() != channel {
+                continue;
+            }
+            if o.degraded {
+                exp.push_flagged(&[o.p as f64, o.n as f64], o.value);
+            } else {
+                exp.push(&[o.p as f64, o.n as f64], o.value);
+            }
+        }
+        exp
+    }
+
+    fn describe_dropped(label: &str, dropped: &[Measurement]) -> Vec<String> {
+        dropped
+            .iter()
+            .map(|m| {
+                format!(
+                    "{label} at p={} n={}: measured in a degraded run, excluded from fit",
+                    m.coords[0], m.coords[1]
+                )
+            })
+            .collect()
+    }
+
     /// Result of modeling one application survey.
     #[derive(Debug, Clone)]
     pub struct ModeledApp {
@@ -62,6 +97,12 @@ pub mod pipeline {
         pub fitted: Vec<(String, FittedModel)>,
         /// Symbolic per-collective communication models (Table II comm rows).
         pub comm_symbolic: Vec<SymbolicCommModel>,
+        /// Human-readable report of everything that did *not* contribute to
+        /// the models: measurements from degraded runs excluded by the
+        /// robust fits, and `(p, n)` configurations the survey skipped
+        /// outright (all ranks dead, deadlock abort). Empty for clean
+        /// surveys.
+        pub dropped: Vec<String>,
     }
 
     fn collective_kind(label: &str) -> CollectiveKind {
@@ -103,15 +144,27 @@ pub mod pipeline {
         cfg: &MultiParamConfig,
     ) -> Result<ModeledApp, FitError> {
         let mut fitted: Vec<(String, FittedModel)> = Vec::new();
+        let mut dropped: Vec<String> = Vec::new();
+        for s in &survey.skipped {
+            dropped.push(format!(
+                "configuration p={} n={}: no usable measurement ({})",
+                s.p, s.n, s.reason
+            ));
+        }
 
-        let fit_metric = |metric: MetricKind| -> Result<FittedModel, FitError> {
-            let exp = experiment_from_triples(&survey.triples(metric));
-            fit_multi(&exp, cfg)
+        let fit_metric = |metric: MetricKind,
+                          label: &str,
+                          dropped: &mut Vec<String>|
+         -> Result<FittedModel, FitError> {
+            let exp = experiment_from_survey(survey, metric, None);
+            let robust = fit_multi_robust(&exp, cfg)?;
+            dropped.extend(describe_dropped(label, &robust.dropped));
+            Ok(robust.fitted)
         };
 
-        let bytes_used = fit_metric(MetricKind::BytesUsed)?;
-        let flops = fit_metric(MetricKind::Flops)?;
-        let loads_stores = fit_metric(MetricKind::LoadsStores)?;
+        let bytes_used = fit_metric(MetricKind::BytesUsed, "#Bytes used", &mut dropped)?;
+        let flops = fit_metric(MetricKind::Flops, "#FLOP", &mut dropped)?;
+        let loads_stores = fit_metric(MetricKind::LoadsStores, "#Loads & stores", &mut dropped)?;
         fitted.push(("#Bytes used".into(), bytes_used.clone()));
         fitted.push(("#FLOP".into(), flops.clone()));
         fitted.push(("#Loads & stores".into(), loads_stores.clone()));
@@ -120,10 +173,13 @@ pub mod pipeline {
         // growing as the app-level row.
         let mut stack_best: Option<FittedModel> = None;
         for group in survey.channels(MetricKind::StackDistance) {
-            let exp = experiment_from_triples(
-                &survey.channel_triples(MetricKind::StackDistance, &group),
-            );
-            let fm = fit_multi(&exp, cfg)?;
+            let exp = experiment_from_survey(survey, MetricKind::StackDistance, Some(&group));
+            let robust = fit_multi_robust(&exp, cfg)?;
+            dropped.extend(describe_dropped(
+                &format!("Stack distance [{group}]"),
+                &robust.dropped,
+            ));
+            let fm = robust.fitted;
             fitted.push((format!("Stack distance [{group}]"), fm.clone()));
             let take = match &stack_best {
                 None => true,
@@ -138,10 +194,11 @@ pub mod pipeline {
         // I/O (Section II-A: handled analogously to communication) — fitted
         // only when the application actually performs I/O; the five study
         // twins do not, matching the paper.
-        let io_triples = survey.triples(MetricKind::IoBytes);
-        if !io_triples.is_empty() {
-            let io = fit_multi(&experiment_from_triples(&io_triples), cfg)?;
-            fitted.push(("#Bytes read & written".into(), io));
+        let io_exp = experiment_from_survey(survey, MetricKind::IoBytes, None);
+        if !io_exp.points.is_empty() {
+            let robust = fit_multi_robust(&io_exp, cfg)?;
+            dropped.extend(describe_dropped("#Bytes read & written", &robust.dropped));
+            fitted.push(("#Bytes read & written".into(), robust.fitted));
         }
 
         // Per-collective symbolic communication models. The application's
@@ -151,25 +208,31 @@ pub mod pipeline {
         // structures, e.g. icoFoam's three terms, defeat a direct fit).
         let mut comm_symbolic = Vec::new();
         for class in survey.channels(MetricKind::CommBytes) {
-            let exp =
-                experiment_from_triples(&survey.channel_triples(MetricKind::CommBytes, &class));
-            let sym = symbolize(collective_kind(&class), &exp, cfg)?;
+            let exp = experiment_from_survey(survey, MetricKind::CommBytes, Some(&class));
+            let (clean, class_dropped) = exp.split_clean();
+            dropped.extend(describe_dropped(
+                &format!("#Bytes sent & received [{class}]"),
+                &class_dropped,
+            ));
+            let sym = symbolize(collective_kind(&class), &clean, cfg)?;
             comm_symbolic.push(sym);
         }
         let comm_total = {
-            let class_models: Vec<&Model> =
-                comm_symbolic.iter().map(|s| &s.raw.model).collect();
+            let class_models: Vec<&Model> = comm_symbolic.iter().map(|s| &s.raw.model).collect();
             let summed = if class_models.is_empty() {
-                fit_multi(
-                    &experiment_from_triples(&survey.triples(MetricKind::CommBytes)),
+                let robust = fit_multi_robust(
+                    &experiment_from_survey(survey, MetricKind::CommBytes, None),
                     cfg,
-                )?
-                .model
+                )?;
+                dropped.extend(describe_dropped("#Bytes sent & received", &robust.dropped));
+                robust.fitted.model
             } else {
                 Model::sum(&class_models)
             };
-            // Quality statistics of the summed model against the total.
-            let total_exp = experiment_from_triples(&survey.triples(MetricKind::CommBytes));
+            // Quality statistics of the summed model against the total
+            // (clean points only — degraded totals would misstate quality).
+            let (total_exp, _) =
+                experiment_from_survey(survey, MetricKind::CommBytes, None).split_clean();
             let pred: Vec<f64> = total_exp
                 .points
                 .iter()
@@ -200,6 +263,7 @@ pub mod pipeline {
             },
             fitted,
             comm_symbolic,
+            dropped,
         })
     }
 
@@ -227,8 +291,8 @@ pub mod pipeline {
     ) -> Result<Vec<RegionModel>, FitError> {
         let mut out = Vec::new();
         for path in survey.channels(MetricKind::Flops) {
-            let exp =
-                experiment_from_triples(&survey.channel_triples(MetricKind::Flops, &path));
+            // fit_multi drops flagged (degraded-run) points internally.
+            let exp = experiment_from_survey(survey, MetricKind::Flops, Some(&path));
             let fitted = fit_multi(&exp, cfg)?;
             out.push(RegionModel { path, fitted });
         }
@@ -250,13 +314,12 @@ pub mod pipeline {
                 (MetricKind::BytesUsed, &modeled.requirements.bytes_used),
                 (MetricKind::Flops, &modeled.requirements.flops),
                 (MetricKind::CommBytes, &modeled.requirements.comm_bytes),
-                (
-                    MetricKind::LoadsStores,
-                    &modeled.requirements.loads_stores,
-                ),
+                (MetricKind::LoadsStores, &modeled.requirements.loads_stores),
             ];
             for (metric, model) in pairs {
-                let exp = experiment_from_triples(&survey.triples(metric));
+                // Judge models on clean measurements only — degraded points
+                // were never fitted and would misstate model quality.
+                let (exp, _) = experiment_from_survey(survey, metric, None).split_clean();
                 hist.extend(&model_relative_errors(model, &exp));
             }
             // Stack distance per group, against the fitted group models.
@@ -265,9 +328,9 @@ pub mod pipeline {
                     .strip_prefix("Stack distance [")
                     .and_then(|s| s.strip_suffix(']'))
                 {
-                    let exp = experiment_from_triples(
-                        &survey.channel_triples(MetricKind::StackDistance, group),
-                    );
+                    let (exp, _) =
+                        experiment_from_survey(survey, MetricKind::StackDistance, Some(group))
+                            .split_clean();
                     hist.extend(&model_relative_errors(&fm.model, &exp));
                 }
             }
@@ -286,5 +349,58 @@ mod tests {
         assert_eq!(exp.params, vec!["p".to_string(), "n".to_string()]);
         assert_eq!(exp.points.len(), 2);
         assert_eq!(exp.points[1].coords, vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn experiment_from_survey_carries_degraded_flags() {
+        use exareq_profile::{MetricKind, Survey};
+        let mut s = Survey::new("x");
+        s.push(2, 10, MetricKind::Flops, 1.0);
+        s.push_degraded(4, 10, MetricKind::Flops, 0.5);
+        let exp = experiment_from_survey(&s, MetricKind::Flops, None);
+        assert_eq!(exp.points.len(), 2);
+        assert!(!exp.points[0].flagged);
+        assert!(exp.points[1].flagged);
+    }
+
+    #[test]
+    fn degraded_survey_still_models_and_reports_drops() {
+        use exareq_core::multiparam::MultiParamConfig;
+        use exareq_profile::{MetricKind, Survey};
+
+        let mut s = Survey::new("synthetic");
+        for &p in &[2u64, 4, 8, 16, 32] {
+            for &n in &[64u64, 128, 256, 512, 1024] {
+                let (pf, nf) = (p as f64, n as f64);
+                s.push(p, n, MetricKind::BytesUsed, 8.0 * nf);
+                s.push(p, n, MetricKind::Flops, 2.0 * pf * nf);
+                s.push(p, n, MetricKind::LoadsStores, 4.0 * nf);
+                s.push(p, n, MetricKind::CommBytes, 16.0 * nf);
+                s.push_channel(p, n, MetricKind::StackDistance, "g0", nf);
+            }
+        }
+        // Two garbage values from a degraded run plus one unusable config.
+        s.push_degraded(4, 128, MetricKind::Flops, 1e12);
+        s.push_degraded(4, 128, MetricKind::BytesUsed, 3.0);
+        s.note_skipped(64, 1024, "all 64 ranks failed");
+
+        let modeled = model_requirements(&s, &MultiParamConfig::coarse()).unwrap();
+        assert_eq!(modeled.dropped.len(), 3);
+        assert!(modeled
+            .dropped
+            .iter()
+            .any(|d| d.contains("all 64 ranks failed")));
+        assert!(modeled
+            .dropped
+            .iter()
+            .any(|d| d.contains("#FLOP at p=4 n=128")));
+        // The garbage points did not poison the fit: the FLOP model still
+        // predicts ~2·p·n at an unmeasured scale.
+        let v = modeled.requirements.flops.eval(&[64.0, 2048.0]);
+        let expect = 2.0 * 64.0 * 2048.0;
+        assert!(
+            (v - expect).abs() / expect < 0.05,
+            "flops model off: {v} vs {expect}"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! requirement signature — lead exponents in `n` and `p` — from raw
 //! counters alone.
 
-use exareq::apps::{survey_app, AppGrid, IcoFoam, Kripke, Lulesh, MiniApp, Milc, Relearn};
+use exareq::apps::{survey_app, AppGrid, IcoFoam, Kripke, Lulesh, Milc, MiniApp, Relearn};
 use exareq::core::multiparam::MultiParamConfig;
 use exareq::core::pmnf::{Exponents, Model};
 use exareq::pipeline::{error_histogram, model_requirements, ModeledApp};
@@ -23,16 +23,8 @@ fn lead(model: &Model) -> (Exponents, Exponents) {
 
 fn assert_lead(model: &Model, p: (f64, f64), n: (f64, f64), what: &str) {
     let (fp, fn_) = lead(model);
-    assert_eq!(
-        (fp.poly, fp.log),
-        p,
-        "{what}: p-exponents of {model}"
-    );
-    assert_eq!(
-        (fn_.poly, fn_.log),
-        n,
-        "{what}: n-exponents of {model}"
-    );
+    assert_eq!((fp.poly, fp.log), p, "{what}: p-exponents of {model}");
+    assert_eq!((fn_.poly, fn_.log), n, "{what}: n-exponents of {model}");
 }
 
 #[test]
@@ -86,7 +78,12 @@ fn milc_signature_recovered() {
     );
     assert!(r.loads_stores.constant > 0.0, "{}", r.loads_stores);
     // The MILC ⚠: stack distance grows linearly with n.
-    assert_lead(&r.stack_distance, (0.0, 0.0), (1.0, 0.0), "MILC stack distance");
+    assert_lead(
+        &r.stack_distance,
+        (0.0, 0.0),
+        (1.0, 0.0),
+        "MILC stack distance",
+    );
 }
 
 #[test]
@@ -101,9 +98,10 @@ fn relearn_signature_recovered() {
         t.factors[1] == Exponents::new(1.0, 1.0) && t.factors[0] == Exponents::new(0.0, 1.0)
     });
     assert!(has_interaction, "Relearn flops: {flops}");
-    let has_p_term = flops.terms.iter().any(|t| {
-        t.factors[0] == Exponents::new(1.0, 0.0) && t.factors[1].is_constant()
-    });
+    let has_p_term = flops
+        .terms
+        .iter()
+        .any(|t| t.factors[0] == Exponents::new(1.0, 0.0) && t.factors[1].is_constant());
     assert!(has_p_term, "Relearn flops: {flops}");
     // Loads & stores additive: n log n + p log p.
     let (fp, fn_) = lead(&r.loads_stores);
@@ -123,8 +121,18 @@ fn icofoam_signature_recovered() {
     let r = &m.requirements;
     // Footprint: c1·n + c2·p·log p — the exclusion hazard.
     let (fp, fn_) = lead(&r.bytes_used);
-    assert_eq!((fn_.poly, fn_.log), (1.0, 0.0), "icoFoam bytes n: {}", r.bytes_used);
-    assert_eq!((fp.poly, fp.log), (1.0, 1.0), "icoFoam bytes p: {}", r.bytes_used);
+    assert_eq!(
+        (fn_.poly, fn_.log),
+        (1.0, 0.0),
+        "icoFoam bytes n: {}",
+        r.bytes_used
+    );
+    assert_eq!(
+        (fp.poly, fp.log),
+        (1.0, 1.0),
+        "icoFoam bytes p: {}",
+        r.bytes_used
+    );
     assert_lead(&r.flops, (0.5, 0.0), (1.5, 0.0), "icoFoam flops");
     assert_lead(&r.loads_stores, (0.5, 1.0), (1.0, 1.0), "icoFoam loads");
     // Comm (Table II: n^0.5·Allreduce(p) + p^0.5·log p + n·p^0.375): the
@@ -170,7 +178,12 @@ fn scalability_bug_hunt_pins_the_region() {
     );
     // The rest are p-constant.
     for r in &regions[1..] {
-        assert!(!r.fitted.model.depends_on(0), "{}: {}", r.path, r.fitted.model);
+        assert!(
+            !r.fitted.model.depends_on(0),
+            "{}: {}",
+            r.path,
+            r.fitted.model
+        );
     }
 }
 

@@ -73,7 +73,12 @@ fn io_model_is_generated_analogously() {
         .find(|(l, _)| l == "#Bytes read & written")
         .expect("I/O model fitted");
     // Dominated by the linear checkpoint state; independent of p.
-    assert_eq!(io.model.dominant_exponents(1), Exponents::new(1.0, 0.0), "{}", io.model);
+    assert_eq!(
+        io.model.dominant_exponents(1),
+        Exponents::new(1.0, 0.0),
+        "{}",
+        io.model
+    );
     assert!(!io.model.depends_on(0), "{}", io.model);
     // Extrapolation at exascale: the write volume stays per-process linear.
     let at_exa = io.model.eval(&[2e9, 1e6]);

@@ -2,7 +2,9 @@
 //! analyzer must agree with the naive oracle on arbitrary traces, and the
 //! distance metrics must satisfy their defining invariants.
 
-use exareq::locality::{AccessDistances, BurstSampler, BurstSchedule, DistanceAnalyzer, NaiveAnalyzer};
+use exareq::locality::{
+    AccessDistances, BurstSampler, BurstSchedule, DistanceAnalyzer, NaiveAnalyzer,
+};
 use proptest::prelude::*;
 
 proptest! {

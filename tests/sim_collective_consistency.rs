@@ -3,7 +3,7 @@
 //! `exareq-core` uses for symbolic normalization — message for message.
 
 use exareq::core::collective::CollectiveKind;
-use exareq::sim::{run_ranks, total_stats, OpClass};
+use exareq::sim::{run_ranks, run_ranks_with_faults, total_stats, FaultPlan, OpClass};
 
 const PS: [usize; 8] = [2, 3, 4, 5, 6, 8, 12, 16];
 
@@ -30,8 +30,7 @@ fn allreduce_totals_match_closed_form() {
             r.allreduce_sum(&mut v);
         });
         let t = total_stats(&results);
-        let measured =
-            (t.class(OpClass::Allreduce).sent + t.class(OpClass::Allreduce).recv) as f64;
+        let measured = (t.class(OpClass::Allreduce).sent + t.class(OpClass::Allreduce).recv) as f64;
         let expected = CollectiveKind::Allreduce.total_bytes(p as u64, (elems * 8) as u64);
         assert_eq!(measured, expected, "p = {p}");
     }
@@ -45,8 +44,7 @@ fn allgather_totals_match_closed_form() {
             let _ = r.allgather(&vec![1u8; block]);
         });
         let t = total_stats(&results);
-        let measured =
-            (t.class(OpClass::Allgather).sent + t.class(OpClass::Allgather).recv) as f64;
+        let measured = (t.class(OpClass::Allgather).sent + t.class(OpClass::Allgather).recv) as f64;
         let expected = CollectiveKind::Allgather.total_bytes(p as u64, block as u64);
         assert_eq!(measured, expected, "p = {p}");
     }
@@ -61,8 +59,7 @@ fn alltoall_totals_match_closed_form() {
             let _ = r.alltoall(&blocks);
         });
         let t = total_stats(&results);
-        let measured =
-            (t.class(OpClass::Alltoall).sent + t.class(OpClass::Alltoall).recv) as f64;
+        let measured = (t.class(OpClass::Alltoall).sent + t.class(OpClass::Alltoall).recv) as f64;
         let expected = CollectiveKind::Alltoall.total_bytes(p as u64, block as u64);
         assert_eq!(measured, expected, "p = {p}");
     }
@@ -82,6 +79,39 @@ fn p2p_pair_matches_closed_form() {
         (t.class(OpClass::P2p).sent + t.class(OpClass::P2p).recv) as f64,
         CollectiveKind::PointToPoint.total_bytes(2, 500)
     );
+}
+
+#[test]
+fn inert_fault_layer_is_byte_neutral() {
+    // Routing every message through the fault layer with an empty plan
+    // must not perturb a single byte: the closed forms still hold and no
+    // fault events are recorded.
+    for p in PS {
+        let payload = 256usize;
+        let elems = 9usize;
+        let outcome = run_ranks_with_faults(p, &FaultPlan::none(), |r| {
+            let _ = r.bcast(0, &vec![7u8; payload]);
+            let mut v = vec![1.0f64; elems];
+            r.allreduce_sum(&mut v);
+        })
+        .expect("fault-free collectives cannot fail");
+        assert_eq!(outcome.completed(), p, "p = {p}");
+        assert!(!outcome.is_degraded(), "p = {p}");
+        assert_eq!(outcome.total_faults().total_events(), 0, "p = {p}");
+        let t = outcome.total_stats();
+        let bcast = (t.class(OpClass::Bcast).sent + t.class(OpClass::Bcast).recv) as f64;
+        assert_eq!(
+            bcast,
+            CollectiveKind::Bcast.total_bytes(p as u64, payload as u64),
+            "p = {p}"
+        );
+        let ar = (t.class(OpClass::Allreduce).sent + t.class(OpClass::Allreduce).recv) as f64;
+        assert_eq!(
+            ar,
+            CollectiveKind::Allreduce.total_bytes(p as u64, (elems * 8) as u64),
+            "p = {p}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,403 @@
+//! Fault tolerance of the simulation substrate, end to end: deadlock
+//! detection, deterministic fault injection, per-fault-type accounting,
+//! and degraded sweeps flowing through the model generator.
+
+use exareq::apps::{all_apps_extended, survey_app_with_faults, AppGrid, MiniApp};
+use exareq::core::multiparam::MultiParamConfig;
+use exareq::locality::BurstSampler;
+use exareq::pipeline::model_requirements;
+use exareq::profile::ProcessProfile;
+use exareq::sim::{
+    run_ranks_supervised, run_ranks_with_faults, CommStats, FaultPlan, FaultStats, Rank,
+    RankStatus, SimConfig, SimError,
+};
+use std::time::{Duration, Instant};
+
+fn watchdog_cfg(ms: u64) -> SimConfig {
+    SimConfig {
+        faults: FaultPlan::none(),
+        watchdog: Some(Duration::from_millis(ms)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crafted_deadlock_is_diagnosed_within_the_timeout() {
+    // Both ranks post a receive for a tag nobody ever sends — the classic
+    // circular wait. Rank 0 also sends an unrelated message first, so the
+    // diagnosis must show it parked (received but unmatched) on rank 1.
+    let started = Instant::now();
+    let err = run_ranks_supervised(2, &watchdog_cfg(250), |r: &mut Rank| {
+        if r.rank() == 0 {
+            r.send(1, 5, b"red herring");
+        }
+        let peer = 1 - r.rank();
+        let _ = r.recv(peer, 9); // never sent by anyone
+    })
+    .expect_err("a circular wait must be reported, not hung");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "watchdog took {:?}",
+        started.elapsed()
+    );
+
+    let SimError::Deadlock { timeout, blocked } = err else {
+        panic!("expected a deadlock diagnosis, got {err:?}");
+    };
+    assert_eq!(timeout, Duration::from_millis(250));
+    assert_eq!(blocked.len(), 2, "both ranks were blocked: {blocked:?}");
+    let b0 = blocked.iter().find(|b| b.rank == 0).expect("rank 0 listed");
+    assert_eq!((b0.src, b0.tag), (1, 9));
+    assert!(b0.pending.is_empty());
+    let b1 = blocked.iter().find(|b| b.rank == 1).expect("rank 1 listed");
+    assert_eq!((b1.src, b1.tag), (0, 9));
+    assert_eq!(b1.pending.len(), 1, "the herring is parked: {b1:?}");
+    assert_eq!(
+        (b1.pending[0].src, b1.pending[0].tag, b1.pending[0].bytes),
+        (0, 5, b"red herring".len())
+    );
+
+    // The rendered error names every party, so a bare `{err}` in a log is
+    // already a usable diagnosis.
+    let msg = SimError::Deadlock { timeout, blocked }.to_string();
+    assert!(
+        msg.contains("rank 0 blocked in recv(src=1, tag=9)"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("rank 1 blocked in recv(src=0, tag=9)"),
+        "{msg}"
+    );
+    assert!(msg.contains("src=0 tag=5"), "parked queue shown: {msg}");
+}
+
+#[test]
+fn watchdog_never_fires_on_healthy_kernels() {
+    // Every behavioural twin, under a deliberately tight watchdog: the
+    // "all live ranks blocked + zero progress" predicate must never
+    // misfire on a progressing collective-heavy run.
+    for app in all_apps_extended() {
+        let outcome = run_ranks_supervised(4, &watchdog_cfg(300), |r: &mut Rank| {
+            let mut prof = ProcessProfile::new();
+            app.run_rank(r, 64, &mut prof);
+        })
+        .unwrap_or_else(|e| panic!("{}: watchdog false positive: {e}", app.name()));
+        assert!(outcome.stall.is_none(), "{} stalled", app.name());
+        assert_eq!(outcome.completed(), 4, "{}", app.name());
+        assert!(!outcome.is_degraded(), "{}", app.name());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fault_injection_is_deterministic_for_a_given_seed() {
+    let plan = FaultPlan::with_seed(0xBADC_0FFE)
+        .drop(0.3)
+        .duplicate(0.2)
+        .delay(0.2)
+        .corrupt(0.25, 2);
+    let run = || -> Vec<(RankStatus, CommStats, FaultStats)> {
+        let outcome = run_ranks_with_faults(5, &plan, |r: &mut Rank| {
+            // Fire-and-forget all-to-all rounds: every fault type gets
+            // exercised without any receive that could block on a drop.
+            for round in 0..20u64 {
+                for dst in 0..r.size() {
+                    if dst != r.rank() {
+                        r.send(dst, round, &[r.rank() as u8; 32]);
+                    }
+                }
+            }
+        })
+        .expect("sends never deadlock");
+        outcome
+            .ranks
+            .into_iter()
+            .map(|r| (r.status, r.stats, r.faults))
+            .collect()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce the run exactly");
+    let events = a
+        .iter()
+        .fold(FaultStats::default(), |acc, (_, _, f)| acc.merged(f))
+        .total_events();
+    assert!(events > 0, "the plan was supposed to inject something");
+}
+
+// ---------------------------------------------------------------------------
+// Per-fault-type accounting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dropped_messages_never_arrive_and_are_counted() {
+    let plan = FaultPlan::with_seed(1).drop(1.0);
+    let outcome = run_ranks_with_faults(2, &plan, |r: &mut Rank| {
+        if r.rank() == 0 {
+            for tag in 0..3 {
+                r.send(1, tag, &[9u8; 10]);
+            }
+        }
+    })
+    .expect("fire-and-forget completes");
+    assert_eq!(outcome.completed(), 2);
+    let f = outcome.total_faults();
+    assert_eq!(f.dropped_msgs, 3);
+    assert_eq!(f.dropped_bytes, 30);
+    // The application-side accounting still records the attempted sends;
+    // nothing was ever received.
+    let s = outcome.total_stats();
+    assert_eq!(s.messages_sent, 3);
+    assert_eq!(s.total_recv(), 0);
+    assert!(outcome.is_degraded());
+}
+
+#[test]
+fn duplicated_message_is_delivered_twice() {
+    let plan = FaultPlan::with_seed(2).duplicate(1.0);
+    let outcome = run_ranks_with_faults(2, &plan, |r: &mut Rank| {
+        if r.rank() == 0 {
+            r.send(1, 7, &[0xAB; 4]);
+            Vec::new()
+        } else {
+            let first = r.recv(0, 7).to_vec();
+            let second = r.recv(0, 7).to_vec();
+            vec![first, second]
+        }
+    })
+    .expect("duplication cannot block anyone");
+    assert_eq!(outcome.completed(), 2);
+    let copies = outcome.ranks[1].value.as_ref().expect("rank 1 completed");
+    assert_eq!(copies.len(), 2);
+    assert_eq!(copies[0], vec![0xAB; 4]);
+    assert_eq!(copies[1], vec![0xAB; 4]);
+    let f = outcome.total_faults();
+    assert_eq!(f.duplicated_msgs, 1);
+    assert_eq!(f.duplicated_bytes, 4);
+}
+
+#[test]
+fn delayed_message_is_reordered_behind_the_next_send() {
+    let plan = FaultPlan::with_seed(3).delay(1.0);
+    let outcome = run_ranks_with_faults(2, &plan, |r: &mut Rank| {
+        if r.rank() == 0 {
+            r.send(1, 1, b"first"); // parked by the fault layer
+            r.send(1, 2, b"second"); // goes out, then flushes "first" behind it
+            (Vec::new(), Vec::new())
+        } else {
+            let a = r.recv(0, 1).to_vec();
+            let b = r.recv(0, 2).to_vec();
+            (a, b)
+        }
+    })
+    .expect("delay reorders but never loses");
+    assert_eq!(outcome.completed(), 2);
+    let (a, b) = outcome.ranks[1].value.as_ref().expect("rank 1 completed");
+    assert_eq!(a, b"first");
+    assert_eq!(b, b"second");
+    assert_eq!(outcome.total_faults().delayed_msgs, 1);
+}
+
+#[test]
+fn delayed_message_flushes_when_the_sender_completes() {
+    let plan = FaultPlan::with_seed(4).delay(1.0);
+    let outcome = run_ranks_with_faults(2, &plan, |r: &mut Rank| {
+        if r.rank() == 0 {
+            r.send(1, 3, b"late"); // parked; no further send to flush it
+            Vec::new()
+        } else {
+            r.recv(0, 3).to_vec()
+        }
+    })
+    .expect("completion flushes the parked message");
+    assert_eq!(outcome.completed(), 2);
+    assert_eq!(
+        outcome.ranks[1].value.as_ref().expect("rank 1 completed"),
+        b"late"
+    );
+    assert_eq!(outcome.total_faults().delayed_msgs, 1);
+}
+
+#[test]
+fn corruption_flips_exactly_the_accounted_bytes() {
+    let plan = FaultPlan::with_seed(5).corrupt(1.0, 2);
+    let outcome = run_ranks_with_faults(2, &plan, |r: &mut Rank| {
+        if r.rank() == 0 {
+            r.send(1, 0, &[0u8; 32]);
+            Vec::new()
+        } else {
+            r.recv(0, 0).to_vec()
+        }
+    })
+    .expect("corruption does not block delivery");
+    let data = outcome.ranks[1].value.as_ref().expect("rank 1 completed");
+    let flipped = data.iter().filter(|&&b| b == 0xFF).count();
+    let untouched = data.iter().filter(|&&b| b == 0).count();
+    assert_eq!(
+        flipped + untouched,
+        32,
+        "bytes are either intact or flipped"
+    );
+    assert!(
+        (1..=2).contains(&flipped),
+        "2 draws over distinct positions flip 1-2 bytes, got {flipped}"
+    );
+    let f = outcome.total_faults();
+    assert_eq!(f.corrupted_msgs, 1);
+    assert_eq!(f.corrupted_bytes as usize, flipped);
+}
+
+#[test]
+fn crash_cascade_names_the_dead_peer_and_keeps_survivors() {
+    // A 0 → 1 → 2 relay chain. Rank 1 dies at its first communication op
+    // (the receive from 0): rank 0's fire-and-forget send still completes,
+    // rank 2 aborts with a message naming the dead peer.
+    let plan = FaultPlan::none().crash(1, 1);
+    let outcome = run_ranks_with_faults(3, &plan, |r: &mut Rank| match r.rank() {
+        0 => {
+            r.send(1, 0, b"payload");
+        }
+        1 => {
+            let got = r.recv(0, 0);
+            r.send(2, 0, &got);
+        }
+        _ => {
+            let _ = r.recv(1, 0);
+        }
+    })
+    .expect("a crash is a degraded outcome, not a sim failure");
+    assert!(outcome.is_degraded());
+    assert_eq!(outcome.completed(), 1);
+    assert!(outcome.ranks[0].value.is_some(), "rank 0's result survives");
+    assert!(matches!(
+        outcome.ranks[1].status,
+        RankStatus::Crashed { op: 1 }
+    ));
+    match &outcome.ranks[2].status {
+        RankStatus::Aborted { why } => {
+            assert!(why.contains("peer 1"), "{why}");
+            assert!(why.contains("injected fault at op 1"), "{why}");
+        }
+        other => panic!("rank 2 should abort on the dead peer, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded sweeps through the model generator
+// ---------------------------------------------------------------------------
+
+/// A minimal behavioural twin whose communication-op count scales with `n`
+/// (`2·(n/16)` ops per rank), so a fixed crash point kills exactly the
+/// largest-`n` column of the sweep and leaves the rest untouched.
+struct GridTwin;
+
+impl MiniApp for GridTwin {
+    fn name(&self) -> &'static str {
+        "GridTwin"
+    }
+
+    fn run_rank(&self, rank: &mut Rank, n: u64, prof: &mut ProcessProfile) {
+        let p = rank.size() as u64;
+        prof.footprint.alloc(8 * n);
+        prof.callpath.enter("work");
+        prof.callpath.counters().add_flops(3 * n * p);
+        prof.callpath.counters().add_loads(4 * n);
+        prof.callpath.exit();
+        let rounds = (n / 16).max(1);
+        let next = (rank.rank() + 1) % rank.size();
+        let prev = (rank.rank() + rank.size() - 1) % rank.size();
+        let before = rank.stats().total();
+        for round in 0..rounds {
+            rank.send(next, round, &[1u8; 16]);
+            let _ = rank.recv(prev, round);
+        }
+        prof.callpath.add_comm_bytes(rank.stats().total() - before);
+    }
+
+    fn run_locality(&self, _n: u64, sampler: &mut BurstSampler) {
+        let g = sampler.register_group("window");
+        // 8 passes x 32 addresses: enough warm re-references to clear the
+        // sampler's >= 100-sample modelability filter.
+        for _pass in 0..8 {
+            for i in 0..32u64 {
+                sampler.access(g, 0x1000 + i);
+            }
+        }
+    }
+}
+
+#[test]
+fn degraded_sweep_still_yields_models_and_reports_losses() {
+    // Rank 1 crashes at op 9 — reached only by the n = 80 runs (10 ops per
+    // rank). At p = 2 the crash takes the whole run down (the only other
+    // rank blocks on the dead peer), so that configuration is skipped; at
+    // p ≥ 3 the ring partially survives (each rank sends before it
+    // receives), so those runs finish degraded with flagged observations.
+    // Everything below the crash point stays clean.
+    let grid = AppGrid {
+        p_values: vec![2, 3, 4, 5, 6],
+        n_values: vec![16, 32, 48, 64, 80],
+    };
+    let plan = FaultPlan::none().crash(1, 9);
+    let survey = survey_app_with_faults(&GridTwin, &grid, &plan);
+
+    assert_eq!(
+        survey.skipped.len(),
+        1,
+        "only the p = 2 run dies outright: {:?}",
+        survey.skipped
+    );
+    assert_eq!((survey.skipped[0].p, survey.skipped[0].n), (2, 80));
+    assert!(
+        survey.skipped[0].reason.contains("all 2 ranks failed"),
+        "{}",
+        survey.skipped[0].reason
+    );
+    let degraded = survey.degraded_configs();
+    assert_eq!(
+        degraded,
+        vec![(3, 80), (4, 80), (5, 80), (6, 80)],
+        "the survivors of the n = 80 column are flagged"
+    );
+    assert_eq!(survey.config_count(), 24);
+
+    // The generator still produces the requirement models from the 20
+    // clean configurations — and reports every loss, skipped or flagged.
+    let modeled = model_requirements(&survey, &MultiParamConfig::coarse())
+        .expect("20 clean configurations are plenty for a fit");
+    assert!(
+        modeled
+            .dropped
+            .iter()
+            .any(|d| d.contains("p=2 n=80") && d.contains("no usable measurement")),
+        "{:?}",
+        modeled.dropped
+    );
+    assert!(
+        modeled
+            .dropped
+            .iter()
+            .any(|d| d.contains("#FLOP at p=3 n=80") && d.contains("degraded run")),
+        "{:?}",
+        modeled.dropped
+    );
+    // 1 skipped config + 4 flagged points on each of the five fitted
+    // requirement rows (three totals, stack distance, P2P comm class).
+    assert_eq!(modeled.dropped.len(), 1 + 4 * 5, "{:?}", modeled.dropped);
+
+    // The recovered computation model extrapolates the true 3·p·n shape
+    // beyond the (truncated) measured range.
+    let flops = &modeled.requirements.flops;
+    let truth = 3.0 * 12.0 * 160.0;
+    let got = flops.eval(&[12.0, 160.0]);
+    assert!(
+        (got - truth).abs() / truth < 0.05,
+        "flops model should recover 3·p·n: got {got}, want {truth}"
+    );
+}

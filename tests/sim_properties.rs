@@ -1,9 +1,15 @@
 //! Property-based verification of the simulator: collectives compute the
-//! right values for arbitrary inputs and rank counts, and byte accounting
-//! is conserved (every byte sent is received).
+//! right values for arbitrary inputs and rank counts, byte accounting
+//! is conserved (every byte sent is received), fault injection is a pure
+//! function of the plan seed, and injected crashes always produce a clean
+//! structured outcome rather than a hang or a stray panic.
 
-use exareq::sim::{run_ranks, total_stats};
+use exareq::sim::{
+    run_ranks, run_ranks_supervised, run_ranks_with_faults, total_stats, FaultPlan, RankStatus,
+    SimConfig,
+};
 use proptest::prelude::*;
+use std::time::Duration;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -88,5 +94,116 @@ proptest! {
             total_stats(&results)
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Fault injection is a pure function of the plan: for any seed and any
+    /// mix of message-fault probabilities, two runs of the same program
+    /// produce byte-identical per-rank statuses, comm stats, and fault
+    /// stats, regardless of thread interleaving.
+    #[test]
+    fn fault_injection_is_reproducible_for_any_seed(
+        p in 2usize..6,
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.4,
+        dup_p in 0.0f64..0.4,
+        delay_p in 0.0f64..0.4,
+        corrupt_p in 0.0f64..0.4,
+    ) {
+        let plan = FaultPlan::with_seed(seed)
+            .drop(drop_p)
+            .duplicate(dup_p)
+            .delay(delay_p)
+            .corrupt(corrupt_p, 1);
+        let run = || {
+            let outcome = run_ranks_with_faults(p, &plan, |rank| {
+                // Fire-and-forget: every rank streams messages to every
+                // peer and never receives, so no fault can block the run.
+                for round in 0..6u64 {
+                    for dst in 0..rank.size() {
+                        if dst != rank.rank() {
+                            rank.send(dst, round, &[rank.rank() as u8; 24]);
+                        }
+                    }
+                }
+            })
+            .expect("a send-only program cannot stall");
+            outcome
+                .ranks
+                .iter()
+                .map(|r| (r.status.clone(), r.stats.clone(), r.faults.clone()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Injected rank crashes never hang a collective and never surface as
+    /// an unstructured panic: every rank reports Completed, Crashed, or
+    /// Aborted, and when the crash point lies beyond the program all
+    /// ranks complete with the exact collective result.
+    #[test]
+    fn collectives_complete_or_fail_cleanly_under_crashes(
+        p in 2usize..7,
+        victim in 0usize..7,
+        at_op in 1u64..24,
+        kind in 0usize..4,
+    ) {
+        let victim = victim % p;
+        let cfg = SimConfig {
+            faults: FaultPlan::with_seed(0xC4A5).crash(victim, at_op),
+            watchdog: Some(Duration::from_secs(10)),
+        };
+        let outcome = run_ranks_supervised(p, &cfg, |rank| match kind {
+            0 => {
+                let mut v = vec![1.0f64];
+                rank.allreduce_sum(&mut v);
+                v[0]
+            }
+            1 => rank.bcast(0, &[3u8; 4]).iter().map(|&b| f64::from(b)).sum(),
+            2 => rank
+                .allgather(&[rank.rank() as u8])
+                .iter()
+                .map(|b| f64::from(b[0]))
+                .sum(),
+            _ => {
+                let blocks: Vec<Vec<u8>> = (0..rank.size()).map(|_| vec![1u8]).collect();
+                rank.alltoall(&blocks).iter().map(|b| f64::from(b[0])).sum()
+            }
+        })
+        .expect("a crash-only plan must not be diagnosed as a deadlock");
+        prop_assert!(outcome.stall.is_none(), "crash cascade stalled: {:?}", outcome.stall);
+        for r in &outcome.ranks {
+            prop_assert!(
+                !matches!(r.status, RankStatus::Panicked { .. }),
+                "rank {} leaked an unstructured panic: {:?}",
+                r.rank,
+                r.status
+            );
+        }
+        let expected = match kind {
+            0 => p as f64,                         // allreduce of 1.0 per rank
+            1 => 12.0,                             // bcast of [3; 4]
+            2 => (0..p).map(|r| r as f64).sum(),   // allgather of rank ids
+            _ => p as f64,                         // alltoall of 1-byte blocks
+        };
+        if outcome.completed() == p {
+            // The crash point lay beyond the program's op count.
+            prop_assert_eq!(outcome.total_faults().injected_crashes, 0);
+            for r in &outcome.ranks {
+                prop_assert_eq!(r.value, Some(expected));
+            }
+        } else {
+            // The crash fired: exactly the victim is Crashed, everyone
+            // else either finished first or aborted on the dead peer.
+            prop_assert!(matches!(outcome.ranks[victim].status, RankStatus::Crashed { .. }));
+            prop_assert_eq!(outcome.total_faults().injected_crashes, 1);
+            for r in &outcome.ranks {
+                if r.rank != victim {
+                    prop_assert!(matches!(
+                        r.status,
+                        RankStatus::Completed | RankStatus::Aborted { .. }
+                    ));
+                }
+            }
+        }
     }
 }
