@@ -27,6 +27,7 @@ pub mod lulesh;
 pub mod milc;
 pub mod mmm;
 pub mod relearn;
+pub mod resilient;
 pub mod shapes;
 
 pub use extras::{Fft, Multigrid};
@@ -35,6 +36,7 @@ pub use kripke::Kripke;
 pub use lulesh::Lulesh;
 pub use milc::Milc;
 pub use relearn::Relearn;
+pub use resilient::{run_survey_resilient, survey_app_resilient, RetryPolicy, SurveyRunError};
 
 use exareq_locality::{BurstSampler, BurstSchedule};
 use exareq_profile::{MetricKind, Observation, ProcessProfile, Survey};
@@ -323,7 +325,7 @@ impl AppGrid {
 
 /// Records one measurement's observations into a survey, carrying its
 /// degraded flag onto every observation.
-fn push_measurement(survey: &mut Survey, m: &AppMeasurement) {
+pub(crate) fn push_measurement(survey: &mut Survey, m: &AppMeasurement) {
     let mut push = |metric: MetricKind, channel: Option<String>, value: f64| {
         survey.record(Observation {
             p: m.p,
@@ -368,17 +370,12 @@ pub fn survey_app(app: &dyn MiniApp, grid: &AppGrid) -> Survey {
 /// observations flagged; runs with no surviving rank (or a deadlock) are
 /// noted in [`Survey::skipped`] instead of aborting the whole sweep —
 /// exactly how an exascale measurement campaign tolerates node failures.
+///
+/// This is the single-attempt special case of
+/// [`resilient::run_survey_resilient`]; use the resilient driver directly
+/// for retries, wall-clock budgets or journaled (resumable) sweeps.
 pub fn survey_app_with_faults(app: &dyn MiniApp, grid: &AppGrid, faults: &FaultPlan) -> Survey {
-    let mut survey = Survey::new(app.name());
-    for &p in &grid.p_values {
-        for &n in &grid.n_values {
-            match measure_with_faults(app, p, n, faults) {
-                Ok(m) => push_measurement(&mut survey, &m),
-                Err(err) => survey.note_skipped(p as u64, n, err.to_string()),
-            }
-        }
-    }
-    survey
+    survey_app_resilient(app, grid, faults, &RetryPolicy::default())
 }
 
 #[cfg(test)]

@@ -1,0 +1,428 @@
+//! Resilient survey execution: retry-with-reseed, per-config wall-clock
+//! budgets, and crash-consistent journaling.
+//!
+//! [`run_survey_resilient`] is the one driver behind every survey in the
+//! toolchain. It walks the measurement grid in order and, per `(p, n)`
+//! configuration:
+//!
+//! 1. **Replays** the config from the journal if one is attached and
+//!    already certifies it (that is what makes an interrupted sweep
+//!    resumable — completed configs are never re-measured);
+//! 2. otherwise **measures** it under the fault plan, retrying failed or
+//!    degraded attempts under a deterministically derived fresh seed
+//!    ([`exareq_sim::FaultPlan::reseeded`]) up to
+//!    [`RetryPolicy::max_attempts`] times;
+//! 3. **journals** the final attempt's outcome (fsynced before it counts)
+//!    and only then folds it into the in-memory [`Survey`].
+//!
+//! The wall-clock budget models a batch scheduler: a config that keeps
+//! failing may retry only while its elapsed time stays inside an
+//! exponentially growing allowance. Exhausting the allowance aborts the
+//! *whole sweep* ([`SurveyRunError::BudgetExhausted`]) — exactly like a
+//! killed job — leaving the journal with every completed config, so the
+//! next invocation resumes instead of restarting.
+
+use crate::{measure_with_faults, push_measurement, AppGrid, MiniApp};
+use exareq_profile::journal::{apply_entry, JournalEntry, JournalError, SurveyJournal};
+use exareq_profile::Survey;
+use exareq_sim::FaultPlan;
+use std::time::{Duration, Instant};
+
+/// How hard to try per configuration before giving up on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total measurement attempts per config (1 = no retries).
+    pub max_attempts: u32,
+    /// Wall-clock allowance per config; `None` = unlimited. The allowance
+    /// is checked *before* each retry (never before the first attempt, so
+    /// every config gets at least one try).
+    pub config_budget: Option<Duration>,
+    /// Growth factor of the allowance between retries: before attempt `k`
+    /// (k ≥ 2) the config may have spent up to
+    /// `config_budget · budget_growth^(k−2)`.
+    pub budget_growth: f64,
+}
+
+impl Default for RetryPolicy {
+    /// One attempt, no budget: identical behaviour to the pre-retry
+    /// driver.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            config_budget: None,
+            budget_growth: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `extra` retries after the first attempt.
+    pub fn retries(extra: u32) -> Self {
+        RetryPolicy {
+            max_attempts: 1 + extra,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the per-config wall-clock allowance.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.config_budget = Some(budget);
+        self
+    }
+
+    /// The elapsed-time ceiling a config must be under for attempt
+    /// `attempt` (≥ 2) to start; `None` when unbudgeted or for the first
+    /// attempt.
+    pub fn allowed_before_attempt(&self, attempt: u32) -> Option<Duration> {
+        if attempt < 2 {
+            return None;
+        }
+        self.config_budget
+            .map(|b| b.mul_f64(self.budget_growth.powi(attempt as i32 - 2)))
+    }
+}
+
+/// Why a resilient survey run stopped before covering its grid.
+#[derive(Debug)]
+pub enum SurveyRunError {
+    /// The journal could not be written to (the sweep must stop: configs
+    /// that cannot be journaled would be re-measured on resume, breaking
+    /// the exactly-once contract).
+    Journal(JournalError),
+    /// A configuration exhausted its wall-clock allowance while retrying.
+    /// The sweep aborts like a scheduler-killed job; every *completed*
+    /// config is already durable in the journal.
+    BudgetExhausted {
+        /// Process count of the over-budget configuration.
+        p: u64,
+        /// Problem size of the over-budget configuration.
+        n: u64,
+        /// Attempts completed before the allowance ran out.
+        attempts: u32,
+        /// Wall-clock time the configuration had consumed.
+        elapsed: Duration,
+    },
+}
+
+impl core::fmt::Display for SurveyRunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SurveyRunError::Journal(e) => write!(f, "{e}"),
+            SurveyRunError::BudgetExhausted {
+                p,
+                n,
+                attempts,
+                elapsed,
+            } => write!(
+                f,
+                "configuration (p={p}, n={n}) exhausted its wall-clock budget after \
+                 {attempts} attempt(s) ({elapsed:?}); survey aborted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SurveyRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SurveyRunError::Journal(e) => Some(e),
+            SurveyRunError::BudgetExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<JournalError> for SurveyRunError {
+    fn from(e: JournalError) -> Self {
+        SurveyRunError::Journal(e)
+    }
+}
+
+/// Measures one configuration under the retry policy, returning the final
+/// attempt's journal entry — or a budget-exhaustion error.
+fn measure_config_resilient(
+    app: &dyn MiniApp,
+    p: usize,
+    n: u64,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
+) -> Result<JournalEntry, SurveyRunError> {
+    let started = Instant::now();
+    let mut attempt = 1u32;
+    loop {
+        let plan = faults.reseeded(p as u64, n, attempt);
+        let outcome = measure_with_faults(app, p, n, &plan);
+        let retriable = match &outcome {
+            Ok(m) => m.degraded,
+            Err(_) => true,
+        };
+        if retriable && attempt < retry.max_attempts {
+            if let Some(allowed) = retry.allowed_before_attempt(attempt + 1) {
+                let elapsed = started.elapsed();
+                if elapsed >= allowed {
+                    return Err(SurveyRunError::BudgetExhausted {
+                        p: p as u64,
+                        n,
+                        attempts: attempt,
+                        elapsed,
+                    });
+                }
+            }
+            attempt += 1;
+            continue;
+        }
+        return Ok(match outcome {
+            Ok(m) => {
+                // Collect the final attempt's observations via a scratch
+                // survey so the journal records exactly what replay will
+                // reproduce.
+                let mut scratch = Survey::new(app.name());
+                push_measurement(&mut scratch, &m);
+                JournalEntry {
+                    p: p as u64,
+                    n,
+                    attempts: attempt,
+                    seed: plan.seed,
+                    skip_reason: None,
+                    observations: scratch.observations,
+                }
+            }
+            Err(err) => JournalEntry {
+                p: p as u64,
+                n,
+                attempts: attempt,
+                seed: plan.seed,
+                skip_reason: Some(if attempt == 1 {
+                    err.to_string()
+                } else {
+                    format!("{err} (after {attempt} attempts)")
+                }),
+                observations: Vec::new(),
+            },
+        });
+    }
+}
+
+/// Runs an application survey resiliently: fault injection, retries with
+/// deterministic reseeding, optional per-config wall-clock budget, and an
+/// optional crash-consistent journal.
+///
+/// Configurations already present in `journal` are replayed, not
+/// re-measured; new outcomes are appended (and fsynced) *before* they are
+/// folded into the returned [`Survey`], so a crash at any point loses at
+/// most the configuration in flight.
+///
+/// With the default [`RetryPolicy`] and no journal this is byte-identical
+/// to the plain faulted sweep: attempt 1 uses `faults` verbatim
+/// ([`exareq_sim::FaultPlan::reseeded`] is the identity for attempt 1).
+///
+/// # Errors
+/// - [`SurveyRunError::Journal`] when the journal cannot be appended to;
+/// - [`SurveyRunError::BudgetExhausted`] when a config overruns its
+///   allowance — resume from the journal to continue the sweep.
+pub fn run_survey_resilient(
+    app: &dyn MiniApp,
+    grid: &AppGrid,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
+    mut journal: Option<&mut SurveyJournal>,
+) -> Result<Survey, SurveyRunError> {
+    let mut survey = Survey::new(app.name());
+    for &p in &grid.p_values {
+        for &n in &grid.n_values {
+            if let Some(j) = journal.as_deref_mut() {
+                if let Some(done) = j.get(p as u64, n) {
+                    let done = done.clone();
+                    apply_entry(&mut survey, &done);
+                    continue;
+                }
+            }
+            let entry = measure_config_resilient(app, p, n, faults, retry)?;
+            if let Some(j) = journal.as_deref_mut() {
+                j.append(&entry)?;
+            }
+            apply_entry(&mut survey, &entry);
+        }
+    }
+    Ok(survey)
+}
+
+/// Journal-free resilient survey under an unbudgeted retry policy.
+///
+/// # Panics
+/// Panics if `retry` carries a wall-clock budget — budgeted sweeps can
+/// abort and must use [`run_survey_resilient`] with a journal so the
+/// partial sweep is recoverable.
+pub fn survey_app_resilient(
+    app: &dyn MiniApp,
+    grid: &AppGrid,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
+) -> Survey {
+    assert!(
+        retry.config_budget.is_none(),
+        "budgeted sweeps can abort; attach a journal via run_survey_resilient"
+    );
+    match run_survey_resilient(app, grid, faults, retry, None) {
+        Ok(s) => s,
+        // No journal and no budget: neither error variant is reachable.
+        Err(e) => unreachable!("journal-free unbudgeted sweep failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relearn;
+    use exareq_profile::journal::SurveyManifest;
+    use exareq_profile::MetricKind;
+
+    fn small_grid() -> AppGrid {
+        AppGrid {
+            p_values: vec![2, 4],
+            n_values: vec![64],
+        }
+    }
+
+    #[test]
+    fn default_policy_matches_plain_faulted_sweep() {
+        let plan = FaultPlan::with_seed(11).drop(0.01);
+        let plain = crate::survey_app_with_faults(&Relearn, &small_grid(), &plan);
+        let resilient = run_survey_resilient(
+            &Relearn,
+            &small_grid(),
+            &plan,
+            &RetryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn retries_clear_probabilistic_degradation() {
+        // A drop plan whose first-attempt seed degrades at least one
+        // config; with retries, every cleared config carries clean
+        // final-attempt observations.
+        let plan = FaultPlan::with_seed(3).drop(0.02);
+        let grid = AppGrid {
+            p_values: vec![2, 4, 8],
+            n_values: vec![64, 256],
+        };
+        let baseline = survey_app_resilient(&Relearn, &grid, &plan, &RetryPolicy::default());
+        let retried = survey_app_resilient(&Relearn, &grid, &plan, &RetryPolicy::retries(4));
+        let dg = |s: &Survey| s.degraded_configs().len() + s.skipped.len();
+        assert!(
+            dg(&retried) <= dg(&baseline),
+            "retries must never add degraded configs: {} vs {}",
+            dg(&retried),
+            dg(&baseline)
+        );
+    }
+
+    #[test]
+    fn deterministic_crash_stays_degraded_but_is_recorded() {
+        // A crash point persists across reseeds: retries cannot clear it,
+        // so the config is recorded degraded after max_attempts.
+        let plan = FaultPlan::default().crash(1, 2);
+        let grid = AppGrid {
+            p_values: vec![4],
+            n_values: vec![64],
+        };
+        let s = survey_app_resilient(&Relearn, &grid, &plan, &RetryPolicy::retries(2));
+        assert_eq!(s.config_count() + s.skipped.len(), 1);
+        if let Some(skip) = s.skipped.first() {
+            // All ranks lost on every attempt: the skip reason records
+            // that the retries were spent.
+            assert!(skip.reason.contains("after 3 attempts"), "{}", skip.reason);
+        } else {
+            assert_eq!(s.degraded_configs(), vec![(4, 64)]);
+        }
+    }
+
+    #[test]
+    fn zero_budget_aborts_on_first_retry() {
+        let plan = FaultPlan::default().crash(1, 2);
+        let retry = RetryPolicy::retries(2).with_budget(Duration::ZERO);
+        let err = run_survey_resilient(&Relearn, &small_grid(), &plan, &retry, None).unwrap_err();
+        match err {
+            SurveyRunError::BudgetExhausted { p, n, attempts, .. } => {
+                // Rank 1 exists at p=2, so the crash already degrades the
+                // very first grid config and the zero allowance trips
+                // before its first retry.
+                assert_eq!((p, n), (2, 64));
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("expected BudgetExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_without_remeasuring() {
+        let dir = std::env::temp_dir().join("exareq_resilient_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let plan = FaultPlan::with_seed(5).drop(0.005);
+        let grid = small_grid();
+        let manifest = SurveyManifest::new(
+            "Relearn",
+            grid.p_values.iter().map(|&p| p as u64).collect(),
+            grid.n_values.clone(),
+            "seed=5,drop=0.005",
+        );
+
+        let full = survey_app_resilient(&Relearn, &grid, &plan, &RetryPolicy::retries(1));
+
+        // First run journals everything.
+        let mut j = SurveyJournal::create(&path, manifest.clone()).unwrap();
+        let first = run_survey_resilient(
+            &Relearn,
+            &grid,
+            &plan,
+            &RetryPolicy::retries(1),
+            Some(&mut j),
+        )
+        .unwrap();
+        drop(j);
+        assert_eq!(first, full);
+
+        // Second run replays from the journal only (any re-measurement
+        // would also produce the same survey, but the journal path must
+        // reproduce it exactly too).
+        let mut j = SurveyJournal::resume(&path, &manifest).unwrap();
+        assert_eq!(j.entries().len(), 2);
+        let resumed = run_survey_resilient(
+            &Relearn,
+            &grid,
+            &plan,
+            &RetryPolicy::retries(1),
+            Some(&mut j),
+        )
+        .unwrap();
+        assert_eq!(resumed, full);
+        assert_eq!(
+            resumed.triples(MetricKind::Flops),
+            full.triples(MetricKind::Flops)
+        );
+    }
+
+    #[test]
+    fn budget_allowance_grows_exponentially() {
+        let r = RetryPolicy::retries(3).with_budget(Duration::from_millis(100));
+        assert_eq!(r.allowed_before_attempt(1), None);
+        assert_eq!(
+            r.allowed_before_attempt(2),
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(
+            r.allowed_before_attempt(3),
+            Some(Duration::from_millis(200))
+        );
+        assert_eq!(
+            r.allowed_before_attempt(4),
+            Some(Duration::from_millis(400))
+        );
+        assert_eq!(RetryPolicy::default().allowed_before_attempt(2), None);
+    }
+}

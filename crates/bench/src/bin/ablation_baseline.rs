@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin ablation_baseline`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_core::baseline::fit_baseline;
 use exareq_core::fit::{fit_single, FitConfig};
 use exareq_core::measurement::Experiment;
@@ -101,5 +101,5 @@ fn main() {
          method \"goes beyond\" simple regression [18]).\n",
     ));
     print!("{out}");
-    std::fs::write(results_dir().join("ablation_baseline.txt"), &out).expect("write report");
+    write_report("ablation_baseline.txt", &out);
 }

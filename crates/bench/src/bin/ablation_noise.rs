@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin ablation_noise`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_core::fit::{fit_single, FitConfig};
 use exareq_core::measurement::Experiment;
 use exareq_core::pmnf::Exponents;
@@ -79,5 +79,5 @@ fn main() {
          motivating the paper's choice of reproducible counters over timings.\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("ablation_noise.txt"), &out).expect("write report");
+    write_report("ablation_noise.txt", &out);
 }

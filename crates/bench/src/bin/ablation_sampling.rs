@@ -10,7 +10,7 @@
 //! Run with `cargo run --release -p exareq-bench --bin ablation_sampling`.
 
 use exareq_apps::{Milc, MiniApp};
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_core::fit::{fit_single, FitConfig};
 use exareq_core::measurement::Experiment;
 use exareq_locality::{BurstSampler, BurstSchedule};
@@ -123,5 +123,5 @@ fn main() {
          outliers — the stated reason for modeling the median (Section II-B).\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("ablation_sampling.txt"), &out).expect("write report");
+    write_report("ablation_sampling.txt", &out);
 }

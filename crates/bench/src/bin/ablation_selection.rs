@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin ablation_selection`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_core::fit::{fit_single, fit_single_no_cv, FitConfig};
 use exareq_core::measurement::Experiment;
 use exareq_core::pmnf::Exponents;
@@ -87,5 +87,5 @@ fn main() {
          cross-validated selection, which this reproduction follows.\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("ablation_selection.txt"), &out).expect("write report");
+    write_report("ablation_selection.txt", &out);
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin fig1`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_locality::DistanceAnalyzer;
 
 fn main() {
@@ -32,5 +32,5 @@ fn main() {
          paper models for memory locality (Section II-A).\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("fig1.txt"), &out).expect("write report");
+    write_report("fig1.txt", &out);
 }

@@ -7,7 +7,7 @@
 
 use exareq::pipeline::{error_histogram, model_requirements, ModeledApp};
 use exareq_apps::AppGrid;
-use exareq_bench::{all_surveys, repro_config, results_dir};
+use exareq_bench::{all_surveys, repro_config, write_report};
 use exareq_profile::Survey;
 
 fn main() {
@@ -33,5 +33,5 @@ fn main() {
         hist.frac_below_5pct() * 100.0
     ));
     print!("{out}");
-    std::fs::write(results_dir().join("fig3.txt"), &out).expect("write report");
+    write_report("fig3.txt", &out);
 }

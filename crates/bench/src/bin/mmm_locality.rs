@@ -7,7 +7,7 @@
 //! Run with `cargo run --release -p exareq-bench --bin mmm_locality`.
 
 use exareq_apps::mmm::{blocked_mmm, naive_mmm};
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_core::fit::{fit_single, FitConfig};
 use exareq_core::measurement::Experiment;
 use exareq_locality::{BurstSampler, BurstSchedule};
@@ -89,5 +89,5 @@ fn main() {
          with equal FLOPs, the blocked variant is preferable.\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("mmm_locality.txt"), &out).expect("write report");
+    write_report("mmm_locality.txt", &out);
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin sharing`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_codesign::{catalog, share_system, two_app_frontier, SystemSkeleton};
 
 fn main() {
@@ -68,5 +68,5 @@ fn main() {
          share — the same pathology that excludes it from Table VII.\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("sharing.txt"), &out).expect("write report");
+    write_report("sharing.txt", &out);
 }

@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin strawman_network`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_codesign::{analyze_with_network, catalog, default_network, table_six};
 
 fn main() {
@@ -61,5 +61,5 @@ fn main() {
          exactly the class of surprise the requirements method exists to catch.\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("strawman_network.txt"), &out).expect("write report");
+    write_report("strawman_network.txt", &out);
 }

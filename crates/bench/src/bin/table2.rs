@@ -6,7 +6,7 @@
 
 use exareq::pipeline::model_requirements;
 use exareq_apps::AppGrid;
-use exareq_bench::{all_surveys, fmt_exp, paper_lead_exponents, repro_config, results_dir};
+use exareq_bench::{all_surveys, fmt_exp, paper_lead_exponents, repro_config, write_report};
 use exareq_codesign::report::render_requirements;
 use exareq_core::collective::render_comm_rows;
 
@@ -70,7 +70,5 @@ fn main() {
         "lead-exponent agreement with Table II: {matches}/{total}\n"
     ));
     print!("{out}");
-    let path = results_dir().join("table2.txt");
-    std::fs::write(&path, &out).expect("write report");
-    eprintln!("report written to {}", path.display());
+    write_report("table2.txt", &out);
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin table4`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_codesign::{
     analyze_upgrade, catalog, inflate_problem, RateMetric, SystemSkeleton, Upgrade,
 };
@@ -60,5 +60,5 @@ fn main() {
         ));
     }
     print!("{out}");
-    std::fs::write(results_dir().join("table4.txt"), &out).expect("write report");
+    write_report("table4.txt", &out);
 }

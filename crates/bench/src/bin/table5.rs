@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin table5`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_codesign::report::{fmt_ratio, render_upgrade_block};
 use exareq_codesign::{analyze_upgrade, baseline_expectation, catalog, SystemSkeleton, Upgrade};
 
@@ -93,5 +93,5 @@ fn main() {
          its own Table II models at a single base configuration.\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("table5.txt"), &out).expect("write report");
+    write_report("table5.txt", &out);
 }

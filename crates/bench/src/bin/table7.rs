@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin table7`.
 
-use exareq_bench::results_dir;
+use exareq_bench::write_report;
 use exareq_codesign::report::render_strawman_block;
 use exareq_codesign::{analyze_strawmen, catalog, table_six};
 
@@ -50,5 +50,5 @@ fn main() {
          on the massively parallel system; icoFoam excluded everywhere.\n",
     );
     print!("{out}");
-    std::fs::write(results_dir().join("table7.txt"), &out).expect("write report");
+    write_report("table7.txt", &out);
 }

@@ -21,23 +21,45 @@
 //! | `resilience` | fault-rate sweep: model survival under injected faults |
 
 use exareq_apps::{all_apps, survey_app, AppGrid, MiniApp};
+use exareq_core::fsio;
 use exareq_core::multiparam::MultiParamConfig;
 use exareq_core::pmnf::Exponents;
 use exareq_profile::Survey;
 use std::path::PathBuf;
 
 /// Directory where bench binaries cache surveys and write reports.
+///
+/// Exits with a diagnostic (rather than panicking with a backtrace) when
+/// the directory cannot be created — every bench binary needs it.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("EXAREQ_RESULTS").unwrap_or_else(|_| "results".to_string());
     let p = PathBuf::from(dir);
-    std::fs::create_dir_all(&p).expect("create results dir");
+    if let Err(e) = fsio::create_dir_all(&p) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
     p
+}
+
+/// Writes one report artifact under [`results_dir`] atomically, echoing
+/// its path; exits with a diagnostic on failure so a full disk never
+/// manifests as a panic backtrace or a torn half-written table.
+pub fn write_report(file_name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(file_name);
+    if let Err(e) = fsio::write_atomic(&path, contents) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+    path
 }
 
 /// Runs (or loads from cache) the full measurement survey of one app.
 ///
 /// Surveys are deterministic, so the JSON cache under [`results_dir`] is
-/// safe; delete the file (or set `EXAREQ_FRESH=1`) to force a re-run.
+/// safe; delete the file (or set `EXAREQ_FRESH=1`) to force a re-run. The
+/// cache is written atomically, so a killed bench run never leaves a
+/// truncated JSON for the next run to trip over.
 pub fn cached_survey(app: &dyn MiniApp, grid: &AppGrid) -> Survey {
     let path = results_dir().join(format!("survey_{}.json", app.name().to_lowercase()));
     let fresh = std::env::var("EXAREQ_FRESH").is_ok();
@@ -51,7 +73,14 @@ pub fn cached_survey(app: &dyn MiniApp, grid: &AppGrid) -> Survey {
         }
     }
     let survey = survey_app(app, grid);
-    std::fs::write(&path, survey.to_json()).expect("write survey cache");
+    match survey.try_to_json() {
+        Ok(json) => {
+            if let Err(e) = fsio::write_atomic(&path, json) {
+                eprintln!("warning: survey cache not written: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: survey cache not written: {e}"),
+    }
     survey
 }
 

@@ -83,15 +83,24 @@ pub fn experiment_from_csv(text: &str) -> Result<Experiment, CsvError> {
         if fields.len() != cols.len() {
             return Err(CsvError::RaggedRow { line });
         }
-        let mut nums = Vec::with_capacity(fields.len());
-        for field in &fields {
+        // cols.len() >= 2 was checked above, so every row splits into at
+        // least one coordinate plus the trailing value — no panic path.
+        let (coord_fields, value_field) = match fields.split_last() {
+            Some((value, coords)) => (coords, value),
+            None => return Err(CsvError::RaggedRow { line }),
+        };
+        let mut nums = Vec::with_capacity(coord_fields.len());
+        for field in coord_fields {
             let v: f64 = field.parse().map_err(|_| CsvError::BadNumber {
                 line,
                 field: field.to_string(),
             })?;
             nums.push(v);
         }
-        let value = nums.pop().expect("at least two columns");
+        let value: f64 = value_field.parse().map_err(|_| CsvError::BadNumber {
+            line,
+            field: value_field.to_string(),
+        })?;
         exp.push(&nums, value);
     }
     Ok(exp)

@@ -1,0 +1,222 @@
+//! Typed, crash-safe filesystem I/O for every artifact the toolchain
+//! writes or reads: surveys, reports, caches, journals.
+//!
+//! Two problems with plain `std::fs` calls motivated this module:
+//!
+//! 1. **Panicking call sites.** `fs::write(..).expect(..)` aborts the whole
+//!    process on a full disk or a read-only directory — unacceptable in a
+//!    sweep that has hours of completed measurements in memory. Every
+//!    helper here returns [`ExareqIoError`], which names the *path* and the
+//!    *operation* that failed so callers can degrade gracefully and users
+//!    see `write /results/table2.txt: No space left on device` instead of a
+//!    backtrace.
+//! 2. **Torn files.** A crash between `File::create` and the final flush
+//!    leaves a truncated JSON/Markdown artifact that a later run half-parses
+//!    into a confusing serde error. [`write_atomic`] therefore stages the
+//!    contents in a temporary file *in the destination directory* (same
+//!    filesystem, so the rename is atomic), fsyncs it, and renames it over
+//!    the target: readers observe either the old file or the complete new
+//!    one, never a prefix.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The filesystem operation that failed, for error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Reading a file's contents.
+    Read,
+    /// Creating or opening a file for writing.
+    Create,
+    /// Writing file contents.
+    Write,
+    /// Flushing contents to stable storage (`fsync`).
+    Sync,
+    /// Renaming the staged temporary over the destination.
+    Rename,
+    /// Creating a directory (and its parents).
+    CreateDir,
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IoOp::Read => "read",
+            IoOp::Create => "create",
+            IoOp::Write => "write",
+            IoOp::Sync => "sync",
+            IoOp::Rename => "rename",
+            IoOp::CreateDir => "create directory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A filesystem error that knows which path and operation failed.
+///
+/// Replaces `unwrap`/`expect` on user-reachable I/O paths: the CLI and the
+/// bench binaries print this and exit with a failure code instead of
+/// panicking with a backtrace.
+#[derive(Debug)]
+pub struct ExareqIoError {
+    /// What was being attempted.
+    pub op: IoOp,
+    /// The file or directory involved.
+    pub path: PathBuf,
+    /// The underlying OS error.
+    pub source: io::Error,
+}
+
+impl ExareqIoError {
+    /// Builds an error for `op` on `path`.
+    pub fn new(op: IoOp, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        ExareqIoError {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ExareqIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.op, self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for ExareqIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Reads a whole file to a string, reporting the path on failure.
+///
+/// # Errors
+/// [`ExareqIoError`] with [`IoOp::Read`] and the offending path.
+pub fn read_to_string(path: impl AsRef<Path>) -> Result<String, ExareqIoError> {
+    let path = path.as_ref();
+    fs::read_to_string(path).map_err(|e| ExareqIoError::new(IoOp::Read, path, e))
+}
+
+/// Creates `path` and all missing parents, reporting the path on failure.
+///
+/// # Errors
+/// [`ExareqIoError`] with [`IoOp::CreateDir`].
+pub fn create_dir_all(path: impl AsRef<Path>) -> Result<(), ExareqIoError> {
+    let path = path.as_ref();
+    fs::create_dir_all(path).map_err(|e| ExareqIoError::new(IoOp::CreateDir, path, e))
+}
+
+/// The staging name used by [`write_atomic`] for `path`.
+fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically: stage in a sibling temporary
+/// file, fsync, rename over the destination, then fsync the directory.
+///
+/// A crash at any point leaves either the previous contents of `path` or
+/// the complete new contents — never a truncated artifact. The temporary
+/// lives in the destination directory so the final rename never crosses a
+/// filesystem boundary.
+///
+/// # Errors
+/// [`ExareqIoError`] naming the failing operation; the staged temporary is
+/// removed on failure (best effort).
+pub fn write_atomic(
+    path: impl AsRef<Path>,
+    contents: impl AsRef<[u8]>,
+) -> Result<(), ExareqIoError> {
+    let path = path.as_ref();
+    let tmp = staging_path(path);
+    let result = (|| {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| ExareqIoError::new(IoOp::Create, &tmp, e))?;
+        file.write_all(contents.as_ref())
+            .map_err(|e| ExareqIoError::new(IoOp::Write, &tmp, e))?;
+        file.sync_all()
+            .map_err(|e| ExareqIoError::new(IoOp::Sync, &tmp, e))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(|e| ExareqIoError::new(IoOp::Rename, path, e))?;
+        sync_parent_dir(path);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Fsyncs the parent directory of `path` so a rename or file creation is
+/// itself durable. Best effort: directory fsync is not supported
+/// everywhere, and the data itself is already safe, so failures are
+/// ignored.
+pub fn sync_parent_dir(path: &Path) {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = File::open(parent) {
+        let _ = dir.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("exareq_fsio_tests").join(name);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_and_overwrites() {
+        let dir = tmp_dir("create");
+        let path = dir.join("out.txt");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        // No staging residue after success.
+        assert!(!staging_path(&path).exists());
+    }
+
+    #[test]
+    fn atomic_write_failure_names_path_and_op() {
+        let dir = tmp_dir("fail");
+        // Destination directory does not exist: staging create fails.
+        let path = dir.join("missing_subdir").join("out.txt");
+        let err = write_atomic(&path, "x").unwrap_err();
+        assert_eq!(err.op, IoOp::Create);
+        let msg = err.to_string();
+        assert!(msg.contains("create"), "{msg}");
+        assert!(msg.contains("missing_subdir"), "{msg}");
+    }
+
+    #[test]
+    fn read_error_names_path() {
+        let err = read_to_string("/nonexistent/exareq/file.json").unwrap_err();
+        assert_eq!(err.op, IoOp::Read);
+        assert!(err.to_string().contains("/nonexistent/exareq/file.json"));
+    }
+
+    #[test]
+    fn staging_name_is_sibling() {
+        let s = staging_path(Path::new("/a/b/c.json"));
+        assert_eq!(s, Path::new("/a/b/c.json.tmp"));
+    }
+}

@@ -46,6 +46,7 @@
 //! - [`baseline`] — the Carrington et al. simple-regression baseline.
 //! - [`quality`] — SMAPE/R², relative errors, the Figure-3 histogram.
 //! - [`describe`] — paper-style English growth statements.
+//! - [`fsio`] — typed, atomic filesystem I/O for artifacts.
 
 #![warn(missing_docs)]
 
@@ -54,6 +55,7 @@ pub mod collective;
 pub mod csv;
 pub mod describe;
 pub mod fit;
+pub mod fsio;
 pub mod hypothesis;
 pub mod linalg;
 pub mod measurement;
@@ -63,6 +65,7 @@ pub mod quality;
 pub mod stability;
 
 pub use fit::{fit_single, fit_single_robust, FitConfig, FitError, FittedModel, RobustFit};
+pub use fsio::{ExareqIoError, IoOp};
 pub use measurement::{Aggregation, Experiment, Measurement};
 pub use multiparam::{fit_multi, fit_multi_robust, MultiParamConfig};
 pub use pmnf::{Exponents, Model, Term};

@@ -1,0 +1,811 @@
+//! Crash-consistent write-ahead journal for survey sweeps.
+//!
+//! A multi-config survey is hours of simulated measurement; dying at
+//! config 24 of 25 must not lose configs 1–23. The [`SurveyJournal`] is a
+//! JSON-lines write-ahead log:
+//!
+//! - line 1 is a **manifest header** ([`SurveyManifest`]): application,
+//!   measurement grid, fault spec and schema version. Resuming against a
+//!   *different* plan is rejected loudly ([`JournalError::ManifestMismatch`])
+//!   — a journal only certifies configs for the exact sweep that wrote it.
+//! - every further line is one completed `(p, n)` configuration
+//!   ([`JournalEntry`]): its final-attempt observations (or skip reason),
+//!   how many attempts it took, and the fault seed of the final attempt.
+//!
+//! Durability contract: [`SurveyJournal::append`] writes the whole line in
+//! one `write` call and **fsyncs before returning**, so after a crash the
+//! journal contains every config whose append returned — plus at most one
+//! torn tail line, which [`SurveyJournal::resume`] detects, reports and
+//! truncates away. A torn line loses only the config being written, never
+//! a completed one.
+//!
+//! Replay is exact: entries store values with shortest-round-trip float
+//! formatting and full 64-bit seeds (hex strings — JSON numbers are
+//! doubles), so a resumed survey is byte-identical to an uninterrupted
+//! one. The codec is the dependency-free [`crate::minijson`], chosen so
+//! recovery can parse *partial* files with precise line diagnostics.
+
+use crate::minijson::Json;
+use crate::survey::{MetricKind, Observation, Survey, SURVEY_SCHEMA_VERSION};
+use exareq_core::fsio::{self, ExareqIoError, IoOp};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Version of the journal *file format* (header key + line layout), bumped
+/// independently of the survey schema.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// The header key that identifies a file as a survey journal.
+const MAGIC_KEY: &str = "exareq_survey_journal";
+
+/// Identity of one survey sweep: everything that must match for a journal
+/// to be resumable against the current plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurveyManifest {
+    /// Application name (the twin's canonical name).
+    pub app: String,
+    /// Process counts of the grid, in sweep order.
+    pub p_values: Vec<u64>,
+    /// Per-process problem sizes of the grid, in sweep order.
+    pub n_values: Vec<u64>,
+    /// The fault spec the sweep runs under, verbatim (empty = fault-free).
+    pub fault_spec: String,
+    /// Survey schema version the entries were written with.
+    pub schema_version: u32,
+}
+
+impl SurveyManifest {
+    /// Builds the manifest for a sweep of `app` over the given grid.
+    pub fn new(
+        app: impl Into<String>,
+        p_values: Vec<u64>,
+        n_values: Vec<u64>,
+        fault_spec: impl Into<String>,
+    ) -> Self {
+        SurveyManifest {
+            app: app.into(),
+            p_values,
+            n_values,
+            fault_spec: fault_spec.into(),
+            schema_version: SURVEY_SCHEMA_VERSION,
+        }
+    }
+
+    fn to_line(&self) -> String {
+        Json::Obj(vec![
+            (MAGIC_KEY.into(), Json::Num(JOURNAL_FORMAT_VERSION as f64)),
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("app".into(), Json::Str(self.app.clone())),
+            ("p_values".into(), u64_arr(&self.p_values)),
+            ("n_values".into(), u64_arr(&self.n_values)),
+            ("faults".into(), Json::Str(self.fault_spec.clone())),
+        ])
+        .to_line()
+    }
+
+    fn from_json(v: &Json) -> Result<(Self, u32), String> {
+        let format = get_u64(v, MAGIC_KEY).ok_or("missing journal magic header")? as u32;
+        let manifest = SurveyManifest {
+            app: v
+                .get("app")
+                .and_then(Json::as_str)
+                .ok_or("manifest missing `app`")?
+                .to_string(),
+            p_values: get_u64_arr(v, "p_values").ok_or("manifest missing `p_values`")?,
+            n_values: get_u64_arr(v, "n_values").ok_or("manifest missing `n_values`")?,
+            fault_spec: v
+                .get("faults")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            schema_version: get_u64(v, "schema_version")
+                .ok_or("manifest missing `schema_version`")? as u32,
+        };
+        Ok((manifest, format))
+    }
+
+    /// Field-by-field comparison, naming the first mismatch.
+    fn check_matches(&self, found: &SurveyManifest) -> Result<(), JournalError> {
+        let mismatch = |field: &'static str, expected: String, found: String| {
+            Err(JournalError::ManifestMismatch {
+                field,
+                expected,
+                found,
+            })
+        };
+        if found.app != self.app {
+            return mismatch("app", self.app.clone(), found.app.clone());
+        }
+        if found.p_values != self.p_values {
+            return mismatch(
+                "p grid",
+                format!("{:?}", self.p_values),
+                format!("{:?}", found.p_values),
+            );
+        }
+        if found.n_values != self.n_values {
+            return mismatch(
+                "n grid",
+                format!("{:?}", self.n_values),
+                format!("{:?}", found.n_values),
+            );
+        }
+        if found.fault_spec != self.fault_spec {
+            return mismatch(
+                "fault spec",
+                self.fault_spec.clone(),
+                found.fault_spec.clone(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// One journaled `(p, n)` configuration: the final attempt's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Process count of the configuration.
+    pub p: u64,
+    /// Per-process problem size of the configuration.
+    pub n: u64,
+    /// How many measurement attempts the config took (1 = first try).
+    pub attempts: u32,
+    /// Fault-plan seed of the final attempt (for forensics / replay).
+    pub seed: u64,
+    /// Why the config produced no measurement; `None` for measured configs.
+    pub skip_reason: Option<String>,
+    /// The final attempt's observations (empty when skipped). Each
+    /// observation's `(p, n)` equals the entry's.
+    pub observations: Vec<Observation>,
+}
+
+impl JournalEntry {
+    fn to_line(&self) -> String {
+        let obs = self
+            .observations
+            .iter()
+            .map(|o| {
+                Json::Obj(vec![
+                    ("metric".into(), Json::Str(o.metric.name().into())),
+                    (
+                        "channel".into(),
+                        match &o.channel {
+                            Some(c) => Json::Str(c.clone()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("value".into(), Json::Num(o.value)),
+                    ("degraded".into(), Json::Bool(o.degraded)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("p".into(), Json::Num(self.p as f64)),
+            ("n".into(), Json::Num(self.n as f64)),
+            ("attempts".into(), Json::Num(self.attempts as f64)),
+            ("seed".into(), Json::Str(format!("{:#018x}", self.seed))),
+            (
+                "skip_reason".into(),
+                match &self.skip_reason {
+                    Some(r) => Json::Str(r.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("observations".into(), Json::Arr(obs)),
+        ])
+        .to_line()
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let p = get_u64(v, "p").ok_or("entry missing `p`")?;
+        let n = get_u64(v, "n").ok_or("entry missing `n`")?;
+        let attempts = get_u64(v, "attempts").ok_or("entry missing `attempts`")? as u32;
+        let seed_hex = v
+            .get("seed")
+            .and_then(Json::as_str)
+            .ok_or("entry missing `seed`")?;
+        let seed = u64::from_str_radix(seed_hex.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("bad seed `{seed_hex}`"))?;
+        let skip_reason = match v.get("skip_reason") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(r)) => Some(r.clone()),
+            Some(_) => return Err("`skip_reason` is neither string nor null".into()),
+        };
+        let mut observations = Vec::new();
+        for (i, o) in v
+            .get("observations")
+            .and_then(Json::as_arr)
+            .ok_or("entry missing `observations`")?
+            .iter()
+            .enumerate()
+        {
+            let metric_name = o
+                .get("metric")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("observation {i} missing `metric`"))?;
+            let metric = MetricKind::from_name(metric_name)
+                .ok_or_else(|| format!("observation {i}: unknown metric `{metric_name}`"))?;
+            let channel = match o.get("channel") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(c)) => Some(c.clone()),
+                Some(_) => return Err(format!("observation {i}: bad `channel`")),
+            };
+            let value = o
+                .get("value")
+                .and_then(Json::to_f64_lossless)
+                .ok_or_else(|| format!("observation {i} missing `value`"))?;
+            let degraded = o
+                .get("degraded")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("observation {i} missing `degraded`"))?;
+            observations.push(Observation {
+                p,
+                n,
+                metric,
+                channel,
+                value,
+                degraded,
+            });
+        }
+        Ok(JournalEntry {
+            p,
+            n,
+            attempts,
+            seed,
+            skip_reason,
+            observations,
+        })
+    }
+}
+
+/// Applies one journaled config to a survey under reconstruction: skipped
+/// configs are noted, measured configs contribute their observations.
+pub fn apply_entry(survey: &mut Survey, entry: &JournalEntry) {
+    match &entry.skip_reason {
+        Some(reason) => survey.note_skipped(entry.p, entry.n, reason.clone()),
+        None => {
+            for o in &entry.observations {
+                survey.record(o.clone());
+            }
+        }
+    }
+}
+
+/// Why a journal could not be created, replayed or appended to.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure (path and operation included).
+    Io(ExareqIoError),
+    /// A line before the tail failed to parse — the file is damaged beyond
+    /// the crash-consistency contract and cannot be trusted.
+    Corrupt {
+        /// 1-based line number of the bad line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The journal was written for a different sweep plan.
+    ManifestMismatch {
+        /// Which manifest field disagrees.
+        field: &'static str,
+        /// The current plan's value.
+        expected: String,
+        /// The journal's value.
+        found: String,
+    },
+    /// The journal (or its surveys) was written by a newer exareq.
+    UnsupportedVersion {
+        /// Which version field is too new (`journal format` or `survey schema`).
+        what: &'static str,
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+}
+
+impl core::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "{e}"),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+            JournalError::ManifestMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "journal was written for a different survey plan: {field} is `{found}` \
+                 in the journal but `{expected}` in the current invocation; resuming \
+                 against a different plan is not allowed (use a fresh journal path)"
+            ),
+            JournalError::UnsupportedVersion {
+                what,
+                found,
+                supported,
+            } => write!(
+                f,
+                "journal {what} version {found} is newer than the newest supported \
+                 version {supported}; upgrade exareq to resume this journal"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExareqIoError> for JournalError {
+    fn from(e: ExareqIoError) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// An open, append-mode survey journal.
+#[derive(Debug)]
+pub struct SurveyJournal {
+    path: PathBuf,
+    file: File,
+    manifest: SurveyManifest,
+    entries: Vec<JournalEntry>,
+    dropped_tail: bool,
+}
+
+impl SurveyJournal {
+    /// Creates a fresh journal at `path`, writing and fsyncing the manifest
+    /// header. Refuses to clobber an existing file — resume explicitly or
+    /// pick a new path.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`]; creation fails with `AlreadyExists` if `path`
+    /// is taken.
+    pub fn create(path: impl AsRef<Path>, manifest: SurveyManifest) -> Result<Self, JournalError> {
+        let path = path.as_ref();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| ExareqIoError::new(IoOp::Create, path, e))?;
+        let mut header = manifest.to_line();
+        header.push('\n');
+        file.write_all(header.as_bytes())
+            .map_err(|e| ExareqIoError::new(IoOp::Write, path, e))?;
+        file.sync_all()
+            .map_err(|e| ExareqIoError::new(IoOp::Sync, path, e))?;
+        fsio::sync_parent_dir(path);
+        Ok(SurveyJournal {
+            path: path.to_path_buf(),
+            file,
+            manifest,
+            entries: Vec::new(),
+            dropped_tail: false,
+        })
+    }
+
+    /// Opens an existing journal for resumption: replays its entries,
+    /// verifies the manifest matches `expected`, truncates a torn tail
+    /// line if the last run died mid-append, and re-opens for appending.
+    ///
+    /// # Errors
+    /// - [`JournalError::ManifestMismatch`] when the journal belongs to a
+    ///   different sweep plan (app, grid or fault spec differ);
+    /// - [`JournalError::UnsupportedVersion`] for journals from newer
+    ///   builds;
+    /// - [`JournalError::Corrupt`] when a *non-tail* line is damaged;
+    /// - [`JournalError::Io`] on filesystem failures.
+    pub fn resume(path: impl AsRef<Path>, expected: &SurveyManifest) -> Result<Self, JournalError> {
+        let path = path.as_ref();
+        let text = fsio::read_to_string(path)?;
+
+        // Split into newline-terminated lines; an unterminated final
+        // segment is always a torn tail (appends are single write+fsync).
+        let mut lines: Vec<&str> = Vec::new();
+        let mut tail_torn = false;
+        for seg in text.split_inclusive('\n') {
+            if seg.ends_with('\n') {
+                lines.push(seg.trim_end_matches(['\n', '\r']));
+            } else {
+                tail_torn = true;
+            }
+        }
+
+        let header_text = *lines.first().ok_or(JournalError::Corrupt {
+            line: 1,
+            reason: "empty journal (no manifest header)".into(),
+        })?;
+        let header_json =
+            crate::minijson::parse(header_text).map_err(|e| JournalError::Corrupt {
+                line: 1,
+                reason: e.to_string(),
+            })?;
+        let (manifest, format) = SurveyManifest::from_json(&header_json)
+            .map_err(|reason| JournalError::Corrupt { line: 1, reason })?;
+        if format > JOURNAL_FORMAT_VERSION {
+            return Err(JournalError::UnsupportedVersion {
+                what: "format",
+                found: format,
+                supported: JOURNAL_FORMAT_VERSION,
+            });
+        }
+        if manifest.schema_version > SURVEY_SCHEMA_VERSION {
+            return Err(JournalError::UnsupportedVersion {
+                what: "survey schema",
+                found: manifest.schema_version,
+                supported: SURVEY_SCHEMA_VERSION,
+            });
+        }
+        expected.check_matches(&manifest)?;
+
+        let mut entries: Vec<JournalEntry> = Vec::new();
+        let mut valid_bytes = header_text.len() + 1;
+        let mut dropped_tail = tail_torn;
+        for (i, line) in lines.iter().enumerate().skip(1) {
+            let is_last_line = i + 1 == lines.len() && !tail_torn;
+            let parsed = crate::minijson::parse(line)
+                .map_err(|e| e.to_string())
+                .and_then(|v| JournalEntry::from_json(&v));
+            match parsed {
+                Ok(entry) => {
+                    // Duplicate (p, n): a previous resume re-measured the
+                    // config; the later entry supersedes.
+                    entries.retain(|e| (e.p, e.n) != (entry.p, entry.n));
+                    entries.push(entry);
+                    valid_bytes += line.len() + 1;
+                }
+                Err(reason) if is_last_line => {
+                    // A damaged final line is a torn append: drop it.
+                    let _ = reason;
+                    dropped_tail = true;
+                }
+                Err(reason) => {
+                    return Err(JournalError::Corrupt {
+                        line: i + 1,
+                        reason,
+                    })
+                }
+            }
+        }
+
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| ExareqIoError::new(IoOp::Create, path, e))?;
+        if dropped_tail {
+            file.set_len(valid_bytes as u64)
+                .map_err(|e| ExareqIoError::new(IoOp::Write, path, e))?;
+            file.sync_all()
+                .map_err(|e| ExareqIoError::new(IoOp::Sync, path, e))?;
+        }
+        file.seek(SeekFrom::Start(valid_bytes as u64))
+            .map_err(|e| ExareqIoError::new(IoOp::Write, path, e))?;
+        Ok(SurveyJournal {
+            path: path.to_path_buf(),
+            file,
+            manifest,
+            entries,
+            dropped_tail,
+        })
+    }
+
+    /// Appends one completed configuration and **fsyncs** before returning:
+    /// once this returns `Ok`, the config survives any crash.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] — the entry must then be considered unrecorded.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), JournalError> {
+        let mut line = entry.to_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| ExareqIoError::new(IoOp::Write, &self.path, e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| ExareqIoError::new(IoOp::Sync, &self.path, e))?;
+        self.entries.retain(|e| (e.p, e.n) != (entry.p, entry.n));
+        self.entries.push(entry.clone());
+        Ok(())
+    }
+
+    /// The journaled configurations, replay order (last write wins).
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Looks up the journaled outcome for one configuration.
+    pub fn get(&self, p: u64, n: u64) -> Option<&JournalEntry> {
+        self.entries.iter().find(|e| e.p == p && e.n == n)
+    }
+
+    /// The manifest this journal was created with.
+    pub fn manifest(&self) -> &SurveyManifest {
+        &self.manifest
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True when [`SurveyJournal::resume`] found and truncated a torn tail
+    /// line (the previous run died mid-append).
+    pub fn dropped_tail(&self) -> bool {
+        self.dropped_tail
+    }
+}
+
+fn u64_arr(values: &[u64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v as f64)).collect())
+}
+
+/// Reads a non-negative integer member that fits `u64` exactly.
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    let x = v.get(key)?.as_f64()?;
+    if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) {
+        Some(x as u64)
+    } else {
+        None
+    }
+}
+
+fn get_u64_arr(v: &Json, key: &str) -> Option<Vec<u64>> {
+    v.get(key)?
+        .as_arr()?
+        .iter()
+        .map(|x| {
+            let x = x.as_f64()?;
+            (x >= 0.0 && x.fract() == 0.0).then_some(x as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("exareq_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn manifest() -> SurveyManifest {
+        SurveyManifest::new("Relearn", vec![2, 4], vec![64, 256], "seed=7,drop=0.001")
+    }
+
+    fn entry(p: u64, n: u64) -> JournalEntry {
+        JournalEntry {
+            p,
+            n,
+            attempts: 2,
+            seed: 0xDEAD_BEEF_1234_5678,
+            skip_reason: None,
+            observations: vec![
+                Observation {
+                    p,
+                    n,
+                    metric: MetricKind::Flops,
+                    channel: None,
+                    value: 1.0 / 3.0 * n as f64,
+                    degraded: false,
+                },
+                Observation {
+                    p,
+                    n,
+                    metric: MetricKind::CommBytes,
+                    channel: Some("Allreduce".into()),
+                    value: 42.5,
+                    degraded: true,
+                },
+            ],
+        }
+    }
+
+    fn skip_entry(p: u64, n: u64) -> JournalEntry {
+        JournalEntry {
+            p,
+            n,
+            attempts: 3,
+            seed: 7,
+            skip_reason: Some("all 4 ranks failed; no surviving results".into()),
+            observations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn create_append_resume_roundtrip() {
+        let path = tmp("roundtrip.jsonl");
+        let mut j = SurveyJournal::create(&path, manifest()).unwrap();
+        j.append(&entry(2, 64)).unwrap();
+        j.append(&skip_entry(4, 64)).unwrap();
+        drop(j);
+
+        let j = SurveyJournal::resume(&path, &manifest()).unwrap();
+        assert!(!j.dropped_tail());
+        assert_eq!(j.entries().len(), 2);
+        assert_eq!(j.get(2, 64), Some(&entry(2, 64)));
+        assert_eq!(j.get(4, 64), Some(&skip_entry(4, 64)));
+        assert_eq!(j.get(4, 256), None);
+        assert_eq!(j.manifest(), &manifest());
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let path = tmp("clobber.jsonl");
+        SurveyJournal::create(&path, manifest()).unwrap();
+        let err = SurveyJournal::create(&path, manifest()).unwrap_err();
+        assert!(err.to_string().contains("create"), "{err}");
+    }
+
+    #[test]
+    fn float_seed_and_value_replay_exactly() {
+        let path = tmp("exact.jsonl");
+        let mut e = entry(2, 64);
+        e.observations[0].value = f64::MIN_POSITIVE * 3.0;
+        e.seed = u64::MAX;
+        let mut j = SurveyJournal::create(&path, manifest()).unwrap();
+        j.append(&e).unwrap();
+        drop(j);
+        let j = SurveyJournal::resume(&path, &manifest()).unwrap();
+        assert_eq!(j.entries()[0], e);
+        assert_eq!(
+            j.entries()[0].observations[0].value.to_bits(),
+            e.observations[0].value.to_bits()
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = tmp("torn.jsonl");
+        let mut j = SurveyJournal::create(&path, manifest()).unwrap();
+        j.append(&entry(2, 64)).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: half an entry, no newline.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"p\":4,\"n\":64,\"att").unwrap();
+        drop(f);
+
+        let mut j = SurveyJournal::resume(&path, &manifest()).unwrap();
+        assert!(j.dropped_tail());
+        assert_eq!(j.entries().len(), 1, "torn line must not become an entry");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // Appending after recovery yields a well-formed journal.
+        j.append(&entry(4, 64)).unwrap();
+        drop(j);
+        let j = SurveyJournal::resume(&path, &manifest()).unwrap();
+        assert!(!j.dropped_tail());
+        assert_eq!(j.entries().len(), 2);
+    }
+
+    #[test]
+    fn damaged_terminated_tail_line_is_dropped_too() {
+        let path = tmp("torn_terminated.jsonl");
+        let mut j = SurveyJournal::create(&path, manifest()).unwrap();
+        j.append(&entry(2, 64)).unwrap();
+        drop(j);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"garbage garbage\n").unwrap();
+        drop(f);
+        let j = SurveyJournal::resume(&path, &manifest()).unwrap();
+        assert!(j.dropped_tail());
+        assert_eq!(j.entries().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_an_error() {
+        let path = tmp("corrupt.jsonl");
+        let mut j = SurveyJournal::create(&path, manifest()).unwrap();
+        j.append(&entry(2, 64)).unwrap();
+        j.append(&entry(2, 256)).unwrap();
+        drop(j);
+        // Damage the first entry (line 2) — not the tail, so replay must
+        // refuse rather than silently skip a completed config.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let rewritten = format!("{}\nnot json\n{}\n", lines[0], lines[2]);
+        std::fs::write(&path, rewritten).unwrap();
+        match SurveyJournal::resume(&path, &manifest()).unwrap_err() {
+            JournalError::Corrupt { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn manifest_mismatch_is_rejected_loudly() {
+        let path = tmp("mismatch.jsonl");
+        SurveyJournal::create(&path, manifest()).unwrap();
+
+        let mut other_grid = manifest();
+        other_grid.n_values = vec![64, 1024];
+        match SurveyJournal::resume(&path, &other_grid).unwrap_err() {
+            JournalError::ManifestMismatch { field, .. } => assert_eq!(field, "n grid"),
+            other => panic!("expected ManifestMismatch, got {other}"),
+        }
+
+        let mut other_faults = manifest();
+        other_faults.fault_spec = "seed=8".into();
+        let err = SurveyJournal::resume(&path, &other_faults).unwrap_err();
+        assert!(err.to_string().contains("different survey plan"), "{err}");
+
+        let mut other_app = manifest();
+        other_app.app = "Kripke".into();
+        assert!(matches!(
+            SurveyJournal::resume(&path, &other_app).unwrap_err(),
+            JournalError::ManifestMismatch { field: "app", .. }
+        ));
+    }
+
+    #[test]
+    fn newer_versions_are_rejected() {
+        let path = tmp("newer.jsonl");
+        let mut m = manifest();
+        m.schema_version = SURVEY_SCHEMA_VERSION + 5;
+        SurveyJournal::create(&path, m).unwrap();
+        match SurveyJournal::resume(&path, &manifest()).unwrap_err() {
+            JournalError::UnsupportedVersion { what, found, .. } => {
+                assert_eq!(what, "survey schema");
+                assert_eq!(found, SURVEY_SCHEMA_VERSION + 5);
+            }
+            other => panic!("expected UnsupportedVersion, got {other}"),
+        }
+
+        // Newer *format* version: craft a header by hand.
+        let path = tmp("newer_format.jsonl");
+        let header = manifest().to_line().replace(
+            &format!("\"{MAGIC_KEY}\":{JOURNAL_FORMAT_VERSION}"),
+            &format!("\"{MAGIC_KEY}\":{}", JOURNAL_FORMAT_VERSION + 1),
+        );
+        std::fs::write(&path, format!("{header}\n")).unwrap();
+        assert!(matches!(
+            SurveyJournal::resume(&path, &manifest()).unwrap_err(),
+            JournalError::UnsupportedVersion { what: "format", .. }
+        ));
+    }
+
+    #[test]
+    fn non_journal_file_is_corrupt_at_line_one() {
+        let path = tmp("notajournal.jsonl");
+        std::fs::write(&path, "{\"some\": \"json\"}\n").unwrap();
+        match SurveyJournal::resume(&path, &manifest()).unwrap_err() {
+            JournalError::Corrupt { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("magic"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        let path2 = tmp("empty.jsonl");
+        std::fs::write(&path2, "").unwrap();
+        assert!(matches!(
+            SurveyJournal::resume(&path2, &manifest()).unwrap_err(),
+            JournalError::Corrupt { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn apply_entry_reconstructs_survey_state() {
+        let mut s = Survey::new("Relearn");
+        apply_entry(&mut s, &entry(2, 64));
+        apply_entry(&mut s, &skip_entry(4, 64));
+        assert_eq!(s.observations.len(), 2);
+        assert_eq!(s.skipped.len(), 1);
+        assert_eq!(s.triples(MetricKind::Flops), vec![(2, 64, 64.0 / 3.0)]);
+        assert_eq!(
+            s.skipped[0].reason,
+            "all 4 ranks failed; no surviving results"
+        );
+    }
+}

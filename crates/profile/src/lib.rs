@@ -2,9 +2,10 @@
 //!
 //! The Score-P/PAPI/`getrusage` substitute of the reproduction: per-process
 //! counters for the Table I requirement metrics, a call-path profiler for
-//! location-level attribution, a resident-footprint tracker, and the
+//! location-level attribution, a resident-footprint tracker, the
 //! [`survey::Survey`] container that carries measured values from the
-//! simulated runs to the model generator.
+//! simulated runs to the model generator, and the crash-consistent
+//! [`journal::SurveyJournal`] that makes interrupted sweeps resumable.
 //!
 //! ```
 //! use exareq_profile::{CallPathProfiler, FootprintTracker};
@@ -27,13 +28,18 @@ pub mod callpath;
 pub mod counters;
 pub mod footprint;
 pub mod io;
+pub mod journal;
+pub mod minijson;
 pub mod survey;
 
 pub use callpath::{CallNode, CallPathProfiler, NodeId};
 pub use counters::{Counters, Fpu};
 pub use footprint::{f64_bytes, FootprintTracker, TrackedAlloc};
 pub use io::{IoBytes, IoTracker};
-pub use survey::{MetricKind, Observation, SkippedConfig, Survey};
+pub use journal::{JournalEntry, JournalError, SurveyJournal, SurveyManifest};
+pub use survey::{
+    MetricKind, Observation, SkippedConfig, Survey, SurveyLoadError, SURVEY_SCHEMA_VERSION,
+};
 
 /// Everything a behavioural twin needs while running on one rank: counters,
 /// footprint and call-path attribution bundled together.

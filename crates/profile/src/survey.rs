@@ -3,7 +3,20 @@
 //! generator.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Current survey JSON schema version, written into every new survey and
+/// journal manifest.
+///
+/// History:
+/// - **0** — implicit: pre-versioning JSON with no `schema_version` field
+///   (also lacks `degraded`/`skipped`; all fields default cleanly).
+/// - **1** — adds `schema_version` itself, `degraded` observation flags and
+///   the `skipped` list (both already tolerated as defaults in 0).
+///
+/// Readers accept any version `<=` this constant (older fields default) and
+/// reject newer versions loudly instead of mis-parsing them.
+pub const SURVEY_SCHEMA_VERSION: u32 = 1;
 
 /// The requirement metrics of Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -33,6 +46,24 @@ impl MetricKind {
         MetricKind::StackDistance,
         MetricKind::IoBytes,
     ];
+
+    /// Stable identifier used in journal lines (matches the serde variant
+    /// name used in survey JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::BytesUsed => "BytesUsed",
+            MetricKind::Flops => "Flops",
+            MetricKind::CommBytes => "CommBytes",
+            MetricKind::LoadsStores => "LoadsStores",
+            MetricKind::StackDistance => "StackDistance",
+            MetricKind::IoBytes => "IoBytes",
+        }
+    }
+
+    /// Inverse of [`MetricKind::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        MetricKind::ALL.into_iter().find(|m| m.name() == s)
+    }
 
     /// Row label as printed in Table II.
     pub fn label(&self) -> &'static str {
@@ -84,8 +115,12 @@ pub struct SkippedConfig {
 
 /// A survey: all observations for one application across its measurement
 /// grid. Serializable so bench binaries can cache expensive sweeps.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Survey {
+    /// JSON schema version this survey was written with. Absent in
+    /// pre-versioning JSON (defaults to 0); see [`SURVEY_SCHEMA_VERSION`].
+    #[serde(default)]
+    pub schema_version: u32,
     /// Application name.
     pub app: String,
     /// All recorded observations.
@@ -96,10 +131,58 @@ pub struct Survey {
     pub skipped: Vec<SkippedConfig>,
 }
 
+impl Default for Survey {
+    fn default() -> Self {
+        Survey::new("")
+    }
+}
+
+/// Why a survey JSON could not be loaded.
+#[derive(Debug)]
+pub enum SurveyLoadError {
+    /// The text is not valid survey JSON.
+    Json(serde_json::Error),
+    /// The survey was written by a newer exareq whose schema this build
+    /// does not understand.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// The survey could not be serialized (non-finite values only; JSON
+    /// has no representation for them).
+    Serialize(serde_json::Error),
+}
+
+impl core::fmt::Display for SurveyLoadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SurveyLoadError::Json(e) => write!(f, "{e}"),
+            SurveyLoadError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "survey schema version {found} is newer than the newest supported \
+                 version {supported}; upgrade exareq to read this file"
+            ),
+            SurveyLoadError::Serialize(e) => write!(f, "cannot serialize survey: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SurveyLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SurveyLoadError::Json(e) | SurveyLoadError::Serialize(e) => Some(e),
+            SurveyLoadError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
 impl Survey {
-    /// Creates an empty survey for `app`.
+    /// Creates an empty survey for `app` at the current schema version.
     pub fn new(app: impl Into<String>) -> Self {
         Survey {
+            schema_version: SURVEY_SCHEMA_VERSION,
             app: app.into(),
             observations: Vec::new(),
             skipped: Vec::new(),
@@ -163,19 +246,42 @@ impl Survey {
         });
     }
 
-    /// `(p, n, value)` triples for a metric (no channel).
-    pub fn triples(&self, metric: MetricKind) -> Vec<(u64, u64, f64)> {
+    /// Observations with earlier retry attempts superseded: for each
+    /// `(p, n, metric, channel)` key only the **last** recorded observation
+    /// is yielded, in original record order.
+    ///
+    /// A config that was measured degraded and then re-measured clean by
+    /// the retry driver has both attempts' observations in `observations`
+    /// (append-only, like the journal); every query that interprets the
+    /// survey — triples, channels, degraded accounting, model fitting —
+    /// must see only the final attempt, or a recovered config would still
+    /// be reported (and dropped from fits) as degraded.
+    pub fn final_observations(&self) -> impl Iterator<Item = &Observation> {
+        let mut last: BTreeMap<(u64, u64, MetricKind, Option<&str>), usize> = BTreeMap::new();
+        for (i, o) in self.observations.iter().enumerate() {
+            last.insert((o.p, o.n, o.metric, o.channel.as_deref()), i);
+        }
+        let keep: BTreeSet<usize> = last.into_values().collect();
         self.observations
             .iter()
+            .enumerate()
+            .filter(move |(i, _)| keep.contains(i))
+            .map(|(_, o)| o)
+    }
+
+    /// `(p, n, value)` triples for a metric (no channel), final attempts
+    /// only.
+    pub fn triples(&self, metric: MetricKind) -> Vec<(u64, u64, f64)> {
+        self.final_observations()
             .filter(|o| o.metric == metric && o.channel.is_none())
             .map(|o| (o.p, o.n, o.value))
             .collect()
     }
 
-    /// `(p, n, value)` triples for a metric restricted to one channel.
+    /// `(p, n, value)` triples for a metric restricted to one channel,
+    /// final attempts only.
     pub fn channel_triples(&self, metric: MetricKind, channel: &str) -> Vec<(u64, u64, f64)> {
-        self.observations
-            .iter()
+        self.final_observations()
             .filter(|o| o.metric == metric && o.channel.as_deref() == Some(channel))
             .map(|o| (o.p, o.n, o.value))
             .collect()
@@ -184,7 +290,7 @@ impl Survey {
     /// Distinct channels present for a metric, sorted.
     pub fn channels(&self, metric: MetricKind) -> Vec<String> {
         let mut set: BTreeMap<String, ()> = BTreeMap::new();
-        for o in &self.observations {
+        for o in self.final_observations() {
             if o.metric == metric {
                 if let Some(c) = &o.channel {
                     set.insert(c.clone(), ());
@@ -194,11 +300,12 @@ impl Survey {
         set.into_keys().collect()
     }
 
-    /// Distinct `(p, n)` configurations whose observations are marked
-    /// degraded, sorted.
+    /// Distinct `(p, n)` configurations whose **final** observations are
+    /// marked degraded, sorted. A config retried to a clean measurement is
+    /// not degraded, no matter what earlier attempts recorded.
     pub fn degraded_configs(&self) -> Vec<(u64, u64)> {
         let mut set: BTreeMap<(u64, u64), ()> = BTreeMap::new();
-        for o in &self.observations {
+        for o in self.final_observations() {
             if o.degraded {
                 set.insert((o.p, o.n), ());
             }
@@ -216,16 +323,40 @@ impl Survey {
     }
 
     /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    /// Panics if the survey contains non-finite values (JSON cannot
+    /// represent them). User-reachable writers go through
+    /// [`Survey::try_to_json`] instead.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("survey serializes")
+        self.try_to_json().expect("survey serializes")
     }
 
-    /// Deserializes from JSON.
+    /// Serializes to pretty JSON, reporting failure instead of panicking.
     ///
     /// # Errors
-    /// Returns the underlying `serde_json` error on malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// [`SurveyLoadError::Serialize`] when serialization fails (non-finite
+    /// measurement values are the only realistic cause).
+    pub fn try_to_json(&self) -> Result<String, SurveyLoadError> {
+        serde_json::to_string_pretty(self).map_err(SurveyLoadError::Serialize)
+    }
+
+    /// Deserializes from JSON, applying defaults for fields absent in
+    /// older schema versions and rejecting newer ones.
+    ///
+    /// # Errors
+    /// [`SurveyLoadError::Json`] on malformed input;
+    /// [`SurveyLoadError::UnsupportedVersion`] when the file's
+    /// `schema_version` is newer than [`SURVEY_SCHEMA_VERSION`].
+    pub fn from_json(s: &str) -> Result<Self, SurveyLoadError> {
+        let survey: Survey = serde_json::from_str(s).map_err(SurveyLoadError::Json)?;
+        if survey.schema_version > SURVEY_SCHEMA_VERSION {
+            return Err(SurveyLoadError::UnsupportedVersion {
+                found: survey.schema_version,
+                supported: SURVEY_SCHEMA_VERSION,
+            });
+        }
+        Ok(survey)
     }
 }
 
@@ -304,6 +435,83 @@ mod tests {
         let s = Survey::from_json(json).unwrap();
         assert!(!s.observations[0].degraded);
         assert!(s.skipped.is_empty());
+        // Pre-versioning JSON reads back as schema version 0 with every
+        // newer field defaulted.
+        assert_eq!(s.schema_version, 0);
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected_loudly() {
+        let json = format!(
+            r#"{{"schema_version": {}, "app": "future", "observations": []}}"#,
+            SURVEY_SCHEMA_VERSION + 1
+        );
+        let err = Survey::from_json(&json).unwrap_err();
+        match err {
+            SurveyLoadError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, SURVEY_SCHEMA_VERSION + 1);
+                assert_eq!(supported, SURVEY_SCHEMA_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn new_surveys_carry_current_schema_version() {
+        let s = Survey::new("app");
+        assert_eq!(s.schema_version, SURVEY_SCHEMA_VERSION);
+        assert_eq!(Survey::default().schema_version, SURVEY_SCHEMA_VERSION);
+        let back = Survey::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.schema_version, SURVEY_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn retried_then_clean_config_is_not_degraded() {
+        // Attempt 1 of (4, 10) was degraded; the retry driver re-measured
+        // it clean and appended the final attempt. Only the final attempt
+        // may be visible to queries.
+        let mut s = Survey::new("retry");
+        s.push(2, 10, MetricKind::Flops, 1.0);
+        s.push_degraded(4, 10, MetricKind::Flops, 0.7);
+        s.push_degraded(4, 10, MetricKind::BytesUsed, 0.5);
+        s.push(4, 10, MetricKind::Flops, 1.1);
+        s.push(4, 10, MetricKind::BytesUsed, 2.0);
+        assert_eq!(
+            s.degraded_configs(),
+            vec![],
+            "recovered config still degraded"
+        );
+        assert_eq!(s.config_count(), 2);
+        assert_eq!(
+            s.triples(MetricKind::Flops),
+            vec![(2, 10, 1.0), (4, 10, 1.1)],
+            "superseded attempt leaked into triples"
+        );
+        assert_eq!(s.triples(MetricKind::BytesUsed), vec![(4, 10, 2.0)]);
+    }
+
+    #[test]
+    fn final_attempt_keeps_channels_independent() {
+        let mut s = Survey::new("retry");
+        s.push_channel(2, 10, MetricKind::CommBytes, "Bcast", 50.0);
+        s.push(2, 10, MetricKind::CommBytes, 100.0);
+        // Retry replaces only the un-channelled total.
+        s.push(2, 10, MetricKind::CommBytes, 110.0);
+        assert_eq!(s.triples(MetricKind::CommBytes), vec![(2, 10, 110.0)]);
+        assert_eq!(
+            s.channel_triples(MetricKind::CommBytes, "Bcast"),
+            vec![(2, 10, 50.0)]
+        );
+        assert_eq!(s.channels(MetricKind::CommBytes), vec!["Bcast"]);
+    }
+
+    #[test]
+    fn metric_names_roundtrip() {
+        for m in MetricKind::ALL {
+            assert_eq!(MetricKind::from_name(m.name()), Some(m));
+        }
+        assert_eq!(MetricKind::from_name("NoSuchMetric"), None);
     }
 
     #[test]

@@ -115,6 +115,31 @@ impl FaultPlan {
         self
     }
 
+    /// Derives the plan for retry attempt `attempt` (1-based) of the
+    /// `(p, n)` configuration.
+    ///
+    /// This is the deterministic **reseeding rule** of the resilient survey
+    /// driver: attempt 1 uses the plan verbatim (so a single-attempt sweep
+    /// is bit-identical to the non-retrying driver), and every further
+    /// attempt re-mixes `(seed, p, n, attempt)` into a fresh stream seed.
+    /// Fresh streams give probabilistic faults (drop/dup/delay/corrupt) an
+    /// independent chance of sparing the run — the same faulty fabric, a
+    /// different day — while *deterministic* crash points are left in
+    /// place: a configured crash reproduces on every attempt, exactly like
+    /// a real poisoned node. The derivation depends only on plan and
+    /// config, never on wall-clock or prior attempts, so an interrupted
+    /// sweep resumed from a journal retries with the same seeds and
+    /// produces byte-identical measurements.
+    pub fn reseeded(&self, p: u64, n: u64, attempt: u32) -> FaultPlan {
+        if attempt <= 1 {
+            return self.clone();
+        }
+        FaultPlan {
+            seed: derive_attempt_seed(self.seed, p, n, attempt),
+            ..self.clone()
+        }
+    }
+
     /// Whether this plan can inject anything at all.
     pub fn is_active(&self) -> bool {
         !self.crashes.is_empty()
@@ -289,6 +314,19 @@ impl SplitMix64 {
     }
 }
 
+/// Mixes `(base, p, n, attempt)` into the stream seed of one retry
+/// attempt: the reseeding rule of [`FaultPlan::reseeded`], exposed for
+/// journal forensics and tests. Distinct configs and distinct attempts get
+/// independent streams; the same inputs always give the same seed.
+pub fn derive_attempt_seed(base: u64, p: u64, n: u64, attempt: u32) -> u64 {
+    let mut s = SplitMix64::new(
+        base ^ p.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ n.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    );
+    s.next_u64()
+}
+
 /// Mixes (seed, src, dst) into an independent per-link stream seed.
 fn link_seed(seed: u64, src: usize, dst: usize) -> u64 {
     let mut s = SplitMix64::new(
@@ -437,6 +475,26 @@ mod tests {
     fn link_seeds_are_direction_sensitive() {
         assert_ne!(link_seed(1, 0, 1), link_seed(1, 1, 0));
         assert_ne!(link_seed(1, 0, 1), link_seed(2, 0, 1));
+    }
+
+    #[test]
+    fn reseeding_is_deterministic_and_attempt_one_is_verbatim() {
+        let plan = FaultPlan::with_seed(42).drop(0.1).crash(1, 5);
+        assert_eq!(plan.reseeded(4, 64, 1), plan, "attempt 1 must be verbatim");
+        let a2 = plan.reseeded(4, 64, 2);
+        assert_ne!(a2.seed, plan.seed);
+        assert_eq!(a2, plan.reseeded(4, 64, 2), "same inputs, same plan");
+        // Crash points survive reseeding: deterministic faults reproduce.
+        assert_eq!(a2.crashes, plan.crashes);
+        assert_eq!(a2.drop_prob, plan.drop_prob);
+        // Distinct configs and attempts draw distinct seeds.
+        assert_ne!(a2.seed, plan.reseeded(4, 64, 3).seed);
+        assert_ne!(a2.seed, plan.reseeded(8, 64, 2).seed);
+        assert_ne!(a2.seed, plan.reseeded(4, 128, 2).seed);
+        assert_ne!(
+            derive_attempt_seed(1, 2, 3, 4),
+            derive_attempt_seed(2, 2, 3, 4)
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod stats;
 pub mod topology;
 
 pub use extended::{Group, RecvFuture};
-pub use fault::{CrashPoint, FaultPlan, FaultStats};
+pub use fault::{derive_attempt_seed, CrashPoint, FaultPlan, FaultStats};
 pub use rank::{CommError, PeerReason, Rank};
 pub use runner::{
     max_over_ranks, run_ranks, run_ranks_supervised, run_ranks_with_faults, total_stats,

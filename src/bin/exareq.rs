@@ -10,18 +10,24 @@
 //! exareq strawman [--network]               Table VII analysis (+E9 refinement)
 //! ```
 
-use exareq::apps::{all_apps_extended as all_apps, survey_app_with_faults, AppGrid};
+use exareq::apps::{
+    all_apps_extended as all_apps, run_survey_resilient, AppGrid, RetryPolicy, SurveyRunError,
+};
 use exareq::codesign::report::{render_requirements, render_strawman_block, render_upgrade_block};
 use exareq::codesign::{
     analyze_strawmen, analyze_upgrade, analyze_with_network, baseline_expectation, catalog,
     default_network, table_six, AppRequirements, SystemSkeleton, Upgrade,
 };
 use exareq::core::collective::render_comm_rows;
+use exareq::core::fsio;
 use exareq::core::multiparam::MultiParamConfig;
 use exareq::pipeline::model_requirements;
+use exareq::profile::journal::{SurveyJournal, SurveyManifest};
 use exareq::profile::Survey;
 use exareq::sim::FaultPlan;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 exareq — lightweight requirements engineering for exascale co-design
@@ -30,6 +36,8 @@ USAGE:
     exareq apps
     exareq survey <app> [-o FILE] [--p 2,4,8,...] [--n 64,256,...]
                   [--faults seed=S,crash=R@OP,drop=P,dup=P,delay=P,corrupt=P]
+                  [--journal FILE] [--resume] [--max-retries N]
+                  [--config-budget-ms N]
     exareq model <survey.json> [--coarse]
     exareq fit <data.csv> [--coarse]
     exareq upgrades [<survey.json>]
@@ -56,6 +64,23 @@ FAULT INJECTION (survey --faults):
     probabilities in [0,1], corrupt_bytes=N flipped bytes per corruption.
     Degraded runs are flagged in the survey; later `exareq model` drops
     and reports the affected measurements.
+
+RESUMABLE SURVEYS (survey --journal):
+    --journal FILE          write-ahead journal: every completed (p, n)
+                            configuration is fsynced to FILE before the
+                            sweep moves on, so a crash or kill loses at
+                            most the configuration in flight
+    --resume                continue an interrupted sweep from FILE;
+                            journaled configurations replay exactly and
+                            are never re-measured (the journal must match
+                            the app, grid and fault spec it was made for)
+    --max-retries N         re-measure a failed or degraded configuration
+                            up to N extra times, each under a fresh
+                            deterministically derived fault seed
+    --config-budget-ms N    wall-clock allowance per configuration before
+                            its first retry (doubling per further retry);
+                            exhausting it aborts the sweep like a killed
+                            batch job — resume from the journal
 ";
 
 fn main() -> ExitCode {
@@ -120,12 +145,29 @@ fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String
     }
 }
 
+/// Extracts a valueless `--flag` from an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
 fn cmd_survey(rest: &[String]) -> Result<(), String> {
     let mut args: Vec<String> = rest.to_vec();
     let out_file = take_opt(&mut args, "-o")?;
     let p_list = take_opt(&mut args, "--p")?;
     let n_list = take_opt(&mut args, "--n")?;
     let fault_spec = take_opt(&mut args, "--faults")?;
+    let journal_path = take_opt(&mut args, "--journal")?;
+    let resume = take_flag(&mut args, "--resume");
+    let max_retries = take_opt(&mut args, "--max-retries")?;
+    let budget_ms = take_opt(&mut args, "--config-budget-ms")?;
+    if resume && journal_path.is_none() {
+        return Err("--resume requires --journal FILE".into());
+    }
     let Some(name) = args.first() else {
         return Err("survey requires an application name (see `exareq apps`)".into());
     };
@@ -146,6 +188,19 @@ fn cmd_survey(rest: &[String]) -> Result<(), String> {
         Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults {spec}: {e}"))?,
         None => FaultPlan::none(),
     };
+    let mut retry = RetryPolicy::default();
+    if let Some(r) = &max_retries {
+        let extra: u32 = r
+            .parse()
+            .map_err(|_| format!("--max-retries: cannot parse `{r}` as a count"))?;
+        retry.max_attempts = 1 + extra;
+    }
+    if let Some(ms) = &budget_ms {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--config-budget-ms: cannot parse `{ms}` as milliseconds"))?;
+        retry.config_budget = Some(Duration::from_millis(ms));
+    }
     eprintln!(
         "surveying {} over p={:?}, n={:?} ...",
         app.name(),
@@ -162,13 +217,68 @@ fn cmd_survey(rest: &[String]) -> Result<(), String> {
             }
         );
     }
-    let survey = survey_app_with_faults(app.as_ref(), &grid, &faults);
+    let mut journal = match &journal_path {
+        Some(jp) => {
+            let manifest = SurveyManifest::new(
+                app.name(),
+                grid.p_values.iter().map(|&p| p as u64).collect(),
+                grid.n_values.clone(),
+                fault_spec.clone().unwrap_or_default(),
+            );
+            let j = if resume && Path::new(jp).exists() {
+                let j = SurveyJournal::resume(jp, &manifest)
+                    .map_err(|e| format!("resuming journal {jp}: {e}"))?;
+                eprintln!(
+                    "resuming from journal {jp}: {} configuration(s) already complete{}",
+                    j.entries().len(),
+                    if j.dropped_tail() {
+                        " (torn tail line truncated)"
+                    } else {
+                        ""
+                    }
+                );
+                j
+            } else {
+                if !resume && Path::new(jp).exists() {
+                    return Err(format!(
+                        "journal {jp} already exists; pass --resume to continue that sweep \
+                         or choose a fresh journal path"
+                    ));
+                }
+                SurveyJournal::create(jp, manifest)
+                    .map_err(|e| format!("creating journal {jp}: {e}"))?
+            };
+            Some(j)
+        }
+        None => None,
+    };
+    let survey = run_survey_resilient(app.as_ref(), &grid, &faults, &retry, journal.as_mut())
+        .map_err(|e| match (&e, &journal_path) {
+            (SurveyRunError::BudgetExhausted { .. }, Some(jp)) => format!(
+                "{e}\nevery completed configuration is safe in {jp}; \
+                 re-run with `--journal {jp} --resume` to continue"
+            ),
+            (SurveyRunError::BudgetExhausted { .. }, None) => format!(
+                "{e}\nno journal was attached, so completed configurations are lost; \
+                 re-run with --journal FILE to make the sweep resumable"
+            ),
+            _ => e.to_string(),
+        })?;
+    let total = grid.p_values.len() * grid.n_values.len();
     let path = out_file.unwrap_or_else(|| format!("survey_{}.json", name.to_lowercase()));
-    std::fs::write(&path, survey.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    let json = survey
+        .try_to_json()
+        .map_err(|e| format!("serializing survey: {e}"))?;
+    fsio::write_atomic(&path, json).map_err(|e| e.to_string())?;
     println!(
         "{} observations over {} configurations written to {path}",
         survey.observations.len(),
         survey.config_count()
+    );
+    println!(
+        "survey complete: {}/{} configurations",
+        survey.config_count() + survey.skipped.len(),
+        total
     );
     let degraded = survey.degraded_configs();
     if !degraded.is_empty() {
@@ -187,7 +297,7 @@ fn cmd_survey(rest: &[String]) -> Result<(), String> {
 }
 
 fn load_survey(path: &str) -> Result<Survey, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let text = fsio::read_to_string(path).map_err(|e| e.to_string())?;
     Survey::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
@@ -257,7 +367,7 @@ fn cmd_fit(rest: &[String]) -> Result<(), String> {
     let Some(path) = args.first() else {
         return Err("fit requires a CSV path".into());
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let text = fsio::read_to_string(path).map_err(|e| e.to_string())?;
     let exp = exareq::core::csv::experiment_from_csv(&text).map_err(|e| e.to_string())?;
     let cfg = if coarse {
         MultiParamConfig::coarse()
@@ -509,7 +619,7 @@ In words:
 
     match out_file {
         Some(f) => {
-            std::fs::write(&f, &md).map_err(|e| format!("writing {f}: {e}"))?;
+            fsio::write_atomic(&f, &md).map_err(|e| e.to_string())?;
             println!("report written to {f}");
         }
         None => print!("{md}"),

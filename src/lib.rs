@@ -56,14 +56,17 @@ pub mod pipeline {
     /// Builds a `(p, n)` experiment for one survey metric (optionally
     /// restricted to a channel), carrying each observation's `degraded`
     /// flag into the measurement's `flagged` bit so the fitting layer can
-    /// drop and report points from faulty runs.
+    /// drop and report points from faulty runs. Only each configuration's
+    /// *final* attempt contributes: a config that was retried and came
+    /// back clean must not also feed its superseded degraded values into
+    /// the fit.
     pub fn experiment_from_survey(
         survey: &Survey,
         metric: MetricKind,
         channel: Option<&str>,
     ) -> Experiment {
         let mut exp = Experiment::new(vec!["p", "n"]);
-        for o in &survey.observations {
+        for o in survey.final_observations() {
             if o.metric != metric || o.channel.as_deref() != channel {
                 continue;
             }

@@ -84,7 +84,9 @@ fn survey_rejects_unknown_app() {
 fn model_rejects_missing_file() {
     let (ok, _, err) = exareq(&["model", "/nonexistent/path.json"]);
     assert!(!ok);
-    assert!(err.contains("reading"));
+    // The typed I/O error names the operation and the offending path.
+    assert!(err.contains("read"), "{err}");
+    assert!(err.contains("/nonexistent/path.json"), "{err}");
 }
 
 #[test]

@@ -1,0 +1,62 @@
+//! Property-based verification of the resumable-survey contract: for an
+//! arbitrary interruption point and arbitrary fault plan, replaying the
+//! journal prefix and finishing the sweep yields a survey identical to the
+//! uninterrupted run.
+
+use exareq::apps::{run_survey_resilient, survey_app_resilient, AppGrid, Relearn, RetryPolicy};
+use exareq::profile::journal::{SurveyJournal, SurveyManifest};
+use exareq::sim::FaultPlan;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: String) -> PathBuf {
+    let dir = std::env::temp_dir().join("exareq_journal_property_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Journal-replay identity under arbitrary interruption points, fault
+    /// seeds, drop rates and retry depths.
+    #[test]
+    fn interrupted_sweep_resumes_to_identical_survey(
+        seed in 0u64..1000,
+        drop_milli in 0u32..20,
+        retries in 0u32..3,
+        cut in 0usize..=4,
+    ) {
+        let grid = AppGrid { p_values: vec![2, 4], n_values: vec![16, 64] };
+        let plan = FaultPlan::with_seed(seed).drop(drop_milli as f64 / 1000.0);
+        let retry = RetryPolicy::retries(retries);
+        let manifest = SurveyManifest::new(
+            "Relearn",
+            grid.p_values.iter().map(|&p| p as u64).collect(),
+            grid.n_values.clone(),
+            "prop",
+        );
+
+        let full = survey_app_resilient(&Relearn, &grid, &plan, &retry);
+
+        // Journal the whole sweep, then truncate to `cut` entries as if
+        // the process had been killed right after the cut-th append.
+        let path = tmp(format!("prop_{seed}_{drop_milli}_{retries}_{cut}.jsonl"));
+        let mut j = SurveyJournal::create(&path, manifest.clone()).unwrap();
+        run_survey_resilient(&Relearn, &grid, &plan, &retry, Some(&mut j)).unwrap();
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), 5, "header + 4 configs");
+        let mut partial: String = lines[..=cut].join("\n");
+        partial.push('\n');
+        std::fs::write(&path, partial).unwrap();
+
+        let mut j = SurveyJournal::resume(&path, &manifest).unwrap();
+        prop_assert_eq!(j.entries().len(), cut);
+        let resumed = run_survey_resilient(&Relearn, &grid, &plan, &retry, Some(&mut j)).unwrap();
+        prop_assert_eq!(resumed, full);
+    }
+}

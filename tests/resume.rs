@@ -1,0 +1,190 @@
+//! Kill-and-resume integration tests: a survey interrupted at *any* point
+//! and resumed from its journal must produce exactly the survey an
+//! uninterrupted run produces — through the library driver and through the
+//! `exareq` CLI.
+
+use exareq::apps::{run_survey_resilient, survey_app_resilient, AppGrid, Relearn, RetryPolicy};
+use exareq::profile::journal::{SurveyJournal, SurveyManifest};
+use exareq::sim::FaultPlan;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("exareq_resume_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn grid() -> AppGrid {
+    AppGrid {
+        p_values: vec![2, 4],
+        n_values: vec![64, 256],
+    }
+}
+
+fn manifest(spec: &str) -> SurveyManifest {
+    SurveyManifest::new(
+        "Relearn",
+        grid().p_values.iter().map(|&p| p as u64).collect(),
+        grid().n_values.clone(),
+        spec,
+    )
+}
+
+/// Interrupting after every possible number of completed configurations
+/// and resuming yields the identical survey — including under retries and
+/// probabilistic faults.
+#[test]
+fn replay_from_any_interruption_point_is_exact() {
+    let plan = FaultPlan::with_seed(7).drop(0.01);
+    let retry = RetryPolicy::retries(1);
+    let full = survey_app_resilient(&Relearn, &grid(), &plan, &retry);
+
+    // A complete journaled sweep, to harvest the journal text.
+    let path = tmp("full.jsonl");
+    let mut j = SurveyJournal::create(&path, manifest("spec")).unwrap();
+    let journaled = run_survey_resilient(&Relearn, &grid(), &plan, &retry, Some(&mut j)).unwrap();
+    drop(j);
+    assert_eq!(journaled, full, "journaling must not change the survey");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let entry_count = lines.len() - 1;
+    assert_eq!(entry_count, 4, "one journal line per configuration");
+
+    for k in 0..=entry_count {
+        // A journal interrupted after k completed configurations...
+        let partial = tmp(&format!("partial_{k}.jsonl"));
+        let mut contents: String = lines[..=k].join("\n");
+        contents.push('\n');
+        std::fs::write(&partial, contents).unwrap();
+
+        // ...resumes and finishes to the identical survey.
+        let mut j = SurveyJournal::resume(&partial, &manifest("spec")).unwrap();
+        assert_eq!(j.entries().len(), k);
+        let resumed = run_survey_resilient(&Relearn, &grid(), &plan, &retry, Some(&mut j)).unwrap();
+        assert_eq!(resumed, full, "divergence when resuming after {k} configs");
+    }
+}
+
+/// A crash mid-append (torn, unterminated tail line) loses only the config
+/// being written; resumption still converges on the identical survey.
+#[test]
+fn torn_tail_resume_is_exact() {
+    let plan = FaultPlan::with_seed(7).drop(0.01);
+    let retry = RetryPolicy::retries(1);
+    let full = survey_app_resilient(&Relearn, &grid(), &plan, &retry);
+
+    let path = tmp("torn.jsonl");
+    let mut j = SurveyJournal::create(&path, manifest("spec")).unwrap();
+    run_survey_resilient(&Relearn, &grid(), &plan, &retry, Some(&mut j)).unwrap();
+    drop(j);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // Keep the header + first entry, then half of the second entry.
+    let torn = format!(
+        "{}\n{}\n{}",
+        lines[0],
+        lines[1],
+        &lines[2][..lines[2].len() / 2]
+    );
+    std::fs::write(&path, torn).unwrap();
+
+    let mut j = SurveyJournal::resume(&path, &manifest("spec")).unwrap();
+    assert!(j.dropped_tail());
+    assert_eq!(j.entries().len(), 1);
+    let resumed = run_survey_resilient(&Relearn, &grid(), &plan, &retry, Some(&mut j)).unwrap();
+    assert_eq!(resumed, full);
+}
+
+fn exareq(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .args(args)
+        .output()
+        .expect("spawn exareq");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+/// End-to-end through the CLI: a zero-budget retry sweep aborts like a
+/// scheduler-killed job once the deterministic crash starts degrading
+/// configs, the journal keeps the completed prefix, and `--resume`
+/// finishes the survey.
+#[test]
+fn cli_kill_and_resume_completes_the_survey() {
+    let journal = tmp("cli.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let out = tmp("cli_survey.json");
+    let out_s = out.to_str().unwrap();
+    let base = [
+        "survey",
+        "relearn",
+        "--p",
+        "2,4",
+        "--n",
+        "64,256",
+        "--faults",
+        "seed=7,crash=3@1",
+        "--journal",
+        journal_s,
+        "-o",
+        out_s,
+    ];
+
+    // Rank 3 only exists at p=4: both p=2 configs complete cleanly and are
+    // journaled; the first p=4 config degrades, wants a retry, and the
+    // zero wall-clock budget kills the sweep.
+    let mut killed: Vec<&str> = base.to_vec();
+    killed.extend(["--max-retries", "2", "--config-budget-ms", "0"]);
+    let (ok, _, err) = exareq(&killed);
+    assert!(!ok, "zero-budget sweep must abort: {err}");
+    assert!(err.contains("exhausted its wall-clock budget"), "{err}");
+    assert!(
+        err.contains("--resume"),
+        "abort must point at resume: {err}"
+    );
+    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(
+        journal_text.lines().count(),
+        3,
+        "header + both completed p=2 configs: {journal_text}"
+    );
+
+    // Without --resume the journal must not be clobbered.
+    let (ok, _, err) = exareq(&base);
+    assert!(!ok);
+    assert!(err.contains("already exists"), "{err}");
+
+    // Resumed without a budget: the p=4 configs are measured (staying
+    // degraded — the crash is deterministic) and the survey completes.
+    let mut resumed: Vec<&str> = base.to_vec();
+    resumed.extend(["--max-retries", "2", "--resume"]);
+    let (ok, stdout, err) = exareq(&resumed);
+    assert!(ok, "stdout: {stdout}\nstderr: {err}");
+    assert!(err.contains("2 configuration(s) already complete"), "{err}");
+    assert!(
+        stdout.contains("survey complete: 4/4 configurations"),
+        "{stdout}"
+    );
+    // The deterministic crash keeps the p=4 configs damaged: they end up
+    // flagged (survivor averages) or skipped (all ranks lost), never clean.
+    assert!(
+        stdout.contains("degraded configurations") || stdout.contains("skipped configurations"),
+        "{stdout}"
+    );
+    assert!(out.exists(), "survey JSON must be written on completion");
+
+    // Resuming against a different plan is rejected loudly.
+    let mut wrong: Vec<&str> = base.to_vec();
+    wrong[7] = "seed=8,crash=3@1";
+    wrong.push("--resume");
+    let (ok, _, err) = exareq(&wrong);
+    assert!(!ok);
+    assert!(err.contains("different survey plan"), "{err}");
+}
