@@ -36,11 +36,14 @@ pub use kripke::Kripke;
 pub use lulesh::Lulesh;
 pub use milc::Milc;
 pub use relearn::Relearn;
-pub use resilient::{run_survey_resilient, survey_app_resilient, RetryPolicy, SurveyRunError};
+pub use resilient::{
+    run_survey_cancellable, run_survey_resilient, survey_app_resilient, RetryPolicy, SurveyRunError,
+};
 
+use exareq_core::cancel::CancelToken;
 use exareq_locality::{BurstSampler, BurstSchedule};
 use exareq_profile::{MetricKind, Observation, ProcessProfile, Survey};
-use exareq_sim::{run_ranks_with_faults, CommStats, FaultPlan, OpClass, Rank, SimError};
+use exareq_sim::{run_ranks_supervised, CommStats, FaultPlan, OpClass, Rank, SimConfig, SimError};
 use serde::{Deserialize, Serialize};
 
 /// A behavioural twin: one rank body plus a single-process locality kernel.
@@ -192,7 +195,39 @@ pub fn measure_with_faults(
     n: u64,
     faults: &FaultPlan,
 ) -> Result<AppMeasurement, SimError> {
-    let outcome = run_ranks_with_faults(p, faults, |rank| -> RankObs {
+    measure_supervised(app, p, n, faults, None)
+}
+
+/// [`measure_with_faults`] with a cooperative cancellation token threaded
+/// into the simulated run: every rank probes the token at its
+/// communication chokepoints, so a preempted measurement winds down and
+/// surfaces as [`SimError::Cancelled`] instead of completing or hanging.
+///
+/// # Errors
+/// Everything [`measure_with_faults`] returns, plus
+/// [`SimError::Cancelled`] when `cancel` fires mid-run.
+pub fn measure_with_cancel(
+    app: &dyn MiniApp,
+    p: usize,
+    n: u64,
+    faults: &FaultPlan,
+    cancel: &CancelToken,
+) -> Result<AppMeasurement, SimError> {
+    measure_supervised(app, p, n, faults, Some(cancel))
+}
+
+fn measure_supervised(
+    app: &dyn MiniApp,
+    p: usize,
+    n: u64,
+    faults: &FaultPlan,
+    cancel: Option<&CancelToken>,
+) -> Result<AppMeasurement, SimError> {
+    let mut cfg = SimConfig::with_faults(faults.clone());
+    if let Some(token) = cancel {
+        cfg = cfg.with_cancel(token.clone());
+    }
+    let outcome = run_ranks_supervised(p, &cfg, |rank| -> RankObs {
         let mut prof = ProcessProfile::new();
         app.run_rank(rank, n, &mut prof);
         let totals = prof.totals();

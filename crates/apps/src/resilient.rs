@@ -22,10 +22,11 @@
 //! killed job — leaving the journal with every completed config, so the
 //! next invocation resumes instead of restarting.
 
-use crate::{measure_with_faults, push_measurement, AppGrid, MiniApp};
+use crate::{measure_with_cancel, push_measurement, AppGrid, MiniApp};
+use exareq_core::cancel::{CancelReason, CancelToken};
 use exareq_profile::journal::{apply_entry, JournalEntry, JournalError, SurveyJournal};
 use exareq_profile::Survey;
-use exareq_sim::FaultPlan;
+use exareq_sim::{FaultPlan, SimError};
 use std::time::{Duration, Instant};
 
 /// How hard to try per configuration before giving up on it.
@@ -102,6 +103,14 @@ pub enum SurveyRunError {
         /// Wall-clock time the configuration had consumed.
         elapsed: Duration,
     },
+    /// The sweep's cancellation token fired (signal, deadline, or probe
+    /// budget). Every *completed* config is already durable in the
+    /// journal; the config in flight (if any) was discarded, never
+    /// recorded, so a resumed sweep re-measures it byte-identically.
+    Cancelled {
+        /// Why the sweep was cancelled.
+        reason: CancelReason,
+    },
 }
 
 impl core::fmt::Display for SurveyRunError {
@@ -118,6 +127,9 @@ impl core::fmt::Display for SurveyRunError {
                 "configuration (p={p}, n={n}) exhausted its wall-clock budget after \
                  {attempts} attempt(s) ({elapsed:?}); survey aborted"
             ),
+            SurveyRunError::Cancelled { reason } => {
+                write!(f, "survey cancelled: {reason}")
+            }
         }
     }
 }
@@ -126,7 +138,7 @@ impl std::error::Error for SurveyRunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SurveyRunError::Journal(e) => Some(e),
-            SurveyRunError::BudgetExhausted { .. } => None,
+            SurveyRunError::BudgetExhausted { .. } | SurveyRunError::Cancelled { .. } => None,
         }
     }
 }
@@ -145,17 +157,29 @@ fn measure_config_resilient(
     n: u64,
     faults: &FaultPlan,
     retry: &RetryPolicy,
+    cancel: &CancelToken,
 ) -> Result<JournalEntry, SurveyRunError> {
     let started = Instant::now();
     let mut attempt = 1u32;
     loop {
         let plan = faults.reseeded(p as u64, n, attempt);
-        let outcome = measure_with_faults(app, p, n, &plan);
+        let outcome = measure_with_cancel(app, p, n, &plan, cancel);
+        // A cancelled attempt is *not* a measurement failure: it must not
+        // be journaled as a skip (that would poison the resumed sweep) and
+        // it must not be retried. Propagate so the whole sweep winds down.
+        if let Err(SimError::Cancelled { reason }) = &outcome {
+            return Err(SurveyRunError::Cancelled { reason: *reason });
+        }
         let retriable = match &outcome {
             Ok(m) => m.degraded,
             Err(_) => true,
         };
         if retriable && attempt < retry.max_attempts {
+            // Probe between attempts too, so a preempted config stops
+            // retrying even when each attempt itself completes quickly.
+            if let Err(c) = cancel.checkpoint() {
+                return Err(SurveyRunError::Cancelled { reason: c.reason });
+            }
             if let Some(allowed) = retry.allowed_before_attempt(attempt + 1) {
                 let elapsed = started.elapsed();
                 if elapsed >= allowed {
@@ -224,7 +248,44 @@ pub fn run_survey_resilient(
     grid: &AppGrid,
     faults: &FaultPlan,
     retry: &RetryPolicy,
+    journal: Option<&mut SurveyJournal>,
+) -> Result<Survey, SurveyRunError> {
+    run_survey_cancellable(app, grid, faults, retry, journal, &CancelToken::new())
+}
+
+/// [`run_survey_resilient`] with a cooperative cancellation token.
+///
+/// The token is probed between configurations, between retry attempts,
+/// and (through the simulator) at every rank's communication chokepoints,
+/// so a SIGTERM, an expired `--deadline-ms`, or an exhausted probe budget
+/// stops the sweep within one poll interval. The shutdown sequence
+/// preserves the journal's exactly-once contract:
+///
+/// 1. the configuration in flight is **discarded**, never journaled (not
+///    even as a skip) — every journal append remains a *completed* config,
+///    fsynced before it counted;
+/// 2. the sweep returns [`SurveyRunError::Cancelled`] with the typed
+///    reason;
+/// 3. resuming from the journal re-measures the discarded config under
+///    the same derived seed, so the finished artifact is byte-identical
+///    to an uninterrupted run (preemption-identity).
+///
+/// When a probe budget is armed ([`CancelToken::with_budget`]), one unit
+/// is charged per *measured* (not replayed) configuration, after its
+/// journal append — `with_budget(k)` therefore journals exactly `k`
+/// configs before cancelling, which is the deterministic preemption lever
+/// the `resilience` bench and the tests use.
+///
+/// # Errors
+/// Everything [`run_survey_resilient`] returns, plus
+/// [`SurveyRunError::Cancelled`] when the token fires.
+pub fn run_survey_cancellable(
+    app: &dyn MiniApp,
+    grid: &AppGrid,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
     mut journal: Option<&mut SurveyJournal>,
+    cancel: &CancelToken,
 ) -> Result<Survey, SurveyRunError> {
     let mut survey = Survey::new(app.name());
     for &p in &grid.p_values {
@@ -236,11 +297,15 @@ pub fn run_survey_resilient(
                     continue;
                 }
             }
-            let entry = measure_config_resilient(app, p, n, faults, retry)?;
+            if let Err(c) = cancel.checkpoint() {
+                return Err(SurveyRunError::Cancelled { reason: c.reason });
+            }
+            let entry = measure_config_resilient(app, p, n, faults, retry, cancel)?;
             if let Some(j) = journal.as_deref_mut() {
                 j.append(&entry)?;
             }
             apply_entry(&mut survey, &entry);
+            cancel.consume(1);
         }
     }
     Ok(survey)
@@ -405,6 +470,81 @@ mod tests {
             resumed.triples(MetricKind::Flops),
             full.triples(MetricKind::Flops)
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_measures_nothing() {
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Interrupt);
+        let err = run_survey_cancellable(
+            &Relearn,
+            &small_grid(),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+            None,
+            &token,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SurveyRunError::Cancelled {
+                reason: CancelReason::Interrupt
+            }
+        ));
+    }
+
+    #[test]
+    fn probe_budget_journals_exactly_k_configs_and_resume_is_identical() {
+        // The driver-level preemption-identity contract: cancel after k
+        // measured configs, resume, and the final survey equals the
+        // uninterrupted one exactly.
+        let dir = std::env::temp_dir().join("exareq_resilient_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("preempt.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let plan = FaultPlan::with_seed(9).drop(0.004);
+        let grid = AppGrid {
+            p_values: vec![2, 4],
+            n_values: vec![64, 256],
+        };
+        let manifest = SurveyManifest::new(
+            "Relearn",
+            grid.p_values.iter().map(|&p| p as u64).collect(),
+            grid.n_values.clone(),
+            "seed=9,drop=0.004",
+        );
+        let retry = RetryPolicy::retries(1);
+        let uninterrupted = survey_app_resilient(&Relearn, &grid, &plan, &retry);
+
+        // Preempted run: the probe budget cancels after 2 of 4 configs.
+        let mut j = SurveyJournal::create(&path, manifest.clone()).unwrap();
+        let token = CancelToken::with_budget(2);
+        let err = run_survey_cancellable(&Relearn, &grid, &plan, &retry, Some(&mut j), &token)
+            .unwrap_err();
+        drop(j);
+        assert!(matches!(
+            err,
+            SurveyRunError::Cancelled {
+                reason: CancelReason::Budget
+            }
+        ));
+
+        // The journal holds exactly the two completed configs …
+        let mut j = SurveyJournal::resume(&path, &manifest).unwrap();
+        assert_eq!(j.entries().len(), 2);
+
+        // … and the resumed sweep reproduces the uninterrupted survey.
+        let resumed = run_survey_cancellable(
+            &Relearn,
+            &grid,
+            &plan,
+            &retry,
+            Some(&mut j),
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(resumed, uninterrupted);
     }
 
     #[test]

@@ -18,11 +18,15 @@
 
 use exareq::pipeline::model_requirements;
 use exareq_apps::{
-    survey_app_resilient, survey_app_with_faults, AppGrid, Kripke, MiniApp, Relearn, RetryPolicy,
+    run_survey_cancellable, survey_app_resilient, survey_app_with_faults, AppGrid, Kripke, MiniApp,
+    Relearn, RetryPolicy,
 };
 use exareq_bench::write_report;
+use exareq_core::cancel::CancelToken;
 use exareq_core::multiparam::MultiParamConfig;
+use exareq_profile::journal::{SurveyJournal, SurveyManifest};
 use exareq_sim::FaultPlan;
+use std::time::Instant;
 
 fn grid() -> AppGrid {
     AppGrid {
@@ -114,6 +118,81 @@ fn main() {
         "retry sweep must record strictly fewer degraded/skipped configs \
          ({retry_damage} vs {base_damage})"
     );
+
+    out.push_str("\n-- Preemption-identity: cancel at config k, resume, compare artifacts --\n");
+    {
+        let g = grid();
+        let plan = FaultPlan::with_seed(0x9E).drop(1e-3);
+        let retry = RetryPolicy::retries(1);
+        let manifest = SurveyManifest::new(
+            "Relearn",
+            g.p_values.iter().map(|&p| p as u64).collect(),
+            g.n_values.clone(),
+            "bench-preempt",
+        );
+        let uninterrupted = survey_app_resilient(&Relearn, &g, &plan, &retry);
+        let baseline_json = uninterrupted.to_json();
+        let dir = std::env::temp_dir().join("exareq_bench_preempt");
+        std::fs::create_dir_all(&dir).expect("create bench temp dir");
+        for k in [1u64, 5, 12, 24] {
+            let path = dir.join(format!("cancel_at_{k}.jsonl"));
+            let _ = std::fs::remove_file(&path);
+
+            // The probe budget is the deterministic preemption lever:
+            // exactly k configs are measured and journaled, then the token
+            // fires at the next checkpoint — no timing races.
+            let mut j = SurveyJournal::create(&path, manifest.clone()).expect("create journal");
+            let token = CancelToken::with_budget(k);
+            run_survey_cancellable(&Relearn, &g, &plan, &retry, Some(&mut j), &token)
+                .expect_err("budgeted sweep must cancel");
+            drop(j);
+
+            let mut j = SurveyJournal::resume(&path, &manifest).expect("resume journal");
+            let journaled = j.entries().len() as u64;
+            let resumed = run_survey_cancellable(
+                &Relearn,
+                &g,
+                &plan,
+                &retry,
+                Some(&mut j),
+                &CancelToken::new(),
+            )
+            .expect("resumed sweep completes");
+            let identical = resumed == uninterrupted && resumed.to_json() == baseline_json;
+            out.push_str(&format!(
+                "cancel@{k:>2}: journaled {journaled:>2} configs, resumed artifact \
+                 byte-identical: {identical}\n"
+            ));
+            assert_eq!(journaled, k, "probe budget must journal exactly k configs");
+            assert!(identical, "preemption-identity violated at k={k}");
+        }
+
+        // Clean-run overhead of the cancellation probes: the same sweep
+        // with no token anywhere vs. a live (never-fired) token threaded
+        // through driver and simulator.
+        let t0 = Instant::now();
+        let plain = survey_app_with_faults(&Relearn, &g, &plan);
+        let t_plain = t0.elapsed();
+        let t1 = Instant::now();
+        let probed = run_survey_cancellable(
+            &Relearn,
+            &g,
+            &plan,
+            &RetryPolicy::default(),
+            None,
+            &CancelToken::new(),
+        )
+        .expect("live token must not cancel");
+        let t_probed = t1.elapsed();
+        assert_eq!(plain, probed, "a live token must not perturb the survey");
+        out.push_str(&format!(
+            "clean-run probe overhead: plain sweep {:.2?}, probed sweep {:.2?} \
+             (ratio {:.3})\n",
+            t_plain,
+            t_probed,
+            t_probed.as_secs_f64() / t_plain.as_secs_f64().max(1e-9),
+        ));
+    }
 
     out.push_str(
         "\nReading: the generator tolerates lost configurations gracefully —\n\

@@ -1,0 +1,402 @@
+//! Cooperative cancellation: a shareable token that long-running layers
+//! probe at safe points, so sweeps, fits, and simulated ranks can be asked
+//! to wind down instead of being torn down.
+//!
+//! The design mirrors what batch schedulers force on real co-design
+//! pipelines: a preemption signal arrives (SIGTERM, a wall-clock deadline,
+//! an exhausted budget) and the job must stop *between* units of work,
+//! flush its journal, and leave a resumable trail. Three pieces:
+//!
+//! - [`CancelToken`] — a cheaply clonable atomic flag with a typed
+//!   [`CancelReason`]. The first cancellation wins; later ones are ignored.
+//! - [`Deadline`] — a monotonic wall-clock cutoff. A token carrying a
+//!   deadline converts expiry into a [`CancelReason::Deadline`]
+//!   cancellation at the next probe.
+//! - [`CancelToken::checkpoint`] — the probe. On the clean-run path
+//!   (no deadline armed) it is a single relaxed atomic load, cheap enough
+//!   to sit inside per-operation simulator loops without measurable cost.
+//!
+//! Cancellation is *cooperative*: nothing unwinds asynchronously. Work in
+//! flight between two checkpoints always completes, which is what keeps
+//! journal appends atomic and resumed artifacts byte-identical to
+//! uninterrupted runs.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// An external interrupt (SIGINT/SIGTERM or an explicit stop request).
+    Interrupt,
+    /// The run's global wall-clock deadline expired.
+    Deadline,
+    /// A work budget (e.g. a probe allowance in a preemption study) ran out.
+    Budget,
+}
+
+impl CancelReason {
+    /// The wire encoding stored in the token's atomic state.
+    ///
+    /// `0` is reserved for "live"; signal handlers store
+    /// `CancelReason::Interrupt.code()` directly into the flag returned by
+    /// [`CancelToken::signal_flag`], so this mapping is part of the public
+    /// contract.
+    #[must_use]
+    pub const fn code(self) -> u8 {
+        match self {
+            CancelReason::Interrupt => 1,
+            CancelReason::Deadline => 2,
+            CancelReason::Budget => 3,
+        }
+    }
+
+    /// Decodes a state byte back into a reason (`None` for "live").
+    #[must_use]
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(CancelReason::Interrupt),
+            2 => Some(CancelReason::Deadline),
+            3 => Some(CancelReason::Budget),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CancelReason::Interrupt => write!(f, "interrupted"),
+            CancelReason::Deadline => write!(f, "deadline expired"),
+            CancelReason::Budget => write!(f, "budget exhausted"),
+        }
+    }
+}
+
+/// The error a [`CancelToken::checkpoint`] probe returns once the token is
+/// cancelled. Carries the typed reason so callers can map it to distinct
+/// exit codes and messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Why the run was cancelled.
+    pub reason: CancelReason,
+}
+
+impl core::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cancelled: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A monotonic wall-clock cutoff.
+///
+/// Attach one to a token with [`CancelToken::with_deadline`]; expiry then
+/// surfaces as [`CancelReason::Deadline`] at the next checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    #[must_use]
+    pub fn after(d: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    #[must_use]
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    /// Has the cutoff passed?
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before the cutoff (zero once expired).
+    #[must_use]
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// Sentinel for "no probe budget armed".
+const BUDGET_UNLIMITED: u64 = u64::MAX;
+
+struct Inner {
+    /// 0 = live; otherwise a [`CancelReason::code`] value. First store wins.
+    state: AtomicU8,
+    /// Remaining work units before a `Budget` self-cancellation;
+    /// [`BUDGET_UNLIMITED`] when no budget is armed.
+    budget: AtomicU64,
+}
+
+/// A shareable cancellation token.
+///
+/// Clones share the same flag: cancelling any clone cancels them all.
+/// Deadlines and budgets are carried per-clone configuration but observe
+/// and set the shared flag, so a deadline noticed by one layer stops every
+/// other layer at its next probe.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+    deadline: Option<Instant>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("reason", &self.reason())
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A live token with no deadline and no budget.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(0),
+                budget: AtomicU64::new(BUDGET_UNLIMITED),
+            }),
+            deadline: None,
+        }
+    }
+
+    /// A token that self-cancels with [`CancelReason::Budget`] once
+    /// [`consume`](Self::consume) has been charged `units` work units.
+    ///
+    /// This is the deterministic preemption lever used by the `resilience`
+    /// bench and tests: "cancel at config k" without timing races.
+    #[must_use]
+    pub fn with_budget(units: u64) -> Self {
+        let t = CancelToken::new();
+        t.inner.budget.store(units, Ordering::Relaxed);
+        t
+    }
+
+    /// Returns a clone of this token that also enforces `deadline`.
+    ///
+    /// The shared flag is unchanged; only the clone (and its clones) pay
+    /// the `Instant::now()` check at each probe.
+    #[must_use]
+    pub fn with_deadline(&self, deadline: Deadline) -> Self {
+        let mut t = self.clone();
+        t.deadline = Some(deadline.at);
+        t
+    }
+
+    /// The armed deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline.map(|at| Deadline { at })
+    }
+
+    /// Cancels the token. The first reason wins; subsequent calls are
+    /// no-ops. Returns whether this call was the one that cancelled.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        self.inner
+            .state
+            .compare_exchange(0, reason.code(), Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Charges `units` of work against the probe budget (if one is armed).
+    /// Crossing zero cancels the token with [`CancelReason::Budget`].
+    pub fn consume(&self, units: u64) {
+        if self.inner.budget.load(Ordering::Relaxed) == BUDGET_UNLIMITED {
+            return;
+        }
+        let prev = self.inner.budget.fetch_sub(units, Ordering::Relaxed);
+        if prev <= units {
+            // Clamp so repeated charges cannot wrap back above zero.
+            self.inner.budget.store(0, Ordering::Relaxed);
+            self.cancel(CancelReason::Budget);
+        }
+    }
+
+    /// Is the token cancelled? (Does not evaluate the deadline.)
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::Relaxed) != 0
+    }
+
+    /// The cancellation reason, if cancelled.
+    #[must_use]
+    pub fn reason(&self) -> Option<CancelReason> {
+        CancelReason::from_code(self.inner.state.load(Ordering::Relaxed))
+    }
+
+    /// The cancellation probe. `Ok(())` while live; [`Cancelled`] with the
+    /// typed reason once the shared flag is set or this clone's deadline
+    /// has expired.
+    ///
+    /// On the clean-run path (no deadline on this clone) the cost is a
+    /// single relaxed atomic load — place probes freely in hot loops.
+    ///
+    /// # Errors
+    /// Returns [`Cancelled`] when the token has been cancelled.
+    pub fn checkpoint(&self) -> Result<(), Cancelled> {
+        let code = self.inner.state.load(Ordering::Relaxed);
+        if let Some(reason) = CancelReason::from_code(code) {
+            return Err(Cancelled { reason });
+        }
+        if let Some(at) = self.deadline {
+            if Instant::now() >= at {
+                self.cancel(CancelReason::Deadline);
+                // Another thread may have raced a different reason in.
+                let reason = self.reason().unwrap_or(CancelReason::Deadline);
+                return Err(Cancelled { reason });
+            }
+        }
+        Ok(())
+    }
+
+    /// Leaks a reference to the shared state flag for use inside a signal
+    /// handler.
+    ///
+    /// A handler may only perform async-signal-safe work; a single atomic
+    /// store qualifies. The handler should store
+    /// [`CancelReason::Interrupt`]`.code()` with any ordering — every
+    /// checkpoint will observe it. The backing allocation is intentionally
+    /// leaked (one token per process lifetime) so the pointer can never
+    /// dangle, even if every `CancelToken` clone is dropped.
+    #[must_use]
+    pub fn signal_flag(&self) -> &'static AtomicU8 {
+        let keepalive = Arc::clone(&self.inner);
+        let ptr: *const AtomicU8 = &keepalive.state;
+        std::mem::forget(keepalive);
+        // SAFETY: the Arc clone above is leaked, so the pointee lives for
+        // the remainder of the process.
+        unsafe { &*ptr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_token_passes_checkpoints() {
+        let t = CancelToken::new();
+        assert!(t.checkpoint().is_ok());
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+    }
+
+    #[test]
+    fn first_cancellation_reason_wins() {
+        let t = CancelToken::new();
+        assert!(t.cancel(CancelReason::Interrupt));
+        assert!(!t.cancel(CancelReason::Deadline));
+        assert_eq!(t.reason(), Some(CancelReason::Interrupt));
+        assert_eq!(
+            t.checkpoint(),
+            Err(Cancelled {
+                reason: CancelReason::Interrupt
+            })
+        );
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel(CancelReason::Interrupt);
+        assert!(c.is_cancelled());
+        assert_eq!(c.reason(), Some(CancelReason::Interrupt));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_at_the_probe() {
+        let t = CancelToken::new().with_deadline(Deadline::after(Duration::ZERO));
+        // The base clone carries no deadline …
+        let err = t.checkpoint().unwrap_err();
+        assert_eq!(err.reason, CancelReason::Deadline);
+        // … but the shared flag is now set, so every clone observes it.
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn unexpired_deadline_reports_remaining() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3500));
+        let t = CancelToken::new().with_deadline(d);
+        assert!(t.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn budget_cancels_after_k_units() {
+        let t = CancelToken::with_budget(3);
+        t.consume(1);
+        assert!(t.checkpoint().is_ok());
+        t.consume(1);
+        assert!(t.checkpoint().is_ok());
+        t.consume(1);
+        assert_eq!(
+            t.checkpoint(),
+            Err(Cancelled {
+                reason: CancelReason::Budget
+            })
+        );
+        // Further charges must not wrap the counter back to "unlimited".
+        t.consume(1);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn unbudgeted_token_ignores_consume() {
+        let t = CancelToken::new();
+        for _ in 0..10 {
+            t.consume(1);
+        }
+        assert!(t.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn signal_flag_store_is_observed_by_checkpoints() {
+        let t = CancelToken::new();
+        let flag = t.signal_flag();
+        flag.store(CancelReason::Interrupt.code(), Ordering::Relaxed);
+        assert_eq!(t.reason(), Some(CancelReason::Interrupt));
+    }
+
+    #[test]
+    fn reason_codes_round_trip() {
+        for r in [
+            CancelReason::Interrupt,
+            CancelReason::Deadline,
+            CancelReason::Budget,
+        ] {
+            assert_eq!(CancelReason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(CancelReason::from_code(0), None);
+        assert_eq!(CancelReason::from_code(255), None);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let c = Cancelled {
+            reason: CancelReason::Deadline,
+        };
+        assert_eq!(c.to_string(), "cancelled: deadline expired");
+        assert_eq!(CancelReason::Budget.to_string(), "budget exhausted");
+    }
+}

@@ -23,7 +23,10 @@ pub enum CsvError {
     /// The input has no header row.
     MissingHeader,
     /// The header has fewer than two columns (≥1 parameter + value).
-    TooFewColumns,
+    TooFewColumns {
+        /// 1-based line number of the header row.
+        line: usize,
+    },
     /// A data row has the wrong number of fields.
     RaggedRow {
         /// 1-based line number in the input.
@@ -36,18 +39,32 @@ pub enum CsvError {
         /// The offending field text.
         field: String,
     },
+    /// A field parsed as a number but is NaN or ±infinity — meaningless as
+    /// a measurement and poisonous to the fitting pipeline, so rejected at
+    /// the boundary.
+    NonFinite {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
 }
 
 impl core::fmt::Display for CsvError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CsvError::MissingHeader => write!(f, "missing header row"),
-            CsvError::TooFewColumns => {
-                write!(f, "need at least one parameter column and a value column")
-            }
+            CsvError::TooFewColumns { line } => write!(
+                f,
+                "need at least one parameter column and a value column \
+                 (header on line {line})"
+            ),
             CsvError::RaggedRow { line } => write!(f, "wrong field count on line {line}"),
             CsvError::BadNumber { line, field } => {
                 write!(f, "cannot parse `{field}` as a number on line {line}")
+            }
+            CsvError::NonFinite { line, field } => {
+                write!(f, "non-finite value `{field}` on line {line}")
             }
         }
     }
@@ -67,10 +84,10 @@ pub fn experiment_from_csv(text: &str) -> Result<Experiment, CsvError> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
-    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let (header_line, header) = lines.next().ok_or(CsvError::MissingHeader)?;
     let cols: Vec<&str> = header.split(',').map(str::trim).collect();
     if cols.len() < 2 {
-        return Err(CsvError::TooFewColumns);
+        return Err(CsvError::TooFewColumns { line: header_line });
     }
     let params: Vec<String> = cols[..cols.len() - 1]
         .iter()
@@ -89,18 +106,27 @@ pub fn experiment_from_csv(text: &str) -> Result<Experiment, CsvError> {
             Some((value, coords)) => (coords, value),
             None => return Err(CsvError::RaggedRow { line }),
         };
-        let mut nums = Vec::with_capacity(coord_fields.len());
-        for field in coord_fields {
+        // Coordinates and value must be *finite* numbers: "nan"/"inf"
+        // satisfy f64::parse but carry no measurement meaning, and one of
+        // them silently poisons every downstream fit.
+        let parse_finite = |field: &str| -> Result<f64, CsvError> {
             let v: f64 = field.parse().map_err(|_| CsvError::BadNumber {
                 line,
                 field: field.to_string(),
             })?;
-            nums.push(v);
+            if !v.is_finite() {
+                return Err(CsvError::NonFinite {
+                    line,
+                    field: field.to_string(),
+                });
+            }
+            Ok(v)
+        };
+        let mut nums = Vec::with_capacity(coord_fields.len());
+        for field in coord_fields {
+            nums.push(parse_finite(field)?);
         }
-        let value: f64 = value_field.parse().map_err(|_| CsvError::BadNumber {
-            line,
-            field: value_field.to_string(),
-        })?;
+        let value = parse_finite(value_field)?;
         exp.push(&nums, value);
     }
     Ok(exp)
@@ -165,7 +191,12 @@ p,n,value
         );
         assert_eq!(
             experiment_from_csv("value\n1\n").unwrap_err(),
-            CsvError::TooFewColumns
+            CsvError::TooFewColumns { line: 1 }
+        );
+        // The header's recorded line respects skipped comments/blanks.
+        assert_eq!(
+            experiment_from_csv("# note\n\nvalue\n1\n").unwrap_err(),
+            CsvError::TooFewColumns { line: 3 }
         );
         assert_eq!(
             experiment_from_csv("p,value\n1,2,3\n").unwrap_err(),
@@ -178,6 +209,30 @@ p,n,value
                 field: "abc".to_string()
             }
         );
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_with_line_numbers() {
+        for field in ["nan", "NaN", "inf", "-inf", "infinity"] {
+            assert_eq!(
+                experiment_from_csv(&format!("p,value\n2,10\n4,{field}\n")).unwrap_err(),
+                CsvError::NonFinite {
+                    line: 3,
+                    field: field.to_string()
+                },
+                "value field `{field}`"
+            );
+            assert_eq!(
+                experiment_from_csv(&format!("p,value\n{field},10\n")).unwrap_err(),
+                CsvError::NonFinite {
+                    line: 2,
+                    field: field.to_string()
+                },
+                "coordinate field `{field}`"
+            );
+        }
+        let err = experiment_from_csv("p,value\n2,nan\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

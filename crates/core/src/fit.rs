@@ -6,6 +6,7 @@
 //! and the winner selected through leave-one-out cross-validation. Growth
 //! stops when an additional term brings no significant improvement.
 
+use crate::cancel::{CancelReason, CancelToken, Cancelled};
 use crate::hypothesis::SearchSpace;
 use crate::linalg::{lstsq, Matrix};
 use crate::measurement::Experiment;
@@ -92,6 +93,12 @@ pub enum FitError {
     },
     /// Every candidate hypothesis failed to fit (degenerate data).
     NoViableHypothesis,
+    /// The hypothesis search was cancelled at a checkpoint between search
+    /// waves (cooperative preemption; no partial model is returned).
+    Cancelled {
+        /// Why the search was cancelled.
+        reason: CancelReason,
+    },
 }
 
 impl core::fmt::Display for FitError {
@@ -104,11 +111,18 @@ impl core::fmt::Display for FitError {
                 write!(f, "need at least {needed} points, got {got}")
             }
             FitError::NoViableHypothesis => write!(f, "no hypothesis could be fitted"),
+            FitError::Cancelled { reason } => write!(f, "model search cancelled: {reason}"),
         }
     }
 }
 
 impl std::error::Error for FitError {}
+
+impl From<Cancelled> for FitError {
+    fn from(c: Cancelled) -> Self {
+        FitError::Cancelled { reason: c.reason }
+    }
+}
 
 /// One hypothesis: a set of single-parameter basis factors (plus implicit
 /// constant).
@@ -251,7 +265,21 @@ fn scored_to_fitted(s: &Scored, xs: &[f64], ys: &[f64], param: &str) -> FittedMo
 /// Returns [`FitError`] when the experiment is not one-dimensional, has too
 /// few points, or no hypothesis can be fitted.
 pub fn fit_single(exp: &Experiment, cfg: &FitConfig) -> Result<FittedModel, FitError> {
-    let ranked = rank_single(exp, cfg, 1)?;
+    fit_single_cancellable(exp, cfg, &CancelToken::new())
+}
+
+/// [`fit_single`] with a cooperative cancellation token, probed between
+/// hypothesis-search waves.
+///
+/// # Errors
+/// Everything [`fit_single`] returns, plus [`FitError::Cancelled`] when
+/// the token fires mid-search.
+pub fn fit_single_cancellable(
+    exp: &Experiment,
+    cfg: &FitConfig,
+    cancel: &CancelToken,
+) -> Result<FittedModel, FitError> {
+    let ranked = rank_single_cancellable(exp, cfg, 1, cancel)?;
     Ok(ranked
         .into_iter()
         .next()
@@ -265,6 +293,24 @@ pub fn rank_single(
     exp: &Experiment,
     cfg: &FitConfig,
     k: usize,
+) -> Result<Vec<FittedModel>, FitError> {
+    rank_single_cancellable(exp, cfg, k, &CancelToken::new())
+}
+
+/// [`rank_single`] with a cooperative cancellation token.
+///
+/// The token is probed once before the exhaustive size-1 scan and again
+/// before each larger hypothesis size — the search waves are the unit of
+/// preemption, so a fired token stops the fit within one wave.
+///
+/// # Errors
+/// Everything [`rank_single`] returns, plus [`FitError::Cancelled`] when
+/// the token fires mid-search.
+pub fn rank_single_cancellable(
+    exp: &Experiment,
+    cfg: &FitConfig,
+    k: usize,
+    cancel: &CancelToken,
 ) -> Result<Vec<FittedModel>, FitError> {
     if exp.arity() != 1 {
         return Err(FitError::WrongArity {
@@ -294,6 +340,7 @@ pub fn rank_single(
         .collect();
 
     // Size-1 hypotheses: exhaustive over the factor grid (parallel).
+    cancel.checkpoint()?;
     let candidates = cfg.space.factor_candidates();
     let size1: Vec<Scored> = candidates
         .par_iter()
@@ -329,6 +376,9 @@ pub fn rank_single(
         f
     };
     for size in 2..=cfg.max_terms {
+        // One probe per search wave: waves are the preemption unit (a
+        // wave's parallel scoring runs to completion once started).
+        cancel.checkpoint()?;
         if frontier.is_empty() {
             break;
         }
@@ -667,6 +717,24 @@ mod tests {
             fit_single_robust(&e, &FitConfig::coarse()),
             Err(FitError::NotEnoughPoints { .. })
         ));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_search() {
+        let e = exp1(|c| 7.0 * c[0]);
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Deadline);
+        assert!(matches!(
+            fit_single_cancellable(&e, &FitConfig::coarse(), &token),
+            Err(FitError::Cancelled {
+                reason: CancelReason::Deadline
+            })
+        ));
+        // A live token leaves the result identical to the plain entry point.
+        let plain = fit_single(&e, &FitConfig::coarse()).unwrap();
+        let tokened =
+            fit_single_cancellable(&e, &FitConfig::coarse(), &CancelToken::new()).unwrap();
+        assert_eq!(plain, tokened);
     }
 
     #[test]

@@ -47,10 +47,12 @@
 //! - [`quality`] — SMAPE/R², relative errors, the Figure-3 histogram.
 //! - [`describe`] — paper-style English growth statements.
 //! - [`fsio`] — typed, atomic filesystem I/O for artifacts.
+//! - [`cancel`] — cooperative cancellation tokens, deadlines, checkpoints.
 
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cancel;
 pub mod collective;
 pub mod csv;
 pub mod describe;
@@ -64,8 +66,12 @@ pub mod pmnf;
 pub mod quality;
 pub mod stability;
 
-pub use fit::{fit_single, fit_single_robust, FitConfig, FitError, FittedModel, RobustFit};
+pub use cancel::{CancelReason, CancelToken, Cancelled, Deadline};
+pub use fit::{
+    fit_single, fit_single_cancellable, fit_single_robust, FitConfig, FitError, FittedModel,
+    RobustFit,
+};
 pub use fsio::{ExareqIoError, IoOp};
 pub use measurement::{Aggregation, Experiment, Measurement};
-pub use multiparam::{fit_multi, fit_multi_robust, MultiParamConfig};
+pub use multiparam::{fit_multi, fit_multi_cancellable, fit_multi_robust, MultiParamConfig};
 pub use pmnf::{Exponents, Model, Term};

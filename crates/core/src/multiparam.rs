@@ -16,7 +16,8 @@
 //! Coefficients are refitted on the full grid and the winner is selected by
 //! leave-one-out cross-validation, exactly as in the single-parameter case.
 
-use crate::fit::{rank_single, FitConfig, FitError, FittedModel};
+use crate::cancel::CancelToken;
+use crate::fit::{rank_single_cancellable, FitConfig, FitError, FittedModel};
 use crate::linalg::{lstsq, Matrix};
 use crate::measurement::{Aggregation, Experiment};
 use crate::pmnf::{Exponents, Model, Term};
@@ -242,9 +243,27 @@ fn score_multi(
 /// Returns [`FitError`] if any axis slice has too few points or no compound
 /// hypothesis fits.
 pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel, FitError> {
+    fit_multi_cancellable(exp, cfg, &CancelToken::new())
+}
+
+/// [`fit_multi`] with a cooperative cancellation token.
+///
+/// The token is probed between the per-axis single-parameter searches
+/// (which also probe it between their own hypothesis waves) and once more
+/// before the compound-hypothesis scoring pass, so a long multi-parameter
+/// search stops within one wave of a preemption request.
+///
+/// # Errors
+/// Everything [`fit_multi`] returns, plus [`FitError::Cancelled`] when the
+/// token fires mid-search.
+pub fn fit_multi_cancellable(
+    exp: &Experiment,
+    cfg: &MultiParamConfig,
+    cancel: &CancelToken,
+) -> Result<FittedModel, FitError> {
     let m = exp.arity();
     if m == 1 {
-        return crate::fit::fit_single(exp, &cfg.single);
+        return crate::fit::fit_single_cancellable(exp, &cfg.single, cancel);
     }
     // Degraded measurements never feed the fit; the point-count guards
     // below apply to what survives.
@@ -257,7 +276,7 @@ pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel
     let mut per_param: Vec<Vec<(Exponents, usize)>> = Vec::with_capacity(m);
     for l in 0..m {
         let slice = agg.slice_for_param(l);
-        let ranked = rank_single(&slice, &cfg.single, cfg.k_candidates)?;
+        let ranked = rank_single_cancellable(&slice, &cfg.single, cfg.k_candidates, cancel)?;
         let mut factors: Vec<(Exponents, usize)> = Vec::new();
         for (rank, fm) in ranked.iter().enumerate() {
             for t in &fm.model.terms {
@@ -290,6 +309,10 @@ pub fn fit_multi(exp: &Experiment, cfg: &MultiParamConfig) -> Result<FittedModel
             got: ys.len(),
         });
     }
+
+    // Last probe before the heavy compound-scoring pass (which then runs
+    // to completion — the parallel scan is the preemption unit).
+    cancel.checkpoint()?;
 
     // Constant hypothesis as baseline.
     let floor = cfg.single.noise_floor_smape;
@@ -434,6 +457,23 @@ mod tests {
         assert_eq!(fn_, Exponents::new(1.0, 1.0), "{}", m.model);
         assert!(m.model.has_multiplicative_interaction());
         assert!(m.cv_smape < 0.5, "cv {}", m.cv_smape);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_search() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let e = grid(|c| 7.0 * c[1] * c[1].log2() * c[0].log2());
+        let cfg = MultiParamConfig::coarse();
+        let cancelled = CancelToken::new();
+        cancelled.cancel(CancelReason::Interrupt);
+        match fit_multi_cancellable(&e, &cfg, &cancelled) {
+            Err(FitError::Cancelled { reason }) => assert_eq!(reason, CancelReason::Interrupt),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        // A live token does not perturb the result.
+        let live = fit_multi_cancellable(&e, &cfg, &CancelToken::new()).unwrap();
+        let plain = fit_multi(&e, &cfg).unwrap();
+        assert_eq!(format!("{}", live.model), format!("{}", plain.model));
     }
 
     #[test]

@@ -171,6 +171,33 @@ impl Json {
     }
 }
 
+/// Hard ceiling on container nesting depth. The parser is recursive
+/// descent, so without this cap a hostile line of `[[[[…` converts
+/// directly into a stack overflow — an *abort*, not a catchable error,
+/// which would defeat the journal's promise to reject garbage gracefully.
+/// Real journal lines nest 3 levels deep; 128 is two orders of margin.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
+/// Hard ceiling on input size, in bytes. A journal line is a single
+/// `(p, n)` configuration (a few KiB); anything within shouting distance
+/// of this cap is not a journal line, and refusing it up front bounds the
+/// parser's memory against concatenated-garbage input.
+pub const MAX_INPUT_LEN: usize = 16 * 1024 * 1024;
+
+/// Classifies a [`JsonError`] so callers can tell malformed input from
+/// input that tripped a resource cap (the latter is never worth a retry
+/// at a shorter prefix — truncating oversized garbage yields more
+/// oversized garbage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// The input violates JSON syntax (including truncation).
+    Syntax,
+    /// Containers nest deeper than [`MAX_NESTING_DEPTH`].
+    TooDeep,
+    /// The input exceeds [`MAX_INPUT_LEN`] bytes.
+    TooLarge,
+}
+
 /// A parse failure with the byte offset where it happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -178,6 +205,8 @@ pub struct JsonError {
     pub offset: usize,
     /// What went wrong.
     pub reason: String,
+    /// Syntax violation vs. tripped resource cap.
+    pub kind: JsonErrorKind,
 }
 
 impl fmt::Display for JsonError {
@@ -193,14 +222,25 @@ impl std::error::Error for JsonError {}
 /// # Errors
 /// [`JsonError`] with the byte offset of the first problem — truncated
 /// input (a torn journal line) fails here rather than yielding a partial
-/// value.
+/// value, and hostile input (pathological nesting, oversized lines) fails
+/// with a typed cap error rather than exhausting the stack or memory.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
+    if input.len() > MAX_INPUT_LEN {
+        return Err(JsonError {
+            offset: MAX_INPUT_LEN,
+            reason: format!(
+                "input of {} bytes exceeds the {MAX_INPUT_LEN}-byte cap",
+                input.len()
+            ),
+            kind: JsonErrorKind::TooLarge,
+        });
+    }
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
     };
     p.skip_ws();
-    let value = p.value()?;
+    let value = p.value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing characters after JSON value"));
@@ -218,6 +258,7 @@ impl<'a> Parser<'a> {
         JsonError {
             offset: self.pos,
             reason: reason.into(),
+            kind: JsonErrorKind::Syntax,
         }
     }
 
@@ -240,15 +281,25 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, JsonError> {
+    /// `depth` counts enclosing containers; guarded here (the single entry
+    /// point for recursion) so `[[[[…` degrades into a typed error instead
+    /// of a stack overflow.
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_NESTING_DEPTH {
+            return Err(JsonError {
+                offset: self.pos,
+                reason: format!("nesting deeper than {MAX_NESTING_DEPTH} levels"),
+                kind: JsonErrorKind::TooDeep,
+            });
+        }
         match self.peek() {
             None => Err(self.err("unexpected end of input")),
             Some(b'n') => self.eat("null").map(|()| Json::Null),
             Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
             Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(c) => Err(self.err(format!("unexpected byte `{}`", c as char))),
         }
@@ -325,7 +376,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, JsonError> {
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.eat("[")?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -335,7 +386,7 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
-            items.push(self.value()?);
+            items.push(self.value(depth + 1)?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -348,7 +399,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<Json, JsonError> {
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.eat("{")?;
         let mut members = Vec::new();
         self.skip_ws();
@@ -362,7 +413,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             self.eat(":")?;
             self.skip_ws();
-            let value = self.value()?;
+            let value = self.value(depth + 1)?;
             members.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -475,6 +526,44 @@ mod tests {
         assert!(parse("01a").is_err());
         let err = parse("[1, @]").unwrap_err();
         assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn hostile_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // Way past any plausible stack limit if recursion were unguarded.
+        let hostile = "[".repeat(1_000_000);
+        let err = parse(&hostile).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooDeep);
+        assert!(err.to_string().contains("nesting"), "{err}");
+
+        // The cap is exact: MAX_NESTING_DEPTH closed containers parse,
+        // one more level fails typed.
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_NESTING_DEPTH),
+            "]".repeat(MAX_NESTING_DEPTH)
+        );
+        assert!(parse(&ok).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_NESTING_DEPTH + 1),
+            "]".repeat(MAX_NESTING_DEPTH + 1)
+        );
+        assert_eq!(parse(&over).unwrap_err().kind, JsonErrorKind::TooDeep);
+
+        // Alternating object/array nesting hits the same guard.
+        let mixed = "{\"k\":[".repeat(MAX_NESTING_DEPTH);
+        assert_eq!(parse(&mixed).unwrap_err().kind, JsonErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn oversized_input_is_a_typed_error() {
+        let huge = format!("\"{}\"", "x".repeat(MAX_INPUT_LEN));
+        let err = parse(&huge).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooLarge);
+        assert!(err.to_string().contains("cap"), "{err}");
+        // Syntax errors keep their own kind.
+        assert_eq!(parse("[1, @]").unwrap_err().kind, JsonErrorKind::Syntax);
     }
 
     #[test]

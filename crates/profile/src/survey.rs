@@ -13,10 +13,13 @@ use std::collections::{BTreeMap, BTreeSet};
 ///   (also lacks `degraded`/`skipped`; all fields default cleanly).
 /// - **1** — adds `schema_version` itself, `degraded` observation flags and
 ///   the `skipped` list (both already tolerated as defaults in 0).
+/// - **2** — adds the `incomplete` flag marking partial artifacts written by
+///   a preempted sweep (defaults to `false` in older files, which by
+///   definition were only written by completed sweeps).
 ///
 /// Readers accept any version `<=` this constant (older fields default) and
 /// reject newer versions loudly instead of mis-parsing them.
-pub const SURVEY_SCHEMA_VERSION: u32 = 1;
+pub const SURVEY_SCHEMA_VERSION: u32 = 2;
 
 /// The requirement metrics of Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -129,6 +132,14 @@ pub struct Survey {
     /// deadlock abort). Absent in pre-fault-layer JSON, hence the default.
     #[serde(default)]
     pub skipped: Vec<SkippedConfig>,
+    /// True when this artifact was written by a *preempted* sweep (SIGTERM,
+    /// deadline, budget) and therefore covers only a prefix of its grid.
+    /// The journal, not this file, is the resume source of truth; the flag
+    /// exists so downstream consumers never mistake a partial artifact for
+    /// a finished survey. Absent (false) in schema ≤ 1 files, which were
+    /// only ever written by completed sweeps.
+    #[serde(default)]
+    pub incomplete: bool,
 }
 
 impl Default for Survey {
@@ -186,6 +197,7 @@ impl Survey {
             app: app.into(),
             observations: Vec::new(),
             skipped: Vec::new(),
+            incomplete: false,
         }
     }
 
@@ -435,9 +447,23 @@ mod tests {
         let s = Survey::from_json(json).unwrap();
         assert!(!s.observations[0].degraded);
         assert!(s.skipped.is_empty());
+        assert!(!s.incomplete);
         // Pre-versioning JSON reads back as schema version 0 with every
         // newer field defaulted.
         assert_eq!(s.schema_version, 0);
+    }
+
+    #[test]
+    fn incomplete_flag_roundtrips() {
+        let mut s = Survey::new("preempted");
+        s.push(2, 10, MetricKind::Flops, 1.0);
+        s.incomplete = true;
+        let back = Survey::from_json(&s.to_json()).unwrap();
+        assert!(back.incomplete);
+        assert_eq!(s, back);
+        // Schema-1 files (written only by completed sweeps) default clean.
+        let v1 = r#"{"schema_version": 1, "app": "old", "observations": []}"#;
+        assert!(!Survey::from_json(v1).unwrap().incomplete);
     }
 
     #[test]

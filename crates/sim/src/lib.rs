@@ -22,7 +22,12 @@
 //! supervised runner ([`run_ranks_with_faults`], [`run_ranks_supervised`])
 //! reports per-rank completion status instead of hanging on failures, and
 //! a watchdog turns genuine deadlocks into a structured
-//! [`SimError::Deadlock`] naming the blocked ranks.
+//! [`SimError::Deadlock`] naming the blocked ranks. Runs are also
+//! *preemptible*: arm a [`SimConfig::cancel`] token
+//! (`exareq_core::cancel::CancelToken`) and every rank winds down
+//! cooperatively at its next communication chokepoint — blocked ranks are
+//! woken by the supervisor — yielding [`SimError::Cancelled`] instead of
+//! an abandoned run.
 //!
 //! ```
 //! use exareq_sim::{run_ranks, total_stats};

@@ -13,6 +13,7 @@ use crate::fault::{FaultState, FaultStats};
 use crate::runner::{PendingMsg, RankState, Supervision};
 use crate::stats::{CommStats, OpClass};
 use bytes::Bytes;
+use exareq_core::cancel::CancelReason;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -39,6 +40,9 @@ pub(crate) enum Ctl {
     PeerFailed { rank: usize, why: String },
     /// The supervisor is tearing the run down (watchdog fired).
     Abort { why: String },
+    /// The run's cancellation token fired; every rank should wind down
+    /// with a structured `Cancelled` status at its next chokepoint.
+    Cancel { reason: CancelReason },
 }
 
 /// What actually travels on a rank's channel.
@@ -135,6 +139,9 @@ pub(crate) enum RankAbort {
     InjectedCrash { op: u64 },
     /// Communication became impossible (peer death cascade, watchdog).
     Comm(CommError),
+    /// The run's cancellation token fired (observed at a chokepoint probe
+    /// or via a supervisor [`Ctl::Cancel`] notice while blocked).
+    Cancelled(CancelReason),
 }
 
 /// What this rank knows about each peer's liveness (learned from `Ctl`
@@ -386,6 +393,12 @@ impl Rank {
                         why,
                     });
                 }
+                Ok(Envelope::Ctl(Ctl::Cancel { reason })) => {
+                    // Cooperative preemption, not a failure: unwind with
+                    // the typed payload so the runner reports a structured
+                    // `Cancelled` status for this rank.
+                    std::panic::panic_any(RankAbort::Cancelled(reason));
+                }
                 Err(_) => {
                     return Err(CommError::Disconnected {
                         rank: self.rank,
@@ -398,12 +411,21 @@ impl Rank {
     }
 
     /// Counts a communication op and fires the injected crash point if
-    /// this op reaches it.
+    /// this op reaches it. Doubles as the rank-side cancellation probe:
+    /// every communication chokepoint passes through here, so a cancelled
+    /// token stops the rank at the next op. On the clean path (no token
+    /// armed) the probe costs one branch; with a live token it is a single
+    /// relaxed atomic load.
     fn tick_op(&mut self) {
         if let Some(op) = self.faults.tick_op() {
             self.fault_stats.injected_crashes += 1;
             self.set_state(RankState::Failed);
             std::panic::panic_any(RankAbort::InjectedCrash { op });
+        }
+        if let Some(token) = &self.sup.cancel {
+            if let Err(c) = token.checkpoint() {
+                std::panic::panic_any(RankAbort::Cancelled(c.reason));
+            }
         }
     }
 

@@ -24,6 +24,7 @@
 use crate::fault::{FaultPlan, FaultStats};
 use crate::rank::{CommError, Ctl, Rank, RankAbort};
 use crate::stats::CommStats;
+use exareq_core::cancel::{CancelReason, CancelToken};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +57,12 @@ pub struct SimConfig {
     /// Wall-clock hang detector; `None` disables it (a genuine deadlock
     /// then blocks forever, like the seed runner).
     pub watchdog: Option<Duration>,
+    /// Cooperative cancellation token. When set, every rank probes it at
+    /// its communication chokepoints and the supervisor polls it between
+    /// completions, waking blocked ranks with a cancel notice — the run
+    /// winds down with structured [`RankStatus::Cancelled`] reports and a
+    /// [`SimError::Cancelled`] instead of being abandoned mid-flight.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SimConfig {
@@ -64,7 +71,14 @@ impl SimConfig {
         SimConfig {
             faults,
             watchdog: Some(DEFAULT_WATCHDOG),
+            cancel: None,
         }
+    }
+
+    /// Returns this config with the given cancellation token armed.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 }
 
@@ -143,6 +157,13 @@ pub enum SimError {
         /// World size of the failed run.
         ranks: usize,
     },
+    /// The run's cancellation token fired (interrupt, deadline, or budget):
+    /// the run was wound down cooperatively and its partial measurement is
+    /// discarded so a resumed sweep re-measures it identically.
+    Cancelled {
+        /// Why the run was cancelled.
+        reason: CancelReason,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -160,6 +181,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::AllRanksFailed { ranks } => {
                 write!(f, "all {ranks} ranks failed; no surviving results")
+            }
+            SimError::Cancelled { reason } => {
+                write!(f, "run cancelled: {reason}")
             }
         }
     }
@@ -189,6 +213,12 @@ pub enum RankStatus {
     Aborted {
         /// Formatted [`CommError`] description.
         why: String,
+    },
+    /// The rank observed the run's cancellation token and wound down
+    /// cooperatively at a communication chokepoint.
+    Cancelled {
+        /// Why the run was cancelled.
+        reason: CancelReason,
     },
 }
 
@@ -300,6 +330,10 @@ pub(crate) struct Supervision {
     pub(crate) progress: AtomicU64,
     /// Last published state of each rank.
     pub(crate) states: Vec<Mutex<RankState>>,
+    /// The run's cancellation token, probed by ranks at their
+    /// communication chokepoints (`None` when cancellation is not armed:
+    /// the probe then costs a single branch).
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 /// How a rank thread actually ended, before public classification.
@@ -307,6 +341,7 @@ enum RawStatus<T> {
     Completed(T),
     Crashed { op: u64 },
     Aborted(CommError),
+    Cancelled(CancelReason),
     Panicked(Box<dyn Any + Send>),
 }
 
@@ -364,6 +399,7 @@ where
     let sup = Arc::new(Supervision {
         progress: AtomicU64::new(0),
         states: (0..p).map(|_| Mutex::new(RankState::Running)).collect(),
+        cancel: cfg.cancel.clone(),
     });
 
     // Full mesh: one unbounded channel per rank, everyone holds senders.
@@ -398,24 +434,43 @@ where
                         rank.broadcast_ctl(Ctl::PeerDone { rank: rank_id });
                         RawStatus::Completed(value)
                     }
-                    Err(payload) => {
-                        let (why, status) = match payload.downcast::<RankAbort>() {
-                            Ok(abort) => match *abort {
-                                RankAbort::InjectedCrash { op } => (
-                                    format!("rank {rank_id} crashed (injected fault at op {op})"),
-                                    RawStatus::Crashed { op },
-                                ),
-                                RankAbort::Comm(err) => (err.to_string(), RawStatus::Aborted(err)),
-                            },
-                            Err(payload) => (
-                                format!("rank {rank_id} panicked: {}", panic_message(&*payload)),
-                                RawStatus::Panicked(payload),
-                            ),
-                        };
-                        rank.publish_state(RankState::Failed);
-                        rank.broadcast_ctl(Ctl::PeerFailed { rank: rank_id, why });
-                        status
-                    }
+                    Err(payload) => match payload.downcast::<RankAbort>() {
+                        Ok(abort) => match *abort {
+                            RankAbort::InjectedCrash { op } => {
+                                rank.publish_state(RankState::Failed);
+                                rank.broadcast_ctl(Ctl::PeerFailed {
+                                    rank: rank_id,
+                                    why: format!(
+                                        "rank {rank_id} crashed (injected fault at op {op})"
+                                    ),
+                                });
+                                RawStatus::Crashed { op }
+                            }
+                            RankAbort::Comm(err) => {
+                                rank.publish_state(RankState::Failed);
+                                rank.broadcast_ctl(Ctl::PeerFailed {
+                                    rank: rank_id,
+                                    why: err.to_string(),
+                                });
+                                RawStatus::Aborted(err)
+                            }
+                            // A cancelled rank tells its peers to cancel
+                            // too (not that it "failed"), so every rank
+                            // winds down with the same structured status.
+                            RankAbort::Cancelled(reason) => {
+                                rank.publish_state(RankState::Failed);
+                                rank.broadcast_ctl(Ctl::Cancel { reason });
+                                RawStatus::Cancelled(reason)
+                            }
+                        },
+                        Err(payload) => {
+                            let why =
+                                format!("rank {rank_id} panicked: {}", panic_message(&*payload));
+                            rank.publish_state(RankState::Failed);
+                            rank.broadcast_ctl(Ctl::PeerFailed { rank: rank_id, why });
+                            RawStatus::Panicked(payload)
+                        }
+                    },
                 };
                 let report = RawReport {
                     status,
@@ -442,23 +497,46 @@ where
         let mut last_progress = sup.progress.load(Ordering::Relaxed);
         let mut frozen_since = Instant::now();
         let mut fired = false;
+        let mut cancel_notified = false;
+        // Cancellation needs the supervisor awake even without a watchdog,
+        // so any armed token forces the polling receive path.
+        let polling = cfg.watchdog.is_some() || cfg.cancel.is_some();
 
         while finished < p {
-            match cfg.watchdog {
-                None => {
-                    let f = done_rx.recv().expect("rank threads outlive the run");
+            if !polling {
+                let f = done_rx.recv().expect("rank threads outlive the run");
+                slots[f.rank] = Some(f.report);
+                keepalive.push(f.keep);
+                finished += 1;
+                continue;
+            }
+            match done_rx.recv_timeout(poll) {
+                Ok(f) => {
                     slots[f.rank] = Some(f.report);
                     keepalive.push(f.keep);
                     finished += 1;
+                    frozen_since = Instant::now();
                 }
-                Some(timeout) => match done_rx.recv_timeout(poll) {
-                    Ok(f) => {
-                        slots[f.rank] = Some(f.report);
-                        keepalive.push(f.keep);
-                        finished += 1;
-                        frozen_since = Instant::now();
+                Err(RecvTimeoutError::Timeout) => {
+                    // Cancellation probe: evaluates the deadline (if any)
+                    // and wakes every blocked rank with a cancel notice so
+                    // the run winds down instead of waiting on dead peers.
+                    if let Some(token) = &cfg.cancel {
+                        if !cancel_notified {
+                            if let Err(c) = token.checkpoint() {
+                                cancel_notified = true;
+                                for tx in &txs {
+                                    let _ = tx.send(crate::rank::Envelope::Ctl(Ctl::Cancel {
+                                        reason: c.reason,
+                                    }));
+                                }
+                            }
+                        }
                     }
-                    Err(RecvTimeoutError::Timeout) => {
+                    let Some(timeout) = cfg.watchdog else {
+                        continue;
+                    };
+                    {
                         let progress = sup.progress.load(Ordering::Relaxed);
                         if progress != last_progress {
                             last_progress = progress;
@@ -509,10 +587,10 @@ where
                             }
                         }
                     }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        unreachable!("rank threads hold done_tx until they report")
-                    }
-                },
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("rank threads hold done_tx until they report")
+                }
             }
         }
         drop(keepalive);
@@ -548,6 +626,7 @@ where
     let cfg = SimConfig {
         faults: FaultPlan::default(),
         watchdog: None,
+        cancel: None,
     };
     let (reports, _stall) = run_raw(p, &cfg, body);
 
@@ -579,6 +658,9 @@ where
                 RawStatus::Crashed { .. } => {
                     unreachable!("no faults are injected under run_ranks")
                 }
+                RawStatus::Cancelled(_) => {
+                    unreachable!("no cancel token is armed under run_ranks")
+                }
                 RawStatus::Panicked(_) => unreachable!("propagated above"),
             }
         })
@@ -593,7 +675,10 @@ where
 /// so partial measurements stay usable. Returns
 /// [`Err(SimError::Deadlock)`](SimError::Deadlock) only when the watchdog
 /// fires on a run with **no** failures and **no** injected fault events —
-/// i.e. the application itself deadlocked.
+/// i.e. the application itself deadlocked. If `cfg.cancel` is armed and
+/// fires, the run winds down cooperatively and returns
+/// [`Err(SimError::Cancelled)`](SimError::Cancelled): partial measurements
+/// of a preempted run are discarded, never recorded.
 ///
 /// # Panics
 /// Panics if `p == 0`.
@@ -620,6 +705,7 @@ where
                     },
                     None,
                 ),
+                RawStatus::Cancelled(reason) => (RankStatus::Cancelled { reason }, None),
                 RawStatus::Panicked(payload) => (
                     RankStatus::Panicked {
                         message: panic_message(&*payload),
@@ -638,6 +724,12 @@ where
         .collect();
 
     let outcome = SimOutcome { ranks, stall };
+    // A cancelled token invalidates the whole run: the partial measurement
+    // is discarded (never recorded as degraded data) so a resumed sweep
+    // re-measures this configuration from scratch, byte-identically.
+    if let Some(reason) = cfg.cancel.as_ref().and_then(|t| t.reason()) {
+        return Err(SimError::Cancelled { reason });
+    }
     if let Some(info) = &outcome.stall {
         let any_failure = outcome.ranks.iter().any(|r| {
             matches!(
@@ -801,6 +893,93 @@ mod tests {
             }
             other => panic!("rank 2 should abort on the dead peer, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn live_token_does_not_perturb_a_clean_run() {
+        let token = CancelToken::new();
+        let cfg = SimConfig::with_faults(FaultPlan::none()).with_cancel(token.clone());
+        let outcome = run_ranks_supervised(4, &cfg, |r| {
+            let mut v = vec![r.rank() as f64];
+            r.allreduce_sum(&mut v);
+            v[0]
+        })
+        .expect("live token must not cancel anything");
+        assert!(!outcome.is_degraded());
+        assert_eq!(outcome.completed(), 4);
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_ranks_at_the_first_chokepoint() {
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Interrupt);
+        let cfg = SimConfig::with_faults(FaultPlan::none()).with_cancel(token);
+        let err = run_ranks_supervised(4, &cfg, |r| {
+            let next = (r.rank() + 1) % r.size();
+            let prev = (r.rank() + r.size() - 1) % r.size();
+            r.send(next, 0, &[0u8; 8]);
+            let _ = r.recv(prev, 0);
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Cancelled {
+                reason: CancelReason::Interrupt
+            }
+        );
+    }
+
+    #[test]
+    fn cancellation_wakes_ranks_blocked_in_recv() {
+        // Both ranks post a receive no one will ever satisfy: without
+        // cancellation this blocks forever (watchdog disabled). The token
+        // fires from outside and the supervisor must wake both ranks.
+        let token = CancelToken::new();
+        let external = token.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            external.cancel(CancelReason::Interrupt);
+        });
+        let cfg = SimConfig {
+            faults: FaultPlan::none(),
+            watchdog: None,
+            cancel: Some(token),
+        };
+        let err = run_ranks_supervised(2, &cfg, |r| {
+            let peer = 1 - r.rank();
+            let _ = r.recv(peer, 42); // neither side ever sends
+        })
+        .unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(
+            err,
+            SimError::Cancelled {
+                reason: CancelReason::Interrupt
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_on_the_token_cancels_a_stuck_run() {
+        use exareq_core::cancel::Deadline;
+        let token = CancelToken::new().with_deadline(Deadline::after(Duration::from_millis(50)));
+        let cfg = SimConfig {
+            faults: FaultPlan::none(),
+            watchdog: None,
+            cancel: Some(token),
+        };
+        let err = run_ranks_supervised(2, &cfg, |r| {
+            let peer = 1 - r.rank();
+            let _ = r.recv(peer, 7);
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Cancelled {
+                reason: CancelReason::Deadline
+            }
+        );
     }
 
     #[test]

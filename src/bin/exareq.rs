@@ -11,18 +11,19 @@
 //! ```
 
 use exareq::apps::{
-    all_apps_extended as all_apps, run_survey_resilient, AppGrid, RetryPolicy, SurveyRunError,
+    all_apps_extended as all_apps, run_survey_cancellable, AppGrid, RetryPolicy, SurveyRunError,
 };
 use exareq::codesign::report::{render_requirements, render_strawman_block, render_upgrade_block};
 use exareq::codesign::{
     analyze_strawmen, analyze_upgrade, analyze_with_network, baseline_expectation, catalog,
     default_network, table_six, AppRequirements, SystemSkeleton, Upgrade,
 };
+use exareq::core::cancel::{CancelToken, Deadline};
 use exareq::core::collective::render_comm_rows;
 use exareq::core::fsio;
 use exareq::core::multiparam::MultiParamConfig;
 use exareq::pipeline::model_requirements;
-use exareq::profile::journal::{SurveyJournal, SurveyManifest};
+use exareq::profile::journal::{apply_entry, SurveyJournal, SurveyManifest};
 use exareq::profile::Survey;
 use exareq::sim::FaultPlan;
 use std::path::Path;
@@ -37,7 +38,7 @@ USAGE:
     exareq survey <app> [-o FILE] [--p 2,4,8,...] [--n 64,256,...]
                   [--faults seed=S,crash=R@OP,drop=P,dup=P,delay=P,corrupt=P]
                   [--journal FILE] [--resume] [--max-retries N]
-                  [--config-budget-ms N]
+                  [--config-budget-ms N] [--deadline-ms N]
     exareq model <survey.json> [--coarse]
     exareq fit <data.csv> [--coarse]
     exareq upgrades [<survey.json>]
@@ -81,13 +82,82 @@ RESUMABLE SURVEYS (survey --journal):
                             its first retry (doubling per further retry);
                             exhausting it aborts the sweep like a killed
                             batch job — resume from the journal
+
+PREEMPTION (survey):
+    SIGINT (Ctrl-C) and SIGTERM (what batch schedulers send) cancel the
+    sweep *cooperatively*: the configuration in flight is discarded, the
+    journal keeps every completed configuration (each was fsynced before
+    it counted), a partial survey artifact flagged \"incomplete\" is
+    written when a journal is attached, and the exact resume command is
+    printed. --deadline-ms N self-preempts the same way after N
+    milliseconds of wall clock — set it just under the batch allocation
+    so the sweep parks itself cleanly instead of being killed mid-write.
+
+EXIT CODES:
+    0   success
+    2   usage error (unknown command/application, malformed flag)
+    3   data error (unreadable input, failed parse/fit/write)
+    4   resumable abort (per-config wall-clock budget exhausted;
+        journaled configurations are safe — re-run with --resume)
+    5   interrupted (SIGINT/SIGTERM or --deadline-ms; journaled
+        configurations are safe — re-run with --resume)
 ";
+
+/// A failed invocation, classified for the documented exit-code contract
+/// (see `EXIT CODES` in [`USAGE`]; asserted in `tests/cli.rs`):
+/// 0 success · 2 usage · 3 data · 4 resumable abort · 5 interrupted.
+/// Code 1 is deliberately unused — it is what a panicking process reports,
+/// so a scheduler can tell a controlled failure from a crash.
+#[derive(Debug)]
+enum CliError {
+    /// Malformed invocation: unknown command or application, bad flag.
+    Usage(String),
+    /// Unreadable or malformed input data, failed fit, failed write.
+    Data(String),
+    /// The sweep aborted (wall-clock budget) but the journal makes it
+    /// resumable.
+    Resumable(String),
+    /// The sweep was cooperatively cancelled (signal or deadline).
+    Interrupted(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 3,
+            CliError::Resumable(_) => 4,
+            CliError::Interrupted(_) => 5,
+        })
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Data(m)
+            | CliError::Resumable(m)
+            | CliError::Interrupted(m) => m,
+        }
+    }
+}
+
+/// Unclassified `?`-propagated errors are data errors; usage errors are
+/// wrapped explicitly at the argument-parsing sites.
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Data(m)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprint!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match cmd.as_str() {
@@ -102,18 +172,20 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            e.exit_code()
         }
     }
 }
 
-fn cmd_apps() -> Result<(), String> {
+fn cmd_apps() -> Result<(), CliError> {
     println!("built-in behavioural twins (Table II study applications):");
     for app in all_apps() {
         println!("  {}", app.name());
@@ -155,52 +227,79 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn cmd_survey(rest: &[String]) -> Result<(), String> {
+fn cmd_survey(rest: &[String]) -> Result<(), CliError> {
     let mut args: Vec<String> = rest.to_vec();
-    let out_file = take_opt(&mut args, "-o")?;
-    let p_list = take_opt(&mut args, "--p")?;
-    let n_list = take_opt(&mut args, "--n")?;
-    let fault_spec = take_opt(&mut args, "--faults")?;
-    let journal_path = take_opt(&mut args, "--journal")?;
+    let take = |args: &mut Vec<String>, flag| take_opt(args, flag).map_err(CliError::Usage);
+    let out_file = take(&mut args, "-o")?;
+    let p_list = take(&mut args, "--p")?;
+    let n_list = take(&mut args, "--n")?;
+    let fault_spec = take(&mut args, "--faults")?;
+    let journal_path = take(&mut args, "--journal")?;
     let resume = take_flag(&mut args, "--resume");
-    let max_retries = take_opt(&mut args, "--max-retries")?;
-    let budget_ms = take_opt(&mut args, "--config-budget-ms")?;
+    let max_retries = take(&mut args, "--max-retries")?;
+    let budget_ms = take(&mut args, "--config-budget-ms")?;
+    let deadline_ms = take(&mut args, "--deadline-ms")?;
     if resume && journal_path.is_none() {
-        return Err("--resume requires --journal FILE".into());
+        return Err(CliError::usage("--resume requires --journal FILE"));
     }
     let Some(name) = args.first() else {
-        return Err("survey requires an application name (see `exareq apps`)".into());
+        return Err(CliError::usage(
+            "survey requires an application name (see `exareq apps`)",
+        ));
     };
     let apps = all_apps();
     let app = apps
         .iter()
         .find(|a| a.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown application `{name}` (see `exareq apps`)"))?;
+        .ok_or_else(|| {
+            CliError::usage(format!("unknown application `{name}` (see `exareq apps`)"))
+        })?;
 
     let mut grid = AppGrid::default();
-    if let Some(p) = p_list {
-        grid.p_values = parse_list(&p)?;
+    if let Some(p) = &p_list {
+        grid.p_values = parse_list(p).map_err(CliError::Usage)?;
     }
-    if let Some(n) = n_list {
-        grid.n_values = parse_list(&n)?;
+    if let Some(n) = &n_list {
+        grid.n_values = parse_list(n).map_err(CliError::Usage)?;
     }
     let faults = match &fault_spec {
-        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults {spec}: {e}"))?,
+        Some(spec) => {
+            FaultPlan::parse(spec).map_err(|e| CliError::usage(format!("--faults {spec}: {e}")))?
+        }
         None => FaultPlan::none(),
     };
     let mut retry = RetryPolicy::default();
     if let Some(r) = &max_retries {
-        let extra: u32 = r
-            .parse()
-            .map_err(|_| format!("--max-retries: cannot parse `{r}` as a count"))?;
+        let extra: u32 = r.parse().map_err(|_| {
+            CliError::usage(format!("--max-retries: cannot parse `{r}` as a count"))
+        })?;
         retry.max_attempts = 1 + extra;
     }
     if let Some(ms) = &budget_ms {
-        let ms: u64 = ms
-            .parse()
-            .map_err(|_| format!("--config-budget-ms: cannot parse `{ms}` as milliseconds"))?;
+        let ms: u64 = ms.parse().map_err(|_| {
+            CliError::usage(format!(
+                "--config-budget-ms: cannot parse `{ms}` as milliseconds"
+            ))
+        })?;
         retry.config_budget = Some(Duration::from_millis(ms));
     }
+
+    // Cancellation: SIGINT/SIGTERM route to the token via the in-tree
+    // sigaction binding; --deadline-ms arms a wall-clock deadline on the
+    // same token. Both stop the sweep at its next checkpoint.
+    let cancel = CancelToken::new();
+    exareq::signal::install_termination_handlers(&cancel);
+    let cancel = match &deadline_ms {
+        Some(ms) => {
+            let ms: u64 = ms.parse().map_err(|_| {
+                CliError::usage(format!(
+                    "--deadline-ms: cannot parse `{ms}` as milliseconds"
+                ))
+            })?;
+            cancel.with_deadline(Deadline::after(Duration::from_millis(ms)))
+        }
+        None => cancel,
+    };
     eprintln!(
         "surveying {} over p={:?}, n={:?} ...",
         app.name(),
@@ -240,10 +339,10 @@ fn cmd_survey(rest: &[String]) -> Result<(), String> {
                 j
             } else {
                 if !resume && Path::new(jp).exists() {
-                    return Err(format!(
+                    return Err(CliError::Data(format!(
                         "journal {jp} already exists; pass --resume to continue that sweep \
                          or choose a fresh journal path"
-                    ));
+                    )));
                 }
                 SurveyJournal::create(jp, manifest)
                     .map_err(|e| format!("creating journal {jp}: {e}"))?
@@ -252,20 +351,89 @@ fn cmd_survey(rest: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let survey = run_survey_resilient(app.as_ref(), &grid, &faults, &retry, journal.as_mut())
-        .map_err(|e| match (&e, &journal_path) {
-            (SurveyRunError::BudgetExhausted { .. }, Some(jp)) => format!(
-                "{e}\nevery completed configuration is safe in {jp}; \
-                 re-run with `--journal {jp} --resume` to continue"
-            ),
-            (SurveyRunError::BudgetExhausted { .. }, None) => format!(
-                "{e}\nno journal was attached, so completed configurations are lost; \
-                 re-run with --journal FILE to make the sweep resumable"
-            ),
-            _ => e.to_string(),
-        })?;
+    let artifact = out_file
+        .clone()
+        .unwrap_or_else(|| format!("survey_{}.json", name.to_lowercase()));
+    // The exact invocation that continues this sweep after an abort.
+    let resume_command = |jp: &str| {
+        let mut c = format!("exareq survey {name}");
+        for (flag, value) in [
+            ("-o", &out_file),
+            ("--p", &p_list),
+            ("--n", &n_list),
+            ("--faults", &fault_spec),
+            ("--max-retries", &max_retries),
+            ("--config-budget-ms", &budget_ms),
+        ] {
+            if let Some(v) = value {
+                c.push_str(&format!(" {flag} {v}"));
+            }
+        }
+        c.push_str(&format!(" --journal {jp} --resume"));
+        c
+    };
+    let survey = match run_survey_cancellable(
+        app.as_ref(),
+        &grid,
+        &faults,
+        &retry,
+        journal.as_mut(),
+        &cancel,
+    ) {
+        Ok(s) => s,
+        Err(e @ SurveyRunError::BudgetExhausted { .. }) => {
+            return Err(match &journal_path {
+                Some(jp) => CliError::Resumable(format!(
+                    "{e}\nevery completed configuration is safe in {jp}; \
+                     re-run with\n  {}\nto continue",
+                    resume_command(jp)
+                )),
+                None => CliError::Resumable(format!(
+                    "{e}\nno journal was attached, so completed configurations are lost; \
+                     re-run with --journal FILE to make the sweep resumable"
+                )),
+            });
+        }
+        Err(SurveyRunError::Cancelled { reason }) => {
+            // Graceful shutdown: the journal already holds every completed
+            // configuration (each append was fsynced before it counted; the
+            // config in flight was discarded, never recorded). Write a
+            // partial artifact flagged `incomplete` and print the exact
+            // resume command.
+            return Err(match (&journal_path, journal.as_ref()) {
+                (Some(jp), Some(j)) => {
+                    let mut partial = Survey::new(app.name());
+                    for entry in j.entries() {
+                        apply_entry(&mut partial, entry);
+                    }
+                    partial.incomplete = true;
+                    let json = partial
+                        .try_to_json()
+                        .map_err(|e| format!("serializing partial survey: {e}"))?;
+                    fsio::write_atomic(&artifact, json).map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "partial survey ({} of {} configurations, flagged incomplete) \
+                         written to {artifact}",
+                        j.entries().len(),
+                        grid.p_values.len() * grid.n_values.len()
+                    );
+                    CliError::Interrupted(format!(
+                        "survey cancelled: {reason}\nevery completed configuration is \
+                         safe in {jp}; re-run with\n  {}\nto continue",
+                        resume_command(jp)
+                    ))
+                }
+                _ => CliError::Interrupted(format!(
+                    "survey cancelled: {reason}\nno journal was attached, so completed \
+                     configurations are lost; re-run with --journal FILE to make the \
+                     sweep resumable"
+                )),
+            });
+        }
+        Err(e) => return Err(CliError::Data(e.to_string())),
+    };
     let total = grid.p_values.len() * grid.n_values.len();
-    let path = out_file.unwrap_or_else(|| format!("survey_{}.json", name.to_lowercase()));
+    let path = artifact;
     let json = survey
         .try_to_json()
         .map_err(|e| format!("serializing survey: {e}"))?;
@@ -342,7 +510,7 @@ fn fit_survey(path: &str, coarse: bool) -> Result<AppRequirements, String> {
     Ok(modeled.requirements)
 }
 
-fn cmd_model(rest: &[String]) -> Result<(), String> {
+fn cmd_model(rest: &[String]) -> Result<(), CliError> {
     let mut args: Vec<String> = rest.to_vec();
     let coarse = if let Some(i) = args.iter().position(|a| a == "--coarse") {
         args.remove(i);
@@ -351,12 +519,13 @@ fn cmd_model(rest: &[String]) -> Result<(), String> {
         false
     };
     let Some(path) = args.first() else {
-        return Err("model requires a survey JSON path".into());
+        return Err(CliError::usage("model requires a survey JSON path"));
     };
-    fit_survey(path, coarse).map(|_| ())
+    fit_survey(path, coarse)?;
+    Ok(())
 }
 
-fn cmd_fit(rest: &[String]) -> Result<(), String> {
+fn cmd_fit(rest: &[String]) -> Result<(), CliError> {
     let mut args: Vec<String> = rest.to_vec();
     let coarse = if let Some(i) = args.iter().position(|a| a == "--coarse") {
         args.remove(i);
@@ -365,7 +534,7 @@ fn cmd_fit(rest: &[String]) -> Result<(), String> {
         false
     };
     let Some(path) = args.first() else {
-        return Err("fit requires a CSV path".into());
+        return Err(CliError::usage("fit requires a CSV path"));
     };
     let text = fsio::read_to_string(path).map_err(|e| e.to_string())?;
     let exp = exareq::core::csv::experiment_from_csv(&text).map_err(|e| e.to_string())?;
@@ -388,7 +557,7 @@ fn cmd_fit(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_upgrades(rest: &[String]) -> Result<(), String> {
+fn cmd_upgrades(rest: &[String]) -> Result<(), CliError> {
     let apps: Vec<AppRequirements> = if let Some(path) = rest.first() {
         vec![fit_survey(path, false)?]
     } else {
@@ -420,11 +589,11 @@ fn cmd_upgrades(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(rest: &[String]) -> Result<(), String> {
+fn cmd_report(rest: &[String]) -> Result<(), CliError> {
     let mut args: Vec<String> = rest.to_vec();
-    let out_file = take_opt(&mut args, "-o")?;
+    let out_file = take_opt(&mut args, "-o").map_err(CliError::Usage)?;
     let Some(path) = args.first() else {
-        return Err("report requires a survey JSON path".into());
+        return Err(CliError::usage("report requires a survey JSON path"));
     };
     let survey = load_survey(path)?;
     let cfg = MultiParamConfig::default();
@@ -627,7 +796,7 @@ In words:
     Ok(())
 }
 
-fn cmd_strawman(rest: &[String]) -> Result<(), String> {
+fn cmd_strawman(rest: &[String]) -> Result<(), CliError> {
     let with_network = rest.iter().any(|a| a == "--network");
     let systems = table_six();
     for app in catalog::paper_models() {

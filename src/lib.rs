@@ -21,9 +21,12 @@
 //! The [`pipeline`] module wires measurement to modeling: it runs an
 //! application survey through the model generator and assembles a complete
 //! [`exareq_codesign::AppRequirements`] bundle, exactly as the paper's tool
-//! chain does.
+//! chain does. The [`signal`] module binds `sigaction(2)` in-tree so the
+//! CLI can turn `SIGINT`/`SIGTERM` into cooperative cancellation.
 
 #![warn(missing_docs)]
+
+pub mod signal;
 
 pub use exareq_apps as apps;
 pub use exareq_codesign as codesign;

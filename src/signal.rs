@@ -1,0 +1,152 @@
+//! Minimal in-tree POSIX signal binding for graceful preemption.
+//!
+//! The `exareq` CLI must react to `SIGINT` (Ctrl-C) and `SIGTERM` (the
+//! signal batch schedulers send before a hard kill) by *cooperatively*
+//! cancelling the running survey: flush the journal, write a partial
+//! artifact, print the resume command, exit with the documented code.
+//! Rust's standard library exposes no signal API and this workspace adds
+//! no external crates, so this module binds `sigaction(2)` directly
+//! against the C library that is already linked into every Linux binary.
+//!
+//! The handler itself does the only thing an async-signal-safe handler
+//! can do: a single lock-free compare-exchange on the cancellation flag
+//! shared with a [`CancelToken`] (obtained via
+//! [`CancelToken::signal_flag`]). First reason wins, exactly as in
+//! [`CancelToken::cancel`] — a deadline that fired just before the
+//! signal is not overwritten. Everything else (journal flush, artifact
+//! write, exit) happens on the main thread at the next checkpoint.
+//!
+//! On non-Linux targets the module compiles to inert stubs:
+//! [`install_termination_handlers`] reports `false` and the CLI simply
+//! runs without signal-triggered preemption (deadlines and budgets still
+//! work — they never involve the OS).
+
+use exareq_core::cancel::CancelToken;
+
+/// Signal number for keyboard interrupt (`SIGINT`).
+pub const SIGINT: i32 = 2;
+/// Signal number for polite termination (`SIGTERM`).
+pub const SIGTERM: i32 = 15;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use exareq_core::cancel::{CancelReason, CancelToken};
+    use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
+
+    /// glibc's `struct sigaction` on Linux: handler pointer, 1024-bit
+    /// signal mask, flags, obsolete restorer slot. (The *kernel* struct
+    /// orders the fields differently; we only ever hand this to the libc
+    /// wrapper, which translates.)
+    #[repr(C)]
+    struct SigAction {
+        sa_sigaction: usize,
+        sa_mask: [u64; 16],
+        sa_flags: i32,
+        sa_restorer: usize,
+    }
+
+    /// Restart interrupted syscalls instead of surfacing `EINTR`: the
+    /// cancellation is delivered through the flag, not through errno.
+    const SA_RESTART: i32 = 0x1000_0000;
+
+    extern "C" {
+        fn sigaction(signum: i32, act: *const SigAction, oldact: *mut SigAction) -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+
+    /// The cancellation flag the handler writes to. Null until
+    /// [`install`] has run; the pointee is leaked by
+    /// `CancelToken::signal_flag`, so it is valid for the process
+    /// lifetime once set.
+    static FLAG: AtomicPtr<AtomicU8> = AtomicPtr::new(std::ptr::null_mut());
+
+    extern "C" fn on_termination_signal(_signum: i32) {
+        let flag = FLAG.load(Ordering::Acquire);
+        if !flag.is_null() {
+            // First reason wins, mirroring CancelToken::cancel. A plain
+            // store would clobber an already-recorded Deadline/Budget.
+            let _ = unsafe { &*flag }.compare_exchange(
+                0,
+                CancelReason::Interrupt.code(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    pub fn install(token: &CancelToken, signals: &[i32]) -> bool {
+        let flag = token.signal_flag();
+        FLAG.store(flag as *const AtomicU8 as *mut AtomicU8, Ordering::Release);
+        let act = SigAction {
+            sa_sigaction: on_termination_signal as *const () as usize,
+            sa_mask: [0; 16],
+            sa_flags: SA_RESTART,
+            sa_restorer: 0,
+        };
+        signals
+            .iter()
+            .all(|&sig| unsafe { sigaction(sig, &act, std::ptr::null_mut()) } == 0)
+    }
+
+    pub fn send(pid: u32, sig: i32) -> bool {
+        unsafe { kill(pid as i32, sig) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use exareq_core::cancel::CancelToken;
+
+    pub fn install(_token: &CancelToken, _signals: &[i32]) -> bool {
+        false
+    }
+
+    pub fn send(_pid: u32, _sig: i32) -> bool {
+        false
+    }
+}
+
+/// Routes `SIGINT` and `SIGTERM` to `token` as a
+/// [`CancelReason::Interrupt`](exareq_core::cancel::CancelReason)
+/// cancellation. Returns `true` when both handlers were installed
+/// (always `false` off Linux, where this is a no-op).
+///
+/// Call this once, early, from the binary's entry point. Installing
+/// for a second token re-routes the signals to the new token.
+pub fn install_termination_handlers(token: &CancelToken) -> bool {
+    imp::install(token, &[SIGINT, SIGTERM])
+}
+
+/// Sends `sig` to process `pid` via `kill(2)`; `true` on success.
+/// Exists so integration tests can deliver a real `SIGTERM` to a
+/// spawned `exareq` subprocess without any external crate.
+pub fn send_signal(pid: u32, sig: i32) -> bool {
+    imp::send(pid, sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_core::cancel::CancelReason;
+
+    // One test, sequential phases: the handler routes through a single
+    // process-global pointer, so concurrent installs would race.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn real_signals_cancel_without_overwriting_earlier_reasons() {
+        let token = CancelToken::new();
+        assert!(install_termination_handlers(&token));
+        // Deliver SIGINT to ourselves; the handler runs synchronously on
+        // this thread before kill() returns.
+        assert!(send_signal(std::process::id(), SIGINT));
+        assert_eq!(token.reason(), Some(CancelReason::Interrupt));
+
+        // Re-route to a token that already carries a reason: the signal
+        // must not clobber it (first reason wins).
+        let expired = CancelToken::new();
+        expired.cancel(CancelReason::Deadline);
+        assert!(install_termination_handlers(&expired));
+        assert!(send_signal(std::process::id(), SIGTERM));
+        assert_eq!(expired.reason(), Some(CancelReason::Deadline));
+    }
+}

@@ -1,45 +1,88 @@
-//! End-to-end tests of the `exareq` command-line interface.
+//! End-to-end tests of the `exareq` command-line interface, including the
+//! documented process exit-code contract:
+//! 0 success · 2 usage error · 3 data error · 4 resumable abort ·
+//! 5 interrupted (code 1 is reserved for panics).
 
 use std::process::Command;
 
-fn exareq(args: &[&str]) -> (bool, String, String) {
+const EXIT_USAGE: i32 = 2;
+const EXIT_DATA: i32 = 3;
+const EXIT_RESUMABLE: i32 = 4;
+const EXIT_INTERRUPTED: i32 = 5;
+
+/// Runs `exareq` and returns (exit code, stdout, stderr). A missing code
+/// (signal death) maps to -1, which no assertion accepts.
+fn exareq(args: &[&str]) -> (i32, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_exareq"))
         .args(args)
         .output()
         .expect("spawn exareq");
     (
-        out.status.success(),
+        out.status.code().unwrap_or(-1),
         String::from_utf8_lossy(&out.stdout).to_string(),
         String::from_utf8_lossy(&out.stderr).to_string(),
     )
 }
 
 #[test]
-fn no_args_prints_usage_and_fails() {
-    let (ok, _, err) = exareq(&[]);
-    assert!(!ok);
+fn no_args_prints_usage_and_exits_with_usage_code() {
+    let (code, _, err) = exareq(&[]);
+    assert_eq!(code, EXIT_USAGE);
     assert!(err.contains("USAGE"));
+    assert!(err.contains("EXIT CODES"), "contract must be documented");
 }
 
 #[test]
 fn help_prints_usage_and_succeeds() {
-    let (ok, out, _) = exareq(&["help"]);
-    assert!(ok);
+    let (code, out, _) = exareq(&["help"]);
+    assert_eq!(code, 0);
     assert!(out.contains("survey"));
     assert!(out.contains("strawman"));
+    assert!(out.contains("--deadline-ms"), "{out}");
 }
 
 #[test]
-fn unknown_command_fails() {
-    let (ok, _, err) = exareq(&["frobnicate"]);
-    assert!(!ok);
+fn unknown_command_is_a_usage_error() {
+    let (code, _, err) = exareq(&["frobnicate"]);
+    assert_eq!(code, EXIT_USAGE);
     assert!(err.contains("unknown command"));
 }
 
 #[test]
+fn malformed_flags_are_usage_errors() {
+    let (code, _, err) = exareq(&["survey", "relearn", "--p", "2,x,8"]);
+    assert_eq!(code, EXIT_USAGE, "{err}");
+    let (code, _, _) = exareq(&["survey", "relearn", "--max-retries", "many"]);
+    assert_eq!(code, EXIT_USAGE);
+    let (code, _, _) = exareq(&["survey", "relearn", "--deadline-ms", "soon"]);
+    assert_eq!(code, EXIT_USAGE);
+    let (code, _, err) = exareq(&["survey", "relearn", "--resume"]);
+    assert_eq!(code, EXIT_USAGE);
+    assert!(err.contains("--journal"), "{err}");
+    let (code, _, _) = exareq(&["model"]);
+    assert_eq!(code, EXIT_USAGE);
+}
+
+#[test]
+fn malformed_input_data_is_a_data_error() {
+    let dir = std::env::temp_dir().join("exareq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("not_a_survey.json");
+    std::fs::write(&bad, "{ this is not json").unwrap();
+    let (code, _, err) = exareq(&["model", bad.to_str().unwrap()]);
+    assert_eq!(code, EXIT_DATA, "{err}");
+
+    let bad_csv = dir.join("nonfinite.csv");
+    std::fs::write(&bad_csv, "p,value\n2,10\n4,nan\n").unwrap();
+    let (code, _, err) = exareq(&["fit", bad_csv.to_str().unwrap()]);
+    assert_eq!(code, EXIT_DATA, "{err}");
+    assert!(err.contains("line 3"), "line number missing: {err}");
+}
+
+#[test]
 fn apps_lists_all_five() {
-    let (ok, out, _) = exareq(&["apps"]);
-    assert!(ok);
+    let (code, out, _) = exareq(&["apps"]);
+    assert_eq!(code, 0);
     for name in ["Kripke", "LULESH", "MILC", "Relearn", "icoFoam"] {
         assert!(out.contains(name), "{out}");
     }
@@ -52,7 +95,7 @@ fn survey_then_model_roundtrip() {
     let path = dir.join("relearn.json");
     let path_s = path.to_str().unwrap();
 
-    let (ok, out, err) = exareq(&[
+    let (code, out, err) = exareq(&[
         "survey",
         "relearn",
         "--p",
@@ -62,11 +105,11 @@ fn survey_then_model_roundtrip() {
         "-o",
         path_s,
     ]);
-    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
     assert!(out.contains("25 configurations"), "{out}");
 
-    let (ok, out, err) = exareq(&["model", path_s]);
-    assert!(ok, "stdout: {out}\nstderr: {err}");
+    let (code, out, err) = exareq(&["model", path_s]);
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
     assert!(out.contains("== Relearn =="), "{out}");
     assert!(out.contains("n^0.5"), "footprint model missing: {out}");
     assert!(out.contains("Allreduce(p)"), "{out}");
@@ -75,15 +118,15 @@ fn survey_then_model_roundtrip() {
 
 #[test]
 fn survey_rejects_unknown_app() {
-    let (ok, _, err) = exareq(&["survey", "nosuchapp"]);
-    assert!(!ok);
+    let (code, _, err) = exareq(&["survey", "nosuchapp"]);
+    assert_eq!(code, EXIT_USAGE);
     assert!(err.contains("unknown application"));
 }
 
 #[test]
 fn model_rejects_missing_file() {
-    let (ok, _, err) = exareq(&["model", "/nonexistent/path.json"]);
-    assert!(!ok);
+    let (code, _, err) = exareq(&["model", "/nonexistent/path.json"]);
+    assert_eq!(code, EXIT_DATA);
     // The typed I/O error names the operation and the offending path.
     assert!(err.contains("read"), "{err}");
     assert!(err.contains("/nonexistent/path.json"), "{err}");
@@ -95,7 +138,7 @@ fn report_generates_full_dossier() {
     std::fs::create_dir_all(&dir).unwrap();
     let survey = dir.join("kripke_report_in.json");
     let report = dir.join("kripke_report.md");
-    let (ok, _, err) = exareq(&[
+    let (code, _, err) = exareq(&[
         "survey",
         "kripke",
         "--p",
@@ -105,14 +148,14 @@ fn report_generates_full_dossier() {
         "-o",
         survey.to_str().unwrap(),
     ]);
-    assert!(ok, "{err}");
-    let (ok, _, err) = exareq(&[
+    assert_eq!(code, 0, "{err}");
+    let (code, _, err) = exareq(&[
         "report",
         survey.to_str().unwrap(),
         "-o",
         report.to_str().unwrap(),
     ]);
-    assert!(ok, "{err}");
+    assert_eq!(code, 0, "{err}");
     let md = std::fs::read_to_string(&report).unwrap();
     for section in [
         "# Co-design dossier: Kripke",
@@ -134,16 +177,16 @@ fn fit_command_on_csv() {
     std::fs::create_dir_all(&dir).unwrap();
     let csv = dir.join("lin.csv");
     std::fs::write(&csv, "p,value\n2,14\n4,28\n8,56\n16,112\n32,224\n").unwrap();
-    let (ok, out, err) = exareq(&["fit", csv.to_str().unwrap()]);
-    assert!(ok, "{err}");
+    let (code, out, err) = exareq(&["fit", csv.to_str().unwrap()]);
+    assert_eq!(code, 0, "{err}");
     assert!(out.contains("7·p"), "{out}");
     assert!(out.contains("grows linearly"), "{out}");
 }
 
 #[test]
 fn upgrades_with_paper_catalog() {
-    let (ok, out, _) = exareq(&["upgrades"]);
-    assert!(ok);
+    let (code, out, _) = exareq(&["upgrades"]);
+    assert_eq!(code, 0);
     assert!(out.contains("Double the racks"), "{out}");
     assert!(out.contains("Kripke"), "{out}");
     assert!(out.contains("Baseline"), "{out}");
@@ -151,9 +194,96 @@ fn upgrades_with_paper_catalog() {
 
 #[test]
 fn strawman_with_network() {
-    let (ok, out, _) = exareq(&["strawman", "--network"]);
-    assert!(ok);
+    let (code, out, _) = exareq(&["strawman", "--network"]);
+    assert_eq!(code, 0);
     assert!(out.contains("Massively parallel"), "{out}");
     assert!(out.contains("network-aware"), "{out}");
     assert!(out.contains("excluded"), "icoFoam exclusion missing: {out}");
+}
+
+#[test]
+fn expired_deadline_exits_interrupted_with_partial_artifact_and_resume_hint() {
+    let dir = std::env::temp_dir().join("exareq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("deadline.jsonl");
+    let artifact = dir.join("deadline_survey.json");
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&artifact);
+    let journal_s = journal.to_str().unwrap();
+    let artifact_s = artifact.to_str().unwrap();
+
+    // A zero deadline has expired before the first checkpoint: the sweep
+    // measures nothing and parks itself.
+    let args = |deadline: &[&'static str]| {
+        let mut a = vec![
+            "survey",
+            "relearn",
+            "--p",
+            "2,4",
+            "--n",
+            "64,256",
+            "-o",
+            artifact_s,
+            "--journal",
+            journal_s,
+        ];
+        a.extend_from_slice(deadline);
+        a
+    };
+    let (code, _, err) = exareq(&args(&["--deadline-ms", "0"]));
+    assert_eq!(code, EXIT_INTERRUPTED, "{err}");
+    assert!(err.contains("deadline expired"), "{err}");
+    // The exact resume command is printed …
+    assert!(err.contains("--resume"), "{err}");
+    assert!(err.contains(journal_s), "{err}");
+    // … the journal is valid (header only — nothing completed) …
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(text.lines().count(), 1, "{text}");
+    // … and the partial artifact is flagged incomplete. (A stub JSON
+    // serializer emits empty artifacts; content is only asserted when a
+    // real serializer produced output.)
+    let partial = std::fs::read_to_string(&artifact).unwrap();
+    assert!(
+        partial.is_empty() || partial.contains("\"incomplete\": true"),
+        "{partial}"
+    );
+
+    // Resuming without a deadline completes the sweep and clears the flag.
+    let (code, out, err) = exareq(&args(&["--resume"]));
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("survey complete: 4/4"), "{out}");
+    let finished = std::fs::read_to_string(&artifact).unwrap();
+    assert!(
+        finished.is_empty() || finished.contains("\"incomplete\": false"),
+        "{finished}"
+    );
+}
+
+#[test]
+fn exhausted_config_budget_exits_resumable() {
+    let dir = std::env::temp_dir().join("exareq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("budget.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    // A deterministic crash keeps every attempt degraded; the zero
+    // wall-clock budget then trips before the first retry.
+    let (code, _, err) = exareq(&[
+        "survey",
+        "relearn",
+        "--p",
+        "2,4",
+        "--n",
+        "64",
+        "--faults",
+        "crash=1@2",
+        "--max-retries",
+        "2",
+        "--config-budget-ms",
+        "0",
+        "--journal",
+        journal.to_str().unwrap(),
+    ]);
+    assert_eq!(code, EXIT_RESUMABLE, "{err}");
+    assert!(err.contains("--resume"), "{err}");
 }

@@ -1,0 +1,77 @@
+//! Property-based hardening checks for the journal's JSON codec: no input
+//! — malformed, truncated, hostile, or valid — may panic the parser, and
+//! everything the writer emits must round-trip exactly.
+
+use exareq::profile::minijson::{parse, Json, JsonErrorKind};
+use proptest::prelude::*;
+
+/// Arbitrary JSON values (finite numbers only: non-finite ones serialize
+/// as tagged strings by design and compare through `to_f64_lossless`).
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        prop::num::f64::NORMAL.prop_map(Json::Num),
+        any::<String>().prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(6, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Json::Arr),
+            prop::collection::vec((any::<String>(), inner), 0..8).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary input never panics: it parses or fails with a typed
+    /// error, nothing else.
+    #[test]
+    fn arbitrary_input_never_panics(input in any::<String>()) {
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary *almost-JSON* input (drawn from JSON's own alphabet, so
+    /// it reaches deep into the parser) never panics either.
+    #[test]
+    fn json_flavoured_garbage_never_panics(
+        input in proptest::string::string_regex(
+            r#"[\[\]{}:,"\\0-9a-z.eE+\- \t\n]{0,256}"#
+        ).unwrap()
+    ) {
+        let _ = parse(&input);
+    }
+
+    /// Every proper prefix of a valid line — a torn journal tail — fails
+    /// cleanly instead of panicking or yielding a partial value.
+    #[test]
+    fn truncated_valid_lines_fail_cleanly(v in arb_json(), cut in any::<prop::sample::Index>()) {
+        let line = v.to_line();
+        let cut = cut.index(line.len().max(1));
+        if let Some(prefix) = line.get(..cut) {
+            if let Err(e) = parse(prefix) {
+                prop_assert_eq!(e.kind, JsonErrorKind::Syntax);
+            } else {
+                // A *proper* prefix can itself be valid JSON only when
+                // the whole line is a bare number ("12" → "1"); torn
+                // containers and strings must fail.
+                prop_assert!(
+                    cut == line.len() || matches!(v, Json::Num(_)),
+                    "prefix `{}` of `{}` parsed",
+                    prefix,
+                    line
+                );
+            }
+        }
+    }
+
+    /// Writer → parser round-trip is exact for every value the journal
+    /// can emit.
+    #[test]
+    fn writer_output_roundtrips(v in arb_json()) {
+        let line = v.to_line();
+        let back = parse(&line);
+        prop_assert_eq!(Ok(v), back, "{}", line);
+    }
+}

