@@ -26,6 +26,7 @@ pub mod kripke;
 pub mod lulesh;
 pub mod milc;
 pub mod mmm;
+pub mod parallel;
 pub mod relearn;
 pub mod resilient;
 pub mod shapes;
@@ -35,6 +36,7 @@ pub use icofoam::IcoFoam;
 pub use kripke::Kripke;
 pub use lulesh::Lulesh;
 pub use milc::Milc;
+pub use parallel::{default_jobs, run_survey_parallel};
 pub use relearn::Relearn;
 pub use resilient::{
     run_survey_cancellable, run_survey_resilient, survey_app_resilient, RetryPolicy, SurveyRunError,
@@ -262,15 +264,7 @@ fn measure_supervised(
     let io_bytes = survivors.iter().map(|(o, _)| o.3 as f64).sum::<f64>() / pf;
     // Average the per-region flops across ranks (regions are keyed by path;
     // the twins execute the same regions on every rank).
-    let mut flops_by_region: RegionValues = Vec::new();
-    for (obs, _) in &survivors {
-        for (path, v) in &obs.4 {
-            match flops_by_region.iter_mut().find(|(p2, _)| p2 == path) {
-                Some((_, acc)) => *acc += v / pf,
-                None => flops_by_region.push((path.clone(), v / pf)),
-            }
-        }
-    }
+    let flops_by_region = merge_region_values(survivors.iter().map(|(o, _)| &o.4), pf);
     let comm_total = survivors.iter().map(|(_, s)| s.total() as f64).sum::<f64>() / pf;
     let imbalance = {
         let ratio = |f: &dyn Fn(&(RankObs, CommStats)) -> f64, mean: f64| {
@@ -321,6 +315,36 @@ fn measure_supervised(
         degraded,
         completed_ranks: survivors.len() as u64,
     })
+}
+
+/// Sums per-region values across ranks, scaling each contribution by
+/// `1 / pf`, in first-appearance order (the order the regions are first
+/// seen walking the ranks, which for the twins — identical call trees on
+/// every rank — is rank 0's region order).
+///
+/// Hash-indexed, so merging R regions over k ranks is O(k·R) rather than
+/// the O(k·R²) of a per-region linear scan; the output is byte-identical
+/// to the naive merge because only the *lookup* changed, not the
+/// accumulation order (each region's partial sums still arrive in rank
+/// order).
+fn merge_region_values<'a>(
+    per_rank: impl Iterator<Item = &'a RegionValues>,
+    pf: f64,
+) -> RegionValues {
+    let mut merged: RegionValues = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for regions in per_rank {
+        for (path, v) in regions {
+            match index.get(path) {
+                Some(&i) => merged[i].1 += v / pf,
+                None => {
+                    index.insert(path.clone(), merged.len());
+                    merged.push((path.clone(), v / pf));
+                }
+            }
+        }
+    }
+    merged
 }
 
 /// The measurement grid of an application survey.
@@ -514,6 +538,34 @@ mod tests {
                 m.imbalance
             );
         }
+    }
+
+    #[test]
+    fn region_merge_matches_naive_merge_with_many_regions() {
+        // The hash-indexed merge must reproduce the old linear-scan merge
+        // exactly — same sums, same first-appearance ordering — on a wide
+        // profile (hundreds of regions, ragged across ranks).
+        let ranks: Vec<RegionValues> = (0..8)
+            .map(|r| {
+                (0..300)
+                    .filter(|i| (i + r) % 3 != 0) // ragged: each rank misses some
+                    .map(|i| (format!("main/phase{}/kernel{i}", i % 7), (i * r + 1) as f64))
+                    .collect()
+            })
+            .collect();
+        let pf = ranks.len() as f64;
+        let mut naive: RegionValues = Vec::new();
+        for regions in &ranks {
+            for (path, v) in regions {
+                match naive.iter_mut().find(|(p2, _)| p2 == path) {
+                    Some((_, acc)) => *acc += v / pf,
+                    None => naive.push((path.clone(), v / pf)),
+                }
+            }
+        }
+        let merged = merge_region_values(ranks.iter(), pf);
+        assert_eq!(merged, naive);
+        assert!(merged.len() > 100, "grid must exercise many regions");
     }
 
     #[test]

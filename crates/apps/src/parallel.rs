@@ -1,0 +1,369 @@
+//! Parallel survey execution: a bounded worker pool in front of a
+//! canonical-order sequencer.
+//!
+//! The measurement grid of a survey is embarrassingly parallel: every
+//! `(p, n)` configuration derives its fault seeds purely from
+//! `(plan seed, p, n, attempt)` ([`exareq_sim::derive_attempt_seed`]), so
+//! configurations can be measured in any order — or concurrently — and
+//! still produce bit-identical results. What is *not* order-free is the
+//! observable trail: the in-memory [`Survey`] folds observations in grid
+//! order, and the write-ahead journal's crash-consistency story (PRs 2–3)
+//! assumes the file is a canonical-order prefix of completed configs.
+//!
+//! [`run_survey_parallel`] therefore splits the sequential driver in two:
+//!
+//! - **workers** (up to `jobs` OS threads) claim pending configurations in
+//!   canonical grid order from a shared counter and measure them under the
+//!   same retry policy as the sequential driver
+//!   ([`crate::resilient::measure_config_resilient`] — literally the same
+//!   function);
+//! - a **sequencer/reorder buffer** hands each finished result to the
+//!   committer in canonical order. The committer (the calling thread)
+//!   journals, folds into the survey, and charges the probe budget —
+//!   exactly the sequential driver's commit sequence, so journal bytes,
+//!   survey artifacts, resume behaviour, and budget-deterministic
+//!   preemption are all byte-identical to `--jobs 1`.
+//!
+//! Cancellation (`SIGINT`/`SIGTERM`/`--deadline-ms`) drains rather than
+//! tears: in-flight measurements observe the shared token at their rank
+//! chokepoints and wind down discarded, workers stop claiming, and the
+//! committer stops committing at its canonical cursor — the journal keeps
+//! only whole completed configurations, in canonical order, just like a
+//! sequential preemption.
+
+use crate::resilient::{measure_config_resilient, run_survey_cancellable};
+use crate::{AppGrid, MiniApp, RetryPolicy, SurveyRunError};
+use exareq_core::cancel::CancelToken;
+use exareq_profile::journal::{apply_entry, JournalEntry, SurveyJournal};
+use exareq_profile::Survey;
+use exareq_sim::FaultPlan;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Reorder buffer between the worker pool and the committer: workers
+/// deposit results under any interleaving; the committer takes them in
+/// canonical index order, blocking until the next one is in.
+struct Sequencer {
+    slots: Mutex<Vec<Option<Result<JournalEntry, SurveyRunError>>>>,
+    ready: Condvar,
+}
+
+impl Sequencer {
+    fn new(len: usize) -> Self {
+        Sequencer {
+            slots: Mutex::new((0..len).map(|_| None).collect()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn put(&self, idx: usize, result: Result<JournalEntry, SurveyRunError>) {
+        let mut slots = self.slots.lock().expect("sequencer lock");
+        slots[idx] = Some(result);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until slot `idx` is filled, then takes it. Only ever called
+    /// for indices some worker is guaranteed to fill (claims advance in
+    /// index order and a claimed slot is always deposited, even on error).
+    fn take(&self, idx: usize) -> Result<JournalEntry, SurveyRunError> {
+        let mut slots = self.slots.lock().expect("sequencer lock");
+        loop {
+            if let Some(result) = slots[idx].take() {
+                return result;
+            }
+            slots = self.ready.wait(slots).expect("sequencer lock");
+        }
+    }
+}
+
+/// Picks the default worker count for a sweep of `grid`: the machine's
+/// available parallelism, capped so that `jobs × max(p)` rank threads stay
+/// within a small multiple of the cores.
+///
+/// Rank threads spend most of their life blocked on channels, so modest
+/// oversubscription (the cap allows `2 × cores` rank threads in flight) is
+/// free; unbounded oversubscription is not — hundreds of runnable threads
+/// thrash the scheduler and, at the extreme, can starve a run long enough
+/// for its hang watchdog to misfire. Returns at least 1.
+pub fn default_jobs(grid: &AppGrid) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let max_p = grid.p_values.iter().copied().max().unwrap_or(1).max(1);
+    (2 * cores / max_p).clamp(1, cores)
+}
+
+/// Runs an application survey with up to `jobs` configurations measured
+/// concurrently, preserving every guarantee of the sequential driver.
+///
+/// Semantics are **byte-identical** to
+/// [`run_survey_cancellable`](crate::run_survey_cancellable) for any
+/// `jobs`:
+///
+/// - per-config measurements are order-independent (seeds derive from
+///   `(plan, p, n, attempt)` only), and the committer folds results into
+///   the [`Survey`] in canonical grid order;
+/// - journal appends happen on the committer, in canonical order, each
+///   fsynced before the next — an interrupted parallel sweep leaves the
+///   same canonical-order prefix of whole configs a sequential one would,
+///   and resuming it (with any job count) completes to the same bytes;
+/// - the probe budget ([`CancelToken::with_budget`]) is charged by the
+///   committer after each committed config, so `with_budget(k)` journals
+///   exactly `k` configurations — the deterministic preemption lever the
+///   tests rely on — regardless of `jobs`;
+/// - cancellation drains: workers stop claiming, in-flight measurements
+///   wind down via their rank-chokepoint probes and are discarded, and the
+///   committer returns [`SurveyRunError::Cancelled`] without journaling
+///   anything past its canonical cursor. Results already measured beyond
+///   that cursor are deliberately dropped (journaling them would make the
+///   file diverge from the sequential prefix shape).
+///
+/// `jobs <= 1` (or a grid of at most one pending config) delegates to the
+/// sequential driver outright.
+///
+/// # Errors
+/// Exactly [`run_survey_cancellable`](crate::run_survey_cancellable)'s:
+/// journal I/O failures, per-config wall-clock budget exhaustion (reported
+/// at its canonical grid position), and cancellation.
+pub fn run_survey_parallel(
+    app: &dyn MiniApp,
+    grid: &AppGrid,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
+    mut journal: Option<&mut SurveyJournal>,
+    cancel: &CancelToken,
+    jobs: usize,
+) -> Result<Survey, SurveyRunError> {
+    let configs: Vec<(usize, u64)> = grid
+        .p_values
+        .iter()
+        .flat_map(|&p| grid.n_values.iter().map(move |&n| (p, n)))
+        .collect();
+    // Resolve journal replays up front (the pool never touches the
+    // journal; only the committer holds its mutable borrow).
+    let replayed: Vec<Option<JournalEntry>> = configs
+        .iter()
+        .map(|&(p, n)| journal.as_deref().and_then(|j| j.get(p as u64, n)).cloned())
+        .collect();
+    let pending: Vec<usize> = (0..configs.len())
+        .filter(|&i| replayed[i].is_none())
+        .collect();
+    if jobs <= 1 || pending.len() <= 1 {
+        return run_survey_cancellable(app, grid, faults, retry, journal, cancel);
+    }
+
+    let seq = Sequencer::new(configs.len());
+    let next_claim = AtomicUsize::new(0);
+    // Raised on the first error (cancellation, budget exhaustion, journal
+    // failure): workers finish the config they are measuring — earlier
+    // canonical slots must still fill — but claim nothing new.
+    let abort = AtomicBool::new(false);
+
+    let mut survey = Survey::new(app.name());
+    let mut outcome = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(pending.len()) {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let claim = next_claim.fetch_add(1, Ordering::Relaxed);
+                let Some(&idx) = pending.get(claim) else {
+                    break;
+                };
+                let (p, n) = configs[idx];
+                // The same probe the sequential driver runs before each
+                // measurement; a cancelled claim still deposits, so the
+                // committer never waits on an abandoned slot.
+                let result = match cancel.checkpoint() {
+                    Err(c) => Err(SurveyRunError::Cancelled { reason: c.reason }),
+                    Ok(()) => measure_config_resilient(app, p, n, faults, retry, cancel),
+                };
+                if result.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                seq.put(idx, result);
+            });
+        }
+
+        // The committer: canonical order, sequential commit sequence.
+        for (idx, entry) in replayed.iter().enumerate() {
+            if let Some(entry) = entry {
+                apply_entry(&mut survey, entry);
+                continue;
+            }
+            if let Err(c) = cancel.checkpoint() {
+                outcome = Err(SurveyRunError::Cancelled { reason: c.reason });
+                break;
+            }
+            match seq.take(idx) {
+                Ok(entry) => {
+                    if let Some(j) = journal.as_deref_mut() {
+                        if let Err(e) = j.append(&entry) {
+                            outcome = Err(e.into());
+                            break;
+                        }
+                    }
+                    apply_entry(&mut survey, &entry);
+                    cancel.consume(1);
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        if outcome.is_err() {
+            abort.store(true, Ordering::Relaxed);
+        }
+    });
+    outcome.map(|()| survey)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{survey_app_resilient, Relearn};
+    use exareq_core::cancel::CancelReason;
+    use exareq_profile::journal::SurveyManifest;
+
+    fn grid() -> AppGrid {
+        AppGrid {
+            p_values: vec![2, 4],
+            n_values: vec![64, 256],
+        }
+    }
+
+    fn manifest() -> SurveyManifest {
+        SurveyManifest::new(
+            "Relearn",
+            grid().p_values.iter().map(|&p| p as u64).collect(),
+            grid().n_values.clone(),
+            "seed=7,drop=0.01",
+        )
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("exareq_parallel_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn parallel_survey_equals_sequential() {
+        let plan = FaultPlan::with_seed(7).drop(0.01);
+        let retry = RetryPolicy::retries(1);
+        let sequential = survey_app_resilient(&Relearn, &grid(), &plan, &retry);
+        for jobs in [2, 4, 8] {
+            let parallel = run_survey_parallel(
+                &Relearn,
+                &grid(),
+                &plan,
+                &retry,
+                None,
+                &CancelToken::new(),
+                jobs,
+            )
+            .unwrap();
+            assert_eq!(parallel, sequential, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn default_jobs_is_at_least_one_and_caps_oversubscription() {
+        let jobs = default_jobs(&grid());
+        assert!(jobs >= 1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert!(jobs <= cores);
+        // A huge p caps the pool down to a single in-flight config.
+        let wide = AppGrid {
+            p_values: vec![4096],
+            n_values: vec![64],
+        };
+        assert_eq!(default_jobs(&wide), 1);
+    }
+
+    #[test]
+    fn probe_budget_commits_exactly_k_under_parallelism() {
+        let plan = FaultPlan::with_seed(7).drop(0.01);
+        let retry = RetryPolicy::retries(1);
+        let path = tmp("budget.jsonl");
+        let mut j = SurveyJournal::create(&path, manifest()).unwrap();
+        let token = CancelToken::with_budget(2);
+        let err = run_survey_parallel(&Relearn, &grid(), &plan, &retry, Some(&mut j), &token, 4)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SurveyRunError::Cancelled {
+                reason: CancelReason::Budget
+            }
+        ));
+        drop(j);
+        let j = SurveyJournal::resume(&path, &manifest()).unwrap();
+        assert_eq!(j.entries().len(), 2, "budget k must journal exactly k");
+        // The prefix is canonical: the first two grid configs, in order.
+        assert_eq!(
+            j.entries().iter().map(|e| (e.p, e.n)).collect::<Vec<_>>(),
+            vec![(2, 64), (2, 256)]
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_measures_nothing_in_parallel() {
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Interrupt);
+        let err = run_survey_parallel(
+            &Relearn,
+            &grid(),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+            None,
+            &token,
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SurveyRunError::Cancelled {
+                reason: CancelReason::Interrupt
+            }
+        ));
+    }
+
+    #[test]
+    fn fully_journaled_sweep_replays_without_workers() {
+        let plan = FaultPlan::with_seed(7).drop(0.01);
+        let retry = RetryPolicy::retries(1);
+        let full = survey_app_resilient(&Relearn, &grid(), &plan, &retry);
+        let path = tmp("replay.jsonl");
+        let mut j = SurveyJournal::create(&path, manifest()).unwrap();
+        run_survey_parallel(
+            &Relearn,
+            &grid(),
+            &plan,
+            &retry,
+            Some(&mut j),
+            &CancelToken::new(),
+            4,
+        )
+        .unwrap();
+        drop(j);
+        let mut j = SurveyJournal::resume(&path, &manifest()).unwrap();
+        assert_eq!(j.entries().len(), 4);
+        let replayed = run_survey_parallel(
+            &Relearn,
+            &grid(),
+            &plan,
+            &retry,
+            Some(&mut j),
+            &CancelToken::new(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(replayed, full);
+    }
+}

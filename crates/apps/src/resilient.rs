@@ -151,7 +151,11 @@ impl From<JournalError> for SurveyRunError {
 
 /// Measures one configuration under the retry policy, returning the final
 /// attempt's journal entry — or a budget-exhaustion error.
-fn measure_config_resilient(
+///
+/// Shared with the parallel engine ([`crate::parallel`]): the per-config
+/// work is identical under both drivers, which is what makes a `--jobs N`
+/// sweep byte-identical to a sequential one.
+pub(crate) fn measure_config_resilient(
     app: &dyn MiniApp,
     p: usize,
     n: u64,

@@ -1,0 +1,224 @@
+//! Survey-throughput study: configs/sec of the sequential driver vs the
+//! parallel engine at `--jobs 2/4/8`, plus a per-measurement overhead
+//! breakdown, emitted machine-readably as `BENCH_survey.json`.
+//!
+//! The sweep is the methodology's practical bottleneck (every model the
+//! generator fits consumes a full (p, n) grid of simulated runs), so this
+//! binary is the repo's perf trajectory: run it before and after touching
+//! the simulator or the survey drivers.
+//!
+//! `--tiny` shrinks the grid to 4 configs and the job counts to {1, 2}
+//! for CI smoke use. The JSON is written with the in-tree `minijson`
+//! writer, so it parses offline (no serde_json involved).
+//!
+//! Every parallel run is checked for equality against the sequential
+//! survey — a speedup that broke determinism would be reported as
+//! `"identical": false` and the process exits nonzero.
+
+use exareq_apps::{run_survey_parallel, AppGrid, MiniApp, Relearn, RetryPolicy};
+use exareq_bench::write_report;
+use exareq_core::cancel::CancelToken;
+use exareq_locality::{BurstSampler, BurstSchedule};
+use exareq_profile::journal::{JournalEntry, SurveyJournal, SurveyManifest};
+use exareq_profile::minijson::Json;
+use exareq_profile::{MetricKind, Observation, Survey};
+use exareq_sim::{run_ranks_supervised, FaultPlan, SimConfig};
+use std::time::Instant;
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Times one journal-free sweep at the given job count; returns
+/// (elapsed seconds, survey).
+fn timed_sweep(grid: &AppGrid, jobs: usize) -> (f64, Survey) {
+    let started = Instant::now();
+    let survey = run_survey_parallel(
+        &Relearn,
+        grid,
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+        None,
+        &CancelToken::new(),
+        jobs,
+    )
+    .expect("journal-free unbudgeted sweep cannot fail");
+    (started.elapsed().as_secs_f64(), survey)
+}
+
+/// Mean wall-clock milliseconds of `f` over `iters` runs.
+fn mean_ms(iters: u32, mut f: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    started.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (grid, job_counts): (AppGrid, Vec<usize>) = if tiny {
+        (
+            AppGrid {
+                p_values: vec![2, 4],
+                n_values: vec![64, 256],
+            },
+            vec![1, 2],
+        )
+    } else {
+        (
+            AppGrid {
+                p_values: vec![2, 4, 8, 16],
+                n_values: vec![64, 256, 1024, 4096],
+            },
+            vec![1, 2, 4, 8],
+        )
+    };
+    let configs = grid.p_values.len() * grid.n_values.len();
+    // Speedup is bounded by the host's core count (the sweep is CPU-bound:
+    // the simulator never sleeps), so the report records it — a ~1x result
+    // on a single-core machine is expected, not a regression.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "survey throughput: Relearn over p={:?}, n={:?} ({configs} configs), \
+         jobs {job_counts:?}, {cores} core(s)",
+        grid.p_values, grid.n_values
+    );
+
+    // Warm-up: fault the page cache / allocator, outside every timing.
+    let _ = timed_sweep(&grid, 1);
+
+    let (seq_secs, sequential) = timed_sweep(&grid, 1);
+    let seq_rate = configs as f64 / seq_secs;
+    eprintln!("  jobs=1: {seq_secs:.2} s  ({seq_rate:.2} configs/s)");
+
+    let mut all_identical = true;
+    let mut job_rows = Vec::new();
+    for &jobs in &job_counts[1..] {
+        let (secs, survey) = timed_sweep(&grid, jobs);
+        let rate = configs as f64 / secs;
+        let identical = survey == sequential;
+        all_identical &= identical;
+        eprintln!(
+            "  jobs={jobs}: {secs:.2} s  ({rate:.2} configs/s, {:.2}x{})",
+            rate / seq_rate,
+            if identical { "" } else { ", NOT IDENTICAL" }
+        );
+        job_rows.push(obj(vec![
+            ("jobs", num(jobs as f64)),
+            ("seconds", num(secs)),
+            ("configs_per_sec", num(rate)),
+            ("speedup", num(rate / seq_rate)),
+            ("identical", Json::Bool(identical)),
+        ]));
+    }
+
+    // Per-measurement overhead breakdown, each component in isolation:
+    // - full measurement (simulated run + locality kernel) at a mid-grid
+    //   config;
+    // - rank-thread spawn/join alone (trivial bodies, same p) — the cost
+    //   pooling rank threads across configs would save;
+    // - the locality kernel alone;
+    // - one fsynced journal append of a realistic entry.
+    let p_mid = grid.p_values[grid.p_values.len() / 2];
+    let n_mid = grid.n_values[grid.n_values.len() / 2];
+    let measure_ms = mean_ms(5, || {
+        let _ = exareq_apps::measure(&Relearn, p_mid, n_mid);
+    });
+    let cfg = SimConfig::with_faults(FaultPlan::none());
+    let spawn_ms = mean_ms(20, || {
+        run_ranks_supervised(p_mid, &cfg, |_| ()).expect("trivial run completes");
+    });
+    let locality_ms = mean_ms(5, || {
+        let mut sampler = BurstSampler::new(BurstSchedule::always());
+        Relearn.run_locality(n_mid, &mut sampler);
+    });
+    let journal_ms = {
+        let dir = std::env::temp_dir().join("exareq_survey_throughput");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("append_timing.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let manifest = SurveyManifest::new("Relearn", vec![2], vec![64], "bench");
+        let mut journal = SurveyJournal::create(&path, manifest).expect("create journal");
+        let observations: Vec<Observation> = (0..20)
+            .map(|i| Observation {
+                p: 2,
+                n: 64,
+                metric: MetricKind::Flops,
+                channel: Some(format!("main/kernel{i}")),
+                value: 1.0e9 + f64::from(i),
+                degraded: false,
+            })
+            .collect();
+        let entry = JournalEntry {
+            p: 2,
+            n: 64,
+            attempts: 1,
+            seed: 7,
+            skip_reason: None,
+            observations,
+        };
+        let ms = mean_ms(50, || journal.append(&entry).expect("append"));
+        let _ = std::fs::remove_file(&path);
+        ms
+    };
+    eprintln!(
+        "  overhead at (p={p_mid}, n={n_mid}): measure {measure_ms:.2} ms, \
+         rank spawn/join {spawn_ms:.3} ms, locality {locality_ms:.2} ms, \
+         journal append {journal_ms:.3} ms"
+    );
+
+    let report = obj(vec![
+        ("schema", num(1.0)),
+        ("app", Json::Str("Relearn".to_string())),
+        ("cores", num(cores as f64)),
+        (
+            "grid",
+            obj(vec![
+                (
+                    "p",
+                    Json::Arr(grid.p_values.iter().map(|&p| num(p as f64)).collect()),
+                ),
+                (
+                    "n",
+                    Json::Arr(grid.n_values.iter().map(|&n| num(n as f64)).collect()),
+                ),
+                ("configs", num(configs as f64)),
+            ]),
+        ),
+        (
+            "sequential",
+            obj(vec![
+                ("seconds", num(seq_secs)),
+                ("configs_per_sec", num(seq_rate)),
+            ]),
+        ),
+        ("jobs", Json::Arr(job_rows)),
+        (
+            "overhead_ms",
+            obj(vec![
+                ("measure", num(measure_ms)),
+                ("rank_spawn_join", num(spawn_ms)),
+                ("locality", num(locality_ms)),
+                ("journal_append", num(journal_ms)),
+            ]),
+        ),
+    ]);
+    write_report("BENCH_survey.json", &report.to_line());
+
+    if !all_identical {
+        eprintln!("error: a parallel sweep diverged from the sequential survey");
+        std::process::exit(1);
+    }
+}

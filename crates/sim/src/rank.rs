@@ -241,6 +241,19 @@ impl Rank {
     }
 
     pub(crate) fn send_class(&mut self, class: OpClass, dst: usize, tag: u64, data: &[u8]) {
+        // The borrowed API pays exactly one copy (slice → owned buffer),
+        // as it always has; callers that already own their payload use
+        // [`Rank::send_bytes_class`] and pay none.
+        self.send_bytes_class(class, dst, tag, data.to_vec());
+    }
+
+    /// Owned-payload send: moves `data` into the message without copying.
+    /// Fault corruption flips bytes in place on the owned buffer, so the
+    /// whole path — clean or corrupt — allocates nothing beyond the buffer
+    /// the caller already built. Byte accounting is identical to the
+    /// borrowed path (recorded from the payload length before any fault
+    /// decision).
+    pub(crate) fn send_bytes_class(&mut self, class: OpClass, dst: usize, tag: u64, data: Vec<u8>) {
         assert!(
             dst < self.size,
             "rank {}: destination {dst} out of range",
@@ -256,21 +269,18 @@ impl Rank {
         self.stats.record_send(class, data.len());
 
         let decision = self.faults.decide(dst, data.len());
-        let payload = if decision.corrupt_at.is_empty() {
-            Bytes::copy_from_slice(data)
-        } else {
-            let mut bytes = data.to_vec();
+        let mut bytes = data;
+        if !decision.corrupt_at.is_empty() {
             for &pos in &decision.corrupt_at {
                 bytes[pos] ^= 0xFF;
             }
             self.fault_stats.corrupted_msgs += 1;
             self.fault_stats.corrupted_bytes += decision.corrupt_at.len() as u64;
-            Bytes::from(bytes)
-        };
+        }
         let msg = Msg {
             src: self.rank,
             tag,
-            data: payload,
+            data: Bytes::from(bytes),
         };
 
         if decision.drop {
@@ -475,8 +485,7 @@ impl Rank {
 
     /// Sends a slice of `f64`s (convenience wrapper over [`Rank::send`]).
     pub fn send_f64s(&mut self, dst: usize, tag: u64, data: &[f64]) {
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.send(dst, tag, &bytes);
+        self.send_bytes_class(OpClass::P2p, dst, tag, encode_f64s(data));
     }
 
     /// Receives a slice of `f64`s sent with [`Rank::send_f64s`].
@@ -486,14 +495,25 @@ impl Rank {
     }
 
     pub(crate) fn send_f64s_class(&mut self, class: OpClass, dst: usize, tag: u64, data: &[f64]) {
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.send_class(class, dst, tag, &bytes);
+        self.send_bytes_class(class, dst, tag, encode_f64s(data));
     }
 
     pub(crate) fn recv_f64s_class(&mut self, class: OpClass, src: usize, tag: u64) -> Vec<f64> {
         let raw = self.recv_class(class, src, tag);
         decode_f64s(&raw)
     }
+}
+
+/// Encodes a slice of `f64`s as little-endian bytes in one exactly-sized
+/// allocation (the old `flat_map().collect()` grew the vector by repeated
+/// doubling *and* was copied a second time into the message; paired with
+/// [`Rank::send_bytes_class`] the payload is now built once and moved).
+pub(crate) fn encode_f64s(data: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(8 * data.len());
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
 }
 
 pub(crate) fn decode_f64s(raw: &[u8]) -> Vec<f64> {
@@ -571,6 +591,35 @@ mod tests {
         assert_eq!(results[1].value, vec![1.5, -2.25, 1e300]);
         // 3 doubles = 24 bytes
         assert_eq!(results[0].stats.total_sent(), 24);
+    }
+
+    #[test]
+    fn encode_f64s_matches_reference_encoding_exactly_sized() {
+        let data = [1.5f64, -2.25, 1e300, f64::MIN_POSITIVE, 0.0, -0.0];
+        let reference: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let encoded = encode_f64s(&data);
+        assert_eq!(encoded, reference);
+        assert_eq!(encoded.capacity(), 8 * data.len(), "one exact allocation");
+        assert_eq!(decode_f64s(&encoded), data.to_vec());
+        assert!(encode_f64s(&[]).is_empty());
+    }
+
+    #[test]
+    fn owned_send_path_accounts_bytes_like_borrowed() {
+        // send_f64s now moves its buffer; the accounting must be what the
+        // borrowed path records for the same traffic.
+        let results = run_ranks(2, |r| {
+            if r.rank() == 0 {
+                r.send_f64s(1, 0, &[1.0, 2.0, 3.0, 4.0]);
+                r.send(1, 1, &[7u8; 10]);
+            } else {
+                let _ = r.recv_f64s(0, 0);
+                let _ = r.recv(0, 1);
+            }
+        });
+        assert_eq!(results[0].stats.total_sent(), 32 + 10);
+        assert_eq!(results[1].stats.total_recv(), 32 + 10);
+        assert_eq!(results[0].stats.messages_sent, 2);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! ```
 
 use exareq::apps::{
-    all_apps_extended as all_apps, run_survey_cancellable, AppGrid, RetryPolicy, SurveyRunError,
+    all_apps_extended as all_apps, default_jobs, run_survey_parallel, AppGrid, RetryPolicy,
+    SurveyRunError,
 };
 use exareq::codesign::report::{render_requirements, render_strawman_block, render_upgrade_block};
 use exareq::codesign::{
@@ -38,7 +39,7 @@ USAGE:
     exareq survey <app> [-o FILE] [--p 2,4,8,...] [--n 64,256,...]
                   [--faults seed=S,crash=R@OP,drop=P,dup=P,delay=P,corrupt=P]
                   [--journal FILE] [--resume] [--max-retries N]
-                  [--config-budget-ms N] [--deadline-ms N]
+                  [--config-budget-ms N] [--deadline-ms N] [--jobs N]
     exareq model <survey.json> [--coarse]
     exareq fit <data.csv> [--coarse]
     exareq upgrades [<survey.json>]
@@ -82,6 +83,17 @@ RESUMABLE SURVEYS (survey --journal):
                             its first retry (doubling per further retry);
                             exhausting it aborts the sweep like a killed
                             batch job — resume from the journal
+
+PARALLEL SWEEPS (survey --jobs):
+    --jobs N                measure up to N (p, n) configurations
+                            concurrently. Results are committed to the
+                            journal and the survey in canonical grid
+                            order, so every artifact — survey JSON,
+                            journal bytes, resume behaviour, exit codes —
+                            is byte-identical to --jobs 1. The default is
+                            the machine's available parallelism, capped
+                            so N jobs x p rank threads do not
+                            oversubscribe the cores.
 
 PREEMPTION (survey):
     SIGINT (Ctrl-C) and SIGTERM (what batch schedulers send) cancel the
@@ -239,6 +251,7 @@ fn cmd_survey(rest: &[String]) -> Result<(), CliError> {
     let max_retries = take(&mut args, "--max-retries")?;
     let budget_ms = take(&mut args, "--config-budget-ms")?;
     let deadline_ms = take(&mut args, "--deadline-ms")?;
+    let jobs_opt = take(&mut args, "--jobs")?;
     if resume && journal_path.is_none() {
         return Err(CliError::usage("--resume requires --journal FILE"));
     }
@@ -283,6 +296,18 @@ fn cmd_survey(rest: &[String]) -> Result<(), CliError> {
         })?;
         retry.config_budget = Some(Duration::from_millis(ms));
     }
+    let jobs = match &jobs_opt {
+        Some(j) => {
+            let j: usize = j
+                .parse()
+                .map_err(|_| CliError::usage(format!("--jobs: cannot parse `{j}` as a count")))?;
+            if j == 0 {
+                return Err(CliError::usage("--jobs must be at least 1"));
+            }
+            j
+        }
+        None => default_jobs(&grid),
+    };
 
     // Cancellation: SIGINT/SIGTERM route to the token via the in-tree
     // sigaction binding; --deadline-ms arms a wall-clock deadline on the
@@ -301,7 +326,7 @@ fn cmd_survey(rest: &[String]) -> Result<(), CliError> {
         None => cancel,
     };
     eprintln!(
-        "surveying {} over p={:?}, n={:?} ...",
+        "surveying {} over p={:?}, n={:?} ({jobs} job(s)) ...",
         app.name(),
         grid.p_values,
         grid.n_values
@@ -364,6 +389,7 @@ fn cmd_survey(rest: &[String]) -> Result<(), CliError> {
             ("--faults", &fault_spec),
             ("--max-retries", &max_retries),
             ("--config-budget-ms", &budget_ms),
+            ("--jobs", &jobs_opt),
         ] {
             if let Some(v) = value {
                 c.push_str(&format!(" {flag} {v}"));
@@ -372,13 +398,14 @@ fn cmd_survey(rest: &[String]) -> Result<(), CliError> {
         c.push_str(&format!(" --journal {jp} --resume"));
         c
     };
-    let survey = match run_survey_cancellable(
+    let survey = match run_survey_parallel(
         app.as_ref(),
         &grid,
         &faults,
         &retry,
         journal.as_mut(),
         &cancel,
+        jobs,
     ) {
         Ok(s) => s,
         Err(e @ SurveyRunError::BudgetExhausted { .. }) => {

@@ -39,6 +39,7 @@ fn help_prints_usage_and_succeeds() {
     assert!(out.contains("survey"));
     assert!(out.contains("strawman"));
     assert!(out.contains("--deadline-ms"), "{out}");
+    assert!(out.contains("--jobs"), "{out}");
 }
 
 #[test]
@@ -59,6 +60,14 @@ fn malformed_flags_are_usage_errors() {
     let (code, _, err) = exareq(&["survey", "relearn", "--resume"]);
     assert_eq!(code, EXIT_USAGE);
     assert!(err.contains("--journal"), "{err}");
+    let (code, _, err) = exareq(&["survey", "relearn", "--jobs", "many"]);
+    assert_eq!(code, EXIT_USAGE);
+    assert!(err.contains("--jobs"), "{err}");
+    let (code, _, err) = exareq(&["survey", "relearn", "--jobs", "0"]);
+    assert_eq!(code, EXIT_USAGE);
+    assert!(err.contains("at least 1"), "{err}");
+    let (code, _, _) = exareq(&["survey", "relearn", "--jobs"]);
+    assert_eq!(code, EXIT_USAGE, "--jobs without a value");
     let (code, _, _) = exareq(&["model"]);
     assert_eq!(code, EXIT_USAGE);
 }

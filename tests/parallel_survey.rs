@@ -1,0 +1,372 @@
+//! Determinism suite for the parallel survey engine: a `--jobs N` sweep
+//! must be indistinguishable — survey artifact, journal bytes, resume
+//! behaviour, preemption semantics — from a `--jobs 1` sweep.
+
+use exareq::apps::{
+    run_survey_cancellable, run_survey_parallel, survey_app_resilient, AppGrid, Relearn,
+    RetryPolicy, SurveyRunError,
+};
+use exareq::core::cancel::{CancelReason, CancelToken};
+use exareq::profile::journal::{SurveyJournal, SurveyManifest};
+use exareq::sim::FaultPlan;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("exareq_parallel_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn grid() -> AppGrid {
+    AppGrid {
+        p_values: vec![2, 4],
+        n_values: vec![64, 256],
+    }
+}
+
+fn manifest(spec: &str) -> SurveyManifest {
+    SurveyManifest::new(
+        "Relearn",
+        grid().p_values.iter().map(|&p| p as u64).collect(),
+        grid().n_values.clone(),
+        spec,
+    )
+}
+
+/// The journal a parallel sweep writes is byte-for-byte the journal a
+/// sequential sweep writes — same entries, same order, same lines.
+#[test]
+fn journal_bytes_identical_across_job_counts() {
+    let plan = FaultPlan::with_seed(7).drop(0.01);
+    let retry = RetryPolicy::retries(1);
+
+    let seq_path = tmp("seq.jsonl");
+    let mut j = SurveyJournal::create(&seq_path, manifest("spec")).unwrap();
+    let sequential = run_survey_cancellable(
+        &Relearn,
+        &grid(),
+        &plan,
+        &retry,
+        Some(&mut j),
+        &CancelToken::new(),
+    )
+    .unwrap();
+    drop(j);
+    let seq_bytes = std::fs::read(&seq_path).unwrap();
+
+    for jobs in [2, 4, 8] {
+        let par_path = tmp(&format!("par_{jobs}.jsonl"));
+        let mut j = SurveyJournal::create(&par_path, manifest("spec")).unwrap();
+        let parallel = run_survey_parallel(
+            &Relearn,
+            &grid(),
+            &plan,
+            &retry,
+            Some(&mut j),
+            &CancelToken::new(),
+            jobs,
+        )
+        .unwrap();
+        drop(j);
+        assert_eq!(parallel, sequential, "survey divergence at jobs={jobs}");
+        let par_bytes = std::fs::read(&par_path).unwrap();
+        assert!(
+            par_bytes == seq_bytes,
+            "journal bytes diverge at jobs={jobs}"
+        );
+    }
+}
+
+/// Deterministic preemption under parallelism: a probe budget of k commits
+/// exactly the same k-entry journal prefix a sequential run commits, and
+/// resuming under `--jobs 4` finishes to the sequential survey and the
+/// sequential journal bytes.
+#[test]
+fn budget_kill_and_resume_under_jobs4_matches_sequential() {
+    let plan = FaultPlan::with_seed(7).drop(0.01);
+    let retry = RetryPolicy::retries(1);
+    let full = survey_app_resilient(&Relearn, &grid(), &plan, &retry);
+
+    // Sequential baseline: full journal bytes and the k=2 prefix bytes.
+    let seq_path = tmp("seq_budget.jsonl");
+    let mut j = SurveyJournal::create(&seq_path, manifest("spec")).unwrap();
+    run_survey_cancellable(
+        &Relearn,
+        &grid(),
+        &plan,
+        &retry,
+        Some(&mut j),
+        &CancelToken::new(),
+    )
+    .unwrap();
+    drop(j);
+    let seq_bytes = std::fs::read(&seq_path).unwrap();
+    let seq_text = String::from_utf8(seq_bytes.clone()).unwrap();
+    let seq_prefix: String = seq_text
+        .lines()
+        .take(3) // header + 2 entries
+        .map(|l| format!("{l}\n"))
+        .collect();
+
+    // Parallel run preempted after exactly 2 committed configs.
+    let par_path = tmp("par_budget.jsonl");
+    let mut j = SurveyJournal::create(&par_path, manifest("spec")).unwrap();
+    let token = CancelToken::with_budget(2);
+    let err =
+        run_survey_parallel(&Relearn, &grid(), &plan, &retry, Some(&mut j), &token, 4).unwrap_err();
+    drop(j);
+    assert!(matches!(
+        err,
+        SurveyRunError::Cancelled {
+            reason: CancelReason::Budget
+        }
+    ));
+    let preempted = std::fs::read_to_string(&par_path).unwrap();
+    assert!(
+        preempted == seq_prefix,
+        "preempted parallel journal is not the sequential 2-entry prefix:\
+         \n--- parallel ---\n{preempted}\n--- sequential prefix ---\n{seq_prefix}"
+    );
+
+    // Resume under jobs=4: survey equals the uninterrupted one and the
+    // finished journal equals the sequential bytes.
+    let mut j = SurveyJournal::resume(&par_path, &manifest("spec")).unwrap();
+    assert_eq!(j.entries().len(), 2);
+    let resumed = run_survey_parallel(
+        &Relearn,
+        &grid(),
+        &plan,
+        &retry,
+        Some(&mut j),
+        &CancelToken::new(),
+        4,
+    )
+    .unwrap();
+    drop(j);
+    assert_eq!(resumed, full);
+    let resumed_bytes = std::fs::read(&par_path).unwrap();
+    assert!(
+        resumed_bytes == seq_bytes,
+        "resumed parallel journal diverges from sequential bytes"
+    );
+}
+
+fn exareq(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .args(args)
+        .output()
+        .expect("spawn exareq");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+/// End to end through the CLI: `--jobs 4` writes the same survey artifact
+/// and the same journal bytes as `--jobs 1`.
+#[test]
+fn cli_jobs_artifacts_byte_identical_to_sequential() {
+    let j1 = tmp("cli_j1.jsonl");
+    let j4 = tmp("cli_j4.jsonl");
+    let a1 = tmp("cli_a1.json");
+    let a4 = tmp("cli_a4.json");
+    let base = [
+        "survey",
+        "relearn",
+        "--p",
+        "2,4",
+        "--n",
+        "64,256",
+        "--faults",
+        "seed=7,drop=0.01",
+        "--max-retries",
+        "1",
+    ];
+    for (jobs, jp, ap) in [("1", &j1, &a1), ("4", &j4, &a4)] {
+        let mut args: Vec<&str> = base.to_vec();
+        let jp = jp.to_str().unwrap();
+        let ap = ap.to_str().unwrap();
+        args.extend(["--jobs", jobs, "--journal", jp, "-o", ap]);
+        let (code, stdout, stderr) = exareq(&args);
+        assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+        assert!(
+            stdout.contains("survey complete: 4/4 configurations"),
+            "{stdout}"
+        );
+    }
+    assert!(
+        std::fs::read(&a4).unwrap() == std::fs::read(&a1).unwrap(),
+        "survey artifact differs between --jobs 4 and --jobs 1"
+    );
+    assert!(
+        std::fs::read(&j4).unwrap() == std::fs::read(&j1).unwrap(),
+        "journal differs between --jobs 4 and --jobs 1"
+    );
+}
+
+/// `--deadline-ms 0` under `--jobs 4` parks the sweep at the very first
+/// commit checkpoint: exit 5, header-only journal, resume hint.
+#[test]
+fn cli_deadline_zero_under_jobs4_parks_cleanly() {
+    let journal = tmp("deadline_j4.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let artifact = tmp("deadline_j4.json");
+    let (code, _, stderr) = exareq(&[
+        "survey",
+        "relearn",
+        "--p",
+        "2,4",
+        "--n",
+        "64,256",
+        "--jobs",
+        "4",
+        "--journal",
+        journal_s,
+        "--deadline-ms",
+        "0",
+        "-o",
+        artifact.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(5), "{stderr}");
+    assert!(stderr.contains("survey cancelled: deadline"), "{stderr}");
+    assert!(
+        stderr.contains("--jobs 4"),
+        "resume hint keeps the flag: {stderr}"
+    );
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(
+        text.lines().count(),
+        1,
+        "deadline 0 must journal nothing past the header: {text}"
+    );
+}
+
+/// Preemption-identity under parallelism, through a real signal: SIGTERM a
+/// `--jobs 4` sweep mid-run; it must exit 5, leave a canonical-order
+/// whole-config journal prefix, and the printed `--resume` path must
+/// finish to an artifact byte-identical to an uninterrupted sequential
+/// baseline.
+#[test]
+#[cfg(target_os = "linux")]
+fn sigterm_under_jobs4_then_resume_is_byte_identical() {
+    use exareq::signal::{send_signal, SIGTERM};
+    use std::time::{Duration, Instant};
+
+    let journal = tmp("sigterm_j4.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let artifact = tmp("sigterm_j4.json");
+    let artifact_s = artifact.to_str().unwrap();
+    let baseline = tmp("sigterm_j4_baseline.json");
+    let baseline_s = baseline.to_str().unwrap();
+
+    // A 25-config sweep (seconds of work): ample time to deliver the
+    // signal while several configs are still in flight.
+    let p_values = [2usize, 4, 8, 16, 32];
+    let n_values = [64u64, 256, 1024, 4096, 16384];
+    let grid_args = [
+        "survey",
+        "relearn",
+        "--p",
+        "2,4,8,16,32",
+        "--n",
+        "64,256,1024,4096,16384",
+        "--faults",
+        "seed=7,drop=0.002",
+    ];
+
+    let mut killed: Vec<&str> = grid_args.to_vec();
+    killed.extend(["--jobs", "4", "--journal", journal_s, "-o", artifact_s]);
+    let child = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .args(&killed)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn exareq");
+
+    // Deliver SIGTERM once at least two configs are durably journaled.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "journal never grew");
+        let lines = std::fs::read_to_string(&journal)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines >= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(send_signal(child.id(), SIGTERM), "kill(2) failed");
+    let out = child.wait_with_output().expect("wait for exareq");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+
+    assert_eq!(out.status.code(), Some(5), "stderr: {stderr}");
+    assert!(stderr.contains("survey cancelled: interrupted"), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+    assert!(
+        stderr.contains("--jobs 4"),
+        "resume hint keeps --jobs: {stderr}"
+    );
+
+    // The journal is a valid, non-torn, *canonical-order* prefix of whole
+    // configs — exactly what a sequential preemption leaves.
+    let m = SurveyManifest::new(
+        "Relearn",
+        p_values.iter().map(|&p| p as u64).collect(),
+        n_values.to_vec(),
+        "seed=7,drop=0.002",
+    );
+    let j = SurveyJournal::resume(&journal, &m).unwrap();
+    assert!(!j.dropped_tail(), "cancellation must not tear the journal");
+    let completed = j.entries().len();
+    assert!(
+        (2..25).contains(&completed),
+        "expected a strict prefix, got {completed} configs"
+    );
+    let canonical: Vec<(u64, u64)> = p_values
+        .iter()
+        .flat_map(|&p| n_values.iter().map(move |&n| (p as u64, n)))
+        .collect();
+    let journaled: Vec<(u64, u64)> = j.entries().iter().map(|e| (e.p, e.n)).collect();
+    assert_eq!(
+        journaled,
+        canonical[..completed].to_vec(),
+        "journal must be a canonical-order prefix"
+    );
+    drop(j);
+
+    // Resume (still at --jobs 4) to completion …
+    let mut resumed: Vec<&str> = grid_args.to_vec();
+    resumed.extend([
+        "--jobs",
+        "4",
+        "--journal",
+        journal_s,
+        "-o",
+        artifact_s,
+        "--resume",
+    ]);
+    let (code, stdout, err) = exareq(&resumed);
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {err}");
+    assert!(
+        stdout.contains("survey complete: 25/25 configurations"),
+        "{stdout}"
+    );
+
+    // … and compare against an uninterrupted *sequential* run of the same
+    // seed: the strongest form of the identity.
+    let mut uninterrupted: Vec<&str> = grid_args.to_vec();
+    uninterrupted.extend(["--jobs", "1", "-o", baseline_s]);
+    let (code, _, err) = exareq(&uninterrupted);
+    assert_eq!(code, Some(0), "{err}");
+    let resumed_bytes = std::fs::read(&artifact).unwrap();
+    let baseline_bytes = std::fs::read(&baseline).unwrap();
+    assert!(
+        resumed_bytes == baseline_bytes,
+        "preemption-identity violated: resumed --jobs 4 artifact differs \
+         from uninterrupted sequential baseline"
+    );
+}
