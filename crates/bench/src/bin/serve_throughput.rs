@@ -1,0 +1,221 @@
+//! Serve-throughput study: request rate and latency percentiles of the
+//! `exareq serve` engine under increasing concurrent client counts,
+//! emitted machine-readably as `BENCH_serve.json`.
+//!
+//! The daemon's whole value proposition is that model evaluation is
+//! microseconds while learning is hours — so the engine itself must stay
+//! out of the way. This binary starts the server in-process on a loopback
+//! ephemeral port, fans out raw-TCP clients, and records req/s with
+//! p50/p95/p99 latency per round, plus error and 503 counts.
+//!
+//! Every 200 body is compared byte-for-byte against the direct
+//! [`exareq_serve::api::predict_body`] call — a daemon that drifted from
+//! the library would be reported as `"identical": false` and the process
+//! exits nonzero. `--tiny` shrinks the rounds for CI smoke use.
+
+use exareq_bench::{num, obj, write_report, LatencySummary};
+use exareq_codesign::catalog;
+use exareq_core::cancel::{CancelReason, CancelToken};
+use exareq_profile::minijson::Json;
+use exareq_serve::registry::Fitter;
+use exareq_serve::{api, artifact, ModelRegistry, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// One raw HTTP/1.1 exchange; returns `(status, body)`.
+fn http_post(addr: SocketAddr, target: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to in-process server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let request = format!(
+        "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("response head is ASCII");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code in status line");
+    (status, raw[head_end + 4..].to_vec())
+}
+
+struct Round {
+    clients: usize,
+    requests_per_client: usize,
+    seconds: f64,
+    errors: u64,
+    rejected_503: u64,
+    identical: bool,
+    latency: LatencySummary,
+}
+
+/// One load round: `clients` threads, each issuing `per_client` sequential
+/// `/predict` calls, every 200 body checked against the library answer.
+fn run_round(addr: SocketAddr, clients: usize, per_client: usize, expected: &str) -> Round {
+    let expected = expected.as_bytes().to_vec();
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                let (mut errors, mut rejected, mut mismatched) = (0u64, 0u64, false);
+                for _ in 0..per_client {
+                    let t0 = Instant::now();
+                    let (status, body) =
+                        http_post(addr, "/predict", r#"{"model":"Kripke","p":1e6,"n":4096}"#);
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    match status {
+                        200 => mismatched |= body != expected,
+                        503 => rejected += 1,
+                        _ => errors += 1,
+                    }
+                }
+                (latencies, errors, rejected, mismatched)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let (mut errors, mut rejected, mut identical) = (0, 0, true);
+    for h in handles {
+        let (lat, e, r, mismatched) = h.join().expect("client thread");
+        latencies.extend(lat);
+        errors += e;
+        rejected += r;
+        identical &= !mismatched;
+    }
+    Round {
+        clients,
+        requests_per_client: per_client,
+        seconds: started.elapsed().as_secs_f64(),
+        errors,
+        rejected_503: rejected,
+        identical,
+        latency: LatencySummary::from_samples(&latencies),
+    }
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (client_counts, per_client): (Vec<usize>, usize) = if tiny {
+        (vec![1, 2], 10)
+    } else {
+        (vec![1, 2, 4, 8], 50)
+    };
+
+    // Model dir: the published Table II catalog as requirements artifacts,
+    // so no fitting happens and the engine itself is what gets timed.
+    let dir = std::env::temp_dir().join(format!("exareq_serve_throughput_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    for app in catalog::paper_models() {
+        std::fs::write(
+            dir.join(format!("{}.json", app.name.to_lowercase())),
+            artifact::requirements_to_string(&app),
+        )
+        .expect("write artifact");
+    }
+    let no_fit: Box<Fitter> = Box::new(|_| Err("bench serves fitted artifacts only".to_string()));
+    let registry = Arc::new(ModelRegistry::new(&dir, no_fit));
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".parse().expect("loopback addr"),
+        threads: 4,
+        queue_depth: 64,
+        request_deadline: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(10),
+        model_dir: dir.clone(),
+    };
+    let cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let server = {
+        let cfg = cfg.clone();
+        let registry = Arc::clone(&registry);
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            exareq_serve::serve(&cfg, registry, &cancel, move |addr| {
+                tx.send(addr).expect("announce bound address");
+            })
+            .expect("engine runs")
+        })
+    };
+    let addr = rx.recv().expect("server ready");
+    let expected = api::predict_body(&catalog::kripke(), 1e6, 4096.0);
+    eprintln!(
+        "serve throughput: {addr}, {} workers, rounds {client_counts:?} x {per_client} requests",
+        cfg.threads
+    );
+
+    // Warm-up outside every timing.
+    let _ = run_round(addr, 1, 5, &expected);
+
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for &clients in &client_counts {
+        let round = run_round(addr, clients, per_client, &expected);
+        let total = (round.clients * round.requests_per_client) as f64;
+        let rate = total / round.seconds;
+        all_identical &= round.identical;
+        eprintln!(
+            "  clients={clients}: {rate:.0} req/s, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+             {} errors, {} x 503{}",
+            round.latency.p50_ms,
+            round.latency.p95_ms,
+            round.latency.p99_ms,
+            round.errors,
+            round.rejected_503,
+            if round.identical {
+                ""
+            } else {
+                ", NOT IDENTICAL"
+            }
+        );
+        let mut members = vec![
+            ("clients", num(clients as f64)),
+            ("requests", num(total)),
+            ("seconds", num(round.seconds)),
+            ("req_per_sec", num(rate)),
+            ("errors", num(round.errors as f64)),
+            ("rejected_503", num(round.rejected_503 as f64)),
+            ("identical", Json::Bool(round.identical)),
+        ];
+        members.extend(round.latency.to_members());
+        rows.push(obj(members));
+    }
+
+    cancel.cancel(CancelReason::Interrupt);
+    let summary = server.join().expect("server thread");
+
+    let report = obj(vec![
+        ("schema", num(1.0)),
+        ("model", Json::Str("Kripke".to_string())),
+        ("threads", num(cfg.threads as f64)),
+        ("queue_depth", num(cfg.queue_depth as f64)),
+        ("rounds", Json::Arr(rows)),
+        ("total_requests", num(summary.requests as f64)),
+        ("total_rejected", num(summary.rejected as f64)),
+        ("drained", Json::Bool(summary.drained)),
+    ]);
+    write_report("BENCH_serve.json", &report.to_line());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !all_identical {
+        eprintln!("error: a daemon answer diverged from the direct library call");
+        std::process::exit(1);
+    }
+    if !summary.drained {
+        eprintln!("error: the engine failed to drain at shutdown");
+        std::process::exit(1);
+    }
+}

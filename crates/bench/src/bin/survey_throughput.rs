@@ -16,7 +16,7 @@
 //! `"identical": false` and the process exits nonzero.
 
 use exareq_apps::{run_survey_parallel, AppGrid, MiniApp, Relearn, RetryPolicy};
-use exareq_bench::write_report;
+use exareq_bench::{mean_ms, num, obj, write_report};
 use exareq_core::cancel::CancelToken;
 use exareq_locality::{BurstSampler, BurstSchedule};
 use exareq_profile::journal::{JournalEntry, SurveyJournal, SurveyManifest};
@@ -24,19 +24,6 @@ use exareq_profile::minijson::Json;
 use exareq_profile::{MetricKind, Observation, Survey};
 use exareq_sim::{run_ranks_supervised, FaultPlan, SimConfig};
 use std::time::Instant;
-
-fn num(v: f64) -> Json {
-    Json::Num(v)
-}
-
-fn obj(members: Vec<(&str, Json)>) -> Json {
-    Json::Obj(
-        members
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
-}
 
 /// Times one journal-free sweep at the given job count; returns
 /// (elapsed seconds, survey).
@@ -53,15 +40,6 @@ fn timed_sweep(grid: &AppGrid, jobs: usize) -> (f64, Survey) {
     )
     .expect("journal-free unbudgeted sweep cannot fail");
     (started.elapsed().as_secs_f64(), survey)
-}
-
-/// Mean wall-clock milliseconds of `f` over `iters` runs.
-fn mean_ms(iters: u32, mut f: impl FnMut()) -> f64 {
-    let started = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    started.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
 }
 
 fn main() {

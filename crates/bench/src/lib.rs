@@ -24,8 +24,10 @@ use exareq_apps::{all_apps, survey_app, AppGrid, MiniApp};
 use exareq_core::fsio;
 use exareq_core::multiparam::MultiParamConfig;
 use exareq_core::pmnf::Exponents;
+use exareq_profile::minijson::Json;
 use exareq_profile::Survey;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Directory where bench binaries cache surveys and write reports.
 ///
@@ -150,6 +152,78 @@ pub fn fmt_exp(e: Exponents, var: &str) -> String {
     e.render(var).unwrap_or_else(|| "1".to_string())
 }
 
+/// Shorthand for a minijson number, for the `BENCH_*.json` writers.
+pub fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+/// Shorthand for a minijson object from `(key, value)` pairs.
+pub fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Mean wall-clock milliseconds of `f` over `iters` runs.
+pub fn mean_ms(iters: u32, mut f: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    started.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+}
+
+/// Nearest-rank percentile of an *ascending-sorted* sample set; `q` in
+/// `[0, 100]`. An empty set yields NaN so callers cannot mistake a
+/// missing measurement for a zero-latency one.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Latency summary of a set of per-request samples, in milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Largest observed latency.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarises raw latency samples (milliseconds, any order).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        LatencySummary {
+            p50_ms: percentile(&sorted, 50.0),
+            p95_ms: percentile(&sorted, 95.0),
+            p99_ms: percentile(&sorted, 99.0),
+            max_ms: sorted.last().copied().unwrap_or(f64::NAN),
+        }
+    }
+
+    /// The summary as minijson members, for the `BENCH_*.json` reports.
+    pub fn to_members(self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("p50_ms", num(self.p50_ms)),
+            ("p95_ms", num(self.p95_ms)),
+            ("p99_ms", num(self.p99_ms)),
+            ("max_ms", num(self.max_ms)),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +240,26 @@ mod tests {
     fn fmt_exp_renders() {
         assert_eq!(fmt_exp(Exponents::new(0.0, 0.0), "n"), "1");
         assert_eq!(fmt_exp(Exponents::new(1.0, 0.0), "n"), "n");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn latency_summary_orders_samples() {
+        let samples = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.p50_ms, 3.0);
+        assert_eq!(s.max_ms, 5.0);
+        assert!(s.p95_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
     }
 }

@@ -25,6 +25,7 @@ pub mod crossover;
 pub mod inflate;
 pub mod network;
 pub mod projection;
+pub mod query;
 pub mod report;
 pub mod requirements;
 pub mod sharing;
@@ -36,6 +37,7 @@ pub use crossover::{crossover, crossover_in, dominance_onset};
 pub use inflate::{inflate_problem, Inflation};
 pub use network::{analyze_with_network, default_network, NetworkOutcome, NetworkSpec};
 pub use projection::{decade_schedule, render_outlook, scaling_outlook, OutlookRow};
+pub use query::{upgrade_advice, UpgradeAdvice, UpgradeRow};
 pub use requirements::{AppRequirements, RateMetric, Warning};
 pub use sharing::{share_system, two_app_frontier, ShareOutcome, SharingError};
 pub use skeleton::{SystemSkeleton, Upgrade};

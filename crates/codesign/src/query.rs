@@ -1,0 +1,145 @@
+//! Query-shaped entry points for interactive consumers.
+//!
+//! The batch CLIs walk whole tables; a query daemon answers one question
+//! per request and wants the answer as one value. This module packages the
+//! paper's upgrade question (Table IV/V, "which upgrade helps this
+//! application?") into a single call: every Table III upgrade analyzed,
+//! scored, and ranked, plus the communication/computation crossover that
+//! explains *why* an upgrade stops paying off at scale.
+
+use crate::crossover::crossover;
+use crate::inflate::{inflate_problem, Inflation};
+use crate::requirements::AppRequirements;
+use crate::skeleton::{SystemSkeleton, Upgrade};
+use crate::workflow::{analyze_upgrade, upgrade_score, UpgradeOutcome, WorkflowError};
+
+/// One analyzed upgrade: the Table V outcome plus the summary score used
+/// for ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpgradeRow {
+    /// Human-readable description of the upgrade (Table III).
+    pub description: String,
+    /// The Table IV/V workflow result.
+    pub outcome: UpgradeOutcome,
+    /// [`upgrade_score`] of the outcome; higher is better for the app.
+    pub score: f64,
+}
+
+/// The complete answer to "which upgrade helps this application?".
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpgradeAdvice {
+    /// Analyzed upgrades, in [`Upgrade::ALL`] order.
+    pub rows: Vec<UpgradeRow>,
+    /// Upgrades the application cannot use, with the reason (e.g. it no
+    /// longer fits the upgraded system).
+    pub excluded: Vec<(String, String)>,
+    /// Name of the best-scoring upgrade, if any was analyzable.
+    pub best: Option<String>,
+    /// Process count at which the communication requirement overtakes the
+    /// computation requirement with `n` held at the base system's fill
+    /// (`None` when one side dominates everywhere on the search domain).
+    pub comm_crossover_p: Option<f64>,
+}
+
+/// Runs the upgrade workflow for every Table III upgrade on `base`,
+/// ranks the outcomes, and locates the communication/computation
+/// crossover at the base system's problem fill.
+pub fn upgrade_advice(app: &AppRequirements, base: &SystemSkeleton) -> UpgradeAdvice {
+    let mut rows = Vec::new();
+    let mut excluded = Vec::new();
+    for up in &Upgrade::ALL {
+        match analyze_upgrade(app, base, up) {
+            Ok(outcome) => {
+                let score = upgrade_score(&outcome);
+                rows.push(UpgradeRow {
+                    description: up.description.to_string(),
+                    outcome,
+                    score,
+                });
+            }
+            Err(e) => excluded.push((up.name.to_string(), reason(&e))),
+        }
+    }
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.score.total_cmp(&b.score))
+        .map(|r| r.outcome.upgrade_name.clone());
+    UpgradeAdvice {
+        comm_crossover_p: comm_crossover(app, base),
+        rows,
+        excluded,
+        best,
+    }
+}
+
+fn reason(e: &WorkflowError) -> String {
+    e.to_string()
+}
+
+/// Process count where communication overtakes computation with the
+/// problem size fixed at the base system's memory fill.
+fn comm_crossover(app: &AppRequirements, base: &SystemSkeleton) -> Option<f64> {
+    // Both models come from the same fit, so their parameter lists agree;
+    // a mismatch would make `crossover` panic, so guard anyway.
+    if app.comm_bytes.params != app.flops.params || app.comm_bytes.arity() != 2 {
+        return None;
+    }
+    let n = match inflate_problem(&app.bytes_used, base) {
+        Inflation::Fits(n) => n,
+        Inflation::TooBig { .. } | Inflation::Unbounded => return None,
+    };
+    let p_index = app.comm_bytes.param_index("p")?;
+    let mut fixed = [n; 2];
+    fixed[p_index] = base.processes;
+    crossover(&app.comm_bytes, &app.flops, p_index, &fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn milc_and_relearn_rank_memory_first() {
+        // Matches the workflow-level test: doubling memory scores best.
+        let base = SystemSkeleton::reference_large();
+        for app in [catalog::milc(), catalog::relearn()] {
+            let advice = upgrade_advice(&app, &base);
+            assert_eq!(advice.rows.len(), 3, "{}", app.name);
+            assert_eq!(
+                advice.best.as_deref(),
+                Some(Upgrade::DOUBLE_MEMORY.name),
+                "{}",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn icofoam_excludes_socket_doubling() {
+        // The p·log p footprint term exceeds the halved per-process memory.
+        let base = SystemSkeleton::reference_large();
+        let advice = upgrade_advice(&catalog::icofoam(), &base);
+        assert_eq!(advice.rows.len(), 2);
+        assert_eq!(advice.excluded.len(), 1);
+        assert_eq!(advice.excluded[0].0, Upgrade::DOUBLE_SOCKETS.name);
+        assert!(advice.excluded[0].1.contains("does not fit"));
+        assert_eq!(advice.best.as_deref(), Some(Upgrade::DOUBLE_MEMORY.name));
+    }
+
+    #[test]
+    fn rows_follow_upgrade_all_order_and_scores_are_finite() {
+        let base = SystemSkeleton::reference_large();
+        let advice = upgrade_advice(&catalog::kripke(), &base);
+        let names: Vec<&str> = advice
+            .rows
+            .iter()
+            .map(|r| r.outcome.upgrade_name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            Upgrade::ALL.iter().map(|u| u.name).collect::<Vec<_>>()
+        );
+        assert!(advice.rows.iter().all(|r| r.score.is_finite()));
+    }
+}

@@ -31,6 +31,7 @@ pub mod io;
 pub mod journal;
 pub mod minijson;
 pub mod survey;
+pub mod surveyjson;
 
 pub use callpath::{CallNode, CallPathProfiler, NodeId};
 pub use counters::{Counters, Fpu};

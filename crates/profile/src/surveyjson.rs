@@ -1,0 +1,289 @@
+//! Survey encode/decode over the in-tree [`minijson`](crate::minijson)
+//! codec — no serde involved.
+//!
+//! `Survey` already derives serde traits for the batch CLI, but a consumer
+//! that must *also* run where serde_json is unavailable (the `exareq serve`
+//! model registry in this offline-first reproduction) needs a parser for
+//! the same JSON shape built on the hardened in-tree codec. This module is
+//! that parser plus the matching writer; the field names and the variant
+//! spelling of [`MetricKind`] are identical to the serde output, so a file
+//! written by either side loads through the other.
+//!
+//! Version policy matches [`Survey::from_json`] and the journal: versions
+//! `<= SURVEY_SCHEMA_VERSION` are accepted with older fields defaulting,
+//! newer versions are rejected loudly instead of mis-parsed.
+
+use crate::minijson::{self, Json, JsonError};
+use crate::survey::{MetricKind, Observation, SkippedConfig, Survey, SURVEY_SCHEMA_VERSION};
+
+/// Why a survey could not be decoded from minijson text.
+#[derive(Debug)]
+pub enum SurveyJsonError {
+    /// The text is not valid JSON at all.
+    Json(JsonError),
+    /// The JSON is valid but does not have the survey shape; the string
+    /// names the offending field.
+    Shape(String),
+    /// The survey was written by a newer exareq whose schema this build
+    /// does not understand.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+}
+
+impl core::fmt::Display for SurveyJsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SurveyJsonError::Json(e) => write!(f, "{e}"),
+            SurveyJsonError::Shape(what) => write!(f, "not a survey: {what}"),
+            SurveyJsonError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "survey schema version {found} is newer than the newest supported \
+                 version {supported}; upgrade exareq to read this file"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SurveyJsonError {}
+
+/// Encodes a survey as a minijson value with the same member names the
+/// serde derive writes.
+pub fn survey_to_json(s: &Survey) -> Json {
+    let observations = s
+        .observations
+        .iter()
+        .map(|o| {
+            Json::Obj(vec![
+                ("p".into(), Json::Num(o.p as f64)),
+                ("n".into(), Json::Num(o.n as f64)),
+                ("metric".into(), Json::Str(o.metric.name().into())),
+                (
+                    "channel".into(),
+                    match &o.channel {
+                        Some(c) => Json::Str(c.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("value".into(), Json::Num(o.value)),
+                ("degraded".into(), Json::Bool(o.degraded)),
+            ])
+        })
+        .collect();
+    let skipped = s
+        .skipped
+        .iter()
+        .map(|k| {
+            Json::Obj(vec![
+                ("p".into(), Json::Num(k.p as f64)),
+                ("n".into(), Json::Num(k.n as f64)),
+                ("reason".into(), Json::Str(k.reason.clone())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "schema_version".into(),
+            Json::Num(f64::from(s.schema_version)),
+        ),
+        ("app".into(), Json::Str(s.app.clone())),
+        ("observations".into(), Json::Arr(observations)),
+        ("skipped".into(), Json::Arr(skipped)),
+        ("incomplete".into(), Json::Bool(s.incomplete)),
+    ])
+}
+
+/// Encodes a survey as a single JSON line.
+pub fn survey_to_string(s: &Survey) -> String {
+    survey_to_json(s).to_line()
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    let x = v.get(key)?.to_f64_lossless()?;
+    // Exact integers only: (p, n) are run configurations, not estimates.
+    if x.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&x) {
+        Some(x as u64)
+    } else {
+        None
+    }
+}
+
+fn shape(what: impl Into<String>) -> SurveyJsonError {
+    SurveyJsonError::Shape(what.into())
+}
+
+fn observation_from_json(v: &Json, i: usize) -> Result<Observation, SurveyJsonError> {
+    let metric = v
+        .get("metric")
+        .and_then(Json::as_str)
+        .and_then(MetricKind::from_name)
+        .ok_or_else(|| shape(format!("observations[{i}].metric")))?;
+    let channel = match v.get("channel") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(c)) => Some(c.clone()),
+        Some(_) => return Err(shape(format!("observations[{i}].channel"))),
+    };
+    Ok(Observation {
+        p: get_u64(v, "p").ok_or_else(|| shape(format!("observations[{i}].p")))?,
+        n: get_u64(v, "n").ok_or_else(|| shape(format!("observations[{i}].n")))?,
+        metric,
+        channel,
+        value: v
+            .get("value")
+            .and_then(Json::to_f64_lossless)
+            .ok_or_else(|| shape(format!("observations[{i}].value")))?,
+        degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+fn skipped_from_json(v: &Json, i: usize) -> Result<SkippedConfig, SurveyJsonError> {
+    Ok(SkippedConfig {
+        p: get_u64(v, "p").ok_or_else(|| shape(format!("skipped[{i}].p")))?,
+        n: get_u64(v, "n").ok_or_else(|| shape(format!("skipped[{i}].n")))?,
+        reason: v
+            .get("reason")
+            .and_then(Json::as_str)
+            .ok_or_else(|| shape(format!("skipped[{i}].reason")))?
+            .to_string(),
+    })
+}
+
+/// Decodes a survey from a minijson value.
+///
+/// # Errors
+/// [`SurveyJsonError::Shape`] when a required field is missing or
+/// mistyped; [`SurveyJsonError::UnsupportedVersion`] when the file claims a
+/// schema newer than [`SURVEY_SCHEMA_VERSION`].
+pub fn survey_from_json(v: &Json) -> Result<Survey, SurveyJsonError> {
+    let version = v
+        .get("schema_version")
+        .map(|j| {
+            get_u64(v, "schema_version")
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| shape(format!("schema_version {j:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if version > SURVEY_SCHEMA_VERSION {
+        return Err(SurveyJsonError::UnsupportedVersion {
+            found: version,
+            supported: SURVEY_SCHEMA_VERSION,
+        });
+    }
+    let app = v
+        .get("app")
+        .and_then(Json::as_str)
+        .ok_or_else(|| shape("app"))?
+        .to_string();
+    let observations = v
+        .get("observations")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| shape("observations"))?
+        .iter()
+        .enumerate()
+        .map(|(i, o)| observation_from_json(o, i))
+        .collect::<Result<Vec<_>, _>>()?;
+    let skipped = match v.get("skipped") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(j) => j
+            .as_arr()
+            .ok_or_else(|| shape("skipped"))?
+            .iter()
+            .enumerate()
+            .map(|(i, k)| skipped_from_json(k, i))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(Survey {
+        schema_version: version,
+        app,
+        observations,
+        skipped,
+        incomplete: v.get("incomplete").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+/// Decodes a survey from JSON text via the in-tree codec.
+///
+/// # Errors
+/// [`SurveyJsonError::Json`] on malformed text, plus everything
+/// [`survey_from_json`] reports.
+pub fn survey_from_str(text: &str) -> Result<Survey, SurveyJsonError> {
+    let v = minijson::parse(text).map_err(SurveyJsonError::Json)?;
+    survey_from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Survey {
+        let mut s = Survey::new("Relearn");
+        s.push(2, 64, MetricKind::Flops, 1.5e9);
+        s.push_degraded(4, 64, MetricKind::BytesUsed, 2.0e6);
+        s.push_channel(4, 256, MetricKind::CommBytes, "Allreduce", 3.25e4);
+        s.note_skipped(8, 64, "all ranks crashed");
+        s
+    }
+
+    #[test]
+    fn round_trips_through_minijson() {
+        let s = sample();
+        let text = survey_to_string(&s);
+        let back = survey_from_str(&text).expect("round trip");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn missing_optional_fields_default() {
+        let text = r#"{"app":"X","observations":[{"p":2,"n":64,"metric":"Flops","value":1.0}]}"#;
+        let s = survey_from_str(text).expect("legacy shape");
+        assert_eq!(s.schema_version, 0);
+        assert!(!s.incomplete);
+        assert!(s.skipped.is_empty());
+        assert_eq!(s.observations[0].channel, None);
+        assert!(!s.observations[0].degraded);
+    }
+
+    #[test]
+    fn rejects_newer_schema_version() {
+        let text = r#"{"schema_version":99,"app":"X","observations":[]}"#;
+        match survey_from_str(text) {
+            Err(SurveyJsonError::UnsupportedVersion { found, supported }) => {
+                assert_eq!((found, supported), (99, SURVEY_SCHEMA_VERSION));
+            }
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_shapes_with_field_names() {
+        for (text, field) in [
+            (r#"{"observations":[]}"#, "app"),
+            (r#"{"app":"X"}"#, "observations"),
+            (
+                r#"{"app":"X","observations":[{"p":2.5,"n":64,"metric":"Flops","value":1}]}"#,
+                "observations[0].p",
+            ),
+            (
+                r#"{"app":"X","observations":[{"p":2,"n":64,"metric":"Warp","value":1}]}"#,
+                "observations[0].metric",
+            ),
+        ] {
+            match survey_from_str(text) {
+                Err(SurveyJsonError::Shape(what)) => assert_eq!(what, field, "{text}"),
+                other => panic!("{text}: expected shape error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn not_json_is_a_json_error() {
+        assert!(matches!(
+            survey_from_str("{ nope"),
+            Err(SurveyJsonError::Json(_))
+        ));
+    }
+}

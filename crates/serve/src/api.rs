@@ -1,0 +1,444 @@
+//! Query parsing and response building for every endpoint — pure
+//! functions, no sockets.
+//!
+//! Responses are rendered with the in-tree minijson writer, the same one
+//! the direct library consumers use, so a daemon answer is **byte-identical**
+//! to calling these functions in-process: `tests/serve.rs` and the
+//! `serve_throughput` bench assert exactly that. Keep every response built
+//! here; a handler that formats its own JSON breaks the mechanical
+//! equivalence check.
+
+use crate::registry::RegistrySnapshot;
+use exareq_codesign::query::{upgrade_advice, UpgradeAdvice};
+use exareq_codesign::{
+    analyze_strawmen, share_system, table_six, AppRequirements, RateMetric, StrawManAnalysis,
+    SystemSkeleton,
+};
+use exareq_profile::minijson::{self, Json};
+
+/// Upper bound for the `hold_ms` load-testing aid, milliseconds.
+pub const MAX_HOLD_MS: u64 = 10_000;
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    match v {
+        Some(x) => Json::Num(x),
+        None => Json::Null,
+    }
+}
+
+/// `{"error": reason}` — the body of every non-200 answer.
+pub fn error_body(reason: &str) -> String {
+    obj(vec![("error", Json::Str(reason.to_string()))]).to_line()
+}
+
+/// The `/healthz` body.
+pub fn health_body() -> String {
+    obj(vec![("status", Json::Str("ok".to_string()))]).to_line()
+}
+
+/// A parsed `POST /predict` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictQuery {
+    /// Model (application) name to evaluate.
+    pub model: String,
+    /// Target process count.
+    pub p: f64,
+    /// Target problem size per process.
+    pub n: f64,
+    /// Optional load-testing aid: hold the worker for this many
+    /// milliseconds before answering (capped at [`MAX_HOLD_MS`], still
+    /// subject to the request deadline).
+    pub hold_ms: u64,
+}
+
+fn parse_body(body: &str) -> Result<Json, String> {
+    minijson::parse(body).map_err(|e| format!("body is not valid JSON: {e}"))
+}
+
+fn required_model(v: &Json) -> Result<String, String> {
+    v.get("model")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "missing string field \"model\"".to_string())
+}
+
+fn coordinate(v: &Json, key: &str) -> Result<f64, String> {
+    let x = v
+        .get(key)
+        .and_then(Json::to_f64_lossless)
+        .ok_or_else(|| format!("missing numeric field \"{key}\""))?;
+    if !x.is_finite() || x < 1.0 {
+        return Err(format!("\"{key}\" must be a finite number >= 1"));
+    }
+    Ok(x)
+}
+
+/// Parses a `POST /predict` body.
+///
+/// # Errors
+/// A one-line reason suitable for a 400 body.
+pub fn parse_predict(body: &str) -> Result<PredictQuery, String> {
+    let v = parse_body(body)?;
+    let hold_ms = match v.get("hold_ms") {
+        None | Some(Json::Null) => 0,
+        Some(j) => {
+            let x = j
+                .to_f64_lossless()
+                .filter(|x| x.fract() == 0.0 && (0.0..=MAX_HOLD_MS as f64).contains(x))
+                .ok_or_else(|| format!("\"hold_ms\" must be an integer in 0..={MAX_HOLD_MS}"))?;
+            x as u64
+        }
+    };
+    Ok(PredictQuery {
+        model: required_model(&v)?,
+        p: coordinate(&v, "p")?,
+        n: coordinate(&v, "n")?,
+        hold_ms,
+    })
+}
+
+/// The `/predict` answer: every requirement model evaluated at `(p, n)`.
+pub fn predict_body(app: &AppRequirements, p: f64, n: f64) -> String {
+    let coords = [p, n];
+    let eval = |m: &exareq_core::pmnf::Model| Json::Num(m.eval(&coords));
+    obj(vec![
+        ("app", Json::Str(app.name.clone())),
+        ("p", Json::Num(p)),
+        ("n", Json::Num(n)),
+        (
+            "requirements",
+            obj(vec![
+                ("bytes_used", eval(&app.bytes_used)),
+                ("flops", eval(&app.flops)),
+                ("comm_bytes", eval(&app.comm_bytes)),
+                ("loads_stores", eval(&app.loads_stores)),
+                ("stack_distance", eval(&app.stack_distance)),
+            ]),
+        ),
+    ])
+    .to_line()
+}
+
+/// A parsed `POST /upgrade` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpgradeQuery {
+    /// Model (application) name to advise.
+    pub model: String,
+    /// Optional co-tenant model name for a sharing analysis.
+    pub share_with: Option<String>,
+    /// Fraction of the system given to `model` when sharing (0, 1).
+    pub fraction: f64,
+}
+
+/// Parses a `POST /upgrade` body.
+///
+/// # Errors
+/// A one-line reason suitable for a 400 body.
+pub fn parse_upgrade(body: &str) -> Result<UpgradeQuery, String> {
+    let v = parse_body(body)?;
+    let share_with = match v.get("share_with") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err("\"share_with\" must be a string".to_string()),
+    };
+    let fraction = match v.get("fraction") {
+        None | Some(Json::Null) => 0.5,
+        Some(j) => j
+            .to_f64_lossless()
+            .filter(|f| f.is_finite() && *f > 0.0 && *f < 1.0)
+            .ok_or_else(|| "\"fraction\" must be a number in (0, 1)".to_string())?,
+    };
+    if fraction != 0.5 && share_with.is_none() {
+        return Err("\"fraction\" requires \"share_with\"".to_string());
+    }
+    Ok(UpgradeQuery {
+        model: required_model(&v)?,
+        share_with,
+        fraction,
+    })
+}
+
+fn rates_obj(rates: &[f64; 3]) -> Json {
+    obj(vec![
+        ("computation", Json::Num(rates[0])),
+        ("communication", Json::Num(rates[1])),
+        ("memory_access", Json::Num(rates[2])),
+    ])
+}
+
+fn advice_json(advice: &UpgradeAdvice) -> Vec<(&'static str, Json)> {
+    vec![
+        (
+            "upgrades",
+            Json::Arr(
+                advice
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("name", Json::Str(r.outcome.upgrade_name.clone())),
+                            ("description", Json::Str(r.description.clone())),
+                            ("ratio_n", Json::Num(r.outcome.ratio_n)),
+                            ("ratio_overall", Json::Num(r.outcome.ratio_overall)),
+                            ("rates", rates_obj(&r.outcome.ratio_rates)),
+                            ("score", Json::Num(r.score)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "excluded",
+            Json::Arr(
+                advice
+                    .excluded
+                    .iter()
+                    .map(|(name, reason)| {
+                        obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("reason", Json::Str(reason.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "best",
+            match &advice.best {
+                Some(b) => Json::Str(b.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("comm_crossover_p", opt_num(advice.comm_crossover_p)),
+    ]
+}
+
+/// The `/upgrade` answer: ranked Table V outcomes on the reference system,
+/// plus an optional sharing analysis with a co-tenant.
+///
+/// # Errors
+/// A one-line reason (suitable for a 400 body) when the sharing analysis
+/// itself fails — e.g. neither app fits the shared system.
+pub fn upgrade_body(
+    app: &AppRequirements,
+    share: Option<(&AppRequirements, f64)>,
+) -> Result<String, String> {
+    let base = SystemSkeleton::reference_large();
+    let advice = upgrade_advice(app, &base);
+    let mut members = vec![
+        ("app", Json::Str(app.name.clone())),
+        (
+            "base",
+            obj(vec![
+                ("processes", Json::Num(base.processes)),
+                ("mem_per_process", Json::Num(base.mem_per_process)),
+            ]),
+        ),
+    ];
+    members.extend(advice_json(&advice));
+    let sharing = match share {
+        None => Json::Null,
+        Some((other, fraction)) => {
+            let outcomes = share_system(&[app, other], &[fraction, 1.0 - fraction], &base)
+                .map_err(|e| e.to_string())?;
+            Json::Arr(
+                outcomes
+                    .iter()
+                    .map(|o| {
+                        obj(vec![
+                            ("app", Json::Str(o.app.clone())),
+                            ("fraction", Json::Num(o.fraction)),
+                            ("processes", Json::Num(o.processes)),
+                            ("n", Json::Num(o.n)),
+                            ("overall_problem", Json::Num(o.overall_problem)),
+                            ("rates", rates_obj(&o.rates)),
+                        ])
+                    })
+                    .collect(),
+            )
+        }
+    };
+    members.push(("sharing", sharing));
+    Ok(obj(members).to_line())
+}
+
+/// Parses a `POST /strawman` body.
+///
+/// # Errors
+/// A one-line reason suitable for a 400 body.
+pub fn parse_strawman(body: &str) -> Result<String, String> {
+    required_model(&parse_body(body)?)
+}
+
+/// The `/strawman` answer: the Table VII verdict over [`table_six`].
+pub fn strawman_body(app: &AppRequirements) -> String {
+    match analyze_strawmen(app, &table_six()) {
+        StrawManAnalysis::Fits {
+            app,
+            benchmark_overall,
+            outcomes,
+        } => obj(vec![
+            ("app", Json::Str(app)),
+            ("verdict", Json::Str("fits".to_string())),
+            ("benchmark_overall", Json::Num(benchmark_overall)),
+            (
+                "systems",
+                Json::Arr(
+                    outcomes
+                        .iter()
+                        .map(|o| {
+                            obj(vec![
+                                ("system", Json::Str(o.system.clone())),
+                                ("max_n", Json::Num(o.max_n)),
+                                ("max_overall", Json::Num(o.max_overall)),
+                                ("min_wall_time", Json::Num(o.min_wall_time)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        StrawManAnalysis::Excluded { app, cannot_use } => obj(vec![
+            ("app", Json::Str(app)),
+            ("verdict", Json::Str("excluded".to_string())),
+            (
+                "cannot_use",
+                Json::Arr(cannot_use.into_iter().map(Json::Str).collect()),
+            ),
+        ]),
+    }
+    .to_line()
+}
+
+/// The `/models` answer: the registry snapshot.
+pub fn models_body(snap: &RegistrySnapshot) -> String {
+    obj(vec![
+        ("generation", Json::Num(snap.generation as f64)),
+        (
+            "models",
+            Json::Arr(
+                snap.models
+                    .iter()
+                    .map(|m| {
+                        obj(vec![
+                            ("name", Json::Str(m.name.clone())),
+                            ("source", Json::Str(m.source.clone())),
+                            ("kind", Json::Str(m.kind.label().to_string())),
+                            ("hash", Json::Str(format!("{:#018x}", m.hash))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "errors",
+            Json::Arr(
+                snap.errors
+                    .iter()
+                    .map(|(file, reason)| {
+                        obj(vec![
+                            ("file", Json::Str(file.clone())),
+                            ("reason", Json::Str(reason.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_line()
+}
+
+/// Keep `RateMetric::ALL` and [`rates_obj`] in the same order — this
+/// compile-time shim trips if the metric set ever changes shape.
+const _: () = assert!(RateMetric::ALL.len() == 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_codesign::catalog;
+
+    #[test]
+    fn predict_parses_and_evaluates_like_the_library() {
+        let q = parse_predict(r#"{"model":"Kripke","p":1e6,"n":4096}"#).expect("valid");
+        assert_eq!(q.model, "Kripke");
+        assert_eq!((q.p, q.n, q.hold_ms), (1e6, 4096.0, 0));
+
+        let app = catalog::kripke();
+        let body = predict_body(&app, q.p, q.n);
+        let v = minijson::parse(&body).expect("self-produced JSON parses");
+        let flops = v
+            .get("requirements")
+            .and_then(|r| r.get("flops"))
+            .and_then(Json::to_f64_lossless)
+            .expect("flops present");
+        assert_eq!(flops, app.flops.eval(&[q.p, q.n]));
+    }
+
+    #[test]
+    fn predict_rejects_bad_bodies_with_one_line_reasons() {
+        for (body, needle) in [
+            ("{ nope", "not valid JSON"),
+            (r#"{"p":2,"n":3}"#, "\"model\""),
+            (r#"{"model":"X","p":0,"n":3}"#, "\"p\""),
+            (r#"{"model":"X","p":2,"n":"big"}"#, "\"n\""),
+            (r#"{"model":"X","p":2,"n":3,"hold_ms":-1}"#, "hold_ms"),
+            (r#"{"model":"X","p":2,"n":3,"hold_ms":999999}"#, "hold_ms"),
+        ] {
+            let err = parse_predict(body).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn upgrade_body_ranks_and_shares() {
+        let milc = catalog::milc();
+        let kripke = catalog::kripke();
+        let alone = upgrade_body(&milc, None).expect("advice");
+        let v = minijson::parse(&alone).unwrap();
+        assert_eq!(v.get("best").and_then(Json::as_str), Some("C"));
+        assert!(matches!(v.get("sharing"), Some(Json::Null)));
+
+        let shared = upgrade_body(&milc, Some((&kripke, 0.25))).expect("sharing");
+        let v = minijson::parse(&shared).unwrap();
+        let outcomes = v.get("sharing").and_then(Json::as_arr).expect("array");
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(
+            outcomes[0].get("fraction").and_then(Json::to_f64_lossless),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn strawman_body_reports_fits_and_exclusions() {
+        let fits = strawman_body(&catalog::kripke());
+        let v = minijson::parse(&fits).unwrap();
+        assert_eq!(v.get("verdict").and_then(Json::as_str), Some("fits"));
+        assert_eq!(
+            v.get("systems").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(table_six().len())
+        );
+
+        let excluded = strawman_body(&catalog::icofoam());
+        let v = minijson::parse(&excluded).unwrap();
+        assert_eq!(v.get("verdict").and_then(Json::as_str), Some("excluded"));
+    }
+
+    #[test]
+    fn upgrade_parse_validates_sharing_fields() {
+        let q = parse_upgrade(r#"{"model":"MILC","share_with":"Kripke","fraction":0.3}"#)
+            .expect("valid");
+        assert_eq!(q.share_with.as_deref(), Some("Kripke"));
+        assert_eq!(q.fraction, 0.3);
+        assert!(parse_upgrade(r#"{"model":"M","fraction":0.3}"#).is_err());
+        assert!(parse_upgrade(r#"{"model":"M","share_with":"K","fraction":1.5}"#).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Fitted-model artifacts: [`AppRequirements`] encoded with the in-tree
+//! minijson codec, so a model fitted once can be served forever without
+//! refitting — and without serde.
+//!
+//! A requirements artifact is distinguished from a survey artifact by its
+//! `"kind": "requirements"` member; the registry dispatches on it. The
+//! schema is versioned independently of the survey schema and follows the
+//! same policy: older accepted, newer rejected loudly.
+
+use exareq_codesign::AppRequirements;
+use exareq_core::pmnf::{Exponents, Model, Term};
+use exareq_profile::minijson::{self, Json};
+
+/// Current requirements-artifact schema version.
+pub const REQUIREMENTS_SCHEMA_VERSION: u32 = 1;
+
+/// The artifact's `kind` discriminator value.
+pub const REQUIREMENTS_KIND: &str = "requirements";
+
+/// The five requirement models, in artifact member order.
+const MODEL_FIELDS: [&str; 5] = [
+    "bytes_used",
+    "flops",
+    "comm_bytes",
+    "loads_stores",
+    "stack_distance",
+];
+
+fn model_to_json(m: &Model) -> Json {
+    Json::Obj(vec![
+        ("constant".into(), Json::Num(m.constant)),
+        (
+            "params".into(),
+            Json::Arr(m.params.iter().map(|p| Json::Str(p.clone())).collect()),
+        ),
+        (
+            "terms".into(),
+            Json::Arr(
+                m.terms
+                    .iter()
+                    .map(|t| {
+                        Json::Obj(vec![
+                            ("coeff".into(), Json::Num(t.coeff)),
+                            (
+                                "factors".into(),
+                                Json::Arr(
+                                    t.factors
+                                        .iter()
+                                        .map(|e| {
+                                            Json::Obj(vec![
+                                                ("poly".into(), Json::Num(e.poly)),
+                                                ("log".into(), Json::Num(e.log)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn model_from_json(v: &Json, field: &str) -> Result<Model, String> {
+    let constant = v
+        .get("constant")
+        .and_then(Json::to_f64_lossless)
+        .ok_or_else(|| format!("{field}.constant"))?;
+    let params = v
+        .get("params")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{field}.params"))?
+        .iter()
+        .map(|p| p.as_str().map(str::to_string))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| format!("{field}.params"))?;
+    let terms = v
+        .get("terms")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{field}.terms"))?
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let coeff = t
+                .get("coeff")
+                .and_then(Json::to_f64_lossless)
+                .ok_or_else(|| format!("{field}.terms[{i}].coeff"))?;
+            let factors = t
+                .get("factors")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{field}.terms[{i}].factors"))?
+                .iter()
+                .map(|e| {
+                    match (
+                        e.get("poly").and_then(Json::to_f64_lossless),
+                        e.get("log").and_then(Json::to_f64_lossless),
+                    ) {
+                        (Some(poly), Some(log)) => Some(Exponents::new(poly, log)),
+                        _ => None,
+                    }
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| format!("{field}.terms[{i}].factors"))?;
+            if factors.len() != params.len() {
+                return Err(format!("{field}.terms[{i}]: one factor per parameter"));
+            }
+            Ok(Term::new(coeff, factors))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Model::new(constant, terms, params))
+}
+
+/// Encodes fitted requirements as a minijson artifact value.
+pub fn requirements_to_json(app: &AppRequirements) -> Json {
+    let models = [
+        &app.bytes_used,
+        &app.flops,
+        &app.comm_bytes,
+        &app.loads_stores,
+        &app.stack_distance,
+    ];
+    let mut members = vec![
+        ("kind".into(), Json::Str(REQUIREMENTS_KIND.into())),
+        (
+            "schema_version".into(),
+            Json::Num(f64::from(REQUIREMENTS_SCHEMA_VERSION)),
+        ),
+        ("app".into(), Json::Str(app.name.clone())),
+    ];
+    for (field, model) in MODEL_FIELDS.iter().zip(models) {
+        members.push(((*field).to_string(), model_to_json(model)));
+    }
+    Json::Obj(members)
+}
+
+/// Encodes fitted requirements as a single JSON line.
+pub fn requirements_to_string(app: &AppRequirements) -> String {
+    requirements_to_json(app).to_line()
+}
+
+/// True when a parsed JSON value claims to be a requirements artifact.
+pub fn is_requirements_artifact(v: &Json) -> bool {
+    v.get("kind").and_then(Json::as_str) == Some(REQUIREMENTS_KIND)
+}
+
+/// Decodes a requirements artifact.
+///
+/// # Errors
+/// A one-line reason: the offending field for shape problems, or the
+/// journal-style version complaint when the artifact is newer than this
+/// build.
+pub fn requirements_from_json(v: &Json) -> Result<AppRequirements, String> {
+    let version = v
+        .get("schema_version")
+        .and_then(Json::to_f64_lossless)
+        .filter(|x| x.fract() == 0.0 && (0.0..=f64::from(u32::MAX)).contains(x))
+        .map(|x| x as u32)
+        .ok_or("schema_version")?;
+    if version > REQUIREMENTS_SCHEMA_VERSION {
+        return Err(format!(
+            "requirements schema version {version} is newer than the newest supported \
+             version {REQUIREMENTS_SCHEMA_VERSION}; upgrade exareq to read this file"
+        ));
+    }
+    let name = v
+        .get("app")
+        .and_then(Json::as_str)
+        .ok_or("app")?
+        .to_string();
+    let mut models = MODEL_FIELDS
+        .iter()
+        .map(|field| model_from_json(v.get(field).ok_or_else(|| field.to_string())?, field))
+        .collect::<Result<Vec<_>, String>>()?
+        .into_iter();
+    Ok(AppRequirements {
+        name,
+        bytes_used: models.next().expect("five models"),
+        flops: models.next().expect("five models"),
+        comm_bytes: models.next().expect("five models"),
+        loads_stores: models.next().expect("five models"),
+        stack_distance: models.next().expect("five models"),
+    })
+}
+
+/// Decodes a requirements artifact from JSON text.
+///
+/// # Errors
+/// Same as [`requirements_from_json`], plus minijson syntax errors.
+pub fn requirements_from_str(text: &str) -> Result<AppRequirements, String> {
+    let v = minijson::parse(text).map_err(|e| e.to_string())?;
+    if !is_requirements_artifact(&v) {
+        return Err("not a requirements artifact (missing kind)".to_string());
+    }
+    requirements_from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_codesign::catalog;
+
+    #[test]
+    fn paper_models_round_trip() {
+        for app in catalog::paper_models() {
+            let text = requirements_to_string(&app);
+            let back = requirements_from_str(&text).expect("round trip");
+            assert_eq!(back, app, "{}", app.name);
+            // Evaluations agree exactly — the codec writes f64s losslessly.
+            let coords = [64.0, 4096.0];
+            assert_eq!(back.flops.eval(&coords), app.flops.eval(&coords));
+        }
+    }
+
+    #[test]
+    fn rejects_newer_schema_loudly() {
+        let app = catalog::paper_models().remove(0);
+        let text =
+            requirements_to_string(&app).replace("\"schema_version\":1", "\"schema_version\":9");
+        let err = requirements_from_str(&text).unwrap_err();
+        assert!(err.contains("newer than the newest supported"), "{err}");
+    }
+
+    #[test]
+    fn shape_errors_name_the_field() {
+        let err = requirements_from_str(
+            r#"{"kind":"requirements","schema_version":1,"app":"X","bytes_used":{}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("bytes_used"), "{err}");
+    }
+}

@@ -1,0 +1,325 @@
+//! Endpoint routing: one parsed [`Request`] in, one [`Response`] out.
+//!
+//! Every handler builds its body through [`crate::api`] so daemon answers
+//! stay byte-identical to direct library calls. The request token carries
+//! the `--request-deadline-ms` deadline; any checkpoint failure along the
+//! way becomes a `504` — a parked request never wedges a worker past its
+//! deadline.
+
+use crate::api;
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use exareq_core::cancel::CancelToken;
+use std::time::Duration;
+
+/// Sleep slice while honouring a `hold_ms` load-testing hold: short enough
+/// that an expiring deadline turns into a 504 within ~5 ms.
+const HOLD_SLICE: Duration = Duration::from_millis(5);
+
+fn bad_request(reason: &str) -> Response {
+    Response::json(400, api::error_body(reason).into_bytes())
+}
+
+fn not_found(reason: &str) -> Response {
+    Response::json(404, api::error_body(reason).into_bytes())
+}
+
+fn deadline_expired() -> Response {
+    Response::json(
+        504,
+        api::error_body("request deadline expired").into_bytes(),
+    )
+}
+
+fn unknown_model(name: &str) -> Response {
+    not_found(&format!("unknown model: {name}"))
+}
+
+/// Routes one request. Never panics; every path ends in a response.
+pub fn dispatch(
+    request: &Request,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    token: &CancelToken,
+) -> Response {
+    if token.checkpoint().is_err() {
+        return deadline_expired();
+    }
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => Response::json(200, api::health_body().into_bytes()),
+        ("GET", "/models") => {
+            registry.refresh();
+            Response::json(200, api::models_body(&registry.snapshot()).into_bytes())
+        }
+        ("GET", "/metrics") => {
+            let snap = registry.snapshot();
+            Response::text(
+                200,
+                metrics
+                    .render(snap.generation, snap.models.len())
+                    .into_bytes(),
+            )
+        }
+        ("POST", "/predict") => predict(request, registry, token),
+        ("POST", "/upgrade") => upgrade(request, registry, token),
+        ("POST", "/strawman") => strawman(request, registry, token),
+        ("GET" | "POST", _) => not_found("no such endpoint"),
+        _ => Response::json(405, api::error_body("method not allowed").into_bytes()),
+    }
+}
+
+fn body_utf8(request: &Request) -> Result<&str, Response> {
+    std::str::from_utf8(&request.body).map_err(|_| bad_request("body is not valid UTF-8"))
+}
+
+fn predict(request: &Request, registry: &ModelRegistry, token: &CancelToken) -> Response {
+    let body = match body_utf8(request) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let query = match api::parse_predict(body) {
+        Ok(q) => q,
+        Err(reason) => return bad_request(&reason),
+    };
+    registry.refresh();
+    let Some(app) = registry.get(&query.model) else {
+        return unknown_model(&query.model);
+    };
+    // The load-testing hold: sleep in slices, converting deadline expiry
+    // into the same 504 a slow real evaluation would earn.
+    let mut held = Duration::ZERO;
+    let hold = Duration::from_millis(query.hold_ms);
+    while held < hold {
+        if token.checkpoint().is_err() {
+            return deadline_expired();
+        }
+        let slice = HOLD_SLICE.min(hold - held);
+        std::thread::sleep(slice);
+        held += slice;
+    }
+    if token.checkpoint().is_err() {
+        return deadline_expired();
+    }
+    Response::json(200, api::predict_body(&app, query.p, query.n).into_bytes())
+}
+
+fn upgrade(request: &Request, registry: &ModelRegistry, token: &CancelToken) -> Response {
+    let body = match body_utf8(request) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let query = match api::parse_upgrade(body) {
+        Ok(q) => q,
+        Err(reason) => return bad_request(&reason),
+    };
+    registry.refresh();
+    let Some(app) = registry.get(&query.model) else {
+        return unknown_model(&query.model);
+    };
+    let other = match &query.share_with {
+        None => None,
+        Some(name) => match registry.get(name) {
+            Some(o) => Some(o),
+            None => return unknown_model(name),
+        },
+    };
+    if token.checkpoint().is_err() {
+        return deadline_expired();
+    }
+    match api::upgrade_body(&app, other.as_deref().map(|o| (o, query.fraction))) {
+        Ok(body) => Response::json(200, body.into_bytes()),
+        Err(reason) => bad_request(&reason),
+    }
+}
+
+fn strawman(request: &Request, registry: &ModelRegistry, token: &CancelToken) -> Response {
+    let body = match body_utf8(request) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let model = match api::parse_strawman(body) {
+        Ok(m) => m,
+        Err(reason) => return bad_request(&reason),
+    };
+    registry.refresh();
+    let Some(app) = registry.get(&model) else {
+        return unknown_model(&model);
+    };
+    if token.checkpoint().is_err() {
+        return deadline_expired();
+    }
+    Response::json(200, api::strawman_body(&app).into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact;
+    use crate::registry::Fitter;
+    use exareq_codesign::catalog;
+    use exareq_core::cancel::Deadline;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn no_fit() -> Box<Fitter> {
+        Box::new(|_| Err("no fitting in this test".to_string()))
+    }
+
+    fn registry_with_catalog(tag: &str) -> (Arc<ModelRegistry>, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("exareq_dispatch_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        for app in catalog::paper_models() {
+            std::fs::write(
+                dir.join(format!("{}.json", app.name.to_lowercase())),
+                artifact::requirements_to_string(&app),
+            )
+            .expect("write artifact");
+        }
+        let registry = Arc::new(ModelRegistry::new(&dir, no_fit()));
+        registry.refresh();
+        (registry, dir)
+    }
+
+    fn live_token() -> CancelToken {
+        CancelToken::new().with_deadline(Deadline::after(Duration::from_secs(5)))
+    }
+
+    #[test]
+    fn routes_every_endpoint() {
+        let (registry, _dir) = registry_with_catalog("routes");
+        let metrics = Metrics::new();
+        let token = live_token();
+        let ok = |r: Response| {
+            assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+            r
+        };
+        ok(dispatch(
+            &request("GET", "/healthz", ""),
+            &registry,
+            &metrics,
+            &token,
+        ));
+        ok(dispatch(
+            &request("GET", "/models", ""),
+            &registry,
+            &metrics,
+            &token,
+        ));
+        ok(dispatch(
+            &request("GET", "/metrics", ""),
+            &registry,
+            &metrics,
+            &token,
+        ));
+        let predict = ok(dispatch(
+            &request("POST", "/predict", r#"{"model":"Kripke","p":1e6,"n":4096}"#),
+            &registry,
+            &metrics,
+            &token,
+        ));
+        assert_eq!(
+            String::from_utf8(predict.body).unwrap(),
+            api::predict_body(&catalog::kripke(), 1e6, 4096.0),
+            "daemon answers must be byte-identical to direct library calls"
+        );
+        ok(dispatch(
+            &request("POST", "/upgrade", r#"{"model":"MILC"}"#),
+            &registry,
+            &metrics,
+            &token,
+        ));
+        ok(dispatch(
+            &request("POST", "/strawman", r#"{"model":"LULESH"}"#),
+            &registry,
+            &metrics,
+            &token,
+        ));
+    }
+
+    #[test]
+    fn unknown_routes_models_and_methods_map_to_404_405() {
+        let (registry, _dir) = registry_with_catalog("missing");
+        let metrics = Metrics::new();
+        let token = live_token();
+        let r = dispatch(&request("GET", "/nope", ""), &registry, &metrics, &token);
+        assert_eq!(r.status, 404);
+        let r = dispatch(
+            &request("POST", "/predict", r#"{"model":"NoSuch","p":2,"n":3}"#),
+            &registry,
+            &metrics,
+            &token,
+        );
+        assert_eq!(r.status, 404);
+        let r = dispatch(&request("PUT", "/predict", ""), &registry, &metrics, &token);
+        assert_eq!(r.status, 405);
+        let r = dispatch(
+            &request("POST", "/predict", "{ nope"),
+            &registry,
+            &metrics,
+            &token,
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn expired_deadline_is_504_everywhere() {
+        let (registry, _dir) = registry_with_catalog("deadline");
+        let metrics = Metrics::new();
+        let expired = CancelToken::new().with_deadline(Deadline::after(Duration::ZERO));
+        for (method, target, body) in [
+            ("GET", "/healthz", ""),
+            ("POST", "/predict", r#"{"model":"Kripke","p":2,"n":3}"#),
+        ] {
+            let r = dispatch(
+                &request(method, target, body),
+                &registry,
+                &metrics,
+                &expired,
+            );
+            assert_eq!(r.status, 504, "{method} {target}");
+        }
+    }
+
+    #[test]
+    fn hold_past_deadline_is_504_and_within_is_200() {
+        let (registry, _dir) = registry_with_catalog("hold");
+        let metrics = Metrics::new();
+        let short = CancelToken::new().with_deadline(Deadline::after(Duration::from_millis(30)));
+        let r = dispatch(
+            &request(
+                "POST",
+                "/predict",
+                r#"{"model":"Kripke","p":2,"n":3,"hold_ms":500}"#,
+            ),
+            &registry,
+            &metrics,
+            &short,
+        );
+        assert_eq!(r.status, 504);
+
+        let roomy = live_token();
+        let r = dispatch(
+            &request(
+                "POST",
+                "/predict",
+                r#"{"model":"Kripke","p":2,"n":3,"hold_ms":20}"#,
+            ),
+            &registry,
+            &metrics,
+            &roomy,
+        );
+        assert_eq!(r.status, 200);
+    }
+}

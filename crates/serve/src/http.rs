@@ -1,0 +1,335 @@
+//! A minimal, hardened HTTP/1.1 codec — request line, headers, and a
+//! `Content-Length` body; nothing else.
+//!
+//! Design rules, in order:
+//!
+//! 1. **Never panic.** Every byte sequence a socket can deliver — truncated,
+//!    binary garbage, a 2 GiB `Content-Length` — maps to `Ok(None)` (need
+//!    more bytes), a parsed [`Request`], or a typed 4xx/5xx [`HttpError`].
+//!    `tests/http_properties.rs` fuzzes this contract.
+//! 2. **Bounded memory.** The head is capped at [`MAX_HEAD_LEN`]; declared
+//!    bodies past [`MAX_BODY_LEN`] (the minijson input cap — a body that
+//!    large could never parse anyway) are refused with `413` before a
+//!    single body byte is buffered.
+//! 3. **No silent downgrades.** `Transfer-Encoding` (chunked bodies) is not
+//!    implemented and says so with `501` instead of desynchronizing.
+
+use exareq_profile::minijson;
+
+/// Largest accepted request head (request line + headers), bytes.
+pub const MAX_HEAD_LEN: usize = 16 * 1024;
+
+/// Largest accepted request body: the minijson input cap, since every body
+/// this server accepts is parsed by minijson.
+pub const MAX_BODY_LEN: usize = minijson::MAX_INPUT_LEN;
+
+/// A parse failure that already knows its HTTP answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status (400, 413, 431, 501).
+    pub status: u16,
+    /// One-line reason for the response body.
+    pub reason: String,
+}
+
+impl HttpError {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, verbatim (`/predict`).
+    pub target: String,
+    /// Header name/value pairs in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given name, ASCII-case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Finds the end of the head: the index one past the blank line. Accepts
+/// both CRLF and bare-LF line endings (curl sends CRLF; hand-rolled test
+/// clients often do not).
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // "\n\n" or "\n\r\n" terminate the head.
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn is_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds a syntactically plausible
+/// prefix that needs more bytes, `Ok(Some(request))` when a complete
+/// request (head + declared body) is buffered, and `Err` the moment the
+/// bytes can no longer become a request this codec accepts.
+///
+/// # Errors
+/// `400` malformed head, `413` declared body over [`MAX_BODY_LEN`],
+/// `431` head over [`MAX_HEAD_LEN`], `501` transfer-encoding.
+pub fn parse_request(buf: &[u8]) -> Result<Option<Request>, HttpError> {
+    let Some(body_start) = head_end(buf) else {
+        if buf.len() > MAX_HEAD_LEN {
+            return Err(HttpError::new(431, "request head too large"));
+        }
+        return Ok(None);
+    };
+    if body_start > MAX_HEAD_LEN {
+        return Err(HttpError::new(431, "request head too large"));
+    }
+    let head = std::str::from_utf8(&buf[..body_start])
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                "request line is not `METHOD TARGET VERSION`",
+            ))
+        }
+    };
+    if !is_token(method) {
+        return Err(HttpError::new(400, "malformed method token"));
+    }
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(HttpError::new(400, "request target must start with '/'"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(400, "unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            break; // the blank line ending the head
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, "header line without ':'"));
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if !is_token(name) {
+            return Err(HttpError::new(400, "malformed header name"));
+        }
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::new(501, "transfer-encoding is not supported"));
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::new(400, "malformed Content-Length"))?;
+            if content_length > MAX_BODY_LEN {
+                return Err(HttpError::new(
+                    413,
+                    format!("body of {content_length} bytes exceeds the {MAX_BODY_LEN}-byte cap"),
+                ));
+            }
+        }
+        headers.push((name.to_string(), value.to_string()));
+    }
+
+    let available = buf.len() - body_start;
+    if available < content_length {
+        return Ok(None);
+    }
+    Ok(Some(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: buf[body_start..body_start + content_length].to_vec(),
+    }))
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// An outgoing response; `to_bytes` renders status line, headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds, sent with 503 backpressure answers.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition format).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// Serializes the response, `Connection: close` always (one request
+    /// per connection keeps the worker-pool accounting exact).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let req = parse_request(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_bare_lf() {
+        let req = parse_request(b"POST /predict HTTP/1.1\nContent-Length: 4\n\nabcd")
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn incomplete_head_and_body_want_more_bytes() {
+        assert_eq!(parse_request(b"GET /x HTTP/1.1\r\nHos"), Ok(None));
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_before_buffering() {
+        let head = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            1u64 << 62
+        );
+        let err = parse_request(head.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut buf = b"GET /x HTTP/1.1\r\n".to_vec();
+        buf.extend(std::iter::repeat_n(b'a', MAX_HEAD_LEN + 1));
+        assert_eq!(parse_request(&buf).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn malformed_heads_are_400() {
+        for bad in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/9.9\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: lots\r\n\r\n",
+            b"\xff\xfe /x HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse_request(bad).expect_err("must be rejected");
+            assert_eq!(err.status, 400, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_is_501() {
+        let err =
+            parse_request(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 501);
+    }
+
+    #[test]
+    fn response_bytes_have_the_documented_shape() {
+        let mut r = Response::json(503, "{}".as_bytes().to_vec());
+        r.retry_after = Some(1);
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,52 @@
+//! `exareq-serve`: the co-design query daemon behind `exareq serve`.
+//!
+//! The paper's economics are lopsided on purpose: requirement models
+//! `r(p, n)` cost hours of small-scale runs to *learn* and microseconds to
+//! *evaluate*. The batch CLIs only exploit the first half; this crate
+//! serves the second — a long-running daemon that loads survey/model
+//! artifacts once and answers prediction and co-design questions over
+//! HTTP until told to stop.
+//!
+//! Std-only by constraint and by design (the target container is
+//! offline), the crate is four layers, one module each:
+//!
+//! - [`http`] — a minimal hardened HTTP/1.1 codec: request line, headers,
+//!   `Content-Length` body; 400/413/431/501 on anything else, never a
+//!   panic (`tests/http_properties.rs` fuzzes it).
+//! - [`registry`] — the model registry over `--model-dir`: survey and
+//!   fitted-requirements artifacts parsed once through the in-tree
+//!   `minijson` codec, cached by content hash, hot-reloaded when bytes
+//!   change, newer `schema_version`s rejected per file like the journal.
+//! - [`server`] + [`dispatch`] — the request engine: bounded accept queue
+//!   (503 + `Retry-After` on overflow), fixed worker pool, per-request
+//!   [`Deadline`](exareq_core::cancel::Deadline) (504 on expiry), and the
+//!   endpoints `GET /healthz`, `GET /models`, `GET /metrics` (Prometheus
+//!   text), `POST /predict`, `POST /upgrade`, `POST /strawman`.
+//! - [`metrics`] — live counters and a latency histogram for `/metrics`.
+//!
+//! Response bodies are built exclusively in [`api`] with the same minijson
+//! writer the library uses, so every daemon answer is byte-identical to
+//! the equivalent direct call — correctness is a `==` on bytes, which
+//! `tests/serve.rs` and `serve_throughput` assert under concurrent load.
+//!
+//! Graceful shutdown mirrors the sweep CLIs: the binary installs the
+//! `src/signal.rs` handlers on a [`CancelToken`](exareq_core::cancel::CancelToken)
+//! and passes it to [`server::serve`]; SIGINT/SIGTERM stops the acceptor,
+//! drains in-flight requests within the drain deadline, and the process
+//! exits 0 — a drained server has lost no work, unlike an interrupted
+//! sweep (exit 5).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod artifact;
+pub mod dispatch;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use http::{parse_request, HttpError, Request, Response, MAX_BODY_LEN, MAX_HEAD_LEN};
+pub use metrics::Metrics;
+pub use registry::{ArtifactKind, Fitter, ModelEntry, ModelRegistry, RegistrySnapshot};
+pub use server::{serve, ServeConfig, ServeError, ServeSummary};

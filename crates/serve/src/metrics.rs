@@ -1,0 +1,184 @@
+//! Live serving metrics: lock-free counters and a fixed-bucket latency
+//! histogram, rendered in the Prometheus text exposition format.
+//!
+//! Everything is relaxed atomics — the numbers are operator telemetry, not
+//! synchronization; a scrape racing a request may be one count behind,
+//! never torn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, seconds. The last implicit bucket is
+/// `+Inf`. Spans sub-millisecond model evaluations up to requests parked
+/// against the deadline.
+pub const LATENCY_BUCKETS_S: [f64; 12] = [
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+];
+
+/// All serving counters; shared across workers behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests that reached a worker (everything except queue rejects).
+    requests: AtomicU64,
+    /// Responses with status >= 400 of any kind.
+    errors: AtomicU64,
+    /// 503 backpressure rejects from the full accept queue.
+    rejected: AtomicU64,
+    /// 504 deadline expiries.
+    deadline_expired: AtomicU64,
+    /// Latency histogram bucket counts (`LATENCY_BUCKETS_S` + `+Inf`).
+    buckets: [AtomicU64; LATENCY_BUCKETS_S.len() + 1],
+    /// Sum of observed latencies, nanoseconds.
+    latency_sum_ns: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one worker-handled request: its response status and wall
+    /// latency.
+    pub fn record(&self, status: u16, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if status == 504 {
+            self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        }
+        let secs = latency.as_secs_f64();
+        let idx = LATENCY_BUCKETS_S
+            .iter()
+            .position(|&le| secs <= le)
+            .unwrap_or(LATENCY_BUCKETS_S.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one 503 backpressure reject (issued by the acceptor; the
+    /// request never reached a worker, so it is not in `requests`).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker-handled request count so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Backpressure reject count so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Error (status >= 400) count so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition, including the registry
+    /// generation and model-count gauges passed in by the caller.
+    pub fn render(&self, registry_generation: u64, models_loaded: usize) -> String {
+        let mut out = String::with_capacity(1536);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "exareq_requests_total",
+            "Requests handled by a worker.",
+            self.requests(),
+        );
+        counter(
+            &mut out,
+            "exareq_errors_total",
+            "Responses with status >= 400.",
+            self.errors(),
+        );
+        counter(
+            &mut out,
+            "exareq_rejected_total",
+            "503 backpressure rejects from the full accept queue.",
+            self.rejected(),
+        );
+        counter(
+            &mut out,
+            "exareq_deadline_expired_total",
+            "504 responses from expired request deadlines.",
+            self.deadline_expired.load(Ordering::Relaxed),
+        );
+
+        out.push_str(
+            "# HELP exareq_request_seconds Request latency from worker pickup to response.\n\
+             # TYPE exareq_request_seconds histogram\n",
+        );
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS_S.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "exareq_request_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_S.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "exareq_request_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "exareq_request_seconds_sum {}\n",
+            self.latency_sum_ns.load(Ordering::Relaxed) as f64 / 1e9
+        ));
+        out.push_str(&format!("exareq_request_seconds_count {cumulative}\n"));
+
+        out.push_str(&format!(
+            "# HELP exareq_registry_generation Bumps when the model registry reloads.\n\
+             # TYPE exareq_registry_generation gauge\n\
+             exareq_registry_generation {registry_generation}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP exareq_models_loaded Models currently served by the registry.\n\
+             # TYPE exareq_models_loaded gauge\n\
+             exareq_models_loaded {models_loaded}\n"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histogram_accumulate() {
+        let m = Metrics::new();
+        m.record(200, Duration::from_micros(300));
+        m.record(404, Duration::from_millis(3));
+        m.record(504, Duration::from_millis(600));
+        m.record_rejected();
+        assert_eq!(m.requests(), 3);
+        assert_eq!(m.errors(), 2);
+        assert_eq!(m.rejected(), 1);
+
+        let text = m.render(7, 2);
+        assert!(text.contains("exareq_requests_total 3\n"), "{text}");
+        assert!(text.contains("exareq_errors_total 2\n"), "{text}");
+        assert!(text.contains("exareq_rejected_total 1\n"), "{text}");
+        assert!(text.contains("exareq_deadline_expired_total 1\n"), "{text}");
+        assert!(text.contains("exareq_registry_generation 7\n"), "{text}");
+        assert!(text.contains("exareq_models_loaded 2\n"), "{text}");
+        // Histogram buckets are cumulative and end at +Inf == count.
+        assert!(
+            text.contains("exareq_request_seconds_bucket{le=\"0.0005\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("exareq_request_seconds_bucket{le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("exareq_request_seconds_count 3\n"), "{text}");
+    }
+}

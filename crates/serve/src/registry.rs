@@ -1,0 +1,388 @@
+//! The model registry: every artifact in `--model-dir`, parsed once,
+//! served forever.
+//!
+//! The registry scans a flat directory for `.json` artifacts of two kinds
+//! (dispatch is by content, not extension):
+//!
+//! - **survey artifacts** — the JSON `exareq survey` writes; fitting them
+//!   into [`AppRequirements`] is delegated to the caller-supplied fitter so
+//!   this crate does not depend on the fitting pipeline;
+//! - **requirements artifacts** — pre-fitted models written by
+//!   [`crate::artifact`]; loaded directly.
+//!
+//! Both parse through the in-tree `minijson` codec — never serde — so the
+//! daemon works wherever the journal does. Parsed results are cached by
+//! **content hash** (FNV-1a over the raw bytes): a rewrite that does not
+//! change bytes (a `touch`, an atomic-rename republish of the same
+//! content) costs one hash, not one refit. The *generation* counter bumps
+//! whenever the served set actually changes, so `/metrics` exposes
+//! hot-reloads. Artifacts claiming a newer `schema_version` than this
+//! build are rejected the same way the journal rejects newer journals:
+//! loudly, per file, without taking down the rest of the registry.
+
+use crate::artifact;
+use exareq_codesign::AppRequirements;
+use exareq_profile::minijson::{self, Json};
+use exareq_profile::surveyjson;
+use exareq_profile::Survey;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Fits a parsed survey into requirement models; supplied by the binary so
+/// the serve crate stays independent of the fitting pipeline.
+pub type Fitter = dyn Fn(&Survey) -> Result<AppRequirements, String> + Send + Sync;
+
+/// How an entry entered the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A survey artifact, fitted at load time.
+    Survey,
+    /// A pre-fitted requirements artifact.
+    Requirements,
+}
+
+impl ArtifactKind {
+    /// Stable label for `/models` and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArtifactKind::Survey => "survey",
+            ArtifactKind::Requirements => "requirements",
+        }
+    }
+}
+
+/// One served model.
+#[derive(Clone)]
+pub struct ModelEntry {
+    /// Application name (the lookup key for `POST` endpoints).
+    pub name: String,
+    /// File name the model came from.
+    pub source: String,
+    /// FNV-1a 64 hash of the artifact bytes.
+    pub hash: u64,
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// The fitted models.
+    pub requirements: Arc<AppRequirements>,
+}
+
+/// A point-in-time view of the registry for `/models` and `/metrics`.
+#[derive(Clone)]
+pub struct RegistrySnapshot {
+    /// Reload generation (bumps when the served set changes).
+    pub generation: u64,
+    /// Served models, sorted by name.
+    pub models: Vec<ModelEntry>,
+    /// Files that failed to load, with the one-line reason.
+    pub errors: Vec<(String, String)>,
+}
+
+/// A cached parse/fit outcome: `(model name, kind, fitted models)` or the
+/// one-line rejection reason.
+type ParseOutcome = Result<(String, ArtifactKind, Arc<AppRequirements>), String>;
+
+struct Inner {
+    /// name → entry, as currently served.
+    entries: BTreeMap<String, ModelEntry>,
+    /// file name → content hash at the last scan (reload detection).
+    file_hashes: BTreeMap<String, u64>,
+    /// content hash → parse/fit result, kept across reloads.
+    by_hash: BTreeMap<u64, ParseOutcome>,
+    /// file name → reason for files not currently served.
+    errors: BTreeMap<String, String>,
+    generation: u64,
+}
+
+/// The registry; cheap to share behind an `Arc`, internally locked.
+pub struct ModelRegistry {
+    dir: PathBuf,
+    fitter: Box<Fitter>,
+    inner: Mutex<Inner>,
+}
+
+/// FNV-1a 64-bit over the artifact bytes: stable, dependency-free, and
+/// plenty for cache keying (this is not an integrity check).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn parse_artifact(text: &str, fitter: &Fitter) -> ParseOutcome {
+    let v = minijson::parse(text).map_err(|e| e.to_string())?;
+    if artifact::is_requirements_artifact(&v) {
+        let app = artifact::requirements_from_json(&v)?;
+        return Ok((app.name.clone(), ArtifactKind::Requirements, Arc::new(app)));
+    }
+    if v.get("observations").and_then(Json::as_arr).is_some() {
+        let survey = surveyjson::survey_from_json(&v).map_err(|e| e.to_string())?;
+        if survey.incomplete {
+            return Err("survey artifact is marked incomplete; resume the sweep first".to_string());
+        }
+        let app = fitter(&survey)?;
+        return Ok((app.name.clone(), ArtifactKind::Survey, Arc::new(app)));
+    }
+    Err("neither a survey nor a requirements artifact".to_string())
+}
+
+impl ModelRegistry {
+    /// A registry over `dir`; call [`ModelRegistry::refresh`] to load.
+    pub fn new(dir: impl Into<PathBuf>, fitter: Box<Fitter>) -> Self {
+        ModelRegistry {
+            dir: dir.into(),
+            fitter,
+            inner: Mutex::new(Inner {
+                entries: BTreeMap::new(),
+                file_hashes: BTreeMap::new(),
+                by_hash: BTreeMap::new(),
+                errors: BTreeMap::new(),
+                generation: 0,
+            }),
+        }
+    }
+
+    /// The directory being served.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Rescans the directory, (re)parsing any artifact whose bytes
+    /// changed, and returns the generation after the scan. Unreadable or
+    /// rejected files are recorded per file and skipped — the rest of the
+    /// registry keeps serving.
+    pub fn refresh(&self) -> u64 {
+        // Read the directory outside the lock; hashing is the slow part.
+        let mut scanned: Vec<(String, Vec<u8>)> = Vec::new();
+        let mut scan_errors: BTreeMap<String, String> = BTreeMap::new();
+        match std::fs::read_dir(&self.dir) {
+            Ok(rd) => {
+                for entry in rd.flatten() {
+                    let path = entry.path();
+                    if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                        continue;
+                    }
+                    let file = match path.file_name().and_then(|n| n.to_str()) {
+                        Some(f) => f.to_string(),
+                        None => continue,
+                    };
+                    match std::fs::read(&path) {
+                        Ok(bytes) => scanned.push((file, bytes)),
+                        Err(e) => {
+                            scan_errors.insert(file, format!("read: {e}"));
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                scan_errors.insert(
+                    self.dir.display().to_string(),
+                    format!("read model dir: {e}"),
+                );
+            }
+        }
+        scanned.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut new_hashes = BTreeMap::new();
+        let mut new_entries: BTreeMap<String, ModelEntry> = BTreeMap::new();
+        let mut new_errors = scan_errors;
+        for (file, bytes) in scanned {
+            let hash = fnv1a64(&bytes);
+            new_hashes.insert(file.clone(), hash);
+            let parsed = inner.by_hash.entry(hash).or_insert_with(|| {
+                String::from_utf8(bytes)
+                    .map_err(|_| "artifact is not valid UTF-8".to_string())
+                    .and_then(|text| parse_artifact(&text, &*self.fitter))
+            });
+            match parsed {
+                Ok((name, kind, requirements)) => {
+                    let entry = ModelEntry {
+                        name: name.clone(),
+                        source: file.clone(),
+                        hash,
+                        kind: *kind,
+                        requirements: Arc::clone(requirements),
+                    };
+                    if let Some(previous) = new_entries.insert(name.clone(), entry) {
+                        new_errors.insert(
+                            previous.source,
+                            format!("shadowed: {file} also defines model {name}"),
+                        );
+                    }
+                }
+                Err(reason) => {
+                    new_errors.insert(file, reason.clone());
+                }
+            }
+        }
+
+        // Drop cache entries no file references any more, so a frequently
+        // republished artifact cannot grow the cache without bound.
+        let live: std::collections::BTreeSet<u64> = new_hashes.values().copied().collect();
+        inner.by_hash.retain(|h, _| live.contains(h));
+
+        // Generation bumps only when the served set actually changed.
+        let changed = inner.file_hashes != new_hashes;
+        if changed {
+            inner.generation += 1;
+        }
+        inner.file_hashes = new_hashes;
+        inner.entries = new_entries;
+        inner.errors = new_errors;
+        inner.generation
+    }
+
+    /// The requirements served under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<AppRequirements>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.entries.get(name).map(|e| Arc::clone(&e.requirements))
+    }
+
+    /// A consistent snapshot of the served set.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        RegistrySnapshot {
+            generation: inner.generation,
+            models: inner.entries.values().cloned().collect(),
+            errors: inner
+                .errors
+                .iter()
+                .map(|(f, r)| (f.clone(), r.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_codesign::catalog;
+    use exareq_profile::survey::{MetricKind, SURVEY_SCHEMA_VERSION};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("exareq_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    /// A fitter that counts invocations and returns constant models.
+    fn counting_fitter(counter: Arc<AtomicUsize>) -> Box<Fitter> {
+        Box::new(move |s: &Survey| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            let mut app = catalog::paper_models().remove(0);
+            app.name = s.app.clone();
+            Ok(app)
+        })
+    }
+
+    fn sample_survey(app: &str) -> String {
+        let mut s = Survey::new(app);
+        s.push(2, 64, MetricKind::Flops, 1.0e9);
+        surveyjson::survey_to_string(&s)
+    }
+
+    #[test]
+    fn loads_both_artifact_kinds_and_serves_by_name() {
+        let dir = temp_dir("kinds");
+        std::fs::write(dir.join("a.json"), sample_survey("SurveyApp")).unwrap();
+        let fitted = catalog::paper_models().remove(1);
+        std::fs::write(
+            dir.join("b.json"),
+            artifact::requirements_to_string(&fitted),
+        )
+        .unwrap();
+
+        let reg = ModelRegistry::new(&dir, counting_fitter(Arc::new(AtomicUsize::new(0))));
+        reg.refresh();
+        let snap = reg.snapshot();
+        assert_eq!(snap.generation, 1);
+        assert_eq!(snap.models.len(), 2, "{:?}", snap.errors);
+        assert!(reg.get("SurveyApp").is_some());
+        assert!(reg.get(&fitted.name).is_some());
+        assert_eq!(
+            reg.get(&fitted.name).unwrap().flops.eval(&[64.0, 4096.0]),
+            fitted.flops.eval(&[64.0, 4096.0])
+        );
+    }
+
+    #[test]
+    fn content_hash_cache_skips_refits_and_reload_bumps_generation() {
+        let dir = temp_dir("reload");
+        std::fs::write(dir.join("a.json"), sample_survey("App")).unwrap();
+        let fits = Arc::new(AtomicUsize::new(0));
+        let reg = ModelRegistry::new(&dir, counting_fitter(Arc::clone(&fits)));
+
+        assert_eq!(reg.refresh(), 1);
+        assert_eq!(fits.load(Ordering::SeqCst), 1);
+
+        // Same bytes rewritten (mtime changes, content does not): no refit,
+        // no generation bump.
+        std::fs::write(dir.join("a.json"), sample_survey("App")).unwrap();
+        assert_eq!(reg.refresh(), 1);
+        assert_eq!(fits.load(Ordering::SeqCst), 1);
+
+        // Changed bytes: refit and a new generation.
+        std::fs::write(dir.join("a.json"), sample_survey("App2")).unwrap();
+        assert_eq!(reg.refresh(), 2);
+        assert_eq!(fits.load(Ordering::SeqCst), 2);
+        assert!(reg.get("App").is_none());
+        assert!(reg.get("App2").is_some());
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected_per_file() {
+        let dir = temp_dir("version");
+        let future = format!(
+            r#"{{"schema_version":{},"app":"X","observations":[]}}"#,
+            SURVEY_SCHEMA_VERSION + 1
+        );
+        std::fs::write(dir.join("future.json"), future).unwrap();
+        std::fs::write(dir.join("ok.json"), sample_survey("Ok")).unwrap();
+
+        let reg = ModelRegistry::new(&dir, counting_fitter(Arc::new(AtomicUsize::new(0))));
+        reg.refresh();
+        let snap = reg.snapshot();
+        assert_eq!(snap.models.len(), 1);
+        assert!(reg.get("Ok").is_some());
+        let (file, reason) = &snap.errors[0];
+        assert_eq!(file, "future.json");
+        assert!(
+            reason.contains("newer than the newest supported"),
+            "{reason}"
+        );
+    }
+
+    #[test]
+    fn incomplete_surveys_and_non_artifacts_are_skipped_with_reasons() {
+        let dir = temp_dir("skips");
+        let mut s = Survey::new("Partial");
+        s.push(2, 64, MetricKind::Flops, 1.0);
+        s.incomplete = true;
+        std::fs::write(dir.join("partial.json"), surveyjson::survey_to_string(&s)).unwrap();
+        std::fs::write(dir.join("junk.json"), "{ not json").unwrap();
+        std::fs::write(dir.join("other.json"), "{\"hello\":1}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored entirely").unwrap();
+
+        let reg = ModelRegistry::new(&dir, counting_fitter(Arc::new(AtomicUsize::new(0))));
+        reg.refresh();
+        let snap = reg.snapshot();
+        assert!(snap.models.is_empty());
+        assert_eq!(snap.errors.len(), 3, "{:?}", snap.errors);
+        let reason_for = |f: &str| {
+            snap.errors
+                .iter()
+                .find(|(file, _)| file == f)
+                .map(|(_, r)| r.clone())
+                .unwrap_or_default()
+        };
+        assert!(reason_for("partial.json").contains("incomplete"));
+        assert!(reason_for("other.json").contains("neither"));
+    }
+}

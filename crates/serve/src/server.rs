@@ -1,0 +1,281 @@
+//! The request engine: non-blocking acceptor, explicit bounded accept
+//! queue, fixed worker pool, per-request deadlines, graceful drain.
+//!
+//! Flow of one request:
+//!
+//! ```text
+//! accept() ──▶ queue (≤ queue_depth) ──▶ worker: read ▶ parse ▶ dispatch ▶ write
+//!      │                                    │
+//!      └── queue full: 503 + Retry-After    └── Deadline expired: 504
+//! ```
+//!
+//! Backpressure is explicit: when the queue is full the *acceptor* answers
+//! `503` with `Retry-After` and closes — the connection never reaches a
+//! worker and never consumes model-evaluation capacity. Every request a
+//! worker picks up runs under a fresh [`CancelToken`] carrying the
+//! `--request-deadline-ms` [`Deadline`]; expiry anywhere along the path
+//! answers `504` instead of hanging the client.
+//!
+//! Shutdown (SIGINT/SIGTERM via the caller's cancel token, or
+//! [`Deadline`]-free cancellation in tests): the acceptor stops accepting
+//! immediately, workers finish the queue and their in-flight requests, and
+//! the engine waits up to the drain deadline before returning — the
+//! process then exits 0, per the exit-code contract ("interrupted" exit 5
+//! is for sweeps that lose work; a drained server has lost nothing).
+
+use crate::http::{parse_request, HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use crate::{api, dispatch};
+use exareq_core::cancel::{CancelToken, Deadline};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything `exareq serve` configures.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:8462` (port 0 picks one).
+    pub addr: SocketAddr,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Accepted connections allowed to wait for a worker.
+    pub queue_depth: usize,
+    /// Per-request deadline; expiry answers 504.
+    pub request_deadline: Duration,
+    /// How long shutdown waits for in-flight requests.
+    pub drain_deadline: Duration,
+    /// Directory of model artifacts.
+    pub model_dir: PathBuf,
+}
+
+/// Why the engine could not run.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listen address failed.
+    Bind(SocketAddr, std::io::Error),
+    /// Configuring the listener failed.
+    Listener(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(addr, e) => write!(f, "bind {addr}: {e}"),
+            ServeError::Listener(e) => write!(f, "configure listener: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What happened over the daemon's lifetime, for the shutdown line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests handled by workers.
+    pub requests: u64,
+    /// 503 backpressure rejects.
+    pub rejected: u64,
+    /// True when shutdown drained every in-flight request within the
+    /// drain deadline.
+    pub drained: bool,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    accepting: AtomicBool,
+    metrics: Metrics,
+    registry: Arc<ModelRegistry>,
+    request_deadline: Duration,
+}
+
+/// How long a worker waits on one socket read before giving up on the
+/// client; bounds slow-client damage to one worker for a short while.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Acceptor poll interval while the listener has nothing for us.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Worker poll interval while the queue is empty.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+/// Runs the daemon until `cancel` fires, then drains.
+///
+/// `ready` is invoked once with the bound address (after `--addr` port 0
+/// resolution) before the first accept — callers print or record it.
+///
+/// # Errors
+/// [`ServeError`] when the listener cannot be set up; never for anything a
+/// client does.
+pub fn serve(
+    cfg: &ServeConfig,
+    registry: Arc<ModelRegistry>,
+    cancel: &CancelToken,
+    ready: impl FnOnce(SocketAddr),
+) -> Result<ServeSummary, ServeError> {
+    let listener = TcpListener::bind(cfg.addr).map_err(|e| ServeError::Bind(cfg.addr, e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(ServeError::Listener)?;
+    let addr = listener.local_addr().map_err(ServeError::Listener)?;
+
+    registry.refresh();
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        accepting: AtomicBool::new(true),
+        metrics: Metrics::new(),
+        registry,
+        request_deadline: cfg.request_deadline,
+    });
+
+    let workers: Vec<_> = (0..cfg.threads.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    ready(addr);
+
+    // Accept loop. Non-blocking + poll so a signal-cancelled token is
+    // noticed within ACCEPT_POLL even when no client ever connects.
+    while !cancel.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if queue.len() >= cfg.queue_depth {
+                    drop(queue);
+                    shared.metrics.record_rejected();
+                    reject_overloaded(stream);
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient per-connection accept failures (ECONNABORTED and
+            // friends) must not kill the daemon.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+
+    // Drain: stop accepting, let workers empty the queue and finish
+    // in-flight requests, give up at the drain deadline.
+    drop(listener);
+    shared.accepting.store(false, Ordering::SeqCst);
+    shared.ready.notify_all();
+    let drain = Deadline::after(cfg.drain_deadline);
+    let mut drained = true;
+    for worker in workers {
+        while !worker.is_finished() && !drain.expired() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if worker.is_finished() {
+            let _ = worker.join();
+        } else {
+            drained = false; // abandoned; the process exit reaps it
+        }
+    }
+    Ok(ServeSummary {
+        requests: shared.metrics.requests(),
+        rejected: shared.metrics.rejected(),
+        drained,
+    })
+}
+
+/// Answers 503 + `Retry-After` on the acceptor thread without reading the
+/// request: the queue depth already told us everything we need. The write
+/// side is shut down so the client sees a complete response even though
+/// its request body may be unread.
+fn reject_overloaded(mut stream: TcpStream) {
+    let mut response = Response::json(503, api::error_body("server is at capacity").into_bytes());
+    response.retry_after = Some(1);
+    let _ = stream.set_nodelay(true);
+    if stream.write_all(&response.to_bytes()).is_ok() {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        // Briefly drain whatever the client already sent so closing the
+        // socket does not RST the response out of its receive buffer.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 4096];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(queue, WORKER_POLL)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        handle_connection(stream, shared);
+    }
+}
+
+/// Reads one request, dispatches it, writes one response, closes. Any I/O
+/// failure mid-conversation just drops the connection — the peer is gone;
+/// there is nobody to tell.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let started = Instant::now();
+    // A fresh token per request: the deadline is this request's alone, and
+    // a SIGTERM on the server token must drain — not cancel — in-flight
+    // requests, so the flags are deliberately not shared.
+    let token = CancelToken::new().with_deadline(Deadline::after(shared.request_deadline));
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+
+    let response = match read_request(&mut stream) {
+        Ok(Some(request)) => {
+            dispatch::dispatch(&request, &shared.registry, &shared.metrics, &token)
+        }
+        Ok(None) => return, // peer hung up before completing a request
+        Err(e) => Response::json(e.status, api::error_body(&e.reason).into_bytes()),
+    };
+    shared.metrics.record(response.status, started.elapsed());
+    if stream.write_all(&response.to_bytes()).is_ok() {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 4096];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Accumulates socket bytes through [`parse_request`] until a complete
+/// request, a protocol error, or EOF/timeout.
+fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(request) = parse_request(&buf)? {
+            return Ok(Some(request));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(None), // timeout or reset: drop silently
+        }
+    }
+}

@@ -26,7 +26,9 @@ use exareq::core::multiparam::MultiParamConfig;
 use exareq::pipeline::model_requirements;
 use exareq::profile::journal::{apply_entry, SurveyJournal, SurveyManifest};
 use exareq::profile::Survey;
+use exareq::serve::{registry::Fitter, ModelRegistry, ServeConfig};
 use exareq::sim::FaultPlan;
+use std::net::SocketAddr;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -45,6 +47,9 @@ USAGE:
     exareq upgrades [<survey.json>]
     exareq strawman [--network]
     exareq report <survey.json> [-o FILE]
+    exareq serve --model-dir DIR [--addr HOST:PORT] [--threads N]
+                 [--queue-depth N] [--request-deadline-ms N]
+                 [--drain-deadline-ms N]
 
 COMMANDS:
     apps       list the built-in behavioural twins
@@ -58,6 +63,7 @@ COMMANDS:
                bandwidth-aware lower bounds (E9)
     report     full co-design dossier (models, plots, outlook, upgrades,
                straw-man verdict) as Markdown
+    serve      long-running co-design query daemon over HTTP/1.1
 
 FAULT INJECTION (survey --faults):
     deterministic, seed-driven fault plan applied to every simulated run:
@@ -105,10 +111,24 @@ PREEMPTION (survey):
     milliseconds of wall clock — set it just under the batch allocation
     so the sweep parks itself cleanly instead of being killed mid-write.
 
+SERVING (serve):
+    loads every survey / fitted-model artifact in --model-dir (parsed
+    with the in-tree JSON codec, cached by content hash, hot-reloaded
+    when bytes change) and answers co-design queries over HTTP/1.1:
+    GET /healthz /models /metrics (Prometheus text), POST /predict
+    /upgrade /strawman. --threads N workers (default 4) pull from an
+    accept queue of --queue-depth (default 64); overflow is answered
+    503 + Retry-After. Each request runs under --request-deadline-ms
+    (default 2000); expiry answers 504. SIGINT/SIGTERM stops accepting,
+    drains in-flight requests within --drain-deadline-ms (default
+    5000), and exits 0 — a drained server has lost no work, so the
+    interrupted code 5 is reserved for sweeps.
+
 EXIT CODES:
-    0   success
+    0   success (for serve: including a signal-drained shutdown)
     2   usage error (unknown command/application, malformed flag)
-    3   data error (unreadable input, failed parse/fit/write)
+    3   data error (unreadable input, failed parse/fit/write, serve
+        bind failure)
     4   resumable abort (per-config wall-clock budget exhausted;
         journaled configurations are safe — re-run with --resume)
     5   interrupted (SIGINT/SIGTERM or --deadline-ms; journaled
@@ -180,6 +200,7 @@ fn main() -> ExitCode {
         "upgrades" => cmd_upgrades(rest),
         "strawman" => cmd_strawman(rest),
         "report" => cmd_report(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -850,5 +871,117 @@ fn cmd_strawman(rest: &[String]) -> Result<(), CliError> {
             println!();
         }
     }
+    Ok(())
+}
+
+/// Parses a positive count flag with a default, naming the flag in the
+/// one-line usage error.
+fn parse_count(value: Option<String>, flag: &str, default: usize) -> Result<usize, CliError> {
+    let Some(v) = value else {
+        return Ok(default);
+    };
+    let n: usize = v
+        .parse()
+        .map_err(|_| CliError::usage(format!("{flag}: cannot parse `{v}` as a count")))?;
+    if n == 0 {
+        return Err(CliError::usage(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
+}
+
+/// Parses a milliseconds flag with a default (zero allowed — a zero
+/// request deadline expires every request, which is how the 504 path is
+/// driven deterministically in tests).
+fn parse_ms(value: Option<String>, flag: &str, default: u64) -> Result<u64, CliError> {
+    let Some(v) = value else {
+        return Ok(default);
+    };
+    v.parse()
+        .map_err(|_| CliError::usage(format!("{flag}: cannot parse `{v}` as milliseconds")))
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
+    let mut args: Vec<String> = rest.to_vec();
+    let take = |args: &mut Vec<String>, flag| take_opt(args, flag).map_err(CliError::Usage);
+    let addr_raw = take(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:8462".to_string());
+    let threads = parse_count(take(&mut args, "--threads")?, "--threads", 4)?;
+    let queue_depth = parse_count(take(&mut args, "--queue-depth")?, "--queue-depth", 64)?;
+    let request_deadline_ms = parse_ms(
+        take(&mut args, "--request-deadline-ms")?,
+        "--request-deadline-ms",
+        2_000,
+    )?;
+    let drain_deadline_ms = parse_ms(
+        take(&mut args, "--drain-deadline-ms")?,
+        "--drain-deadline-ms",
+        5_000,
+    )?;
+    let model_dir = take(&mut args, "--model-dir")?;
+    if let Some(stray) = args.first() {
+        return Err(CliError::usage(format!(
+            "serve: unexpected argument `{stray}`"
+        )));
+    }
+    let addr: SocketAddr = addr_raw
+        .parse()
+        .map_err(|_| CliError::usage(format!("invalid --addr `{addr_raw}`: expected HOST:PORT")))?;
+    let Some(model_dir) = model_dir else {
+        return Err(CliError::usage("serve requires --model-dir DIR"));
+    };
+    let dir = std::path::PathBuf::from(&model_dir);
+    if !dir.is_dir() {
+        return Err(CliError::Data(format!(
+            "read model dir {model_dir}: not a directory"
+        )));
+    }
+
+    // Survey artifacts found in the model dir are fitted with the same
+    // configuration `exareq model` uses, so the daemon serves the models
+    // the batch CLI would print.
+    let fit_cfg = MultiParamConfig::default();
+    let fitter: Box<Fitter> = Box::new(move |s: &Survey| {
+        model_requirements(s, &fit_cfg)
+            .map(|m| m.requirements)
+            .map_err(|e| format!("fit: {e}"))
+    });
+    let registry = std::sync::Arc::new(ModelRegistry::new(&dir, fitter));
+
+    // SIGINT/SIGTERM cancel the accept loop; in-flight requests drain.
+    let cancel = CancelToken::new();
+    exareq::signal::install_termination_handlers(&cancel);
+
+    let cfg = ServeConfig {
+        addr,
+        threads,
+        queue_depth,
+        request_deadline: Duration::from_millis(request_deadline_ms),
+        drain_deadline: Duration::from_millis(drain_deadline_ms),
+        model_dir: dir,
+    };
+    let announce = std::sync::Arc::clone(&registry);
+    let summary = exareq::serve::serve(&cfg, std::sync::Arc::clone(&registry), &cancel, |bound| {
+        use std::io::Write;
+        let snap = announce.snapshot();
+        println!(
+            "serving on {bound} ({} models, {} workers, queue depth {queue_depth})",
+            snap.models.len(),
+            threads
+        );
+        for (file, reason) in &snap.errors {
+            eprintln!("warning: skipped {file}: {reason}");
+        }
+        let _ = std::io::stdout().flush();
+    })
+    .map_err(|e| CliError::Data(e.to_string()))?;
+    println!(
+        "serve: {}; {} requests handled, {} rejected",
+        if summary.drained {
+            "drained"
+        } else {
+            "drain deadline expired"
+        },
+        summary.requests,
+        summary.rejected
+    );
     Ok(())
 }

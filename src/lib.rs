@@ -33,6 +33,7 @@ pub use exareq_codesign as codesign;
 pub use exareq_core as core;
 pub use exareq_locality as locality;
 pub use exareq_profile as profile;
+pub use exareq_serve as serve;
 pub use exareq_sim as sim;
 
 pub mod pipeline {

@@ -296,3 +296,55 @@ fn exhausted_config_budget_exits_resumable() {
     assert_eq!(code, EXIT_RESUMABLE, "{err}");
     assert!(err.contains("--resume"), "{err}");
 }
+
+#[test]
+fn serve_flag_validation_exits_usage_with_one_line_reasons() {
+    // No --model-dir at all.
+    let (code, _, err) = exareq(&["serve"]);
+    assert_eq!(code, EXIT_USAGE, "{err}");
+    assert!(err.contains("--model-dir"), "{err}");
+
+    let dir = std::env::temp_dir().join("exareq_cli_serve_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dir.to_str().unwrap();
+
+    let (code, _, err) = exareq(&["serve", "--model-dir", dir, "--addr", "not-an-address"]);
+    assert_eq!(code, EXIT_USAGE, "{err}");
+    assert!(err.contains("invalid --addr"), "{err}");
+    assert!(err.contains("HOST:PORT"), "{err}");
+
+    let (code, _, err) = exareq(&["serve", "--model-dir", dir, "--threads", "zero"]);
+    assert_eq!(code, EXIT_USAGE, "{err}");
+    assert!(err.contains("--threads"), "{err}");
+    let (code, _, err) = exareq(&["serve", "--model-dir", dir, "--threads", "0"]);
+    assert_eq!(code, EXIT_USAGE, "{err}");
+    assert!(err.contains("at least 1"), "{err}");
+
+    let (code, _, err) = exareq(&["serve", "--model-dir", dir, "--queue-depth", "-3"]);
+    assert_eq!(code, EXIT_USAGE, "{err}");
+    assert!(err.contains("--queue-depth"), "{err}");
+
+    let (code, _, err) = exareq(&["serve", "--model-dir", dir, "--request-deadline-ms", "soon"]);
+    assert_eq!(code, EXIT_USAGE, "{err}");
+    assert!(err.contains("--request-deadline-ms"), "{err}");
+
+    let (code, _, err) = exareq(&["serve", "--model-dir", dir, "surprise"]);
+    assert_eq!(code, EXIT_USAGE, "{err}");
+    assert!(err.contains("surprise"), "{err}");
+}
+
+#[test]
+fn serve_missing_model_dir_is_a_data_error() {
+    let (code, _, err) = exareq(&["serve", "--model-dir", "/no/such/directory/anywhere"]);
+    assert_eq!(code, EXIT_DATA, "{err}");
+    assert!(err.contains("not a directory"), "{err}");
+}
+
+#[test]
+fn serve_is_documented_in_usage() {
+    let (code, out, _) = exareq(&["help"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("exareq serve --model-dir DIR"), "{out}");
+    assert!(out.contains("SERVING (serve)"), "{out}");
+    assert!(out.contains("signal-drained shutdown"), "{out}");
+}

@@ -1,0 +1,120 @@
+//! Property-based hardening checks for the serve crate's HTTP codec,
+//! mirroring `minijson_properties.rs`: no byte sequence a socket can
+//! deliver — malformed, truncated, hostile, or valid — may panic the
+//! parser, and every outcome must be `Ok(None)` (need more bytes), a
+//! parsed request, or a well-formed 4xx/5xx error.
+
+use exareq::serve::{parse_request, MAX_BODY_LEN, MAX_HEAD_LEN};
+use proptest::prelude::*;
+
+/// The error statuses the codec documents itself to produce.
+fn documented_error(status: u16) -> bool {
+    matches!(status, 400 | 413 | 431 | 501)
+}
+
+/// A syntactically valid request as raw bytes: token method, absolute-path
+/// target, simple headers, exact `Content-Length` body.
+fn arb_valid_request() -> impl Strategy<Value = Vec<u8>> {
+    let method = prop_oneof![Just("GET"), Just("POST"), Just("DELETE"), Just("X-CUSTOM")];
+    let target = proptest::string::string_regex("/[a-z0-9/_-]{0,24}").unwrap();
+    let headers = prop::collection::vec(
+        (
+            proptest::string::string_regex("[A-Za-z][A-Za-z0-9-]{0,12}").unwrap(),
+            proptest::string::string_regex("[ -9;-~]{0,16}").unwrap(),
+        ),
+        0..4,
+    );
+    let body = prop::collection::vec(any::<u8>(), 0..256);
+    (method, target, headers, body).prop_map(|(method, target, headers, body)| {
+        let mut head = format!("{method} {target} HTTP/1.1\r\n");
+        for (name, value) in &headers {
+            // The generated names can collide with the headers the codec
+            // interprets; keep those out so the declared length stays ours.
+            if name.eq_ignore_ascii_case("content-length")
+                || name.eq_ignore_ascii_case("transfer-encoding")
+            {
+                continue;
+            }
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(&body);
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic: the parser wants more, parses, or
+    /// fails with one of its documented statuses.
+    #[test]
+    fn arbitrary_bytes_never_panic(input in prop::collection::vec(any::<u8>(), 0..512)) {
+        match parse_request(&input) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(documented_error(e.status), "{e:?}"),
+        }
+    }
+
+    /// Arbitrary *almost-HTTP* garbage (drawn from HTTP's own alphabet,
+    /// so it reaches deep into the parser) never panics either.
+    #[test]
+    fn http_flavoured_garbage_never_panics(
+        input in proptest::string::string_regex(
+            "(GET|POST|PUT|[A-Z]{1,8})? ?(/[a-z]{0,8})? ?(HTTP/1.[019])?(\r?\n)?\
+             ([A-Za-z-]{0,12}:? ?[ -~]{0,16}\r?\n){0,4}(\r?\n)?[ -~]{0,64}"
+        ).unwrap()
+    ) {
+        match parse_request(input.as_bytes()) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(documented_error(e.status), "{e:?}"),
+        }
+    }
+
+    /// A generated valid request parses completely at full length, and
+    /// every strict prefix — a mid-flight read — asks for more bytes
+    /// rather than erroring, mis-parsing, or panicking.
+    #[test]
+    fn valid_requests_parse_and_truncations_want_more(
+        bytes in arb_valid_request(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let parsed = parse_request(&bytes)
+            .expect("generated request is valid")
+            .expect("generated request is complete");
+        prop_assert!(bytes.ends_with(&parsed.body));
+        prop_assert_eq!(
+            parsed.header("content-length").and_then(|v| v.parse::<usize>().ok()),
+            Some(parsed.body.len())
+        );
+
+        let cut = cut.index(bytes.len().max(1));
+        if cut < bytes.len() {
+            prop_assert_eq!(parse_request(&bytes[..cut]), Ok(None));
+        }
+    }
+
+    /// A declared body past the minijson cap is refused with 413 from the
+    /// head alone — before a single body byte is buffered.
+    #[test]
+    fn oversized_declared_bodies_are_413(extra in 1usize..1_000_000) {
+        let len = MAX_BODY_LEN + extra;
+        let head = format!("POST /predict HTTP/1.1\r\nContent-Length: {len}\r\n\r\n");
+        let err = parse_request(head.as_bytes()).expect_err("over the cap");
+        prop_assert_eq!(err.status, 413);
+    }
+
+    /// A head that never terminates is refused with 431 once it passes the
+    /// head cap, no matter what bytes pad it out.
+    #[test]
+    fn unterminated_oversized_heads_are_431(pad in prop::collection::vec(0x20u8..0x7f, 0..64)) {
+        let mut buf = b"GET /x HTTP/1.1\r\nX: ".to_vec();
+        while buf.len() <= MAX_HEAD_LEN {
+            buf.extend_from_slice(&pad);
+            buf.push(b'a'); // guarantee progress and keep newlines out
+        }
+        let err = parse_request(&buf).expect_err("over the head cap");
+        prop_assert_eq!(err.status, 431);
+    }
+}

@@ -1,0 +1,316 @@
+//! End-to-end lifecycle tests of `exareq serve`: a real daemon subprocess
+//! on an ephemeral loopback port, spoken to over raw TCP.
+//!
+//! The central assertion is the crate's correctness contract: every daemon
+//! answer is **byte-identical** to the equivalent direct library call. The
+//! rest is the operational envelope — 503 backpressure under a saturated
+//! queue, 504 past `--request-deadline-ms`, protocol errors for malformed
+//! bytes, and a SIGTERM that drains in-flight requests and exits 0.
+
+#![cfg(unix)]
+
+use exareq::codesign::catalog;
+use exareq::serve::{api, artifact};
+use exareq::signal::{send_signal, SIGTERM};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A daemon subprocess bound to an ephemeral port, killed on drop so a
+/// failing test never leaks a listener.
+struct Daemon {
+    child: Child,
+    addr: String,
+    /// Keeps the stdout pipe open: closing it would make the daemon's own
+    /// shutdown summary line fail to write.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Writes the published Table II catalog into a fresh model dir as
+/// requirements artifacts (no fitting needed — offline and fast).
+fn model_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("exareq_serve_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    for app in catalog::paper_models() {
+        std::fs::write(
+            dir.join(format!("{}.json", app.name.to_lowercase())),
+            artifact::requirements_to_string(&app),
+        )
+        .expect("write artifact");
+    }
+    dir
+}
+
+/// Spawns `exareq serve` on port 0 and waits for the flushed ready line
+/// (`serving on HOST:PORT ...`) to learn the bound address.
+fn spawn_daemon(dir: &std::path::Path, extra: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .arg("serve")
+        .arg("--model-dir")
+        .arg(dir)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn exareq serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut ready = String::new();
+    reader.read_line(&mut ready).expect("readable stdout");
+    let addr = ready
+        .strip_prefix("serving on ")
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected ready line: {ready}"))
+        .to_string();
+    Daemon {
+        child,
+        addr,
+        _stdout: reader,
+    }
+}
+
+/// One raw HTTP exchange; returns (status, headers, body).
+fn http(addr: &str, raw: &[u8]) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(raw).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no head terminator in {response:?}"));
+    let head = String::from_utf8(response[..head_end].to_vec()).expect("ASCII head");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head}"));
+    (status, head, response[head_end + 4..].to_vec())
+}
+
+fn get(addr: &str, target: &str) -> (u16, String, Vec<u8>) {
+    http(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: &str, target: &str, body: &str) -> (u16, String, Vec<u8>) {
+    http(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+#[test]
+fn daemon_answers_are_byte_identical_to_the_library() {
+    let dir = model_dir("identity");
+    let daemon = spawn_daemon(&dir, &[]);
+
+    let (status, _, body) = get(&daemon.addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, api::health_body().as_bytes());
+
+    let (status, _, body) = post(
+        &daemon.addr,
+        "/predict",
+        r#"{"model":"Kripke","p":1e6,"n":4096}"#,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        body,
+        api::predict_body(&catalog::kripke(), 1e6, 4096.0).as_bytes(),
+        "daemon /predict must equal the direct library call"
+    );
+
+    let (status, _, body) = post(&daemon.addr, "/upgrade", r#"{"model":"MILC"}"#);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        api::upgrade_body(&catalog::milc(), None)
+            .unwrap()
+            .as_bytes()
+    );
+
+    let (status, _, body) = post(&daemon.addr, "/strawman", r#"{"model":"icoFoam"}"#);
+    assert_eq!(status, 200);
+    assert_eq!(body, api::strawman_body(&catalog::icofoam()).as_bytes());
+
+    let (status, _, body) = get(&daemon.addr, "/models");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    for app in catalog::paper_models() {
+        assert!(
+            text.contains(&format!("\"name\":\"{}\"", app.name)),
+            "{text}"
+        );
+    }
+
+    let (status, _, body) = get(&daemon.addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("exareq_requests_total"), "{text}");
+    assert!(text.contains("exareq_models_loaded 5"), "{text}");
+}
+
+#[test]
+fn protocol_and_routing_errors_answer_4xx() {
+    let dir = model_dir("errors");
+    let daemon = spawn_daemon(&dir, &[]);
+
+    let (status, _, _) = http(&daemon.addr, b"NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+
+    let (status, _, _) = get(&daemon.addr, "/no-such-endpoint");
+    assert_eq!(status, 404);
+
+    let (status, _, body) = post(
+        &daemon.addr,
+        "/predict",
+        r#"{"model":"NoSuchApp","p":2,"n":3}"#,
+    );
+    assert_eq!(status, 404);
+    assert!(String::from_utf8_lossy(&body).contains("unknown model"));
+
+    let (status, _, _) = post(&daemon.addr, "/predict", "{ not json");
+    assert_eq!(status, 400);
+
+    // A huge declared body is refused from the head alone.
+    let raw = format!(
+        "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        64 * 1024 * 1024
+    );
+    let (status, _, _) = http(&daemon.addr, raw.as_bytes());
+    assert_eq!(status, 413);
+}
+
+#[test]
+fn saturated_queue_answers_503_with_retry_after() {
+    let dir = model_dir("saturate");
+    // One worker, queue depth 1, generous request deadline: a burst of
+    // held requests saturates the worker and the queue slot, so most of
+    // the burst must be shed by the acceptor with 503 — and none may
+    // hang, error, or lose its response.
+    let daemon = spawn_daemon(
+        &dir,
+        &[
+            "--threads",
+            "1",
+            "--queue-depth",
+            "1",
+            "--request-deadline-ms",
+            "30000",
+        ],
+    );
+    let addr = daemon.addr.clone();
+
+    let hold = r#"{"model":"Kripke","p":2,"n":3,"hold_ms":1200}"#;
+    let burst: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || post(&addr, "/predict", hold))
+        })
+        .collect();
+    let (mut ok, mut shed) = (0, 0);
+    for client in burst {
+        let (status, head, body) = client.join().expect("client thread");
+        match status {
+            200 => {
+                assert_eq!(
+                    body,
+                    api::predict_body(&catalog::kripke(), 2.0, 3.0).as_bytes(),
+                    "accepted requests still get the exact library answer"
+                );
+                ok += 1;
+            }
+            503 => {
+                assert!(head.contains("Retry-After: 1"), "{head}");
+                shed += 1;
+            }
+            other => panic!("unexpected status {other} under saturation"),
+        }
+    }
+    assert!(ok >= 1, "the admitted requests must complete ({ok} did)");
+    assert!(
+        shed >= 1,
+        "a saturated daemon must shed load with 503 ({ok} x 200, {shed} x 503)"
+    );
+}
+
+#[test]
+fn request_past_deadline_answers_504() {
+    let dir = model_dir("deadline");
+    let daemon = spawn_daemon(&dir, &["--request-deadline-ms", "100"]);
+    let (status, _, body) = post(
+        &daemon.addr,
+        "/predict",
+        r#"{"model":"Kripke","p":2,"n":3,"hold_ms":2000}"#,
+    );
+    assert_eq!(status, 504, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("deadline"));
+
+    // Within the deadline the same request is a normal 200.
+    let (status, _, _) = post(
+        &daemon.addr,
+        "/predict",
+        r#"{"model":"Kripke","p":2,"n":3}"#,
+    );
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn sigterm_drains_in_flight_requests_and_exits_zero() {
+    let dir = model_dir("drain");
+    let mut daemon = spawn_daemon(&dir, &[]);
+    let addr = daemon.addr.clone();
+
+    // A request held well past the signal: it must still be answered.
+    let in_flight = std::thread::spawn(move || {
+        post(
+            &addr,
+            "/predict",
+            r#"{"model":"MILC","p":8,"n":512,"hold_ms":800}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    assert!(send_signal(daemon.child.id(), SIGTERM), "deliver SIGTERM");
+    let started = Instant::now();
+    let status = loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "daemon failed to exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "a drained shutdown exits 0");
+
+    let (code, _, body) = in_flight.join().expect("client thread");
+    assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        body,
+        api::predict_body(&catalog::milc(), 8.0, 512.0).as_bytes(),
+        "the drained request still gets the exact library answer"
+    );
+}
