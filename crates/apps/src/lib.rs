@@ -30,6 +30,7 @@ pub mod parallel;
 pub mod relearn;
 pub mod resilient;
 pub mod shapes;
+pub mod shard;
 
 pub use extras::{Fft, Multigrid};
 pub use icofoam::IcoFoam;
@@ -39,8 +40,10 @@ pub use milc::Milc;
 pub use parallel::{default_jobs, run_survey_parallel};
 pub use relearn::Relearn;
 pub use resilient::{
-    run_survey_cancellable, run_survey_resilient, survey_app_resilient, RetryPolicy, SurveyRunError,
+    measure_config_resilient, run_survey_cancellable, run_survey_resilient, survey_app_resilient,
+    RetryPolicy, SurveyRunError,
 };
+pub use shard::{grid_configs, plan_shards, ShardPlan};
 
 use exareq_core::cancel::CancelToken;
 use exareq_locality::{BurstSampler, BurstSchedule};

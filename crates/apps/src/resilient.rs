@@ -152,10 +152,17 @@ impl From<JournalError> for SurveyRunError {
 /// Measures one configuration under the retry policy, returning the final
 /// attempt's journal entry — or a budget-exhaustion error.
 ///
-/// Shared with the parallel engine ([`crate::parallel`]): the per-config
-/// work is identical under both drivers, which is what makes a `--jobs N`
-/// sweep byte-identical to a sequential one.
-pub(crate) fn measure_config_resilient(
+/// Shared with the parallel engine ([`crate::parallel`]) and the fleet's
+/// worker daemons (`exareq-serve`'s `POST /measure`): the per-config work
+/// is identical under every driver, which is what makes a `--jobs N` sweep
+/// — or a shard measured on a remote worker — byte-identical to a
+/// sequential one.
+///
+/// # Errors
+/// [`SurveyRunError::Cancelled`] when the token fires mid-measurement,
+/// [`SurveyRunError::BudgetExhausted`] when the retry policy's wall-clock
+/// allowance runs out.
+pub fn measure_config_resilient(
     app: &dyn MiniApp,
     p: usize,
     n: u64,

@@ -1,0 +1,85 @@
+//! Shard planning for the distributed survey fleet.
+//!
+//! A survey grid is embarrassingly parallel (every `(p, n)` configuration
+//! derives its fault seeds from `(plan, p, n, attempt)` alone), so the
+//! coordinator is free to cut the grid into contiguous shards and measure
+//! them on different workers. What it is *not* free to do is reorder the
+//! observable trail: the journal and the survey fold in canonical grid
+//! order. Keeping each shard a **contiguous slice of the canonical order**
+//! lets the coordinator's reorder buffer commit shard 0, then shard 1, …
+//! and mechanically reproduce the sequential bytes.
+
+use crate::AppGrid;
+
+/// One unit of fleet work: a contiguous run of canonical-order `(p, n)`
+/// configurations, identified by its position in the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard index in canonical order (0 is the earliest grid slice).
+    pub id: usize,
+    /// The shard's configurations, in canonical grid order.
+    pub configs: Vec<(u64, u64)>,
+}
+
+/// The grid's configurations in canonical order: `p` outer, `n` inner —
+/// the exact order every survey driver measures and journals.
+pub fn grid_configs(grid: &AppGrid) -> Vec<(u64, u64)> {
+    grid.p_values
+        .iter()
+        .flat_map(|&p| grid.n_values.iter().map(move |&n| (p as u64, n)))
+        .collect()
+}
+
+/// Cuts `configs` (already in canonical order, already filtered down to
+/// the pending ones) into contiguous shards of at most `shard_size`
+/// configurations. A `shard_size` of 0 is treated as 1; the final shard
+/// may be short.
+pub fn plan_shards(configs: &[(u64, u64)], shard_size: usize) -> Vec<ShardPlan> {
+    let size = shard_size.max(1);
+    configs
+        .chunks(size)
+        .enumerate()
+        .map(|(id, chunk)| ShardPlan {
+            id,
+            configs: chunk.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_is_p_outer_n_inner() {
+        let grid = AppGrid {
+            p_values: vec![2, 4],
+            n_values: vec![64, 256],
+        };
+        assert_eq!(
+            grid_configs(&grid),
+            vec![(2, 64), (2, 256), (4, 64), (4, 256)]
+        );
+    }
+
+    #[test]
+    fn shards_are_contiguous_and_cover_the_grid() {
+        let configs = vec![(2, 64), (2, 256), (4, 64), (4, 256), (8, 64)];
+        let shards = plan_shards(&configs, 2);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].configs, vec![(2, 64), (2, 256)]);
+        assert_eq!(shards[2].configs, vec![(8, 64)]);
+        let flat: Vec<_> = shards.iter().flat_map(|s| s.configs.clone()).collect();
+        assert_eq!(flat, configs, "concatenated shards must be the grid");
+        assert_eq!(
+            shards.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn zero_shard_size_degenerates_to_one() {
+        let shards = plan_shards(&[(2, 64), (4, 64)], 0);
+        assert_eq!(shards.len(), 2);
+    }
+}

@@ -16,17 +16,22 @@
 //!
 //! Run with `cargo run --release -p exareq-bench --bin resilience`.
 
+use exareq::fleet::{run_fleet, FleetConfig};
 use exareq::pipeline::model_requirements;
 use exareq_apps::{
     run_survey_cancellable, survey_app_resilient, survey_app_with_faults, AppGrid, Kripke, MiniApp,
     Relearn, RetryPolicy,
 };
-use exareq_bench::write_report;
-use exareq_core::cancel::CancelToken;
+use exareq_bench::{num, obj, write_report};
+use exareq_core::cancel::{CancelReason, CancelToken};
 use exareq_core::multiparam::MultiParamConfig;
 use exareq_profile::journal::{SurveyJournal, SurveyManifest};
+use exareq_profile::minijson::Json;
+use exareq_serve::registry::Fitter;
+use exareq_serve::{ModelRegistry, ServeConfig};
 use exareq_sim::FaultPlan;
-use std::time::Instant;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 fn grid() -> AppGrid {
     AppGrid {
@@ -58,6 +63,132 @@ fn study(out: &mut String, app: &dyn MiniApp, label: &str, plan: &FaultPlan) {
     out.push_str(&format!(
         "{label:<24} clean {clean:>2}/{total}  degraded {degraded:>2}  lost {skipped:>2}   {verdict}\n"
     ));
+}
+
+/// An in-process `exareq serve --allow-measure` fleet worker on an
+/// ephemeral loopback port; "killing" it cancels its token, which closes
+/// the listener so every later connect is refused — the same signature a
+/// crashed worker process leaves behind.
+struct FleetWorker {
+    addr: String,
+    cancel: CancelToken,
+}
+
+fn spawn_fleet_worker(model_dir: &std::path::Path) -> FleetWorker {
+    let no_fit: Box<Fitter> = Box::new(|_| Err("fleet workers measure, not fit".to_string()));
+    let registry = Arc::new(ModelRegistry::new(model_dir, no_fit));
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".parse().expect("loopback addr"),
+        threads: 2,
+        queue_depth: 16,
+        request_deadline: Duration::from_secs(10),
+        drain_deadline: Duration::from_millis(200),
+        model_dir: model_dir.to_path_buf(),
+        allow_measure: true,
+    };
+    let cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            let _ = exareq_serve::serve(&cfg, registry, &cancel, move |a| {
+                let _ = tx.send(a);
+            });
+        });
+    }
+    FleetWorker {
+        addr: rx.recv().expect("worker ready").to_string(),
+        cancel,
+    }
+}
+
+/// Fleet-resilience study: the same sharded sweep with 0, 1, then 2 of 2
+/// workers killed mid-run; reports completion time, re-dispatch count,
+/// and whether the merged survey stayed identical to a sequential run.
+fn fleet_resilience(out: &mut String) {
+    out.push_str("\n-- Fleet resilience: sharded sweep under worker kills (2 workers) --\n");
+    let g = AppGrid {
+        p_values: vec![2, 4, 8, 16],
+        n_values: vec![16, 64, 128, 256],
+    };
+    let fault_spec = "seed=7,drop=0.001";
+    let plan = FaultPlan::parse(fault_spec).expect("valid fault spec");
+    let retry = RetryPolicy::retries(1);
+    let baseline = survey_app_resilient(&Relearn, &g, &plan, &retry);
+
+    let mdir = std::env::temp_dir().join(format!("exareq_fleet_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&mdir);
+    std::fs::create_dir_all(&mdir).expect("worker model dir");
+
+    let mut rows = Vec::new();
+    for kills in [0usize, 1, 2] {
+        let workers = [spawn_fleet_worker(&mdir), spawn_fleet_worker(&mdir)];
+        let cfg = FleetConfig {
+            workers: workers.iter().map(|w| w.addr.clone()).collect(),
+            shard_size: 1,
+            // Stretch each shard so a kill at 150ms lands mid-sweep.
+            hold_ms: 40,
+            ..FleetConfig::default()
+        };
+        let killer = {
+            let victims: Vec<CancelToken> = workers
+                .iter()
+                .take(kills)
+                .map(|w| w.cancel.clone())
+                .collect();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(150));
+                for v in &victims {
+                    v.cancel(CancelReason::Interrupt);
+                }
+            })
+        };
+        let t0 = Instant::now();
+        let (survey, report) = run_fleet(
+            &Relearn,
+            &g,
+            &plan,
+            fault_spec,
+            &retry,
+            None,
+            &CancelToken::new(),
+            &cfg,
+        )
+        .expect("fleet sweep completes even with dead workers");
+        let seconds = t0.elapsed().as_secs_f64();
+        killer.join().expect("killer thread");
+        for w in &workers {
+            w.cancel.cancel(CancelReason::Interrupt);
+        }
+        let identical = survey == baseline;
+        assert!(identical, "fleet survey diverged at kills={kills}");
+        if kills == 0 {
+            assert!(!report.fallback, "a healthy fleet must not fall back");
+        }
+        out.push_str(&format!(
+            "kills={kills}: {seconds:.2}s, redispatches {}, fallback shards {}, \
+             identical to sequential: {identical}\n",
+            report.redispatches, report.fallback_shards,
+        ));
+        rows.push(obj(vec![
+            ("kills", num(kills as f64)),
+            ("seconds", num(seconds)),
+            ("redispatches", num(report.redispatches as f64)),
+            ("duplicates_dropped", num(report.duplicates_dropped as f64)),
+            ("fallback", Json::Bool(report.fallback)),
+            ("fallback_shards", num(report.fallback_shards as f64)),
+            ("identical", Json::Bool(identical)),
+        ]));
+    }
+    let _ = std::fs::remove_dir_all(&mdir);
+    let bench = obj(vec![
+        ("schema", num(1.0)),
+        ("app", Json::Str("Relearn".to_string())),
+        ("workers", num(2.0)),
+        ("shards", num(16.0)),
+        ("rounds", Json::Arr(rows)),
+    ]);
+    write_report("BENCH_fleet.json", &bench.to_line());
 }
 
 fn main() {
@@ -193,6 +324,8 @@ fn main() {
             t_probed.as_secs_f64() / t_plain.as_secs_f64().max(1e-9),
         ));
     }
+
+    fleet_resilience(&mut out);
 
     out.push_str(
         "\nReading: the generator tolerates lost configurations gracefully —\n\

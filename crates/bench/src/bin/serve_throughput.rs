@@ -136,6 +136,7 @@ fn main() {
         request_deadline: Duration::from_secs(10),
         drain_deadline: Duration::from_secs(10),
         model_dir: dir.clone(),
+        allow_measure: false,
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

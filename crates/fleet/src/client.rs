@@ -1,0 +1,544 @@
+//! Std-only HTTP/1.1 client for the fleet coordinator.
+//!
+//! The coordinator talks to worker daemons over the same wire format
+//! `exareq-serve` speaks, so the client is the mirror image of
+//! `crates/serve/src/http.rs`: request line + `Content-Length` body out,
+//! status line + headers + body back. Three properties matter more than
+//! generality:
+//!
+//! - **Bounded everything.** Connects use [`TcpStream::connect_timeout`],
+//!   reads happen in short timeout slices under a per-exchange deadline,
+//!   and response heads/bodies have hard size caps. A hung worker costs a
+//!   deadline, never a stuck coordinator.
+//! - **Cancellable everywhere.** Every wait — connect retry backoff,
+//!   read slice, `Retry-After` sleep — polls a
+//!   [`CancelToken`](exareq_core::cancel::CancelToken) so Ctrl-C and
+//!   coordinator wind-down interrupt in-flight I/O within ~one slice.
+//! - **Polite retries.** [`HttpClient::post_with_retry`] retries transport
+//!   errors and 503/504 answers under a fixed attempt budget with jittered
+//!   exponential backoff, and when the server names a price — a
+//!   `Retry-After` header — the client pays exactly that instead of its
+//!   own schedule.
+
+use exareq_core::cancel::CancelToken;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Largest response head (status line + headers) the client will buffer.
+pub const MAX_RESPONSE_HEAD: usize = 16 * 1024;
+
+/// Largest response body the client will buffer (measurement shards can
+/// carry thousands of journal entries, so this is far above `/predict`
+/// sizes but still a hard stop against a babbling server).
+pub const MAX_RESPONSE_BODY: usize = 64 * 1024 * 1024;
+
+/// Ceiling on an honored `Retry-After` value, seconds. A misconfigured
+/// worker must not be able to park the coordinator for an hour.
+pub const MAX_RETRY_AFTER_SECS: u64 = 30;
+
+/// Granularity of cancellable waits: read slices and backoff sleeps.
+const SLICE: Duration = Duration::from_millis(50);
+
+/// Tuning for one [`HttpClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Total wall-clock budget for one exchange (write + read).
+    pub exchange_deadline: Duration,
+    /// Attempts per [`HttpClient::post_with_retry`] call (including the
+    /// first); clamped to at least 1.
+    pub retry_budget: u32,
+    /// First backoff step; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for backoff jitter (deterministic per client).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            exchange_deadline: Duration::from_secs(30),
+            retry_budget: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Why an exchange failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Could not resolve or connect within the connect timeout.
+    Connect(String),
+    /// Read/write failed mid-exchange.
+    Io(String),
+    /// The bytes on the wire were not a well-formed HTTP/1.1 response.
+    Protocol(String),
+    /// The exchange deadline elapsed before a full response arrived.
+    Timeout,
+    /// The cancel token fired mid-exchange or mid-backoff.
+    Cancelled,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Timeout => write!(f, "exchange deadline elapsed"),
+            ClientError::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs in wire order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `Retry-After` in whole seconds, if present and integral.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.header("retry-after")?.trim().parse().ok()
+    }
+}
+
+/// Std-only HTTP/1.1 client with bounded, cancellable exchanges.
+pub struct HttpClient {
+    cfg: ClientConfig,
+    /// splitmix64 state for backoff jitter.
+    rng: Mutex<u64>,
+}
+
+impl HttpClient {
+    /// Build a client with the given tuning.
+    pub fn new(cfg: ClientConfig) -> Self {
+        let rng = Mutex::new(cfg.jitter_seed | 1);
+        HttpClient { cfg, rng }
+    }
+
+    /// One `GET` exchange, no retries. Probes use this: a health check
+    /// that needs a retry budget is already an answer.
+    pub fn get(
+        &self,
+        addr: &str,
+        target: &str,
+        cancel: &CancelToken,
+    ) -> Result<ClientResponse, ClientError> {
+        self.exchange(addr, "GET", target, b"", cancel)
+    }
+
+    /// One `POST` exchange, no retries.
+    pub fn post(
+        &self,
+        addr: &str,
+        target: &str,
+        body: &[u8],
+        cancel: &CancelToken,
+    ) -> Result<ClientResponse, ClientError> {
+        self.exchange(addr, "POST", target, body, cancel)
+    }
+
+    /// `POST` with the retry budget applied to transport errors and
+    /// 503/504 answers. When a retriable response carries `Retry-After`,
+    /// that many seconds (capped at [`MAX_RETRY_AFTER_SECS`]) replace the
+    /// computed backoff. Returns the first conclusive response, or the
+    /// last failure once the budget is spent.
+    pub fn post_with_retry(
+        &self,
+        addr: &str,
+        target: &str,
+        body: &[u8],
+        cancel: &CancelToken,
+    ) -> Result<ClientResponse, ClientError> {
+        let attempts = self.cfg.retry_budget.max(1);
+        let mut last: Option<Result<ClientResponse, ClientError>> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let hinted = match &last {
+                    Some(Ok(resp)) => resp.retry_after(),
+                    _ => None,
+                };
+                let pause = match hinted {
+                    Some(secs) => Duration::from_secs(secs.min(MAX_RETRY_AFTER_SECS)),
+                    None => self.backoff(attempt),
+                };
+                if !sleep_cancellable(pause, cancel) {
+                    return Err(ClientError::Cancelled);
+                }
+            }
+            match self.exchange(addr, "POST", target, body, cancel) {
+                Ok(resp) if resp.status == 503 || resp.status == 504 => {
+                    last = Some(Ok(resp));
+                }
+                Ok(resp) => return Ok(resp),
+                Err(ClientError::Cancelled) => return Err(ClientError::Cancelled),
+                Err(e) => last = Some(Err(e)),
+            }
+        }
+        last.unwrap_or(Err(ClientError::Io("empty retry budget".to_string())))
+    }
+
+    /// Jittered exponential backoff for the given attempt (1-based):
+    /// uniformly in `[step/2, step)` where `step = base * 2^(attempt-1)`,
+    /// capped. Full-jitter halves herd alignment without ever sleeping
+    /// longer than the deterministic schedule.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let step = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(self.cfg.backoff_cap)
+            .max(Duration::from_millis(1));
+        let nanos = step.as_nanos() as u64;
+        let mut state = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        let draw = splitmix64(&mut state);
+        Duration::from_nanos(nanos / 2 + draw % (nanos / 2).max(1))
+    }
+
+    /// One full request/response round trip.
+    fn exchange(
+        &self,
+        addr: &str,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        cancel: &CancelToken,
+    ) -> Result<ClientResponse, ClientError> {
+        if cancel.is_cancelled() {
+            return Err(ClientError::Cancelled);
+        }
+        let deadline = Instant::now() + self.cfg.exchange_deadline;
+        let stream = self.connect(addr)?;
+        stream
+            .set_read_timeout(Some(SLICE))
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut stream = stream;
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body))
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let raw = read_response(&mut stream, deadline, cancel)?;
+        parse_response(&raw)
+    }
+
+    /// Resolve and connect with the connect timeout. Multi-homed names
+    /// try each address in resolution order.
+    fn connect(&self, addr: &str) -> Result<TcpStream, ClientError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Connect(format!("{addr}: {e}")))?
+            .collect();
+        let mut last = ClientError::Connect(format!("{addr}: no addresses"));
+        for sockaddr in addrs {
+            match TcpStream::connect_timeout(&sockaddr, self.cfg.connect_timeout) {
+                Ok(s) => return Ok(s),
+                Err(e) => last = ClientError::Connect(format!("{sockaddr}: {e}")),
+            }
+        }
+        Err(last)
+    }
+}
+
+/// splitmix64 step — same generator family the simulator uses, kept
+/// local so the client has zero coupling to measurement seeding.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sleep in cancellable slices; `false` means the token fired first.
+pub(crate) fn sleep_cancellable(total: Duration, cancel: &CancelToken) -> bool {
+    let deadline = Instant::now() + total;
+    loop {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        std::thread::sleep((deadline - now).min(SLICE));
+    }
+}
+
+/// Read a full response in timeout slices: until `Content-Length` bytes
+/// past the head, or EOF when the header is absent (`Connection: close`).
+fn read_response(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    cancel: &CancelToken,
+) -> Result<Vec<u8>, ClientError> {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 8192];
+    let mut want: Option<usize> = None;
+    loop {
+        if let Some(total) = want {
+            if raw.len() >= total {
+                raw.truncate(total);
+                return Ok(raw);
+            }
+        }
+        if cancel.is_cancelled() {
+            return Err(ClientError::Cancelled);
+        }
+        if Instant::now() >= deadline {
+            return Err(ClientError::Timeout);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return match want {
+                    // Short body after a promised length is a protocol error.
+                    Some(_) => Err(ClientError::Protocol("truncated body".to_string())),
+                    None if raw.is_empty() => {
+                        Err(ClientError::Protocol("empty response".to_string()))
+                    }
+                    None => Ok(raw),
+                };
+            }
+            Ok(k) => {
+                raw.extend_from_slice(&buf[..k]);
+                if want.is_none() {
+                    if let Some(head_end) = find_head_end(&raw) {
+                        let head = std::str::from_utf8(&raw[..head_end])
+                            .map_err(|_| ClientError::Protocol("non-UTF8 head".to_string()))?;
+                        want = content_length(head)?.map(|len| {
+                            // Total bytes once the body is complete.
+                            head_end + 4 + len
+                        });
+                        if let Some(total) = want {
+                            if total > MAX_RESPONSE_BODY {
+                                return Err(ClientError::Protocol(format!(
+                                    "body of {} bytes exceeds cap",
+                                    total - head_end - 4
+                                )));
+                            }
+                        }
+                    } else if raw.len() > MAX_RESPONSE_HEAD {
+                        return Err(ClientError::Protocol("response head too large".to_string()));
+                    }
+                }
+                if raw.len() > MAX_RESPONSE_BODY {
+                    return Err(ClientError::Protocol("response body too large".to_string()));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ClientError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// `Content-Length` from a response head, if present.
+fn content_length(head: &str) -> Result<Option<usize>, ClientError> {
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                return value
+                    .trim()
+                    .parse::<usize>()
+                    .map(Some)
+                    .map_err(|_| ClientError::Protocol("bad Content-Length".to_string()));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Parse a complete response buffer into status/headers/body.
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, ClientError> {
+    let head_end = find_head_end(raw)
+        .ok_or_else(|| ClientError::Protocol("no head terminator".to_string()))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| ClientError::Protocol("non-UTF8 head".to_string()))?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::Protocol("empty head".to_string()))?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::Protocol(format!("bad version {version:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol("bad status code".to_string()))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Serve `responses` on a loopback listener, one connection each,
+    /// draining the request head first. Returns the address.
+    fn canned_server(responses: Vec<String>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            for resp in responses {
+                let (mut stream, _) = match listener.accept() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                let mut buf = [0u8; 4096];
+                let mut seen = Vec::new();
+                // Read until the request head terminator; the tests only
+                // send bodies the head fully describes.
+                while find_head_end(&seen).is_none() {
+                    match stream.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(k) => seen.extend_from_slice(&buf[..k]),
+                        Err(_) => break,
+                    }
+                }
+                let _ = stream.write_all(resp.as_bytes());
+            }
+        });
+        addr
+    }
+
+    fn ok_response(body: &str) -> String {
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[test]
+    fn get_parses_status_headers_and_body() {
+        let addr = canned_server(vec![ok_response("{\"status\":\"ok\"}")]);
+        let client = HttpClient::new(ClientConfig::default());
+        let resp = client
+            .get(&addr, "/healthz", &CancelToken::new())
+            .expect("exchange");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body, b"{\"status\":\"ok\"}");
+    }
+
+    #[test]
+    fn post_with_retry_honors_retry_after_then_succeeds() {
+        let addr = canned_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\nContent-Length: 4\r\n\r\nbusy"
+                .to_string(),
+            ok_response("done"),
+        ]);
+        let client = HttpClient::new(ClientConfig {
+            // A computed backoff would be >= 50ms; Retry-After: 0 makes
+            // the retry immediate, which the elapsed-time bound checks.
+            backoff_base: Duration::from_millis(100),
+            ..ClientConfig::default()
+        });
+        let t0 = Instant::now();
+        let resp = client
+            .post_with_retry(&addr, "/measure", b"{}", &CancelToken::new())
+            .expect("retry succeeds");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"done");
+        assert!(
+            t0.elapsed() < Duration::from_millis(90),
+            "Retry-After: 0 should preempt the 100ms backoff schedule"
+        );
+    }
+
+    #[test]
+    fn retry_budget_returns_last_503() {
+        let busy =
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\nContent-Length: 0\r\n\r\n"
+                .to_string();
+        let addr = canned_server(vec![busy.clone(), busy.clone(), busy]);
+        let client = HttpClient::new(ClientConfig {
+            retry_budget: 3,
+            ..ClientConfig::default()
+        });
+        let resp = client
+            .post_with_retry(&addr, "/measure", b"{}", &CancelToken::new())
+            .expect("last response surfaces");
+        assert_eq!(resp.status, 503);
+    }
+
+    #[test]
+    fn black_hole_times_out_within_deadline() {
+        // Accepts but never responds.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            let conn = listener.accept();
+            std::thread::sleep(Duration::from_secs(5));
+            drop(conn);
+        });
+        let client = HttpClient::new(ClientConfig {
+            exchange_deadline: Duration::from_millis(200),
+            ..ClientConfig::default()
+        });
+        let t0 = Instant::now();
+        let err = client
+            .get(&addr, "/healthz", &CancelToken::new())
+            .expect_err("no answer");
+        assert_eq!(err, ClientError::Timeout);
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn connect_refused_is_a_connect_error() {
+        // Bind then drop to get a port that refuses quickly.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let client = HttpClient::new(ClientConfig::default());
+        match client.get(&addr, "/healthz", &CancelToken::new()) {
+            Err(ClientError::Connect(_)) => {}
+            other => panic!("expected connect error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,853 @@
+//! The fleet coordinator: shard dispatch, work stealing, and the
+//! crash-exact journal merge.
+//!
+//! [`run_fleet`] shards the pending survey grid ([`plan_shards`]) and
+//! farms the shards out to `exareq serve --allow-measure` workers over
+//! `POST /measure`, surviving their failure:
+//!
+//! - one **dispatcher** thread per worker pulls shards from a shared
+//!   queue while its worker is Healthy (per the [`HealthTable`] fed by
+//!   the background `/healthz` prober *and* dispatch outcomes);
+//! - a failed or timed-out dispatch **re-queues** the shard, where any
+//!   healthy worker's dispatcher steals it (`fleet_redispatch_total`);
+//! - completions land in a [`ShardSequencer`] keyed by shard id with
+//!   **first-wins** semantics — a late duplicate is dropped, never
+//!   committed twice;
+//! - the **committer** (the calling thread) drains the sequencer in
+//!   canonical shard order and replays the sequential driver's exact
+//!   commit sequence per config — journal append, survey fold, budget
+//!   charge — so the merged journal and Survey artifact are
+//!   byte-identical to a single-process sequential run;
+//! - **degraded mode**: when every worker is dead, or a shard exhausts
+//!   its re-dispatch budget, the committer measures the shard in-process
+//!   with the same [`measure_config_resilient`] the workers run. The
+//!   run completes, flagged in the [`FleetReport`] — never a silent
+//!   stall.
+//!
+//! Byte-identity holds because a journal entry is a pure function of
+//! `(application, p, n, fault plan, attempt)` — the seeds derive from
+//! [`exareq_sim::derive_attempt_seed`] — so *where* a config was
+//! measured cannot show up in *what* was measured, and the committer
+//! alone writes the journal, in canonical order, through the same
+//! `SurveyJournal::append` path as `exareq survey`.
+
+use crate::client::{sleep_cancellable, ClientConfig, ClientError, HttpClient};
+use crate::health::{HealthPolicy, HealthTable, WorkerState};
+use crate::metrics::FleetMetrics;
+use exareq_apps::{
+    grid_configs, measure_config_resilient, plan_shards, AppGrid, MiniApp, RetryPolicy, ShardPlan,
+    SurveyRunError,
+};
+use exareq_core::cancel::CancelToken;
+use exareq_profile::journal::{apply_entry, JournalEntry, SurveyJournal};
+use exareq_profile::minijson::Json;
+use exareq_profile::Survey;
+use exareq_serve::api;
+use exareq_sim::FaultPlan;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How often the waiting committer re-checks for starvation (all workers
+/// dead, or the awaited shard over its re-dispatch budget).
+const COMMIT_POLL: Duration = Duration::from_millis(50);
+
+/// Dispatcher idle/backoff pause between queue polls.
+const DISPATCH_IDLE: Duration = Duration::from_millis(20);
+
+/// Coordinator tuning. [`Default`] matches the CLI defaults.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker addresses (`host:port`), index-aligned with the
+    /// [`HealthTable`] and the per-worker report rows.
+    pub workers: Vec<String>,
+    /// Configs per shard (0 is treated as 1).
+    pub shard_size: usize,
+    /// Worker-side deadline per shard, shipped as `deadline_ms`; a
+    /// worker past it answers 504 and the shard is re-queued.
+    pub shard_deadline: Duration,
+    /// Extra client-side wait beyond the shard deadline before an
+    /// exchange is abandoned (covers transfer + queue time).
+    pub dispatch_grace: Duration,
+    /// TCP connect timeout toward workers.
+    pub connect_timeout: Duration,
+    /// HTTP attempts per dispatch (transport errors and 503/504 retry
+    /// within one dispatch before it counts as a failure).
+    pub dispatch_retries: u32,
+    /// Re-queues a single shard may consume before the committer stops
+    /// waiting for workers and measures it in-process. Bounds the
+    /// pathological worker that is alive on `/healthz` but never
+    /// completes a shard — the degraded-mode promise is "never stalls",
+    /// not "stalls only when workers are honest".
+    pub max_shard_redispatches: u32,
+    /// Liveness thresholds and probe cadence.
+    pub health: HealthPolicy,
+    /// Worker-side artificial pre-measurement hold, milliseconds. A
+    /// chaos hook: widens the window in which killing a worker is
+    /// guaranteed to be mid-shard. 0 in production.
+    pub hold_ms: u64,
+    /// Backoff jitter seed for the dispatch client.
+    pub jitter_seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: Vec::new(),
+            shard_size: 2,
+            shard_deadline: Duration::from_secs(30),
+            dispatch_grace: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(1),
+            dispatch_retries: 2,
+            max_shard_redispatches: 5,
+            health: HealthPolicy::default(),
+            hold_ms: 0,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Final per-worker accounting for the [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker address as given in [`FleetConfig::workers`].
+    pub addr: String,
+    /// Liveness state at the end of the run (label form).
+    pub state: &'static str,
+    /// Shards this worker completed (first-wins completions only).
+    pub shards: u64,
+    /// The last dispatch failure this worker caused, if any — the
+    /// operator's first clue why a worker went suspect or dead.
+    pub last_error: Option<String>,
+}
+
+/// What the fleet did to finish the survey — the operator-facing
+/// companion to the (byte-identical) Survey artifact. The degraded-mode
+/// flag lives here, *not* in the Survey, precisely so that a run that
+/// fell back still produces artifact bytes `cmp`-equal to a sequential
+/// run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Per-worker accounting, index-aligned with the config.
+    pub workers: Vec<WorkerReport>,
+    /// Shards the pending grid was split into.
+    pub shards_total: usize,
+    /// Shards re-queued after dispatch failures or timeouts.
+    pub redispatches: u64,
+    /// Duplicate completions dropped by first-wins commit.
+    pub duplicates_dropped: u64,
+    /// True when any shard was measured in-process by the coordinator.
+    pub fallback: bool,
+    /// Shards measured in-process.
+    pub fallback_shards: u64,
+    /// Suspect/Dead → Healthy promotions observed.
+    pub recoveries: u64,
+    /// Prometheus text exposition of the fleet counters at run end
+    /// (`fleet_redispatch_total`, `fleet_worker_state{state=...}`, ...).
+    pub metrics_text: String,
+}
+
+impl FleetReport {
+    /// One-line JSON form, written as the `--fleet-report` artifact.
+    pub fn to_json_line(&self) -> String {
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                Json::Obj(vec![
+                    ("addr".to_string(), Json::Str(w.addr.clone())),
+                    ("state".to_string(), Json::Str(w.state.to_string())),
+                    ("shards".to_string(), Json::Num(w.shards as f64)),
+                    (
+                        "last_error".to_string(),
+                        w.last_error
+                            .as_ref()
+                            .map_or(Json::Null, |e| Json::Str(e.clone())),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::Num(1.0)),
+            (
+                "shards_total".to_string(),
+                Json::Num(self.shards_total as f64),
+            ),
+            (
+                "redispatches".to_string(),
+                Json::Num(self.redispatches as f64),
+            ),
+            (
+                "duplicates_dropped".to_string(),
+                Json::Num(self.duplicates_dropped as f64),
+            ),
+            ("fallback".to_string(), Json::Bool(self.fallback)),
+            (
+                "fallback_shards".to_string(),
+                Json::Num(self.fallback_shards as f64),
+            ),
+            ("recoveries".to_string(), Json::Num(self.recoveries as f64)),
+            ("workers".to_string(), Json::Arr(workers)),
+            ("metrics".to_string(), Json::Str(self.metrics_text.clone())),
+        ])
+        .to_line()
+    }
+}
+
+/// First-wins reorder buffer keyed by shard id: dispatchers (and the
+/// fallback path) deposit completed shards under any interleaving; the
+/// committer takes them in canonical order. This is PR 4's sequencer
+/// lifted from per-config to per-shard granularity, plus the
+/// at-most-once commit rule: a slot accepts exactly one deposit, so a
+/// duplicate completion — however it arises — is dropped, never
+/// journaled twice.
+pub struct ShardSequencer {
+    slots: Mutex<Vec<Slot>>,
+    ready: Condvar,
+}
+
+enum Slot {
+    Empty,
+    Full(Vec<JournalEntry>),
+    Taken,
+}
+
+impl ShardSequencer {
+    /// A sequencer with one empty slot per shard.
+    pub fn new(shards: usize) -> Self {
+        ShardSequencer {
+            slots: Mutex::new((0..shards).map(|_| Slot::Empty).collect()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Deposits shard `id`'s entries. Returns `false` — and drops the
+    /// entries — if the shard was already deposited or committed: first
+    /// completion wins.
+    pub fn put(&self, id: usize, entries: Vec<JournalEntry>) -> bool {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        match slots[id] {
+            Slot::Empty => {
+                slots[id] = Slot::Full(entries);
+                self.ready.notify_all();
+                true
+            }
+            Slot::Full(_) | Slot::Taken => false,
+        }
+    }
+
+    /// Takes shard `id`'s entries, waiting up to `timeout`; `None` on
+    /// timeout so the caller can re-check for starvation.
+    pub fn take(&self, id: usize, timeout: Duration) -> Option<Vec<JournalEntry>> {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if matches!(slots[id], Slot::Full(_)) {
+                let entries = match std::mem::replace(&mut slots[id], Slot::Taken) {
+                    Slot::Full(entries) => entries,
+                    _ => unreachable!("guarded by the matches! above"),
+                };
+                return Some(entries);
+            }
+            let (guard, wait) = self
+                .ready
+                .wait_timeout(slots, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            slots = guard;
+            if wait.timed_out() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Undispatched shards, keyed by id so the committer can claim exactly
+/// the shard it is starved on.
+struct ShardQueue {
+    inner: Mutex<BTreeMap<usize, ShardPlan>>,
+}
+
+impl ShardQueue {
+    fn new(shards: Vec<ShardPlan>) -> Self {
+        ShardQueue {
+            inner: Mutex::new(shards.into_iter().map(|s| (s.id, s)).collect()),
+        }
+    }
+
+    /// Claims the lowest-id shard (canonical order keeps the committer's
+    /// next-needed shard moving first).
+    fn pop_first(&self) -> Option<ShardPlan> {
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let id = *map.keys().next()?;
+        map.remove(&id)
+    }
+
+    /// Claims a specific shard, if still queued (fallback path).
+    fn take(&self, id: usize) -> Option<ShardPlan> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id)
+    }
+
+    /// Returns a shard for another worker to steal.
+    fn push(&self, shard: ShardPlan) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(shard.id, shard);
+    }
+}
+
+/// Wire-protocol constants for one run, shared by every dispatcher.
+struct Proto {
+    app: String,
+    fault_spec: String,
+    max_attempts: u32,
+    deadline_ms: u64,
+    hold_ms: u64,
+}
+
+enum DispatchError {
+    /// Transport-level failure (connect, I/O, timeout).
+    Transport(ClientError),
+    /// The worker answered, but not 200.
+    Status(u16),
+    /// The worker answered 200 with a body that does not certify this
+    /// shard — treated exactly like a failure so the shard is re-run.
+    Protocol(String),
+}
+
+impl DispatchError {
+    fn is_cancelled(&self) -> bool {
+        matches!(self, DispatchError::Transport(ClientError::Cancelled))
+    }
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::Transport(e) => write!(f, "transport: {e}"),
+            DispatchError::Status(code) => write!(f, "worker answered {code}"),
+            DispatchError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+/// One shard round trip: POST, parse, and verify the response certifies
+/// exactly this shard's configs in order.
+fn dispatch_shard(
+    client: &HttpClient,
+    addr: &str,
+    shard: &ShardPlan,
+    proto: &Proto,
+    cancel: &CancelToken,
+) -> Result<Vec<JournalEntry>, DispatchError> {
+    let request = api::MeasureRequest {
+        app: proto.app.clone(),
+        shard_id: shard.id as u64,
+        fault_spec: proto.fault_spec.clone(),
+        max_attempts: proto.max_attempts,
+        deadline_ms: Some(proto.deadline_ms),
+        hold_ms: proto.hold_ms,
+        configs: shard.configs.clone(),
+    };
+    let body = api::measure_request_body(&request);
+    let resp = client
+        .post_with_retry(addr, "/measure", body.as_bytes(), cancel)
+        .map_err(DispatchError::Transport)?;
+    if resp.status != 200 {
+        return Err(DispatchError::Status(resp.status));
+    }
+    let text = std::str::from_utf8(&resp.body)
+        .map_err(|_| DispatchError::Protocol("non-UTF8 body".to_string()))?;
+    let (shard_id, entries) = api::parse_measure_response(text).map_err(DispatchError::Protocol)?;
+    if shard_id != shard.id as u64 {
+        return Err(DispatchError::Protocol(format!(
+            "answered shard {shard_id}, asked for {}",
+            shard.id
+        )));
+    }
+    if entries.len() != shard.configs.len() {
+        return Err(DispatchError::Protocol(format!(
+            "{} entries for {} configs",
+            entries.len(),
+            shard.configs.len()
+        )));
+    }
+    for (entry, &(p, n)) in entries.iter().zip(&shard.configs) {
+        if entry.p != p || entry.n != n {
+            return Err(DispatchError::Protocol(format!(
+                "entry for (p={}, n={}) where (p={p}, n={n}) was asked",
+                entry.p, entry.n
+            )));
+        }
+    }
+    Ok(entries)
+}
+
+/// Runs a survey across a fleet of `exareq serve --allow-measure`
+/// workers, returning the Survey **byte-identical to a sequential run**
+/// plus the [`FleetReport`] describing how the fleet got there.
+///
+/// Semantics match [`run_survey_cancellable`]
+/// (`exareq_apps::run_survey_cancellable`) exactly: journal replay and
+/// resume, canonical-order fsynced appends, probe-budget charging per
+/// committed config, and drain-style cancellation. The one deliberate
+/// difference: `retry.config_budget` is **ignored** — the wire protocol
+/// ships `max_attempts` only, and a wall-clock allowance measured on
+/// two differently-loaded machines would break the identity contract.
+///
+/// With an empty worker list every shard takes the in-process fallback
+/// path: the run completes, flagged `fallback: true`.
+///
+/// # Errors
+/// [`SurveyRunError::Journal`] on append failures,
+/// [`SurveyRunError::Cancelled`] when `cancel` fires (the journal keeps
+/// the canonical-order prefix of committed configs, resumable like any
+/// interrupted sweep), and [`SurveyRunError::BudgetExhausted`] only via
+/// the in-process fallback path's own measurements.
+// The signature is `run_survey_cancellable`'s plus the fleet config and
+// the fault spec's wire form — grouping them into a context struct would
+// just move the argument list one call inward.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn run_fleet(
+    app: &dyn MiniApp,
+    grid: &AppGrid,
+    faults: &FaultPlan,
+    fault_spec: &str,
+    retry: &RetryPolicy,
+    mut journal: Option<&mut SurveyJournal>,
+    cancel: &CancelToken,
+    cfg: &FleetConfig,
+) -> Result<(Survey, FleetReport), SurveyRunError> {
+    // The wire protocol ships attempts only; normalize so the local
+    // fallback measures exactly what a worker would.
+    let retry = RetryPolicy {
+        max_attempts: retry.max_attempts.max(1),
+        ..RetryPolicy::default()
+    };
+    let configs = grid_configs(grid);
+    let replayed: Vec<Option<JournalEntry>> = configs
+        .iter()
+        .map(|&(p, n)| journal.as_deref().and_then(|j| j.get(p, n)).cloned())
+        .collect();
+    let pending: Vec<(u64, u64)> = configs
+        .iter()
+        .zip(&replayed)
+        .filter(|(_, r)| r.is_none())
+        .map(|(&c, _)| c)
+        .collect();
+    let shard_size = cfg.shard_size.max(1);
+    let shards = plan_shards(&pending, shard_size);
+    let shards_total = shards.len();
+
+    let health = HealthTable::new(cfg.workers.len(), cfg.health.clone());
+    let metrics = FleetMetrics::new();
+    let mut survey = Survey::new(app.name());
+
+    if pending.is_empty() {
+        // Fully journaled: replay without touching any worker.
+        for entry in replayed.iter().flatten() {
+            apply_entry(&mut survey, entry);
+        }
+        let report = final_report(cfg, &health, &metrics, 0, &[], &[]);
+        return Ok((survey, report));
+    }
+
+    let queue = ShardQueue::new(shards);
+    let seq = ShardSequencer::new(shards_total);
+    let attempts: Vec<AtomicU32> = (0..shards_total).map(|_| AtomicU32::new(0)).collect();
+    let per_worker: Vec<AtomicU64> = cfg.workers.iter().map(|_| AtomicU64::new(0)).collect();
+    let last_errors: Vec<Mutex<Option<String>>> =
+        cfg.workers.iter().map(|_| Mutex::new(None)).collect();
+    let done = AtomicBool::new(false);
+    // Wind-down token for fleet-internal I/O only: cancelled when the
+    // committer finishes (or the user token fires) so in-flight
+    // exchanges, backoffs, and probes abort within one slice instead of
+    // running out their deadlines.
+    let io_cancel = CancelToken::new();
+    let dispatch_client = HttpClient::new(ClientConfig {
+        connect_timeout: cfg.connect_timeout,
+        exchange_deadline: cfg.shard_deadline + cfg.dispatch_grace,
+        retry_budget: cfg.dispatch_retries,
+        jitter_seed: cfg.jitter_seed,
+        ..ClientConfig::default()
+    });
+    let probe_client = HttpClient::new(ClientConfig {
+        connect_timeout: cfg.connect_timeout,
+        exchange_deadline: Duration::from_secs(1),
+        retry_budget: 1,
+        jitter_seed: cfg.jitter_seed ^ 0x5bf0_3635,
+        ..ClientConfig::default()
+    });
+    let proto = Proto {
+        app: app.name().to_string(),
+        fault_spec: fault_spec.to_string(),
+        max_attempts: retry.max_attempts,
+        deadline_ms: u64::try_from(cfg.shard_deadline.as_millis()).unwrap_or(u64::MAX),
+        hold_ms: cfg.hold_ms,
+    };
+
+    let mut outcome: Result<(), SurveyRunError> = Ok(());
+    std::thread::scope(|scope| {
+        // Dispatchers: one per worker, alive for the whole run so a
+        // recovered worker resumes pulling work.
+        for (w, addr) in cfg.workers.iter().enumerate() {
+            let (health, queue, seq, metrics) = (&health, &queue, &seq, &metrics);
+            let (attempts, per_worker, last_errors) = (&attempts, &per_worker, &last_errors);
+            let (done, io_cancel) = (&done, &io_cancel);
+            let (client, proto) = (&dispatch_client, &proto);
+            let max_redispatch = cfg.max_shard_redispatches;
+            scope.spawn(move || loop {
+                if done.load(Ordering::Relaxed) || io_cancel.is_cancelled() {
+                    break;
+                }
+                if health.state(w) != WorkerState::Healthy {
+                    if !sleep_cancellable(DISPATCH_IDLE, io_cancel) {
+                        break;
+                    }
+                    continue;
+                }
+                let Some(shard) = queue.pop_first() else {
+                    if !sleep_cancellable(DISPATCH_IDLE, io_cancel) {
+                        break;
+                    }
+                    continue;
+                };
+                if attempts[shard.id].load(Ordering::Relaxed) >= max_redispatch {
+                    // Over budget: leave it for the committer's fallback.
+                    queue.push(shard);
+                    if !sleep_cancellable(COMMIT_POLL, io_cancel) {
+                        break;
+                    }
+                    continue;
+                }
+                match dispatch_shard(client, addr, &shard, proto, io_cancel) {
+                    Ok(entries) => {
+                        health.record_ok(w);
+                        per_worker[w].fetch_add(1, Ordering::Relaxed);
+                        if seq.put(shard.id, entries) {
+                            metrics.record_shard_completed();
+                        } else {
+                            metrics.record_duplicate_dropped();
+                        }
+                    }
+                    Err(e) if e.is_cancelled() => {
+                        // Wind-down, not a worker fault: requeue silently.
+                        queue.push(shard);
+                        break;
+                    }
+                    Err(e) => {
+                        *last_errors[w].lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some(e.to_string());
+                        health.record_failure(w);
+                        attempts[shard.id].fetch_add(1, Ordering::Relaxed);
+                        metrics.record_redispatch();
+                        queue.push(shard);
+                    }
+                }
+            });
+        }
+
+        // Prober: feeds the same health table dispatch outcomes feed.
+        // Dead workers keep getting probed — that is the recovery path.
+        if !cfg.workers.is_empty() {
+            let (health, done, io_cancel) = (&health, &done, &io_cancel);
+            let (client, workers) = (&probe_client, &cfg.workers);
+            let interval = cfg.health.probe_interval;
+            scope.spawn(move || loop {
+                if done.load(Ordering::Relaxed) || io_cancel.is_cancelled() {
+                    break;
+                }
+                for (w, addr) in workers.iter().enumerate() {
+                    if done.load(Ordering::Relaxed) || io_cancel.is_cancelled() {
+                        break;
+                    }
+                    match client.get(addr, "/healthz", io_cancel) {
+                        Ok(resp) if resp.status == 200 => {
+                            health.record_ok(w);
+                        }
+                        Err(ClientError::Cancelled) => {}
+                        Ok(_) | Err(_) => {
+                            health.record_failure(w);
+                        }
+                    }
+                }
+                if !sleep_cancellable(interval, io_cancel) {
+                    break;
+                }
+            });
+        }
+
+        // The committer: canonical order, the sequential commit sequence.
+        let mut current: Option<(usize, Vec<JournalEntry>)> = None;
+        let mut pending_pos = 0usize;
+        'commit: for (idx, rep) in replayed.iter().enumerate() {
+            if let Some(entry) = rep {
+                apply_entry(&mut survey, entry);
+                continue;
+            }
+            if let Err(c) = cancel.checkpoint() {
+                outcome = Err(SurveyRunError::Cancelled { reason: c.reason });
+                break;
+            }
+            let pos = pending_pos;
+            pending_pos += 1;
+            let (sid, off) = (pos / shard_size, pos % shard_size);
+            if current.as_ref().map(|(s, _)| *s) != Some(sid) {
+                // Acquire shard `sid`, stealing it for in-process
+                // measurement if the fleet cannot deliver it.
+                current = loop {
+                    if let Some(entries) = seq.take(sid, COMMIT_POLL) {
+                        break Some((sid, entries));
+                    }
+                    if let Err(c) = cancel.checkpoint() {
+                        outcome = Err(SurveyRunError::Cancelled { reason: c.reason });
+                        break 'commit;
+                    }
+                    let starved = health.all_dead()
+                        || attempts[sid].load(Ordering::Relaxed) >= cfg.max_shard_redispatches;
+                    if !starved {
+                        continue;
+                    }
+                    let Some(shard) = queue.take(sid) else {
+                        // In flight on some dispatcher; its bounded
+                        // exchange will deposit or requeue shortly.
+                        continue;
+                    };
+                    metrics.record_fallback_shard();
+                    let mut local = Vec::with_capacity(shard.configs.len());
+                    let mut failed = false;
+                    for &(p, n) in &shard.configs {
+                        match measure_config_resilient(app, p as usize, n, faults, &retry, cancel) {
+                            Ok(entry) => local.push(entry),
+                            Err(e) => {
+                                outcome = Err(e);
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if failed {
+                        break 'commit;
+                    }
+                    if seq.put(sid, local) {
+                        metrics.record_shard_completed();
+                    } else {
+                        metrics.record_duplicate_dropped();
+                    }
+                };
+            }
+            let Some((_, entries)) = current.as_ref() else {
+                unreachable!("acquire loop either sets current or breaks 'commit");
+            };
+            let entry = &entries[off];
+            debug_assert_eq!((entry.p, entry.n), configs[idx], "sequencer misalignment");
+            if let Some(j) = journal.as_deref_mut() {
+                if let Err(e) = j.append(entry) {
+                    outcome = Err(e.into());
+                    break;
+                }
+            }
+            apply_entry(&mut survey, entry);
+            cancel.consume(1);
+        }
+
+        done.store(true, Ordering::Relaxed);
+        io_cancel.cancel(exareq_core::cancel::CancelReason::Interrupt);
+    });
+
+    let report = final_report(
+        cfg,
+        &health,
+        &metrics,
+        shards_total,
+        &per_worker,
+        &last_errors,
+    );
+    outcome.map(|()| (survey, report))
+}
+
+/// Snapshots the health table and counters into the operator report.
+fn final_report(
+    cfg: &FleetConfig,
+    health: &HealthTable,
+    metrics: &FleetMetrics,
+    shards_total: usize,
+    per_worker: &[AtomicU64],
+    last_errors: &[Mutex<Option<String>>],
+) -> FleetReport {
+    let workers = cfg
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(w, addr)| WorkerReport {
+            addr: addr.clone(),
+            state: health.state(w).label(),
+            shards: per_worker.get(w).map_or(0, |c| c.load(Ordering::Relaxed)),
+            last_error: last_errors
+                .get(w)
+                .and_then(|e| e.lock().unwrap_or_else(|p| p.into_inner()).clone()),
+        })
+        .collect();
+    FleetReport {
+        workers,
+        shards_total,
+        redispatches: metrics.redispatches(),
+        duplicates_dropped: metrics.duplicates_dropped(),
+        fallback: metrics.fallback_shards() > 0,
+        fallback_shards: metrics.fallback_shards(),
+        recoveries: health.recoveries(),
+        metrics_text: metrics.render(health),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_apps::{survey_app_resilient, Relearn};
+
+    fn grid() -> AppGrid {
+        AppGrid {
+            p_values: vec![2, 4],
+            n_values: vec![64, 256],
+        }
+    }
+
+    fn entry(p: u64, n: u64) -> JournalEntry {
+        JournalEntry {
+            p,
+            n,
+            attempts: 1,
+            seed: 7,
+            skip_reason: None,
+            observations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sequencer_drops_duplicate_completions() {
+        let seq = ShardSequencer::new(2);
+        assert!(seq.put(0, vec![entry(2, 64)]));
+        assert!(!seq.put(0, vec![entry(2, 64)]), "second deposit loses");
+        let taken = seq.take(0, Duration::from_millis(10)).expect("deposited");
+        assert_eq!(taken.len(), 1);
+        assert!(!seq.put(0, vec![entry(2, 64)]), "post-commit deposit loses");
+        assert!(seq.take(1, Duration::from_millis(10)).is_none(), "timeout");
+    }
+
+    #[test]
+    fn zero_workers_falls_back_in_process_and_matches_sequential() {
+        let plan = FaultPlan::with_seed(7).drop(0.01);
+        let retry = RetryPolicy::retries(1);
+        let sequential = survey_app_resilient(&Relearn, &grid(), &plan, &retry);
+        let cfg = FleetConfig {
+            shard_size: 3, // deliberately not a divisor of the grid
+            ..FleetConfig::default()
+        };
+        let (survey, report) = run_fleet(
+            &Relearn,
+            &grid(),
+            &plan,
+            "seed=7,drop=0.01",
+            &retry,
+            None,
+            &CancelToken::new(),
+            &cfg,
+        )
+        .expect("degraded mode completes");
+        assert_eq!(survey, sequential);
+        assert!(report.fallback);
+        assert_eq!(report.fallback_shards, 2, "ceil(4 configs / 3)");
+        assert_eq!(report.shards_total, 2);
+        assert!(report.workers.is_empty());
+        assert!(
+            report
+                .metrics_text
+                .contains("fleet_fallback_shards_total 2\n"),
+            "{}",
+            report.metrics_text
+        );
+    }
+
+    #[test]
+    fn dead_port_workers_go_dead_and_the_run_still_matches_sequential() {
+        // Bind-then-drop twice for ports that refuse connections fast.
+        let dead_addr = || {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let plan = FaultPlan::with_seed(7).drop(0.01);
+        let retry = RetryPolicy::retries(1);
+        let sequential = survey_app_resilient(&Relearn, &grid(), &plan, &retry);
+        let cfg = FleetConfig {
+            workers: vec![dead_addr(), dead_addr()],
+            shard_size: 2,
+            dispatch_retries: 1,
+            health: HealthPolicy {
+                dead_after: 2,
+                probe_interval: Duration::from_millis(20),
+                ..HealthPolicy::default()
+            },
+            ..FleetConfig::default()
+        };
+        let (survey, report) = run_fleet(
+            &Relearn,
+            &grid(),
+            &plan,
+            "seed=7,drop=0.01",
+            &retry,
+            None,
+            &CancelToken::new(),
+            &cfg,
+        )
+        .expect("fallback completes");
+        assert_eq!(survey, sequential);
+        assert!(report.fallback, "no worker could have measured anything");
+        assert!(
+            report.workers.iter().all(|w| w.state == "dead"),
+            "{report:?}"
+        );
+        assert!(
+            report.workers.iter().all(|w| w.last_error.is_some()),
+            "dead workers must explain themselves: {report:?}"
+        );
+        assert!(
+            report
+                .metrics_text
+                .contains("fleet_worker_state{state=\"dead\"} 2\n"),
+            "{}",
+            report.metrics_text
+        );
+    }
+
+    #[test]
+    fn report_json_line_is_parseable_and_flagged() {
+        let report = FleetReport {
+            workers: vec![WorkerReport {
+                addr: "127.0.0.1:9".to_string(),
+                state: "dead",
+                shards: 0,
+                last_error: Some("transport: connect: refused".to_string()),
+            }],
+            shards_total: 3,
+            redispatches: 2,
+            duplicates_dropped: 0,
+            fallback: true,
+            fallback_shards: 3,
+            recoveries: 0,
+            metrics_text: "fleet_redispatch_total 2\n".to_string(),
+        };
+        let line = report.to_json_line();
+        let v = exareq_profile::minijson::parse(&line).expect("valid JSON");
+        assert_eq!(v.get("fallback").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("shards_total").and_then(Json::as_f64), Some(3.0));
+        let workers = v.get("workers").and_then(Json::as_arr).expect("workers");
+        assert_eq!(workers[0].get("state").and_then(Json::as_str), Some("dead"));
+        assert_eq!(
+            workers[0].get("last_error").and_then(Json::as_str),
+            Some("transport: connect: refused")
+        );
+    }
+}

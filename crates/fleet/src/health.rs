@@ -1,0 +1,231 @@
+//! Worker liveness with hysteresis: Healthy → Suspect → Dead → Healthy.
+//!
+//! Both signal sources — the background `/healthz` prober and dispatch
+//! outcomes — feed one [`HealthTable`]. Transitions are driven by
+//! *consecutive* counts so a single flake neither kills a worker nor
+//! resurrects one:
+//!
+//! - `suspect_after` consecutive failures demote Healthy → Suspect
+//!   (dispatch pauses, probing continues),
+//! - `dead_after` consecutive failures demote to Dead (the worker's
+//!   dispatcher exits; its queued shards are stolen by survivors),
+//! - `recover_after` consecutive successes from Suspect *or* Dead
+//!   promote back to Healthy — one lucky probe is not a recovery.
+//!
+//! Any success resets the failure streak and vice versa, so the state
+//! machine is a pair of saturating counters, not a history buffer.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Liveness verdict for one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Eligible for dispatch.
+    Healthy,
+    /// Failing recently; dispatch is paused, probing continues.
+    Suspect,
+    /// Written off; its dispatcher has exited.
+    Dead,
+}
+
+impl WorkerState {
+    /// Stable lowercase label, used as the Prometheus `state` label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkerState::Healthy => "healthy",
+            WorkerState::Suspect => "suspect",
+            WorkerState::Dead => "dead",
+        }
+    }
+}
+
+/// Hysteresis thresholds and probe cadence.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Consecutive failures before Healthy demotes to Suspect.
+    pub suspect_after: u32,
+    /// Consecutive failures before demoting to Dead.
+    pub dead_after: u32,
+    /// Consecutive successes before Suspect/Dead promote to Healthy.
+    pub recover_after: u32,
+    /// Pause between `/healthz` probe rounds.
+    pub probe_interval: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            suspect_after: 1,
+            dead_after: 3,
+            recover_after: 2,
+            probe_interval: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Per-worker counters behind one lock each (probe thread and dispatcher
+/// threads write concurrently, but never to the same worker hot enough
+/// for sharding to matter).
+#[derive(Debug)]
+struct WorkerHealth {
+    state: WorkerState,
+    fails: u32,
+    oks: u32,
+}
+
+/// Shared liveness table for a fleet of workers.
+#[derive(Debug)]
+pub struct HealthTable {
+    policy: HealthPolicy,
+    workers: Vec<Mutex<WorkerHealth>>,
+    recoveries: Mutex<u64>,
+}
+
+impl HealthTable {
+    /// All workers start Healthy: the first dispatch is the first probe.
+    pub fn new(workers: usize, policy: HealthPolicy) -> Self {
+        HealthTable {
+            policy,
+            workers: (0..workers)
+                .map(|_| {
+                    Mutex::new(WorkerHealth {
+                        state: WorkerState::Healthy,
+                        fails: 0,
+                        oks: 0,
+                    })
+                })
+                .collect(),
+            recoveries: Mutex::new(0),
+        }
+    }
+
+    /// Record a successful probe or dispatch; returns the new state.
+    pub fn record_ok(&self, worker: usize) -> WorkerState {
+        let mut w = self.lock(worker);
+        w.fails = 0;
+        w.oks = w.oks.saturating_add(1);
+        if w.state != WorkerState::Healthy && w.oks >= self.policy.recover_after {
+            w.state = WorkerState::Healthy;
+            *self.recoveries.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        }
+        w.state
+    }
+
+    /// Record a failed probe or dispatch; returns the new state.
+    pub fn record_failure(&self, worker: usize) -> WorkerState {
+        let mut w = self.lock(worker);
+        w.oks = 0;
+        w.fails = w.fails.saturating_add(1);
+        if w.fails >= self.policy.dead_after {
+            w.state = WorkerState::Dead;
+        } else if w.fails >= self.policy.suspect_after && w.state == WorkerState::Healthy {
+            w.state = WorkerState::Suspect;
+        }
+        w.state
+    }
+
+    /// Current verdict for one worker.
+    pub fn state(&self, worker: usize) -> WorkerState {
+        self.lock(worker).state
+    }
+
+    /// True when no worker is currently dispatchable — including the
+    /// degenerate zero-worker fleet, where the coordinator is on its own
+    /// from the first shard.
+    pub fn all_dead(&self) -> bool {
+        self.workers
+            .iter()
+            .all(|w| w.lock().unwrap_or_else(|e| e.into_inner()).state == WorkerState::Dead)
+    }
+
+    /// `[healthy, suspect, dead]` worker counts.
+    pub fn counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for w in &self.workers {
+            match w.lock().unwrap_or_else(|e| e.into_inner()).state {
+                WorkerState::Healthy => counts[0] += 1,
+                WorkerState::Suspect => counts[1] += 1,
+                WorkerState::Dead => counts[2] += 1,
+            }
+        }
+        counts
+    }
+
+    /// Total Suspect/Dead → Healthy promotions so far.
+    pub fn recoveries(&self) -> u64 {
+        *self.recoveries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of workers in the table.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True for the degenerate zero-worker fleet.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, WorkerHealth> {
+        self.workers[worker]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            suspect_after: 1,
+            dead_after: 3,
+            recover_after: 2,
+            probe_interval: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn failures_escalate_suspect_then_dead() {
+        let t = HealthTable::new(1, policy());
+        assert_eq!(t.state(0), WorkerState::Healthy);
+        assert_eq!(t.record_failure(0), WorkerState::Suspect);
+        assert_eq!(t.record_failure(0), WorkerState::Suspect);
+        assert_eq!(t.record_failure(0), WorkerState::Dead);
+        assert!(t.all_dead());
+        assert_eq!(t.counts(), [0, 0, 1]);
+    }
+
+    #[test]
+    fn one_ok_does_not_recover_but_two_do() {
+        let t = HealthTable::new(1, policy());
+        for _ in 0..3 {
+            t.record_failure(0);
+        }
+        assert_eq!(t.record_ok(0), WorkerState::Dead, "hysteresis holds");
+        assert_eq!(t.record_ok(0), WorkerState::Healthy);
+        assert_eq!(t.recoveries(), 1);
+        assert!(!t.all_dead());
+    }
+
+    #[test]
+    fn a_failure_resets_the_recovery_streak() {
+        let t = HealthTable::new(1, policy());
+        t.record_failure(0);
+        t.record_failure(0);
+        t.record_failure(0);
+        t.record_ok(0);
+        t.record_failure(0); // streak broken
+        assert_eq!(t.record_ok(0), WorkerState::Dead);
+        assert_eq!(t.record_ok(0), WorkerState::Healthy);
+    }
+
+    #[test]
+    fn zero_workers_is_all_dead() {
+        let t = HealthTable::new(0, policy());
+        assert!(t.all_dead());
+        assert_eq!(t.counts(), [0, 0, 0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! `exareq-fleet`: the fault-tolerant sharded survey fleet behind
+//! `exareq fleet`.
+//!
+//! A survey's measurement grid is embarrassingly parallel and — because
+//! every journal entry is a pure function of
+//! `(application, p, n, fault plan, attempt)` — *location-transparent*:
+//! a config measured on a remote worker daemon produces the same bytes
+//! as one measured in-process. This crate exploits that to spread a
+//! survey across `exareq serve --allow-measure` workers while keeping
+//! the one artifact contract that matters: **the merged journal and
+//! Survey are byte-identical to a single-process sequential run**, no
+//! matter which workers lived, died, or flapped along the way.
+//!
+//! Four modules, one concern each:
+//!
+//! - [`client`] — a std-only HTTP/1.1 client: connect/read timeouts,
+//!   cancellable slice reads, jittered exponential backoff under a
+//!   retry budget, and `Retry-After` honored when the server names its
+//!   own price.
+//! - [`health`] — worker liveness with hysteresis
+//!   (Healthy → Suspect → Dead → recovered), fed by both a background
+//!   `/healthz` prober and dispatch outcomes.
+//! - [`coordinator`] — shard planning over the pending grid, one
+//!   dispatcher per worker gated on health, work stealing of shards
+//!   from dead or timed-out workers, first-wins (at-most-once) commit
+//!   through a shard-level reorder buffer, and an in-process fallback
+//!   when the whole fleet is gone — a degraded run completes flagged,
+//!   it never silently stalls.
+//! - [`metrics`] — Prometheus text counters for the failure paths
+//!   (`fleet_redispatch_total`, `fleet_worker_state{state=...}`, ...).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod coordinator;
+pub mod health;
+pub mod metrics;
+
+pub use client::{ClientConfig, ClientError, ClientResponse, HttpClient};
+pub use coordinator::{run_fleet, FleetConfig, FleetReport, ShardSequencer, WorkerReport};
+pub use health::{HealthPolicy, HealthTable, WorkerState};
+pub use metrics::FleetMetrics;

@@ -1,0 +1,162 @@
+//! Fleet-side failure-path counters in the Prometheus text exposition
+//! format, mirroring `exareq-serve`'s metrics idiom: relaxed atomics,
+//! rendered on demand, never torn.
+
+use crate::health::HealthTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for the coordinator's failure paths; shared across the
+/// dispatcher threads and the committer.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Shards re-queued after a dispatch failure or timeout.
+    redispatch: AtomicU64,
+    /// Completed shard results dropped because another path (a stolen
+    /// re-dispatch or the local fallback) committed the shard first.
+    duplicates_dropped: AtomicU64,
+    /// Shards committed, by whichever path completed them first.
+    shards_completed: AtomicU64,
+    /// Shards the coordinator measured in-process because no worker was
+    /// dispatchable or a shard exhausted its re-dispatch budget.
+    fallback_shards: AtomicU64,
+}
+
+impl FleetMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        FleetMetrics::default()
+    }
+
+    /// Records one shard re-queued for another worker.
+    pub fn record_redispatch(&self) {
+        self.redispatch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duplicate shard completion dropped.
+    pub fn record_duplicate_dropped(&self) {
+        self.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shard committed.
+    pub fn record_shard_completed(&self) {
+        self.shards_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shard measured in-process by the coordinator.
+    pub fn record_fallback_shard(&self) {
+        self.fallback_shards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-dispatch count so far.
+    pub fn redispatches(&self) -> u64 {
+        self.redispatch.load(Ordering::Relaxed)
+    }
+
+    /// Dropped duplicate completions so far.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Committed shard count so far.
+    pub fn shards_completed(&self) -> u64 {
+        self.shards_completed.load(Ordering::Relaxed)
+    }
+
+    /// In-process fallback shard count so far.
+    pub fn fallback_shards(&self) -> u64 {
+        self.fallback_shards.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition; worker states come from
+    /// the caller's [`HealthTable`] so the gauge reflects the same table
+    /// dispatch decisions are made from.
+    pub fn render(&self, health: &HealthTable) -> String {
+        let mut out = String::with_capacity(1024);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "fleet_redispatch_total",
+            "Shards re-queued after a worker failure or timeout.",
+            self.redispatches(),
+        );
+        counter(
+            &mut out,
+            "fleet_duplicates_dropped_total",
+            "Duplicate shard completions dropped by first-wins commit.",
+            self.duplicates_dropped(),
+        );
+        counter(
+            &mut out,
+            "fleet_shards_completed_total",
+            "Shards committed to the merged journal.",
+            self.shards_completed(),
+        );
+        counter(
+            &mut out,
+            "fleet_fallback_shards_total",
+            "Shards the coordinator measured in-process.",
+            self.fallback_shards(),
+        );
+        counter(
+            &mut out,
+            "fleet_worker_recovered_total",
+            "Suspect/Dead workers promoted back to Healthy.",
+            health.recoveries(),
+        );
+        let [healthy, suspect, dead] = health.counts();
+        out.push_str(&format!(
+            "# HELP fleet_worker_state Workers per liveness state.\n\
+             # TYPE fleet_worker_state gauge\n\
+             fleet_worker_state{{state=\"healthy\"}} {healthy}\n\
+             fleet_worker_state{{state=\"suspect\"}} {suspect}\n\
+             fleet_worker_state{{state=\"dead\"}} {dead}\n"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthPolicy;
+
+    #[test]
+    fn render_names_every_failure_path_metric() {
+        let m = FleetMetrics::new();
+        m.record_redispatch();
+        m.record_redispatch();
+        m.record_duplicate_dropped();
+        m.record_shard_completed();
+        m.record_fallback_shard();
+        let health = HealthTable::new(3, HealthPolicy::default());
+        health.record_failure(1); // suspect
+        for _ in 0..3 {
+            health.record_failure(2); // dead
+        }
+        let text = m.render(&health);
+        assert!(text.contains("fleet_redispatch_total 2\n"), "{text}");
+        assert!(
+            text.contains("fleet_duplicates_dropped_total 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("fleet_shards_completed_total 1\n"), "{text}");
+        assert!(text.contains("fleet_fallback_shards_total 1\n"), "{text}");
+        assert!(text.contains("fleet_worker_recovered_total 0\n"), "{text}");
+        assert!(
+            text.contains("fleet_worker_state{state=\"healthy\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fleet_worker_state{state=\"suspect\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fleet_worker_state{state=\"dead\"} 1\n"),
+            "{text}"
+        );
+    }
+}

@@ -164,7 +164,12 @@ pub struct JournalEntry {
 }
 
 impl JournalEntry {
-    fn to_line(&self) -> String {
+    /// The entry as a JSON value — the wire form of the fleet's shard
+    /// protocol. [`to_line`](Self::to_line) renders exactly this value, so
+    /// an entry measured on a worker daemon, shipped over HTTP, and
+    /// appended by the coordinator produces the same journal bytes as a
+    /// local measurement.
+    pub fn to_json(&self) -> Json {
         let obs = self
             .observations
             .iter()
@@ -197,10 +202,20 @@ impl JournalEntry {
             ),
             ("observations".into(), Json::Arr(obs)),
         ])
-        .to_line()
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    /// The entry as one JSON line — the exact bytes
+    /// [`SurveyJournal::append`] writes (before the trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_line()
+    }
+
+    /// Parses an entry from its JSON value (the inverse of
+    /// [`to_json`](Self::to_json)).
+    ///
+    /// # Errors
+    /// A one-line reason when a required field is missing or malformed.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
         let p = get_u64(v, "p").ok_or("entry missing `p`")?;
         let n = get_u64(v, "n").ok_or("entry missing `n`")?;
         let attempts = get_u64(v, "attempts").ok_or("entry missing `attempts`")? as u32;

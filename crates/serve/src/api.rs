@@ -14,10 +14,20 @@ use exareq_codesign::{
     analyze_strawmen, share_system, table_six, AppRequirements, RateMetric, StrawManAnalysis,
     SystemSkeleton,
 };
+use exareq_profile::journal::JournalEntry;
 use exareq_profile::minijson::{self, Json};
 
 /// Upper bound for the `hold_ms` load-testing aid, milliseconds.
 pub const MAX_HOLD_MS: u64 = 10_000;
+
+/// Largest accepted `POST /measure` shard, configurations.
+pub const MAX_SHARD_CONFIGS: usize = 4_096;
+
+/// Largest accepted per-shard deadline, milliseconds.
+pub const MAX_SHARD_DEADLINE_MS: u64 = 600_000;
+
+/// Largest accepted `max_attempts` per configuration.
+pub const MAX_SHARD_ATTEMPTS: u32 = 100;
 
 fn obj(members: Vec<(&str, Json)>) -> Json {
     Json::Obj(
@@ -40,9 +50,18 @@ pub fn error_body(reason: &str) -> String {
     obj(vec![("error", Json::Str(reason.to_string()))]).to_line()
 }
 
-/// The `/healthz` body.
-pub fn health_body() -> String {
-    obj(vec![("status", Json::Str("ok".to_string()))]).to_line()
+/// The `/healthz` body: liveness plus the engine numbers a fleet health
+/// prober wants in one probe. `status` stays the first member so legacy
+/// probes grepping for `"status":"ok"` keep working, and the answer is
+/// still a plain 200.
+pub fn health_body(queue_depth: usize, in_flight: u64, registry_generation: u64) -> String {
+    obj(vec![
+        ("status", Json::Str("ok".to_string())),
+        ("queue_depth", Json::Num(queue_depth as f64)),
+        ("in_flight", Json::Num(in_flight as f64)),
+        ("registry_generation", Json::Num(registry_generation as f64)),
+    ])
+    .to_line()
 }
 
 /// A parsed `POST /predict` body.
@@ -357,6 +376,193 @@ pub fn models_body(snap: &RegistrySnapshot) -> String {
     .to_line()
 }
 
+/// A parsed `POST /measure` body: one shard of survey work for a worker
+/// daemon started with `--allow-measure`.
+///
+/// Both sides of the fleet speak through these builders — the coordinator
+/// encodes with [`measure_request_body`], the worker parses with
+/// [`parse_measure`], answers with [`measure_response_body`], and the
+/// coordinator decodes with [`parse_measure_response`] — so a shard's
+/// [`JournalEntry`]s survive the round trip byte-exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureRequest {
+    /// Application (behavioural twin) name.
+    pub app: String,
+    /// Shard id, echoed back verbatim (the coordinator's dedup key).
+    pub shard_id: u64,
+    /// Fault-plan spec string, verbatim (`""` = no faults). Shipping the
+    /// *spec* rather than a parsed form keeps worker-side seeds derived
+    /// exactly as a local run would derive them.
+    pub fault_spec: String,
+    /// Measurement attempts per configuration (1 = no retries).
+    pub max_attempts: u32,
+    /// Per-shard wall-clock deadline; expiry answers 504.
+    pub deadline_ms: Option<u64>,
+    /// Chaos-testing aid: hold the worker for this many milliseconds
+    /// before measuring (capped at [`MAX_HOLD_MS`]), so tests can kill a
+    /// worker deterministically mid-shard.
+    pub hold_ms: u64,
+    /// The shard's `(p, n)` configurations, in canonical grid order.
+    pub configs: Vec<(u64, u64)>,
+}
+
+/// Encodes a `POST /measure` request body (coordinator side).
+pub fn measure_request_body(req: &MeasureRequest) -> String {
+    obj(vec![
+        ("app", Json::Str(req.app.clone())),
+        ("shard_id", Json::Num(req.shard_id as f64)),
+        ("faults", Json::Str(req.fault_spec.clone())),
+        ("max_attempts", Json::Num(f64::from(req.max_attempts))),
+        ("deadline_ms", opt_num(req.deadline_ms.map(|d| d as f64))),
+        ("hold_ms", Json::Num(req.hold_ms as f64)),
+        (
+            "configs",
+            Json::Arr(
+                req.configs
+                    .iter()
+                    .map(|&(p, n)| Json::Arr(vec![Json::Num(p as f64), Json::Num(n as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_line()
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    let x = v.get(key).and_then(Json::to_f64_lossless)?;
+    (x.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&x)).then_some(x as u64)
+}
+
+/// Parses a `POST /measure` body (worker side).
+///
+/// # Errors
+/// A one-line reason suitable for a 400 body.
+pub fn parse_measure(body: &str) -> Result<MeasureRequest, String> {
+    let v = parse_body(body)?;
+    let app = v
+        .get("app")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "missing string field \"app\"".to_string())?;
+    let shard_id = get_u64(&v, "shard_id").ok_or("missing integer field \"shard_id\"")?;
+    let fault_spec = match v.get("faults") {
+        None | Some(Json::Null) => String::new(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => return Err("\"faults\" must be a string".to_string()),
+    };
+    let max_attempts = match v.get("max_attempts") {
+        None | Some(Json::Null) => 1,
+        Some(_) => match get_u64(&v, "max_attempts") {
+            Some(a) if (1..=u64::from(MAX_SHARD_ATTEMPTS)).contains(&a) => a as u32,
+            _ => {
+                return Err(format!(
+                    "\"max_attempts\" must be an integer in 1..={MAX_SHARD_ATTEMPTS}"
+                ))
+            }
+        },
+    };
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(_) => match get_u64(&v, "deadline_ms") {
+            Some(d) if d <= MAX_SHARD_DEADLINE_MS => Some(d),
+            _ => {
+                return Err(format!(
+                    "\"deadline_ms\" must be an integer in 0..={MAX_SHARD_DEADLINE_MS}"
+                ))
+            }
+        },
+    };
+    let hold_ms = match v.get("hold_ms") {
+        None | Some(Json::Null) => 0,
+        Some(_) => match get_u64(&v, "hold_ms") {
+            Some(h) if h <= MAX_HOLD_MS => h,
+            _ => {
+                return Err(format!(
+                    "\"hold_ms\" must be an integer in 0..={MAX_HOLD_MS}"
+                ))
+            }
+        },
+    };
+    let raw = v
+        .get("configs")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"configs\"")?;
+    if raw.is_empty() {
+        return Err("\"configs\" must not be empty".to_string());
+    }
+    if raw.len() > MAX_SHARD_CONFIGS {
+        return Err(format!(
+            "shard of {} configs exceeds the {MAX_SHARD_CONFIGS}-config cap",
+            raw.len()
+        ));
+    }
+    let mut configs = Vec::with_capacity(raw.len());
+    for (i, c) in raw.iter().enumerate() {
+        let pair = c
+            .as_arr()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| format!("configs[{i}] must be a [p, n] pair"))?;
+        // p spawns that many simulated rank threads on the worker: bound
+        // it so a bad coordinator cannot ask for an absurd simulation.
+        let coord = |j: &Json| {
+            j.to_f64_lossless()
+                .filter(|x| x.fract() == 0.0 && *x >= 1.0 && *x <= f64::from(u32::MAX))
+                .map(|x| x as u64)
+        };
+        let (p, n) = match (coord(&pair[0]), coord(&pair[1])) {
+            (Some(p), Some(n)) => (p, n),
+            _ => {
+                return Err(format!(
+                    "configs[{i}]: p and n must be integers in 1..=4294967295"
+                ))
+            }
+        };
+        configs.push((p, n));
+    }
+    Ok(MeasureRequest {
+        app,
+        shard_id,
+        fault_spec,
+        max_attempts,
+        deadline_ms,
+        hold_ms,
+        configs,
+    })
+}
+
+/// The `/measure` answer: the shard's journal entries, in the request's
+/// canonical order, each in the journal's own wire form.
+pub fn measure_response_body(shard_id: u64, app: &str, entries: &[JournalEntry]) -> String {
+    obj(vec![
+        ("shard_id", Json::Num(shard_id as f64)),
+        ("app", Json::Str(app.to_string())),
+        (
+            "entries",
+            Json::Arr(entries.iter().map(JournalEntry::to_json).collect()),
+        ),
+    ])
+    .to_line()
+}
+
+/// Decodes a `/measure` answer (coordinator side): `(shard_id, entries)`.
+///
+/// # Errors
+/// A one-line reason when the body is not a well-formed shard answer.
+pub fn parse_measure_response(body: &str) -> Result<(u64, Vec<JournalEntry>), String> {
+    let v = parse_body(body)?;
+    let shard_id = get_u64(&v, "shard_id").ok_or("missing integer field \"shard_id\"")?;
+    let raw = v
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"entries\"")?;
+    let entries = raw
+        .iter()
+        .enumerate()
+        .map(|(i, e)| JournalEntry::from_json(e).map_err(|r| format!("entries[{i}]: {r}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((shard_id, entries))
+}
+
 /// Keep `RateMetric::ALL` and [`rates_obj`] in the same order — this
 /// compile-time shim trips if the metric set ever changes shape.
 const _: () = assert!(RateMetric::ALL.len() == 3);
@@ -430,6 +636,81 @@ mod tests {
         let excluded = strawman_body(&catalog::icofoam());
         let v = minijson::parse(&excluded).unwrap();
         assert_eq!(v.get("verdict").and_then(Json::as_str), Some("excluded"));
+    }
+
+    #[test]
+    fn health_body_reports_engine_state_with_legacy_status_first() {
+        let body = health_body(3, 2, 7);
+        assert!(body.starts_with("{\"status\":\"ok\""), "{body}");
+        let v = minijson::parse(&body).unwrap();
+        assert_eq!(
+            v.get("queue_depth").and_then(Json::to_f64_lossless),
+            Some(3.0)
+        );
+        assert_eq!(
+            v.get("in_flight").and_then(Json::to_f64_lossless),
+            Some(2.0)
+        );
+        assert_eq!(
+            v.get("registry_generation").and_then(Json::to_f64_lossless),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn measure_request_round_trips() {
+        let req = MeasureRequest {
+            app: "Relearn".to_string(),
+            shard_id: 3,
+            fault_spec: "seed=7,drop=0.01".to_string(),
+            max_attempts: 2,
+            deadline_ms: Some(30_000),
+            hold_ms: 250,
+            configs: vec![(2, 64), (2, 256)],
+        };
+        let parsed = parse_measure(&measure_request_body(&req)).expect("round trip");
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn measure_parse_rejects_bad_shards() {
+        for (body, needle) in [
+            (r#"{"shard_id":0,"configs":[[2,64]]}"#, "\"app\""),
+            (r#"{"app":"X","configs":[[2,64]]}"#, "\"shard_id\""),
+            (r#"{"app":"X","shard_id":0,"configs":[]}"#, "configs"),
+            (r#"{"app":"X","shard_id":0,"configs":[[2]]}"#, "configs[0]"),
+            (
+                r#"{"app":"X","shard_id":0,"configs":[[0,64]]}"#,
+                "configs[0]",
+            ),
+            (
+                r#"{"app":"X","shard_id":0,"max_attempts":0,"configs":[[2,64]]}"#,
+                "max_attempts",
+            ),
+            (
+                r#"{"app":"X","shard_id":0,"hold_ms":999999,"configs":[[2,64]]}"#,
+                "hold_ms",
+            ),
+        ] {
+            let err = parse_measure(body).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn measure_response_round_trips_journal_entries() {
+        let entry = JournalEntry {
+            p: 2,
+            n: 64,
+            attempts: 1,
+            seed: 0x1234,
+            skip_reason: None,
+            observations: Vec::new(),
+        };
+        let body = measure_response_body(5, "Relearn", &[entry.clone()]);
+        let (shard_id, entries) = parse_measure_response(&body).expect("round trip");
+        assert_eq!(shard_id, 5);
+        assert_eq!(entries, vec![entry]);
     }
 
     #[test]

@@ -10,12 +10,25 @@ use crate::api;
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
-use exareq_core::cancel::CancelToken;
+use exareq_apps::{all_apps_extended, measure_config_resilient, RetryPolicy, SurveyRunError};
+use exareq_core::cancel::{CancelToken, Deadline};
+use exareq_sim::FaultPlan;
 use std::time::Duration;
 
 /// Sleep slice while honouring a `hold_ms` load-testing hold: short enough
 /// that an expiring deadline turns into a 504 within ~5 ms.
 const HOLD_SLICE: Duration = Duration::from_millis(5);
+
+/// Engine facts dispatch cannot observe on its own: the `/healthz` answer
+/// reports them, and `POST /measure` is gated on the worker opt-in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineState {
+    /// Connections waiting in the accept queue right now.
+    pub queue_len: usize,
+    /// Whether this daemon accepts `POST /measure` shards
+    /// (`exareq serve --allow-measure`).
+    pub allow_measure: bool,
+}
 
 fn bad_request(reason: &str) -> Response {
     Response::json(400, api::error_body(reason).into_bytes())
@@ -26,10 +39,15 @@ fn not_found(reason: &str) -> Response {
 }
 
 fn deadline_expired() -> Response {
-    Response::json(
+    // Like the 503 overflow answer, a 504 carries Retry-After: the worker
+    // that timed this request out is alive and immediately usable, and the
+    // fleet client honors the header when rescheduling the shard.
+    let mut response = Response::json(
         504,
         api::error_body("request deadline expired").into_bytes(),
-    )
+    );
+    response.retry_after = Some(1);
+    response
 }
 
 fn unknown_model(name: &str) -> Response {
@@ -42,12 +60,17 @@ pub fn dispatch(
     registry: &ModelRegistry,
     metrics: &Metrics,
     token: &CancelToken,
+    state: &EngineState,
 ) -> Response {
     if token.checkpoint().is_err() {
         return deadline_expired();
     }
     match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/healthz") => Response::json(200, api::health_body().into_bytes()),
+        ("GET", "/healthz") => Response::json(
+            200,
+            api::health_body(state.queue_len, metrics.in_flight(), registry.generation())
+                .into_bytes(),
+        ),
         ("GET", "/models") => {
             registry.refresh();
             Response::json(200, api::models_body(&registry.snapshot()).into_bytes())
@@ -64,6 +87,7 @@ pub fn dispatch(
         ("POST", "/predict") => predict(request, registry, token),
         ("POST", "/upgrade") => upgrade(request, registry, token),
         ("POST", "/strawman") => strawman(request, registry, token),
+        ("POST", "/measure") => measure(request, metrics, token, state),
         ("GET" | "POST", _) => not_found("no such endpoint"),
         _ => Response::json(405, api::error_body("method not allowed").into_bytes()),
     }
@@ -152,6 +176,90 @@ fn strawman(request: &Request, registry: &ModelRegistry, token: &CancelToken) ->
     Response::json(200, api::strawman_body(&app).into_bytes())
 }
 
+/// `POST /measure`: runs one survey shard on this worker — the same
+/// [`measure_config_resilient`] every local driver uses, so the returned
+/// journal entries are byte-identical to a local measurement of the same
+/// configs under the same fault spec and retry count.
+fn measure(
+    request: &Request,
+    metrics: &Metrics,
+    token: &CancelToken,
+    state: &EngineState,
+) -> Response {
+    if !state.allow_measure {
+        return Response::json(
+            403,
+            api::error_body("measurement is disabled; start this worker with --allow-measure")
+                .into_bytes(),
+        );
+    }
+    let body = match body_utf8(request) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let shard = match api::parse_measure(body) {
+        Ok(s) => s,
+        Err(reason) => return bad_request(&reason),
+    };
+    let apps = all_apps_extended();
+    let Some(app) = apps
+        .iter()
+        .find(|a| a.name().eq_ignore_ascii_case(&shard.app))
+    else {
+        return not_found(&format!("unknown application: {}", shard.app));
+    };
+    let faults = if shard.fault_spec.is_empty() {
+        FaultPlan::none()
+    } else {
+        match FaultPlan::parse(&shard.fault_spec) {
+            Ok(f) => f,
+            Err(e) => return bad_request(&format!("faults `{}`: {e}", shard.fault_spec)),
+        }
+    };
+    // Shards routinely outlive --request-deadline-ms (they measure, not
+    // evaluate), so an explicit per-shard deadline replaces the serving
+    // one; without it the request keeps the serving deadline.
+    let shard_token = match shard.deadline_ms {
+        Some(ms) => CancelToken::new().with_deadline(Deadline::after(Duration::from_millis(ms))),
+        None => token.clone(),
+    };
+    // The chaos-testing hold, sliced like /predict's so expiry stays a
+    // prompt 504 — this is the window tests SIGKILL workers inside.
+    let mut held = Duration::ZERO;
+    let hold = Duration::from_millis(shard.hold_ms);
+    while held < hold {
+        if shard_token.checkpoint().is_err() {
+            return deadline_expired();
+        }
+        let slice = HOLD_SLICE.min(hold - held);
+        std::thread::sleep(slice);
+        held += slice;
+    }
+    let retry = RetryPolicy {
+        max_attempts: shard.max_attempts,
+        ..RetryPolicy::default()
+    };
+    let mut entries = Vec::with_capacity(shard.configs.len());
+    for &(p, n) in &shard.configs {
+        if shard_token.checkpoint().is_err() {
+            return deadline_expired();
+        }
+        match measure_config_resilient(app.as_ref(), p as usize, n, &faults, &retry, &shard_token) {
+            Ok(entry) => entries.push(entry),
+            Err(SurveyRunError::Cancelled { .. }) => return deadline_expired(),
+            // Unbudgeted policy: BudgetExhausted is unreachable, Journal
+            // has no journal to fail; answer 500 rather than panic if the
+            // invariant ever breaks.
+            Err(e) => return Response::json(500, api::error_body(&e.to_string()).into_bytes()),
+        }
+    }
+    metrics.record_measure_shard();
+    Response::json(
+        200,
+        api::measure_response_body(shard.shard_id, app.name(), &entries).into_bytes(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,24 +318,28 @@ mod tests {
             &registry,
             &metrics,
             &token,
+            &EngineState::default(),
         ));
         ok(dispatch(
             &request("GET", "/models", ""),
             &registry,
             &metrics,
             &token,
+            &EngineState::default(),
         ));
         ok(dispatch(
             &request("GET", "/metrics", ""),
             &registry,
             &metrics,
             &token,
+            &EngineState::default(),
         ));
         let predict = ok(dispatch(
             &request("POST", "/predict", r#"{"model":"Kripke","p":1e6,"n":4096}"#),
             &registry,
             &metrics,
             &token,
+            &EngineState::default(),
         ));
         assert_eq!(
             String::from_utf8(predict.body).unwrap(),
@@ -239,12 +351,14 @@ mod tests {
             &registry,
             &metrics,
             &token,
+            &EngineState::default(),
         ));
         ok(dispatch(
             &request("POST", "/strawman", r#"{"model":"LULESH"}"#),
             &registry,
             &metrics,
             &token,
+            &EngineState::default(),
         ));
     }
 
@@ -253,22 +367,36 @@ mod tests {
         let (registry, _dir) = registry_with_catalog("missing");
         let metrics = Metrics::new();
         let token = live_token();
-        let r = dispatch(&request("GET", "/nope", ""), &registry, &metrics, &token);
+        let r = dispatch(
+            &request("GET", "/nope", ""),
+            &registry,
+            &metrics,
+            &token,
+            &EngineState::default(),
+        );
         assert_eq!(r.status, 404);
         let r = dispatch(
             &request("POST", "/predict", r#"{"model":"NoSuch","p":2,"n":3}"#),
             &registry,
             &metrics,
             &token,
+            &EngineState::default(),
         );
         assert_eq!(r.status, 404);
-        let r = dispatch(&request("PUT", "/predict", ""), &registry, &metrics, &token);
+        let r = dispatch(
+            &request("PUT", "/predict", ""),
+            &registry,
+            &metrics,
+            &token,
+            &EngineState::default(),
+        );
         assert_eq!(r.status, 405);
         let r = dispatch(
             &request("POST", "/predict", "{ nope"),
             &registry,
             &metrics,
             &token,
+            &EngineState::default(),
         );
         assert_eq!(r.status, 400);
     }
@@ -287,6 +415,7 @@ mod tests {
                 &registry,
                 &metrics,
                 &expired,
+                &EngineState::default(),
             );
             assert_eq!(r.status, 504, "{method} {target}");
         }
@@ -306,6 +435,7 @@ mod tests {
             &registry,
             &metrics,
             &short,
+            &EngineState::default(),
         );
         assert_eq!(r.status, 504);
 
@@ -319,7 +449,148 @@ mod tests {
             &registry,
             &metrics,
             &roomy,
+            &EngineState::default(),
         );
         assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn deadline_504_carries_retry_after() {
+        let (registry, _dir) = registry_with_catalog("retry_after");
+        let metrics = Metrics::new();
+        let expired = CancelToken::new().with_deadline(Deadline::after(Duration::ZERO));
+        let r = dispatch(
+            &request("GET", "/healthz", ""),
+            &registry,
+            &metrics,
+            &expired,
+            &EngineState::default(),
+        );
+        assert_eq!(r.status, 504);
+        assert_eq!(r.retry_after, Some(1), "504 must advertise Retry-After");
+    }
+
+    #[test]
+    fn healthz_reports_engine_state() {
+        let (registry, _dir) = registry_with_catalog("healthz");
+        let metrics = Metrics::new();
+        metrics.begin_request();
+        let state = EngineState {
+            queue_len: 5,
+            allow_measure: false,
+        };
+        let r = dispatch(
+            &request("GET", "/healthz", ""),
+            &registry,
+            &metrics,
+            &live_token(),
+            &state,
+        );
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            String::from_utf8(r.body).unwrap(),
+            api::health_body(5, 1, registry.generation())
+        );
+        metrics.end_request();
+    }
+
+    #[test]
+    fn measure_is_403_unless_opted_in() {
+        let (registry, _dir) = registry_with_catalog("measure_gate");
+        let metrics = Metrics::new();
+        let body = r#"{"app":"Relearn","shard_id":0,"configs":[[2,64]]}"#;
+        let r = dispatch(
+            &request("POST", "/measure", body),
+            &registry,
+            &metrics,
+            &live_token(),
+            &EngineState::default(),
+        );
+        assert_eq!(r.status, 403, "{}", String::from_utf8_lossy(&r.body));
+        assert!(String::from_utf8_lossy(&r.body).contains("--allow-measure"));
+        assert_eq!(metrics.measure_shards(), 0);
+    }
+
+    #[test]
+    fn measure_shard_equals_local_measurement_bytes() {
+        let (registry, _dir) = registry_with_catalog("measure_ok");
+        let metrics = Metrics::new();
+        let state = EngineState {
+            queue_len: 0,
+            allow_measure: true,
+        };
+        let body = r#"{"app":"Relearn","shard_id":4,"faults":"seed=7,drop=0.01","max_attempts":2,"deadline_ms":60000,"configs":[[2,64],[2,256]]}"#;
+        let r = dispatch(
+            &request("POST", "/measure", body),
+            &registry,
+            &metrics,
+            &live_token(),
+            &state,
+        );
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+
+        // The answer must be byte-identical to measuring the same shard
+        // locally under the same plan and retry policy.
+        let faults = FaultPlan::parse("seed=7,drop=0.01").unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let apps = all_apps_extended();
+        let app = apps
+            .iter()
+            .find(|a| a.name() == "Relearn")
+            .expect("Relearn twin");
+        let token = CancelToken::new();
+        let entries: Vec<_> = [(2u64, 64u64), (2, 256)]
+            .iter()
+            .map(|&(p, n)| {
+                measure_config_resilient(app.as_ref(), p as usize, n, &faults, &retry, &token)
+                    .expect("local measurement")
+            })
+            .collect();
+        assert_eq!(
+            String::from_utf8(r.body).unwrap(),
+            api::measure_response_body(4, "Relearn", &entries),
+            "worker shard answers must be byte-identical to local measurement"
+        );
+        assert_eq!(metrics.measure_shards(), 1);
+
+        let r = dispatch(
+            &request(
+                "POST",
+                "/measure",
+                r#"{"app":"NoSuchTwin","shard_id":0,"configs":[[2,64]]}"#,
+            ),
+            &registry,
+            &metrics,
+            &live_token(),
+            &state,
+        );
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn measure_past_shard_deadline_is_504() {
+        let (registry, _dir) = registry_with_catalog("measure_deadline");
+        let metrics = Metrics::new();
+        let state = EngineState {
+            queue_len: 0,
+            allow_measure: true,
+        };
+        // The shard's own deadline governs (the request token is roomy):
+        // a zero-ms shard deadline expires inside the hold.
+        let body =
+            r#"{"app":"Relearn","shard_id":0,"deadline_ms":0,"hold_ms":200,"configs":[[2,64]]}"#;
+        let r = dispatch(
+            &request("POST", "/measure", body),
+            &registry,
+            &metrics,
+            &live_token(),
+            &state,
+        );
+        assert_eq!(r.status, 504, "{}", String::from_utf8_lossy(&r.body));
+        assert_eq!(r.retry_after, Some(1));
+        assert_eq!(metrics.measure_shards(), 0);
     }
 }

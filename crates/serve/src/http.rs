@@ -182,6 +182,7 @@ pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -282,10 +283,7 @@ mod tests {
 
     #[test]
     fn oversized_declared_body_is_413_before_buffering() {
-        let head = format!(
-            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-            1u64 << 62
-        );
+        let head = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1u64 << 62);
         let err = parse_request(head.as_bytes()).unwrap_err();
         assert_eq!(err.status, 413);
     }

@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 
+pub use dispatch::EngineState;
 pub use http::{parse_request, HttpError, Request, Response, MAX_BODY_LEN, MAX_HEAD_LEN};
 pub use metrics::Metrics;
 pub use registry::{ArtifactKind, Fitter, ModelEntry, ModelRegistry, RegistrySnapshot};

@@ -26,6 +26,10 @@ pub struct Metrics {
     rejected: AtomicU64,
     /// 504 deadline expiries.
     deadline_expired: AtomicU64,
+    /// Requests currently being handled by a worker (gauge).
+    in_flight: AtomicU64,
+    /// Measurement shards completed by `POST /measure`.
+    measure_shards: AtomicU64,
     /// Latency histogram bucket counts (`LATENCY_BUCKETS_S` + `+Inf`).
     buckets: [AtomicU64; LATENCY_BUCKETS_S.len() + 1],
     /// Sum of observed latencies, nanoseconds.
@@ -62,6 +66,33 @@ impl Metrics {
     /// request never reached a worker, so it is not in `requests`).
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as picked up by a worker. Pair with
+    /// [`end_request`](Self::end_request); the difference is the
+    /// `/healthz` in-flight gauge.
+    pub fn begin_request(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a worker-handled request as finished.
+    pub fn end_request(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently being handled by a worker.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed `POST /measure` shard.
+    pub fn record_measure_shard(&self) {
+        self.measure_shards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed `POST /measure` shard count so far.
+    pub fn measure_shards(&self) -> u64 {
+        self.measure_shards.load(Ordering::Relaxed)
     }
 
     /// Worker-handled request count so far.
@@ -112,6 +143,18 @@ impl Metrics {
             "504 responses from expired request deadlines.",
             self.deadline_expired.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "serve_measure_shards_total",
+            "Measurement shards completed by POST /measure.",
+            self.measure_shards(),
+        );
+        out.push_str(&format!(
+            "# HELP exareq_in_flight Requests currently being handled by a worker.\n\
+             # TYPE exareq_in_flight gauge\n\
+             exareq_in_flight {}\n",
+            self.in_flight()
+        ));
 
         out.push_str(
             "# HELP exareq_request_seconds Request latency from worker pickup to response.\n\
@@ -168,6 +211,8 @@ mod tests {
         assert!(text.contains("exareq_errors_total 2\n"), "{text}");
         assert!(text.contains("exareq_rejected_total 1\n"), "{text}");
         assert!(text.contains("exareq_deadline_expired_total 1\n"), "{text}");
+        assert!(text.contains("serve_measure_shards_total 0\n"), "{text}");
+        assert!(text.contains("exareq_in_flight 0\n"), "{text}");
         assert!(text.contains("exareq_registry_generation 7\n"), "{text}");
         assert!(text.contains("exareq_models_loaded 2\n"), "{text}");
         // Histogram buckets are cumulative and end at +Inf == count.
@@ -180,5 +225,21 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("exareq_request_seconds_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn in_flight_gauge_and_measure_counter_track() {
+        let m = Metrics::new();
+        m.begin_request();
+        m.begin_request();
+        m.end_request();
+        m.record_measure_shard();
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.measure_shards(), 1);
+        let text = m.render(0, 0);
+        assert!(text.contains("exareq_in_flight 1\n"), "{text}");
+        assert!(text.contains("serve_measure_shards_total 1\n"), "{text}");
+        m.end_request();
+        assert_eq!(m.in_flight(), 0);
     }
 }

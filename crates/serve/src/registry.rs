@@ -242,6 +242,13 @@ impl ModelRegistry {
         inner.entries.get(name).map(|e| Arc::clone(&e.requirements))
     }
 
+    /// The current reload generation without cloning a snapshot (the
+    /// `/healthz` fast path).
+    pub fn generation(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.generation
+    }
+
     /// A consistent snapshot of the served set.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());

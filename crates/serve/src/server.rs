@@ -51,6 +51,9 @@ pub struct ServeConfig {
     pub drain_deadline: Duration,
     /// Directory of model artifacts.
     pub model_dir: PathBuf,
+    /// Whether `POST /measure` accepts survey shards (the fleet worker
+    /// opt-in, `exareq serve --allow-measure`).
+    pub allow_measure: bool,
 }
 
 /// Why the engine could not run.
@@ -92,6 +95,7 @@ struct Shared {
     metrics: Metrics,
     registry: Arc<ModelRegistry>,
     request_deadline: Duration,
+    allow_measure: bool,
 }
 
 /// How long a worker waits on one socket read before giving up on the
@@ -132,6 +136,7 @@ pub fn serve(
         metrics: Metrics::new(),
         registry,
         request_deadline: cfg.request_deadline,
+        allow_measure: cfg.allow_measure,
     });
 
     let workers: Vec<_> = (0..cfg.threads.max(1))
@@ -234,10 +239,17 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Reads one request, dispatches it, writes one response, closes. Any I/O
-/// failure mid-conversation just drops the connection — the peer is gone;
-/// there is nobody to tell.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+/// Reads one request, dispatches it, writes one response, closes —
+/// bracketed by the in-flight gauge so `/healthz` sees it. Any I/O failure
+/// mid-conversation just drops the connection — the peer is gone; there is
+/// nobody to tell.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    shared.metrics.begin_request();
+    serve_connection(stream, shared);
+    shared.metrics.end_request();
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let started = Instant::now();
     // A fresh token per request: the deadline is this request's alone, and
     // a SIGTERM on the server token must drain — not cancel — in-flight
@@ -248,7 +260,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 
     let response = match read_request(&mut stream) {
         Ok(Some(request)) => {
-            dispatch::dispatch(&request, &shared.registry, &shared.metrics, &token)
+            // Snapshot the engine state the instant the request is served:
+            // /healthz reports the queue depth a prober would experience.
+            let state = dispatch::EngineState {
+                queue_len: shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len(),
+                allow_measure: shared.allow_measure,
+            };
+            dispatch::dispatch(&request, &shared.registry, &shared.metrics, &token, &state)
         }
         Ok(None) => return, // peer hung up before completing a request
         Err(e) => Response::json(e.status, api::error_body(&e.reason).into_bytes()),

@@ -23,6 +23,7 @@ use exareq::core::cancel::{CancelToken, Deadline};
 use exareq::core::collective::render_comm_rows;
 use exareq::core::fsio;
 use exareq::core::multiparam::MultiParamConfig;
+use exareq::fleet::{run_fleet, FleetConfig};
 use exareq::pipeline::model_requirements;
 use exareq::profile::journal::{apply_entry, SurveyJournal, SurveyManifest};
 use exareq::profile::Survey;
@@ -49,7 +50,12 @@ USAGE:
     exareq report <survey.json> [-o FILE]
     exareq serve --model-dir DIR [--addr HOST:PORT] [--threads N]
                  [--queue-depth N] [--request-deadline-ms N]
-                 [--drain-deadline-ms N]
+                 [--drain-deadline-ms N] [--allow-measure]
+    exareq fleet <app> --workers HOST:PORT,... [-o FILE]
+                 [--p 2,4,8,...] [--n 64,256,...] [--faults SPEC]
+                 [--journal FILE] [--resume] [--max-retries N]
+                 [--shard-size N] [--shard-deadline-ms N] [--hold-ms N]
+                 [--fleet-report FILE] [--deadline-ms N]
 
 COMMANDS:
     apps       list the built-in behavioural twins
@@ -64,6 +70,8 @@ COMMANDS:
     report     full co-design dossier (models, plots, outlook, upgrades,
                straw-man verdict) as Markdown
     serve      long-running co-design query daemon over HTTP/1.1
+    fleet      shard a survey across serve workers, surviving their
+               failure; merged artifacts are byte-identical to survey
 
 FAULT INJECTION (survey --faults):
     deterministic, seed-driven fault plan applied to every simulated run:
@@ -122,7 +130,28 @@ SERVING (serve):
     (default 2000); expiry answers 504. SIGINT/SIGTERM stops accepting,
     drains in-flight requests within --drain-deadline-ms (default
     5000), and exits 0 — a drained server has lost no work, so the
-    interrupted code 5 is reserved for sweeps.
+    interrupted code 5 is reserved for sweeps. --allow-measure
+    additionally opts the daemon in as a fleet measurement worker
+    (POST /measure); without it the endpoint answers 403.
+
+FLEET SWEEPS (fleet):
+    shards the pending (p, n) grid across `exareq serve --allow-measure`
+    worker daemons (--workers, comma-separated) and merges the results
+    into one journal and survey artifact **byte-identical to a
+    single-process `exareq survey` run**. A background /healthz prober
+    health-gates dispatch (healthy -> suspect -> dead, with hysteresis
+    before a flapping worker is trusted again); shards from dead or
+    timed-out workers are re-queued and stolen by healthy ones; a
+    duplicate completion is dropped, never committed twice. If every
+    worker dies — or a shard exhausts its re-dispatch budget — the
+    coordinator measures the remaining shards in-process and flags the
+    run in the --fleet-report artifact (default fleet_<app>.json): a
+    degraded fleet completes, it never silently stalls.
+    --shard-size N configs per shard (default 2); --shard-deadline-ms
+    is the per-shard worker deadline (expiry answers 504 and the shard
+    is re-dispatched); --hold-ms asks workers to pause before measuring
+    (a chaos/testing hook); --journal/--resume/--max-retries/
+    --deadline-ms behave exactly as under survey.
 
 EXIT CODES:
     0   success (for serve: including a signal-drained shutdown)
@@ -201,6 +230,7 @@ fn main() -> ExitCode {
         "strawman" => cmd_strawman(rest),
         "report" => cmd_report(rest),
         "serve" => cmd_serve(rest),
+        "fleet" => cmd_fleet(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -917,6 +947,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
         5_000,
     )?;
     let model_dir = take(&mut args, "--model-dir")?;
+    let allow_measure = take_flag(&mut args, "--allow-measure");
     if let Some(stray) = args.first() {
         return Err(CliError::usage(format!(
             "serve: unexpected argument `{stray}`"
@@ -957,6 +988,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
         request_deadline: Duration::from_millis(request_deadline_ms),
         drain_deadline: Duration::from_millis(drain_deadline_ms),
         model_dir: dir,
+        allow_measure,
     };
     let announce = std::sync::Arc::clone(&registry);
     let summary = exareq::serve::serve(&cfg, std::sync::Arc::clone(&registry), &cancel, |bound| {
@@ -983,5 +1015,270 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
         summary.requests,
         summary.rejected
     );
+    Ok(())
+}
+
+fn cmd_fleet(rest: &[String]) -> Result<(), CliError> {
+    let mut args: Vec<String> = rest.to_vec();
+    let take = |args: &mut Vec<String>, flag| take_opt(args, flag).map_err(CliError::Usage);
+    let out_file = take(&mut args, "-o")?;
+    let p_list = take(&mut args, "--p")?;
+    let n_list = take(&mut args, "--n")?;
+    let fault_spec = take(&mut args, "--faults")?;
+    let journal_path = take(&mut args, "--journal")?;
+    let resume = take_flag(&mut args, "--resume");
+    let max_retries = take(&mut args, "--max-retries")?;
+    let deadline_ms = take(&mut args, "--deadline-ms")?;
+    let workers_raw = take(&mut args, "--workers")?;
+    let shard_size_opt = take(&mut args, "--shard-size")?;
+    let shard_deadline_ms = take(&mut args, "--shard-deadline-ms")?;
+    let hold_ms_opt = take(&mut args, "--hold-ms")?;
+    let report_file = take(&mut args, "--fleet-report")?;
+    if resume && journal_path.is_none() {
+        return Err(CliError::usage("--resume requires --journal FILE"));
+    }
+    let Some(name) = args.first() else {
+        return Err(CliError::usage(
+            "fleet requires an application name (see `exareq apps`)",
+        ));
+    };
+    let apps = all_apps();
+    let app = apps
+        .iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError::usage(format!("unknown application `{name}` (see `exareq apps`)"))
+        })?;
+    let Some(workers_raw) = workers_raw else {
+        return Err(CliError::usage(
+            "fleet requires --workers HOST:PORT[,HOST:PORT...]",
+        ));
+    };
+    let workers: Vec<String> = workers_raw
+        .split(',')
+        .map(|w| w.trim().to_string())
+        .filter(|w| !w.is_empty())
+        .collect();
+    if workers.is_empty() {
+        return Err(CliError::usage(
+            "--workers lists no addresses; expected HOST:PORT[,HOST:PORT...]",
+        ));
+    }
+    for w in &workers {
+        if !w.contains(':') {
+            return Err(CliError::usage(format!(
+                "--workers: `{w}` is not HOST:PORT"
+            )));
+        }
+    }
+
+    let mut grid = AppGrid::default();
+    if let Some(p) = &p_list {
+        grid.p_values = parse_list(p).map_err(CliError::Usage)?;
+    }
+    if let Some(n) = &n_list {
+        grid.n_values = parse_list(n).map_err(CliError::Usage)?;
+    }
+    let fault_spec_str = fault_spec.clone().unwrap_or_default();
+    let faults = match &fault_spec {
+        Some(spec) => {
+            FaultPlan::parse(spec).map_err(|e| CliError::usage(format!("--faults {spec}: {e}")))?
+        }
+        None => FaultPlan::none(),
+    };
+    let mut retry = RetryPolicy::default();
+    if let Some(r) = &max_retries {
+        let extra: u32 = r.parse().map_err(|_| {
+            CliError::usage(format!("--max-retries: cannot parse `{r}` as a count"))
+        })?;
+        retry.max_attempts = 1 + extra;
+    }
+    let fleet_cfg = FleetConfig {
+        workers: workers.clone(),
+        shard_size: parse_count(shard_size_opt.clone(), "--shard-size", 2)?,
+        shard_deadline: Duration::from_millis(parse_ms(
+            shard_deadline_ms.clone(),
+            "--shard-deadline-ms",
+            30_000,
+        )?),
+        hold_ms: parse_ms(hold_ms_opt.clone(), "--hold-ms", 0)?,
+        ..FleetConfig::default()
+    };
+
+    let cancel = CancelToken::new();
+    exareq::signal::install_termination_handlers(&cancel);
+    let cancel = match &deadline_ms {
+        Some(ms) => {
+            let ms: u64 = ms.parse().map_err(|_| {
+                CliError::usage(format!(
+                    "--deadline-ms: cannot parse `{ms}` as milliseconds"
+                ))
+            })?;
+            cancel.with_deadline(Deadline::after(Duration::from_millis(ms)))
+        }
+        None => cancel,
+    };
+    eprintln!(
+        "fleet-surveying {} over p={:?}, n={:?} across {} worker(s), shard size {} ...",
+        app.name(),
+        grid.p_values,
+        grid.n_values,
+        workers.len(),
+        fleet_cfg.shard_size
+    );
+    let mut journal = match &journal_path {
+        Some(jp) => {
+            let manifest = SurveyManifest::new(
+                app.name(),
+                grid.p_values.iter().map(|&p| p as u64).collect(),
+                grid.n_values.clone(),
+                fault_spec_str.clone(),
+            );
+            let j = if resume && Path::new(jp).exists() {
+                let j = SurveyJournal::resume(jp, &manifest)
+                    .map_err(|e| format!("resuming journal {jp}: {e}"))?;
+                eprintln!(
+                    "resuming from journal {jp}: {} configuration(s) already complete{}",
+                    j.entries().len(),
+                    if j.dropped_tail() {
+                        " (torn tail line truncated)"
+                    } else {
+                        ""
+                    }
+                );
+                j
+            } else {
+                if !resume && Path::new(jp).exists() {
+                    return Err(CliError::Data(format!(
+                        "journal {jp} already exists; pass --resume to continue that sweep \
+                         or choose a fresh journal path"
+                    )));
+                }
+                SurveyJournal::create(jp, manifest)
+                    .map_err(|e| format!("creating journal {jp}: {e}"))?
+            };
+            Some(j)
+        }
+        None => None,
+    };
+    let artifact = out_file
+        .clone()
+        .unwrap_or_else(|| format!("survey_{}.json", name.to_lowercase()));
+    let report_path = report_file
+        .clone()
+        .unwrap_or_else(|| format!("fleet_{}.json", name.to_lowercase()));
+    let resume_command = |jp: &str| {
+        let mut c = format!("exareq fleet {name} --workers {workers_raw}");
+        for (flag, value) in [
+            ("-o", &out_file),
+            ("--p", &p_list),
+            ("--n", &n_list),
+            ("--faults", &fault_spec),
+            ("--max-retries", &max_retries),
+            ("--shard-size", &shard_size_opt),
+            ("--shard-deadline-ms", &shard_deadline_ms),
+            ("--hold-ms", &hold_ms_opt),
+            ("--fleet-report", &report_file),
+        ] {
+            if let Some(v) = value {
+                c.push_str(&format!(" {flag} {v}"));
+            }
+        }
+        c.push_str(&format!(" --journal {jp} --resume"));
+        c
+    };
+    let (survey, report) = match run_fleet(
+        app.as_ref(),
+        &grid,
+        &faults,
+        &fault_spec_str,
+        &retry,
+        journal.as_mut(),
+        &cancel,
+        &fleet_cfg,
+    ) {
+        Ok(pair) => pair,
+        Err(e @ SurveyRunError::BudgetExhausted { .. }) => {
+            return Err(match &journal_path {
+                Some(jp) => CliError::Resumable(format!(
+                    "{e}\nevery completed configuration is safe in {jp}; \
+                     re-run with\n  {}\nto continue",
+                    resume_command(jp)
+                )),
+                None => CliError::Resumable(format!(
+                    "{e}\nno journal was attached, so completed configurations are lost; \
+                     re-run with --journal FILE to make the sweep resumable"
+                )),
+            });
+        }
+        Err(SurveyRunError::Cancelled { reason }) => {
+            // The same graceful-shutdown contract as `exareq survey`: the
+            // journal holds every committed configuration; write a partial
+            // artifact flagged incomplete and print the resume command.
+            return Err(match (&journal_path, journal.as_ref()) {
+                (Some(jp), Some(j)) => {
+                    let mut partial = Survey::new(app.name());
+                    for entry in j.entries() {
+                        apply_entry(&mut partial, entry);
+                    }
+                    partial.incomplete = true;
+                    let json = partial
+                        .try_to_json()
+                        .map_err(|e| format!("serializing partial survey: {e}"))?;
+                    fsio::write_atomic(&artifact, json).map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "partial survey ({} of {} configurations, flagged incomplete) \
+                         written to {artifact}",
+                        j.entries().len(),
+                        grid.p_values.len() * grid.n_values.len()
+                    );
+                    CliError::Interrupted(format!(
+                        "fleet survey cancelled: {reason}\nevery completed configuration \
+                         is safe in {jp}; re-run with\n  {}\nto continue",
+                        resume_command(jp)
+                    ))
+                }
+                _ => CliError::Interrupted(format!(
+                    "fleet survey cancelled: {reason}\nno journal was attached, so \
+                     completed configurations are lost; re-run with --journal FILE to \
+                     make the sweep resumable"
+                )),
+            });
+        }
+        Err(e) => return Err(CliError::Data(e.to_string())),
+    };
+    let json = survey
+        .try_to_json()
+        .map_err(|e| format!("serializing survey: {e}"))?;
+    fsio::write_atomic(&artifact, json).map_err(|e| e.to_string())?;
+    let mut report_line = report.to_json_line();
+    report_line.push('\n');
+    fsio::write_atomic(&report_path, report_line).map_err(|e| e.to_string())?;
+    println!(
+        "{} observations over {} configurations written to {artifact}",
+        survey.observations.len(),
+        survey.config_count()
+    );
+    println!(
+        "fleet: {} shard(s), {} re-dispatch(es), {} duplicate(s) dropped; report in {report_path}",
+        report.shards_total, report.redispatches, report.duplicates_dropped
+    );
+    for w in &report.workers {
+        match &w.last_error {
+            Some(err) => println!(
+                "  worker {}: {} ({} shard(s), last error: {err})",
+                w.addr, w.state, w.shards
+            ),
+            None => println!("  worker {}: {} ({} shard(s))", w.addr, w.state, w.shards),
+        }
+    }
+    if report.fallback {
+        eprintln!(
+            "warning: degraded mode — {} shard(s) were measured in-process because no \
+             worker could deliver them; the run is flagged in {report_path} (artifact \
+             bytes are still identical to a sequential run)",
+            report.fallback_shards
+        );
+    }
     Ok(())
 }

@@ -18,6 +18,12 @@
 //! - [`codesign`] — skeletons, upgrades, straw men, and
 //!   the published Table II catalog.
 //!
+//! Two more crates serve the learned models instead of learning them:
+//! [`serve`] is the co-design query daemon behind `exareq serve`, and
+//! [`fleet`] is the fault-tolerant sharded survey coordinator behind
+//! `exareq fleet`, which spreads a measurement grid across serve workers
+//! while keeping journal and artifact bytes identical to a sequential run.
+//!
 //! The [`pipeline`] module wires measurement to modeling: it runs an
 //! application survey through the model generator and assembles a complete
 //! [`exareq_codesign::AppRequirements`] bundle, exactly as the paper's tool
@@ -31,6 +37,7 @@ pub mod signal;
 pub use exareq_apps as apps;
 pub use exareq_codesign as codesign;
 pub use exareq_core as core;
+pub use exareq_fleet as fleet;
 pub use exareq_locality as locality;
 pub use exareq_profile as profile;
 pub use exareq_serve as serve;

@@ -1,0 +1,354 @@
+//! Chaos tests of `exareq fleet`: real coordinator + worker subprocesses
+//! on loopback, with workers killed, black-holed, or absent mid-run.
+//!
+//! The one invariant every scenario asserts: the merged journal and the
+//! survey artifact are **byte-identical** (`==` on the file bytes, the
+//! test-side `cmp`) to a single-process sequential `exareq survey` run —
+//! re-dispatch, work stealing, and in-process fallback may change *how*
+//! the grid got measured, never *what* was measured.
+
+#![cfg(unix)]
+
+use exareq::fleet::ShardSequencer;
+use exareq::signal::send_signal;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const FAULTS: &str = "seed=7,drop=0.01";
+const GRID: [&str; 4] = ["--p", "2,4", "--n", "64,256"];
+const SIGKILL: i32 = 9;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_exareq"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("exareq_fleet_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+/// A fleet worker: `exareq serve --allow-measure` on an ephemeral port
+/// with an empty model dir (measurement needs no models).
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_worker(dir: &Path) -> Worker {
+    let models = dir.join("models");
+    std::fs::create_dir_all(&models).expect("model dir");
+    let mut child = bin()
+        .args(["serve", "--allow-measure", "--addr", "127.0.0.1:0"])
+        .arg("--model-dir")
+        .arg(&models)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut ready = String::new();
+    reader.read_line(&mut ready).expect("readable stdout");
+    let addr = ready
+        .strip_prefix("serving on ")
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected ready line: {ready}"))
+        .to_string();
+    // Leak the reader thread-lessly: the pipe stays open via the Child.
+    std::mem::forget(reader);
+    Worker { child, addr }
+}
+
+/// Runs the sequential baseline (`exareq survey --jobs 1`) and returns
+/// the `(journal, artifact)` paths.
+fn sequential_baseline(dir: &Path) -> (PathBuf, PathBuf) {
+    let journal = dir.join("seq.jsonl");
+    let artifact = dir.join("seq.json");
+    let status = bin()
+        .args(["survey", "Relearn"])
+        .args(GRID)
+        .args(["--faults", FAULTS, "--max-retries", "1", "--jobs", "1"])
+        .arg("--journal")
+        .arg(&journal)
+        .arg("-o")
+        .arg(&artifact)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run exareq survey");
+    assert!(status.success(), "sequential baseline failed");
+    (journal, artifact)
+}
+
+struct FleetRun {
+    status: std::process::ExitStatus,
+    stderr: String,
+    journal: PathBuf,
+    artifact: PathBuf,
+    report: PathBuf,
+}
+
+/// Runs `exareq fleet` against `workers` with the chaos knobs given as
+/// extra flags; captures stderr and the three artifacts.
+fn run_fleet_cli(dir: &Path, tag: &str, workers: &[String], extra: &[&str]) -> FleetRun {
+    let journal = dir.join(format!("fleet_{tag}.jsonl"));
+    let artifact = dir.join(format!("fleet_{tag}.json"));
+    let report = dir.join(format!("report_{tag}.json"));
+    let output = bin()
+        .args(["fleet", "Relearn", "--workers", &workers.join(",")])
+        .args(GRID)
+        .args(["--faults", FAULTS, "--max-retries", "1"])
+        .args(extra)
+        .arg("--journal")
+        .arg(&journal)
+        .arg("-o")
+        .arg(&artifact)
+        .arg("--fleet-report")
+        .arg(&report)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run exareq fleet");
+    FleetRun {
+        status: output.status,
+        stderr: String::from_utf8_lossy(&output.stderr).to_string(),
+        journal,
+        artifact,
+        report,
+    }
+}
+
+fn read_bytes(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The in-test `cmp`: byte equality of two files.
+fn assert_same_bytes(a: &Path, b: &Path, what: &str) {
+    assert_eq!(
+        read_bytes(a),
+        read_bytes(b),
+        "{what}: {} and {} differ",
+        a.display(),
+        b.display()
+    );
+}
+
+fn report_json(run: &FleetRun) -> exareq::profile::minijson::Json {
+    let text = String::from_utf8(read_bytes(&run.report)).expect("UTF-8 report");
+    exareq::profile::minijson::parse(text.trim()).expect("valid fleet report JSON")
+}
+
+fn report_num(v: &exareq::profile::minijson::Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(exareq::profile::minijson::Json::as_f64)
+        .unwrap_or_else(|| panic!("report key {key} missing"))
+}
+
+#[test]
+fn live_fleet_merges_byte_identical_to_sequential() {
+    let dir = tmp_dir("live");
+    let (seq_journal, seq_artifact) = sequential_baseline(&dir);
+    let w1 = spawn_worker(&dir);
+    let w2 = spawn_worker(&dir);
+    let run = run_fleet_cli(
+        &dir,
+        "live",
+        &[w1.addr.clone(), w2.addr.clone()],
+        &["--shard-size", "1"],
+    );
+    assert!(run.status.success(), "fleet failed: {}", run.stderr);
+    assert_same_bytes(&run.journal, &seq_journal, "merged journal");
+    assert_same_bytes(&run.artifact, &seq_artifact, "survey artifact");
+    let report = report_json(&run);
+    assert_eq!(
+        report
+            .get("fallback")
+            .and_then(exareq::profile::minijson::Json::as_bool),
+        Some(false),
+        "healthy fleet must not fall back: {}",
+        run.stderr
+    );
+    let metrics = report
+        .get("metrics")
+        .and_then(exareq::profile::minijson::Json::as_str)
+        .expect("metrics exposition in report");
+    assert!(metrics.contains("fleet_redispatch_total"), "{metrics}");
+    assert!(
+        metrics.contains("fleet_worker_state{state=\"healthy\"} 2"),
+        "{metrics}"
+    );
+}
+
+#[test]
+fn sigkill_mid_shard_redispatches_and_merges_exactly() {
+    let dir = tmp_dir("sigkill");
+    let (seq_journal, seq_artifact) = sequential_baseline(&dir);
+    let w1 = spawn_worker(&dir);
+    let w2 = spawn_worker(&dir);
+    let victim = w2.child.id();
+
+    // --hold-ms keeps every shard in flight for 600ms, so a kill at
+    // 250ms is guaranteed to land mid-shard: the victim is holding a
+    // dispatched shard it will never answer.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(250));
+        assert!(send_signal(victim, SIGKILL), "deliver SIGKILL");
+    });
+    let run = run_fleet_cli(
+        &dir,
+        "sigkill",
+        &[w1.addr.clone(), w2.addr.clone()],
+        &["--shard-size", "1", "--hold-ms", "600"],
+    );
+    killer.join().expect("killer thread");
+    assert!(run.status.success(), "fleet failed: {}", run.stderr);
+
+    // Crash-exact merge: the survivor's re-measurements slot into the
+    // canonical order bit-for-bit.
+    assert_same_bytes(&run.journal, &seq_journal, "merged journal after SIGKILL");
+    assert_same_bytes(
+        &run.artifact,
+        &seq_artifact,
+        "survey artifact after SIGKILL",
+    );
+
+    let report = report_json(&run);
+    assert!(
+        report_num(&report, "redispatches") >= 1.0,
+        "the killed worker's shard must have been stolen: {}",
+        run.stderr
+    );
+    assert_eq!(
+        report
+            .get("fallback")
+            .and_then(exareq::profile::minijson::Json::as_bool),
+        Some(false),
+        "one worker survived; no fallback expected"
+    );
+    let metrics = report
+        .get("metrics")
+        .and_then(exareq::profile::minijson::Json::as_str)
+        .expect("metrics exposition in report");
+    assert!(!metrics.contains("fleet_redispatch_total 0\n"), "{metrics}");
+}
+
+#[test]
+fn black_hole_worker_times_out_and_its_shard_is_stolen() {
+    let dir = tmp_dir("blackhole");
+    let (seq_journal, seq_artifact) = sequential_baseline(&dir);
+    // A "worker" that accepts connections and never answers: the worst
+    // failure mode, indistinguishable from a hang.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind black hole");
+    let hole_addr = listener.local_addr().expect("addr").to_string();
+    let hole = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        // Hold every connection open without responding until the test
+        // ends (the listener drops when the thread is joined or leaked).
+        while let Ok((conn, _)) = listener.accept() {
+            let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+            held.push(conn);
+            if held.len() > 64 {
+                break;
+            }
+        }
+    });
+    let real = spawn_worker(&dir);
+
+    let run = run_fleet_cli(
+        &dir,
+        "blackhole",
+        &[real.addr.clone(), hole_addr],
+        &["--shard-size", "1", "--shard-deadline-ms", "500"],
+    );
+    assert!(run.status.success(), "fleet failed: {}", run.stderr);
+    assert_same_bytes(&run.journal, &seq_journal, "merged journal after timeout");
+    assert_same_bytes(&run.artifact, &seq_artifact, "artifact after timeout");
+    let report = report_json(&run);
+    assert!(
+        report_num(&report, "redispatches") >= 1.0,
+        "the black hole's shard must time out and be stolen: {}",
+        run.stderr
+    );
+    drop(hole); // leaked on purpose if still accepting
+}
+
+#[test]
+fn all_workers_dead_falls_back_in_process_and_flags_the_run() {
+    let dir = tmp_dir("alldead");
+    let (seq_journal, seq_artifact) = sequential_baseline(&dir);
+    // Bind-then-drop twice: ports that refuse connections immediately.
+    let dead_addr = || {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let run = run_fleet_cli(&dir, "alldead", &[dead_addr(), dead_addr()], &[]);
+    assert!(
+        run.status.success(),
+        "a dead fleet must complete in degraded mode, not fail: {}",
+        run.stderr
+    );
+    assert!(
+        run.stderr.contains("degraded mode"),
+        "the operator must be told: {}",
+        run.stderr
+    );
+    // Degraded mode still keeps the byte-identity contract — the flag
+    // lives in the fleet report, not in the survey artifacts.
+    assert_same_bytes(&run.journal, &seq_journal, "fallback journal");
+    assert_same_bytes(&run.artifact, &seq_artifact, "fallback artifact");
+    let report = report_json(&run);
+    assert_eq!(
+        report
+            .get("fallback")
+            .and_then(exareq::profile::minijson::Json::as_bool),
+        Some(true)
+    );
+    assert!(report_num(&report, "fallback_shards") >= 1.0);
+    let metrics = report
+        .get("metrics")
+        .and_then(exareq::profile::minijson::Json::as_str)
+        .expect("metrics exposition in report");
+    assert!(
+        metrics.contains("fleet_worker_state{state=\"dead\"} 2\n"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("fleet_fallback_shards_total"), "{metrics}");
+}
+
+#[test]
+fn duplicate_shard_completion_is_dropped_first_wins() {
+    use exareq::profile::journal::JournalEntry;
+    let entry = |p: u64, n: u64| JournalEntry {
+        p,
+        n,
+        attempts: 1,
+        seed: 7,
+        skip_reason: None,
+        observations: Vec::new(),
+    };
+    let seq = ShardSequencer::new(1);
+    assert!(seq.put(0, vec![entry(2, 64)]), "first completion wins");
+    assert!(
+        !seq.put(0, vec![entry(2, 64)]),
+        "a duplicate completion before commit is dropped"
+    );
+    let committed = seq
+        .take(0, Duration::from_millis(10))
+        .expect("deposited shard");
+    assert_eq!(committed.len(), 1);
+    assert!(
+        !seq.put(0, vec![entry(2, 64)]),
+        "a late completion after commit is dropped too"
+    );
+}

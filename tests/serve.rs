@@ -127,7 +127,27 @@ fn daemon_answers_are_byte_identical_to_the_library() {
 
     let (status, _, body) = get(&daemon.addr, "/healthz");
     assert_eq!(status, 200);
-    assert_eq!(body, api::health_body().as_bytes());
+    let text = String::from_utf8(body).expect("UTF-8 health body");
+    // Backward compatible: plain 200 whose body still leads with the
+    // legacy status field, so `grep '"status":"ok"'` keeps working ...
+    assert!(text.starts_with(r#"{"status":"ok""#), "{text}");
+    // ... and now reports live engine state as JSON.
+    let health = exareq::profile::minijson::parse(&text).expect("valid JSON");
+    use exareq::profile::minijson::Json;
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(
+        health.get("in_flight").and_then(Json::as_f64),
+        Some(1.0),
+        "the /healthz request itself is the one in flight"
+    );
+    assert!(
+        health
+            .get("registry_generation")
+            .and_then(Json::as_f64)
+            .is_some(),
+        "{text}"
+    );
 
     let (status, _, body) = post(
         &daemon.addr,
@@ -169,6 +189,54 @@ fn daemon_answers_are_byte_identical_to_the_library() {
     let text = String::from_utf8(body).unwrap();
     assert!(text.contains("exareq_requests_total"), "{text}");
     assert!(text.contains("exareq_models_loaded 5"), "{text}");
+}
+
+#[test]
+fn measure_endpoint_is_gated_and_byte_identical_to_the_library() {
+    use exareq::apps::{measure_config_resilient, Relearn, RetryPolicy};
+    use exareq::core::cancel::CancelToken;
+    use exareq::sim::FaultPlan;
+
+    let dir = model_dir("measure");
+    // Without the worker opt-in the endpoint is refused outright.
+    {
+        let daemon = spawn_daemon(&dir, &[]);
+        let (status, _, body) = post(
+            &daemon.addr,
+            "/measure",
+            r#"{"app":"Relearn","shard_id":0,"configs":[[2,64]]}"#,
+        );
+        assert_eq!(status, 403, "{}", String::from_utf8_lossy(&body));
+        assert!(String::from_utf8_lossy(&body).contains("--allow-measure"));
+    }
+
+    let daemon = spawn_daemon(&dir, &["--allow-measure"]);
+    let (status, _, body) = post(
+        &daemon.addr,
+        "/measure",
+        r#"{"app":"Relearn","shard_id":3,"faults":"seed=7,drop=0.01","max_attempts":2,"configs":[[2,64],[2,256]]}"#,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let plan = FaultPlan::parse("seed=7,drop=0.01").expect("fault spec");
+    let retry = RetryPolicy::retries(1);
+    let token = CancelToken::new();
+    let entries: Vec<_> = [(2u64, 64u64), (2, 256)]
+        .iter()
+        .map(|&(p, n)| {
+            measure_config_resilient(&Relearn, p as usize, n, &plan, &retry, &token)
+                .expect("local measurement")
+        })
+        .collect();
+    assert_eq!(
+        body,
+        api::measure_response_body(3, "Relearn", &entries).as_bytes(),
+        "a worker-measured shard must equal the in-process measurement byte for byte"
+    );
+
+    let (status, _, metrics) = get(&daemon.addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(metrics).unwrap();
+    assert!(text.contains("serve_measure_shards_total 1"), "{text}");
 }
 
 #[test]
