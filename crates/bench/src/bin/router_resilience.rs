@@ -1,0 +1,369 @@
+//! Router-resilience study: request rate, latency percentiles, and the
+//! resilience ledger (failovers, hedges, degraded answers) of the
+//! `exareq router` engine while replicas are killed out from under it,
+//! emitted machine-readably as `BENCH_router.json`.
+//!
+//! Each round starts N in-process `exareq serve` engines plus a router
+//! fronting them, drives a concurrent `/predict` burst through the
+//! router, and kills K replicas mid-burst — starting with the ring
+//! primary for the benched model, so the kill provably lands on the
+//! replica carrying the traffic. A "kill" cancels the replica's engine
+//! with a zero drain deadline: the listener vanishes immediately, which
+//! is the same failure signature SIGKILL leaves from the router's side
+//! of the socket.
+//!
+//! Every 200 body — healthy, failed-over, hedged, or degraded — is
+//! compared byte-for-byte against the direct
+//! [`exareq_serve::api::predict_body`] call; any drift reports
+//! `"identical": false` and the process exits nonzero. `--tiny` shrinks
+//! the rounds for CI smoke use.
+
+use exareq_bench::{num, obj, write_report, LatencySummary};
+use exareq_codesign::catalog;
+use exareq_core::cancel::{CancelReason, CancelToken};
+use exareq_profile::minijson::Json;
+use exareq_router::{HashRing, ProxyConfig, RouterConfig};
+use exareq_serve::registry::Fitter;
+use exareq_serve::{api, artifact, ModelRegistry, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// One raw HTTP/1.1 exchange; returns `(status, head, body)`.
+fn http(addr: SocketAddr, request: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to in-process router");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = String::from_utf8(raw[..head_end].to_vec()).expect("response head is ASCII");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code in status line");
+    (status, head, raw[head_end + 4..].to_vec())
+}
+
+fn http_post(addr: SocketAddr, target: &str, body: &str) -> (u16, String, Vec<u8>) {
+    http(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Reads one counter from the router's `/metrics` exposition.
+fn metric(addr: SocketAddr, name: &str) -> f64 {
+    let (status, _, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: b\r\n\r\n");
+    assert_eq!(status, 200, "metrics scrape");
+    let text = String::from_utf8(body).expect("UTF-8 metrics");
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
+/// One in-process replica: its engine thread and the token that kills it.
+struct Replica {
+    addr: SocketAddr,
+    cancel: CancelToken,
+    thread: std::thread::JoinHandle<exareq_serve::ServeSummary>,
+}
+
+fn start_replica(dir: &Path, drain: Duration) -> Replica {
+    let no_fit: Box<Fitter> = Box::new(|_| Err("bench serves fitted artifacts only".to_string()));
+    let registry = Arc::new(ModelRegistry::new(dir, no_fit));
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".parse().expect("loopback addr"),
+        threads: 2,
+        queue_depth: 64,
+        request_deadline: Duration::from_secs(10),
+        drain_deadline: drain,
+        model_dir: dir.to_path_buf(),
+        allow_measure: false,
+    };
+    let cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let thread = {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            exareq_serve::serve(&cfg, registry, &cancel, move |addr| {
+                tx.send(addr).expect("announce bound address");
+            })
+            .expect("replica engine runs")
+        })
+    };
+    let addr = rx.recv().expect("replica ready");
+    Replica {
+        addr,
+        cancel,
+        thread,
+    }
+}
+
+struct RoundOutcome {
+    replicas: usize,
+    kills: usize,
+    requests: usize,
+    seconds: f64,
+    errors: u64,
+    rejected_503: u64,
+    identical: bool,
+    failovers: f64,
+    hedges_launched: f64,
+    hedges_won: f64,
+    degraded: f64,
+    latency: LatencySummary,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    dir: &Path,
+    replicas: usize,
+    kills: usize,
+    clients: usize,
+    per_client: usize,
+    kill_after: Duration,
+    expected: &[u8],
+) -> RoundOutcome {
+    // Replicas get a zero drain deadline: a cancelled engine's listener
+    // vanishes immediately, like a killed process's would.
+    let mut fleet: Vec<Replica> = (0..replicas)
+        .map(|_| start_replica(dir, Duration::ZERO))
+        .collect();
+    let replica_addrs: Vec<String> = fleet.iter().map(|r| r.addr.to_string()).collect();
+
+    let mut proxy_cfg = ProxyConfig {
+        request_deadline: Duration::from_secs(5),
+        hedge_after: Duration::from_millis(25),
+        backoff_base: Duration::from_millis(10),
+        ..ProxyConfig::default()
+    };
+    proxy_cfg.health.probe_interval = Duration::from_millis(50);
+    let router_cfg = RouterConfig {
+        addr: "127.0.0.1:0".parse().expect("loopback addr"),
+        threads: 4,
+        queue_depth: 64,
+        replicas: replica_addrs.clone(),
+        model_dir: dir.to_path_buf(),
+        drain_deadline: Duration::from_secs(5),
+        proxy: proxy_cfg,
+    };
+    let no_fit: Box<Fitter> = Box::new(|_| Err("bench serves fitted artifacts only".to_string()));
+    let router_registry = Arc::new(ModelRegistry::new(dir, no_fit));
+    let router_cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let router_thread = {
+        let cancel = router_cancel.clone();
+        std::thread::spawn(move || {
+            exareq_router::route(&router_cfg, router_registry, &cancel, move |addr| {
+                tx.send(addr).expect("announce bound address");
+            })
+            .expect("router engine runs")
+        })
+    };
+    let router_addr = rx.recv().expect("router ready");
+
+    // Kill victims in ring order for the benched key, so the kill lands
+    // on the replica actually carrying the traffic.
+    let ring = HashRing::new(&replica_addrs);
+    let victim_order: Vec<usize> = ring.ordered("Kripke");
+    let killer = {
+        let victims: Vec<CancelToken> = victim_order
+            .iter()
+            .take(kills)
+            .map(|&idx| fleet[idx].cancel.clone())
+            .collect();
+        std::thread::spawn(move || {
+            if victims.is_empty() {
+                return;
+            }
+            std::thread::sleep(kill_after);
+            for victim in victims {
+                victim.cancel(CancelReason::Interrupt);
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        })
+    };
+
+    let started = Instant::now();
+    let request_body = r#"{"model":"Kripke","p":1e6,"n":4096,"hold_ms":10}"#;
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let expected = expected.to_vec();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                let (mut errors, mut rejected, mut mismatched) = (0u64, 0u64, false);
+                for _ in 0..per_client {
+                    let t0 = Instant::now();
+                    let (status, _head, body) = http_post(router_addr, "/predict", request_body);
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    match status {
+                        200 => mismatched |= body != expected,
+                        503 => rejected += 1,
+                        _ => errors += 1,
+                    }
+                }
+                (latencies, errors, rejected, mismatched)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let (mut errors, mut rejected, mut identical) = (0, 0, true);
+    for h in handles {
+        let (lat, e, r, mismatched) = h.join().expect("client thread");
+        latencies.extend(lat);
+        errors += e;
+        rejected += r;
+        identical &= !mismatched;
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    killer.join().expect("killer thread");
+
+    let failovers = metric(router_addr, "router_failover_total");
+    let hedges_launched = metric(router_addr, "router_hedge_launched_total");
+    let hedges_won = metric(router_addr, "router_hedge_won_total");
+    let degraded = metric(router_addr, "router_degraded_total");
+
+    router_cancel.cancel(CancelReason::Interrupt);
+    let summary = router_thread.join().expect("router thread");
+    assert!(summary.drained, "router must drain between rounds");
+    for replica in fleet.drain(..) {
+        replica.cancel.cancel(CancelReason::Interrupt);
+        let _ = replica.thread.join();
+    }
+
+    RoundOutcome {
+        replicas,
+        kills,
+        requests: clients * per_client,
+        seconds,
+        errors,
+        rejected_503: rejected,
+        identical,
+        failovers,
+        hedges_launched,
+        hedges_won,
+        degraded,
+        latency: LatencySummary::from_samples(&latencies),
+    }
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (clients, per_client, kill_after) = if tiny {
+        (2usize, 15usize, Duration::from_millis(80))
+    } else {
+        (4, 40, Duration::from_millis(250))
+    };
+    // (replicas, kills): a healthy baseline, one kill absorbed by
+    // failover, a two-kill cascade, and a total loss served degraded.
+    let rounds_spec = [(1usize, 0usize), (2, 1), (3, 2), (1, 1)];
+
+    let dir = std::env::temp_dir().join(format!("exareq_router_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    for app in catalog::paper_models() {
+        std::fs::write(
+            dir.join(format!("{}.json", app.name.to_lowercase())),
+            artifact::requirements_to_string(&app),
+        )
+        .expect("write artifact");
+    }
+    let expected = api::predict_body(&catalog::kripke(), 1e6, 4096.0);
+
+    eprintln!(
+        "router resilience: rounds {rounds_spec:?}, {clients} clients x {per_client} requests"
+    );
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    let mut total_loss_degraded = true;
+    let mut kills_caused_failover = true;
+    for &(replicas, kills) in &rounds_spec {
+        let round = run_round(
+            &dir,
+            replicas,
+            kills,
+            clients,
+            per_client,
+            kill_after,
+            expected.as_bytes(),
+        );
+        all_identical &= round.identical;
+        if kills > 0 && replicas > kills {
+            kills_caused_failover &= round.failovers > 0.0;
+        }
+        if kills >= replicas && kills > 0 {
+            total_loss_degraded &= round.degraded > 0.0;
+        }
+        let rate = round.requests as f64 / round.seconds;
+        eprintln!(
+            "  replicas={replicas} kills={kills}: {rate:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, \
+             {} failovers, {}/{} hedges won, {} degraded, {} errors, {} x 503{}",
+            round.latency.p50_ms,
+            round.latency.p99_ms,
+            round.failovers,
+            round.hedges_won,
+            round.hedges_launched,
+            round.degraded,
+            round.errors,
+            round.rejected_503,
+            if round.identical {
+                ""
+            } else {
+                ", NOT IDENTICAL"
+            }
+        );
+        let mut members = vec![
+            ("replicas", num(round.replicas as f64)),
+            ("kills", num(round.kills as f64)),
+            ("requests", num(round.requests as f64)),
+            ("seconds", num(round.seconds)),
+            ("req_per_sec", num(rate)),
+            ("errors", num(round.errors as f64)),
+            ("rejected_503", num(round.rejected_503 as f64)),
+            ("failover_total", num(round.failovers)),
+            ("hedge_launched_total", num(round.hedges_launched)),
+            ("hedge_won_total", num(round.hedges_won)),
+            ("degraded_total", num(round.degraded)),
+            ("identical", Json::Bool(round.identical)),
+        ];
+        members.extend(round.latency.to_members());
+        rows.push(obj(members));
+    }
+
+    let report = obj(vec![
+        ("schema", num(1.0)),
+        ("model", Json::Str("Kripke".to_string())),
+        ("clients", num(clients as f64)),
+        ("requests_per_client", num(per_client as f64)),
+        ("rounds", Json::Arr(rows)),
+    ]);
+    write_report("BENCH_router.json", &report.to_line());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !all_identical {
+        eprintln!("error: a routed answer diverged from the direct library call");
+        std::process::exit(1);
+    }
+    if !kills_caused_failover {
+        eprintln!("error: a survivable kill produced no failover");
+        std::process::exit(1);
+    }
+    if !total_loss_degraded {
+        eprintln!("error: total replica loss was not served by the degraded fallback");
+        std::process::exit(1);
+    }
+}

@@ -16,10 +16,12 @@
 //! - [`client`] — a std-only HTTP/1.1 client: connect/read timeouts,
 //!   cancellable slice reads, jittered exponential backoff under a
 //!   retry budget, and `Retry-After` honored when the server names its
-//!   own price.
+//!   own price. Lives in `exareq-net` (the query router shares it);
+//!   re-exported here so fleet consumers see one crate.
 //! - [`health`] — worker liveness with hysteresis
 //!   (Healthy → Suspect → Dead → recovered), fed by both a background
-//!   `/healthz` prober and dispatch outcomes.
+//!   `/healthz` prober and dispatch outcomes. Also shared via
+//!   `exareq-net`.
 //! - [`coordinator`] — shard planning over the pending grid, one
 //!   dispatcher per worker gated on health, work stealing of shards
 //!   from dead or timed-out workers, first-wins (at-most-once) commit
@@ -31,9 +33,10 @@
 
 #![warn(missing_docs)]
 
-pub mod client;
+pub use exareq_net::client;
+pub use exareq_net::health;
+
 pub mod coordinator;
-pub mod health;
 pub mod metrics;
 
 pub use client::{ClientConfig, ClientError, ClientResponse, HttpClient};

@@ -1,10 +1,9 @@
-//! Std-only HTTP/1.1 client for the fleet coordinator.
+//! Std-only HTTP/1.1 client for the fleet coordinator and query router.
 //!
-//! The coordinator talks to worker daemons over the same wire format
-//! `exareq-serve` speaks, so the client is the mirror image of
-//! `crates/serve/src/http.rs`: request line + `Content-Length` body out,
-//! status line + headers + body back. Three properties matter more than
-//! generality:
+//! Both talk to `exareq serve` daemons over the same wire format, so the
+//! client is the mirror image of `crates/serve/src/http.rs`: request
+//! line plus `Content-Length` body out, status line + headers + body
+//! back. Three properties matter more than generality:
 //!
 //! - **Bounded everything.** Connects use [`TcpStream::connect_timeout`],
 //!   reads happen in short timeout slices under a per-exchange deadline,
@@ -279,7 +278,9 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Sleep in cancellable slices; `false` means the token fired first.
-pub(crate) fn sleep_cancellable(total: Duration, cancel: &CancelToken) -> bool {
+/// Public because every consumer of this client ends up needing the same
+/// "wait politely but notice Ctrl-C" loop between exchanges.
+pub fn sleep_cancellable(total: Duration, cancel: &CancelToken) -> bool {
     let deadline = Instant::now() + total;
     loop {
         if cancel.is_cancelled() {

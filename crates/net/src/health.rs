@@ -1,6 +1,8 @@
-//! Worker liveness with hysteresis: Healthy → Suspect → Dead → Healthy.
+//! Endpoint liveness with hysteresis: Healthy → Suspect → Dead → Healthy.
 //!
-//! Both signal sources — the background `/healthz` prober and dispatch
+//! "Worker" here is any peer whose liveness gates dispatch: a fleet
+//! measurement worker or a query-serving replica behind the router. Both
+//! signal sources — the background `/healthz` prober and dispatch
 //! outcomes — feed one [`HealthTable`]. Transitions are driven by
 //! *consecutive* counts so a single flake neither kills a worker nor
 //! resurrects one:

@@ -1,0 +1,30 @@
+//! `exareq-net`: the networking plumbing shared by every component that
+//! talks to an `exareq serve` daemon over loopback or a cluster network.
+//!
+//! Two modules, one concern each:
+//!
+//! - [`client`] — a std-only HTTP/1.1 client: connect/read timeouts,
+//!   cancellable slice reads, jittered exponential backoff under a retry
+//!   budget, and `Retry-After` honored when the server names its own
+//!   price.
+//! - [`health`] — endpoint liveness with hysteresis
+//!   (Healthy → Suspect → Dead → recovered), fed by both a background
+//!   `/healthz` prober and dispatch outcomes.
+//!
+//! Both grew up inside `exareq-fleet` driving survey workers; the serving
+//! router (`exareq router`) needs the exact same behaviours for query
+//! replicas, so they live here and both crates re-export them. There is
+//! deliberately one implementation of "retry politely" and one of "decide
+//! a peer is dead" in this workspace — a failover bug fixed here is fixed
+//! for the fleet coordinator and the query router at once.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod health;
+
+pub use client::{
+    sleep_cancellable, ClientConfig, ClientError, ClientResponse, HttpClient, MAX_RESPONSE_BODY,
+    MAX_RESPONSE_HEAD, MAX_RETRY_AFTER_SECS,
+};
+pub use health::{HealthPolicy, HealthTable, WorkerState};

@@ -1,0 +1,191 @@
+//! Per-replica circuit breakers.
+//!
+//! The health table (`exareq_net::health`) answers "is this replica
+//! alive?" from the *prober's* point of view — a slow background pulse.
+//! The breaker answers the complementary, faster question from the
+//! *request path*: "have my own recent exchanges with this replica been
+//! failing so consistently that sending more traffic is just queueing
+//! pain?" Three states, classic transitions:
+//!
+//! - **Closed** — normal. Consecutive request failures are counted;
+//!   [`TRIP_AFTER`] of them in a row trips the breaker open.
+//! - **Open** — the replica is skipped at plan time. After `cooldown`
+//!   elapses the next [`CircuitBreaker::allow`] call converts the state
+//!   to half-open and admits the caller as the trial request.
+//! - **HalfOpen** — traffic is admitted; the first recorded outcome
+//!   decides (success closes, failure re-opens and restarts the
+//!   cooldown). Admitting all half-open traffic instead of exactly one
+//!   trial keeps `plan()` side-effect free: planning a route must not
+//!   consume the trial of a request that is never sent.
+//!
+//! What counts as a breaker failure is wider than a health failure:
+//! transport errors *and* overload statuses (503/504) trip it, because
+//! both mean "this replica cannot absorb my traffic right now", while
+//! only transport errors mark a replica suspect/dead — an overloaded
+//! replica is alive and will drain.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Consecutive request-path failures that trip a closed breaker open.
+pub const TRIP_AFTER: u32 = 5;
+
+/// Breaker states, in the order a failing replica traverses them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are being counted.
+    Closed,
+    /// Tripped: skip this replica until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: traffic admitted, first outcome decides.
+    HalfOpen,
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// One replica's circuit breaker. Cheap interior mutability; every call
+/// takes the lock for a few instructions only.
+pub struct CircuitBreaker {
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that, once tripped, waits `cooldown` before
+    /// admitting a half-open trial.
+    pub fn new(cooldown: Duration) -> Self {
+        CircuitBreaker {
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    /// Whether a request may be sent to this replica right now. An open
+    /// breaker whose cooldown has elapsed flips to half-open here and
+    /// answers yes — the caller becomes the trial traffic.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.cooldown)
+                    .unwrap_or(true);
+                if elapsed {
+                    inner.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful exchange: closes the breaker and resets the
+    /// failure streak.
+    pub fn record_ok(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+    }
+
+    /// Records a failed exchange. A half-open trial failure re-opens
+    /// immediately; a closed breaker opens after [`TRIP_AFTER`]
+    /// consecutive failures.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+            }
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= TRIP_AFTER {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state, without side effects (no half-open promotion).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap().state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_open_after_consecutive_failures_only() {
+        let breaker = CircuitBreaker::new(Duration::from_millis(50));
+        for _ in 0..TRIP_AFTER - 1 {
+            breaker.record_failure();
+        }
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // A success resets the streak: the next failures start from zero.
+        breaker.record_ok();
+        for _ in 0..TRIP_AFTER - 1 {
+            breaker.record_failure();
+        }
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.allow());
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow());
+    }
+
+    #[test]
+    fn half_open_trial_success_closes() {
+        let breaker = CircuitBreaker::new(Duration::from_millis(20));
+        for _ in 0..TRIP_AFTER {
+            breaker.record_failure();
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(breaker.allow(), "cooldown elapsed: trial admitted");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.record_ok();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.allow());
+    }
+
+    #[test]
+    fn half_open_trial_failure_reopens_and_restarts_cooldown() {
+        let breaker = CircuitBreaker::new(Duration::from_millis(40));
+        for _ in 0..TRIP_AFTER {
+            breaker.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(breaker.allow());
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow(), "cooldown restarted by the trial failure");
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(breaker.allow(), "second cooldown elapsed");
+    }
+
+    #[test]
+    fn open_breaker_ignores_further_failures() {
+        let breaker = CircuitBreaker::new(Duration::from_secs(60));
+        for _ in 0..TRIP_AFTER + 3 {
+            breaker.record_failure();
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow());
+    }
+}

@@ -1,0 +1,48 @@
+//! `exareq-router`: the replica-aware query front-end behind
+//! `exareq router`.
+//!
+//! A single `exareq serve` daemon answers co-design queries; this crate
+//! makes a *set* of them survivable. The router reverse-proxies
+//! `POST /predict`, `/upgrade`, `/strawman` and `GET /models` across
+//! replicas, and turns individual replica failures into latency noise
+//! instead of client-visible errors:
+//!
+//! - [`ring`] — bounded-load consistent hashing: model keys map to
+//!   replicas through a 128-vnode hash ring, so a replica death remaps
+//!   only its own keys and repeat queries for one model keep hitting the
+//!   same warm registry.
+//! - [`breaker`] — per-replica circuit breakers on the request path,
+//!   complementing the slower prober-driven hysteresis health table
+//!   shared with the fleet (`exareq_net::health`).
+//! - [`proxy`] — the forwarding engine: health-gated failover with
+//!   jittered backoff, one hedged duplicate after a p99-derived delay
+//!   (first byte-valid `200` wins), and the degraded-mode fallback that
+//!   evaluates in-process against the router's own `--model-dir` when no
+//!   replica can answer — flagged via the `X-Exareq-Degraded: local`
+//!   header, never a silent stall.
+//! - [`metrics`] — the resilience ledger (`router_failover_total`,
+//!   `router_hedge_*_total`, `router_degraded_total`,
+//!   `router_upstream_state{replica,state}`, …) behind `GET /metrics`.
+//! - [`server`] — the daemon engine, mirroring `exareq-serve`'s bounded
+//!   queue, worker pool, and graceful drain.
+//!
+//! The invariant everything defends: **every `200` the router returns is
+//! byte-identical to the direct library call** — across failover,
+//! hedging, and degraded mode alike. Upstream bodies are forwarded
+//! verbatim; the degraded path answers through the same
+//! `exareq_serve::dispatch` the replicas run. `tests/router.rs` asserts
+//! this under SIGKILL chaos.
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod metrics;
+pub mod proxy;
+pub mod ring;
+pub mod server;
+
+pub use breaker::{BreakerState, CircuitBreaker, TRIP_AFTER};
+pub use metrics::{endpoint_index, RouterMetrics, ENDPOINTS};
+pub use proxy::{Proxy, ProxyConfig};
+pub use ring::{HashRing, VNODES};
+pub use server::{ring_for, route, RouterConfig, RouterError, RouterSummary};

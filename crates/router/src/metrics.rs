@@ -1,0 +1,311 @@
+//! Router-side counters in the Prometheus text exposition format,
+//! following the serve/fleet metrics idiom: relaxed atomics, rendered on
+//! demand, never torn.
+//!
+//! The counters are the router's resilience ledger — every failover,
+//! hedge, and degraded-mode answer is visible here, which is what lets
+//! the chaos tests and CI assert "the kill was absorbed by failover"
+//! instead of merely "the response was a 200".
+
+use exareq_net::health::HealthTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Endpoint labels, in the order of the per-endpoint counter slots.
+pub const ENDPOINTS: [&str; 4] = ["predict", "upgrade", "strawman", "models"];
+
+/// Maps a request path to its [`ENDPOINTS`] slot (`None` for paths the
+/// router does not aggregate, like `/healthz`).
+pub fn endpoint_index(path: &str) -> Option<usize> {
+    match path {
+        "/predict" => Some(0),
+        "/upgrade" => Some(1),
+        "/strawman" => Some(2),
+        "/models" => Some(3),
+        _ => None,
+    }
+}
+
+/// All router counters; shared across worker threads behind an `Arc`.
+#[derive(Debug)]
+pub struct RouterMetrics {
+    /// Requests answered, per endpoint slot.
+    requests: [AtomicU64; ENDPOINTS.len()],
+    /// Sum of request latencies per endpoint slot, nanoseconds.
+    latency_sum_ns: [AtomicU64; ENDPOINTS.len()],
+    /// Requests forwarded to each replica (by ring index), including
+    /// failover and hedge attempts. CI reads this to learn which replica
+    /// actually serves a key before killing it.
+    upstream_requests: Vec<AtomicU64>,
+    /// Requests retried on another replica after a primary failure.
+    failover: AtomicU64,
+    /// Hedged duplicate attempts launched after the hedge delay.
+    hedge_launched: AtomicU64,
+    /// Hedged attempts that produced the winning response.
+    hedge_won: AtomicU64,
+    /// Requests answered by the in-process degraded-mode fallback.
+    degraded: AtomicU64,
+    /// Requests currently inside the router (gauge).
+    in_flight: AtomicU64,
+}
+
+impl RouterMetrics {
+    /// Fresh, all-zero metrics for a router over `replicas` upstreams.
+    pub fn new(replicas: usize) -> Self {
+        RouterMetrics {
+            requests: Default::default(),
+            latency_sum_ns: Default::default(),
+            upstream_requests: (0..replicas).map(|_| AtomicU64::new(0)).collect(),
+            failover: AtomicU64::new(0),
+            hedge_launched: AtomicU64::new(0),
+            hedge_won: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one answered request on endpoint slot `endpoint` with its
+    /// wall latency.
+    pub fn record(&self, endpoint: usize, latency: Duration) {
+        self.requests[endpoint].fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.latency_sum_ns[endpoint].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one attempt forwarded to replica `idx`.
+    pub fn record_upstream_request(&self, idx: usize) {
+        self.upstream_requests[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failover: the request moved on to another replica.
+    pub fn record_failover(&self) {
+        self.failover.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one hedged duplicate launched.
+    pub fn record_hedge_launched(&self) {
+        self.hedge_launched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one hedged duplicate that won the race.
+    pub fn record_hedge_won(&self) {
+        self.hedge_won.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request answered in-process in degraded mode.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as entered. Pair with
+    /// [`end_request`](Self::end_request).
+    pub fn begin_request(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as answered.
+    pub fn end_request(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently inside the router.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Failover count so far.
+    pub fn failovers(&self) -> u64 {
+        self.failover.load(Ordering::Relaxed)
+    }
+
+    /// Hedges launched so far.
+    pub fn hedges_launched(&self) -> u64 {
+        self.hedge_launched.load(Ordering::Relaxed)
+    }
+
+    /// Hedges won so far.
+    pub fn hedges_won(&self) -> u64 {
+        self.hedge_won.load(Ordering::Relaxed)
+    }
+
+    /// Degraded-mode answers so far.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Total requests answered across all endpoints so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the Prometheus text exposition. Replica states come from
+    /// the caller's [`HealthTable`] — the same table routing decisions
+    /// are made from — and `replicas` supplies the address labels.
+    pub fn render(&self, health: &HealthTable, replicas: &[String]) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "router_failover_total",
+            "Requests retried on another replica after a failure.",
+            self.failovers(),
+        );
+        counter(
+            &mut out,
+            "router_hedge_launched_total",
+            "Hedged duplicate attempts launched.",
+            self.hedges_launched(),
+        );
+        counter(
+            &mut out,
+            "router_hedge_won_total",
+            "Hedged attempts that produced the winning response.",
+            self.hedges_won(),
+        );
+        counter(
+            &mut out,
+            "router_degraded_total",
+            "Requests answered by the in-process degraded-mode fallback.",
+            self.degraded(),
+        );
+
+        out.push_str(
+            "# HELP router_requests_total Requests answered, per endpoint.\n\
+             # TYPE router_requests_total counter\n",
+        );
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            out.push_str(&format!(
+                "router_requests_total{{endpoint=\"{name}\"}} {}\n",
+                self.requests[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP router_request_seconds_sum Sum of request latencies, per endpoint.\n\
+             # TYPE router_request_seconds_sum counter\n",
+        );
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            out.push_str(&format!(
+                "router_request_seconds_sum{{endpoint=\"{name}\"}} {}\n",
+                self.latency_sum_ns[i].load(Ordering::Relaxed) as f64 / 1e9
+            ));
+        }
+
+        out.push_str(
+            "# HELP router_upstream_requests_total Attempts forwarded to each replica.\n\
+             # TYPE router_upstream_requests_total counter\n",
+        );
+        for (i, addr) in replicas.iter().enumerate() {
+            out.push_str(&format!(
+                "router_upstream_requests_total{{replica=\"{addr}\"}} {}\n",
+                self.upstream_requests[i].load(Ordering::Relaxed)
+            ));
+        }
+
+        out.push_str(
+            "# HELP router_upstream_state Replica liveness (1 on the current state).\n\
+             # TYPE router_upstream_state gauge\n",
+        );
+        for (i, addr) in replicas.iter().enumerate() {
+            let current = health.state(i).label();
+            for state in ["healthy", "suspect", "dead"] {
+                out.push_str(&format!(
+                    "router_upstream_state{{replica=\"{addr}\",state=\"{state}\"}} {}\n",
+                    u8::from(state == current)
+                ));
+            }
+        }
+
+        out.push_str(&format!(
+            "# HELP router_in_flight Requests currently inside the router.\n\
+             # TYPE router_in_flight gauge\n\
+             router_in_flight {}\n",
+            self.in_flight()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_net::health::HealthPolicy;
+
+    #[test]
+    fn endpoint_index_covers_the_proxied_paths() {
+        assert_eq!(endpoint_index("/predict"), Some(0));
+        assert_eq!(endpoint_index("/upgrade"), Some(1));
+        assert_eq!(endpoint_index("/strawman"), Some(2));
+        assert_eq!(endpoint_index("/models"), Some(3));
+        assert_eq!(endpoint_index("/healthz"), None);
+    }
+
+    #[test]
+    fn render_names_every_resilience_metric() {
+        let replicas = vec!["127.0.0.1:9101".to_string(), "127.0.0.1:9102".to_string()];
+        let m = RouterMetrics::new(replicas.len());
+        m.record(0, Duration::from_millis(2));
+        m.record(0, Duration::from_millis(1));
+        m.record(3, Duration::from_micros(400));
+        m.record_upstream_request(0);
+        m.record_upstream_request(0);
+        m.record_upstream_request(1);
+        m.record_failover();
+        m.record_hedge_launched();
+        m.record_hedge_won();
+        m.record_degraded();
+
+        let health = HealthTable::new(2, HealthPolicy::default());
+        for _ in 0..3 {
+            health.record_failure(1); // dead
+        }
+        let text = m.render(&health, &replicas);
+        assert!(text.contains("router_failover_total 1\n"), "{text}");
+        assert!(text.contains("router_hedge_launched_total 1\n"), "{text}");
+        assert!(text.contains("router_hedge_won_total 1\n"), "{text}");
+        assert!(text.contains("router_degraded_total 1\n"), "{text}");
+        assert!(
+            text.contains("router_requests_total{endpoint=\"predict\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("router_requests_total{endpoint=\"models\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("router_request_seconds_sum{endpoint=\"predict\"} 0.003\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("router_upstream_requests_total{replica=\"127.0.0.1:9101\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("router_upstream_requests_total{replica=\"127.0.0.1:9102\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "router_upstream_state{replica=\"127.0.0.1:9101\",state=\"healthy\"} 1\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("router_upstream_state{replica=\"127.0.0.1:9102\",state=\"dead\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "router_upstream_state{replica=\"127.0.0.1:9102\",state=\"healthy\"} 0\n"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("router_in_flight 0\n"), "{text}");
+    }
+}

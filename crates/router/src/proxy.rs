@@ -1,0 +1,601 @@
+//! The forwarding engine: one parsed request in, one response out, with
+//! every resilience trick between — placement, failover, hedging,
+//! breakers, and the degraded-mode local fallback.
+//!
+//! The contract that shapes everything here is **byte-identity**: every
+//! `200` body the router returns must equal the direct library call,
+//! whichever path produced it. Upstream bodies are therefore forwarded
+//! *verbatim* — never re-serialized — and the degraded fallback answers
+//! through the same [`exareq_serve::dispatch`] the replicas run, so its
+//! bodies are identical by construction. The degraded flag travels in
+//! the `X-Exareq-Degraded` response *header* and the
+//! `router_degraded_total` metric, never in the body.
+//!
+//! Request lifecycle:
+//!
+//! 1. [`Proxy::plan`] derives the candidate replica order: the ring's
+//!    walk for the request's model key, minus dead replicas and open
+//!    breakers, with under-loaded healthy replicas first (bounded-load
+//!    consistent hashing), over-loaded healthy next, suspects last.
+//! 2. The first candidate is attempted. If no response arrives within
+//!    the hedge delay (p99 of recent successes, clamped), one hedged
+//!    duplicate is launched on the next candidate — first byte-valid
+//!    `200` wins, the loser's token is cancelled.
+//! 3. A transport failure or overload status (503/504) moves the request
+//!    to the next candidate after a short jittered pause (failover),
+//!    once no other attempt is still outstanding.
+//! 4. Any other status is *conclusive* — the replica answered — and is
+//!    proxied verbatim, `Retry-After` included.
+//! 5. Candidates exhausted (or none to begin with): the router evaluates
+//!    the request against its own `--model-dir` registry and flags the
+//!    response degraded. Never a silent stall, never a divergent body.
+
+use crate::breaker::CircuitBreaker;
+use crate::metrics::RouterMetrics;
+use crate::ring::HashRing;
+use exareq_core::cancel::{CancelReason, CancelToken, Deadline};
+use exareq_net::client::{ClientConfig, ClientError, ClientResponse, HttpClient};
+use exareq_net::health::{HealthPolicy, HealthTable, WorkerState};
+use exareq_serve::dispatch::{self, EngineState};
+use exareq_serve::http::{Request, Response};
+use exareq_serve::registry::ModelRegistry;
+use exareq_serve::{api, Metrics};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Bounded-load overcapacity factor, hundredths: a replica may carry at
+/// most `ceil(1.25 × fair share)` in-flight requests before the planner
+/// prefers the next ring candidate.
+const LOAD_FACTOR_HUNDREDTHS: u64 = 125;
+
+/// Latency samples kept for the p99 hedge-delay estimate.
+const LATENCY_WINDOW: usize = 512;
+
+/// Successful samples required before the p99 estimate replaces the
+/// configured default hedge delay.
+const LATENCY_MIN_SAMPLES: usize = 20;
+
+/// Clamp bounds for the derived hedge delay.
+const HEDGE_MIN: Duration = Duration::from_millis(10);
+const HEDGE_MAX: Duration = Duration::from_secs(2);
+
+/// Cap on a failover pause taken on behalf of an upstream `Retry-After`:
+/// the header describes the replica being *left*, so it bounds only a
+/// short politeness pause before the next candidate — the full value is
+/// still propagated verbatim whenever the 503 itself is returned.
+const RETRY_AFTER_PAUSE_CAP: Duration = Duration::from_millis(250);
+
+/// Poll slice while waiting on outstanding attempts with no hedge to arm.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// Everything the forwarding engine configures.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Total wall-clock budget for one routed request, all attempts
+    /// included; expiry answers `504`.
+    pub request_deadline: Duration,
+    /// Hedge delay used until enough latency samples accumulate.
+    pub hedge_after: Duration,
+    /// Base of the jittered failover pause.
+    pub backoff_base: Duration,
+    /// Cooldown before an open circuit breaker admits a trial.
+    pub breaker_cooldown: Duration,
+    /// Hysteresis policy for the replica health table.
+    pub health: HealthPolicy,
+    /// Seed for backoff jitter (deterministic tests pass a fixed one).
+    pub jitter_seed: u64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            request_deadline: Duration::from_secs(10),
+            hedge_after: Duration::from_millis(150),
+            backoff_base: Duration::from_millis(50),
+            breaker_cooldown: Duration::from_secs(1),
+            health: HealthPolicy::default(),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// One upstream attempt's report back to the forwarding loop.
+struct AttemptReport {
+    /// Ring index of the replica attempted.
+    replica: usize,
+    /// Whether this attempt was the hedged duplicate.
+    hedge: bool,
+    /// The exchange outcome.
+    outcome: Result<ClientResponse, ClientError>,
+}
+
+/// The forwarding engine. Shared behind an `Arc`: attempts run on their
+/// own threads and report back over a channel.
+pub struct Proxy {
+    cfg: ProxyConfig,
+    ring: HashRing,
+    health: Arc<HealthTable>,
+    breakers: Vec<CircuitBreaker>,
+    client: HttpClient,
+    metrics: Arc<RouterMetrics>,
+    /// Requests currently in flight per replica, for bounded load.
+    inflight: Vec<AtomicU64>,
+    /// Recent successful-exchange latencies for the hedge estimate.
+    latencies: Mutex<Vec<Duration>>,
+    /// The router's own model registry — the degraded-mode evaluator.
+    registry: Arc<ModelRegistry>,
+    /// Serve-layer metrics consumed by the degraded dispatch path (the
+    /// router reports through [`RouterMetrics`]; these stay internal).
+    local_metrics: Metrics,
+    /// splitmix64 state for failover jitter.
+    rng: Mutex<u64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Proxy {
+    /// A proxy over `replicas`, falling back to `registry` when none can
+    /// answer.
+    pub fn new(replicas: &[String], registry: Arc<ModelRegistry>, cfg: ProxyConfig) -> Arc<Proxy> {
+        let client = HttpClient::new(ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            exchange_deadline: cfg.request_deadline,
+            // One attempt per exchange: failover and hedging are the
+            // router's own, replica-aware retry policy.
+            retry_budget: 1,
+            backoff_base: cfg.backoff_base,
+            backoff_cap: cfg.backoff_base * 4,
+            jitter_seed: cfg.jitter_seed,
+        });
+        Arc::new(Proxy {
+            ring: HashRing::new(replicas),
+            health: Arc::new(HealthTable::new(replicas.len(), cfg.health.clone())),
+            breakers: (0..replicas.len())
+                .map(|_| CircuitBreaker::new(cfg.breaker_cooldown))
+                .collect(),
+            client,
+            metrics: Arc::new(RouterMetrics::new(replicas.len())),
+            inflight: (0..replicas.len()).map(|_| AtomicU64::new(0)).collect(),
+            latencies: Mutex::new(Vec::with_capacity(LATENCY_WINDOW)),
+            registry,
+            local_metrics: Metrics::new(),
+            rng: Mutex::new(cfg.jitter_seed | 1),
+            cfg,
+        })
+    }
+
+    /// The replica health table, shared with the prober threads.
+    pub fn health(&self) -> &Arc<HealthTable> {
+        &self.health
+    }
+
+    /// The router metrics, shared with the `/metrics` handler.
+    pub fn metrics(&self) -> &Arc<RouterMetrics> {
+        &self.metrics
+    }
+
+    /// The hash ring (tests ask it which replica owns a key).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The consistent-hash key for a request: the model name when the
+    /// body names one, else a stable digest of the whole request. Key
+    /// extraction is best-effort on purpose — a malformed body still
+    /// routes (deterministically) and is forwarded verbatim so the
+    /// replica's own `400` comes back byte-identical.
+    pub fn routing_key(request: &Request) -> String {
+        let body = std::str::from_utf8(&request.body).unwrap_or("");
+        let model = match request.target.as_str() {
+            "/predict" => api::parse_predict(body).ok().map(|q| q.model),
+            "/upgrade" => api::parse_upgrade(body).ok().map(|q| q.model),
+            "/strawman" => api::parse_strawman(body).ok(),
+            _ => None,
+        };
+        model.unwrap_or_else(|| format!("{}#{}", request.target, body))
+    }
+
+    /// Candidate replica indices for `key`, best first: the ring walk
+    /// with dead replicas and open breakers removed, partitioned into
+    /// under-capacity healthy, over-capacity healthy, then suspect.
+    /// Empty means the degraded fallback is the only option.
+    pub fn plan(&self, key: &str) -> Vec<usize> {
+        let n = self.ring.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let total: u64 = self
+            .inflight
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        // ceil(1.25 × (total + this request) / n), at least 1.
+        let cap = (LOAD_FACTOR_HUNDREDTHS * (total + 1))
+            .div_ceil(100 * n as u64)
+            .max(1);
+        let mut under = Vec::new();
+        let mut over = Vec::new();
+        let mut suspect = Vec::new();
+        for idx in self.ring.ordered(key) {
+            let state = self.health.state(idx);
+            if state == WorkerState::Dead || !self.breakers[idx].allow() {
+                continue;
+            }
+            if state == WorkerState::Suspect {
+                suspect.push(idx);
+            } else if self.inflight[idx].load(Ordering::Relaxed) < cap {
+                under.push(idx);
+            } else {
+                over.push(idx);
+            }
+        }
+        under.extend(over);
+        under.extend(suspect);
+        under
+    }
+
+    /// The current hedge delay: p99 of recent successful exchanges,
+    /// clamped to `[10ms, 2s]`; the configured default until enough
+    /// samples exist.
+    pub fn hedge_delay(&self) -> Duration {
+        let lat = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        if lat.len() < LATENCY_MIN_SAMPLES {
+            return self.cfg.hedge_after;
+        }
+        let mut sorted = lat.clone();
+        drop(lat);
+        sorted.sort_unstable();
+        let idx = (sorted.len() * 99).div_ceil(100).saturating_sub(1);
+        sorted[idx].clamp(HEDGE_MIN, HEDGE_MAX)
+    }
+
+    fn push_latency(&self, sample: Duration) {
+        let mut lat = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        if lat.len() >= LATENCY_WINDOW {
+            lat.remove(0);
+        }
+        lat.push(sample);
+    }
+
+    /// A jittered failover pause: uniform in `[0, backoff_base]`, raised
+    /// to honor an upstream `Retry-After` up to [`RETRY_AFTER_PAUSE_CAP`].
+    fn failover_pause(&self, retry_after: Option<u64>) -> Duration {
+        let base = self.cfg.backoff_base.as_millis().max(1) as u64;
+        let jitter = {
+            let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+            splitmix64(&mut rng) % (base + 1)
+        };
+        let pause = Duration::from_millis(jitter);
+        match retry_after {
+            Some(secs) => pause.max(Duration::from_secs(secs).min(RETRY_AFTER_PAUSE_CAP)),
+            None => pause,
+        }
+    }
+
+    /// Launches one upstream attempt on its own thread; the report comes
+    /// back over `tx`. Returns the attempt's cancel token so the loop
+    /// can discard a losing racer.
+    fn launch(
+        self: &Arc<Self>,
+        replica: usize,
+        hedge: bool,
+        request: &Request,
+        tx: &mpsc::Sender<AttemptReport>,
+    ) -> CancelToken {
+        let token = CancelToken::new();
+        let proxy = Arc::clone(self);
+        let attempt_token = token.clone();
+        let tx = tx.clone();
+        let method = request.method.clone();
+        let target = request.target.clone();
+        let body = request.body.clone();
+        self.metrics.record_upstream_request(replica);
+        self.inflight[replica].fetch_add(1, Ordering::Relaxed);
+        std::thread::spawn(move || {
+            let addr = proxy.ring.replica(replica).to_string();
+            let started = Instant::now();
+            let outcome = if method == "GET" {
+                proxy.client.get(&addr, &target, &attempt_token)
+            } else {
+                proxy.client.post(&addr, &target, &body, &attempt_token)
+            };
+            proxy.inflight[replica].fetch_sub(1, Ordering::Relaxed);
+            if let Ok(response) = &outcome {
+                if response.status == 200 {
+                    proxy.push_latency(started.elapsed());
+                }
+            }
+            // The loop may already have returned with a winner; a closed
+            // channel is the expected way a loser's report dies.
+            let _ = tx.send(AttemptReport {
+                replica,
+                hedge,
+                outcome,
+            });
+        });
+        token
+    }
+
+    /// Routes one request end to end. Never panics; every path — healthy
+    /// forward, failover, hedge race, degraded fallback, deadline expiry
+    /// — ends in a response.
+    pub fn forward(self: &Arc<Self>, request: &Request) -> Response {
+        let deadline = Deadline::after(self.cfg.request_deadline);
+        let key = Self::routing_key(request);
+        let mut pending = self.plan(&key).into_iter();
+        let (tx, rx) = mpsc::channel::<AttemptReport>();
+        let mut racers: Vec<CancelToken> = Vec::new();
+        let mut outstanding = 0usize;
+        let mut hedged = false;
+        // The most recent conclusive non-200 (e.g. a 400 or an
+        // out-of-candidates 503), proxied verbatim if nothing better.
+        let mut conclusive: Option<ClientResponse> = None;
+
+        if let Some(first) = pending.next() {
+            racers.push(self.launch(first, false, request, &tx));
+            outstanding += 1;
+        }
+
+        while outstanding > 0 {
+            if deadline.expired() {
+                break;
+            }
+            let can_hedge = !hedged && outstanding == 1;
+            let wait = if can_hedge {
+                self.hedge_delay()
+            } else {
+                WAIT_SLICE
+            }
+            .min(deadline.remaining().max(Duration::from_millis(1)));
+            match rx.recv_timeout(wait) {
+                Ok(report) => {
+                    outstanding -= 1;
+                    match report.outcome {
+                        Ok(response) if response.status == 200 => {
+                            self.health.record_ok(report.replica);
+                            self.breakers[report.replica].record_ok();
+                            if report.hedge {
+                                self.metrics.record_hedge_won();
+                            }
+                            for racer in &racers {
+                                racer.cancel(CancelReason::Interrupt);
+                            }
+                            return to_response(response);
+                        }
+                        Ok(response) if response.status == 503 || response.status == 504 => {
+                            // Overloaded but alive: a breaker failure,
+                            // not a health failure.
+                            self.breakers[report.replica].record_failure();
+                            let retry_after = response.retry_after();
+                            conclusive = Some(response);
+                            if outstanding == 0 {
+                                if let Some(next) = pending.next() {
+                                    let pause = self.failover_pause(retry_after);
+                                    if exareq_net::client::sleep_cancellable(
+                                        pause.min(deadline.remaining()),
+                                        &CancelToken::new(),
+                                    ) {
+                                        self.metrics.record_failover();
+                                        racers.push(self.launch(next, false, request, &tx));
+                                        outstanding += 1;
+                                    }
+                                }
+                            }
+                        }
+                        Ok(response) => {
+                            // The replica answered (400, 404, 405, …):
+                            // conclusive, proxied verbatim.
+                            self.health.record_ok(report.replica);
+                            self.breakers[report.replica].record_ok();
+                            for racer in &racers {
+                                racer.cancel(CancelReason::Interrupt);
+                            }
+                            return to_response(response);
+                        }
+                        Err(ClientError::Cancelled) => {
+                            // A discarded racer; nothing to record.
+                        }
+                        Err(_) => {
+                            self.health.record_failure(report.replica);
+                            self.breakers[report.replica].record_failure();
+                            if outstanding == 0 {
+                                if let Some(next) = pending.next() {
+                                    let pause = self.failover_pause(None);
+                                    if exareq_net::client::sleep_cancellable(
+                                        pause.min(deadline.remaining()),
+                                        &CancelToken::new(),
+                                    ) {
+                                        self.metrics.record_failover();
+                                        racers.push(self.launch(next, false, request, &tx));
+                                        outstanding += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if can_hedge {
+                        if let Some(next) = pending.next() {
+                            hedged = true;
+                            self.metrics.record_hedge_launched();
+                            racers.push(self.launch(next, true, request, &tx));
+                            outstanding += 1;
+                        } else {
+                            // Nothing left to hedge onto; from here on
+                            // just wait out the outstanding attempt.
+                            hedged = true;
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for racer in &racers {
+            racer.cancel(CancelReason::Interrupt);
+        }
+        if deadline.expired() {
+            let mut response = Response::json(
+                504,
+                api::error_body("request deadline expired").into_bytes(),
+            );
+            response.retry_after = Some(1);
+            return response;
+        }
+        if let Some(response) = conclusive {
+            // Every reachable replica said "not now": relay the last
+            // answer verbatim, Retry-After included — the replicas are
+            // alive, so local evaluation would lie about capacity.
+            return to_response(response);
+        }
+        self.degraded(request, &deadline)
+    }
+
+    /// The degraded-mode fallback: evaluate in-process against the
+    /// router's own registry, through the same dispatch the replicas
+    /// run — bodies byte-identical by construction — and flag the
+    /// response out-of-band.
+    fn degraded(&self, request: &Request, deadline: &Deadline) -> Response {
+        self.metrics.record_degraded();
+        let token = CancelToken::new().with_deadline(Deadline::after(deadline.remaining()));
+        let state = EngineState {
+            queue_len: 0,
+            allow_measure: false,
+        };
+        let mut response =
+            dispatch::dispatch(request, &self.registry, &self.local_metrics, &token, &state);
+        response
+            .extra_headers
+            .push(("X-Exareq-Degraded", "local".to_string()));
+        response
+    }
+}
+
+/// Maps an upstream response onto the router's wire type, body verbatim.
+fn to_response(upstream: ClientResponse) -> Response {
+    let is_text = upstream
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain"));
+    let retry_after = upstream.retry_after();
+    let mut response = if is_text {
+        Response::text(upstream.status, upstream.body)
+    } else {
+        Response::json(upstream.status, upstream.body)
+    };
+    response.retry_after = retry_after;
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_serve::registry::Fitter;
+
+    fn proxy_over(replicas: &[&str]) -> Arc<Proxy> {
+        let replicas: Vec<String> = replicas.iter().map(|s| s.to_string()).collect();
+        let fitter: Box<Fitter> = Box::new(|_| Err("no fitter in tests".to_string()));
+        let registry = Arc::new(ModelRegistry::new("/nonexistent-model-dir", fitter));
+        Proxy::new(&replicas, registry, ProxyConfig::default())
+    }
+
+    #[test]
+    fn plan_walks_the_ring_and_skips_dead_replicas() {
+        let proxy = proxy_over(&["127.0.0.1:9101", "127.0.0.1:9102", "127.0.0.1:9103"]);
+        let full = proxy.plan("Kripke");
+        assert_eq!(full.len(), 3);
+        assert_eq!(full, proxy.ring().ordered("Kripke"));
+
+        // Kill the primary: the plan starts at the old second choice.
+        let primary = full[0];
+        for _ in 0..3 {
+            proxy.health().record_failure(primary);
+        }
+        let degraded_plan = proxy.plan("Kripke");
+        assert_eq!(degraded_plan.len(), 2);
+        assert!(!degraded_plan.contains(&primary));
+        assert_eq!(degraded_plan[0], full[1]);
+    }
+
+    #[test]
+    fn plan_skips_open_breakers_and_empties_when_all_are_out() {
+        let proxy = proxy_over(&["127.0.0.1:9101", "127.0.0.1:9102"]);
+        for _ in 0..crate::breaker::TRIP_AFTER {
+            proxy.breakers[0].record_failure();
+        }
+        let plan = proxy.plan("LULESH");
+        assert_eq!(plan, vec![1]);
+        for _ in 0..3 {
+            proxy.health().record_failure(1);
+        }
+        assert!(proxy.plan("LULESH").is_empty());
+    }
+
+    #[test]
+    fn suspect_replicas_sort_after_healthy_ones() {
+        let proxy = proxy_over(&["127.0.0.1:9101", "127.0.0.1:9102", "127.0.0.1:9103"]);
+        let full = proxy.plan("MILC");
+        let primary = full[0];
+        proxy.health().record_failure(primary); // one failure: suspect
+        let plan = proxy.plan("MILC");
+        assert_eq!(plan.len(), 3);
+        assert_eq!(*plan.last().unwrap(), primary, "suspect demoted to last");
+    }
+
+    #[test]
+    fn hedge_delay_defaults_until_samples_accumulate() {
+        let proxy = proxy_over(&["127.0.0.1:9101"]);
+        assert_eq!(proxy.hedge_delay(), ProxyConfig::default().hedge_after);
+        for i in 0..100 {
+            proxy.push_latency(Duration::from_millis(1 + (i % 5)));
+        }
+        let derived = proxy.hedge_delay();
+        assert!(
+            derived >= HEDGE_MIN && derived <= Duration::from_millis(10),
+            "{derived:?}"
+        );
+    }
+
+    #[test]
+    fn routing_key_prefers_the_model_name() {
+        let request = Request {
+            method: "POST".to_string(),
+            target: "/predict".to_string(),
+            headers: Vec::new(),
+            body: br#"{"model":"Kripke","p":64,"n":1000}"#.to_vec(),
+        };
+        assert_eq!(Proxy::routing_key(&request), "Kripke");
+        let malformed = Request {
+            method: "POST".to_string(),
+            target: "/predict".to_string(),
+            headers: Vec::new(),
+            body: b"not json".to_vec(),
+        };
+        assert_eq!(Proxy::routing_key(&malformed), "/predict#not json");
+    }
+
+    #[test]
+    fn degraded_answers_carry_the_flag_header() {
+        let proxy = proxy_over(&[]);
+        let request = Request {
+            method: "GET".to_string(),
+            target: "/models".to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let response = proxy.forward(&request);
+        assert_eq!(response.status, 200);
+        assert!(response
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "X-Exareq-Degraded" && v == "local"));
+        assert_eq!(proxy.metrics().degraded(), 1);
+    }
+}

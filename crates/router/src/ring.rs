@@ -1,0 +1,191 @@
+//! Consistent hashing of model keys over a replica set.
+//!
+//! Each replica contributes [`VNODES`] virtual points on a 64-bit ring;
+//! a key routes to the replica owning the first point at or after the
+//! key's hash. The properties the router (and
+//! `tests/router_properties.rs`) depend on:
+//!
+//! - **Determinism.** The ring is a pure function of the replica address
+//!   list, so every router instance over the same `--replicas` makes the
+//!   same primary choice for a key — and so can a test that wants to
+//!   know which replica to kill.
+//! - **Balance.** With 128 virtual points per replica the largest
+//!   primary share stays within 2× of uniform (property-tested across
+//!   3–16 replicas).
+//! - **Minimal disruption.** Removing a replica removes only its points:
+//!   keys whose primary survives keep it, so a replica death remaps only
+//!   the dead replica's keys.
+//!
+//! The ring itself is orderings only; *bounded load* — diverting a key
+//! whose primary is already saturated to the next candidate — is applied
+//! by the proxy at selection time, where live in-flight counts exist.
+
+/// Virtual points per replica. 128 keeps the largest primary share well
+/// inside the 2×-of-uniform bound the property tests assert.
+pub const VNODES: usize = 128;
+
+/// FNV-1a 64-bit — the same dependency-free hash the model registry uses
+/// for content keys; plenty for placement (this is not cryptographic).
+/// Always finalized through [`mix`] before use as a ring position: raw
+/// FNV of strings sharing a prefix differs only in the low ~44 bits, so
+/// sibling keys would otherwise fall into a single inter-point gap and
+/// share a primary.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A finalizing mix (splitmix64's) so consecutive vnode indices of one
+/// replica land far apart on the ring instead of clustering.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The hash ring: replica addresses plus their sorted virtual points.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    replicas: Vec<String>,
+    /// `(point hash, replica index)`, sorted by hash.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring over the given replica addresses (order defines
+    /// the stable replica indices used by health tables and metrics).
+    pub fn new(replicas: &[String]) -> Self {
+        let mut points = Vec::with_capacity(replicas.len() * VNODES);
+        for (idx, addr) in replicas.iter().enumerate() {
+            let base = fnv1a64(addr.as_bytes());
+            for vnode in 0..VNODES {
+                points.push((mix(base.wrapping_add(vnode as u64)), idx));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            replicas: replicas.to_vec(),
+            points,
+        }
+    }
+
+    /// Number of replicas on the ring.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True when the ring has no replicas.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The address of replica `idx`.
+    pub fn replica(&self, idx: usize) -> &str {
+        &self.replicas[idx]
+    }
+
+    /// All replica addresses, in index order.
+    pub fn replicas(&self) -> &[String] {
+        &self.replicas
+    }
+
+    /// Distinct replica indices in ring order starting at `key`'s
+    /// position: the primary first, then each failover candidate in the
+    /// order a dead primary's keys spill over.
+    pub fn ordered(&self, key: &str) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let h = mix(fnv1a64(key.as_bytes()));
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut seen = vec![false; self.replicas.len()];
+        let mut order = Vec::with_capacity(self.replicas.len());
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if !seen[idx] {
+                seen[idx] = true;
+                order.push(idx);
+                if order.len() == self.replicas.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The primary replica address for `key` (`None` on an empty ring).
+    /// Tests use this to decide which replica to kill.
+    pub fn primary(&self, key: &str) -> Option<&str> {
+        self.ordered(key).first().map(|&i| self.replica(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replicas(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.1.2.{i}:84{i:02}")).collect()
+    }
+
+    #[test]
+    fn ordered_visits_every_replica_exactly_once() {
+        let ring = HashRing::new(&replicas(7));
+        for key in ["Kripke", "LULESH", "MILC", "Relearn", "icoFoam"] {
+            let order = ring.ordered(key);
+            assert_eq!(order.len(), 7, "{key}");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..7).collect::<Vec<_>>(), "{key}");
+        }
+    }
+
+    #[test]
+    fn primary_distribution_is_within_2x_of_uniform() {
+        // The fixed-key twin of the proptest in
+        // tests/router_properties.rs, kept here so the balance bound is
+        // checked even where proptest cannot run.
+        for n in [3usize, 5, 8, 16] {
+            let ring = HashRing::new(&replicas(n));
+            let keys = 1024;
+            let mut counts = vec![0usize; n];
+            for k in 0..keys {
+                counts[ring.ordered(&format!("model-{k}"))[0]] += 1;
+            }
+            let cap = 2 * keys / n;
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(c <= cap, "replica {i} of {n} owns {c} of {keys} keys");
+                assert!(c > 0, "replica {i} of {n} owns no keys");
+            }
+        }
+    }
+
+    #[test]
+    fn removing_a_replica_remaps_only_its_keys() {
+        let full = replicas(6);
+        let ring_a = HashRing::new(&full);
+        let victim = ring_a.primary("Kripke").unwrap().to_string();
+        let survivors: Vec<String> = full.iter().filter(|r| **r != victim).cloned().collect();
+        let ring_b = HashRing::new(&survivors);
+        for k in 0..512 {
+            let key = format!("model-{k}");
+            let before = ring_a.primary(&key).unwrap();
+            let after = ring_b.primary(&key).unwrap();
+            if before != victim {
+                assert_eq!(before, after, "{key} moved although its primary survived");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(&[]);
+        assert!(ring.is_empty());
+        assert!(ring.ordered("Kripke").is_empty());
+        assert_eq!(ring.primary("Kripke"), None);
+    }
+}

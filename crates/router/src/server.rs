@@ -1,0 +1,412 @@
+//! The router daemon: listener, worker pool, replica probers, drain.
+//!
+//! The request engine deliberately mirrors `exareq-serve`'s: a
+//! non-blocking acceptor feeding a bounded queue, a fixed worker pool,
+//! and a graceful drain that keeps the listener answering `503` (with
+//! `GET /healthz` reporting `"status":"draining"`) until in-flight work
+//! finishes. What differs is what a worker *does* with a request: the
+//! proxied endpoints go through [`Proxy::forward`]; `/healthz` and
+//! `/metrics` are answered by the router itself.
+//!
+//! One prober thread per replica drives the hysteresis health table on
+//! the configured cadence: a `200` from the replica's `/healthz` records
+//! an ok, anything else — connection refused, timeout, or the non-200 a
+//! draining replica serves — records a failure. That last case is the
+//! point of the serve-side drain window: a replica announces its own
+//! departure and the router moves traffic away before the listener
+//! disappears.
+
+use crate::proxy::{Proxy, ProxyConfig};
+use crate::{metrics, ring::HashRing};
+use exareq_core::cancel::{CancelToken, Deadline};
+use exareq_net::client::{sleep_cancellable, ClientConfig, HttpClient};
+use exareq_profile::minijson::Json;
+use exareq_serve::api;
+use exareq_serve::http::{parse_request, HttpError, Request, Response};
+use exareq_serve::registry::ModelRegistry;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything `exareq router` configures.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address, e.g. `127.0.0.1:8470` (port 0 picks one).
+    pub addr: SocketAddr,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Accepted connections allowed to wait for a worker.
+    pub queue_depth: usize,
+    /// `exareq serve` replica addresses, `HOST:PORT` each.
+    pub replicas: Vec<String>,
+    /// Directory of model artifacts for the degraded-mode fallback.
+    pub model_dir: PathBuf,
+    /// How long shutdown waits for in-flight requests.
+    pub drain_deadline: Duration,
+    /// Forwarding-engine tuning (deadline, hedge, backoff, health).
+    pub proxy: ProxyConfig,
+}
+
+/// Why the router could not run.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Binding the listen address failed.
+    Bind(SocketAddr, std::io::Error),
+    /// Configuring the listener failed.
+    Listener(std::io::Error),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Bind(addr, e) => write!(f, "bind {addr}: {e}"),
+            RouterError::Listener(e) => write!(f, "configure listener: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// What happened over the router's lifetime, for the shutdown line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterSummary {
+    /// Requests answered on the proxied endpoints.
+    pub requests: u64,
+    /// Failovers to another replica.
+    pub failovers: u64,
+    /// Hedged duplicates launched.
+    pub hedges: u64,
+    /// Requests answered by the degraded-mode fallback.
+    pub degraded: u64,
+    /// True when shutdown drained every in-flight request within the
+    /// drain deadline.
+    pub drained: bool,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    accepting: AtomicBool,
+    proxy: Arc<Proxy>,
+}
+
+/// How long a worker waits on one socket read before giving up.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Acceptor poll interval while the listener has nothing for us.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Worker poll interval while the queue is empty.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+/// Runs the router until `cancel` fires, then drains.
+///
+/// `ready` is invoked once with the bound address (after `--addr` port 0
+/// resolution) before the first accept — callers print or record it.
+///
+/// # Errors
+/// [`RouterError`] when the listener cannot be set up; never for
+/// anything a client or replica does.
+pub fn route(
+    cfg: &RouterConfig,
+    registry: Arc<ModelRegistry>,
+    cancel: &CancelToken,
+    ready: impl FnOnce(SocketAddr),
+) -> Result<RouterSummary, RouterError> {
+    let listener = TcpListener::bind(cfg.addr).map_err(|e| RouterError::Bind(cfg.addr, e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(RouterError::Listener)?;
+    let addr = listener.local_addr().map_err(RouterError::Listener)?;
+
+    registry.refresh();
+    let proxy = Proxy::new(&cfg.replicas, registry, cfg.proxy.clone());
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        accepting: AtomicBool::new(true),
+        proxy: Arc::clone(&proxy),
+    });
+
+    let probers: Vec<_> = (0..cfg.replicas.len())
+        .map(|idx| {
+            let proxy = Arc::clone(&proxy);
+            let cancel = cancel.clone();
+            let interval = cfg.proxy.health.probe_interval;
+            std::thread::Builder::new()
+                .name(format!("router-probe-{idx}"))
+                .spawn(move || probe_loop(&proxy, idx, interval, &cancel))
+                .expect("spawn prober thread")
+        })
+        .collect();
+
+    let workers: Vec<_> = (0..cfg.threads.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("router-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    ready(addr);
+
+    while !cancel.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if queue.len() >= cfg.queue_depth {
+                    drop(queue);
+                    reject_overloaded(stream);
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+
+    // Drain, serve-style: workers finish the queue while the acceptor
+    // keeps answering 503 (healthz: "draining") until the deadline.
+    shared.accepting.store(false, Ordering::SeqCst);
+    shared.ready.notify_all();
+    let drain = Deadline::after(cfg.drain_deadline);
+    while workers.iter().any(|w| !w.is_finished()) && !drain.expired() {
+        match listener.accept() {
+            Ok((stream, _peer)) => answer_draining(stream, &shared),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    drop(listener);
+    let mut drained = true;
+    for worker in workers {
+        if worker.is_finished() {
+            let _ = worker.join();
+        } else {
+            drained = false; // abandoned; the process exit reaps it
+        }
+    }
+    for prober in probers {
+        let _ = prober.join();
+    }
+    let m = proxy.metrics();
+    Ok(RouterSummary {
+        requests: m.requests(),
+        failovers: m.failovers(),
+        hedges: m.hedges_launched(),
+        degraded: m.degraded(),
+        drained,
+    })
+}
+
+/// One replica's prober: `GET /healthz` on the configured cadence, `200`
+/// recording an ok and everything else (refused, timed out, draining) a
+/// failure — the suspect→dead→recovered hysteresis lives in the table.
+fn probe_loop(proxy: &Arc<Proxy>, idx: usize, interval: Duration, cancel: &CancelToken) {
+    let client = HttpClient::new(ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        exchange_deadline: Duration::from_secs(2),
+        retry_budget: 1,
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(200),
+        jitter_seed: 0x5eed_0000 + idx as u64,
+    });
+    let addr = proxy.ring().replica(idx).to_string();
+    while !cancel.is_cancelled() {
+        match client.get(&addr, "/healthz", cancel) {
+            Ok(response) if response.status == 200 => {
+                proxy.health().record_ok(idx);
+            }
+            Ok(_) | Err(_) => {
+                if !cancel.is_cancelled() {
+                    proxy.health().record_failure(idx);
+                }
+            }
+        }
+        if !sleep_cancellable(interval, cancel) {
+            return;
+        }
+    }
+}
+
+/// The router's own `/healthz` body: overall status plus the replica
+/// state counts a dashboard (or a test) wants at a glance.
+fn health_body(proxy: &Proxy) -> String {
+    let [healthy, suspect, dead] = proxy.health().counts();
+    let status = if proxy.ring().is_empty() || proxy.health().all_dead() {
+        "degraded"
+    } else {
+        "ok"
+    };
+    Json::Obj(vec![
+        ("status".to_string(), Json::Str(status.to_string())),
+        ("replicas_healthy".to_string(), Json::Num(healthy as f64)),
+        ("replicas_suspect".to_string(), Json::Num(suspect as f64)),
+        ("replicas_dead".to_string(), Json::Num(dead as f64)),
+        (
+            "in_flight".to_string(),
+            Json::Num(proxy.metrics().in_flight() as f64),
+        ),
+    ])
+    .to_line()
+}
+
+/// The router's draining `/healthz` body, mirroring the serve-side shape
+/// so one prober implementation understands both.
+fn draining_body(proxy: &Proxy, queue_len: usize) -> String {
+    Json::Obj(vec![
+        ("status".to_string(), Json::Str("draining".to_string())),
+        ("queue_depth".to_string(), Json::Num(queue_len as f64)),
+        (
+            "in_flight".to_string(),
+            Json::Num(proxy.metrics().in_flight() as f64),
+        ),
+    ])
+    .to_line()
+}
+
+fn reject_overloaded(mut stream: TcpStream) {
+    let mut response = Response::json(503, api::error_body("router is at capacity").into_bytes());
+    response.retry_after = Some(1);
+    let _ = stream.set_nodelay(true);
+    if stream.write_all(&response.to_bytes()).is_ok() {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 4096];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Answers a connection that arrived during the drain window: `503`
+/// everywhere, with `GET /healthz` getting the structured
+/// `"status":"draining"` body.
+fn answer_draining(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let Ok(Some(request)) = read_request(&mut stream) else {
+        return;
+    };
+    let mut response = if request.method == "GET" && request.target == "/healthz" {
+        let queue_len = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+        Response::json(503, draining_body(&shared.proxy, queue_len).into_bytes())
+    } else {
+        Response::json(503, api::error_body("router is draining").into_bytes())
+    };
+    response.retry_after = Some(1);
+    if stream.write_all(&response.to_bytes()).is_ok() {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 4096];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(queue, WORKER_POLL)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        shared.proxy.metrics().begin_request();
+        handle_connection(stream, shared);
+        shared.proxy.metrics().end_request();
+    }
+}
+
+/// Routes one parsed request: proxied endpoints through the forwarding
+/// engine; `/healthz` and `/metrics` answered locally; everything else
+/// with the same 404/405 bodies a replica would serve, so a client
+/// cannot tell the router from a replica by its error answers.
+fn handle_request(request: &Request, shared: &Shared) -> Response {
+    let proxy = &shared.proxy;
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => {
+            let body = health_body(proxy).into_bytes();
+            if proxy.ring().is_empty() || proxy.health().all_dead() {
+                Response::json(503, body)
+            } else {
+                Response::json(200, body)
+            }
+        }
+        ("GET", "/metrics") => Response::text(
+            200,
+            proxy
+                .metrics()
+                .render(proxy.health(), proxy.ring().replicas())
+                .into_bytes(),
+        ),
+        ("POST", "/predict" | "/upgrade" | "/strawman") | ("GET", "/models") => {
+            let started = Instant::now();
+            let response = proxy.forward(request);
+            if let Some(slot) = metrics::endpoint_index(&request.target) {
+                proxy.metrics().record(slot, started.elapsed());
+            }
+            response
+        }
+        ("GET" | "POST", _) => {
+            Response::json(404, api::error_body("no such endpoint").into_bytes())
+        }
+        _ => Response::json(405, api::error_body("method not allowed").into_bytes()),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(Some(request)) => handle_request(&request, shared),
+        Ok(None) => return, // peer hung up before completing a request
+        Err(e) => Response::json(e.status, api::error_body(&e.reason).into_bytes()),
+    };
+    if stream.write_all(&response.to_bytes()).is_ok() {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 4096];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Accumulates socket bytes through [`parse_request`] until a complete
+/// request, a protocol error, or EOF/timeout.
+fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(request) = parse_request(&buf)? {
+            return Ok(Some(request));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(None), // timeout or reset: drop silently
+        }
+    }
+}
+
+/// Re-exported for tests that want to compute a deterministic victim:
+/// the ring the router will build for a given `--replicas` list.
+pub fn ring_for(replicas: &[String]) -> HashRing {
+    HashRing::new(replicas)
+}

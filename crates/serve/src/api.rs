@@ -64,6 +64,25 @@ pub fn health_body(queue_depth: usize, in_flight: u64, registry_generation: u64)
     .to_line()
 }
 
+/// The `/healthz` body during shutdown drain: same shape as
+/// [`health_body`] with `status` first, but `"draining"` — and served
+/// with a non-200 status — so a ring-routing prober moves traffic away
+/// from a replica that is shutting down instead of eating connection
+/// resets when the listener finally closes.
+pub fn draining_health_body(
+    queue_depth: usize,
+    in_flight: u64,
+    registry_generation: u64,
+) -> String {
+    obj(vec![
+        ("status", Json::Str("draining".to_string())),
+        ("queue_depth", Json::Num(queue_depth as f64)),
+        ("in_flight", Json::Num(in_flight as f64)),
+        ("registry_generation", Json::Num(registry_generation as f64)),
+    ])
+    .to_line()
+}
+
 /// A parsed `POST /predict` body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictQuery {

@@ -206,6 +206,11 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Retry-After` seconds, sent with 503 backpressure answers.
     pub retry_after: Option<u64>,
+    /// Additional response headers (name, value), rendered after the
+    /// fixed set. The router's `X-Exareq-Degraded: local` flag travels
+    /// here — out-of-band, so the *body* stays byte-identical to the
+    /// direct library call.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -216,6 +221,7 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             retry_after: None,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -226,6 +232,7 @@ impl Response {
             content_type: "text/plain; version=0.0.4",
             body: body.into(),
             retry_after: None,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -241,6 +248,9 @@ impl Response {
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
         }
         head.push_str("\r\n");
         let mut out = head.into_bytes();
@@ -329,5 +339,18 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_render_without_touching_the_body() {
+        let body = br#"{"x":1}"#.to_vec();
+        let mut r = Response::json(200, body.clone());
+        r.extra_headers
+            .push(("X-Exareq-Degraded", "local".to_string()));
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.contains("X-Exareq-Degraded: local\r\n"), "{text}");
+        let head_end = bytes.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+        assert_eq!(&bytes[head_end + 4..], &body[..], "body bytes unchanged");
     }
 }

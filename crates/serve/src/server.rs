@@ -17,11 +17,15 @@
 //! answers `504` instead of hanging the client.
 //!
 //! Shutdown (SIGINT/SIGTERM via the caller's cancel token, or
-//! [`Deadline`]-free cancellation in tests): the acceptor stops accepting
-//! immediately, workers finish the queue and their in-flight requests, and
-//! the engine waits up to the drain deadline before returning — the
-//! process then exits 0, per the exit-code contract ("interrupted" exit 5
-//! is for sweeps that lose work; a drained server has lost nothing).
+//! [`Deadline`]-free cancellation in tests): workers finish the queue and
+//! their in-flight requests while the *acceptor keeps the listener open*
+//! for the drain window, answering every new connection `503` — and
+//! `GET /healthz` specifically with a `"status":"draining"` body — so a
+//! router's health prober moves traffic away instead of eating connection
+//! resets. Once the workers are done (or the drain deadline expires) the
+//! listener closes and the engine returns; the process then exits 0, per
+//! the exit-code contract ("interrupted" exit 5 is for sweeps that lose
+//! work; a drained server has lost nothing).
 
 use crate::http::{parse_request, HttpError, Request, Response};
 use crate::metrics::Metrics;
@@ -174,17 +178,22 @@ pub fn serve(
         }
     }
 
-    // Drain: stop accepting, let workers empty the queue and finish
-    // in-flight requests, give up at the drain deadline.
-    drop(listener);
+    // Drain: workers empty the queue and finish in-flight requests while
+    // the acceptor keeps answering — `/healthz` reports "draining"
+    // (non-200) so a ring-routing prober stops sending traffic here
+    // before the listener disappears. Give up at the drain deadline.
     shared.accepting.store(false, Ordering::SeqCst);
     shared.ready.notify_all();
     let drain = Deadline::after(cfg.drain_deadline);
+    while workers.iter().any(|w| !w.is_finished()) && !drain.expired() {
+        match listener.accept() {
+            Ok((stream, _peer)) => answer_draining(stream, &shared),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    drop(listener);
     let mut drained = true;
     for worker in workers {
-        while !worker.is_finished() && !drain.expired() {
-            std::thread::sleep(Duration::from_millis(5));
-        }
         if worker.is_finished() {
             let _ = worker.join();
         } else {
@@ -210,6 +219,39 @@ fn reject_overloaded(mut stream: TcpStream) {
         let _ = stream.shutdown(std::net::Shutdown::Write);
         // Briefly drain whatever the client already sent so closing the
         // socket does not RST the response out of its receive buffer.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 4096];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Answers a connection that arrived during the drain window on the
+/// acceptor thread: `503` everywhere, with `GET /healthz` getting the
+/// structured `"status":"draining"` body a router's prober keys off. The
+/// read is bounded by a short timeout so a trickling client cannot wedge
+/// the drain; a peer that never completes a request is simply dropped.
+fn answer_draining(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let Ok(Some(request)) = read_request(&mut stream) else {
+        return;
+    };
+    let mut response = if request.method == "GET" && request.target == "/healthz" {
+        Response::json(
+            503,
+            api::draining_health_body(
+                shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len(),
+                shared.metrics.in_flight(),
+                shared.registry.generation(),
+            )
+            .into_bytes(),
+        )
+    } else {
+        Response::json(503, api::error_body("server is draining").into_bytes())
+    };
+    response.retry_after = Some(1);
+    if stream.write_all(&response.to_bytes()).is_ok() {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
         let mut sink = [0u8; 4096];
         while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}

@@ -27,6 +27,7 @@ use exareq::fleet::{run_fleet, FleetConfig};
 use exareq::pipeline::model_requirements;
 use exareq::profile::journal::{apply_entry, SurveyJournal, SurveyManifest};
 use exareq::profile::Survey;
+use exareq::router::{ProxyConfig, RouterConfig};
 use exareq::serve::{registry::Fitter, ModelRegistry, ServeConfig};
 use exareq::sim::FaultPlan;
 use std::net::SocketAddr;
@@ -56,6 +57,10 @@ USAGE:
                  [--journal FILE] [--resume] [--max-retries N]
                  [--shard-size N] [--shard-deadline-ms N] [--hold-ms N]
                  [--fleet-report FILE] [--deadline-ms N]
+    exareq router --replicas HOST:PORT,... --model-dir DIR
+                  [--addr HOST:PORT] [--threads N] [--queue-depth N]
+                  [--request-deadline-ms N] [--drain-deadline-ms N]
+                  [--probe-interval-ms N] [--hedge-after-ms N]
 
 COMMANDS:
     apps       list the built-in behavioural twins
@@ -72,6 +77,9 @@ COMMANDS:
     serve      long-running co-design query daemon over HTTP/1.1
     fleet      shard a survey across serve workers, surviving their
                failure; merged artifacts are byte-identical to survey
+    router     replica-aware front-end for a set of serve daemons:
+               consistent-hash placement, failover, hedging, and a
+               degraded-mode local fallback
 
 FAULT INJECTION (survey --faults):
     deterministic, seed-driven fault plan applied to every simulated run:
@@ -153,6 +161,26 @@ FLEET SWEEPS (fleet):
     (a chaos/testing hook); --journal/--resume/--max-retries/
     --deadline-ms behave exactly as under survey.
 
+ROUTING (router):
+    reverse-proxies POST /predict /upgrade /strawman and GET /models
+    across --replicas (comma-separated `exareq serve` daemons). Model
+    keys are consistent-hashed over the healthy replicas (bounded
+    load), so repeat queries for one model hit the same warm registry
+    and a replica death remaps only its own keys. A /healthz prober
+    per replica drives the same healthy -> suspect -> dead hysteresis
+    the fleet uses; request failures additionally trip a per-replica
+    circuit breaker. A failed attempt fails over to the next ring
+    replica after a jittered pause; a slow one is hedged once after a
+    p99-derived delay (--hedge-after-ms until enough samples exist) —
+    first byte-valid 200 wins. When no replica can answer, the router
+    evaluates the query in-process against its own --model-dir and
+    flags the response with `X-Exareq-Degraded: local` — every 200,
+    on every path, is byte-identical to the direct library call.
+    GET /healthz and /metrics (Prometheus text: router_failover_total,
+    router_hedge_*_total, router_degraded_total, router_upstream_state)
+    are answered by the router itself. SIGINT/SIGTERM drains like
+    serve and exits 0.
+
 EXIT CODES:
     0   success (for serve: including a signal-drained shutdown)
     2   usage error (unknown command/application, malformed flag)
@@ -231,6 +259,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(rest),
         "serve" => cmd_serve(rest),
         "fleet" => cmd_fleet(rest),
+        "router" => cmd_router(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -1014,6 +1043,135 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
         },
         summary.requests,
         summary.rejected
+    );
+    Ok(())
+}
+
+fn cmd_router(rest: &[String]) -> Result<(), CliError> {
+    let mut args: Vec<String> = rest.to_vec();
+    let take = |args: &mut Vec<String>, flag| take_opt(args, flag).map_err(CliError::Usage);
+    let replicas_raw = take(&mut args, "--replicas")?;
+    let model_dir = take(&mut args, "--model-dir")?;
+    let addr_raw = take(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:8470".to_string());
+    let threads = parse_count(take(&mut args, "--threads")?, "--threads", 4)?;
+    let queue_depth = parse_count(take(&mut args, "--queue-depth")?, "--queue-depth", 64)?;
+    let request_deadline_ms = parse_ms(
+        take(&mut args, "--request-deadline-ms")?,
+        "--request-deadline-ms",
+        10_000,
+    )?;
+    let drain_deadline_ms = parse_ms(
+        take(&mut args, "--drain-deadline-ms")?,
+        "--drain-deadline-ms",
+        5_000,
+    )?;
+    let probe_interval_ms = parse_ms(
+        take(&mut args, "--probe-interval-ms")?,
+        "--probe-interval-ms",
+        200,
+    )?;
+    let hedge_after_ms = parse_ms(
+        take(&mut args, "--hedge-after-ms")?,
+        "--hedge-after-ms",
+        150,
+    )?;
+    if let Some(stray) = args.first() {
+        return Err(CliError::usage(format!(
+            "router: unexpected argument `{stray}`"
+        )));
+    }
+    let addr: SocketAddr = addr_raw
+        .parse()
+        .map_err(|_| CliError::usage(format!("invalid --addr `{addr_raw}`: expected HOST:PORT")))?;
+    let Some(replicas_raw) = replicas_raw else {
+        return Err(CliError::usage(
+            "router requires --replicas HOST:PORT,... (the serve daemons to front)",
+        ));
+    };
+    let replicas: Vec<String> = replicas_raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if replicas.is_empty() {
+        return Err(CliError::usage("--replicas lists no addresses"));
+    }
+    for replica in &replicas {
+        if replica.parse::<SocketAddr>().is_err() {
+            return Err(CliError::usage(format!(
+                "invalid replica address `{replica}`: expected HOST:PORT"
+            )));
+        }
+    }
+    let Some(model_dir) = model_dir else {
+        return Err(CliError::usage(
+            "router requires --model-dir DIR (the degraded-mode model source)",
+        ));
+    };
+    let dir = std::path::PathBuf::from(&model_dir);
+    if !dir.is_dir() {
+        return Err(CliError::Data(format!(
+            "read model dir {model_dir}: not a directory"
+        )));
+    }
+
+    // The degraded-mode registry fits survey artifacts exactly like
+    // `exareq serve` does, so a fallback answer is byte-identical to the
+    // answer any replica over the same --model-dir would have given.
+    let fit_cfg = MultiParamConfig::default();
+    let fitter: Box<Fitter> = Box::new(move |s: &Survey| {
+        model_requirements(s, &fit_cfg)
+            .map(|m| m.requirements)
+            .map_err(|e| format!("fit: {e}"))
+    });
+    let registry = std::sync::Arc::new(ModelRegistry::new(&dir, fitter));
+
+    let cancel = CancelToken::new();
+    exareq::signal::install_termination_handlers(&cancel);
+
+    let mut proxy_cfg = ProxyConfig {
+        request_deadline: Duration::from_millis(request_deadline_ms),
+        hedge_after: Duration::from_millis(hedge_after_ms),
+        ..ProxyConfig::default()
+    };
+    proxy_cfg.health.probe_interval = Duration::from_millis(probe_interval_ms);
+    let cfg = RouterConfig {
+        addr,
+        threads,
+        queue_depth,
+        replicas: replicas.clone(),
+        model_dir: dir,
+        drain_deadline: Duration::from_millis(drain_deadline_ms),
+        proxy: proxy_cfg,
+    };
+    let announce = std::sync::Arc::clone(&registry);
+    let summary = exareq::router::route(&cfg, std::sync::Arc::clone(&registry), &cancel, |bound| {
+        use std::io::Write;
+        let snap = announce.snapshot();
+        println!(
+            "routing on {bound} ({} replicas, {} local models, {} workers, queue depth {queue_depth})",
+            replicas.len(),
+            snap.models.len(),
+            threads
+        );
+        for (file, reason) in &snap.errors {
+            eprintln!("warning: skipped {file}: {reason}");
+        }
+        let _ = std::io::stdout().flush();
+    })
+    .map_err(|e| CliError::Data(e.to_string()))?;
+    println!(
+        "router: {}; {} requests routed, {} failovers, {} hedges, {} degraded",
+        if summary.drained {
+            "drained"
+        } else {
+            "drain deadline expired"
+        },
+        summary.requests,
+        summary.failovers,
+        summary.hedges,
+        summary.degraded
     );
     Ok(())
 }

@@ -18,11 +18,16 @@
 //! - [`codesign`] — skeletons, upgrades, straw men, and
 //!   the published Table II catalog.
 //!
-//! Two more crates serve the learned models instead of learning them:
-//! [`serve`] is the co-design query daemon behind `exareq serve`, and
+//! Four more crates serve the learned models instead of learning them:
+//! [`serve`] is the co-design query daemon behind `exareq serve`;
 //! [`fleet`] is the fault-tolerant sharded survey coordinator behind
 //! `exareq fleet`, which spreads a measurement grid across serve workers
-//! while keeping journal and artifact bytes identical to a sequential run.
+//! while keeping journal and artifact bytes identical to a sequential run;
+//! [`router`] is the replica-aware query front-end behind `exareq router`,
+//! consistent-hashing model keys across serve replicas with health-gated
+//! failover, hedged retries, and a degraded-mode local fallback; and
+//! [`net`] holds the std-only HTTP client and liveness table the fleet
+//! and the router share.
 //!
 //! The [`pipeline`] module wires measurement to modeling: it runs an
 //! application survey through the model generator and assembles a complete
@@ -39,7 +44,9 @@ pub use exareq_codesign as codesign;
 pub use exareq_core as core;
 pub use exareq_fleet as fleet;
 pub use exareq_locality as locality;
+pub use exareq_net as net;
 pub use exareq_profile as profile;
+pub use exareq_router as router;
 pub use exareq_serve as serve;
 pub use exareq_sim as sim;
 

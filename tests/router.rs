@@ -1,0 +1,331 @@
+//! Chaos tests of `exareq router`: real replica and router subprocesses
+//! on ephemeral loopback ports, with SIGKILL and dead upstreams.
+//!
+//! The contract under test is the router's byte-identity invariant:
+//! every `200` it returns — through a healthy replica, across a
+//! mid-request SIGKILL failover, or from the degraded-mode local
+//! fallback — equals the direct library call byte for byte. Degradation
+//! is visible out-of-band only: the `X-Exareq-Degraded` header and the
+//! `router_*` metrics.
+
+#![cfg(unix)]
+
+use exareq::codesign::catalog;
+use exareq::router::HashRing;
+use exareq::serve::{api, artifact};
+use exareq::signal::{send_signal, SIGTERM};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A daemon subprocess (replica or router) bound to an ephemeral port,
+/// killed on drop so a failing test never leaks a listener.
+struct Daemon {
+    child: Child,
+    addr: String,
+    /// Keeps the stdout pipe open: closing it would make the daemon's
+    /// own shutdown summary line fail to write.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Writes the published Table II catalog into a fresh model dir as
+/// requirements artifacts (no fitting needed — offline and fast).
+fn model_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("exareq_router_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    for app in catalog::paper_models() {
+        std::fs::write(
+            dir.join(format!("{}.json", app.name.to_lowercase())),
+            artifact::requirements_to_string(&app),
+        )
+        .expect("write artifact");
+    }
+    dir
+}
+
+/// Spawns a daemon subcommand on port 0 and waits for the flushed ready
+/// line (`<prefix> HOST:PORT ...`) to learn the bound address.
+fn spawn(args: &[&str], ready_prefix: &str) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn exareq daemon");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut ready = String::new();
+    reader.read_line(&mut ready).expect("readable stdout");
+    let addr = ready
+        .strip_prefix(ready_prefix)
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected ready line: {ready}"))
+        .to_string();
+    Daemon {
+        child,
+        addr,
+        _stdout: reader,
+    }
+}
+
+fn spawn_replica(dir: &std::path::Path) -> Daemon {
+    spawn(
+        &[
+            "serve",
+            "--model-dir",
+            &dir.display().to_string(),
+            "--addr",
+            "127.0.0.1:0",
+        ],
+        "serving on ",
+    )
+}
+
+fn spawn_router(dir: &std::path::Path, replicas: &[String], extra: &[&str]) -> Daemon {
+    let mut args = vec![
+        "router".to_string(),
+        "--replicas".to_string(),
+        replicas.join(","),
+        "--model-dir".to_string(),
+        dir.display().to_string(),
+        "--addr".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--probe-interval-ms".to_string(),
+        "50".to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    spawn(&args, "routing on ")
+}
+
+/// One raw HTTP exchange; returns (status, head, body).
+fn http(addr: &str, raw: &[u8]) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(raw).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no head terminator in {response:?}"));
+    let head = String::from_utf8(response[..head_end].to_vec()).expect("ASCII head");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head}"));
+    (status, head, response[head_end + 4..].to_vec())
+}
+
+fn get(addr: &str, target: &str) -> (u16, String, Vec<u8>) {
+    http(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: &str, target: &str, body: &str) -> (u16, String, Vec<u8>) {
+    http(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Reads one counter value from the router's Prometheus exposition.
+fn metric(addr: &str, name: &str) -> f64 {
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("UTF-8 metrics");
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+}
+
+#[test]
+fn sigkill_mid_request_fails_over_byte_identically() {
+    let dir = model_dir("failover");
+    let replica_a = spawn_replica(&dir);
+    let replica_b = spawn_replica(&dir);
+    let replicas = vec![replica_a.addr.clone(), replica_b.addr.clone()];
+    // Hedging is disabled (huge delay) so the kill is absorbed by the
+    // failover path specifically, and the metric assertion below is
+    // deterministic.
+    let router = spawn_router(&dir, &replicas, &["--hedge-after-ms", "60000"]);
+
+    // The ring is a pure function of the --replicas list, so the test
+    // can compute exactly which replica serves Kripke — and kill it.
+    let ring = HashRing::new(&replicas);
+    let victim_addr = ring.primary("Kripke").expect("nonempty ring").to_string();
+    let mut daemons = [replica_a, replica_b];
+    let victim = daemons
+        .iter_mut()
+        .find(|d| d.addr == victim_addr)
+        .expect("victim among replicas");
+
+    // A held request through the router, SIGKILLed out from under it.
+    let router_addr = router.addr.clone();
+    let in_flight = std::thread::spawn(move || {
+        post(
+            &router_addr,
+            "/predict",
+            r#"{"model":"Kripke","p":64,"n":4096,"hold_ms":900}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(250));
+    victim.child.kill().expect("SIGKILL victim");
+    let _ = victim.child.wait();
+
+    let (status, head, body) = in_flight.join().expect("client thread");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        body,
+        api::predict_body(&catalog::kripke(), 64.0, 4096.0).as_bytes(),
+        "a failover answer must equal the direct library call byte for byte"
+    );
+    assert!(
+        !head.contains("X-Exareq-Degraded"),
+        "a surviving replica answered; this is not degraded mode: {head}"
+    );
+    assert!(
+        metric(&router.addr, "router_failover_total") >= 1.0,
+        "the SIGKILL must be visible as a failover"
+    );
+    assert_eq!(metric(&router.addr, "router_degraded_total"), 0.0);
+}
+
+#[test]
+fn all_replicas_dead_serves_degraded_local_byte_identically() {
+    let dir = model_dir("degraded");
+    // Two ports that were just bound and released: valid addresses,
+    // nothing listening — connection refused from the first attempt.
+    let dead: Vec<String> = (0..2)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        })
+        .collect();
+    let router = spawn_router(&dir, &dead, &[]);
+
+    let (status, head, body) = post(
+        &router.addr,
+        "/predict",
+        r#"{"model":"MILC","p":8,"n":512}"#,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        body,
+        api::predict_body(&catalog::milc(), 8.0, 512.0).as_bytes(),
+        "the degraded answer must equal the direct library call byte for byte"
+    );
+    assert!(
+        head.contains("X-Exareq-Degraded: local"),
+        "degradation must be flagged out-of-band: {head}"
+    );
+    assert!(metric(&router.addr, "router_degraded_total") >= 1.0);
+
+    // GET /models degrades the same way.
+    let (status, head, body) = get(&router.addr, "/models");
+    assert_eq!(status, 200);
+    assert!(head.contains("X-Exareq-Degraded: local"), "{head}");
+    let text = String::from_utf8(body).unwrap();
+    for app in catalog::paper_models() {
+        assert!(
+            text.contains(&format!("\"name\":\"{}\"", app.name)),
+            "{text}"
+        );
+    }
+
+    // Once the probers write both replicas off, the router's own
+    // healthz turns non-200 so *its* upstreams can gate on it too.
+    let started = Instant::now();
+    loop {
+        let (status, _, body) = get(&router.addr, "/healthz");
+        if status == 503 {
+            let text = String::from_utf8_lossy(&body);
+            assert!(text.contains(r#""status":"degraded""#), "{text}");
+            break;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "healthz never reported the dead fleet"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigterm_drains_router_and_replica_and_both_exit_zero() {
+    let dir = model_dir("drain");
+    let replica = spawn_replica(&dir);
+    let replicas = vec![replica.addr.clone()];
+    let router = spawn_router(&dir, &replicas, &[]);
+
+    // A request held past the signal: it must still be answered through
+    // the drain, byte-identically.
+    let router_addr = router.addr.clone();
+    let in_flight = std::thread::spawn(move || {
+        post(
+            &router_addr,
+            "/predict",
+            r#"{"model":"Relearn","p":16,"n":256,"hold_ms":700}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut router = router;
+    assert!(send_signal(router.child.id(), SIGTERM), "SIGTERM router");
+    let started = Instant::now();
+    let status = loop {
+        if let Some(status) = router.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "router failed to exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "a drained router exits 0");
+
+    let (code, _, body) = in_flight.join().expect("client thread");
+    assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        body,
+        api::predict_body(&catalog::relearn(), 16.0, 256.0).as_bytes(),
+        "the drained request still gets the exact library answer"
+    );
+
+    let mut replica = replica;
+    assert!(send_signal(replica.child.id(), SIGTERM), "SIGTERM replica");
+    let started = Instant::now();
+    let status = loop {
+        if let Some(status) = replica.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "replica failed to exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "a drained replica exits 0");
+}

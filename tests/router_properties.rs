@@ -1,0 +1,98 @@
+//! Property-based checks of the router's consistent-hash ring: the two
+//! guarantees the rest of the router builds on — balance and minimal
+//! disruption — hold across arbitrary replica sets, not just the fixed
+//! fixtures in `crates/router/src/ring.rs`.
+
+use exareq::router::HashRing;
+use proptest::prelude::*;
+
+/// Replica address lists of 3–16 distinct `HOST:PORT` strings, the shape
+/// `--replicas` produces.
+fn arb_replicas() -> impl Strategy<Value = Vec<String>> {
+    (3usize..=16).prop_flat_map(|n| {
+        // Distinct ports guarantee distinct addresses; the host octet
+        // varies too so hashes are not artificially correlated.
+        Just(
+            (0..n)
+                .map(|i| format!("10.0.{}.{}:{}", i % 7, i, 8400 + i))
+                .collect::<Vec<String>>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Balance: over 1024 distinct keys, no replica's primary share
+    /// exceeds 2x the uniform share, and none is starved outright.
+    #[test]
+    fn primary_distribution_is_within_2x_of_uniform(
+        replicas in arb_replicas(),
+        salt in 0u64..1_000_000,
+    ) {
+        let ring = HashRing::new(&replicas);
+        let keys = 1024usize;
+        let mut counts = vec![0usize; replicas.len()];
+        for k in 0..keys {
+            let key = format!("model-{salt}-{k}");
+            let primary = ring.ordered(&key)[0];
+            counts[primary] += 1;
+        }
+        let cap = 2 * keys / replicas.len();
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                c <= cap,
+                "replica {i} of {} owns {c}/{keys} keys (cap {cap})",
+                replicas.len()
+            );
+            prop_assert!(c > 0, "replica {i} of {} owns no keys", replicas.len());
+        }
+    }
+
+    /// Minimal disruption: removing one replica remaps only the keys it
+    /// was primary for — every other key keeps its primary *address*.
+    #[test]
+    fn removing_a_replica_remaps_only_its_keys(
+        replicas in arb_replicas(),
+        victim_seed in any::<prop::sample::Index>(),
+        salt in 0u64..1_000_000,
+    ) {
+        let ring_full = HashRing::new(&replicas);
+        let victim = victim_seed.get(&replicas).clone();
+        let survivors: Vec<String> = replicas
+            .iter()
+            .filter(|r| **r != victim)
+            .cloned()
+            .collect();
+        let ring_less = HashRing::new(&survivors);
+        for k in 0..512 {
+            let key = format!("model-{salt}-{k}");
+            let before = ring_full.primary(&key).expect("nonempty ring");
+            let after = ring_less.primary(&key).expect("nonempty ring");
+            if before != victim {
+                prop_assert_eq!(
+                    before,
+                    after,
+                    "{} moved although its primary {} survived",
+                    key,
+                    before
+                );
+            }
+        }
+    }
+
+    /// The failover walk is a permutation: every replica appears exactly
+    /// once, whatever the key.
+    #[test]
+    fn ordered_walk_is_a_permutation(
+        replicas in arb_replicas(),
+        key in "[A-Za-z0-9_-]{1,32}",
+    ) {
+        let ring = HashRing::new(&replicas);
+        let mut order = ring.ordered(&key);
+        prop_assert_eq!(order.len(), replicas.len());
+        order.sort_unstable();
+        let expected: Vec<usize> = (0..replicas.len()).collect();
+        prop_assert_eq!(order, expected);
+    }
+}

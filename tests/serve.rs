@@ -361,6 +361,33 @@ fn sigterm_drains_in_flight_requests_and_exits_zero() {
     std::thread::sleep(Duration::from_millis(200));
 
     assert!(send_signal(daemon.child.id(), SIGTERM), "deliver SIGTERM");
+
+    // During the drain window the listener stays open and `GET /healthz`
+    // must announce the departure: 503 with a `"status":"draining"` body,
+    // so a router's prober moves traffic away before the port vanishes.
+    // (The first probe may race the signal and still get a worker's 200.)
+    let drain_probe = Instant::now();
+    let mut saw_draining = false;
+    while drain_probe.elapsed() < Duration::from_millis(500) {
+        let (status, head, body) = get(&daemon.addr, "/healthz");
+        if status == 503 {
+            let text = String::from_utf8_lossy(&body);
+            assert!(
+                text.starts_with(r#"{"status":"draining""#),
+                "draining healthz body: {text}"
+            );
+            assert!(head.contains("Retry-After: 1"), "{head}");
+            saw_draining = true;
+            break;
+        }
+        assert_eq!(status, 200, "pre-drain healthz must still be well-formed");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    assert!(
+        saw_draining,
+        "healthz never reported draining during the drain window"
+    );
+
     let started = Instant::now();
     let status = loop {
         if let Some(status) = daemon.child.try_wait().expect("try_wait") {
