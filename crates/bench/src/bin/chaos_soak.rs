@@ -1,0 +1,618 @@
+//! Network-chaos soak: every fault class the `exareq chaos` proxy can
+//! inject, driven through a real router → replica stack at a fixed seed,
+//! plus a chaos-proxied fleet sweep, emitted machine-readably as
+//! `BENCH_chaos.json`.
+//!
+//! Each router round starts two in-process `exareq serve` replicas, puts
+//! a seeded [`ChaosProxy`] in front of *each*, and drives a sequential
+//! `/predict` burst through a router that only knows the proxy
+//! addresses. The hardened net client turns every injected fault —
+//! black-hole, mid-stream reset, truncation, slow-loris drip, payload
+//! corruption — into a typed error; the router turns the error into
+//! failover. The round gate: every 200 body byte-identical to the direct
+//! [`exareq_serve::api::predict_body`] call, zero hung requests, zero
+//! degraded answers.
+//!
+//! Every round runs **twice with the same seed** against fresh replicas
+//! and fresh proxies; the per-class injected-fault counts must match
+//! exactly — the chaos layer's determinism contract, asserted end to end
+//! rather than just on [`ChaosPlan::schedule`].
+//!
+//! The fleet round shards a small survey across one chaos-fronted worker
+//! and one clean worker and requires the merged artifact to be
+//! byte-identical to the in-process sequential survey. `--tiny` shrinks
+//! everything for CI smoke use.
+
+use exareq::chaos::{ChaosPlan, ChaosProxy, CLASSES};
+use exareq::fleet::{run_fleet, FleetConfig};
+use exareq_apps::{all_apps_extended, run_survey_parallel, AppGrid, RetryPolicy};
+use exareq_bench::{num, obj, write_report, LatencySummary};
+use exareq_codesign::catalog;
+use exareq_core::cancel::{CancelReason, CancelToken};
+use exareq_profile::minijson::Json;
+use exareq_router::{ProxyConfig, RouterConfig};
+use exareq_serve::registry::Fitter;
+use exareq_serve::{api, artifact, ModelRegistry, ServeConfig};
+use exareq_sim::FaultPlan;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// The fixed seed every round draws from; change it and the report's
+/// `injected` numbers change with it — identically on every machine.
+const SEED: u64 = 42;
+
+/// One raw HTTP/1.1 exchange; returns `(status, body)`.
+fn http(addr: SocketAddr, request: &str, read_timeout: Duration) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to in-process router");
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .expect("read timeout");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = String::from_utf8(raw[..head_end].to_vec()).expect("response head is ASCII");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code in status line");
+    (status, raw[head_end + 4..].to_vec())
+}
+
+fn http_post(addr: SocketAddr, target: &str, body: &str) -> (u16, Vec<u8>) {
+    http(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+        Duration::from_secs(60),
+    )
+}
+
+/// Reads one counter from the router's `/metrics` exposition.
+fn metric(addr: SocketAddr, name: &str) -> f64 {
+    let (status, body) = http(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: b\r\n\r\n",
+        Duration::from_secs(10),
+    );
+    assert_eq!(status, 200, "metrics scrape");
+    let text = String::from_utf8(body).expect("UTF-8 metrics");
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
+/// Sums every sample of a labelled counter family from `/metrics`.
+fn metric_family_sum(addr: SocketAddr, prefix: &str) -> f64 {
+    let (status, body) = http(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: b\r\n\r\n",
+        Duration::from_secs(10),
+    );
+    assert_eq!(status, 200, "metrics scrape");
+    let text = String::from_utf8(body).expect("UTF-8 metrics");
+    text.lines()
+        .filter(|l| l.starts_with(prefix) && l.as_bytes().get(prefix.len()) == Some(&b'{'))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .sum()
+}
+
+/// One in-process serve engine and the token that stops it.
+struct Replica {
+    addr: SocketAddr,
+    cancel: CancelToken,
+    thread: std::thread::JoinHandle<exareq_serve::ServeSummary>,
+}
+
+fn start_replica(dir: &Path, allow_measure: bool, request_deadline: Duration) -> Replica {
+    let no_fit: Box<Fitter> = Box::new(|_| Err("bench serves fitted artifacts only".to_string()));
+    let registry = Arc::new(ModelRegistry::new(dir, no_fit));
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".parse().expect("loopback addr"),
+        // Enough workers that a slow-loris drip pinning one (until the
+        // serve-side header deadline cuts it) never queues a clean
+        // attempt past the client's attempt deadline — otherwise wall
+        // clock couples back into the connection sequence and the
+        // per-class injected counts drift between passes.
+        threads: 8,
+        queue_depth: 64,
+        request_deadline,
+        drain_deadline: Duration::from_secs(2),
+        model_dir: dir.to_path_buf(),
+        allow_measure,
+    };
+    let cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let thread = {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            exareq_serve::serve(&cfg, registry, &cancel, move |addr| {
+                tx.send(addr).expect("announce bound address");
+            })
+            .expect("replica engine runs")
+        })
+    };
+    let addr = rx.recv().expect("replica ready");
+    Replica {
+        addr,
+        cancel,
+        thread,
+    }
+}
+
+fn stop_replica(replica: Replica) {
+    replica.cancel.cancel(CancelReason::Interrupt);
+    let _ = replica.thread.join();
+}
+
+/// One fault-class round description: the label in the report and the
+/// plan the two proxies share.
+struct ClassRound {
+    label: &'static str,
+    plan: ChaosPlan,
+    /// Whether the class kills the attempt it lands on (and therefore
+    /// must produce at least one failover at a 0.45 rate).
+    kills_attempt: bool,
+}
+
+fn class_rounds(drip_ms: u64) -> Vec<ClassRound> {
+    vec![
+        ClassRound {
+            label: "latency",
+            // Probability 1 but the delay fits inside the attempt
+            // deadline: every exchange is slowed, none is lost.
+            plan: ChaosPlan::with_seed(SEED).latency(1.0, 120),
+            kills_attempt: false,
+        },
+        ClassRound {
+            label: "partition",
+            plan: ChaosPlan::with_seed(SEED).partition(0.45),
+            kills_attempt: true,
+        },
+        ClassRound {
+            label: "reset",
+            plan: ChaosPlan::with_seed(SEED).reset(0.45),
+            kills_attempt: true,
+        },
+        ClassRound {
+            label: "truncate",
+            plan: ChaosPlan::with_seed(SEED).truncate(0.45),
+            kills_attempt: true,
+        },
+        ClassRound {
+            label: "slow_loris_request",
+            plan: ChaosPlan::with_seed(SEED)
+                .slow_request(0.45)
+                .drip_interval_ms(drip_ms),
+            kills_attempt: true,
+        },
+        ClassRound {
+            label: "slow_loris_response",
+            plan: ChaosPlan::with_seed(SEED)
+                .slow_response(0.45)
+                .drip_interval_ms(drip_ms),
+            kills_attempt: true,
+        },
+        ClassRound {
+            label: "corrupt",
+            plan: ChaosPlan::with_seed(SEED).corrupt(0.45, 4),
+            kills_attempt: true,
+        },
+        ClassRound {
+            label: "mixed",
+            plan: ChaosPlan::with_seed(SEED)
+                .latency(0.15, 120)
+                .partition(0.08)
+                .reset(0.08)
+                .truncate(0.08)
+                .slow_request(0.06)
+                .slow_response(0.06)
+                .corrupt(0.08, 4)
+                .drip_interval_ms(drip_ms),
+            kills_attempt: true,
+        },
+    ]
+}
+
+/// What one pass of one round measured.
+struct PassOutcome {
+    requests: usize,
+    seconds: f64,
+    errors: u64,
+    hung: u64,
+    identical: bool,
+    failovers: f64,
+    degraded: f64,
+    phase_timeouts: f64,
+    injected: BTreeMap<&'static str, u64>,
+    injected_total: u64,
+    latency: LatencySummary,
+}
+
+/// Drives `requests` sequential `/predict` calls through a fresh
+/// router → chaos → replica stack under `plan`.
+fn run_pass(
+    dir: &Path,
+    plan: &ChaosPlan,
+    requests: usize,
+    attempt_deadline: Duration,
+    request_deadline: Duration,
+    expected: &[u8],
+) -> PassOutcome {
+    let chaos_cancel = CancelToken::new();
+    // A 2s serve-side request deadline keeps slow-loris drips from
+    // pinning the replica's two workers for the whole MAX_HOLD: the
+    // header-read deadline 408s the drip fast and frees the worker, so
+    // queue contention can't cascade into wall-clock-truncated attempt
+    // chains that would perturb the per-class injected counts.
+    let replicas: Vec<Replica> = (0..2)
+        .map(|_| start_replica(dir, false, Duration::from_secs(2)))
+        .collect();
+    let proxies: Vec<ChaosProxy> = replicas
+        .iter()
+        .map(|r| {
+            ChaosProxy::start(
+                "127.0.0.1:0",
+                &r.addr.to_string(),
+                plan.clone(),
+                &chaos_cancel,
+            )
+            .expect("chaos proxy starts")
+        })
+        .collect();
+    let proxy_addrs: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+
+    let mut proxy_cfg = ProxyConfig {
+        request_deadline,
+        attempt_deadline,
+        // Far above anything an attempt can take before the sample
+        // window fills: the pass stays hedge-free, so the connection
+        // sequence each proxy sees is a pure function of the request
+        // sequence and the seed.
+        hedge_after: Duration::from_secs(30),
+        backoff_base: Duration::from_millis(5),
+        // A tripped breaker re-admits its trial on the very next
+        // request instead of idling through a wall-clock cooldown the
+        // two passes could disagree about.
+        breaker_cooldown: Duration::from_millis(1),
+        ..ProxyConfig::default()
+    };
+    // One probe per replica at startup, then silence: probes draw from
+    // the same per-connection fault stream as requests, so an unbounded
+    // cadence would make the injected counts depend on wall clock.
+    proxy_cfg.health.probe_interval = Duration::from_secs(3600);
+    proxy_cfg.health.suspect_after = 1_000_000;
+    proxy_cfg.health.dead_after = 1_000_000;
+    let router_cfg = RouterConfig {
+        addr: "127.0.0.1:0".parse().expect("loopback addr"),
+        threads: 2,
+        queue_depth: 64,
+        replicas: proxy_addrs,
+        model_dir: dir.to_path_buf(),
+        drain_deadline: Duration::from_secs(5),
+        proxy: proxy_cfg,
+    };
+    let no_fit: Box<Fitter> = Box::new(|_| Err("bench serves fitted artifacts only".to_string()));
+    let router_registry = Arc::new(ModelRegistry::new(dir, no_fit));
+    let router_cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let router_thread = {
+        let cancel = router_cancel.clone();
+        std::thread::spawn(move || {
+            exareq_router::route(&router_cfg, router_registry, &cancel, move |addr| {
+                tx.send(addr).expect("announce bound address");
+            })
+            .expect("router engine runs")
+        })
+    };
+    let router_addr = rx.recv().expect("router ready");
+    // Let the two startup probes claim connection 0 on each proxy
+    // before the request sequence starts claiming indices.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let request_body = r#"{"model":"Kripke","p":1e6,"n":4096}"#;
+    let hang_cap = request_deadline + Duration::from_secs(3);
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(requests);
+    let (mut errors, mut hung, mut identical) = (0u64, 0u64, true);
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        let (status, body) = http_post(router_addr, "/predict", request_body);
+        let took = t0.elapsed();
+        latencies.push(took.as_secs_f64() * 1e3);
+        if took > hang_cap {
+            hung += 1;
+        }
+        if status == 200 {
+            identical &= body == expected;
+        } else {
+            errors += 1;
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64();
+
+    let failovers = metric(router_addr, "router_failover_total");
+    let degraded = metric(router_addr, "router_degraded_total");
+    let phase_timeouts = metric_family_sum(router_addr, "net_request_phase_timeouts_total");
+
+    router_cancel.cancel(CancelReason::Interrupt);
+    let summary = router_thread.join().expect("router thread");
+    assert!(summary.drained, "router must drain between passes");
+
+    chaos_cancel.cancel(CancelReason::Interrupt);
+    let mut injected: BTreeMap<&'static str, u64> =
+        CLASSES.iter().map(|c| (c.label(), 0u64)).collect();
+    let mut injected_total = 0u64;
+    for proxy in proxies {
+        for (label, count) in proxy.metrics().counts() {
+            *injected.entry(label).or_insert(0) += count;
+            injected_total += count;
+        }
+        proxy.join();
+    }
+    for replica in replicas {
+        stop_replica(replica);
+    }
+
+    PassOutcome {
+        requests,
+        seconds,
+        errors,
+        hung,
+        identical,
+        failovers,
+        degraded,
+        phase_timeouts,
+        injected,
+        injected_total,
+        latency: LatencySummary::from_samples(&latencies),
+    }
+}
+
+/// The fleet stage: a 4-config survey sharded across one chaos-fronted
+/// worker and one clean worker, merged artifact compared byte-for-byte
+/// against the sequential in-process survey.
+fn run_fleet_stage(dir: &Path) -> (bool, bool, f64, u64) {
+    let fault_spec = "seed=7,drop=0.01";
+    let faults = FaultPlan::parse(fault_spec).expect("fault spec");
+    let grid = AppGrid {
+        p_values: vec![2, 4],
+        n_values: vec![64, 256],
+    };
+    let retry = RetryPolicy {
+        max_attempts: 1,
+        ..RetryPolicy::default()
+    };
+    let apps = all_apps_extended();
+    let app = apps
+        .iter()
+        .find(|a| a.name() == "Relearn")
+        .expect("Relearn twin");
+
+    let baseline = run_survey_parallel(
+        app.as_ref(),
+        &grid,
+        &faults,
+        &retry,
+        None,
+        &CancelToken::new(),
+        1,
+    )
+    .expect("sequential baseline");
+    let baseline_json = baseline.try_to_json().expect("baseline JSON");
+
+    let chaos_cancel = CancelToken::new();
+    let workers: Vec<Replica> = (0..2)
+        .map(|_| start_replica(dir, true, Duration::from_secs(30)))
+        .collect();
+    // Every dispatch and probe toward worker 0 is answered with a
+    // mid-stream reset; the coordinator must route around it.
+    let proxy = ChaosProxy::start(
+        "127.0.0.1:0",
+        &workers[0].addr.to_string(),
+        ChaosPlan::with_seed(SEED).reset(1.0),
+        &chaos_cancel,
+    )
+    .expect("chaos proxy starts");
+
+    let cfg = FleetConfig {
+        workers: vec![proxy.addr().to_string(), workers[1].addr.to_string()],
+        shard_size: 1,
+        shard_deadline: Duration::from_secs(10),
+        jitter_seed: SEED,
+        ..FleetConfig::default()
+    };
+    let (survey, report) = run_fleet(
+        app.as_ref(),
+        &grid,
+        &faults,
+        fault_spec,
+        &retry,
+        None,
+        &CancelToken::new(),
+        &cfg,
+    )
+    .expect("fleet run");
+    let fleet_json = survey.try_to_json().expect("fleet JSON");
+
+    chaos_cancel.cancel(CancelReason::Interrupt);
+    let injected = proxy.metrics().injected_total();
+    proxy.join();
+    for worker in workers {
+        stop_replica(worker);
+    }
+    (
+        fleet_json == baseline_json,
+        report.fallback,
+        report.redispatches as f64,
+        injected,
+    )
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (requests, attempt_deadline, request_deadline) = if tiny {
+        (8usize, Duration::from_millis(500), Duration::from_secs(8))
+    } else {
+        (20, Duration::from_millis(700), Duration::from_secs(12))
+    };
+    let drip_ms = 40;
+
+    let dir = std::env::temp_dir().join(format!("exareq_chaos_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    for app in catalog::paper_models() {
+        std::fs::write(
+            dir.join(format!("{}.json", app.name.to_lowercase())),
+            artifact::requirements_to_string(&app),
+        )
+        .expect("write artifact");
+    }
+    let expected = api::predict_body(&catalog::kripke(), 1e6, 4096.0);
+
+    eprintln!(
+        "chaos soak: seed {SEED}, {requests} requests/round x 2 passes, attempt deadline {:?}",
+        attempt_deadline
+    );
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    let mut all_reproducible = true;
+    let mut any_hung = 0u64;
+    let mut any_degraded = 0.0;
+    let mut kills_failed_over = true;
+    for round in class_rounds(drip_ms) {
+        let first = run_pass(
+            &dir,
+            &round.plan,
+            requests,
+            attempt_deadline,
+            request_deadline,
+            expected.as_bytes(),
+        );
+        let second = run_pass(
+            &dir,
+            &round.plan,
+            requests,
+            attempt_deadline,
+            request_deadline,
+            expected.as_bytes(),
+        );
+        let reproducible = first.injected == second.injected;
+        all_identical &= first.identical && second.identical;
+        all_reproducible &= reproducible;
+        any_hung += first.hung + second.hung;
+        any_degraded += first.degraded + second.degraded;
+        if round.kills_attempt {
+            kills_failed_over &= first.failovers > 0.0 && second.failovers > 0.0;
+        }
+        eprintln!(
+            "  {:<20} {} injected ({} classes), {} failovers, {} phase timeouts, \
+             p50 {:.1} ms, p99 {:.1} ms, errors {}{}{}",
+            round.label,
+            first.injected_total,
+            first.injected.values().filter(|&&c| c > 0).count(),
+            first.failovers,
+            first.phase_timeouts,
+            first.latency.p50_ms,
+            first.latency.p99_ms,
+            first.errors,
+            if first.identical && second.identical {
+                ""
+            } else {
+                ", NOT IDENTICAL"
+            },
+            if reproducible {
+                ""
+            } else {
+                ", NOT REPRODUCIBLE"
+            }
+        );
+        let injected_members: Vec<(&str, Json)> = first
+            .injected
+            .iter()
+            .map(|(&label, &count)| (label, num(count as f64)))
+            .collect();
+        let mut members = vec![
+            ("class", Json::Str(round.label.to_string())),
+            ("requests", num(first.requests as f64)),
+            ("seconds", num(first.seconds)),
+            ("errors", num((first.errors + second.errors) as f64)),
+            ("hung", num((first.hung + second.hung) as f64)),
+            ("identical", Json::Bool(first.identical && second.identical)),
+            ("reproducible", Json::Bool(reproducible)),
+            ("failover_total", num(first.failovers)),
+            ("degraded_total", num(first.degraded)),
+            ("net_phase_timeouts", num(first.phase_timeouts)),
+            ("injected_total", num(first.injected_total as f64)),
+            ("injected", obj(injected_members)),
+        ];
+        members.extend(first.latency.to_members());
+        rows.push(obj(members));
+    }
+
+    eprintln!("  fleet stage: sharded survey through an always-reset proxy");
+    let (fleet_identical, fleet_fallback, fleet_redispatches, fleet_injected) =
+        run_fleet_stage(&dir);
+    all_identical &= fleet_identical;
+    eprintln!(
+        "  fleet: identical={fleet_identical}, fallback={fleet_fallback}, \
+         {fleet_redispatches} redispatches, {fleet_injected} resets injected"
+    );
+
+    let report = obj(vec![
+        ("schema", num(1.0)),
+        ("seed", num(SEED as f64)),
+        ("model", Json::Str("Kripke".to_string())),
+        ("requests_per_round", num(requests as f64)),
+        ("rounds", Json::Arr(rows)),
+        (
+            "fleet",
+            obj(vec![
+                ("identical", Json::Bool(fleet_identical)),
+                ("fallback", Json::Bool(fleet_fallback)),
+                ("redispatch_total", num(fleet_redispatches)),
+                ("injected_total", num(fleet_injected as f64)),
+            ]),
+        ),
+    ]);
+    write_report("BENCH_chaos.json", &report.to_line());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !all_identical {
+        eprintln!("error: an answer served under chaos diverged from the direct library call");
+        std::process::exit(1);
+    }
+    if !all_reproducible {
+        eprintln!("error: the same seed injected different fault counts across passes");
+        std::process::exit(1);
+    }
+    if any_hung > 0 {
+        eprintln!("error: {any_hung} requests hung past the deadline cap");
+        std::process::exit(1);
+    }
+    if any_degraded > 0.0 {
+        eprintln!("error: chaos pushed the router into degraded mode with healthy replicas");
+        std::process::exit(1);
+    }
+    if !kills_failed_over {
+        eprintln!("error: an attempt-killing fault class produced no failover");
+        std::process::exit(1);
+    }
+    if fleet_fallback {
+        eprintln!("error: the fleet fell back in-process with a healthy worker available");
+        std::process::exit(1);
+    }
+}

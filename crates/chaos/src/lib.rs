@@ -1,0 +1,22 @@
+//! Deterministic network chaos for the exareq stack.
+//!
+//! A std-only, seeded fault-injecting TCP proxy in the spirit of
+//! `crates/sim/src/fault.rs`, one layer down: instead of perturbing
+//! simulated collectives it perturbs the real sockets between `crates/net`
+//! clients and `exareq serve` replicas. Each accepted connection draws its
+//! fate — added latency, a black-hole partition, a mid-stream reset, byte
+//! truncation, a slow-loris drip on either path, or payload corruption —
+//! from a SplitMix64 stream that is a pure function of `(seed, connection
+//! index)`, so a fault schedule is replayable from `--chaos-seed` alone.
+//!
+//! The proxy exists to *prove* the hardening in `crates/net`, `crates/
+//! router`, and `crates/fleet`: every injected fault must surface as a typed
+//! client error, a failover, or a redispatch — never as a divergent 200.
+
+pub mod metrics;
+pub mod plan;
+pub mod proxy;
+
+pub use metrics::ChaosMetrics;
+pub use plan::{ChaosPlan, FaultClass, CLASSES};
+pub use proxy::ChaosProxy;

@@ -1,0 +1,104 @@
+//! Prometheus-style counters for injected faults.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::plan::{FaultClass, CLASSES};
+
+/// Lock-free per-class fault counters plus a total-connections gauge.
+#[derive(Debug, Default)]
+pub struct ChaosMetrics {
+    connections: AtomicU64,
+    injected: [AtomicU64; CLASSES.len()],
+}
+
+impl ChaosMetrics {
+    /// Fresh metrics with every counter at zero.
+    pub fn new() -> Self {
+        ChaosMetrics::default()
+    }
+
+    fn slot(class: FaultClass) -> usize {
+        CLASSES
+            .iter()
+            .position(|c| *c == class)
+            .expect("every FaultClass appears in CLASSES")
+    }
+
+    /// Record one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one injected fault of `class`. Called only when the fault was
+    /// actually applied (e.g. corruption with an empty body counts nothing).
+    pub fn record_fault(&self, class: FaultClass) {
+        self.injected[Self::slot(class)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total connections the proxy has accepted.
+    pub fn connections_total(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Injected count for one class.
+    pub fn injected(&self, class: FaultClass) -> u64 {
+        self.injected[Self::slot(class)].load(Ordering::Relaxed)
+    }
+
+    /// All `(label, count)` pairs in `CLASSES` order — the stable shape
+    /// reproducibility assertions compare across same-seed runs.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        CLASSES
+            .iter()
+            .map(|c| (c.label(), self.injected(*c)))
+            .collect()
+    }
+
+    /// Sum of injected faults across every class.
+    pub fn injected_total(&self) -> u64 {
+        CLASSES.iter().map(|c| self.injected(*c)).sum()
+    }
+
+    /// Render in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("# HELP chaos_connections_total Connections accepted by the chaos proxy.\n");
+        out.push_str("# TYPE chaos_connections_total counter\n");
+        out.push_str(&format!(
+            "chaos_connections_total {}\n",
+            self.connections_total()
+        ));
+        out.push_str("# HELP chaos_faults_injected_total Faults injected, by class.\n");
+        out.push_str("# TYPE chaos_faults_injected_total counter\n");
+        for class in CLASSES {
+            out.push_str(&format!(
+                "chaos_faults_injected_total{{class=\"{}\"}} {}\n",
+                class.label(),
+                self.injected(class)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_lists_every_class_with_counts() {
+        let metrics = ChaosMetrics::new();
+        metrics.record_connection();
+        metrics.record_connection();
+        metrics.record_fault(FaultClass::Partition);
+        metrics.record_fault(FaultClass::Partition);
+        metrics.record_fault(FaultClass::Corrupt);
+        let text = metrics.render();
+        assert!(text.contains("chaos_connections_total 2"));
+        assert!(text.contains("chaos_faults_injected_total{class=\"partition\"} 2"));
+        assert!(text.contains("chaos_faults_injected_total{class=\"corrupt\"} 1"));
+        assert!(text.contains("chaos_faults_injected_total{class=\"slowloris_request\"} 0"));
+        assert_eq!(metrics.injected_total(), 3);
+        assert_eq!(metrics.counts().len(), CLASSES.len());
+    }
+}

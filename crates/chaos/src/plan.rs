@@ -1,0 +1,440 @@
+//! Deterministic per-connection fault schedules.
+//!
+//! The chaos proxy mirrors `crates/sim/src/fault.rs` one layer down: instead
+//! of perturbing simulated collectives, it perturbs real TCP connections.
+//! Every decision is a pure function of `(plan.seed, connection_index)` —
+//! the proxy numbers accepted connections from zero, derives a SplitMix64
+//! stream per connection, and draws one uniform per fault class in a fixed
+//! order. The first class whose draw lands under its probability fires; a
+//! connection carries at most one fault. Replaying the same seed against the
+//! same connection ordering therefore reproduces the exact fault schedule,
+//! which is what `chaos_soak` and the CI smoke assert.
+
+/// One injectable fault class. A connection is assigned at most one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Sleep before relaying anything (slow link, but correct).
+    Latency,
+    /// Black hole: swallow the request, never answer, never reset.
+    Partition,
+    /// Relay the request, then close abruptly with zero response bytes.
+    Reset,
+    /// Relay the response head plus a prefix of the body, then close.
+    Truncate,
+    /// Drip the request towards the upstream one byte at a time.
+    SlowLorisRequest,
+    /// Drip the response towards the client one byte at a time.
+    SlowLorisResponse,
+    /// Flip bytes inside the response body before relaying it.
+    Corrupt,
+}
+
+impl FaultClass {
+    /// Stable label used in metrics and fault-spec parsing.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Latency => "latency",
+            FaultClass::Partition => "partition",
+            FaultClass::Reset => "reset",
+            FaultClass::Truncate => "truncate",
+            FaultClass::SlowLorisRequest => "slowloris_request",
+            FaultClass::SlowLorisResponse => "slowloris_response",
+            FaultClass::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// Draw order. This is part of the determinism contract: changing it changes
+/// every schedule, so it is append-only.
+pub const CLASSES: [FaultClass; 7] = [
+    FaultClass::Latency,
+    FaultClass::Partition,
+    FaultClass::Reset,
+    FaultClass::Truncate,
+    FaultClass::SlowLorisRequest,
+    FaultClass::SlowLorisResponse,
+    FaultClass::Corrupt,
+];
+
+/// Seeded description of what the proxy may do to a connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Base seed for every per-connection stream.
+    pub seed: u64,
+    /// Probability of added latency, and how much to add.
+    pub latency_prob: f64,
+    /// Milliseconds slept when a latency fault fires.
+    pub latency_ms: u64,
+    /// Probability of a black-hole partition.
+    pub partition_prob: f64,
+    /// Probability of a mid-stream reset (close with no response bytes).
+    pub reset_prob: f64,
+    /// Probability of response truncation.
+    pub truncate_prob: f64,
+    /// Probability of dripping the request path.
+    pub slow_request_prob: f64,
+    /// Probability of dripping the response path.
+    pub slow_response_prob: f64,
+    /// Probability of response-body corruption.
+    pub corrupt_prob: f64,
+    /// How many body bytes a corruption fault flips.
+    pub corrupt_bytes: u32,
+    /// Milliseconds between dripped bytes for the slow-loris classes.
+    pub drip_interval_ms: u64,
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing (transparent relay).
+    pub fn none() -> Self {
+        ChaosPlan {
+            seed: 0,
+            latency_prob: 0.0,
+            latency_ms: 150,
+            partition_prob: 0.0,
+            reset_prob: 0.0,
+            truncate_prob: 0.0,
+            slow_request_prob: 0.0,
+            slow_response_prob: 0.0,
+            corrupt_prob: 0.0,
+            corrupt_bytes: 3,
+            drip_interval_ms: 100,
+        }
+    }
+
+    /// A transparent plan carrying a seed, ready for builder calls.
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            ..ChaosPlan::none()
+        }
+    }
+
+    /// Enable added latency with probability `prob`, sleeping `ms`.
+    pub fn latency(mut self, prob: f64, ms: u64) -> Self {
+        self.latency_prob = prob.clamp(0.0, 1.0);
+        self.latency_ms = ms;
+        self
+    }
+
+    /// Enable black-hole partitions with probability `prob`.
+    pub fn partition(mut self, prob: f64) -> Self {
+        self.partition_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enable mid-stream resets with probability `prob`.
+    pub fn reset(mut self, prob: f64) -> Self {
+        self.reset_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enable response truncation with probability `prob`.
+    pub fn truncate(mut self, prob: f64) -> Self {
+        self.truncate_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enable request-path slow-loris with probability `prob`.
+    pub fn slow_request(mut self, prob: f64) -> Self {
+        self.slow_request_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enable response-path slow-loris with probability `prob`.
+    pub fn slow_response(mut self, prob: f64) -> Self {
+        self.slow_response_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enable body corruption with probability `prob`, flipping `bytes`.
+    pub fn corrupt(mut self, prob: f64, bytes: u32) -> Self {
+        self.corrupt_prob = prob.clamp(0.0, 1.0);
+        self.corrupt_bytes = bytes.max(1);
+        self
+    }
+
+    /// Interval between dripped bytes for both slow-loris classes.
+    pub fn drip_interval_ms(mut self, ms: u64) -> Self {
+        self.drip_interval_ms = ms.max(1);
+        self
+    }
+
+    /// True when at least one fault class can fire.
+    pub fn is_active(&self) -> bool {
+        self.latency_prob > 0.0
+            || self.partition_prob > 0.0
+            || self.reset_prob > 0.0
+            || self.truncate_prob > 0.0
+            || self.slow_request_prob > 0.0
+            || self.slow_response_prob > 0.0
+            || self.corrupt_prob > 0.0
+    }
+
+    fn prob(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::Latency => self.latency_prob,
+            FaultClass::Partition => self.partition_prob,
+            FaultClass::Reset => self.reset_prob,
+            FaultClass::Truncate => self.truncate_prob,
+            FaultClass::SlowLorisRequest => self.slow_request_prob,
+            FaultClass::SlowLorisResponse => self.slow_response_prob,
+            FaultClass::Corrupt => self.corrupt_prob,
+        }
+    }
+
+    /// The fault (if any) assigned to connection number `conn`. Pure in
+    /// `(self.seed, conn)`; draws one uniform per class in `CLASSES` order
+    /// regardless of which class fires, so individual probabilities can be
+    /// tuned without reshuffling later classes' draws.
+    pub fn decision(&self, conn: u64) -> Option<FaultClass> {
+        let mut state = conn_seed(self.seed, conn);
+        let mut fired = None;
+        for class in CLASSES {
+            let draw = uniform(&mut state);
+            if fired.is_none() && draw < self.prob(class) {
+                fired = Some(class);
+            }
+        }
+        fired
+    }
+
+    /// Milliseconds of added latency for connection `conn`, in
+    /// `[latency_ms/2, latency_ms]` so schedules are not perfectly lockstep.
+    pub fn latency_for(&self, conn: u64) -> u64 {
+        let mut state = conn_seed(self.seed, conn) ^ 0x006c_6174_656e_6379;
+        let base = self.latency_ms.max(1);
+        base / 2 + splitmix64(&mut state) % (base / 2 + 1)
+    }
+
+    /// How many bytes of an `body_len`-byte body a truncation fault keeps:
+    /// strictly fewer than `body_len` whenever the body is non-empty.
+    pub fn truncate_keep(&self, conn: u64, body_len: usize) -> usize {
+        if body_len == 0 {
+            return 0;
+        }
+        let mut state = conn_seed(self.seed, conn) ^ 0x7472_756e_6361_7465;
+        (splitmix64(&mut state) as usize) % body_len
+    }
+
+    /// Byte offsets (into the body) flipped by a corruption fault. At most
+    /// `corrupt_bytes` distinct positions; empty only for empty bodies.
+    pub fn corrupt_positions(&self, conn: u64, body_len: usize) -> Vec<usize> {
+        if body_len == 0 {
+            return Vec::new();
+        }
+        let mut state = conn_seed(self.seed, conn) ^ 0x0063_6f72_7275_7074;
+        let mut positions: Vec<usize> = (0..self.corrupt_bytes.max(1))
+            .map(|_| (splitmix64(&mut state) as usize) % body_len)
+            .collect();
+        positions.sort_unstable();
+        positions.dedup();
+        positions
+    }
+
+    /// The first `n` connection decisions as a vector — the full schedule a
+    /// sequentially-driven proxy will follow. Used by reproducibility tests.
+    pub fn schedule(&self, n: u64) -> Vec<Option<FaultClass>> {
+        (0..n).map(|c| self.decision(c)).collect()
+    }
+
+    /// Parse a compact `key=value,...` spec, mirroring `FaultPlan::parse`:
+    /// `seed=42,latency=0.2@150,partition=0.1,reset=0.1,truncate=0.1,`
+    /// `slowreq=0.05,slowresp=0.05,corrupt=0.1@3,drip_ms=100`.
+    /// `latency` takes an optional `@ms` suffix, `corrupt` an optional
+    /// `@bytes` suffix. Empty spec parses to `ChaosPlan::none()`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = ChaosPlan::none();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec `{part}`: expected key=value"))?;
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("chaos seed `{value}`: expected u64"))?;
+                }
+                "latency" => {
+                    let (prob, ms) = parse_prob_at(value, "latency")?;
+                    let ms = ms.unwrap_or(plan.latency_ms);
+                    plan = plan.latency(prob, ms);
+                }
+                "partition" => plan = plan.partition(parse_prob(value, "partition")?),
+                "reset" => plan = plan.reset(parse_prob(value, "reset")?),
+                "truncate" => plan = plan.truncate(parse_prob(value, "truncate")?),
+                "slowreq" => plan = plan.slow_request(parse_prob(value, "slowreq")?),
+                "slowresp" => plan = plan.slow_response(parse_prob(value, "slowresp")?),
+                "corrupt" => {
+                    let (prob, bytes) = parse_prob_at(value, "corrupt")?;
+                    let bytes = bytes.unwrap_or(u64::from(plan.corrupt_bytes));
+                    plan = plan.corrupt(prob, bytes.min(u64::from(u32::MAX)) as u32);
+                }
+                "drip_ms" => {
+                    let ms = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("chaos drip_ms `{value}`: expected u64"))?;
+                    plan = plan.drip_interval_ms(ms);
+                }
+                other => return Err(format!("chaos spec: unknown key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_prob(value: &str, key: &str) -> Result<f64, String> {
+    let p = value
+        .parse::<f64>()
+        .map_err(|_| format!("chaos {key} `{value}`: expected probability"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!(
+            "chaos {key} `{value}`: probability must be in [0, 1]"
+        ));
+    }
+    Ok(p)
+}
+
+fn parse_prob_at(value: &str, key: &str) -> Result<(f64, Option<u64>), String> {
+    match value.split_once('@') {
+        Some((p, extra)) => {
+            let extra = extra
+                .parse::<u64>()
+                .map_err(|_| format!("chaos {key} `{value}`: expected prob@u64"))?;
+            Ok((parse_prob(p, key)?, Some(extra)))
+        }
+        None => Ok((parse_prob(value, key)?, None)),
+    }
+}
+
+/// SplitMix64 step — the same generator the sim fault layer uses.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in [0, 1) using the top 53 bits.
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Derive the per-connection stream seed. Mixing the connection index
+/// through a multiply before the xor keeps adjacent connections' streams
+/// decorrelated (plain `seed ^ conn` would make streams 0 and 1 near-twins).
+fn conn_seed(seed: u64, conn: u64) -> u64 {
+    let mut s = seed ^ conn.wrapping_add(1).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    splitmix64(&mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_in_seed_and_connection_index() {
+        let plan = ChaosPlan::with_seed(42)
+            .latency(0.2, 50)
+            .partition(0.1)
+            .reset(0.1)
+            .truncate(0.1)
+            .corrupt(0.1, 3);
+        let a = plan.schedule(512);
+        let b = plan.schedule(512);
+        assert_eq!(a, b, "same seed must reproduce the same schedule");
+        let other = ChaosPlan {
+            seed: 43,
+            ..plan.clone()
+        }
+        .schedule(512);
+        assert_ne!(
+            a, other,
+            "different seeds should diverge somewhere in 512 draws"
+        );
+    }
+
+    #[test]
+    fn probabilities_roughly_match_over_many_connections() {
+        let plan = ChaosPlan::with_seed(7).partition(0.25);
+        let n = 4000;
+        let hits = plan
+            .schedule(n)
+            .iter()
+            .filter(|d| **d == Some(FaultClass::Partition))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (rate - 0.25).abs() < 0.05,
+            "partition rate {rate} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn inactive_plan_never_fires() {
+        let plan = ChaosPlan::with_seed(99);
+        assert!(!plan.is_active());
+        assert!(plan.schedule(256).iter().all(|d| d.is_none()));
+    }
+
+    #[test]
+    fn truncate_keep_is_a_strict_prefix() {
+        let plan = ChaosPlan::with_seed(3).truncate(1.0);
+        for conn in 0..64 {
+            let keep = plan.truncate_keep(conn, 100);
+            assert!(keep < 100);
+        }
+        assert_eq!(plan.truncate_keep(0, 0), 0);
+    }
+
+    #[test]
+    fn corrupt_positions_are_in_bounds_and_deduped() {
+        let plan = ChaosPlan::with_seed(5).corrupt(1.0, 4);
+        for conn in 0..64 {
+            let positions = plan.corrupt_positions(conn, 37);
+            assert!(!positions.is_empty());
+            assert!(positions.len() <= 4);
+            assert!(positions.iter().all(|&p| p < 37));
+            let mut sorted = positions.clone();
+            sorted.dedup();
+            assert_eq!(sorted, positions);
+        }
+        assert!(plan.corrupt_positions(0, 0).is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_spec() {
+        let plan = ChaosPlan::parse(
+            "seed=42,latency=0.2@150,partition=0.1,reset=0.05,truncate=0.1,\
+             slowreq=0.02,slowresp=0.03,corrupt=0.1@5,drip_ms=80",
+        )
+        .expect("spec parses");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.latency_prob, 0.2);
+        assert_eq!(plan.latency_ms, 150);
+        assert_eq!(plan.partition_prob, 0.1);
+        assert_eq!(plan.reset_prob, 0.05);
+        assert_eq!(plan.truncate_prob, 0.1);
+        assert_eq!(plan.slow_request_prob, 0.02);
+        assert_eq!(plan.slow_response_prob, 0.03);
+        assert_eq!(plan.corrupt_prob, 0.1);
+        assert_eq!(plan.corrupt_bytes, 5);
+        assert_eq!(plan.drip_interval_ms, 80);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(ChaosPlan::parse("nonsense").is_err());
+        assert!(ChaosPlan::parse("unknown=1").is_err());
+        assert!(ChaosPlan::parse("partition=1.5").is_err());
+        assert!(ChaosPlan::parse("seed=abc").is_err());
+        assert!(ChaosPlan::parse("latency=0.2@xyz").is_err());
+        assert_eq!(ChaosPlan::parse("").expect("empty ok"), ChaosPlan::none());
+    }
+}

@@ -1,0 +1,542 @@
+//! The fault-injecting TCP proxy.
+//!
+//! One listener, one upstream. Every accepted connection is numbered, looks
+//! up its fate in the `ChaosPlan`, and is relayed store-and-forward: the
+//! whole stack speaks single-request `Connection: close` HTTP/1.1, so the
+//! proxy reads one request, forwards it, reads one response, applies the
+//! scheduled fault, and closes. Store-and-forward keeps fault application
+//! (truncation offsets, corrupted byte positions) deterministic because the
+//! full message is in hand before any transformed byte leaves the proxy.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use exareq_core::cancel::CancelToken;
+
+use crate::metrics::ChaosMetrics;
+use crate::plan::{ChaosPlan, FaultClass};
+
+/// How long the proxy waits for an upstream TCP connect.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+/// Hard ceiling on any single connection's lifetime inside the proxy, so a
+/// partition against a client with no deadline cannot leak a thread forever.
+const MAX_HOLD: Duration = Duration::from_secs(30);
+/// Socket read granularity; also the cancellation poll interval.
+const SLICE: Duration = Duration::from_millis(50);
+/// Cap on one buffered HTTP message (head + body).
+const MAX_MESSAGE: usize = 80 * 1024 * 1024;
+
+/// Handle to a running chaos proxy.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    metrics: Arc<ChaosMetrics>,
+    acceptor: JoinHandle<()>,
+}
+
+impl ChaosProxy {
+    /// Bind `listen`, start relaying to `upstream`, and return immediately.
+    /// The proxy runs until `cancel` fires; `join` waits for full shutdown.
+    pub fn start(
+        listen: &str,
+        upstream: &str,
+        plan: ChaosPlan,
+        cancel: &CancelToken,
+    ) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ChaosMetrics::new());
+        let upstream = upstream.to_string();
+        let cancel = cancel.clone();
+        let shared_metrics = Arc::clone(&metrics);
+        let acceptor = thread::spawn(move || {
+            accept_loop(listener, upstream, plan, shared_metrics, cancel);
+        });
+        Ok(ChaosProxy {
+            addr,
+            metrics,
+            acceptor,
+        })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared fault counters.
+    pub fn metrics(&self) -> Arc<ChaosMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Wait for the acceptor and every connection thread to finish. Only
+    /// returns promptly after the associated `CancelToken` has fired.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: String,
+    plan: ChaosPlan,
+    metrics: Arc<ChaosMetrics>,
+    cancel: CancelToken,
+) {
+    let next_conn = AtomicU64::new(0);
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !cancel.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn = next_conn.fetch_add(1, Ordering::Relaxed);
+                let upstream = upstream.clone();
+                let plan = plan.clone();
+                let metrics = Arc::clone(&metrics);
+                let cancel = cancel.clone();
+                workers.push(thread::spawn(move || {
+                    handle_connection(stream, conn, &upstream, &plan, &metrics, &cancel);
+                }));
+                workers.retain(|w| !w.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(Duration::from_millis(5)),
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+fn handle_connection(
+    client: TcpStream,
+    conn: u64,
+    upstream: &str,
+    plan: &ChaosPlan,
+    metrics: &ChaosMetrics,
+    cancel: &CancelToken,
+) {
+    metrics.record_connection();
+    let started = Instant::now();
+    match plan.decision(conn) {
+        Some(FaultClass::Partition) => {
+            metrics.record_fault(FaultClass::Partition);
+            black_hole(client, cancel, started);
+        }
+        Some(FaultClass::Latency) => {
+            metrics.record_fault(FaultClass::Latency);
+            sleep_sliced(Duration::from_millis(plan.latency_for(conn)), cancel);
+            let _ = relay(client, conn, upstream, plan, metrics, cancel, started, None);
+        }
+        Some(FaultClass::SlowLorisRequest) => {
+            metrics.record_fault(FaultClass::SlowLorisRequest);
+            let _ = relay(
+                client,
+                conn,
+                upstream,
+                plan,
+                metrics,
+                cancel,
+                started,
+                Some(FaultClass::SlowLorisRequest),
+            );
+        }
+        fault => {
+            let _ = relay(
+                client, conn, upstream, plan, metrics, cancel, started, fault,
+            );
+        }
+    }
+}
+
+/// Swallow whatever the client sends and never answer. Ends when the client
+/// hangs up, the token fires, or the safety ceiling elapses.
+fn black_hole(client: TcpStream, cancel: &CancelToken, started: Instant) {
+    let _ = client.set_read_timeout(Some(SLICE));
+    let mut sink = [0u8; 4096];
+    let mut stream = client;
+    // A read EOF is only a half-close (clients may shut down their write
+    // side after the request); a black hole keeps the connection pinned
+    // until the peer resets it, the plan's hold cap passes, or shutdown.
+    let mut half_closed = false;
+    while !cancel.is_cancelled() && started.elapsed() < MAX_HOLD {
+        if half_closed {
+            thread::sleep(SLICE);
+            continue;
+        }
+        match stream.read(&mut sink) {
+            Ok(0) => half_closed = true,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Store-and-forward relay with the scheduled response-path fault applied.
+/// `request_fault` marks the one request-path class (slow-loris request).
+#[allow(clippy::too_many_arguments)]
+fn relay(
+    mut client: TcpStream,
+    conn: u64,
+    upstream: &str,
+    plan: &ChaosPlan,
+    metrics: &ChaosMetrics,
+    cancel: &CancelToken,
+    started: Instant,
+    fault: Option<FaultClass>,
+) -> std::io::Result<()> {
+    let request = read_message(&mut client, cancel, started)?;
+    if request.is_empty() {
+        return Ok(());
+    }
+    let addr = resolve(upstream)?;
+    let mut server = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    server.set_nodelay(true).ok();
+
+    if fault == Some(FaultClass::SlowLorisRequest) {
+        drip(
+            &mut server,
+            &request,
+            plan.drip_interval_ms,
+            cancel,
+            started,
+        );
+    } else {
+        server.write_all(&request)?;
+    }
+    let _ = server.shutdown(Shutdown::Write);
+
+    let response = read_message(&mut server, cancel, started)?;
+    if response.is_empty() {
+        return Ok(());
+    }
+
+    match fault {
+        Some(FaultClass::Reset) => {
+            // The upstream did the work and answered; the client gets an
+            // abrupt close with zero response bytes — a mid-stream reset
+            // from its point of view.
+            metrics.record_fault(FaultClass::Reset);
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        Some(FaultClass::Truncate) => {
+            let head_end = head_end(&response).unwrap_or(response.len());
+            let body_len = response.len() - head_end;
+            let keep = head_end + plan.truncate_keep(conn, body_len);
+            if keep < response.len() {
+                metrics.record_fault(FaultClass::Truncate);
+                client.write_all(&response[..keep])?;
+            } else {
+                client.write_all(&response)?;
+            }
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        Some(FaultClass::SlowLorisResponse) => {
+            metrics.record_fault(FaultClass::SlowLorisResponse);
+            drip(
+                &mut client,
+                &response,
+                plan.drip_interval_ms,
+                cancel,
+                started,
+            );
+        }
+        Some(FaultClass::Corrupt) => {
+            let head_len = head_end(&response).unwrap_or(response.len());
+            let body_len = response.len() - head_len;
+            let positions = plan.corrupt_positions(conn, body_len);
+            if positions.is_empty() {
+                client.write_all(&response)?;
+            } else {
+                metrics.record_fault(FaultClass::Corrupt);
+                let mut corrupted = response;
+                for p in positions {
+                    // xor with a non-zero mask guarantees the byte changes.
+                    corrupted[head_len + p] ^= 0xa5;
+                }
+                client.write_all(&corrupted)?;
+            }
+        }
+        _ => client.write_all(&response)?,
+    }
+    Ok(())
+}
+
+/// Write `bytes` one at a time with `interval_ms` between them, stopping on
+/// cancellation, peer hang-up, or the safety ceiling.
+fn drip(
+    stream: &mut TcpStream,
+    bytes: &[u8],
+    interval_ms: u64,
+    cancel: &CancelToken,
+    started: Instant,
+) {
+    stream.set_nodelay(true).ok();
+    let interval = Duration::from_millis(interval_ms.max(1));
+    for chunk in bytes.chunks(1) {
+        if cancel.is_cancelled() || started.elapsed() >= MAX_HOLD {
+            return;
+        }
+        if stream
+            .write_all(chunk)
+            .and_then(|_| stream.flush())
+            .is_err()
+        {
+            return;
+        }
+        sleep_sliced(interval, cancel);
+    }
+}
+
+/// Read one HTTP/1.1 message: head, then `Content-Length` body bytes (no
+/// declared length means no body — every daemon in this stack sends one).
+/// Returns whatever arrived if the peer closes early; the caller's fault
+/// logic and the client's hardening decide what that means.
+fn read_message(
+    stream: &mut TcpStream,
+    cancel: &CancelToken,
+    started: Instant,
+) -> std::io::Result<Vec<u8>> {
+    stream.set_read_timeout(Some(SLICE))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 8192];
+    let mut want: Option<usize> = None;
+    loop {
+        if let Some(total) = want {
+            if buf.len() >= total {
+                buf.truncate(total);
+                return Ok(buf);
+            }
+        }
+        if cancel.is_cancelled() || started.elapsed() >= MAX_HOLD || buf.len() > MAX_MESSAGE {
+            return Ok(buf);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(buf),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if want.is_none() {
+                    if let Some(he) = head_end(&buf) {
+                        want = Some(he + content_length(&buf[..he]).unwrap_or(0));
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Offset just past the `\r\n\r\n` head terminator, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parse a `Content-Length` header out of a raw message head.
+fn content_length(head: &[u8]) -> Option<usize> {
+    let text = std::str::from_utf8(head).ok()?;
+    for line in text.split("\r\n") {
+        let (name, value) = match line.split_once(':') {
+            Some(pair) => pair,
+            None => continue,
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            return value.trim().parse::<usize>().ok();
+        }
+    }
+    None
+}
+
+fn resolve(upstream: &str) -> std::io::Result<SocketAddr> {
+    upstream.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(ErrorKind::AddrNotAvailable, "upstream resolved to nothing")
+    })
+}
+
+/// Sleep `total` in cancellation-aware slices.
+fn sleep_sliced(total: Duration, cancel: &CancelToken) {
+    let deadline = Instant::now() + total;
+    while !cancel.is_cancelled() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        thread::sleep(left.min(SLICE));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exareq_core::cancel::CancelReason;
+    use std::io::BufRead;
+
+    /// Minimal single-shot upstream: answers every connection with `body`
+    /// wrapped in a well-formed 200.
+    fn canned_upstream(body: &'static str, cancel: &CancelToken) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        listener.set_nonblocking(true).ok();
+        let addr = listener.local_addr().expect("addr");
+        let cancel = cancel.clone();
+        thread::spawn(move || {
+            while !cancel.is_cancelled() {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        stream
+                            .set_read_timeout(Some(Duration::from_millis(500)))
+                            .ok();
+                        let mut reader =
+                            std::io::BufReader::new(stream.try_clone().expect("clone"));
+                        let mut line = String::new();
+                        while reader.read_line(&mut line).map(|n| n > 2).unwrap_or(false) {
+                            line.clear();
+                        }
+                        let response = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                            body.len(),
+                            body
+                        );
+                        let _ = stream.write_all(response.as_bytes());
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5))
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        addr
+    }
+
+    fn fetch(addr: SocketAddr) -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        stream.write_all(b"GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")?;
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn transparent_plan_relays_byte_identically() {
+        let cancel = CancelToken::new();
+        let upstream = canned_upstream("hello-chaos", &cancel);
+        let proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            &upstream.to_string(),
+            ChaosPlan::with_seed(1),
+            &cancel,
+        )
+        .expect("proxy starts");
+        let direct = fetch(upstream).expect("direct fetch");
+        let proxied = fetch(proxy.addr()).expect("proxied fetch");
+        assert_eq!(direct, proxied, "inactive plan must be a transparent relay");
+        assert_eq!(proxy.metrics().injected_total(), 0);
+        assert_eq!(proxy.metrics().connections_total(), 1);
+        cancel.cancel(CancelReason::Interrupt);
+        proxy.join();
+    }
+
+    #[test]
+    fn reset_plan_closes_with_zero_response_bytes() {
+        let cancel = CancelToken::new();
+        let upstream = canned_upstream("unseen", &cancel);
+        let proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            &upstream.to_string(),
+            ChaosPlan::with_seed(1).reset(1.0),
+            &cancel,
+        )
+        .expect("proxy starts");
+        let got = fetch(proxy.addr()).expect("fetch against reset proxy");
+        assert!(
+            got.is_empty(),
+            "reset fault must deliver zero bytes, got {}",
+            got.len()
+        );
+        assert_eq!(proxy.metrics().injected(FaultClass::Reset), 1);
+        cancel.cancel(CancelReason::Interrupt);
+        proxy.join();
+    }
+
+    #[test]
+    fn truncate_plan_delivers_a_strict_prefix() {
+        let cancel = CancelToken::new();
+        let upstream = canned_upstream("a-body-long-enough-to-truncate", &cancel);
+        let proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            &upstream.to_string(),
+            ChaosPlan::with_seed(9).truncate(1.0),
+            &cancel,
+        )
+        .expect("proxy starts");
+        let direct = fetch(upstream).expect("direct fetch");
+        let truncated = fetch(proxy.addr()).expect("truncated fetch");
+        assert!(truncated.len() < direct.len());
+        assert_eq!(&direct[..truncated.len()], &truncated[..]);
+        assert_eq!(proxy.metrics().injected(FaultClass::Truncate), 1);
+        cancel.cancel(CancelReason::Interrupt);
+        proxy.join();
+    }
+
+    #[test]
+    fn corrupt_plan_flips_body_bytes_only() {
+        let cancel = CancelToken::new();
+        let upstream = canned_upstream("payload-to-corrupt", &cancel);
+        let proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            &upstream.to_string(),
+            ChaosPlan::with_seed(4).corrupt(1.0, 2),
+            &cancel,
+        )
+        .expect("proxy starts");
+        let direct = fetch(upstream).expect("direct fetch");
+        let corrupted = fetch(proxy.addr()).expect("corrupted fetch");
+        assert_eq!(direct.len(), corrupted.len());
+        let he = head_end(&direct).expect("head end");
+        assert_eq!(&direct[..he], &corrupted[..he], "head must be untouched");
+        assert_ne!(&direct[he..], &corrupted[he..], "body must differ");
+        assert_eq!(proxy.metrics().injected(FaultClass::Corrupt), 1);
+        cancel.cancel(CancelReason::Interrupt);
+        proxy.join();
+    }
+
+    #[test]
+    fn partition_plan_answers_nothing_until_client_gives_up() {
+        let cancel = CancelToken::new();
+        let upstream = canned_upstream("never-seen", &cancel);
+        let proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            &upstream.to_string(),
+            ChaosPlan::with_seed(2).partition(1.0),
+            &cancel,
+        )
+        .expect("proxy starts");
+        let started = Instant::now();
+        let got = fetch(proxy.addr()).expect("fetch returns after client timeout");
+        assert!(got.is_empty(), "partition must deliver zero bytes");
+        assert!(
+            started.elapsed() >= Duration::from_millis(1500),
+            "client should have waited out its own read timeout"
+        );
+        assert_eq!(proxy.metrics().injected(FaultClass::Partition), 1);
+        cancel.cancel(CancelReason::Interrupt);
+        proxy.join();
+    }
+}

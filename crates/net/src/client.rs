@@ -3,12 +3,23 @@
 //! Both talk to `exareq serve` daemons over the same wire format, so the
 //! client is the mirror image of `crates/serve/src/http.rs`: request
 //! line plus `Content-Length` body out, status line + headers + body
-//! back. Three properties matter more than generality:
+//! back. Four properties matter more than generality:
 //!
 //! - **Bounded everything.** Connects use [`TcpStream::connect_timeout`],
-//!   reads happen in short timeout slices under a per-exchange deadline,
-//!   and response heads/bodies have hard size caps. A hung worker costs a
-//!   deadline, never a stuck coordinator.
+//!   writes carry a socket write timeout, reads happen in short timeout
+//!   slices under a per-exchange deadline, and response heads/bodies have
+//!   hard size caps with typed [`ClientError::OversizedResponse`] errors.
+//!   On top of the per-attempt limits sits a **total request budget**
+//!   spanning every retry and backoff of one logical request, so N
+//!   attempts can never sum past the caller's intent. When a deadline
+//!   expires, the error names the phase — connect, write, or read — and
+//!   the shared [`NetMetrics`] counts it.
+//! - **No stale reads.** A half-delivered answer is never committed: a
+//!   promised `Content-Length` that the wire cuts short is a typed
+//!   [`ClientError::TruncatedResponse`], and when the server stamps an
+//!   `X-Exareq-Digest` body checksum (every exareq daemon does) the client
+//!   re-hashes the body and fails the exchange on mismatch — a corrupted
+//!   200 surfaces as [`ClientError::Integrity`], never as data.
 //! - **Cancellable everywhere.** Every wait — connect retry backoff,
 //!   read slice, `Retry-After` sleep — polls a
 //!   [`CancelToken`](exareq_core::cancel::CancelToken) so Ctrl-C and
@@ -22,8 +33,10 @@
 use exareq_core::cancel::CancelToken;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::metrics::{NetMetrics, Phase};
 
 /// Largest response head (status line + headers) the client will buffer.
 pub const MAX_RESPONSE_HEAD: usize = 16 * 1024;
@@ -45,7 +58,7 @@ const SLICE: Duration = Duration::from_millis(50);
 pub struct ClientConfig {
     /// TCP connect timeout.
     pub connect_timeout: Duration,
-    /// Total wall-clock budget for one exchange (write + read).
+    /// Wall-clock budget for one exchange attempt (write + read).
     pub exchange_deadline: Duration,
     /// Attempts per [`HttpClient::post_with_retry`] call (including the
     /// first); clamped to at least 1.
@@ -56,6 +69,17 @@ pub struct ClientConfig {
     pub backoff_cap: Duration,
     /// Seed for backoff jitter (deterministic per client).
     pub jitter_seed: u64,
+    /// Total wall-clock budget for one *logical* request — every attempt,
+    /// backoff, and `Retry-After` sleep of one `post_with_retry` call (and
+    /// a ceiling on single exchanges too). `None` derives the worst case
+    /// from the per-attempt limits, so the budget always exists; setting
+    /// it explicitly tightens the guarantee to the caller's intent.
+    pub request_budget: Option<Duration>,
+    /// Require an `X-Exareq-Digest` header on every 200. All exareq
+    /// daemons stamp one; the router and fleet turn this on so a corrupted
+    /// or truncated 200 from a misbehaving middlebox can never be
+    /// committed, even when the corruption also destroyed the header.
+    pub require_digest: bool,
 }
 
 impl Default for ClientConfig {
@@ -67,21 +91,52 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_millis(100),
             backoff_cap: Duration::from_secs(2),
             jitter_seed: 0x9e37_79b9_7f4a_7c15,
+            request_budget: None,
+            require_digest: false,
         }
+    }
+}
+
+impl ClientConfig {
+    /// The enforced total budget: the explicit `request_budget`, or the
+    /// worst case the per-attempt limits already permitted (attempts ×
+    /// (connect + exchange + backoff cap)) — preserving prior semantics
+    /// while guaranteeing every request has *some* hard ceiling.
+    pub fn effective_budget(&self) -> Duration {
+        if let Some(budget) = self.request_budget {
+            return budget.max(Duration::from_millis(1));
+        }
+        let attempts = self.retry_budget.max(1);
+        (self.connect_timeout + self.exchange_deadline + self.backoff_cap).saturating_mul(attempts)
     }
 }
 
 /// Why an exchange failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
-    /// Could not resolve or connect within the connect timeout.
+    /// Could not resolve or connect (refused, unreachable, ...).
     Connect(String),
     /// Read/write failed mid-exchange.
     Io(String),
     /// The bytes on the wire were not a well-formed HTTP/1.1 response.
     Protocol(String),
-    /// The exchange deadline elapsed before a full response arrived.
-    Timeout,
+    /// The wire ended before the promised `Content-Length` — a
+    /// half-delivered response that must not be committed.
+    TruncatedResponse {
+        /// Total message bytes the head promised.
+        expected: usize,
+        /// Bytes actually received before EOF.
+        got: usize,
+    },
+    /// The response head or body exceeded the client's hard size cap.
+    OversizedResponse {
+        /// The cap that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// The response body failed (or was missing) its integrity digest.
+    Integrity(String),
+    /// A deadline elapsed; the phase names where the time went.
+    Timeout(Phase),
     /// The cancel token fired mid-exchange or mid-backoff.
     Cancelled,
 }
@@ -92,7 +147,14 @@ impl std::fmt::Display for ClientError {
             ClientError::Connect(e) => write!(f, "connect: {e}"),
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
-            ClientError::Timeout => write!(f, "exchange deadline elapsed"),
+            ClientError::TruncatedResponse { expected, got } => {
+                write!(f, "truncated response: {got} of {expected} bytes")
+            }
+            ClientError::OversizedResponse { limit } => {
+                write!(f, "response exceeds {limit}-byte cap")
+            }
+            ClientError::Integrity(e) => write!(f, "integrity: {e}"),
+            ClientError::Timeout(phase) => write!(f, "deadline elapsed in {phase} phase"),
             ClientError::Cancelled => write!(f, "cancelled"),
         }
     }
@@ -130,13 +192,23 @@ pub struct HttpClient {
     cfg: ClientConfig,
     /// splitmix64 state for backoff jitter.
     rng: Mutex<u64>,
+    metrics: Arc<NetMetrics>,
 }
 
 impl HttpClient {
     /// Build a client with the given tuning.
     pub fn new(cfg: ClientConfig) -> Self {
         let rng = Mutex::new(cfg.jitter_seed | 1);
-        HttpClient { cfg, rng }
+        HttpClient {
+            cfg,
+            rng,
+            metrics: Arc::new(NetMetrics::new()),
+        }
+    }
+
+    /// The shared phase-timeout counters this client feeds.
+    pub fn metrics(&self) -> Arc<NetMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// One `GET` exchange, no retries. Probes use this: a health check
@@ -147,7 +219,8 @@ impl HttpClient {
         target: &str,
         cancel: &CancelToken,
     ) -> Result<ClientResponse, ClientError> {
-        self.exchange(addr, "GET", target, b"", cancel)
+        let budget = Instant::now() + self.cfg.effective_budget();
+        self.exchange(addr, "GET", target, b"", cancel, budget)
     }
 
     /// One `POST` exchange, no retries.
@@ -158,14 +231,16 @@ impl HttpClient {
         body: &[u8],
         cancel: &CancelToken,
     ) -> Result<ClientResponse, ClientError> {
-        self.exchange(addr, "POST", target, body, cancel)
+        let budget = Instant::now() + self.cfg.effective_budget();
+        self.exchange(addr, "POST", target, body, cancel, budget)
     }
 
     /// `POST` with the retry budget applied to transport errors and
-    /// 503/504 answers. When a retriable response carries `Retry-After`,
-    /// that many seconds (capped at [`MAX_RETRY_AFTER_SECS`]) replace the
-    /// computed backoff. Returns the first conclusive response, or the
-    /// last failure once the budget is spent.
+    /// 503/504 answers, all under one total request budget. When a
+    /// retriable response carries `Retry-After`, that many seconds (capped
+    /// at [`MAX_RETRY_AFTER_SECS`]) replace the computed backoff — but
+    /// never past the budget. Returns the first conclusive response, or
+    /// the last failure once either budget is spent.
     pub fn post_with_retry(
         &self,
         addr: &str,
@@ -173,6 +248,7 @@ impl HttpClient {
         body: &[u8],
         cancel: &CancelToken,
     ) -> Result<ClientResponse, ClientError> {
+        let budget = Instant::now() + self.cfg.effective_budget();
         let attempts = self.cfg.retry_budget.max(1);
         let mut last: Option<Result<ClientResponse, ClientError>> = None;
         for attempt in 0..attempts {
@@ -185,11 +261,20 @@ impl HttpClient {
                     Some(secs) => Duration::from_secs(secs.min(MAX_RETRY_AFTER_SECS)),
                     None => self.backoff(attempt),
                 };
-                if !sleep_cancellable(pause, cancel) {
+                // Never sleep past the total budget, and don't start an
+                // attempt the budget can't fund.
+                let remaining = budget.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                if !sleep_cancellable(pause.min(remaining), cancel) {
                     return Err(ClientError::Cancelled);
                 }
+                if Instant::now() >= budget {
+                    break;
+                }
             }
-            match self.exchange(addr, "POST", target, body, cancel) {
+            match self.exchange(addr, "POST", target, body, cancel, budget) {
                 Ok(resp) if resp.status == 503 || resp.status == 504 => {
                     last = Some(Ok(resp));
                 }
@@ -219,7 +304,10 @@ impl HttpClient {
         Duration::from_nanos(nanos / 2 + draw % (nanos / 2).max(1))
     }
 
-    /// One full request/response round trip.
+    /// One full request/response round trip, bounded by both the
+    /// per-attempt exchange deadline and the caller's total budget.
+    /// Phase-attributed timeouts are recorded in [`NetMetrics`] here, at
+    /// the single exit.
     fn exchange(
         &self,
         addr: &str,
@@ -227,12 +315,46 @@ impl HttpClient {
         target: &str,
         body: &[u8],
         cancel: &CancelToken,
+        budget: Instant,
+    ) -> Result<ClientResponse, ClientError> {
+        self.exchange_inner(addr, method, target, body, cancel, budget)
+            .inspect_err(|e| {
+                if let ClientError::Timeout(phase) = e {
+                    self.metrics.record_timeout(*phase);
+                }
+            })
+    }
+
+    fn exchange_inner(
+        &self,
+        addr: &str,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        cancel: &CancelToken,
+        budget: Instant,
     ) -> Result<ClientResponse, ClientError> {
         if cancel.is_cancelled() {
             return Err(ClientError::Cancelled);
         }
-        let deadline = Instant::now() + self.cfg.exchange_deadline;
-        let stream = self.connect(addr)?;
+        let deadline = (Instant::now() + self.cfg.exchange_deadline).min(budget);
+
+        // Connect phase.
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ClientError::Timeout(Phase::Connect));
+        }
+        let stream = self.connect(addr, self.cfg.connect_timeout.min(remaining))?;
+
+        // Write phase. A zero write timeout is invalid, so clamp up; the
+        // deadline re-check below still bounds the total.
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ClientError::Timeout(Phase::Write));
+        }
+        stream
+            .set_write_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .map_err(|e| ClientError::Io(e.to_string()))?;
         stream
             .set_read_timeout(Some(SLICE))
             .map_err(|e| ClientError::Io(e.to_string()))?;
@@ -244,22 +366,58 @@ impl HttpClient {
         stream
             .write_all(head.as_bytes())
             .and_then(|()| stream.write_all(body))
-            .map_err(|e| ClientError::Io(e.to_string()))?;
+            .map_err(|e| match e.kind() {
+                ErrorKind::WouldBlock | ErrorKind::TimedOut => ClientError::Timeout(Phase::Write),
+                _ => ClientError::Io(e.to_string()),
+            })?;
+
+        // Read phase.
         let raw = read_response(&mut stream, deadline, cancel)?;
-        parse_response(&raw)
+        let resp = parse_response(&raw)?;
+        self.verify_integrity(&resp)?;
+        Ok(resp)
     }
 
-    /// Resolve and connect with the connect timeout. Multi-homed names
-    /// try each address in resolution order.
-    fn connect(&self, addr: &str) -> Result<TcpStream, ClientError> {
+    /// Integrity gate: when the response carries an `X-Exareq-Digest`
+    /// header, the body must hash back to it; when `require_digest` is set,
+    /// a 200 *without* the header is itself an error (so corruption that
+    /// destroys the header cannot smuggle a divergent body through). The
+    /// digest is FNV-1a 64 in lowercase hex — kept in lockstep with
+    /// `crates/serve/src/http.rs`, which stamps it.
+    fn verify_integrity(&self, resp: &ClientResponse) -> Result<(), ClientError> {
+        match resp.header("x-exareq-digest") {
+            Some(expected) => {
+                let actual = digest_hex(&resp.body);
+                if !actual.eq_ignore_ascii_case(expected.trim()) {
+                    return Err(ClientError::Integrity(format!(
+                        "body digest {actual} does not match X-Exareq-Digest {expected}"
+                    )));
+                }
+                Ok(())
+            }
+            None if self.cfg.require_digest && resp.status == 200 => Err(ClientError::Integrity(
+                "200 response without required X-Exareq-Digest header".to_string(),
+            )),
+            None => Ok(()),
+        }
+    }
+
+    /// Resolve and connect within `timeout`. Multi-homed names try each
+    /// address in resolution order; a timeout on the final candidate is a
+    /// phase-attributed [`ClientError::Timeout`].
+    fn connect(&self, addr: &str, timeout: Duration) -> Result<TcpStream, ClientError> {
         let addrs: Vec<SocketAddr> = addr
             .to_socket_addrs()
             .map_err(|e| ClientError::Connect(format!("{addr}: {e}")))?
             .collect();
         let mut last = ClientError::Connect(format!("{addr}: no addresses"));
+        let timeout = timeout.max(Duration::from_millis(1));
         for sockaddr in addrs {
-            match TcpStream::connect_timeout(&sockaddr, self.cfg.connect_timeout) {
+            match TcpStream::connect_timeout(&sockaddr, timeout) {
                 Ok(s) => return Ok(s),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    last = ClientError::Timeout(Phase::Connect);
+                }
                 Err(e) => last = ClientError::Connect(format!("{sockaddr}: {e}")),
             }
         }
@@ -275,6 +433,22 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// FNV-1a 64 over a byte slice — the body-integrity hash both sides of
+/// the wire compute (`crates/serve` stamps it, this client verifies it).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The wire form of [`fnv1a64`]: 16 lowercase hex digits.
+pub fn digest_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
 }
 
 /// Sleep in cancellable slices; `false` means the token fired first.
@@ -315,13 +489,18 @@ fn read_response(
             return Err(ClientError::Cancelled);
         }
         if Instant::now() >= deadline {
-            return Err(ClientError::Timeout);
+            return Err(ClientError::Timeout(Phase::Read));
         }
         match stream.read(&mut buf) {
             Ok(0) => {
                 return match want {
-                    // Short body after a promised length is a protocol error.
-                    Some(_) => Err(ClientError::Protocol("truncated body".to_string())),
+                    // Short body after a promised length is a truncated
+                    // (half-delivered) response — typed so callers can
+                    // distinguish it from a malformed one.
+                    Some(total) => Err(ClientError::TruncatedResponse {
+                        expected: total,
+                        got: raw.len(),
+                    }),
                     None if raw.is_empty() => {
                         Err(ClientError::Protocol("empty response".to_string()))
                     }
@@ -340,18 +519,21 @@ fn read_response(
                         });
                         if let Some(total) = want {
                             if total > MAX_RESPONSE_BODY {
-                                return Err(ClientError::Protocol(format!(
-                                    "body of {} bytes exceeds cap",
-                                    total - head_end - 4
-                                )));
+                                return Err(ClientError::OversizedResponse {
+                                    limit: MAX_RESPONSE_BODY,
+                                });
                             }
                         }
                     } else if raw.len() > MAX_RESPONSE_HEAD {
-                        return Err(ClientError::Protocol("response head too large".to_string()));
+                        return Err(ClientError::OversizedResponse {
+                            limit: MAX_RESPONSE_HEAD,
+                        });
                     }
                 }
                 if raw.len() > MAX_RESPONSE_BODY {
-                    return Err(ClientError::Protocol("response body too large".to_string()));
+                    return Err(ClientError::OversizedResponse {
+                        limit: MAX_RESPONSE_BODY,
+                    });
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
@@ -454,6 +636,14 @@ mod tests {
         )
     }
 
+    fn ok_response_with_digest(body: &str) -> String {
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nX-Exareq-Digest: {}\r\n\r\n{body}",
+            body.len(),
+            digest_hex(body.as_bytes())
+        )
+    }
+
     #[test]
     fn get_parses_status_headers_and_body() {
         let addr = canned_server(vec![ok_response("{\"status\":\"ok\"}")]);
@@ -508,7 +698,7 @@ mod tests {
     }
 
     #[test]
-    fn black_hole_times_out_within_deadline() {
+    fn black_hole_times_out_in_the_read_phase() {
         // Accepts but never responds.
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr").to_string();
@@ -525,8 +715,141 @@ mod tests {
         let err = client
             .get(&addr, "/healthz", &CancelToken::new())
             .expect_err("no answer");
-        assert_eq!(err, ClientError::Timeout);
+        assert_eq!(err, ClientError::Timeout(Phase::Read));
         assert!(t0.elapsed() < Duration::from_secs(2));
+        assert_eq!(client.metrics().timeouts(Phase::Read), 1);
+        assert!(client
+            .metrics()
+            .render()
+            .contains("net_request_phase_timeouts_total{phase=\"read\"} 1"));
+    }
+
+    #[test]
+    fn total_budget_binds_tighter_than_the_exchange_deadline() {
+        // Black hole again, but the per-attempt deadline is generous and
+        // only the total request budget is small: the request must still
+        // resolve within (about) the budget, attributed to the read phase.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            let conn = listener.accept();
+            std::thread::sleep(Duration::from_secs(5));
+            drop(conn);
+        });
+        let client = HttpClient::new(ClientConfig {
+            exchange_deadline: Duration::from_secs(30),
+            request_budget: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        });
+        let t0 = Instant::now();
+        let err = client
+            .get(&addr, "/healthz", &CancelToken::new())
+            .expect_err("budget expires");
+        assert_eq!(err, ClientError::Timeout(Phase::Read));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "budget of 200ms must override the 30s exchange deadline"
+        );
+    }
+
+    #[test]
+    fn total_budget_spans_every_retry_attempt() {
+        // Ten 503s with no Retry-After hint: the computed backoff would
+        // stretch across seconds, but a 300ms total budget stops the loop
+        // and surfaces the last 503 quickly.
+        let busy = "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n".to_string();
+        let addr = canned_server(vec![busy; 10]);
+        let client = HttpClient::new(ClientConfig {
+            retry_budget: 10,
+            backoff_base: Duration::from_millis(100),
+            request_budget: Some(Duration::from_millis(300)),
+            ..ClientConfig::default()
+        });
+        let t0 = Instant::now();
+        let resp = client
+            .post_with_retry(&addr, "/measure", b"{}", &CancelToken::new())
+            .expect("last 503 surfaces");
+        assert_eq!(resp.status, 503);
+        assert!(
+            t0.elapsed() < Duration::from_millis(900),
+            "ten backoffs must not outlive a 300ms budget (took {:?})",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn short_body_is_a_typed_truncated_response() {
+        // Promise 100 bytes, deliver 5, close.
+        let addr = canned_server(vec![
+            "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nhello".to_string()
+        ]);
+        let client = HttpClient::new(ClientConfig::default());
+        match client.get(&addr, "/predict", &CancelToken::new()) {
+            Err(ClientError::TruncatedResponse { expected, got }) => {
+                assert!(got < expected, "{got} < {expected}");
+            }
+            other => panic!("expected TruncatedResponse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_a_typed_oversized_response() {
+        let addr = canned_server(vec![format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n",
+            MAX_RESPONSE_BODY + 1
+        )]);
+        let client = HttpClient::new(ClientConfig::default());
+        match client.get(&addr, "/predict", &CancelToken::new()) {
+            Err(ClientError::OversizedResponse { limit }) => {
+                assert_eq!(limit, MAX_RESPONSE_BODY)
+            }
+            other => panic!("expected OversizedResponse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matching_digest_passes_and_mismatch_fails() {
+        let good = ok_response_with_digest("{\"v\":1}");
+        let bad = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: 7\r\nX-Exareq-Digest: {}\r\n\r\n{{\"v\":2}}",
+            digest_hex(b"{\"v\":1}")
+        );
+        let addr = canned_server(vec![good, bad]);
+        let client = HttpClient::new(ClientConfig::default());
+        let resp = client
+            .get(&addr, "/predict", &CancelToken::new())
+            .expect("matching digest passes");
+        assert_eq!(resp.body, b"{\"v\":1}");
+        match client.get(&addr, "/predict", &CancelToken::new()) {
+            Err(ClientError::Integrity(msg)) => {
+                assert!(msg.contains("X-Exareq-Digest"), "message: {msg}")
+            }
+            other => panic!("expected Integrity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn require_digest_rejects_bare_200s_only() {
+        let addr = canned_server(vec![
+            ok_response("naked"),
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n".to_string(),
+        ]);
+        let client = HttpClient::new(ClientConfig {
+            require_digest: true,
+            retry_budget: 1,
+            ..ClientConfig::default()
+        });
+        match client.get(&addr, "/predict", &CancelToken::new()) {
+            Err(ClientError::Integrity(msg)) => {
+                assert!(msg.contains("without required"), "message: {msg}")
+            }
+            other => panic!("expected Integrity error, got {other:?}"),
+        }
+        // Non-200s carry no data to protect; they pass undigested.
+        let resp = client
+            .post_with_retry(&addr, "/measure", b"{}", &CancelToken::new())
+            .expect("503 passes without digest");
+        assert_eq!(resp.status, 503);
     }
 
     #[test]

@@ -3,13 +3,17 @@
 //!
 //! Two modules, one concern each:
 //!
-//! - [`client`] — a std-only HTTP/1.1 client: connect/read timeouts,
-//!   cancellable slice reads, jittered exponential backoff under a retry
-//!   budget, and `Retry-After` honored when the server names its own
-//!   price.
+//! - [`client`] — a std-only HTTP/1.1 client: connect/write/read timeouts
+//!   under a total per-request budget, cancellable slice reads, typed
+//!   truncation/oversize/integrity errors, jittered exponential backoff
+//!   under a retry budget, and `Retry-After` honored when the server names
+//!   its own price.
 //! - [`health`] — endpoint liveness with hysteresis
 //!   (Healthy → Suspect → Dead → recovered), fed by both a background
 //!   `/healthz` prober and dispatch outcomes.
+//! - [`metrics`] — phase-attributed timeout counters
+//!   (`net_request_phase_timeouts_total{phase}`) every client feeds, so
+//!   the router and fleet can export *where* a request's budget went.
 //!
 //! Both grew up inside `exareq-fleet` driving survey workers; the serving
 //! router (`exareq router`) needs the exact same behaviours for query
@@ -22,9 +26,11 @@
 
 pub mod client;
 pub mod health;
+pub mod metrics;
 
 pub use client::{
-    sleep_cancellable, ClientConfig, ClientError, ClientResponse, HttpClient, MAX_RESPONSE_BODY,
-    MAX_RESPONSE_HEAD, MAX_RETRY_AFTER_SECS,
+    digest_hex, fnv1a64, sleep_cancellable, ClientConfig, ClientError, ClientResponse, HttpClient,
+    MAX_RESPONSE_BODY, MAX_RESPONSE_HEAD, MAX_RETRY_AFTER_SECS,
 };
 pub use health::{HealthPolicy, HealthTable, WorkerState};
+pub use metrics::{NetMetrics, Phase, PHASES};

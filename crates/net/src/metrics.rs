@@ -1,0 +1,116 @@
+//! Client-side Prometheus counters.
+//!
+//! The interesting question when a distributed request dies is *where the
+//! time went*: did the budget drain connecting, writing, or reading?
+//! [`NetMetrics`] counts phase-attributed timeouts so the router and fleet
+//! can export `net_request_phase_timeouts_total{phase}` next to their own
+//! failover counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The phase of an exchange a deadline can expire in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// TCP connect (including address resolution).
+    Connect,
+    /// Writing the request head + body.
+    Write,
+    /// Waiting for / reading the response.
+    Read,
+}
+
+impl Phase {
+    /// Stable metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Connect => "connect",
+            Phase::Write => "write",
+            Phase::Read => "read",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// All phases, in label order.
+pub const PHASES: [Phase; 3] = [Phase::Connect, Phase::Write, Phase::Read];
+
+/// Lock-free per-phase timeout counters, shared by one [`HttpClient`]
+/// (every retry attempt of every request feeds the same counters).
+///
+/// [`HttpClient`]: crate::client::HttpClient
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    connect: AtomicU64,
+    write: AtomicU64,
+    read: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Fresh counters at zero.
+    pub fn new() -> Self {
+        NetMetrics::default()
+    }
+
+    fn cell(&self, phase: Phase) -> &AtomicU64 {
+        match phase {
+            Phase::Connect => &self.connect,
+            Phase::Write => &self.write,
+            Phase::Read => &self.read,
+        }
+    }
+
+    /// Record one timeout in `phase`.
+    pub fn record_timeout(&self, phase: Phase) {
+        self.cell(phase).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Timeout count for one phase.
+    pub fn timeouts(&self, phase: Phase) -> u64 {
+        self.cell(phase).load(Ordering::Relaxed)
+    }
+
+    /// Sum across phases.
+    pub fn timeouts_total(&self) -> u64 {
+        PHASES.iter().map(|p| self.timeouts(*p)).sum()
+    }
+
+    /// Render in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(
+            "# HELP net_request_phase_timeouts_total Client deadline expiries, by exchange phase.\n",
+        );
+        out.push_str("# TYPE net_request_phase_timeouts_total counter\n");
+        for phase in PHASES {
+            out.push_str(&format!(
+                "net_request_phase_timeouts_total{{phase=\"{}\"}} {}\n",
+                phase.label(),
+                self.timeouts(phase)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_lists_every_phase() {
+        let m = NetMetrics::new();
+        m.record_timeout(Phase::Read);
+        m.record_timeout(Phase::Read);
+        m.record_timeout(Phase::Connect);
+        let text = m.render();
+        assert!(text.contains("net_request_phase_timeouts_total{phase=\"connect\"} 1"));
+        assert!(text.contains("net_request_phase_timeouts_total{phase=\"write\"} 0"));
+        assert!(text.contains("net_request_phase_timeouts_total{phase=\"read\"} 2"));
+        assert_eq!(m.timeouts_total(), 3);
+    }
+}

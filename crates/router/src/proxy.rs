@@ -76,6 +76,12 @@ pub struct ProxyConfig {
     /// Total wall-clock budget for one routed request, all attempts
     /// included; expiry answers `504`.
     pub request_deadline: Duration,
+    /// Wall-clock budget for one *upstream attempt*. Strictly smaller
+    /// than the request deadline so a black-holed or dripping connection
+    /// burns one attempt's worth of time, not the whole request — the
+    /// loop still has budget to fail over. Clamped to the request
+    /// deadline at construction.
+    pub attempt_deadline: Duration,
     /// Hedge delay used until enough latency samples accumulate.
     pub hedge_after: Duration,
     /// Base of the jittered failover pause.
@@ -92,6 +98,7 @@ impl Default for ProxyConfig {
     fn default() -> Self {
         ProxyConfig {
             request_deadline: Duration::from_secs(10),
+            attempt_deadline: Duration::from_millis(2500),
             hedge_after: Duration::from_millis(150),
             backoff_base: Duration::from_millis(50),
             breaker_cooldown: Duration::from_secs(1),
@@ -124,6 +131,11 @@ pub struct Proxy {
     inflight: Vec<AtomicU64>,
     /// Recent successful-exchange latencies for the hedge estimate.
     latencies: Mutex<Vec<Duration>>,
+    /// Last transport/integrity error seen per replica, for `/metrics`
+    /// (`router_upstream_last_error`): when a fleet operator asks *why*
+    /// traffic moved, the answer — including which phase a timeout died
+    /// in — is one scrape away.
+    last_errors: Vec<Mutex<Option<String>>>,
     /// The router's own model registry — the degraded-mode evaluator.
     registry: Arc<ModelRegistry>,
     /// Serve-layer metrics consumed by the degraded dispatch path (the
@@ -147,13 +159,18 @@ impl Proxy {
     pub fn new(replicas: &[String], registry: Arc<ModelRegistry>, cfg: ProxyConfig) -> Arc<Proxy> {
         let client = HttpClient::new(ClientConfig {
             connect_timeout: Duration::from_secs(1),
-            exchange_deadline: cfg.request_deadline,
+            exchange_deadline: cfg.attempt_deadline.min(cfg.request_deadline),
             // One attempt per exchange: failover and hedging are the
             // router's own, replica-aware retry policy.
             retry_budget: 1,
             backoff_base: cfg.backoff_base,
             backoff_cap: cfg.backoff_base * 4,
             jitter_seed: cfg.jitter_seed,
+            request_budget: Some(cfg.request_deadline),
+            // Replicas are exareq daemons and always stamp a body digest;
+            // requiring it means a corrupted-in-transit 200 (even one
+            // that lost the header) fails over instead of committing.
+            require_digest: true,
         });
         Arc::new(Proxy {
             ring: HashRing::new(replicas),
@@ -164,6 +181,7 @@ impl Proxy {
             client,
             metrics: Arc::new(RouterMetrics::new(replicas.len())),
             inflight: (0..replicas.len()).map(|_| AtomicU64::new(0)).collect(),
+            last_errors: (0..replicas.len()).map(|_| Mutex::new(None)).collect(),
             latencies: Mutex::new(Vec::with_capacity(LATENCY_WINDOW)),
             registry,
             local_metrics: Metrics::new(),
@@ -180,6 +198,48 @@ impl Proxy {
     /// The router metrics, shared with the `/metrics` handler.
     pub fn metrics(&self) -> &Arc<RouterMetrics> {
         &self.metrics
+    }
+
+    /// The upstream client's phase-timeout counters.
+    pub fn net_metrics(&self) -> std::sync::Arc<exareq_net::NetMetrics> {
+        self.client.metrics()
+    }
+
+    /// Last transport/integrity error recorded against a replica, if any.
+    pub fn last_error(&self, replica: usize) -> Option<String> {
+        self.last_errors
+            .get(replica)?
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The full `/metrics` exposition: router counters, per-replica
+    /// health, the net client's `net_request_phase_timeouts_total{phase}`
+    /// counters, and one `router_upstream_last_error` info line per
+    /// replica with a recorded failure.
+    pub fn render_metrics(&self) -> String {
+        let mut out = self.metrics.render(&self.health, self.ring.replicas());
+        out.push_str(&self.client.metrics().render());
+        out.push_str(
+            "# HELP router_upstream_last_error Last transport/integrity error per replica (info gauge).\n",
+        );
+        out.push_str("# TYPE router_upstream_last_error gauge\n");
+        for (idx, replica) in self.ring.replicas().iter().enumerate() {
+            if let Some(error) = self.last_error(idx) {
+                let escaped = error.replace('\\', "\\\\").replace('"', "\\\"");
+                out.push_str(&format!(
+                    "router_upstream_last_error{{replica=\"{replica}\",error=\"{escaped}\"}} 1\n"
+                ));
+            }
+        }
+        out
+    }
+
+    fn record_last_error(&self, replica: usize, error: &ClientError) {
+        if let Some(slot) = self.last_errors.get(replica) {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(error.to_string());
+        }
     }
 
     /// The hash ring (tests ask it which replica owns a key).
@@ -330,7 +390,7 @@ impl Proxy {
     pub fn forward(self: &Arc<Self>, request: &Request) -> Response {
         let deadline = Deadline::after(self.cfg.request_deadline);
         let key = Self::routing_key(request);
-        let mut pending = self.plan(&key).into_iter();
+        let mut pending: std::collections::VecDeque<usize> = self.plan(&key).into();
         let (tx, rx) = mpsc::channel::<AttemptReport>();
         let mut racers: Vec<CancelToken> = Vec::new();
         let mut outstanding = 0usize;
@@ -339,7 +399,26 @@ impl Proxy {
         // out-of-candidates 503), proxied verbatim if nothing better.
         let mut conclusive: Option<ClientResponse> = None;
 
-        if let Some(first) = pending.next() {
+        // Pop the next candidate; when the walk is exhausted after a
+        // *transport-class* failure (connect refused, phase timeout,
+        // truncation, digest mismatch, 408) and wall-clock remains,
+        // re-plan instead of dropping to degraded: a transient network
+        // fault draws fresh dice on a new connection, while genuinely
+        // dead replicas accumulate health failures until the plan comes
+        // back empty and the loop exits. Bounded by the request deadline.
+        let next_candidate =
+            |pending: &mut std::collections::VecDeque<usize>, replan: bool| -> Option<usize> {
+                if let Some(next) = pending.pop_front() {
+                    return Some(next);
+                }
+                if replan && !deadline.expired() {
+                    *pending = self.plan(&key).into();
+                    return pending.pop_front();
+                }
+                None
+            };
+
+        if let Some(first) = next_candidate(&mut pending, false) {
             racers.push(self.launch(first, false, request, &tx));
             outstanding += 1;
         }
@@ -370,14 +449,24 @@ impl Proxy {
                             }
                             return to_response(response);
                         }
-                        Ok(response) if response.status == 503 || response.status == 504 => {
-                            // Overloaded but alive: a breaker failure,
-                            // not a health failure.
+                        Ok(response)
+                            if response.status == 503
+                                || response.status == 504
+                                || response.status == 408 =>
+                        {
+                            // Overloaded (503/504) or the request never
+                            // arrived intact (408, e.g. a dripping link):
+                            // a breaker failure, not a health failure.
+                            // Only the 408 re-plans on exhaustion — it is
+                            // a network symptom, while 503/504 describe
+                            // replica capacity and are answered verbatim
+                            // rather than retried into a deadline expiry.
+                            let replan = response.status == 408;
                             self.breakers[report.replica].record_failure();
                             let retry_after = response.retry_after();
                             conclusive = Some(response);
                             if outstanding == 0 {
-                                if let Some(next) = pending.next() {
+                                if let Some(next) = next_candidate(&mut pending, replan) {
                                     let pause = self.failover_pause(retry_after);
                                     if exareq_net::client::sleep_cancellable(
                                         pause.min(deadline.remaining()),
@@ -403,11 +492,12 @@ impl Proxy {
                         Err(ClientError::Cancelled) => {
                             // A discarded racer; nothing to record.
                         }
-                        Err(_) => {
+                        Err(e) => {
+                            self.record_last_error(report.replica, &e);
                             self.health.record_failure(report.replica);
                             self.breakers[report.replica].record_failure();
                             if outstanding == 0 {
-                                if let Some(next) = pending.next() {
+                                if let Some(next) = next_candidate(&mut pending, true) {
                                     let pause = self.failover_pause(None);
                                     if exareq_net::client::sleep_cancellable(
                                         pause.min(deadline.remaining()),
@@ -424,7 +514,7 @@ impl Proxy {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if can_hedge {
-                        if let Some(next) = pending.next() {
+                        if let Some(next) = next_candidate(&mut pending, false) {
                             hedged = true;
                             self.metrics.record_hedge_launched();
                             racers.push(self.launch(next, true, request, &tx));

@@ -94,8 +94,15 @@ struct Shared {
     proxy: Arc<Proxy>,
 }
 
-/// How long a worker waits on one socket read before giving up.
+/// How long a worker waits for a complete request before giving up.
+/// This bounds the *whole* header+body read, not one `read()` call, so
+/// a slow-loris peer dripping one byte per poll cannot hold a worker
+/// past it.
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Socket read-timeout slice while accumulating a request; the loop
+/// re-checks the overall deadline between slices.
+const HEADER_READ_SLICE: Duration = Duration::from_millis(100);
 
 /// Acceptor poll interval while the listener has nothing for us.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -218,6 +225,8 @@ fn probe_loop(proxy: &Arc<Proxy>, idx: usize, interval: Duration, cancel: &Cance
         backoff_base: Duration::from_millis(50),
         backoff_cap: Duration::from_millis(200),
         jitter_seed: 0x5eed_0000 + idx as u64,
+        request_budget: None,
+        require_digest: false,
     });
     let addr = proxy.ring().replica(idx).to_string();
     while !cancel.is_cancelled() {
@@ -290,8 +299,10 @@ fn reject_overloaded(mut stream: TcpStream) {
 /// `"status":"draining"` body.
 fn answer_draining(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let Ok(Some(request)) = read_request(&mut stream) else {
+    let Ok(Some(request)) = read_request(
+        &mut stream,
+        Some(Instant::now() + Duration::from_millis(250)),
+    ) else {
         return;
     };
     let mut response = if request.method == "GET" && request.target == "/healthz" {
@@ -349,13 +360,7 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
                 Response::json(200, body)
             }
         }
-        ("GET", "/metrics") => Response::text(
-            200,
-            proxy
-                .metrics()
-                .render(proxy.health(), proxy.ring().replicas())
-                .into_bytes(),
-        ),
+        ("GET", "/metrics") => Response::text(200, proxy.render_metrics().into_bytes()),
         ("POST", "/predict" | "/upgrade" | "/strawman") | ("GET", "/models") => {
             let started = Instant::now();
             let response = proxy.forward(request);
@@ -373,8 +378,8 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let response = match read_request(&mut stream) {
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let response = match read_request(&mut stream, Some(Instant::now() + READ_TIMEOUT)) {
         Ok(Some(request)) => handle_request(&request, shared),
         Ok(None) => return, // peer hung up before completing a request
         Err(e) => Response::json(e.status, api::error_body(&e.reason).into_bytes()),
@@ -388,18 +393,45 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 }
 
 /// Accumulates socket bytes through [`parse_request`] until a complete
-/// request, a protocol error, or EOF/timeout.
-fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+/// request, a protocol error, or EOF/timeout. The read is sliced so the
+/// `deadline` bounds the whole accumulation: a peer dripping one byte
+/// per slice gets a `408` once the deadline passes, instead of renewing
+/// a per-`read()` timeout forever.
+fn read_request(
+    stream: &mut TcpStream,
+    deadline: Option<Instant>,
+) -> Result<Option<Request>, HttpError> {
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 8192];
+    if deadline.is_some() {
+        let _ = stream.set_read_timeout(Some(HEADER_READ_SLICE));
+    }
     loop {
         if let Some(request) = parse_request(&buf)? {
             return Ok(Some(request));
+        }
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                if buf.is_empty() {
+                    // An idle keep-open with no bytes: not worth a 408.
+                    return Ok(None);
+                }
+                return Err(HttpError::new(
+                    408,
+                    "request not received within the read deadline",
+                ));
+            }
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(None),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e)
+                if deadline.is_some()
+                    && (e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut) =>
+            {
+                // One quiet slice; loop to re-check the deadline.
+            }
             Err(_) => return Ok(None), // timeout or reset: drop silently
         }
     }

@@ -33,7 +33,10 @@ pub struct HttpError {
 }
 
 impl HttpError {
-    fn new(status: u16, reason: impl Into<String>) -> Self {
+    /// Build an error that already knows its HTTP answer. Public because
+    /// the connection loop turns header-read deadline expiry into a `408`
+    /// through the same path parse failures take.
+    pub fn new(status: u16, reason: impl Into<String>) -> Self {
         HttpError {
             status,
             reason: reason.into(),
@@ -185,6 +188,7 @@ pub fn status_reason(status: u16) -> &'static str {
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -237,14 +241,18 @@ impl Response {
     }
 
     /// Serializes the response, `Connection: close` always (one request
-    /// per connection keeps the worker-pool accounting exact).
+    /// per connection keeps the worker-pool accounting exact). Every
+    /// response carries an `X-Exareq-Digest` body checksum so clients can
+    /// refuse answers corrupted in transit — without it, a flipped byte
+    /// inside a well-formed 200 would be undetectable at the HTTP layer.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\nX-Exareq-Digest: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            digest_hex(&self.body)
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("Retry-After: {secs}\r\n"));
@@ -257,6 +265,23 @@ impl Response {
         out.extend_from_slice(&self.body);
         out
     }
+}
+
+/// FNV-1a 64 over the body bytes — the integrity hash behind
+/// `X-Exareq-Digest`. Kept in lockstep with `crates/net/src/client.rs`,
+/// which re-hashes received bodies and fails the exchange on mismatch.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The wire form of [`fnv1a64`]: 16 lowercase hex digits.
+pub fn digest_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
 }
 
 #[cfg(test)]
@@ -339,6 +364,19 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn every_response_carries_a_verifiable_body_digest() {
+        let body = br#"{"model":"Kripke"}"#.to_vec();
+        let r = Response::json(200, body.clone());
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        let expected = format!("X-Exareq-Digest: {}\r\n", digest_hex(&body));
+        assert!(text.contains(&expected), "{text}");
+        // A fixed vector pins the hash choice: FNV-1a 64, offset basis
+        // 0xcbf29ce484222325, prime 0x100000001b3.
+        assert_eq!(digest_hex(b""), "cbf29ce484222325");
+        assert_eq!(digest_hex(b"a"), "af63dc4c8601ec8c");
     }
 
     #[test]

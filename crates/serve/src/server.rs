@@ -106,6 +106,11 @@ struct Shared {
 /// client; bounds slow-client damage to one worker for a short while.
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Read-timeout slice while a header-read deadline is in force: short
+/// enough that a slow-loris client dripping bytes cannot postpone the
+/// deadline check past its next drip.
+const HEADER_READ_SLICE: Duration = Duration::from_millis(100);
+
 /// Acceptor poll interval while the listener has nothing for us.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
@@ -233,7 +238,8 @@ fn reject_overloaded(mut stream: TcpStream) {
 fn answer_draining(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let Ok(Some(request)) = read_request(&mut stream) else {
+    let Ok(Some(request)) = read_request(&mut stream, Some(Instant::now() + Duration::from_millis(250)))
+    else {
         return;
     };
     let mut response = if request.method == "GET" && request.target == "/healthz" {
@@ -299,8 +305,14 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let token = CancelToken::new().with_deadline(Deadline::after(shared.request_deadline));
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(shared.request_deadline.max(Duration::from_millis(1))));
 
-    let response = match read_request(&mut stream) {
+    // The whole head+body read shares the request deadline: a slow-loris
+    // client dripping one byte per read can renew a per-read timeout
+    // forever, but not this wall-clock bound — expiry answers 408 and
+    // frees the worker.
+    let header_deadline = started + shared.request_deadline;
+    let response = match read_request(&mut stream, Some(header_deadline)) {
         Ok(Some(request)) => {
             // Snapshot the engine state the instant the request is served:
             // /healthz reports the queue depth a prober would experience.
@@ -324,17 +336,43 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
 
 /// Accumulates socket bytes through [`parse_request`] until a complete
 /// request, a protocol error, or EOF/timeout.
-fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+///
+/// With a `deadline`, the *whole* read is wall-clock bounded: reads happen
+/// in [`HEADER_READ_SLICE`] timeout slices and expiry is a `408` — each
+/// dripped byte resets a per-read timeout, but nothing a client sends can
+/// extend this bound. Without one, a single quiet [`READ_TIMEOUT`] (set by
+/// the caller) drops the connection as before.
+fn read_request(
+    stream: &mut TcpStream,
+    deadline: Option<Instant>,
+) -> Result<Option<Request>, HttpError> {
+    if deadline.is_some() {
+        let _ = stream.set_read_timeout(Some(HEADER_READ_SLICE));
+    }
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 8192];
     loop {
         if let Some(request) = parse_request(&buf)? {
             return Ok(Some(request));
         }
+        if let Some(at) = deadline {
+            if Instant::now() >= at {
+                return Err(HttpError::new(
+                    408,
+                    "request not received within the request deadline",
+                ));
+            }
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(None),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e)
+                if deadline.is_some()
+                    && (e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut) =>
+            {
+                // Quiet slice under a deadline: loop to re-check it.
+            }
             Err(_) => return Ok(None), // timeout or reset: drop silently
         }
     }

@@ -14,6 +14,7 @@ use exareq::apps::{
     all_apps_extended as all_apps, default_jobs, run_survey_parallel, AppGrid, RetryPolicy,
     SurveyRunError,
 };
+use exareq::chaos::{ChaosPlan, ChaosProxy};
 use exareq::codesign::report::{render_requirements, render_strawman_block, render_upgrade_block};
 use exareq::codesign::{
     analyze_strawmen, analyze_upgrade, analyze_with_network, baseline_expectation, catalog,
@@ -61,6 +62,8 @@ USAGE:
                   [--addr HOST:PORT] [--threads N] [--queue-depth N]
                   [--request-deadline-ms N] [--drain-deadline-ms N]
                   [--probe-interval-ms N] [--hedge-after-ms N]
+    exareq chaos --listen HOST:PORT --upstream HOST:PORT
+                 [--chaos-seed N] [--faults SPEC]
 
 COMMANDS:
     apps       list the built-in behavioural twins
@@ -80,6 +83,9 @@ COMMANDS:
     router     replica-aware front-end for a set of serve daemons:
                consistent-hash placement, failover, hedging, and a
                degraded-mode local fallback
+    chaos      deterministic fault-injecting TCP proxy: put it between a
+               client (router, fleet, curl) and an upstream daemon to
+               soak the stack under seeded network faults
 
 FAULT INJECTION (survey --faults):
     deterministic, seed-driven fault plan applied to every simulated run:
@@ -181,6 +187,28 @@ ROUTING (router):
     are answered by the router itself. SIGINT/SIGTERM drains like
     serve and exits 0.
 
+NETWORK CHAOS (chaos):
+    a deterministic fault-injecting TCP proxy. Every accepted connection
+    draws its fault — or none — from a SplitMix64 stream derived from
+    (--chaos-seed, connection index), so the same seed against the same
+    request sequence injects byte-for-byte the same faults. --faults is
+    a comma-separated spec (all probabilities in [0,1]):
+        seed=U64            PRNG seed (--chaos-seed overrides it)
+        latency=P@MS        delay the relay by ~MS before answering
+        partition=P         black-hole: accept, deliver nothing
+        reset=P             relay upstream, close the client mid-stream
+                            with zero response bytes
+        truncate=P          deliver head + a strict prefix of the body
+        slowreq=P           drip the request upstream one byte at a time
+        slowresp=P          drip the response back one byte at a time
+        corrupt=P@N         flip up to N response-body bytes
+        drip_ms=MS          interval between dripped bytes (default 80)
+    e.g. --faults \"latency=0.2@150,reset=0.1,corrupt=0.05@4\". With no
+    --faults the proxy relays transparently. SIGINT/SIGTERM stops the
+    proxy and prints the per-class injected-fault counts; the hardened
+    net client, router, and fleet are expected to absorb every class
+    without a corrupted or hung answer.
+
 EXIT CODES:
     0   success (for serve: including a signal-drained shutdown)
     2   usage error (unknown command/application, malformed flag)
@@ -260,6 +288,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "fleet" => cmd_fleet(rest),
         "router" => cmd_router(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -1172,6 +1201,81 @@ fn cmd_router(rest: &[String]) -> Result<(), CliError> {
         summary.failovers,
         summary.hedges,
         summary.degraded
+    );
+    Ok(())
+}
+
+fn cmd_chaos(rest: &[String]) -> Result<(), CliError> {
+    let mut args: Vec<String> = rest.to_vec();
+    let take = |args: &mut Vec<String>, flag| take_opt(args, flag).map_err(CliError::Usage);
+    let listen = take(&mut args, "--listen")?;
+    let upstream = take(&mut args, "--upstream")?;
+    let seed_raw = take(&mut args, "--chaos-seed")?;
+    let faults_raw = take(&mut args, "--faults")?;
+    if let Some(stray) = args.first() {
+        return Err(CliError::usage(format!(
+            "chaos: unexpected argument `{stray}`"
+        )));
+    }
+    let Some(listen) = listen else {
+        return Err(CliError::usage(
+            "chaos requires --listen HOST:PORT (where clients connect)",
+        ));
+    };
+    let Some(upstream) = upstream else {
+        return Err(CliError::usage(
+            "chaos requires --upstream HOST:PORT (the daemon to front)",
+        ));
+    };
+    if listen.parse::<SocketAddr>().is_err() {
+        return Err(CliError::usage(format!(
+            "invalid --listen `{listen}`: expected HOST:PORT"
+        )));
+    }
+    if upstream.parse::<SocketAddr>().is_err() {
+        return Err(CliError::usage(format!(
+            "invalid --upstream `{upstream}`: expected HOST:PORT"
+        )));
+    }
+    let mut plan = match faults_raw {
+        Some(spec) => ChaosPlan::parse(&spec)
+            .map_err(|e| CliError::usage(format!("invalid --faults spec: {e}")))?,
+        None => ChaosPlan::none(),
+    };
+    if let Some(raw) = seed_raw {
+        plan.seed = raw
+            .parse::<u64>()
+            .map_err(|_| CliError::usage(format!("invalid --chaos-seed `{raw}`: expected u64")))?;
+    }
+
+    let cancel = CancelToken::new();
+    exareq::signal::install_termination_handlers(&cancel);
+
+    let seed = plan.seed;
+    let proxy = ChaosProxy::start(&listen, &upstream, plan, &cancel)
+        .map_err(|e| CliError::Data(format!("chaos proxy on {listen}: {e}")))?;
+    {
+        use std::io::Write;
+        println!("chaos on {} -> {upstream} (seed {seed})", proxy.addr());
+        let _ = std::io::stdout().flush();
+    }
+    while !cancel.is_cancelled() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let metrics = proxy.metrics();
+    proxy.join();
+    let breakdown: Vec<String> = metrics
+        .counts()
+        .iter()
+        .filter(|(_, count)| *count > 0)
+        .map(|(label, count)| format!("{label}={count}"))
+        .collect();
+    println!(
+        "chaos: {} connections, {} faults injected{}{}",
+        metrics.connections_total(),
+        metrics.injected_total(),
+        if breakdown.is_empty() { "" } else { ": " },
+        breakdown.join(", ")
     );
     Ok(())
 }

@@ -27,7 +27,10 @@
 //! consistent-hashing model keys across serve replicas with health-gated
 //! failover, hedged retries, and a degraded-mode local fallback; and
 //! [`net`] holds the std-only HTTP client and liveness table the fleet
-//! and the router share.
+//! and the router share. Alongside them, [`chaos`] is the deterministic
+//! fault-injecting TCP proxy behind `exareq chaos`, used to soak the whole
+//! serving tier against seeded network faults (partitions, resets,
+//! truncation, slow-loris, corruption) replayable from `--chaos-seed`.
 //!
 //! The [`pipeline`] module wires measurement to modeling: it runs an
 //! application survey through the model generator and assembles a complete
@@ -40,6 +43,7 @@
 pub mod signal;
 
 pub use exareq_apps as apps;
+pub use exareq_chaos as chaos;
 pub use exareq_codesign as codesign;
 pub use exareq_core as core;
 pub use exareq_fleet as fleet;

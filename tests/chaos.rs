@@ -1,0 +1,521 @@
+//! End-to-end chaos tests: the seeded fault-injecting proxy from
+//! `crates/chaos` wedged between a real in-process router (or fleet
+//! coordinator) and real `exareq serve` engines.
+//!
+//! The contract under test is two-sided:
+//!
+//! - **Determinism.** A fault schedule is a pure function of
+//!   `(seed, connection index)` — the same spec replays the same faults.
+//! - **Absorption.** Every injected fault — mid-stream reset, black-hole
+//!   partition, payload corruption — surfaces as a typed client error
+//!   that the router turns into failover and the fleet turns into
+//!   redispatch, never as a divergent `200` body and never as a
+//!   degraded local answer.
+//!
+//! Everything runs in-process (serve engines, chaos proxies, router,
+//! fleet coordinator) so the tests control every knob the soak bench
+//! uses for determinism: hedging off, health demotion off, one startup
+//! probe per replica.
+
+use exareq::apps::{all_apps_extended, run_survey_parallel, AppGrid, RetryPolicy};
+use exareq::chaos::{ChaosPlan, ChaosProxy, FaultClass};
+use exareq::codesign::catalog;
+use exareq::core::cancel::{CancelReason, CancelToken};
+use exareq::fleet::{run_fleet, FleetConfig};
+use exareq::router::{HashRing, ProxyConfig, RouterConfig};
+use exareq::serve::registry::Fitter;
+use exareq::serve::{api, artifact, ModelRegistry, ServeConfig};
+use exareq::sim::FaultPlan;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const SEED: u64 = 42;
+
+/// Writes the published Table II catalog into a fresh model dir as
+/// requirements artifacts (no fitting needed — offline and fast).
+fn model_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("exareq_chaos_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    for app in catalog::paper_models() {
+        std::fs::write(
+            dir.join(format!("{}.json", app.name.to_lowercase())),
+            artifact::requirements_to_string(&app),
+        )
+        .expect("write artifact");
+    }
+    dir
+}
+
+/// One in-process serve engine and the token that stops it.
+struct Replica {
+    addr: SocketAddr,
+    cancel: CancelToken,
+    thread: std::thread::JoinHandle<exareq::serve::ServeSummary>,
+}
+
+fn start_replica(dir: &Path, allow_measure: bool) -> Replica {
+    let no_fit: Box<Fitter> = Box::new(|_| Err("tests serve fitted artifacts only".to_string()));
+    let registry = Arc::new(ModelRegistry::new(dir, no_fit));
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".parse().expect("loopback addr"),
+        threads: 4,
+        queue_depth: 64,
+        request_deadline: Duration::from_secs(5),
+        drain_deadline: Duration::from_secs(2),
+        model_dir: dir.to_path_buf(),
+        allow_measure,
+    };
+    let cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let thread = {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            exareq::serve::serve(&cfg, registry, &cancel, move |addr| {
+                tx.send(addr).expect("announce bound address");
+            })
+            .expect("replica engine runs")
+        })
+    };
+    let addr = rx.recv().expect("replica ready");
+    Replica {
+        addr,
+        cancel,
+        thread,
+    }
+}
+
+fn stop_replica(replica: Replica) {
+    replica.cancel.cancel(CancelReason::Interrupt);
+    let _ = replica.thread.join();
+}
+
+/// An in-process router over the given replica (proxy) addresses, tuned
+/// exactly like the soak bench: hedging off, health demotion off, one
+/// startup probe per replica, breaker trial re-admitted immediately.
+struct Router {
+    addr: SocketAddr,
+    cancel: CancelToken,
+    thread: std::thread::JoinHandle<exareq::router::RouterSummary>,
+}
+
+fn start_router(dir: &Path, replicas: Vec<String>, attempt_deadline: Duration) -> Router {
+    let mut proxy_cfg = ProxyConfig {
+        request_deadline: Duration::from_secs(8),
+        attempt_deadline,
+        hedge_after: Duration::from_secs(30),
+        backoff_base: Duration::from_millis(5),
+        breaker_cooldown: Duration::from_millis(1),
+        ..ProxyConfig::default()
+    };
+    proxy_cfg.health.probe_interval = Duration::from_secs(3600);
+    proxy_cfg.health.suspect_after = 1_000_000;
+    proxy_cfg.health.dead_after = 1_000_000;
+    let cfg = RouterConfig {
+        addr: "127.0.0.1:0".parse().expect("loopback addr"),
+        threads: 2,
+        queue_depth: 64,
+        replicas,
+        model_dir: dir.to_path_buf(),
+        drain_deadline: Duration::from_secs(5),
+        proxy: proxy_cfg,
+    };
+    let no_fit: Box<Fitter> = Box::new(|_| Err("tests serve fitted artifacts only".to_string()));
+    let registry = Arc::new(ModelRegistry::new(dir, no_fit));
+    let cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let thread = {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            exareq::router::route(&cfg, registry, &cancel, move |addr| {
+                tx.send(addr).expect("announce bound address");
+            })
+            .expect("router engine runs")
+        })
+    };
+    let addr = rx.recv().expect("router ready");
+    // Let the startup probes claim connection 0 on each proxy before
+    // the request sequence starts claiming indices.
+    std::thread::sleep(Duration::from_millis(300));
+    Router {
+        addr,
+        cancel,
+        thread,
+    }
+}
+
+fn stop_router(router: Router) {
+    router.cancel.cancel(CancelReason::Interrupt);
+    let _ = router.thread.join();
+}
+
+/// One raw HTTP/1.1 exchange; returns `(status, body)`.
+fn http(addr: SocketAddr, request: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = String::from_utf8(raw[..head_end].to_vec()).expect("ASCII head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status in status line");
+    (status, raw[head_end + 4..].to_vec())
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, Vec<u8>) {
+    http(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The router's `/metrics` exposition as text.
+fn metrics_text(addr: SocketAddr) -> String {
+    let (status, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "metrics scrape");
+    String::from_utf8(body).expect("UTF-8 metrics")
+}
+
+/// Reads one unlabelled counter from an exposition.
+fn metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+}
+
+/// Reads one sample of a labelled counter family (exact-prefix match).
+fn labelled_metric(text: &str, prefix: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("labelled metric {prefix} missing in:\n{text}"))
+}
+
+/// A faulted proxy + clean proxy pair in front of two replicas, with
+/// the faulted proxy guaranteed to be the ring primary for `Kripke`.
+///
+/// Proxy listen ports are ephemeral and the ring is a pure function of
+/// the address list, so the pair is re-drawn (cheap: two listener
+/// threads each) until the ring places the faulted proxy first. Each
+/// draw succeeds with probability ~1/2; 64 draws make failure
+/// astronomically unlikely.
+struct ChaosPair {
+    faulted: ChaosProxy,
+    clean: ChaosProxy,
+    addrs: Vec<String>,
+}
+
+fn chaos_primary_pair(
+    faulted_upstream: SocketAddr,
+    clean_upstream: SocketAddr,
+    plan: ChaosPlan,
+    cancel: &CancelToken,
+) -> ChaosPair {
+    for _ in 0..64 {
+        let faulted = ChaosProxy::start(
+            "127.0.0.1:0",
+            &faulted_upstream.to_string(),
+            plan.clone(),
+            cancel,
+        )
+        .expect("faulted proxy starts");
+        let clean = ChaosProxy::start(
+            "127.0.0.1:0",
+            &clean_upstream.to_string(),
+            ChaosPlan::with_seed(SEED),
+            cancel,
+        )
+        .expect("clean proxy starts");
+        let addrs = vec![faulted.addr().to_string(), clean.addr().to_string()];
+        let ring = HashRing::new(&addrs);
+        if ring.ordered("Kripke").first() == Some(&0) {
+            return ChaosPair {
+                faulted,
+                clean,
+                addrs,
+            };
+        }
+        // Wrong primary: drop the pair (their idle listener threads
+        // wind down when the shared token is cancelled at test end)
+        // and draw fresh ephemeral ports.
+        drop(faulted);
+        drop(clean);
+    }
+    panic!("64 ephemeral-port draws never made the faulted proxy primary");
+}
+
+#[test]
+fn same_seed_replays_the_same_fault_schedule() {
+    let spec = "seed=7,reset=0.4,latency=0.3@25,corrupt=0.2@4,drip_ms=10";
+    let a = ChaosPlan::parse(spec).expect("spec parses");
+    let b = ChaosPlan::parse(spec).expect("spec parses");
+    assert_eq!(
+        a.schedule(512),
+        b.schedule(512),
+        "one spec, one schedule — the replay contract"
+    );
+    // Per-connection decisions are pure in (seed, conn): recomputing an
+    // arbitrary decision matches the schedule entry.
+    let schedule = a.schedule(512);
+    for conn in [0u64, 1, 17, 511] {
+        assert_eq!(a.decision(conn), schedule[conn as usize]);
+    }
+    // A different seed must not replay the same schedule.
+    let other = ChaosPlan::parse("seed=8,reset=0.4,latency=0.3@25,corrupt=0.2@4,drip_ms=10")
+        .expect("spec parses");
+    assert_ne!(a.schedule(512), other.schedule(512));
+}
+
+#[test]
+fn router_turns_reset_chaos_into_byte_identical_failover() {
+    let dir = model_dir("reset");
+    let replica_a = start_replica(&dir, false);
+    let replica_b = start_replica(&dir, false);
+    let chaos_cancel = CancelToken::new();
+    // Every connection through the faulted proxy — startup probe and
+    // forwarded request alike — is answered with a mid-stream reset.
+    let pair = chaos_primary_pair(
+        replica_a.addr,
+        replica_b.addr,
+        ChaosPlan::with_seed(SEED).reset(1.0),
+        &chaos_cancel,
+    );
+    let router = start_router(&dir, pair.addrs.clone(), Duration::from_secs(2));
+
+    let expected = api::predict_body(&catalog::kripke(), 1e6, 4096.0);
+    let (status, body) = post(
+        router.addr,
+        "/predict",
+        r#"{"model":"Kripke","p":1e6,"n":4096}"#,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        body,
+        expected.as_bytes(),
+        "the failover answer must be byte-identical to the direct call"
+    );
+
+    let text = metrics_text(router.addr);
+    assert!(
+        metric(&text, "router_failover_total") >= 1.0,
+        "the reset primary must cost at least one failover:\n{text}"
+    );
+    assert_eq!(
+        metric(&text, "router_degraded_total"),
+        0.0,
+        "a healthy secondary means the local fallback must stay cold"
+    );
+    // The typed error surfaces per-replica in the exposition.
+    let last_error_line = format!("router_upstream_last_error{{replica=\"{}\"", pair.addrs[0]);
+    assert!(
+        text.contains(&last_error_line),
+        "missing {last_error_line} in:\n{text}"
+    );
+
+    // The proxy counted what it did, under the stable Prometheus name.
+    assert!(pair.faulted.metrics().injected(FaultClass::Reset) >= 1);
+    let chaos_text = pair.faulted.metrics().render();
+    assert!(
+        chaos_text.contains("chaos_faults_injected_total{class=\"reset\"}"),
+        "chaos exposition missing reset class:\n{chaos_text}"
+    );
+
+    stop_router(router);
+    chaos_cancel.cancel(CancelReason::Interrupt);
+    pair.faulted.join();
+    pair.clean.join();
+    stop_replica(replica_a);
+    stop_replica(replica_b);
+}
+
+#[test]
+fn black_hole_partition_surfaces_as_a_read_phase_timeout() {
+    let dir = model_dir("partition");
+    let replica_a = start_replica(&dir, false);
+    let replica_b = start_replica(&dir, false);
+    let chaos_cancel = CancelToken::new();
+    let pair = chaos_primary_pair(
+        replica_a.addr,
+        replica_b.addr,
+        ChaosPlan::with_seed(SEED).partition(1.0),
+        &chaos_cancel,
+    );
+    // A short attempt deadline keeps the black-holed attempt cheap.
+    let router = start_router(&dir, pair.addrs.clone(), Duration::from_millis(500));
+
+    let expected = api::predict_body(&catalog::kripke(), 1e6, 4096.0);
+    let (status, body) = post(
+        router.addr,
+        "/predict",
+        r#"{"model":"Kripke","p":1e6,"n":4096}"#,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(body, expected.as_bytes());
+
+    let text = metrics_text(router.addr);
+    // The black hole swallowed a fully-written request: the budget died
+    // waiting for bytes, so the timeout must be attributed to the read
+    // phase — that attribution is what distinguishes a partitioned
+    // upstream from an unreachable or wedged-accept one.
+    assert!(
+        labelled_metric(&text, "net_request_phase_timeouts_total{phase=\"read\"}") >= 1.0,
+        "expected a read-phase timeout in:\n{text}"
+    );
+    assert!(metric(&text, "router_failover_total") >= 1.0);
+    assert_eq!(metric(&text, "router_degraded_total"), 0.0);
+    assert!(pair.faulted.metrics().injected(FaultClass::Partition) >= 1);
+
+    stop_router(router);
+    chaos_cancel.cancel(CancelReason::Interrupt);
+    pair.faulted.join();
+    pair.clean.join();
+    stop_replica(replica_a);
+    stop_replica(replica_b);
+}
+
+#[test]
+fn corrupted_payload_never_commits_a_divergent_200() {
+    let dir = model_dir("corrupt");
+    let replica_a = start_replica(&dir, false);
+    let replica_b = start_replica(&dir, false);
+    let chaos_cancel = CancelToken::new();
+    // Every response through the faulted proxy has bytes flipped. The
+    // router's digest check must reject every one of them: the only 200
+    // the client can ever see is the clean secondary's.
+    let pair = chaos_primary_pair(
+        replica_a.addr,
+        replica_b.addr,
+        ChaosPlan::with_seed(SEED).corrupt(1.0, 6),
+        &chaos_cancel,
+    );
+    let router = start_router(&dir, pair.addrs.clone(), Duration::from_secs(2));
+
+    let expected = api::predict_body(&catalog::kripke(), 1e6, 4096.0);
+    for _ in 0..4 {
+        let (status, body) = post(
+            router.addr,
+            "/predict",
+            r#"{"model":"Kripke","p":1e6,"n":4096}"#,
+        );
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert_eq!(
+            body,
+            expected.as_bytes(),
+            "a corrupted stream must never be committed as a 200 body"
+        );
+    }
+
+    let text = metrics_text(router.addr);
+    assert!(metric(&text, "router_failover_total") >= 1.0);
+    assert_eq!(metric(&text, "router_degraded_total"), 0.0);
+    assert!(pair.faulted.metrics().injected(FaultClass::Corrupt) >= 1);
+
+    stop_router(router);
+    chaos_cancel.cancel(CancelReason::Interrupt);
+    pair.faulted.join();
+    pair.clean.join();
+    stop_replica(replica_a);
+    stop_replica(replica_b);
+}
+
+#[test]
+fn fleet_redispatches_around_chaos_and_merges_byte_identically() {
+    let fault_spec = "seed=7,drop=0.01";
+    let faults = FaultPlan::parse(fault_spec).expect("fault spec");
+    let grid = AppGrid {
+        p_values: vec![2, 4],
+        n_values: vec![64, 256],
+    };
+    let retry = RetryPolicy {
+        max_attempts: 1,
+        ..RetryPolicy::default()
+    };
+    let apps = all_apps_extended();
+    let app = apps
+        .iter()
+        .find(|a| a.name() == "Relearn")
+        .expect("Relearn twin");
+
+    let baseline = run_survey_parallel(
+        app.as_ref(),
+        &grid,
+        &faults,
+        &retry,
+        None,
+        &CancelToken::new(),
+        1,
+    )
+    .expect("sequential baseline");
+    let baseline_json = baseline.try_to_json().expect("baseline JSON");
+
+    let dir = model_dir("fleet");
+    let chaos_cancel = CancelToken::new();
+    let workers: Vec<Replica> = (0..2).map(|_| start_replica(&dir, true)).collect();
+    // Worker 0 sits behind an always-reset proxy: its first dispatch
+    // must fail, be requeued, and land on the clean worker.
+    let proxy = ChaosProxy::start(
+        "127.0.0.1:0",
+        &workers[0].addr.to_string(),
+        ChaosPlan::with_seed(SEED).reset(1.0),
+        &chaos_cancel,
+    )
+    .expect("chaos proxy starts");
+
+    let cfg = FleetConfig {
+        workers: vec![proxy.addr().to_string(), workers[1].addr.to_string()],
+        shard_size: 1,
+        shard_deadline: Duration::from_secs(10),
+        jitter_seed: SEED,
+        ..FleetConfig::default()
+    };
+    let (survey, report) = run_fleet(
+        app.as_ref(),
+        &grid,
+        &faults,
+        fault_spec,
+        &retry,
+        None,
+        &CancelToken::new(),
+        &cfg,
+    )
+    .expect("fleet run");
+    let fleet_json = survey.try_to_json().expect("fleet JSON");
+
+    assert_eq!(
+        fleet_json, baseline_json,
+        "the merged fleet artifact must be byte-identical to the sequential survey"
+    );
+    assert!(
+        !report.fallback,
+        "a single chaos-fronted worker must not push the fleet into local fallback"
+    );
+    assert!(
+        report.redispatches >= 1,
+        "the reset worker's shard must be redispatched at least once"
+    );
+    assert!(proxy.metrics().injected(FaultClass::Reset) >= 1);
+
+    chaos_cancel.cancel(CancelReason::Interrupt);
+    proxy.join();
+    for worker in workers {
+        stop_replica(worker);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based corruption-safety checks for the chaos layer and the
+//! hardened net client, mirroring `http_properties.rs`: no seeded
+//! mangling of the wire — corruption, truncation — may ever let a
+//! digest-checking client commit a `200` whose body diverges from what
+//! the origin actually sent. The allowed outcomes are a typed error, a
+//! non-200 status, or a byte-identical body; nothing else.
+//!
+//! The schedule itself is property-checked too: for arbitrary seeds and
+//! mixes, `ChaosPlan::schedule` must be a pure function of
+//! `(seed, connection index)` — the replay contract behind
+//! `--chaos-seed`.
+
+use exareq::chaos::{ChaosPlan, ChaosProxy};
+use exareq::core::cancel::{CancelReason, CancelToken};
+use exareq::net::{digest_hex, ClientConfig, HttpClient};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// A one-shot origin: accepts connections until dropped, answers each
+/// with the same well-formed, digest-stamped `200` carrying `body`.
+/// Returns the listen address.
+fn spawn_origin(body: Vec<u8>) -> (String, std::thread::JoinHandle<()>, CancelToken) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind origin");
+    let addr = listener.local_addr().expect("origin addr").to_string();
+    listener.set_nonblocking(true).expect("nonblocking accept");
+    let cancel = CancelToken::new();
+    let handle = {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            while !cancel.is_cancelled() {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                        // Drain the request head (single small write from
+                        // the proxy; GETs end at the blank line).
+                        let mut buf = Vec::new();
+                        let mut chunk = [0u8; 1024];
+                        while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                            match stream.read(&mut chunk) {
+                                Ok(0) | Err(_) => break,
+                                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                            }
+                        }
+                        let head = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\nX-Exareq-Digest: {}\r\n\r\n",
+                            body.len(),
+                            digest_hex(&body)
+                        );
+                        let _ = stream.write_all(head.as_bytes());
+                        let _ = stream.write_all(&body);
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        })
+    };
+    (addr, handle, cancel)
+}
+
+/// Drives one `GET` through a chaos proxy running `plan` and asserts the
+/// corruption-safety property: any `200` the hardened client accepts is
+/// byte-identical to the origin body.
+fn assert_no_divergent_200(plan: ChaosPlan, body: Vec<u8>) {
+    let (origin_addr, origin_thread, origin_cancel) = spawn_origin(body.clone());
+    let chaos_cancel = CancelToken::new();
+    let proxy = ChaosProxy::start("127.0.0.1:0", &origin_addr, plan, &chaos_cancel)
+        .expect("chaos proxy starts");
+
+    let client = HttpClient::new(ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        exchange_deadline: Duration::from_millis(800),
+        retry_budget: 1,
+        request_budget: Some(Duration::from_millis(800)),
+        require_digest: true,
+        ..ClientConfig::default()
+    });
+    let result = client.get(&proxy.addr().to_string(), "/q", &CancelToken::new());
+    if let Ok(response) = result {
+        if response.status == 200 {
+            assert_eq!(
+                response.body, body,
+                "a mangled stream must never be committed as a divergent 200"
+            );
+        }
+    }
+    // Every other outcome — typed transport/integrity error, non-200 —
+    // is a safe refusal.
+
+    chaos_cancel.cancel(CancelReason::Interrupt);
+    proxy.join();
+    origin_cancel.cancel(CancelReason::Interrupt);
+    let _ = origin_thread.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seeded byte-flipping corruption on the response path never yields
+    /// a divergent 200 through a digest-checking client.
+    #[test]
+    fn corrupted_stream_never_commits_a_divergent_200(
+        seed in any::<u64>(),
+        flips in 1usize..24,
+        body in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        assert_no_divergent_200(ChaosPlan::with_seed(seed).corrupt(1.0, flips), body);
+    }
+
+    /// Mid-body truncation never yields a divergent (short) 200: the
+    /// bounded reader turns it into `TruncatedResponse` instead.
+    #[test]
+    fn truncated_stream_never_commits_a_divergent_200(
+        seed in any::<u64>(),
+        body in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        assert_no_divergent_200(ChaosPlan::with_seed(seed).truncate(1.0), body);
+    }
+
+    /// The schedule is a pure function of `(seed, connection index)`:
+    /// re-parsing the same spec replays the same schedule, and
+    /// per-connection decisions match their schedule entries.
+    #[test]
+    fn schedules_are_pure_in_seed_and_connection(
+        seed in any::<u64>(),
+        reset in 0.0f64..1.0,
+        corrupt in 0.0f64..1.0,
+        n in 1usize..128,
+    ) {
+        let a = ChaosPlan::with_seed(seed).reset(reset).corrupt(corrupt, 4);
+        let b = ChaosPlan::with_seed(seed).reset(reset).corrupt(corrupt, 4);
+        prop_assert_eq!(a.schedule(n), b.schedule(n));
+        let schedule = a.schedule(n);
+        for (conn, entry) in schedule.iter().enumerate() {
+            prop_assert_eq!(&a.decision(conn as u64), entry);
+        }
+    }
+}

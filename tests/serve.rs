@@ -345,6 +345,53 @@ fn request_past_deadline_answers_504() {
 }
 
 #[test]
+fn slow_loris_header_drip_is_cut_off_at_the_request_deadline() {
+    let dir = model_dir("slowloris");
+    let daemon = spawn_daemon(&dir, &["--request-deadline-ms", "600"]);
+
+    // Drip a valid request head one byte at a time, far slower than the
+    // deadline allows. Before the header-read deadline existed, each
+    // dripped byte renewed the worker's per-read() timeout, so one lazy
+    // peer could pin a worker indefinitely.
+    let raw = b"GET /healthz HTTP/1.1\r\nHost: drip\r\n\r\n";
+    let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let started = Instant::now();
+    let mut response = Vec::new();
+    for byte in raw {
+        if stream.write_all(std::slice::from_ref(byte)).is_err() {
+            break; // daemon already gave up on us — exactly the point
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        if started.elapsed() > Duration::from_secs(5) {
+            panic!("drip still being accepted 5s past a 600ms deadline");
+        }
+    }
+    let _ = stream.read_to_end(&mut response);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "daemon must cut a dripping request near its deadline, took {elapsed:?}"
+    );
+    // The connection either got a 408 or was dropped; it must NOT have
+    // been answered 200 (the full request never arrived in time).
+    if !response.is_empty() {
+        let head = String::from_utf8_lossy(&response);
+        assert!(
+            head.starts_with("HTTP/1.1 408"),
+            "a cut-off drip answers 408, got: {head}"
+        );
+    }
+
+    // The worker the drip tried to pin is free: a normal request on a
+    // fresh connection answers promptly.
+    let (status, _, _) = get(&daemon.addr, "/healthz");
+    assert_eq!(status, 200, "daemon must survive a slow-loris client");
+}
+
+#[test]
 fn sigterm_drains_in_flight_requests_and_exits_zero() {
     let dir = model_dir("drain");
     let mut daemon = spawn_daemon(&dir, &[]);
