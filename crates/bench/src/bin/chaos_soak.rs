@@ -133,6 +133,8 @@ fn start_replica(dir: &Path, allow_measure: bool, request_deadline: Duration) ->
         drain_deadline: Duration::from_secs(2),
         model_dir: dir.to_path_buf(),
         allow_measure,
+        keep_alive_requests: 1000,
+        idle_deadline: Duration::from_secs(5),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

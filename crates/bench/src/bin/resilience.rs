@@ -85,6 +85,8 @@ fn spawn_fleet_worker(model_dir: &std::path::Path) -> FleetWorker {
         drain_deadline: Duration::from_millis(200),
         model_dir: model_dir.to_path_buf(),
         allow_measure: true,
+        keep_alive_requests: 1000,
+        idle_deadline: Duration::from_secs(5),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

@@ -93,6 +93,8 @@ fn start_replica(dir: &Path, drain: Duration) -> Replica {
         drain_deadline: drain,
         model_dir: dir.to_path_buf(),
         allow_measure: false,
+        keep_alive_requests: 1000,
+        idle_deadline: Duration::from_secs(5),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

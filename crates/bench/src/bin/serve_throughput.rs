@@ -5,13 +5,25 @@
 //! The daemon's whole value proposition is that model evaluation is
 //! microseconds while learning is hours — so the engine itself must stay
 //! out of the way. This binary starts the server in-process on a loopback
-//! ephemeral port, fans out raw-TCP clients, and records req/s with
-//! p50/p95/p99 latency per round, plus error and 503 counts.
+//! ephemeral port and fans out raw-TCP clients in three transport modes:
+//!
+//! - **close** — one connection per request, the pre-event-loop wire
+//!   shape (handshake + teardown per predict);
+//! - **keep-alive** — one connection per client, every request riding
+//!   the same socket through the poll(2) event loop;
+//! - **batch** — keep-alive `POST /predict_batch`, a whole `(p, n)`
+//!   grid per request against the compiled PMNF table.
+//!
+//! Each round reports req/s, points/s, p50/p95/p99 latency, and a
+//! client-side **syscalls-per-request estimate** (connects + writes +
+//! reads + closes the client actually issued, divided by requests) —
+//! the quantity the event loop + keep-alive work exists to crush.
 //!
 //! Every 200 body is compared byte-for-byte against the direct
-//! [`exareq_serve::api::predict_body`] call — a daemon that drifted from
-//! the library would be reported as `"identical": false` and the process
-//! exits nonzero. `--tiny` shrinks the rounds for CI smoke use.
+//! [`exareq_serve::api::predict_body`] call (batch: against the
+//! concatenation of the equivalent single predicts) — a daemon that
+//! drifted from the library is reported as `"identical": false` and the
+//! process exits nonzero. `--tiny` shrinks the rounds for CI smoke use.
 
 use exareq_bench::{num, obj, write_report, LatencySummary};
 use exareq_codesign::catalog;
@@ -24,94 +36,188 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-/// One raw HTTP/1.1 exchange; returns `(status, body)`.
-fn http_post(addr: SocketAddr, target: &str, body: &str) -> (u16, Vec<u8>) {
-    let mut stream = TcpStream::connect(addr).expect("connect to in-process server");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .expect("read timeout");
-    let request = format!(
-        "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes()).expect("write request");
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).expect("read response");
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .expect("response head terminator");
-    let head = std::str::from_utf8(&raw[..head_end]).expect("response head is ASCII");
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status code in status line");
-    (status, raw[head_end + 4..].to_vec())
+/// One client connection with request framing and syscall accounting.
+struct Wire {
+    stream: TcpStream,
+    leftover: Vec<u8>,
+    /// Client-side socket syscalls issued so far (connect + write +
+    /// read + close). An estimate: `write_all`/`read` map 1:1 to
+    /// syscalls on loopback at these sizes.
+    syscalls: u64,
+}
+
+impl Wire {
+    fn connect(addr: SocketAddr) -> Wire {
+        let stream = TcpStream::connect(addr).expect("connect to in-process server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        Wire {
+            stream,
+            leftover: Vec::new(),
+            syscalls: 1, // the connect
+        }
+    }
+
+    /// One POST on this connection; `close` picks the Connection header.
+    /// Responses are `Content-Length`-framed so the socket survives for
+    /// the next request in keep-alive mode.
+    fn post(&mut self, target: &str, body: &str, close: bool) -> (u16, Vec<u8>) {
+        let connection = if close { "close" } else { "keep-alive" };
+        let request = format!(
+            "POST {target} HTTP/1.1\r\nHost: bench\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream
+            .write_all(request.as_bytes())
+            .expect("write request");
+        self.syscalls += 1;
+        let mut raw = std::mem::take(&mut self.leftover);
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&raw[..head_end]).expect("response head is ASCII");
+                let len: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        let (k, v) = l.split_once(':')?;
+                        k.trim()
+                            .eq_ignore_ascii_case("content-length")
+                            .then(|| v.trim().parse().ok())?
+                    })
+                    .expect("Content-Length in response");
+                let total = head_end + 4 + len;
+                if raw.len() >= total {
+                    let status: u16 = head
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|s| s.parse().ok())
+                        .expect("status code in status line");
+                    let body = raw[head_end + 4..total].to_vec();
+                    self.leftover = raw.split_off(total);
+                    self.leftover.clear(); // sequential clients never pipeline
+                    return (status, body);
+                }
+            }
+            let k = self.stream.read(&mut buf).expect("read response");
+            self.syscalls += 1;
+            assert!(k > 0, "server closed mid-response");
+            raw.extend_from_slice(&buf[..k]);
+        }
+    }
+
+    /// Syscalls issued over this connection's lifetime, counting the
+    /// close that `drop` is about to perform.
+    fn finish(self) -> u64 {
+        self.syscalls + 1
+    }
 }
 
 struct Round {
+    mode: &'static str,
     clients: usize,
-    requests_per_client: usize,
+    requests: usize,
+    points: usize,
     seconds: f64,
     errors: u64,
     rejected_503: u64,
     identical: bool,
+    syscalls_per_request: f64,
     latency: LatencySummary,
 }
 
-/// One load round: `clients` threads, each issuing `per_client` sequential
-/// `/predict` calls, every 200 body checked against the library answer.
-fn run_round(addr: SocketAddr, clients: usize, per_client: usize, expected: &str) -> Round {
+/// One load round: `clients` threads, each issuing `per_client`
+/// sequential requests in the given `mode`, every 200 body checked
+/// against the expected library answer.
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    addr: SocketAddr,
+    mode: &'static str,
+    clients: usize,
+    per_client: usize,
+    target: &'static str,
+    body: &str,
+    points_per_request: usize,
+    expected: &str,
+) -> Round {
     let expected = expected.as_bytes().to_vec();
+    let body = body.to_string();
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|_| {
             let expected = expected.clone();
+            let body = body.clone();
             std::thread::spawn(move || {
                 let mut latencies = Vec::with_capacity(per_client);
                 let (mut errors, mut rejected, mut mismatched) = (0u64, 0u64, false);
+                let mut syscalls = 0u64;
+                let close = mode == "close";
+                let mut wire = (!close).then(|| Wire::connect(addr));
                 for _ in 0..per_client {
                     let t0 = Instant::now();
-                    let (status, body) =
-                        http_post(addr, "/predict", r#"{"model":"Kripke","p":1e6,"n":4096}"#);
+                    let (status, resp) = match wire.as_mut() {
+                        Some(wire) => wire.post(target, &body, false),
+                        None => {
+                            let mut one = Wire::connect(addr);
+                            let out = one.post(target, &body, true);
+                            syscalls += one.finish();
+                            out
+                        }
+                    };
                     latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                     match status {
-                        200 => mismatched |= body != expected,
+                        200 => mismatched |= resp != expected,
                         503 => rejected += 1,
                         _ => errors += 1,
                     }
                 }
-                (latencies, errors, rejected, mismatched)
+                if let Some(wire) = wire {
+                    syscalls += wire.finish();
+                }
+                (latencies, errors, rejected, mismatched, syscalls)
             })
         })
         .collect();
     let mut latencies = Vec::new();
-    let (mut errors, mut rejected, mut identical) = (0, 0, true);
+    let (mut errors, mut rejected, mut identical, mut syscalls) = (0, 0, true, 0u64);
     for h in handles {
-        let (lat, e, r, mismatched) = h.join().expect("client thread");
+        let (lat, e, r, mismatched, s) = h.join().expect("client thread");
         latencies.extend(lat);
         errors += e;
         rejected += r;
         identical &= !mismatched;
+        syscalls += s;
     }
+    let requests = clients * per_client;
     Round {
+        mode,
         clients,
-        requests_per_client: per_client,
+        requests,
+        points: requests * points_per_request,
         seconds: started.elapsed().as_secs_f64(),
         errors,
         rejected_503: rejected,
         identical,
+        syscalls_per_request: syscalls as f64 / requests as f64,
         latency: LatencySummary::from_samples(&latencies),
     }
 }
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
-    let (client_counts, per_client): (Vec<usize>, usize) = if tiny {
-        (vec![1, 2], 10)
+    // (mode-specific request counts: keep-alive requests are ~10×
+    // cheaper than close-mode ones, so they get more iterations for
+    // stable rates without stretching wall clock.)
+    let (client_counts, per_close, per_keep, per_batch, batch_points): (
+        Vec<usize>,
+        usize,
+        usize,
+        usize,
+        usize,
+    ) = if tiny {
+        (vec![1, 2], 10, 50, 10, 64)
     } else {
-        (vec![1, 2, 4, 8], 50)
+        (vec![1, 2, 4], 50, 1000, 50, 256)
     };
 
     // Model dir: the published Table II catalog as requirements artifacts,
@@ -137,6 +243,8 @@ fn main() {
         drain_deadline: Duration::from_secs(10),
         model_dir: dir.clone(),
         allow_measure: false,
+        keep_alive_requests: 1_000_000,
+        idle_deadline: Duration::from_secs(5),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();
@@ -152,28 +260,89 @@ fn main() {
         })
     };
     let addr = rx.recv().expect("server ready");
-    let expected = api::predict_body(&catalog::kripke(), 1e6, 4096.0);
+
+    let point_body = r#"{"model":"Kripke","p":1e6,"n":4096}"#;
+    let expected_point = api::predict_body(&catalog::kripke(), 1e6, 4096.0);
+    // The batch grid: `batch_points` distinct (p, n) pairs; the expected
+    // answer is, by contract, the concatenation of the single predicts.
+    let kripke = catalog::kripke();
+    let grid: Vec<(f64, f64)> = (0..batch_points)
+        .map(|i| (2f64.powi((i % 20) as i32 + 1), 64.0 * (i + 1) as f64))
+        .collect();
+    let batch_body = format!(
+        r#"{{"model":"Kripke","points":[{}]}}"#,
+        grid.iter()
+            .map(|(p, n)| format!("[{p},{n}]"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let expected_batch: String = grid
+        .iter()
+        .map(|&(p, n)| api::predict_body(&kripke, p, n) + "\n")
+        .collect();
     eprintln!(
-        "serve throughput: {addr}, {} workers, rounds {client_counts:?} x {per_client} requests",
+        "serve throughput: {addr}, {} workers, clients {client_counts:?}, \
+         close x{per_close} / keep-alive x{per_keep} / batch x{per_batch} ({batch_points} points)",
         cfg.threads
     );
 
     // Warm-up outside every timing.
-    let _ = run_round(addr, 1, 5, &expected);
+    let _ = run_round(
+        addr,
+        "keep-alive",
+        1,
+        5,
+        "/predict",
+        point_body,
+        1,
+        &expected_point,
+    );
 
     let mut rows = Vec::new();
     let mut all_identical = true;
+    let mut plan: Vec<(&'static str, usize, usize, &'static str, &str, usize, &str)> = Vec::new();
     for &clients in &client_counts {
-        let round = run_round(addr, clients, per_client, &expected);
-        let total = (round.clients * round.requests_per_client) as f64;
-        let rate = total / round.seconds;
+        plan.push((
+            "close",
+            clients,
+            per_close,
+            "/predict",
+            point_body,
+            1,
+            &expected_point,
+        ));
+        plan.push((
+            "keep-alive",
+            clients,
+            per_keep,
+            "/predict",
+            point_body,
+            1,
+            &expected_point,
+        ));
+    }
+    plan.push((
+        "batch",
+        1,
+        per_batch,
+        "/predict_batch",
+        &batch_body,
+        batch_points,
+        &expected_batch,
+    ));
+    for (mode, clients, per_client, target, body, points, expected) in plan {
+        let round = run_round(
+            addr, mode, clients, per_client, target, body, points, expected,
+        );
+        let rate = round.requests as f64 / round.seconds;
+        let point_rate = round.points as f64 / round.seconds;
         all_identical &= round.identical;
         eprintln!(
-            "  clients={clients}: {rate:.0} req/s, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
-             {} errors, {} x 503{}",
+            "  {mode:>10} clients={clients}: {rate:.0} req/s, {point_rate:.0} points/s, \
+             p50 {:.3} ms, p99 {:.3} ms, ~{:.1} syscalls/req, {} errors, {} x 503{}",
             round.latency.p50_ms,
-            round.latency.p95_ms,
             round.latency.p99_ms,
+            round.syscalls_per_request,
             round.errors,
             round.rejected_503,
             if round.identical {
@@ -183,10 +352,14 @@ fn main() {
             }
         );
         let mut members = vec![
-            ("clients", num(clients as f64)),
-            ("requests", num(total)),
+            ("mode", Json::Str(round.mode.to_string())),
+            ("clients", num(round.clients as f64)),
+            ("requests", num(round.requests as f64)),
+            ("points", num(round.points as f64)),
             ("seconds", num(round.seconds)),
             ("req_per_sec", num(rate)),
+            ("points_per_sec", num(point_rate)),
+            ("syscalls_per_request", num(round.syscalls_per_request)),
             ("errors", num(round.errors as f64)),
             ("rejected_503", num(round.rejected_503 as f64)),
             ("identical", Json::Bool(round.identical)),
@@ -199,10 +372,11 @@ fn main() {
     let summary = server.join().expect("server thread");
 
     let report = obj(vec![
-        ("schema", num(1.0)),
+        ("schema", num(2.0)),
         ("model", Json::Str("Kripke".to_string())),
         ("threads", num(cfg.threads as f64)),
         ("queue_depth", num(cfg.queue_depth as f64)),
+        ("batch_points", num(batch_points as f64)),
         ("rounds", Json::Arr(rows)),
         ("total_requests", num(summary.requests as f64)),
         ("total_rejected", num(summary.rejected as f64)),

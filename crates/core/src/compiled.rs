@@ -1,0 +1,242 @@
+//! Compiled PMNF: a flat coefficient/exponent table for batch evaluation.
+//!
+//! [`Model`] is the authoring representation — per-term `Vec<Exponents>`
+//! aligned with the parameter list, one heap allocation per term, and a
+//! multiply by `1.0` for every parameter a term does not mention. That
+//! layout is right for fitting and display, and wrong for the serve
+//! daemon's hot path, where one `POST /predict_batch` walks the same five
+//! models over thousands of `(p, n)` points.
+//!
+//! [`CompiledModel`] lowers a model once into two flat arrays:
+//!
+//! ```text
+//! terms:   [ (coeff, factor range) … ]           one entry per term
+//! factors: [ (param index, poly, log) … ]        non-constant factors only
+//! ```
+//!
+//! Evaluation is a single forward pass over both arrays — no per-term
+//! indirection, no constant factors, cache lines consumed in order.
+//!
+//! ## Bit-identity contract
+//!
+//! `CompiledModel::eval` returns **bit-identical** results to
+//! [`Model::eval`] for every input. The serve daemon's byte-identity
+//! guarantee (a daemon `200` equals the direct library call, digit for
+//! digit) rides on this, so the lowering is *not allowed* to re-associate
+//! anything:
+//!
+//! - each factor value is computed exactly as [`Exponents::eval`] does
+//!   (clamp, conditional `powf`, conditional `log2().powf`);
+//! - factor values multiply into a basis that starts at `1.0`, in the
+//!   term's original factor order — skipping constant factors is exact
+//!   because their value is exactly `1.0` and IEEE multiplication by `1.0`
+//!   is the identity;
+//! - term values accumulate into a sum that starts at `0.0`, in term
+//!   order, and the constant is added **after** the sum — the same fold
+//!   `constant + Σ` that `Model::eval` performs, not the re-associated
+//!   `(constant + t₀) + t₁ …`.
+//!
+//! `tests/compiled_pmnf_properties.rs` fuzzes this contract over arbitrary
+//! models and coordinates.
+
+use crate::pmnf::Model;
+
+/// One non-constant factor `x_param^poly · log2(x_param)^log` in the flat
+/// factor table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledFactor {
+    /// Index of the parameter this factor applies to.
+    pub param: u32,
+    /// Polynomial exponent `i`.
+    pub poly: f64,
+    /// Logarithm exponent `j`.
+    pub log: f64,
+}
+
+/// One term: its coefficient and the half-open range of entries it owns in
+/// the factor table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledTerm {
+    /// Multiplicative coefficient `c_k`.
+    pub coeff: f64,
+    /// First factor index in [`CompiledModel::factors`].
+    pub factors_start: u32,
+    /// Number of factors (possibly zero for a constant term).
+    pub factors_len: u32,
+}
+
+/// A PMNF model lowered into flat arrays for cache-friendly evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    constant: f64,
+    arity: usize,
+    terms: Vec<CompiledTerm>,
+    factors: Vec<CompiledFactor>,
+}
+
+impl CompiledModel {
+    /// Lowers `model` into the flat form. Constant factors (exponents
+    /// `0, 0`) are dropped — they contribute exactly `1.0` to a product —
+    /// and every surviving factor keeps its original in-term order.
+    pub fn lower(model: &Model) -> CompiledModel {
+        let mut factors = Vec::new();
+        let mut terms = Vec::with_capacity(model.terms.len());
+        for term in &model.terms {
+            let start = factors.len();
+            for (param, f) in term.factors.iter().enumerate() {
+                if !f.is_constant() {
+                    factors.push(CompiledFactor {
+                        param: param as u32,
+                        poly: f.poly,
+                        log: f.log,
+                    });
+                }
+            }
+            terms.push(CompiledTerm {
+                coeff: term.coeff,
+                factors_start: start as u32,
+                factors_len: (factors.len() - start) as u32,
+            });
+        }
+        CompiledModel {
+            constant: model.constant,
+            arity: model.arity(),
+            terms,
+            factors,
+        }
+    }
+
+    /// Number of model parameters (coordinates `eval` expects).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The flat term table.
+    pub fn terms(&self) -> &[CompiledTerm] {
+        &self.terms
+    }
+
+    /// The flat factor table.
+    pub fn factors(&self) -> &[CompiledFactor] {
+        &self.factors
+    }
+
+    /// Evaluates the model at `coords` — bit-identical to
+    /// [`Model::eval`] on the model this was lowered from (see the module
+    /// docs for why the fold order is load-bearing).
+    ///
+    /// # Panics
+    /// Panics (debug) if `coords.len() != self.arity()`.
+    pub fn eval(&self, coords: &[f64]) -> f64 {
+        debug_assert_eq!(coords.len(), self.arity);
+        let mut sum = 0.0f64;
+        for term in &self.terms {
+            let mut basis = 1.0f64;
+            let start = term.factors_start as usize;
+            let end = start + term.factors_len as usize;
+            for f in &self.factors[start..end] {
+                // Exactly Exponents::eval, inlined over the flat entry.
+                let x = coords[f.param as usize].max(1.0);
+                let mut v = 1.0f64;
+                if f.poly != 0.0 {
+                    v *= x.powf(f.poly);
+                }
+                if f.log != 0.0 {
+                    v *= x.log2().powf(f.log);
+                }
+                basis *= v;
+            }
+            sum += term.coeff * basis;
+        }
+        self.constant + sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmnf::{Exponents, Term};
+
+    fn two_param(constant: f64, terms: Vec<Term>) -> Model {
+        Model::new(constant, terms, vec!["p".to_string(), "n".to_string()])
+    }
+
+    fn assert_bit_identical(model: &Model, coords: &[f64]) {
+        let compiled = CompiledModel::lower(model);
+        let direct = model.eval(coords);
+        let fast = compiled.eval(coords);
+        assert_eq!(
+            direct.to_bits(),
+            fast.to_bits(),
+            "coords {coords:?}: direct {direct:?} vs compiled {fast:?}"
+        );
+    }
+
+    #[test]
+    fn constant_model_lowers_to_empty_tables() {
+        let m = Model::constant(3.25, vec!["p".to_string()]);
+        let c = CompiledModel::lower(&m);
+        assert!(c.terms().is_empty());
+        assert!(c.factors().is_empty());
+        assert_bit_identical(&m, &[17.0]);
+    }
+
+    #[test]
+    fn constant_factors_are_dropped_without_changing_bits() {
+        // Term mentions only n: the p factor is constant and must vanish.
+        let m = two_param(
+            1.0e3,
+            vec![Term::new(
+                2.5,
+                vec![Exponents::constant(), Exponents::new(1.0, 1.0)],
+            )],
+        );
+        let c = CompiledModel::lower(&m);
+        assert_eq!(c.factors().len(), 1);
+        assert_eq!(c.factors()[0].param, 1);
+        for coords in [[2.0, 64.0], [1.0, 1.0], [1e8, 1e6], [3.7, 1000.5]] {
+            assert_bit_identical(&m, &coords);
+        }
+    }
+
+    #[test]
+    fn multiplicative_and_fractional_terms_stay_bit_identical() {
+        // Kripke-like n·p and LULESH-like n log n · p^0.25 log p shapes,
+        // plus a negative coefficient so the sum order matters.
+        let m = two_param(
+            -7.5e2,
+            vec![
+                Term::new(
+                    4.0,
+                    vec![Exponents::new(1.0, 0.0), Exponents::new(1.0, 0.0)],
+                ),
+                Term::new(
+                    1.0e-3,
+                    vec![Exponents::new(0.25, 1.0), Exponents::new(1.0, 1.0)],
+                ),
+                Term::new(-2.0, vec![Exponents::new(0.0, 2.0), Exponents::constant()]),
+            ],
+        );
+        for coords in [
+            [2.0, 64.0],
+            [32.0, 1024.0],
+            [1e8, 1e6],
+            [1.0, 1.0],
+            [0.5, 0.25], // below the clamp: both paths clamp to 1
+        ] {
+            assert_bit_identical(&m, &coords);
+        }
+    }
+
+    #[test]
+    fn coordinates_below_one_clamp_identically() {
+        let m = two_param(
+            0.0,
+            vec![Term::new(
+                3.0,
+                vec![Exponents::new(2.0, 1.0), Exponents::new(0.5, 0.0)],
+            )],
+        );
+        assert_bit_identical(&m, &[0.0, 0.9]);
+    }
+}

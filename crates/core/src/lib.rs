@@ -37,6 +37,7 @@
 //! ## Module map
 //!
 //! - [`pmnf`] — model representation (Eq. 1/2), evaluation, display.
+//! - [`compiled`] — flat-table lowering for batch evaluation hot paths.
 //! - [`measurement`] — experiment containers, grids, aggregation.
 //! - [`hypothesis`] — the exponent search space of Section III.
 //! - [`linalg`] — small dense QR least squares.
@@ -54,6 +55,7 @@
 pub mod baseline;
 pub mod cancel;
 pub mod collective;
+pub mod compiled;
 pub mod csv;
 pub mod describe;
 pub mod fit;
@@ -67,6 +69,7 @@ pub mod quality;
 pub mod stability;
 
 pub use cancel::{CancelReason, CancelToken, Cancelled, Deadline};
+pub use compiled::{CompiledFactor, CompiledModel, CompiledTerm};
 pub use fit::{
     fit_single, fit_single_cancellable, fit_single_robust, FitConfig, FitError, FittedModel,
     RobustFit,

@@ -29,8 +29,19 @@
 //!   exponential backoff, and when the server names a price — a
 //!   `Retry-After` header — the client pays exactly that instead of its
 //!   own schedule.
+//! - **Keep-alive pooling, poison-safe.** POSTs ride a small per-host
+//!   pool of keep-alive connections ([`POOL_MAX_IDLE_PER_HOST`],
+//!   [`POOL_IDLE_TTL`]); a connection is parked back only when the
+//!   exchange left it provably clean (server agreed to keep-alive and the
+//!   body was `Content-Length`-delimited) and is dropped on *any* error —
+//!   a poisoned connection is never reused. A recycled connection the
+//!   server closed between requests fails before any response byte and is
+//!   retried transparently on a fresh connection. GET probes stay
+//!   one-shot (`Connection: close`): a health check should measure a
+//!   fresh connection, not a cached one.
 
 use exareq_core::cancel::CancelToken;
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
@@ -52,6 +63,16 @@ pub const MAX_RETRY_AFTER_SECS: u64 = 30;
 
 /// Granularity of cancellable waits: read slices and backoff sleeps.
 const SLICE: Duration = Duration::from_millis(50);
+
+/// Idle keep-alive connections kept per host. Small on purpose: the
+/// router opens at most a few lanes per replica, and anything beyond
+/// that is better closed than hoarded.
+pub const POOL_MAX_IDLE_PER_HOST: usize = 4;
+
+/// An idle pooled connection older than this is presumed dead (the serve
+/// daemon reaps idle keep-alive connections at its own deadline) and is
+/// dropped instead of reused.
+pub const POOL_IDLE_TTL: Duration = Duration::from_secs(2);
 
 /// Tuning for one [`HttpClient`].
 #[derive(Debug, Clone)]
@@ -187,12 +208,34 @@ impl ClientResponse {
     }
 }
 
-/// Std-only HTTP/1.1 client with bounded, cancellable exchanges.
+/// One idle keep-alive connection parked between POSTs.
+struct PooledConn {
+    stream: TcpStream,
+    idle_since: Instant,
+}
+
+/// Std-only HTTP/1.1 client with bounded, cancellable exchanges and a
+/// small keep-alive connection pool for POSTs.
 pub struct HttpClient {
     cfg: ClientConfig,
     /// splitmix64 state for backoff jitter.
     rng: Mutex<u64>,
     metrics: Arc<NetMetrics>,
+    /// Idle keep-alive connections, keyed by host:port. Only POSTs pool:
+    /// GET probes deliberately stay one-shot (`Connection: close`) so a
+    /// health check always measures a *fresh* connection, not a cached
+    /// one — and so probe traffic keeps its historical wire shape.
+    pool: Mutex<HashMap<String, Vec<PooledConn>>>,
+}
+
+/// How one request attempt on one particular connection ended.
+enum AttemptError {
+    /// A *reused* connection failed before a single response byte
+    /// arrived — the server closed it between requests. Safe to retry
+    /// transparently on a fresh connection.
+    StaleReuse,
+    /// A real failure that must surface to the caller.
+    Fatal(ClientError),
 }
 
 impl HttpClient {
@@ -203,6 +246,7 @@ impl HttpClient {
             cfg,
             rng,
             metrics: Arc::new(NetMetrics::new()),
+            pool: Mutex::new(HashMap::new()),
         }
     }
 
@@ -338,6 +382,23 @@ impl HttpClient {
             return Err(ClientError::Cancelled);
         }
         let deadline = (Instant::now() + self.cfg.exchange_deadline).min(budget);
+        let pooling = method == "POST";
+
+        // Reuse phase: parked keep-alive connections first. One the
+        // server closed between requests fails before any response byte
+        // arrives and falls through to a fresh connection — the caller
+        // never sees the stale socket.
+        if pooling {
+            while let Some(stream) = self.pool_take(addr) {
+                match self.attempt(
+                    stream, true, pooling, addr, method, target, body, cancel, deadline,
+                ) {
+                    Ok(resp) => return Ok(resp),
+                    Err(AttemptError::StaleReuse) => continue,
+                    Err(AttemptError::Fatal(e)) => return Err(e),
+                }
+            }
+        }
 
         // Connect phase.
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -345,37 +406,131 @@ impl HttpClient {
             return Err(ClientError::Timeout(Phase::Connect));
         }
         let stream = self.connect(addr, self.cfg.connect_timeout.min(remaining))?;
+        match self.attempt(
+            stream, false, pooling, addr, method, target, body, cancel, deadline,
+        ) {
+            Ok(resp) => Ok(resp),
+            Err(AttemptError::Fatal(e)) => Err(e),
+            Err(AttemptError::StaleReuse) => {
+                unreachable!("fresh connections never classify as stale reuse")
+            }
+        }
+    }
+
+    /// One write+read round trip on an already-open connection. `reused`
+    /// governs the stale-reuse classification (only a recycled connection
+    /// that fails before any response byte may be retried transparently);
+    /// `pooling` governs the `Connection` request header and whether a
+    /// provably-clean connection is parked back afterwards.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &self,
+        mut stream: TcpStream,
+        reused: bool,
+        pooling: bool,
+        addr: &str,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        cancel: &CancelToken,
+        deadline: Instant,
+    ) -> Result<ClientResponse, AttemptError> {
+        let fatal = AttemptError::Fatal;
 
         // Write phase. A zero write timeout is invalid, so clamp up; the
         // deadline re-check below still bounds the total.
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
-            return Err(ClientError::Timeout(Phase::Write));
+            return Err(fatal(ClientError::Timeout(Phase::Write)));
         }
         stream
             .set_write_timeout(Some(remaining.max(Duration::from_millis(1))))
-            .map_err(|e| ClientError::Io(e.to_string()))?;
+            .map_err(|e| fatal(ClientError::Io(e.to_string())))?;
         stream
             .set_read_timeout(Some(SLICE))
-            .map_err(|e| ClientError::Io(e.to_string()))?;
-        let mut stream = stream;
+            .map_err(|e| fatal(ClientError::Io(e.to_string())))?;
+        let connection = if pooling { "keep-alive" } else { "close" };
         let head = format!(
-            "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
             body.len()
         );
-        stream
+        if let Err(e) = stream
             .write_all(head.as_bytes())
             .and_then(|()| stream.write_all(body))
-            .map_err(|e| match e.kind() {
-                ErrorKind::WouldBlock | ErrorKind::TimedOut => ClientError::Timeout(Phase::Write),
-                _ => ClientError::Io(e.to_string()),
-            })?;
+        {
+            return Err(match e.kind() {
+                ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                    fatal(ClientError::Timeout(Phase::Write))
+                }
+                // EPIPE/RST writing to a recycled connection: the server
+                // hung up between requests, before any response existed.
+                _ if reused => AttemptError::StaleReuse,
+                _ => fatal(ClientError::Io(e.to_string())),
+            });
+        }
 
         // Read phase.
-        let raw = read_response(&mut stream, deadline, cancel)?;
-        let resp = parse_response(&raw)?;
-        self.verify_integrity(&resp)?;
+        let raw = match read_response(&mut stream, deadline, cancel) {
+            Ok(raw) => raw,
+            Err((e, bytes_seen)) => {
+                let stale = reused
+                    && bytes_seen == 0
+                    && matches!(&e, ClientError::Io(_) | ClientError::Protocol(_));
+                return Err(if stale {
+                    AttemptError::StaleReuse
+                } else {
+                    fatal(e)
+                });
+            }
+        };
+        let resp = parse_response(&raw).map_err(fatal)?;
+        self.verify_integrity(&resp).map_err(fatal)?;
+
+        // Park the connection only when the exchange left it provably
+        // clean: the server agreed to keep-alive AND the body was
+        // `Content-Length`-delimited (an EOF-delimited read consumed the
+        // connection by definition). Every error path above dropped the
+        // stream — a poisoned connection is never reused.
+        if pooling
+            && resp
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+            && resp.header("content-length").is_some()
+        {
+            self.pool_put(addr, stream);
+        }
         Ok(resp)
+    }
+
+    /// Pop the most recently parked idle connection for `addr`,
+    /// discarding any that outlived [`POOL_IDLE_TTL`].
+    fn pool_take(&self, addr: &str) -> Option<TcpStream> {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        let idle = pool.get_mut(addr)?;
+        while let Some(conn) = idle.pop() {
+            if conn.idle_since.elapsed() < POOL_IDLE_TTL {
+                return Some(conn.stream);
+            }
+        }
+        None
+    }
+
+    /// Park a clean keep-alive connection, bounded per host.
+    fn pool_put(&self, addr: &str, stream: TcpStream) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        let idle = pool.entry(addr.to_string()).or_default();
+        if idle.len() < POOL_MAX_IDLE_PER_HOST {
+            idle.push(PooledConn {
+                stream,
+                idle_since: Instant::now(),
+            });
+        }
+    }
+
+    /// Idle connections currently parked for `addr` — test observability.
+    pub fn pooled_idle(&self, addr: &str) -> usize {
+        let pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        pool.get(addr).map_or(0, Vec::len)
     }
 
     /// Integrity gate: when the response carries an `X-Exareq-Digest`
@@ -470,11 +625,13 @@ pub fn sleep_cancellable(total: Duration, cancel: &CancelToken) -> bool {
 
 /// Read a full response in timeout slices: until `Content-Length` bytes
 /// past the head, or EOF when the header is absent (`Connection: close`).
+/// Errors carry how many bytes had arrived, so the caller can tell a
+/// stale recycled connection (zero bytes) from a mid-response failure.
 fn read_response(
     stream: &mut TcpStream,
     deadline: Instant,
     cancel: &CancelToken,
-) -> Result<Vec<u8>, ClientError> {
+) -> Result<Vec<u8>, (ClientError, usize)> {
     let mut raw = Vec::new();
     let mut buf = [0u8; 8192];
     let mut want: Option<usize> = None;
@@ -486,10 +643,10 @@ fn read_response(
             }
         }
         if cancel.is_cancelled() {
-            return Err(ClientError::Cancelled);
+            return Err((ClientError::Cancelled, raw.len()));
         }
         if Instant::now() >= deadline {
-            return Err(ClientError::Timeout(Phase::Read));
+            return Err((ClientError::Timeout(Phase::Read), raw.len()));
         }
         match stream.read(&mut buf) {
             Ok(0) => {
@@ -497,12 +654,15 @@ fn read_response(
                     // Short body after a promised length is a truncated
                     // (half-delivered) response — typed so callers can
                     // distinguish it from a malformed one.
-                    Some(total) => Err(ClientError::TruncatedResponse {
-                        expected: total,
-                        got: raw.len(),
-                    }),
+                    Some(total) => Err((
+                        ClientError::TruncatedResponse {
+                            expected: total,
+                            got: raw.len(),
+                        },
+                        raw.len(),
+                    )),
                     None if raw.is_empty() => {
-                        Err(ClientError::Protocol("empty response".to_string()))
+                        Err((ClientError::Protocol("empty response".to_string()), 0))
                     }
                     None => Ok(raw),
                 };
@@ -511,34 +671,53 @@ fn read_response(
                 raw.extend_from_slice(&buf[..k]);
                 if want.is_none() {
                     if let Some(head_end) = find_head_end(&raw) {
-                        let head = std::str::from_utf8(&raw[..head_end])
-                            .map_err(|_| ClientError::Protocol("non-UTF8 head".to_string()))?;
-                        want = content_length(head)?.map(|len| {
-                            // Total bytes once the body is complete.
-                            head_end + 4 + len
-                        });
+                        let head = match std::str::from_utf8(&raw[..head_end]) {
+                            Ok(head) => head,
+                            Err(_) => {
+                                return Err((
+                                    ClientError::Protocol("non-UTF8 head".to_string()),
+                                    raw.len(),
+                                ))
+                            }
+                        };
+                        want = match content_length(head) {
+                            Ok(len) => len.map(|len| {
+                                // Total bytes once the body is complete.
+                                head_end + 4 + len
+                            }),
+                            Err(e) => return Err((e, raw.len())),
+                        };
                         if let Some(total) = want {
                             if total > MAX_RESPONSE_BODY {
-                                return Err(ClientError::OversizedResponse {
-                                    limit: MAX_RESPONSE_BODY,
-                                });
+                                return Err((
+                                    ClientError::OversizedResponse {
+                                        limit: MAX_RESPONSE_BODY,
+                                    },
+                                    raw.len(),
+                                ));
                             }
                         }
                     } else if raw.len() > MAX_RESPONSE_HEAD {
-                        return Err(ClientError::OversizedResponse {
-                            limit: MAX_RESPONSE_HEAD,
-                        });
+                        return Err((
+                            ClientError::OversizedResponse {
+                                limit: MAX_RESPONSE_HEAD,
+                            },
+                            raw.len(),
+                        ));
                     }
                 }
                 if raw.len() > MAX_RESPONSE_BODY {
-                    return Err(ClientError::OversizedResponse {
-                        limit: MAX_RESPONSE_BODY,
-                    });
+                    return Err((
+                        ClientError::OversizedResponse {
+                            limit: MAX_RESPONSE_BODY,
+                        },
+                        raw.len(),
+                    ));
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(ClientError::Io(e.to_string())),
+            Err(e) => return Err((ClientError::Io(e.to_string()), raw.len())),
         }
     }
 }
@@ -850,6 +1029,149 @@ mod tests {
             .post_with_retry(&addr, "/measure", b"{}", &CancelToken::new())
             .expect("503 passes without digest");
         assert_eq!(resp.status, 503);
+    }
+
+    /// Serve each inner list of responses on ONE accepted connection
+    /// (keep-alive), closing the socket after the list is exhausted.
+    /// Returns the address and a count of connections accepted.
+    fn keep_alive_server(
+        per_conn: Vec<Vec<String>>,
+    ) -> (String, std::sync::Arc<std::sync::atomic::AtomicUsize>) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let accepts = std::sync::Arc::new(AtomicUsize::new(0));
+        let counter = std::sync::Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            for responses in per_conn {
+                let (mut stream, _) = match listener.accept() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut pending = Vec::new();
+                for resp in responses {
+                    if !read_one_request(&mut stream, &mut pending) {
+                        break;
+                    }
+                    let _ = stream.write_all(resp.as_bytes());
+                }
+                // Dropping the stream closes the connection.
+            }
+        });
+        (addr, accepts)
+    }
+
+    /// Consume exactly one `Content-Length`-framed request from the
+    /// stream, carrying pipelined leftovers across calls.
+    fn read_one_request(stream: &mut TcpStream, pending: &mut Vec<u8>) -> bool {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(head_end) = find_head_end(pending) {
+                let head = String::from_utf8_lossy(&pending[..head_end]).to_string();
+                let len = content_length(&head).ok().flatten().unwrap_or(0);
+                let total = head_end + 4 + len;
+                if pending.len() >= total {
+                    pending.drain(..total);
+                    return true;
+                }
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => return false,
+                Ok(k) => pending.extend_from_slice(&buf[..k]),
+                Err(_) => return false,
+            }
+        }
+    }
+
+    fn keep_alive_response(body: &str) -> String {
+        format!(
+            "HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[test]
+    fn posts_reuse_one_pooled_keep_alive_connection() {
+        use std::sync::atomic::Ordering;
+        let (addr, accepts) = keep_alive_server(vec![vec![
+            keep_alive_response("a"),
+            keep_alive_response("b"),
+            keep_alive_response("c"),
+        ]]);
+        let client = HttpClient::new(ClientConfig::default());
+        for expect in ["a", "b", "c"] {
+            let resp = client
+                .post(&addr, "/predict", b"{}", &CancelToken::new())
+                .expect("post");
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, expect.as_bytes());
+        }
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            1,
+            "three POSTs must share one pooled connection"
+        );
+        assert_eq!(client.pooled_idle(&addr), 1, "the lane parks back idle");
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_evicted_and_retried_transparently() {
+        use std::sync::atomic::Ordering;
+        // Connection 1 answers once keep-alive, then the server closes it
+        // while it sits in the pool — the shape a crashed or restarted
+        // replica (or a chaos-proxy reset) leaves behind.
+        let (addr, accepts) = keep_alive_server(vec![
+            vec![keep_alive_response("first")],
+            vec![keep_alive_response("second")],
+        ]);
+        let client = HttpClient::new(ClientConfig::default());
+        let resp = client
+            .post(&addr, "/predict", b"{}", &CancelToken::new())
+            .expect("first post");
+        assert_eq!(resp.body, b"first");
+        assert_eq!(client.pooled_idle(&addr), 1);
+        // Let the server's FIN land before the next attempt reuses it.
+        std::thread::sleep(Duration::from_millis(100));
+        let resp = client
+            .post(&addr, "/predict", b"{}", &CancelToken::new())
+            .expect("stale lane must fall through to a fresh connection");
+        assert_eq!(resp.body, b"second");
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            2,
+            "the dead pooled connection is evicted, not surfaced"
+        );
+    }
+
+    #[test]
+    fn responses_without_keep_alive_are_never_pooled() {
+        // `ok_response` carries no `Connection: keep-alive` header, so the
+        // connection must be dropped, not parked.
+        let addr = canned_server(vec![ok_response("one"), ok_response("two")]);
+        let client = HttpClient::new(ClientConfig::default());
+        for expect in ["one", "two"] {
+            let resp = client
+                .post(&addr, "/predict", b"{}", &CancelToken::new())
+                .expect("post");
+            assert_eq!(resp.body, expect.as_bytes());
+        }
+        assert_eq!(client.pooled_idle(&addr), 0);
+    }
+
+    #[test]
+    fn get_probes_stay_one_shot_and_unpooled() {
+        let (addr, _accepts) = keep_alive_server(vec![vec![keep_alive_response("ok")]]);
+        let client = HttpClient::new(ClientConfig::default());
+        let resp = client
+            .get(&addr, "/healthz", &CancelToken::new())
+            .expect("get");
+        assert_eq!(resp.body, b"ok");
+        assert_eq!(
+            client.pooled_idle(&addr),
+            0,
+            "probes must measure fresh connections, never cached ones"
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! A single `exareq serve` daemon answers co-design queries; this crate
 //! makes a *set* of them survivable. The router reverse-proxies
-//! `POST /predict`, `/upgrade`, `/strawman` and `GET /models` across
+//! `POST /predict`, `/predict_batch`, `/upgrade`, `/strawman` and
+//! `GET /models` across
 //! replicas, and turns individual replica failures into latency noise
 //! instead of client-visible errors:
 //!

@@ -12,16 +12,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Endpoint labels, in the order of the per-endpoint counter slots.
-pub const ENDPOINTS: [&str; 4] = ["predict", "upgrade", "strawman", "models"];
+pub const ENDPOINTS: [&str; 5] = ["predict", "predict_batch", "upgrade", "strawman", "models"];
 
 /// Maps a request path to its [`ENDPOINTS`] slot (`None` for paths the
 /// router does not aggregate, like `/healthz`).
 pub fn endpoint_index(path: &str) -> Option<usize> {
     match path {
         "/predict" => Some(0),
-        "/upgrade" => Some(1),
-        "/strawman" => Some(2),
-        "/models" => Some(3),
+        "/predict_batch" => Some(1),
+        "/upgrade" => Some(2),
+        "/strawman" => Some(3),
+        "/models" => Some(4),
         _ => None,
     }
 }
@@ -240,9 +241,10 @@ mod tests {
     #[test]
     fn endpoint_index_covers_the_proxied_paths() {
         assert_eq!(endpoint_index("/predict"), Some(0));
-        assert_eq!(endpoint_index("/upgrade"), Some(1));
-        assert_eq!(endpoint_index("/strawman"), Some(2));
-        assert_eq!(endpoint_index("/models"), Some(3));
+        assert_eq!(endpoint_index("/predict_batch"), Some(1));
+        assert_eq!(endpoint_index("/upgrade"), Some(2));
+        assert_eq!(endpoint_index("/strawman"), Some(3));
+        assert_eq!(endpoint_index("/models"), Some(4));
         assert_eq!(endpoint_index("/healthz"), None);
     }
 
@@ -252,7 +254,7 @@ mod tests {
         let m = RouterMetrics::new(replicas.len());
         m.record(0, Duration::from_millis(2));
         m.record(0, Duration::from_millis(1));
-        m.record(3, Duration::from_micros(400));
+        m.record(4, Duration::from_micros(400));
         m.record_upstream_request(0);
         m.record_upstream_request(0);
         m.record_upstream_request(1);

@@ -256,6 +256,7 @@ impl Proxy {
         let body = std::str::from_utf8(&request.body).unwrap_or("");
         let model = match request.target.as_str() {
             "/predict" => api::parse_predict(body).ok().map(|q| q.model),
+            "/predict_batch" => api::parse_predict_batch(body).ok().map(|q| q.model),
             "/upgrade" => api::parse_upgrade(body).ok().map(|q| q.model),
             "/strawman" => api::parse_strawman(body).ok(),
             _ => None,
@@ -660,13 +661,23 @@ mod tests {
             target: "/predict".to_string(),
             headers: Vec::new(),
             body: br#"{"model":"Kripke","p":64,"n":1000}"#.to_vec(),
+            http10: false,
         };
         assert_eq!(Proxy::routing_key(&request), "Kripke");
+        let batch = Request {
+            method: "POST".to_string(),
+            target: "/predict_batch".to_string(),
+            headers: Vec::new(),
+            body: br#"{"model":"Kripke","points":[[2,64]]}"#.to_vec(),
+            http10: false,
+        };
+        assert_eq!(Proxy::routing_key(&batch), "Kripke");
         let malformed = Request {
             method: "POST".to_string(),
             target: "/predict".to_string(),
             headers: Vec::new(),
             body: b"not json".to_vec(),
+            http10: false,
         };
         assert_eq!(Proxy::routing_key(&malformed), "/predict#not json");
     }
@@ -679,6 +690,7 @@ mod tests {
             target: "/models".to_string(),
             headers: Vec::new(),
             body: Vec::new(),
+            http10: false,
         };
         let response = proxy.forward(&request);
         assert_eq!(response.status, 200);

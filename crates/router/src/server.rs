@@ -361,7 +361,7 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
             }
         }
         ("GET", "/metrics") => Response::text(200, proxy.render_metrics().into_bytes()),
-        ("POST", "/predict" | "/upgrade" | "/strawman") | ("GET", "/models") => {
+        ("POST", "/predict" | "/predict_batch" | "/upgrade" | "/strawman") | ("GET", "/models") => {
             let started = Instant::now();
             let response = proxy.forward(request);
             if let Some(slot) = metrics::endpoint_index(&request.target) {

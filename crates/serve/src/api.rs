@@ -8,7 +8,7 @@
 //! here; a handler that formats its own JSON breaks the mechanical
 //! equivalence check.
 
-use crate::registry::RegistrySnapshot;
+use crate::registry::{CompiledApp, RegistrySnapshot};
 use exareq_codesign::query::{upgrade_advice, UpgradeAdvice};
 use exareq_codesign::{
     analyze_strawmen, share_system, table_six, AppRequirements, RateMetric, StrawManAnalysis,
@@ -22,6 +22,10 @@ pub const MAX_HOLD_MS: u64 = 10_000;
 
 /// Largest accepted `POST /measure` shard, configurations.
 pub const MAX_SHARD_CONFIGS: usize = 4_096;
+
+/// Largest accepted `POST /predict_batch` grid, points (mirrors
+/// [`MAX_SHARD_CONFIGS`] — the same "one request stays bounded" rule).
+pub const MAX_BATCH_POINTS: usize = 4_096;
 
 /// Largest accepted per-shard deadline, milliseconds.
 pub const MAX_SHARD_DEADLINE_MS: u64 = 600_000;
@@ -144,26 +148,120 @@ pub fn parse_predict(body: &str) -> Result<PredictQuery, String> {
     })
 }
 
-/// The `/predict` answer: every requirement model evaluated at `(p, n)`.
-pub fn predict_body(app: &AppRequirements, p: f64, n: f64) -> String {
-    let coords = [p, n];
-    let eval = |m: &exareq_core::pmnf::Model| Json::Num(m.eval(&coords));
+/// Renders one prediction line. Both [`predict_body`] and
+/// [`predict_batch_body`] go through here so a batch line is structurally
+/// byte-identical to the single answer — same member order, same writer.
+fn predict_line(name: &str, p: f64, n: f64, requirements: [f64; 5]) -> String {
     obj(vec![
-        ("app", Json::Str(app.name.clone())),
+        ("app", Json::Str(name.to_string())),
         ("p", Json::Num(p)),
         ("n", Json::Num(n)),
         (
             "requirements",
             obj(vec![
-                ("bytes_used", eval(&app.bytes_used)),
-                ("flops", eval(&app.flops)),
-                ("comm_bytes", eval(&app.comm_bytes)),
-                ("loads_stores", eval(&app.loads_stores)),
-                ("stack_distance", eval(&app.stack_distance)),
+                ("bytes_used", Json::Num(requirements[0])),
+                ("flops", Json::Num(requirements[1])),
+                ("comm_bytes", Json::Num(requirements[2])),
+                ("loads_stores", Json::Num(requirements[3])),
+                ("stack_distance", Json::Num(requirements[4])),
             ]),
         ),
     ])
     .to_line()
+}
+
+/// The `/predict` answer: every requirement model evaluated at `(p, n)`.
+pub fn predict_body(app: &AppRequirements, p: f64, n: f64) -> String {
+    let coords = [p, n];
+    predict_line(
+        &app.name,
+        p,
+        n,
+        [
+            app.bytes_used.eval(&coords),
+            app.flops.eval(&coords),
+            app.comm_bytes.eval(&coords),
+            app.loads_stores.eval(&coords),
+            app.stack_distance.eval(&coords),
+        ],
+    )
+}
+
+/// A parsed `POST /predict_batch` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQuery {
+    /// Model (application) name to evaluate.
+    pub model: String,
+    /// The `(p, n)` grid, at most [`MAX_BATCH_POINTS`] entries.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Parses a `POST /predict_batch` body:
+/// `{"model": "...", "points": [[p, n], ...]}`.
+///
+/// # Errors
+/// A one-line reason suitable for a 400 body. Every point obeys the same
+/// "finite, >= 1" rule as the single `/predict` coordinates.
+pub fn parse_predict_batch(body: &str) -> Result<BatchQuery, String> {
+    let v = parse_body(body)?;
+    let model = required_model(&v)?;
+    let raw = v
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing array field \"points\"".to_string())?;
+    if raw.is_empty() {
+        return Err("\"points\" must not be empty".to_string());
+    }
+    if raw.len() > MAX_BATCH_POINTS {
+        return Err(format!(
+            "\"points\" has {} entries; the cap is {MAX_BATCH_POINTS}",
+            raw.len()
+        ));
+    }
+    let mut points = Vec::with_capacity(raw.len());
+    for (idx, entry) in raw.iter().enumerate() {
+        let pair = match entry.as_arr() {
+            Some(pair) if pair.len() == 2 => pair,
+            _ => return Err(format!("points[{idx}] must be a [p, n] pair")),
+        };
+        let coord = |j: &Json, key: &str| -> Result<f64, String> {
+            let x = j
+                .to_f64_lossless()
+                .ok_or_else(|| format!("points[{idx}] {key} must be a number"))?;
+            if !x.is_finite() || x < 1.0 {
+                return Err(format!("points[{idx}] {key} must be a finite number >= 1"));
+            }
+            Ok(x)
+        };
+        points.push((coord(&pair[0], "p")?, coord(&pair[1], "n")?));
+    }
+    Ok(BatchQuery { model, points })
+}
+
+/// The `/predict_batch` answer: JSONL, one line per grid point, each line
+/// byte-identical to the single [`predict_body`] for that point and
+/// terminated by `\n`. Evaluation runs over the registry's compiled
+/// flat-table models; bit-identity to the term-walking [`predict_body`]
+/// path is the [`exareq_core::compiled`] contract.
+pub fn predict_batch_body(app: &CompiledApp, points: &[(f64, f64)]) -> String {
+    let mut out = String::with_capacity(points.len() * 192);
+    for &(p, n) in points {
+        let coords = [p, n];
+        out.push_str(&predict_line(
+            &app.name,
+            p,
+            n,
+            [
+                app.bytes_used.eval(&coords),
+                app.flops.eval(&coords),
+                app.comm_bytes.eval(&coords),
+                app.loads_stores.eval(&coords),
+                app.stack_distance.eval(&coords),
+            ],
+        ));
+        out.push('\n');
+    }
+    out
 }
 
 /// A parsed `POST /upgrade` body.
@@ -621,6 +719,47 @@ mod tests {
             let err = parse_predict(body).expect_err(body);
             assert!(err.contains(needle), "{body}: {err}");
         }
+    }
+
+    #[test]
+    fn predict_batch_parses_grids_and_rejects_bad_points() {
+        let q = parse_predict_batch(r#"{"model":"Kripke","points":[[2,64],[1e6,4096]]}"#)
+            .expect("valid");
+        assert_eq!(q.model, "Kripke");
+        assert_eq!(q.points, vec![(2.0, 64.0), (1e6, 4096.0)]);
+
+        for (body, needle) in [
+            ("{ nope", "not valid JSON"),
+            (r#"{"points":[[2,64]]}"#, "\"model\""),
+            (r#"{"model":"X"}"#, "\"points\""),
+            (r#"{"model":"X","points":[]}"#, "empty"),
+            (r#"{"model":"X","points":[[2]]}"#, "points[0]"),
+            (r#"{"model":"X","points":[[2,64],[0,64]]}"#, "points[1]"),
+            (r#"{"model":"X","points":[[2,"big"]]}"#, "points[0]"),
+        ] {
+            let err = parse_predict_batch(body).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+
+        let too_many = format!(
+            r#"{{"model":"X","points":[{}]}}"#,
+            vec!["[2,64]"; MAX_BATCH_POINTS + 1].join(",")
+        );
+        let err = parse_predict_batch(&too_many).expect_err("over cap");
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn predict_batch_body_is_concatenated_singles() {
+        let app = catalog::kripke();
+        let compiled = CompiledApp::lower(&app);
+        let points = [(2.0, 64.0), (1e6, 4096.0), (1.0, 1.0)];
+        let batch = predict_batch_body(&compiled, &points);
+        let expected: String = points
+            .iter()
+            .map(|&(p, n)| format!("{}\n", predict_body(&app, p, n)))
+            .collect();
+        assert_eq!(batch, expected);
     }
 
     #[test]

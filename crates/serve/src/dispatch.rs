@@ -85,11 +85,31 @@ pub fn dispatch(
             )
         }
         ("POST", "/predict") => predict(request, registry, token),
+        ("POST", "/predict_batch") => predict_batch(request, registry, token),
         ("POST", "/upgrade") => upgrade(request, registry, token),
         ("POST", "/strawman") => strawman(request, registry, token),
         ("POST", "/measure") => measure(request, metrics, token, state),
         ("GET" | "POST", _) => not_found("no such endpoint"),
         _ => Response::json(405, api::error_body("method not allowed").into_bytes()),
+    }
+}
+
+/// True when a request may run long enough to need a worker thread rather
+/// than the event loop's inline fast path: measurement shards always, and
+/// a `/predict` whose body mentions the `hold_ms` load-testing hold. The
+/// byte scan is deliberately a heuristic that can only *over*-classify —
+/// a body that merely mentions `hold_ms` (say, in a model name) is routed
+/// to a worker and answered with identical bytes, just without the inline
+/// shortcut. Everything else (predict, batch predict, upgrade, strawman,
+/// health, metrics) evaluates in microseconds and stays on the event loop.
+pub fn needs_worker(request: &Request) -> bool {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/measure") => true,
+        ("POST", "/predict") => request
+            .body
+            .windows(b"hold_ms".len())
+            .any(|w| w == b"hold_ms"),
+        _ => false,
     }
 }
 
@@ -126,6 +146,33 @@ fn predict(request: &Request, registry: &ModelRegistry, token: &CancelToken) -> 
         return deadline_expired();
     }
     Response::json(200, api::predict_body(&app, query.p, query.n).into_bytes())
+}
+
+/// `POST /predict_batch`: one request, a whole `(p, n)` grid, answered as
+/// JSONL — one line per point, each line byte-identical to the single
+/// `/predict` body for that point (the compiled flat-table evaluator is
+/// bit-identical to the term-walking models, and both render through the
+/// same minijson writer), newline-terminated.
+fn predict_batch(request: &Request, registry: &ModelRegistry, token: &CancelToken) -> Response {
+    let body = match body_utf8(request) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let query = match api::parse_predict_batch(body) {
+        Ok(q) => q,
+        Err(reason) => return bad_request(&reason),
+    };
+    registry.refresh();
+    let Some(app) = registry.get_compiled(&query.model) else {
+        return unknown_model(&query.model);
+    };
+    if token.checkpoint().is_err() {
+        return deadline_expired();
+    }
+    Response::json(
+        200,
+        api::predict_batch_body(&app, &query.points).into_bytes(),
+    )
 }
 
 fn upgrade(request: &Request, registry: &ModelRegistry, token: &CancelToken) -> Response {
@@ -276,6 +323,7 @@ mod tests {
             target: target.to_string(),
             headers: vec![],
             body: body.as_bytes().to_vec(),
+            http10: false,
         }
     }
 
@@ -360,6 +408,79 @@ mod tests {
             &token,
             &EngineState::default(),
         ));
+    }
+
+    #[test]
+    fn batch_predict_is_byte_identical_to_concatenated_singles() {
+        let (registry, _dir) = registry_with_catalog("batch");
+        let metrics = Metrics::new();
+        let token = live_token();
+        let points = [(2.0, 64.0), (1e6, 4096.0), (32.0, 1024.0)];
+        let body = r#"{"model":"Kripke","points":[[2,64],[1e6,4096],[32,1024]]}"#;
+        let r = dispatch(
+            &request("POST", "/predict_batch", body),
+            &registry,
+            &metrics,
+            &token,
+            &EngineState::default(),
+        );
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let expected: String = points
+            .iter()
+            .map(|&(p, n)| format!("{}\n", api::predict_body(&catalog::kripke(), p, n)))
+            .collect();
+        assert_eq!(
+            String::from_utf8(r.body).unwrap(),
+            expected,
+            "batch output must be the concatenation of the equivalent single predicts"
+        );
+
+        // Unknown model and malformed grids answer like /predict does.
+        let r = dispatch(
+            &request(
+                "POST",
+                "/predict_batch",
+                r#"{"model":"NoSuch","points":[[2,64]]}"#,
+            ),
+            &registry,
+            &metrics,
+            &token,
+            &EngineState::default(),
+        );
+        assert_eq!(r.status, 404);
+        let r = dispatch(
+            &request(
+                "POST",
+                "/predict_batch",
+                r#"{"model":"Kripke","points":[[0,64]]}"#,
+            ),
+            &registry,
+            &metrics,
+            &token,
+            &EngineState::default(),
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn worker_classification_flags_only_holds_and_measures() {
+        assert!(needs_worker(&request("POST", "/measure", "{}")));
+        assert!(needs_worker(&request(
+            "POST",
+            "/predict",
+            r#"{"model":"Kripke","p":2,"n":3,"hold_ms":100}"#
+        )));
+        assert!(!needs_worker(&request(
+            "POST",
+            "/predict",
+            r#"{"model":"Kripke","p":2,"n":3}"#
+        )));
+        assert!(!needs_worker(&request("GET", "/healthz", "")));
+        assert!(!needs_worker(&request(
+            "POST",
+            "/predict_batch",
+            r#"{"model":"Kripke","points":[[2,64]]}"#
+        )));
     }
 
     #[test]

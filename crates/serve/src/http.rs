@@ -55,6 +55,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body, exactly `Content-Length` bytes.
     pub body: Vec<u8>,
+    /// True when the request line said `HTTP/1.0` — which flips the
+    /// keep-alive default to close, per [`Request::wants_keep_alive`].
+    pub http10: bool,
 }
 
 impl Request {
@@ -64,6 +67,19 @@ impl Request {
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Keep-alive negotiation, request side: an explicit
+    /// `Connection: close` or `Connection: keep-alive` header wins;
+    /// absent one, HTTP/1.1 defaults to keep-alive and HTTP/1.0 to close.
+    /// Any other `Connection` value is treated as close — the conservative
+    /// reading for a codec that does not implement hop-by-hop options.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            Some(_) => false,
+            None => !self.http10,
+        }
     }
 }
 
@@ -104,6 +120,13 @@ fn is_token(s: &str) -> bool {
 /// `400` malformed head, `413` declared body over [`MAX_BODY_LEN`],
 /// `431` head over [`MAX_HEAD_LEN`], `501` transfer-encoding.
 pub fn parse_request(buf: &[u8]) -> Result<Option<Request>, HttpError> {
+    Ok(parse_one(buf)?.map(|(request, _)| request))
+}
+
+/// [`parse_request`], additionally reporting how many bytes of `buf` the
+/// request consumed — what a keep-alive connection loop needs to step past
+/// one request to the (possibly already pipelined) next.
+pub fn parse_one(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
     let Some(body_start) = head_end(buf) else {
         if buf.len() > MAX_HEAD_LEN {
             return Err(HttpError::new(431, "request head too large"));
@@ -172,12 +195,16 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<Request>, HttpError> {
     if available < content_length {
         return Ok(None);
     }
-    Ok(Some(Request {
-        method: method.to_string(),
-        target: target.to_string(),
-        headers,
-        body: buf[body_start..body_start + content_length].to_vec(),
-    }))
+    Ok(Some((
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            body: buf[body_start..body_start + content_length].to_vec(),
+            http10: version == "HTTP/1.0",
+        },
+        body_start + content_length,
+    )))
 }
 
 /// Canonical reason phrase for the statuses this server emits.
@@ -215,6 +242,11 @@ pub struct Response {
     /// here — out-of-band, so the *body* stays byte-identical to the
     /// direct library call.
     pub extra_headers: Vec<(&'static str, String)>,
+    /// Whether this response announces `Connection: close` (and the
+    /// engine closes afterwards) or `Connection: keep-alive`. Constructors
+    /// default to close — only the serve engine's negotiated success path
+    /// flips it, so every error, reject, and drain answer still closes.
+    pub close: bool,
 }
 
 impl Response {
@@ -226,6 +258,7 @@ impl Response {
             body: body.into(),
             retry_after: None,
             extra_headers: Vec::new(),
+            close: true,
         }
     }
 
@@ -237,21 +270,28 @@ impl Response {
             body: body.into(),
             retry_after: None,
             extra_headers: Vec::new(),
+            close: true,
         }
     }
 
-    /// Serializes the response, `Connection: close` always (one request
-    /// per connection keeps the worker-pool accounting exact). Every
-    /// response carries an `X-Exareq-Digest` body checksum so clients can
-    /// refuse answers corrupted in transit — without it, a flipped byte
-    /// inside a well-formed 200 would be undetectable at the HTTP layer.
+    /// Serializes the response. The `Connection` header is negotiated:
+    /// constructors default to `close`, and the serve engine flips
+    /// [`Response::close`] off only for a 2xx on a connection whose
+    /// request asked (or defaulted) to stay open — 4xx/5xx always close,
+    /// so a client that desynchronized the framing can never be answered
+    /// mid-stream. Every response carries an `X-Exareq-Digest` body
+    /// checksum so clients can refuse answers corrupted in transit —
+    /// without it, a flipped byte inside a well-formed 200 would be
+    /// undetectable at the HTTP layer.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let connection = if self.close { "close" } else { "keep-alive" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\nX-Exareq-Digest: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\nX-Exareq-Digest: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len(),
+            connection,
             digest_hex(&self.body)
         );
         if let Some(secs) = self.retry_after {
@@ -352,6 +392,43 @@ mod tests {
         let err =
             parse_request(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
         assert_eq!(err.status, 501);
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_header() {
+        let parse = |raw: &[u8]| parse_request(raw).expect("valid").expect("complete");
+        // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+        assert!(parse(b"GET /healthz HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!parse(b"GET /healthz HTTP/1.0\r\n\r\n").wants_keep_alive());
+        // An explicit Connection header wins in both directions.
+        assert!(!parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(parse(b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").wants_keep_alive());
+        // Unrecognized Connection options fall back to close.
+        assert!(!parse(b"GET /x HTTP/1.1\r\nConnection: upgrade\r\n\r\n").wants_keep_alive());
+    }
+
+    #[test]
+    fn parse_one_reports_consumed_bytes_for_pipelining() {
+        let mut raw = b"POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd".to_vec();
+        let first_len = raw.len();
+        raw.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let (request, consumed) = parse_one(&raw).expect("valid").expect("complete");
+        assert_eq!(request.body, b"abcd");
+        assert_eq!(consumed, first_len);
+        let (next, rest) = parse_one(&raw[consumed..])
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(next.target, "/healthz");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn negotiated_keep_alive_renders_in_the_response_head() {
+        let mut r = Response::json(200, "{}".as_bytes().to_vec());
+        r.close = false;
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close\r\n"), "{text}");
     }
 
     #[test]

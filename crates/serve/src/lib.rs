@@ -17,11 +17,16 @@
 //!   fitted-requirements artifacts parsed once through the in-tree
 //!   `minijson` codec, cached by content hash, hot-reloaded when bytes
 //!   change, newer `schema_version`s rejected per file like the journal.
-//! - [`server`] + [`dispatch`] — the request engine: bounded accept queue
-//!   (503 + `Retry-After` on overflow), fixed worker pool, per-request
+//! - [`server`] + [`dispatch`] + [`poll`] — the request engine: a single
+//!   `poll(2)` event loop (in-tree libc binding, like `src/signal.rs`)
+//!   multiplexes every connection, answers fast endpoints inline, and
+//!   hands slow work (`/measure`, held predicts) to a bounded worker pool
+//!   (503 + `Retry-After` on overflow); HTTP/1.1 keep-alive with a
+//!   per-connection request cap and idle deadline, per-request
 //!   [`Deadline`](exareq_core::cancel::Deadline) (504 on expiry), and the
 //!   endpoints `GET /healthz`, `GET /models`, `GET /metrics` (Prometheus
-//!   text), `POST /predict`, `POST /upgrade`, `POST /strawman`.
+//!   text), `POST /predict`, `POST /predict_batch`, `POST /upgrade`,
+//!   `POST /strawman`.
 //! - [`metrics`] — live counters and a latency histogram for `/metrics`.
 //!
 //! Response bodies are built exclusively in [`api`] with the same minijson
@@ -43,6 +48,7 @@ pub mod artifact;
 pub mod dispatch;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod registry;
 pub mod server;
 

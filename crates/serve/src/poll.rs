@@ -1,0 +1,280 @@
+//! Minimal in-tree `poll(2)` binding for the event-driven serve engine.
+//!
+//! Same rationale as `src/signal.rs`: this workspace adds no external
+//! crates and the standard library exposes no readiness API, so the
+//! engine binds `poll(2)` and `pipe2(2)` directly against the C library
+//! already linked into every Linux binary. The surface is deliberately
+//! tiny — one `poll` wrapper, one self-pipe for cross-thread wakeups —
+//! because everything stateful (connection buffers, deadlines, parsing)
+//! lives in safe Rust inside [`crate::server`].
+//!
+//! On non-Linux targets the module compiles to a degraded stub:
+//! [`poll`] sleeps a short tick and reports every descriptor ready, and
+//! the wake pipe is inert. The engine's sockets are non-blocking, so
+//! spurious readiness is a harmless `WouldBlock` and the event loop
+//! degrades to a bounded busy-poll instead of breaking — mirroring the
+//! "inert off Linux" contract of the signal binding.
+
+/// Readable readiness (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (`POLLERR`) — reported even when not requested.
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (`POLLHUP`) — reported even when not requested.
+pub const POLLHUP: i16 = 0x010;
+/// Descriptor not open (`POLLNVAL`) — reported even when not requested.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One descriptor's entry — layout-compatible with C `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// Descriptor to watch.
+    pub fd: i32,
+    /// Requested events (a mask of [`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, written by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A fresh entry watching `fd` for `events`.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The descriptor has bytes to read — or hit EOF/error, which a
+    /// read surfaces too, so the engine treats them as "go read".
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// The descriptor accepts writes.
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// The descriptor is beyond use (error or not open).
+    pub fn failed(&self) -> bool {
+        self.revents & (POLLERR | POLLNVAL) != 0
+    }
+}
+
+/// Waits up to `timeout_ms` for readiness on `fds`, filling `revents`.
+/// Returns the number of ready descriptors; `EINTR` and other poll
+/// failures report as `0` (a timeout), which the caller's next sweep
+/// absorbs.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> usize {
+    imp::poll(fds, timeout_ms)
+}
+
+/// The raw descriptor of a socket, for [`PollFd::new`] (always `-1` on
+/// non-Linux targets, where the stub ignores descriptors anyway).
+pub fn raw_fd<T: AsRawFdCompat>(t: &T) -> i32 {
+    t.compat_raw_fd()
+}
+
+/// Narrow `AsRawFd` shim so [`raw_fd`] compiles on every target: on
+/// Linux it is the real descriptor, elsewhere a constant `-1`.
+pub trait AsRawFdCompat {
+    /// The descriptor (or `-1` off Linux).
+    fn compat_raw_fd(&self) -> i32;
+}
+
+#[cfg(target_os = "linux")]
+mod fd_impl {
+    use super::AsRawFdCompat;
+    use std::os::fd::AsRawFd;
+
+    impl<T: AsRawFd> AsRawFdCompat for T {
+        fn compat_raw_fd(&self) -> i32 {
+            self.as_raw_fd()
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod fd_impl {
+    use super::AsRawFdCompat;
+
+    impl<T> AsRawFdCompat for T {
+        fn compat_raw_fd(&self) -> i32 {
+            -1
+        }
+    }
+}
+
+/// A non-blocking self-pipe: worker threads [`notify`](WakePipe::notify)
+/// when a completion is ready and the event loop polls the
+/// [`read_fd`](WakePipe::read_fd) so it wakes immediately instead of at
+/// the next tick. Inert (always "no descriptor") off Linux.
+pub struct WakePipe(imp::WakePipe);
+
+impl WakePipe {
+    /// Opens the pipe; `None` when the OS refuses (the engine then runs
+    /// on poll ticks alone, merely adding wakeup latency).
+    pub fn new() -> Option<WakePipe> {
+        imp::WakePipe::new().map(WakePipe)
+    }
+
+    /// The read end, for the event loop's poll set (`-1` off Linux —
+    /// exclude it from the set).
+    pub fn read_fd(&self) -> i32 {
+        self.0.read_fd()
+    }
+
+    /// Wakes the event loop. Safe from any thread; a full pipe means a
+    /// wakeup is already pending, so the failed write is ignored.
+    pub fn notify(&self) {
+        self.0.notify();
+    }
+
+    /// Discards pending wakeup bytes; call once per loop iteration.
+    pub fn drain(&self) {
+        self.0.drain();
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::PollFd;
+
+    mod c {
+        extern "C" {
+            pub fn poll(fds: *mut super::PollFd, nfds: u64, timeout: i32) -> i32;
+            pub fn pipe2(fds: *mut i32, flags: i32) -> i32;
+            pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+            pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+            pub fn close(fd: i32) -> i32;
+        }
+    }
+
+    const O_NONBLOCK: i32 = 0o4000;
+    const O_CLOEXEC: i32 = 0o2000000;
+
+    pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> usize {
+        let n = unsafe { c::poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        usize::try_from(n).unwrap_or(0)
+    }
+
+    pub struct WakePipe {
+        read_fd: i32,
+        write_fd: i32,
+    }
+
+    // Raw descriptors; read(2)/write(2) are thread-safe and the fds live
+    // until Drop.
+    unsafe impl Send for WakePipe {}
+    unsafe impl Sync for WakePipe {}
+
+    impl WakePipe {
+        pub fn new() -> Option<WakePipe> {
+            let mut fds = [0i32; 2];
+            if unsafe { c::pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } != 0 {
+                return None;
+            }
+            Some(WakePipe {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub fn read_fd(&self) -> i32 {
+            self.read_fd
+        }
+
+        pub fn notify(&self) {
+            let byte = [1u8];
+            let _ = unsafe { c::write(self.write_fd, byte.as_ptr(), 1) };
+        }
+
+        pub fn drain(&self) {
+            let mut sink = [0u8; 64];
+            while unsafe { c::read(self.read_fd, sink.as_mut_ptr(), sink.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for WakePipe {
+        fn drop(&mut self) {
+            unsafe {
+                c::close(self.read_fd);
+                c::close(self.write_fd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::PollFd;
+    use std::time::Duration;
+
+    pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> usize {
+        // Busy-poll tick: sleep briefly, then claim everything is ready.
+        // Non-blocking I/O turns the lie into WouldBlock no-ops.
+        std::thread::sleep(Duration::from_millis(u64::from(
+            timeout_ms.clamp(0, 5) as u32
+        )));
+        for fd in fds.iter_mut() {
+            fd.revents = fd.events;
+        }
+        fds.len()
+    }
+
+    pub struct WakePipe;
+
+    impl WakePipe {
+        pub fn new() -> Option<WakePipe> {
+            None
+        }
+
+        pub fn read_fd(&self) -> i32 {
+            -1
+        }
+
+        pub fn notify(&self) {}
+
+        pub fn drain(&self) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn wake_pipe_reports_readiness_only_after_notify() {
+        let pipe = WakePipe::new().expect("pipe2");
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0), 0, "fresh pipe must be quiet");
+        assert!(!fds[0].readable());
+
+        pipe.notify();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 1000), 1);
+        assert!(fds[0].readable());
+
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0), 0, "drained pipe must be quiet again");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn poll_reports_nval_for_a_closed_descriptor() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        // fd -1 is simply skipped by poll(2) (revents 0), the idiom for
+        // "hole in the set"; a bogus positive fd reports NVAL.
+        poll(&mut fds, 0);
+        assert_eq!(fds[0].revents, 0);
+        let mut fds = [PollFd::new(1_000_000, POLLIN)];
+        poll(&mut fds, 0);
+        assert!(fds[0].failed());
+    }
+}

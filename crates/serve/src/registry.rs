@@ -22,6 +22,7 @@
 
 use crate::artifact;
 use exareq_codesign::AppRequirements;
+use exareq_core::compiled::CompiledModel;
 use exareq_profile::minijson::{self, Json};
 use exareq_profile::surveyjson;
 use exareq_profile::Survey;
@@ -65,6 +66,41 @@ pub struct ModelEntry {
     pub kind: ArtifactKind,
     /// The fitted models.
     pub requirements: Arc<AppRequirements>,
+    /// The same models lowered to flat tables (`POST /predict_batch`).
+    pub compiled: Arc<CompiledApp>,
+}
+
+/// An application's five requirement models lowered to
+/// [`CompiledModel`] flat tables — built once per artifact content hash,
+/// walked on every `/predict_batch` point. Field order mirrors
+/// [`AppRequirements`] and the `/predict` response shape.
+pub struct CompiledApp {
+    /// Application name.
+    pub name: String,
+    /// Memory-footprint model (bytes used).
+    pub bytes_used: CompiledModel,
+    /// Computation model (FLOPs).
+    pub flops: CompiledModel,
+    /// Communication model (bytes on the network).
+    pub comm_bytes: CompiledModel,
+    /// Memory-access model (loads + stores).
+    pub loads_stores: CompiledModel,
+    /// Locality model (average stack distance).
+    pub stack_distance: CompiledModel,
+}
+
+impl CompiledApp {
+    /// Lowers every requirement model of `app`.
+    pub fn lower(app: &AppRequirements) -> CompiledApp {
+        CompiledApp {
+            name: app.name.clone(),
+            bytes_used: CompiledModel::lower(&app.bytes_used),
+            flops: CompiledModel::lower(&app.flops),
+            comm_bytes: CompiledModel::lower(&app.comm_bytes),
+            loads_stores: CompiledModel::lower(&app.loads_stores),
+            stack_distance: CompiledModel::lower(&app.stack_distance),
+        }
+    }
 }
 
 /// A point-in-time view of the registry for `/models` and `/metrics`.
@@ -78,9 +114,11 @@ pub struct RegistrySnapshot {
     pub errors: Vec<(String, String)>,
 }
 
-/// A cached parse/fit outcome: `(model name, kind, fitted models)` or the
-/// one-line rejection reason.
-type ParseOutcome = Result<(String, ArtifactKind, Arc<AppRequirements>), String>;
+/// A cached parse/fit outcome: `(model name, kind, fitted models, the
+/// compiled lowering)` or the one-line rejection reason. Caching the
+/// lowering here means it happens once per artifact *content*, not per
+/// request or per registry generation.
+type ParseOutcome = Result<(String, ArtifactKind, Arc<AppRequirements>, Arc<CompiledApp>), String>;
 
 struct Inner {
     /// name → entry, as currently served.
@@ -116,7 +154,13 @@ fn parse_artifact(text: &str, fitter: &Fitter) -> ParseOutcome {
     let v = minijson::parse(text).map_err(|e| e.to_string())?;
     if artifact::is_requirements_artifact(&v) {
         let app = artifact::requirements_from_json(&v)?;
-        return Ok((app.name.clone(), ArtifactKind::Requirements, Arc::new(app)));
+        let compiled = Arc::new(CompiledApp::lower(&app));
+        return Ok((
+            app.name.clone(),
+            ArtifactKind::Requirements,
+            Arc::new(app),
+            compiled,
+        ));
     }
     if v.get("observations").and_then(Json::as_arr).is_some() {
         let survey = surveyjson::survey_from_json(&v).map_err(|e| e.to_string())?;
@@ -124,7 +168,13 @@ fn parse_artifact(text: &str, fitter: &Fitter) -> ParseOutcome {
             return Err("survey artifact is marked incomplete; resume the sweep first".to_string());
         }
         let app = fitter(&survey)?;
-        return Ok((app.name.clone(), ArtifactKind::Survey, Arc::new(app)));
+        let compiled = Arc::new(CompiledApp::lower(&app));
+        return Ok((
+            app.name.clone(),
+            ArtifactKind::Survey,
+            Arc::new(app),
+            compiled,
+        ));
     }
     Err("neither a survey nor a requirements artifact".to_string())
 }
@@ -199,13 +249,14 @@ impl ModelRegistry {
                     .and_then(|text| parse_artifact(&text, &*self.fitter))
             });
             match parsed {
-                Ok((name, kind, requirements)) => {
+                Ok((name, kind, requirements, compiled)) => {
                     let entry = ModelEntry {
                         name: name.clone(),
                         source: file.clone(),
                         hash,
                         kind: *kind,
                         requirements: Arc::clone(requirements),
+                        compiled: Arc::clone(compiled),
                     };
                     if let Some(previous) = new_entries.insert(name.clone(), entry) {
                         new_errors.insert(
@@ -240,6 +291,13 @@ impl ModelRegistry {
     pub fn get(&self, name: &str) -> Option<Arc<AppRequirements>> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.entries.get(name).map(|e| Arc::clone(&e.requirements))
+    }
+
+    /// The compiled (flat-table) form of the models served under `name` —
+    /// the `/predict_batch` evaluator.
+    pub fn get_compiled(&self, name: &str) -> Option<Arc<CompiledApp>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.entries.get(name).map(|e| Arc::clone(&e.compiled))
     }
 
     /// The current reload generation without cloning a snapshot (the
@@ -316,6 +374,13 @@ mod tests {
         assert_eq!(
             reg.get(&fitted.name).unwrap().flops.eval(&[64.0, 4096.0]),
             fitted.flops.eval(&[64.0, 4096.0])
+        );
+        // The compiled lowering is cached alongside and evaluates
+        // bit-identically to the term-walking models.
+        let compiled = reg.get_compiled(&fitted.name).expect("compiled entry");
+        assert_eq!(
+            compiled.flops.eval(&[64.0, 4096.0]).to_bits(),
+            fitted.flops.eval(&[64.0, 4096.0]).to_bits()
         );
     }
 

@@ -1,38 +1,56 @@
-//! The request engine: non-blocking acceptor, explicit bounded accept
-//! queue, fixed worker pool, per-request deadlines, graceful drain.
+//! The request engine: a single `poll(2)` event loop, HTTP/1.1
+//! keep-alive, inline fast-path dispatch, and a bounded worker pool for
+//! slow requests.
 //!
-//! Flow of one request:
+//! Flow of one connection:
 //!
 //! ```text
-//! accept() ──▶ queue (≤ queue_depth) ──▶ worker: read ▶ parse ▶ dispatch ▶ write
-//!      │                                    │
-//!      └── queue full: 503 + Retry-After    └── Deadline expired: 504
+//!                    ┌────────────────────────── event loop ───────────────────────────┐
+//! accept() ──▶ conn: │ poll ▶ read ▶ parse ▶ fast? dispatch inline ▶ buffer response   │──▶ write
+//!                    │                     ▶ slow? job queue (≤ queue_depth) ─▶ worker │
+//!                    └──────────────────────────────────┬────────────────────────────-─┘
+//!                        queue full: 503 + Retry-After  └─ completion pipe wakes loop
 //! ```
 //!
-//! Backpressure is explicit: when the queue is full the *acceptor* answers
-//! `503` with `Retry-After` and closes — the connection never reaches a
-//! worker and never consumes model-evaluation capacity. Every request a
-//! worker picks up runs under a fresh [`CancelToken`] carrying the
-//! `--request-deadline-ms` [`Deadline`]; expiry anywhere along the path
-//! answers `504` instead of hanging the client.
+//! One thread owns the listener and every connection; readiness comes
+//! from the in-tree [`crate::poll`] binding (no crates, same idiom as
+//! `src/signal.rs`). Fast requests — predictions, batch predictions,
+//! health, metrics, model lists, co-design analyses — are evaluated
+//! microseconds-cheap *on the event thread*, so the common case costs
+//! zero handoffs and zero context switches. Only genuinely slow work
+//! (`POST /measure` survey shards, `/predict` with a `hold_ms` test
+//! hold — see [`dispatch::needs_worker`]) crosses to the worker pool;
+//! when its queue is full the engine answers `503` + `Retry-After`
+//! without consuming evaluation capacity.
 //!
-//! Shutdown (SIGINT/SIGTERM via the caller's cancel token, or
-//! [`Deadline`]-free cancellation in tests): workers finish the queue and
-//! their in-flight requests while the *acceptor keeps the listener open*
-//! for the drain window, answering every new connection `503` — and
-//! `GET /healthz` specifically with a `"status":"draining"` body — so a
-//! router's health prober moves traffic away instead of eating connection
-//! resets. Once the workers are done (or the drain deadline expires) the
-//! listener closes and the engine returns; the process then exits 0, per
-//! the exit-code contract ("interrupted" exit 5 is for sweeps that lose
-//! work; a drained server has lost nothing).
+//! Connections are HTTP/1.1 keep-alive by default (see
+//! [`Request::wants_keep_alive`]): one socket serves many requests,
+//! pipelining included, which is where the throughput multiple over the
+//! old connection-per-request engine comes from. Hardening is explicit:
+//!
+//! - a per-connection **request cap** (`keep_alive_requests`) forces
+//!   `Connection: close` on the final response;
+//! - an **idle deadline** reaps quiet connections between requests;
+//! - the **header deadline** still bounds a slow-loris drip: a started
+//!   but incomplete request answers `408` at the request deadline;
+//! - every `4xx`/`5xx` closes, so error states never pin a socket.
+//!
+//! Shutdown (SIGINT/SIGTERM via the caller's cancel token): the engine
+//! stops *reading* but keeps answering — buffered pipelined requests are
+//! dispatched and flushed, workers finish in-flight jobs, and new
+//! connections during the drain window get `503` (with `GET /healthz`
+//! answering the structured `"status":"draining"` body a router's prober
+//! keys off). Once everything in flight is flushed — or the drain
+//! deadline expires — the listener closes and the engine returns; the
+//! process exits 0, per the exit-code contract.
 
-use crate::http::{parse_request, HttpError, Request, Response};
+use crate::http::{parse_one, Request, Response};
 use crate::metrics::Metrics;
+use crate::poll::{self, PollFd, WakePipe, POLLIN, POLLOUT};
 use crate::registry::ModelRegistry;
 use crate::{api, dispatch};
 use exareq_core::cancel::{CancelToken, Deadline};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -45,11 +63,11 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Listen address, e.g. `127.0.0.1:8462` (port 0 picks one).
     pub addr: SocketAddr,
-    /// Worker threads handling requests.
+    /// Worker threads handling slow requests (`/measure`, held predicts).
     pub threads: usize,
-    /// Accepted connections allowed to wait for a worker.
+    /// Slow requests allowed to wait for a worker.
     pub queue_depth: usize,
-    /// Per-request deadline; expiry answers 504.
+    /// Per-request deadline; expiry answers 504 (or 408 while reading).
     pub request_deadline: Duration,
     /// How long shutdown waits for in-flight requests.
     pub drain_deadline: Duration,
@@ -58,6 +76,13 @@ pub struct ServeConfig {
     /// Whether `POST /measure` accepts survey shards (the fleet worker
     /// opt-in, `exareq serve --allow-measure`).
     pub allow_measure: bool,
+    /// Requests served on one keep-alive connection before the engine
+    /// forces `Connection: close` (bounds how long one client can pin a
+    /// socket).
+    pub keep_alive_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the engine closes it.
+    pub idle_deadline: Duration,
 }
 
 /// Why the engine could not run.
@@ -83,7 +108,7 @@ impl std::error::Error for ServeError {}
 /// What happened over the daemon's lifetime, for the shutdown line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Requests handled by workers.
+    /// Requests answered.
     pub requests: u64,
     /// 503 backpressure rejects.
     pub rejected: u64,
@@ -92,30 +117,116 @@ pub struct ServeSummary {
     pub drained: bool,
 }
 
+/// A slow request crossing to the worker pool.
+struct Job {
+    conn: u64,
+    request: Request,
+    started: Instant,
+}
+
+/// A worker's finished response, travelling back to the event loop.
+struct Completion {
+    conn: u64,
+    wants_keep_alive: bool,
+    response: Response,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<TcpStream>>,
+    jobs: Mutex<VecDeque<Job>>,
     ready: Condvar,
-    accepting: AtomicBool,
+    /// Once true (and the job queue is empty) workers exit.
+    stop: AtomicBool,
+    completions: Mutex<Vec<Completion>>,
+    wake: Option<WakePipe>,
     metrics: Metrics,
     registry: Arc<ModelRegistry>,
     request_deadline: Duration,
     allow_measure: bool,
 }
 
-/// How long a worker waits on one socket read before giving up on the
-/// client; bounds slow-client damage to one worker for a short while.
-const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Event-loop tick: the poll timeout, which also bounds how late a
+/// deadline (idle, 408, drain) can be noticed.
+const POLL_TICK_MS: i32 = 25;
 
-/// Read-timeout slice while a header-read deadline is in force: short
-/// enough that a slow-loris client dripping bytes cannot postpone the
-/// deadline check past its next drip.
-const HEADER_READ_SLICE: Duration = Duration::from_millis(100);
+/// Read-drain window after a `Connection: close` response: keep reading
+/// (and discarding) briefly so closing the socket does not RST the
+/// response out of the peer's receive buffer.
+const READ_DRAIN: Duration = Duration::from_millis(100);
 
-/// Acceptor poll interval while the listener has nothing for us.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Connections the event loop will hold open at once; beyond this,
+/// accepts answer 503 without entering the loop.
+const MAX_CONNS: usize = 1024;
 
-/// Worker poll interval while the queue is empty.
-const WORKER_POLL: Duration = Duration::from_millis(50);
+/// Read-buffer chunk size.
+const READ_CHUNK: usize = 8192;
+
+/// One live connection's entire state, owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Inbound bytes not yet parsed into a request.
+    buf: Vec<u8>,
+    /// Outbound bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Requests answered on this connection (keep-alive cap input).
+    served: usize,
+    /// A worker owns a request from this connection; reads pause.
+    busy: bool,
+    /// Last useful activity (accept, byte read, response queued, byte
+    /// written) — the idle/stall clock.
+    last_activity: Instant,
+    /// Wall bound for completing the currently-arriving request head and
+    /// body; expiry answers 408. `None` while between requests.
+    header_deadline: Option<Instant>,
+    /// Close once `out` is flushed (negotiated close, error, or drain).
+    close_after_flush: bool,
+    /// Drain has begun: answer what is buffered, read nothing new.
+    stop_reading: bool,
+    /// Write side is shut; discard reads until EOF or this instant.
+    read_drain_until: Option<Instant>,
+    /// Peer closed its write side.
+    eof: bool,
+    /// Remove at the next sweep.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            served: 0,
+            busy: false,
+            last_activity: Instant::now(),
+            header_deadline: None,
+            close_after_flush: false,
+            stop_reading: false,
+            read_drain_until: None,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Events this connection needs from the next poll.
+    fn interest(&self) -> i16 {
+        let mut events = 0i16;
+        let reading = (!self.busy && !self.close_after_flush && !self.stop_reading)
+            || self.read_drain_until.is_some();
+        if reading && !self.eof {
+            events |= POLLIN;
+        }
+        if self.has_pending_out() {
+            events |= POLLOUT;
+        }
+        events
+    }
+}
 
 /// Runs the daemon until `cancel` fires, then drains.
 ///
@@ -139,9 +250,11 @@ pub fn serve(
 
     registry.refresh();
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
+        jobs: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
-        accepting: AtomicBool::new(true),
+        stop: AtomicBool::new(false),
+        completions: Mutex::new(Vec::new()),
+        wake: WakePipe::new(),
         metrics: Metrics::new(),
         registry,
         request_deadline: cfg.request_deadline,
@@ -160,49 +273,144 @@ pub fn serve(
 
     ready(addr);
 
-    // Accept loop. Non-blocking + poll so a signal-cancelled token is
-    // noticed within ACCEPT_POLL even when no client ever connects.
-    while !cancel.is_cancelled() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-                if queue.len() >= cfg.queue_depth {
-                    drop(queue);
-                    shared.metrics.record_rejected();
-                    reject_overloaded(stream);
-                } else {
-                    queue.push_back(stream);
-                    drop(queue);
-                    shared.ready.notify_one();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut poll_ids: Vec<u64> = Vec::new();
+    let mut draining = false;
+    let mut drain_deadline: Option<Deadline> = None;
+    let mut drained = true;
+
+    loop {
+        // Shutdown edge: stop reading, flag every connection to finish
+        // what is already buffered and close.
+        if !draining && cancel.is_cancelled() {
+            draining = true;
+            drain_deadline = Some(Deadline::after(cfg.drain_deadline));
+            // A connection accepted just before the signal may hold a
+            // request in its socket buffer that no poll round has read
+            // yet; surface and answer it rather than slam the door with
+            // an RST the client sees as a failed exchange.
+            let ids: Vec<u64> = conns.keys().copied().collect();
+            for id in ids {
+                let Some(conn) = conns.get_mut(&id) else {
+                    continue;
+                };
+                if !conn.busy && !conn.close_after_flush && conn.read_drain_until.is_none() {
+                    read_ready(conn);
+                    if !conn.dead {
+                        process_buffer(conn, id, &shared, cfg, true);
+                        flush_out(conn);
+                    }
+                }
+                begin_drain_close(conn);
+            }
+        }
+
+        // Build the poll set: wake pipe, listener, every connection.
+        pollfds.clear();
+        poll_ids.clear();
+        let wake_slots = match &shared.wake {
+            Some(wake) if wake.read_fd() >= 0 => {
+                pollfds.push(PollFd::new(wake.read_fd(), POLLIN));
+                1
+            }
+            _ => 0,
+        };
+        let listener_slot = pollfds.len();
+        pollfds.push(PollFd::new(poll::raw_fd(&listener), POLLIN));
+        for (&id, conn) in &conns {
+            pollfds.push(PollFd::new(poll::raw_fd(&conn.stream), conn.interest()));
+            poll_ids.push(id);
+        }
+        poll::poll(&mut pollfds, POLL_TICK_MS);
+        if let Some(wake) = &shared.wake {
+            wake.drain();
+        }
+
+        // Worker completions → responses on their connections.
+        let completions = std::mem::take(&mut *lock(&shared.completions));
+        for completion in completions {
+            if let Some(conn) = conns.get_mut(&completion.conn) {
+                conn.busy = false;
+                queue_response(
+                    conn,
+                    completion.response,
+                    completion.wants_keep_alive,
+                    cfg,
+                    draining,
+                );
+                // Keep-alive pipelining: the client may have sent the
+                // next request while the worker ran.
+                process_buffer(conn, completion.conn, &shared, cfg, draining);
+                flush_out(conn);
+            }
+        }
+
+        // New connections.
+        if pollfds[listener_slot].readable() {
+            accept_pending(&listener, &mut conns, &mut next_id, &shared, draining);
+        }
+
+        // Per-connection I/O, driven by readiness.
+        for (slot, &id) in poll_ids.iter().enumerate() {
+            let fd = &pollfds[wake_slots + 1 + slot];
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            if fd.failed() {
+                conn.dead = true;
+                continue;
+            }
+            if fd.writable() {
+                flush_out(conn);
+            }
+            if fd.readable() {
+                read_ready(conn);
+                if !conn.dead && conn.read_drain_until.is_none() {
+                    process_buffer(conn, id, &shared, cfg, draining);
+                    flush_out(conn);
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            // Transient per-connection accept failures (ECONNABORTED and
-            // friends) must not kill the daemon.
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+
+        // Deadline sweep: 408s, idle reaps, write stalls, close drains.
+        let now = Instant::now();
+        for conn in conns.values_mut() {
+            sweep_deadlines(conn, now, cfg, &shared.metrics);
+        }
+        conns.retain(|_, conn| !conn.dead);
+
+        if draining {
+            let jobs_pending = !lock(&shared.jobs).is_empty();
+            let conns_pending = conns
+                .values()
+                .any(|c| c.busy || c.has_pending_out() || c.read_drain_until.is_some());
+            if !jobs_pending && !conns_pending {
+                break;
+            }
+            if drain_deadline.as_ref().is_some_and(Deadline::expired) {
+                drained = false;
+                break;
+            }
         }
     }
 
-    // Drain: workers empty the queue and finish in-flight requests while
-    // the acceptor keeps answering — `/healthz` reports "draining"
-    // (non-200) so a ring-routing prober stops sending traffic here
-    // before the listener disappears. Give up at the drain deadline.
-    shared.accepting.store(false, Ordering::SeqCst);
-    shared.ready.notify_all();
-    let drain = Deadline::after(cfg.drain_deadline);
-    while workers.iter().any(|w| !w.is_finished()) && !drain.expired() {
-        match listener.accept() {
-            Ok((stream, _peer)) => answer_draining(stream, &shared),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
     drop(listener);
-    let mut drained = true;
+    shared.stop.store(true, Ordering::SeqCst);
+    shared.ready.notify_all();
+    // Workers are idle once the drain finished cleanly; a worker still
+    // busy past the drain deadline is abandoned (the process exit reaps
+    // it), exactly like the old engine.
+    let grace = Instant::now() + Duration::from_millis(250);
+    while workers.iter().any(|w| !w.is_finished()) && Instant::now() < grace {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     for worker in workers {
         if worker.is_finished() {
             let _ = worker.join();
         } else {
-            drained = false; // abandoned; the process exit reaps it
+            drained = false;
         }
     }
     Ok(ServeSummary {
@@ -212,41 +420,321 @@ pub fn serve(
     })
 }
 
-/// Answers 503 + `Retry-After` on the acceptor thread without reading the
-/// request: the queue depth already told us everything we need. The write
-/// side is shut down so the client sees a complete response even though
-/// its request body may be unread.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Accepts everything the listener has ready. During the drain window,
+/// new connections are answered `503`/draining-healthz inline; past
+/// [`MAX_CONNS`], `503` + `Retry-After`.
+fn accept_pending(
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_id: &mut u64,
+    shared: &Shared,
+    draining: bool,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if draining {
+                    answer_draining(stream, shared);
+                } else if conns.len() >= MAX_CONNS {
+                    shared.metrics.record_rejected();
+                    reject_overloaded(stream);
+                } else {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(true);
+                    let id = *next_id;
+                    *next_id += 1;
+                    conns.insert(id, Conn::new(stream));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            // Transient per-connection accept failures (ECONNABORTED and
+            // friends) must not kill the daemon.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drains the socket's receive buffer into `conn.buf` until `WouldBlock`.
+fn read_ready(conn: &mut Conn) {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                return;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                if conn.read_drain_until.is_none() {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                }
+                // else: post-close drain — discard.
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Parses and answers every complete request sitting in `conn.buf` —
+/// the keep-alive/pipelining core. Stops when the buffer runs dry, a
+/// worker takes over, or a response decided to close the connection.
+fn process_buffer(conn: &mut Conn, id: u64, shared: &Shared, cfg: &ServeConfig, draining: bool) {
+    while !conn.busy && !conn.close_after_flush {
+        match parse_one(&conn.buf) {
+            Ok(Some((request, consumed))) => {
+                conn.buf.drain(..consumed);
+                conn.header_deadline = None;
+                handle_request(conn, id, request, shared, cfg, draining);
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Protocol error: answer and close; the rest of the
+                // buffer is unparseable by definition.
+                conn.buf.clear();
+                conn.header_deadline = None;
+                let response = Response::json(e.status, api::error_body(&e.reason).into_bytes());
+                shared.metrics.record(response.status, Duration::ZERO);
+                queue_response(conn, response, false, cfg, draining);
+                break;
+            }
+        }
+    }
+    // A request has started arriving but is incomplete: arm the 408
+    // slow-loris bound for it.
+    if !conn.buf.is_empty() && !conn.busy && conn.header_deadline.is_none() {
+        conn.header_deadline = Some(Instant::now() + shared.request_deadline);
+    }
+}
+
+/// Routes one parsed request: inline dispatch for fast endpoints, the
+/// worker pool (or a 503 shed) for slow ones.
+fn handle_request(
+    conn: &mut Conn,
+    id: u64,
+    request: Request,
+    shared: &Shared,
+    cfg: &ServeConfig,
+    draining: bool,
+) {
+    conn.served += 1;
+    if dispatch::needs_worker(&request) {
+        let mut jobs = lock(&shared.jobs);
+        if jobs.len() >= cfg.queue_depth {
+            drop(jobs);
+            shared.metrics.record_rejected();
+            let mut response =
+                Response::json(503, api::error_body("server is at capacity").into_bytes());
+            response.retry_after = Some(1);
+            queue_response(conn, response, request.wants_keep_alive(), cfg, draining);
+        } else {
+            jobs.push_back(Job {
+                conn: id,
+                request,
+                started: Instant::now(),
+            });
+            drop(jobs);
+            shared.ready.notify_one();
+            conn.busy = true;
+        }
+        return;
+    }
+    let started = Instant::now();
+    let wants_keep_alive = request.wants_keep_alive();
+    let response = run_dispatch(&request, shared);
+    shared.metrics.record(response.status, started.elapsed());
+    queue_response(conn, response, wants_keep_alive, cfg, draining);
+}
+
+/// One dispatch under a fresh per-request deadline token, bracketed by
+/// the in-flight gauge so `/healthz` sees itself being served.
+fn run_dispatch(request: &Request, shared: &Shared) -> Response {
+    let token = CancelToken::new().with_deadline(Deadline::after(shared.request_deadline));
+    shared.metrics.begin_request();
+    let state = dispatch::EngineState {
+        queue_len: lock(&shared.jobs).len(),
+        allow_measure: shared.allow_measure,
+    };
+    let response = dispatch::dispatch(request, &shared.registry, &shared.metrics, &token, &state);
+    shared.metrics.end_request();
+    response
+}
+
+/// Applies the Connection negotiation and buffers the response bytes:
+/// keep-alive only for a `2xx`/`3xx` answer the client wants kept open,
+/// under the request cap. During the drain window the connection stays
+/// open only while further complete pipelined requests are buffered —
+/// they are owed an answer — and the last one closes.
+fn queue_response(
+    conn: &mut Conn,
+    mut response: Response,
+    wants_keep_alive: bool,
+    cfg: &ServeConfig,
+    draining: bool,
+) {
+    let more_buffered = matches!(parse_one(&conn.buf), Ok(Some(_)));
+    let keep = response.status < 400
+        && wants_keep_alive
+        && conn.served < cfg.keep_alive_requests
+        && (!draining || more_buffered);
+    response.close = !keep;
+    conn.out.extend_from_slice(&response.to_bytes());
+    conn.last_activity = Instant::now();
+    if !keep {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Writes pending outbound bytes until the socket blocks; on completion
+/// of a closing response, shuts the write side and enters the brief
+/// read-drain that lets the peer finish reading before the FIN/close.
+fn flush_out(conn: &mut Conn) {
+    while conn.has_pending_out() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if !conn.out.is_empty() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    if conn.close_after_flush && !conn.busy && conn.read_drain_until.is_none() {
+        let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+        conn.read_drain_until = Some(Instant::now() + READ_DRAIN);
+    }
+}
+
+/// Applies the timers: post-close read drain, 408 header deadline, idle
+/// reap, and the write-stall bound.
+fn sweep_deadlines(conn: &mut Conn, now: Instant, cfg: &ServeConfig, metrics: &Metrics) {
+    if let Some(until) = conn.read_drain_until {
+        if conn.eof || now >= until {
+            conn.dead = true;
+        }
+        return;
+    }
+    if conn.eof && !conn.busy && !conn.has_pending_out() {
+        // Peer finished sending and nothing is owed: plain close.
+        conn.dead = true;
+        return;
+    }
+    if let Some(at) = conn.header_deadline {
+        if now >= at && !conn.busy {
+            conn.buf.clear();
+            conn.header_deadline = None;
+            let mut response = Response::json(
+                408,
+                api::error_body("request not received within the request deadline").into_bytes(),
+            );
+            response.close = true;
+            metrics.record(response.status, cfg.request_deadline);
+            conn.out.extend_from_slice(&response.to_bytes());
+            conn.close_after_flush = true;
+            flush_out(conn);
+            return;
+        }
+    }
+    let idle = !conn.busy
+        && conn.buf.is_empty()
+        && !conn.has_pending_out()
+        && conn.header_deadline.is_none()
+        && !conn.close_after_flush;
+    if idle && now >= conn.last_activity + cfg.idle_deadline {
+        // Quiet keep-alive connection past its welcome: silent close.
+        conn.dead = true;
+        return;
+    }
+    if conn.has_pending_out() && now >= conn.last_activity + cfg.request_deadline {
+        // Peer stopped reading mid-response: stalled, drop it.
+        conn.dead = true;
+    }
+}
+
+/// Flags a connection at drain start: no more reads, answer what is
+/// already buffered, then close. A connection with nothing pending
+/// closes immediately.
+fn begin_drain_close(conn: &mut Conn) {
+    conn.stop_reading = true;
+    if conn.busy
+        || conn.has_pending_out()
+        || !conn.buf.is_empty()
+        || conn.read_drain_until.is_some()
+    {
+        return; // process_buffer/completions/sweeps will finish and close it.
+    }
+    conn.dead = true;
+}
+
+/// Answers 503 + `Retry-After` without reading the request: the
+/// connection count already told us everything we need. The write side
+/// is shut so the client sees a complete response even though its
+/// request may be unread.
 fn reject_overloaded(mut stream: TcpStream) {
     let mut response = Response::json(503, api::error_body("server is at capacity").into_bytes());
     response.retry_after = Some(1);
     let _ = stream.set_nodelay(true);
     if stream.write_all(&response.to_bytes()).is_ok() {
         let _ = stream.shutdown(std::net::Shutdown::Write);
-        // Briefly drain whatever the client already sent so closing the
-        // socket does not RST the response out of its receive buffer.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
         let mut sink = [0u8; 4096];
         while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
     }
 }
 
-/// Answers a connection that arrived during the drain window on the
-/// acceptor thread: `503` everywhere, with `GET /healthz` getting the
-/// structured `"status":"draining"` body a router's prober keys off. The
-/// read is bounded by a short timeout so a trickling client cannot wedge
-/// the drain; a peer that never completes a request is simply dropped.
+/// Answers a connection that arrived during the drain window: `503`
+/// everywhere, with `GET /healthz` getting the structured
+/// `"status":"draining"` body a router's prober keys off. The read is
+/// bounded by a short timeout so a trickling client cannot wedge the
+/// drain; a peer that never completes a request is simply dropped.
 fn answer_draining(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let Ok(Some(request)) = read_request(&mut stream, Some(Instant::now() + Duration::from_millis(250)))
-    else {
-        return;
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; READ_CHUNK];
+    let request = loop {
+        match parse_one(&buf) {
+            Ok(Some((request, _consumed))) => break request,
+            Ok(None) => {}
+            Err(_) => return,
+        }
+        if Instant::now() >= deadline {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
     };
     let mut response = if request.method == "GET" && request.target == "/healthz" {
         Response::json(
             503,
             api::draining_health_body(
-                shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len(),
+                lock(&shared.jobs).len(),
                 shared.metrics.in_flight(),
                 shared.registry.generation(),
             )
@@ -264,116 +752,39 @@ fn answer_draining(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// Worker thread: slow requests only. Each runs under a fresh deadline
+/// token; the finished response travels back to the event loop through
+/// the completion list + wake pipe.
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let job = {
+            let mut jobs = lock(&shared.jobs);
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
                 }
-                if !shared.accepting.load(Ordering::SeqCst) {
+                if shared.stop.load(Ordering::SeqCst) {
                     break None;
                 }
                 let (guard, _) = shared
                     .ready
-                    .wait_timeout(queue, WORKER_POLL)
+                    .wait_timeout(jobs, Duration::from_millis(50))
                     .unwrap_or_else(|e| e.into_inner());
-                queue = guard;
+                jobs = guard;
             }
         };
-        let Some(stream) = stream else { return };
-        handle_connection(stream, shared);
-    }
-}
-
-/// Reads one request, dispatches it, writes one response, closes —
-/// bracketed by the in-flight gauge so `/healthz` sees it. Any I/O failure
-/// mid-conversation just drops the connection — the peer is gone; there is
-/// nobody to tell.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    shared.metrics.begin_request();
-    serve_connection(stream, shared);
-    shared.metrics.end_request();
-}
-
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
-    let started = Instant::now();
-    // A fresh token per request: the deadline is this request's alone, and
-    // a SIGTERM on the server token must drain — not cancel — in-flight
-    // requests, so the flags are deliberately not shared.
-    let token = CancelToken::new().with_deadline(Deadline::after(shared.request_deadline));
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(shared.request_deadline.max(Duration::from_millis(1))));
-
-    // The whole head+body read shares the request deadline: a slow-loris
-    // client dripping one byte per read can renew a per-read timeout
-    // forever, but not this wall-clock bound — expiry answers 408 and
-    // frees the worker.
-    let header_deadline = started + shared.request_deadline;
-    let response = match read_request(&mut stream, Some(header_deadline)) {
-        Ok(Some(request)) => {
-            // Snapshot the engine state the instant the request is served:
-            // /healthz reports the queue depth a prober would experience.
-            let state = dispatch::EngineState {
-                queue_len: shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len(),
-                allow_measure: shared.allow_measure,
-            };
-            dispatch::dispatch(&request, &shared.registry, &shared.metrics, &token, &state)
-        }
-        Ok(None) => return, // peer hung up before completing a request
-        Err(e) => Response::json(e.status, api::error_body(&e.reason).into_bytes()),
-    };
-    shared.metrics.record(response.status, started.elapsed());
-    if stream.write_all(&response.to_bytes()).is_ok() {
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-        let mut sink = [0u8; 4096];
-        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
-    }
-}
-
-/// Accumulates socket bytes through [`parse_request`] until a complete
-/// request, a protocol error, or EOF/timeout.
-///
-/// With a `deadline`, the *whole* read is wall-clock bounded: reads happen
-/// in [`HEADER_READ_SLICE`] timeout slices and expiry is a `408` — each
-/// dripped byte resets a per-read timeout, but nothing a client sends can
-/// extend this bound. Without one, a single quiet [`READ_TIMEOUT`] (set by
-/// the caller) drops the connection as before.
-fn read_request(
-    stream: &mut TcpStream,
-    deadline: Option<Instant>,
-) -> Result<Option<Request>, HttpError> {
-    if deadline.is_some() {
-        let _ = stream.set_read_timeout(Some(HEADER_READ_SLICE));
-    }
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 8192];
-    loop {
-        if let Some(request) = parse_request(&buf)? {
-            return Ok(Some(request));
-        }
-        if let Some(at) = deadline {
-            if Instant::now() >= at {
-                return Err(HttpError::new(
-                    408,
-                    "request not received within the request deadline",
-                ));
-            }
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(None),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e)
-                if deadline.is_some()
-                    && (e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut) =>
-            {
-                // Quiet slice under a deadline: loop to re-check it.
-            }
-            Err(_) => return Ok(None), // timeout or reset: drop silently
+        let Some(job) = job else { return };
+        let response = run_dispatch(&job.request, shared);
+        shared
+            .metrics
+            .record(response.status, job.started.elapsed());
+        lock(&shared.completions).push(Completion {
+            conn: job.conn,
+            wants_keep_alive: job.request.wants_keep_alive(),
+            response,
+        });
+        if let Some(wake) = &shared.wake {
+            wake.notify();
         }
     }
 }

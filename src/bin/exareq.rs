@@ -52,7 +52,8 @@ USAGE:
     exareq report <survey.json> [-o FILE]
     exareq serve --model-dir DIR [--addr HOST:PORT] [--threads N]
                  [--queue-depth N] [--request-deadline-ms N]
-                 [--drain-deadline-ms N] [--allow-measure]
+                 [--drain-deadline-ms N] [--keep-alive-requests N]
+                 [--idle-deadline-ms N] [--allow-measure]
     exareq fleet <app> --workers HOST:PORT,... [-o FILE]
                  [--p 2,4,8,...] [--n 64,256,...] [--faults SPEC]
                  [--journal FILE] [--resume] [--max-retries N]
@@ -138,15 +139,21 @@ SERVING (serve):
     with the in-tree JSON codec, cached by content hash, hot-reloaded
     when bytes change) and answers co-design queries over HTTP/1.1:
     GET /healthz /models /metrics (Prometheus text), POST /predict
-    /upgrade /strawman. --threads N workers (default 4) pull from an
-    accept queue of --queue-depth (default 64); overflow is answered
-    503 + Retry-After. Each request runs under --request-deadline-ms
-    (default 2000); expiry answers 504. SIGINT/SIGTERM stops accepting,
-    drains in-flight requests within --drain-deadline-ms (default
-    5000), and exits 0 — a drained server has lost no work, so the
-    interrupted code 5 is reserved for sweeps. --allow-measure
-    additionally opts the daemon in as a fleet measurement worker
-    (POST /measure); without it the endpoint answers 403.
+    /predict_batch /upgrade /strawman. A single poll(2) event loop
+    answers fast queries inline; slow work (/measure, held predicts)
+    goes to --threads N workers (default 4) behind a queue of
+    --queue-depth (default 64); overflow is answered 503 +
+    Retry-After. Connections are HTTP/1.1 keep-alive: up to
+    --keep-alive-requests per connection (default 1000), idle
+    connections reaped after --idle-deadline-ms (default 5000). Each
+    request runs under --request-deadline-ms (default 2000); expiry
+    answers 504 (408 while still reading). SIGINT/SIGTERM stops
+    reading, answers what is buffered, drains in-flight requests
+    within --drain-deadline-ms (default 5000), and exits 0 — a
+    drained server has lost no work, so the interrupted code 5 is
+    reserved for sweeps. --allow-measure additionally opts the daemon
+    in as a fleet measurement worker (POST /measure); without it the
+    endpoint answers 403.
 
 FLEET SWEEPS (fleet):
     shards the pending (p, n) grid across `exareq serve --allow-measure`
@@ -1004,6 +1011,16 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
         "--drain-deadline-ms",
         5_000,
     )?;
+    let keep_alive_requests = parse_count(
+        take(&mut args, "--keep-alive-requests")?,
+        "--keep-alive-requests",
+        1_000,
+    )?;
+    let idle_deadline_ms = parse_ms(
+        take(&mut args, "--idle-deadline-ms")?,
+        "--idle-deadline-ms",
+        5_000,
+    )?;
     let model_dir = take(&mut args, "--model-dir")?;
     let allow_measure = take_flag(&mut args, "--allow-measure");
     if let Some(stray) = args.first() {
@@ -1047,6 +1064,8 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
         drain_deadline: Duration::from_millis(drain_deadline_ms),
         model_dir: dir,
         allow_measure,
+        keep_alive_requests,
+        idle_deadline: Duration::from_millis(idle_deadline_ms),
     };
     let announce = std::sync::Arc::clone(&registry);
     let summary = exareq::serve::serve(&cfg, std::sync::Arc::clone(&registry), &cancel, |bound| {

@@ -68,6 +68,8 @@ fn start_replica(dir: &Path, allow_measure: bool) -> Replica {
         drain_deadline: Duration::from_secs(2),
         model_dir: dir.to_path_buf(),
         allow_measure,
+        keep_alive_requests: 1000,
+        idle_deadline: Duration::from_secs(5),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

@@ -1,0 +1,148 @@
+//! Property-based verification of the compiled PMNF representation:
+//! lowering an arbitrary model must preserve `eval` **bit-for-bit** —
+//! the serve daemon's `/predict` and `/predict_batch` contract is
+//! byte-identity with the direct library call, and that only holds if
+//! the compiled evaluator reproduces the interpreted fold exactly.
+
+use exareq::core::compiled::CompiledModel;
+use exareq::core::pmnf::{Exponents, Model, Term};
+use proptest::prelude::*;
+
+/// An exponent pair off the fitter's coarse grid, plus the constant
+/// pair — the compiled form elides constant factors, and that elision
+/// must stay bit-exact.
+fn grid_exponents() -> impl Strategy<Value = Exponents> {
+    (0usize..7, 0usize..3).prop_map(|(i, j)| Exponents::new(i as f64 * 0.5, j as f64))
+}
+
+/// A term over `arity` parameters with a coefficient spanning signs and
+/// magnitudes (requirement metrics are nonnegative, but bit-identity
+/// must not depend on that).
+fn term(arity: usize) -> impl Strategy<Value = Term> {
+    (
+        prop_oneof![-1e9f64..1e9, -1.0f64..1.0, Just(0.0f64)],
+        proptest::collection::vec(grid_exponents(), arity),
+    )
+        .prop_map(|(coeff, factors)| Term::new(coeff, factors))
+}
+
+/// An arbitrary PMNF model: 1–3 parameters, 0–5 terms (zero terms is
+/// the degraded constant model the twin-model fallback produces).
+fn model() -> impl Strategy<Value = Model> {
+    (1usize..=3).prop_flat_map(|arity| {
+        (
+            -1e6f64..1e6,
+            proptest::collection::vec(term(arity), 0..=5),
+            Just(arity),
+        )
+            .prop_map(|(constant, terms, arity)| {
+                let params = ["p", "n", "m"][..arity]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                Model::new(constant, terms, params)
+            })
+    })
+}
+
+/// Coordinates covering the clamp region (`x < 1`), the usual scaling
+/// ranges, and extreme configurations.
+fn coords(arity: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![0.0f64..1.0, 1.0f64..1e6, 1e6f64..1e12, Just(1.0f64)],
+        arity,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core contract: for any model and any coordinates, the
+    /// compiled evaluation returns the *same bits* as the interpreted
+    /// one — not merely approximately equal.
+    #[test]
+    fn compiled_eval_is_bit_identical_to_interpreted(
+        m in model(),
+    ) {
+        let compiled = CompiledModel::lower(&m);
+        prop_assert_eq!(compiled.arity(), m.params.len());
+        // A handful of deterministic probe points per generated model.
+        let probes: Vec<Vec<f64>> = vec![
+            vec![1.0; m.params.len()],
+            vec![0.5; m.params.len()],
+            vec![2.0; m.params.len()],
+            vec![1e6; m.params.len()],
+            (0..m.params.len()).map(|i| 2f64.powi(i as i32 + 3)).collect(),
+        ];
+        for point in &probes {
+            let interpreted = m.eval(point);
+            let fast = compiled.eval(point);
+            prop_assert_eq!(
+                interpreted.to_bits(),
+                fast.to_bits(),
+                "model {:?} at {:?}: {} vs {}",
+                &m, point, interpreted, fast
+            );
+        }
+    }
+
+    /// Same bit-identity under independently drawn coordinates, so the
+    /// clamp region and extreme scales are explored jointly with the
+    /// model structure.
+    #[test]
+    fn compiled_eval_matches_on_random_coordinates(
+        (m, point) in model().prop_flat_map(|m| {
+            let arity = m.params.len();
+            (Just(m), coords(arity))
+        }),
+    ) {
+        let compiled = CompiledModel::lower(&m);
+        prop_assert_eq!(
+            m.eval(&point).to_bits(),
+            compiled.eval(&point).to_bits(),
+            "model {:?} at {:?}", &m, &point
+        );
+    }
+
+    /// Lowering elides exactly the constant (`x^0·log^0`) factors — the
+    /// compression that makes batch evaluation cheap — and nothing else.
+    #[test]
+    fn lowering_keeps_only_non_constant_factors(m in model()) {
+        let compiled = CompiledModel::lower(&m);
+        let expected: usize = m
+            .terms
+            .iter()
+            .flat_map(|t| &t.factors)
+            .filter(|f| !f.is_constant())
+            .count();
+        prop_assert_eq!(compiled.factors().len(), expected);
+        prop_assert_eq!(compiled.terms().len(), m.terms.len());
+    }
+
+    /// Lowering is deterministic: two independent lowerings evaluate to
+    /// the same bits everywhere probed.
+    #[test]
+    fn lowering_is_deterministic(
+        (m, point) in model().prop_flat_map(|m| {
+            let arity = m.params.len();
+            (Just(m), coords(arity))
+        }),
+    ) {
+        let a = CompiledModel::lower(&m);
+        let b = CompiledModel::lower(&m);
+        prop_assert_eq!(a.eval(&point).to_bits(), b.eval(&point).to_bits());
+    }
+}
+
+#[test]
+fn degraded_constant_model_compiles_and_matches() {
+    // The twin-model fallback ships constant models with zero terms;
+    // they must survive lowering untouched.
+    let m = Model::constant(42.5, vec!["p".to_string(), "n".to_string()]);
+    let compiled = CompiledModel::lower(&m);
+    for point in [[2.0, 64.0], [0.1, 0.2], [1e9, 1e9]] {
+        assert_eq!(m.eval(&point).to_bits(), compiled.eval(&point).to_bits());
+    }
+    assert!(compiled.terms().is_empty());
+    assert!(compiled.factors().is_empty());
+}

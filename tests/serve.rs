@@ -103,9 +103,11 @@ fn http(addr: &str, raw: &[u8]) -> (u16, String, Vec<u8>) {
 }
 
 fn get(addr: &str, target: &str) -> (u16, String, Vec<u8>) {
+    // `Connection: close` keeps the one-shot helpers one-shot now that
+    // the daemon defaults HTTP/1.1 connections to keep-alive.
     http(
         addr,
-        format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
     )
 }
 
@@ -113,11 +115,53 @@ fn post(addr: &str, target: &str, body: &str) -> (u16, String, Vec<u8>) {
     http(
         addr,
         format!(
-            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
     )
+}
+
+/// Reads exactly one response off a keep-alive socket, leaving any
+/// pipelined follow-up bytes in `leftover` for the next call.
+fn read_one_response(stream: &mut TcpStream, leftover: &mut Vec<u8>) -> (u16, String, Vec<u8>) {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = leftover.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "EOF before a complete response head");
+        leftover.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(leftover[..head_end].to_vec()).expect("ASCII head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head}"));
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no Content-Length in {head}"));
+    let body_start = head_end + 4;
+    while leftover.len() < body_start + content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "EOF mid response body");
+        leftover.extend_from_slice(&chunk[..n]);
+    }
+    let body = leftover[body_start..body_start + content_length].to_vec();
+    leftover.drain(..body_start + content_length);
+    (status, head, body)
+}
+
+fn keep_alive_post(target: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
 }
 
 #[test]
@@ -189,6 +233,181 @@ fn daemon_answers_are_byte_identical_to_the_library() {
     let text = String::from_utf8(body).unwrap();
     assert!(text.contains("exareq_requests_total"), "{text}");
     assert!(text.contains("exareq_models_loaded 5"), "{text}");
+}
+
+#[test]
+fn keep_alive_serves_many_byte_identical_requests_on_one_socket() {
+    let dir = model_dir("keepalive");
+    let daemon = spawn_daemon(&dir, &[]);
+
+    let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut leftover = Vec::new();
+    for i in 0..5 {
+        let p = 2.0 + f64::from(i);
+        let body = format!(r#"{{"model":"Kripke","p":{p},"n":64}}"#);
+        stream
+            .write_all(&keep_alive_post("/predict", &body))
+            .expect("write request");
+        let (status, head, body) = read_one_response(&mut stream, &mut leftover);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert!(
+            head.contains("Connection: keep-alive"),
+            "an HTTP/1.1 200 defaults to keep-alive: {head}"
+        );
+        assert_eq!(
+            body,
+            api::predict_body(&catalog::kripke(), p, 64.0).as_bytes(),
+            "request {i} on the shared socket must equal the library call"
+        );
+    }
+
+    // An explicit `Connection: close` is honoured, and the socket ends.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let (status, head, _) = read_one_response(&mut stream, &mut leftover);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF after close");
+    assert!(rest.is_empty(), "no bytes may follow a closing response");
+}
+
+#[test]
+fn predict_batch_equals_the_concatenated_single_predicts() {
+    let dir = model_dir("batch");
+    let daemon = spawn_daemon(&dir, &[]);
+
+    let points = [(2.0, 64.0), (32.0, 1024.0), (1e6, 4096.0)];
+    let (status, _, body) = post(
+        &daemon.addr,
+        "/predict_batch",
+        r#"{"model":"MILC","points":[[2,64],[32,1024],[1e6,4096]]}"#,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let expected: String = points
+        .iter()
+        .map(|&(p, n)| format!("{}\n", api::predict_body(&catalog::milc(), p, n)))
+        .collect();
+    assert_eq!(
+        body,
+        expected.as_bytes(),
+        "batch output must be the byte-exact concatenation of single predicts"
+    );
+
+    // Each JSONL line is also byte-identical to the daemon's own single
+    // answer for that point.
+    let (_, _, single) = post(
+        &daemon.addr,
+        "/predict",
+        r#"{"model":"MILC","p":32,"n":1024}"#,
+    );
+    let second_line = body.split(|&b| b == b'\n').nth(1).expect("line 2");
+    assert_eq!(second_line, &single[..]);
+}
+
+#[test]
+fn keep_alive_connection_caps_and_idle_deadline_are_enforced() {
+    let dir = model_dir("kalimits");
+    let daemon = spawn_daemon(
+        &dir,
+        &["--keep-alive-requests", "2", "--idle-deadline-ms", "300"],
+    );
+
+    // Request cap: the second response on the socket forces close.
+    let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut leftover = Vec::new();
+    let request = keep_alive_post("/predict", r#"{"model":"Kripke","p":2,"n":64}"#);
+    stream.write_all(&request).expect("first");
+    let (_, head, _) = read_one_response(&mut stream, &mut leftover);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    stream.write_all(&request).expect("second");
+    let (_, head, _) = read_one_response(&mut stream, &mut leftover);
+    assert!(
+        head.contains("Connection: close"),
+        "request cap must force close: {head}"
+    );
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF after cap");
+    assert!(rest.is_empty());
+
+    // Idle deadline: a quiet keep-alive socket is reaped server-side.
+    let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut leftover = Vec::new();
+    stream.write_all(&request).expect("warm request");
+    let (status, _, _) = read_one_response(&mut stream, &mut leftover);
+    assert_eq!(status, 200);
+    let reaped_at = Instant::now();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF when idle-reaped");
+    assert!(rest.is_empty(), "idle reap is a silent close");
+    assert!(
+        reaped_at.elapsed() < Duration::from_secs(5),
+        "idle connection must be reaped near the 300ms idle deadline"
+    );
+}
+
+#[test]
+fn sigterm_drains_pipelined_requests_already_buffered() {
+    let dir = model_dir("pipedrain");
+    let mut daemon = spawn_daemon(&dir, &[]);
+
+    // One socket, two requests in one write: a held predict (worker) and
+    // a piggybacked healthz that sits buffered behind it. SIGTERM lands
+    // while the hold runs; the drain must still answer BOTH buffered
+    // requests before closing.
+    let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut pipelined = keep_alive_post(
+        "/predict",
+        r#"{"model":"MILC","p":8,"n":512,"hold_ms":700}"#,
+    );
+    pipelined.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    stream.write_all(&pipelined).expect("write pipelined pair");
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(send_signal(daemon.child.id(), SIGTERM), "deliver SIGTERM");
+
+    let mut leftover = Vec::new();
+    let (status, _, body) = read_one_response(&mut stream, &mut leftover);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        body,
+        api::predict_body(&catalog::milc(), 8.0, 512.0).as_bytes(),
+        "the in-flight held request survives the SIGTERM byte-exact"
+    );
+    let (status, head, _) = read_one_response(&mut stream, &mut leftover);
+    assert_eq!(status, 200, "the buffered pipelined request is drained too");
+    assert!(
+        head.contains("Connection: close"),
+        "drain forces close on the final response: {head}"
+    );
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("EOF after drain");
+    assert!(rest.is_empty());
+
+    let started = Instant::now();
+    let status = loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "daemon failed to exit after the pipelined drain"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "a drained shutdown exits 0");
 }
 
 #[test]
