@@ -135,6 +135,7 @@ fn start_replica(dir: &Path, allow_measure: bool, request_deadline: Duration) ->
         allow_measure,
         keep_alive_requests: 1000,
         idle_deadline: Duration::from_secs(5),
+        refresh: Default::default(),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

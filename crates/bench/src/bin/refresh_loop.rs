@@ -1,0 +1,202 @@
+//! Refresh-loop study: does the adaptive sampling planner actually buy
+//! anything over the paper's fixed small-scale grid?
+//!
+//! A synthetic two-parameter requirement with a known PMNF truth is
+//! measured under multiplicative counter noise, one configuration at a
+//! time, under two acquisition strategies with identical budgets and
+//! identical per-configuration noise draws:
+//!
+//! - **adaptive** — each step measures the configuration
+//!   [`rank_candidates`] ranks highest (leverage × LOO residual
+//!   variance), exactly what `exareq plan` prints;
+//! - **fixed-grid** — each step measures the next configuration in
+//!   row-major grid order, the paper's Section II-B shape.
+//!
+//! After every observation both fits are scored against the *noise-free*
+//! truth at extrapolation targets far outside the candidate lattice —
+//! the co-design question the models exist to answer. The curves
+//! (error and LOO `ci95_rel` vs observation count, averaged over seeded
+//! repetitions) land in `BENCH_refresh.json`; the process exits nonzero
+//! if the adaptive curve does not dominate on average, so CI catches a
+//! planner regression. `--tiny` shrinks repetitions for smoke use.
+
+use exareq_bench::{num, obj, write_report};
+use exareq_core::pmnf::{Exponents, Model, Term};
+use exareq_core::refresh::{rank_candidates, IncrementalFit};
+use exareq_profile::minijson::Json;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The generating truth: `100 + 3·p·log2(p) + 0.5·n`.
+fn truth(p: f64, n: f64) -> f64 {
+    100.0 + 3.0 * p * p.log2() + 0.5 * n
+}
+
+/// The truth's own hypothesis, with placeholder coefficients for the
+/// refit machinery to recover.
+fn hypothesis() -> Model {
+    Model::new(
+        1.0,
+        vec![
+            Term::new(1.0, vec![Exponents::new(1.0, 1.0), Exponents::constant()]),
+            Term::new(1.0, vec![Exponents::constant(), Exponents::new(1.0, 0.0)]),
+        ],
+        vec!["p".to_string(), "n".to_string()],
+    )
+}
+
+/// Key for a lattice configuration (f64 grids are exact powers of two,
+/// so bit-keys are stable).
+fn key(coords: &[f64]) -> (u64, u64) {
+    (coords[0].to_bits(), coords[1].to_bits())
+}
+
+/// Mean relative extrapolation error (percent) of `fit` against the
+/// noise-free truth at the held-out targets.
+fn extrapolation_error(fit: &IncrementalFit, targets: &[(f64, f64)]) -> f64 {
+    let mut sum = 0.0;
+    for &(p, n) in targets {
+        let t = truth(p, n);
+        sum += ((fit.model().eval(&[p, n]) - t) / t).abs();
+    }
+    100.0 * sum / targets.len() as f64
+}
+
+/// One strategy's run over one noise table: returns per-step
+/// `(extrapolation error %, ci95_rel)` from the seed onward.
+fn run_strategy(
+    adaptive: bool,
+    seeds: &[(Vec<f64>, f64)],
+    lattice: &[Vec<f64>],
+    noisy: &BTreeMap<(u64, u64), f64>,
+    budget: usize,
+    targets: &[(f64, f64)],
+) -> Vec<(f64, f64)> {
+    let mut fit = IncrementalFit::new(&hypothesis(), seeds).expect("seed fit");
+    let seeded: Vec<(u64, u64)> = seeds.iter().map(|(c, _)| key(c)).collect();
+    let mut remaining: Vec<Vec<f64>> = lattice
+        .iter()
+        .filter(|c| !seeded.contains(&key(c)))
+        .cloned()
+        .collect();
+    let mut curve = Vec::with_capacity(budget + 1);
+    let step = |fit: &IncrementalFit| {
+        let ci = fit.loo().map(|l| l.ci95_rel).unwrap_or(f64::NAN);
+        (extrapolation_error(fit, targets), ci)
+    };
+    curve.push(step(&fit));
+    for _ in 0..budget {
+        let pick = if adaptive {
+            let ranked = rank_candidates(&fit, &remaining).expect("rankable candidates");
+            ranked[0].coords.clone()
+        } else {
+            remaining[0].clone() // row-major: the lattice's own order
+        };
+        remaining.retain(|c| key(c) != key(&pick));
+        let value = noisy[&key(&pick)];
+        fit.push(&pick, value).expect("non-degenerate push");
+        curve.push(step(&fit));
+    }
+    curve
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (reps, budget) = if tiny { (3usize, 12usize) } else { (10, 28) };
+    let noise_level = 0.02;
+
+    // Candidate lattice: the survey space the planner chooses from.
+    let p_values: Vec<f64> = (1..=10).map(|i| 2f64.powi(i)).collect();
+    let n_values: Vec<f64> = (6..=15).map(|i| 2f64.powi(i)).collect();
+    let lattice: Vec<Vec<f64>> = p_values
+        .iter()
+        .flat_map(|&p| n_values.iter().map(move |&n| vec![p, n]))
+        .collect();
+    // Extrapolation targets: the exascale-facing corner far outside it.
+    let targets = [(2048.0, 65536.0), (4096.0, 131072.0), (8192.0, 262144.0)];
+
+    // Per-curve-point accumulators, [step] -> (err, ci) sums.
+    let mut adaptive_sum = vec![(0.0f64, 0.0f64); budget + 1];
+    let mut fixed_sum = vec![(0.0f64, 0.0f64); budget + 1];
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + rep as u64);
+        // One noise draw per configuration, shared by both strategies so
+        // the comparison isolates *which* configs get measured.
+        let noisy: BTreeMap<(u64, u64), f64> = lattice
+            .iter()
+            .map(|c| {
+                let factor = 1.0 + noise_level * (2.0 * rng.random::<f64>() - 1.0);
+                (key(c), truth(c[0], c[1]) * factor)
+            })
+            .collect();
+        // Seed: the cheapest corner of the lattice, both axes varied —
+        // the small-scale runs the paper starts from.
+        let seeds: Vec<(Vec<f64>, f64)> = [[2.0, 64.0], [2.0, 128.0], [4.0, 64.0], [4.0, 128.0]]
+            .iter()
+            .map(|c| (c.to_vec(), noisy[&key(c)]))
+            .collect();
+        for (accum, adaptive) in [(&mut adaptive_sum, true), (&mut fixed_sum, false)] {
+            let curve = run_strategy(adaptive, &seeds, &lattice, &noisy, budget, &targets);
+            for (slot, (err, ci)) in accum.iter_mut().zip(curve) {
+                slot.0 += err;
+                slot.1 += ci;
+            }
+        }
+    }
+
+    let seed_count = 4usize;
+    let mut rows = Vec::with_capacity(budget + 1);
+    let (mut adaptive_auc, mut fixed_auc) = (0.0f64, 0.0f64);
+    eprintln!("refresh loop: {reps} reps, budget {budget}, noise ±{noise_level:.0e}");
+    eprintln!(
+        "  {:>4} {:>16} {:>16} {:>12} {:>12}",
+        "obs", "adaptive err%", "fixed err%", "adapt ci95", "fixed ci95"
+    );
+    for (i, (a, f)) in adaptive_sum.iter().zip(&fixed_sum).enumerate() {
+        let (a_err, a_ci) = (a.0 / reps as f64, a.1 / reps as f64);
+        let (f_err, f_ci) = (f.0 / reps as f64, f.1 / reps as f64);
+        adaptive_auc += a_err;
+        fixed_auc += f_err;
+        eprintln!(
+            "  {:>4} {a_err:>16.4} {f_err:>16.4} {a_ci:>12.5} {f_ci:>12.5}",
+            seed_count + i
+        );
+        rows.push(obj(vec![
+            ("observations", num((seed_count + i) as f64)),
+            ("adaptive_extrapolation_err_pct", num(a_err)),
+            ("fixed_extrapolation_err_pct", num(f_err)),
+            ("adaptive_ci95_rel", num(a_ci)),
+            ("fixed_ci95_rel", num(f_ci)),
+        ]));
+    }
+    let steps = (budget + 1) as f64;
+    let (adaptive_mean, fixed_mean) = (adaptive_auc / steps, fixed_auc / steps);
+    let adaptive_wins = adaptive_mean < fixed_mean;
+    eprintln!(
+        "  mean over curve: adaptive {adaptive_mean:.4}% vs fixed {fixed_mean:.4}% -> {}",
+        if adaptive_wins {
+            "adaptive wins"
+        } else {
+            "ADAPTIVE DOES NOT WIN"
+        }
+    );
+
+    let report = obj(vec![
+        ("schema", num(1.0)),
+        ("reps", num(reps as f64)),
+        ("budget", num(budget as f64)),
+        ("noise_level", num(noise_level)),
+        ("seed_points", num(seed_count as f64)),
+        ("lattice_size", num(lattice.len() as f64)),
+        ("adaptive_mean_err_pct", num(adaptive_mean)),
+        ("fixed_mean_err_pct", num(fixed_mean)),
+        ("adaptive_wins", Json::Bool(adaptive_wins)),
+        ("curve", Json::Arr(rows)),
+    ]);
+    write_report("BENCH_refresh.json", &report.to_line());
+
+    if !adaptive_wins {
+        eprintln!("error: the adaptive planner did not beat fixed-grid sampling");
+        std::process::exit(1);
+    }
+}

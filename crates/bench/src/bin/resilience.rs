@@ -87,6 +87,7 @@ fn spawn_fleet_worker(model_dir: &std::path::Path) -> FleetWorker {
         allow_measure: true,
         keep_alive_requests: 1000,
         idle_deadline: Duration::from_secs(5),
+        refresh: Default::default(),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

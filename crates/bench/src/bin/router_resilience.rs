@@ -95,6 +95,7 @@ fn start_replica(dir: &Path, drain: Duration) -> Replica {
         allow_measure: false,
         keep_alive_requests: 1000,
         idle_deadline: Duration::from_secs(5),
+        refresh: Default::default(),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

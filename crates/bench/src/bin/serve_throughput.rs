@@ -245,6 +245,7 @@ fn main() {
         allow_measure: false,
         keep_alive_requests: 1_000_000,
         idle_deadline: Duration::from_secs(5),
+        refresh: Default::default(),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();
@@ -300,6 +301,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut all_identical = true;
+    let mut keep_alive_syscalls_worst = 0f64;
     let mut plan: Vec<(&'static str, usize, usize, &'static str, &str, usize, &str)> = Vec::new();
     for &clients in &client_counts {
         plan.push((
@@ -337,6 +339,9 @@ fn main() {
         let rate = round.requests as f64 / round.seconds;
         let point_rate = round.points as f64 / round.seconds;
         all_identical &= round.identical;
+        if round.mode == "keep-alive" {
+            keep_alive_syscalls_worst = keep_alive_syscalls_worst.max(round.syscalls_per_request);
+        }
         eprintln!(
             "  {mode:>10} clients={clients}: {rate:.0} req/s, {point_rate:.0} points/s, \
              p50 {:.3} ms, p99 {:.3} ms, ~{:.1} syscalls/req, {} errors, {} x 503{}",
@@ -377,6 +382,7 @@ fn main() {
         ("threads", num(cfg.threads as f64)),
         ("queue_depth", num(cfg.queue_depth as f64)),
         ("batch_points", num(batch_points as f64)),
+        ("keep_alive_syscalls_worst", num(keep_alive_syscalls_worst)),
         ("rounds", Json::Arr(rows)),
         ("total_requests", num(summary.requests as f64)),
         ("total_rejected", num(summary.rejected as f64)),
@@ -391,6 +397,18 @@ fn main() {
     }
     if !summary.drained {
         eprintln!("error: the engine failed to drain at shutdown");
+        std::process::exit(1);
+    }
+    // Keep-alive non-regression: a request should cost the client one
+    // write and one read; the server's gathered (writev) response must
+    // arrive whole, never forcing a second read per request. Connect and
+    // close amortize over the round, so anything past 4.0 means the wire
+    // shape regressed (fragmented responses or dropped keep-alive).
+    if keep_alive_syscalls_worst > 4.0 {
+        eprintln!(
+            "error: keep-alive costs {keep_alive_syscalls_worst:.2} syscalls/request \
+             (budget 4.0) — response framing or connection reuse regressed"
+        );
         std::process::exit(1);
     }
 }

@@ -40,6 +40,8 @@
 //! models and coordinates.
 
 use crate::pmnf::Model;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// One non-constant factor `x_param^poly · log2(x_param)^log` in the flat
 /// factor table.
@@ -152,6 +154,80 @@ impl CompiledModel {
     }
 }
 
+/// FNV-1a 64 content hash of a model: constant and coefficient bit
+/// patterns, factor exponent bit patterns, and parameter names, in
+/// structure order. Two models hash equal iff they evaluate identically
+/// bit for bit (same constant, terms, factors, and parameter list), which
+/// is exactly the key the [`CompiledArena`] needs.
+pub fn model_content_hash(model: &Model) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&model.constant.to_bits().to_le_bytes());
+    eat(&(model.terms.len() as u64).to_le_bytes());
+    for term in &model.terms {
+        eat(&term.coeff.to_bits().to_le_bytes());
+        eat(&(term.factors.len() as u64).to_le_bytes());
+        for f in &term.factors {
+            eat(&f.poly.to_bits().to_le_bytes());
+            eat(&f.log.to_bits().to_le_bytes());
+        }
+    }
+    for p in &model.params {
+        eat(p.as_bytes());
+        eat(&[0]);
+    }
+    hash
+}
+
+/// A shared lowering cache keyed by [`model_content_hash`]: asking for the
+/// same model twice returns the same `Arc<CompiledModel>` without
+/// re-lowering. The serve registry threads every artifact's five metric
+/// models through one arena, so a refresh (or an online refit touching a
+/// single metric) re-lowers only the models whose content actually
+/// changed.
+#[derive(Debug, Default)]
+pub struct CompiledArena {
+    inner: Mutex<HashMap<u64, Arc<CompiledModel>>>,
+}
+
+impl CompiledArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        CompiledArena::default()
+    }
+
+    /// The lowered form of `model`: cached when its content hash was seen
+    /// before, freshly lowered (and cached) otherwise.
+    pub fn lower(&self, model: &Model) -> Arc<CompiledModel> {
+        let key = model_content_hash(model);
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(CompiledModel::lower(model))),
+        )
+    }
+
+    /// Distinct models lowered so far — observability for the "refresh
+    /// only re-lowers changed models" contract.
+    pub fn lowered(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Drops cached lowerings whose hash is not in `live` — called after a
+    /// registry refresh so departed artifacts do not pin memory.
+    pub fn retain(&self, live: &dyn Fn(u64) -> bool) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|k, _| live(*k));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +314,56 @@ mod tests {
             )],
         );
         assert_bit_identical(&m, &[0.0, 0.9]);
+    }
+
+    #[test]
+    fn content_hash_tracks_content_not_identity() {
+        let a = two_param(
+            1.0,
+            vec![Term::new(
+                2.0,
+                vec![Exponents::new(1.0, 0.0), Exponents::new(1.0, 1.0)],
+            )],
+        );
+        let same = a.clone();
+        assert_eq!(model_content_hash(&a), model_content_hash(&same));
+        let mut other_coeff = a.clone();
+        other_coeff.terms[0].coeff = 2.5;
+        assert_ne!(model_content_hash(&a), model_content_hash(&other_coeff));
+        let mut other_const = a.clone();
+        other_const.constant = 1.5;
+        assert_ne!(model_content_hash(&a), model_content_hash(&other_const));
+        let mut other_exp = a.clone();
+        other_exp.terms[0].factors[1] = Exponents::new(2.0, 1.0);
+        assert_ne!(model_content_hash(&a), model_content_hash(&other_exp));
+    }
+
+    #[test]
+    fn arena_reuses_unchanged_lowerings() {
+        let arena = CompiledArena::new();
+        let m = two_param(
+            1.0,
+            vec![Term::new(
+                4.0,
+                vec![Exponents::new(1.0, 0.0), Exponents::new(1.0, 0.0)],
+            )],
+        );
+        let first = arena.lower(&m);
+        let second = arena.lower(&m.clone());
+        assert!(Arc::ptr_eq(&first, &second), "same content, same lowering");
+        assert_eq!(arena.lowered(), 1);
+
+        // A coefficient change (the refresh case) lowers exactly one more.
+        let mut refit = m.clone();
+        refit.terms[0].coeff = 4.5;
+        let third = arena.lower(&refit);
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(arena.lowered(), 2);
+
+        // Retain drops the lowering whose model departed.
+        let keep = model_content_hash(&refit);
+        arena.retain(&|k| k == keep);
+        assert_eq!(arena.lowered(), 1);
+        assert_eq!(first.eval(&[2.0, 64.0]), m.eval(&[2.0, 64.0]));
     }
 }

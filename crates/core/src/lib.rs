@@ -46,6 +46,7 @@
 //! - [`collective`] — symbolic `Allreduce(p)`-style communication models.
 //! - [`baseline`] — the Carrington et al. simple-regression baseline.
 //! - [`quality`] — SMAPE/R², relative errors, the Figure-3 histogram.
+//! - [`refresh`] — online refits, staleness policy, adaptive sampling.
 //! - [`describe`] — paper-style English growth statements.
 //! - [`fsio`] — typed, atomic filesystem I/O for artifacts.
 //! - [`cancel`] — cooperative cancellation tokens, deadlines, checkpoints.
@@ -66,10 +67,13 @@ pub mod measurement;
 pub mod multiparam;
 pub mod pmnf;
 pub mod quality;
+pub mod refresh;
 pub mod stability;
 
 pub use cancel::{CancelReason, CancelToken, Cancelled, Deadline};
-pub use compiled::{CompiledFactor, CompiledModel, CompiledTerm};
+pub use compiled::{
+    model_content_hash, CompiledArena, CompiledFactor, CompiledModel, CompiledTerm,
+};
 pub use fit::{
     fit_single, fit_single_cancellable, fit_single_robust, FitConfig, FitError, FittedModel,
     RobustFit,
@@ -78,3 +82,7 @@ pub use fsio::{ExareqIoError, IoOp};
 pub use measurement::{Aggregation, Experiment, Measurement};
 pub use multiparam::{fit_multi, fit_multi_cancellable, fit_multi_robust, MultiParamConfig};
 pub use pmnf::{Exponents, Model, Term};
+pub use refresh::{
+    rank_candidates, IncrementalFit, LooSummary, RankedCandidate, RefitDecision, RefreshError,
+    StalenessPolicy,
+};

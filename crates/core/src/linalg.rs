@@ -246,6 +246,196 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     Ok(x)
 }
 
+/// An updatable QR factorization for recursive least squares.
+///
+/// [`lstsq`] refactorizes from scratch — right for one-shot fits, wasteful
+/// for the refresh path where observations arrive one at a time against a
+/// *fixed* hypothesis. `QrFactor` keeps only the `n × n` triangular factor
+/// `R`, the projected right-hand side `Qᵀb`, and the accumulated residual:
+/// [`QrFactor::push_row`] folds one new row in with a sweep of Givens
+/// rotations (`O(n²)`, no design-matrix rebuild), after which
+/// [`QrFactor::solve`] returns the refitted coefficients.
+///
+/// Column scaling is fixed at construction (unit infinity norm over the
+/// seed matrix, exactly as [`lstsq`] scales) so pushed rows are measured
+/// against the same conditioning baseline as the seed rows.
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    cols: usize,
+    rows: usize,
+    /// Upper-triangular `R` of the scaled design (`cols × cols`).
+    r: Matrix,
+    /// First `cols` entries of `Qᵀb`.
+    qtb: Vec<f64>,
+    /// Accumulated residual sum of squares `‖A·x − b‖₂²` at the optimum.
+    rss: f64,
+    /// Fixed per-column scale factors (seed-matrix unit infinity norm).
+    scale: Vec<f64>,
+}
+
+impl QrFactor {
+    /// Factorizes the seed system `A·x ≈ b` by pushing its rows one at a
+    /// time — the initial build *is* the row update, so the incremental
+    /// path has no separate batch code to drift from.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] on shape mismatch or zero
+    /// columns; [`LinalgError::NonFinite`] on NaN/∞ entries.
+    pub fn new(a: &Matrix, b: &[f64]) -> Result<Self, LinalgError> {
+        let (m, n) = (a.rows(), a.cols());
+        if b.len() != m || n == 0 {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut scale = vec![1.0_f64; n];
+        for c in 0..n {
+            let mx = a.col(c).iter().fold(0.0_f64, |acc, v| acc.max(v.abs()));
+            if !mx.is_finite() {
+                return Err(LinalgError::NonFinite);
+            }
+            if mx > 0.0 {
+                scale[c] = 1.0 / mx;
+            }
+        }
+        let mut qr = QrFactor {
+            cols: n,
+            rows: 0,
+            r: Matrix::zeros(n, n),
+            qtb: vec![0.0; n],
+            rss: 0.0,
+            scale,
+        };
+        let mut row = vec![0.0_f64; n];
+        for i in 0..m {
+            for c in 0..n {
+                row[c] = a[(i, c)];
+            }
+            qr.push_row(&row, b[i])?;
+        }
+        Ok(qr)
+    }
+
+    /// Folds one new observation row into the factorization: a sweep of
+    /// Givens rotations against `R` (`O(cols²)`), updating `Qᵀb` and the
+    /// residual as it goes. The design matrix is never rebuilt.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when `row.len() != cols`;
+    /// [`LinalgError::NonFinite`] on NaN/∞ entries.
+    pub fn push_row(&mut self, row: &[f64], y: f64) -> Result<(), LinalgError> {
+        if row.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        if row.iter().any(|v| !v.is_finite()) || !y.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let mut u: Vec<f64> = row.iter().zip(&self.scale).map(|(v, s)| v * s).collect();
+        let mut z = y;
+        for k in 0..self.cols {
+            let a = self.r[(k, k)];
+            let b = u[k];
+            if b == 0.0 {
+                continue;
+            }
+            let h = a.hypot(b);
+            let (c, s) = (a / h, b / h);
+            for j in k..self.cols {
+                let rkj = self.r[(k, j)];
+                let uj = u[j];
+                self.r[(k, j)] = c * rkj + s * uj;
+                u[j] = c * uj - s * rkj;
+            }
+            let q = self.qtb[k];
+            self.qtb[k] = c * q + s * z;
+            z = c * z - s * q;
+        }
+        self.rss += z * z;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Rows folded in so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of coefficient columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Residual sum of squares at the current least-squares optimum.
+    pub fn rss(&self) -> f64 {
+        self.rss
+    }
+
+    /// Solves for the coefficients of the rows pushed so far — back
+    /// substitution on `R`, unscaled to the original columns. Agrees with
+    /// [`lstsq`] on the same rows up to rounding (the reflectors differ;
+    /// the minimizer does not).
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] while underdetermined
+    /// (`rows < cols`); [`LinalgError::RankDeficient`] when a pivot
+    /// collapsed; [`LinalgError::NonFinite`] if the solution overflowed.
+    pub fn solve(&self) -> Result<Vec<f64>, LinalgError> {
+        let n = self.cols;
+        if self.rows < n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut x = vec![0.0_f64; n];
+        for k in (0..n).rev() {
+            let mut s = self.qtb[k];
+            for c in k + 1..n {
+                s -= self.r[(k, c)] * x[c];
+            }
+            let d = self.r[(k, k)];
+            if d.abs() < RANK_TOL {
+                return Err(LinalgError::RankDeficient { column: k });
+            }
+            x[k] = s / d;
+        }
+        for (xi, s) in x.iter_mut().zip(&self.scale) {
+            *xi *= *s;
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite);
+        }
+        Ok(x)
+    }
+
+    /// Statistical leverage `h = x*ᵀ (XᵀX)⁻¹ x*` of a candidate row
+    /// against the rows pushed so far — the design-side factor of the
+    /// expected variance reduction a measurement at `row` would buy.
+    /// Computed as `‖R⁻ᵀ · D·x*‖²` by forward substitution (`XᵀX = RᵀR`
+    /// on the scaled columns), so no normal matrix is ever formed.
+    ///
+    /// # Errors
+    /// Same conditions as [`QrFactor::solve`].
+    pub fn leverage(&self, row: &[f64]) -> Result<f64, LinalgError> {
+        let n = self.cols;
+        if row.len() != n || self.rows < n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite);
+        }
+        let u: Vec<f64> = row.iter().zip(&self.scale).map(|(v, s)| v * s).collect();
+        let mut w = vec![0.0_f64; n];
+        for k in 0..n {
+            let mut s = u[k];
+            for j in 0..k {
+                s -= self.r[(j, k)] * w[j];
+            }
+            let d = self.r[(k, k)];
+            if d.abs() < RANK_TOL {
+                return Err(LinalgError::RankDeficient { column: k });
+            }
+            w[k] = s / d;
+        }
+        Ok(w.iter().map(|v| v * v).sum())
+    }
+}
+
 /// Residual sum of squares `‖A·x − b‖₂²`.
 pub fn rss(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     a.mul_vec(x)
@@ -387,5 +577,117 @@ mod tests {
             lstsq(&a, &[1.0, 2.0, 3.0]).unwrap_err(),
             LinalgError::DimensionMismatch
         );
+    }
+
+    /// Seed system used by the `QrFactor` tests: y = 2 + 3x + noise.
+    fn noisy_line() -> (Matrix, Vec<f64>) {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let noise = [0.05, -0.03, 0.02, -0.04, 0.01, 0.03];
+        let mut a = Matrix::zeros(6, 2);
+        let mut b = vec![0.0; 6];
+        for (i, (&x, &e)) in xs.iter().zip(&noise).enumerate() {
+            a[(i, 0)] = 1.0;
+            a[(i, 1)] = x;
+            b[i] = 2.0 + 3.0 * x + e;
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn qr_factor_agrees_with_lstsq() {
+        let (a, b) = noisy_line();
+        let qr = QrFactor::new(&a, &b).unwrap();
+        let batch = lstsq(&a, &b).unwrap();
+        let inc = qr.solve().unwrap();
+        for (x, y) in batch.iter().zip(&inc) {
+            assert_close(*x, *y, 1e-10);
+        }
+        assert_close(qr.rss(), rss(&a, &batch, &b), 1e-10);
+    }
+
+    #[test]
+    fn push_row_equals_refactorizing_from_scratch() {
+        let (a, b) = noisy_line();
+        // Seed on the first 4 rows, push the remaining 2 one at a time.
+        let mut seed = Matrix::zeros(4, 2);
+        for r in 0..4 {
+            seed[(r, 0)] = a[(r, 0)];
+            seed[(r, 1)] = a[(r, 1)];
+        }
+        let mut qr = QrFactor::new(&seed, &b[..4]).unwrap();
+        for r in 4..6 {
+            qr.push_row(&[a[(r, 0)], a[(r, 1)]], b[r]).unwrap();
+        }
+        let batch = lstsq(&a, &b).unwrap();
+        let inc = qr.solve().unwrap();
+        for (x, y) in batch.iter().zip(&inc) {
+            assert_close(*x, *y, 1e-9);
+        }
+        assert_eq!(qr.rows(), 6);
+        assert_eq!(qr.cols(), 2);
+    }
+
+    #[test]
+    fn qr_factor_is_underdetermined_until_enough_rows() {
+        let seed = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let mut qr = QrFactor::new(&seed, &[3.0]).unwrap();
+        assert_eq!(qr.solve().unwrap_err(), LinalgError::DimensionMismatch);
+        qr.push_row(&[1.0, 5.0], 6.0).unwrap();
+        assert!(qr.solve().is_ok());
+    }
+
+    #[test]
+    fn qr_factor_rejects_bad_rows() {
+        let (a, b) = noisy_line();
+        let mut qr = QrFactor::new(&a, &b).unwrap();
+        assert_eq!(
+            qr.push_row(&[1.0], 2.0).unwrap_err(),
+            LinalgError::DimensionMismatch
+        );
+        assert_eq!(
+            qr.push_row(&[1.0, f64::NAN], 2.0).unwrap_err(),
+            LinalgError::NonFinite
+        );
+        assert_eq!(
+            qr.push_row(&[1.0, 2.0], f64::INFINITY).unwrap_err(),
+            LinalgError::NonFinite
+        );
+        // Failed pushes must not corrupt the factorization.
+        let batch = lstsq(&a, &b).unwrap();
+        for (x, y) in batch.iter().zip(&qr.solve().unwrap()) {
+            assert_close(*x, *y, 1e-10);
+        }
+    }
+
+    #[test]
+    fn qr_factor_detects_dependent_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = QrFactor::new(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(matches!(
+            qr.solve().unwrap_err(),
+            LinalgError::RankDeficient { .. }
+        ));
+    }
+
+    #[test]
+    fn leverage_matches_direct_normal_equation() {
+        let (a, b) = noisy_line();
+        let qr = QrFactor::new(&a, &b).unwrap();
+        // Direct: h = x*ᵀ (AᵀA)⁻¹ x* via a 2×2 explicit inverse.
+        let (mut s00, mut s01, mut s11) = (0.0, 0.0, 0.0);
+        for r in 0..a.rows() {
+            s00 += a[(r, 0)] * a[(r, 0)];
+            s01 += a[(r, 0)] * a[(r, 1)];
+            s11 += a[(r, 1)] * a[(r, 1)];
+        }
+        let det = s00 * s11 - s01 * s01;
+        let probe = [1.0, 7.5];
+        let direct = (probe[0] * (s11 * probe[0] - s01 * probe[1])
+            + probe[1] * (s00 * probe[1] - s01 * probe[0]))
+            / det;
+        assert_close(qr.leverage(&probe).unwrap(), direct, 1e-9);
+        // An extreme extrapolation point has higher leverage than an
+        // interior one — the property the sampling planner rides on.
+        assert!(qr.leverage(&[1.0, 50.0]).unwrap() > qr.leverage(&[1.0, 3.5]).unwrap());
     }
 }

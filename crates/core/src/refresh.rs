@@ -1,0 +1,619 @@
+//! Online model refresh: incremental coefficient refits, the staleness
+//! policy, and the adaptive sampling planner.
+//!
+//! The paper fits requirement models once, from a fixed set of small-scale
+//! runs (Section II-B). Applications evolve; models go stale. This module
+//! closes the loop:
+//!
+//! - [`IncrementalFit`] keeps a model's *hypothesis* (its term structure)
+//!   fixed and refits only the coefficients as observations arrive, one
+//!   Givens row update at a time ([`QrFactor::push_row`]) — `O(k²)` per
+//!   observation instead of a full design-matrix rebuild and hypothesis
+//!   re-search.
+//! - [`StalenessPolicy`] decides when the cheap path stops being honest:
+//!   a full PMNF re-search ([`full_refit`]) runs only when the incremental
+//!   fit's cross-validated SMAPE drifts past tolerance or enough
+//!   observations accumulated since the last search.
+//! - [`rank_candidates`] ranks un-measured configurations by expected
+//!   variance reduction (statistical leverage × LOO residual variance) —
+//!   the active-learning upgrade over the paper's fixed small-scale grid.
+//!
+//! Confidence intervals come from the same leave-one-out residuals the
+//! selection score uses: [`LooSummary::ci95_rel`] is `1.96 ×` the RMS
+//! relative LOO residual, a prediction half-width on the relative scale
+//! that narrows as consistent observations accumulate.
+
+use crate::fit::{fit_single, FitConfig, FitError, FittedModel};
+use crate::linalg::{LinalgError, Matrix, QrFactor};
+use crate::measurement::Experiment;
+use crate::multiparam::{fit_multi, MultiParamConfig};
+use crate::pmnf::{Model, Term};
+use crate::quality::smape;
+
+/// Why an incremental refit could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefreshError {
+    /// Observation coordinates do not match the model's parameter count.
+    WrongArity {
+        /// Parameter count the model expects.
+        expected: usize,
+        /// Coordinate count the observation carries.
+        got: usize,
+    },
+    /// Too few observations to (re)fit the hypothesis' coefficients.
+    NotEnoughPoints {
+        /// Minimum observations required (one per coefficient).
+        needed: usize,
+        /// Observations available.
+        got: usize,
+    },
+    /// The least-squares core failed (rank collapse, non-finite data).
+    Linalg(LinalgError),
+}
+
+impl core::fmt::Display for RefreshError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RefreshError::WrongArity { expected, got } => {
+                write!(f, "expected {expected} coordinates, got {got}")
+            }
+            RefreshError::NotEnoughPoints { needed, got } => {
+                write!(f, "need at least {needed} observations, got {got}")
+            }
+            RefreshError::Linalg(e) => write!(f, "refit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RefreshError {}
+
+impl From<LinalgError> for RefreshError {
+    fn from(e: LinalgError) -> Self {
+        RefreshError::Linalg(e)
+    }
+}
+
+/// The design-matrix row of `model`'s hypothesis at `coords`:
+/// `[1, basis₁(coords), …, basis_t(coords)]`, aligned with
+/// `[constant, term₁.coeff, …]`.
+pub fn design_row(model: &Model, coords: &[f64]) -> Vec<f64> {
+    let mut row = Vec::with_capacity(model.terms.len() + 1);
+    row.push(1.0);
+    for term in &model.terms {
+        row.push(term.basis(coords));
+    }
+    row
+}
+
+/// `model` with its hypothesis kept and its coefficients replaced:
+/// `coeffs[0]` becomes the constant, `coeffs[1..]` the term coefficients.
+///
+/// # Panics
+/// Panics if `coeffs.len() != model.terms.len() + 1`.
+pub fn with_coefficients(model: &Model, coeffs: &[f64]) -> Model {
+    assert_eq!(coeffs.len(), model.terms.len() + 1, "coefficient arity");
+    let terms = model
+        .terms
+        .iter()
+        .zip(&coeffs[1..])
+        .map(|(t, &c)| Term::new(c, t.factors.clone()))
+        .collect();
+    Model::new(coeffs[0], terms, model.params.clone())
+}
+
+/// Leave-one-out summary of a fixed-hypothesis fit over one observation
+/// set: the selection score and the confidence half-width derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LooSummary {
+    /// Leave-one-out cross-validated SMAPE (percent, 0..200).
+    pub cv_smape: f64,
+    /// Signed relative LOO residuals `(pred − actual) / |actual|`, one per
+    /// observation that admitted a leave-one-out refit.
+    pub rel_residuals: Vec<f64>,
+    /// 95% prediction half-width on the relative scale:
+    /// `1.96 × RMS(rel_residuals)`. A prediction `ŷ` is read as
+    /// `ŷ · (1 ± ci95_rel)`.
+    pub ci95_rel: f64,
+}
+
+/// A model being refitted online: fixed hypothesis, coefficients tracking
+/// the observation stream through rank-1 QR row updates.
+#[derive(Debug, Clone)]
+pub struct IncrementalFit {
+    model: Model,
+    qr: QrFactor,
+    points: Vec<(Vec<f64>, f64)>,
+}
+
+impl IncrementalFit {
+    /// Seeds the fit: takes `model`'s hypothesis, refits its coefficients
+    /// to `points` (each `(coords, value)`), and readies the factorization
+    /// for [`push`](Self::push) updates.
+    ///
+    /// # Errors
+    /// [`RefreshError::NotEnoughPoints`] below one point per coefficient;
+    /// [`RefreshError::WrongArity`] on coordinate arity mismatch;
+    /// [`RefreshError::Linalg`] when the seed system is degenerate.
+    pub fn new(model: &Model, points: &[(Vec<f64>, f64)]) -> Result<Self, RefreshError> {
+        let k = model.terms.len() + 1;
+        if points.len() < k {
+            return Err(RefreshError::NotEnoughPoints {
+                needed: k,
+                got: points.len(),
+            });
+        }
+        let mut a = Matrix::zeros(points.len(), k);
+        let mut b = vec![0.0_f64; points.len()];
+        for (i, (coords, value)) in points.iter().enumerate() {
+            if coords.len() != model.arity() {
+                return Err(RefreshError::WrongArity {
+                    expected: model.arity(),
+                    got: coords.len(),
+                });
+            }
+            for (j, v) in design_row(model, coords).into_iter().enumerate() {
+                a[(i, j)] = v;
+            }
+            b[i] = *value;
+        }
+        let qr = QrFactor::new(&a, &b)?;
+        let coeffs = qr.solve()?;
+        Ok(IncrementalFit {
+            model: with_coefficients(model, &coeffs),
+            qr,
+            points: points.to_vec(),
+        })
+    }
+
+    /// Folds one observation in — a single `O(k²)` Givens row update, then
+    /// a back substitution — and refreshes the coefficients. The design
+    /// matrix is never rebuilt.
+    ///
+    /// # Errors
+    /// [`RefreshError::WrongArity`] on arity mismatch;
+    /// [`RefreshError::Linalg`] on non-finite input or rank collapse (the
+    /// factorization keeps its pre-push state in the arity/finiteness
+    /// cases).
+    pub fn push(&mut self, coords: &[f64], value: f64) -> Result<(), RefreshError> {
+        if coords.len() != self.model.arity() {
+            return Err(RefreshError::WrongArity {
+                expected: self.model.arity(),
+                got: coords.len(),
+            });
+        }
+        let row = design_row(&self.model, coords);
+        self.qr.push_row(&row, value)?;
+        self.points.push((coords.to_vec(), value));
+        let coeffs = self.qr.solve()?;
+        self.model = with_coefficients(&self.model, &coeffs);
+        Ok(())
+    }
+
+    /// The current model: the seeded hypothesis with coefficients refitted
+    /// to every observation pushed so far.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Observations folded in (seed + pushes).
+    pub fn observations(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The observations themselves, `(coords, value)` in arrival order.
+    pub fn points(&self) -> &[(Vec<f64>, f64)] {
+        &self.points
+    }
+
+    /// Builds an [`Experiment`] over `params` from the observation set —
+    /// the input a full PMNF re-search wants.
+    pub fn to_experiment(&self, params: &[String]) -> Experiment {
+        let mut exp = Experiment::new(params.to_vec());
+        for (coords, value) in &self.points {
+            exp.push(coords, *value);
+        }
+        exp
+    }
+
+    /// Leave-one-out cross-validation with the hypothesis held fixed: each
+    /// observation is predicted by coefficients refitted to all the others.
+    /// Observations whose leave-one-out subproblem is degenerate are
+    /// skipped rather than failing the summary.
+    ///
+    /// # Errors
+    /// [`RefreshError::NotEnoughPoints`] below `k + 1` observations (no
+    /// point can be left out); [`RefreshError::Linalg`] when *every*
+    /// subproblem is degenerate.
+    pub fn loo(&self) -> Result<LooSummary, RefreshError> {
+        let k = self.model.terms.len() + 1;
+        if self.points.len() < k + 1 {
+            return Err(RefreshError::NotEnoughPoints {
+                needed: k + 1,
+                got: self.points.len(),
+            });
+        }
+        let mut preds = Vec::with_capacity(self.points.len());
+        let mut actuals = Vec::with_capacity(self.points.len());
+        let mut rel = Vec::with_capacity(self.points.len());
+        let mut last_err = None;
+        for leave in 0..self.points.len() {
+            let mut a = Matrix::zeros(self.points.len() - 1, k);
+            let mut b = vec![0.0_f64; self.points.len() - 1];
+            let mut r = 0;
+            for (i, (coords, value)) in self.points.iter().enumerate() {
+                if i == leave {
+                    continue;
+                }
+                for (j, v) in design_row(&self.model, coords).into_iter().enumerate() {
+                    a[(r, j)] = v;
+                }
+                b[r] = *value;
+                r += 1;
+            }
+            let coeffs = match QrFactor::new(&a, &b).and_then(|qr| qr.solve()) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            let (coords, actual) = &self.points[leave];
+            let pred = with_coefficients(&self.model, &coeffs).eval(coords);
+            preds.push(pred);
+            actuals.push(*actual);
+            rel.push((pred - actual) / actual.abs().max(f64::MIN_POSITIVE));
+        }
+        if preds.is_empty() {
+            return Err(RefreshError::Linalg(
+                last_err.unwrap_or(LinalgError::DimensionMismatch),
+            ));
+        }
+        let mean_sq = rel.iter().map(|e| e * e).sum::<f64>() / rel.len() as f64;
+        Ok(LooSummary {
+            cv_smape: smape(&preds, &actuals),
+            rel_residuals: rel,
+            ci95_rel: 1.96 * mean_sq.sqrt(),
+        })
+    }
+
+    /// Statistical leverage of a hypothetical observation at `coords`
+    /// against the current design — see [`QrFactor::leverage`].
+    ///
+    /// # Errors
+    /// [`RefreshError::WrongArity`] on arity mismatch;
+    /// [`RefreshError::Linalg`] when the factorization is degenerate.
+    pub fn leverage(&self, coords: &[f64]) -> Result<f64, RefreshError> {
+        if coords.len() != self.model.arity() {
+            return Err(RefreshError::WrongArity {
+                expected: self.model.arity(),
+                got: coords.len(),
+            });
+        }
+        Ok(self.qr.leverage(&design_row(&self.model, coords))?)
+    }
+}
+
+/// When does the cheap incremental path give way to a full re-search?
+#[derive(Debug, Clone, PartialEq)]
+pub struct StalenessPolicy {
+    /// Observations required (per metric) before any refit runs at all.
+    pub min_points: usize,
+    /// Observations since the last full re-search that force the next one
+    /// regardless of drift.
+    pub full_refit_count: u64,
+    /// Cross-validated-SMAPE degradation (percentage points over the last
+    /// full-search baseline) that triggers a full re-search early.
+    pub cv_drift: f64,
+}
+
+impl Default for StalenessPolicy {
+    fn default() -> Self {
+        StalenessPolicy {
+            min_points: 8,
+            full_refit_count: 32,
+            cv_drift: 5.0,
+        }
+    }
+}
+
+/// What the staleness policy decided for one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitDecision {
+    /// Too few observations: record only, keep serving the current model.
+    Skip,
+    /// Refit coefficients in place (rank-1 QR update), hypothesis kept.
+    Incremental,
+    /// Run the full PMNF hypothesis re-search.
+    Full,
+}
+
+impl StalenessPolicy {
+    /// Decides the refit kind for a metric with `points` total
+    /// observations, `since_full` of them since the last full re-search,
+    /// given the baseline CV SMAPE established by that search (if any) and
+    /// the incremental fit's current CV SMAPE (if computable).
+    pub fn decide(
+        &self,
+        points: usize,
+        since_full: u64,
+        baseline_cv: Option<f64>,
+        incremental_cv: Option<f64>,
+    ) -> RefitDecision {
+        if points < self.min_points {
+            return RefitDecision::Skip;
+        }
+        if since_full >= self.full_refit_count {
+            return RefitDecision::Full;
+        }
+        if let (Some(base), Some(cur)) = (baseline_cv, incremental_cv) {
+            if cur > base + self.cv_drift {
+                return RefitDecision::Full;
+            }
+        }
+        RefitDecision::Incremental
+    }
+}
+
+/// The full PMNF hypothesis re-search over an observation set — the same
+/// generators the one-shot pipeline uses ([`fit_single`] / [`fit_multi`]),
+/// so a staleness-triggered re-search selects exactly the hypothesis a
+/// from-scratch fit of the same points would.
+///
+/// # Errors
+/// [`FitError`] as the underlying generator reports it.
+pub fn full_refit(exp: &Experiment, cfg: &FitConfig) -> Result<FittedModel, FitError> {
+    if exp.arity() == 1 {
+        fit_single(exp, cfg)
+    } else {
+        fit_multi(
+            exp,
+            &MultiParamConfig {
+                single: cfg.clone(),
+                ..MultiParamConfig::default()
+            },
+        )
+    }
+}
+
+/// One ranked sampling candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCandidate {
+    /// The candidate configuration's coordinates.
+    pub coords: Vec<f64>,
+    /// Statistical leverage against the observed design.
+    pub leverage: f64,
+    /// Expected variance reduction: `leverage × Var(LOO rel residuals)`.
+    pub score: f64,
+}
+
+/// Ranks candidate configurations by expected variance reduction: the
+/// leverage of each candidate row against the observed design, scaled by
+/// the LOO residual variance. High-leverage candidates are the ones whose
+/// measurement would shrink coefficient (and hence prediction) variance
+/// the most — measure those first. Ties break toward lexicographically
+/// smaller coordinates so the plan is deterministic.
+///
+/// # Errors
+/// Propagates [`IncrementalFit::loo`] / [`IncrementalFit::leverage`]
+/// failures; candidates with degenerate leverage are dropped, and an empty
+/// result means every candidate was degenerate.
+pub fn rank_candidates(
+    fit: &IncrementalFit,
+    candidates: &[Vec<f64>],
+) -> Result<Vec<RankedCandidate>, RefreshError> {
+    let loo = fit.loo()?;
+    let var = if loo.rel_residuals.is_empty() {
+        0.0
+    } else {
+        loo.rel_residuals.iter().map(|e| e * e).sum::<f64>() / loo.rel_residuals.len() as f64
+    };
+    let mut ranked = Vec::with_capacity(candidates.len());
+    for coords in candidates {
+        match fit.leverage(coords) {
+            Ok(leverage) => ranked.push(RankedCandidate {
+                coords: coords.clone(),
+                leverage,
+                score: leverage * var,
+            }),
+            Err(RefreshError::Linalg(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then_with(|| {
+                a.coords
+                    .partial_cmp(&b.coords)
+                    .unwrap_or(core::cmp::Ordering::Equal)
+            })
+    });
+    Ok(ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmnf::Exponents;
+
+    /// `f(p, n) = 100 + 3·p·log2(p) + 0.5·n` — a two-term, two-parameter
+    /// hypothesis with well-separated bases.
+    fn hypothesis() -> Model {
+        Model::new(
+            1.0, // placeholder coefficients; tests refit them
+            vec![
+                Term::new(1.0, vec![Exponents::new(1.0, 1.0), Exponents::constant()]),
+                Term::new(1.0, vec![Exponents::constant(), Exponents::new(1.0, 0.0)]),
+            ],
+            vec!["p".to_string(), "n".to_string()],
+        )
+    }
+
+    fn truth(p: f64, n: f64) -> f64 {
+        100.0 + 3.0 * p * p.log2() + 0.5 * n
+    }
+
+    fn grid_points() -> Vec<(Vec<f64>, f64)> {
+        let mut pts = Vec::new();
+        for &p in &[2.0, 4.0, 8.0, 16.0] {
+            for &n in &[64.0, 128.0, 256.0] {
+                pts.push((vec![p, n], truth(p, n)));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn incremental_fit_recovers_exact_coefficients() {
+        let fit = IncrementalFit::new(&hypothesis(), &grid_points()).unwrap();
+        let m = fit.model();
+        assert!((m.constant - 100.0).abs() < 1e-6, "{}", m.constant);
+        assert!((m.terms[0].coeff - 3.0).abs() < 1e-8);
+        assert!((m.terms[1].coeff - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn push_matches_seeding_from_scratch() {
+        let pts = grid_points();
+        let mut inc = IncrementalFit::new(&hypothesis(), &pts[..6]).unwrap();
+        for (coords, value) in &pts[6..] {
+            inc.push(coords, *value).unwrap();
+        }
+        let scratch = IncrementalFit::new(&hypothesis(), &pts).unwrap();
+        assert_eq!(inc.observations(), scratch.observations());
+        assert!((inc.model().constant - scratch.model().constant).abs() < 1e-6);
+        for (a, b) in inc.model().terms.iter().zip(&scratch.model().terms) {
+            assert!((a.coeff - b.coeff).abs() < 1e-6 * (1.0 + a.coeff.abs()));
+        }
+    }
+
+    #[test]
+    fn loo_on_exact_data_is_tight_and_narrows_with_observations() {
+        let pts = grid_points();
+        let fit = IncrementalFit::new(&hypothesis(), &pts).unwrap();
+        let loo = fit.loo().unwrap();
+        assert!(loo.cv_smape < 1e-6, "{}", loo.cv_smape);
+        assert!(loo.ci95_rel < 1e-6, "{}", loo.ci95_rel);
+
+        // Noisy data: more observations → narrower interval.
+        let noisy = |k: usize| {
+            let mut pts = Vec::new();
+            let mut sign = 1.0;
+            for &p in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+                for &n in &[64.0, 128.0, 256.0, 512.0] {
+                    sign = -sign;
+                    pts.push((vec![p, n], truth(p, n) * (1.0 + sign * 0.02)));
+                    if pts.len() == k {
+                        return pts;
+                    }
+                }
+            }
+            pts
+        };
+        let narrow = IncrementalFit::new(&hypothesis(), &noisy(20))
+            .unwrap()
+            .loo()
+            .unwrap();
+        let wide = IncrementalFit::new(&hypothesis(), &noisy(5))
+            .unwrap()
+            .loo()
+            .unwrap();
+        assert!(
+            narrow.ci95_rel < wide.ci95_rel,
+            "{} !< {}",
+            narrow.ci95_rel,
+            wide.ci95_rel
+        );
+    }
+
+    #[test]
+    fn too_few_points_are_reported() {
+        let pts = grid_points();
+        assert!(matches!(
+            IncrementalFit::new(&hypothesis(), &pts[..2]),
+            Err(RefreshError::NotEnoughPoints { needed: 3, .. })
+        ));
+        // Three points varying both axes (the first three grid points all
+        // share p = 2, which is rank-deficient, not merely too few).
+        let three = vec![pts[0].clone(), pts[4].clone(), pts[8].clone()];
+        let fit = IncrementalFit::new(&hypothesis(), &three).unwrap();
+        assert!(matches!(
+            fit.loo(),
+            Err(RefreshError::NotEnoughPoints { needed: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatches_are_reported() {
+        let mut fit = IncrementalFit::new(&hypothesis(), &grid_points()).unwrap();
+        assert!(matches!(
+            fit.push(&[2.0], 1.0),
+            Err(RefreshError::WrongArity {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            fit.leverage(&[2.0, 3.0, 4.0]),
+            Err(RefreshError::WrongArity { .. })
+        ));
+    }
+
+    #[test]
+    fn staleness_policy_decides_as_documented() {
+        let policy = StalenessPolicy {
+            min_points: 4,
+            full_refit_count: 10,
+            cv_drift: 5.0,
+        };
+        assert_eq!(policy.decide(3, 3, None, None), RefitDecision::Skip);
+        assert_eq!(policy.decide(4, 4, None, None), RefitDecision::Incremental);
+        assert_eq!(policy.decide(20, 10, None, None), RefitDecision::Full);
+        // CV drift past tolerance forces the full search early.
+        assert_eq!(
+            policy.decide(8, 5, Some(2.0), Some(8.0)),
+            RefitDecision::Full
+        );
+        assert_eq!(
+            policy.decide(8, 5, Some(2.0), Some(6.0)),
+            RefitDecision::Incremental
+        );
+    }
+
+    #[test]
+    fn planner_prefers_extrapolation_corners() {
+        let fit = IncrementalFit::new(&hypothesis(), &grid_points()).unwrap();
+        let candidates = vec![
+            vec![4.0, 128.0],   // interior of the observed grid
+            vec![256.0, 64.0],  // far-p extrapolation
+            vec![8.0, 128.0],   // interior
+            vec![16.0, 4096.0], // far-n extrapolation
+        ];
+        let ranked = rank_candidates(&fit, &candidates).unwrap();
+        assert_eq!(ranked.len(), 4);
+        // Both extrapolation points outrank both interior points.
+        let pos = |c: &[f64]| {
+            ranked
+                .iter()
+                .position(|r| r.coords == c)
+                .expect("candidate present")
+        };
+        assert!(pos(&[256.0, 64.0]) < pos(&[4.0, 128.0]));
+        assert!(pos(&[256.0, 64.0]) < pos(&[8.0, 128.0]));
+        assert!(pos(&[16.0, 4096.0]) < pos(&[4.0, 128.0]));
+        assert!(ranked[0].leverage >= ranked[1].leverage || ranked[0].score >= ranked[1].score);
+    }
+
+    #[test]
+    fn full_refit_is_deterministic_on_the_same_points() {
+        let mut exp = Experiment::new(vec!["p", "n"]);
+        for (coords, value) in grid_points() {
+            exp.push(&coords, value);
+        }
+        let cfg = FitConfig::coarse();
+        let a = full_refit(&exp, &cfg).unwrap();
+        let b = full_refit(&exp, &cfg).unwrap();
+        assert_eq!(a.model, b.model, "hypothesis selection must be stable");
+    }
+}

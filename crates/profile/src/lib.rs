@@ -30,6 +30,7 @@ pub mod footprint;
 pub mod io;
 pub mod journal;
 pub mod minijson;
+pub mod obslog;
 pub mod survey;
 pub mod surveyjson;
 
@@ -38,6 +39,7 @@ pub use counters::{Counters, Fpu};
 pub use footprint::{f64_bytes, FootprintTracker, TrackedAlloc};
 pub use io::{IoBytes, IoTracker};
 pub use journal::{JournalEntry, JournalError, SurveyJournal, SurveyManifest};
+pub use obslog::{ObsEntry, ObsLine, ObsManifest, ObservationLog, OBSLOG_FORMAT_VERSION};
 pub use survey::{
     MetricKind, Observation, SkippedConfig, Survey, SurveyLoadError, SURVEY_SCHEMA_VERSION,
 };

@@ -1,0 +1,604 @@
+//! Crash-consistent per-model observation journal for the refresh loop.
+//!
+//! `POST /observations` must never lose an accepted measurement: the
+//! daemon acknowledges an observation only after it is durably on disk.
+//! The [`ObservationLog`] is the same write-ahead shape as the survey
+//! journal ([`crate::journal`]) — a JSON-lines file whose first line is a
+//! manifest and whose appends are one `write` + fsync each — so the
+//! recovery story is identical: after a crash the log contains every
+//! observation whose append returned, plus at most one torn tail line,
+//! which [`ObservationLog::resume`] detects and truncates away.
+//!
+//! Two line kinds follow the manifest:
+//!
+//! - an **observation**: `{"coords":[…],"metric":"flops","value":v}` —
+//!   one accepted measurement of one metric at one configuration;
+//! - a **refit mark**: `{"refit":"full","metric":"flops"}` — the refresher
+//!   durably records each refit it performed, so the staleness counters
+//!   ("observations since the last full re-search") survive restarts
+//!   exactly instead of resetting to zero.
+//!
+//! Values round-trip exactly (shortest-round-trip float formatting via
+//! [`crate::minijson`]), so a replayed refit sees bit-identical inputs.
+
+use crate::journal::JournalError;
+use crate::minijson::{self, Json};
+use exareq_core::fsio::{self, ExareqIoError, IoOp};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Version of the observation-log file format.
+pub const OBSLOG_FORMAT_VERSION: u32 = 1;
+
+/// The header key that identifies a file as an observation log.
+const MAGIC_KEY: &str = "exareq_observation_log";
+
+/// Identity of one observation log: the model it feeds and that model's
+/// parameter list. Appending observations for a renamed or re-shaped model
+/// is rejected loudly, like resuming a survey journal against a different
+/// sweep plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsManifest {
+    /// Registry name of the model the observations belong to.
+    pub model: String,
+    /// Parameter names, in coordinate order (e.g. `["p", "n"]`).
+    pub params: Vec<String>,
+}
+
+impl ObsManifest {
+    /// Builds the manifest for observations of `model` over `params`.
+    pub fn new(model: impl Into<String>, params: Vec<String>) -> Self {
+        ObsManifest {
+            model: model.into(),
+            params,
+        }
+    }
+
+    fn to_line(&self) -> String {
+        Json::Obj(vec![
+            (MAGIC_KEY.into(), Json::Num(OBSLOG_FORMAT_VERSION as f64)),
+            ("model".into(), Json::Str(self.model.clone())),
+            (
+                "params".into(),
+                Json::Arr(self.params.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
+        ])
+        .to_line()
+    }
+
+    fn from_json(v: &Json) -> Result<(Self, u32), String> {
+        let format = v
+            .get(MAGIC_KEY)
+            .and_then(Json::as_f64)
+            .ok_or("missing observation-log magic header")? as u32;
+        let model = v
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing `model`")?
+            .to_string();
+        let params = v
+            .get("params")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing `params`")?
+            .iter()
+            .map(|p| p.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()
+            .ok_or("manifest `params` must be strings")?;
+        Ok((ObsManifest { model, params }, format))
+    }
+
+    fn check_matches(&self, found: &ObsManifest) -> Result<(), JournalError> {
+        if found.model != self.model {
+            return Err(JournalError::ManifestMismatch {
+                field: "model",
+                expected: self.model.clone(),
+                found: found.model.clone(),
+            });
+        }
+        if found.params != self.params {
+            return Err(JournalError::ManifestMismatch {
+                field: "params",
+                expected: format!("{:?}", self.params),
+                found: format!("{:?}", found.params),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One journaled line after the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsLine {
+    /// An accepted observation.
+    Observation(ObsEntry),
+    /// A durably recorded refit of one metric (`kind` is `"incremental"`
+    /// or `"full"`).
+    RefitMark {
+        /// Metric field the refit replaced.
+        metric: String,
+        /// Refit kind performed.
+        kind: String,
+    },
+}
+
+/// One accepted observation: a metric value at a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsEntry {
+    /// Parameter coordinates, aligned with [`ObsManifest::params`].
+    pub coords: Vec<f64>,
+    /// Metric field name (e.g. `flops`).
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl ObsLine {
+    fn to_json(&self) -> Json {
+        match self {
+            ObsLine::Observation(e) => Json::Obj(vec![
+                (
+                    "coords".into(),
+                    Json::Arr(e.coords.iter().map(|&c| Json::Num(c)).collect()),
+                ),
+                ("metric".into(), Json::Str(e.metric.clone())),
+                ("value".into(), Json::Num(e.value)),
+            ]),
+            ObsLine::RefitMark { metric, kind } => Json::Obj(vec![
+                ("refit".into(), Json::Str(kind.clone())),
+                ("metric".into(), Json::Str(metric.clone())),
+            ]),
+        }
+    }
+
+    /// The line as it appears in the file (before the trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_line()
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        if let Some(kind) = v.get("refit").and_then(Json::as_str) {
+            let metric = v
+                .get("metric")
+                .and_then(Json::as_str)
+                .ok_or("refit mark missing `metric`")?;
+            return Ok(ObsLine::RefitMark {
+                metric: metric.to_string(),
+                kind: kind.to_string(),
+            });
+        }
+        let coords = v
+            .get("coords")
+            .and_then(Json::as_arr)
+            .ok_or("observation missing `coords`")?
+            .iter()
+            .map(Json::to_f64_lossless)
+            .collect::<Option<Vec<_>>>()
+            .ok_or("observation `coords` must be numbers")?;
+        let metric = v
+            .get("metric")
+            .and_then(Json::as_str)
+            .ok_or("observation missing `metric`")?
+            .to_string();
+        let value = v
+            .get("value")
+            .and_then(Json::to_f64_lossless)
+            .ok_or("observation missing `value`")?;
+        Ok(ObsLine::Observation(ObsEntry {
+            coords,
+            metric,
+            value,
+        }))
+    }
+}
+
+/// An open, append-mode observation log.
+#[derive(Debug)]
+pub struct ObservationLog {
+    path: PathBuf,
+    file: File,
+    manifest: ObsManifest,
+    lines: Vec<ObsLine>,
+    dropped_tail: bool,
+}
+
+impl ObservationLog {
+    /// Creates a fresh log at `path`, writing and fsyncing the manifest
+    /// header. Refuses to clobber an existing file.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`]; creation fails with `AlreadyExists` if `path`
+    /// is taken.
+    pub fn create(path: impl AsRef<Path>, manifest: ObsManifest) -> Result<Self, JournalError> {
+        let path = path.as_ref();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| ExareqIoError::new(IoOp::Create, path, e))?;
+        let mut header = manifest.to_line();
+        header.push('\n');
+        file.write_all(header.as_bytes())
+            .map_err(|e| ExareqIoError::new(IoOp::Write, path, e))?;
+        file.sync_all()
+            .map_err(|e| ExareqIoError::new(IoOp::Sync, path, e))?;
+        fsio::sync_parent_dir(path);
+        Ok(ObservationLog {
+            path: path.to_path_buf(),
+            file,
+            manifest,
+            lines: Vec::new(),
+            dropped_tail: false,
+        })
+    }
+
+    /// Opens an existing log for appending: replays its lines, verifies
+    /// the manifest matches `expected`, truncates a torn tail if the last
+    /// writer died mid-append, and re-opens at the end.
+    ///
+    /// # Errors
+    /// Same contract as [`crate::journal::SurveyJournal::resume`]:
+    /// mismatched manifests, newer formats, damaged non-tail lines, and
+    /// filesystem failures are all typed [`JournalError`]s.
+    pub fn resume(path: impl AsRef<Path>, expected: &ObsManifest) -> Result<Self, JournalError> {
+        let path = path.as_ref();
+        let text = fsio::read_to_string(path)?;
+        let mut lines_text: Vec<&str> = Vec::new();
+        let mut tail_torn = false;
+        for seg in text.split_inclusive('\n') {
+            if seg.ends_with('\n') {
+                lines_text.push(seg.trim_end_matches(['\n', '\r']));
+            } else {
+                tail_torn = true;
+            }
+        }
+
+        let header_text = *lines_text.first().ok_or(JournalError::Corrupt {
+            line: 1,
+            reason: "empty observation log (no manifest header)".into(),
+        })?;
+        let header_json = minijson::parse(header_text).map_err(|e| JournalError::Corrupt {
+            line: 1,
+            reason: e.to_string(),
+        })?;
+        let (manifest, format) = ObsManifest::from_json(&header_json)
+            .map_err(|reason| JournalError::Corrupt { line: 1, reason })?;
+        if format > OBSLOG_FORMAT_VERSION {
+            return Err(JournalError::UnsupportedVersion {
+                what: "format",
+                found: format,
+                supported: OBSLOG_FORMAT_VERSION,
+            });
+        }
+        expected.check_matches(&manifest)?;
+
+        let mut lines: Vec<ObsLine> = Vec::new();
+        let mut valid_bytes = header_text.len() + 1;
+        let mut dropped_tail = tail_torn;
+        for (i, line) in lines_text.iter().enumerate().skip(1) {
+            let is_last_line = i + 1 == lines_text.len() && !tail_torn;
+            let parsed = minijson::parse(line)
+                .map_err(|e| e.to_string())
+                .and_then(|v| ObsLine::from_json(&v));
+            match parsed {
+                Ok(entry) => {
+                    lines.push(entry);
+                    valid_bytes += line.len() + 1;
+                }
+                Err(reason) if is_last_line => {
+                    let _ = reason;
+                    dropped_tail = true;
+                }
+                Err(reason) => {
+                    return Err(JournalError::Corrupt {
+                        line: i + 1,
+                        reason,
+                    })
+                }
+            }
+        }
+
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| ExareqIoError::new(IoOp::Create, path, e))?;
+        if dropped_tail {
+            file.set_len(valid_bytes as u64)
+                .map_err(|e| ExareqIoError::new(IoOp::Write, path, e))?;
+            file.sync_all()
+                .map_err(|e| ExareqIoError::new(IoOp::Sync, path, e))?;
+        }
+        file.seek(SeekFrom::Start(valid_bytes as u64))
+            .map_err(|e| ExareqIoError::new(IoOp::Write, path, e))?;
+        Ok(ObservationLog {
+            path: path.to_path_buf(),
+            file,
+            manifest,
+            lines,
+            dropped_tail,
+        })
+    }
+
+    /// [`resume`](Self::resume) when `path` exists, [`create`](Self::create)
+    /// otherwise — what the refresher wants on first touch of a model.
+    ///
+    /// # Errors
+    /// Whichever of the two constructors ran.
+    pub fn open(path: impl AsRef<Path>, manifest: ObsManifest) -> Result<Self, JournalError> {
+        if path.as_ref().exists() {
+            ObservationLog::resume(path, &manifest)
+        } else {
+            ObservationLog::create(path, manifest)
+        }
+    }
+
+    /// Reads a log without a manifest expectation — the offline tooling
+    /// path (`exareq plan`) that wants whatever the daemon journaled.
+    ///
+    /// # Errors
+    /// Same parse/IO contract as [`resume`](Self::resume); a torn tail is
+    /// skipped, not an error.
+    pub fn load(path: impl AsRef<Path>) -> Result<(ObsManifest, Vec<ObsLine>), JournalError> {
+        let path = path.as_ref();
+        let text = fsio::read_to_string(path)?;
+        let mut lines_text: Vec<&str> = Vec::new();
+        let mut tail_torn = false;
+        for seg in text.split_inclusive('\n') {
+            if seg.ends_with('\n') {
+                lines_text.push(seg.trim_end_matches(['\n', '\r']));
+            } else {
+                tail_torn = true;
+            }
+        }
+        let header_text = *lines_text.first().ok_or(JournalError::Corrupt {
+            line: 1,
+            reason: "empty observation log (no manifest header)".into(),
+        })?;
+        let header_json = minijson::parse(header_text).map_err(|e| JournalError::Corrupt {
+            line: 1,
+            reason: e.to_string(),
+        })?;
+        let (manifest, format) = ObsManifest::from_json(&header_json)
+            .map_err(|reason| JournalError::Corrupt { line: 1, reason })?;
+        if format > OBSLOG_FORMAT_VERSION {
+            return Err(JournalError::UnsupportedVersion {
+                what: "format",
+                found: format,
+                supported: OBSLOG_FORMAT_VERSION,
+            });
+        }
+        let mut lines = Vec::new();
+        for (i, line) in lines_text.iter().enumerate().skip(1) {
+            let is_last_line = i + 1 == lines_text.len() && !tail_torn;
+            match minijson::parse(line)
+                .map_err(|e| e.to_string())
+                .and_then(|v| ObsLine::from_json(&v))
+            {
+                Ok(entry) => lines.push(entry),
+                Err(_) if is_last_line => {}
+                Err(reason) => {
+                    return Err(JournalError::Corrupt {
+                        line: i + 1,
+                        reason,
+                    })
+                }
+            }
+        }
+        Ok((manifest, lines))
+    }
+
+    /// Appends one line and **fsyncs** before returning: once this returns
+    /// `Ok`, the observation (or refit mark) survives any crash.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] — the line must then be considered unrecorded.
+    pub fn append(&mut self, line: &ObsLine) -> Result<(), JournalError> {
+        let mut text = line.to_line();
+        text.push('\n');
+        self.file
+            .write_all(text.as_bytes())
+            .map_err(|e| ExareqIoError::new(IoOp::Write, &self.path, e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| ExareqIoError::new(IoOp::Sync, &self.path, e))?;
+        self.lines.push(line.clone());
+        Ok(())
+    }
+
+    /// Every journaled line, in append order.
+    pub fn lines(&self) -> &[ObsLine] {
+        &self.lines
+    }
+
+    /// The observations of one metric, `(coords, value)` in append order.
+    pub fn metric_points(&self, metric: &str) -> Vec<(Vec<f64>, f64)> {
+        self.lines
+            .iter()
+            .filter_map(|l| match l {
+                ObsLine::Observation(e) if e.metric == metric => Some((e.coords.clone(), e.value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Observations of `metric` appended after its last `"full"` refit
+    /// mark — the crash-exact staleness counter.
+    pub fn since_full_refit(&self, metric: &str) -> u64 {
+        let mut count = 0u64;
+        for line in &self.lines {
+            match line {
+                ObsLine::Observation(e) if e.metric == metric => count += 1,
+                ObsLine::RefitMark { metric: m, kind } if m == metric && kind == "full" => {
+                    count = 0
+                }
+                _ => {}
+            }
+        }
+        count
+    }
+
+    /// Total observations journaled (all metrics, marks excluded).
+    pub fn observations(&self) -> u64 {
+        self.lines
+            .iter()
+            .filter(|l| matches!(l, ObsLine::Observation(_)))
+            .count() as u64
+    }
+
+    /// The manifest this log was created with.
+    pub fn manifest(&self) -> &ObsManifest {
+        &self.manifest
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True when [`resume`](Self::resume) found and truncated a torn tail.
+    pub fn dropped_tail(&self) -> bool {
+        self.dropped_tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("exareq_obslog_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn manifest() -> ObsManifest {
+        ObsManifest::new("kripke", vec!["p".to_string(), "n".to_string()])
+    }
+
+    fn obs(p: f64, n: f64, metric: &str, value: f64) -> ObsLine {
+        ObsLine::Observation(ObsEntry {
+            coords: vec![p, n],
+            metric: metric.to_string(),
+            value,
+        })
+    }
+
+    #[test]
+    fn create_append_resume_roundtrip() {
+        let path = tmp("roundtrip.obs.jsonl");
+        let mut log = ObservationLog::create(&path, manifest()).unwrap();
+        log.append(&obs(2.0, 64.0, "flops", 1.0 / 3.0)).unwrap();
+        log.append(&obs(4.0, 64.0, "flops", 123.456)).unwrap();
+        log.append(&ObsLine::RefitMark {
+            metric: "flops".into(),
+            kind: "full".into(),
+        })
+        .unwrap();
+        log.append(&obs(8.0, 64.0, "flops", 7.0)).unwrap();
+        log.append(&obs(8.0, 64.0, "comm_bytes", 9.0)).unwrap();
+        drop(log);
+
+        let log = ObservationLog::resume(&path, &manifest()).unwrap();
+        assert!(!log.dropped_tail());
+        assert_eq!(log.lines().len(), 5);
+        assert_eq!(log.observations(), 4);
+        assert_eq!(log.metric_points("flops").len(), 3);
+        assert_eq!(
+            log.metric_points("flops")[0].1.to_bits(),
+            (1.0f64 / 3.0).to_bits()
+        );
+        assert_eq!(log.since_full_refit("flops"), 1);
+        assert_eq!(log.since_full_refit("comm_bytes"), 1);
+    }
+
+    #[test]
+    fn open_creates_then_resumes() {
+        let path = tmp("open.obs.jsonl");
+        let mut log = ObservationLog::open(&path, manifest()).unwrap();
+        log.append(&obs(2.0, 64.0, "flops", 5.0)).unwrap();
+        drop(log);
+        let log = ObservationLog::open(&path, manifest()).unwrap();
+        assert_eq!(log.observations(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = tmp("torn.obs.jsonl");
+        let mut log = ObservationLog::create(&path, manifest()).unwrap();
+        log.append(&obs(2.0, 64.0, "flops", 5.0)).unwrap();
+        drop(log);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"coords\":[4,6").unwrap();
+        drop(f);
+
+        let mut log = ObservationLog::resume(&path, &manifest()).unwrap();
+        assert!(log.dropped_tail());
+        assert_eq!(log.observations(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        log.append(&obs(4.0, 64.0, "flops", 6.0)).unwrap();
+        drop(log);
+        let log = ObservationLog::resume(&path, &manifest()).unwrap();
+        assert!(!log.dropped_tail());
+        assert_eq!(log.observations(), 2);
+    }
+
+    #[test]
+    fn manifest_mismatch_and_corruption_are_loud() {
+        let path = tmp("mismatch.obs.jsonl");
+        ObservationLog::create(&path, manifest()).unwrap();
+        let other = ObsManifest::new("lulesh", vec!["p".to_string(), "n".to_string()]);
+        assert!(matches!(
+            ObservationLog::resume(&path, &other).unwrap_err(),
+            JournalError::ManifestMismatch { field: "model", .. }
+        ));
+        let other = ObsManifest::new("kripke", vec!["p".to_string()]);
+        assert!(matches!(
+            ObservationLog::resume(&path, &other).unwrap_err(),
+            JournalError::ManifestMismatch {
+                field: "params",
+                ..
+            }
+        ));
+
+        let path = tmp("corrupt.obs.jsonl");
+        let mut log = ObservationLog::create(&path, manifest()).unwrap();
+        log.append(&obs(2.0, 64.0, "flops", 5.0)).unwrap();
+        log.append(&obs(4.0, 64.0, "flops", 6.0)).unwrap();
+        drop(log);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        std::fs::write(&path, format!("{}\nnot json\n{}\n", lines[0], lines[2])).unwrap();
+        assert!(matches!(
+            ObservationLog::resume(&path, &manifest()).unwrap_err(),
+            JournalError::Corrupt { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn load_reads_without_expectations() {
+        let path = tmp("load.obs.jsonl");
+        let mut log = ObservationLog::create(&path, manifest()).unwrap();
+        log.append(&obs(2.0, 64.0, "flops", 5.0)).unwrap();
+        drop(log);
+        let (m, lines) = ObservationLog::load(&path).unwrap();
+        assert_eq!(m, manifest());
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn newer_format_is_rejected() {
+        let path = tmp("newer.obs.jsonl");
+        let header = manifest().to_line().replace(
+            &format!("\"{MAGIC_KEY}\":{OBSLOG_FORMAT_VERSION}"),
+            &format!("\"{MAGIC_KEY}\":{}", OBSLOG_FORMAT_VERSION + 1),
+        );
+        std::fs::write(&path, format!("{header}\n")).unwrap();
+        assert!(matches!(
+            ObservationLog::resume(&path, &manifest()).unwrap_err(),
+            JournalError::UnsupportedVersion { what: "format", .. }
+        ));
+    }
+}

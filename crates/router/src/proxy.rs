@@ -557,9 +557,12 @@ impl Proxy {
     fn degraded(&self, request: &Request, deadline: &Deadline) -> Response {
         self.metrics.record_degraded();
         let token = CancelToken::new().with_deadline(Deadline::after(deadline.remaining()));
+        // No refresher: a degraded router must not mutate model
+        // artifacts it only borrows for fallback reads.
         let state = EngineState {
             queue_len: 0,
             allow_measure: false,
+            refresher: None,
         };
         let mut response =
             dispatch::dispatch(request, &self.registry, &self.local_metrics, &token, &state);

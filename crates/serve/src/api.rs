@@ -8,6 +8,7 @@
 //! here; a handler that formats its own JSON breaks the mechanical
 //! equivalence check.
 
+use crate::artifact::{ArtifactQuality, MODEL_FIELDS};
 use crate::registry::{CompiledApp, RegistrySnapshot};
 use exareq_codesign::query::{upgrade_advice, UpgradeAdvice};
 use exareq_codesign::{
@@ -148,10 +149,10 @@ pub fn parse_predict(body: &str) -> Result<PredictQuery, String> {
     })
 }
 
-/// Renders one prediction line. Both [`predict_body`] and
+/// Builds one prediction value. Both [`predict_body`] and
 /// [`predict_batch_body`] go through here so a batch line is structurally
 /// byte-identical to the single answer — same member order, same writer.
-fn predict_line(name: &str, p: f64, n: f64, requirements: [f64; 5]) -> String {
+fn predict_value(name: &str, p: f64, n: f64, requirements: [f64; 5]) -> Json {
     obj(vec![
         ("app", Json::Str(name.to_string())),
         ("p", Json::Num(p)),
@@ -167,7 +168,10 @@ fn predict_line(name: &str, p: f64, n: f64, requirements: [f64; 5]) -> String {
             ]),
         ),
     ])
-    .to_line()
+}
+
+fn predict_line(name: &str, p: f64, n: f64, requirements: [f64; 5]) -> String {
+    predict_value(name, p, n, requirements).to_line()
 }
 
 /// The `/predict` answer: every requirement model evaluated at `(p, n)`.
@@ -185,6 +189,48 @@ pub fn predict_body(app: &AppRequirements, p: f64, n: f64) -> String {
             app.stack_distance.eval(&coords),
         ],
     )
+}
+
+/// [`predict_body`] plus, when the served artifact carries a refresher
+/// quality block, a trailing `"ci95_rel"` member with the per-metric 95%
+/// relative confidence half-widths — `value · (1 ± ci95_rel)` brackets the
+/// truth per the LOO residuals. With `quality: None` the output is
+/// byte-identical to [`predict_body`].
+pub fn predict_body_quality(
+    app: &AppRequirements,
+    quality: Option<&ArtifactQuality>,
+    p: f64,
+    n: f64,
+) -> String {
+    let coords = [p, n];
+    let mut v = predict_value(
+        &app.name,
+        p,
+        n,
+        [
+            app.bytes_used.eval(&coords),
+            app.flops.eval(&coords),
+            app.comm_bytes.eval(&coords),
+            app.loads_stores.eval(&coords),
+            app.stack_distance.eval(&coords),
+        ],
+    );
+    if let (Json::Obj(members), Some(q)) = (&mut v, quality) {
+        // Emit in artifact field order, not BTreeMap order, to mirror the
+        // `requirements` member above.
+        let ci: Vec<(String, Json)> = MODEL_FIELDS
+            .iter()
+            .filter_map(|field| {
+                q.metrics
+                    .get(*field)
+                    .map(|m| ((*field).to_string(), Json::Num(m.ci95_rel)))
+            })
+            .collect();
+        if !ci.is_empty() {
+            members.push(("ci95_rel".to_string(), Json::Obj(ci)));
+        }
+    }
+    v.to_line()
 }
 
 /// A parsed `POST /predict_batch` body.
@@ -457,6 +503,20 @@ pub fn strawman_body(app: &AppRequirements) -> String {
 
 /// The `/models` answer: the registry snapshot.
 pub fn models_body(snap: &RegistrySnapshot) -> String {
+    models_body_with_observed(snap, &[])
+}
+
+/// [`models_body`] plus refresh staleness: `observed` is one
+/// `(model, journaled observations, observations since the last full
+/// refit)` row per model the refresher is tracking. Models with a quality
+/// block in their artifact additionally carry `refit_generation` and
+/// per-metric `cv_smape`/`ci95_rel`/`observations`. With no observed rows
+/// and no quality blocks the output is byte-identical to the plain
+/// [`models_body`].
+pub fn models_body_with_observed(
+    snap: &RegistrySnapshot,
+    observed: &[(String, u64, u64)],
+) -> String {
     obj(vec![
         ("generation", Json::Num(snap.generation as f64)),
         (
@@ -465,12 +525,39 @@ pub fn models_body(snap: &RegistrySnapshot) -> String {
                 snap.models
                     .iter()
                     .map(|m| {
-                        obj(vec![
+                        let mut members = vec![
                             ("name", Json::Str(m.name.clone())),
                             ("source", Json::Str(m.source.clone())),
                             ("kind", Json::Str(m.kind.label().to_string())),
                             ("hash", Json::Str(format!("{:#018x}", m.hash))),
-                        ])
+                        ];
+                        if let Some(q) = &m.quality {
+                            members
+                                .push(("refit_generation", Json::Num(q.refit_generation as f64)));
+                            let metrics = MODEL_FIELDS
+                                .iter()
+                                .filter_map(|field| {
+                                    q.metrics.get(*field).map(|mq| {
+                                        (
+                                            (*field).to_string(),
+                                            obj(vec![
+                                                ("cv_smape", Json::Num(mq.cv_smape)),
+                                                ("ci95_rel", Json::Num(mq.ci95_rel)),
+                                                ("observations", Json::Num(mq.observations as f64)),
+                                            ]),
+                                        )
+                                    })
+                                })
+                                .collect::<Vec<_>>();
+                            members.push(("quality", Json::Obj(metrics)));
+                        }
+                        if let Some((_, total, since_full)) =
+                            observed.iter().find(|(name, _, _)| *name == m.name)
+                        {
+                            members.push(("observed", Json::Num(*total as f64)));
+                            members.push(("since_full_refit", Json::Num(*since_full as f64)));
+                        }
+                        obj(members)
                     })
                     .collect(),
             ),
@@ -489,6 +576,98 @@ pub fn models_body(snap: &RegistrySnapshot) -> String {
                     .collect(),
             ),
         ),
+    ])
+    .to_line()
+}
+
+/// A parsed `POST /observations` body: one live measurement of one
+/// requirement metric at one configuration, destined for the model's
+/// observation journal and the incremental refitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationQuery {
+    /// Model (application) name the observation belongs to.
+    pub model: String,
+    /// Metric field observed — one of [`MODEL_FIELDS`].
+    pub metric: String,
+    /// Process count of the measured configuration.
+    pub p: f64,
+    /// Per-process problem size of the measured configuration.
+    pub n: f64,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Parses a `POST /observations` body:
+/// `{"model":"X","metric":"flops","p":4,"n":128,"value":2.1e9}`.
+///
+/// # Errors
+/// A one-line reason suitable for a 400 body. Coordinates obey the same
+/// "finite, >= 1" rule as `/predict`; the metric must name one of the five
+/// requirement models; the value must be finite and positive (requirement
+/// metrics are counts and distances).
+pub fn parse_observation(body: &str) -> Result<ObservationQuery, String> {
+    let v = parse_body(body)?;
+    let metric = v
+        .get("metric")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field \"metric\"".to_string())?;
+    if !MODEL_FIELDS.contains(&metric) {
+        return Err(format!(
+            "unknown metric \"{metric}\"; expected one of {}",
+            MODEL_FIELDS.join(", ")
+        ));
+    }
+    let value = v
+        .get("value")
+        .and_then(Json::to_f64_lossless)
+        .ok_or_else(|| "missing numeric field \"value\"".to_string())?;
+    if !value.is_finite() || value <= 0.0 {
+        return Err("\"value\" must be a finite number > 0".to_string());
+    }
+    Ok(ObservationQuery {
+        model: required_model(&v)?,
+        metric: metric.to_string(),
+        p: coordinate(&v, "p")?,
+        n: coordinate(&v, "n")?,
+        value,
+    })
+}
+
+/// What happened to an accepted observation — rendered by
+/// [`observation_body`] and produced by the serve-side refresher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationOutcome {
+    /// Model the observation was journaled for.
+    pub model: String,
+    /// Metric field observed.
+    pub metric: String,
+    /// Total observations journaled for this metric (including this one).
+    pub observations: u64,
+    /// Observations since this metric's last full refit.
+    pub since_full_refit: u64,
+    /// `"none"`, `"incremental"` or `"full"` — the refit this observation
+    /// triggered, if any.
+    pub refit: &'static str,
+    /// Registry generation after any refit was published.
+    pub generation: u64,
+    /// Cross-validated SMAPE of the current fit, when one was computed.
+    pub cv_smape: Option<f64>,
+    /// 95% relative confidence half-width, when one was computed.
+    pub ci95_rel: Option<f64>,
+}
+
+/// The `/observations` answer: journaled-durably acknowledgement plus the
+/// refit decision it triggered.
+pub fn observation_body(o: &ObservationOutcome) -> String {
+    obj(vec![
+        ("model", Json::Str(o.model.clone())),
+        ("metric", Json::Str(o.metric.clone())),
+        ("observations", Json::Num(o.observations as f64)),
+        ("since_full_refit", Json::Num(o.since_full_refit as f64)),
+        ("refit", Json::Str(o.refit.to_string())),
+        ("generation", Json::Num(o.generation as f64)),
+        ("cv_smape", opt_num(o.cv_smape)),
+        ("ci95_rel", opt_num(o.ci95_rel)),
     ])
     .to_line()
 }
@@ -752,7 +931,7 @@ mod tests {
     #[test]
     fn predict_batch_body_is_concatenated_singles() {
         let app = catalog::kripke();
-        let compiled = CompiledApp::lower(&app);
+        let compiled = CompiledApp::lower(&app, &exareq_core::compiled::CompiledArena::new());
         let points = [(2.0, 64.0), (1e6, 4096.0), (1.0, 1.0)];
         let batch = predict_batch_body(&compiled, &points);
         let expected: String = points
@@ -869,6 +1048,108 @@ mod tests {
         let (shard_id, entries) = parse_measure_response(&body).expect("round trip");
         assert_eq!(shard_id, 5);
         assert_eq!(entries, vec![entry]);
+    }
+
+    #[test]
+    fn observation_parses_and_rejects_bad_bodies() {
+        let q =
+            parse_observation(r#"{"model":"Kripke","metric":"flops","p":4,"n":128,"value":2.1e9}"#)
+                .expect("valid");
+        assert_eq!(q.model, "Kripke");
+        assert_eq!(q.metric, "flops");
+        assert_eq!((q.p, q.n, q.value), (4.0, 128.0, 2.1e9));
+
+        for (body, needle) in [
+            ("{ nope", "not valid JSON"),
+            (r#"{"metric":"flops","p":4,"n":128,"value":1}"#, "\"model\""),
+            (r#"{"model":"X","p":4,"n":128,"value":1}"#, "\"metric\""),
+            (
+                r#"{"model":"X","metric":"watts","p":4,"n":128,"value":1}"#,
+                "unknown metric",
+            ),
+            (
+                r#"{"model":"X","metric":"flops","n":128,"value":1}"#,
+                "\"p\"",
+            ),
+            (
+                r#"{"model":"X","metric":"flops","p":0,"n":128,"value":1}"#,
+                "\"p\"",
+            ),
+            (
+                r#"{"model":"X","metric":"flops","p":4,"n":128}"#,
+                "\"value\"",
+            ),
+            (
+                r#"{"model":"X","metric":"flops","p":4,"n":128,"value":-1}"#,
+                "\"value\"",
+            ),
+        ] {
+            let err = parse_observation(body).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn observation_body_reports_the_refit_decision() {
+        let body = observation_body(&ObservationOutcome {
+            model: "Kripke".to_string(),
+            metric: "flops".to_string(),
+            observations: 9,
+            since_full_refit: 9,
+            refit: "incremental",
+            generation: 4,
+            cv_smape: Some(3.5),
+            ci95_rel: None,
+        });
+        let v = minijson::parse(&body).unwrap();
+        assert_eq!(v.get("refit").and_then(Json::as_str), Some("incremental"));
+        assert_eq!(
+            v.get("observations").and_then(Json::to_f64_lossless),
+            Some(9.0)
+        );
+        assert_eq!(v.get("cv_smape").and_then(Json::to_f64_lossless), Some(3.5));
+        assert!(matches!(v.get("ci95_rel"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn predict_quality_is_byte_identical_without_quality() {
+        let app = catalog::kripke();
+        assert_eq!(
+            predict_body_quality(&app, None, 1e6, 4096.0),
+            predict_body(&app, 1e6, 4096.0)
+        );
+
+        let mut q = ArtifactQuality::default();
+        q.metrics.insert(
+            "flops".to_string(),
+            crate::artifact::MetricQuality {
+                cv_smape: 2.0,
+                ci95_rel: 0.05,
+                observations: 11,
+            },
+        );
+        let body = predict_body_quality(&app, Some(&q), 1e6, 4096.0);
+        let plain = predict_body(&app, 1e6, 4096.0);
+        // The decorated body is the plain one with a member appended
+        // before the closing brace.
+        assert!(body.starts_with(&plain[..plain.len() - 1]), "{body}");
+        let v = minijson::parse(&body).unwrap();
+        assert_eq!(
+            v.get("ci95_rel")
+                .and_then(|c| c.get("flops"))
+                .and_then(Json::to_f64_lossless),
+            Some(0.05)
+        );
+    }
+
+    #[test]
+    fn models_with_observed_extends_but_preserves_the_plain_body() {
+        let snap = RegistrySnapshot {
+            generation: 2,
+            models: Vec::new(),
+            errors: Vec::new(),
+        };
+        assert_eq!(models_body_with_observed(&snap, &[]), models_body(&snap));
     }
 
     #[test]

@@ -17,8 +17,9 @@ pub const REQUIREMENTS_SCHEMA_VERSION: u32 = 1;
 /// The artifact's `kind` discriminator value.
 pub const REQUIREMENTS_KIND: &str = "requirements";
 
-/// The five requirement models, in artifact member order.
-const MODEL_FIELDS: [&str; 5] = [
+/// The five requirement models, in artifact member order. Also the set of
+/// valid `metric` names for `POST /observations`.
+pub const MODEL_FIELDS: [&str; 5] = [
     "bytes_used",
     "flops",
     "comm_bytes",
@@ -112,6 +113,108 @@ fn model_from_json(v: &Json, field: &str) -> Result<Model, String> {
     Ok(Model::new(constant, terms, params))
 }
 
+/// Fit-quality figures for one metric's model, carried in the artifact so
+/// `/models` and `/predict` can surface them without re-running LOO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricQuality {
+    /// Leave-one-out cross-validated SMAPE (percent).
+    pub cv_smape: f64,
+    /// Half-width of the 95% relative confidence interval on predictions
+    /// (from LOO residuals): `pred · (1 ± ci95_rel)` brackets the truth.
+    pub ci95_rel: f64,
+    /// Observations the fit was computed from.
+    pub observations: u64,
+}
+
+/// The optional `"quality"` artifact member written by the refresher.
+///
+/// Artifacts without it (the one-shot `exareq models` path) encode
+/// byte-identically to schema v1 files from before the refresh subsystem
+/// existed; readers of either vintage ignore members they do not know.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArtifactQuality {
+    /// Registry generation at which the last refit was published.
+    pub refit_generation: u64,
+    /// Per-metric quality, keyed by artifact field name (`flops`, …).
+    pub metrics: std::collections::BTreeMap<String, MetricQuality>,
+}
+
+fn quality_to_json(q: &ArtifactQuality) -> Json {
+    let metrics = q
+        .metrics
+        .iter()
+        .map(|(field, m)| {
+            (
+                field.clone(),
+                Json::Obj(vec![
+                    ("cv_smape".into(), Json::Num(m.cv_smape)),
+                    ("ci95_rel".into(), Json::Num(m.ci95_rel)),
+                    ("observations".into(), Json::Num(m.observations as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "refit_generation".into(),
+            Json::Num(q.refit_generation as f64),
+        ),
+        ("metrics".into(), Json::Obj(metrics)),
+    ])
+}
+
+/// Decodes the optional `"quality"` member: `Ok(None)` when absent.
+///
+/// # Errors
+/// The offending field path, same style as the model decoders.
+pub fn quality_from_json(v: &Json) -> Result<Option<ArtifactQuality>, String> {
+    let q = match v.get("quality") {
+        Some(q) => q,
+        None => return Ok(None),
+    };
+    let as_u64 = |x: &Json| {
+        x.to_f64_lossless()
+            .filter(|f| f.fract() == 0.0 && *f >= 0.0 && *f <= 9.007_199_254_740_992e15)
+            .map(|f| f as u64)
+    };
+    let refit_generation = v
+        .get("quality")
+        .and_then(|q| q.get("refit_generation"))
+        .and_then(as_u64)
+        .ok_or("quality.refit_generation")?;
+    let mut metrics = std::collections::BTreeMap::new();
+    if let Json::Obj(members) = q.get("metrics").ok_or("quality.metrics")? {
+        for (field, m) in members {
+            let cv_smape = m
+                .get("cv_smape")
+                .and_then(Json::to_f64_lossless)
+                .ok_or_else(|| format!("quality.metrics.{field}.cv_smape"))?;
+            let ci95_rel = m
+                .get("ci95_rel")
+                .and_then(Json::to_f64_lossless)
+                .ok_or_else(|| format!("quality.metrics.{field}.ci95_rel"))?;
+            let observations = m
+                .get("observations")
+                .and_then(as_u64)
+                .ok_or_else(|| format!("quality.metrics.{field}.observations"))?;
+            metrics.insert(
+                field.clone(),
+                MetricQuality {
+                    cv_smape,
+                    ci95_rel,
+                    observations,
+                },
+            );
+        }
+    } else {
+        return Err("quality.metrics".to_string());
+    }
+    Ok(Some(ArtifactQuality {
+        refit_generation,
+        metrics,
+    }))
+}
+
 /// Encodes fitted requirements as a minijson artifact value.
 pub fn requirements_to_json(app: &AppRequirements) -> Json {
     let models = [
@@ -138,6 +241,20 @@ pub fn requirements_to_json(app: &AppRequirements) -> Json {
 /// Encodes fitted requirements as a single JSON line.
 pub fn requirements_to_string(app: &AppRequirements) -> String {
     requirements_to_json(app).to_line()
+}
+
+/// [`requirements_to_json`] plus the refresher's `"quality"` member.
+/// With `quality: None` the output is byte-identical to
+/// [`requirements_to_string`].
+pub fn requirements_to_string_with_quality(
+    app: &AppRequirements,
+    quality: Option<&ArtifactQuality>,
+) -> String {
+    let mut v = requirements_to_json(app);
+    if let (Json::Obj(members), Some(q)) = (&mut v, quality) {
+        members.push(("quality".into(), quality_to_json(q)));
+    }
+    v.to_line()
 }
 
 /// True when a parsed JSON value claims to be a requirements artifact.
@@ -220,6 +337,41 @@ mod tests {
             requirements_to_string(&app).replace("\"schema_version\":1", "\"schema_version\":9");
         let err = requirements_from_str(&text).unwrap_err();
         assert!(err.contains("newer than the newest supported"), "{err}");
+    }
+
+    #[test]
+    fn quality_block_round_trips_and_absence_is_byte_identical() {
+        let app = catalog::paper_models().remove(0);
+        // No quality → exactly the pre-refresh encoding.
+        assert_eq!(
+            requirements_to_string_with_quality(&app, None),
+            requirements_to_string(&app)
+        );
+
+        let mut quality = ArtifactQuality {
+            refit_generation: 7,
+            metrics: Default::default(),
+        };
+        quality.metrics.insert(
+            "flops".to_string(),
+            MetricQuality {
+                cv_smape: 3.25,
+                ci95_rel: 0.0625,
+                observations: 17,
+            },
+        );
+        let text = requirements_to_string_with_quality(&app, Some(&quality));
+        let v = minijson::parse(&text).unwrap();
+        // The decorated artifact still parses as plain requirements …
+        assert_eq!(requirements_from_str(&text).unwrap(), app);
+        // … and the quality member round-trips.
+        assert_eq!(quality_from_json(&v).unwrap(), Some(quality));
+        // Plain artifacts decode to no quality, not an error.
+        let plain = minijson::parse(&requirements_to_string(&app)).unwrap();
+        assert_eq!(quality_from_json(&plain).unwrap(), None);
+        // Malformed quality names the field.
+        let bad = minijson::parse(r#"{"quality":{"refit_generation":1}}"#).unwrap();
+        assert!(quality_from_json(&bad).unwrap_err().contains("metrics"));
     }
 
     #[test]

@@ -9,10 +9,12 @@
 use crate::api;
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
+use crate::refresh::{ObserveError, Refresher};
 use crate::registry::ModelRegistry;
 use exareq_apps::{all_apps_extended, measure_config_resilient, RetryPolicy, SurveyRunError};
 use exareq_core::cancel::{CancelToken, Deadline};
 use exareq_sim::FaultPlan;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Sleep slice while honouring a `hold_ms` load-testing hold: short enough
@@ -21,13 +23,17 @@ const HOLD_SLICE: Duration = Duration::from_millis(5);
 
 /// Engine facts dispatch cannot observe on its own: the `/healthz` answer
 /// reports them, and `POST /measure` is gated on the worker opt-in.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineState {
     /// Connections waiting in the accept queue right now.
     pub queue_len: usize,
     /// Whether this daemon accepts `POST /measure` shards
     /// (`exareq serve --allow-measure`).
     pub allow_measure: bool,
+    /// The online-refresh engine behind `POST /observations`; `None`
+    /// answers that endpoint 503 (a router replica proxying to a daemon
+    /// that owns the model dir).
+    pub refresher: Option<Arc<Refresher>>,
 }
 
 fn bad_request(reason: &str) -> Response {
@@ -73,14 +79,27 @@ pub fn dispatch(
         ),
         ("GET", "/models") => {
             registry.refresh();
-            Response::json(200, api::models_body(&registry.snapshot()).into_bytes())
+            let observed = state
+                .refresher
+                .as_deref()
+                .map(Refresher::observed)
+                .unwrap_or_default();
+            Response::json(
+                200,
+                api::models_body_with_observed(&registry.snapshot(), &observed).into_bytes(),
+            )
         }
         ("GET", "/metrics") => {
             let snap = registry.snapshot();
+            let staleness = state
+                .refresher
+                .as_deref()
+                .map(Refresher::staleness)
+                .unwrap_or_default();
             Response::text(
                 200,
                 metrics
-                    .render(snap.generation, snap.models.len())
+                    .render(snap.generation, snap.models.len(), &staleness)
                     .into_bytes(),
             )
         }
@@ -88,6 +107,7 @@ pub fn dispatch(
         ("POST", "/predict_batch") => predict_batch(request, registry, token),
         ("POST", "/upgrade") => upgrade(request, registry, token),
         ("POST", "/strawman") => strawman(request, registry, token),
+        ("POST", "/observations") => observations(request, registry, metrics, state),
         ("POST", "/measure") => measure(request, metrics, token, state),
         ("GET" | "POST", _) => not_found("no such endpoint"),
         _ => Response::json(405, api::error_body("method not allowed").into_bytes()),
@@ -105,6 +125,9 @@ pub fn dispatch(
 pub fn needs_worker(request: &Request) -> bool {
     match (request.method.as_str(), request.target.as_str()) {
         ("POST", "/measure") => true,
+        // Observations can escalate to a full PMNF re-search — far too
+        // slow for the event loop's inline fast path.
+        ("POST", "/observations") => true,
         ("POST", "/predict") => request
             .body
             .windows(b"hold_ms".len())
@@ -127,7 +150,7 @@ fn predict(request: &Request, registry: &ModelRegistry, token: &CancelToken) -> 
         Err(reason) => return bad_request(&reason),
     };
     registry.refresh();
-    let Some(app) = registry.get(&query.model) else {
+    let Some(entry) = registry.entry(&query.model) else {
         return unknown_model(&query.model);
     };
     // The load-testing hold: sleep in slices, converting deadline expiry
@@ -145,7 +168,49 @@ fn predict(request: &Request, registry: &ModelRegistry, token: &CancelToken) -> 
     if token.checkpoint().is_err() {
         return deadline_expired();
     }
-    Response::json(200, api::predict_body(&app, query.p, query.n).into_bytes())
+    Response::json(
+        200,
+        api::predict_body_quality(
+            &entry.requirements,
+            entry.quality.as_ref(),
+            query.p,
+            query.n,
+        )
+        .into_bytes(),
+    )
+}
+
+/// `POST /observations`: journals one live measurement against a served
+/// model and lets the refresher's staleness policy decide whether to refit
+/// (rank-1 QR) or re-search (full PMNF) and republish the artifact.
+fn observations(
+    request: &Request,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    state: &EngineState,
+) -> Response {
+    let Some(refresher) = state.refresher.as_deref() else {
+        return Response::json(
+            503,
+            api::error_body("refresh is not enabled on this daemon").into_bytes(),
+        );
+    };
+    let body = match body_utf8(request) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let query = match api::parse_observation(body) {
+        Ok(q) => q,
+        Err(reason) => return bad_request(&reason),
+    };
+    match refresher.observe(registry, metrics, &query) {
+        Ok(outcome) => Response::json(200, api::observation_body(&outcome).into_bytes()),
+        Err(ObserveError::UnknownModel) => unknown_model(&query.model),
+        Err(ObserveError::NotRefreshable(reason)) => {
+            Response::json(409, api::error_body(&reason).into_bytes())
+        }
+        Err(e) => Response::json(500, api::error_body(&e.to_string()).into_bytes()),
+    }
 }
 
 /// `POST /predict_batch`: one request, a whole `(p, n)` grid, answered as
@@ -599,6 +664,7 @@ mod tests {
         let state = EngineState {
             queue_len: 5,
             allow_measure: false,
+            refresher: None,
         };
         let r = dispatch(
             &request("GET", "/healthz", ""),
@@ -639,6 +705,7 @@ mod tests {
         let state = EngineState {
             queue_len: 0,
             allow_measure: true,
+            refresher: None,
         };
         let body = r#"{"app":"Relearn","shard_id":4,"faults":"seed=7,drop=0.01","max_attempts":2,"deadline_ms":60000,"configs":[[2,64],[2,256]]}"#;
         let r = dispatch(
@@ -692,12 +759,95 @@ mod tests {
     }
 
     #[test]
+    fn observations_route_journals_and_surfaces_staleness() {
+        use crate::refresh::{RefreshSettings, Refresher};
+        let (registry, dir) = registry_with_catalog("observe");
+        let metrics = Metrics::new();
+        let token = live_token();
+        // Without a refresher the endpoint refuses loudly.
+        let body = r#"{"model":"Kripke","metric":"flops","p":2,"n":64,"value":6.4e8}"#;
+        let r = dispatch(
+            &request("POST", "/observations", body),
+            &registry,
+            &metrics,
+            &token,
+            &EngineState::default(),
+        );
+        assert_eq!(r.status, 503, "{}", String::from_utf8_lossy(&r.body));
+
+        let state = EngineState {
+            queue_len: 0,
+            allow_measure: false,
+            refresher: Some(Arc::new(Refresher::new(&dir, RefreshSettings::default()))),
+        };
+        let r = dispatch(
+            &request("POST", "/observations", body),
+            &registry,
+            &metrics,
+            &token,
+            &state,
+        );
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains(r#""observations":1"#), "{text}");
+        assert_eq!(metrics.observations(), 1);
+
+        // Unknown model → 404; malformed → 400; both leave no journal.
+        let r = dispatch(
+            &request(
+                "POST",
+                "/observations",
+                r#"{"model":"NoSuch","metric":"flops","p":2,"n":64,"value":1}"#,
+            ),
+            &registry,
+            &metrics,
+            &token,
+            &state,
+        );
+        assert_eq!(r.status, 404);
+        let r = dispatch(
+            &request("POST", "/observations", r#"{"model":"Kripke"}"#),
+            &registry,
+            &metrics,
+            &token,
+            &state,
+        );
+        assert_eq!(r.status, 400);
+
+        // /models and /metrics surface what the refresher tracks.
+        let r = dispatch(
+            &request("GET", "/models", ""),
+            &registry,
+            &metrics,
+            &token,
+            &state,
+        );
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains(r#""observed":1"#), "{text}");
+        assert!(text.contains(r#""since_full_refit":1"#), "{text}");
+        let r = dispatch(
+            &request("GET", "/metrics", ""),
+            &registry,
+            &metrics,
+            &token,
+            &state,
+        );
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("refresh_observations_total 1\n"), "{text}");
+        assert!(
+            text.contains("refresh_model_staleness{model=\"Kripke\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn measure_past_shard_deadline_is_504() {
         let (registry, _dir) = registry_with_catalog("measure_deadline");
         let metrics = Metrics::new();
         let state = EngineState {
             queue_len: 0,
             allow_measure: true,
+            refresher: None,
         };
         // The shard's own deadline governs (the request token is roomy):
         // a zero-ms shard deadline expires inside the hold.

@@ -284,6 +284,17 @@ impl Response {
     /// without it, a flipped byte inside a well-formed 200 would be
     /// undetectable at the HTTP layer.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.head_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// The serialized head alone — status line through the blank line,
+    /// without the body. The serve engine queues head and body as separate
+    /// `writev(2)` segments so a large body is never copied into a
+    /// combined buffer; `head_bytes` + `body` concatenated are exactly
+    /// [`Response::to_bytes`].
+    pub fn head_bytes(&self) -> Vec<u8> {
         let connection = if self.close { "close" } else { "keep-alive" };
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\nX-Exareq-Digest: {}\r\n",
@@ -301,9 +312,7 @@ impl Response {
             head.push_str(&format!("{name}: {value}\r\n"));
         }
         head.push_str("\r\n");
-        let mut out = head.into_bytes();
-        out.extend_from_slice(&self.body);
-        out
+        head.into_bytes()
     }
 }
 
@@ -441,6 +450,18 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn head_and_body_concatenate_to_the_full_wire_bytes() {
+        let mut r = Response::json(200, br#"{"model":"Kripke"}"#.to_vec());
+        r.close = false;
+        r.retry_after = Some(2);
+        r.extra_headers.push(("X-Exareq-Degraded", "local".into()));
+        let mut joined = r.head_bytes();
+        joined.extend_from_slice(&r.body);
+        assert_eq!(joined, r.to_bytes());
+        assert!(r.head_bytes().ends_with(b"\r\n\r\n"));
     }
 
     #[test]

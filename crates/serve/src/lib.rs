@@ -26,8 +26,13 @@
 //!   [`Deadline`](exareq_core::cancel::Deadline) (504 on expiry), and the
 //!   endpoints `GET /healthz`, `GET /models`, `GET /metrics` (Prometheus
 //!   text), `POST /predict`, `POST /predict_batch`, `POST /upgrade`,
-//!   `POST /strawman`.
+//!   `POST /strawman`, `POST /observations`.
 //! - [`metrics`] — live counters and a latency histogram for `/metrics`.
+//! - [`refresh`] — online model refresh behind `POST /observations`:
+//!   measurements are journaled crash-consistently next to the artifact,
+//!   coefficients refit incrementally (rank-1 QR), a staleness policy
+//!   escalates to a full PMNF re-search, and refits republish the
+//!   artifact atomically so the registry hot-reloads it.
 //!
 //! Response bodies are built exclusively in [`api`] with the same minijson
 //! writer the library uses, so every daemon answer is byte-identical to
@@ -49,11 +54,13 @@ pub mod dispatch;
 pub mod http;
 pub mod metrics;
 pub mod poll;
+pub mod refresh;
 pub mod registry;
 pub mod server;
 
 pub use dispatch::EngineState;
 pub use http::{parse_request, HttpError, Request, Response, MAX_BODY_LEN, MAX_HEAD_LEN};
 pub use metrics::Metrics;
+pub use refresh::{ObserveError, RefreshSettings, Refresher};
 pub use registry::{ArtifactKind, Fitter, ModelEntry, ModelRegistry, RegistrySnapshot};
 pub use server::{serve, ServeConfig, ServeError, ServeSummary};

@@ -30,6 +30,12 @@ pub struct Metrics {
     in_flight: AtomicU64,
     /// Measurement shards completed by `POST /measure`.
     measure_shards: AtomicU64,
+    /// Observations accepted (journaled) by `POST /observations`.
+    observations: AtomicU64,
+    /// Incremental (rank-1 QR) refits published by the refresher.
+    refits_incremental: AtomicU64,
+    /// Full PMNF re-searches published by the refresher.
+    refits_full: AtomicU64,
     /// Latency histogram bucket counts (`LATENCY_BUCKETS_S` + `+Inf`).
     buckets: [AtomicU64; LATENCY_BUCKETS_S.len() + 1],
     /// Sum of observed latencies, nanoseconds.
@@ -95,6 +101,33 @@ impl Metrics {
         self.measure_shards.load(Ordering::Relaxed)
     }
 
+    /// Records one journaled observation from `POST /observations`.
+    pub fn record_observation(&self) {
+        self.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accepted observation count so far.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// Records one published refit; `full` selects the counter kind.
+    pub fn record_refit(&self, full: bool) {
+        if full {
+            self.refits_full.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.refits_incremental.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(incremental, full)` refit counts so far.
+    pub fn refits(&self) -> (u64, u64) {
+        (
+            self.refits_incremental.load(Ordering::Relaxed),
+            self.refits_full.load(Ordering::Relaxed),
+        )
+    }
+
     /// Worker-handled request count so far.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
@@ -112,7 +145,14 @@ impl Metrics {
 
     /// Renders the Prometheus text exposition, including the registry
     /// generation and model-count gauges passed in by the caller.
-    pub fn render(&self, registry_generation: u64, models_loaded: usize) -> String {
+    /// `staleness` is one `(model, observations since the last full
+    /// refit)` row per model the refresher is tracking.
+    pub fn render(
+        &self,
+        registry_generation: u64,
+        models_loaded: usize,
+        staleness: &[(String, u64)],
+    ) -> String {
         let mut out = String::with_capacity(1536);
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
             out.push_str(&format!(
@@ -187,6 +227,31 @@ impl Metrics {
              # TYPE exareq_models_loaded gauge\n\
              exareq_models_loaded {models_loaded}\n"
         ));
+        counter(
+            &mut out,
+            "refresh_observations_total",
+            "Observations accepted by POST /observations.",
+            self.observations(),
+        );
+        let (incremental, full) = self.refits();
+        out.push_str(&format!(
+            "# HELP refresh_refits_total Model refits published by the refresher.\n\
+             # TYPE refresh_refits_total counter\n\
+             refresh_refits_total{{kind=\"incremental\"}} {incremental}\n\
+             refresh_refits_total{{kind=\"full\"}} {full}\n"
+        ));
+        if !staleness.is_empty() {
+            out.push_str(
+                "# HELP refresh_model_staleness Observations since the model's last \
+                 full refit.\n\
+                 # TYPE refresh_model_staleness gauge\n",
+            );
+            for (model, since_full) in staleness {
+                out.push_str(&format!(
+                    "refresh_model_staleness{{model=\"{model}\"}} {since_full}\n"
+                ));
+            }
+        }
         out
     }
 }
@@ -206,7 +271,7 @@ mod tests {
         assert_eq!(m.errors(), 2);
         assert_eq!(m.rejected(), 1);
 
-        let text = m.render(7, 2);
+        let text = m.render(7, 2, &[]);
         assert!(text.contains("exareq_requests_total 3\n"), "{text}");
         assert!(text.contains("exareq_errors_total 2\n"), "{text}");
         assert!(text.contains("exareq_rejected_total 1\n"), "{text}");
@@ -236,10 +301,39 @@ mod tests {
         m.record_measure_shard();
         assert_eq!(m.in_flight(), 1);
         assert_eq!(m.measure_shards(), 1);
-        let text = m.render(0, 0);
+        let text = m.render(0, 0, &[]);
         assert!(text.contains("exareq_in_flight 1\n"), "{text}");
         assert!(text.contains("serve_measure_shards_total 1\n"), "{text}");
         m.end_request();
         assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn refresh_counters_and_staleness_gauges_render() {
+        let m = Metrics::new();
+        m.record_observation();
+        m.record_observation();
+        m.record_refit(false);
+        m.record_refit(true);
+        m.record_refit(true);
+        assert_eq!(m.observations(), 2);
+        assert_eq!(m.refits(), (1, 2));
+        let rows = vec![("kripke".to_string(), 5u64)];
+        let text = m.render(1, 1, &rows);
+        assert!(text.contains("refresh_observations_total 2\n"), "{text}");
+        assert!(
+            text.contains("refresh_refits_total{kind=\"incremental\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("refresh_refits_total{kind=\"full\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("refresh_model_staleness{model=\"kripke\"} 5\n"),
+            "{text}"
+        );
+        // No tracked models → the gauge family is omitted entirely.
+        assert!(!m.render(1, 1, &[]).contains("refresh_model_staleness"));
     }
 }

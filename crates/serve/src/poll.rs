@@ -109,6 +109,20 @@ mod fd_impl {
     }
 }
 
+/// Gathers `bufs` into one `writev(2)` call on Linux — one syscall for a
+/// response head + body instead of two writes or a copy into a combined
+/// buffer. Returns the total bytes accepted (the kernel may take a
+/// prefix; callers advance their segment queue by the return value). Off
+/// Linux it degrades to a plain `write` of the first non-empty buffer,
+/// which preserves the advance-by-n contract at one-segment granularity.
+///
+/// # Errors
+/// Exactly the errors `write(2)`/`writev(2)` raise, as `io::Error` —
+/// `WouldBlock` when the socket's send buffer is full.
+pub fn write_vectored(stream: &mut std::net::TcpStream, bufs: &[&[u8]]) -> std::io::Result<usize> {
+    imp::write_vectored(stream, bufs)
+}
+
 /// A non-blocking self-pipe: worker threads [`notify`](WakePipe::notify)
 /// when a completion is ready and the event loop polls the
 /// [`read_fd`](WakePipe::read_fd) so it wakes immediately instead of at
@@ -144,22 +158,57 @@ impl WakePipe {
 mod imp {
     use super::PollFd;
 
+    /// C `struct iovec`, the scatter/gather element `writev(2)` takes.
+    #[repr(C)]
+    struct IoVec {
+        base: *const u8,
+        len: usize,
+    }
+
     mod c {
         extern "C" {
             pub fn poll(fds: *mut super::PollFd, nfds: u64, timeout: i32) -> i32;
             pub fn pipe2(fds: *mut i32, flags: i32) -> i32;
             pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
             pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+            pub fn writev(fd: i32, iov: *const super::IoVec, iovcnt: i32) -> isize;
             pub fn close(fd: i32) -> i32;
         }
     }
 
     const O_NONBLOCK: i32 = 0o4000;
     const O_CLOEXEC: i32 = 0o2000000;
+    /// Linux caps one writev at `UIO_MAXIOV` segments; the engine queues
+    /// at most a handful, but clamp defensively.
+    const MAX_IOV: usize = 1024;
 
     pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> usize {
         let n = unsafe { c::poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
         usize::try_from(n).unwrap_or(0)
+    }
+
+    pub fn write_vectored(
+        stream: &mut std::net::TcpStream,
+        bufs: &[&[u8]],
+    ) -> std::io::Result<usize> {
+        use std::os::fd::AsRawFd;
+        let iov: Vec<IoVec> = bufs
+            .iter()
+            .filter(|b| !b.is_empty())
+            .take(MAX_IOV)
+            .map(|b| IoVec {
+                base: b.as_ptr(),
+                len: b.len(),
+            })
+            .collect();
+        if iov.is_empty() {
+            return Ok(0);
+        }
+        let n = unsafe { c::writev(stream.as_raw_fd(), iov.as_ptr(), iov.len() as i32) };
+        if n < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(n as usize)
     }
 
     pub struct WakePipe {
@@ -226,6 +275,17 @@ mod imp {
         fds.len()
     }
 
+    pub fn write_vectored(
+        stream: &mut std::net::TcpStream,
+        bufs: &[&[u8]],
+    ) -> std::io::Result<usize> {
+        use std::io::Write;
+        match bufs.iter().find(|b| !b.is_empty()) {
+            Some(b) => stream.write(b),
+            None => Ok(0),
+        }
+    }
+
     pub struct WakePipe;
 
     impl WakePipe {
@@ -263,6 +323,27 @@ mod tests {
         pipe.drain();
         let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
         assert_eq!(poll(&mut fds, 0), 0, "drained pipe must be quiet again");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn write_vectored_gathers_segments_in_one_call() {
+        use std::io::Read;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let (mut server, _) = listener.accept().expect("accept");
+
+        let head = b"HTTP/1.1 200 OK\r\n\r\n";
+        let body = b"{\"x\":1}";
+        let n = write_vectored(&mut client, &[head, &[], body]).expect("writev");
+        assert_eq!(n, head.len() + body.len(), "small gather writes whole");
+        drop(client);
+        let mut got = Vec::new();
+        server.read_to_end(&mut got).expect("read");
+        let mut want = head.to_vec();
+        want.extend_from_slice(body);
+        assert_eq!(got, want, "segments must arrive in order, uncopied");
     }
 
     #[test]

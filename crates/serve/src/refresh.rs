@@ -1,0 +1,628 @@
+//! The online refresher behind `POST /observations`: journal first, then
+//! decide, then (maybe) refit and atomically republish.
+//!
+//! Every accepted observation is durably appended to the model's
+//! observation journal (`<artifact>.obs.jsonl`, same fsync discipline as
+//! the survey journal) **before** the daemon acknowledges it — a crash
+//! after the 200 loses nothing. The [`StalenessPolicy`] then picks one of
+//! three moves:
+//!
+//! - **skip** — too few observations; keep serving the current model;
+//! - **incremental** — refit the served hypothesis' coefficients to the
+//!   full observation set through rank-1 QR updates
+//!   ([`IncrementalFit`]) and republish;
+//! - **full** — re-run the PMNF hypothesis search
+//!   ([`full_refit`]) when the incremental fit's cross-validated SMAPE
+//!   drifted past tolerance or enough observations piled up.
+//!
+//! Republishing is an atomic artifact swap: the refitted
+//! [`AppRequirements`] — now carrying a [`ArtifactQuality`] block with
+//! per-metric CV SMAPE and LOO confidence intervals — is written with
+//! `fsio::write_atomic` over the *same* artifact file, and the registry
+//! rescan picks it up as a normal hot reload (generation bump). Readers
+//! never see a torn artifact; a `SIGKILL` mid-refit leaves the old file.
+//!
+//! One mutex serializes refresh decisions. That is deliberate: refits for
+//! the same model must not race each other's artifact swaps, and the
+//! observation rates this daemon is built for (hand-fed or CI-fed
+//! measurements) are nowhere near the lock's throughput.
+
+use crate::api::{ObservationOutcome, ObservationQuery};
+use crate::artifact::{self, MetricQuality};
+use crate::metrics::Metrics;
+use crate::registry::{ArtifactKind, ModelEntry, ModelRegistry};
+use exareq_codesign::AppRequirements;
+use exareq_core::fit::FitConfig;
+use exareq_core::fsio;
+use exareq_core::pmnf::Model;
+use exareq_core::refresh::{full_refit, IncrementalFit, RefitDecision, StalenessPolicy};
+use exareq_profile::journal::JournalError;
+use exareq_profile::obslog::{ObsEntry, ObsLine, ObsManifest, ObservationLog};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Knobs for the refresh subsystem, set from `exareq serve --refresh-*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshSettings {
+    /// When to skip / refit incrementally / re-search.
+    pub policy: StalenessPolicy,
+    /// Fit configuration for full re-searches. Defaults to the coarse
+    /// space — a refresh refit answers inside a request deadline; the
+    /// thorough space belongs to offline `exareq models` runs.
+    pub fit: FitConfig,
+}
+
+impl Default for RefreshSettings {
+    fn default() -> Self {
+        RefreshSettings {
+            policy: StalenessPolicy::default(),
+            fit: FitConfig::coarse(),
+        }
+    }
+}
+
+/// Why an observation was not accepted (or a refit not published).
+#[derive(Debug)]
+pub enum ObserveError {
+    /// No model of that name is served — 404.
+    UnknownModel,
+    /// The model exists but cannot be refreshed — 409 with the reason.
+    NotRefreshable(String),
+    /// The journal could not be opened or appended — 500; the observation
+    /// must be considered unrecorded.
+    Journal(JournalError),
+    /// The refitted artifact could not be swapped in — 500. The
+    /// observation *was* journaled; a later observation retries the refit.
+    Publish(exareq_core::fsio::ExareqIoError),
+}
+
+impl core::fmt::Display for ObserveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ObserveError::UnknownModel => write!(f, "unknown model"),
+            ObserveError::NotRefreshable(reason) => write!(f, "{reason}"),
+            ObserveError::Journal(e) => write!(f, "observation journal: {e}"),
+            ObserveError::Publish(e) => write!(f, "publish refit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObserveError {}
+
+/// Per-model refresh state: the open journal plus the CV-SMAPE baselines
+/// established by each metric's last full re-search (drift is measured
+/// against these; they reset to "unknown" on restart, which only delays
+/// the drift trigger — the count trigger still bounds staleness).
+struct ModelState {
+    log: ObservationLog,
+    baseline_cv: BTreeMap<String, f64>,
+}
+
+/// The refresh engine: owns the observation journals for every model that
+/// has received observations, applies the staleness policy, performs
+/// refits, and swaps artifacts. Shared across workers behind an `Arc`.
+pub struct Refresher {
+    dir: PathBuf,
+    settings: RefreshSettings,
+    states: Mutex<BTreeMap<String, ModelState>>,
+}
+
+/// The journal path for an artifact file: `a.json` → `a.obs.jsonl`.
+/// The `.jsonl` extension keeps it invisible to the registry's `.json`
+/// directory scan.
+fn journal_path(dir: &std::path::Path, source: &str) -> PathBuf {
+    let stem = source.strip_suffix(".json").unwrap_or(source);
+    dir.join(format!("{stem}.obs.jsonl"))
+}
+
+/// `app` with the model behind `metric` replaced.
+fn with_metric_model(app: &AppRequirements, metric: &str, model: Model) -> AppRequirements {
+    let mut out = app.clone();
+    match metric {
+        "bytes_used" => out.bytes_used = model,
+        "flops" => out.flops = model,
+        "comm_bytes" => out.comm_bytes = model,
+        "loads_stores" => out.loads_stores = model,
+        "stack_distance" => out.stack_distance = model,
+        other => unreachable!("parse_observation admits only model fields, got {other}"),
+    }
+    out
+}
+
+/// The served model behind `metric`.
+fn metric_model<'a>(app: &'a AppRequirements, metric: &str) -> &'a Model {
+    match metric {
+        "bytes_used" => &app.bytes_used,
+        "flops" => &app.flops,
+        "comm_bytes" => &app.comm_bytes,
+        "loads_stores" => &app.loads_stores,
+        "stack_distance" => &app.stack_distance,
+        other => unreachable!("parse_observation admits only model fields, got {other}"),
+    }
+}
+
+impl Refresher {
+    /// A refresher over the registry's model directory. Existing
+    /// observation journals in `dir` are re-opened (resuming their
+    /// torn-tail recovery), so staleness gauges survive a daemon restart.
+    pub fn new(dir: impl Into<PathBuf>, settings: RefreshSettings) -> Self {
+        let dir = dir.into();
+        let mut states = BTreeMap::new();
+        if let Ok(rd) = std::fs::read_dir(&dir) {
+            for entry in rd.flatten() {
+                let path = entry.path();
+                let is_log = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".obs.jsonl"));
+                if !is_log {
+                    continue;
+                }
+                // Resume against the journal's own manifest; a mismatch
+                // with the served artifact surfaces on the next observe.
+                if let Ok((manifest, _)) = ObservationLog::load(&path) {
+                    if let Ok(log) = ObservationLog::resume(&path, &manifest) {
+                        states.insert(
+                            manifest.model.clone(),
+                            ModelState {
+                                log,
+                                baseline_cv: BTreeMap::new(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        Refresher {
+            dir,
+            settings,
+            states: Mutex::new(states),
+        }
+    }
+
+    /// The settings in force.
+    pub fn settings(&self) -> &RefreshSettings {
+        &self.settings
+    }
+
+    /// Accepts one observation: journals it durably, applies the staleness
+    /// policy, performs and publishes any refit it calls for, and reports
+    /// what happened. `registry` is rescanned after a publish so the swap
+    /// is visible to the very next request.
+    ///
+    /// # Errors
+    /// [`ObserveError`]; the observation is on disk for every outcome
+    /// except `UnknownModel`, `NotRefreshable`, and `Journal`.
+    pub fn observe(
+        &self,
+        registry: &ModelRegistry,
+        metrics: &Metrics,
+        q: &ObservationQuery,
+    ) -> Result<ObservationOutcome, ObserveError> {
+        registry.refresh();
+        let entry = registry.entry(&q.model).ok_or(ObserveError::UnknownModel)?;
+        if entry.kind != ArtifactKind::Requirements {
+            return Err(ObserveError::NotRefreshable(
+                "model is served from a survey artifact; refresh needs a requirements \
+                 artifact (republish with `exareq model <survey> --artifact FILE`)"
+                    .to_string(),
+            ));
+        }
+        let model = metric_model(&entry.requirements, &q.metric);
+        if model.params.len() != 2 {
+            return Err(ObserveError::NotRefreshable(format!(
+                "model has {} parameters; POST /observations carries (p, n)",
+                model.params.len()
+            )));
+        }
+        let coords = vec![q.p, q.n];
+
+        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        if !states.contains_key(&q.model) {
+            let manifest = ObsManifest::new(q.model.clone(), model.params.clone());
+            let log = ObservationLog::open(journal_path(&self.dir, &entry.source), manifest)
+                .map_err(ObserveError::Journal)?;
+            states.insert(
+                q.model.clone(),
+                ModelState {
+                    log,
+                    baseline_cv: BTreeMap::new(),
+                },
+            );
+        }
+        let state = states.get_mut(&q.model).expect("state just ensured");
+
+        // 1. Journal first. After this returns the observation is durable
+        //    and the request must answer 200 even if the refit fails.
+        state
+            .log
+            .append(&ObsLine::Observation(ObsEntry {
+                coords: coords.clone(),
+                metric: q.metric.clone(),
+                value: q.value,
+            }))
+            .map_err(ObserveError::Journal)?;
+        metrics.record_observation();
+
+        // 2. Fit the served hypothesis to the metric's full observation
+        //    set. A degenerate or under-determined fit is not an error —
+        //    the observation is recorded, the refit waits for more data.
+        let points = state.log.metric_points(&q.metric);
+        let since_full = state.log.since_full_refit(&q.metric);
+        let fit = IncrementalFit::new(model, &points).ok();
+        let loo = fit.as_ref().and_then(|f| f.loo().ok());
+
+        // 3. Decide.
+        let decision = self.settings.policy.decide(
+            points.len(),
+            since_full,
+            state.baseline_cv.get(&q.metric).copied(),
+            loo.as_ref().map(|l| l.cv_smape),
+        );
+
+        let mut outcome = ObservationOutcome {
+            model: q.model.clone(),
+            metric: q.metric.clone(),
+            observations: points.len() as u64,
+            since_full_refit: since_full,
+            refit: "none",
+            generation: registry.generation(),
+            cv_smape: loo.as_ref().map(|l| l.cv_smape),
+            ci95_rel: loo.as_ref().map(|l| l.ci95_rel),
+        };
+
+        match decision {
+            RefitDecision::Skip => {}
+            RefitDecision::Incremental => {
+                if let (Some(fit), Some(loo)) = (&fit, &loo) {
+                    self.publish(
+                        registry,
+                        state,
+                        &entry,
+                        q,
+                        fit.model().clone(),
+                        loo.cv_smape,
+                        loo.ci95_rel,
+                        points.len() as u64,
+                        false,
+                    )?;
+                    metrics.record_refit(false);
+                    outcome.refit = "incremental";
+                    outcome.generation = registry.generation();
+                }
+            }
+            RefitDecision::Full => {
+                let exp = {
+                    let mut exp = exareq_core::measurement::Experiment::new(model.params.clone());
+                    for (c, v) in &points {
+                        exp.push(c, *v);
+                    }
+                    exp
+                };
+                match full_refit(&exp, &self.settings.fit) {
+                    Ok(fitted) => {
+                        // Confidence interval for the fresh hypothesis,
+                        // from its own LOO residuals.
+                        let ci = IncrementalFit::new(&fitted.model, &points)
+                            .ok()
+                            .and_then(|f| f.loo().ok());
+                        let ci95 = ci.as_ref().map_or(f64::NAN, |l| l.ci95_rel);
+                        self.publish(
+                            registry,
+                            state,
+                            &entry,
+                            q,
+                            fitted.model.clone(),
+                            fitted.cv_smape,
+                            ci95,
+                            points.len() as u64,
+                            true,
+                        )?;
+                        metrics.record_refit(true);
+                        state.baseline_cv.insert(q.metric.clone(), fitted.cv_smape);
+                        outcome.refit = "full";
+                        outcome.generation = registry.generation();
+                        outcome.since_full_refit = 0;
+                        outcome.cv_smape = Some(fitted.cv_smape);
+                        outcome.ci95_rel = ci.map(|l| l.ci95_rel);
+                    }
+                    Err(_) if fit.is_some() && loo.is_some() => {
+                        // The search failed on this observation set; fall
+                        // back to the incremental path and try the search
+                        // again next time.
+                        let (fit, loo) = (fit.as_ref().unwrap(), loo.as_ref().unwrap());
+                        self.publish(
+                            registry,
+                            state,
+                            &entry,
+                            q,
+                            fit.model().clone(),
+                            loo.cv_smape,
+                            loo.ci95_rel,
+                            points.len() as u64,
+                            false,
+                        )?;
+                        metrics.record_refit(false);
+                        outcome.refit = "incremental";
+                        outcome.generation = registry.generation();
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Swaps the refitted model in: atomic artifact rewrite (with the
+    /// updated quality block), durable refit mark in the journal, registry
+    /// rescan.
+    #[allow(clippy::too_many_arguments)]
+    fn publish(
+        &self,
+        registry: &ModelRegistry,
+        state: &mut ModelState,
+        entry: &ModelEntry,
+        q: &ObservationQuery,
+        model: Model,
+        cv_smape: f64,
+        ci95_rel: f64,
+        observations: u64,
+        full: bool,
+    ) -> Result<(), ObserveError> {
+        let app = with_metric_model(&entry.requirements, &q.metric, model);
+        let mut quality = entry
+            .quality
+            .clone()
+            .unwrap_or_default();
+        quality.refit_generation = registry.generation() + 1;
+        quality.metrics.insert(
+            q.metric.clone(),
+            MetricQuality {
+                cv_smape,
+                ci95_rel,
+                observations,
+            },
+        );
+        fsio::write_atomic(
+            self.dir.join(&entry.source),
+            artifact::requirements_to_string_with_quality(&app, Some(&quality)),
+        )
+        .map_err(ObserveError::Publish)?;
+        state
+            .log
+            .append(&ObsLine::RefitMark {
+                metric: q.metric.clone(),
+                kind: if full { "full" } else { "incremental" }.to_string(),
+            })
+            .map_err(ObserveError::Journal)?;
+        registry.refresh();
+        Ok(())
+    }
+
+    /// One `(model, journaled observations, observations since the last
+    /// full refit)` row per tracked model, sorted by name — the `/models`
+    /// staleness view. "Since last full refit" is the maximum over the
+    /// model's metrics (the stalest metric dominates).
+    pub fn observed(&self) -> Vec<(String, u64, u64)> {
+        let states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        states
+            .iter()
+            .map(|(name, s)| {
+                let since = artifact::MODEL_FIELDS
+                    .iter()
+                    .map(|m| s.log.since_full_refit(m))
+                    .max()
+                    .unwrap_or(0);
+                (name.clone(), s.log.observations(), since)
+            })
+            .collect()
+    }
+
+    /// The `(model, observations since last full refit)` gauge rows for
+    /// `/metrics`.
+    pub fn staleness(&self) -> Vec<(String, u64)> {
+        self.observed()
+            .into_iter()
+            .map(|(name, _, since)| (name, since))
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for Refresher {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Refresher")
+            .field("dir", &self.dir)
+            .field("settings", &self.settings)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::parse_observation;
+    use crate::registry::Fitter;
+    use exareq_codesign::catalog;
+    use exareq_profile::Survey;
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("exareq_refresh_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn no_fit() -> Box<Fitter> {
+        Box::new(|_s: &Survey| Err("no fitting in this test".to_string()))
+    }
+
+    fn setup(tag: &str) -> (PathBuf, Arc<ModelRegistry>, Refresher, Metrics, String) {
+        let dir = temp_dir(tag);
+        let app = catalog::paper_models().remove(0);
+        std::fs::write(
+            dir.join("model.json"),
+            artifact::requirements_to_string(&app),
+        )
+        .unwrap();
+        let registry = Arc::new(ModelRegistry::new(&dir, no_fit()));
+        registry.refresh();
+        let settings = RefreshSettings {
+            policy: StalenessPolicy {
+                min_points: 6,
+                full_refit_count: 10,
+                cv_drift: 5.0,
+            },
+            fit: FitConfig::coarse(),
+        };
+        let refresher = Refresher::new(&dir, settings);
+        (dir, registry, refresher, Metrics::new(), app.name)
+    }
+
+    fn observation(model: &str, p: f64, n: f64, value: f64) -> crate::api::ObservationQuery {
+        parse_observation(&format!(
+            r#"{{"model":"{model}","metric":"flops","p":{p},"n":{n},"value":{value}}}"#
+        ))
+        .expect("valid observation")
+    }
+
+    #[test]
+    fn observations_journal_then_refit_then_swap() {
+        let (dir, registry, refresher, metrics, name) = setup("swap");
+        let app = registry.get(&name).unwrap();
+        let truth = |p: f64, n: f64| app.flops.eval(&[p, n]) * 1.25;
+
+        let mut last = None;
+        let mut i = 0;
+        for &p in &[2.0, 4.0, 8.0, 16.0] {
+            for &n in &[64.0, 128.0, 256.0] {
+                i += 1;
+                let q = observation(&name, p, n, truth(p, n));
+                let out = refresher
+                    .observe(&registry, &metrics, &q)
+                    .expect("accepted");
+                assert_eq!(out.observations, i);
+                last = Some(out);
+            }
+        }
+        let last = last.unwrap();
+        // With min_points 6 the later observations refit and republish.
+        assert_ne!(last.refit, "none", "{last:?}");
+        assert!(metrics.observations() == 12);
+        assert!(metrics.refits().0 + metrics.refits().1 >= 1);
+        // The swap is visible: the served flops model moved toward truth.
+        let served = registry.get(&name).unwrap();
+        let before = app.flops.eval(&[32.0, 512.0]);
+        let after = served.flops.eval(&[32.0, 512.0]);
+        let target = truth(32.0, 512.0);
+        assert!(
+            (after - target).abs() < (before - target).abs(),
+            "served {after} vs old {before}, target {target}"
+        );
+        // The artifact on disk carries the quality block.
+        let entry = registry.entry(&name).unwrap();
+        let q = entry.quality.expect("quality block");
+        assert!(q.metrics.contains_key("flops"));
+        assert_eq!(q.metrics["flops"].observations, 12);
+        // The journal exists next to the artifact, invisible to the
+        // registry scan.
+        assert!(journal_path(&dir, "model.json").exists());
+        assert!(registry.snapshot().errors.is_empty());
+    }
+
+    #[test]
+    fn unknown_and_survey_models_are_rejected() {
+        let (_dir, registry, refresher, metrics, name) = setup("reject");
+        let q = observation("NoSuchModel", 2.0, 64.0, 1.0e9);
+        assert!(matches!(
+            refresher.observe(&registry, &metrics, &q),
+            Err(ObserveError::UnknownModel)
+        ));
+        // A valid model still works after the rejection.
+        let q = observation(&name, 2.0, 64.0, 1.0e9);
+        refresher
+            .observe(&registry, &metrics, &q)
+            .expect("accepted");
+        assert_eq!(metrics.observations(), 1);
+    }
+
+    #[test]
+    fn staleness_counters_survive_restart() {
+        let (dir, registry, refresher, metrics, name) = setup("restart");
+        for (i, &(p, n)) in [(2.0, 64.0), (2.0, 128.0), (4.0, 64.0)].iter().enumerate() {
+            let q = observation(&name, p, n, 1.0e9 + i as f64);
+            let out = refresher.observe(&registry, &metrics, &q).unwrap();
+            assert_eq!(out.refit, "none");
+        }
+        assert_eq!(refresher.observed(), vec![(name.clone(), 3, 3)]);
+        assert_eq!(refresher.staleness(), vec![(name.clone(), 3)]);
+
+        // A fresh refresher (daemon restart) resumes the journal.
+        drop(refresher);
+        let again = Refresher::new(&dir, RefreshSettings::default());
+        assert_eq!(again.observed(), vec![(name, 3, 3)]);
+    }
+
+    #[test]
+    fn full_refit_resets_the_staleness_counter() {
+        let dir = temp_dir("full");
+        let app = catalog::paper_models().remove(0);
+        std::fs::write(
+            dir.join("model.json"),
+            artifact::requirements_to_string(&app),
+        )
+        .unwrap();
+        let registry = Arc::new(ModelRegistry::new(&dir, no_fit()));
+        registry.refresh();
+        // Count trigger at 9 observations, exactly when the two axis
+        // sweeps below complete (the multi-parameter search needs ≥5
+        // points per axis slice).
+        let refresher = Refresher::new(
+            &dir,
+            RefreshSettings {
+                policy: StalenessPolicy {
+                    min_points: 6,
+                    full_refit_count: 9,
+                    cv_drift: 5.0,
+                },
+                fit: FitConfig::coarse(),
+            },
+        );
+        let metrics = Metrics::new();
+        let name = app.name.clone();
+        let truth = |p: f64, n: f64| app.flops.eval(&[p, n]).max(1.0);
+
+        // p sweep at the base n, then the n sweep at the base p.
+        let mut configs: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&p| (p, 64.0))
+            .collect();
+        configs.extend([128.0, 256.0, 512.0, 1024.0].iter().map(|&n| (2.0, n)));
+        let mut last = None;
+        for &(p, n) in &configs {
+            let out = refresher
+                .observe(&registry, &metrics, &observation(&name, p, n, truth(p, n)))
+                .expect("accepted");
+            last = Some(out);
+        }
+        let last = last.unwrap();
+        assert_eq!(last.refit, "full", "{last:?}");
+        assert_eq!(last.since_full_refit, 0);
+        assert!(metrics.refits().1 >= 1);
+        let (_, total, since) = refresher
+            .observed()
+            .into_iter()
+            .find(|(m, _, _)| *m == name)
+            .unwrap();
+        assert_eq!((total, since), (9, 0));
+        // The re-searched model still predicts the (linear-in-n) truth.
+        let served = registry.get(&name).unwrap();
+        let got = served.flops.eval(&[8.0, 2048.0]);
+        let want = truth(8.0, 2048.0);
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "refit predicts {got}, truth {want}"
+        );
+    }
+}

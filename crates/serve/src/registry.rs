@@ -20,9 +20,9 @@
 //! build are rejected the same way the journal rejects newer journals:
 //! loudly, per file, without taking down the rest of the registry.
 
-use crate::artifact;
+use crate::artifact::{self, ArtifactQuality};
 use exareq_codesign::AppRequirements;
-use exareq_core::compiled::CompiledModel;
+use exareq_core::compiled::{model_content_hash, CompiledArena, CompiledModel};
 use exareq_profile::minijson::{self, Json};
 use exareq_profile::surveyjson;
 use exareq_profile::Survey;
@@ -68,38 +68,55 @@ pub struct ModelEntry {
     pub requirements: Arc<AppRequirements>,
     /// The same models lowered to flat tables (`POST /predict_batch`).
     pub compiled: Arc<CompiledApp>,
+    /// Fit-quality block, when the artifact carries one (refreshed models).
+    pub quality: Option<ArtifactQuality>,
 }
 
 /// An application's five requirement models lowered to
-/// [`CompiledModel`] flat tables — built once per artifact content hash,
-/// walked on every `/predict_batch` point. Field order mirrors
-/// [`AppRequirements`] and the `/predict` response shape.
+/// [`CompiledModel`] flat tables — built once per *model content hash* in
+/// the registry's shared [`CompiledArena`], walked on every
+/// `/predict_batch` point. Field order mirrors [`AppRequirements`] and the
+/// `/predict` response shape. Arena sharing is what makes online refresh
+/// cheap: a refit that changes one metric's model re-lowers that one model;
+/// the other four `Arc`s are reused.
 pub struct CompiledApp {
     /// Application name.
     pub name: String,
     /// Memory-footprint model (bytes used).
-    pub bytes_used: CompiledModel,
+    pub bytes_used: Arc<CompiledModel>,
     /// Computation model (FLOPs).
-    pub flops: CompiledModel,
+    pub flops: Arc<CompiledModel>,
     /// Communication model (bytes on the network).
-    pub comm_bytes: CompiledModel,
+    pub comm_bytes: Arc<CompiledModel>,
     /// Memory-access model (loads + stores).
-    pub loads_stores: CompiledModel,
+    pub loads_stores: Arc<CompiledModel>,
     /// Locality model (average stack distance).
-    pub stack_distance: CompiledModel,
+    pub stack_distance: Arc<CompiledModel>,
 }
 
 impl CompiledApp {
-    /// Lowers every requirement model of `app`.
-    pub fn lower(app: &AppRequirements) -> CompiledApp {
+    /// Lowers every requirement model of `app` through the arena (cache
+    /// hits return the existing lowering).
+    pub fn lower(app: &AppRequirements, arena: &CompiledArena) -> CompiledApp {
         CompiledApp {
             name: app.name.clone(),
-            bytes_used: CompiledModel::lower(&app.bytes_used),
-            flops: CompiledModel::lower(&app.flops),
-            comm_bytes: CompiledModel::lower(&app.comm_bytes),
-            loads_stores: CompiledModel::lower(&app.loads_stores),
-            stack_distance: CompiledModel::lower(&app.stack_distance),
+            bytes_used: arena.lower(&app.bytes_used),
+            flops: arena.lower(&app.flops),
+            comm_bytes: arena.lower(&app.comm_bytes),
+            loads_stores: arena.lower(&app.loads_stores),
+            stack_distance: arena.lower(&app.stack_distance),
         }
+    }
+
+    /// The five model content hashes, for arena retention.
+    fn model_hashes(app: &AppRequirements) -> [u64; 5] {
+        [
+            model_content_hash(&app.bytes_used),
+            model_content_hash(&app.flops),
+            model_content_hash(&app.comm_bytes),
+            model_content_hash(&app.loads_stores),
+            model_content_hash(&app.stack_distance),
+        ]
     }
 }
 
@@ -114,11 +131,18 @@ pub struct RegistrySnapshot {
     pub errors: Vec<(String, String)>,
 }
 
-/// A cached parse/fit outcome: `(model name, kind, fitted models, the
-/// compiled lowering)` or the one-line rejection reason. Caching the
-/// lowering here means it happens once per artifact *content*, not per
-/// request or per registry generation.
-type ParseOutcome = Result<(String, ArtifactKind, Arc<AppRequirements>, Arc<CompiledApp>), String>;
+/// A cached parse/fit outcome, or the one-line rejection reason. Caching
+/// the compiled lowering here means it happens once per artifact
+/// *content*, not per request or per registry generation.
+struct ParsedArtifact {
+    name: String,
+    kind: ArtifactKind,
+    requirements: Arc<AppRequirements>,
+    compiled: Arc<CompiledApp>,
+    quality: Option<ArtifactQuality>,
+}
+
+type ParseOutcome = Result<ParsedArtifact, String>;
 
 struct Inner {
     /// name → entry, as currently served.
@@ -136,6 +160,7 @@ struct Inner {
 pub struct ModelRegistry {
     dir: PathBuf,
     fitter: Box<Fitter>,
+    arena: CompiledArena,
     inner: Mutex<Inner>,
 }
 
@@ -150,17 +175,19 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn parse_artifact(text: &str, fitter: &Fitter) -> ParseOutcome {
+fn parse_artifact(text: &str, fitter: &Fitter, arena: &CompiledArena) -> ParseOutcome {
     let v = minijson::parse(text).map_err(|e| e.to_string())?;
     if artifact::is_requirements_artifact(&v) {
         let app = artifact::requirements_from_json(&v)?;
-        let compiled = Arc::new(CompiledApp::lower(&app));
-        return Ok((
-            app.name.clone(),
-            ArtifactKind::Requirements,
-            Arc::new(app),
+        let quality = artifact::quality_from_json(&v)?;
+        let compiled = Arc::new(CompiledApp::lower(&app, arena));
+        return Ok(ParsedArtifact {
+            name: app.name.clone(),
+            kind: ArtifactKind::Requirements,
+            requirements: Arc::new(app),
             compiled,
-        ));
+            quality,
+        });
     }
     if v.get("observations").and_then(Json::as_arr).is_some() {
         let survey = surveyjson::survey_from_json(&v).map_err(|e| e.to_string())?;
@@ -168,13 +195,14 @@ fn parse_artifact(text: &str, fitter: &Fitter) -> ParseOutcome {
             return Err("survey artifact is marked incomplete; resume the sweep first".to_string());
         }
         let app = fitter(&survey)?;
-        let compiled = Arc::new(CompiledApp::lower(&app));
-        return Ok((
-            app.name.clone(),
-            ArtifactKind::Survey,
-            Arc::new(app),
+        let compiled = Arc::new(CompiledApp::lower(&app, arena));
+        return Ok(ParsedArtifact {
+            name: app.name.clone(),
+            kind: ArtifactKind::Survey,
+            requirements: Arc::new(app),
             compiled,
-        ));
+            quality: None,
+        });
     }
     Err("neither a survey nor a requirements artifact".to_string())
 }
@@ -185,6 +213,7 @@ impl ModelRegistry {
         ModelRegistry {
             dir: dir.into(),
             fitter,
+            arena: CompiledArena::new(),
             inner: Mutex::new(Inner {
                 entries: BTreeMap::new(),
                 file_hashes: BTreeMap::new(),
@@ -246,17 +275,19 @@ impl ModelRegistry {
             let parsed = inner.by_hash.entry(hash).or_insert_with(|| {
                 String::from_utf8(bytes)
                     .map_err(|_| "artifact is not valid UTF-8".to_string())
-                    .and_then(|text| parse_artifact(&text, &*self.fitter))
+                    .and_then(|text| parse_artifact(&text, &*self.fitter, &self.arena))
             });
             match parsed {
-                Ok((name, kind, requirements, compiled)) => {
+                Ok(parsed) => {
+                    let name = parsed.name.clone();
                     let entry = ModelEntry {
                         name: name.clone(),
                         source: file.clone(),
                         hash,
-                        kind: *kind,
-                        requirements: Arc::clone(requirements),
-                        compiled: Arc::clone(compiled),
+                        kind: parsed.kind,
+                        requirements: Arc::clone(&parsed.requirements),
+                        compiled: Arc::clone(&parsed.compiled),
+                        quality: parsed.quality.clone(),
                     };
                     if let Some(previous) = new_entries.insert(name.clone(), entry) {
                         new_errors.insert(
@@ -275,6 +306,17 @@ impl ModelRegistry {
         // republished artifact cannot grow the cache without bound.
         let live: std::collections::BTreeSet<u64> = new_hashes.values().copied().collect();
         inner.by_hash.retain(|h, _| live.contains(h));
+
+        // Same for the compiled arena: keep only lowerings some cached
+        // artifact still references. A refit that changed one metric's
+        // model drops exactly that model's old lowering here.
+        let live_models: std::collections::BTreeSet<u64> = inner
+            .by_hash
+            .values()
+            .filter_map(|outcome| outcome.as_ref().ok())
+            .flat_map(|p| CompiledApp::model_hashes(&p.requirements))
+            .collect();
+        self.arena.retain(&|h| live_models.contains(&h));
 
         // Generation bumps only when the served set actually changed.
         let changed = inner.file_hashes != new_hashes;
@@ -298,6 +340,19 @@ impl ModelRegistry {
     pub fn get_compiled(&self, name: &str) -> Option<Arc<CompiledApp>> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.entries.get(name).map(|e| Arc::clone(&e.compiled))
+    }
+
+    /// The full entry served under `name` (kind, source file, quality) —
+    /// what the refresher needs before accepting observations.
+    pub fn entry(&self, name: &str) -> Option<ModelEntry> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.entries.get(name).cloned()
+    }
+
+    /// Distinct model lowerings currently cached in the compiled arena
+    /// (`/metrics` visibility for the refresh fast path).
+    pub fn arena_size(&self) -> usize {
+        self.arena.lowered()
     }
 
     /// The current reload generation without cloning a snapshot (the
@@ -406,6 +461,58 @@ mod tests {
         assert_eq!(fits.load(Ordering::SeqCst), 2);
         assert!(reg.get("App").is_none());
         assert!(reg.get("App2").is_some());
+    }
+
+    #[test]
+    fn refit_reuses_unchanged_lowerings_from_the_arena() {
+        let dir = temp_dir("arena");
+        let mut app = catalog::paper_models().remove(0);
+        std::fs::write(dir.join("a.json"), artifact::requirements_to_string(&app)).unwrap();
+        let reg = ModelRegistry::new(&dir, counting_fitter(Arc::new(AtomicUsize::new(0))));
+        reg.refresh();
+        let before = reg.get_compiled(&app.name).unwrap();
+        let arena_before = reg.arena_size();
+
+        // A refit that changes only the flops model: four of five
+        // lowerings must be the *same allocation* afterwards.
+        app.flops.constant += 1.0;
+        std::fs::write(dir.join("a.json"), artifact::requirements_to_string(&app)).unwrap();
+        reg.refresh();
+        let after = reg.get_compiled(&app.name).unwrap();
+        assert!(!Arc::ptr_eq(&before.flops, &after.flops));
+        assert!(Arc::ptr_eq(&before.bytes_used, &after.bytes_used));
+        assert!(Arc::ptr_eq(&before.comm_bytes, &after.comm_bytes));
+        assert!(Arc::ptr_eq(&before.loads_stores, &after.loads_stores));
+        assert!(Arc::ptr_eq(&before.stack_distance, &after.stack_distance));
+        // The departed flops lowering was retired, not leaked.
+        assert_eq!(reg.arena_size(), arena_before);
+    }
+
+    #[test]
+    fn quality_block_surfaces_on_the_entry() {
+        let dir = temp_dir("quality");
+        let app = catalog::paper_models().remove(0);
+        let mut q = artifact::ArtifactQuality {
+            refit_generation: 3,
+            metrics: Default::default(),
+        };
+        q.metrics.insert(
+            "flops".to_string(),
+            artifact::MetricQuality {
+                cv_smape: 2.5,
+                ci95_rel: 0.125,
+                observations: 12,
+            },
+        );
+        std::fs::write(
+            dir.join("a.json"),
+            artifact::requirements_to_string_with_quality(&app, Some(&q)),
+        )
+        .unwrap();
+        let reg = ModelRegistry::new(&dir, counting_fitter(Arc::new(AtomicUsize::new(0))));
+        reg.refresh();
+        let entry = reg.entry(&app.name).expect("served");
+        assert_eq!(entry.quality, Some(q));
     }
 
     #[test]

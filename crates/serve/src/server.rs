@@ -47,6 +47,7 @@
 use crate::http::{parse_one, Request, Response};
 use crate::metrics::Metrics;
 use crate::poll::{self, PollFd, WakePipe, POLLIN, POLLOUT};
+use crate::refresh::{RefreshSettings, Refresher};
 use crate::registry::ModelRegistry;
 use crate::{api, dispatch};
 use exareq_core::cancel::{CancelToken, Deadline};
@@ -83,6 +84,9 @@ pub struct ServeConfig {
     /// How long a keep-alive connection may sit idle between requests
     /// before the engine closes it.
     pub idle_deadline: Duration,
+    /// Online-refresh knobs for `POST /observations`
+    /// (`exareq serve --refresh-*`).
+    pub refresh: RefreshSettings,
 }
 
 /// Why the engine could not run.
@@ -140,6 +144,7 @@ struct Shared {
     wake: Option<WakePipe>,
     metrics: Metrics,
     registry: Arc<ModelRegistry>,
+    refresher: Arc<Refresher>,
     request_deadline: Duration,
     allow_measure: bool,
 }
@@ -165,8 +170,11 @@ struct Conn {
     stream: TcpStream,
     /// Inbound bytes not yet parsed into a request.
     buf: Vec<u8>,
-    /// Outbound bytes not yet accepted by the socket.
-    out: Vec<u8>,
+    /// Outbound segments not yet accepted by the socket — each response
+    /// contributes its head and its body as separate segments, gathered
+    /// by one `writev(2)` per flush instead of copied into one buffer.
+    out: VecDeque<Vec<u8>>,
+    /// Bytes of the front segment already written.
     out_pos: usize,
     /// Requests answered on this connection (keep-alive cap input).
     served: usize,
@@ -195,7 +203,7 @@ impl Conn {
         Conn {
             stream,
             buf: Vec::new(),
-            out: Vec::new(),
+            out: VecDeque::new(),
             out_pos: 0,
             served: 0,
             busy: false,
@@ -210,7 +218,33 @@ impl Conn {
     }
 
     fn has_pending_out(&self) -> bool {
-        self.out_pos < self.out.len()
+        !self.out.is_empty()
+    }
+
+    /// Queues one response as head + body segments (no concatenation copy;
+    /// `head_bytes` + `body` are exactly `to_bytes`). Empty bodies add no
+    /// segment.
+    fn queue_bytes(&mut self, response: Response) {
+        self.out.push_back(response.head_bytes());
+        if !response.body.is_empty() {
+            self.out.push_back(response.body);
+        }
+    }
+
+    /// Steps the segment queue past `n` written bytes.
+    fn advance_out(&mut self, mut n: usize) {
+        while n > 0 {
+            let Some(front) = self.out.front() else { break };
+            let remaining = front.len() - self.out_pos;
+            if n >= remaining {
+                self.out.pop_front();
+                self.out_pos = 0;
+                n -= remaining;
+            } else {
+                self.out_pos += n;
+                n = 0;
+            }
+        }
     }
 
     /// Events this connection needs from the next poll.
@@ -249,6 +283,7 @@ pub fn serve(
     let addr = listener.local_addr().map_err(ServeError::Listener)?;
 
     registry.refresh();
+    let refresher = Arc::new(Refresher::new(&cfg.model_dir, cfg.refresh.clone()));
     let shared = Arc::new(Shared {
         jobs: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
@@ -257,6 +292,7 @@ pub fn serve(
         wake: WakePipe::new(),
         metrics: Metrics::new(),
         registry,
+        refresher,
         request_deadline: cfg.request_deadline,
         allow_measure: cfg.allow_measure,
     });
@@ -562,6 +598,7 @@ fn run_dispatch(request: &Request, shared: &Shared) -> Response {
     let state = dispatch::EngineState {
         queue_len: lock(&shared.jobs).len(),
         allow_measure: shared.allow_measure,
+        refresher: Some(Arc::clone(&shared.refresher)),
     };
     let response = dispatch::dispatch(request, &shared.registry, &shared.metrics, &token, &state);
     shared.metrics.end_request();
@@ -586,25 +623,39 @@ fn queue_response(
         && conn.served < cfg.keep_alive_requests
         && (!draining || more_buffered);
     response.close = !keep;
-    conn.out.extend_from_slice(&response.to_bytes());
+    conn.queue_bytes(response);
     conn.last_activity = Instant::now();
     if !keep {
         conn.close_after_flush = true;
     }
 }
 
-/// Writes pending outbound bytes until the socket blocks; on completion
-/// of a closing response, shuts the write side and enters the brief
-/// read-drain that lets the peer finish reading before the FIN/close.
+/// Writes pending outbound segments until the socket blocks — one
+/// gathering `writev(2)` per round, so a queued head + body pair leaves
+/// in a single syscall; on completion of a closing response, shuts the
+/// write side and enters the brief read-drain that lets the peer finish
+/// reading before the FIN/close.
 fn flush_out(conn: &mut Conn) {
     while conn.has_pending_out() {
-        match conn.stream.write(&conn.out[conn.out_pos..]) {
+        let bufs: Vec<&[u8]> = conn
+            .out
+            .iter()
+            .enumerate()
+            .map(|(i, seg)| {
+                if i == 0 {
+                    &seg[conn.out_pos..]
+                } else {
+                    &seg[..]
+                }
+            })
+            .collect();
+        match poll::write_vectored(&mut conn.stream, &bufs) {
             Ok(0) => {
                 conn.dead = true;
                 return;
             }
             Ok(n) => {
-                conn.out_pos += n;
+                conn.advance_out(n);
                 conn.last_activity = Instant::now();
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -614,10 +665,6 @@ fn flush_out(conn: &mut Conn) {
                 return;
             }
         }
-    }
-    if !conn.out.is_empty() {
-        conn.out.clear();
-        conn.out_pos = 0;
     }
     if conn.close_after_flush && !conn.busy && conn.read_drain_until.is_none() {
         let _ = conn.stream.shutdown(std::net::Shutdown::Write);
@@ -649,7 +696,7 @@ fn sweep_deadlines(conn: &mut Conn, now: Instant, cfg: &ServeConfig, metrics: &M
             );
             response.close = true;
             metrics.record(response.status, cfg.request_deadline);
-            conn.out.extend_from_slice(&response.to_bytes());
+            conn.queue_bytes(response);
             conn.close_after_flush = true;
             flush_out(conn);
             return;

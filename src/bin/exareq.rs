@@ -5,7 +5,7 @@
 //! ```text
 //! exareq apps                               list the built-in twins
 //! exareq survey <app> [-o FILE] [--p LIST] [--n LIST]
-//! exareq model <survey.json> [--coarse]     fit and print Table II-style models
+//! exareq model <survey.json> [--coarse] [--artifact FILE]  fit and print Table II-style models
 //! exareq upgrades [<survey.json>]           Table V analysis (paper catalog by default)
 //! exareq strawman [--network]               Table VII analysis (+E9 refinement)
 //! ```
@@ -45,7 +45,7 @@ USAGE:
                   [--faults seed=S,crash=R@OP,drop=P,dup=P,delay=P,corrupt=P]
                   [--journal FILE] [--resume] [--max-retries N]
                   [--config-budget-ms N] [--deadline-ms N] [--jobs N]
-    exareq model <survey.json> [--coarse]
+    exareq model <survey.json> [--coarse] [--artifact FILE]
     exareq fit <data.csv> [--coarse]
     exareq upgrades [<survey.json>]
     exareq strawman [--network]
@@ -54,6 +54,10 @@ USAGE:
                  [--queue-depth N] [--request-deadline-ms N]
                  [--drain-deadline-ms N] [--keep-alive-requests N]
                  [--idle-deadline-ms N] [--allow-measure]
+                 [--refresh-min-points N] [--refresh-full-every N]
+                 [--refresh-cv-drift X]
+    exareq plan --artifact FILE --p 2,4,8,... --n 64,256,...
+                [--metric FIELD] [--observations FILE] [--top K] [--json]
     exareq fleet <app> --workers HOST:PORT,... [-o FILE]
                  [--p 2,4,8,...] [--n 64,256,...] [--faults SPEC]
                  [--journal FILE] [--resume] [--max-retries N]
@@ -69,7 +73,9 @@ USAGE:
 COMMANDS:
     apps       list the built-in behavioural twins
     survey     run the measurement grid for one twin, write a survey JSON
-    model      generate requirement models from a survey JSON
+    model      generate requirement models from a survey JSON; --artifact
+               additionally writes them as a requirements artifact that
+               `exareq serve` loads without fitting (and can refresh)
     fit        fit one PMNF model to external CSV measurements
                (header row names the parameters; last column is the value)
     upgrades   Table V-style upgrade comparison (fitted models if a survey
@@ -79,6 +85,9 @@ COMMANDS:
     report     full co-design dossier (models, plots, outlook, upgrades,
                straw-man verdict) as Markdown
     serve      long-running co-design query daemon over HTTP/1.1
+    plan       adaptive sampling: rank unmeasured (p, n) configurations
+               by how much measuring each would shrink a served model's
+               prediction variance (leverage x LOO residual variance)
     fleet      shard a survey across serve workers, surviving their
                failure; merged artifacts are byte-identical to survey
     router     replica-aware front-end for a set of serve daemons:
@@ -154,6 +163,26 @@ SERVING (serve):
     reserved for sweeps. --allow-measure additionally opts the daemon
     in as a fleet measurement worker (POST /measure); without it the
     endpoint answers 403.
+
+ONLINE REFRESH (serve + plan):
+    POST /observations feeds live measurements back into the served
+    models: {\"model\":NAME,\"metric\":FIELD,\"p\":P,\"n\":N,\"value\":V}.
+    Each observation is fsynced to the model's observation journal
+    (<artifact>.obs.jsonl, same crash-consistent discipline as survey
+    journals) before the 200, then a staleness policy decides: below
+    --refresh-min-points (default 8) keep serving; otherwise refit the
+    served hypothesis' coefficients incrementally (rank-1 QR over the
+    journal); every --refresh-full-every observations (default 32), or
+    when the incremental fit's cross-validated SMAPE drifts more than
+    --refresh-cv-drift points past the last full fit's (default 5),
+    re-run the whole PMNF hypothesis search. Refits republish the
+    artifact atomically (a SIGKILL mid-refit leaves the old file) with a
+    quality block — per-metric CV SMAPE, LOO 95% confidence interval,
+    observation count — surfaced in GET /models, the ci95_rel member of
+    POST /predict answers, and refresh_* Prometheus series.
+    `exareq plan` reads the same artifact + journal offline and ranks
+    candidate (p, n) configurations by expected variance reduction, so
+    the next observation is spent where it tightens the model most.
 
 FLEET SWEEPS (fleet):
     shards the pending (p, n) grid across `exareq serve --allow-measure`
@@ -293,6 +322,7 @@ fn main() -> ExitCode {
         "strawman" => cmd_strawman(rest),
         "report" => cmd_report(rest),
         "serve" => cmd_serve(rest),
+        "plan" => cmd_plan(rest),
         "fleet" => cmd_fleet(rest),
         "router" => cmd_router(rest),
         "chaos" => cmd_chaos(rest),
@@ -661,10 +691,27 @@ fn cmd_model(rest: &[String]) -> Result<(), CliError> {
     } else {
         false
     };
+    let artifact_out = if let Some(i) = args.iter().position(|a| a == "--artifact") {
+        args.remove(i);
+        if i >= args.len() {
+            return Err(CliError::usage("--artifact requires a file path"));
+        }
+        Some(args.remove(i))
+    } else {
+        None
+    };
     let Some(path) = args.first() else {
         return Err(CliError::usage("model requires a survey JSON path"));
     };
-    fit_survey(path, coarse)?;
+    let app = fit_survey(path, coarse)?;
+    if let Some(out) = artifact_out {
+        // A requirements artifact (not a survey): the shape `exareq serve`
+        // loads without fitting and — unlike a survey artifact — accepts
+        // POST /observations refits against.
+        fsio::write_atomic(&out, exareq::serve::artifact::requirements_to_string(&app))
+            .map_err(|e| e.to_string())?;
+        println!("requirements artifact written to {out}");
+    }
     Ok(())
 }
 
@@ -1023,6 +1070,25 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
     )?;
     let model_dir = take(&mut args, "--model-dir")?;
     let allow_measure = take_flag(&mut args, "--allow-measure");
+    let default_policy = exareq::core::refresh::StalenessPolicy::default();
+    let refresh_min_points = parse_count(
+        take(&mut args, "--refresh-min-points")?,
+        "--refresh-min-points",
+        default_policy.min_points,
+    )?;
+    let refresh_full_every = parse_count(
+        take(&mut args, "--refresh-full-every")?,
+        "--refresh-full-every",
+        usize::try_from(default_policy.full_refit_count).unwrap_or(32),
+    )?;
+    let refresh_cv_drift = match take(&mut args, "--refresh-cv-drift")? {
+        None => default_policy.cv_drift,
+        Some(v) => v.parse().map_err(|_| {
+            CliError::usage(format!(
+                "--refresh-cv-drift: cannot parse `{v}` as SMAPE percentage points"
+            ))
+        })?,
+    };
     if let Some(stray) = args.first() {
         return Err(CliError::usage(format!(
             "serve: unexpected argument `{stray}`"
@@ -1066,6 +1132,14 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
         allow_measure,
         keep_alive_requests,
         idle_deadline: Duration::from_millis(idle_deadline_ms),
+        refresh: exareq::serve::RefreshSettings {
+            policy: exareq::core::refresh::StalenessPolicy {
+                min_points: refresh_min_points,
+                full_refit_count: refresh_full_every as u64,
+                cv_drift: refresh_cv_drift,
+            },
+            ..Default::default()
+        },
     };
     let announce = std::sync::Arc::clone(&registry);
     let summary = exareq::serve::serve(&cfg, std::sync::Arc::clone(&registry), &cancel, |bound| {
@@ -1092,6 +1166,150 @@ fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
         summary.requests,
         summary.rejected
     );
+    Ok(())
+}
+
+/// `exareq plan`: offline adaptive sampling. Reads a fitted requirements
+/// artifact plus its observation journal and ranks the not-yet-observed
+/// candidate `(p, n)` configurations by expected variance reduction —
+/// statistical leverage against the observed design times the LOO
+/// residual variance — so the next measurement is spent where it
+/// tightens the model most.
+fn cmd_plan(rest: &[String]) -> Result<(), CliError> {
+    use exareq::core::refresh::{rank_candidates, IncrementalFit};
+    use exareq::profile::obslog::{ObsLine, ObservationLog};
+    use exareq::serve::artifact;
+
+    let mut args: Vec<String> = rest.to_vec();
+    let take = |args: &mut Vec<String>, flag| take_opt(args, flag).map_err(CliError::Usage);
+    let artifact_path = take(&mut args, "--artifact")?;
+    let metric = take(&mut args, "--metric")?.unwrap_or_else(|| "flops".to_string());
+    let p_raw = take(&mut args, "--p")?;
+    let n_raw = take(&mut args, "--n")?;
+    let obs_path = take(&mut args, "--observations")?;
+    let top = parse_count(take(&mut args, "--top")?, "--top", 10)?;
+    let json = take_flag(&mut args, "--json");
+    if let Some(stray) = args.first() {
+        return Err(CliError::usage(format!(
+            "plan: unexpected argument `{stray}`"
+        )));
+    }
+    let Some(artifact_path) = artifact_path else {
+        return Err(CliError::usage(
+            "plan requires --artifact FILE (a fitted requirements artifact)",
+        ));
+    };
+    if !artifact::MODEL_FIELDS.contains(&metric.as_str()) {
+        return Err(CliError::usage(format!(
+            "--metric must be one of: {}",
+            artifact::MODEL_FIELDS.join(", ")
+        )));
+    }
+    let (Some(p_raw), Some(n_raw)) = (p_raw, n_raw) else {
+        return Err(CliError::usage(
+            "plan requires --p LIST and --n LIST (the candidate lattice)",
+        ));
+    };
+    let p_values: Vec<f64> = parse_list(&p_raw).map_err(CliError::Usage)?;
+    let n_values: Vec<f64> = parse_list(&n_raw).map_err(CliError::Usage)?;
+
+    let text = fsio::read_to_string(Path::new(&artifact_path))
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let app = artifact::requirements_from_str(&text)
+        .map_err(|e| CliError::Data(format!("{artifact_path}: {e}")))?;
+    let model = match metric.as_str() {
+        "bytes_used" => &app.bytes_used,
+        "flops" => &app.flops,
+        "comm_bytes" => &app.comm_bytes,
+        "loads_stores" => &app.loads_stores,
+        _ => &app.stack_distance,
+    };
+    if model.params.len() != 2 {
+        return Err(CliError::Data(format!(
+            "{artifact_path}: {metric} model has {} parameters; plan ranks (p, n) lattices",
+            model.params.len()
+        )));
+    }
+
+    // The journal: --observations wins; otherwise the artifact's sibling
+    // `<stem>.obs.jsonl` (what `exareq serve` writes) when present.
+    let default_journal = {
+        let stem = artifact_path
+            .strip_suffix(".json")
+            .unwrap_or(&artifact_path);
+        format!("{stem}.obs.jsonl")
+    };
+    let journal = obs_path.unwrap_or(default_journal);
+    let points: Vec<(Vec<f64>, f64)> = if Path::new(&journal).is_file() {
+        let (_, lines) = ObservationLog::load(&journal)
+            .map_err(|e| CliError::Data(format!("{journal}: {e}")))?;
+        lines
+            .into_iter()
+            .filter_map(|l| match l {
+                ObsLine::Observation(e) if e.metric == metric => Some((e.coords, e.value)),
+                _ => None,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let fit = IncrementalFit::new(model, &points).map_err(|e| {
+        CliError::Data(format!(
+            "cannot rank candidates for {metric}: {e} ({journal} holds {} observation(s) of it; \
+             POST more to /observations first)",
+            points.len()
+        ))
+    })?;
+
+    // Candidate lattice minus what is already observed (exact coords).
+    let observed: std::collections::BTreeSet<Vec<u64>> = points
+        .iter()
+        .map(|(c, _)| c.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    let candidates: Vec<Vec<f64>> = p_values
+        .iter()
+        .flat_map(|&p| n_values.iter().map(move |&n| vec![p, n]))
+        .filter(|c| !observed.contains(&c.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()))
+        .collect();
+    if candidates.is_empty() {
+        return Err(CliError::Data(
+            "every candidate configuration is already observed; widen --p/--n".to_string(),
+        ));
+    }
+    let ranked = rank_candidates(&fit, &candidates)
+        .map_err(|e| CliError::Data(format!("rank candidates: {e}")))?;
+    let shown = ranked.iter().take(top.max(1));
+    if json {
+        for r in shown {
+            println!(
+                r#"{{"p":{},"n":{},"leverage":{},"score":{}}}"#,
+                r.coords[0], r.coords[1], r.leverage, r.score
+            );
+        }
+    } else {
+        let cv = fit
+            .loo()
+            .map(|l| format!("{:.2}% CV SMAPE", l.cv_smape))
+            .unwrap_or_else(|_| "CV unavailable".to_string());
+        println!(
+            "plan for {} / {metric}: {} observation(s), {cv}; top {} of {} candidates:",
+            app.name,
+            points.len(),
+            top.min(ranked.len()),
+            ranked.len()
+        );
+        for (i, r) in shown.enumerate() {
+            println!(
+                "  {:>2}. p={:<8} n={:<10} score {:.3e}  leverage {:.3}",
+                i + 1,
+                r.coords[0],
+                r.coords[1],
+                r.score,
+                r.leverage
+            );
+        }
+    }
     Ok(())
 }
 

@@ -70,6 +70,7 @@ fn start_replica(dir: &Path, allow_measure: bool) -> Replica {
         allow_measure,
         keep_alive_requests: 1000,
         idle_deadline: Duration::from_secs(5),
+        refresh: Default::default(),
     };
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();

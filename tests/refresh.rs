@@ -1,0 +1,402 @@
+//! End-to-end tests of the online refresh loop: a real `exareq serve`
+//! subprocess fed `POST /observations` over raw TCP.
+//!
+//! The contracts under test are the refresh subsystem's headline
+//! promises:
+//!
+//! - an acknowledged observation is **durable** — a `SIGKILL` after the
+//!   200 loses nothing, and a restarted daemon resumes the journal
+//!   (truncating at most one torn tail line);
+//! - a staleness-triggered refit **atomically republishes** the artifact
+//!   — the registry generation bumps, `/predict` grows confidence
+//!   intervals, and a kill at any point leaves a parseable artifact;
+//! - a daemon with journaled observations still drains on SIGTERM and
+//!   exits 0.
+
+#![cfg(unix)]
+
+use exareq::codesign::catalog;
+use exareq::serve::artifact;
+use exareq::signal::{send_signal, SIGTERM};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A daemon subprocess bound to an ephemeral port, killed on drop so a
+/// failing test never leaks a listener.
+struct Daemon {
+    child: Child,
+    addr: String,
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A model dir holding only the Kripke artifact (`flops = 1e7·n`), so
+/// every refit in these tests fits one well-known truth shape.
+fn model_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("exareq_refresh_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("model dir");
+    let app = catalog::kripke();
+    std::fs::write(
+        dir.join("kripke.json"),
+        artifact::requirements_to_string(&app),
+    )
+    .expect("write artifact");
+    dir
+}
+
+fn spawn_daemon(dir: &std::path::Path, extra: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .arg("serve")
+        .arg("--model-dir")
+        .arg(dir)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn exareq serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut ready = String::new();
+    reader.read_line(&mut ready).expect("readable stdout");
+    let addr = ready
+        .strip_prefix("serving on ")
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected ready line: {ready}"))
+        .to_string();
+    Daemon {
+        child,
+        addr,
+        _stdout: reader,
+    }
+}
+
+/// One raw HTTP exchange; returns (status, body as text).
+fn http(addr: &str, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(raw).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no head terminator in {response:?}"));
+    let head = String::from_utf8_lossy(&response[..head_end]);
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head}"));
+    (
+        status,
+        String::from_utf8_lossy(&response[head_end + 4..]).into_owned(),
+    )
+}
+
+fn get(addr: &str, target: &str) -> (u16, String) {
+    http(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: &str, target: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Posts one flops observation for Kripke; returns the 200 body.
+fn observe(addr: &str, p: f64, n: f64, value: f64) -> String {
+    let body = format!(r#"{{"model":"Kripke","metric":"flops","p":{p},"n":{n},"value":{value}}}"#);
+    let (status, body) = post(addr, "/observations", &body);
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+/// The shifted truth the observations report: 1.25× the served Kripke
+/// flops model, so refits have something real to converge to.
+fn truth(p: f64, n: f64) -> f64 {
+    catalog::kripke().flops.eval(&[p, n]) * 1.25
+}
+
+/// The two-axis observation sweep that carries a coarse full re-search:
+/// five p values at the base n, then four more n values at the base p.
+fn sweep() -> Vec<(f64, f64)> {
+    let mut configs: Vec<(f64, f64)> = [2.0, 4.0, 8.0, 16.0, 32.0]
+        .iter()
+        .map(|&p| (p, 64.0))
+        .collect();
+    configs.extend([128.0, 256.0, 512.0, 1024.0].iter().map(|&n| (2.0, n)));
+    configs
+}
+
+/// JSON field extraction without a parser dependency: the number after
+/// `"key":` in a minijson-rendered body.
+fn field_f64(body: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let rest = &body[body.find(&pat).unwrap_or_else(|| panic!("{key} in {body}")) + pat.len()..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} numeric in {body}"))
+}
+
+#[test]
+fn observations_trigger_refits_that_bump_generation_and_narrow_predictions() {
+    let dir = model_dir("refit");
+    let mut daemon = spawn_daemon(
+        &dir,
+        &[
+            "--refresh-min-points",
+            "6",
+            "--refresh-full-every",
+            "9",
+            "--refresh-cv-drift",
+            "5",
+        ],
+    );
+
+    let (_, models) = get(&daemon.addr, "/models");
+    let generation_before = field_f64(&models, "generation");
+
+    // Before any refit, /predict has no confidence member.
+    let (status, body) = post(
+        &daemon.addr,
+        "/predict",
+        r#"{"model":"Kripke","p":8,"n":256}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(!body.contains("ci95_rel"), "{body}");
+
+    let mut last = String::new();
+    for (i, &(p, n)) in sweep().iter().enumerate() {
+        last = observe(&daemon.addr, p, n, truth(p, n));
+        assert_eq!(field_f64(&last, "observations") as usize, i + 1, "{last}");
+    }
+    // The ninth observation trips the count trigger: a full re-search
+    // republished the artifact and reset the staleness counter.
+    assert!(last.contains("\"refit\":\"full\""), "{last}");
+    assert_eq!(field_f64(&last, "since_full_refit"), 0.0, "{last}");
+    assert!(
+        field_f64(&last, "generation") > generation_before,
+        "a published refit must bump the registry generation: {last}"
+    );
+
+    // The swap is served: /predict now tracks the shifted truth and
+    // carries the confidence interval from the refit's LOO residuals.
+    let (status, body) = post(
+        &daemon.addr,
+        "/predict",
+        r#"{"model":"Kripke","p":8,"n":2048}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("ci95_rel"), "{body}");
+    let served = field_f64(&body, "flops");
+    let want = truth(8.0, 2048.0);
+    assert!(
+        (served - want).abs() / want < 0.05,
+        "served flops {served} must track the observed truth {want}"
+    );
+
+    // /models surfaces the staleness row and the quality block.
+    let (_, models) = get(&daemon.addr, "/models");
+    assert!(field_f64(&models, "generation") > generation_before);
+    assert_eq!(field_f64(&models, "observed"), 9.0, "{models}");
+    assert_eq!(field_f64(&models, "since_full_refit"), 0.0, "{models}");
+    assert!(models.contains("\"quality\":"), "{models}");
+    assert!(models.contains("\"cv_smape\":"), "{models}");
+
+    // /metrics exposes the refresh counters and the staleness gauge.
+    let (_, metrics) = get(&daemon.addr, "/metrics");
+    assert!(
+        metrics.contains("refresh_observations_total 9"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("refresh_refits_total{kind=\"full\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("refresh_model_staleness{model=\"Kripke\"} 0"),
+        "{metrics}"
+    );
+
+    // A daemon with journaled observations still drains clean on SIGTERM.
+    assert!(send_signal(daemon.child.id(), SIGTERM), "deliver SIGTERM");
+    let started = Instant::now();
+    let status = loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "daemon failed to exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "a drained shutdown exits 0");
+}
+
+#[test]
+fn sigkill_after_acknowledgement_loses_nothing_and_leaves_whole_artifacts() {
+    let dir = model_dir("sigkill");
+    // Aggressive policy: every observation past the sixth refits and
+    // rewrites the artifact, so the SIGKILL lands as close to an
+    // artifact swap as the wire allows.
+    let flags = [
+        "--refresh-min-points",
+        "6",
+        "--refresh-full-every",
+        "9",
+        "--refresh-cv-drift",
+        "5",
+    ];
+    let acked = {
+        let mut daemon = spawn_daemon(&dir, &flags);
+        let mut acked = 0u64;
+        for &(p, n) in &sweep() {
+            observe(&daemon.addr, p, n, truth(p, n));
+            acked += 1;
+        }
+        // SIGKILL immediately after the ack of a full-refit observation:
+        // no drain, no atexit — whatever is on disk is what survives.
+        daemon.child.kill().expect("SIGKILL");
+        daemon.child.wait().expect("reap");
+        acked
+    };
+
+    // The restarted daemon resumes the journal: every acknowledged
+    // observation is still counted, the artifact parses (no registry
+    // errors), and the refitted model is still the one served.
+    let daemon = spawn_daemon(&dir, &flags);
+    let (_, models) = get(&daemon.addr, "/models");
+    assert!(
+        models.contains("\"errors\":[]"),
+        "torn artifact after SIGKILL: {models}"
+    );
+    assert_eq!(
+        field_f64(&models, "observed"),
+        acked as f64,
+        "an acknowledged observation must survive SIGKILL: {models}"
+    );
+    assert_eq!(field_f64(&models, "since_full_refit"), 0.0, "{models}");
+    let (status, body) = post(
+        &daemon.addr,
+        "/predict",
+        r#"{"model":"Kripke","p":8,"n":2048}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let served = field_f64(&body, "flops");
+    let want = truth(8.0, 2048.0);
+    assert!(
+        (served - want).abs() / want < 0.05,
+        "the refitted artifact must survive the kill: served {served}, want {want}"
+    );
+}
+
+#[test]
+fn torn_journal_tail_is_truncated_on_restart_and_appends_resume() {
+    let dir = model_dir("torn");
+    let flags = ["--refresh-min-points", "6"];
+    {
+        let daemon = spawn_daemon(&dir, &flags);
+        for (i, &(p, n)) in sweep()[..4].iter().enumerate() {
+            let body = observe(&daemon.addr, p, n, truth(p, n));
+            assert_eq!(field_f64(&body, "observations") as usize, i + 1);
+        }
+        // Daemon killed on drop — a crash, not a drain.
+    }
+
+    // Simulate a torn append: a write that died mid-line, no newline.
+    let journal = dir.join("kripke.obs.jsonl");
+    assert!(journal.exists(), "journal must sit next to the artifact");
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .expect("open journal");
+    f.write_all(b"{\"coords\":[16,51").expect("torn tail");
+    drop(f);
+
+    // Restart: the torn line is truncated, the four whole ones survive,
+    // and the journal accepts new appends exactly where it left off.
+    let daemon = spawn_daemon(&dir, &flags);
+    let (_, models) = get(&daemon.addr, "/models");
+    assert_eq!(field_f64(&models, "observed"), 4.0, "{models}");
+    let body = observe(&daemon.addr, 16.0, 64.0, truth(16.0, 64.0));
+    assert_eq!(field_f64(&body, "observations"), 5.0, "{body}");
+    let (_, models) = get(&daemon.addr, "/models");
+    assert_eq!(field_f64(&models, "observed"), 5.0, "{models}");
+}
+
+#[test]
+fn exareq_plan_ranks_the_journal_into_a_measurement_plan() {
+    let dir = model_dir("plan");
+    {
+        let daemon = spawn_daemon(&dir, &["--refresh-min-points", "6"]);
+        for &(p, n) in &sweep() {
+            observe(&daemon.addr, p, n, truth(p, n));
+        }
+    }
+
+    // The offline planner reads the daemon's journal sibling-named next
+    // to the artifact and ranks the unmeasured lattice.
+    let out = Command::new(env!("CARGO_BIN_EXE_exareq"))
+        .args(["plan", "--artifact"])
+        .arg(dir.join("kripke.json"))
+        .args([
+            "--p",
+            "2,4,8,16,32,64",
+            "--n",
+            "64,128,256,512,1024,4096",
+            "--top",
+            "3",
+            "--json",
+        ])
+        .output()
+        .expect("run exareq plan");
+    assert!(
+        out.status.success(),
+        "plan failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 3, "--top 3 emits three candidates: {stdout}");
+    for line in &lines {
+        assert!(line.contains("\"score\":"), "{line}");
+        assert!(line.contains("\"leverage\":"), "{line}");
+    }
+    // The top pick is an unmeasured extrapolation-leaning config, never
+    // one of the nine already-journaled ones.
+    let already: Vec<String> = sweep()
+        .iter()
+        .map(|(p, n)| format!("\"p\":{p},\"n\":{n}"))
+        .collect();
+    for line in &lines {
+        assert!(
+            !already.iter().any(|k| line.contains(k.as_str())),
+            "plan must not re-measure a journaled config: {line}"
+        );
+    }
+}

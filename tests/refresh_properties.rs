@@ -1,0 +1,240 @@
+//! Property-based verification of the refresh subsystem: the rank-1 QR
+//! row update agrees with batch least squares, the incremental refitter
+//! agrees with seeding from scratch, and the observation journal is
+//! crash-exact at every possible truncation point.
+
+use exareq::core::linalg::{lstsq, Matrix, QrFactor};
+use exareq::core::pmnf::{Exponents, Model, Term};
+use exareq::core::refresh::IncrementalFit;
+use exareq::profile::obslog::{ObsEntry, ObsLine, ObsManifest, ObservationLog};
+use proptest::prelude::*;
+
+/// A two-parameter hypothesis `c₀ + c₁·p·log2(p) + c₂·n` to refit.
+fn hypothesis() -> Model {
+    Model::new(
+        1.0,
+        vec![
+            Term::new(1.0, vec![Exponents::new(1.0, 1.0), Exponents::constant()]),
+            Term::new(1.0, vec![Exponents::constant(), Exponents::new(1.0, 0.0)]),
+        ],
+        vec!["p".to_string(), "n".to_string()],
+    )
+}
+
+/// The full `(p, n)` grid the strategies below sample from.
+fn grid() -> Vec<Vec<f64>> {
+    let mut coords = Vec::new();
+    for &p in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+        for &n in &[64.0, 128.0, 256.0, 512.0] {
+            coords.push(vec![p, n]);
+        }
+    }
+    coords
+}
+
+/// Noisy observations over the whole grid: one multiplicative
+/// perturbation per configuration, drawn by proptest.
+fn observations() -> impl Strategy<Value = Vec<(Vec<f64>, f64)>> {
+    proptest::collection::vec(-0.05f64..0.05, grid().len()).prop_map(|noise| {
+        grid()
+            .into_iter()
+            .zip(noise)
+            .map(|(c, eps)| {
+                let truth = 100.0 + 3.0 * c[0] * c[0].log2() + 0.5 * c[1];
+                (c, truth * (1.0 + eps))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Seeding a `QrFactor` with `m` rows and pushing the rest one at a
+    /// time solves the same coefficients as batch least squares over all
+    /// rows at once — the rank-1 update loses nothing.
+    #[test]
+    fn qr_push_row_agrees_with_batch_lstsq(
+        xs in proptest::collection::vec(1.0f64..100.0, 6..16),
+        ys in proptest::collection::vec(-50.0f64..50.0, 16),
+        seed_rows in 3usize..5,
+    ) {
+        let rows = xs.len();
+        prop_assume!(seed_rows < rows);
+        let mut a = Matrix::zeros(rows, 3);
+        let mut b = vec![0.0; rows];
+        for r in 0..rows {
+            // Distinct abscissae keep the Vandermonde-ish design
+            // well-conditioned for both solvers.
+            let x = xs[r] + 150.0 * r as f64;
+            a[(r, 0)] = 1.0;
+            a[(r, 1)] = x;
+            a[(r, 2)] = x * x / 1000.0;
+            b[r] = ys[r % ys.len()];
+        }
+        let batch = lstsq(&a, &b).unwrap();
+
+        let mut seed_a = Matrix::zeros(seed_rows, 3);
+        for r in 0..seed_rows {
+            for c in 0..3 {
+                seed_a[(r, c)] = a[(r, c)];
+            }
+        }
+        let mut qr = QrFactor::new(&seed_a, &b[..seed_rows]).unwrap();
+        for r in seed_rows..rows {
+            qr.push_row(&[a[(r, 0)], a[(r, 1)], a[(r, 2)]], b[r]).unwrap();
+        }
+        let pushed = qr.solve().unwrap();
+        for (i, (p, q)) in pushed.iter().zip(&batch).enumerate() {
+            prop_assert!(
+                (p - q).abs() <= 1e-6 * (1.0 + q.abs()),
+                "coefficient {i}: pushed {p} vs batch {q}"
+            );
+        }
+    }
+
+    /// An [`IncrementalFit`] seeded small and grown by `push` is the same
+    /// fit as one seeded from the full observation set: same coefficients,
+    /// same predictions, same LOO summary.
+    #[test]
+    fn incremental_refit_agrees_with_from_scratch(
+        pts in observations(),
+        seed_count in 4usize..10,
+    ) {
+        let mut inc = IncrementalFit::new(&hypothesis(), &pts[..seed_count]).unwrap();
+        for (coords, value) in &pts[seed_count..] {
+            inc.push(coords, *value).unwrap();
+        }
+        let scratch = IncrementalFit::new(&hypothesis(), &pts).unwrap();
+
+        prop_assert_eq!(inc.observations(), scratch.observations());
+        let (a, b) = (inc.model(), scratch.model());
+        prop_assert!(
+            (a.constant - b.constant).abs() <= 1e-6 * (1.0 + b.constant.abs()),
+            "constant {} vs {}", a.constant, b.constant
+        );
+        for (ta, tb) in a.terms.iter().zip(&b.terms) {
+            prop_assert!(
+                (ta.coeff - tb.coeff).abs() <= 1e-6 * (1.0 + tb.coeff.abs()),
+                "coeff {} vs {}", ta.coeff, tb.coeff
+            );
+        }
+        // The agreement is behavioural too: identical extrapolation.
+        for probe in [[64.0, 8192.0], [128.0, 65536.0]] {
+            let (pa, pb) = (a.eval(&probe), b.eval(&probe));
+            prop_assert!((pa - pb).abs() <= 1e-6 * (1.0 + pb.abs()), "{pa} vs {pb}");
+        }
+        let (la, lb) = (inc.loo().unwrap(), scratch.loo().unwrap());
+        prop_assert!((la.cv_smape - lb.cv_smape).abs() <= 1e-6 * (1.0 + lb.cv_smape));
+        prop_assert!((la.ci95_rel - lb.ci95_rel).abs() <= 1e-6 * (1.0 + lb.ci95_rel));
+    }
+
+    /// On noise-free data the incremental refitter recovers the generating
+    /// coefficients exactly, for any coefficients and any observation order.
+    #[test]
+    fn incremental_fit_recovers_exact_coefficients(
+        c0 in 1.0f64..500.0,
+        c1 in 0.1f64..50.0,
+        c2 in 0.01f64..10.0,
+        rotate in 0usize..20,
+    ) {
+        let mut pts: Vec<(Vec<f64>, f64)> = grid()
+            .into_iter()
+            .map(|c| {
+                let v = c0 + c1 * c[0] * c[0].log2() + c2 * c[1];
+                (c, v)
+            })
+            .collect();
+        pts.rotate_left(rotate % pts.len());
+        let fit = IncrementalFit::new(&hypothesis(), &pts).unwrap();
+        let m = fit.model();
+        prop_assert!((m.constant - c0).abs() <= 1e-6 * (1.0 + c0), "{}", m.constant);
+        prop_assert!((m.terms[0].coeff - c1).abs() <= 1e-6 * (1.0 + c1));
+        prop_assert!((m.terms[1].coeff - c2).abs() <= 1e-6 * (1.0 + c2));
+    }
+
+    /// Crash-exactness of the observation journal: truncate the file at
+    /// *any* byte past the manifest (a torn final append) and resume —
+    /// the surviving lines are exactly the longest whole-line prefix of
+    /// what was appended, and the log accepts new appends from there.
+    #[test]
+    fn journal_resume_is_exact_at_every_truncation_point(
+        values in proptest::collection::vec(0.5f64..1e9, 2..12),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = std::env::temp_dir().join("exareq_refresh_prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "torn_{}_{}.obs.jsonl",
+            std::process::id(),
+            values.len() as u64 ^ values[0].to_bits()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let manifest = ObsManifest::new("kripke", vec!["p".to_string(), "n".to_string()]);
+        let lines: Vec<ObsLine> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ObsLine::Observation(ObsEntry {
+                coords: vec![2.0 * (i + 1) as f64, 64.0],
+                metric: "flops".to_string(),
+                value: v,
+            }))
+            .collect();
+        let mut log = ObservationLog::create(&path, manifest.clone()).unwrap();
+        for line in &lines {
+            log.append(line).unwrap();
+        }
+        drop(log);
+
+        // Cut anywhere in the appended region (the manifest survives).
+        let total = std::fs::metadata(&path).unwrap().len();
+        let appended: u64 = lines.iter().map(|l| l.to_line().len() as u64 + 1).sum();
+        let header = total - appended;
+        let cut = header + (cut_frac * appended as f64) as u64;
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        // Expected survivors: every line wholly (newline included) below
+        // the cut.
+        let mut offset = header;
+        let mut expect = 0usize;
+        for line in &lines {
+            offset += line.to_line().len() as u64 + 1;
+            if offset <= cut {
+                expect += 1;
+            }
+        }
+
+        let mut log = ObservationLog::resume(&path, &manifest).unwrap();
+        prop_assert_eq!(log.lines(), &lines[..expect]);
+        prop_assert_eq!(log.dropped_tail(), offset_is_torn(&lines, header, cut));
+
+        // The truncated log keeps its durability contract: a new append
+        // lands cleanly after the surviving prefix.
+        let extra = ObsLine::RefitMark {
+            metric: "flops".to_string(),
+            kind: "full".to_string(),
+        };
+        log.append(&extra).unwrap();
+        drop(log);
+        let log = ObservationLog::resume(&path, &manifest).unwrap();
+        prop_assert_eq!(log.lines().len(), expect + 1);
+        prop_assert_eq!(log.since_full_refit("flops"), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Whether a cut at `cut` bytes leaves a partial (torn) line behind.
+fn offset_is_torn(lines: &[ObsLine], header: u64, cut: u64) -> bool {
+    let mut offset = header;
+    for line in lines {
+        let next = offset + line.to_line().len() as u64 + 1;
+        if cut > offset && cut < next {
+            return true;
+        }
+        offset = next;
+    }
+    false
+}
